@@ -1,0 +1,89 @@
+//! Ablation benches for the design choices called out in `DESIGN.md`:
+//!
+//! * **Pruning rule**: adaptive chain-cover skips (ours) vs fixed-block
+//!   pruning (blocked) vs none (trivial) — isolates the value of solving
+//!   the Eq.-21 quadratic instead of testing fixed jumps.
+//! * **Count substrate**: prefix-count `O(k)` scoring vs rescanning the
+//!   substring `O(l)` — the paper's §2 argument for count arrays.
+//! * **Parallelism**: worker count sweep with shared pruning budgets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sigstr_core::{baseline, find_mss, find_mss_parallel, Model, Sequence};
+use sigstr_gen::{generate_iid, seeded_rng};
+
+const N: usize = 16_384;
+
+fn make_input(n: usize) -> (Sequence, Model) {
+    let model = Model::uniform(2).expect("model");
+    let mut rng = seeded_rng(0x00AB_1A7E);
+    let seq = generate_iid(n, &model, &mut rng).expect("generation");
+    (seq, model)
+}
+
+fn bench_pruning_rule(c: &mut Criterion) {
+    let (seq, model) = make_input(N);
+    let mut group = c.benchmark_group("ablation/pruning_rule");
+    group.sample_size(10);
+    group.bench_function("adaptive_skip(ours)", |b| {
+        b.iter(|| find_mss(&seq, &model).expect("mss"))
+    });
+    group.bench_function("fixed_blocks", |b| {
+        b.iter(|| baseline::blocked::find_mss(&seq, &model).expect("mss"))
+    });
+    group.bench_function("none(trivial)", |b| {
+        b.iter(|| baseline::trivial::find_mss(&seq, &model).expect("mss"))
+    });
+    group.finish();
+}
+
+/// Trivial MSS that rescans each substring instead of using prefix counts
+/// or the incremental scorer — the no-substrate ablation.
+fn rescan_mss(seq: &Sequence, model: &Model) -> f64 {
+    let n = seq.len();
+    let k = model.k();
+    let mut best = f64::NEG_INFINITY;
+    let mut counts = vec![0u32; k];
+    for start in 0..n {
+        for end in (start + 1)..=n {
+            counts.fill(0);
+            for &s in &seq.symbols()[start..end] {
+                counts[s as usize] += 1;
+            }
+            best = best.max(sigstr_core::chi_square_counts(&counts, model));
+        }
+    }
+    best
+}
+
+fn bench_count_substrate(c: &mut Criterion) {
+    // Small n: the rescan variant is O(n³).
+    let (seq, model) = make_input(512);
+    let mut group = c.benchmark_group("ablation/count_substrate_n512");
+    group.sample_size(10);
+    group.bench_function("incremental_counts", |b| {
+        b.iter(|| baseline::trivial::find_mss(&seq, &model).expect("mss"))
+    });
+    group.bench_function("rescan_per_substring", |b| {
+        b.iter(|| rescan_mss(&seq, &model))
+    });
+    group.finish();
+}
+
+fn bench_parallel(c: &mut Criterion) {
+    let (seq, model) = make_input(65_536);
+    let mut group = c.benchmark_group("ablation/parallel_n65536");
+    group.sample_size(10);
+    for &threads in &[1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| find_mss_parallel(&seq, &model, threads).expect("mss"))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pruning_rule, bench_count_substrate, bench_parallel);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion analogue of Table 1: the four MSS algorithms (plus the
+//! blocked baseline and the parallel scan) on one null string.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sigstr_core::{baseline, find_mss, find_mss_parallel, Model, Sequence};
+use sigstr_gen::{generate_iid, seeded_rng};
+
+const N: usize = 20_000;
+
+fn make_input() -> (Sequence, Model) {
+    let model = Model::uniform(2).expect("model");
+    let mut rng = seeded_rng(0xBE7C_0002);
+    let seq = generate_iid(N, &model, &mut rng).expect("generation");
+    (seq, model)
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    let (seq, model) = make_input();
+    let mut group = c.benchmark_group("algorithms_n20000");
+    group.sample_size(10);
+    group.bench_function("ours", |b| b.iter(|| find_mss(&seq, &model).expect("mss")));
+    group.bench_function("trivial", |b| {
+        b.iter(|| baseline::trivial::find_mss(&seq, &model).expect("mss"))
+    });
+    group.bench_function("blocked", |b| {
+        b.iter(|| baseline::blocked::find_mss(&seq, &model).expect("mss"))
+    });
+    group.bench_function("arlm", |b| {
+        b.iter(|| baseline::arlm::find_mss(&seq, &model).expect("mss"))
+    });
+    group.bench_function("agmm", |b| {
+        b.iter(|| baseline::agmm::find_mss(&seq, &model).expect("mss"))
+    });
+    group.bench_function("ours_parallel", |b| {
+        b.iter(|| find_mss_parallel(&seq, &model, 0).expect("mss"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion analogue of Figure 1a: MSS wall-clock scaling with `n`.
+//!
+//! The pruned algorithm should scale ≈ n^1.5 while the trivial scan
+//! scales ≈ n²; compare the growth factors between consecutive sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sigstr_core::{baseline, find_mss, Model, Sequence};
+use sigstr_gen::{generate_iid, seeded_rng};
+
+fn make_input(n: usize) -> (Sequence, Model) {
+    let model = Model::uniform(2).expect("model");
+    let mut rng = seeded_rng(0xBE7C_0001u64 + n as u64);
+    let seq = generate_iid(n, &model, &mut rng).expect("generation");
+    (seq, model)
+}
+
+fn bench_ours(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mss_scaling/ours");
+    group.sample_size(10);
+    for &n in &[4_096usize, 16_384, 65_536] {
+        let (seq, model) = make_input(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| find_mss(&seq, &model).expect("mss"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_trivial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mss_scaling/trivial");
+    group.sample_size(10);
+    for &n in &[4_096usize, 16_384] {
+        let (seq, model) = make_input(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| baseline::trivial::find_mss(&seq, &model).expect("mss"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ours, bench_trivial);
+criterion_main!(benches);

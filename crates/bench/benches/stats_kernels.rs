@@ -1,0 +1,56 @@
+//! Microbenchmarks of the numerical kernels: chi-square scoring, the skip
+//! solver and the distribution functions.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sigstr_core::skip::max_safe_skip;
+use sigstr_core::{chi_square_counts, Model};
+use sigstr_stats::chi2;
+use sigstr_stats::gamma::{ln_gamma, reg_lower_gamma};
+
+fn bench_scoring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels/score");
+    let model2 = Model::uniform(2).expect("model");
+    let model10 = Model::uniform(10).expect("model");
+    let counts2 = [523u32, 477];
+    let counts10 = [93u32, 107, 101, 99, 95, 104, 96, 103, 100, 102];
+    group.bench_function("chi_square_k2", |b| {
+        b.iter(|| chi_square_counts(black_box(&counts2), &model2))
+    });
+    group.bench_function("chi_square_k10", |b| {
+        b.iter(|| chi_square_counts(black_box(&counts10), &model10))
+    });
+    group.finish();
+}
+
+fn bench_skip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels/skip");
+    let model2 = Model::uniform(2).expect("model");
+    let model10 = Model::uniform(10).expect("model");
+    let counts2 = [523u32, 477];
+    let counts10 = [93u32, 107, 101, 99, 95, 104, 96, 103, 100, 102];
+    let x2_2 = chi_square_counts(&counts2, &model2);
+    let x2_10 = chi_square_counts(&counts10, &model10);
+    group.bench_function("max_safe_skip_k2", |b| {
+        b.iter(|| max_safe_skip(black_box(&counts2), 1000, x2_2, 18.0, &model2))
+    });
+    group.bench_function("max_safe_skip_k10", |b| {
+        b.iter(|| max_safe_skip(black_box(&counts10), 1000, x2_10, 30.0, &model10))
+    });
+    group.finish();
+}
+
+fn bench_distributions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels/distributions");
+    group.bench_function("ln_gamma", |b| b.iter(|| ln_gamma(black_box(12.34))));
+    group.bench_function("reg_lower_gamma", |b| {
+        b.iter(|| reg_lower_gamma(black_box(4.5), black_box(3.2)))
+    });
+    group.bench_function("chi2_sf", |b| b.iter(|| chi2::sf(black_box(18.2), 1.0)));
+    group.bench_function("chi2_quantile", |b| {
+        b.iter(|| chi2::quantile(black_box(0.999), 1.0))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scoring, bench_skip, bench_distributions);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion analogue of Figures 5–7: the top-t, threshold and
+//! min-length variants.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sigstr_core::{above_threshold, mss_min_length, top_t, Model, Sequence};
+use sigstr_gen::{generate_iid, seeded_rng};
+
+const N: usize = 20_000;
+
+fn make_input() -> (Sequence, Model) {
+    let model = Model::uniform(2).expect("model");
+    let mut rng = seeded_rng(0xBE7C_0003);
+    let seq = generate_iid(N, &model, &mut rng).expect("generation");
+    (seq, model)
+}
+
+fn bench_topt(c: &mut Criterion) {
+    let (seq, model) = make_input();
+    let mut group = c.benchmark_group("variants/top_t");
+    group.sample_size(10);
+    for &t in &[10usize, 100, 2_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
+            b.iter(|| top_t(&seq, &model, t).expect("top-t"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_threshold(c: &mut Criterion) {
+    let (seq, model) = make_input();
+    let mut group = c.benchmark_group("variants/threshold");
+    group.sample_size(10);
+    // alpha below X²_max (expensive) and above it (cheap) — Fig. 6's two
+    // regimes. X²_max ≈ 2 ln 20000 ≈ 19.8.
+    for &alpha in &[10.0f64, 30.0, 50.0] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(alpha as u64),
+            &alpha,
+            |b, &alpha| b.iter(|| above_threshold(&seq, &model, alpha).expect("threshold")),
+        );
+    }
+    group.finish();
+}
+
+fn bench_minlen(c: &mut Criterion) {
+    let (seq, model) = make_input();
+    let mut group = c.benchmark_group("variants/min_length");
+    group.sample_size(10);
+    for &gamma in &[0usize, N / 2, (N * 9) / 10] {
+        group.bench_with_input(BenchmarkId::from_parameter(gamma), &gamma, |b, &gamma| {
+            b.iter(|| mss_min_length(&seq, &model, gamma).expect("min-length"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_topt, bench_threshold, bench_minlen);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro <experiment-id>... [--quick] [--out DIR]
+//! repro all [--quick]
+//! repro list
+//! ```
+//!
+//! Prints each report to stdout and writes `DIR/<id>.tsv`
+//! (default `results/`).
+
+use std::process::ExitCode;
+
+use sigstr_bench::experiments;
+use sigstr_bench::Scale;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: repro <id>...|all|list [--quick] [--out DIR]");
+        return ExitCode::from(2);
+    }
+    let mut ids: Vec<String> = Vec::new();
+    let mut scale = Scale::Full;
+    let mut out_dir = String::from("results");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => scale = Scale::Quick,
+            "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => out_dir = dir.clone(),
+                    None => {
+                        eprintln!("--out needs a directory");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "list" => {
+                for (id, _) in experiments::all() {
+                    println!("{id}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            other => ids.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if ids.iter().any(|id| id == "all") {
+        ids = experiments::all().iter().map(|(id, _)| id.to_string()).collect();
+    }
+    if ids.is_empty() {
+        eprintln!("no experiments selected");
+        return ExitCode::from(2);
+    }
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("cannot create {out_dir}: {e}");
+        return ExitCode::FAILURE;
+    }
+    for id in &ids {
+        let Some(runner) = experiments::by_id(id) else {
+            eprintln!("unknown experiment `{id}` (try `repro list`)");
+            return ExitCode::from(2);
+        };
+        eprintln!("running {id} ({scale:?})...");
+        let started = std::time::Instant::now();
+        let report = runner(scale);
+        println!("{}", report.render());
+        println!("[{id} took {:.2}s]\n", started.elapsed().as_secs_f64());
+        let path = format!("{out_dir}/{id}.tsv");
+        if let Err(e) = std::fs::write(&path, report.to_tsv()) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

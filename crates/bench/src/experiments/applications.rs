@@ -1,0 +1,260 @@
+//! Tables 3–6: the baseball and stock-market applications
+//! (synthetic substitutes with the paper's eras/regimes planted —
+//! see `DESIGN.md` §5).
+
+use sigstr_core::score::scored_cmp;
+use sigstr_core::{above_threshold, baseline, find_mss, Model, Scored, Sequence};
+use sigstr_data::{baseball, stocks};
+use sigstr_gen::seeded_rng;
+
+use crate::report::{cell_f, Report};
+use crate::{dedupe_overlapping, fmt_duration, time, Scale};
+
+/// Deterministic dataset seeds shared by Tables 3/4 and 5/6.
+const BASEBALL_SEED: u64 = 0xBA5E_BA11;
+const STOCKS_SEED: u64 = 0x570C_C500;
+
+/// Mine `want` *distinct* high-significance patches: collect everything
+/// above `alpha` (Problem 3), sort by descending `X²`, then greedily drop
+/// overlaps. A top-t query would return `t` shifts of the single dominant
+/// patch; the threshold variant sees every qualifying patch.
+fn mine_distinct_patches(
+    seq: &Sequence,
+    model: &Model,
+    want: usize,
+    alpha: f64,
+) -> Vec<Scored> {
+    let mut items = above_threshold(seq, model, alpha).expect("threshold").items;
+    items.sort_by(|a, b| scored_cmp(b, a));
+    dedupe_overlapping(&items, 0.3, want)
+}
+
+/// Table 3: the five most significant Yankees–Red-Sox patches.
+pub fn table3(_scale: Scale) -> Report {
+    let mut report = Report::new(
+        "table3",
+        "performance of Yankees against Red Sox: top-5 significant patches",
+        &["start", "end", "X² val", "games", "wins", "win%"],
+    );
+    let ds = baseball::generate(&mut seeded_rng(BASEBALL_SEED));
+    let model = Model::estimate(&ds.rivalry.outcomes).expect("estimate");
+    // alpha = 8: low enough that all five planted eras qualify, high
+    // enough to keep the candidate set small (n ≈ 2k).
+    let patches = mine_distinct_patches(&ds.rivalry.outcomes, &model, 5, 8.0);
+    for patch in &patches {
+        let games = patch.len();
+        let wins = ds.rivalry.outcomes.count_vector(patch.start, patch.end)[1] as usize;
+        report.push_row(vec![
+            ds.date_of(patch.start).to_string(),
+            ds.date_of(patch.end - 1).to_string(),
+            cell_f(patch.chi_square, 2),
+            games.to_string(),
+            wins.to_string(),
+            format!("{:.2}%", 100.0 * wins as f64 / games as f64),
+        ]);
+    }
+    report.note("synthetic rivalry with the paper's Table-3 eras planted at their dates (DESIGN.md §5)");
+    report.note("paper: best patch = 1924–1933 Yankee era (~76% wins); runner-ups include the 1911–13 Red-Sox era");
+    report
+}
+
+/// Table 4: algorithm comparison on the sports string.
+pub fn table4(_scale: Scale) -> Report {
+    let mut report = Report::new(
+        "table4",
+        "comparison with other techniques, sports data",
+        &["algo", "X² val", "start", "end", "time"],
+    );
+    let ds = baseball::generate(&mut seeded_rng(BASEBALL_SEED));
+    let model = Model::estimate(&ds.rivalry.outcomes).expect("estimate");
+    run_comparison_rows(&mut report, &ds.rivalry.outcomes, &model, |s| {
+        (ds.date_of(s.start).to_string(), ds.date_of(s.end - 1).to_string())
+    });
+    report.note("paper Table 4: Trivial/Our/ARLM find the same optimal patch; AGMM returns a lower-X² one");
+    report
+}
+
+/// Table 5: significant good and bad periods for the three securities.
+pub fn table5(scale: Scale) -> Report {
+    let mut report = Report::new(
+        "table5",
+        "significant periods for the securities (good = rising, bad = falling)",
+        &["period", "security", "start", "end", "X² val", "change"],
+    );
+    let specs = select_specs(scale);
+    for (i, spec) in specs.iter().enumerate() {
+        let ds = stocks::generate(spec, &mut seeded_rng(STOCKS_SEED + i as u64));
+        // alpha just above the null-model ceiling 2 ln n ≈ 20, so the
+        // collected set is dominated by planted-regime windows.
+        let alpha = 2.2 * (ds.updown.len() as f64).ln();
+        let patches = mine_distinct_patches(&ds.updown, &ds.model, 6, alpha);
+        let up_base = ds.model.p(1);
+        let mut good: Vec<&Scored> = Vec::new();
+        let mut bad: Vec<&Scored> = Vec::new();
+        for p in &patches {
+            let ups = ds.updown.count_vector(p.start, p.end)[1] as f64;
+            if ups / p.len() as f64 >= up_base {
+                good.push(p);
+            } else {
+                bad.push(p);
+            }
+        }
+        for (label, list) in [("Good", good), ("Bad", bad)] {
+            for p in list.into_iter().take(2) {
+                let change = ds.change(p.start..p.end);
+                report.push_row(vec![
+                    label.to_string(),
+                    ds.spec.name.to_string(),
+                    ds.date_of_move(p.start).to_string(),
+                    ds.date_of_move(p.end - 1).to_string(),
+                    cell_f(p.chi_square, 2),
+                    format!("{:+.2}%", 100.0 * change),
+                ]);
+            }
+        }
+    }
+    report.note("synthetic walks with the paper's Table-5 drift regimes planted at their dates (DESIGN.md §5)");
+    report.note("paper: bad periods cluster in 1929–32, 1973–74, 2000–03; good in the 1950s boom");
+    report
+}
+
+/// Table 6: algorithm comparison on the stock strings (Dow and S&P, as in
+/// the paper).
+pub fn table6(scale: Scale) -> Report {
+    let mut report = Report::new(
+        "table6",
+        "comparison with other techniques, stock returns",
+        &["algo", "sec.", "X²", "start", "end", "change", "time"],
+    );
+    let specs = select_specs(scale);
+    for (i, spec) in specs.iter().enumerate().take(2) {
+        let ds = stocks::generate(spec, &mut seeded_rng(STOCKS_SEED + i as u64));
+        let short = if spec.name.starts_with("Dow") { "Dow" } else { "S&P" };
+        type Algo = (
+            &'static str,
+            fn(&Sequence, &Model) -> sigstr_core::Result<sigstr_core::MssResult>,
+        );
+        let algos: Vec<Algo> = vec![
+            ("Trivial", baseline::trivial::find_mss),
+            ("Our", find_mss),
+            ("ARLM", baseline::arlm::find_mss),
+            ("AGMM", baseline::agmm::find_mss),
+        ];
+        for (name, algo) in algos {
+            let (result, elapsed) = time(|| algo(&ds.updown, &ds.model).expect("mss"));
+            let change = ds.change(result.best.start..result.best.end);
+            report.push_row(vec![
+                name.to_string(),
+                short.to_string(),
+                cell_f(result.best.chi_square, 2),
+                ds.date_of_move(result.best.start).to_string(),
+                ds.date_of_move(result.best.end - 1).to_string(),
+                format!("{:+.1}%", 100.0 * change),
+                fmt_duration(elapsed),
+            ]);
+        }
+    }
+    report.note("paper Table 6: Trivial/Our/ARLM agree; Our is ~10x faster than Trivial and faster than ARLM; AGMM misses the optimum");
+    report
+}
+
+fn select_specs(scale: Scale) -> Vec<stocks::StockSpec> {
+    match scale {
+        Scale::Full => stocks::all_specs(),
+        Scale::Quick => {
+            // Shrink the series (keep the earliest regimes) for smoke runs.
+            let mut specs = stocks::all_specs();
+            for spec in &mut specs {
+                spec.days = spec.days.min(4_000);
+                let last = spec.first_day.plus_days((spec.days as f64 * 7.0 / 5.0) as i64);
+                spec.regimes.retain(|r| r.end < last);
+                assert!(!spec.regimes.is_empty(), "quick scale dropped all regimes");
+            }
+            specs
+        }
+    }
+}
+
+fn run_comparison_rows(
+    report: &mut Report,
+    seq: &Sequence,
+    model: &Model,
+    dates: impl Fn(&Scored) -> (String, String),
+) {
+    type Algo = (
+        &'static str,
+        fn(&Sequence, &Model) -> sigstr_core::Result<sigstr_core::MssResult>,
+    );
+    let algos: Vec<Algo> = vec![
+        ("Trivial", baseline::trivial::find_mss),
+        ("Our", find_mss),
+        ("ARLM", baseline::arlm::find_mss),
+        ("AGMM", baseline::agmm::find_mss),
+    ];
+    for (name, algo) in algos {
+        let (result, elapsed) = time(|| algo(seq, model).expect("mss"));
+        let (start, end) = dates(&result.best);
+        report.push_row(vec![
+            name.to_string(),
+            cell_f(result.best.chi_square, 2),
+            start,
+            end,
+            fmt_duration(elapsed),
+        ]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_five_distinct_patches() {
+        let r = table3(Scale::Quick);
+        assert_eq!(r.rows.len(), 5);
+        // Patches are sorted by descending X².
+        let x2s: Vec<f64> = r.rows.iter().map(|row| row[2].parse().unwrap()).collect();
+        for pair in x2s.windows(2) {
+            assert!(pair[0] >= pair[1]);
+        }
+        // The strongest patch covers the 1924–33 era: starts in the 1920s.
+        let start = &r.rows[0][0];
+        let year: i32 = start[start.len() - 4..].parse().unwrap();
+        assert!(
+            (1915..=1935).contains(&year),
+            "top patch starts {start}, expected the 1920s era"
+        );
+    }
+
+    #[test]
+    fn table4_agreement_and_agmm_gap() {
+        let r = table4(Scale::Quick);
+        assert_eq!(r.rows.len(), 4);
+        let x2: Vec<f64> = r.rows.iter().map(|row| row[1].parse().unwrap()).collect();
+        assert!((x2[0] - x2[1]).abs() < 1e-6, "ours != trivial");
+        assert!(x2[3] <= x2[0] + 1e-6, "AGMM beat the optimum");
+    }
+
+    #[test]
+    fn table5_quick_has_good_and_bad() {
+        let r = table5(Scale::Quick);
+        assert!(!r.rows.is_empty());
+        let labels: Vec<&str> = r.rows.iter().map(|row| row[0].as_str()).collect();
+        assert!(labels.contains(&"Good") || labels.contains(&"Bad"));
+        // Changes are signed percentages.
+        for row in &r.rows {
+            assert!(row[5].starts_with('+') || row[5].starts_with('-'));
+        }
+    }
+
+    #[test]
+    fn table6_quick_shape() {
+        let r = table6(Scale::Quick);
+        assert_eq!(r.rows.len(), 8); // 4 algorithms × 2 securities
+        for sec_rows in r.rows.chunks(4) {
+            let trivial: f64 = sec_rows[0][2].parse().unwrap();
+            let ours: f64 = sec_rows[1][2].parse().unwrap();
+            assert!((trivial - ours).abs() < 1e-6);
+        }
+    }
+}

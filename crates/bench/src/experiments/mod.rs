@@ -1,0 +1,57 @@
+//! One function per paper table/figure. See the crate docs for the index.
+
+pub mod applications;
+pub mod synthetic;
+pub mod tables;
+pub mod variants;
+
+use crate::report::Report;
+use crate::Scale;
+
+/// An experiment runner: takes a scale, returns a report.
+pub type Runner = fn(Scale) -> Report;
+
+/// Every experiment, in paper order: `(id, runner)`.
+pub fn all() -> Vec<(&'static str, Runner)> {
+    vec![
+        ("fig1a", synthetic::fig1a as Runner),
+        ("fig1b", synthetic::fig1b),
+        ("fig2", synthetic::fig2),
+        ("fig3", synthetic::fig3),
+        ("fig4a", synthetic::fig4a),
+        ("fig4b", synthetic::fig4b),
+        ("fig5a", variants::fig5a),
+        ("fig5b", variants::fig5b),
+        ("fig6", variants::fig6),
+        ("fig7", variants::fig7),
+        ("table1", tables::table1),
+        ("table2", tables::table2),
+        ("table3", applications::table3),
+        ("table4", applications::table4),
+        ("table5", applications::table5),
+        ("table6", applications::table6),
+    ]
+}
+
+/// Find an experiment runner by id.
+pub fn by_id(id: &str) -> Option<Runner> {
+    all().into_iter().find(|(name, _)| *name == id).map(|(_, f)| f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_complete_and_unique() {
+        let ids: Vec<&str> = all().iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids.len(), 16);
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 16, "duplicate experiment ids");
+        assert!(by_id("fig1a").is_some());
+        assert!(by_id("table6").is_some());
+        assert!(by_id("bogus").is_none());
+    }
+}

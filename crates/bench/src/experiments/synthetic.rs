@@ -1,0 +1,284 @@
+//! Figures 1–4: synthetic-workload complexity and `X²_max` behaviour.
+
+use sigstr_core::{find_mss, Model};
+use sigstr_gen::{dist, generate_iid, seeded_rng, StringKind};
+use sigstr_stats::descriptive::fit_line;
+
+use crate::report::{cell_f, cell_u, Report};
+use crate::{trivial_iterations, Scale};
+
+/// Figure 1a: iterations vs string length `n`, ours vs trivial, `k = 2`.
+///
+/// The paper plots `ln(iterations)` against `ln n`; ours rises with slope
+/// ≈ 1.5, the trivial scan with slope ≈ 2.
+pub fn fig1a(scale: Scale) -> Report {
+    let mut report = Report::new(
+        "fig1a",
+        "iterations vs n (k = 2): ours ~n^1.5, trivial ~n^2",
+        &["n", "ln n", "iters_ours", "ln iters_ours", "iters_trivial", "ln iters_trivial"],
+    );
+    let exponents: Vec<u32> = scale.pick((9..=17).collect(), (8..=11).collect());
+    let model = Model::uniform(2).expect("k = 2 model");
+    let mut ours_points = Vec::new();
+    let mut trivial_points = Vec::new();
+    for (run, &e) in exponents.iter().enumerate() {
+        let n = 1usize << e;
+        let mut rng = seeded_rng(0x00F1_61A0 + run as u64);
+        let seq = generate_iid(n, &model, &mut rng).expect("generation");
+        let result = find_mss(&seq, &model).expect("mss");
+        let ours = result.stats.examined;
+        let trivial = trivial_iterations(n);
+        ours_points.push(((n as f64).ln(), (ours as f64).ln()));
+        trivial_points.push(((n as f64).ln(), (trivial as f64).ln()));
+        report.push_row(vec![
+            cell_u(n as u64),
+            cell_f((n as f64).ln(), 2),
+            cell_u(ours),
+            cell_f((ours as f64).ln(), 2),
+            cell_u(trivial),
+            cell_f((trivial as f64).ln(), 2),
+        ]);
+    }
+    if let Some(fit) = fit_line(&ours_points) {
+        report.note(format!(
+            "ours: fitted log-log slope = {:.3} (paper: ~1.5), R² = {:.4}",
+            fit.slope, fit.r_squared
+        ));
+    }
+    if let Some(fit) = fit_line(&trivial_points) {
+        report.note(format!("trivial: fitted log-log slope = {:.3} (exact 2 asymptotically)", fit.slope));
+    }
+    report.note("trivial iteration count is the closed form n(n+1)/2 (its scan examines every substring)");
+    report
+}
+
+/// Figure 1b: iterations vs `n` for alphabet sizes `k ∈ {2, 3, 5, 10}` —
+/// `k` has no significant effect.
+pub fn fig1b(scale: Scale) -> Report {
+    let mut report = Report::new(
+        "fig1b",
+        "iterations vs n for k = 2,3,5,10: alphabet size has no significant effect",
+        &["n", "k=2", "k=3", "k=5", "k=10"],
+    );
+    let exponents: Vec<u32> = scale.pick((9..=15).collect(), (8..=10).collect());
+    let ks = [2usize, 3, 5, 10];
+    let mut per_k_iters: Vec<Vec<f64>> = vec![Vec::new(); ks.len()];
+    for &e in &exponents {
+        let n = 1usize << e;
+        let mut row = vec![cell_u(n as u64)];
+        for (ki, &k) in ks.iter().enumerate() {
+            let model = Model::uniform(k).expect("model");
+            let mut rng = seeded_rng(0x00F1_61B0 + (e as u64) * 10 + ki as u64);
+            let seq = generate_iid(n, &model, &mut rng).expect("generation");
+            let result = find_mss(&seq, &model).expect("mss");
+            per_k_iters[ki].push(result.stats.examined as f64);
+            row.push(cell_u(result.stats.examined));
+        }
+        report.push_row(row);
+    }
+    // Shape check: max/min iteration ratio across k at the largest n.
+    let last: Vec<f64> = per_k_iters.iter().map(|v| *v.last().expect("nonempty")).collect();
+    let spread = last.iter().cloned().fold(f64::MIN, f64::max)
+        / last.iter().cloned().fold(f64::MAX, f64::min);
+    report.note(format!(
+        "iteration spread across k at the largest n: {spread:.2}x (paper: no significant effect)"
+    ));
+    report
+}
+
+/// Figure 2: `X²_max` grows as ≈ `2·ln n` (slope 2 against `ln n`).
+pub fn fig2(scale: Scale) -> Report {
+    let mut report = Report::new(
+        "fig2",
+        "X²_max vs ln n (k = 2): slope ~2 (X²_max ≈ 2 ln n)",
+        &["n", "ln n", "mean X²_max", "runs"],
+    );
+    let exponents: Vec<u32> = scale.pick((9..=16).collect(), (8..=11).collect());
+    let runs = scale.pick(15, 2);
+    let model = Model::uniform(2).expect("model");
+    let mut points = Vec::new();
+    for &e in &exponents {
+        let n = 1usize << e;
+        let mut values = Vec::with_capacity(runs);
+        for r in 0..runs {
+            let mut rng = seeded_rng(0x00F1_6200 + (e as u64) * 100 + r as u64);
+            let seq = generate_iid(n, &model, &mut rng).expect("generation");
+            values.push(find_mss(&seq, &model).expect("mss").best.chi_square);
+        }
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        points.push(((n as f64).ln(), mean));
+        report.push_row(vec![
+            cell_u(n as u64),
+            cell_f((n as f64).ln(), 2),
+            cell_f(mean, 2),
+            cell_u(runs as u64),
+        ]);
+    }
+    if let Some(fit) = fit_line(&points) {
+        report.note(format!(
+            "fitted X²_max-vs-ln-n slope = {:.3} (paper: ~2, i.e. X²_max ≈ 2 ln n), R² = {:.4}",
+            fit.slope, fit.r_squared
+        ));
+    }
+    report
+}
+
+/// Figure 3: `X²_max` and iterations for the heterogeneous multinomials
+/// `S1` (`k = 3`) and `S2` (`k = 5`) as `p₀` sweeps 0.05–0.25; `p₀`
+/// changes `X²_max` but not the iteration count.
+pub fn fig3(scale: Scale) -> Report {
+    let mut report = Report::new(
+        "fig3",
+        "X²_max and iterations vs p0; S1: k=3 P={p0,0.5-p0,0.5}; S2: k=5 P={p0,0.5-p0,0.1,0.2,0.2}",
+        &["p0", "S1 X²_max", "S1 iters(1e4)", "S2 X²_max", "S2 iters(1e4)"],
+    );
+    let n = scale.pick(10_000, 2_000); // paper: n = 10^4
+    for i in 1..=5u32 {
+        let p0 = 0.05 * f64::from(i);
+        let s1_model = dist::fig3_s1(p0).expect("S1 model");
+        let s2_model = dist::fig3_s2(p0).expect("S2 model");
+        let mut rng = seeded_rng(0x00F1_6300 + u64::from(i));
+        let s1 = generate_iid(n, &s1_model, &mut rng).expect("gen S1");
+        let s2 = generate_iid(n, &s2_model, &mut rng).expect("gen S2");
+        let r1 = find_mss(&s1, &s1_model).expect("mss S1");
+        let r2 = find_mss(&s2, &s2_model).expect("mss S2");
+        report.push_row(vec![
+            cell_f(p0, 2),
+            cell_f(r1.best.chi_square, 2),
+            cell_f(r1.stats.examined as f64 / 1e4, 1),
+            cell_f(r2.best.chi_square, 2),
+            cell_f(r2.stats.examined as f64 / 1e4, 1),
+        ]);
+    }
+    report.note("paper: changing p0 shifts X²_max but leaves the iteration count roughly unchanged");
+    report
+}
+
+fn fig4_row(kinds: &[StringKind], n: usize, k: usize, seed: u64) -> Vec<u64> {
+    kinds
+        .iter()
+        .enumerate()
+        .map(|(i, kind)| {
+            let mut rng = seeded_rng(seed + i as u64);
+            let seq = kind.generate(n, k, &mut rng).expect("generation");
+            // Score against the *uniform* null model, as in the paper's
+            // comparison (the strings deviate from the null).
+            let model = Model::uniform(k).expect("model");
+            find_mss(&seq, &model).expect("mss").stats.examined
+        })
+        .collect()
+}
+
+/// Figure 4a: iterations for Null/Geometric/Zipfian/Markov strings as `n`
+/// grows (`k = 5`); the null string is the worst case.
+pub fn fig4a(scale: Scale) -> Report {
+    let mut report = Report::new(
+        "fig4a",
+        "iterations (millions) vs n for string families (k = 5); null input is the worst case",
+        &["n", "Null", "Geometric", "Zipfian", "Markov"],
+    );
+    let sizes: Vec<usize> =
+        scale.pick(vec![10_000, 20_000, 50_000], vec![1_000, 2_000, 5_000]);
+    let kinds = StringKind::figure4();
+    for (i, &n) in sizes.iter().enumerate() {
+        let iters = fig4_row(&kinds, n, 5, 0x00F1_64A0 + i as u64 * 10);
+        let mut row = vec![cell_u(n as u64)];
+        row.extend(iters.iter().map(|&it| cell_f(it as f64 / 1e6, 3)));
+        report.push_row(row);
+        let null_iters = iters[0];
+        if iters.iter().skip(1).any(|&other| other > null_iters) {
+            report.note(format!(
+                "n = {n}: a non-null family exceeded the null iteration count (sampling noise)"
+            ));
+        }
+    }
+    report.note("paper: the null-model string requires the maximum iterations in all cases");
+    report
+}
+
+/// Figure 4b: iterations for the same families as `k` varies
+/// (`n = 20000`).
+pub fn fig4b(scale: Scale) -> Report {
+    let mut report = Report::new(
+        "fig4b",
+        "iterations (millions) vs k for string families (n = 20000)",
+        &["k", "Null", "Geometric", "Zipfian", "Markov"],
+    );
+    let n = scale.pick(20_000, 2_000);
+    let kinds = StringKind::figure4();
+    for (i, &k) in [2usize, 3, 5].iter().enumerate() {
+        let iters = fig4_row(&kinds, n, k, 0x00F1_64B0 + i as u64 * 10);
+        let mut row = vec![cell_u(k as u64)];
+        row.extend(iters.iter().map(|&it| cell_f(it as f64 / 1e6, 3)));
+        report.push_row(row);
+    }
+    report.note("paper: null maximal across k as well");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1a_quick_shape() {
+        let r = fig1a(Scale::Quick);
+        assert_eq!(r.columns.len(), 6);
+        assert_eq!(r.rows.len(), 4);
+        // Slope note present and in a sane band.
+        let slope_note = r.notes.iter().find(|n| n.starts_with("ours")).unwrap();
+        let slope: f64 = slope_note
+            .split('=')
+            .nth(1)
+            .unwrap()
+            .split_whitespace()
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(
+            (1.1..=1.9).contains(&slope),
+            "quick-scale slope {slope} out of band"
+        );
+    }
+
+    #[test]
+    fn fig1b_quick_k_invariance() {
+        let r = fig1b(Scale::Quick);
+        assert_eq!(r.rows.len(), 3);
+        // Spread across k should be modest (well under the n-growth factor).
+        let note = r.notes.iter().find(|n| n.contains("spread")).unwrap();
+        let spread: f64 = note
+            .split(':')
+            .nth(1)
+            .unwrap()
+            .trim()
+            .trim_end_matches(|c: char| !c.is_ascii_digit() && c != '.')
+            .trim_end_matches('x')
+            .parse()
+            .unwrap_or(1.0);
+        assert!(spread < 4.0, "k-spread {spread} too large");
+    }
+
+    #[test]
+    fn fig2_quick_x2max_grows() {
+        let r = fig2(Scale::Quick);
+        let first: f64 = r.rows.first().unwrap()[2].parse().unwrap();
+        let last: f64 = r.rows.last().unwrap()[2].parse().unwrap();
+        assert!(last > first, "X²_max did not grow with n");
+    }
+
+    #[test]
+    fn fig3_quick_runs() {
+        let r = fig3(Scale::Quick);
+        assert_eq!(r.rows.len(), 5);
+    }
+
+    #[test]
+    fn fig4_quick_null_usually_max() {
+        let r = fig4a(Scale::Quick);
+        assert_eq!(r.rows.len(), 3);
+        let rb = fig4b(Scale::Quick);
+        assert_eq!(rb.rows.len(), 3);
+    }
+}

@@ -1,0 +1,122 @@
+//! Tables 1–2: algorithm comparison on synthetic strings and the
+//! cryptology (RNG-audit) study.
+
+use sigstr_core::{baseline, find_mss, Model};
+use sigstr_gen::markov::generate_binary_persistence;
+use sigstr_gen::{generate_iid, seeded_rng};
+
+use crate::report::{cell_f, cell_u, Report};
+use crate::{fmt_duration, time, Scale};
+
+/// Table 1: average `X²_max` and wall-clock of Trivial / Ours / ARLM /
+/// AGMM on null strings of 20 000 and 80 000 characters.
+pub fn table1(scale: Scale) -> Report {
+    let mut report = Report::new(
+        "table1",
+        "comparison with other techniques, synthetic null strings (k = 2)",
+        &["algo", "n", "avg X²_max", "avg time"],
+    );
+    let sizes: Vec<usize> = scale.pick(vec![20_000, 80_000], vec![2_000, 8_000]);
+    let runs = scale.pick(3, 2);
+    let model = Model::uniform(2).expect("model");
+    type Algo = (&'static str, fn(&sigstr_core::Sequence, &Model) -> sigstr_core::Result<sigstr_core::MssResult>);
+    let algos: Vec<Algo> = vec![
+        ("Trivial", baseline::trivial::find_mss),
+        ("Our", find_mss),
+        ("ARLM", baseline::arlm::find_mss),
+        ("AGMM", baseline::agmm::find_mss),
+    ];
+    for &n in &sizes {
+        // Same inputs for every algorithm.
+        let seqs: Vec<_> = (0..runs)
+            .map(|r| {
+                let mut rng = seeded_rng(0x7AB1_E100 + n as u64 + r as u64 * 1000);
+                generate_iid(n, &model, &mut rng).expect("generation")
+            })
+            .collect();
+        for (name, algo) in &algos {
+            let mut x2_sum = 0.0;
+            let mut time_sum = std::time::Duration::ZERO;
+            for seq in &seqs {
+                let (result, elapsed) = time(|| algo(seq, &model).expect("mss"));
+                x2_sum += result.best.chi_square;
+                time_sum += elapsed;
+            }
+            report.push_row(vec![
+                (*name).to_string(),
+                cell_u(n as u64),
+                cell_f(x2_sum / runs as f64, 2),
+                fmt_duration(time_sum / runs as u32),
+            ]);
+        }
+    }
+    report.note("paper Table 1: Trivial/Our/ARLM agree on X²_max; AGMM is fastest but lower X²_max; Our is orders faster than Trivial at large n");
+    report
+}
+
+/// Table 2: `X²_max` of binary persistence strings as `n` and the repeat
+/// probability `p` vary — the cryptology RNG audit. `p = 0.5` is a perfect
+/// generator (`X²_max ≈ 2 ln n`); bias inflates `X²_max` sharply.
+pub fn table2(scale: Scale) -> Report {
+    let mut report = Report::new(
+        "table2",
+        "X²_max vs n and persistence p (RNG audit, k = 2, uniform null)",
+        &["n", "p=0.50", "p=0.55", "p=0.60", "p=0.80"],
+    );
+    let sizes: Vec<usize> =
+        scale.pick(vec![1_000, 5_000, 10_000, 20_000], vec![1_000, 2_000]);
+    let ps = [0.50, 0.55, 0.60, 0.80];
+    let runs = scale.pick(3, 2);
+    let model = Model::uniform(2).expect("model");
+    for &n in &sizes {
+        let mut row = vec![cell_u(n as u64)];
+        for (pi, &p) in ps.iter().enumerate() {
+            let mut sum = 0.0;
+            for r in 0..runs {
+                let mut rng = seeded_rng(0x7AB1_E200 + n as u64 + pi as u64 * 17 + r as u64 * 1009);
+                let seq = generate_binary_persistence(n, p, &mut rng).expect("generation");
+                sum += find_mss(&seq, &model).expect("mss").best.chi_square;
+            }
+            row.push(cell_f(sum / runs as f64, 2));
+        }
+        report.push_row(row);
+    }
+    report.note("paper Table 2: X²_max minimal at p = 0.5 and increasing in both n and p");
+    report.note("p = 0.5 column ≈ 2 ln n benchmark (paper §7.4: deviation from it flags hidden correlation)");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_quick_shape_and_ordering() {
+        let r = table1(Scale::Quick);
+        assert_eq!(r.rows.len(), 8); // 4 algorithms × 2 sizes
+        // Per size: Trivial and Our report the same X²_max; AGMM at most
+        // that.
+        for size_rows in r.rows.chunks(4) {
+            let trivial: f64 = size_rows[0][2].parse().unwrap();
+            let ours: f64 = size_rows[1][2].parse().unwrap();
+            let arlm: f64 = size_rows[2][2].parse().unwrap();
+            let agmm: f64 = size_rows[3][2].parse().unwrap();
+            assert!((trivial - ours).abs() < 1e-6, "ours {ours} != trivial {trivial}");
+            assert!(arlm <= trivial + 1e-6);
+            assert!(agmm <= trivial + 1e-6);
+        }
+    }
+
+    #[test]
+    fn table2_quick_bias_inflates_x2() {
+        let r = table2(Scale::Quick);
+        for row in &r.rows {
+            let fair: f64 = row[1].parse().unwrap();
+            let heavy: f64 = row[4].parse().unwrap();
+            assert!(
+                heavy > 2.0 * fair,
+                "p = 0.8 should inflate X²_max strongly: {fair} vs {heavy}"
+            );
+        }
+    }
+}

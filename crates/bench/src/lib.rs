@@ -1,0 +1,173 @@
+//! Reproduction harness for every table and figure of the paper's
+//! evaluation (§7).
+//!
+//! Each experiment is a pure function returning a [`report::Report`]
+//! (columns + rows + notes), so the `repro` binary, the integration tests
+//! and `EXPERIMENTS.md` all share one implementation. Experiments accept a
+//! [`Scale`] so CI can smoke-test at `Quick` sizes while the full run uses
+//! the paper's parameters (or the closest laptop-feasible setting, with
+//! deviations noted in the report itself).
+//!
+//! | Target | Paper artifact |
+//! |---|---|
+//! | `fig1a`, `fig1b` | Fig. 1: iteration scaling vs `n` and `k` |
+//! | `fig2` | Fig. 2: `X²_max` vs `ln n` (slope ≈ 2) |
+//! | `fig3` | Fig. 3: heterogeneous multinomials (`S1`, `S2`) |
+//! | `fig4a`, `fig4b` | Fig. 4: non-null string families |
+//! | `fig5a`, `fig5b` | Fig. 5: top-t timing |
+//! | `fig6` | Fig. 6: threshold variant vs `α₀` |
+//! | `fig7` | Fig. 7: min-length variant vs `Γ₀` |
+//! | `table1` | Table 1: algorithm comparison, synthetic |
+//! | `table2` | Table 2: RNG-audit `X²_max` vs `n`, `p` |
+//! | `table3`, `table4` | Tables 3–4: baseball application |
+//! | `table5`, `table6` | Tables 5–6: stock application |
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod experiments;
+pub mod report;
+
+use std::time::{Duration, Instant};
+
+use sigstr_core::Scored;
+
+/// Experiment size: the paper's parameters or a fast smoke-test setting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Paper-scale parameters (minutes of wall-clock in total).
+    Full,
+    /// Reduced sizes for smoke tests (seconds in total).
+    Quick,
+}
+
+impl Scale {
+    /// Pick `full` or `quick` by scale.
+    pub fn pick<T>(self, full: T, quick: T) -> T {
+        match self {
+            Scale::Full => full,
+            Scale::Quick => quick,
+        }
+    }
+}
+
+/// Wall-clock one closure, returning (result, elapsed).
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let result = f();
+    (result, start.elapsed())
+}
+
+/// Number of substrings of a string of length `n` — the trivial
+/// algorithm's iteration count.
+pub fn trivial_iterations(n: usize) -> u64 {
+    let n = n as u64;
+    n * (n + 1) / 2
+}
+
+/// Trivial iteration count under a minimum-length constraint `Γ₀`:
+/// substrings of length > `Γ₀`.
+pub fn trivial_iterations_minlen(n: usize, gamma0: usize) -> u64 {
+    if gamma0 + 1 > n {
+        return 0;
+    }
+    let m = (n - gamma0) as u64;
+    m * (m + 1) / 2
+}
+
+/// Greedy overlap-deduplication of a descending-`X²` result list: keep a
+/// substring only when its *containment* overlap with every kept one —
+/// intersection over the shorter length — is at most `max_overlap`. This
+/// turns a top-t set (dominated by shifts and sub-ranges of the same
+/// patch) into the paper's Table-3/Table-5 style list of distinct periods;
+/// containment (rather than Jaccard) also suppresses small patches nested
+/// inside an already-kept era.
+pub fn dedupe_overlapping(items: &[Scored], max_overlap: f64, keep: usize) -> Vec<Scored> {
+    let mut kept: Vec<Scored> = Vec::new();
+    for &candidate in items {
+        if kept.len() >= keep {
+            break;
+        }
+        let overlaps = kept.iter().any(|k| containment(k, &candidate) > max_overlap);
+        if !overlaps {
+            kept.push(candidate);
+        }
+    }
+    kept
+}
+
+fn containment(a: &Scored, b: &Scored) -> f64 {
+    let inter = a.end.min(b.end).saturating_sub(a.start.max(b.start));
+    let shorter = a.len().min(b.len());
+    if shorter == 0 {
+        0.0
+    } else {
+        inter as f64 / shorter as f64
+    }
+}
+
+/// Format a duration in the paper's style (seconds with two decimals, or
+/// milliseconds below a tenth of a second).
+pub fn fmt_duration(d: Duration) -> String {
+    let secs = d.as_secs_f64();
+    if secs >= 0.1 {
+        format!("{secs:.2}s")
+    } else {
+        format!("{:.2}ms", secs * 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_counts() {
+        assert_eq!(trivial_iterations(1), 1);
+        assert_eq!(trivial_iterations(10), 55);
+        assert_eq!(trivial_iterations_minlen(10, 0), 55);
+        assert_eq!(trivial_iterations_minlen(10, 9), 1);
+        assert_eq!(trivial_iterations_minlen(10, 10), 0);
+        // min-len count: substrings of length > 4 in n = 6: lengths 5, 6 →
+        // 2 + 1 = 3 = m(m+1)/2 with m = 2.
+        assert_eq!(trivial_iterations_minlen(6, 4), 3);
+    }
+
+    #[test]
+    fn scale_pick() {
+        assert_eq!(Scale::Full.pick(10, 1), 10);
+        assert_eq!(Scale::Quick.pick(10, 1), 1);
+    }
+
+    #[test]
+    fn dedupe_keeps_distinct_patches() {
+        let mk = |start, end, x2| Scored { start, end, chi_square: x2 };
+        let items = vec![
+            mk(100, 200, 50.0),
+            mk(101, 201, 49.0), // shift of the first
+            mk(100, 199, 48.0), // shift of the first
+            mk(500, 600, 40.0), // distinct
+            mk(505, 595, 39.0), // shift of the fourth
+            mk(900, 910, 30.0), // distinct
+        ];
+        let kept = dedupe_overlapping(&items, 0.5, 5);
+        assert_eq!(kept.len(), 3);
+        assert_eq!(kept[0].start, 100);
+        assert_eq!(kept[1].start, 500);
+        assert_eq!(kept[2].start, 900);
+    }
+
+    #[test]
+    fn dedupe_respects_keep_limit() {
+        let mk = |start: usize, x2| Scored { start, end: start + 10, chi_square: x2 };
+        let items: Vec<Scored> = (0..20).map(|i| mk(i * 100, 100.0 - i as f64)).collect();
+        let kept = dedupe_overlapping(&items, 0.1, 4);
+        assert_eq!(kept.len(), 4);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_millis(2500)), "2.50s");
+        assert_eq!(fmt_duration(Duration::from_millis(12)), "12.00ms");
+    }
+}

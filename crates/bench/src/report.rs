@@ -1,0 +1,139 @@
+//! Experiment reports: aligned console tables and TSV persistence.
+
+use std::fmt::Write as _;
+
+/// One experiment's output: a table plus free-form notes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    /// Stable identifier (`fig1a`, `table3`, …).
+    pub id: &'static str,
+    /// Human title, matching the paper artifact.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Table rows (stringified cells).
+    pub rows: Vec<Vec<String>>,
+    /// Observations: fitted slopes, shape checks, deviations from the
+    /// paper's exact setup.
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Create an empty report.
+    pub fn new(id: &'static str, title: impl Into<String>, columns: &[&str]) -> Self {
+        Self {
+            id,
+            title: title.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row (cells already stringified).
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.columns.len());
+        self.rows.push(cells);
+    }
+
+    /// Append a note.
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.notes.push(text.into());
+    }
+
+    /// Render as an aligned console table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
+        let _ = writeln!(out, "{}", header.join("  "));
+        let rule_len = header.join("  ").len();
+        let _ = writeln!(out, "{}", "-".repeat(rule_len));
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
+            let _ = writeln!(out, "{}", cells.join("  "));
+        }
+        for note in &self.notes {
+            let _ = writeln!(out, "note: {note}");
+        }
+        out
+    }
+
+    /// Render as TSV (header + rows; notes as trailing `# comments`).
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.columns.join("\t"));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.join("\t"));
+        }
+        for note in &self.notes {
+            let _ = writeln!(out, "# {note}");
+        }
+        out
+    }
+}
+
+/// Format a float with fixed decimals, for table cells.
+pub fn cell_f(value: f64, decimals: usize) -> String {
+    format!("{value:.decimals$}")
+}
+
+/// Format an integer cell.
+pub fn cell_u(value: u64) -> String {
+    value.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> Report {
+        let mut r = Report::new("figX", "demo", &["n", "iters"]);
+        r.push_row(vec!["100".into(), "1234".into()]);
+        r.push_row(vec!["200000".into(), "9".into()]);
+        r.note("slope = 1.5");
+        r
+    }
+
+    #[test]
+    fn render_aligns_columns() {
+        let text = demo().render();
+        assert!(text.contains("== figX — demo =="));
+        let lines: Vec<&str> = text.lines().collect();
+        // Header, rule, two rows, one note.
+        assert_eq!(lines.len(), 6);
+        assert!(lines[5].starts_with("note: slope"));
+        // Right-aligned: both data rows have the same width.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn tsv_roundtrip_shape() {
+        let tsv = demo().to_tsv();
+        let lines: Vec<&str> = tsv.lines().collect();
+        assert_eq!(lines[0], "n\titers");
+        assert_eq!(lines[1], "100\t1234");
+        assert!(lines[3].starts_with("# slope"));
+    }
+
+    #[test]
+    fn cells() {
+        assert_eq!(cell_f(1.23456, 2), "1.23");
+        assert_eq!(cell_u(42), "42");
+    }
+}

@@ -1,0 +1,519 @@
+//! Implementation of the `sigstr` command-line tool.
+//!
+//! Subcommands mirror the paper's four problems:
+//!
+//! ```text
+//! sigstr mss    <file> [options]           # Problem 1
+//! sigstr top    <file> --t 10 [options]    # Problem 2
+//! sigstr thresh <file> --alpha 20 [opts]   # Problem 3 (or --level 0.001)
+//! sigstr minlen <file> --gamma 50 [opts]   # Problem 4
+//! ```
+//!
+//! Input is a text file whose bytes are the string (newlines ignored);
+//! distinct bytes map to alphabet symbols in first-appearance order. The
+//! null model defaults to the empirical (maximum-likelihood) distribution
+//! and can be overridden with `--uniform` or `--probs 0.2,0.8`.
+//!
+//! The argument parser is hand-rolled (the workspace's offline dependency
+//! policy has no CLI crate) and fully unit-tested.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+use std::fmt::Write as _;
+
+use sigstr_core::{baseline, Model, Scored, Sequence};
+
+/// Which mining algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// The paper's pruned O(n^{3/2}) algorithm (default).
+    Ours,
+    /// Exhaustive O(n²) scan.
+    Trivial,
+    /// Local-extrema baseline.
+    Arlm,
+    /// Linear-time heuristic.
+    Agmm,
+}
+
+impl Algorithm {
+    fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "ours" => Ok(Self::Ours),
+            "trivial" => Ok(Self::Trivial),
+            "arlm" => Ok(Self::Arlm),
+            "agmm" => Ok(Self::Agmm),
+            other => Err(format!(
+                "unknown algorithm `{other}` (expected ours|trivial|arlm|agmm)"
+            )),
+        }
+    }
+}
+
+/// Which problem variant to run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Command {
+    /// Problem 1: the most significant substring.
+    Mss,
+    /// Problem 2: top-t substrings.
+    Top {
+        /// Number of substrings to report.
+        t: usize,
+    },
+    /// Problem 3: all substrings above a chi-square threshold.
+    Thresh {
+        /// The chi-square cutoff `α₀`.
+        alpha: f64,
+    },
+    /// Problem 4: MSS among substrings longer than `γ₀`.
+    MinLen {
+        /// The length cutoff `Γ₀`.
+        gamma: usize,
+    },
+    /// Window-constrained MSS: substrings of length at most `w`.
+    MaxLen {
+        /// The window size `w`.
+        w: usize,
+    },
+}
+
+/// Null-model selection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelSpec {
+    /// Maximum-likelihood estimate from the input (default).
+    Empirical,
+    /// Uniform over the observed alphabet.
+    Uniform,
+    /// Explicit probabilities (must match the alphabet size).
+    Explicit(Vec<f64>),
+}
+
+/// Parsed invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Invocation {
+    /// The problem variant.
+    pub command: Command,
+    /// Input path (`-` = stdin).
+    pub input: String,
+    /// The algorithm to run.
+    pub algorithm: Algorithm,
+    /// Null-model selection.
+    pub model: ModelSpec,
+    /// Maximum rows to print for multi-result commands.
+    pub limit: usize,
+    /// Print scan statistics.
+    pub stats: bool,
+    /// Also print the family-wise (Šidák-corrected) p-value.
+    pub family: bool,
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+sigstr — mine statistically significant substrings (chi-square)
+
+USAGE:
+    sigstr <mss|top|thresh|minlen> <file|-> [OPTIONS]
+
+COMMANDS:
+    mss                     most significant substring (Problem 1)
+    top      --t N          top-t substrings (Problem 2)
+    thresh   --alpha X      substrings with X² > alpha (Problem 3)
+             --level P      …or derive alpha from significance level P
+    minlen   --gamma G      MSS among substrings longer than G (Problem 4)
+    maxlen   --w W          MSS among substrings of length <= W
+
+OPTIONS:
+    --algorithm A           ours (default) | trivial | arlm | agmm
+    --uniform               use the uniform null model
+    --probs p1,p2,...       explicit null model probabilities
+    --limit N               max rows to print (default 20)
+    --stats                 print scan statistics
+    --family                also print the family-wise (Sidak) p-value
+    --help                  show this help
+";
+
+/// Parse command-line arguments (excluding `argv[0]`).
+pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
+    if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
+        return Err(USAGE.to_string());
+    }
+    let verb = args[0].as_str();
+    if args.len() < 2 {
+        return Err(format!("missing input file\n\n{USAGE}"));
+    }
+    let input = args[1].clone();
+    let mut algorithm = Algorithm::Ours;
+    let mut model = ModelSpec::Empirical;
+    let mut limit = 20usize;
+    let mut stats = false;
+    let mut t: Option<usize> = None;
+    let mut alpha: Option<f64> = None;
+    let mut level: Option<f64> = None;
+    let mut gamma: Option<usize> = None;
+    let mut w: Option<usize> = None;
+    let mut family = false;
+
+    let mut i = 2;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let mut take_value = || -> Result<&str, String> {
+            i += 1;
+            args.get(i).map(|s| s.as_str()).ok_or_else(|| format!("flag {flag} needs a value"))
+        };
+        match flag {
+            "--algorithm" => algorithm = Algorithm::parse(take_value()?)?,
+            "--uniform" => model = ModelSpec::Uniform,
+            "--probs" => {
+                let raw = take_value()?;
+                let probs: Result<Vec<f64>, _> =
+                    raw.split(',').map(|p| p.trim().parse::<f64>()).collect();
+                model = ModelSpec::Explicit(
+                    probs.map_err(|e| format!("bad --probs value: {e}"))?,
+                );
+            }
+            "--limit" => {
+                limit = take_value()?
+                    .parse()
+                    .map_err(|e| format!("bad --limit value: {e}"))?;
+            }
+            "--stats" => stats = true,
+            "--t" => t = Some(take_value()?.parse().map_err(|e| format!("bad --t: {e}"))?),
+            "--alpha" => {
+                alpha = Some(take_value()?.parse().map_err(|e| format!("bad --alpha: {e}"))?);
+            }
+            "--level" => {
+                level = Some(take_value()?.parse().map_err(|e| format!("bad --level: {e}"))?);
+            }
+            "--gamma" => {
+                gamma = Some(take_value()?.parse().map_err(|e| format!("bad --gamma: {e}"))?);
+            }
+            "--w" => {
+                w = Some(take_value()?.parse().map_err(|e| format!("bad --w: {e}"))?);
+            }
+            "--family" => family = true,
+            other => return Err(format!("unknown flag `{other}`\n\n{USAGE}")),
+        }
+        i += 1;
+    }
+
+    let command = match verb {
+        "mss" => Command::Mss,
+        "top" => Command::Top { t: t.ok_or("top requires --t N")? },
+        "thresh" => {
+            let alpha = match (alpha, level) {
+                (Some(a), None) => a,
+                (None, Some(_)) => f64::NAN, // resolved later, needs k
+                (None, None) => return Err("thresh requires --alpha X or --level P".into()),
+                (Some(_), Some(_)) => {
+                    return Err("thresh takes either --alpha or --level, not both".into())
+                }
+            };
+            // Stash the level inside alpha as NaN marker + separate field
+            // would be cleaner; keep both by re-parsing in run(). We encode
+            // level by negating it below (alpha must be >= 0).
+            match level {
+                Some(p) if !(0.0..1.0).contains(&p) => {
+                    return Err(format!("--level must be in (0,1), got {p}"))
+                }
+                Some(p) => Command::Thresh { alpha: -p }, // marker: negative = level
+                None => Command::Thresh { alpha },
+            }
+        }
+        "minlen" => Command::MinLen { gamma: gamma.ok_or("minlen requires --gamma G")? },
+        "maxlen" => Command::MaxLen { w: w.ok_or("maxlen requires --w W")? },
+        other => return Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    };
+    // `thresh` handled `command` above; silence unused for others.
+    Ok(Invocation { command, input, algorithm, model, limit, stats, family })
+}
+
+/// Build the sequence from raw file bytes (whitespace stripped).
+pub fn sequence_from_bytes(raw: &[u8]) -> Result<(Sequence, Vec<u8>), String> {
+    let cleaned: Vec<u8> =
+        raw.iter().copied().filter(|b| !b.is_ascii_whitespace()).collect();
+    Sequence::from_text(&cleaned).map_err(|e| format!("cannot build sequence: {e}"))
+}
+
+/// Resolve the model spec against a sequence.
+pub fn resolve_model(spec: &ModelSpec, seq: &Sequence) -> Result<Model, String> {
+    match spec {
+        ModelSpec::Empirical => Model::estimate(seq)
+            .or_else(|_| Model::estimate_smoothed(seq, 0.5))
+            .map_err(|e| format!("cannot estimate model: {e}")),
+        ModelSpec::Uniform => Model::uniform(seq.k()).map_err(|e| e.to_string()),
+        ModelSpec::Explicit(probs) => {
+            if probs.len() != seq.k() {
+                return Err(format!(
+                    "--probs has {} entries but the input uses {} distinct symbols",
+                    probs.len(),
+                    seq.k()
+                ));
+            }
+            Model::from_probs(probs.clone()).map_err(|e| e.to_string())
+        }
+    }
+}
+
+/// Format one result row: range, length, X², p-value.
+pub fn format_row(s: &Scored, k: usize, alphabet: &[u8]) -> String {
+    let _ = alphabet;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "[{:>8}, {:>8})  len {:>8}  X² {:>12.4}  p {:.3e}",
+        s.start,
+        s.end,
+        s.len(),
+        s.chi_square,
+        s.p_value(k)
+    );
+    out
+}
+
+/// Run a parsed invocation against loaded input bytes; returns the output
+/// text (testable without touching the filesystem).
+pub fn run(invocation: &Invocation, raw: &[u8]) -> Result<String, String> {
+    let (seq, alphabet) = sequence_from_bytes(raw)?;
+    let model = resolve_model(&invocation.model, &seq)?;
+    let k = seq.k();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "n = {}, k = {} (alphabet {:?})",
+        seq.len(),
+        k,
+        alphabet.iter().map(|&b| b as char).collect::<String>()
+    );
+    let push_family = |out: &mut String, best: &Scored, n: usize, k: usize| {
+        let a = sigstr_core::significance::assess(best, n, k);
+        let _ = writeln!(
+            out,
+            "family-wise p = {:.3e} (Sidak over ~{} effective tests)",
+            a.p_family, a.m_effective as u64
+        );
+    };
+    let push_stats = |out: &mut String, stats: &sigstr_core::ScanStats| {
+        let _ = writeln!(
+            out,
+            "stats: examined {} substrings, {} skip events, {} skipped",
+            stats.examined, stats.skips, stats.skipped
+        );
+    };
+    match invocation.command {
+        Command::Mss => {
+            let r = match invocation.algorithm {
+                Algorithm::Ours => sigstr_core::find_mss(&seq, &model),
+                Algorithm::Trivial => baseline::trivial::find_mss(&seq, &model),
+                Algorithm::Arlm => baseline::arlm::find_mss(&seq, &model),
+                Algorithm::Agmm => baseline::agmm::find_mss(&seq, &model),
+            }
+            .map_err(|e| e.to_string())?;
+            let _ = writeln!(out, "{}", format_row(&r.best, k, &alphabet));
+            if invocation.family {
+                push_family(&mut out, &r.best, seq.len(), k);
+            }
+            if invocation.stats {
+                push_stats(&mut out, &r.stats);
+            }
+        }
+        Command::Top { t } => {
+            let r = match invocation.algorithm {
+                Algorithm::Trivial => baseline::trivial::top_t(&seq, &model, t),
+                _ => sigstr_core::top_t(&seq, &model, t),
+            }
+            .map_err(|e| e.to_string())?;
+            for item in r.items.iter().take(invocation.limit) {
+                let _ = writeln!(out, "{}", format_row(item, k, &alphabet));
+            }
+            if invocation.stats {
+                push_stats(&mut out, &r.stats);
+            }
+        }
+        Command::Thresh { alpha } => {
+            let alpha = if alpha < 0.0 {
+                // Negative marker: derive from significance level.
+                sigstr_stats::pearson::threshold_for_significance(-alpha, k)
+            } else {
+                alpha
+            };
+            let _ = writeln!(out, "alpha0 = {alpha:.4}");
+            let r = match invocation.algorithm {
+                Algorithm::Trivial => baseline::trivial::above_threshold(&seq, &model, alpha),
+                _ => sigstr_core::above_threshold(&seq, &model, alpha),
+            }
+            .map_err(|e| e.to_string())?;
+            let _ = writeln!(out, "{} substrings above threshold", r.items.len());
+            for item in r.items.iter().take(invocation.limit) {
+                let _ = writeln!(out, "{}", format_row(item, k, &alphabet));
+            }
+            if invocation.stats {
+                push_stats(&mut out, &r.stats);
+            }
+        }
+        Command::MinLen { gamma } => {
+            let r = match invocation.algorithm {
+                Algorithm::Trivial => baseline::trivial::mss_min_length(&seq, &model, gamma),
+                _ => sigstr_core::mss_min_length(&seq, &model, gamma),
+            }
+            .map_err(|e| e.to_string())?;
+            let _ = writeln!(out, "{}", format_row(&r.best, k, &alphabet));
+            if invocation.family {
+                push_family(&mut out, &r.best, seq.len(), k);
+            }
+            if invocation.stats {
+                push_stats(&mut out, &r.stats);
+            }
+        }
+        Command::MaxLen { w } => {
+            let r = sigstr_core::mss_max_length(&seq, &model, w).map_err(|e| e.to_string())?;
+            let _ = writeln!(out, "{}", format_row(&r.best, k, &alphabet));
+            if invocation.family {
+                push_family(&mut out, &r.best, seq.len(), k);
+            }
+            if invocation.stats {
+                push_stats(&mut out, &r.stats);
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_mss_defaults() {
+        let inv = parse_args(&argv(&["mss", "input.txt"])).unwrap();
+        assert_eq!(inv.command, Command::Mss);
+        assert_eq!(inv.input, "input.txt");
+        assert_eq!(inv.algorithm, Algorithm::Ours);
+        assert_eq!(inv.model, ModelSpec::Empirical);
+        assert_eq!(inv.limit, 20);
+        assert!(!inv.stats);
+    }
+
+    #[test]
+    fn parse_full_flags() {
+        let inv = parse_args(&argv(&[
+            "top", "-", "--t", "7", "--algorithm", "trivial", "--probs", "0.25,0.75",
+            "--limit", "3", "--stats",
+        ]))
+        .unwrap();
+        assert_eq!(inv.command, Command::Top { t: 7 });
+        assert_eq!(inv.algorithm, Algorithm::Trivial);
+        assert_eq!(inv.model, ModelSpec::Explicit(vec![0.25, 0.75]));
+        assert_eq!(inv.limit, 3);
+        assert!(inv.stats);
+    }
+
+    #[test]
+    fn parse_thresh_variants() {
+        let a = parse_args(&argv(&["thresh", "f", "--alpha", "12.5"])).unwrap();
+        assert_eq!(a.command, Command::Thresh { alpha: 12.5 });
+        let b = parse_args(&argv(&["thresh", "f", "--level", "0.01"])).unwrap();
+        assert_eq!(b.command, Command::Thresh { alpha: -0.01 });
+        assert!(parse_args(&argv(&["thresh", "f"])).is_err());
+        assert!(parse_args(&argv(&["thresh", "f", "--alpha", "1", "--level", "0.1"])).is_err());
+        assert!(parse_args(&argv(&["thresh", "f", "--level", "1.5"])).is_err());
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_args(&argv(&[])).is_err());
+        assert!(parse_args(&argv(&["--help"])).is_err());
+        assert!(parse_args(&argv(&["mss"])).is_err());
+        assert!(parse_args(&argv(&["frobnicate", "f"])).is_err());
+        assert!(parse_args(&argv(&["top", "f"])).is_err()); // missing --t
+        assert!(parse_args(&argv(&["minlen", "f"])).is_err()); // missing --gamma
+        assert!(parse_args(&argv(&["mss", "f", "--bogus"])).is_err());
+        assert!(parse_args(&argv(&["mss", "f", "--algorithm", "bogus"])).is_err());
+        assert!(parse_args(&argv(&["mss", "f", "--limit"])).is_err());
+    }
+
+    #[test]
+    fn sequence_from_bytes_strips_whitespace() {
+        let (seq, alphabet) = sequence_from_bytes(b"ab ba\nab\n").unwrap();
+        assert_eq!(seq.len(), 6);
+        assert_eq!(alphabet, vec![b'a', b'b']);
+        assert!(sequence_from_bytes(b"aaaa").is_err()); // single symbol
+        assert!(sequence_from_bytes(b"  \n").is_err()); // empty
+    }
+
+    #[test]
+    fn resolve_model_variants() {
+        let (seq, _) = sequence_from_bytes(b"aabab").unwrap();
+        let emp = resolve_model(&ModelSpec::Empirical, &seq).unwrap();
+        assert!((emp.p(0) - 0.6).abs() < 1e-12);
+        let uni = resolve_model(&ModelSpec::Uniform, &seq).unwrap();
+        assert!((uni.p(0) - 0.5).abs() < 1e-12);
+        let exp = resolve_model(&ModelSpec::Explicit(vec![0.3, 0.7]), &seq).unwrap();
+        assert!((exp.p(1) - 0.7).abs() < 1e-12);
+        assert!(resolve_model(&ModelSpec::Explicit(vec![0.2, 0.3, 0.5]), &seq).is_err());
+    }
+
+    #[test]
+    fn run_mss_end_to_end() {
+        let inv = parse_args(&argv(&["mss", "-", "--uniform", "--stats"])).unwrap();
+        let out = run(&inv, b"abababbbbbbbbabab").unwrap();
+        assert!(out.contains("n = 17"));
+        assert!(out.contains("X²"));
+        assert!(out.contains("stats:"));
+    }
+
+    #[test]
+    fn run_top_and_thresh_and_minlen() {
+        let data = b"abab bbbbbbbb abab";
+        let top = parse_args(&argv(&["top", "-", "--t", "3", "--uniform"])).unwrap();
+        let out = run(&top, data).unwrap();
+        assert_eq!(out.lines().count(), 4); // header + 3 rows
+        let thresh =
+            parse_args(&argv(&["thresh", "-", "--alpha", "4", "--uniform"])).unwrap();
+        let out = run(&thresh, data).unwrap();
+        assert!(out.contains("substrings above threshold"));
+        let minlen =
+            parse_args(&argv(&["minlen", "-", "--gamma", "10", "--uniform"])).unwrap();
+        let out = run(&minlen, data).unwrap();
+        assert!(out.contains("len"));
+    }
+
+    #[test]
+    fn parse_and_run_maxlen() {
+        let inv = parse_args(&argv(&["maxlen", "-", "--w", "4", "--uniform"])).unwrap();
+        assert_eq!(inv.command, Command::MaxLen { w: 4 });
+        let out = run(&inv, b"ababbbbbbbabab").unwrap();
+        assert!(out.contains("len"));
+        assert!(parse_args(&argv(&["maxlen", "-"])).is_err()); // missing --w
+    }
+
+    #[test]
+    fn family_flag_prints_corrected_pvalue() {
+        let inv = parse_args(&argv(&["mss", "-", "--uniform", "--family"])).unwrap();
+        assert!(inv.family);
+        let out = run(&inv, b"abababbbbbbbbbbabab").unwrap();
+        assert!(out.contains("family-wise p ="), "{out}");
+    }
+
+    #[test]
+    fn run_level_threshold_derives_alpha() {
+        let inv = parse_args(&argv(&["thresh", "-", "--level", "0.001", "--uniform"])).unwrap();
+        let out = run(&inv, b"abababbbbbbbbbbbbbbbabab").unwrap();
+        assert!(out.contains("alpha0 = 10.82"), "{out}");
+    }
+
+    #[test]
+    fn run_all_algorithms_agree_on_obvious_input() {
+        let data = b"abababab bbbbbbbbbbbb abababab";
+        for algo in ["ours", "trivial", "arlm"] {
+            let inv = parse_args(&argv(&["mss", "-", "--algorithm", algo, "--uniform"]))
+                .unwrap();
+            let out = run(&inv, data).unwrap();
+            assert!(out.contains("X²"), "algorithm {algo}");
+        }
+    }
+}

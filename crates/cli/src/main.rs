@@ -1,0 +1,43 @@
+//! `sigstr` — command-line significant-substring mining.
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use sigstr_cli::{parse_args, run};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let invocation = match parse_args(&args) {
+        Ok(inv) => inv,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+    let raw = if invocation.input == "-" {
+        let mut buf = Vec::new();
+        if let Err(e) = std::io::stdin().read_to_end(&mut buf) {
+            eprintln!("cannot read stdin: {e}");
+            return ExitCode::FAILURE;
+        }
+        buf
+    } else {
+        match std::fs::read(&invocation.input) {
+            Ok(buf) => buf,
+            Err(e) => {
+                eprintln!("cannot read {}: {e}", invocation.input);
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    match run(&invocation, &raw) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! AGMM — the linear-time heuristic (reconstruction; see module docs of
+//! [`crate::baseline`]).
+//!
+//! For each character `c` consider the deviation walk
+//! `D_c(j) = count_c(S[0..j)) − j·p_c`. A substring `[s, e)` *inflates*
+//! `c` by `D_c(e) − D_c(s)`; the maximum-inflation and maximum-deflation
+//! substrings per character are found in one pass each (maximum
+//! drawup/drawdown of the walk). The best of the `2k` candidates by actual
+//! `X²` is returned.
+//!
+//! This is `O(k·n)` and matches the paper's description of AGMM: very
+//! fast, usually close to the optimum on well-behaved synthetic strings,
+//! but with no approximation guarantee — maximizing a single character's
+//! absolute deviation ignores the `1/l` dilution in `X²`, so it can pick a
+//! much longer, weaker substring than the true MSS (exactly the failure
+//! mode Tables 4 and 6 of the paper report on real data).
+
+use crate::counts::PrefixCounts;
+use crate::error::Result;
+use crate::model::Model;
+use crate::mss::MssResult;
+use crate::scan::ScanStats;
+use crate::score::{chi_square_counts, scored_cmp, Scored};
+use crate::seq::Sequence;
+
+/// Maximum drawup of a walk: `argmax_{s<e} (w[e] − w[s])`, as `(s, e)`.
+/// Ties resolve to the earliest pair. Returns `None` when every move is
+/// non-positive (walk non-increasing).
+fn max_drawup(walk: &[f64]) -> Option<(usize, usize)> {
+    let mut best: Option<(usize, usize, f64)> = None;
+    let mut min_idx = 0usize;
+    for (j, &w) in walk.iter().enumerate().skip(1) {
+        let gain = w - walk[min_idx];
+        if gain > 0.0 {
+            let better = match best {
+                None => true,
+                Some((_, _, g)) => gain > g,
+            };
+            if better {
+                best = Some((min_idx, j, gain));
+            }
+        }
+        if w < walk[min_idx] {
+            min_idx = j;
+        }
+    }
+    best.map(|(s, e, _)| (s, e))
+}
+
+/// Build the deviation walk of character `c`: `D_c(j) = count − j·p_c`.
+fn deviation_walk(pc: &PrefixCounts, c: usize, p: f64) -> Vec<f64> {
+    let n = pc.n();
+    let mut walk = Vec::with_capacity(n + 1);
+    for j in 0..=n {
+        walk.push(f64::from(pc.count(c, 0, j)) - j as f64 * p);
+    }
+    walk
+}
+
+/// AGMM heuristic MSS. `stats.examined` counts candidate evaluations
+/// (`≤ 2k`); the `O(k·n)` walk construction is the dominant cost.
+pub fn find_mss(seq: &Sequence, model: &Model) -> Result<MssResult> {
+    model.check_alphabet(seq)?;
+    let pc = PrefixCounts::build(seq);
+    find_mss_counts(&pc, model)
+}
+
+/// [`find_mss`] over prebuilt prefix counts.
+pub fn find_mss_counts(pc: &PrefixCounts, model: &Model) -> Result<MssResult> {
+    let k = model.k();
+    let n = pc.n();
+    let mut stats = ScanStats::default();
+    let mut best: Option<Scored> = None;
+    let mut counts = vec![0u32; k];
+    let mut consider = |s: usize, e: usize, best: &mut Option<Scored>, stats: &mut ScanStats| {
+        if e <= s || e > n {
+            return;
+        }
+        pc.fill_counts(s, e, &mut counts);
+        let x2 = chi_square_counts(&counts, model);
+        stats.examined += 1;
+        let scored = Scored { start: s, end: e, chi_square: x2 };
+        match best {
+            Some(b) if scored_cmp(&scored, b) != std::cmp::Ordering::Greater => {}
+            _ => *best = Some(scored),
+        }
+    };
+    for c in 0..k {
+        let walk = deviation_walk(pc, c, model.p(c));
+        // Inflation candidate: max drawup of the walk.
+        if let Some((s, e)) = max_drawup(&walk) {
+            consider(s, e, &mut best, &mut stats);
+        }
+        // Deflation candidate: max drawup of the negated walk.
+        let negated: Vec<f64> = walk.iter().map(|w| -w).collect();
+        if let Some((s, e)) = max_drawup(&negated) {
+            consider(s, e, &mut best, &mut stats);
+        }
+    }
+    // Degenerate guard: a constant walk for every character can only occur
+    // for n = 0, which `Sequence` forbids; still, fall back to the first
+    // character substring rather than panicking.
+    let best = match best {
+        Some(b) => b,
+        None => {
+            let mut buf = vec![0u32; k];
+            pc.fill_counts(0, 1, &mut buf);
+            Scored { start: 0, end: 1, chi_square: chi_square_counts(&buf, model) }
+        }
+    };
+    Ok(MssResult { best, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn binary(symbols: &[u8]) -> Sequence {
+        Sequence::from_symbols(symbols.to_vec(), 2).unwrap()
+    }
+
+    #[test]
+    fn drawup_basic() {
+        assert_eq!(max_drawup(&[0.0, 1.0, 2.0, 1.0]), Some((0, 2)));
+        assert_eq!(max_drawup(&[3.0, 2.0, 1.0]), None);
+        assert_eq!(max_drawup(&[0.0, -1.0, 2.0, 0.0, 5.0]), Some((1, 4)));
+        assert_eq!(max_drawup(&[0.0]), None);
+    }
+
+    #[test]
+    fn exact_when_run_is_the_drawup() {
+        // When the anomalous run is the exact maximum drawup of the walk,
+        // AGMM finds the true MSS.
+        let seq = binary(&[0, 1, 1, 1, 1, 0]);
+        let model = Model::uniform(2).unwrap();
+        let agmm = find_mss(&seq, &model).unwrap();
+        let exact = super::super::trivial::find_mss(&seq, &model).unwrap();
+        assert!((agmm.best.chi_square - exact.best.chi_square).abs() < 1e-9);
+        assert_eq!((agmm.best.start, agmm.best.end), (1, 5));
+    }
+
+    #[test]
+    fn suboptimal_when_drawup_dilutes() {
+        // The documented AGMM failure mode: drawup maximizes the absolute
+        // deviation Δ, not Δ²/l, so it stretches past the hot run and
+        // returns a diluted substring (paper Tables 4/6 behaviour).
+        let seq = binary(&[0, 1, 0, 1, 1, 1, 1, 1, 1, 0, 1, 0]);
+        let model = Model::uniform(2).unwrap();
+        let agmm = find_mss(&seq, &model).unwrap();
+        let exact = super::super::trivial::find_mss(&seq, &model).unwrap();
+        assert!(agmm.best.chi_square < exact.best.chi_square);
+        // Still in the right neighbourhood (overlaps the run 3..9)…
+        assert!(agmm.best.start < 9 && agmm.best.end > 3);
+        // …and not arbitrarily bad on this benign input.
+        assert!(agmm.best.chi_square > 0.5 * exact.best.chi_square);
+    }
+
+    #[test]
+    fn never_beats_exact_and_is_positive() {
+        let cases: Vec<Vec<u8>> = vec![
+            vec![0, 1, 1, 0, 1, 0, 0, 0, 1, 1, 1, 0, 1],
+            vec![1, 0, 1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1, 1, 0, 0],
+            vec![0, 0, 1, 1, 0, 0, 1, 1, 0, 0],
+        ];
+        let model = Model::uniform(2).unwrap();
+        for symbols in cases {
+            let seq = binary(&symbols);
+            let exact = super::super::trivial::find_mss(&seq, &model).unwrap();
+            let agmm = find_mss(&seq, &model).unwrap();
+            assert!(agmm.best.chi_square <= exact.best.chi_square + 1e-9);
+            assert!(agmm.best.chi_square > 0.0);
+        }
+    }
+
+    #[test]
+    fn candidate_budget_is_at_most_2k() {
+        let seq = Sequence::from_symbols(vec![0, 1, 2, 0, 1, 2, 2, 2, 1, 0], 3).unwrap();
+        let model = Model::uniform(3).unwrap();
+        let r = find_mss(&seq, &model).unwrap();
+        assert!(r.stats.examined <= 6);
+    }
+
+    #[test]
+    fn multialphabet_detects_inflated_char() {
+        // Character 2 is heavily over-represented in the middle.
+        let mut symbols: Vec<u8> = (0..30).map(|i| (i % 3) as u8).collect();
+        symbols.splice(15..15, std::iter::repeat_n(2u8, 10));
+        let seq = Sequence::from_symbols(symbols, 3).unwrap();
+        let model = Model::uniform(3).unwrap();
+        let r = find_mss(&seq, &model).unwrap();
+        // The found substring must overlap the injected run.
+        assert!(r.best.start < 25 && r.best.end > 15);
+        assert!(r.best.chi_square > 5.0);
+    }
+}

@@ -1,0 +1,186 @@
+//! ARLM — endpoint restriction to deviation-walk local extrema
+//! (reconstruction; see module docs of [`crate::baseline`]).
+//!
+//! Candidate boundaries are the positions where some character's deviation
+//! walk `D_c(j) = count_c(S[0..j)) − j·p_c` has a local extremum (plus both
+//! string endpoints). All pairs of candidates are evaluated.
+//!
+//! For `k = 2` this is provably exact: if `[s, e)` maximizes `X²` with the
+//! character-0 surplus positive, then `s` must be a local minimum and `e` a
+//! local maximum of `D_0` — otherwise moving the boundary one step in the
+//! falling direction strictly increases `X² = Δ²/(l·p·q)` (both
+//! single-step cases are checked in the test-suite and in
+//! `tests/paper_lemmas.rs`). For `k > 2` exactness is the conjecture the
+//! paper reports for ARLM; on random strings the number of extrema is
+//! `Θ(n)`, so the cost stays `Θ(n²)` — "constant-factor improvement only".
+
+use crate::counts::PrefixCounts;
+use crate::error::Result;
+use crate::model::Model;
+use crate::mss::MssResult;
+use crate::scan::ScanStats;
+use crate::score::{chi_square_counts, scored_cmp, Scored};
+use crate::seq::Sequence;
+
+/// Collect the candidate boundary positions: local extrema of any
+/// character's deviation walk, plus positions 0 and n. Sorted, deduplicated.
+fn candidate_positions(pc: &PrefixCounts, model: &Model) -> Vec<usize> {
+    let n = pc.n();
+    let k = model.k();
+    let mut is_candidate = vec![false; n + 1];
+    is_candidate[0] = true;
+    is_candidate[n] = true;
+    for c in 0..k {
+        // Walk increments: +1−p when S[j] = c, −p otherwise. A position j
+        // (1 ≤ j ≤ n−1) is a local extremum iff the increment sign changes
+        // across it (the walk never has a zero increment since 0 < p < 1).
+        #[allow(clippy::needless_range_loop)] // j indexes both the walk and the flag array
+        for j in 1..n {
+            let up_before = pc.count(c, j - 1, j) == 1;
+            let up_after = pc.count(c, j, j + 1) == 1;
+            if up_before != up_after {
+                is_candidate[j] = true;
+            }
+        }
+    }
+    is_candidate
+        .iter()
+        .enumerate()
+        .filter_map(|(j, &c)| c.then_some(j))
+        .collect()
+}
+
+/// ARLM MSS search. `stats.examined` counts the candidate pairs
+/// evaluated.
+pub fn find_mss(seq: &Sequence, model: &Model) -> Result<MssResult> {
+    model.check_alphabet(seq)?;
+    let pc = PrefixCounts::build(seq);
+    find_mss_counts(&pc, model)
+}
+
+/// [`find_mss`] over prebuilt prefix counts.
+pub fn find_mss_counts(pc: &PrefixCounts, model: &Model) -> Result<MssResult> {
+    let candidates = candidate_positions(pc, model);
+    let k = model.k();
+    let mut counts = vec![0u32; k];
+    let mut stats = ScanStats::default();
+    let mut best: Option<Scored> = None;
+    for (i, &s) in candidates.iter().enumerate() {
+        for &e in &candidates[i + 1..] {
+            pc.fill_counts(s, e, &mut counts);
+            let x2 = chi_square_counts(&counts, model);
+            stats.examined += 1;
+            let scored = Scored { start: s, end: e, chi_square: x2 };
+            match &best {
+                Some(b) if scored_cmp(&scored, b) != std::cmp::Ordering::Greater => {}
+                _ => best = Some(scored),
+            }
+        }
+    }
+    // n = 1 has no extremum pair other than (0, 1), which is always present
+    // (both endpoints are candidates), so `best` is always populated.
+    let best = best.expect("string endpoints always form a candidate pair");
+    Ok(MssResult { best, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn binary(symbols: &[u8]) -> Sequence {
+        Sequence::from_symbols(symbols.to_vec(), 2).unwrap()
+    }
+
+    #[test]
+    fn exact_on_binary_strings() {
+        // Provable for k = 2 (see module docs): compare with trivial on a
+        // batch of structured and pseudo-random strings.
+        let mut cases: Vec<Vec<u8>> = vec![
+            vec![0, 1, 1, 1, 0, 0, 1, 0],
+            vec![0; 10],
+            vec![0, 1, 0, 1, 0, 1, 0, 1],
+            vec![1, 1, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1, 0],
+        ];
+        // Deterministic pseudo-random strings.
+        for seed in 0..20u64 {
+            let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+            let symbols: Vec<u8> = (0..40)
+                .map(|_| {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    (x & 1) as u8
+                })
+                .collect();
+            cases.push(symbols);
+        }
+        let model = Model::uniform(2).unwrap();
+        for symbols in cases {
+            let seq = binary(&symbols);
+            let trivial = super::super::trivial::find_mss(&seq, &model).unwrap();
+            let arlm = find_mss(&seq, &model).unwrap();
+            assert!(
+                (trivial.best.chi_square - arlm.best.chi_square).abs() < 1e-9,
+                "ARLM missed the MSS on {symbols:?}: {} vs {}",
+                arlm.best.chi_square,
+                trivial.best.chi_square
+            );
+        }
+    }
+
+    #[test]
+    fn exact_on_binary_with_biased_model() {
+        let seq = binary(&[1, 1, 0, 1, 1, 1, 0, 0, 0, 1, 1, 0, 1, 1, 1, 1]);
+        let model = Model::from_probs(vec![0.3, 0.7]).unwrap();
+        let trivial = super::super::trivial::find_mss(&seq, &model).unwrap();
+        let arlm = find_mss(&seq, &model).unwrap();
+        assert!((trivial.best.chi_square - arlm.best.chi_square).abs() < 1e-9);
+    }
+
+    #[test]
+    fn never_beats_trivial_on_larger_alphabets() {
+        let symbols: Vec<u8> = (0..60).map(|i| ((i * i + i / 5) % 4) as u8).collect();
+        let seq = Sequence::from_symbols(symbols, 4).unwrap();
+        let model = Model::uniform(4).unwrap();
+        let trivial = super::super::trivial::find_mss(&seq, &model).unwrap();
+        let arlm = find_mss(&seq, &model).unwrap();
+        assert!(arlm.best.chi_square <= trivial.best.chi_square + 1e-9);
+        // And examines fewer pairs.
+        assert!(arlm.stats.examined <= trivial.stats.examined);
+    }
+
+    #[test]
+    fn endpoint_property_holds_for_binary_optimum() {
+        // The structural lemma behind ARLM: the trivial MSS endpoints are
+        // walk extrema (i.e. ARLM candidates).
+        let seq = binary(&[0, 1, 1, 0, 1, 1, 1, 1, 0, 0, 1, 0, 1, 1]);
+        let model = Model::uniform(2).unwrap();
+        let pc = PrefixCounts::build(&seq);
+        let trivial = super::super::trivial::find_mss(&seq, &model).unwrap();
+        let candidates = candidate_positions(&pc, &model);
+        assert!(candidates.contains(&trivial.best.start));
+        assert!(candidates.contains(&trivial.best.end));
+    }
+
+    #[test]
+    fn single_character_string() {
+        let seq = binary(&[1]);
+        let model = Model::uniform(2).unwrap();
+        let r = find_mss(&seq, &model).unwrap();
+        assert_eq!((r.best.start, r.best.end), (0, 1));
+    }
+
+    #[test]
+    fn alternating_string_has_few_candidates() {
+        // 0101… the walk zig-zags: every interior position is an extremum
+        // for one of the characters — candidate count stays Θ(n), pairs
+        // Θ(n²)/constant.
+        let symbols: Vec<u8> = (0..50).map(|i| (i % 2) as u8).collect();
+        let seq = binary(&symbols);
+        let model = Model::uniform(2).unwrap();
+        let pc = PrefixCounts::build(&seq);
+        let candidates = candidate_positions(&pc, &model);
+        assert!(candidates.len() <= seq.len() + 1);
+        assert!(candidates.len() >= 2);
+    }
+}

@@ -1,0 +1,21 @@
+//! Baseline algorithms the paper compares against (§2, §7.3).
+//!
+//! * [`trivial`] — the exact `O(n²)` scan over all substrings.
+//! * [`blocked`] — exact block-pruned scan (reconstruction of the
+//!   "blocking technique" of \[2\]; no asymptotic improvement).
+//! * [`arlm`] — local-extrema endpoint restriction (reconstruction of
+//!   ARLM \[9\]; exact for `k = 2` — we prove the endpoint property in the
+//!   tests — conjectured exact for larger alphabets, `O(n²)` worst case).
+//! * [`agmm`] — linear-time deviation-walk heuristic (reconstruction of
+//!   AGMM \[9\]; fast, good-but-not-optimal, no approximation guarantee).
+//!
+//! The ARLM/AGMM originals (Dutta & Bhattacharya, PAKDD 2010) are not
+//! available offline; these reconstructions match the behaviours this
+//! paper reports for them (Table 1/4/6): ARLM finds the MSS in practice at
+//! quadratic cost, AGMM is `O(k·n)` but can return substantially lower
+//! `X²` values, especially on real data. See `DESIGN.md` §2.
+
+pub mod agmm;
+pub mod arlm;
+pub mod blocked;
+pub mod trivial;

@@ -1,0 +1,175 @@
+//! The trivial exact algorithm: evaluate all `O(n²)` substrings.
+//!
+//! For each start position the scan extends one character at a time using
+//! the incremental scorer, so each substring costs `O(1)` — total
+//! `O(n²)` (the paper's baseline in Figs. 1, 6, 7 and Tables 1, 4, 6).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::error::{Error, Result};
+use crate::model::Model;
+use crate::mss::MssResult;
+use crate::scan::ScanStats;
+use crate::score::{scored_cmp, ScoreState, Scored};
+use crate::seq::Sequence;
+use crate::topt::{OrdScored, TopTResult};
+use crate::threshold::ThresholdResult;
+
+/// Visit every substring (all starts, ends ascending) with its `X²`.
+fn for_each_substring(
+    seq: &Sequence,
+    model: &Model,
+    min_len: usize,
+    mut visit: impl FnMut(Scored),
+) -> ScanStats {
+    let n = seq.len();
+    let mut stats = ScanStats::default();
+    let mut state = ScoreState::new(model.k());
+    for start in (0..n).rev() {
+        if start + min_len > n {
+            continue;
+        }
+        state.clear();
+        for (offset, &symbol) in seq.symbols()[start..].iter().enumerate() {
+            state.push(symbol, model);
+            let end = start + offset + 1;
+            if end - start < min_len {
+                continue;
+            }
+            stats.examined += 1;
+            visit(Scored { start, end, chi_square: state.chi_square() });
+        }
+    }
+    stats
+}
+
+/// Exact MSS by exhaustive scan (paper's "Trivial" baseline).
+pub fn find_mss(seq: &Sequence, model: &Model) -> Result<MssResult> {
+    model.check_alphabet(seq)?;
+    let mut best: Option<Scored> = None;
+    let stats = for_each_substring(seq, model, 1, |scored| match &best {
+        Some(b) if scored_cmp(&scored, b) != std::cmp::Ordering::Greater => {}
+        _ => best = Some(scored),
+    });
+    Ok(MssResult { best: best.expect("non-empty sequence"), stats })
+}
+
+/// Exact top-t by exhaustive scan.
+pub fn top_t(seq: &Sequence, model: &Model, t: usize) -> Result<TopTResult> {
+    model.check_alphabet(seq)?;
+    if t == 0 {
+        return Err(Error::InvalidParameter {
+            what: "t",
+            details: "the top-t set must have t >= 1".into(),
+        });
+    }
+    let mut heap: BinaryHeap<Reverse<OrdScored>> = BinaryHeap::with_capacity(t + 1);
+    let stats = for_each_substring(seq, model, 1, |scored| {
+        if heap.len() < t {
+            heap.push(Reverse(OrdScored(scored)));
+        } else if let Some(Reverse(min)) = heap.peek() {
+            if scored_cmp(&scored, &min.0) == std::cmp::Ordering::Greater {
+                heap.pop();
+                heap.push(Reverse(OrdScored(scored)));
+            }
+        }
+    });
+    let mut items: Vec<Scored> = heap.into_iter().map(|r| r.0 .0).collect();
+    items.sort_by(|a, b| scored_cmp(b, a));
+    Ok(TopTResult { items, stats })
+}
+
+/// Exact threshold query by exhaustive scan.
+pub fn above_threshold(seq: &Sequence, model: &Model, alpha: f64) -> Result<ThresholdResult> {
+    model.check_alphabet(seq)?;
+    if !alpha.is_finite() || alpha < 0.0 {
+        return Err(Error::InvalidParameter {
+            what: "alpha",
+            details: format!("threshold must be finite and non-negative, got {alpha}"),
+        });
+    }
+    let mut items = Vec::new();
+    let stats = for_each_substring(seq, model, 1, |scored| {
+        if scored.chi_square > alpha {
+            items.push(scored);
+        }
+    });
+    Ok(ThresholdResult { items, stats })
+}
+
+/// Exact min-length MSS by exhaustive scan.
+pub fn mss_min_length(seq: &Sequence, model: &Model, gamma0: usize) -> Result<MssResult> {
+    model.check_alphabet(seq)?;
+    let min_len = gamma0 + 1;
+    if min_len > seq.len() {
+        return Err(Error::InvalidParameter {
+            what: "gamma0",
+            details: format!(
+                "no substring of length > {gamma0} exists in a string of length {}",
+                seq.len()
+            ),
+        });
+    }
+    let mut best: Option<Scored> = None;
+    let stats = for_each_substring(seq, model, min_len, |scored| match &best {
+        Some(b) if scored_cmp(&scored, b) != std::cmp::Ordering::Greater => {}
+        _ => best = Some(scored),
+    });
+    Ok(MssResult { best: best.expect("at least one candidate"), stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn binary(symbols: &[u8]) -> Sequence {
+        Sequence::from_symbols(symbols.to_vec(), 2).unwrap()
+    }
+
+    #[test]
+    fn examines_exactly_n_choose_2_plus_n() {
+        let seq = binary(&[0, 1, 0, 1, 1, 0, 1]);
+        let model = Model::uniform(2).unwrap();
+        let r = find_mss(&seq, &model).unwrap();
+        let n = seq.len() as u64;
+        assert_eq!(r.stats.examined, n * (n + 1) / 2);
+        assert_eq!(r.stats.skipped, 0);
+    }
+
+    #[test]
+    fn finds_obvious_run() {
+        let seq = binary(&[0, 1, 0, 1, 1, 1, 1, 1, 0, 1]);
+        let model = Model::uniform(2).unwrap();
+        let r = find_mss(&seq, &model).unwrap();
+        assert_eq!((r.best.start, r.best.end), (3, 8));
+    }
+
+    #[test]
+    fn top_t_contains_mss() {
+        let seq = binary(&[0, 1, 1, 0, 1, 1, 1, 0]);
+        let model = Model::uniform(2).unwrap();
+        let mss = find_mss(&seq, &model).unwrap();
+        let top = top_t(&seq, &model, 5).unwrap();
+        assert_eq!(top.items[0], mss.best);
+        assert!(top_t(&seq, &model, 0).is_err());
+    }
+
+    #[test]
+    fn threshold_soundness() {
+        let seq = binary(&[0, 1, 1, 1, 1, 0, 0, 1]);
+        let model = Model::uniform(2).unwrap();
+        let r = above_threshold(&seq, &model, 2.5).unwrap();
+        assert!(r.items.iter().all(|s| s.chi_square > 2.5));
+        assert!(above_threshold(&seq, &model, -1.0).is_err());
+    }
+
+    #[test]
+    fn min_length_constraint_and_errors() {
+        let seq = binary(&[0, 1, 1, 1, 0, 0]);
+        let model = Model::uniform(2).unwrap();
+        let r = mss_min_length(&seq, &model, 4).unwrap();
+        assert!(r.best.len() > 4);
+        assert!(mss_min_length(&seq, &model, 6).is_err());
+    }
+}

@@ -1,0 +1,132 @@
+//! Prefix count arrays — `O(1)` substring count vectors.
+//!
+//! The paper (§2) notes that `X²` needs only the character counts of a
+//! substring, obtainable in `O(1)` from `k` precomputed count arrays where
+//! entry `i` stores the number of occurrences of the character in the first
+//! `i` positions. This module is that structure, laid out as one flat
+//! row-major table for cache friendliness.
+
+use crate::seq::Sequence;
+
+/// Prefix counts of a sequence: `count(c, i, j)` in `O(1)`.
+#[derive(Debug, Clone)]
+pub struct PrefixCounts {
+    /// Row-major `k × (n + 1)` table; `table[c][i]` = occurrences of `c`
+    /// in `S[0..i)`.
+    table: Vec<u32>,
+    n: usize,
+    k: usize,
+}
+
+impl PrefixCounts {
+    /// Build the table in `O(k·n)` time and space.
+    pub fn build(seq: &Sequence) -> Self {
+        let n = seq.len();
+        let k = seq.k();
+        let mut table = vec![0u32; k * (n + 1)];
+        for (i, &s) in seq.symbols().iter().enumerate() {
+            // Copy column i to column i+1 row by row, bumping the row of s.
+            for c in 0..k {
+                table[c * (n + 1) + i + 1] = table[c * (n + 1) + i] + (c == s as usize) as u32;
+            }
+        }
+        Self { table, n, k }
+    }
+
+    /// Sequence length `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Alphabet size `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of occurrences of character `c` in `S[start..end)`.
+    ///
+    /// Panics (in debug builds) when the range or character is invalid.
+    #[inline]
+    pub fn count(&self, c: usize, start: usize, end: usize) -> u32 {
+        debug_assert!(c < self.k && start <= end && end <= self.n);
+        let row = c * (self.n + 1);
+        self.table[row + end] - self.table[row + start]
+    }
+
+    /// Fill `buf` (length `k`) with the count vector of `S[start..end)`.
+    #[inline]
+    pub fn fill_counts(&self, start: usize, end: usize, buf: &mut [u32]) {
+        debug_assert_eq!(buf.len(), self.k);
+        debug_assert!(start <= end && end <= self.n);
+        for (c, slot) in buf.iter_mut().enumerate() {
+            let row = c * (self.n + 1);
+            *slot = self.table[row + end] - self.table[row + start];
+        }
+    }
+
+    /// The count vector of `S[start..end)` as a fresh vector.
+    pub fn count_vector(&self, start: usize, end: usize) -> Vec<u32> {
+        let mut buf = vec![0u32; self.k];
+        self.fill_counts(start, end, &mut buf);
+        buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::Sequence;
+
+    fn demo_seq() -> Sequence {
+        // 0 1 1 2 0 2 2 1
+        Sequence::from_symbols(vec![0, 1, 1, 2, 0, 2, 2, 1], 3).unwrap()
+    }
+
+    #[test]
+    fn counts_match_direct_counting() {
+        let seq = demo_seq();
+        let pc = PrefixCounts::build(&seq);
+        assert_eq!(pc.n(), 8);
+        assert_eq!(pc.k(), 3);
+        for start in 0..=seq.len() {
+            for end in start..=seq.len() {
+                let direct = seq.count_vector(start, end);
+                let via_prefix = pc.count_vector(start, end);
+                assert_eq!(direct, via_prefix, "range {start}..{end}");
+            }
+        }
+    }
+
+    #[test]
+    fn individual_count_queries() {
+        let seq = demo_seq();
+        let pc = PrefixCounts::build(&seq);
+        assert_eq!(pc.count(0, 0, 8), 2);
+        assert_eq!(pc.count(1, 0, 8), 3);
+        assert_eq!(pc.count(2, 0, 8), 3);
+        assert_eq!(pc.count(2, 3, 4), 1);
+        assert_eq!(pc.count(2, 4, 4), 0);
+        assert_eq!(pc.count(0, 1, 4), 0);
+    }
+
+    #[test]
+    fn counts_sum_to_range_length() {
+        let seq = demo_seq();
+        let pc = PrefixCounts::build(&seq);
+        for start in 0..seq.len() {
+            for end in start..=seq.len() {
+                let total: u32 = pc.count_vector(start, end).iter().sum();
+                assert_eq!(total as usize, end - start);
+            }
+        }
+    }
+
+    #[test]
+    fn fill_counts_reuses_buffer() {
+        let seq = demo_seq();
+        let pc = PrefixCounts::build(&seq);
+        let mut buf = vec![99u32; 3];
+        pc.fill_counts(2, 6, &mut buf);
+        assert_eq!(buf, vec![1, 1, 2]);
+    }
+}

@@ -1,0 +1,158 @@
+//! The chain cover bound (paper Definition 1, Lemma 1–2, Theorem 1).
+//!
+//! For a substring with count vector `{Y_1..Y_k}` and length `l`, the
+//! *chain cover* over `x` symbols of character `c` is the hypothetical
+//! string obtained by appending `x` copies of `c`. Theorem 1 states that
+//! the `X²` of **every** extension by at most `x` arbitrary characters is
+//! bounded by the chain cover's `X²` when `c` is chosen to maximize
+//! `(2Y_c + x)/p_c`. This bound is what lets the MSS algorithm skip runs of
+//! end positions.
+
+use crate::model::Model;
+
+/// `X²` of the chain cover of a substring (count vector `counts`, length
+/// `l`) over `x` symbols of character `c` (paper Eq. 7 / Eq. 19):
+///
+/// `X²_λ = [ Σ Y_m²/p_m + (2xY_c + x²)/p_c ] / (l + x) − (l + x)`.
+pub fn chain_cover_chi_square(counts: &[u32], l: usize, model: &Model, c: usize, x: usize) -> f64 {
+    debug_assert_eq!(counts.len(), model.k());
+    debug_assert!(c < model.k());
+    let lf = l as f64;
+    let xf = x as f64;
+    let mut weighted_sq = 0.0;
+    for (&y, &inv_p) in counts.iter().zip(model.inv_probs()) {
+        let yf = f64::from(y);
+        weighted_sq += yf * yf * inv_p;
+    }
+    let yc = f64::from(counts[c]);
+    weighted_sq += (2.0 * xf * yc + xf * xf) * model.inv_probs()[c];
+    weighted_sq / (lf + xf) - (lf + xf)
+}
+
+/// The character maximizing `(2Y_c + x)/p_c` — the cover character of
+/// Lemma 1 / Theorem 1 for extension length `x`.
+pub fn best_cover_char(counts: &[u32], model: &Model, x: usize) -> usize {
+    debug_assert_eq!(counts.len(), model.k());
+    let xf = x as f64;
+    let mut best = 0usize;
+    let mut best_val = f64::NEG_INFINITY;
+    for (c, (&y, &inv_p)) in counts.iter().zip(model.inv_probs()).enumerate() {
+        let val = (2.0 * f64::from(y) + xf) * inv_p;
+        if val > best_val {
+            best_val = val;
+            best = c;
+        }
+    }
+    best
+}
+
+/// Theorem 1 as a single call: an upper bound on the `X²` of *any* string
+/// having the given substring as a prefix and at most `x` extra characters.
+pub fn extension_upper_bound(counts: &[u32], l: usize, model: &Model, x: usize) -> f64 {
+    let c = best_cover_char(counts, model, x);
+    chain_cover_chi_square(counts, l, model, c, x)
+}
+
+/// The character of Lemma 2: appending the character maximizing `Y_c/p_c`
+/// strictly increases `X²`. Useful to grow a candidate anomaly greedily.
+pub fn best_append_char(counts: &[u32], model: &Model) -> usize {
+    best_cover_char(counts, model, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::score::chi_square_counts;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol * (1.0 + b.abs()), "left = {a}, right = {b}");
+    }
+
+    /// Direct evaluation of the cover by materializing the extended counts.
+    fn cover_direct(counts: &[u32], model: &Model, c: usize, x: usize) -> f64 {
+        let mut extended = counts.to_vec();
+        extended[c] += x as u32;
+        chi_square_counts(&extended, model)
+    }
+
+    #[test]
+    fn cover_formula_matches_materialized_counts() {
+        let model = Model::from_probs(vec![0.2, 0.3, 0.5]).unwrap();
+        let counts = [3u32, 5, 2];
+        let l = 10;
+        for c in 0..3 {
+            for x in 0..20 {
+                assert_close(
+                    chain_cover_chi_square(&counts, l, &model, c, x),
+                    cover_direct(&counts, &model, c, x),
+                    1e-11,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cover_at_zero_extension_is_identity() {
+        let model = Model::uniform(3).unwrap();
+        let counts = [1u32, 4, 2];
+        assert_close(
+            chain_cover_chi_square(&counts, 7, &model, 1, 0),
+            chi_square_counts(&counts, &model),
+            1e-12,
+        );
+    }
+
+    #[test]
+    fn lemma2_appending_best_char_increases_chi_square() {
+        // Lemma 2: appending argmax Y_c/p_c strictly increases X².
+        let model = Model::from_probs(vec![0.1, 0.6, 0.3]).unwrap();
+        let mut counts = vec![2u32, 3, 1];
+        for _ in 0..50 {
+            let before = chi_square_counts(&counts, &model);
+            let c = best_append_char(&counts, &model);
+            counts[c] += 1;
+            let after = chi_square_counts(&counts, &model);
+            assert!(after > before, "Lemma 2 violated: {before} -> {after}");
+        }
+    }
+
+    #[test]
+    fn theorem1_bounds_all_enumerable_extensions() {
+        // Exhaustively enumerate extensions over a ternary alphabet and
+        // check the Theorem-1 bound dominates each one.
+        let model = Model::from_probs(vec![0.25, 0.35, 0.4]).unwrap();
+        let base = [4u32, 1, 2];
+        let l = 7usize;
+        let x_max = 4usize;
+        let bound = extension_upper_bound(&base, l, &model, x_max);
+        // Enumerate every multiset of at most x_max added characters.
+        for a in 0..=x_max as u32 {
+            for b in 0..=(x_max as u32 - a) {
+                for c in 0..=(x_max as u32 - a - b) {
+                    let ext = [base[0] + a, base[1] + b, base[2] + c];
+                    let x2 = chi_square_counts(&ext, &model);
+                    assert!(
+                        x2 <= bound + 1e-9,
+                        "extension (+{a},+{b},+{c}) has X² = {x2} > bound {bound}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn best_cover_char_maximizes_cover_value() {
+        // For fixed x, the argmax of (2Y+x)/p is the argmax of the cover X².
+        let model = Model::from_probs(vec![0.15, 0.35, 0.2, 0.3]).unwrap();
+        let counts = [6u32, 2, 0, 4];
+        let l = 12usize;
+        for x in 1..15usize {
+            let best = best_cover_char(&counts, &model, x);
+            let best_x2 = chain_cover_chi_square(&counts, l, &model, best, x);
+            for c in 0..4 {
+                let x2 = chain_cover_chi_square(&counts, l, &model, c, x);
+                assert!(x2 <= best_x2 + 1e-9, "char {c} beats best {best} at x = {x}");
+            }
+        }
+    }
+}

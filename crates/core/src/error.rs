@@ -1,0 +1,138 @@
+//! Error type for the mining library.
+
+use std::fmt;
+
+/// Errors returned by sequence/model construction and the mining
+/// algorithms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// The input sequence contains no symbols.
+    EmptySequence,
+    /// The model's alphabet size does not match the sequence's.
+    AlphabetMismatch {
+        /// Alphabet size of the model.
+        model_k: usize,
+        /// Alphabet size of the sequence.
+        seq_k: usize,
+    },
+    /// The alphabet must contain at least two characters for the chi-square
+    /// statistic to be meaningful (`χ²(k − 1)` needs `k ≥ 2`).
+    AlphabetTooSmall {
+        /// Offending alphabet size.
+        k: usize,
+    },
+    /// A symbol is outside the declared alphabet `0..k`.
+    SymbolOutOfRange {
+        /// The offending symbol value.
+        symbol: u8,
+        /// The declared alphabet size.
+        k: usize,
+        /// Position of the offending symbol.
+        position: usize,
+    },
+    /// A model probability is not strictly inside `(0, 1)`.
+    InvalidProbability {
+        /// Index of the offending probability.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// The model probabilities do not sum to 1 (within tolerance).
+    NotNormalized {
+        /// The actual sum.
+        sum: f64,
+    },
+    /// A character of the alphabet never occurs, so its maximum-likelihood
+    /// probability estimate would be zero (disallowed — use smoothing).
+    ZeroCount {
+        /// The character with no occurrences.
+        symbol: u8,
+    },
+    /// A parameter of a mining call is out of range.
+    InvalidParameter {
+        /// Which parameter.
+        what: &'static str,
+        /// Why it is invalid.
+        details: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::EmptySequence => write!(f, "sequence is empty"),
+            Error::AlphabetMismatch { model_k, seq_k } => write!(
+                f,
+                "model alphabet size {model_k} does not match sequence alphabet size {seq_k}"
+            ),
+            Error::AlphabetTooSmall { k } => {
+                write!(f, "alphabet size {k} is too small (need k >= 2)")
+            }
+            Error::SymbolOutOfRange { symbol, k, position } => write!(
+                f,
+                "symbol {symbol} at position {position} is outside alphabet 0..{k}"
+            ),
+            Error::InvalidProbability { index, value } => write!(
+                f,
+                "probability p[{index}] = {value} is not strictly inside (0, 1)"
+            ),
+            Error::NotNormalized { sum } => {
+                write!(f, "model probabilities sum to {sum}, expected 1")
+            }
+            Error::ZeroCount { symbol } => write!(
+                f,
+                "character {symbol} never occurs; maximum-likelihood estimate would be 0 \
+                 (use a smoothed estimate instead)"
+            ),
+            Error::InvalidParameter { what, details } => {
+                write!(f, "invalid parameter `{what}`: {details}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(Error, &str)> = vec![
+            (Error::EmptySequence, "empty"),
+            (
+                Error::AlphabetMismatch { model_k: 2, seq_k: 3 },
+                "does not match",
+            ),
+            (Error::AlphabetTooSmall { k: 1 }, "too small"),
+            (
+                Error::SymbolOutOfRange { symbol: 9, k: 4, position: 17 },
+                "position 17",
+            ),
+            (
+                Error::InvalidProbability { index: 1, value: 0.0 },
+                "p[1]",
+            ),
+            (Error::NotNormalized { sum: 0.8 }, "0.8"),
+            (Error::ZeroCount { symbol: 2 }, "never occurs"),
+            (
+                Error::InvalidParameter { what: "t", details: "zero".into() },
+                "`t`",
+            ),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg:?} should contain {needle:?}");
+        }
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_std_error(_: &dyn std::error::Error) {}
+        takes_std_error(&Error::EmptySequence);
+    }
+}

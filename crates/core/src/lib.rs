@@ -1,0 +1,92 @@
+//! Chi-square significant-substring mining.
+//!
+//! Rust implementation of *Sachan & Bhattacharya, "Mining Statistically
+//! Significant Substrings using the Chi-Square Statistic" (PVLDB 5(10),
+//! 2012)*: given a string over a finite alphabet and a memoryless Bernoulli
+//! null model, find the substring(s) whose empirical character distribution
+//! deviates most from the model, measured by Pearson's `X²`.
+//!
+//! # The four problems (paper §1)
+//!
+//! | Problem | Function | Paper |
+//! |---|---|---|
+//! | 1. Most significant substring | [`find_mss`] | Algorithm 1 |
+//! | 2. Top-t substrings | [`top_t`] | Algorithm 2 |
+//! | 3. All substrings with `X² > α₀` | [`above_threshold`] | Algorithm 3 |
+//! | 4. MSS among substrings longer than `Γ₀` | [`mss_min_length`] | §6.3 |
+//!
+//! All four run in `O(k·n^{3/2})` w.h.p. via the *chain cover* pruning
+//! bound (paper Theorem 1, [`cover`]) and the quadratic skip solver
+//! ([`skip`]).
+//!
+//! # Baselines and extensions
+//!
+//! * [`baseline::trivial`] — exact `O(n²)` scan.
+//! * [`baseline::blocked`] — exact block-pruned scan (\[2\] reconstruction).
+//! * [`baseline::arlm`] / [`baseline::agmm`] — the PAKDD-2010 comparators
+//!   (\[9\] reconstructions; see `DESIGN.md`).
+//! * [`parallel`] — multi-core scan with shared pruning budgets.
+//! * [`markov`] — significance under a first-order Markov null model
+//!   (paper §8 future work).
+//! * [`grid`] — two-dimensional most significant sub-rectangle
+//!   (paper §8 future work).
+//! * [`maxlen`] — window-constrained mining (dual of Problem 4).
+//! * [`streaming`] — exact online MSS over an append-only stream.
+//! * [`significance`] — family-wise (multiple-testing) corrections and
+//!   Monte-Carlo calibration of the null `X²_max`.
+//!
+//! # Quick start
+//!
+//! ```
+//! use sigstr_core::{find_mss, Model, Sequence};
+//!
+//! // Encode observations as symbols 0..k.
+//! let seq = Sequence::from_symbols(vec![0, 1, 0, 1, 1, 1, 1, 1, 0, 0], 2).unwrap();
+//! // Null model: fair coin.
+//! let model = Model::uniform(2).unwrap();
+//!
+//! let result = find_mss(&seq, &model).unwrap();
+//! println!(
+//!     "MSS = [{}, {}) with X² = {:.3}, p = {:.4}",
+//!     result.best.start,
+//!     result.best.end,
+//!     result.best.chi_square,
+//!     result.best.p_value(2),
+//! );
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod baseline;
+pub mod counts;
+pub mod cover;
+pub mod error;
+pub mod grid;
+pub mod markov;
+pub mod maxlen;
+pub mod minlen;
+pub mod model;
+pub mod mss;
+pub mod parallel;
+mod scan;
+pub mod score;
+pub mod seq;
+pub mod significance;
+pub mod skip;
+pub mod streaming;
+pub mod threshold;
+pub mod topt;
+
+pub use counts::PrefixCounts;
+pub use error::{Error, Result};
+pub use maxlen::mss_max_length;
+pub use minlen::mss_min_length;
+pub use model::Model;
+pub use mss::{find_mss, MssResult};
+pub use parallel::{find_mss_parallel, top_t_parallel};
+pub use scan::ScanStats;
+pub use score::{chi_square_counts, chi_square_range, ScoreState, Scored};
+pub use seq::Sequence;
+pub use threshold::{above_threshold, for_each_above_threshold, ThresholdResult};
+pub use topt::{top_t, TopTResult};

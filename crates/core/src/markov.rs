@@ -1,0 +1,476 @@
+//! Significance under a first-order Markov null model (paper §8 future
+//! work: "the analysis can be further extended to strings generated from
+//! Markov models, the most basic of which being the case when there is a
+//! correlation between adjacent characters").
+//!
+//! The null model is a transition matrix `Q` (`q_{ab}` = probability of
+//! `b` following `a`). For a substring, the observed transition counts
+//! `N_{ab}` are compared against their expectations `E_{ab} = N_{a·}·q_{ab}`
+//! (`N_{a·}` is the number of transitions leaving `a`); the statistic
+//!
+//! ```text
+//! X² = Σ_{a,b} (N_{ab} − E_{ab})² / E_{ab}
+//! ```
+//!
+//! is asymptotically `χ²(k(k−1))` under the null (a goodness-of-fit test on
+//! each row with `k − 1` free cells). The chain-cover bound of the i.i.d.
+//! case does not port directly (appending one character changes a single
+//! *transition* whose row depends on the previous character), so this
+//! module provides the exact `O(k²·n²)` scan plus an `O(k²·n)` deviation-
+//! walk heuristic in the spirit of AGMM.
+
+use crate::error::{Error, Result};
+use crate::scan::ScanStats;
+use crate::score::{scored_cmp, Scored};
+use crate::seq::Sequence;
+
+/// A validated first-order Markov transition model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransitionModel {
+    k: usize,
+    /// Row-major `k × k`: `probs[a * k + b] = q_{ab}`.
+    probs: Vec<f64>,
+}
+
+impl TransitionModel {
+    /// Build from a row-major `k × k` matrix. Every entry must be strictly
+    /// inside `(0, 1)` and every row must sum to 1 (within `1e-6`; rows are
+    /// renormalized exactly).
+    pub fn from_rows(k: usize, probs: Vec<f64>) -> Result<Self> {
+        if !(2..=256).contains(&k) {
+            return Err(Error::AlphabetTooSmall { k });
+        }
+        if probs.len() != k * k {
+            return Err(Error::InvalidParameter {
+                what: "probs",
+                details: format!("expected {} entries for k = {k}, got {}", k * k, probs.len()),
+            });
+        }
+        for (index, &value) in probs.iter().enumerate() {
+            if value.is_nan() || value <= 0.0 || value >= 1.0 {
+                return Err(Error::InvalidProbability { index, value });
+            }
+        }
+        let mut probs = probs;
+        for a in 0..k {
+            let row = &mut probs[a * k..(a + 1) * k];
+            let sum: f64 = row.iter().sum();
+            if (sum - 1.0).abs() > 1e-6 {
+                return Err(Error::NotNormalized { sum });
+            }
+            for q in row {
+                *q /= sum;
+            }
+        }
+        Ok(Self { k, probs })
+    }
+
+    /// The paper's experimental Markov process (§7.1.2): transition
+    /// probability of `a_j` following `a_i` proportional to
+    /// `1/2^{(i−j) mod k}`.
+    pub fn paper_process(k: usize) -> Result<Self> {
+        if !(2..=256).contains(&k) {
+            return Err(Error::AlphabetTooSmall { k });
+        }
+        let mut probs = vec![0.0f64; k * k];
+        for i in 0..k {
+            let mut row_sum = 0.0;
+            for j in 0..k {
+                let weight = 0.5f64.powi(((i + k - j) % k) as i32);
+                probs[i * k + j] = weight;
+                row_sum += weight;
+            }
+            for j in 0..k {
+                probs[i * k + j] /= row_sum;
+            }
+        }
+        Self::from_rows(k, probs)
+    }
+
+    /// A binary "persistence" chain: repeat the previous symbol with
+    /// probability `p` (paper §7.4, Table 2's RNG-audit model).
+    pub fn binary_persistence(p: f64) -> Result<Self> {
+        if p.is_nan() || p <= 0.0 || p >= 1.0 {
+            return Err(Error::InvalidProbability { index: 0, value: p });
+        }
+        Self::from_rows(2, vec![p, 1.0 - p, 1.0 - p, p])
+    }
+
+    /// Additive-smoothed maximum-likelihood estimate from a sequence.
+    pub fn estimate_smoothed(seq: &Sequence, alpha: f64) -> Result<Self> {
+        if alpha.is_nan() || alpha <= 0.0 || alpha.is_infinite() {
+            return Err(Error::InvalidParameter {
+                what: "alpha",
+                details: format!("smoothing constant must be positive and finite, got {alpha}"),
+            });
+        }
+        let k = seq.k();
+        let mut counts = vec![0u64; k * k];
+        for pair in seq.symbols().windows(2) {
+            counts[pair[0] as usize * k + pair[1] as usize] += 1;
+        }
+        let mut probs = vec![0.0f64; k * k];
+        for a in 0..k {
+            let row_total: u64 = counts[a * k..(a + 1) * k].iter().sum();
+            let denom = row_total as f64 + k as f64 * alpha;
+            for b in 0..k {
+                probs[a * k + b] = (counts[a * k + b] as f64 + alpha) / denom;
+            }
+        }
+        Self::from_rows(k, probs)
+    }
+
+    /// Alphabet size.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Transition probability `q_{ab}`.
+    pub fn q(&self, a: usize, b: usize) -> f64 {
+        self.probs[a * self.k + b]
+    }
+
+    /// Degrees of freedom of the limiting chi-square: `k(k − 1)`.
+    pub fn degrees_of_freedom(&self) -> usize {
+        self.k * (self.k - 1)
+    }
+
+    /// Check compatibility with a sequence's alphabet.
+    pub fn check_alphabet(&self, seq: &Sequence) -> Result<()> {
+        if self.k != seq.k() {
+            return Err(Error::AlphabetMismatch { model_k: self.k, seq_k: seq.k() });
+        }
+        Ok(())
+    }
+}
+
+/// The Markov `X²` of a transition-count matrix (row-major `k × k`).
+pub fn chi_square_transitions(counts: &[u32], model: &TransitionModel) -> f64 {
+    let k = model.k;
+    debug_assert_eq!(counts.len(), k * k);
+    let mut x2 = 0.0;
+    for a in 0..k {
+        let row = &counts[a * k..(a + 1) * k];
+        let row_total: u32 = row.iter().sum();
+        if row_total == 0 {
+            continue;
+        }
+        let total = f64::from(row_total);
+        for (b, &n) in row.iter().enumerate() {
+            let e = total * model.q(a, b);
+            let d = f64::from(n) - e;
+            x2 += d * d / e;
+        }
+    }
+    x2
+}
+
+/// Prefix transition counts: `O(1)` transition-count matrices for any
+/// substring.
+#[derive(Debug, Clone)]
+pub struct PrefixTransitionCounts {
+    /// Row-major `(k²) × n` table: entry `[cell][t]` = number of
+    /// transitions of kind `cell` among pairs `(u, u+1)` with `u + 1 ≤ t`.
+    table: Vec<u32>,
+    n: usize,
+    k: usize,
+}
+
+impl PrefixTransitionCounts {
+    /// Build in `O(k²·n)` space and time.
+    pub fn build(seq: &Sequence) -> Self {
+        let n = seq.len();
+        let k = seq.k();
+        let cells = k * k;
+        let mut table = vec![0u32; cells * n.max(1)];
+        for t in 1..n {
+            let pair = seq.symbol(t - 1) as usize * k + seq.symbol(t) as usize;
+            for cell in 0..cells {
+                table[cell * n + t] = table[cell * n + t - 1] + u32::from(cell == pair);
+            }
+        }
+        Self { table, n, k }
+    }
+
+    /// Fill `buf` (length `k²`) with the transition counts of
+    /// `S[start..end)` (pairs fully inside the range).
+    pub fn fill_counts(&self, start: usize, end: usize, buf: &mut [u32]) {
+        debug_assert_eq!(buf.len(), self.k * self.k);
+        debug_assert!(start <= end && end <= self.n);
+        if end < start + 2 {
+            buf.fill(0);
+            return;
+        }
+        for (cell, slot) in buf.iter_mut().enumerate() {
+            let row = cell * self.n;
+            *slot = self.table[row + end - 1] - self.table[row + start];
+        }
+    }
+}
+
+/// Result of a Markov-null MSS search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MarkovResult {
+    /// The winning substring (scored by the Markov `X²`).
+    pub best: Scored,
+    /// Scan instrumentation.
+    pub stats: ScanStats,
+}
+
+impl MarkovResult {
+    /// P-value under the `χ²(k(k−1))` approximation.
+    pub fn p_value(&self, model: &TransitionModel) -> f64 {
+        sigstr_stats::chi2::sf(self.best.chi_square, model.degrees_of_freedom() as f64)
+    }
+}
+
+/// Exact MSS under a Markov null by exhaustive scan, incremental in the
+/// end position (`O(k²)` per substring ⇒ `O(k²·n²)` total).
+///
+/// Only substrings with at least one transition (length ≥ 2) are
+/// considered.
+pub fn find_mss_markov(seq: &Sequence, model: &TransitionModel) -> Result<MarkovResult> {
+    model.check_alphabet(seq)?;
+    let n = seq.len();
+    if n < 2 {
+        return Err(Error::InvalidParameter {
+            what: "sequence",
+            details: "Markov significance needs at least 2 symbols".into(),
+        });
+    }
+    let k = model.k;
+    let mut best: Option<Scored> = None;
+    let mut stats = ScanStats::default();
+    let mut counts = vec![0u32; k * k];
+    for start in 0..n - 1 {
+        counts.fill(0);
+        for end in (start + 2)..=n {
+            let pair = seq.symbol(end - 2) as usize * k + seq.symbol(end - 1) as usize;
+            counts[pair] += 1;
+            let x2 = chi_square_transitions(&counts, model);
+            stats.examined += 1;
+            let scored = Scored { start, end, chi_square: x2 };
+            match &best {
+                Some(b) if scored_cmp(&scored, b) != std::cmp::Ordering::Greater => {}
+                _ => best = Some(scored),
+            }
+        }
+    }
+    Ok(MarkovResult { best: best.expect("n >= 2 guarantees a candidate"), stats })
+}
+
+/// Linear-time heuristic in the spirit of AGMM: per transition cell
+/// `(a, b)`, the deviation walk `D_{ab}(t) = N_{ab}(t) − q_{ab}·N_{a·}(t)`
+/// over transition prefixes; maximum drawup/drawdown endpoints become
+/// candidate substrings, which are then evaluated exactly.
+pub fn heuristic_mss_markov(seq: &Sequence, model: &TransitionModel) -> Result<MarkovResult> {
+    model.check_alphabet(seq)?;
+    let n = seq.len();
+    if n < 2 {
+        return Err(Error::InvalidParameter {
+            what: "sequence",
+            details: "Markov significance needs at least 2 symbols".into(),
+        });
+    }
+    let k = model.k;
+    let ptc = PrefixTransitionCounts::build(seq);
+    let mut stats = ScanStats::default();
+    let mut best: Option<Scored> = None;
+    let mut counts = vec![0u32; k * k];
+    let mut consider = |s: usize, e: usize, best: &mut Option<Scored>, stats: &mut ScanStats| {
+        if e < s + 2 || e > n {
+            return;
+        }
+        ptc.fill_counts(s, e, &mut counts);
+        let x2 = chi_square_transitions(&counts, model);
+        stats.examined += 1;
+        let scored = Scored { start: s, end: e, chi_square: x2 };
+        match best {
+            Some(b) if scored_cmp(&scored, b) != std::cmp::Ordering::Greater => {}
+            _ => *best = Some(scored),
+        }
+    };
+    for a in 0..k {
+        for b in 0..k {
+            // Deviation walk over pair positions t = 0..n−1 (pair t spans
+            // symbols t and t+1).
+            let q = model.q(a, b);
+            let mut walk = Vec::with_capacity(n);
+            let mut d = 0.0f64;
+            walk.push(0.0);
+            for t in 0..n - 1 {
+                let from = seq.symbol(t) as usize;
+                let to = seq.symbol(t + 1) as usize;
+                if from == a {
+                    d += f64::from(u32::from(to == b)) - q;
+                }
+                walk.push(d);
+            }
+            for flip in [1.0f64, -1.0] {
+                let signed: Vec<f64> = walk.iter().map(|w| w * flip).collect();
+                if let Some((s, e)) = max_drawup(&signed) {
+                    // Pair range [s, e) corresponds to symbols [s, e + 1).
+                    consider(s, e + 1, &mut best, &mut stats);
+                }
+            }
+        }
+    }
+    let best = match best {
+        Some(b) => b,
+        None => {
+            // Fall back to the full string.
+            ptc.fill_counts(0, n, &mut counts);
+            Scored { start: 0, end: n, chi_square: chi_square_transitions(&counts, model) }
+        }
+    };
+    Ok(MarkovResult { best, stats })
+}
+
+/// Maximum drawup of a walk: `argmax_{s<e} (w[e] − w[s])` with earliest
+/// tie-break; `None` when the walk never rises.
+fn max_drawup(walk: &[f64]) -> Option<(usize, usize)> {
+    let mut best: Option<(usize, usize, f64)> = None;
+    let mut min_idx = 0usize;
+    for (j, &w) in walk.iter().enumerate().skip(1) {
+        let gain = w - walk[min_idx];
+        if gain > 0.0 {
+            let better = match best {
+                None => true,
+                Some((_, _, g)) => gain > g,
+            };
+            if better {
+                best = Some((min_idx, j, gain));
+            }
+        }
+        if w < walk[min_idx] {
+            min_idx = j;
+        }
+    }
+    best.map(|(s, e, _)| (s, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transition_model_validation() {
+        assert!(TransitionModel::from_rows(2, vec![0.5, 0.5, 0.5, 0.5]).is_ok());
+        assert!(TransitionModel::from_rows(2, vec![0.5, 0.5, 0.5]).is_err());
+        assert!(TransitionModel::from_rows(2, vec![1.0, 0.0, 0.5, 0.5]).is_err());
+        assert!(TransitionModel::from_rows(2, vec![0.4, 0.4, 0.5, 0.5]).is_err());
+        assert!(TransitionModel::from_rows(1, vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn paper_process_rows_normalized() {
+        for k in [2usize, 3, 5] {
+            let tm = TransitionModel::paper_process(k).unwrap();
+            for a in 0..k {
+                let row_sum: f64 = (0..k).map(|b| tm.q(a, b)).sum();
+                assert!((row_sum - 1.0).abs() < 1e-12);
+            }
+            // Self-transition (i = j, weight 1/2⁰ = 1) is the most likely.
+            for a in 0..k {
+                for b in 0..k {
+                    assert!(tm.q(a, a) >= tm.q(a, b) - 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn binary_persistence_properties() {
+        let tm = TransitionModel::binary_persistence(0.8).unwrap();
+        assert!((tm.q(0, 0) - 0.8).abs() < 1e-12);
+        assert!((tm.q(0, 1) - 0.2).abs() < 1e-12);
+        assert!((tm.q(1, 1) - 0.8).abs() < 1e-12);
+        assert!(TransitionModel::binary_persistence(0.0).is_err());
+        assert!(TransitionModel::binary_persistence(1.0).is_err());
+        assert_eq!(tm.degrees_of_freedom(), 2);
+    }
+
+    #[test]
+    fn estimate_recovers_alternating_pattern() {
+        let symbols: Vec<u8> = (0..100).map(|i| (i % 2) as u8).collect();
+        let seq = Sequence::from_symbols(symbols, 2).unwrap();
+        let tm = TransitionModel::estimate_smoothed(&seq, 0.5).unwrap();
+        // All observed transitions are 0→1 and 1→0.
+        assert!(tm.q(0, 1) > 0.9);
+        assert!(tm.q(1, 0) > 0.9);
+        assert!(TransitionModel::estimate_smoothed(&seq, 0.0).is_err());
+    }
+
+    #[test]
+    fn transition_chi_square_zero_at_expectation() {
+        // Pure alternations against a strongly alternating null.
+        let tm = TransitionModel::from_rows(2, vec![0.001, 0.999, 0.999, 0.001]).unwrap();
+        let counts = [0u32, 50, 50, 0]; // only alternations observed
+        let x2 = chi_square_transitions(&counts, &tm);
+        assert!(x2 < 0.2, "x2 = {x2}");
+        // And a balanced matrix against the fair null.
+        let fair = TransitionModel::from_rows(2, vec![0.5, 0.5, 0.5, 0.5]).unwrap();
+        assert!(chi_square_transitions(&[25, 25, 25, 25], &fair) < 1e-12);
+    }
+
+    #[test]
+    fn prefix_transition_counts_match_direct() {
+        let seq = Sequence::from_symbols(vec![0, 1, 1, 0, 1, 0, 0, 1], 2).unwrap();
+        let ptc = PrefixTransitionCounts::build(&seq);
+        let mut buf = vec![0u32; 4];
+        for start in 0..seq.len() {
+            for end in start..=seq.len() {
+                ptc.fill_counts(start, end, &mut buf);
+                let mut direct = vec![0u32; 4];
+                if end >= start + 2 {
+                    for t in start..end - 1 {
+                        direct[seq.symbol(t) as usize * 2 + seq.symbol(t + 1) as usize] += 1;
+                    }
+                }
+                assert_eq!(buf.as_slice(), direct.as_slice(), "range {start}..{end}");
+            }
+        }
+    }
+
+    #[test]
+    fn detects_injected_persistence_burst() {
+        // Alternating background (matching a high-alternation null) with an
+        // injected run of identical symbols (persistence anomaly).
+        let mut symbols: Vec<u8> = (0..40).map(|i| (i % 2) as u8).collect();
+        symbols.splice(20..20, std::iter::repeat_n(1u8, 12));
+        let seq = Sequence::from_symbols(symbols, 2).unwrap();
+        let tm = TransitionModel::from_rows(2, vec![0.1, 0.9, 0.9, 0.1]).unwrap();
+        let exact = find_mss_markov(&seq, &tm).unwrap();
+        // The anomaly region is [20, 32); the MSS must overlap it.
+        assert!(exact.best.start < 32 && exact.best.end > 20);
+        assert!(exact.p_value(&tm) < 1e-6);
+    }
+
+    #[test]
+    fn heuristic_never_beats_exact() {
+        let symbols: Vec<u8> = (0..60)
+            .map(|i| u8::from((i / 7) % 2 == 0) ^ u8::from(i % 3 == 0))
+            .collect();
+        let seq = Sequence::from_symbols(symbols, 2).unwrap();
+        let tm = TransitionModel::from_rows(2, vec![0.5, 0.5, 0.5, 0.5]).unwrap();
+        let exact = find_mss_markov(&seq, &tm).unwrap();
+        let heur = heuristic_mss_markov(&seq, &tm).unwrap();
+        assert!(heur.best.chi_square <= exact.best.chi_square + 1e-9);
+        assert!(heur.stats.examined < exact.stats.examined);
+    }
+
+    #[test]
+    fn too_short_sequences_rejected() {
+        let seq = Sequence::from_symbols(vec![0], 2).unwrap();
+        let tm = TransitionModel::binary_persistence(0.5).unwrap();
+        assert!(find_mss_markov(&seq, &tm).is_err());
+        assert!(heuristic_mss_markov(&seq, &tm).is_err());
+    }
+
+    #[test]
+    fn alphabet_mismatch_rejected() {
+        let seq = Sequence::from_symbols(vec![0, 1, 0, 1], 2).unwrap();
+        let tm = TransitionModel::paper_process(3).unwrap();
+        assert!(find_mss_markov(&seq, &tm).is_err());
+    }
+}

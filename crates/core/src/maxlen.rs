@@ -1,0 +1,162 @@
+//! Window-constrained mining: the MSS among substrings of length **at
+//! most** `w`.
+//!
+//! The dual of Problem 4, and the bridge to the windowed-episode
+//! literature the paper contrasts itself with (§2, refs [3, 15]): when the
+//! triggering event is known to be short-lived, capping the window both
+//! focuses the search and bounds the per-start scan at `w` positions.
+//! The chain-cover skip still applies — jumps are simply clamped to the
+//! window end.
+
+use crate::counts::PrefixCounts;
+use crate::error::{Error, Result};
+use crate::model::Model;
+use crate::mss::MssResult;
+use crate::scan::ScanStats;
+use crate::score::{chi_square_counts, scored_cmp, Scored};
+use crate::seq::Sequence;
+use crate::skip::max_safe_skip;
+
+/// Find the most significant substring of length at most `w`.
+///
+/// # Errors
+///
+/// Fails when `w = 0` or on alphabet mismatch.
+///
+/// # Examples
+///
+/// ```
+/// use sigstr_core::{maxlen::mss_max_length, Model, Sequence};
+///
+/// let seq = Sequence::from_symbols(vec![0, 1, 1, 1, 1, 1, 1, 0, 1, 0], 2).unwrap();
+/// let model = Model::uniform(2).unwrap();
+/// let r = mss_max_length(&seq, &model, 4).unwrap();
+/// assert!(r.best.len() <= 4);
+/// ```
+pub fn mss_max_length(seq: &Sequence, model: &Model, w: usize) -> Result<MssResult> {
+    model.check_alphabet(seq)?;
+    let pc = PrefixCounts::build(seq);
+    mss_max_length_counts(&pc, model, w)
+}
+
+/// [`mss_max_length`] over prebuilt prefix counts.
+pub fn mss_max_length_counts(pc: &PrefixCounts, model: &Model, w: usize) -> Result<MssResult> {
+    if w == 0 {
+        return Err(Error::InvalidParameter {
+            what: "w",
+            details: "the window must have positive length".into(),
+        });
+    }
+    let n = pc.n();
+    let k = model.k();
+    let mut counts = vec![0u32; k];
+    let mut stats = ScanStats::default();
+    let mut best: Option<Scored> = None;
+    for start in (0..n).rev() {
+        let window_end = (start + w).min(n);
+        let mut end = start + 1;
+        while end <= window_end {
+            pc.fill_counts(start, end, &mut counts);
+            let l = end - start;
+            let x2 = chi_square_counts(&counts, model);
+            stats.examined += 1;
+            let scored = Scored { start, end, chi_square: x2 };
+            match &best {
+                Some(b) if scored_cmp(&scored, b) != std::cmp::Ordering::Greater => {}
+                _ => best = Some(scored),
+            }
+            let budget = best.map_or(0.0, |b| b.chi_square);
+            let skip = max_safe_skip(&counts, l, x2, budget, model).min(window_end - end);
+            if skip > 0 {
+                stats.skips += 1;
+                stats.skipped += skip as u64;
+            }
+            end += skip + 1;
+        }
+    }
+    Ok(MssResult { best: best.expect("non-empty sequence"), stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn binary(symbols: &[u8]) -> Sequence {
+        Sequence::from_symbols(symbols.to_vec(), 2).unwrap()
+    }
+
+    fn brute_force(seq: &Sequence, model: &Model, w: usize) -> f64 {
+        let mut best = f64::NEG_INFINITY;
+        for start in 0..seq.len() {
+            for end in (start + 1)..=(start + w).min(seq.len()) {
+                let counts = seq.count_vector(start, end);
+                best = best.max(chi_square_counts(&counts, model));
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn respects_window() {
+        let seq = binary(&[0, 1, 1, 1, 1, 1, 1, 1, 0, 0, 1, 0]);
+        let model = Model::uniform(2).unwrap();
+        for w in 1..=seq.len() {
+            let r = mss_max_length(&seq, &model, w).unwrap();
+            assert!(r.best.len() <= w, "w = {w}: len {}", r.best.len());
+        }
+    }
+
+    #[test]
+    fn matches_brute_force() {
+        let seq = binary(&[1, 0, 0, 1, 1, 1, 1, 0, 1, 0, 0, 0, 1, 1, 0, 1]);
+        let model = Model::from_probs(vec![0.4, 0.6]).unwrap();
+        for w in [1usize, 3, 7, 16, 100] {
+            let r = mss_max_length(&seq, &model, w).unwrap();
+            let expect = brute_force(&seq, &model, w);
+            assert!(
+                (r.best.chi_square - expect).abs() < 1e-9,
+                "w = {w}: {} vs {}",
+                r.best.chi_square,
+                expect
+            );
+        }
+    }
+
+    #[test]
+    fn unbounded_window_equals_plain_mss() {
+        let seq = binary(&[0, 1, 1, 0, 1, 1, 1, 0, 0, 1]);
+        let model = Model::uniform(2).unwrap();
+        let plain = crate::mss::find_mss(&seq, &model).unwrap();
+        let windowed = mss_max_length(&seq, &model, seq.len()).unwrap();
+        assert_eq!(plain.best, windowed.best);
+    }
+
+    #[test]
+    fn window_one_picks_rarest_character() {
+        // With w = 1 the candidates are single characters; the rarer
+        // character under the model scores higher.
+        let seq = binary(&[0, 1, 0, 1, 1]);
+        let model = Model::from_probs(vec![0.2, 0.8]).unwrap();
+        let r = mss_max_length(&seq, &model, 1).unwrap();
+        assert_eq!(r.best.len(), 1);
+        // X² of a single '0' is (1/0.2) − 1 = 4 > single '1' = 0.25.
+        assert!((r.best.chi_square - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_window_rejected() {
+        let seq = binary(&[0, 1]);
+        let model = Model::uniform(2).unwrap();
+        assert!(mss_max_length(&seq, &model, 0).is_err());
+    }
+
+    #[test]
+    fn window_caps_scan_cost() {
+        let symbols: Vec<u8> = (0..2000).map(|i| ((i * 31 + 7) % 2) as u8).collect();
+        let seq = binary(&symbols);
+        let model = Model::uniform(2).unwrap();
+        let windowed = mss_max_length(&seq, &model, 10).unwrap();
+        // At most w positions per start.
+        assert!(windowed.stats.examined <= (seq.len() * 10) as u64);
+    }
+}

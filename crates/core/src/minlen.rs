@@ -1,0 +1,133 @@
+//! Problem 4 — the MSS among substrings longer than `Γ₀` (paper §6.3).
+//!
+//! Identical to Algorithm 1 except the inner scan starts at length
+//! `Γ₀ + 1` and start positions stop at `n − Γ₀ − 1`. Skips grow with the
+//! current length, so seeding the scan at longer lengths *reduces* work
+//! (paper Fig. 7).
+
+use crate::counts::PrefixCounts;
+use crate::error::{Error, Result};
+use crate::model::Model;
+use crate::mss::MssResult;
+use crate::scan::{scan_policy, MaxPolicy};
+use crate::seq::Sequence;
+
+/// Find the most significant substring among substrings of length
+/// **strictly greater than** `gamma0` (paper Problem 4).
+///
+/// # Errors
+///
+/// Fails when `gamma0 + 1 > n` (no candidate substring exists) or on
+/// alphabet mismatch.
+///
+/// # Examples
+///
+/// ```
+/// use sigstr_core::{mss_min_length, Model, Sequence};
+///
+/// let seq = Sequence::from_symbols(vec![0, 1, 1, 1, 0, 0, 1, 0, 1, 0], 2).unwrap();
+/// let model = Model::uniform(2).unwrap();
+/// // Ignore short runs: only substrings longer than 5 qualify.
+/// let r = mss_min_length(&seq, &model, 5).unwrap();
+/// assert!(r.best.len() > 5);
+/// ```
+pub fn mss_min_length(seq: &Sequence, model: &Model, gamma0: usize) -> Result<MssResult> {
+    model.check_alphabet(seq)?;
+    let pc = PrefixCounts::build(seq);
+    mss_min_length_counts(&pc, model, gamma0)
+}
+
+/// [`mss_min_length`] over prebuilt prefix counts.
+pub fn mss_min_length_counts(
+    pc: &PrefixCounts,
+    model: &Model,
+    gamma0: usize,
+) -> Result<MssResult> {
+    let n = pc.n();
+    let min_len = gamma0 + 1;
+    if min_len > n {
+        return Err(Error::InvalidParameter {
+            what: "gamma0",
+            details: format!(
+                "no substring of length > {gamma0} exists in a string of length {n}"
+            ),
+        });
+    }
+    let mut policy = MaxPolicy::default();
+    let stats = scan_policy(pc, model, min_len, (0..=(n - min_len)).rev(), &mut policy);
+    let best = policy.best.expect("at least one candidate substring exists");
+    Ok(MssResult { best, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::score::chi_square_counts;
+
+    fn binary(symbols: &[u8]) -> Sequence {
+        Sequence::from_symbols(symbols.to_vec(), 2).unwrap()
+    }
+
+    #[test]
+    fn gamma_zero_equals_plain_mss() {
+        let seq = binary(&[0, 1, 1, 1, 0, 0, 1, 0, 1, 1]);
+        let model = Model::uniform(2).unwrap();
+        let plain = crate::mss::find_mss(&seq, &model).unwrap();
+        let constrained = mss_min_length(&seq, &model, 0).unwrap();
+        assert_eq!(plain.best, constrained.best);
+    }
+
+    #[test]
+    fn respects_length_constraint() {
+        let seq = binary(&[0, 1, 1, 1, 0, 0, 1, 0, 1, 0, 0, 1]);
+        let model = Model::uniform(2).unwrap();
+        for gamma0 in 0..seq.len() {
+            let r = mss_min_length(&seq, &model, gamma0).unwrap();
+            assert!(r.best.len() > gamma0, "gamma0 = {gamma0}");
+        }
+    }
+
+    #[test]
+    fn matches_brute_force() {
+        let seq = binary(&[1, 0, 0, 1, 1, 1, 1, 0, 1, 0, 0, 0, 1, 1]);
+        let model = Model::uniform(2).unwrap();
+        for gamma0 in [0usize, 3, 7, 12] {
+            let r = mss_min_length(&seq, &model, gamma0).unwrap();
+            // Brute force over qualifying substrings.
+            let mut best = f64::NEG_INFINITY;
+            for start in 0..seq.len() {
+                for end in (start + gamma0 + 1)..=seq.len() {
+                    let counts = seq.count_vector(start, end);
+                    best = best.max(chi_square_counts(&counts, &model));
+                }
+            }
+            assert!(
+                (r.best.chi_square - best).abs() < 1e-9,
+                "gamma0 = {gamma0}: {0} vs brute {best}",
+                r.best.chi_square
+            );
+        }
+    }
+
+    #[test]
+    fn gamma_too_large_rejected() {
+        let seq = binary(&[0, 1, 0]);
+        let model = Model::uniform(2).unwrap();
+        assert!(mss_min_length(&seq, &model, 3).is_err());
+        // gamma0 = n − 1 leaves exactly one candidate: the whole string.
+        let r = mss_min_length(&seq, &model, 2).unwrap();
+        assert_eq!((r.best.start, r.best.end), (0, 3));
+        assert_eq!(r.stats.examined, 1);
+    }
+
+    #[test]
+    fn fewer_iterations_with_larger_gamma() {
+        // Paper Fig. 7: iterations decrease as Γ₀ grows.
+        let symbols: Vec<u8> = (0..200).map(|i| ((i * 7 + i / 3) % 2) as u8).collect();
+        let seq = binary(&symbols);
+        let model = Model::uniform(2).unwrap();
+        let small = mss_min_length(&seq, &model, 0).unwrap();
+        let large = mss_min_length(&seq, &model, 150).unwrap();
+        assert!(large.stats.examined < small.stats.examined);
+    }
+}

@@ -1,0 +1,208 @@
+//! The memoryless Bernoulli (multinomial i.i.d.) null model.
+//!
+//! The paper's `P = {p_1, …, p_k}`: each character of the string is drawn
+//! independently from this fixed distribution. All probabilities must be
+//! strictly inside `(0, 1)` — a zero probability makes the `X²` statistic
+//! infinite for any substring containing that character, and a probability
+//! of one degenerates the alphabet.
+
+use crate::error::{Error, Result};
+use crate::seq::Sequence;
+
+/// Tolerance for the probability-sum check; inputs within this tolerance
+/// are renormalized exactly.
+const SUM_TOLERANCE: f64 = 1e-6;
+
+/// A validated multinomial null model over `k ≥ 2` characters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Model {
+    probs: Vec<f64>,
+    /// Cached reciprocals `1/p_i` — the scoring hot loop multiplies instead
+    /// of dividing.
+    inv_probs: Vec<f64>,
+}
+
+impl Model {
+    /// Build a model from probabilities.
+    ///
+    /// Requirements: `k ≥ 2` entries, every `p_i` strictly in `(0, 1)`, and
+    /// `Σ p_i = 1` within `1e-6` (after which the vector is renormalized to
+    /// sum to exactly 1).
+    pub fn from_probs(probs: Vec<f64>) -> Result<Self> {
+        if probs.len() < 2 {
+            return Err(Error::AlphabetTooSmall { k: probs.len() });
+        }
+        if probs.len() > 256 {
+            return Err(Error::AlphabetTooSmall { k: probs.len() });
+        }
+        for (index, &value) in probs.iter().enumerate() {
+            if value.is_nan() || value <= 0.0 || value >= 1.0 {
+                return Err(Error::InvalidProbability { index, value });
+            }
+        }
+        let sum: f64 = probs.iter().sum();
+        if (sum - 1.0).abs() > SUM_TOLERANCE {
+            return Err(Error::NotNormalized { sum });
+        }
+        let probs: Vec<f64> = probs.into_iter().map(|p| p / sum).collect();
+        let inv_probs = probs.iter().map(|&p| 1.0 / p).collect();
+        Ok(Self { probs, inv_probs })
+    }
+
+    /// The uniform model over `k` characters (`p_i = 1/k`) — the paper's
+    /// default null model for synthetic experiments.
+    pub fn uniform(k: usize) -> Result<Self> {
+        if !(2..=256).contains(&k) {
+            return Err(Error::AlphabetTooSmall { k });
+        }
+        Self::from_probs(vec![1.0 / k as f64; k])
+    }
+
+    /// Maximum-likelihood estimate from a sequence: `p̂_i = Y_i / n`
+    /// (the paper's §7.5 usage — e.g. the ratio of up-days for stock
+    /// strings).
+    ///
+    /// Fails with [`Error::ZeroCount`] when a character never occurs; use
+    /// [`Model::estimate_smoothed`] in that case.
+    pub fn estimate(seq: &Sequence) -> Result<Self> {
+        let counts = seq.count_vector(0, seq.len());
+        if let Some(symbol) = counts.iter().position(|&c| c == 0) {
+            return Err(Error::ZeroCount { symbol: symbol as u8 });
+        }
+        let n = seq.len() as f64;
+        Self::from_probs(counts.iter().map(|&c| c as f64 / n).collect())
+    }
+
+    /// Additive (Laplace) smoothed estimate: `p̂_i = (Y_i + α) / (n + kα)`
+    /// with `α > 0`, defined even when some characters never occur.
+    pub fn estimate_smoothed(seq: &Sequence, alpha: f64) -> Result<Self> {
+        if alpha.is_nan() || alpha <= 0.0 || alpha.is_infinite() {
+            return Err(Error::InvalidParameter {
+                what: "alpha",
+                details: format!("smoothing constant must be positive and finite, got {alpha}"),
+            });
+        }
+        let counts = seq.count_vector(0, seq.len());
+        let denom = seq.len() as f64 + seq.k() as f64 * alpha;
+        Self::from_probs(counts.iter().map(|&c| (c as f64 + alpha) / denom).collect())
+    }
+
+    /// Alphabet size `k`.
+    pub fn k(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// The probability vector.
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// The cached reciprocal probabilities `1/p_i`.
+    pub fn inv_probs(&self) -> &[f64] {
+        &self.inv_probs
+    }
+
+    /// Probability of character `c` (panics when out of range).
+    pub fn p(&self, c: usize) -> f64 {
+        self.probs[c]
+    }
+
+    /// Degrees of freedom of the limiting chi-square distribution,
+    /// `k − 1` (paper Theorem 3).
+    pub fn degrees_of_freedom(&self) -> usize {
+        self.probs.len() - 1
+    }
+
+    /// Check compatibility with a sequence's alphabet.
+    pub fn check_alphabet(&self, seq: &Sequence) -> Result<()> {
+        if self.k() != seq.k() {
+            return Err(Error::AlphabetMismatch { model_k: self.k(), seq_k: seq.k() });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_model() {
+        let m = Model::uniform(4).unwrap();
+        assert_eq!(m.k(), 4);
+        assert_eq!(m.degrees_of_freedom(), 3);
+        for c in 0..4 {
+            assert!((m.p(c) - 0.25).abs() < 1e-15);
+            assert!((m.inv_probs()[c] - 4.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn from_probs_renormalizes_small_drift() {
+        let m = Model::from_probs(vec![0.5 + 1e-8, 0.5]).unwrap();
+        let total: f64 = m.probs().iter().sum();
+        assert!((total - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn rejects_bad_probabilities() {
+        assert!(matches!(
+            Model::from_probs(vec![0.0, 1.0]),
+            Err(Error::InvalidProbability { index: 0, .. })
+        ));
+        assert!(matches!(
+            Model::from_probs(vec![0.5, -0.5, 1.0]),
+            Err(Error::InvalidProbability { index: 1, .. })
+        ));
+        assert!(matches!(
+            Model::from_probs(vec![0.5, f64::NAN]),
+            Err(Error::InvalidProbability { index: 1, .. })
+        ));
+        assert!(matches!(
+            Model::from_probs(vec![0.3, 0.3]),
+            Err(Error::NotNormalized { .. })
+        ));
+        assert!(matches!(
+            Model::from_probs(vec![0.9]),
+            Err(Error::AlphabetTooSmall { k: 1 })
+        ));
+        assert!(Model::uniform(1).is_err());
+        assert!(Model::uniform(300).is_err());
+    }
+
+    #[test]
+    fn estimate_matches_empirical_frequencies() {
+        let seq = Sequence::from_symbols(vec![0, 0, 1, 2, 1, 0], 3).unwrap();
+        let m = Model::estimate(&seq).unwrap();
+        assert!((m.p(0) - 0.5).abs() < 1e-12);
+        assert!((m.p(1) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((m.p(2) - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimate_rejects_zero_count() {
+        let seq = Sequence::from_symbols(vec![0, 0, 0], 2).unwrap();
+        assert_eq!(Model::estimate(&seq), Err(Error::ZeroCount { symbol: 1 }));
+    }
+
+    #[test]
+    fn smoothed_estimate_handles_zero_count() {
+        let seq = Sequence::from_symbols(vec![0, 0, 0], 2).unwrap();
+        let m = Model::estimate_smoothed(&seq, 1.0).unwrap();
+        // (3+1)/(3+2) and (0+1)/(3+2)
+        assert!((m.p(0) - 0.8).abs() < 1e-12);
+        assert!((m.p(1) - 0.2).abs() < 1e-12);
+        assert!(Model::estimate_smoothed(&seq, 0.0).is_err());
+        assert!(Model::estimate_smoothed(&seq, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn alphabet_check() {
+        let seq = Sequence::from_symbols(vec![0, 1], 2).unwrap();
+        assert!(Model::uniform(2).unwrap().check_alphabet(&seq).is_ok());
+        assert_eq!(
+            Model::uniform(3).unwrap().check_alphabet(&seq),
+            Err(Error::AlphabetMismatch { model_k: 3, seq_k: 2 })
+        );
+    }
+}

@@ -1,0 +1,139 @@
+//! Problem 1 — the Most Significant Substring (paper Algorithm 1).
+//!
+//! Finds the substring with the highest `X²` value among all `O(n²)`
+//! substrings while examining only `O(√n)` end positions per start with
+//! high probability, for an overall `O(k·n^{3/2})` running time on
+//! null-model input (paper §5) — and never more than that on any other
+//! input (paper §5.1).
+
+use crate::counts::PrefixCounts;
+use crate::error::Result;
+use crate::model::Model;
+use crate::scan::{scan_policy, MaxPolicy, ScanStats};
+use crate::score::Scored;
+use crate::seq::Sequence;
+
+/// Result of an MSS search: the winning substring and scan
+/// instrumentation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct MssResult {
+    /// The most significant substring.
+    pub best: Scored,
+    /// Scan instrumentation (the paper's iteration counts).
+    pub stats: ScanStats,
+}
+
+/// Find the most significant substring of `seq` under `model`
+/// (paper Algorithm 1).
+///
+/// # Errors
+///
+/// Fails when the model and sequence alphabets disagree.
+///
+/// # Examples
+///
+/// ```
+/// use sigstr_core::{find_mss, Model, Sequence};
+///
+/// // A fair-coin string with an embedded run of ones.
+/// let symbols = vec![0, 1, 0, 1, 1, 1, 1, 1, 1, 0, 1, 0];
+/// let seq = Sequence::from_symbols(symbols, 2).unwrap();
+/// let model = Model::uniform(2).unwrap();
+/// let result = find_mss(&seq, &model).unwrap();
+/// // The run of ones (positions 3..9) is the most significant substring.
+/// assert_eq!((result.best.start, result.best.end), (3, 9));
+/// ```
+pub fn find_mss(seq: &Sequence, model: &Model) -> Result<MssResult> {
+    model.check_alphabet(seq)?;
+    let pc = PrefixCounts::build(seq);
+    find_mss_counts(&pc, model)
+}
+
+/// [`find_mss`] over prebuilt prefix counts (reuse the table across
+/// repeated mining calls on the same sequence).
+pub fn find_mss_counts(pc: &PrefixCounts, model: &Model) -> Result<MssResult> {
+    let mut policy = MaxPolicy::default();
+    let n = pc.n();
+    let stats = scan_policy(pc, model, 1, (0..n).rev(), &mut policy);
+    let best = policy.best.expect("non-empty sequence always yields a best substring");
+    Ok(MssResult { best, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::Error;
+
+    fn binary(symbols: &[u8]) -> Sequence {
+        Sequence::from_symbols(symbols.to_vec(), 2).unwrap()
+    }
+
+    #[test]
+    fn single_char_string_types() {
+        // All-zeros binary string: the MSS is the whole string.
+        let seq = binary(&[0, 0, 0, 0, 0, 0]);
+        let model = Model::uniform(2).unwrap();
+        let r = find_mss(&seq, &model).unwrap();
+        assert_eq!((r.best.start, r.best.end), (0, 6));
+        assert!((r.best.chi_square - 6.0).abs() < 1e-9); // X² = l for pure runs over fair coin
+    }
+
+    #[test]
+    fn embedded_run_is_found() {
+        let seq = binary(&[0, 1, 0, 1, 1, 1, 1, 1, 1, 0, 1, 0]);
+        let model = Model::uniform(2).unwrap();
+        let r = find_mss(&seq, &model).unwrap();
+        assert_eq!((r.best.start, r.best.end), (3, 9));
+    }
+
+    #[test]
+    fn alphabet_mismatch_rejected() {
+        let seq = binary(&[0, 1, 0]);
+        let model = Model::uniform(3).unwrap();
+        assert!(matches!(
+            find_mss(&seq, &model),
+            Err(Error::AlphabetMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn length_one_string() {
+        let seq = binary(&[1]);
+        let model = Model::uniform(2).unwrap();
+        let r = find_mss(&seq, &model).unwrap();
+        assert_eq!((r.best.start, r.best.end), (0, 1));
+        assert!((r.best.chi_square - 1.0).abs() < 1e-9);
+        assert_eq!(r.stats.examined, 1);
+    }
+
+    #[test]
+    fn stats_account_for_all_substrings() {
+        let seq = binary(&[0, 1, 1, 0, 1, 0, 0, 1, 1, 1]);
+        let model = Model::uniform(2).unwrap();
+        let r = find_mss(&seq, &model).unwrap();
+        let n = seq.len() as u64;
+        assert_eq!(r.stats.examined + r.stats.skipped, n * (n + 1) / 2);
+    }
+
+    #[test]
+    fn skewed_model_shifts_the_winner() {
+        // Under a model where ones are expected 90% of the time, a run of
+        // zeros is the anomaly.
+        let seq = binary(&[1, 1, 0, 0, 0, 1, 1, 1, 1, 1]);
+        let model = Model::from_probs(vec![0.1, 0.9]).unwrap();
+        let r = find_mss(&seq, &model).unwrap();
+        assert_eq!((r.best.start, r.best.end), (2, 5));
+    }
+
+    #[test]
+    fn prebuilt_counts_agree_with_direct_call() {
+        let seq = binary(&[0, 1, 1, 1, 0, 0, 1, 0]);
+        let model = Model::uniform(2).unwrap();
+        let pc = PrefixCounts::build(&seq);
+        let a = find_mss(&seq, &model).unwrap();
+        let b = find_mss_counts(&pc, &model).unwrap();
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.stats, b.stats);
+    }
+}

@@ -1,0 +1,325 @@
+//! Parallel mining — chunked start positions over scoped threads.
+//!
+//! The pruned scan is embarrassingly parallel over start positions; the
+//! only shared state is the pruning budget. Workers publish their local
+//! best (or top-t floor) through a monotone atomic `f64`; reading a stale
+//! (lower) budget is always *safe* — it only weakens pruning, never
+//! correctness — so plain relaxed atomics suffice.
+//!
+//! Start positions are dealt in contiguous chunks from the right (the
+//! highest starts have the shortest scans, matching the sequential
+//! warm-up order on average).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::counts::PrefixCounts;
+use crate::error::{Error, Result};
+use crate::model::Model;
+use crate::mss::MssResult;
+use crate::scan::{scan_policy, MaxPolicy, Policy, ScanStats};
+use crate::score::{scored_cmp, Scored};
+use crate::seq::Sequence;
+use crate::topt::{TopTPolicy, TopTResult};
+
+/// A monotone-max shared f64 (bit-packed in an `AtomicU64`).
+///
+/// Only non-negative values are published, for which the IEEE-754 bit
+/// pattern ordering matches numeric ordering, so `fetch_max` works.
+struct SharedMax(AtomicU64);
+
+impl SharedMax {
+    fn new() -> Self {
+        Self(AtomicU64::new(0f64.to_bits()))
+    }
+
+    fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    fn publish(&self, value: f64) {
+        if value > 0.0 && value.is_finite() {
+            self.0.fetch_max(value.to_bits(), Ordering::Relaxed);
+        }
+    }
+}
+
+/// A `MaxPolicy` that reads a shared budget floor and publishes
+/// improvements.
+struct SharedMaxPolicy<'a> {
+    local: MaxPolicy,
+    shared: &'a SharedMax,
+}
+
+impl Policy for SharedMaxPolicy<'_> {
+    fn observe(&mut self, scored: Scored) {
+        let before = self.local.budget();
+        self.local.observe(scored);
+        let after = self.local.budget();
+        if after > before {
+            self.shared.publish(after);
+        }
+    }
+
+    fn budget(&self) -> f64 {
+        self.local.budget().max(self.shared.get())
+    }
+}
+
+/// Validate and normalize a worker-count request.
+fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    } else {
+        threads
+    }
+}
+
+/// Split `0..n` into at most `parts` contiguous chunks.
+fn chunk_ranges(n: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    let parts = parts.min(n).max(1);
+    let base = n / parts;
+    let extra = n % parts;
+    let mut ranges = Vec::with_capacity(parts);
+    let mut cursor = 0;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        ranges.push(cursor..cursor + len);
+        cursor += len;
+    }
+    ranges
+}
+
+/// Parallel MSS (Problem 1). `threads = 0` uses all available cores.
+///
+/// Returns exactly the same substring as [`crate::find_mss`] (budget
+/// sharing affects only the amount of pruning, never the result; ties
+/// resolve deterministically by earliest start).
+pub fn find_mss_parallel(seq: &Sequence, model: &Model, threads: usize) -> Result<MssResult> {
+    model.check_alphabet(seq)?;
+    let pc = PrefixCounts::build(seq);
+    find_mss_parallel_counts(&pc, model, threads)
+}
+
+/// [`find_mss_parallel`] over prebuilt prefix counts.
+pub fn find_mss_parallel_counts(
+    pc: &PrefixCounts,
+    model: &Model,
+    threads: usize,
+) -> Result<MssResult> {
+    let n = pc.n();
+    let threads = resolve_threads(threads);
+    if threads == 1 || n < 2 {
+        return crate::mss::find_mss_counts(pc, model);
+    }
+    let shared = SharedMax::new();
+    let ranges = chunk_ranges(n, threads);
+    let results: Vec<(Option<Scored>, ScanStats)> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|range| {
+                let shared = &shared;
+                scope.spawn(move |_| {
+                    let mut policy =
+                        SharedMaxPolicy { local: MaxPolicy::default(), shared };
+                    let stats = scan_policy(pc, model, 1, range.rev(), &mut policy);
+                    (policy.local.best, stats)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    })
+    .expect("scope panicked");
+
+    let mut stats = ScanStats::default();
+    let mut best: Option<Scored> = None;
+    for (candidate, worker_stats) in results {
+        stats.merge(&worker_stats);
+        if let Some(c) = candidate {
+            match &best {
+                Some(b) if scored_cmp(&c, b) != std::cmp::Ordering::Greater => {}
+                _ => best = Some(c),
+            }
+        }
+    }
+    Ok(MssResult { best: best.expect("non-empty sequence"), stats })
+}
+
+/// A `TopTPolicy` that shares the t-th-best floor across workers.
+struct SharedTopTPolicy<'a> {
+    local: TopTPolicy,
+    shared: &'a SharedMax,
+}
+
+impl Policy for SharedTopTPolicy<'_> {
+    fn observe(&mut self, scored: Scored) {
+        self.local.observe(scored);
+        self.local.floor = self.shared.get();
+        // Publish our own t-th best: a lower bound on the global t-th best.
+        let own = self.local.budget();
+        if own > self.local.floor {
+            self.shared.publish(own);
+        }
+    }
+
+    fn budget(&self) -> f64 {
+        self.local.budget()
+    }
+}
+
+/// Parallel top-t (Problem 2). `threads = 0` uses all available cores.
+///
+/// The returned set matches [`crate::top_t`] up to the choice among
+/// `X²`-tied substrings at the boundary.
+pub fn top_t_parallel(
+    seq: &Sequence,
+    model: &Model,
+    t: usize,
+    threads: usize,
+) -> Result<TopTResult> {
+    model.check_alphabet(seq)?;
+    if t == 0 {
+        return Err(Error::InvalidParameter {
+            what: "t",
+            details: "the top-t set must have t >= 1".into(),
+        });
+    }
+    let pc = PrefixCounts::build(seq);
+    let n = pc.n();
+    let threads = resolve_threads(threads);
+    if threads == 1 || n < 2 {
+        return crate::topt::top_t_counts(&pc, model, t);
+    }
+    let shared = SharedMax::new();
+    let ranges = chunk_ranges(n, threads);
+    let pc_ref = &pc;
+    let results: Vec<(Vec<Scored>, ScanStats)> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|range| {
+                let shared = &shared;
+                scope.spawn(move |_| {
+                    let mut policy =
+                        SharedTopTPolicy { local: TopTPolicy::new(t), shared };
+                    let stats = scan_policy(pc_ref, model, 1, range.rev(), &mut policy);
+                    (policy.local.into_sorted(), stats)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    })
+    .expect("scope panicked");
+
+    let mut stats = ScanStats::default();
+    let mut all: Vec<Scored> = Vec::new();
+    for (items, worker_stats) in results {
+        stats.merge(&worker_stats);
+        all.extend(items);
+    }
+    all.sort_by(|a, b| scored_cmp(b, a));
+    all.truncate(t);
+    Ok(TopTResult { items: all, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo_random(n: usize, seed: u64) -> Sequence {
+        let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(12345);
+        let symbols: Vec<u8> = (0..n)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x & 1) as u8
+            })
+            .collect();
+        Sequence::from_symbols(symbols, 2).unwrap()
+    }
+
+    #[test]
+    fn chunking_covers_everything() {
+        for n in [1usize, 2, 7, 100] {
+            for parts in [1usize, 2, 3, 8] {
+                let ranges = chunk_ranges(n, parts);
+                let mut covered = vec![false; n];
+                for r in &ranges {
+                    for i in r.clone() {
+                        assert!(!covered[i], "overlap at {i}");
+                        covered[i] = true;
+                    }
+                }
+                assert!(covered.into_iter().all(|c| c), "n={n} parts={parts}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_mss_matches_sequential() {
+        let model = Model::uniform(2).unwrap();
+        for seed in 0..5u64 {
+            let seq = pseudo_random(500, seed);
+            let seq_result = crate::mss::find_mss(&seq, &model).unwrap();
+            for threads in [2usize, 4] {
+                let par = find_mss_parallel(&seq, &model, threads).unwrap();
+                assert_eq!(par.best, seq_result.best, "seed {seed} threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_topt_matches_sequential_values() {
+        let model = Model::uniform(2).unwrap();
+        let seq = pseudo_random(300, 42);
+        let t = 20;
+        let sequential = crate::topt::top_t(&seq, &model, t).unwrap();
+        let parallel = top_t_parallel(&seq, &model, t, 4).unwrap();
+        assert_eq!(sequential.items.len(), parallel.items.len());
+        for (s, p) in sequential.items.iter().zip(&parallel.items) {
+            assert!(
+                (s.chi_square - p.chi_square).abs() < 1e-9,
+                "value mismatch: {} vs {}",
+                s.chi_square,
+                p.chi_square
+            );
+        }
+    }
+
+    #[test]
+    fn single_thread_falls_back_to_sequential() {
+        let model = Model::uniform(2).unwrap();
+        let seq = pseudo_random(100, 7);
+        let a = find_mss_parallel(&seq, &model, 1).unwrap();
+        let b = crate::mss::find_mss(&seq, &model).unwrap();
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn zero_threads_means_auto() {
+        let model = Model::uniform(2).unwrap();
+        let seq = pseudo_random(200, 9);
+        let auto = find_mss_parallel(&seq, &model, 0).unwrap();
+        let seq_result = crate::mss::find_mss(&seq, &model).unwrap();
+        assert_eq!(auto.best, seq_result.best);
+    }
+
+    #[test]
+    fn shared_max_monotone() {
+        let shared = SharedMax::new();
+        assert_eq!(shared.get(), 0.0);
+        shared.publish(3.0);
+        shared.publish(1.0);
+        assert_eq!(shared.get(), 3.0);
+        shared.publish(f64::NAN); // ignored
+        shared.publish(-1.0); // ignored
+        assert_eq!(shared.get(), 3.0);
+    }
+
+    #[test]
+    fn topt_zero_rejected() {
+        let model = Model::uniform(2).unwrap();
+        let seq = pseudo_random(50, 3);
+        assert!(top_t_parallel(&seq, &model, 0, 2).is_err());
+    }
+}

@@ -1,0 +1,160 @@
+//! The pruned scanning engine shared by all four problem variants.
+//!
+//! Algorithm 1/2/3 and the min-length variant of the paper differ only in
+//! (a) the pruning *budget* (running max, top-t floor, or the constant
+//! `α₀`) and (b) what they record. The engine factors the common skeleton:
+//! iterate start positions right-to-left (the paper's order — the budget
+//! warms up on the suffix), scan end positions left-to-right, and after
+//! each examined substring jump forward by the Theorem-1 safe skip.
+
+use crate::counts::PrefixCounts;
+use crate::model::Model;
+use crate::score::{chi_square_counts, Scored};
+use crate::skip::max_safe_skip;
+
+/// Instrumentation of a scan.
+///
+/// `examined` is the paper's "number of iterations" metric (Figs. 1, 4, 6,
+/// 7): how many substrings the algorithm actually evaluated.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ScanStats {
+    /// Substrings whose `X²` was computed.
+    pub examined: u64,
+    /// Number of non-zero skip events.
+    pub skips: u64,
+    /// Total end positions skipped (substrings pruned without evaluation).
+    pub skipped: u64,
+}
+
+impl ScanStats {
+    /// Merge another stats record into this one (used by the parallel
+    /// scan).
+    pub fn merge(&mut self, other: &ScanStats) {
+        self.examined += other.examined;
+        self.skips += other.skips;
+        self.skipped += other.skipped;
+    }
+}
+
+/// A pruning policy: observes every examined substring and exposes the
+/// current budget (substrings whose Theorem-1 cover bound stays at or
+/// below the budget can be skipped).
+pub(crate) trait Policy {
+    /// Record an examined substring.
+    fn observe(&mut self, scored: Scored);
+    /// Current pruning budget.
+    fn budget(&self) -> f64;
+}
+
+/// Run the pruned scan over all substrings of length ≥ `min_len` starting
+/// in `starts` (an iterator of start indices, visited in the given order).
+///
+/// The caller guarantees `min_len ≥ 1` and that every start `i` satisfies
+/// `i + min_len ≤ n`.
+pub(crate) fn scan_policy<P: Policy>(
+    pc: &PrefixCounts,
+    model: &Model,
+    min_len: usize,
+    starts: impl Iterator<Item = usize>,
+    policy: &mut P,
+) -> ScanStats {
+    let n = pc.n();
+    let k = model.k();
+    let mut counts = vec![0u32; k];
+    let mut stats = ScanStats::default();
+    for i in starts {
+        debug_assert!(i + min_len <= n);
+        let mut end = i + min_len;
+        while end <= n {
+            pc.fill_counts(i, end, &mut counts);
+            let l = end - i;
+            let x2 = chi_square_counts(&counts, model);
+            stats.examined += 1;
+            policy.observe(Scored { start: i, end, chi_square: x2 });
+            let budget = policy.budget();
+            let skip = max_safe_skip(&counts, l, x2, budget, model).min(n - end);
+            if skip > 0 {
+                stats.skips += 1;
+                stats.skipped += skip as u64;
+            }
+            end += skip + 1;
+        }
+    }
+    stats
+}
+
+/// Max-tracking policy (Problem 1 and Problem 4).
+#[derive(Debug, Default)]
+pub(crate) struct MaxPolicy {
+    pub best: Option<Scored>,
+}
+
+impl Policy for MaxPolicy {
+    fn observe(&mut self, scored: Scored) {
+        match &self.best {
+            Some(b) if crate::score::scored_cmp(&scored, b) != std::cmp::Ordering::Greater => {}
+            _ => self.best = Some(scored),
+        }
+    }
+
+    fn budget(&self) -> f64 {
+        self.best.map_or(0.0, |b| b.chi_square)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::Sequence;
+
+    #[test]
+    fn max_policy_tracks_running_maximum() {
+        let mut p = MaxPolicy::default();
+        assert_eq!(p.budget(), 0.0);
+        p.observe(Scored { start: 0, end: 1, chi_square: 2.0 });
+        p.observe(Scored { start: 0, end: 2, chi_square: 1.0 });
+        assert_eq!(p.budget(), 2.0);
+        p.observe(Scored { start: 1, end: 3, chi_square: 5.5 });
+        assert_eq!(p.budget(), 5.5);
+        assert_eq!(p.best.unwrap().start, 1);
+    }
+
+    #[test]
+    fn max_policy_tie_break_prefers_earlier_start() {
+        let mut p = MaxPolicy::default();
+        p.observe(Scored { start: 5, end: 7, chi_square: 2.0 });
+        p.observe(Scored { start: 1, end: 3, chi_square: 2.0 });
+        assert_eq!(p.best.unwrap().start, 1);
+        // But an equal, later observation does not replace it.
+        p.observe(Scored { start: 4, end: 6, chi_square: 2.0 });
+        assert_eq!(p.best.unwrap().start, 1);
+    }
+
+    #[test]
+    fn scan_examines_each_start_at_least_once() {
+        let seq = Sequence::from_symbols(vec![0, 1, 0, 1, 1, 0, 0, 1], 2).unwrap();
+        let pc = PrefixCounts::build(&seq);
+        let model = Model::uniform(2).unwrap();
+        let mut policy = MaxPolicy::default();
+        let n = seq.len();
+        let stats = scan_policy(&pc, &model, 1, (0..n).rev(), &mut policy);
+        assert!(stats.examined >= n as u64);
+        assert!(policy.best.is_some());
+        // Every substring is either examined or skipped.
+        let total = n as u64 * (n as u64 + 1) / 2;
+        assert_eq!(stats.examined + stats.skipped, total);
+    }
+
+    #[test]
+    fn scan_respects_min_len() {
+        let seq = Sequence::from_symbols(vec![0, 1, 0, 0, 1, 1], 2).unwrap();
+        let pc = PrefixCounts::build(&seq);
+        let model = Model::uniform(2).unwrap();
+        let mut policy = MaxPolicy::default();
+        let min_len = 4;
+        let n = seq.len();
+        scan_policy(&pc, &model, min_len, (0..=(n - min_len)).rev(), &mut policy);
+        assert!(policy.best.unwrap().len() >= min_len);
+    }
+}

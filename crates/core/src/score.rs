@@ -1,0 +1,249 @@
+//! Chi-square scoring of substrings (paper Eq. 5) and the [`Scored`]
+//! result type.
+
+use crate::counts::PrefixCounts;
+use crate::model::Model;
+
+/// Pearson's `X²` of a count vector under a model, in the simplified form
+/// of paper Eq. 5: `X² = Σ Y_i² / (l·p_i) − l` where `l = Σ Y_i`.
+///
+/// Returns 0 for the empty configuration.
+#[inline]
+pub fn chi_square_counts(counts: &[u32], model: &Model) -> f64 {
+    debug_assert_eq!(counts.len(), model.k());
+    let l: u32 = counts.iter().sum();
+    if l == 0 {
+        return 0.0;
+    }
+    let lf = f64::from(l);
+    let mut weighted_sq = 0.0;
+    for (&y, &inv_p) in counts.iter().zip(model.inv_probs()) {
+        let yf = f64::from(y);
+        weighted_sq += yf * yf * inv_p;
+    }
+    weighted_sq / lf - lf
+}
+
+/// `X²` of the substring `S[start..end)` via prefix counts — `O(k)`.
+pub fn chi_square_range(pc: &PrefixCounts, start: usize, end: usize, model: &Model) -> f64 {
+    let mut buf = vec![0u32; model.k()];
+    pc.fill_counts(start, end, &mut buf);
+    chi_square_counts(&buf, model)
+}
+
+/// Incremental scorer: maintains the count vector and the weighted square
+/// sum `Σ Y_i²/p_i` so appending one character updates `X²` in `O(1)`
+/// (used by the trivial baseline's inner loop and by Lemma-2-style
+/// constructions).
+#[derive(Debug, Clone)]
+pub struct ScoreState {
+    counts: Vec<u32>,
+    weighted_sq: f64,
+    len: u32,
+}
+
+impl ScoreState {
+    /// Empty state over an alphabet of size `k`.
+    pub fn new(k: usize) -> Self {
+        Self { counts: vec![0; k], weighted_sq: 0.0, len: 0 }
+    }
+
+    /// Reset to the empty configuration (reusing the allocation).
+    pub fn clear(&mut self) {
+        self.counts.fill(0);
+        self.weighted_sq = 0.0;
+        self.len = 0;
+    }
+
+    /// Append one character: `Σ Y²/p` gains `(2Y_c + 1)/p_c`.
+    #[inline]
+    pub fn push(&mut self, c: u8, model: &Model) {
+        let idx = c as usize;
+        let y = f64::from(self.counts[idx]);
+        self.weighted_sq += (2.0 * y + 1.0) * model.inv_probs()[idx];
+        self.counts[idx] += 1;
+        self.len += 1;
+    }
+
+    /// Current substring length.
+    pub fn len(&self) -> u32 {
+        self.len
+    }
+
+    /// Whether no character has been appended yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Current count vector.
+    pub fn counts(&self) -> &[u32] {
+        &self.counts
+    }
+
+    /// Current `X²` (0 when empty).
+    #[inline]
+    pub fn chi_square(&self) -> f64 {
+        if self.len == 0 {
+            return 0.0;
+        }
+        let lf = f64::from(self.len);
+        self.weighted_sq / lf - lf
+    }
+}
+
+/// A scored substring: the half-open range `start..end` and its `X²`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Scored {
+    /// Start index (inclusive).
+    pub start: usize,
+    /// End index (exclusive).
+    pub end: usize,
+    /// Pearson chi-square statistic of the substring.
+    pub chi_square: f64,
+}
+
+impl Scored {
+    /// Length of the substring.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the range is empty.
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+
+    /// P-value of the substring's `X²` under the `χ²(k − 1)` approximation
+    /// (paper Theorem 3). `k` is the alphabet size.
+    pub fn p_value(&self, k: usize) -> f64 {
+        sigstr_stats::pearson::chi_square_p_value(self.chi_square, k)
+    }
+}
+
+/// Total order on scored substrings: by `X²` (ascending), then by start and
+/// end for determinism. Used by heaps and sorting; `NaN` orders via
+/// `f64::total_cmp`.
+pub fn scored_cmp(a: &Scored, b: &Scored) -> std::cmp::Ordering {
+    a.chi_square
+        .total_cmp(&b.chi_square)
+        .then_with(|| b.start.cmp(&a.start)) // earlier start = "larger" on ties
+        .then_with(|| b.end.cmp(&a.end))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::Sequence;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol * (1.0 + b.abs()), "left = {a}, right = {b}");
+    }
+
+    #[test]
+    fn eq5_matches_definition() {
+        // X² = Σ (Y − lp)²/(lp) computed longhand.
+        let model = Model::from_probs(vec![0.2, 0.3, 0.5]).unwrap();
+        let counts = [4u32, 1, 3];
+        let l = 8.0;
+        let mut direct = 0.0;
+        for (c, &y) in counts.iter().enumerate() {
+            let e = l * model.p(c);
+            direct += (f64::from(y) - e) * (f64::from(y) - e) / e;
+        }
+        assert_close(chi_square_counts(&counts, &model), direct, 1e-12);
+    }
+
+    #[test]
+    fn zero_length_scores_zero() {
+        let model = Model::uniform(2).unwrap();
+        assert_eq!(chi_square_counts(&[0, 0], &model), 0.0);
+        assert_eq!(ScoreState::new(2).chi_square(), 0.0);
+    }
+
+    #[test]
+    fn expected_counts_score_zero() {
+        let model = Model::uniform(4).unwrap();
+        assert_close(chi_square_counts(&[5, 5, 5, 5], &model), 0.0, 1e-12);
+    }
+
+    #[test]
+    fn incremental_matches_batch() {
+        let model = Model::from_probs(vec![0.1, 0.4, 0.5]).unwrap();
+        let symbols = [0u8, 1, 1, 2, 0, 2, 2, 1, 0, 0];
+        let mut state = ScoreState::new(3);
+        let mut counts = vec![0u32; 3];
+        for (i, &s) in symbols.iter().enumerate() {
+            state.push(s, &model);
+            counts[s as usize] += 1;
+            assert_close(state.chi_square(), chi_square_counts(&counts, &model), 1e-10);
+            assert_eq!(state.len() as usize, i + 1);
+            assert_eq!(state.counts(), counts.as_slice());
+        }
+    }
+
+    #[test]
+    fn clear_resets_state() {
+        let model = Model::uniform(2).unwrap();
+        let mut state = ScoreState::new(2);
+        state.push(0, &model);
+        state.push(0, &model);
+        assert!(state.chi_square() > 0.0);
+        state.clear();
+        assert!(state.is_empty());
+        assert_eq!(state.chi_square(), 0.0);
+    }
+
+    #[test]
+    fn range_scoring_matches_count_scoring() {
+        let seq = Sequence::from_symbols(vec![0, 1, 0, 0, 1, 1, 0], 2).unwrap();
+        let pc = PrefixCounts::build(&seq);
+        let model = Model::from_probs(vec![0.6, 0.4]).unwrap();
+        for start in 0..seq.len() {
+            for end in (start + 1)..=seq.len() {
+                let counts = seq.count_vector(start, end);
+                assert_close(
+                    chi_square_range(&pc, start, end, &model),
+                    chi_square_counts(&counts, &model),
+                    1e-12,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn order_independence() {
+        // The statistic depends only on counts, not symbol order (paper §1).
+        let model = Model::from_probs(vec![0.25, 0.75]).unwrap();
+        let a = Sequence::from_symbols(vec![0, 0, 1, 1, 1], 2).unwrap();
+        let b = Sequence::from_symbols(vec![1, 0, 1, 0, 1], 2).unwrap();
+        let ca = a.count_vector(0, 5);
+        let cb = b.count_vector(0, 5);
+        assert_close(
+            chi_square_counts(&ca, &model),
+            chi_square_counts(&cb, &model),
+            1e-14,
+        );
+    }
+
+    #[test]
+    fn scored_helpers() {
+        let s = Scored { start: 3, end: 10, chi_square: 5.0 };
+        assert_eq!(s.len(), 7);
+        assert!(!s.is_empty());
+        let p = s.p_value(2);
+        assert!((0.0..=1.0).contains(&p));
+        // χ²(1) sf at 5.0 ≈ 0.02535
+        assert!((p - 0.02534731867746824).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scored_ordering_deterministic_on_ties() {
+        let a = Scored { start: 1, end: 4, chi_square: 2.0 };
+        let b = Scored { start: 2, end: 5, chi_square: 2.0 };
+        // Equal X²: the earlier start compares greater (wins max-selection).
+        assert_eq!(scored_cmp(&a, &b), std::cmp::Ordering::Greater);
+        let c = Scored { start: 1, end: 4, chi_square: 3.0 };
+        assert_eq!(scored_cmp(&a, &c), std::cmp::Ordering::Less);
+    }
+}

@@ -1,0 +1,199 @@
+//! Symbol sequences over a finite alphabet.
+//!
+//! A [`Sequence`] is the string `S` of the paper: symbols are dense small
+//! integers `0..k` (the alphabet `Σ = {a_1, …, a_k}` mapped to indices),
+//! which keeps count arrays flat and scoring branch-free.
+
+use crate::error::{Error, Result};
+
+/// A validated string over the alphabet `0..k`.
+///
+/// Symbols are stored as `u8`, so alphabets up to 256 characters are
+/// supported (the paper treats `k` as a constant; its experiments use
+/// `k ≤ 10`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sequence {
+    symbols: Vec<u8>,
+    k: usize,
+}
+
+impl Sequence {
+    /// Create a sequence from raw symbols with a declared alphabet size.
+    ///
+    /// Every symbol must satisfy `symbol < k`, `k` must be in `2..=256`,
+    /// and the sequence must be non-empty.
+    pub fn from_symbols(symbols: Vec<u8>, k: usize) -> Result<Self> {
+        if !(2..=256).contains(&k) {
+            return Err(Error::AlphabetTooSmall { k });
+        }
+        if symbols.is_empty() {
+            return Err(Error::EmptySequence);
+        }
+        for (position, &symbol) in symbols.iter().enumerate() {
+            if symbol as usize >= k {
+                return Err(Error::SymbolOutOfRange { symbol, k, position });
+            }
+        }
+        Ok(Self { symbols, k })
+    }
+
+    /// Create a binary sequence from booleans (`true → 1`).
+    pub fn from_bools(bits: &[bool]) -> Result<Self> {
+        Self::from_symbols(bits.iter().map(|&b| b as u8).collect(), 2)
+    }
+
+    /// Create a sequence from text, mapping each distinct byte to a dense
+    /// symbol in first-appearance order. Returns the sequence together with
+    /// the byte-to-symbol alphabet (indexed by symbol).
+    ///
+    /// Fails when the text is empty or has fewer than 2 (or more than 256)
+    /// distinct bytes.
+    pub fn from_text(text: &[u8]) -> Result<(Self, Vec<u8>)> {
+        let mut mapping = [u8::MAX; 256];
+        let mut alphabet = Vec::new();
+        let mut symbols = Vec::with_capacity(text.len());
+        for &byte in text {
+            let slot = &mut mapping[byte as usize];
+            if *slot == u8::MAX && !alphabet.contains(&byte) {
+                if alphabet.len() == 256 {
+                    return Err(Error::AlphabetTooSmall { k: 257 });
+                }
+                *slot = alphabet.len() as u8;
+                alphabet.push(byte);
+            }
+            symbols.push(mapping[byte as usize]);
+        }
+        let k = alphabet.len();
+        let seq = Self::from_symbols(symbols, k)?;
+        Ok((seq, alphabet))
+    }
+
+    /// Length of the sequence (`n` in the paper).
+    pub fn len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// Whether the sequence is empty (never true for a constructed value).
+    pub fn is_empty(&self) -> bool {
+        self.symbols.is_empty()
+    }
+
+    /// Alphabet size (`k` in the paper).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The raw symbols.
+    pub fn symbols(&self) -> &[u8] {
+        &self.symbols
+    }
+
+    /// The symbol at `index` (panics when out of bounds, like slice
+    /// indexing).
+    pub fn symbol(&self, index: usize) -> u8 {
+        self.symbols[index]
+    }
+
+    /// Count vector of a subrange — `O(len)`; prefer
+    /// [`PrefixCounts`](crate::counts::PrefixCounts) for repeated queries.
+    pub fn count_vector(&self, start: usize, end: usize) -> Vec<u32> {
+        let mut counts = vec![0u32; self.k];
+        for &s in &self.symbols[start..end] {
+            counts[s as usize] += 1;
+        }
+        counts
+    }
+}
+
+impl std::fmt::Display for Sequence {
+    /// Renders symbols as digits / letters (`0-9a-z…`) for small alphabets,
+    /// falling back to a dotted decimal form for large ones.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.k <= 36 {
+            for &s in &self.symbols {
+                let c = std::char::from_digit(s as u32, 36).expect("checked k <= 36");
+                write!(f, "{c}")?;
+            }
+            Ok(())
+        } else {
+            let parts: Vec<String> = self.symbols.iter().map(|s| s.to_string()).collect();
+            write!(f, "{}", parts.join("."))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_construction() {
+        let s = Sequence::from_symbols(vec![0, 1, 2, 1, 0], 3).unwrap();
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.k(), 3);
+        assert_eq!(s.symbol(2), 2);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(Sequence::from_symbols(vec![], 2), Err(Error::EmptySequence));
+    }
+
+    #[test]
+    fn rejects_small_and_huge_alphabets() {
+        assert!(matches!(
+            Sequence::from_symbols(vec![0], 1),
+            Err(Error::AlphabetTooSmall { k: 1 })
+        ));
+        assert!(matches!(
+            Sequence::from_symbols(vec![0], 0),
+            Err(Error::AlphabetTooSmall { k: 0 })
+        ));
+        assert!(Sequence::from_symbols(vec![0], 257).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_symbol() {
+        let err = Sequence::from_symbols(vec![0, 1, 5, 1], 3).unwrap_err();
+        assert_eq!(
+            err,
+            Error::SymbolOutOfRange { symbol: 5, k: 3, position: 2 }
+        );
+    }
+
+    #[test]
+    fn from_bools_maps_to_binary() {
+        let s = Sequence::from_bools(&[true, false, true, true]).unwrap();
+        assert_eq!(s.symbols(), &[1, 0, 1, 1]);
+        assert_eq!(s.k(), 2);
+    }
+
+    #[test]
+    fn from_text_dense_mapping() {
+        let (s, alphabet) = Sequence::from_text(b"abca").unwrap();
+        assert_eq!(alphabet, vec![b'a', b'b', b'c']);
+        assert_eq!(s.symbols(), &[0, 1, 2, 0]);
+        assert_eq!(s.k(), 3);
+    }
+
+    #[test]
+    fn from_text_needs_two_distinct_bytes() {
+        assert!(Sequence::from_text(b"aaaa").is_err());
+        assert!(Sequence::from_text(b"").is_err());
+    }
+
+    #[test]
+    fn count_vector_counts() {
+        let s = Sequence::from_symbols(vec![0, 1, 1, 2, 1], 3).unwrap();
+        assert_eq!(s.count_vector(0, 5), vec![1, 3, 1]);
+        assert_eq!(s.count_vector(1, 3), vec![0, 2, 0]);
+        assert_eq!(s.count_vector(2, 2), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn display_small_alphabet() {
+        let s = Sequence::from_symbols(vec![0, 1, 2, 10], 11).unwrap();
+        assert_eq!(s.to_string(), "012a");
+    }
+}

@@ -1,0 +1,179 @@
+//! Significance assessment for mined substrings.
+//!
+//! A mined `X²` can be converted to probabilities at two levels:
+//!
+//! 1. **Per-substring p-value** — `Pr[χ²(k−1) > X²]` (paper Theorem 3),
+//!    valid for one *pre-specified* substring.
+//! 2. **Family-wise p-value for the MSS** — the scan implicitly tests all
+//!    `n(n+1)/2` substrings, so the maximum is biased upward; a raw
+//!    per-substring p-value wildly overstates significance (the paper's
+//!    `X²_max ≈ 2 ln n` growth on pure noise, Fig. 2, is exactly this
+//!    selection effect). This module provides a Šidák-style correction
+//!    using the paper's own device (§5, proof of Lemma 4): a string of
+//!    length `n` contains at least `n/c` *independent* substrings, and
+//!    empirically the effective number of independent tests is `Θ(n)`.
+//!    It also provides a Monte-Carlo calibration of the exact null
+//!    distribution of `X²_max` for when a defensible p-value matters.
+
+use crate::counts::PrefixCounts;
+use crate::error::Result;
+use crate::model::Model;
+use crate::mss::find_mss_counts;
+use crate::score::Scored;
+
+/// Šidák-corrected family-wise p-value for an observed maximum statistic:
+/// `1 − (1 − p)^m ≈ m·p` where `p` is the per-substring `χ²(k−1)` p-value
+/// and `m` the effective number of independent tests.
+///
+/// Computed in log-space so tiny `p` with huge `m` stays accurate.
+pub fn sidak_corrected(p_single: f64, m_effective: f64) -> f64 {
+    if !(0.0..=1.0).contains(&p_single) || m_effective.is_nan() || m_effective < 1.0 {
+        return f64::NAN;
+    }
+    // 1 − (1−p)^m = 1 − exp(m·ln(1−p)) = −expm1(m·ln1p(−p))
+    (-(m_effective * (-p_single).ln_1p()).exp_m1()).clamp(0.0, 1.0)
+}
+
+/// The effective number of independent tests for a string of length `n`.
+///
+/// The paper's Lemma 4 argument partitions the string into disjoint
+/// substrings to obtain `Θ(n)` independent `χ²(k−1)` variables; using
+/// `m = n` makes `X²_max ≈ 2 ln n` sit at the distribution's bulk
+/// (`1 − (1 − e^{−ln n})^n ≈ 1 − (1 − 1/n)^n ≈ 0.63`), matching the
+/// empirical Fig.-2 benchmark.
+pub fn effective_tests(n: usize) -> f64 {
+    n as f64
+}
+
+/// Family-wise assessment of a mined MSS.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Assessment {
+    /// Raw per-substring p-value (valid for a pre-specified range only).
+    pub p_single: f64,
+    /// Šidák family-wise p-value over the effective test count.
+    pub p_family: f64,
+    /// The effective test count used.
+    pub m_effective: f64,
+}
+
+/// Assess a mined substring of a string of length `n` over alphabet `k`.
+pub fn assess(best: &Scored, n: usize, k: usize) -> Assessment {
+    let p_single = best.p_value(k);
+    let m = effective_tests(n);
+    Assessment { p_single, p_family: sidak_corrected(p_single, m), m_effective: m }
+}
+
+/// Monte-Carlo calibration of the null distribution of `X²_max`.
+///
+/// Draws `runs` strings of length `n` from `model` using the supplied
+/// symbol sampler (kept generic so the core crate stays RNG-free — pass a
+/// closure backed by any RNG), mines each, and returns the sorted
+/// `X²_max` sample. The empirical p-value of an observed maximum is then
+/// [`empirical_p_value`].
+pub fn calibrate_null_x2max(
+    n: usize,
+    model: &Model,
+    runs: usize,
+    mut sample_symbol: impl FnMut(&Model) -> u8,
+) -> Result<Vec<f64>> {
+    let mut maxima = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        let symbols: Vec<u8> = (0..n).map(|_| sample_symbol(model)).collect();
+        let seq = crate::seq::Sequence::from_symbols(symbols, model.k())?;
+        let pc = PrefixCounts::build(&seq);
+        maxima.push(find_mss_counts(&pc, model)?.best.chi_square);
+    }
+    maxima.sort_by(f64::total_cmp);
+    Ok(maxima)
+}
+
+/// Empirical p-value of `observed` against a sorted null sample: the
+/// add-one estimator `(#{null ≥ observed} + 1) / (runs + 1)` (never
+/// exactly zero, as recommended for permutation tests).
+pub fn empirical_p_value(null_sorted: &[f64], observed: f64) -> f64 {
+    let idx = null_sorted.partition_point(|&v| v < observed);
+    let above = null_sorted.len() - idx;
+    (above as f64 + 1.0) / (null_sorted.len() as f64 + 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sidak_limits() {
+        // m = 1 is the identity.
+        assert!((sidak_corrected(0.03, 1.0) - 0.03).abs() < 1e-12);
+        // Small p, large m ≈ m·p.
+        let p = 1e-9;
+        let m = 1e4;
+        assert!((sidak_corrected(p, m) / (m * p) - 1.0).abs() < 1e-4);
+        // Saturates at 1.
+        assert_eq!(sidak_corrected(0.5, 1e9), 1.0);
+        // Domain errors.
+        assert!(sidak_corrected(-0.1, 10.0).is_nan());
+        assert!(sidak_corrected(0.5, 0.5).is_nan());
+    }
+
+    #[test]
+    fn family_correction_changes_the_verdict_on_noise() {
+        // A null string's MSS looks "significant" per-substring but not
+        // family-wise — the whole point of the correction.
+        let n = 5_000usize;
+        // X²_max ≈ 2 ln n on noise.
+        let x2 = 2.0 * (n as f64).ln();
+        let best = Scored { start: 0, end: 10, chi_square: x2 };
+        let a = assess(&best, n, 2);
+        assert!(a.p_single < 1e-3, "raw p should look impressive");
+        // Family-wise, the same statistic fails the conventional 5% bar.
+        assert!(a.p_family > 0.05, "family-wise p must not ({})", a.p_family);
+    }
+
+    #[test]
+    fn family_correction_keeps_real_signals() {
+        // A genuinely huge statistic stays significant after correction.
+        let best = Scored { start: 0, end: 100, chi_square: 120.0 };
+        let a = assess(&best, 100_000, 2);
+        assert!(a.p_family < 1e-15);
+    }
+
+    #[test]
+    fn empirical_p_value_counts() {
+        let null = [1.0, 2.0, 3.0, 4.0, 5.0];
+        // observed above everything: (0+1)/6
+        assert!((empirical_p_value(&null, 10.0) - 1.0 / 6.0).abs() < 1e-12);
+        // observed below everything: (5+1)/6 = 1
+        assert!((empirical_p_value(&null, 0.5) - 1.0).abs() < 1e-12);
+        // ties count as ≥
+        assert!((empirical_p_value(&null, 3.0) - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn calibration_reproduces_2_ln_n() {
+        // A cheap deterministic LCG sampler keeps this test self-contained.
+        let mut state = 0x1234_5678_9ABC_DEF0u64;
+        let mut sampler = |model: &Model| -> u8 {
+            state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            let u = (state >> 11) as f64 / (1u64 << 53) as f64;
+            let mut acc = 0.0;
+            for (c, &p) in model.probs().iter().enumerate() {
+                acc += p;
+                if u < acc {
+                    return c as u8;
+                }
+            }
+            (model.k() - 1) as u8
+        };
+        let n = 2_000usize;
+        let model = Model::uniform(2).unwrap();
+        let null = calibrate_null_x2max(n, &model, 20, &mut sampler).unwrap();
+        assert_eq!(null.len(), 20);
+        assert!(null.windows(2).all(|w| w[0] <= w[1]), "must be sorted");
+        let median = null[null.len() / 2];
+        let benchmark = 2.0 * (n as f64).ln(); // ≈ 15.2
+        assert!(
+            (median / benchmark - 1.0).abs() < 0.4,
+            "median X²_max {median} far from 2 ln n = {benchmark}"
+        );
+    }
+}

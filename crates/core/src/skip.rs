@@ -1,0 +1,226 @@
+//! The skip solver — how many end positions the scan may jump.
+//!
+//! Paper §4 derives, for the current substring (counts `{Y_1..Y_k}`,
+//! length `l`, statistic `X²_l`) and the pruning budget `X²_max`, the
+//! quadratic constraint (Eq. 21) on an extension length `x`:
+//!
+//! ```text
+//! (1 − p_t)·x² + (2Y_t − 2l·p_t − p_t·X²_max)·x + (X²_l − X²_max)·l·p_t ≤ 0
+//! ```
+//!
+//! where `t` is the Theorem-1 cover character for extension `x`. The
+//! pseudocode picks `t` as `argmax (2Y_t + x)/p_t` with `x` still unknown —
+//! circular as written. We resolve it exactly (see `DESIGN.md`): for fixed
+//! `x`, the chain-cover `X²` with character `m` is increasing in
+//! `(2Y_m + x)/p_m`, so requiring the bound for the argmax character is
+//! equivalent to requiring the quadratic for **every** character. The
+//! admissible region is the intersection of `k` root intervals
+//! `[r1_m, r2_m]`; the maximal integer skip is `⌊min_m r2_m⌋` (provided it
+//! is ≥ `max_m r1_m`, which is automatic in MSS mode where the constant
+//! term is ≤ 0).
+//!
+//! Skipping `x` means: every extension of the current substring by
+//! `1..=x` characters has `X² ≤ budget` (Theorem 1), so the scan can jump
+//! straight to end position `end + x + 1`.
+//!
+//! A final `O(k)` verification step re-evaluates the quadratics at the
+//! integer candidate, guarding against floating-point overshoot of the real
+//! root; this keeps the "never misses the MSS" invariant robust instead of
+//! probabilistic.
+
+use crate::model::Model;
+
+/// Result returned by [`max_safe_skip`]: the number of end positions that
+/// can safely be skipped (0 = no skip, advance by one).
+pub type Skip = usize;
+
+/// Evaluate the Eq.-21 quadratic for character `m` at integer `x`.
+/// Negative-or-zero means the chain-cover bound with character `m` at
+/// extension `x` does not exceed `budget`.
+#[inline]
+fn quadratic_at(y: f64, p: f64, l: f64, x2_l: f64, budget: f64, x: f64) -> f64 {
+    let a = 1.0 - p;
+    let b = 2.0 * y - 2.0 * l * p - p * budget;
+    let c = (x2_l - budget) * l * p;
+    (a * x + b) * x + c
+}
+
+/// Largest number of end positions that can be skipped after examining a
+/// substring with count vector `counts`, length `l` and statistic `x2_l`,
+/// given the current pruning budget (the running `X²_max`, the top-t floor,
+/// or the threshold `α₀`).
+///
+/// Every extension of the substring by `1..=skip` characters is guaranteed
+/// (Theorem 1) to have `X² ≤ budget`. Returns 0 when no skip is provably
+/// safe. The caller must clamp the result to the remaining string length.
+pub fn max_safe_skip(counts: &[u32], l: usize, x2_l: f64, budget: f64, model: &Model) -> Skip {
+    debug_assert_eq!(counts.len(), model.k());
+    if !budget.is_finite() || budget <= 0.0 {
+        return 0;
+    }
+    let lf = l as f64;
+    // Intersection [lo, hi] of the k per-character admissible intervals.
+    let mut lo = 0.0f64;
+    let mut hi = f64::INFINITY;
+    for (&y, &p) in counts.iter().zip(model.probs()) {
+        let yf = f64::from(y);
+        let a = 1.0 - p;
+        let b = 2.0 * yf - 2.0 * lf * p - p * budget;
+        let c = (x2_l - budget) * lf * p;
+        let disc = b * b - 4.0 * a * c;
+        if disc < 0.0 {
+            return 0; // this character admits no valid extension length
+        }
+        let sqrt_disc = disc.sqrt();
+        let r2 = (-b + sqrt_disc) / (2.0 * a);
+        let r1 = (-b - sqrt_disc) / (2.0 * a);
+        hi = hi.min(r2);
+        lo = lo.max(r1);
+        if hi < 1.0 || lo > hi {
+            return 0;
+        }
+    }
+    let mut x = hi.floor();
+    if x < 1.0 || x < lo {
+        return 0;
+    }
+    // Floating-point guard: verify the quadratics at the integer candidate;
+    // back off by one if the root was overshot by rounding.
+    for _ in 0..2 {
+        if x < 1.0 || x < lo {
+            return 0;
+        }
+        let ok = counts.iter().zip(model.probs()).all(|(&y, &p)| {
+            quadratic_at(f64::from(y), p, lf, x2_l, budget, x) <= 1e-9 * (1.0 + budget.abs() * lf)
+        });
+        if ok {
+            return x as Skip;
+        }
+        x -= 1.0;
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cover::extension_upper_bound;
+    use crate::score::chi_square_counts;
+
+    #[test]
+    fn skip_zero_when_budget_not_positive() {
+        let model = Model::uniform(2).unwrap();
+        assert_eq!(max_safe_skip(&[3, 1], 4, 1.0, 0.0, &model), 0);
+        assert_eq!(max_safe_skip(&[3, 1], 4, 1.0, -5.0, &model), 0);
+        assert_eq!(max_safe_skip(&[3, 1], 4, 1.0, f64::NAN, &model), 0);
+        assert_eq!(max_safe_skip(&[3, 1], 4, 1.0, f64::INFINITY, &model), 0);
+    }
+
+    #[test]
+    fn skip_grows_with_budget() {
+        // Larger budget ⇒ weaker constraint ⇒ longer skips (paper §5.1).
+        let model = Model::uniform(2).unwrap();
+        let counts = [5u32, 5];
+        let x2 = chi_square_counts(&counts, &model);
+        let mut prev = 0;
+        for budget_int in 1..60u32 {
+            let budget = f64::from(budget_int);
+            if budget <= x2 {
+                continue;
+            }
+            let skip = max_safe_skip(&counts, 10, x2, budget, &model);
+            assert!(skip >= prev, "skip shrank as budget grew");
+            prev = skip;
+        }
+        assert!(prev > 0);
+    }
+
+    #[test]
+    fn skipped_extensions_respect_bound() {
+        // Core safety property: the Theorem-1 bound at the returned skip
+        // does not exceed the budget.
+        let model = Model::from_probs(vec![0.2, 0.5, 0.3]).unwrap();
+        let cases: &[([u32; 3], f64)] = &[
+            ([4, 4, 4], 8.0),
+            ([10, 0, 2], 25.0),
+            ([1, 1, 1], 3.0),
+            ([0, 30, 0], 80.0),
+        ];
+        for &(counts, budget) in cases {
+            let l: u32 = counts.iter().sum();
+            let x2 = chi_square_counts(&counts, &model);
+            if x2 >= budget {
+                continue;
+            }
+            let skip = max_safe_skip(&counts, l as usize, x2, budget, &model);
+            if skip > 0 {
+                let bound = extension_upper_bound(&counts, l as usize, &model, skip);
+                assert!(
+                    bound <= budget + 1e-6,
+                    "counts {counts:?}: bound {bound} exceeds budget {budget}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn skip_is_maximal() {
+        // One more position would break the bound (maximality of the root).
+        let model = Model::uniform(2).unwrap();
+        let counts = [6u32, 2];
+        let l = 8usize;
+        let x2 = chi_square_counts(&counts, &model);
+        let budget = x2 + 10.0;
+        let skip = max_safe_skip(&counts, l, x2, budget, &model);
+        assert!(skip > 0);
+        let bound_next = extension_upper_bound(&counts, l, &model, skip + 2);
+        assert!(
+            bound_next > budget,
+            "skip {skip} not maximal: bound at skip+2 = {bound_next} <= budget {budget}"
+        );
+    }
+
+    #[test]
+    fn threshold_mode_current_above_budget() {
+        // Threshold variant: the running statistic may exceed the budget
+        // (α₀); c > 0 then, and a valid skip may still exist further out
+        // (cover dips below α₀ once the extension dilutes the surplus) —
+        // or not. Either way the result must satisfy the bound.
+        let model = Model::uniform(2).unwrap();
+        let counts = [9u32, 1];
+        let l = 10usize;
+        let x2 = chi_square_counts(&counts, &model);
+        let alpha = x2 / 2.0; // below the current statistic
+        let skip = max_safe_skip(&counts, l, x2, alpha, &model);
+        if skip > 0 {
+            let bound = extension_upper_bound(&counts, l, &model, skip);
+            assert!(bound <= alpha + 1e-6);
+        }
+    }
+
+    #[test]
+    fn paper_lemma5_magnitude_sanity() {
+        // Lemma 5: on null-ish counts with X²_max ≈ ln l, skips are
+        // Ω(√(l·ln l)). Check the order of magnitude at l = 10_000.
+        let model = Model::uniform(2).unwrap();
+        let l = 10_000usize;
+        let counts = [(l / 2) as u32, (l / 2) as u32];
+        let x2 = chi_square_counts(&counts, &model);
+        let budget = (l as f64).ln(); // ≈ 9.2
+        let skip = max_safe_skip(&counts, l, x2, budget, &model);
+        let expected_scale = 0.5 * (l as f64 * 0.5 * (l as f64).ln()).sqrt();
+        assert!(
+            skip as f64 >= expected_scale * 0.5,
+            "skip {skip} far below Lemma-5 scale {expected_scale}"
+        );
+    }
+
+    #[test]
+    fn balanced_null_counts_give_large_skips() {
+        let model = Model::uniform(4).unwrap();
+        let counts = [25u32, 25, 25, 25];
+        let x2 = chi_square_counts(&counts, &model);
+        let skip = max_safe_skip(&counts, 100, x2, 30.0, &model);
+        assert!(skip > 10, "expected a healthy skip, got {skip}");
+    }
+}

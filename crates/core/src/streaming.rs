@@ -1,0 +1,235 @@
+//! Online mining: maintain the exact MSS of a growing stream.
+//!
+//! When a symbol is appended, the only *new* substrings are those ending
+//! at the new position, so it suffices to scan start positions leftward
+//! from the new end. The chain-cover bound applies unchanged: the proof of
+//! the paper's Lemma 1 depends only on the multiset of added characters,
+//! not on which side they are appended (`X²` is order-invariant), so
+//! *prepending* up to `x` characters is dominated by the same cover and
+//! the quadratic skip solver prunes runs of start positions exactly as the
+//! offline scan prunes end positions.
+//!
+//! On null-model input the per-append cost is `O(k·√n)` examined
+//! substrings w.h.p. — the same per-position budget as Algorithm 1 — so a
+//! stream of `n` symbols costs `O(k·n^{3/2})` total, matching the offline
+//! bound while answering "what is the MSS so far?" after every symbol.
+
+use crate::error::{Error, Result};
+use crate::model::Model;
+use crate::scan::ScanStats;
+use crate::score::{chi_square_counts, scored_cmp, Scored};
+use crate::skip::max_safe_skip;
+
+/// An append-only miner that always knows the most significant substring
+/// of the stream consumed so far.
+///
+/// # Examples
+///
+/// ```
+/// use sigstr_core::{streaming::StreamingMiner, Model};
+///
+/// let model = Model::uniform(2).unwrap();
+/// let mut miner = StreamingMiner::new(model);
+/// for &s in &[0, 1, 0, 1, 1, 1, 1, 1, 0] {
+///     miner.push(s).unwrap();
+/// }
+/// let best = miner.best().unwrap();
+/// assert_eq!((best.start, best.end), (3, 8)); // the run of five ones
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamingMiner {
+    model: Model,
+    /// Growable prefix counts: `prefix[c][i]` = occurrences of `c` in the
+    /// first `i` symbols.
+    prefix: Vec<Vec<u32>>,
+    n: usize,
+    best: Option<Scored>,
+    stats: ScanStats,
+}
+
+impl StreamingMiner {
+    /// Create an empty miner for the given null model.
+    pub fn new(model: Model) -> Self {
+        let k = model.k();
+        let mut prefix = Vec::with_capacity(k);
+        for _ in 0..k {
+            prefix.push(vec![0u32]);
+        }
+        Self { model, prefix, n: 0, best: None, stats: ScanStats::default() }
+    }
+
+    /// Number of symbols consumed.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether no symbol has been consumed yet.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The MSS of the stream so far (`None` before the first symbol).
+    pub fn best(&self) -> Option<Scored> {
+        self.best
+    }
+
+    /// Accumulated scan instrumentation.
+    pub fn stats(&self) -> ScanStats {
+        self.stats
+    }
+
+    /// Count of character `c` in the stream range `[start, end)`.
+    fn count(&self, c: usize, start: usize, end: usize) -> u32 {
+        self.prefix[c][end] - self.prefix[c][start]
+    }
+
+    /// Append one symbol and update the MSS.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `symbol` is outside the model's alphabet.
+    pub fn push(&mut self, symbol: u8) -> Result<()> {
+        let k = self.model.k();
+        if symbol as usize >= k {
+            return Err(Error::SymbolOutOfRange { symbol, k, position: self.n });
+        }
+        for (c, column) in self.prefix.iter_mut().enumerate() {
+            let last = *column.last().expect("columns start non-empty");
+            column.push(last + u32::from(c == symbol as usize));
+        }
+        self.n += 1;
+        // Scan starts leftward from the new end; prune with the
+        // chain-cover bound (prepending ≤ x characters is dominated by the
+        // cover — Lemma 1 is side-agnostic).
+        let end = self.n;
+        let mut counts = vec![0u32; k];
+        let mut i = end - 1;
+        loop {
+            for (c, slot) in counts.iter_mut().enumerate() {
+                *slot = self.count(c, i, end);
+            }
+            let l = end - i;
+            let x2 = chi_square_counts(&counts, &self.model);
+            self.stats.examined += 1;
+            let scored = Scored { start: i, end, chi_square: x2 };
+            match &self.best {
+                Some(b) if scored_cmp(&scored, b) != std::cmp::Ordering::Greater => {}
+                _ => self.best = Some(scored),
+            }
+            let budget = self.best.map_or(0.0, |b| b.chi_square);
+            let skip = max_safe_skip(&counts, l, x2, budget, &self.model).min(i);
+            if skip > 0 {
+                self.stats.skips += 1;
+                self.stats.skipped += skip as u64;
+            }
+            if i < skip + 1 {
+                break;
+            }
+            i -= skip + 1;
+        }
+        Ok(())
+    }
+
+    /// Append a batch of symbols.
+    pub fn extend(&mut self, symbols: &[u8]) -> Result<()> {
+        for &s in symbols {
+            self.push(s)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::Sequence;
+
+    fn offline_best(symbols: &[u8], model: &Model) -> Scored {
+        let seq = Sequence::from_symbols(symbols.to_vec(), model.k()).unwrap();
+        crate::mss::find_mss(&seq, model).unwrap().best
+    }
+
+    #[test]
+    fn matches_offline_after_every_push() {
+        let model = Model::uniform(2).unwrap();
+        let symbols = [0u8, 1, 1, 0, 1, 1, 1, 1, 0, 0, 1, 0, 1, 1, 0];
+        let mut miner = StreamingMiner::new(model.clone());
+        for t in 0..symbols.len() {
+            miner.push(symbols[t]).unwrap();
+            let offline = offline_best(&symbols[..=t], &model);
+            let online = miner.best().unwrap();
+            assert!(
+                (online.chi_square - offline.chi_square).abs() < 1e-9,
+                "after {} symbols: online {} vs offline {}",
+                t + 1,
+                online.chi_square,
+                offline.chi_square
+            );
+        }
+    }
+
+    #[test]
+    fn matches_offline_on_pseudorandom_ternary() {
+        let model = Model::from_probs(vec![0.2, 0.3, 0.5]).unwrap();
+        let mut x = 0x9E37_79B9u64;
+        let symbols: Vec<u8> = (0..300)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x % 3) as u8
+            })
+            .collect();
+        let mut miner = StreamingMiner::new(model.clone());
+        miner.extend(&symbols).unwrap();
+        let offline = offline_best(&symbols, &model);
+        let online = miner.best().unwrap();
+        assert!((online.chi_square - offline.chi_square).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pruning_keeps_amortized_cost_low() {
+        // On a null-ish stream, examined substrings per push must be far
+        // below the linear worst case.
+        let model = Model::uniform(2).unwrap();
+        let mut x = 12345u64;
+        let n = 4_000usize;
+        let mut miner = StreamingMiner::new(model);
+        for _ in 0..n {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            miner.push((x & 1) as u8).unwrap();
+        }
+        let total = miner.stats().examined;
+        let quadratic = (n as u64) * (n as u64 + 1) / 2;
+        assert!(
+            total < quadratic / 20,
+            "examined {total}, too close to the quadratic bound {quadratic}"
+        );
+    }
+
+    #[test]
+    fn rejects_out_of_alphabet_symbols() {
+        let model = Model::uniform(2).unwrap();
+        let mut miner = StreamingMiner::new(model);
+        miner.push(1).unwrap();
+        assert!(matches!(
+            miner.push(2),
+            Err(Error::SymbolOutOfRange { symbol: 2, k: 2, position: 1 })
+        ));
+    }
+
+    #[test]
+    fn empty_and_basic_accessors() {
+        let model = Model::uniform(3).unwrap();
+        let mut miner = StreamingMiner::new(model);
+        assert!(miner.is_empty());
+        assert!(miner.best().is_none());
+        miner.push(2).unwrap();
+        assert_eq!(miner.len(), 1);
+        assert!(!miner.is_empty());
+        let best = miner.best().unwrap();
+        assert_eq!((best.start, best.end), (0, 1));
+    }
+}

@@ -1,0 +1,211 @@
+//! Problem 3 — all substrings with `X²` above a threshold
+//! (paper Algorithm 3).
+//!
+//! The pruning budget is the constant `α₀`; the scan skips every run of
+//! end positions whose Theorem-1 cover bound stays at or below `α₀`. The
+//! paper shows the iteration count drops as `O(k·n·√(n/α₀))` once `α₀`
+//! clears the typical substring statistic (§6.2, Fig. 6).
+
+use crate::counts::PrefixCounts;
+use crate::error::{Error, Result};
+use crate::model::Model;
+use crate::scan::{scan_policy, Policy, ScanStats};
+use crate::score::Scored;
+use crate::seq::Sequence;
+
+/// Result of a threshold query.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ThresholdResult {
+    /// Every substring with `X² > α₀`, in scan order (starts
+    /// right-to-left, ends ascending within a start).
+    pub items: Vec<Scored>,
+    /// Scan instrumentation.
+    pub stats: ScanStats,
+}
+
+struct CollectPolicy<'f> {
+    alpha: f64,
+    sink: &'f mut dyn FnMut(Scored),
+}
+
+impl Policy for CollectPolicy<'_> {
+    fn observe(&mut self, scored: Scored) {
+        if scored.chi_square > self.alpha {
+            (self.sink)(scored);
+        }
+    }
+
+    fn budget(&self) -> f64 {
+        self.alpha
+    }
+}
+
+/// Find all substrings with `X²` strictly greater than `alpha`
+/// (paper Algorithm 3).
+///
+/// The output can be `Θ(n²)` when `alpha` is small — prefer
+/// [`for_each_above_threshold`] to stream matches without materializing
+/// them, or pick `alpha` from a significance level via
+/// [`sigstr_stats::pearson::threshold_for_significance`].
+///
+/// # Errors
+///
+/// Fails when `alpha` is negative or not finite, or on alphabet mismatch.
+///
+/// # Examples
+///
+/// ```
+/// use sigstr_core::{above_threshold, Model, Sequence};
+///
+/// let seq = Sequence::from_symbols(vec![0, 1, 1, 1, 1, 1, 0, 0, 1, 0], 2).unwrap();
+/// let model = Model::uniform(2).unwrap();
+/// let result = above_threshold(&seq, &model, 4.5).unwrap();
+/// assert!(result.items.iter().all(|s| s.chi_square > 4.5));
+/// assert!(!result.items.is_empty()); // the run of five ones scores 5.0
+/// ```
+pub fn above_threshold(seq: &Sequence, model: &Model, alpha: f64) -> Result<ThresholdResult> {
+    model.check_alphabet(seq)?;
+    let pc = PrefixCounts::build(seq);
+    above_threshold_counts(&pc, model, alpha)
+}
+
+/// [`above_threshold`] over prebuilt prefix counts.
+pub fn above_threshold_counts(
+    pc: &PrefixCounts,
+    model: &Model,
+    alpha: f64,
+) -> Result<ThresholdResult> {
+    let mut items = Vec::new();
+    let stats = for_each_above_threshold_counts(pc, model, alpha, |s| items.push(s))?;
+    Ok(ThresholdResult { items, stats })
+}
+
+/// Streaming variant: invoke `visit` for every qualifying substring
+/// without building a vector.
+pub fn for_each_above_threshold(
+    seq: &Sequence,
+    model: &Model,
+    alpha: f64,
+    visit: impl FnMut(Scored),
+) -> Result<ScanStats> {
+    model.check_alphabet(seq)?;
+    let pc = PrefixCounts::build(seq);
+    for_each_above_threshold_counts(&pc, model, alpha, visit)
+}
+
+/// Streaming variant over prebuilt prefix counts.
+pub fn for_each_above_threshold_counts(
+    pc: &PrefixCounts,
+    model: &Model,
+    alpha: f64,
+    mut visit: impl FnMut(Scored),
+) -> Result<ScanStats> {
+    if !alpha.is_finite() || alpha < 0.0 {
+        return Err(Error::InvalidParameter {
+            what: "alpha",
+            details: format!("threshold must be finite and non-negative, got {alpha}"),
+        });
+    }
+    let mut sink = |s: Scored| visit(s);
+    let mut policy = CollectPolicy { alpha, sink: &mut sink };
+    let n = pc.n();
+    Ok(scan_policy(pc, model, 1, (0..n).rev(), &mut policy))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn binary(symbols: &[u8]) -> Sequence {
+        Sequence::from_symbols(symbols.to_vec(), 2).unwrap()
+    }
+
+    #[test]
+    fn zero_threshold_returns_everything_positive() {
+        let seq = binary(&[0, 1, 1, 0, 1]);
+        let model = Model::uniform(2).unwrap();
+        let r = above_threshold(&seq, &model, 0.0).unwrap();
+        // Every substring with X² > 0 qualifies; only perfectly balanced
+        // substrings score exactly 0.
+        for item in &r.items {
+            assert!(item.chi_square > 0.0);
+        }
+        // A length-1 substring always has X² = 1 under the fair model.
+        assert!(r.items.iter().any(|s| s.len() == 1));
+    }
+
+    #[test]
+    fn huge_threshold_returns_nothing_but_scans_fast() {
+        let seq = binary(&[0, 1, 0, 1, 0, 1, 1, 0, 1, 0, 0, 1]);
+        let model = Model::uniform(2).unwrap();
+        let r = above_threshold(&seq, &model, 1e6).unwrap();
+        assert!(r.items.is_empty());
+        // With an enormous budget almost everything is skipped.
+        let n = seq.len() as u64;
+        assert!(r.stats.examined < n * (n + 1) / 2);
+    }
+
+    #[test]
+    fn results_all_exceed_alpha_and_are_complete() {
+        let seq = binary(&[0, 1, 1, 1, 1, 1, 0, 0, 1, 0]);
+        let model = Model::uniform(2).unwrap();
+        let alpha = 3.0;
+        let r = above_threshold(&seq, &model, alpha).unwrap();
+        // (a) soundness
+        for item in &r.items {
+            assert!(item.chi_square > alpha);
+        }
+        // (b) completeness vs brute force
+        let mut expected = 0usize;
+        for start in 0..seq.len() {
+            for end in (start + 1)..=seq.len() {
+                let counts = seq.count_vector(start, end);
+                if crate::score::chi_square_counts(&counts, &model) > alpha {
+                    expected += 1;
+                }
+            }
+        }
+        assert_eq!(r.items.len(), expected);
+    }
+
+    #[test]
+    fn streaming_matches_collecting() {
+        let seq = binary(&[1, 1, 0, 1, 1, 1, 0, 0]);
+        let model = Model::uniform(2).unwrap();
+        let collected = above_threshold(&seq, &model, 2.0).unwrap();
+        let mut streamed = Vec::new();
+        let stats =
+            for_each_above_threshold(&seq, &model, 2.0, |s| streamed.push(s)).unwrap();
+        assert_eq!(collected.items, streamed);
+        assert_eq!(collected.stats, stats);
+    }
+
+    #[test]
+    fn invalid_alpha_rejected() {
+        let seq = binary(&[0, 1]);
+        let model = Model::uniform(2).unwrap();
+        assert!(above_threshold(&seq, &model, -1.0).is_err());
+        assert!(above_threshold(&seq, &model, f64::NAN).is_err());
+        assert!(above_threshold(&seq, &model, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn threshold_from_significance_level() {
+        // End-to-end with the stats crate: find substrings significant at
+        // the 10⁻³ level. The χ²(1) critical value is ≈ 10.83, so a run of
+        // twelve ones (X² = 12) clears it.
+        let mut symbols = vec![0u8];
+        symbols.extend(std::iter::repeat_n(1u8, 12));
+        symbols.extend([0, 0, 1, 0]);
+        let seq = binary(&symbols);
+        let model = Model::uniform(2).unwrap();
+        let alpha0 = sigstr_stats::pearson::threshold_for_significance(1e-3, 2);
+        assert!((alpha0 - 10.827566170662733).abs() < 1e-6);
+        let r = above_threshold(&seq, &model, alpha0).unwrap();
+        for item in &r.items {
+            assert!(item.p_value(2) < 1e-3);
+        }
+        assert!(!r.items.is_empty()); // the twelve-ones run is significant
+    }
+}

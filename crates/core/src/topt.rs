@@ -1,0 +1,212 @@
+//! Problem 2 — the top-t most significant substrings (paper Algorithm 2).
+//!
+//! Same pruned scan as the MSS algorithm, but the budget is the *t-th*
+//! largest `X²` seen so far, maintained in a size-`t` min-heap. The paper
+//! shows the `O((k + log t)·n^{3/2})` bound holds for `t < ω(n)`
+//! (Lemma 8).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::counts::PrefixCounts;
+use crate::error::{Error, Result};
+use crate::model::Model;
+use crate::scan::{scan_policy, Policy, ScanStats};
+use crate::score::{scored_cmp, Scored};
+use crate::seq::Sequence;
+
+/// Result of a top-t search.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TopTResult {
+    /// The top substrings, sorted by descending `X²` (ties broken by
+    /// earlier start). Contains fewer than `t` items only when the string
+    /// has fewer than `t` substrings.
+    pub items: Vec<Scored>,
+    /// Scan instrumentation.
+    pub stats: ScanStats,
+}
+
+/// Heap adapter: orders [`Scored`] via [`scored_cmp`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct OrdScored(pub Scored);
+
+impl Eq for OrdScored {}
+
+impl PartialOrd for OrdScored {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdScored {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        scored_cmp(&self.0, &other.0)
+    }
+}
+
+/// Min-heap of the best `t` substrings seen so far; the root is the
+/// current t-th best, i.e. the pruning budget once the heap is full.
+#[derive(Debug)]
+pub(crate) struct TopTPolicy {
+    t: usize,
+    heap: BinaryHeap<Reverse<OrdScored>>,
+    /// External floor (used by the parallel scan to share budgets across
+    /// workers); never decreases.
+    pub floor: f64,
+}
+
+impl TopTPolicy {
+    pub(crate) fn new(t: usize) -> Self {
+        Self { t, heap: BinaryHeap::with_capacity(t + 1), floor: 0.0 }
+    }
+
+    pub(crate) fn into_sorted(self) -> Vec<Scored> {
+        let mut items: Vec<Scored> = self.heap.into_iter().map(|r| r.0 .0).collect();
+        items.sort_by(|a, b| scored_cmp(b, a));
+        items
+    }
+}
+
+impl Policy for TopTPolicy {
+    fn observe(&mut self, scored: Scored) {
+        if self.heap.len() < self.t {
+            self.heap.push(Reverse(OrdScored(scored)));
+        } else if let Some(Reverse(min)) = self.heap.peek() {
+            if scored_cmp(&scored, &min.0) == std::cmp::Ordering::Greater {
+                self.heap.pop();
+                self.heap.push(Reverse(OrdScored(scored)));
+            }
+        }
+    }
+
+    fn budget(&self) -> f64 {
+        if self.heap.len() < self.t {
+            self.floor
+        } else {
+            let own = self.heap.peek().map_or(0.0, |Reverse(m)| m.0.chi_square);
+            own.max(self.floor)
+        }
+    }
+}
+
+/// Find the `t` substrings with the largest `X²` values (paper
+/// Algorithm 2).
+///
+/// # Errors
+///
+/// Fails when `t = 0` or the alphabets disagree.
+///
+/// # Examples
+///
+/// ```
+/// use sigstr_core::{top_t, Model, Sequence};
+///
+/// let seq = Sequence::from_symbols(vec![0, 1, 1, 1, 0, 0, 0, 0, 1, 0], 2).unwrap();
+/// let model = Model::uniform(2).unwrap();
+/// let result = top_t(&seq, &model, 3).unwrap();
+/// assert_eq!(result.items.len(), 3);
+/// // Descending order.
+/// assert!(result.items[0].chi_square >= result.items[1].chi_square);
+/// assert!(result.items[1].chi_square >= result.items[2].chi_square);
+/// ```
+pub fn top_t(seq: &Sequence, model: &Model, t: usize) -> Result<TopTResult> {
+    model.check_alphabet(seq)?;
+    let pc = PrefixCounts::build(seq);
+    top_t_counts(&pc, model, t)
+}
+
+/// [`top_t`] over prebuilt prefix counts.
+pub fn top_t_counts(pc: &PrefixCounts, model: &Model, t: usize) -> Result<TopTResult> {
+    if t == 0 {
+        return Err(Error::InvalidParameter {
+            what: "t",
+            details: "the top-t set must have t >= 1".into(),
+        });
+    }
+    let mut policy = TopTPolicy::new(t);
+    let n = pc.n();
+    let stats = scan_policy(pc, model, 1, (0..n).rev(), &mut policy);
+    Ok(TopTResult { items: policy.into_sorted(), stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn binary(symbols: &[u8]) -> Sequence {
+        Sequence::from_symbols(symbols.to_vec(), 2).unwrap()
+    }
+
+    #[test]
+    fn t_equals_one_matches_mss() {
+        let seq = binary(&[0, 1, 1, 1, 1, 0, 0, 1, 0, 1]);
+        let model = Model::uniform(2).unwrap();
+        let mss = crate::mss::find_mss(&seq, &model).unwrap();
+        let top = top_t(&seq, &model, 1).unwrap();
+        assert_eq!(top.items.len(), 1);
+        assert_eq!(top.items[0], mss.best);
+    }
+
+    #[test]
+    fn returns_sorted_descending() {
+        let seq = binary(&[0, 0, 1, 1, 1, 0, 1, 0, 0, 0, 1, 1]);
+        let model = Model::uniform(2).unwrap();
+        let top = top_t(&seq, &model, 8).unwrap();
+        assert_eq!(top.items.len(), 8);
+        for pair in top.items.windows(2) {
+            assert!(pair[0].chi_square >= pair[1].chi_square - 1e-12);
+        }
+    }
+
+    #[test]
+    fn t_zero_rejected() {
+        let seq = binary(&[0, 1]);
+        let model = Model::uniform(2).unwrap();
+        assert!(matches!(
+            top_t(&seq, &model, 0),
+            Err(Error::InvalidParameter { what: "t", .. })
+        ));
+    }
+
+    #[test]
+    fn t_larger_than_substring_count_returns_all() {
+        let seq = binary(&[0, 1, 0]);
+        let model = Model::uniform(2).unwrap();
+        let top = top_t(&seq, &model, 100).unwrap();
+        assert_eq!(top.items.len(), 6); // 3·4/2 substrings
+    }
+
+    #[test]
+    fn items_are_distinct_ranges() {
+        let seq = binary(&[0, 1, 1, 0, 1, 1, 1, 0, 0, 1]);
+        let model = Model::uniform(2).unwrap();
+        let top = top_t(&seq, &model, 10).unwrap();
+        let mut ranges: Vec<(usize, usize)> =
+            top.items.iter().map(|s| (s.start, s.end)).collect();
+        ranges.sort_unstable();
+        ranges.dedup();
+        assert_eq!(ranges.len(), top.items.len());
+    }
+
+    #[test]
+    fn policy_budget_behaviour() {
+        let mut p = TopTPolicy::new(2);
+        assert_eq!(p.budget(), 0.0);
+        p.observe(Scored { start: 0, end: 1, chi_square: 4.0 });
+        assert_eq!(p.budget(), 0.0); // heap not full yet
+        p.observe(Scored { start: 1, end: 2, chi_square: 2.0 });
+        assert_eq!(p.budget(), 2.0); // t-th best
+        p.observe(Scored { start: 2, end: 3, chi_square: 3.0 });
+        assert_eq!(p.budget(), 3.0); // 2.0 evicted
+        p.floor = 3.5;
+        assert_eq!(p.budget(), 3.5); // external floor dominates
+    }
+
+    #[test]
+    fn alphabet_mismatch_rejected() {
+        let seq = binary(&[0, 1]);
+        let model = Model::uniform(4).unwrap();
+        assert!(top_t(&seq, &model, 2).is_err());
+    }
+}

@@ -1,0 +1,103 @@
+//! Exhaustive exactness: the pruned algorithm equals the trivial scan on
+//! **every** binary string up to a fixed length, and on every ternary
+//! string up to a smaller length — no sampling, total coverage of the
+//! small-input space.
+
+use sigstr_core::{baseline, find_mss, maxlen, mss_min_length, top_t, Model, Sequence};
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 * (1.0 + a.abs().max(b.abs()))
+}
+
+#[test]
+fn every_binary_string_up_to_len_12() {
+    let model = Model::uniform(2).expect("model");
+    let biased = Model::from_probs(vec![0.3, 0.7]).expect("model");
+    for len in 1..=12usize {
+        for bits in 0u32..(1 << len) {
+            let symbols: Vec<u8> = (0..len).map(|i| ((bits >> i) & 1) as u8).collect();
+            let seq = Sequence::from_symbols(symbols, 2).expect("sequence");
+            for m in [&model, &biased] {
+                let fast = find_mss(&seq, m).expect("ours");
+                let slow = baseline::trivial::find_mss(&seq, m).expect("trivial");
+                assert!(
+                    close(fast.best.chi_square, slow.best.chi_square),
+                    "len {len} bits {bits:b}: ours {} vs trivial {}",
+                    fast.best.chi_square,
+                    slow.best.chi_square
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn every_ternary_string_up_to_len_8() {
+    let model = Model::from_probs(vec![0.2, 0.3, 0.5]).expect("model");
+    for len in 1..=8usize {
+        let total = 3usize.pow(len as u32);
+        for code in 0..total {
+            let mut c = code;
+            let symbols: Vec<u8> = (0..len)
+                .map(|_| {
+                    let s = (c % 3) as u8;
+                    c /= 3;
+                    s
+                })
+                .collect();
+            let seq = Sequence::from_symbols(symbols, 3).expect("sequence");
+            let fast = find_mss(&seq, &model).expect("ours");
+            let slow = baseline::trivial::find_mss(&seq, &model).expect("trivial");
+            assert!(
+                close(fast.best.chi_square, slow.best.chi_square),
+                "len {len} code {code}"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_binary_string_variants_len_9() {
+    let model = Model::uniform(2).expect("model");
+    for bits in 0u32..(1 << 9) {
+        let symbols: Vec<u8> = (0..9).map(|i| ((bits >> i) & 1) as u8).collect();
+        let seq = Sequence::from_symbols(symbols, 2).expect("sequence");
+        // top-3 multiset
+        let ft = top_t(&seq, &model, 3).expect("ours");
+        let st = baseline::trivial::top_t(&seq, &model, 3).expect("trivial");
+        for (f, s) in ft.items.iter().zip(&st.items) {
+            assert!(close(f.chi_square, s.chi_square), "top-3 mismatch on {bits:b}");
+        }
+        // min-length 4
+        let fm = mss_min_length(&seq, &model, 4).expect("ours");
+        let sm = baseline::trivial::mss_min_length(&seq, &model, 4).expect("trivial");
+        assert!(close(fm.best.chi_square, sm.best.chi_square), "minlen mismatch on {bits:b}");
+        // max-length 5 vs brute force
+        let fw = maxlen::mss_max_length(&seq, &model, 5).expect("ours");
+        let mut brute = f64::NEG_INFINITY;
+        for start in 0..seq.len() {
+            for end in (start + 1)..=(start + 5).min(seq.len()) {
+                let counts = seq.count_vector(start, end);
+                brute = brute.max(sigstr_core::chi_square_counts(&counts, &model));
+            }
+        }
+        assert!(close(fw.best.chi_square, brute), "maxlen mismatch on {bits:b}");
+    }
+}
+
+#[test]
+fn arlm_exact_on_every_binary_string_len_10() {
+    // The k = 2 exactness claim for the ARLM reconstruction, verified
+    // exhaustively rather than by sampling.
+    let model = Model::uniform(2).expect("model");
+    for bits in 0u32..(1 << 10) {
+        let symbols: Vec<u8> = (0..10).map(|i| ((bits >> i) & 1) as u8).collect();
+        let seq = Sequence::from_symbols(symbols, 2).expect("sequence");
+        let arlm = baseline::arlm::find_mss(&seq, &model).expect("arlm");
+        let slow = baseline::trivial::find_mss(&seq, &model).expect("trivial");
+        assert!(
+            close(arlm.best.chi_square, slow.best.chi_square),
+            "ARLM missed the optimum on {bits:b}"
+        );
+    }
+}

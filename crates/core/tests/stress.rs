@@ -1,0 +1,135 @@
+//! Medium-scale randomized stress tests: equivalence and accounting
+//! invariants at sizes where pruning does real work.
+
+use sigstr_core::{
+    above_threshold, baseline, find_mss, top_t, Model, PrefixCounts, Sequence,
+};
+
+/// Deterministic xorshift stream.
+struct Xs(u64);
+
+impl Xs {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    fn seq(&mut self, n: usize, k: usize) -> Sequence {
+        let symbols: Vec<u8> = (0..n).map(|_| (self.next() % k as u64) as u8).collect();
+        Sequence::from_symbols(symbols, k).expect("valid symbols")
+    }
+}
+
+#[test]
+fn equivalence_at_n_2000() {
+    let mut rng = Xs(0xBEEF_0001);
+    for k in [2usize, 3] {
+        let seq = rng.seq(2_000, k);
+        let model = Model::uniform(k).expect("model");
+        let fast = find_mss(&seq, &model).expect("ours");
+        let slow = baseline::trivial::find_mss(&seq, &model).expect("trivial");
+        assert!(
+            (fast.best.chi_square - slow.best.chi_square).abs() < 1e-9,
+            "k = {k}"
+        );
+        // Pruning must be substantial at this size.
+        assert!(
+            fast.stats.examined * 4 < slow.stats.examined,
+            "k = {k}: examined {} of {}",
+            fast.stats.examined,
+            slow.stats.examined
+        );
+    }
+}
+
+#[test]
+fn accounting_invariant_examined_plus_skipped() {
+    // Every substring is either examined or provably skipped — their sum
+    // must be exactly n(n+1)/2 for the unconstrained variants.
+    let mut rng = Xs(0xBEEF_0002);
+    for n in [100usize, 777, 2_500] {
+        let seq = rng.seq(n, 2);
+        let model = Model::uniform(2).expect("model");
+        let r = find_mss(&seq, &model).expect("ours");
+        let total = (n as u64) * (n as u64 + 1) / 2;
+        assert_eq!(r.stats.examined + r.stats.skipped, total, "n = {n}");
+        let t = top_t(&seq, &model, 10).expect("top-t");
+        assert_eq!(t.stats.examined + t.stats.skipped, total, "top-t n = {n}");
+        let a = above_threshold(&seq, &model, 5.0).expect("threshold");
+        assert_eq!(a.stats.examined + a.stats.skipped, total, "threshold n = {n}");
+    }
+}
+
+#[test]
+fn topt_results_are_true_top_values() {
+    // The top-t values must equal the t largest entries of the full X²
+    // multiset (computed brute force).
+    let mut rng = Xs(0xBEEF_0003);
+    let n = 400usize;
+    let seq = rng.seq(n, 2);
+    let model = Model::uniform(2).expect("model");
+    let t = 50usize;
+    let fast = top_t(&seq, &model, t).expect("top-t");
+    let mut all = Vec::with_capacity(n * (n + 1) / 2);
+    let pc = PrefixCounts::build(&seq);
+    let mut buf = vec![0u32; 2];
+    for start in 0..n {
+        for end in (start + 1)..=n {
+            pc.fill_counts(start, end, &mut buf);
+            all.push(sigstr_core::chi_square_counts(&buf, &model));
+        }
+    }
+    all.sort_by(|a, b| b.total_cmp(a));
+    for (i, item) in fast.items.iter().enumerate() {
+        assert!(
+            (item.chi_square - all[i]).abs() < 1e-9,
+            "rank {i}: {} vs {}",
+            item.chi_square,
+            all[i]
+        );
+    }
+}
+
+#[test]
+fn repeated_structure_worst_cases() {
+    // Adversarial-ish inputs: periodic, run-length ramps, near-constant.
+    let model = Model::uniform(2).expect("model");
+    let mut cases: Vec<Vec<u8>> = Vec::new();
+    cases.push((0..1_000).map(|i| ((i / 25) % 2) as u8).collect()); // blocks
+    cases.push((0..1_000).map(|i| (i % 2) as u8).collect()); // alternating
+    let mut ramp = Vec::new();
+    for run in 1..45usize {
+        ramp.extend(std::iter::repeat_n((run % 2) as u8, run));
+    }
+    cases.push(ramp); // increasing run lengths
+    let mut nearly = vec![0u8; 1_000];
+    nearly[499] = 1;
+    cases.push(nearly); // single dissent
+    for symbols in cases {
+        let seq = Sequence::from_symbols(symbols, 2).expect("valid");
+        let fast = find_mss(&seq, &model).expect("ours");
+        let slow = baseline::trivial::find_mss(&seq, &model).expect("trivial");
+        assert!((fast.best.chi_square - slow.best.chi_square).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn extreme_models_do_not_break_pruning() {
+    // Highly skewed models stress the quadratic solver's conditioning.
+    let mut rng = Xs(0xBEEF_0004);
+    let seq = rng.seq(1_500, 2);
+    for probs in [vec![0.999, 0.001], vec![0.001, 0.999], vec![0.5, 0.5]] {
+        let model = Model::from_probs(probs.clone()).expect("model");
+        let fast = find_mss(&seq, &model).expect("ours");
+        let slow = baseline::trivial::find_mss(&seq, &model).expect("trivial");
+        assert!(
+            (fast.best.chi_square - slow.best.chi_square).abs()
+                < 1e-9 * (1.0 + slow.best.chi_square),
+            "probs {probs:?}: {} vs {}",
+            fast.best.chi_square,
+            slow.best.chi_square
+        );
+    }
+}

@@ -1,0 +1,209 @@
+//! The synthetic Yankees–Red-Sox rivalry dataset (paper §7.5.1
+//! substitute).
+//!
+//! The paper mines 2086 games (1901–2010, baseball-reference.com, 54.27%
+//! Yankee wins) and reports the five dominance patches of its Table 3.
+//! Offline, we synthesize a rivalry with the **same documented eras at the
+//! same dates and strengths** (see `DESIGN.md` §5): the algorithms only
+//! ever see the binary outcome string and its empirical model, so the
+//! mined patches, their ordering and the algorithm comparison (Table 4)
+//! keep their shape.
+
+use rand::Rng;
+
+use sigstr_gen::sports::{generate_rivalry, Era, Rivalry};
+
+use crate::dates::Date;
+
+/// One era from the paper's Table 3.
+#[derive(Debug, Clone, Copy)]
+pub struct PaperEra {
+    /// Era start date (paper Table 3 "Start").
+    pub start: Date,
+    /// Era end date (paper Table 3 "End").
+    pub end: Date,
+    /// Win fraction for the Yankees during the era (Table 3 "Win%").
+    pub yankee_win_pct: f64,
+}
+
+/// The five dominance patches of the paper's Table 3.
+pub fn paper_eras() -> Vec<PaperEra> {
+    let d = |y, m, day| Date::new(y, m, day).expect("static date");
+    vec![
+        PaperEra { start: d(1924, 4, 17), end: d(1933, 6, 6), yankee_win_pct: 0.7598 },
+        PaperEra { start: d(1911, 9, 5), end: d(1913, 9, 1), yankee_win_pct: 0.1282 },
+        PaperEra { start: d(1902, 5, 2), end: d(1903, 7, 27), yankee_win_pct: 0.1481 },
+        PaperEra { start: d(1972, 2, 8), end: d(1974, 7, 28), yankee_win_pct: 0.20 },
+        PaperEra { start: d(1960, 7, 10), end: d(1962, 9, 7), yankee_win_pct: 0.8005 },
+    ]
+}
+
+/// The rivalry with its game schedule: outcome string plus per-game dates.
+#[derive(Debug, Clone)]
+pub struct BaseballDataset {
+    /// The generated outcomes and planted eras (1 = Yankee win).
+    pub rivalry: Rivalry,
+    /// Date of each game (same length as the outcome string).
+    pub schedule: Vec<Date>,
+}
+
+/// Total games in the paper's dataset.
+pub const GAMES: usize = 2_086;
+/// Schedule span (the rivalry's first season through 2010).
+const FIRST_YEAR: i32 = 1901;
+const LAST_YEAR: i32 = 2010;
+/// Overall Yankee win ratio reported by the paper.
+pub const OVERALL_WIN_RATIO: f64 = 0.5427;
+
+impl BaseballDataset {
+    /// Date of game `index`.
+    pub fn date_of(&self, index: usize) -> Date {
+        self.schedule[index]
+    }
+
+    /// First game index on or after `date` (schedule is sorted).
+    pub fn index_at_or_after(&self, date: Date) -> usize {
+        self.schedule.partition_point(|d| *d < date)
+    }
+
+    /// Game-index range covering `[start, end]` dates inclusive.
+    pub fn index_range(&self, start: Date, end: Date) -> std::ops::Range<usize> {
+        let lo = self.index_at_or_after(start);
+        let hi = self.schedule.partition_point(|d| *d <= end);
+        lo..hi
+    }
+
+    /// Win percentage over a game range (for printing Table-3-style rows).
+    pub fn win_pct(&self, range: std::ops::Range<usize>) -> f64 {
+        self.rivalry.win_ratio_range(range.start, range.end)
+    }
+}
+
+/// Build the deterministic game schedule: games spread over April–September
+/// of each season, seasons weighted so the century holds exactly
+/// [`GAMES`] games.
+fn build_schedule() -> Vec<Date> {
+    let years = (LAST_YEAR - FIRST_YEAR + 1) as usize; // 110 seasons
+    let per_year = GAMES / years; // 18
+    let extra = GAMES % years; // 106 seasons get one more
+    let mut schedule = Vec::with_capacity(GAMES);
+    for (season, year) in (FIRST_YEAR..=LAST_YEAR).enumerate() {
+        let games_this_year = per_year + usize::from(season < extra);
+        // Spread across the season: April 10 + uniform steps (~180 days).
+        let opening = Date::new(year, 4, 10).expect("static date");
+        for g in 0..games_this_year {
+            let offset = (g * 170) / games_this_year.max(1);
+            schedule.push(opening.plus_days(offset as i64));
+        }
+    }
+    debug_assert_eq!(schedule.len(), GAMES);
+    schedule
+}
+
+/// Generate the dataset: paper eras planted on the deterministic schedule,
+/// non-era games at the base rate that keeps the overall ratio ≈ 54.27%.
+pub fn generate(rng: &mut impl Rng) -> BaseballDataset {
+    let schedule = build_schedule();
+    // Translate paper eras (dates) into game-index eras.
+    let mut eras: Vec<Era> = Vec::new();
+    let mut era_games = 0usize;
+    let mut era_expected_wins = 0.0f64;
+    for pe in paper_eras() {
+        let lo = schedule.partition_point(|d| *d < pe.start);
+        let hi = schedule.partition_point(|d| *d <= pe.end);
+        assert!(lo < hi, "era {} .. {} matched no games", pe.start, pe.end);
+        eras.push(Era { start: lo, end: hi, win_prob: pe.yankee_win_pct });
+        era_games += hi - lo;
+        era_expected_wins += (hi - lo) as f64 * pe.yankee_win_pct;
+    }
+    // Base rate so that expected overall ratio matches the paper.
+    let rest = (GAMES - era_games) as f64;
+    let base = ((OVERALL_WIN_RATIO * GAMES as f64) - era_expected_wins) / rest;
+    let base = base.clamp(0.01, 0.99);
+    let rivalry = generate_rivalry(GAMES, base, &eras, rng)
+        .expect("schedule is non-empty and eras are disjoint");
+    BaseballDataset { rivalry, schedule }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigstr_gen::seeded_rng;
+
+    #[test]
+    fn schedule_shape() {
+        let schedule = build_schedule();
+        assert_eq!(schedule.len(), GAMES);
+        assert!(schedule.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(schedule[0].year(), FIRST_YEAR);
+        assert_eq!(schedule.last().unwrap().year(), LAST_YEAR);
+    }
+
+    #[test]
+    fn paper_eras_map_to_games() {
+        let ds = generate(&mut seeded_rng(1));
+        for pe in paper_eras() {
+            let range = ds.index_range(pe.start, pe.end);
+            assert!(!range.is_empty(), "era {} empty", pe.start);
+            // The 1924–33 era spans ~9 seasons ⇒ on the order of 170 games.
+            if pe.start.year() == 1924 {
+                assert!(range.len() > 100, "long era too short: {}", range.len());
+            }
+        }
+    }
+
+    #[test]
+    fn overall_ratio_near_paper() {
+        let ds = generate(&mut seeded_rng(2));
+        let ratio = ds.rivalry.win_ratio();
+        assert!(
+            (ratio - OVERALL_WIN_RATIO).abs() < 0.03,
+            "overall ratio {ratio} far from paper's 54.27%"
+        );
+    }
+
+    #[test]
+    fn era_ratios_near_planted_strengths() {
+        let ds = generate(&mut seeded_rng(3));
+        for pe in paper_eras() {
+            let range = ds.index_range(pe.start, pe.end);
+            let got = ds.win_pct(range.clone());
+            assert!(
+                (got - pe.yankee_win_pct).abs() < 0.17,
+                "era {}: ratio {got} vs planted {}",
+                pe.start,
+                pe.yankee_win_pct
+            );
+        }
+    }
+
+    #[test]
+    fn date_index_roundtrips() {
+        let ds = generate(&mut seeded_rng(4));
+        let date = ds.date_of(1000);
+        let idx = ds.index_at_or_after(date);
+        assert!(idx <= 1000);
+        assert_eq!(ds.date_of(idx), date);
+    }
+
+    #[test]
+    fn mss_finds_the_long_dominance_era() {
+        // End-to-end Table-3 behaviour: the strongest patch is the
+        // 1924–1933 Yankee era.
+        let ds = generate(&mut seeded_rng(5));
+        let model = sigstr_core::Model::estimate(&ds.rivalry.outcomes).unwrap();
+        let mss = sigstr_core::find_mss(&ds.rivalry.outcomes, &model).unwrap();
+        let era = ds.index_range(
+            Date::new(1924, 4, 17).unwrap(),
+            Date::new(1933, 6, 6).unwrap(),
+        );
+        // The mined patch must overlap the planted 1924–33 era.
+        let overlap = mss.best.end.min(era.end).saturating_sub(mss.best.start.max(era.start));
+        assert!(
+            overlap as f64 >= 0.3 * era.len() as f64,
+            "mined {}..{} vs era {era:?}",
+            mss.best.start,
+            mss.best.end
+        );
+    }
+}

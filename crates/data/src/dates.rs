@@ -1,0 +1,240 @@
+//! A minimal Gregorian calendar — just enough to map trading days and
+//! game schedules to the `DD-MM-YYYY` dates the paper's tables print.
+//!
+//! Uses Howard Hinnant's `days_from_civil` / `civil_from_days` algorithms
+//! (public domain), exact over the proleptic Gregorian calendar.
+
+use std::fmt;
+
+/// A calendar date.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Date {
+    year: i32,
+    month: u8,
+    day: u8,
+}
+
+impl Date {
+    /// Construct a validated date.
+    pub fn new(year: i32, month: u8, day: u8) -> Option<Self> {
+        if !(1..=12).contains(&month) {
+            return None;
+        }
+        if day == 0 || day > days_in_month(year, month) {
+            return None;
+        }
+        Some(Self { year, month, day })
+    }
+
+    /// Year component.
+    pub fn year(&self) -> i32 {
+        self.year
+    }
+
+    /// Month component (1–12).
+    pub fn month(&self) -> u8 {
+        self.month
+    }
+
+    /// Day component (1–31).
+    pub fn day(&self) -> u8 {
+        self.day
+    }
+
+    /// Days since the civil epoch 1970-01-01 (negative before).
+    pub fn to_epoch_days(&self) -> i64 {
+        days_from_civil(self.year, self.month, self.day)
+    }
+
+    /// Date from days since 1970-01-01.
+    pub fn from_epoch_days(days: i64) -> Self {
+        let (year, month, day) = civil_from_days(days);
+        Self { year, month, day }
+    }
+
+    /// This date plus `days` (may be negative).
+    pub fn plus_days(&self, days: i64) -> Self {
+        Self::from_epoch_days(self.to_epoch_days() + days)
+    }
+
+    /// Signed day difference `self − other`.
+    pub fn days_since(&self, other: &Date) -> i64 {
+        self.to_epoch_days() - other.to_epoch_days()
+    }
+
+    /// Day of week, 0 = Monday … 6 = Sunday.
+    pub fn weekday(&self) -> u8 {
+        // 1970-01-01 was a Thursday (index 3).
+        let days = self.to_epoch_days();
+        (days.rem_euclid(7) as u8 + 3) % 7
+    }
+
+    /// Whether this is a weekend day (Saturday/Sunday).
+    pub fn is_weekend(&self) -> bool {
+        self.weekday() >= 5
+    }
+
+    /// The next weekday (Mon–Fri) strictly after this date.
+    pub fn next_trading_day(&self) -> Self {
+        let mut d = self.plus_days(1);
+        while d.is_weekend() {
+            d = d.plus_days(1);
+        }
+        d
+    }
+}
+
+impl fmt::Display for Date {
+    /// Formats as `DD-MM-YYYY`, the paper's table style.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:02}-{:02}-{:04}", self.day, self.month, self.year)
+    }
+}
+
+/// Whether `year` is a Gregorian leap year.
+pub fn is_leap_year(year: i32) -> bool {
+    year % 4 == 0 && (year % 100 != 0 || year % 400 == 0)
+}
+
+/// Number of days in a month.
+pub fn days_in_month(year: i32, month: u8) -> u8 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap_year(year) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => 0,
+    }
+}
+
+/// Hinnant: days since 1970-01-01 from a civil date.
+fn days_from_civil(y: i32, m: u8, d: u8) -> i64 {
+    let y = i64::from(y) - i64::from(m <= 2);
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let mp = i64::from((m as i32 + 9) % 12); // [0, 11]
+    let doy = (153 * mp + 2) / 5 + i64::from(d) - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146_097 + doe - 719_468
+}
+
+/// Hinnant: civil date from days since 1970-01-01.
+fn civil_from_days(z: i64) -> (i32, u8, u8) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u8; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u8; // [1, 12]
+    ((y + i64::from(m <= 2)) as i32, m, d)
+}
+
+/// Build a trading calendar: `n` consecutive weekdays starting at (or
+/// after) `start`.
+pub fn trading_calendar(start: Date, n: usize) -> Vec<Date> {
+    let mut days = Vec::with_capacity(n);
+    let mut d = if start.is_weekend() { start.next_trading_day() } else { start };
+    for _ in 0..n {
+        days.push(d);
+        d = d.next_trading_day();
+    }
+    days
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_validation() {
+        assert!(Date::new(2024, 2, 29).is_some()); // leap
+        assert!(Date::new(2023, 2, 29).is_none());
+        assert!(Date::new(1900, 2, 29).is_none()); // century, not leap
+        assert!(Date::new(2000, 2, 29).is_some()); // 400-year leap
+        assert!(Date::new(2020, 13, 1).is_none());
+        assert!(Date::new(2020, 0, 1).is_none());
+        assert!(Date::new(2020, 4, 31).is_none());
+        assert!(Date::new(2020, 4, 0).is_none());
+    }
+
+    #[test]
+    fn epoch_roundtrip_across_centuries() {
+        for &(y, m, d) in &[
+            (1901, 4, 17),
+            (1924, 4, 17),
+            (1970, 1, 1),
+            (2000, 2, 29),
+            (2010, 10, 3),
+            (1928, 10, 1),
+        ] {
+            let date = Date::new(y, m, d).unwrap();
+            let back = Date::from_epoch_days(date.to_epoch_days());
+            assert_eq!(date, back);
+        }
+    }
+
+    #[test]
+    fn epoch_reference_values() {
+        assert_eq!(Date::new(1970, 1, 1).unwrap().to_epoch_days(), 0);
+        assert_eq!(Date::new(1970, 1, 2).unwrap().to_epoch_days(), 1);
+        assert_eq!(Date::new(1969, 12, 31).unwrap().to_epoch_days(), -1);
+        assert_eq!(Date::new(2000, 1, 1).unwrap().to_epoch_days(), 10_957);
+    }
+
+    #[test]
+    fn weekdays_known_values() {
+        // 1970-01-01 was a Thursday.
+        assert_eq!(Date::new(1970, 1, 1).unwrap().weekday(), 3);
+        // 2000-01-01 was a Saturday.
+        assert_eq!(Date::new(2000, 1, 1).unwrap().weekday(), 5);
+        assert!(Date::new(2000, 1, 1).unwrap().is_weekend());
+        // 2024-01-01 was a Monday.
+        assert_eq!(Date::new(2024, 1, 1).unwrap().weekday(), 0);
+    }
+
+    #[test]
+    fn trading_day_skips_weekends() {
+        // Friday 2024-01-05 → Monday 2024-01-08.
+        let fri = Date::new(2024, 1, 5).unwrap();
+        assert_eq!(fri.next_trading_day(), Date::new(2024, 1, 8).unwrap());
+    }
+
+    #[test]
+    fn trading_calendar_properties() {
+        let start = Date::new(1950, 1, 3).unwrap();
+        let cal = trading_calendar(start, 500);
+        assert_eq!(cal.len(), 500);
+        assert!(cal.iter().all(|d| !d.is_weekend()));
+        for pair in cal.windows(2) {
+            assert!(pair[1] > pair[0]);
+            let gap = pair[1].days_since(&pair[0]);
+            assert!((1..=3).contains(&gap));
+        }
+        // ~5/7 of calendar days are trading days.
+        let span = cal.last().unwrap().days_since(&cal[0]);
+        assert!((span as f64 / 500.0 - 7.0 / 5.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn display_matches_paper_format() {
+        let d = Date::new(1924, 4, 17).unwrap();
+        assert_eq!(d.to_string(), "17-04-1924");
+    }
+
+    #[test]
+    fn arithmetic() {
+        let d = Date::new(1924, 4, 17).unwrap();
+        assert_eq!(d.plus_days(30), Date::new(1924, 5, 17).unwrap());
+        assert_eq!(d.plus_days(-17), Date::new(1924, 3, 31).unwrap());
+        let e = Date::new(1933, 6, 6).unwrap();
+        assert_eq!(e.days_since(&d), 3_337);
+    }
+}

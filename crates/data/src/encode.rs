@@ -1,0 +1,92 @@
+//! Encoders: turn raw observations into symbol sequences.
+
+use sigstr_core::{Error, Model, Result, Sequence};
+
+/// Encode a price series as the paper's up/down binary string (§7.5.2):
+/// symbol 1 for a day whose close is strictly above the previous close,
+/// 0 otherwise. `prices` must have at least 2 entries (yielding a string
+/// of length `prices.len() − 1`).
+pub fn encode_updown(prices: &[f64]) -> Result<Sequence> {
+    if prices.len() < 2 {
+        return Err(Error::InvalidParameter {
+            what: "prices",
+            details: format!("need at least 2 prices, got {}", prices.len()),
+        });
+    }
+    let symbols: Vec<u8> = prices.windows(2).map(|w| u8::from(w[1] > w[0])).collect();
+    Sequence::from_symbols(symbols, 2)
+}
+
+/// Encode a real-valued series against a fixed set of ascending bucket
+/// boundaries: symbol = number of boundaries strictly below the value.
+/// With `b` boundaries the alphabet size is `b + 1`.
+pub fn encode_buckets(values: &[f64], boundaries: &[f64]) -> Result<Sequence> {
+    if boundaries.is_empty() || boundaries.len() > 255 {
+        return Err(Error::InvalidParameter {
+            what: "boundaries",
+            details: format!("need 1..=255 boundaries, got {}", boundaries.len()),
+        });
+    }
+    if boundaries.windows(2).any(|w| w[0] >= w[1]) {
+        return Err(Error::InvalidParameter {
+            what: "boundaries",
+            details: "boundaries must be strictly ascending".into(),
+        });
+    }
+    let k = boundaries.len() + 1;
+    let symbols: Vec<u8> = values
+        .iter()
+        .map(|&v| boundaries.iter().take_while(|&&b| v > b).count() as u8)
+        .collect();
+    Sequence::from_symbols(symbols, k)
+}
+
+/// The empirical up/down model of a price series (the paper's §7.5.2
+/// "fixed probability … ratio of days on which price went up (or down) to
+/// the total number of trading days").
+pub fn updown_model(prices: &[f64]) -> Result<Model> {
+    let seq = encode_updown(prices)?;
+    Model::estimate(&seq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn updown_basic() {
+        let prices = [10.0, 11.0, 10.5, 10.5, 12.0];
+        let s = encode_updown(&prices).unwrap();
+        // up, down, flat (= down per the paper's "0 otherwise"), up
+        assert_eq!(s.symbols(), &[1, 0, 0, 1]);
+    }
+
+    #[test]
+    fn updown_needs_two_prices() {
+        assert!(encode_updown(&[1.0]).is_err());
+        assert!(encode_updown(&[]).is_err());
+    }
+
+    #[test]
+    fn updown_model_estimates_ratio() {
+        let prices = [1.0, 2.0, 3.0, 2.0, 3.0, 4.0, 5.0, 4.0];
+        // ups: 2,3,_,3,4,5,_ → 5 of 7
+        let m = updown_model(&prices).unwrap();
+        assert!((m.p(1) - 5.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bucket_encoding() {
+        let values = [-1.0, 0.0, 0.5, 2.0, 10.0];
+        let s = encode_buckets(&values, &[0.0, 1.0]).unwrap();
+        assert_eq!(s.k(), 3);
+        assert_eq!(s.symbols(), &[0, 0, 1, 2, 2]);
+    }
+
+    #[test]
+    fn bucket_validation() {
+        assert!(encode_buckets(&[1.0], &[]).is_err());
+        assert!(encode_buckets(&[1.0], &[2.0, 1.0]).is_err());
+        assert!(encode_buckets(&[1.0], &[1.0, 1.0]).is_err());
+    }
+}

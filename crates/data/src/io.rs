@@ -1,0 +1,125 @@
+//! Plain-text loaders: bring your own series or symbol strings.
+//!
+//! Minimal, dependency-free parsers for the two inputs a user of this
+//! library actually has: a numeric series (one value per line, or one
+//! column of a delimited file) and a raw symbol string.
+
+use sigstr_core::{Error, Result, Sequence};
+
+/// Parse a numeric series: one value per line; blank lines and lines
+/// starting with `#` are skipped. Fails on the first non-numeric line.
+pub fn parse_series(text: &str) -> Result<Vec<f64>> {
+    let mut values = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        match trimmed.parse::<f64>() {
+            Ok(v) if v.is_finite() => values.push(v),
+            _ => {
+                return Err(Error::InvalidParameter {
+                    what: "series",
+                    details: format!("line {}: `{trimmed}` is not a finite number", lineno + 1),
+                })
+            }
+        }
+    }
+    Ok(values)
+}
+
+/// Parse one column (0-based) of a delimited file (delimiter `,`, `;` or
+/// tab, auto-detected per line). Non-numeric cells in the chosen column —
+/// e.g. a header row — are skipped.
+pub fn parse_column(text: &str, column: usize) -> Result<Vec<f64>> {
+    let mut values = Vec::new();
+    for line in text.lines() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let cells: Vec<&str> = trimmed
+            .split([',', ';', '\t'])
+            .map(str::trim)
+            .collect();
+        if let Some(cell) = cells.get(column) {
+            if let Ok(v) = cell.parse::<f64>() {
+                if v.is_finite() {
+                    values.push(v);
+                }
+            }
+        }
+    }
+    if values.is_empty() {
+        return Err(Error::InvalidParameter {
+            what: "column",
+            details: format!("no numeric values found in column {column}"),
+        });
+    }
+    Ok(values)
+}
+
+/// Parse a symbol string from text: every non-whitespace byte is a symbol;
+/// distinct bytes map to the dense alphabet in first-appearance order.
+/// Returns the sequence and the byte alphabet.
+pub fn parse_symbols(text: &str) -> Result<(Sequence, Vec<u8>)> {
+    let cleaned: Vec<u8> = text
+        .bytes()
+        .filter(|b| !b.is_ascii_whitespace())
+        .collect();
+    Sequence::from_text(&cleaned)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_basic() {
+        let v = parse_series("1.5\n2\n# comment\n\n-3.25\n").unwrap();
+        assert_eq!(v, vec![1.5, 2.0, -3.25]);
+    }
+
+    #[test]
+    fn series_rejects_junk() {
+        let err = parse_series("1.0\nabc\n").unwrap_err();
+        assert!(err.to_string().contains("line 2"));
+        assert!(parse_series("inf\n").is_err());
+        assert!(parse_series("nan\n").is_err());
+    }
+
+    #[test]
+    fn column_with_header_and_mixed_delimiters() {
+        let text = "date,close\n2020-01-01,100.5\n2020-01-02,101.25\n2020-01-03;99.0\n";
+        let v = parse_column(text, 1).unwrap();
+        assert_eq!(v, vec![100.5, 101.25, 99.0]);
+    }
+
+    #[test]
+    fn column_missing_is_error() {
+        assert!(parse_column("a,b\nc,d\n", 5).is_err());
+        assert!(parse_column("", 0).is_err());
+    }
+
+    #[test]
+    fn symbols_roundtrip() {
+        let (seq, alphabet) = parse_symbols("ab ba\ncb").unwrap();
+        assert_eq!(alphabet, vec![b'a', b'b', b'c']);
+        assert_eq!(seq.symbols(), &[0, 1, 1, 0, 2, 1]);
+        assert!(parse_symbols("aaaa").is_err());
+    }
+
+    #[test]
+    fn end_to_end_series_to_mss() {
+        // Parse → encode → estimate → mine, all from text.
+        let text = "100\n101\n102\n103\n104\n105\n104\n103\n104\n103\n102\n103\n";
+        let prices = parse_series(text).unwrap();
+        let seq = crate::encode::encode_updown(&prices).unwrap();
+        let model = sigstr_core::Model::estimate(&seq).unwrap();
+        let mss = sigstr_core::find_mss(&seq, &model).unwrap();
+        // Down-days are the rarer symbol (4 of 11), so the down-heavy
+        // stretch starting at move 5 is the most significant period.
+        assert!(mss.best.start >= 5, "mss at {}..{}", mss.best.start, mss.best.end);
+        assert!(mss.best.chi_square > 3.0);
+    }
+}

@@ -1,0 +1,30 @@
+//! Dataset substrate for the `sigstr` reproduction.
+//!
+//! Real-world inputs in the paper's §7.5 are a century of baseball
+//! outcomes and three long daily price series. This crate provides:
+//!
+//! * [`dates`] — a minimal Gregorian calendar (trading days, `DD-MM-YYYY`
+//!   formatting) so mined ranges print like the paper's tables.
+//! * [`encode`] — observation→symbol encoders (up/down price strings,
+//!   bucket quantization) and empirical model estimation.
+//! * [`baseball`] — the synthetic Yankees–Red-Sox rivalry with the paper's
+//!   Table-3 eras planted at their historical dates.
+//! * [`stocks`] — synthetic Dow Jones / S&P 500 / IBM walks with the
+//!   paper's Table-5 drift regimes planted at their historical dates.
+//! * [`io`] — dependency-free text loaders (numeric series, delimited
+//!   columns, symbol strings).
+//!
+//! The substitution rationale (what the paper used → what we build → why
+//! the behaviour is preserved) is documented in `DESIGN.md` §5.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod baseball;
+pub mod dates;
+pub mod encode;
+pub mod io;
+pub mod stocks;
+
+pub use dates::Date;
+pub use encode::{encode_updown, updown_model};

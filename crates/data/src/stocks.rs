@@ -1,0 +1,271 @@
+//! The synthetic securities datasets (paper §7.5.2 substitute).
+//!
+//! The paper mines the up/down strings of three long daily series:
+//! Dow Jones (20906 days from 1928), S&P 500 (15600 days from 1950) and
+//! IBM (12517 days from 1962), reporting the good/bad periods of its
+//! Table 5. Offline, we synthesize geometric random walks of the same
+//! lengths with **drift regimes planted at the paper's Table-5 periods**,
+//! calibrated so each regime reproduces the paper's reported price change.
+//! The mining pipeline is identical to the paper's: encode up/down,
+//! estimate the empirical model, mine.
+
+use rand::Rng;
+
+use sigstr_core::{Model, Sequence};
+use sigstr_gen::walk::{generate_prices, PriceSeries, Regime};
+
+use crate::dates::{trading_calendar, Date};
+use crate::encode::encode_updown;
+
+/// A drift regime specified in calendar dates with a target total change.
+#[derive(Debug, Clone, Copy)]
+pub struct PaperRegime {
+    /// Regime start date (paper Table 5 "Start").
+    pub start: Date,
+    /// Regime end date (paper Table 5 "End").
+    pub end: Date,
+    /// Target relative change over the regime (e.g. `0.681` = +68.1%).
+    pub change: f64,
+}
+
+/// Specification of one synthetic security.
+#[derive(Debug, Clone)]
+pub struct StockSpec {
+    /// Security name as printed in the tables.
+    pub name: &'static str,
+    /// Number of trading days.
+    pub days: usize,
+    /// First trading day.
+    pub first_day: Date,
+    /// Daily move size (geometric step).
+    pub step: f64,
+    /// Up-day probability outside regimes.
+    pub base_up: f64,
+    /// The planted regimes.
+    pub regimes: Vec<PaperRegime>,
+}
+
+/// A generated security: prices, calendar, up/down string and empirical
+/// model.
+#[derive(Debug, Clone)]
+pub struct StockDataset {
+    /// The specification this dataset was generated from.
+    pub spec: StockSpec,
+    /// The price series (length `days + 1`).
+    pub series: PriceSeries,
+    /// Trading-day calendar (length `days + 1`; entry `i` is the date of
+    /// price `i`, so move `i` happens on calendar day `i + 1`).
+    pub calendar: Vec<Date>,
+    /// The up/down string (length `days`).
+    pub updown: Sequence,
+    /// The empirical Bernoulli model of the up/down string.
+    pub model: Model,
+}
+
+impl StockDataset {
+    /// Date of daily move `index` (the day the price changed).
+    pub fn date_of_move(&self, index: usize) -> Date {
+        self.calendar[index + 1]
+    }
+
+    /// Index range of moves between two dates (inclusive).
+    pub fn move_range(&self, start: Date, end: Date) -> std::ops::Range<usize> {
+        let lo = self.calendar.partition_point(|d| *d < start).saturating_sub(1);
+        let hi = self.calendar.partition_point(|d| *d <= end).saturating_sub(1);
+        lo..hi.max(lo)
+    }
+
+    /// Relative price change over a move range (Table 5 "Change" column).
+    pub fn change(&self, range: std::ops::Range<usize>) -> f64 {
+        self.series.change(range.start, range.end)
+    }
+}
+
+/// Dow Jones Industrial Average: 20906 days from 1928 (paper §7.5.2),
+/// with the four Dow regimes of Table 5.
+pub fn dow_spec() -> StockSpec {
+    let d = |y, m, day| Date::new(y, m, day).expect("static date");
+    StockSpec {
+        name: "Dow Jones",
+        days: 20_906,
+        first_day: d(1928, 10, 1),
+        step: 0.008,
+        base_up: 0.52,
+        regimes: vec![
+            PaperRegime { start: d(1954, 2, 24), end: d(1955, 12, 6), change: 0.681 },
+            PaperRegime { start: d(1958, 6, 25), end: d(1959, 8, 4), change: 0.4352 },
+            PaperRegime { start: d(1931, 2, 27), end: d(1932, 5, 4), change: -0.7117 },
+            PaperRegime { start: d(1929, 9, 19), end: d(1929, 11, 14), change: -0.4127 },
+        ],
+    }
+}
+
+/// S&P 500: 15600 days from 1950, with the four S&P regimes of Table 5.
+pub fn sp500_spec() -> StockSpec {
+    let d = |y, m, day| Date::new(y, m, day).expect("static date");
+    StockSpec {
+        name: "S&P 500",
+        days: 15_600,
+        first_day: d(1950, 1, 3),
+        step: 0.008,
+        base_up: 0.52,
+        regimes: vec![
+            PaperRegime { start: d(1953, 9, 15), end: d(1955, 9, 20), change: 0.9707 },
+            PaperRegime { start: d(1994, 12, 9), end: d(1995, 5, 17), change: 0.1792 },
+            PaperRegime { start: d(1973, 10, 26), end: d(1974, 11, 21), change: -0.3979 },
+            PaperRegime { start: d(2000, 9, 5), end: d(2003, 3, 12), change: -0.4624 },
+        ],
+    }
+}
+
+/// IBM common stock: 12517 days from 1962, with the four IBM regimes of
+/// Table 5.
+pub fn ibm_spec() -> StockSpec {
+    let d = |y, m, day| Date::new(y, m, day).expect("static date");
+    StockSpec {
+        name: "IBM",
+        days: 12_517,
+        first_day: d(1962, 1, 2),
+        step: 0.010,
+        base_up: 0.52,
+        regimes: vec![
+            PaperRegime { start: d(1970, 8, 13), end: d(1970, 10, 6), change: 0.376 },
+            PaperRegime { start: d(1962, 10, 26), end: d(1968, 1, 26), change: 2.52 },
+            PaperRegime { start: d(2005, 3, 31), end: d(2005, 4, 20), change: -0.212 },
+            PaperRegime { start: d(1973, 2, 22), end: d(1975, 8, 13), change: -0.4691 },
+        ],
+    }
+}
+
+/// All three securities in paper order.
+pub fn all_specs() -> Vec<StockSpec> {
+    vec![dow_spec(), sp500_spec(), ibm_spec()]
+}
+
+/// The up probability that produces `change` over `days` moves of size
+/// `step` in expectation: solve `(1+δ)^u (1−δ)^{d−u} = 1 + change` for the
+/// up-day count `u`, then `p = u/d` (clamped inside `(0.02, 0.98)`).
+fn up_prob_for_change(change: f64, days: usize, step: f64) -> f64 {
+    let d = days as f64;
+    let up = (1.0 + step).ln();
+    let down = (1.0 - step).ln();
+    let u = ((1.0 + change).ln() - d * down) / (up - down);
+    (u / d).clamp(0.02, 0.98)
+}
+
+/// Generate a security dataset from a spec.
+pub fn generate(spec: &StockSpec, rng: &mut impl Rng) -> StockDataset {
+    let calendar = trading_calendar(spec.first_day, spec.days + 1);
+    // Translate date regimes into move-index regimes with calibrated
+    // probabilities. Move i changes price i → i+1 and lands on calendar
+    // day i+1; a date range [start, end] covers moves whose landing day is
+    // inside it.
+    let mut regimes: Vec<Regime> = Vec::new();
+    for pr in &spec.regimes {
+        let lo = calendar.partition_point(|d| *d < pr.start).saturating_sub(1);
+        let hi = calendar.partition_point(|d| *d <= pr.end).saturating_sub(1);
+        assert!(lo < hi, "regime {} .. {} matched no trading days", pr.start, pr.end);
+        let up_prob = up_prob_for_change(pr.change, hi - lo, spec.step);
+        regimes.push(Regime { start: lo, end: hi, up_prob });
+    }
+    regimes.sort_by_key(|r| r.start);
+    let series = generate_prices(spec.days, 100.0, spec.step, spec.base_up, &regimes, rng);
+    let updown = encode_updown(&series.prices).expect("series has >= 2 prices");
+    let model = Model::estimate(&updown).expect("both ups and downs occur");
+    StockDataset { spec: spec.clone(), series, calendar, updown, model }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigstr_gen::seeded_rng;
+
+    #[test]
+    fn specs_have_paper_lengths() {
+        assert_eq!(dow_spec().days, 20_906);
+        assert_eq!(sp500_spec().days, 15_600);
+        assert_eq!(ibm_spec().days, 12_517);
+        assert_eq!(all_specs().len(), 3);
+    }
+
+    #[test]
+    fn up_prob_calibration_is_sane() {
+        // A +68% change over ~450 trading days at 0.8% steps needs a
+        // modestly bullish probability.
+        let p = up_prob_for_change(0.681, 450, 0.008);
+        assert!(p > 0.55 && p < 0.75, "p = {p}");
+        // A −71% crash needs a strongly bearish one.
+        let q = up_prob_for_change(-0.7117, 300, 0.008);
+        assert!(q < 0.35, "q = {q}");
+        // Extreme targets clamp.
+        assert!(up_prob_for_change(100.0, 10, 0.008) <= 0.98);
+        assert!(up_prob_for_change(-0.9999, 10, 0.008) >= 0.02);
+    }
+
+    #[test]
+    fn generated_dataset_shape() {
+        let ds = generate(&sp500_spec(), &mut seeded_rng(1));
+        assert_eq!(ds.series.days(), 15_600);
+        assert_eq!(ds.calendar.len(), 15_601);
+        assert_eq!(ds.updown.len(), 15_600);
+        assert_eq!(ds.model.k(), 2);
+        // The calendar spans 1950 to roughly 2010 (15600 trading days
+        // ≈ 60 years).
+        assert_eq!(ds.calendar[0].year(), 1950);
+        let last = ds.calendar.last().unwrap().year();
+        assert!((2009..=2012).contains(&last), "last year {last}");
+    }
+
+    #[test]
+    fn regimes_reproduce_target_changes_roughly() {
+        let spec = dow_spec();
+        let ds = generate(&spec, &mut seeded_rng(7));
+        for pr in &spec.regimes {
+            let range = ds.move_range(pr.start, pr.end);
+            let got = ds.change(range.clone());
+            // Multiplicative tolerance: the sampled walk fluctuates around
+            // the calibrated drift.
+            let got_log = (1.0 + got).ln();
+            let want_log = (1.0 + pr.change).ln();
+            assert!(
+                (got_log - want_log).abs() < 0.35,
+                "{}: regime {} change {got:.3} vs target {:.3}",
+                spec.name,
+                pr.start,
+                pr.change
+            );
+        }
+    }
+
+    #[test]
+    fn crash_regime_is_mined_as_significant() {
+        // End-to-end Table-5 behaviour on the S&P: the 1973–74 crash or
+        // the 1953–55 boom must surface among the top patches.
+        let spec = sp500_spec();
+        let ds = generate(&spec, &mut seeded_rng(3));
+        let top = sigstr_core::top_t(&ds.updown, &ds.model, 5).unwrap();
+        let crash = ds.move_range(
+            Date::new(1973, 10, 26).unwrap(),
+            Date::new(1974, 11, 21).unwrap(),
+        );
+        let boom = ds.move_range(
+            Date::new(1953, 9, 15).unwrap(),
+            Date::new(1955, 9, 20).unwrap(),
+        );
+        let hits = top.items.iter().any(|s| {
+            let overlap_crash = s.end.min(crash.end).saturating_sub(s.start.max(crash.start));
+            let overlap_boom = s.end.min(boom.end).saturating_sub(s.start.max(boom.start));
+            overlap_crash as f64 > 0.25 * crash.len() as f64
+                || overlap_boom as f64 > 0.25 * boom.len() as f64
+        });
+        assert!(hits, "no top-5 patch overlaps a planted regime");
+    }
+
+    #[test]
+    fn deterministic_with_seed() {
+        let a = generate(&ibm_spec(), &mut seeded_rng(9));
+        let b = generate(&ibm_spec(), &mut seeded_rng(9));
+        assert_eq!(a.series.prices, b.series.prices);
+        assert_eq!(a.updown, b.updown);
+    }
+}

@@ -1,0 +1,90 @@
+//! Dataset-level integration tests: the synthetic application datasets
+//! must reproduce the paper's table structures end to end.
+
+use sigstr_core::{find_mss, Model};
+use sigstr_data::baseball::{self, paper_eras};
+use sigstr_data::dates::Date;
+use sigstr_data::stocks;
+use sigstr_gen::seeded_rng;
+
+#[test]
+fn baseball_all_planted_eras_are_locally_dominant() {
+    let ds = baseball::generate(&mut seeded_rng(0xDA7A));
+    for era in paper_eras() {
+        let range = ds.index_range(era.start, era.end);
+        let got = ds.win_pct(range.clone());
+        // Eras with win_prob far from the base rate must show up in the
+        // realized win percentage, on the correct side of 50%.
+        if era.yankee_win_pct > 0.6 {
+            assert!(got > 0.6, "era {}: ratio {got}", era.start);
+        }
+        if era.yankee_win_pct < 0.4 {
+            assert!(got < 0.4, "era {}: ratio {got}", era.start);
+        }
+    }
+}
+
+#[test]
+fn baseball_reruns_are_deterministic_per_seed() {
+    let a = baseball::generate(&mut seeded_rng(1));
+    let b = baseball::generate(&mut seeded_rng(1));
+    assert_eq!(a.rivalry.outcomes, b.rivalry.outcomes);
+    let c = baseball::generate(&mut seeded_rng(2));
+    assert_ne!(a.rivalry.outcomes, c.rivalry.outcomes);
+}
+
+#[test]
+fn stock_calendars_are_consistent() {
+    for spec in stocks::all_specs() {
+        let ds = stocks::generate(&spec, &mut seeded_rng(7));
+        // Calendar is strictly increasing and all weekdays.
+        for pair in ds.calendar.windows(2) {
+            assert!(pair[1] > pair[0]);
+            assert!(!pair[1].is_weekend());
+        }
+        // Move dates round-trip through the range query.
+        let probe = ds.date_of_move(ds.updown.len() / 2);
+        let range = ds.move_range(probe, probe);
+        assert!(!range.is_empty());
+        assert_eq!(ds.date_of_move(range.start), probe);
+    }
+}
+
+#[test]
+fn dow_1931_crash_is_the_dominant_period() {
+    // The Dow's deepest planted regime (−71% over 1931–32) must be the
+    // MSS of the up/down string, as in the paper's Table 6.
+    let ds = stocks::generate(&stocks::dow_spec(), &mut seeded_rng(0x0D0));
+    let mss = find_mss(&ds.updown, &ds.model).unwrap();
+    let crash = ds.move_range(
+        Date::new(1931, 2, 27).unwrap(),
+        Date::new(1932, 5, 4).unwrap(),
+    );
+    let overlap = mss.best.end.min(crash.end).saturating_sub(mss.best.start.max(crash.start));
+    assert!(
+        overlap as f64 > 0.5 * crash.len() as f64,
+        "MSS {}..{} does not cover the 1931-32 crash {crash:?}",
+        mss.best.start,
+        mss.best.end
+    );
+    // And the mined period is a loss period.
+    assert!(ds.change(mss.best.start..mss.best.end) < -0.3);
+}
+
+#[test]
+fn empirical_models_are_mildly_bullish() {
+    // Base up-probability is 0.52 with mostly-bullish regimes, so the
+    // estimated up-probability must exceed one half.
+    for spec in stocks::all_specs() {
+        let ds = stocks::generate(&spec, &mut seeded_rng(3));
+        assert!(ds.model.p(1) > 0.5, "{}: p_up = {}", spec.name, ds.model.p(1));
+        assert!(ds.model.p(1) < 0.6);
+    }
+}
+
+#[test]
+fn updown_model_consistency_with_core_estimate() {
+    let ds = stocks::generate(&stocks::ibm_spec(), &mut seeded_rng(4));
+    let direct = Model::estimate(&ds.updown).unwrap();
+    assert!((direct.p(1) - ds.model.p(1)).abs() < 1e-12);
+}

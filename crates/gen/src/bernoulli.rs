@@ -1,0 +1,95 @@
+//! I.i.d. (memoryless Bernoulli) string generation — the paper's null
+//! model source.
+
+use rand::Rng;
+use sigstr_core::{Model, Result, Sequence};
+
+/// Sample one symbol from a model using a uniform draw.
+#[inline]
+pub fn sample_symbol(model: &Model, rng: &mut impl Rng) -> u8 {
+    let mut u: f64 = rng.gen();
+    for (c, &p) in model.probs().iter().enumerate() {
+        if u < p {
+            return c as u8;
+        }
+        u -= p;
+    }
+    // Floating-point underflow at the boundary: return the last symbol.
+    (model.k() - 1) as u8
+}
+
+/// Generate an i.i.d. string of length `n` from `model` (paper: "each
+/// character … generated independently from the underlying distribution
+/// using the standard uniform (0,1) random number generator").
+pub fn generate_iid(n: usize, model: &Model, rng: &mut impl Rng) -> Result<Sequence> {
+    let symbols: Vec<u8> = (0..n).map(|_| sample_symbol(model, rng)).collect();
+    Sequence::from_symbols(symbols, model.k())
+}
+
+/// Convenience: uniform null-model string over alphabet `k`.
+pub fn generate_null(n: usize, k: usize, rng: &mut impl Rng) -> Result<Sequence> {
+    generate_iid(n, &Model::uniform(k)?, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeded_rng;
+
+    #[test]
+    fn generates_requested_length_and_alphabet() {
+        let mut rng = seeded_rng(1);
+        let model = Model::uniform(4).unwrap();
+        let s = generate_iid(1000, &model, &mut rng).unwrap();
+        assert_eq!(s.len(), 1000);
+        assert_eq!(s.k(), 4);
+        assert!(s.symbols().iter().all(|&c| c < 4));
+    }
+
+    #[test]
+    fn empirical_frequencies_near_model() {
+        let mut rng = seeded_rng(7);
+        let model = Model::from_probs(vec![0.1, 0.2, 0.7]).unwrap();
+        let n = 50_000;
+        let s = generate_iid(n, &model, &mut rng).unwrap();
+        let counts = s.count_vector(0, n);
+        for (c, &count) in counts.iter().enumerate() {
+            let freq = f64::from(count) / n as f64;
+            assert!(
+                (freq - model.p(c)).abs() < 0.01,
+                "char {c}: freq {freq} vs p {}",
+                model.p(c)
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let model = Model::uniform(2).unwrap();
+        let a = generate_iid(100, &model, &mut seeded_rng(42)).unwrap();
+        let b = generate_iid(100, &model, &mut seeded_rng(42)).unwrap();
+        assert_eq!(a, b);
+        let c = generate_iid(100, &model, &mut seeded_rng(43)).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn null_string_passes_chi_square_sanity() {
+        // The full-string X² of a null sample should look like a χ²(k−1)
+        // draw — tiny compared with an anomalous string.
+        let mut rng = seeded_rng(3);
+        let s = generate_null(20_000, 2, &mut rng).unwrap();
+        let model = Model::uniform(2).unwrap();
+        let counts = s.count_vector(0, s.len());
+        let x2 = sigstr_core::chi_square_counts(&counts, &model);
+        // P[χ²(1) > 15] ≈ 1e-4; a seeded draw sits far below.
+        assert!(x2 < 15.0, "suspicious null string: X² = {x2}");
+    }
+
+    #[test]
+    fn zero_length_rejected() {
+        let mut rng = seeded_rng(0);
+        let model = Model::uniform(2).unwrap();
+        assert!(generate_iid(0, &model, &mut rng).is_err());
+    }
+}

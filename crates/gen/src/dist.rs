@@ -1,0 +1,111 @@
+//! The multinomial distribution families of the paper's experiments
+//! (§7.1.2).
+
+use sigstr_core::{Model, Result};
+
+/// The uniform distribution over `k` characters — the paper's null model
+/// for synthetic strings ("a memoryless Bernoulli source where the
+/// multinomial probabilities of all the characters are equal").
+pub fn uniform(k: usize) -> Result<Model> {
+    Model::uniform(k)
+}
+
+/// Geometric distribution: `p_i ∝ 1/2^i` (paper §7.1.2 (a)).
+pub fn geometric(k: usize) -> Result<Model> {
+    weights_to_model((0..k).map(|i| 0.5f64.powi(i as i32)))
+}
+
+/// Harmonic distribution: `p_i ∝ 1/i` (paper §7.1.2 (b); the figure
+/// legend's "Zapian" is this family — Zipf with exponent 1).
+pub fn harmonic(k: usize) -> Result<Model> {
+    zipf(k, 1.0)
+}
+
+/// Zipf distribution with exponent `s`: `p_i ∝ 1/i^s` for ranks
+/// `i = 1..=k`.
+pub fn zipf(k: usize, s: f64) -> Result<Model> {
+    weights_to_model((1..=k).map(move |i| (i as f64).powf(-s)))
+}
+
+/// Normalize raw positive weights into a [`Model`].
+pub fn weights_to_model(weights: impl IntoIterator<Item = f64>) -> Result<Model> {
+    let weights: Vec<f64> = weights.into_iter().collect();
+    let total: f64 = weights.iter().sum();
+    Model::from_probs(weights.into_iter().map(|w| w / total).collect())
+}
+
+/// The Figure-3 family `S1`: `k = 3`, `P = {p₀, 0.5 − p₀, 0.5}`.
+pub fn fig3_s1(p0: f64) -> Result<Model> {
+    Model::from_probs(vec![p0, 0.5 - p0, 0.5])
+}
+
+/// The Figure-3 family `S2`: `k = 5`, `P = {p₀, 0.5 − p₀, 0.1, 0.2, 0.2}`.
+pub fn fig3_s2(p0: f64) -> Result<Model> {
+    Model::from_probs(vec![p0, 0.5 - p0, 0.1, 0.2, 0.2])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_probs_sum_to_one(m: &Model) {
+        let total: f64 = m.probs().iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_halves() {
+        let m = geometric(4).unwrap();
+        assert_probs_sum_to_one(&m);
+        for i in 0..3 {
+            assert!((m.p(i) / m.p(i + 1) - 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn harmonic_ratios() {
+        let m = harmonic(5).unwrap();
+        assert_probs_sum_to_one(&m);
+        // p_1/p_2 = 2, p_1/p_3 = 3, …
+        for i in 1..5 {
+            assert!((m.p(0) / m.p(i) - (i + 1) as f64).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn zipf_generalizes_harmonic_and_uniform() {
+        let h = harmonic(6).unwrap();
+        let z1 = zipf(6, 1.0).unwrap();
+        for i in 0..6 {
+            assert!((h.p(i) - z1.p(i)).abs() < 1e-12);
+        }
+        let z0 = zipf(6, 0.0).unwrap();
+        let u = uniform(6).unwrap();
+        for i in 0..6 {
+            assert!((z0.p(i) - u.p(i)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fig3_families_valid_in_paper_range() {
+        // Paper sweeps p₀ ∈ {0.05 .. 0.25}.
+        for i in 1..=5 {
+            let p0 = 0.05 * i as f64;
+            let s1 = fig3_s1(p0).unwrap();
+            assert_eq!(s1.k(), 3);
+            assert_probs_sum_to_one(&s1);
+            let s2 = fig3_s2(p0).unwrap();
+            assert_eq!(s2.k(), 5);
+            assert_probs_sum_to_one(&s2);
+        }
+        // p₀ = 0.5 would zero out the second character.
+        assert!(fig3_s1(0.5).is_err());
+    }
+
+    #[test]
+    fn degenerate_weights_rejected() {
+        assert!(weights_to_model([1.0]).is_err());
+        assert!(weights_to_model([1.0, 0.0]).is_err());
+        assert!(geometric(1).is_err());
+    }
+}

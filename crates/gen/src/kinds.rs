@@ -1,0 +1,97 @@
+//! The string taxonomy of the paper's Figure 4 behind one enum.
+
+use rand::Rng;
+use sigstr_core::{Result, Sequence};
+
+use crate::{bernoulli, dist, markov};
+
+/// The input-string families compared in the paper's §7.1.2 / Figure 4.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StringKind {
+    /// Null model: i.i.d. uniform (equal multinomial probabilities).
+    Null,
+    /// I.i.d. with geometrically decaying probabilities (`p_i ∝ 1/2^i`).
+    Geometric,
+    /// I.i.d. with harmonically decaying probabilities (`p_i ∝ 1/i`) —
+    /// the figure's "Zapian" (Zipf, exponent 1).
+    Harmonic,
+    /// I.i.d. Zipf with a configurable exponent.
+    Zipf(f64),
+    /// First-order Markov chain with `q_{ij} ∝ 1/2^{(i−j) mod k}`.
+    Markov,
+}
+
+impl StringKind {
+    /// Generate a string of this kind.
+    pub fn generate(self, n: usize, k: usize, rng: &mut impl Rng) -> Result<Sequence> {
+        match self {
+            StringKind::Null => bernoulli::generate_iid(n, &dist::uniform(k)?, rng),
+            StringKind::Geometric => bernoulli::generate_iid(n, &dist::geometric(k)?, rng),
+            StringKind::Harmonic => bernoulli::generate_iid(n, &dist::harmonic(k)?, rng),
+            StringKind::Zipf(s) => bernoulli::generate_iid(n, &dist::zipf(k, s)?, rng),
+            StringKind::Markov => markov::generate_paper_markov(n, k, rng),
+        }
+    }
+
+    /// Display label matching the paper's figure legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            StringKind::Null => "Null",
+            StringKind::Geometric => "Geometric",
+            StringKind::Harmonic => "Zipfian",
+            StringKind::Zipf(_) => "Zipf",
+            StringKind::Markov => "Markov",
+        }
+    }
+
+    /// The four families of Figure 4, in legend order.
+    pub fn figure4() -> [StringKind; 4] {
+        [
+            StringKind::Null,
+            StringKind::Geometric,
+            StringKind::Harmonic,
+            StringKind::Markov,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeded_rng;
+
+    #[test]
+    fn all_kinds_generate() {
+        let mut rng = seeded_rng(1);
+        for kind in [
+            StringKind::Null,
+            StringKind::Geometric,
+            StringKind::Harmonic,
+            StringKind::Zipf(1.5),
+            StringKind::Markov,
+        ] {
+            let s = kind.generate(500, 5, &mut rng).unwrap();
+            assert_eq!(s.len(), 500);
+            assert_eq!(s.k(), 5);
+        }
+    }
+
+    #[test]
+    fn labels_match_legends() {
+        assert_eq!(StringKind::Null.label(), "Null");
+        assert_eq!(StringKind::Geometric.label(), "Geometric");
+        assert_eq!(StringKind::Harmonic.label(), "Zipfian");
+        assert_eq!(StringKind::Markov.label(), "Markov");
+        assert_eq!(StringKind::figure4().len(), 4);
+    }
+
+    #[test]
+    fn geometric_skews_toward_first_symbol() {
+        let mut rng = seeded_rng(6);
+        let s = StringKind::Geometric.generate(20_000, 4, &mut rng).unwrap();
+        let counts = s.count_vector(0, s.len());
+        assert!(counts[0] > counts[1]);
+        assert!(counts[1] > counts[2]);
+        assert!(counts[2] > counts[3]);
+    }
+}

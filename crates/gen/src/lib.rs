@@ -1,0 +1,43 @@
+//! Workload generators for significant-substring mining.
+//!
+//! Everything the paper's experiments need to synthesize (§7):
+//!
+//! * [`dist`] — the multinomial distributions of §7.1.2: uniform (the null
+//!   model), geometric (`p_i ∝ 1/2^i`), harmonic (`p_i ∝ 1/i`) and the
+//!   general Zipf family.
+//! * [`bernoulli`] — i.i.d. strings from any [`sigstr_core::Model`].
+//! * [`markov`] — Markov-chain strings: the paper's §7.1.2 process
+//!   (`q_{ij} ∝ 1/2^{(i−j) mod k}`) and the binary persistence chain used
+//!   by the §7.4 cryptology study.
+//! * [`anomaly`] — splice anomalous segments into a background string,
+//!   keeping the ground truth for recovery tests.
+//! * [`walk`] — random-walk price series with drift regimes (the §7.5.2
+//!   stock substitute).
+//! * [`sports`] — win/loss sequences with dominance eras (the §7.5.1
+//!   baseball substitute).
+//! * [`kinds`] — the string taxonomy of Figure 4 behind one enum.
+//!
+//! All generators take `&mut impl Rng`; deterministic experiments seed a
+//! `StdRng` via [`seeded_rng`].
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod anomaly;
+pub mod bernoulli;
+pub mod dist;
+pub mod kinds;
+pub mod markov;
+pub mod sports;
+pub mod walk;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A deterministic RNG for reproducible experiments.
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+pub use bernoulli::generate_iid;
+pub use kinds::StringKind;

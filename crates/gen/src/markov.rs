@@ -1,0 +1,111 @@
+//! Markov-chain string generation (paper §7.1.2 type (c) and §7.4).
+
+use rand::Rng;
+use sigstr_core::markov::TransitionModel;
+use sigstr_core::{Result, Sequence};
+
+/// Generate a string of length `n` from a first-order Markov chain.
+///
+/// The first symbol is drawn uniformly; each subsequent symbol from the
+/// transition row of its predecessor.
+pub fn generate_markov(n: usize, tm: &TransitionModel, rng: &mut impl Rng) -> Result<Sequence> {
+    let k = tm.k();
+    if n == 0 {
+        return Sequence::from_symbols(Vec::new(), k); // EmptySequence error
+    }
+    let mut symbols = Vec::with_capacity(n);
+    let mut prev = rng.gen_range(0..k);
+    symbols.push(prev as u8);
+    for _ in 1..n {
+        let mut u: f64 = rng.gen();
+        let mut next = k - 1;
+        for b in 0..k {
+            let q = tm.q(prev, b);
+            if u < q {
+                next = b;
+                break;
+            }
+            u -= q;
+        }
+        symbols.push(next as u8);
+        prev = next;
+    }
+    Sequence::from_symbols(symbols, k)
+}
+
+/// The paper's Markov string (§7.1.2 (c)): state transition probability of
+/// `a_j` following `a_i` proportional to `1/2^{(i−j) mod k}`.
+pub fn generate_paper_markov(n: usize, k: usize, rng: &mut impl Rng) -> Result<Sequence> {
+    let tm = TransitionModel::paper_process(k)?;
+    generate_markov(n, &tm, rng)
+}
+
+/// Binary string from a persistence chain: the next symbol repeats the
+/// previous one with probability `p` (paper §7.4 — an "inefficient RNG"
+/// whose hidden correlation the MSS should expose; `p = 0.5` is a perfect
+/// RNG).
+pub fn generate_binary_persistence(n: usize, p: f64, rng: &mut impl Rng) -> Result<Sequence> {
+    let tm = TransitionModel::binary_persistence(p)?;
+    generate_markov(n, &tm, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeded_rng;
+
+    #[test]
+    fn persistence_bias_shows_in_run_lengths() {
+        let mut rng = seeded_rng(11);
+        let n = 20_000;
+        let sticky = generate_binary_persistence(n, 0.8, &mut rng).unwrap();
+        let fair = generate_binary_persistence(n, 0.5, &mut rng).unwrap();
+        let repeats = |s: &Sequence| -> usize {
+            s.symbols().windows(2).filter(|w| w[0] == w[1]).count()
+        };
+        let sticky_rate = repeats(&sticky) as f64 / (n - 1) as f64;
+        let fair_rate = repeats(&fair) as f64 / (n - 1) as f64;
+        assert!((sticky_rate - 0.8).abs() < 0.02, "sticky rate {sticky_rate}");
+        assert!((fair_rate - 0.5).abs() < 0.02, "fair rate {fair_rate}");
+    }
+
+    #[test]
+    fn paper_markov_empirical_transitions() {
+        let mut rng = seeded_rng(5);
+        let k = 3;
+        let s = generate_paper_markov(60_000, k, &mut rng).unwrap();
+        let tm = TransitionModel::paper_process(k).unwrap();
+        // Empirical transition frequencies should approximate the matrix.
+        let mut counts = vec![0u32; k * k];
+        let mut row_totals = vec![0u32; k];
+        for w in s.symbols().windows(2) {
+            counts[w[0] as usize * k + w[1] as usize] += 1;
+            row_totals[w[0] as usize] += 1;
+        }
+        for a in 0..k {
+            for b in 0..k {
+                let freq = f64::from(counts[a * k + b]) / f64::from(row_totals[a]);
+                assert!(
+                    (freq - tm.q(a, b)).abs() < 0.02,
+                    "q({a},{b}): {freq} vs {}",
+                    tm.q(a, b)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_with_seed() {
+        let a = generate_binary_persistence(500, 0.6, &mut seeded_rng(9)).unwrap();
+        let b = generate_binary_persistence(500, 0.6, &mut seeded_rng(9)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn invalid_parameters() {
+        let mut rng = seeded_rng(0);
+        assert!(generate_binary_persistence(100, 0.0, &mut rng).is_err());
+        assert!(generate_binary_persistence(100, 1.0, &mut rng).is_err());
+        assert!(generate_binary_persistence(0, 0.5, &mut rng).is_err());
+    }
+}

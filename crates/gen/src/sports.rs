@@ -1,0 +1,131 @@
+//! Win/loss sequences with dominance eras — the paper's §7.5.1 substitute
+//! substrate (the Yankees–Red-Sox rivalry).
+//!
+//! The real dataset (baseball-reference.com) is a string of ~2086 game
+//! outcomes over a century with a handful of famous dominance eras. We
+//! synthesize the same shape: a base win probability with era overrides,
+//! ground truth retained so tests can check the mined patches land on the
+//! planted eras.
+
+use rand::Rng;
+use sigstr_core::{Result, Sequence};
+
+/// A dominance era: games `start..end` are won with probability
+/// `win_prob` (by the team the string encodes as 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Era {
+    /// First game index of the era.
+    pub start: usize,
+    /// One past the last game.
+    pub end: usize,
+    /// Win probability inside the era.
+    pub win_prob: f64,
+}
+
+/// A generated rivalry: the binary outcome string (1 = reference team won)
+/// and the planted eras.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rivalry {
+    /// Game outcomes (1 = win for the reference team).
+    pub outcomes: Sequence,
+    /// The planted eras.
+    pub eras: Vec<Era>,
+}
+
+impl Rivalry {
+    /// Overall win ratio of the reference team.
+    pub fn win_ratio(&self) -> f64 {
+        let wins = self.outcomes.count_vector(0, self.outcomes.len())[1];
+        f64::from(wins) / self.outcomes.len() as f64
+    }
+
+    /// Win ratio over a game range.
+    pub fn win_ratio_range(&self, start: usize, end: usize) -> f64 {
+        let wins = self.outcomes.count_vector(start, end)[1];
+        f64::from(wins) / (end - start) as f64
+    }
+}
+
+/// Generate a rivalry of `games` outcomes with base win probability
+/// `base_win` and the given (non-overlapping, in-range) eras.
+pub fn generate_rivalry(
+    games: usize,
+    base_win: f64,
+    eras: &[Era],
+    rng: &mut impl Rng,
+) -> Result<Rivalry> {
+    assert!((0.0..=1.0).contains(&base_win));
+    let mut sorted: Vec<Era> = eras.to_vec();
+    sorted.sort_by_key(|e| e.start);
+    for pair in sorted.windows(2) {
+        assert!(pair[0].end <= pair[1].start, "eras overlap");
+    }
+    if let Some(last) = sorted.last() {
+        assert!(last.end <= games, "era extends past the schedule");
+    }
+    let outcomes: Vec<u8> = (0..games)
+        .map(|game| {
+            let p = sorted
+                .iter()
+                .find(|e| (e.start..e.end).contains(&game))
+                .map_or(base_win, |e| e.win_prob);
+            u8::from(rng.gen::<f64>() < p)
+        })
+        .collect();
+    Ok(Rivalry { outcomes: Sequence::from_symbols(outcomes, 2)?, eras: sorted })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeded_rng;
+
+    #[test]
+    fn base_ratio_without_eras() {
+        let mut rng = seeded_rng(10);
+        let r = generate_rivalry(20_000, 0.5427, &[], &mut rng).unwrap();
+        // The paper's overall Yankee ratio is 54.27%.
+        assert!((r.win_ratio() - 0.5427).abs() < 0.01);
+    }
+
+    #[test]
+    fn eras_shift_local_ratios() {
+        let mut rng = seeded_rng(20);
+        let eras = [
+            Era { start: 500, end: 700, win_prob: 0.76 },
+            Era { start: 1200, end: 1240, win_prob: 0.13 },
+        ];
+        let r = generate_rivalry(2086, 0.54, &eras, &mut rng).unwrap();
+        assert!(r.win_ratio_range(500, 700) > 0.65);
+        assert!(r.win_ratio_range(1200, 1240) < 0.30);
+    }
+
+    #[test]
+    fn mined_patch_lands_on_planted_era() {
+        let mut rng = seeded_rng(30);
+        let eras = [Era { start: 800, end: 1000, win_prob: 0.85 }];
+        let r = generate_rivalry(2086, 0.54, &eras, &mut rng).unwrap();
+        let model = sigstr_core::Model::estimate(&r.outcomes).unwrap();
+        let mss = sigstr_core::find_mss(&r.outcomes, &model).unwrap();
+        // The mined patch must overlap the planted era substantially.
+        let overlap =
+            mss.best.end.min(1000).saturating_sub(mss.best.start.max(800));
+        assert!(
+            overlap > 100,
+            "mined {}..{} misses era 800..1000",
+            mss.best.start,
+            mss.best.end
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "eras overlap")]
+    fn overlapping_eras_panic() {
+        let mut rng = seeded_rng(0);
+        let eras = [
+            Era { start: 0, end: 100, win_prob: 0.8 },
+            Era { start: 99, end: 150, win_prob: 0.2 },
+        ];
+        let _ = generate_rivalry(200, 0.5, &eras, &mut rng);
+    }
+}

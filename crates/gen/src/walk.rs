@@ -1,0 +1,142 @@
+//! Random-walk price series with drift regimes — the paper's §7.5.2
+//! substitute substrate.
+//!
+//! The paper analyzes daily closes of the Dow Jones, S&P 500 and IBM under
+//! the random-walk hypothesis: prices move up or down each day with a
+//! fixed probability, and statistically significant substrings of the
+//! up/down string correspond to drift periods (booms and crashes). Without
+//! the Yahoo-Finance data we synthesize geometric random walks whose
+//! *drift regimes* are placed explicitly, so the ground truth is known and
+//! the mining pipeline is exercised identically (encode → estimate p̂ →
+//! mine).
+
+use rand::Rng;
+
+/// A drift regime: during `days`, the daily up-move probability is
+/// `up_prob` (outside any regime the base probability applies).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Regime {
+    /// First day of the regime (index into the series).
+    pub start: usize,
+    /// One past the last day.
+    pub end: usize,
+    /// Probability that a day inside the regime closes up.
+    pub up_prob: f64,
+}
+
+/// A generated price series with its ground-truth regimes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PriceSeries {
+    /// Daily closing prices (length `n + 1`: initial price plus `n` days).
+    pub prices: Vec<f64>,
+    /// The regimes that were applied.
+    pub regimes: Vec<Regime>,
+}
+
+impl PriceSeries {
+    /// Number of daily moves (one less than the number of prices).
+    pub fn days(&self) -> usize {
+        self.prices.len().saturating_sub(1)
+    }
+
+    /// Total relative change over `range` (e.g. `0.68` = +68%), as the
+    /// paper's Table 5 "Change" column.
+    pub fn change(&self, start: usize, end: usize) -> f64 {
+        self.prices[end] / self.prices[start] - 1.0
+    }
+}
+
+/// Generate a geometric random walk of `days` daily moves.
+///
+/// Each day the price is multiplied by `1 + step` on an up day and
+/// `1 − step` on a down day; the up probability is `base_up` except inside
+/// a regime. Regimes may not overlap and must fit in `0..days`.
+pub fn generate_prices(
+    days: usize,
+    initial: f64,
+    step: f64,
+    base_up: f64,
+    regimes: &[Regime],
+    rng: &mut impl Rng,
+) -> PriceSeries {
+    assert!(days > 0, "need at least one day");
+    assert!(initial > 0.0 && step > 0.0 && step < 1.0);
+    assert!((0.0..=1.0).contains(&base_up));
+    let mut sorted: Vec<Regime> = regimes.to_vec();
+    sorted.sort_by_key(|r| r.start);
+    for pair in sorted.windows(2) {
+        assert!(pair[0].end <= pair[1].start, "regimes overlap");
+    }
+    if let Some(last) = sorted.last() {
+        assert!(last.end <= days, "regime extends past the series");
+    }
+    let mut prices = Vec::with_capacity(days + 1);
+    prices.push(initial);
+    let mut price = initial;
+    for day in 0..days {
+        let p_up = sorted
+            .iter()
+            .find(|r| (r.start..r.end).contains(&day))
+            .map_or(base_up, |r| r.up_prob);
+        let up = rng.gen::<f64>() < p_up;
+        price *= if up { 1.0 + step } else { 1.0 - step };
+        prices.push(price);
+    }
+    PriceSeries { prices, regimes: sorted }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeded_rng;
+
+    #[test]
+    fn lengths_and_positivity() {
+        let mut rng = seeded_rng(4);
+        let s = generate_prices(1000, 100.0, 0.01, 0.5, &[], &mut rng);
+        assert_eq!(s.days(), 1000);
+        assert_eq!(s.prices.len(), 1001);
+        assert!(s.prices.iter().all(|&p| p > 0.0));
+    }
+
+    #[test]
+    fn bull_regime_raises_prices() {
+        let mut rng = seeded_rng(8);
+        let regime = Regime { start: 200, end: 500, up_prob: 0.8 };
+        let s = generate_prices(1000, 100.0, 0.01, 0.5, &[regime], &mut rng);
+        let change = s.change(200, 500);
+        assert!(change > 0.5, "bull regime produced change {change}");
+    }
+
+    #[test]
+    fn bear_regime_lowers_prices() {
+        let mut rng = seeded_rng(8);
+        let regime = Regime { start: 100, end: 400, up_prob: 0.2 };
+        let s = generate_prices(600, 100.0, 0.01, 0.5, &[regime], &mut rng);
+        assert!(s.change(100, 400) < -0.3);
+    }
+
+    #[test]
+    fn deterministic_with_seed() {
+        let a = generate_prices(300, 50.0, 0.02, 0.5, &[], &mut seeded_rng(5));
+        let b = generate_prices(300, 50.0, 0.02, 0.5, &[], &mut seeded_rng(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "regimes overlap")]
+    fn overlapping_regimes_panic() {
+        let mut rng = seeded_rng(0);
+        let r1 = Regime { start: 0, end: 100, up_prob: 0.8 };
+        let r2 = Regime { start: 50, end: 150, up_prob: 0.2 };
+        generate_prices(200, 100.0, 0.01, 0.5, &[r1, r2], &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "regime extends")]
+    fn out_of_range_regime_panics() {
+        let mut rng = seeded_rng(0);
+        let r = Regime { start: 150, end: 300, up_prob: 0.8 };
+        generate_prices(200, 100.0, 0.01, 0.5, &[r], &mut rng);
+    }
+}

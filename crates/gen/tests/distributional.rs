@@ -1,0 +1,131 @@
+//! Distributional integration tests: generated workloads must pass (or
+//! fail) chi-square goodness-of-fit exactly as their construction
+//! dictates. The mining stack itself is the test instrument.
+
+use sigstr_core::{chi_square_counts, find_mss, Model};
+use sigstr_gen::markov::{generate_binary_persistence, generate_paper_markov};
+use sigstr_gen::walk::{generate_prices, Regime};
+use sigstr_gen::{dist, generate_iid, seeded_rng, StringKind};
+use sigstr_stats::chi2;
+
+/// Whole-string goodness-of-fit: a string drawn from a model must be
+/// consistent with it (p-value not absurdly small), and inconsistent with
+/// a different model.
+#[test]
+fn generated_strings_fit_their_own_model() {
+    let mut rng = seeded_rng(0xD15);
+    let models = [
+        dist::uniform(4).unwrap(),
+        dist::geometric(4).unwrap(),
+        dist::harmonic(4).unwrap(),
+        dist::zipf(4, 1.7).unwrap(),
+    ];
+    for model in &models {
+        let seq = generate_iid(30_000, model, &mut rng).unwrap();
+        let counts = seq.count_vector(0, seq.len());
+        let counts_u64: Vec<u64> = counts.iter().map(|&c| u64::from(c)).collect();
+        let x2 = sigstr_stats::pearson::chi_square_from_counts(&counts_u64, model.probs());
+        let p = chi2::sf(x2, 3.0);
+        assert!(p > 1e-4, "own-model fit rejected: X² = {x2}, p = {p}");
+    }
+    // Cross-fit must fail loudly: geometric data against the uniform model.
+    let geo = generate_iid(30_000, &models[1], &mut rng).unwrap();
+    let counts = geo.count_vector(0, geo.len());
+    let x2 = chi_square_counts(&counts, &models[0]);
+    assert!(chi2::sf(x2, 3.0) < 1e-12, "geometric data passed as uniform");
+}
+
+/// Figure-4 property at generation level: the uniform string minimizes
+/// whole-string X² against the uniform model among the four families.
+#[test]
+fn null_family_scores_lowest_against_null_model() {
+    let mut rng = seeded_rng(0xD16);
+    let k = 5;
+    let model = Model::uniform(k).unwrap();
+    let mut scores = Vec::new();
+    for kind in StringKind::figure4() {
+        let seq = kind.generate(20_000, k, &mut rng).unwrap();
+        let counts = seq.count_vector(0, seq.len());
+        scores.push((kind.label(), chi_square_counts(&counts, &model)));
+    }
+    let null_score = scores[0].1;
+    for (label, score) in &scores[1..] {
+        // Markov marginals are near-uniform, so compare only the i.i.d.
+        // skewed families strictly.
+        if *label != "Markov" {
+            assert!(
+                *score > null_score,
+                "{label} whole-string X² {score} not above null {null_score}"
+            );
+        }
+    }
+}
+
+/// Persistence-biased chains look marginally fair but fail a runs-style
+/// analysis: the MSS under the uniform null must grow with the bias.
+#[test]
+fn persistence_bias_is_monotone_in_x2max() {
+    let model = Model::uniform(2).unwrap();
+    let mut previous = 0.0;
+    for (i, &p) in [0.5f64, 0.6, 0.7, 0.8].iter().enumerate() {
+        let mut rng = seeded_rng(0xD17 + i as u64);
+        // Average over three draws to stabilize the ordering.
+        let mut total = 0.0;
+        for r in 0..3 {
+            let mut rng2 = seeded_rng(0xD18 + i as u64 * 10 + r);
+            let seq = generate_binary_persistence(20_000, p, &mut rng2).unwrap();
+            total += find_mss(&seq, &model).unwrap().best.chi_square;
+        }
+        let _ = &mut rng;
+        let mean = total / 3.0;
+        assert!(
+            mean > previous * 0.9,
+            "X²_max not growing with persistence: p = {p}, {mean} vs {previous}"
+        );
+        previous = mean;
+    }
+}
+
+/// The paper's Markov process has near-uniform stationary marginals (the
+/// transition matrix is circulant), so its single-letter counts stay
+/// balanced even though adjacent symbols correlate.
+#[test]
+fn paper_markov_marginals_near_uniform() {
+    let mut rng = seeded_rng(0xD19);
+    let k = 5;
+    let seq = generate_paper_markov(50_000, k, &mut rng).unwrap();
+    let counts = seq.count_vector(0, seq.len());
+    let model = Model::uniform(k).unwrap();
+    let x2 = chi_square_counts(&counts, &model);
+    // χ²(4) at p = 1e-6 is ≈ 33; circulant marginals should sit far below.
+    assert!(x2 < 33.0, "marginals unexpectedly skewed: X² = {x2}");
+}
+
+/// Price walks: without regimes the up/down string is Bernoulli(base_up);
+/// with a regime, the regime window dominates the mining result.
+#[test]
+fn price_walks_encode_to_expected_strings() {
+    let mut rng = seeded_rng(0xD1A);
+    let flat = generate_prices(20_000, 100.0, 0.01, 0.55, &[], &mut rng);
+    let updown = sigstr_data_free_encode(&flat.prices);
+    let ups = updown.iter().filter(|&&u| u).count();
+    let ratio = ups as f64 / updown.len() as f64;
+    assert!((ratio - 0.55).abs() < 0.02, "up-ratio {ratio}");
+
+    let regime = Regime { start: 5_000, end: 7_000, up_prob: 0.95 };
+    let trending = generate_prices(20_000, 100.0, 0.01, 0.55, &[regime], &mut rng);
+    let seq = sigstr_data_bools(&trending.prices);
+    let model = Model::from_probs(vec![0.45, 0.55]).unwrap();
+    let mss = find_mss(&seq, &model).unwrap();
+    let overlap = mss.best.end.min(7_000).saturating_sub(mss.best.start.max(5_000));
+    assert!(overlap > 1_000, "regime not dominant: {}..{}", mss.best.start, mss.best.end);
+}
+
+fn sigstr_data_free_encode(prices: &[f64]) -> Vec<bool> {
+    prices.windows(2).map(|w| w[1] > w[0]).collect()
+}
+
+fn sigstr_data_bools(prices: &[f64]) -> sigstr_core::Sequence {
+    let bits: Vec<bool> = sigstr_data_free_encode(prices);
+    sigstr_core::Sequence::from_bools(&bits).unwrap()
+}

@@ -1,0 +1,216 @@
+//! The binomial distribution.
+//!
+//! Per-character substring counts are binomial under the paper's null model
+//! (`Y_i ~ Binomial(l, p_i)`, paper Eq. 23). The exact tails here serve as
+//! oracles for the normal approximation used in the paper's analysis and
+//! power the coin-flip p-value example from the paper's introduction.
+
+use crate::beta::reg_inc_beta;
+use crate::gamma::ln_factorial;
+
+/// A binomial distribution with `n` trials and success probability `p`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Binomial {
+    n: u64,
+    p: f64,
+}
+
+impl Binomial {
+    /// Create a binomial distribution. Requires `0 ≤ p ≤ 1`.
+    pub fn new(n: u64, p: f64) -> Option<Self> {
+        if (0.0..=1.0).contains(&p) {
+            Some(Self { n, p })
+        } else {
+            None
+        }
+    }
+
+    /// Number of trials.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Success probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Mean `np`.
+    pub fn mean(&self) -> f64 {
+        self.n as f64 * self.p
+    }
+
+    /// Variance `np(1−p)`.
+    pub fn variance(&self) -> f64 {
+        self.n as f64 * self.p * (1.0 - self.p)
+    }
+
+    /// Natural log of the probability mass `Pr[X = k]`.
+    pub fn ln_pmf(&self, k: u64) -> f64 {
+        if k > self.n {
+            return f64::NEG_INFINITY;
+        }
+        // Degenerate edges p = 0 / p = 1.
+        if self.p == 0.0 {
+            return if k == 0 { 0.0 } else { f64::NEG_INFINITY };
+        }
+        if self.p == 1.0 {
+            return if k == self.n { 0.0 } else { f64::NEG_INFINITY };
+        }
+        let n = self.n as f64;
+        let kf = k as f64;
+        ln_factorial(self.n) - ln_factorial(k) - ln_factorial(self.n - k)
+            + kf * self.p.ln()
+            + (n - kf) * (1.0 - self.p).ln()
+    }
+
+    /// Probability mass `Pr[X = k]`.
+    pub fn pmf(&self, k: u64) -> f64 {
+        self.ln_pmf(k).exp()
+    }
+
+    /// Cumulative distribution `Pr[X ≤ k] = I_{1−p}(n − k, k + 1)`.
+    pub fn cdf(&self, k: u64) -> f64 {
+        if k >= self.n {
+            return 1.0;
+        }
+        if self.p == 0.0 {
+            return 1.0;
+        }
+        if self.p == 1.0 {
+            return 0.0; // k < n here
+        }
+        reg_inc_beta(1.0 - self.p, (self.n - k) as f64, k as f64 + 1.0)
+    }
+
+    /// Survival `Pr[X > k] = 1 − cdf(k)`, computed without cancellation via
+    /// the complementary incomplete beta.
+    pub fn sf(&self, k: u64) -> f64 {
+        if k >= self.n {
+            return 0.0;
+        }
+        if self.p == 0.0 {
+            return 0.0;
+        }
+        if self.p == 1.0 {
+            return 1.0;
+        }
+        reg_inc_beta(self.p, k as f64 + 1.0, (self.n - k) as f64)
+    }
+
+    /// One-sided upper-tail p-value `Pr[X ≥ k]` — the paper's coin example:
+    /// the probability of *at least* `k` successes.
+    pub fn p_value_upper(&self, k: u64) -> f64 {
+        if k == 0 {
+            return 1.0;
+        }
+        self.sf(k - 1)
+    }
+
+    /// Two-sided p-value by symmetry doubling (as in the paper's footnote 1),
+    /// clamped to 1.
+    pub fn p_value_two_sided_doubled(&self, k: u64) -> f64 {
+        let upper = self.p_value_upper(k);
+        let lower = self.cdf(k);
+        (2.0 * upper.min(lower)).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!(
+            (a - b).abs() <= tol * (1.0 + b.abs()),
+            "left = {a}, right = {b}"
+        );
+    }
+
+    #[test]
+    fn paper_coin_example() {
+        // Paper §1: 19 heads in 20 fair flips ⇒ p ≈ 0.002% = (C(20,19)+C(20,20))/2^20.
+        let b = Binomial::new(20, 0.5).unwrap();
+        let expect = (20.0 + 1.0) / (1u64 << 20) as f64;
+        assert_close(b.p_value_upper(19), expect, 1e-12);
+        // Two-sided doubles it (paper footnote 1).
+        assert_close(b.p_value_two_sided_doubled(19), 2.0 * expect, 1e-12);
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let b = Binomial::new(30, 0.37).unwrap();
+        let total: f64 = (0..=30).map(|k| b.pmf(k)).sum();
+        assert_close(total, 1.0, 1e-12);
+    }
+
+    #[test]
+    fn cdf_matches_pmf_partial_sums() {
+        let b = Binomial::new(25, 0.73).unwrap();
+        let mut acc = 0.0;
+        for k in 0..=25 {
+            acc += b.pmf(k);
+            assert_close(b.cdf(k), acc, 1e-11);
+            assert_close(b.sf(k), 1.0 - acc, 1e-10);
+        }
+    }
+
+    #[test]
+    fn symmetric_fair_coin() {
+        let b = Binomial::new(11, 0.5).unwrap();
+        for k in 0..=11 {
+            assert_close(b.pmf(k), b.pmf(11 - k), 1e-13);
+        }
+    }
+
+    #[test]
+    fn moments() {
+        let b = Binomial::new(100, 0.3).unwrap();
+        assert_close(b.mean(), 30.0, 1e-15);
+        assert_close(b.variance(), 21.0, 1e-13);
+        assert_eq!(b.n(), 100);
+        assert_close(b.p(), 0.3, 0.0);
+    }
+
+    #[test]
+    fn degenerate_probabilities() {
+        let zero = Binomial::new(10, 0.0).unwrap();
+        assert_eq!(zero.pmf(0), 1.0);
+        assert_eq!(zero.pmf(3), 0.0);
+        assert_eq!(zero.cdf(0), 1.0);
+        let one = Binomial::new(10, 1.0).unwrap();
+        assert_eq!(one.pmf(10), 1.0);
+        assert_eq!(one.pmf(9), 0.0);
+        assert_eq!(one.sf(9), 1.0);
+    }
+
+    #[test]
+    fn out_of_range_k() {
+        let b = Binomial::new(5, 0.4).unwrap();
+        assert_eq!(b.pmf(6), 0.0);
+        assert_eq!(b.cdf(7), 1.0);
+        assert_eq!(b.sf(5), 0.0);
+        assert_eq!(b.p_value_upper(0), 1.0);
+    }
+
+    #[test]
+    fn invalid_p_rejected() {
+        assert!(Binomial::new(5, -0.1).is_none());
+        assert!(Binomial::new(5, 1.5).is_none());
+        assert!(Binomial::new(5, f64::NAN).is_none());
+    }
+
+    #[test]
+    fn large_n_tail_matches_pmf_sum() {
+        // Independent check in the large-n regime: the incomplete-beta tail
+        // must equal the brute-force pmf sum.
+        let b = Binomial::new(1000, 0.5).unwrap();
+        let direct: f64 = (550..=1000).map(|k| b.pmf(k)).sum();
+        assert_close(b.sf(549), direct, 1e-10);
+        // And agree with the normal approximation to a few percent.
+        let approx = crate::normal::binomial_normal_approx(1000, 0.5)
+            .unwrap()
+            .sf(549.5);
+        assert!((b.sf(549) / approx - 1.0).abs() < 0.05);
+    }
+}

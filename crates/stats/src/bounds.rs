@@ -1,0 +1,128 @@
+//! Concentration inequalities used in the paper's running-time analysis.
+//!
+//! * Hoeffding's inequality bounds the deviation of a character count from
+//!   its mean (paper Lemma 5, condition (ii), citing \[16\]).
+//! * The multiplicative Chernoff bound backs the top-t analysis (paper
+//!   Lemma 8).
+//!
+//! These are exposed as a library so the test-suite can check the claimed
+//! high-probability events empirically, and so downstream users can size
+//! strings for a target confidence.
+
+/// Hoeffding upper bound on `Pr[S − E[S] ≥ t]` for a sum `S` of `n`
+/// independent random variables each confined to `[lo, hi]`:
+/// `exp(−2t² / (n·(hi − lo)²))`.
+///
+/// Returns `f64::NAN` for invalid geometry (`hi ≤ lo`, `n = 0`, `t < 0`).
+pub fn hoeffding_upper(n: u64, lo: f64, hi: f64, t: f64) -> f64 {
+    if n == 0 || hi <= lo || t < 0.0 || !t.is_finite() {
+        return f64::NAN;
+    }
+    let width = hi - lo;
+    (-2.0 * t * t / (n as f64 * width * width)).exp().min(1.0)
+}
+
+/// Hoeffding bound specialized to Bernoulli sums (the paper's Eq. 29/30
+/// instantiation with `a_i = 0`, `b_i = 1`): `Pr[Y − np ≥ t] ≤ exp(−2t²/n)`.
+pub fn hoeffding_bernoulli(n: u64, t: f64) -> f64 {
+    hoeffding_upper(n, 0.0, 1.0, t)
+}
+
+/// Multiplicative Chernoff bound for a Binomial(n, p) lower tail:
+/// `Pr[X ≤ (1 − δ)·np] ≤ exp(−δ²·np / 2)` for `0 ≤ δ ≤ 1`.
+pub fn chernoff_lower(n: u64, p: f64, delta: f64) -> f64 {
+    if !(0.0..=1.0).contains(&delta) || !(0.0..=1.0).contains(&p) {
+        return f64::NAN;
+    }
+    (-delta * delta * n as f64 * p / 2.0).exp().min(1.0)
+}
+
+/// Multiplicative Chernoff bound for a Binomial(n, p) upper tail:
+/// `Pr[X ≥ (1 + δ)·np] ≤ exp(−δ²·np / 3)` for `0 ≤ δ ≤ 1`.
+pub fn chernoff_upper(n: u64, p: f64, delta: f64) -> f64 {
+    if !(0.0..=1.0).contains(&delta) || !(0.0..=1.0).contains(&p) {
+        return f64::NAN;
+    }
+    (-delta * delta * n as f64 * p / 3.0).exp().min(1.0)
+}
+
+/// The deviation budget used in the paper's Lemma 5(ii):
+/// `t = (1/4)·√(l·p·ln l)`. With Hoeffding this event fails with
+/// probability at most `l^{−p/8}`.
+pub fn lemma5_deviation_budget(l: u64, p: f64) -> f64 {
+    0.25 * (l as f64 * p * (l as f64).ln()).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hoeffding_decreases_in_t() {
+        let mut prev = 2.0;
+        for i in 0..20 {
+            let t = i as f64;
+            let b = hoeffding_bernoulli(100, t);
+            assert!(b <= prev);
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn hoeffding_known_value() {
+        // exp(−2·25/100) = exp(−1/2)
+        let b = hoeffding_bernoulli(100, 5.0);
+        assert!((b - (-0.5f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hoeffding_respects_interval_width() {
+        // Wider support ⇒ weaker bound.
+        let narrow = hoeffding_upper(50, 0.0, 1.0, 3.0);
+        let wide = hoeffding_upper(50, 0.0, 2.0, 3.0);
+        assert!(narrow < wide);
+    }
+
+    #[test]
+    fn hoeffding_invalid_inputs() {
+        assert!(hoeffding_upper(0, 0.0, 1.0, 1.0).is_nan());
+        assert!(hoeffding_upper(5, 1.0, 1.0, 1.0).is_nan());
+        assert!(hoeffding_upper(5, 0.0, 1.0, -1.0).is_nan());
+    }
+
+    #[test]
+    fn chernoff_bounds_are_probabilities() {
+        for &delta in &[0.0, 0.1, 0.5, 1.0] {
+            let lo = chernoff_lower(1000, 0.3, delta);
+            let hi = chernoff_upper(1000, 0.3, delta);
+            assert!((0.0..=1.0).contains(&lo));
+            assert!((0.0..=1.0).contains(&hi));
+        }
+        assert!(chernoff_lower(10, 0.5, 1.5).is_nan());
+        assert!(chernoff_upper(10, 1.5, 0.5).is_nan());
+    }
+
+    #[test]
+    fn lemma5_budget_grows_sublinearly() {
+        let b1 = lemma5_deviation_budget(100, 0.5);
+        let b2 = lemma5_deviation_budget(10_000, 0.5);
+        // Budget grows, but much slower than l.
+        assert!(b2 > b1);
+        assert!(b2 / b1 < 100.0 / 2.0);
+    }
+
+    #[test]
+    fn hoeffding_validates_lemma5_failure_rate() {
+        // Lemma 5(ii): Pr[Y − lp ≥ (1/4)√(lp ln l)] ≤ l^{−p/8}.
+        for &l in &[100u64, 1000, 10_000] {
+            let p = 0.5;
+            let t = lemma5_deviation_budget(l, p);
+            let bound = hoeffding_bernoulli(l, t);
+            let claimed = (l as f64).powf(-p / 8.0);
+            assert!(
+                bound <= claimed * (1.0 + 1e-9),
+                "l = {l}: bound {bound} vs claimed {claimed}"
+            );
+        }
+    }
+}

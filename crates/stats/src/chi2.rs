@@ -1,0 +1,259 @@
+//! The chi-square distribution.
+//!
+//! Under the null model, the paper's `X²` statistic over an alphabet of size
+//! `k` converges to `χ²(k − 1)` (paper Theorem 3). The survival function
+//! here turns any mined `X²` value into a p-value, and the quantile turns a
+//! significance level `α` into an `X²` threshold for the Problem-3 variant.
+
+use crate::gamma::{ln_gamma, reg_lower_gamma, reg_upper_gamma};
+
+/// A chi-square distribution with (possibly fractional) degrees of freedom.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChiSquared {
+    df: f64,
+}
+
+impl ChiSquared {
+    /// Create a chi-square distribution with `df > 0` degrees of freedom.
+    pub fn new(df: f64) -> Option<Self> {
+        if df.is_finite() && df > 0.0 {
+            Some(Self { df })
+        } else {
+            None
+        }
+    }
+
+    /// Degrees of freedom.
+    pub fn df(&self) -> f64 {
+        self.df
+    }
+
+    /// Mean (`= df`).
+    pub fn mean(&self) -> f64 {
+        self.df
+    }
+
+    /// Variance (`= 2·df`).
+    pub fn variance(&self) -> f64 {
+        2.0 * self.df
+    }
+
+    /// Probability density function.
+    pub fn pdf(&self, x: f64) -> f64 {
+        if x.is_nan() {
+            return f64::NAN;
+        }
+        if x < 0.0 {
+            return 0.0;
+        }
+        if x == 0.0 {
+            // Limit depends on df: +∞ for df < 2, 1/2 for df = 2, 0 above.
+            return match self.df.partial_cmp(&2.0).expect("df is finite") {
+                std::cmp::Ordering::Less => f64::INFINITY,
+                std::cmp::Ordering::Equal => 0.5,
+                std::cmp::Ordering::Greater => 0.0,
+            };
+        }
+        let half = self.df / 2.0;
+        let ln_pdf = (half - 1.0) * x.ln() - x / 2.0 - half * std::f64::consts::LN_2 - ln_gamma(half);
+        ln_pdf.exp()
+    }
+
+    /// Cumulative distribution function `Pr[X ≤ x] = P(df/2, x/2)`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x.is_nan() {
+            return f64::NAN;
+        }
+        if x <= 0.0 {
+            return 0.0;
+        }
+        reg_lower_gamma(self.df / 2.0, x / 2.0)
+    }
+
+    /// Survival function `Pr[X > x] = Q(df/2, x/2)` — the p-value of an
+    /// observed statistic `x` (paper §1: `p-value = 1 − F(z₀)`).
+    ///
+    /// Evaluated directly by continued fraction so tiny p-values keep full
+    /// relative accuracy.
+    pub fn sf(&self, x: f64) -> f64 {
+        if x.is_nan() {
+            return f64::NAN;
+        }
+        if x <= 0.0 {
+            return 1.0;
+        }
+        reg_upper_gamma(self.df / 2.0, x / 2.0)
+    }
+
+    /// Quantile function (inverse cdf): smallest `x` with `cdf(x) ≥ p`.
+    ///
+    /// Requires `0 ≤ p < 1`; `p = 0` maps to 0 and values outside `[0, 1)`
+    /// give `f64::NAN`. Uses the Wilson–Hilferty cube-root normal
+    /// approximation as a seed, then Newton iterations guarded by bisection.
+    pub fn quantile(&self, p: f64) -> f64 {
+        if p.is_nan() || !(0.0..1.0).contains(&p) {
+            if p == 1.0 {
+                return f64::INFINITY;
+            }
+            return f64::NAN;
+        }
+        if p == 0.0 {
+            return 0.0;
+        }
+        // Wilson–Hilferty starting point.
+        let df = self.df;
+        let z = crate::normal::phi_inv(p);
+        let a = 2.0 / (9.0 * df);
+        let mut x = df * (1.0 - a + z * a.sqrt()).powi(3);
+        if !x.is_finite() || x <= 0.0 {
+            x = df; // fall back to the mean
+        }
+        // Bracket the root.
+        let (mut lo, mut hi) = (0.0f64, x.max(df) * 2.0 + 10.0);
+        while self.cdf(hi) < p {
+            lo = hi;
+            hi *= 2.0;
+            if hi > 1e300 {
+                return f64::INFINITY;
+            }
+        }
+        // Newton with bisection safeguard.
+        for _ in 0..128 {
+            let f = self.cdf(x) - p;
+            if f.abs() < 1e-14 {
+                break;
+            }
+            if f > 0.0 {
+                hi = x;
+            } else {
+                lo = x;
+            }
+            let d = self.pdf(x);
+            let newton = if d > 0.0 { x - f / d } else { f64::NAN };
+            x = if newton.is_finite() && newton > lo && newton < hi {
+                newton
+            } else {
+                0.5 * (lo + hi)
+            };
+            if hi - lo < 1e-14 * (1.0 + hi) {
+                break;
+            }
+        }
+        x
+    }
+}
+
+/// `Pr[χ²(df) ≤ x]` — convenience wrapper.
+pub fn cdf(x: f64, df: f64) -> f64 {
+    ChiSquared::new(df).map_or(f64::NAN, |d| d.cdf(x))
+}
+
+/// `Pr[χ²(df) > x]` — the p-value of an observed chi-square statistic.
+pub fn sf(x: f64, df: f64) -> f64 {
+    ChiSquared::new(df).map_or(f64::NAN, |d| d.sf(x))
+}
+
+/// Quantile of `χ²(df)` — e.g. `quantile(0.95, 1.0) ≈ 3.8415` is the 5%
+/// critical value for a binary alphabet.
+pub fn quantile(p: f64, df: f64) -> f64 {
+    ChiSquared::new(df).map_or(f64::NAN, |d| d.quantile(p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!(
+            (a - b).abs() <= tol * (1.0 + b.abs()),
+            "left = {a}, right = {b}"
+        );
+    }
+
+    #[test]
+    fn two_df_is_exponential() {
+        // χ²(2) has cdf 1 − e^{−x/2} exactly (paper Eq. 25).
+        let d = ChiSquared::new(2.0).unwrap();
+        for &x in &[0.1, 0.5, 1.0, 3.0, 7.0, 20.0, 60.0] {
+            assert_close(d.cdf(x), 1.0 - (-x / 2.0).exp(), 1e-13);
+            assert_close(d.sf(x), (-x / 2.0).exp(), 1e-12);
+            assert_close(d.pdf(x), 0.5 * (-x / 2.0).exp(), 1e-13);
+        }
+    }
+
+    #[test]
+    fn critical_values_match_tables() {
+        // Classic chi-square critical values (scipy.stats.chi2.ppf).
+        assert_close(quantile(0.95, 1.0), 3.841458820694124, 1e-10);
+        assert_close(quantile(0.95, 2.0), 5.991464547107979, 1e-10);
+        assert_close(quantile(0.99, 4.0), 13.276704135987622, 1e-10);
+        assert_close(quantile(0.95, 9.0), 16.918977604620448, 1e-10);
+    }
+
+    #[test]
+    fn cdf_reference_values() {
+        assert_close(cdf(1.0, 1.0), 0.6826894921370859, 1e-12);
+        assert_close(cdf(5.0, 3.0), 0.8282028557032669, 1e-12);
+        assert_close(sf(10.0, 4.0), 0.040427681994512805, 1e-11);
+        assert_close(sf(30.0, 2.0), 3.059023205018258e-7, 1e-10);
+    }
+
+    #[test]
+    fn quantile_cdf_roundtrip() {
+        for &df in &[1.0, 2.0, 4.0, 9.0, 255.0] {
+            let d = ChiSquared::new(df).unwrap();
+            for i in 1..40 {
+                let p = i as f64 / 40.0;
+                let x = d.quantile(p);
+                assert_close(d.cdf(x), p, 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn moments() {
+        let d = ChiSquared::new(7.0).unwrap();
+        assert_eq!(d.mean(), 7.0);
+        assert_eq!(d.variance(), 14.0);
+        assert_eq!(d.df(), 7.0);
+    }
+
+    #[test]
+    fn pdf_at_zero_limits() {
+        assert!(ChiSquared::new(1.0).unwrap().pdf(0.0).is_infinite());
+        assert_eq!(ChiSquared::new(2.0).unwrap().pdf(0.0), 0.5);
+        assert_eq!(ChiSquared::new(3.0).unwrap().pdf(0.0), 0.0);
+    }
+
+    #[test]
+    fn invalid_parameters() {
+        assert!(ChiSquared::new(0.0).is_none());
+        assert!(ChiSquared::new(-1.0).is_none());
+        assert!(ChiSquared::new(f64::NAN).is_none());
+        assert!(cdf(1.0, 0.0).is_nan());
+    }
+
+    #[test]
+    fn negative_statistic_edges() {
+        let d = ChiSquared::new(3.0).unwrap();
+        assert_eq!(d.cdf(-1.0), 0.0);
+        assert_eq!(d.sf(-1.0), 1.0);
+        assert_eq!(d.pdf(-1.0), 0.0);
+    }
+
+    #[test]
+    fn deep_tail_pvalues_do_not_underflow_to_garbage() {
+        // χ²(1) sf at 100: scipy gives 1.5225e-23.
+        let p = sf(100.0, 1.0);
+        assert!(p > 0.0 && p < 1e-20);
+        assert_close(p, 1.522495739426084e-23, 1e-8);
+    }
+
+    #[test]
+    fn quantile_edge_probabilities() {
+        let d = ChiSquared::new(5.0).unwrap();
+        assert_eq!(d.quantile(0.0), 0.0);
+        assert!(d.quantile(1.0).is_infinite());
+        assert!(d.quantile(-0.5).is_nan());
+    }
+}

@@ -1,0 +1,180 @@
+//! Small-sample descriptive statistics.
+//!
+//! The experiment harness averages repeated runs ("averaged over different
+//! runs", paper Table 1) and fits log–log slopes (paper Figs. 1, 2, 5).
+//! These helpers keep that logic in one tested place.
+
+/// Summary of a sample: count, mean, (sample) variance, extrema.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Unbiased sample variance (0 when `n < 2`).
+    pub variance: f64,
+    /// Minimum observation.
+    pub min: f64,
+    /// Maximum observation.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance.sqrt()
+    }
+}
+
+/// Summarize a sample. Returns `None` for an empty slice or when any value
+/// is non-finite.
+pub fn summarize(values: &[f64]) -> Option<Summary> {
+    if values.is_empty() || values.iter().any(|v| !v.is_finite()) {
+        return None;
+    }
+    let n = values.len();
+    let mean = values.iter().sum::<f64>() / n as f64;
+    let variance = if n > 1 {
+        values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1) as f64
+    } else {
+        0.0
+    };
+    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    Some(Summary { n, mean, variance, min, max })
+}
+
+/// Result of an ordinary least-squares line fit `y ≈ slope·x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LineFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination `R²` (1 for a perfect fit).
+    pub r_squared: f64,
+}
+
+/// Least-squares fit of a straight line through `(x, y)` pairs.
+///
+/// Returns `None` with fewer than two points, non-finite values, or zero
+/// variance in `x`. The paper reads empirical complexity exponents off
+/// log–log plots — `fit_line` over `(ln n, ln iterations)` gives the slope
+/// (≈1.5 for the pruned algorithm, ≈2 for the trivial scan).
+pub fn fit_line(points: &[(f64, f64)]) -> Option<LineFit> {
+    if points.len() < 2 {
+        return None;
+    }
+    if points.iter().any(|(x, y)| !x.is_finite() || !y.is_finite()) {
+        return None;
+    }
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let mx = sx / n;
+    let my = sy / n;
+    let sxx: f64 = points.iter().map(|p| (p.0 - mx) * (p.0 - mx)).sum();
+    let sxy: f64 = points.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum();
+    if sxx == 0.0 {
+        return None;
+    }
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let ss_tot: f64 = points.iter().map(|p| (p.1 - my) * (p.1 - my)).sum();
+    let ss_res: f64 = points
+        .iter()
+        .map(|p| {
+            let r = p.1 - (slope * p.0 + intercept);
+            r * r
+        })
+        .sum();
+    let r_squared = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    Some(LineFit { slope, intercept, r_squared })
+}
+
+/// Log–log slope fit: `fit_line` over `(ln x, ln y)`.
+///
+/// Skips nothing — any non-positive coordinate makes the fit `None`.
+pub fn fit_loglog(points: &[(f64, f64)]) -> Option<LineFit> {
+    if points.iter().any(|(x, y)| *x <= 0.0 || *y <= 0.0) {
+        return None;
+    }
+    let logged: Vec<(f64, f64)> = points.iter().map(|(x, y)| (x.ln(), y.ln())).collect();
+    fit_line(&logged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!(
+            (a - b).abs() <= tol * (1.0 + b.abs()),
+            "left = {a}, right = {b}"
+        );
+    }
+
+    #[test]
+    fn summary_basic() {
+        let s = summarize(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(s.n, 4);
+        assert_close(s.mean, 2.5, 1e-15);
+        assert_close(s.variance, 5.0 / 3.0, 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_close(s.std_dev(), (5.0f64 / 3.0).sqrt(), 1e-12);
+    }
+
+    #[test]
+    fn summary_single_and_empty() {
+        let s = summarize(&[7.5]).unwrap();
+        assert_eq!(s.variance, 0.0);
+        assert!(summarize(&[]).is_none());
+        assert!(summarize(&[1.0, f64::NAN]).is_none());
+        assert!(summarize(&[f64::INFINITY]).is_none());
+    }
+
+    #[test]
+    fn perfect_line_fit() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 * i as f64 - 2.0)).collect();
+        let fit = fit_line(&pts).unwrap();
+        assert_close(fit.slope, 3.0, 1e-12);
+        assert_close(fit.intercept, -2.0, 1e-12);
+        assert_close(fit.r_squared, 1.0, 1e-12);
+    }
+
+    #[test]
+    fn noisy_fit_reasonable() {
+        let pts = [(0.0, 0.1), (1.0, 0.9), (2.0, 2.1), (3.0, 2.9)];
+        let fit = fit_line(&pts).unwrap();
+        assert!((fit.slope - 1.0).abs() < 0.1);
+        assert!(fit.r_squared > 0.99);
+    }
+
+    #[test]
+    fn degenerate_fits_rejected() {
+        assert!(fit_line(&[(1.0, 1.0)]).is_none());
+        assert!(fit_line(&[(2.0, 1.0), (2.0, 5.0)]).is_none());
+        assert!(fit_line(&[(1.0, f64::NAN), (2.0, 1.0)]).is_none());
+    }
+
+    #[test]
+    fn loglog_recovers_power_law() {
+        // y = 4 · x^1.5  ⇒ slope 1.5 in log–log space.
+        let pts: Vec<(f64, f64)> = (1..=12)
+            .map(|i| {
+                let x = (i * 100) as f64;
+                (x, 4.0 * x.powf(1.5))
+            })
+            .collect();
+        let fit = fit_loglog(&pts).unwrap();
+        assert_close(fit.slope, 1.5, 1e-9);
+        assert_close(fit.intercept, 4.0f64.ln(), 1e-9);
+    }
+
+    #[test]
+    fn loglog_rejects_nonpositive() {
+        assert!(fit_loglog(&[(0.0, 1.0), (1.0, 2.0)]).is_none());
+        assert!(fit_loglog(&[(1.0, -1.0), (2.0, 2.0)]).is_none());
+    }
+}

@@ -1,0 +1,230 @@
+//! Extreme-value theory for the maximum chi-square statistic.
+//!
+//! The paper observes (§7.4, §8) that `X²_max` of a null string grows as
+//! `≈ 2 ln n`, and its Lemma 3/4 machinery is exactly the extreme-value
+//! argument: the maximum of `m` i.i.d. `χ²` variables concentrates around
+//! the `(1 − 1/m)`-quantile, and its fluctuations converge to a **Gumbel**
+//! law. This module provides the Gumbel distribution, a moment fit, and
+//! the theoretical location/scale of `max of m χ²(df)` so the Fig.-2 /
+//! Table-2 benchmark can be computed instead of eyeballed.
+
+use crate::chi2::ChiSquared;
+
+/// Euler–Mascheroni constant.
+pub const EULER_GAMMA: f64 = 0.577_215_664_901_532_9;
+
+/// The Gumbel (type-I extreme value) distribution with location `mu` and
+/// scale `beta`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gumbel {
+    mu: f64,
+    beta: f64,
+}
+
+impl Gumbel {
+    /// Create a Gumbel distribution (`beta > 0`).
+    pub fn new(mu: f64, beta: f64) -> Option<Self> {
+        if mu.is_finite() && beta.is_finite() && beta > 0.0 {
+            Some(Self { mu, beta })
+        } else {
+            None
+        }
+    }
+
+    /// Location parameter.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Scale parameter.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Mean `μ + γ·β`.
+    pub fn mean(&self) -> f64 {
+        self.mu + EULER_GAMMA * self.beta
+    }
+
+    /// Variance `π²β²/6`.
+    pub fn variance(&self) -> f64 {
+        std::f64::consts::PI * std::f64::consts::PI * self.beta * self.beta / 6.0
+    }
+
+    /// Cumulative distribution `exp(−exp(−(x−μ)/β))`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        (-(-(x - self.mu) / self.beta).exp()).exp()
+    }
+
+    /// Probability density.
+    pub fn pdf(&self, x: f64) -> f64 {
+        let z = (x - self.mu) / self.beta;
+        ((-z - (-z).exp()).exp()) / self.beta
+    }
+
+    /// Quantile `μ − β·ln(−ln p)` for `0 < p < 1`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        if !(0.0..=1.0).contains(&p) || p.is_nan() {
+            return f64::NAN;
+        }
+        if p == 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        if p == 1.0 {
+            return f64::INFINITY;
+        }
+        self.mu - self.beta * (-(p.ln())).ln()
+    }
+
+    /// Method-of-moments fit from a sample: `β = s·√6/π`,
+    /// `μ = x̄ − γ·β`. Returns `None` for degenerate samples.
+    pub fn fit_moments(sample: &[f64]) -> Option<Self> {
+        let summary = crate::descriptive::summarize(sample)?;
+        if summary.n < 2 || summary.variance <= 0.0 {
+            return None;
+        }
+        let beta = summary.std_dev() * 6.0f64.sqrt() / std::f64::consts::PI;
+        let mu = summary.mean - EULER_GAMMA * beta;
+        Self::new(mu, beta)
+    }
+}
+
+/// The Gumbel approximation to the maximum of `m` i.i.d. `χ²(df)`
+/// variables: location = the `(1 − 1/m)`-quantile of `χ²(df)`, scale =
+/// `1 / (m·f(location))` where `f` is the chi-square density.
+///
+/// For `df = 2` (ternary alphabets) this gives exactly the paper's
+/// Lemma 3 asymptotics: location `= 2 ln m`, scale `= 2`. For general `df`
+/// the location is `2 ln m + (df − 2)·ln ln m − …`, still `Θ(ln m)` —
+/// the `X²_max ≈ 2 ln n` benchmark.
+pub fn max_chi2_gumbel(m: f64, df: f64) -> Option<Gumbel> {
+    if m.is_nan() || m <= 1.0 || df.is_nan() || df <= 0.0 {
+        return None;
+    }
+    let dist = ChiSquared::new(df)?;
+    let location = dist.quantile(1.0 - 1.0 / m);
+    let density = dist.pdf(location);
+    if density.is_nan() || density <= 0.0 {
+        return None;
+    }
+    Gumbel::new(location, 1.0 / (m * density))
+}
+
+/// The paper's `X²_max` benchmark for a null string of length `n` over an
+/// alphabet of size `k`: the expected maximum of `Θ(n)` independent
+/// `χ²(k−1)` variables. Deviating far above this flags hidden structure
+/// (paper §7.4).
+pub fn x2max_benchmark(n: usize, k: usize) -> f64 {
+    match max_chi2_gumbel(n as f64, (k - 1) as f64) {
+        Some(g) => g.mean(),
+        None => f64::NAN,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol * (1.0 + b.abs()), "left = {a}, right = {b}");
+    }
+
+    #[test]
+    fn gumbel_cdf_quantile_roundtrip() {
+        let g = Gumbel::new(3.0, 1.5).unwrap();
+        for i in 1..40 {
+            let p = i as f64 / 40.0;
+            assert_close(g.cdf(g.quantile(p)), p, 1e-12);
+        }
+    }
+
+    #[test]
+    fn gumbel_moments() {
+        let g = Gumbel::new(0.0, 1.0).unwrap();
+        assert_close(g.mean(), EULER_GAMMA, 1e-12);
+        assert_close(g.variance(), std::f64::consts::PI.powi(2) / 6.0, 1e-12);
+    }
+
+    #[test]
+    fn gumbel_pdf_integrates_to_one() {
+        let g = Gumbel::new(1.0, 2.0).unwrap();
+        let mut sum = 0.0;
+        let h = 0.01;
+        let mut x = -20.0;
+        while x < 60.0 {
+            sum += g.pdf(x) * h;
+            x += h;
+        }
+        assert_close(sum, 1.0, 1e-4);
+    }
+
+    #[test]
+    fn gumbel_invalid_params() {
+        assert!(Gumbel::new(0.0, 0.0).is_none());
+        assert!(Gumbel::new(0.0, -1.0).is_none());
+        assert!(Gumbel::new(f64::NAN, 1.0).is_none());
+        let g = Gumbel::new(0.0, 1.0).unwrap();
+        assert!(g.quantile(-0.1).is_nan());
+        assert!(g.quantile(0.0).is_infinite());
+    }
+
+    #[test]
+    fn moment_fit_recovers_parameters() {
+        // Sample via inverse cdf with a deterministic stream of uniforms.
+        let truth = Gumbel::new(10.0, 2.5).unwrap();
+        let mut state = 0xDEAD_BEEF_u64;
+        let sample: Vec<f64> = (0..20_000)
+            .map(|_| {
+                state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                let u = ((state >> 11) as f64 + 0.5) / (1u64 << 53) as f64;
+                truth.quantile(u)
+            })
+            .collect();
+        let fitted = Gumbel::fit_moments(&sample).unwrap();
+        assert_close(fitted.mu(), truth.mu(), 0.02);
+        assert_close(fitted.beta(), truth.beta(), 0.03);
+        assert!(Gumbel::fit_moments(&[1.0]).is_none());
+        assert!(Gumbel::fit_moments(&[2.0, 2.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn chi2_two_df_maximum_matches_lemma3() {
+        // χ²(2) is Exp(1/2): the (1−1/m)-quantile is exactly 2 ln m and
+        // the Gumbel scale is exactly 2 — the paper's Lemma 3 numbers.
+        let m = 10_000.0;
+        let g = max_chi2_gumbel(m, 2.0).unwrap();
+        assert_close(g.mu(), 2.0 * m.ln(), 1e-6);
+        assert_close(g.beta(), 2.0, 1e-6);
+    }
+
+    #[test]
+    fn benchmark_grows_logarithmically() {
+        let b1 = x2max_benchmark(1_000, 2);
+        let b2 = x2max_benchmark(10_000, 2);
+        let b3 = x2max_benchmark(100_000, 2);
+        assert!(b1 < b2 && b2 < b3);
+        // Increments per decade are roughly constant (log growth), and of
+        // order 2 ln 10 ≈ 4.6.
+        let d1 = b2 - b1;
+        let d2 = b3 - b2;
+        assert!((d1 / d2 - 1.0).abs() < 0.25, "d1 = {d1}, d2 = {d2}");
+        assert!((3.0..7.0).contains(&d1));
+    }
+
+    #[test]
+    fn benchmark_matches_paper_table2_scale() {
+        // Paper Table 2, p = 0.5 column: X²_max ranges 12.18 (n = 1000) to
+        // 17.89 (n = 20000). The benchmark must land in the same band.
+        let b_small = x2max_benchmark(1_000, 2);
+        let b_large = x2max_benchmark(20_000, 2);
+        assert!((9.0..16.0).contains(&b_small), "b_small = {b_small}");
+        assert!((14.0..22.0).contains(&b_large), "b_large = {b_large}");
+    }
+
+    #[test]
+    fn degenerate_max_params() {
+        assert!(max_chi2_gumbel(1.0, 2.0).is_none());
+        assert!(max_chi2_gumbel(100.0, 0.0).is_none());
+        assert!(x2max_benchmark(0, 2).is_nan());
+    }
+}

@@ -1,0 +1,390 @@
+//! Log-gamma and the regularized incomplete gamma functions.
+//!
+//! These are the numerical core of every chi-square probability in the
+//! workspace: the chi-square cdf with `df` degrees of freedom is the
+//! regularized lower incomplete gamma `P(df/2, x/2)`.
+//!
+//! `ln_gamma` uses the Lanczos approximation (g = 7, 9 terms), accurate to
+//! about 15 significant digits over the positive axis. The incomplete gamma
+//! functions follow the classic series / continued-fraction split at
+//! `x = a + 1` with a modified Lentz evaluation of the continued fraction.
+
+/// Lanczos coefficients for `g = 7`, `n = 9`.
+const LANCZOS_G: f64 = 7.0;
+#[allow(clippy::excessive_precision, clippy::approx_constant)]
+const LANCZOS_COEF: [f64; 9] = [
+    0.999_999_999_999_809_93,
+    676.520_368_121_885_1,
+    -1_259.139_216_722_402_8,
+    771.323_428_777_653_13,
+    -176.615_029_162_140_59,
+    12.507_343_278_686_905,
+    -0.138_571_095_265_720_12,
+    9.984_369_578_019_571_6e-6,
+    1.505_632_735_149_311_6e-7,
+];
+
+/// Natural logarithm of the absolute value of the gamma function.
+///
+/// Accurate to roughly machine precision for `x > 0`. For non-positive `x`
+/// the reflection formula is used; at the poles (`x = 0, -1, -2, …`) the
+/// result is `f64::INFINITY`.
+///
+/// # Examples
+///
+/// ```
+/// use sigstr_stats::gamma::ln_gamma;
+/// // Γ(5) = 4! = 24
+/// assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-12);
+/// // Γ(1/2) = √π
+/// assert!((ln_gamma(0.5) - 0.5723649429247001).abs() < 1e-12);
+/// ```
+pub fn ln_gamma(x: f64) -> f64 {
+    if x.is_nan() {
+        return f64::NAN;
+    }
+    if x < 0.5 {
+        if x <= 0.0 && x == x.floor() {
+            return f64::INFINITY; // pole at non-positive integers
+        }
+        // Reflection: Γ(x)Γ(1−x) = π / sin(πx).
+        let sin_pi_x = (std::f64::consts::PI * x).sin();
+        return std::f64::consts::PI.ln() - sin_pi_x.abs().ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = LANCZOS_COEF[0];
+    for (i, &c) in LANCZOS_COEF.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + LANCZOS_G + 0.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// The gamma function `Γ(x)`.
+///
+/// Computed from [`ln_gamma`]; overflows to `f64::INFINITY` for `x ≳ 171.6`.
+pub fn gamma(x: f64) -> f64 {
+    if x.is_nan() {
+        return f64::NAN;
+    }
+    if x <= 0.0 && x == x.floor() {
+        return f64::NAN; // poles
+    }
+    let lg = ln_gamma(x);
+    let magnitude = lg.exp();
+    if x > 0.0 {
+        magnitude
+    } else {
+        // Sign of Γ(x) for negative non-integer x alternates by interval.
+        let sin_pi_x = (std::f64::consts::PI * x).sin();
+        if sin_pi_x < 0.0 {
+            -magnitude
+        } else {
+            magnitude
+        }
+    }
+}
+
+/// Maximum number of iterations for the series / continued fraction.
+const MAX_ITER: usize = 600;
+/// Relative accuracy target.
+const EPS: f64 = 1e-15;
+/// Smallest representable scale for the Lentz algorithm.
+const FPMIN: f64 = f64::MIN_POSITIVE / EPS;
+
+/// Regularized lower incomplete gamma function `P(a, x)`.
+///
+/// `P(a, x) = γ(a, x) / Γ(a)` rises from 0 at `x = 0` to 1 as `x → ∞`.
+/// Requires `a > 0` and `x ≥ 0`; returns `f64::NAN` otherwise.
+///
+/// # Examples
+///
+/// ```
+/// use sigstr_stats::gamma::reg_lower_gamma;
+/// // P(1, x) = 1 − e^{−x}
+/// let x = 1.7;
+/// assert!((reg_lower_gamma(1.0, x) - (1.0 - (-x).exp())).abs() < 1e-14);
+/// ```
+pub fn reg_lower_gamma(a: f64, x: f64) -> f64 {
+    if a.is_nan() || a <= 0.0 || x.is_nan() || x < 0.0 {
+        return f64::NAN;
+    }
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        lower_series(a, x)
+    } else {
+        1.0 - upper_cf(a, x)
+    }
+}
+
+/// Regularized upper incomplete gamma function `Q(a, x) = 1 − P(a, x)`.
+///
+/// Computed directly by continued fraction in the right tail, so it stays
+/// accurate (no cancellation) even when `P(a, x)` is within `1e-16` of 1.
+///
+/// # Examples
+///
+/// ```
+/// use sigstr_stats::gamma::reg_upper_gamma;
+/// // Q(1, x) = e^{−x}; stays accurate deep in the tail.
+/// let x = 40.0;
+/// assert!((reg_upper_gamma(1.0, x) / (-x).exp() - 1.0).abs() < 1e-12);
+/// ```
+pub fn reg_upper_gamma(a: f64, x: f64) -> f64 {
+    if a.is_nan() || a <= 0.0 || x.is_nan() || x < 0.0 {
+        return f64::NAN;
+    }
+    if x == 0.0 {
+        return 1.0;
+    }
+    if x < a + 1.0 {
+        1.0 - lower_series(a, x)
+    } else {
+        upper_cf(a, x)
+    }
+}
+
+/// Series expansion of `P(a, x)`, convergent (and used) for `x < a + 1`.
+fn lower_series(a: f64, x: f64) -> f64 {
+    let mut ap = a;
+    let mut sum = 1.0 / a;
+    let mut term = sum;
+    for _ in 0..MAX_ITER {
+        ap += 1.0;
+        term *= x / ap;
+        sum += term;
+        if term.abs() < sum.abs() * EPS {
+            break;
+        }
+    }
+    let log_prefix = a * x.ln() - x - ln_gamma(a);
+    (sum * log_prefix.exp()).clamp(0.0, 1.0)
+}
+
+/// Continued-fraction expansion of `Q(a, x)` (modified Lentz), for `x ≥ a+1`.
+fn upper_cf(a: f64, x: f64) -> f64 {
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / FPMIN;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..=MAX_ITER {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = b + an / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let delta = d * c;
+        h *= delta;
+        if (delta - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    let log_prefix = a * x.ln() - x - ln_gamma(a);
+    (h * log_prefix.exp()).clamp(0.0, 1.0)
+}
+
+/// Natural log of the factorial, `ln(n!)`, exact-intent wrapper over
+/// [`ln_gamma`].
+///
+/// Used by the exact multinomial probability (paper Eq. 1).
+pub fn ln_factorial(n: u64) -> f64 {
+    // Small values from a table for exactness and speed.
+    #[allow(clippy::excessive_precision, clippy::approx_constant)]
+    const TABLE: [f64; 21] = [
+        0.0,
+        0.0,
+        0.693_147_180_559_945_3,
+        1.791_759_469_228_055,
+        3.178_053_830_347_946,
+        4.787_491_742_782_046,
+        6.579_251_212_010_101,
+        8.525_161_361_065_415,
+        10.604_602_902_745_25,
+        12.801_827_480_081_469,
+        15.104_412_573_075_516,
+        17.502_307_845_873_887,
+        19.987_214_495_661_885,
+        22.552_163_853_123_42,
+        25.191_221_182_738_68,
+        27.899_271_383_840_89,
+        30.671_860_106_080_672,
+        33.505_073_450_136_89,
+        36.395_445_208_033_05,
+        39.339_884_187_199_495,
+        42.335_616_460_753_485,
+    ];
+    if (n as usize) < TABLE.len() {
+        TABLE[n as usize]
+    } else {
+        ln_gamma(n as f64 + 1.0)
+    }
+}
+
+/// Binomial coefficient `C(n, k)` as a float, via log-factorials.
+///
+/// Exact for small arguments (verified in tests up to `C(60, 30)`); large
+/// values are accurate to double precision relative error.
+pub fn binomial_coefficient(n: u64, k: u64) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    (ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!(
+            (a - b).abs() <= tol * (1.0 + b.abs()),
+            "left = {a}, right = {b}"
+        );
+    }
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        let mut fact = 1.0f64;
+        for n in 1..=20u32 {
+            assert_close(ln_gamma(n as f64 + 1.0), (fact * n as f64).ln(), 1e-13);
+            fact *= n as f64;
+        }
+    }
+
+    #[test]
+    fn ln_gamma_half_integer_values() {
+        // Γ(1/2) = √π, Γ(3/2) = √π/2, Γ(5/2) = 3√π/4
+        let sqrt_pi = std::f64::consts::PI.sqrt();
+        assert_close(ln_gamma(0.5), sqrt_pi.ln(), 1e-14);
+        assert_close(ln_gamma(1.5), (sqrt_pi / 2.0).ln(), 1e-14);
+        assert_close(ln_gamma(2.5), (3.0 * sqrt_pi / 4.0).ln(), 1e-14);
+    }
+
+    #[test]
+    fn ln_gamma_reference_values() {
+        // Reference values computed with mpmath at 50 digits.
+        assert_close(ln_gamma(10.0), 12.801827480081469, 1e-14);
+        assert_close(ln_gamma(100.0), 359.1342053695754, 1e-14);
+        assert_close(ln_gamma(0.1), 2.252712651734206, 1e-14);
+        assert_close(ln_gamma(1e-3), 6.907178885383853, 1e-12);
+    }
+
+    #[test]
+    fn ln_gamma_recurrence() {
+        // ln Γ(x+1) = ln x + ln Γ(x)
+        for &x in &[0.3, 0.7, 1.2, 3.6, 9.9, 25.0, 120.5] {
+            assert_close(ln_gamma(x + 1.0), x.ln() + ln_gamma(x), 1e-13);
+        }
+    }
+
+    #[test]
+    fn ln_gamma_poles_are_infinite() {
+        assert!(ln_gamma(0.0).is_infinite());
+        assert!(ln_gamma(-1.0).is_infinite());
+        assert!(ln_gamma(-5.0).is_infinite());
+    }
+
+    #[test]
+    fn gamma_negative_non_integer() {
+        // Γ(−0.5) = −2√π
+        assert_close(gamma(-0.5), -2.0 * std::f64::consts::PI.sqrt(), 1e-12);
+        // Γ(−1.5) = 4√π/3
+        assert_close(gamma(-1.5), 4.0 * std::f64::consts::PI.sqrt() / 3.0, 1e-12);
+    }
+
+    #[test]
+    fn reg_gamma_complementarity() {
+        for &a in &[0.5, 1.0, 2.5, 7.0, 40.0, 123.0] {
+            for &x in &[0.01, 0.5, 1.0, 3.0, 10.0, 55.0, 200.0] {
+                let p = reg_lower_gamma(a, x);
+                let q = reg_upper_gamma(a, x);
+                assert_close(p + q, 1.0, 1e-12);
+                assert!((0.0..=1.0).contains(&p));
+            }
+        }
+    }
+
+    #[test]
+    fn reg_gamma_exponential_special_case() {
+        // P(1, x) = 1 − e^{−x}
+        for &x in &[0.1, 0.9, 2.0, 5.0, 15.0] {
+            assert_close(reg_lower_gamma(1.0, x), 1.0 - (-x).exp(), 1e-13);
+        }
+    }
+
+    #[test]
+    fn reg_gamma_reference_values() {
+        // scipy.special.gammainc reference values.
+        assert_close(reg_lower_gamma(0.5, 0.5), 0.6826894921370859, 1e-12);
+        assert_close(reg_lower_gamma(3.0, 2.0), 0.32332358381693654, 1e-12);
+        assert_close(reg_upper_gamma(5.0, 10.0), 0.029252688076961127, 1e-11);
+        assert_close(reg_lower_gamma(10.0, 3.0), 0.0011024881301847435, 1e-11);
+    }
+
+    #[test]
+    fn reg_gamma_monotone_in_x() {
+        for &a in &[0.5, 1.0, 4.0, 16.0] {
+            let mut prev = -1.0;
+            for i in 0..200 {
+                let x = i as f64 * 0.25;
+                let p = reg_lower_gamma(a, x);
+                assert!(p >= prev, "P({a}, {x}) decreased");
+                prev = p;
+            }
+        }
+    }
+
+    #[test]
+    fn reg_gamma_domain_errors() {
+        assert!(reg_lower_gamma(0.0, 1.0).is_nan());
+        assert!(reg_lower_gamma(-1.0, 1.0).is_nan());
+        assert!(reg_lower_gamma(1.0, -0.5).is_nan());
+        assert!(reg_upper_gamma(0.0, 1.0).is_nan());
+    }
+
+    #[test]
+    fn reg_gamma_edges() {
+        assert_eq!(reg_lower_gamma(3.0, 0.0), 0.0);
+        assert_eq!(reg_upper_gamma(3.0, 0.0), 1.0);
+        assert!(reg_lower_gamma(2.0, 1e6) > 1.0 - 1e-15);
+    }
+
+    #[test]
+    fn ln_factorial_table_and_tail_agree() {
+        assert_close(ln_factorial(20), ln_gamma(21.0), 1e-14);
+        assert_close(ln_factorial(21), ln_gamma(22.0), 1e-14);
+        assert_eq!(ln_factorial(0), 0.0);
+        assert_eq!(ln_factorial(1), 0.0);
+    }
+
+    #[test]
+    fn binomial_coefficients_exact_small() {
+        assert_eq!(binomial_coefficient(0, 0).round(), 1.0);
+        assert_eq!(binomial_coefficient(5, 2).round(), 10.0);
+        assert_eq!(binomial_coefficient(20, 10).round(), 184_756.0);
+        assert_eq!(binomial_coefficient(40, 20).round(), 137_846_528_820.0);
+        // C(60, 30) exceeds 2^53; check to relative double precision instead.
+        let c = binomial_coefficient(60, 30);
+        assert!((c / 118_264_581_564_861_424.0 - 1.0).abs() < 1e-12);
+        assert_eq!(binomial_coefficient(4, 9), 0.0);
+    }
+
+    #[test]
+    fn pascal_identity() {
+        for n in 2..40u64 {
+            for k in 1..n {
+                let lhs = binomial_coefficient(n, k);
+                let rhs = binomial_coefficient(n - 1, k - 1) + binomial_coefficient(n - 1, k);
+                assert_close(lhs, rhs, 1e-10);
+            }
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Statistical special functions and distributions.
+//!
+//! This crate is the numerical substrate of the `sigstr` workspace, the Rust
+//! reproduction of *Sachan & Bhattacharya, "Mining Statistically Significant
+//! Substrings using the Chi-Square Statistic" (VLDB 2012)*. Everything here
+//! is implemented from scratch in pure Rust (the offline dependency policy of
+//! the workspace does not include a statistics crate):
+//!
+//! * [`gamma`] — log-gamma and the regularized incomplete gamma functions,
+//!   the work-horses behind every chi-square tail probability.
+//! * [`beta`] — log-beta and the regularized incomplete beta function,
+//!   used for binomial tail probabilities.
+//! * [`erf`] — error function and its complement/inverse.
+//! * [`normal`] — the normal distribution (pdf/cdf/sf/quantile).
+//! * [`chi2`] — the chi-square distribution with real-valued degrees of
+//!   freedom (pdf/cdf/sf/quantile), which the paper's `X²` statistic
+//!   converges to under the null model (paper Theorem 3).
+//! * [`binomial`] — binomial pmf/cdf/sf, used by the paper's analysis of the
+//!   per-character count `Y_i ~ Binomial(n, p_i)` (paper Eq. 23).
+//! * [`multinomial`] — exact multinomial probabilities (paper Eq. 1) and the
+//!   *exact* p-value by enumeration (paper Eq. 2) for small cases; used as a
+//!   test oracle for the chi-square approximation.
+//! * [`pearson`] — Pearson's `X²` statistic (paper Eq. 4/5), the likelihood
+//!   ratio `G` statistic (paper Eq. 3) and p-values for both.
+//! * [`bounds`] — Hoeffding and Chernoff concentration bounds used in the
+//!   paper's running-time analysis (Lemma 5, Lemma 8).
+//! * [`extreme`] — the Gumbel law of the maximum chi-square (the paper's
+//!   Lemma 3/4 machinery and its `X²_max ≈ 2 ln n` benchmark, §7.4/§8).
+//! * [`descriptive`] — small-sample summaries (mean/variance/extrema) used by
+//!   the experiment harness when averaging repeated runs.
+//!
+//! # Accuracy
+//!
+//! The special functions target close-to-machine double precision over the
+//! parameter ranges exercised by substring mining (degrees of freedom `1 ≤ df
+//! ≤ 256`, statistics up to a few thousand). They are validated in the test
+//! suite against closed forms (`χ²(2)` is `Exp(1/2)`, so its cdf is
+//! `1 − e^{−x/2}`), against high-precision reference values, and against each
+//! other through identities (`P + Q = 1`, `Γ(x+1) = xΓ(x)`,
+//! `I_x(a,b) = 1 − I_{1−x}(b,a)`, …).
+//!
+//! # Example
+//!
+//! ```
+//! use sigstr_stats::{chi2, pearson};
+//!
+//! // A fair-coin substring of length 100 with 70 heads.
+//! let observed = [70.0, 30.0];
+//! let expected = [50.0, 50.0];
+//! let x2 = pearson::chi_square(&observed, &expected);
+//! assert!((x2 - 16.0).abs() < 1e-12);
+//!
+//! // Its p-value under the chi-square approximation with k - 1 = 1 df.
+//! let p = chi2::sf(x2, 1.0);
+//! assert!(p < 1e-4);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod beta;
+pub mod binomial;
+pub mod bounds;
+pub mod chi2;
+pub mod descriptive;
+pub mod erf;
+pub mod extreme;
+pub mod gamma;
+pub mod multinomial;
+pub mod normal;
+pub mod pearson;
+
+pub use chi2::ChiSquared;
+pub use normal::Normal;
+pub use pearson::{chi_square, chi_square_from_counts, g_statistic};

@@ -1,0 +1,180 @@
+//! Exact multinomial probabilities and exact p-values.
+//!
+//! Paper Eq. 1 gives the probability of a count configuration under the
+//! memoryless Bernoulli model; Eq. 2 defines the exact p-value as the total
+//! probability of configurations *at least as extreme* (extremeness measured
+//! by the `X²` statistic, per the paper's discussion). Exact enumeration is
+//! exponential in general — the paper's entire motivation for the chi-square
+//! approximation — but for small `l` and `k` it is feasible and serves as the
+//! ground-truth oracle in our test suite.
+
+use crate::gamma::ln_factorial;
+use crate::pearson::chi_square_from_counts;
+
+/// Natural log of the multinomial pmf (paper Eq. 1):
+/// `Pr[C = (Y_1..Y_k)] = l! ∏ p_i^{Y_i} / Y_i!` with `l = ΣY_i`.
+///
+/// Returns `f64::NEG_INFINITY` when some `p_i = 0` has `Y_i > 0`, and
+/// `f64::NAN` when `counts` and `probs` have different lengths.
+pub fn ln_multinomial_pmf(counts: &[u64], probs: &[f64]) -> f64 {
+    if counts.len() != probs.len() {
+        return f64::NAN;
+    }
+    let l: u64 = counts.iter().sum();
+    let mut acc = ln_factorial(l);
+    for (&y, &p) in counts.iter().zip(probs) {
+        if y == 0 {
+            continue;
+        }
+        if p <= 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        acc += y as f64 * p.ln() - ln_factorial(y);
+    }
+    acc
+}
+
+/// Multinomial pmf (paper Eq. 1).
+pub fn multinomial_pmf(counts: &[u64], probs: &[f64]) -> f64 {
+    ln_multinomial_pmf(counts, probs).exp()
+}
+
+/// Exact p-value of an observed count configuration (paper Eq. 2): the total
+/// probability, under the null model, of every configuration of the same
+/// total whose `X²` statistic is **at least** that of the observation.
+///
+/// Enumerates all `C(l + k − 1, k − 1)` compositions — use only for small
+/// `l`/`k` (the test oracle use case). Returns `f64::NAN` on length mismatch
+/// or empty input.
+pub fn exact_p_value(observed: &[u64], probs: &[f64]) -> f64 {
+    if observed.len() != probs.len() || observed.is_empty() {
+        return f64::NAN;
+    }
+    let l: u64 = observed.iter().sum();
+    let threshold = chi_square_from_counts(observed, probs);
+    let k = observed.len();
+    let mut config = vec![0u64; k];
+    let mut total = 0.0;
+    enumerate_compositions(l, 0, &mut config, &mut |c: &[u64]| {
+        // Tolerance guards ties: configurations with (numerically) equal X²
+        // count as "at least as extreme" per Eq. 2.
+        if chi_square_from_counts(c, probs) >= threshold - 1e-9 {
+            total += multinomial_pmf(c, probs);
+        }
+    });
+    total.min(1.0)
+}
+
+/// Visit every way of writing `remaining` as an ordered sum over
+/// `config[idx..]`.
+fn enumerate_compositions(
+    remaining: u64,
+    idx: usize,
+    config: &mut Vec<u64>,
+    visit: &mut impl FnMut(&[u64]),
+) {
+    if idx == config.len() - 1 {
+        config[idx] = remaining;
+        visit(config);
+        return;
+    }
+    for y in 0..=remaining {
+        config[idx] = y;
+        enumerate_compositions(remaining - y, idx + 1, config, visit);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!(
+            (a - b).abs() <= tol * (1.0 + b.abs()),
+            "left = {a}, right = {b}"
+        );
+    }
+
+    #[test]
+    fn pmf_binary_matches_binomial() {
+        use crate::binomial::Binomial;
+        let b = Binomial::new(12, 0.3).unwrap();
+        for heads in 0..=12u64 {
+            let multi = multinomial_pmf(&[heads, 12 - heads], &[0.3, 0.7]);
+            assert_close(multi, b.pmf(heads), 1e-12);
+        }
+    }
+
+    #[test]
+    fn pmf_sums_to_one_ternary() {
+        let probs = [0.2, 0.3, 0.5];
+        let l = 8u64;
+        let mut total = 0.0;
+        for a in 0..=l {
+            for b in 0..=(l - a) {
+                total += multinomial_pmf(&[a, b, l - a - b], &probs);
+            }
+        }
+        assert_close(total, 1.0, 1e-12);
+    }
+
+    #[test]
+    fn zero_probability_category() {
+        assert_eq!(multinomial_pmf(&[1, 0], &[0.0, 1.0]), 0.0);
+        assert_close(multinomial_pmf(&[0, 3], &[0.0, 1.0]), 1.0, 1e-14);
+    }
+
+    #[test]
+    fn length_mismatch_is_nan() {
+        assert!(ln_multinomial_pmf(&[1, 2], &[1.0]).is_nan());
+        assert!(exact_p_value(&[1, 2], &[1.0]).is_nan());
+        assert!(exact_p_value(&[], &[]).is_nan());
+    }
+
+    #[test]
+    fn exact_p_value_coin_example() {
+        // Paper §1 coin example, restated as a 2-category multinomial:
+        // 19 heads / 1 tail in 20 fair flips; extreme = X² ≥ observed.
+        // Extreme configurations: {19H,20H,19T,20T} ⇒ 2·(20+1)/2^20.
+        let p = exact_p_value(&[19, 1], &[0.5, 0.5]);
+        assert_close(p, 2.0 * 21.0 / (1u64 << 20) as f64, 1e-10);
+    }
+
+    #[test]
+    fn exact_p_value_everything_extreme() {
+        // The most probable configuration has the smallest X², so using it
+        // as the observation makes every configuration "at least as
+        // extreme" ⇒ p-value 1.
+        let p = exact_p_value(&[5, 5], &[0.5, 0.5]);
+        assert_close(p, 1.0, 1e-12);
+    }
+
+    #[test]
+    fn exact_p_value_monotone_in_extremeness() {
+        let probs = [0.5, 0.5];
+        let mut prev = f64::INFINITY;
+        for heads in 5..=10u64 {
+            let p = exact_p_value(&[heads, 10 - heads], &probs);
+            assert!(p <= prev + 1e-12, "p-value must shrink as counts skew");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn chi2_approximation_close_to_exact_for_moderate_l() {
+        // The VLDB paper's premise: the chi-square tail approximates the
+        // exact multinomial p-value for large samples. Check within a loose
+        // multiplicative band at l = 40, k = 2.
+        let observed = [28u64, 12];
+        let probs = [0.5, 0.5];
+        let exact = exact_p_value(&observed, &probs);
+        let x2 = chi_square_from_counts(&observed, &probs);
+        let approx = crate::chi2::sf(x2, 1.0);
+        assert!(exact > 0.0 && approx > 0.0);
+        let ratio = exact / approx;
+        assert!(
+            (0.3..3.0).contains(&ratio),
+            "exact = {exact}, approx = {approx}"
+        );
+    }
+}

@@ -1,0 +1,189 @@
+//! The normal (Gaussian) distribution.
+//!
+//! Used by the paper's analysis: `Binomial(n, p)` converges to
+//! `Normal(np, np(1−p))` (paper Theorem 2), which underlies the convergence
+//! of the `X²` statistic to the chi-square distribution (paper Theorem 3).
+
+use crate::erf::{erf, erf_inv, erfc};
+
+/// A normal distribution with mean `mu` and standard deviation `sigma`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl Normal {
+    /// Create a normal distribution.
+    ///
+    /// Returns `None` when `sigma` is not strictly positive or either
+    /// parameter is non-finite.
+    pub fn new(mu: f64, sigma: f64) -> Option<Self> {
+        if mu.is_finite() && sigma.is_finite() && sigma > 0.0 {
+            Some(Self { mu, sigma })
+        } else {
+            None
+        }
+    }
+
+    /// The standard normal `N(0, 1)`.
+    pub fn standard() -> Self {
+        Self { mu: 0.0, sigma: 1.0 }
+    }
+
+    /// Mean of the distribution.
+    pub fn mean(&self) -> f64 {
+        self.mu
+    }
+
+    /// Standard deviation of the distribution.
+    pub fn std_dev(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Variance of the distribution.
+    pub fn variance(&self) -> f64 {
+        self.sigma * self.sigma
+    }
+
+    /// Probability density function.
+    pub fn pdf(&self, x: f64) -> f64 {
+        let z = (x - self.mu) / self.sigma;
+        (-0.5 * z * z).exp() / (self.sigma * (2.0 * std::f64::consts::PI).sqrt())
+    }
+
+    /// Cumulative distribution function `Pr[X ≤ x]`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        let z = (x - self.mu) / (self.sigma * std::f64::consts::SQRT_2);
+        0.5 * (1.0 + erf(z))
+    }
+
+    /// Survival function `Pr[X > x]`, accurate in the right tail.
+    pub fn sf(&self, x: f64) -> f64 {
+        let z = (x - self.mu) / (self.sigma * std::f64::consts::SQRT_2);
+        0.5 * erfc(z)
+    }
+
+    /// Quantile function (inverse cdf).
+    ///
+    /// Requires `0 < p < 1` (returns `±∞` at the endpoints, `f64::NAN`
+    /// outside).
+    pub fn quantile(&self, p: f64) -> f64 {
+        if p.is_nan() || !(0.0..=1.0).contains(&p) {
+            return f64::NAN;
+        }
+        if p == 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        if p == 1.0 {
+            return f64::INFINITY;
+        }
+        self.mu + self.sigma * std::f64::consts::SQRT_2 * erf_inv(2.0 * p - 1.0)
+    }
+
+    /// The z-score of an observation.
+    pub fn z_score(&self, x: f64) -> f64 {
+        (x - self.mu) / self.sigma
+    }
+}
+
+/// Standard normal cdf `Φ(x)` — convenience wrapper.
+pub fn phi(x: f64) -> f64 {
+    Normal::standard().cdf(x)
+}
+
+/// Standard normal quantile `Φ⁻¹(p)` — convenience wrapper.
+pub fn phi_inv(p: f64) -> f64 {
+    Normal::standard().quantile(p)
+}
+
+/// Normal approximation to `Binomial(n, p)` (paper Theorem 2).
+///
+/// Returns `None` under the same conditions as [`Normal::new`] (e.g. `p`
+/// equal to 0 or 1 gives zero variance).
+pub fn binomial_normal_approx(n: u64, p: f64) -> Option<Normal> {
+    let mean = n as f64 * p;
+    let var = n as f64 * p * (1.0 - p);
+    Normal::new(mean, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!(
+            (a - b).abs() <= tol * (1.0 + b.abs()),
+            "left = {a}, right = {b}"
+        );
+    }
+
+    #[test]
+    fn standard_cdf_reference_values() {
+        assert_close(phi(0.0), 0.5, 1e-15);
+        assert_close(phi(1.0), 0.8413447460685429, 1e-13);
+        assert_close(phi(1.96), 0.9750021048517795, 1e-13);
+        assert_close(phi(-2.575829303548901), 0.005, 1e-10);
+    }
+
+    #[test]
+    fn pdf_integrates_roughly_to_one() {
+        let n = Normal::standard();
+        let mut sum = 0.0;
+        let h = 0.001;
+        let mut x = -10.0;
+        while x < 10.0 {
+            sum += n.pdf(x) * h;
+            x += h;
+        }
+        assert_close(sum, 1.0, 1e-6);
+    }
+
+    #[test]
+    fn quantile_roundtrip() {
+        let n = Normal::new(3.0, 2.5).unwrap();
+        for i in 1..100 {
+            let p = i as f64 / 100.0;
+            assert_close(n.cdf(n.quantile(p)), p, 1e-10);
+        }
+    }
+
+    #[test]
+    fn sf_tail_accuracy() {
+        // Φ̄(6) ≈ 9.865876450376946e-10
+        assert_close(Normal::standard().sf(6.0), 9.865876450376946e-10, 1e-9);
+    }
+
+    #[test]
+    fn shifted_scaled_consistency() {
+        let n = Normal::new(-1.0, 0.5).unwrap();
+        assert_close(n.cdf(-1.0), 0.5, 1e-14);
+        assert_close(n.z_score(0.0), 2.0, 1e-15);
+        assert_close(n.variance(), 0.25, 1e-15);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(Normal::new(0.0, 0.0).is_none());
+        assert!(Normal::new(0.0, -1.0).is_none());
+        assert!(Normal::new(f64::NAN, 1.0).is_none());
+        assert!(Normal::new(0.0, f64::INFINITY).is_none());
+    }
+
+    #[test]
+    fn binomial_approximation_moments() {
+        let approx = binomial_normal_approx(100, 0.3).unwrap();
+        assert_close(approx.mean(), 30.0, 1e-15);
+        assert_close(approx.variance(), 21.0, 1e-12);
+        assert!(binomial_normal_approx(100, 0.0).is_none());
+    }
+
+    #[test]
+    fn quantile_edges() {
+        let n = Normal::standard();
+        assert!(n.quantile(0.0).is_infinite());
+        assert!(n.quantile(1.0).is_infinite());
+        assert!(n.quantile(-0.1).is_nan());
+        assert!(n.quantile(1.0001).is_nan());
+    }
+}

@@ -1,0 +1,209 @@
+//! Pearson's `X²` statistic and the likelihood-ratio `G` statistic.
+//!
+//! These are the two asymptotic approximations to the exact multinomial
+//! p-value that the paper discusses (Eq. 3 and Eq. 4/5). The paper adopts
+//! Pearson's `X²` because it converges to `χ²(k − 1)` *from below*, reducing
+//! type-I errors; we provide both, plus the count-vector convenience forms
+//! used throughout the mining code.
+
+use crate::chi2;
+
+/// Pearson's chi-square statistic from observed and expected frequencies
+/// (paper Eq. 4): `X² = Σ (O_i − E_i)² / E_i`.
+///
+/// Entries with `E_i = 0` are skipped when `O_i = 0` too and contribute
+/// `f64::INFINITY` otherwise. Length mismatch gives `f64::NAN`.
+pub fn chi_square(observed: &[f64], expected: &[f64]) -> f64 {
+    if observed.len() != expected.len() {
+        return f64::NAN;
+    }
+    let mut x2 = 0.0;
+    for (&o, &e) in observed.iter().zip(expected) {
+        if e <= 0.0 {
+            if o != 0.0 {
+                return f64::INFINITY;
+            }
+            continue;
+        }
+        let d = o - e;
+        x2 += d * d / e;
+    }
+    x2
+}
+
+/// Pearson's chi-square from a count vector and model probabilities, in the
+/// simplified form of paper Eq. 5: `X² = Σ Y_i²/(l·p_i) − l`.
+///
+/// `l` is the total count. Returns 0 for an empty configuration (`l = 0`),
+/// `f64::INFINITY` when a zero-probability character was observed, and
+/// `f64::NAN` on length mismatch.
+pub fn chi_square_from_counts(counts: &[u64], probs: &[f64]) -> f64 {
+    if counts.len() != probs.len() {
+        return f64::NAN;
+    }
+    let l: u64 = counts.iter().sum();
+    if l == 0 {
+        return 0.0;
+    }
+    let lf = l as f64;
+    let mut sum = 0.0;
+    for (&y, &p) in counts.iter().zip(probs) {
+        if y == 0 {
+            continue;
+        }
+        if p <= 0.0 {
+            return f64::INFINITY;
+        }
+        let yf = y as f64;
+        sum += yf * yf / p;
+    }
+    sum / lf - lf
+}
+
+/// The likelihood-ratio statistic `−2 ln(LR)` (paper Eq. 3), also known as
+/// the `G` statistic: `G = 2 Σ Y_i ln(Y_i / (l·p_i))`.
+///
+/// Zero-count categories contribute 0 (the `x ln x → 0` limit). Returns
+/// `f64::INFINITY` when a zero-probability character was observed and
+/// `f64::NAN` on length mismatch.
+pub fn g_statistic(counts: &[u64], probs: &[f64]) -> f64 {
+    if counts.len() != probs.len() {
+        return f64::NAN;
+    }
+    let l: u64 = counts.iter().sum();
+    if l == 0 {
+        return 0.0;
+    }
+    let lf = l as f64;
+    let mut g = 0.0;
+    for (&y, &p) in counts.iter().zip(probs) {
+        if y == 0 {
+            continue;
+        }
+        if p <= 0.0 {
+            return f64::INFINITY;
+        }
+        let yf = y as f64;
+        g += yf * (yf / (lf * p)).ln();
+    }
+    2.0 * g
+}
+
+/// P-value of a Pearson `X²` statistic over `k` categories under the
+/// `χ²(k − 1)` approximation (paper Theorem 3).
+pub fn chi_square_p_value(x2: f64, k: usize) -> f64 {
+    if k < 2 {
+        return f64::NAN;
+    }
+    chi2::sf(x2, (k - 1) as f64)
+}
+
+/// The `X²` threshold corresponding to significance level `alpha` over `k`
+/// categories: statistics above the threshold have p-value below `alpha`.
+///
+/// This converts a Problem-3 significance level into the `α₀` chi-square
+/// cutoff used by the threshold-mining variant.
+pub fn threshold_for_significance(alpha: f64, k: usize) -> f64 {
+    if k < 2 || !(0.0..=1.0).contains(&alpha) {
+        return f64::NAN;
+    }
+    chi2::quantile(1.0 - alpha, (k - 1) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!(
+            (a - b).abs() <= tol * (1.0 + b.abs()),
+            "left = {a}, right = {b}"
+        );
+    }
+
+    #[test]
+    fn eq4_and_eq5_forms_agree() {
+        // The simplified Eq. 5 must equal the textbook Eq. 4.
+        let counts = [7u64, 2, 11];
+        let probs = [0.25, 0.25, 0.5];
+        let l: u64 = counts.iter().sum();
+        let observed: Vec<f64> = counts.iter().map(|&c| c as f64).collect();
+        let expected: Vec<f64> = probs.iter().map(|&p| p * l as f64).collect();
+        assert_close(
+            chi_square_from_counts(&counts, &probs),
+            chi_square(&observed, &expected),
+            1e-12,
+        );
+    }
+
+    #[test]
+    fn perfectly_expected_counts_score_zero() {
+        assert_close(chi_square_from_counts(&[25, 25], &[0.5, 0.5]), 0.0, 1e-12);
+        assert_close(chi_square_from_counts(&[10, 20, 30], &[1.0 / 6.0, 2.0 / 6.0, 3.0 / 6.0]), 0.0, 1e-10);
+        assert_close(g_statistic(&[25, 25], &[0.5, 0.5]), 0.0, 1e-12);
+    }
+
+    #[test]
+    fn known_value_fair_coin() {
+        // 70/30 over fair coin: X² = (20²/50)·2 = 16.
+        assert_close(chi_square_from_counts(&[70, 30], &[0.5, 0.5]), 16.0, 1e-12);
+    }
+
+    #[test]
+    fn order_of_categories_is_irrelevant_given_matching_probs() {
+        let x1 = chi_square_from_counts(&[3, 9, 1], &[0.2, 0.5, 0.3]);
+        let x2 = chi_square_from_counts(&[9, 1, 3], &[0.5, 0.3, 0.2]);
+        assert_close(x1, x2, 1e-12);
+    }
+
+    #[test]
+    fn g_close_to_x2_near_null() {
+        // Both statistics are asymptotically χ²(k−1); near the null they
+        // nearly coincide.
+        let counts = [52u64, 48];
+        let probs = [0.5, 0.5];
+        let x2 = chi_square_from_counts(&counts, &probs);
+        let g = g_statistic(&counts, &probs);
+        assert!((x2 - g).abs() < 0.01, "x2 = {x2}, g = {g}");
+    }
+
+    #[test]
+    fn x2_below_g_for_skewed_samples() {
+        // X² converges from below, G from above (paper §1, [21, 24]):
+        // for overdispersed observations G ≥ X² typically holds.
+        let counts = [30u64, 2];
+        let probs = [0.5, 0.5];
+        assert!(g_statistic(&counts, &probs) > chi_square_from_counts(&counts, &probs));
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        assert_eq!(chi_square_from_counts(&[0, 0], &[0.5, 0.5]), 0.0);
+        assert_eq!(g_statistic(&[0, 0, 0], &[0.3, 0.3, 0.4]), 0.0);
+        assert!(chi_square_from_counts(&[1], &[0.5, 0.5]).is_nan());
+        assert_eq!(chi_square_from_counts(&[1, 1], &[0.0, 1.0]), f64::INFINITY);
+        assert_eq!(g_statistic(&[1, 1], &[0.0, 1.0]), f64::INFINITY);
+    }
+
+    #[test]
+    fn p_value_and_threshold_are_inverses() {
+        for &k in &[2usize, 3, 5, 10] {
+            for &alpha in &[0.1, 0.05, 0.01] {
+                let t = threshold_for_significance(alpha, k);
+                assert_close(chi_square_p_value(t, k), alpha, 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn p_value_of_5_percent_critical_value_binary() {
+        assert_close(chi_square_p_value(3.841458820694124, 2), 0.05, 1e-9);
+    }
+
+    #[test]
+    fn invalid_k_rejected() {
+        assert!(chi_square_p_value(1.0, 1).is_nan());
+        assert!(threshold_for_significance(0.05, 0).is_nan());
+        assert!(threshold_for_significance(1.5, 3).is_nan());
+    }
+}

@@ -1,0 +1,123 @@
+//! Property tests for the statistical substrate: identities that must hold
+//! across random parameter draws.
+
+use proptest::prelude::*;
+
+use sigstr_stats::beta::{ln_beta, reg_inc_beta};
+use sigstr_stats::binomial::Binomial;
+use sigstr_stats::chi2::ChiSquared;
+use sigstr_stats::erf::{erf, erfc};
+use sigstr_stats::gamma::{ln_gamma, reg_lower_gamma, reg_upper_gamma};
+use sigstr_stats::multinomial::multinomial_pmf;
+use sigstr_stats::normal::Normal;
+use sigstr_stats::pearson::{chi_square_from_counts, g_statistic};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Γ(x+1) = x·Γ(x) in log space.
+    #[test]
+    fn gamma_recurrence(x in 0.1f64..60.0) {
+        let lhs = ln_gamma(x + 1.0);
+        let rhs = x.ln() + ln_gamma(x);
+        prop_assert!((lhs - rhs).abs() < 1e-10 * (1.0 + rhs.abs()));
+    }
+
+    /// P(a,x) + Q(a,x) = 1 and both lie in [0,1].
+    #[test]
+    fn incomplete_gamma_complementary(a in 0.05f64..80.0, x in 0.0f64..200.0) {
+        let p = reg_lower_gamma(a, x);
+        let q = reg_upper_gamma(a, x);
+        prop_assert!((0.0..=1.0).contains(&p));
+        prop_assert!((0.0..=1.0).contains(&q));
+        prop_assert!((p + q - 1.0).abs() < 1e-10);
+    }
+
+    /// P(a, ·) is non-decreasing.
+    #[test]
+    fn incomplete_gamma_monotone(a in 0.1f64..40.0, x in 0.0f64..100.0, dx in 0.0f64..10.0) {
+        prop_assert!(reg_lower_gamma(a, x + dx) + 1e-12 >= reg_lower_gamma(a, x));
+    }
+
+    /// B(a,b) = B(b,a).
+    #[test]
+    fn beta_symmetric(a in 0.05f64..50.0, b in 0.05f64..50.0) {
+        prop_assert!((ln_beta(a, b) - ln_beta(b, a)).abs() < 1e-10);
+    }
+
+    /// I_x(a,b) = 1 − I_{1−x}(b,a).
+    #[test]
+    fn inc_beta_reflection(x in 0.001f64..0.999, a in 0.1f64..30.0, b in 0.1f64..30.0) {
+        let lhs = reg_inc_beta(x, a, b);
+        let rhs = 1.0 - reg_inc_beta(1.0 - x, b, a);
+        prop_assert!((lhs - rhs).abs() < 1e-9);
+    }
+
+    /// erf is odd, bounded, and complements erfc.
+    #[test]
+    fn erf_identities(x in -6.0f64..6.0) {
+        prop_assert!((erf(x) + erf(-x)).abs() < 1e-12);
+        prop_assert!(erf(x).abs() <= 1.0);
+        prop_assert!((erf(x) + erfc(x) - 1.0).abs() < 1e-12);
+    }
+
+    /// Normal quantile inverts the cdf.
+    #[test]
+    fn normal_quantile_roundtrip(mu in -10.0f64..10.0, sigma in 0.1f64..10.0, p in 0.001f64..0.999) {
+        let n = Normal::new(mu, sigma).expect("valid");
+        let x = n.quantile(p);
+        prop_assert!((n.cdf(x) - p).abs() < 1e-8);
+    }
+
+    /// Chi-square cdf/sf complement and quantile roundtrip.
+    #[test]
+    fn chi2_identities(df in 0.5f64..100.0, x in 0.0f64..300.0, p in 0.01f64..0.99) {
+        let d = ChiSquared::new(df).expect("valid");
+        prop_assert!((d.cdf(x) + d.sf(x) - 1.0).abs() < 1e-10);
+        let q = d.quantile(p);
+        prop_assert!((d.cdf(q) - p).abs() < 1e-7);
+    }
+
+    /// Binomial cdf + sf = 1 and pmf sums over a window stay bounded.
+    #[test]
+    fn binomial_complement(n in 1u64..300, p in 0.01f64..0.99, k in 0u64..300) {
+        let b = Binomial::new(n, p).expect("valid");
+        let k = k.min(n);
+        prop_assert!((b.cdf(k) + b.sf(k) - 1.0).abs() < 1e-9);
+        prop_assert!(b.pmf(k) <= 1.0 + 1e-12);
+    }
+
+    /// Multinomial pmf is a probability and binary case matches binomial.
+    #[test]
+    fn multinomial_binary_matches_binomial(n in 1u64..40, y in 0u64..40, p in 0.05f64..0.95) {
+        let y = y.min(n);
+        let pmf = multinomial_pmf(&[y, n - y], &[p, 1.0 - p]);
+        let b = Binomial::new(n, p).expect("valid").pmf(y);
+        prop_assert!((pmf - b).abs() < 1e-10 * (1.0 + b));
+    }
+
+    /// X² and G are non-negative and zero exactly at expectation-shaped
+    /// counts (checked at proportional counts).
+    #[test]
+    fn statistics_nonnegative(counts in prop::collection::vec(0u64..200, 2..6)) {
+        let k = counts.len();
+        let probs = vec![1.0 / k as f64; k];
+        let x2 = chi_square_from_counts(&counts, &probs);
+        let g = g_statistic(&counts, &probs);
+        prop_assert!(x2 >= -1e-9);
+        prop_assert!(g >= -1e-9);
+    }
+
+    /// The chi-square statistic is scale-consistent: doubling all counts
+    /// doubles X² (for fixed composition).
+    #[test]
+    fn chi_square_doubles_with_counts(counts in prop::collection::vec(0u64..100, 3)) {
+        let total: u64 = counts.iter().sum();
+        prop_assume!(total > 0);
+        let probs = [0.25, 0.35, 0.4];
+        let x2 = chi_square_from_counts(&counts, &probs);
+        let doubled: Vec<u64> = counts.iter().map(|&c| c * 2).collect();
+        let x2_doubled = chi_square_from_counts(&doubled, &probs);
+        prop_assert!((x2_doubled - 2.0 * x2).abs() < 1e-8 * (1.0 + x2));
+    }
+}

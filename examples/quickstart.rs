@@ -1,0 +1,50 @@
+//! Quickstart: find the most significant substring of a string.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use sigstr::core::{find_mss, top_t, Model, Sequence};
+
+fn main() {
+    // A binary string: mostly alternating, with a suspicious run of ones.
+    let text = "0101001011010111111111111111101001010010110100101";
+    let symbols: Vec<u8> = text.bytes().map(|b| b - b'0').collect();
+    let seq = Sequence::from_symbols(symbols, 2).expect("valid symbols");
+
+    // Null hypothesis: each character is an independent fair coin flip.
+    let model = Model::uniform(2).expect("valid model");
+
+    // Problem 1: the most significant substring.
+    let result = find_mss(&seq, &model).expect("mining succeeds");
+    let best = result.best;
+    println!("string : {text}");
+    println!(
+        "MSS    : [{}, {})  ->  \"{}\"",
+        best.start,
+        best.end,
+        &text[best.start..best.end]
+    );
+    println!("X²     : {:.3}", best.chi_square);
+    println!("p-value: {:.3e}  (chi-square approximation, k - 1 = 1 df)", best.p_value(2));
+    println!(
+        "scan   : examined {} of {} substrings ({} skipped by the chain-cover bound)",
+        result.stats.examined,
+        seq.len() * (seq.len() + 1) / 2,
+        result.stats.skipped,
+    );
+
+    // Problem 2: the top-3 substrings.
+    println!("\ntop-3 substrings:");
+    let top = top_t(&seq, &model, 3).expect("mining succeeds");
+    for (rank, item) in top.items.iter().enumerate() {
+        println!(
+            "  #{}  [{:>2}, {:>2})  X² = {:>7.3}  p = {:.2e}",
+            rank + 1,
+            item.start,
+            item.end,
+            item.chi_square,
+            item.p_value(2)
+        );
+    }
+}

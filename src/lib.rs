@@ -1,0 +1,32 @@
+//! # sigstr — mining statistically significant substrings
+//!
+//! Facade crate re-exporting the `sigstr` workspace: a production-quality
+//! Rust reproduction of *Sachan & Bhattacharya, "Mining Statistically
+//! Significant Substrings using the Chi-Square Statistic" (PVLDB 5(10),
+//! 2012)*.
+//!
+//! See the individual crates for details:
+//!
+//! * [`core`] — the mining algorithms (MSS, top-t, threshold, min-length),
+//!   baselines (trivial, blocked, ARLM, AGMM), parallel scan, and the
+//!   Markov-null / 2-D grid extensions.
+//! * [`stats`] — chi-square and friends: special functions, distributions,
+//!   p-values, concentration bounds.
+//! * [`gen`] — workload generators (null/geometric/harmonic/Zipf/Markov
+//!   strings, anomaly injection, random walks).
+//! * [`data`] — dataset substrate (series encoders, calendar mapping, the
+//!   synthetic baseball and stock datasets used by the paper reproduction).
+
+pub use sigstr_core as core;
+pub use sigstr_data as data;
+pub use sigstr_gen as gen;
+pub use sigstr_stats as stats;
+
+/// Convenience prelude: the types most programs need.
+pub mod prelude {
+    pub use sigstr_core::{
+        above_threshold, baseline, find_mss, find_mss_parallel, mss_max_length, mss_min_length,
+        top_t, Model, PrefixCounts, Scored, Sequence,
+    };
+    pub use sigstr_stats::chi2;
+}

@@ -1,0 +1,207 @@
+//! Cross-algorithm equivalence: the pruned algorithms must agree with the
+//! exhaustive baselines on every problem variant, across string families,
+//! alphabet sizes and models.
+
+use rand::Rng;
+use sigstr::core::{
+    above_threshold, baseline, find_mss, find_mss_parallel, mss_min_length, top_t,
+    top_t_parallel, Model, Sequence,
+};
+use sigstr::gen::{dist, generate_iid, seeded_rng, StringKind};
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 * (1.0 + a.abs().max(b.abs()))
+}
+
+#[test]
+fn mss_matches_trivial_across_families() {
+    for (i, kind) in [
+        StringKind::Null,
+        StringKind::Geometric,
+        StringKind::Harmonic,
+        StringKind::Markov,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        for &k in &[2usize, 3, 5] {
+            let mut rng = seeded_rng(500 + i as u64 * 10 + k as u64);
+            let seq = kind.generate(400, k, &mut rng).expect("generation");
+            let model = Model::uniform(k).expect("model");
+            let fast = find_mss(&seq, &model).expect("ours");
+            let slow = baseline::trivial::find_mss(&seq, &model).expect("trivial");
+            assert!(
+                close(fast.best.chi_square, slow.best.chi_square),
+                "{kind:?} k={k}: ours {} vs trivial {}",
+                fast.best.chi_square,
+                slow.best.chi_square
+            );
+            // Ours must examine no more substrings than trivial.
+            assert!(fast.stats.examined <= slow.stats.examined);
+        }
+    }
+}
+
+#[test]
+fn mss_matches_trivial_with_skewed_models() {
+    let models = [
+        dist::geometric(3).expect("model"),
+        dist::harmonic(4).expect("model"),
+        Model::from_probs(vec![0.9, 0.05, 0.05]).expect("model"),
+    ];
+    for (i, model) in models.iter().enumerate() {
+        let mut rng = seeded_rng(700 + i as u64);
+        // Generate from uniform but score against the skewed model: the
+        // whole string deviates — a stress case for pruning.
+        let seq = generate_iid(300, &Model::uniform(model.k()).expect("model"), &mut rng)
+            .expect("generation");
+        let fast = find_mss(&seq, model).expect("ours");
+        let slow = baseline::trivial::find_mss(&seq, model).expect("trivial");
+        assert!(close(fast.best.chi_square, slow.best.chi_square));
+    }
+}
+
+#[test]
+fn top_t_matches_trivial_as_multiset() {
+    let mut rng = seeded_rng(800);
+    let model = Model::uniform(2).expect("model");
+    let seq = generate_iid(250, &model, &mut rng).expect("generation");
+    for t in [1usize, 5, 25, 100] {
+        let fast = top_t(&seq, &model, t).expect("ours");
+        let slow = baseline::trivial::top_t(&seq, &model, t).expect("trivial");
+        assert_eq!(fast.items.len(), slow.items.len(), "t = {t}");
+        for (f, s) in fast.items.iter().zip(&slow.items) {
+            assert!(
+                close(f.chi_square, s.chi_square),
+                "t = {t}: {} vs {}",
+                f.chi_square,
+                s.chi_square
+            );
+        }
+    }
+}
+
+#[test]
+fn threshold_matches_trivial_exactly() {
+    let mut rng = seeded_rng(900);
+    let model = Model::uniform(3).expect("model");
+    let seq = generate_iid(200, &model, &mut rng).expect("generation");
+    for alpha in [0.0f64, 2.0, 5.0, 10.0, 20.0] {
+        let fast = above_threshold(&seq, &model, alpha).expect("ours");
+        let slow = baseline::trivial::above_threshold(&seq, &model, alpha).expect("trivial");
+        // Same set of ranges (order may differ).
+        let mut f: Vec<(usize, usize)> = fast.items.iter().map(|s| (s.start, s.end)).collect();
+        let mut s: Vec<(usize, usize)> = slow.items.iter().map(|s| (s.start, s.end)).collect();
+        f.sort_unstable();
+        s.sort_unstable();
+        assert_eq!(f, s, "alpha = {alpha}");
+    }
+}
+
+#[test]
+fn minlen_matches_trivial() {
+    let mut rng = seeded_rng(1000);
+    let model = Model::uniform(2).expect("model");
+    let seq = generate_iid(300, &model, &mut rng).expect("generation");
+    for gamma0 in [0usize, 10, 100, 250, 299] {
+        let fast = mss_min_length(&seq, &model, gamma0).expect("ours");
+        let slow = baseline::trivial::mss_min_length(&seq, &model, gamma0).expect("trivial");
+        assert!(
+            close(fast.best.chi_square, slow.best.chi_square),
+            "gamma0 = {gamma0}"
+        );
+        assert!(fast.best.len() > gamma0);
+    }
+}
+
+#[test]
+fn blocked_and_arlm_match_trivial_on_binary() {
+    let mut rng = seeded_rng(1100);
+    let model = Model::uniform(2).expect("model");
+    for _ in 0..10 {
+        let n = rng.gen_range(50..400);
+        let seq = generate_iid(n, &model, &mut rng).expect("generation");
+        let trivial = baseline::trivial::find_mss(&seq, &model).expect("trivial");
+        let blocked = baseline::blocked::find_mss(&seq, &model).expect("blocked");
+        let arlm = baseline::arlm::find_mss(&seq, &model).expect("arlm");
+        assert!(close(trivial.best.chi_square, blocked.best.chi_square));
+        assert!(close(trivial.best.chi_square, arlm.best.chi_square));
+    }
+}
+
+#[test]
+fn agmm_is_a_lower_bound_and_fast() {
+    let mut rng = seeded_rng(1200);
+    let model = Model::uniform(2).expect("model");
+    for _ in 0..10 {
+        let n = rng.gen_range(50..400);
+        let seq = generate_iid(n, &model, &mut rng).expect("generation");
+        let trivial = baseline::trivial::find_mss(&seq, &model).expect("trivial");
+        let agmm = baseline::agmm::find_mss(&seq, &model).expect("agmm");
+        assert!(agmm.best.chi_square <= trivial.best.chi_square + 1e-9);
+        assert!(agmm.stats.examined <= 4); // 2k candidates for k = 2
+    }
+}
+
+#[test]
+fn parallel_agrees_with_sequential() {
+    let model = Model::uniform(2).expect("model");
+    for seed in 0..4u64 {
+        let mut rng = seeded_rng(1300 + seed);
+        let seq = generate_iid(800, &model, &mut rng).expect("generation");
+        let sequential = find_mss(&seq, &model).expect("sequential");
+        let parallel = find_mss_parallel(&seq, &model, 4).expect("parallel");
+        assert_eq!(sequential.best, parallel.best);
+
+        let st = top_t(&seq, &model, 15).expect("sequential top-t");
+        let pt = top_t_parallel(&seq, &model, 15, 4).expect("parallel top-t");
+        for (a, b) in st.items.iter().zip(&pt.items) {
+            assert!(close(a.chi_square, b.chi_square));
+        }
+    }
+}
+
+#[test]
+fn consistency_between_variants() {
+    // MSS == top-1 == min-length(0); threshold just below X²_max contains
+    // the MSS range.
+    let mut rng = seeded_rng(1400);
+    let model = Model::uniform(2).expect("model");
+    let seq = generate_iid(500, &model, &mut rng).expect("generation");
+    let mss = find_mss(&seq, &model).expect("mss");
+    let top1 = top_t(&seq, &model, 1).expect("top-1");
+    let min0 = mss_min_length(&seq, &model, 0).expect("minlen-0");
+    assert_eq!(mss.best, top1.items[0]);
+    assert_eq!(mss.best, min0.best);
+    let thr = above_threshold(&seq, &model, mss.best.chi_square - 1e-6).expect("threshold");
+    assert!(thr
+        .items
+        .iter()
+        .any(|s| s.start == mss.best.start && s.end == mss.best.end));
+}
+
+#[test]
+fn deterministic_results_across_runs() {
+    let mut rng = seeded_rng(1500);
+    let model = Model::uniform(2).expect("model");
+    let seq = generate_iid(600, &model, &mut rng).expect("generation");
+    let a = find_mss(&seq, &model).expect("run a");
+    let b = find_mss(&seq, &model).expect("run b");
+    assert_eq!(a.best, b.best);
+    assert_eq!(a.stats, b.stats);
+}
+
+#[test]
+fn alphabet_mismatch_rejected_everywhere() {
+    let seq = Sequence::from_symbols(vec![0, 1, 0, 1], 2).expect("sequence");
+    let wrong = Model::uniform(3).expect("model");
+    assert!(find_mss(&seq, &wrong).is_err());
+    assert!(top_t(&seq, &wrong, 2).is_err());
+    assert!(above_threshold(&seq, &wrong, 1.0).is_err());
+    assert!(mss_min_length(&seq, &wrong, 1).is_err());
+    assert!(baseline::trivial::find_mss(&seq, &wrong).is_err());
+    assert!(baseline::arlm::find_mss(&seq, &wrong).is_err());
+    assert!(baseline::agmm::find_mss(&seq, &wrong).is_err());
+    assert!(baseline::blocked::find_mss(&seq, &wrong).is_err());
+    assert!(find_mss_parallel(&seq, &wrong, 2).is_err());
+}

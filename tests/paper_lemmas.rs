@@ -1,0 +1,188 @@
+//! The paper's lemmas and theorems as executable properties (proptest).
+//!
+//! * Lemma 1 / Theorem 1 — the chain cover bound dominates every
+//!   extension.
+//! * Lemma 2 — appending the argmax `Y/p` character increases `X²`.
+//! * Skip safety — every substring skipped by the solver is at or below
+//!   the budget.
+//! * Algorithm equivalences under random inputs and models.
+
+use proptest::prelude::*;
+
+use sigstr::core::cover::{best_append_char, extension_upper_bound};
+use sigstr::core::skip::max_safe_skip;
+use sigstr::core::{
+    baseline, chi_square_counts, find_mss, mss_min_length, top_t, Model, PrefixCounts, Sequence,
+};
+
+/// Strategy: a random probability vector of size k (entries bounded away
+/// from 0 so chi-square stays finite and well-conditioned).
+fn model_strategy(k: usize) -> impl Strategy<Value = Model> {
+    prop::collection::vec(0.05f64..1.0, k).prop_map(|weights| {
+        let total: f64 = weights.iter().sum();
+        Model::from_probs(weights.into_iter().map(|w| w / total).collect())
+            .expect("normalized positive vector")
+    })
+}
+
+/// Strategy: a random symbol string over alphabet k.
+fn seq_strategy(k: usize, max_len: usize) -> impl Strategy<Value = Sequence> {
+    prop::collection::vec(0..k as u8, 1..max_len)
+        .prop_map(move |symbols| Sequence::from_symbols(symbols, k).expect("valid symbols"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Theorem 1: for any base count vector and any extension multiset of
+    /// size ≤ x, the chain-cover bound dominates.
+    #[test]
+    fn theorem1_chain_cover_dominates(
+        counts in prop::collection::vec(0u32..30, 3),
+        adds in prop::collection::vec(0u32..6, 3),
+        model in model_strategy(3),
+    ) {
+        let l: u32 = counts.iter().sum();
+        prop_assume!(l > 0);
+        let x: u32 = adds.iter().sum();
+        prop_assume!(x > 0);
+        let bound = extension_upper_bound(&counts, l as usize, &model, x as usize);
+        let extended: Vec<u32> = counts.iter().zip(&adds).map(|(&c, &a)| c + a).collect();
+        let actual = chi_square_counts(&extended, &model);
+        prop_assert!(
+            actual <= bound + 1e-7 * (1.0 + bound.abs()),
+            "extension {:?}+{:?}: X² {} > bound {}", counts, adds, actual, bound
+        );
+    }
+
+    /// Lemma 2: appending the argmax Y/p character strictly increases X².
+    #[test]
+    fn lemma2_append_increases(
+        counts in prop::collection::vec(0u32..50, 4),
+        model in model_strategy(4),
+    ) {
+        let l: u32 = counts.iter().sum();
+        prop_assume!(l > 0);
+        let before = chi_square_counts(&counts, &model);
+        let c = best_append_char(&counts, &model);
+        let mut extended = counts.clone();
+        extended[c] += 1;
+        let after = chi_square_counts(&extended, &model);
+        prop_assert!(after > before - 1e-12, "Lemma 2 violated: {before} -> {after}");
+    }
+
+    /// Skip safety: every extension length 1..=skip stays at or below the
+    /// budget (verified against direct enumeration of cover bounds).
+    #[test]
+    fn skip_solver_is_safe(
+        counts in prop::collection::vec(0u32..40, 2),
+        budget_scale in 1.1f64..8.0,
+        model in model_strategy(2),
+    ) {
+        let l: u32 = counts.iter().sum();
+        prop_assume!(l > 0);
+        let x2 = chi_square_counts(&counts, &model);
+        let budget = (x2 + 1.0) * budget_scale;
+        let skip = max_safe_skip(&counts, l as usize, x2, budget, &model);
+        prop_assume!(skip > 0);
+        // The Theorem-1 bound at the skip endpoint covers all shorter
+        // extensions; verify it directly.
+        let bound = extension_upper_bound(&counts, l as usize, &model, skip);
+        prop_assert!(bound <= budget + 1e-6 * (1.0 + budget));
+    }
+
+    /// The MSS algorithm is exact: equals the trivial scan on random
+    /// strings and random models (binary).
+    #[test]
+    fn mss_equals_trivial_binary(
+        seq in seq_strategy(2, 120),
+        model in model_strategy(2),
+    ) {
+        let fast = find_mss(&seq, &model).expect("ours");
+        let slow = baseline::trivial::find_mss(&seq, &model).expect("trivial");
+        prop_assert!(
+            (fast.best.chi_square - slow.best.chi_square).abs()
+                <= 1e-9 * (1.0 + slow.best.chi_square),
+            "ours {} vs trivial {}", fast.best.chi_square, slow.best.chi_square
+        );
+    }
+
+    /// Same over a 4-letter alphabet.
+    #[test]
+    fn mss_equals_trivial_quaternary(
+        seq in seq_strategy(4, 80),
+        model in model_strategy(4),
+    ) {
+        let fast = find_mss(&seq, &model).expect("ours");
+        let slow = baseline::trivial::find_mss(&seq, &model).expect("trivial");
+        prop_assert!(
+            (fast.best.chi_square - slow.best.chi_square).abs()
+                <= 1e-9 * (1.0 + slow.best.chi_square)
+        );
+    }
+
+    /// Top-t multiset equivalence on random inputs.
+    #[test]
+    fn topt_equals_trivial(
+        seq in seq_strategy(2, 60),
+        t in 1usize..20,
+    ) {
+        let model = Model::uniform(2).expect("model");
+        let fast = top_t(&seq, &model, t).expect("ours");
+        let slow = baseline::trivial::top_t(&seq, &model, t).expect("trivial");
+        prop_assert_eq!(fast.items.len(), slow.items.len());
+        for (f, s) in fast.items.iter().zip(&slow.items) {
+            prop_assert!((f.chi_square - s.chi_square).abs() <= 1e-9 * (1.0 + s.chi_square));
+        }
+    }
+
+    /// Min-length equivalence with random cutoffs.
+    #[test]
+    fn minlen_equals_trivial(
+        seq in seq_strategy(2, 80),
+        gamma_frac in 0.0f64..0.95,
+    ) {
+        let model = Model::uniform(2).expect("model");
+        let gamma0 = ((seq.len() as f64) * gamma_frac) as usize;
+        prop_assume!(gamma0 < seq.len());
+        let fast = mss_min_length(&seq, &model, gamma0).expect("ours");
+        let slow = baseline::trivial::mss_min_length(&seq, &model, gamma0).expect("trivial");
+        prop_assert!(
+            (fast.best.chi_square - slow.best.chi_square).abs()
+                <= 1e-9 * (1.0 + slow.best.chi_square)
+        );
+        prop_assert!(fast.best.len() > gamma0);
+    }
+
+    /// X² is invariant under any permutation of the substring (it depends
+    /// only on counts — paper §1).
+    #[test]
+    fn chi_square_order_invariant(
+        mut symbols in prop::collection::vec(0u8..3, 2..50),
+        rotation in 0usize..49,
+        model in model_strategy(3),
+    ) {
+        let original = Sequence::from_symbols(symbols.clone(), 3).expect("valid");
+        let counts = original.count_vector(0, original.len());
+        let before = chi_square_counts(&counts, &model);
+        let r = rotation % symbols.len();
+        symbols.rotate_left(r);
+        let rotated = Sequence::from_symbols(symbols, 3).expect("valid");
+        let counts2 = rotated.count_vector(0, rotated.len());
+        let after = chi_square_counts(&counts2, &model);
+        prop_assert!((before - after).abs() <= 1e-9 * (1.0 + before.abs()));
+    }
+
+    /// Prefix counts agree with direct counting on arbitrary ranges.
+    #[test]
+    fn prefix_counts_consistent(
+        seq in seq_strategy(3, 100),
+        a in 0usize..100,
+        b in 0usize..100,
+    ) {
+        let pc = PrefixCounts::build(&seq);
+        let n = seq.len();
+        let (start, end) = (a.min(b).min(n), a.max(b).min(n));
+        prop_assert_eq!(pc.count_vector(start, end), seq.count_vector(start, end));
+    }
+}

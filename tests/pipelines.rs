@@ -1,0 +1,125 @@
+//! End-to-end pipelines across the workspace crates:
+//! generate → encode → estimate → mine → p-value.
+
+use sigstr::core::{find_mss, markov, Model};
+use sigstr::data::{baseball, encode_updown, stocks, updown_model, Date};
+use sigstr::gen::anomaly::background_with_anomaly;
+use sigstr::gen::markov::generate_binary_persistence;
+use sigstr::gen::walk::{generate_prices, Regime};
+use sigstr::gen::{seeded_rng, StringKind};
+use sigstr::stats::chi2;
+
+#[test]
+fn anomaly_recovery_pipeline() {
+    // gen: background + planted anomaly → core: MSS → stats: p-value.
+    let mut rng = seeded_rng(42);
+    let background = Model::uniform(4).expect("model");
+    let hot = Model::from_probs(vec![0.70, 0.10, 0.10, 0.10]).expect("model");
+    let (seq, planted) =
+        background_with_anomaly(8_000, &background, &hot, 400, &mut rng).expect("injection");
+    let mss = find_mss(&seq, &background).expect("mining");
+    assert!(planted.jaccard(mss.best.start, mss.best.end) > 0.3);
+    let p = mss.best.p_value(4);
+    assert!(p < 1e-8, "planted anomaly should be wildly significant, p = {p}");
+}
+
+#[test]
+fn price_walk_pipeline() {
+    // gen::walk → data::encode → core::mss: the drift regime surfaces.
+    let mut rng = seeded_rng(43);
+    let regime = Regime { start: 2_000, end: 2_600, up_prob: 0.80 };
+    let series = generate_prices(6_000, 100.0, 0.01, 0.5, &[regime], &mut rng);
+    let updown = encode_updown(&series.prices).expect("encode");
+    let model = updown_model(&series.prices).expect("estimate");
+    let mss = find_mss(&updown, &model).expect("mining");
+    let overlap = mss.best.end.min(2_600).saturating_sub(mss.best.start.max(2_000));
+    assert!(
+        overlap > 200,
+        "mined {}..{} misses regime 2000..2600",
+        mss.best.start,
+        mss.best.end
+    );
+}
+
+#[test]
+fn null_string_mss_is_insignificant_at_strict_level() {
+    // A pure null string's MSS should NOT clear a very strict
+    // significance bar (its X²_max ≈ 2 ln n ≈ 17.7 at n = 7000, far from
+    // the χ²(1) value needed for p < 1e-8 ≈ 33).
+    let mut rng = seeded_rng(44);
+    let seq = StringKind::Null.generate(7_000, 2, &mut rng).expect("generation");
+    let model = Model::uniform(2).expect("model");
+    let mss = find_mss(&seq, &model).expect("mining");
+    assert!(
+        mss.best.chi_square < chi2::quantile(1.0 - 1e-8, 1.0),
+        "null string produced an absurdly significant MSS: {}",
+        mss.best.chi_square
+    );
+}
+
+#[test]
+fn markov_extension_pipeline() {
+    // gen::markov (biased RNG) → core::markov (transition-level MSS).
+    let mut rng = seeded_rng(45);
+    let seq = generate_binary_persistence(1_500, 0.75, &mut rng).expect("generation");
+    let null = markov::TransitionModel::binary_persistence(0.5).expect("model");
+    let result = markov::find_mss_markov(&seq, &null).expect("mining");
+    assert!(
+        result.p_value(&null) < 1e-6,
+        "persistent chain should be significant under the fair-transition null"
+    );
+    // The i.i.d. test is *blind* to this bias (marginals stay balanced):
+    // the Markov extension sees what Problem 1 cannot.
+    let counts = seq.count_vector(0, seq.len());
+    let iid_x2 =
+        sigstr::core::chi_square_counts(&counts, &Model::uniform(2).expect("model"));
+    assert!(chi2::sf(iid_x2, 1.0) > 1e-4, "marginals unexpectedly skewed");
+}
+
+#[test]
+fn baseball_dates_round_trip_through_report_range() {
+    let ds = baseball::generate(&mut seeded_rng(46));
+    let era = ds.index_range(
+        Date::new(1924, 4, 17).expect("date"),
+        Date::new(1933, 6, 6).expect("date"),
+    );
+    assert!(!era.is_empty());
+    // Dates of the returned range are inside the queried window.
+    assert!(ds.date_of(era.start) >= Date::new(1924, 4, 17).expect("date"));
+    assert!(ds.date_of(era.end - 1) <= Date::new(1933, 6, 6).expect("date"));
+}
+
+#[test]
+fn stock_dataset_full_mine_produces_finite_pvalues() {
+    let ds = stocks::generate(&stocks::ibm_spec(), &mut seeded_rng(47));
+    let mss = find_mss(&ds.updown, &ds.model).expect("mining");
+    let p = mss.best.p_value(2);
+    assert!((0.0..1.0).contains(&p));
+    assert!(mss.best.chi_square > 20.0, "planted regimes should dominate the null ceiling");
+}
+
+#[test]
+fn grid_extension_smoke() {
+    // 2-D extension: a hot block in a random grid is found and matches
+    // the exhaustive scan.
+    let mut rng = seeded_rng(48);
+    let rows = 14usize;
+    let cols = 15usize;
+    let mut cells = vec![0u8; rows * cols];
+    for cell in cells.iter_mut() {
+        *cell = u8::from(rand::Rng::gen::<bool>(&mut rng));
+    }
+    for r in 4..9 {
+        for c in 5..12 {
+            cells[r * cols + c] = 1;
+        }
+    }
+    let grid = sigstr::core::grid::Grid::from_cells(rows, cols, cells, 2).expect("grid");
+    let model = Model::uniform(2).expect("model");
+    let fast = sigstr::core::grid::find_mss_2d(&grid, &model).expect("pruned");
+    let slow = sigstr::core::grid::trivial_mss_2d(&grid, &model).expect("trivial");
+    assert!((fast.best.chi_square - slow.best.chi_square).abs() < 1e-9);
+    // The found rectangle overlaps the hot block.
+    assert!(fast.best.row_start < 9 && fast.best.row_end > 4);
+    assert!(fast.best.col_start < 12 && fast.best.col_end > 5);
+}
