@@ -77,13 +77,16 @@ fn bench_parallel(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(threads),
             &threads,
-            |b, &threads| {
-                b.iter(|| find_mss_parallel(&seq, &model, threads).expect("mss"))
-            },
+            |b, &threads| b.iter(|| find_mss_parallel(&seq, &model, threads).expect("mss")),
         );
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_pruning_rule, bench_count_substrate, bench_parallel);
+criterion_group!(
+    benches,
+    bench_pruning_rule,
+    bench_count_substrate,
+    bench_parallel
+);
 criterion_main!(benches);

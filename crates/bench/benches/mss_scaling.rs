@@ -4,7 +4,7 @@
 //! scales ≈ n²; compare the growth factors between consecutive sizes.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use sigstr_core::{baseline, find_mss, Model, Sequence};
+use sigstr_core::{baseline, find_mss, find_mss_reference, Model, Sequence};
 use sigstr_gen::{generate_iid, seeded_rng};
 
 fn make_input(n: usize) -> (Sequence, Model) {
@@ -27,6 +27,22 @@ fn bench_ours(c: &mut Criterion) {
     group.finish();
 }
 
+/// The acceptance-gate comparison: the same pruned scan through the
+/// pre-rewrite generic engine. `mss_scaling/ours ÷ mss_scaling/reference`
+/// at equal `n` is the specialization speedup (target ≥ 2× at k = 2).
+fn bench_reference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mss_scaling/reference");
+    group.sample_size(10);
+    for &n in &[4_096usize, 16_384, 65_536] {
+        let (seq, model) = make_input(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| find_mss_reference(&seq, &model).expect("mss"))
+        });
+    }
+    group.finish();
+}
+
 fn bench_trivial(c: &mut Criterion) {
     let mut group = c.benchmark_group("mss_scaling/trivial");
     group.sample_size(10);
@@ -40,5 +56,5 @@ fn bench_trivial(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_ours, bench_trivial);
+criterion_group!(benches, bench_ours, bench_reference, bench_trivial);
 criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Quick interleaved A/B of the production scan kernel against the
+//! pre-rewrite reference engine — the low-ceremony loop used while
+//! iterating on kernel changes:
+//!
+//! ```bash
+//! cargo run --release -p sigstr-bench --example perfcheck
+//! ```
+//!
+//! Reference and fast runs alternate within each workload so frequency
+//! drift and cache warmth hit both sides equally; medians of 9 are
+//! printed. The reportable numbers come from `repro bench_smoke`.
+
+use sigstr_core::{find_mss, find_mss_reference, Model};
+use sigstr_gen::{generate_iid, seeded_rng};
+use std::time::Instant;
+
+fn median(mut v: Vec<f64>) -> f64 {
+    v.sort_by(|a, b| a.total_cmp(b));
+    v[v.len() / 2]
+}
+
+fn main() {
+    for &(k, n) in &[
+        (2usize, 16_384usize),
+        (2, 65_536),
+        (4, 65_536),
+        (10, 65_536),
+    ] {
+        let model = Model::uniform(k).unwrap();
+        let mut rng = seeded_rng(0xBE7C_0001 + n as u64);
+        let seq = generate_iid(n, &model, &mut rng).unwrap();
+        let mut refs = vec![];
+        let mut fasts = vec![];
+        for _ in 0..9 {
+            let t0 = Instant::now();
+            std::hint::black_box(find_mss_reference(&seq, &model).unwrap());
+            refs.push(t0.elapsed().as_secs_f64());
+            let t0 = Instant::now();
+            std::hint::black_box(find_mss(&seq, &model).unwrap());
+            fasts.push(t0.elapsed().as_secs_f64());
+        }
+        let (r, f) = (median(refs), median(fasts));
+        println!(
+            "k={k} n={n}: ref {:.2}ms fast {:.2}ms ratio {:.2}",
+            r * 1e3,
+            f * 1e3,
+            r / f
+        );
+    }
+}

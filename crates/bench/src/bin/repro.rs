@@ -6,8 +6,8 @@
 //! repro list
 //! ```
 //!
-//! Prints each report to stdout and writes `DIR/<id>.tsv`
-//! (default `results/`).
+//! Prints each report to stdout and writes `DIR/<id>.tsv` plus the
+//! machine-readable `DIR/<id>.json` (default `results/`).
 
 use std::process::ExitCode;
 
@@ -48,7 +48,10 @@ fn main() -> ExitCode {
         i += 1;
     }
     if ids.iter().any(|id| id == "all") {
-        ids = experiments::all().iter().map(|(id, _)| id.to_string()).collect();
+        ids = experiments::all()
+            .iter()
+            .map(|(id, _)| id.to_string())
+            .collect();
     }
     if ids.is_empty() {
         eprintln!("no experiments selected");
@@ -71,6 +74,11 @@ fn main() -> ExitCode {
         let path = format!("{out_dir}/{id}.tsv");
         if let Err(e) = std::fs::write(&path, report.to_tsv()) {
             eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        let json_path = format!("{out_dir}/{id}.json");
+        if let Err(e) = std::fs::write(&json_path, report.to_json()) {
+            eprintln!("cannot write {json_path}: {e}");
             return ExitCode::FAILURE;
         }
     }

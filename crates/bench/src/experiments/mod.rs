@@ -1,6 +1,7 @@
 //! One function per paper table/figure. See the crate docs for the index.
 
 pub mod applications;
+pub mod perf;
 pub mod synthetic;
 pub mod tables;
 pub mod variants;
@@ -30,12 +31,16 @@ pub fn all() -> Vec<(&'static str, Runner)> {
         ("table4", applications::table4),
         ("table5", applications::table5),
         ("table6", applications::table6),
+        ("bench_smoke", perf::bench_smoke),
     ]
 }
 
 /// Find an experiment runner by id.
 pub fn by_id(id: &str) -> Option<Runner> {
-    all().into_iter().find(|(name, _)| *name == id).map(|(_, f)| f)
+    all()
+        .into_iter()
+        .find(|(name, _)| *name == id)
+        .map(|(_, f)| f)
 }
 
 #[cfg(test)]
@@ -45,13 +50,14 @@ mod tests {
     #[test]
     fn registry_is_complete_and_unique() {
         let ids: Vec<&str> = all().iter().map(|(id, _)| *id).collect();
-        assert_eq!(ids.len(), 16);
+        assert_eq!(ids.len(), 17);
         let mut sorted = ids.clone();
         sorted.sort_unstable();
         sorted.dedup();
-        assert_eq!(sorted.len(), 16, "duplicate experiment ids");
+        assert_eq!(sorted.len(), 17, "duplicate experiment ids");
         assert!(by_id("fig1a").is_some());
         assert!(by_id("table6").is_some());
+        assert!(by_id("bench_smoke").is_some());
         assert!(by_id("bogus").is_none());
     }
 }

@@ -1,0 +1,109 @@
+//! Kernel performance smoke experiment — the machine-readable perf
+//! trajectory CI appends to (`BENCH_1.json`, `BENCH_2.json`, …).
+//!
+//! Times the sequential MSS scan through three engines on the paper's
+//! dominant workloads:
+//!
+//! * `reference` — the pre-rewrite generic engine (row-major count
+//!   reconstruction per substring, division-and-square-root-per-character
+//!   skip solve),
+//! * `specialized` — the incremental alphabet-specialized kernel
+//!   (`k = 2` / `k = 4` monomorphized, two interleaved scan lanes), or
+//!   the incremental generic kernel for other alphabets,
+//! * `parallel` — the work-stealing parallel scan at auto thread count.
+//!
+//! The reported `speedup` column is reference-time / engine-time on the
+//! same input; the CI gate reads the `k2_sequential` speedup row.
+
+use sigstr_core::{find_mss, find_mss_parallel, find_mss_reference, Model, Sequence};
+use sigstr_gen::{generate_iid, seeded_rng};
+
+use crate::report::{cell_f, Report};
+use crate::{time, Scale};
+
+fn input(k: usize, n: usize) -> (Sequence, Model) {
+    let model = Model::uniform(k).expect("model");
+    let mut rng = seeded_rng(0xBE7C_00FF ^ (k as u64) << 32 ^ n as u64);
+    let seq = generate_iid(n, &model, &mut rng).expect("generation");
+    (seq, model)
+}
+
+/// Median-of-`reps` wall-clock of one closure, in seconds.
+fn median_secs<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let (result, elapsed) = time(&mut f);
+            std::hint::black_box(result);
+            elapsed.as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+/// The `bench_smoke` experiment: kernel timings and reference-relative
+/// speedups on k = 2 and k = 4 MSS workloads.
+pub fn bench_smoke(scale: Scale) -> Report {
+    let mut report = Report::new(
+        "bench_smoke",
+        "scan-kernel timings: reference vs specialized vs parallel MSS",
+        &["workload", "engine", "ms", "speedup_vs_reference"],
+    );
+    let n = scale.pick(65_536, 16_384);
+    let reps = scale.pick(9, 5);
+    for &k in &[2usize, 4] {
+        let (seq, model) = input(k, n);
+        let reference = median_secs(reps, || find_mss_reference(&seq, &model).expect("mss"));
+        let specialized = median_secs(reps, || find_mss(&seq, &model).expect("mss"));
+        let parallel = median_secs(reps, || find_mss_parallel(&seq, &model, 0).expect("mss"));
+        let workload = format!("k{k}_n{n}");
+        for (engine, secs) in [
+            ("reference", reference),
+            ("specialized", specialized),
+            ("parallel", parallel),
+        ] {
+            report.push_row(vec![
+                workload.clone(),
+                engine.to_string(),
+                cell_f(secs * 1e3, 3),
+                cell_f(reference / secs, 2),
+            ]);
+        }
+        // The results must agree while we are here (cheap end-to-end
+        // cross-check of the engines under bench conditions).
+        let a = find_mss_reference(&seq, &model).expect("mss");
+        let b = find_mss(&seq, &model).expect("mss");
+        assert_eq!(
+            a.best.chi_square.to_bits(),
+            b.best.chi_square.to_bits(),
+            "bench_smoke: engines disagree on k = {k}"
+        );
+    }
+    report.note(format!(
+        "median of {reps} runs per cell, n = {n}; speedup = reference_ms / engine_ms"
+    ));
+    report.note("acceptance gate: specialized k2 speedup >= 2.0 (single-threaded)");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_smoke_shape_and_speedup_sanity() {
+        // One tiny run: shape checks only (timing noise is not asserted
+        // here; the CI gate reads the real run's JSON).
+        let r = bench_smoke(Scale::Quick);
+        assert_eq!(r.rows.len(), 6);
+        assert_eq!(r.columns.len(), 4);
+        for row in &r.rows {
+            let ms: f64 = row[2].parse().unwrap();
+            let speedup: f64 = row[3].parse().unwrap();
+            assert!(ms > 0.0);
+            assert!(speedup > 0.0);
+        }
+        // Reference rows are speedup 1.00 by construction.
+        assert_eq!(r.rows[0][3], "1.00");
+    }
+}

@@ -15,7 +15,14 @@ pub fn fig1a(scale: Scale) -> Report {
     let mut report = Report::new(
         "fig1a",
         "iterations vs n (k = 2): ours ~n^1.5, trivial ~n^2",
-        &["n", "ln n", "iters_ours", "ln iters_ours", "iters_trivial", "ln iters_trivial"],
+        &[
+            "n",
+            "ln n",
+            "iters_ours",
+            "ln iters_ours",
+            "iters_trivial",
+            "ln iters_trivial",
+        ],
     );
     let exponents: Vec<u32> = scale.pick((9..=17).collect(), (8..=11).collect());
     let model = Model::uniform(2).expect("k = 2 model");
@@ -46,9 +53,14 @@ pub fn fig1a(scale: Scale) -> Report {
         ));
     }
     if let Some(fit) = fit_line(&trivial_points) {
-        report.note(format!("trivial: fitted log-log slope = {:.3} (exact 2 asymptotically)", fit.slope));
+        report.note(format!(
+            "trivial: fitted log-log slope = {:.3} (exact 2 asymptotically)",
+            fit.slope
+        ));
     }
-    report.note("trivial iteration count is the closed form n(n+1)/2 (its scan examines every substring)");
+    report.note(
+        "trivial iteration count is the closed form n(n+1)/2 (its scan examines every substring)",
+    );
     report
 }
 
@@ -77,7 +89,10 @@ pub fn fig1b(scale: Scale) -> Report {
         report.push_row(row);
     }
     // Shape check: max/min iteration ratio across k at the largest n.
-    let last: Vec<f64> = per_k_iters.iter().map(|v| *v.last().expect("nonempty")).collect();
+    let last: Vec<f64> = per_k_iters
+        .iter()
+        .map(|v| *v.last().expect("nonempty"))
+        .collect();
     let spread = last.iter().cloned().fold(f64::MIN, f64::max)
         / last.iter().cloned().fold(f64::MAX, f64::min);
     report.note(format!(
@@ -130,7 +145,13 @@ pub fn fig3(scale: Scale) -> Report {
     let mut report = Report::new(
         "fig3",
         "X²_max and iterations vs p0; S1: k=3 P={p0,0.5-p0,0.5}; S2: k=5 P={p0,0.5-p0,0.1,0.2,0.2}",
-        &["p0", "S1 X²_max", "S1 iters(1e4)", "S2 X²_max", "S2 iters(1e4)"],
+        &[
+            "p0",
+            "S1 X²_max",
+            "S1 iters(1e4)",
+            "S2 X²_max",
+            "S2 iters(1e4)",
+        ],
     );
     let n = scale.pick(10_000, 2_000); // paper: n = 10^4
     for i in 1..=5u32 {
@@ -150,7 +171,8 @@ pub fn fig3(scale: Scale) -> Report {
             cell_f(r2.stats.examined as f64 / 1e4, 1),
         ]);
     }
-    report.note("paper: changing p0 shifts X²_max but leaves the iteration count roughly unchanged");
+    report
+        .note("paper: changing p0 shifts X²_max but leaves the iteration count roughly unchanged");
     report
 }
 
@@ -177,8 +199,7 @@ pub fn fig4a(scale: Scale) -> Report {
         "iterations (millions) vs n for string families (k = 5); null input is the worst case",
         &["n", "Null", "Geometric", "Zipfian", "Markov"],
     );
-    let sizes: Vec<usize> =
-        scale.pick(vec![10_000, 20_000, 50_000], vec![1_000, 2_000, 5_000]);
+    let sizes: Vec<usize> = scale.pick(vec![10_000, 20_000, 50_000], vec![1_000, 2_000, 5_000]);
     let kinds = StringKind::figure4();
     for (i, &n) in sizes.iter().enumerate() {
         let iters = fig4_row(&kinds, n, 5, 0x00F1_64A0 + i as u64 * 10);

@@ -19,7 +19,10 @@ pub fn table1(scale: Scale) -> Report {
     let sizes: Vec<usize> = scale.pick(vec![20_000, 80_000], vec![2_000, 8_000]);
     let runs = scale.pick(3, 2);
     let model = Model::uniform(2).expect("model");
-    type Algo = (&'static str, fn(&sigstr_core::Sequence, &Model) -> sigstr_core::Result<sigstr_core::MssResult>);
+    type Algo = (
+        &'static str,
+        fn(&sigstr_core::Sequence, &Model) -> sigstr_core::Result<sigstr_core::MssResult>,
+    );
     let algos: Vec<Algo> = vec![
         ("Trivial", baseline::trivial::find_mss),
         ("Our", find_mss),
@@ -63,8 +66,7 @@ pub fn table2(scale: Scale) -> Report {
         "X²_max vs n and persistence p (RNG audit, k = 2, uniform null)",
         &["n", "p=0.50", "p=0.55", "p=0.60", "p=0.80"],
     );
-    let sizes: Vec<usize> =
-        scale.pick(vec![1_000, 5_000, 10_000, 20_000], vec![1_000, 2_000]);
+    let sizes: Vec<usize> = scale.pick(vec![1_000, 5_000, 10_000, 20_000], vec![1_000, 2_000]);
     let ps = [0.50, 0.55, 0.60, 0.80];
     let runs = scale.pick(3, 2);
     let model = Model::uniform(2).expect("model");
@@ -94,14 +96,17 @@ mod tests {
     fn table1_quick_shape_and_ordering() {
         let r = table1(Scale::Quick);
         assert_eq!(r.rows.len(), 8); // 4 algorithms × 2 sizes
-        // Per size: Trivial and Our report the same X²_max; AGMM at most
-        // that.
+                                     // Per size: Trivial and Our report the same X²_max; AGMM at most
+                                     // that.
         for size_rows in r.rows.chunks(4) {
             let trivial: f64 = size_rows[0][2].parse().unwrap();
             let ours: f64 = size_rows[1][2].parse().unwrap();
             let arlm: f64 = size_rows[2][2].parse().unwrap();
             let agmm: f64 = size_rows[3][2].parse().unwrap();
-            assert!((trivial - ours).abs() < 1e-6, "ours {ours} != trivial {trivial}");
+            assert!(
+                (trivial - ours).abs() < 1e-6,
+                "ours {ours} != trivial {trivial}"
+            );
             assert!(arlm <= trivial + 1e-6);
             assert!(agmm <= trivial + 1e-6);
         }

@@ -88,7 +88,9 @@ pub fn dedupe_overlapping(items: &[Scored], max_overlap: f64, keep: usize) -> Ve
         if kept.len() >= keep {
             break;
         }
-        let overlaps = kept.iter().any(|k| containment(k, &candidate) > max_overlap);
+        let overlaps = kept
+            .iter()
+            .any(|k| containment(k, &candidate) > max_overlap);
         if !overlaps {
             kept.push(candidate);
         }
@@ -141,7 +143,11 @@ mod tests {
 
     #[test]
     fn dedupe_keeps_distinct_patches() {
-        let mk = |start, end, x2| Scored { start, end, chi_square: x2 };
+        let mk = |start, end, x2| Scored {
+            start,
+            end,
+            chi_square: x2,
+        };
         let items = vec![
             mk(100, 200, 50.0),
             mk(101, 201, 49.0), // shift of the first
@@ -159,7 +165,11 @@ mod tests {
 
     #[test]
     fn dedupe_respects_keep_limit() {
-        let mk = |start: usize, x2| Scored { start, end: start + 10, chi_square: x2 };
+        let mk = |start: usize, x2| Scored {
+            start,
+            end: start + 10,
+            chi_square: x2,
+        };
         let items: Vec<Scored> = (0..20).map(|i| mk(i * 100, 100.0 - i as f64)).collect();
         let kept = dedupe_overlapping(&items, 0.1, 4);
         assert_eq!(kept.len(), 4);

@@ -74,6 +74,49 @@ impl Report {
         out
     }
 
+    /// Render as a machine-readable JSON document (hand-rolled — the
+    /// offline build carries no serde). Shape:
+    ///
+    /// ```json
+    /// {"id": "...", "title": "...", "columns": [...],
+    ///  "rows": [[...], ...], "notes": [...]}
+    /// ```
+    ///
+    /// Cells stay strings, exactly as rendered into the table; numeric
+    /// consumers parse the columns they care about.
+    pub fn to_json(&self) -> String {
+        fn esc(text: &str) -> String {
+            let mut out = String::with_capacity(text.len() + 2);
+            for ch in text.chars() {
+                match ch {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => {
+                        let _ = write!(out, "\\u{:04x}", c as u32);
+                    }
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        fn str_array(items: &[String]) -> String {
+            let quoted: Vec<String> = items.iter().map(|i| format!("\"{}\"", esc(i))).collect();
+            format!("[{}]", quoted.join(","))
+        }
+        let rows: Vec<String> = self.rows.iter().map(|row| str_array(row)).collect();
+        format!(
+            "{{\"id\":\"{}\",\"title\":\"{}\",\"columns\":{},\"rows\":[{}],\"notes\":{}}}\n",
+            esc(self.id),
+            esc(&self.title),
+            str_array(&self.columns),
+            rows.join(","),
+            str_array(&self.notes)
+        )
+    }
+
     /// Render as TSV (header + rows; notes as trailing `# comments`).
     pub fn to_tsv(&self) -> String {
         let mut out = String::new();
@@ -135,5 +178,22 @@ mod tests {
     fn cells() {
         assert_eq!(cell_f(1.23456, 2), "1.23");
         assert_eq!(cell_u(42), "42");
+    }
+
+    #[test]
+    fn json_shape_and_escaping() {
+        let mut r = Report::new("bench_smoke", "kernel \"timings\"", &["engine", "ms"]);
+        r.push_row(vec!["specialized".into(), "12.5".into()]);
+        r.note("line\nbreak");
+        let json = r.to_json();
+        assert!(json.starts_with("{\"id\":\"bench_smoke\""));
+        assert!(json.contains("\\\"timings\\\""));
+        assert!(json.contains("\"rows\":[[\"specialized\",\"12.5\"]]"));
+        assert!(json.contains("line\\nbreak"));
+        assert!(json.ends_with("}\n"));
+        // Balanced braces/brackets (cheap well-formedness check without a
+        // JSON parser in the offline build).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
 }

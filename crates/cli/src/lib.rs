@@ -159,7 +159,9 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
         let flag = args[i].as_str();
         let mut take_value = || -> Result<&str, String> {
             i += 1;
-            args.get(i).map(|s| s.as_str()).ok_or_else(|| format!("flag {flag} needs a value"))
+            args.get(i)
+                .map(|s| s.as_str())
+                .ok_or_else(|| format!("flag {flag} needs a value"))
         };
         match flag {
             "--algorithm" => algorithm = Algorithm::parse(take_value()?)?,
@@ -168,9 +170,7 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
                 let raw = take_value()?;
                 let probs: Result<Vec<f64>, _> =
                     raw.split(',').map(|p| p.trim().parse::<f64>()).collect();
-                model = ModelSpec::Explicit(
-                    probs.map_err(|e| format!("bad --probs value: {e}"))?,
-                );
+                model = ModelSpec::Explicit(probs.map_err(|e| format!("bad --probs value: {e}"))?);
             }
             "--limit" => {
                 limit = take_value()?
@@ -180,13 +180,25 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
             "--stats" => stats = true,
             "--t" => t = Some(take_value()?.parse().map_err(|e| format!("bad --t: {e}"))?),
             "--alpha" => {
-                alpha = Some(take_value()?.parse().map_err(|e| format!("bad --alpha: {e}"))?);
+                alpha = Some(
+                    take_value()?
+                        .parse()
+                        .map_err(|e| format!("bad --alpha: {e}"))?,
+                );
             }
             "--level" => {
-                level = Some(take_value()?.parse().map_err(|e| format!("bad --level: {e}"))?);
+                level = Some(
+                    take_value()?
+                        .parse()
+                        .map_err(|e| format!("bad --level: {e}"))?,
+                );
             }
             "--gamma" => {
-                gamma = Some(take_value()?.parse().map_err(|e| format!("bad --gamma: {e}"))?);
+                gamma = Some(
+                    take_value()?
+                        .parse()
+                        .map_err(|e| format!("bad --gamma: {e}"))?,
+                );
             }
             "--w" => {
                 w = Some(take_value()?.parse().map_err(|e| format!("bad --w: {e}"))?);
@@ -199,7 +211,9 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
 
     let command = match verb {
         "mss" => Command::Mss,
-        "top" => Command::Top { t: t.ok_or("top requires --t N")? },
+        "top" => Command::Top {
+            t: t.ok_or("top requires --t N")?,
+        },
         "thresh" => {
             let alpha = match (alpha, level) {
                 (Some(a), None) => a,
@@ -220,18 +234,33 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
                 None => Command::Thresh { alpha },
             }
         }
-        "minlen" => Command::MinLen { gamma: gamma.ok_or("minlen requires --gamma G")? },
-        "maxlen" => Command::MaxLen { w: w.ok_or("maxlen requires --w W")? },
+        "minlen" => Command::MinLen {
+            gamma: gamma.ok_or("minlen requires --gamma G")?,
+        },
+        "maxlen" => Command::MaxLen {
+            w: w.ok_or("maxlen requires --w W")?,
+        },
         other => return Err(format!("unknown command `{other}`\n\n{USAGE}")),
     };
     // `thresh` handled `command` above; silence unused for others.
-    Ok(Invocation { command, input, algorithm, model, limit, stats, family })
+    Ok(Invocation {
+        command,
+        input,
+        algorithm,
+        model,
+        limit,
+        stats,
+        family,
+    })
 }
 
 /// Build the sequence from raw file bytes (whitespace stripped).
 pub fn sequence_from_bytes(raw: &[u8]) -> Result<(Sequence, Vec<u8>), String> {
-    let cleaned: Vec<u8> =
-        raw.iter().copied().filter(|b| !b.is_ascii_whitespace()).collect();
+    let cleaned: Vec<u8> = raw
+        .iter()
+        .copied()
+        .filter(|b| !b.is_ascii_whitespace())
+        .collect();
     Sequence::from_text(&cleaned).map_err(|e| format!("cannot build sequence: {e}"))
 }
 
@@ -401,8 +430,17 @@ mod tests {
     #[test]
     fn parse_full_flags() {
         let inv = parse_args(&argv(&[
-            "top", "-", "--t", "7", "--algorithm", "trivial", "--probs", "0.25,0.75",
-            "--limit", "3", "--stats",
+            "top",
+            "-",
+            "--t",
+            "7",
+            "--algorithm",
+            "trivial",
+            "--probs",
+            "0.25,0.75",
+            "--limit",
+            "3",
+            "--stats",
         ]))
         .unwrap();
         assert_eq!(inv.command, Command::Top { t: 7 });
@@ -472,12 +510,10 @@ mod tests {
         let top = parse_args(&argv(&["top", "-", "--t", "3", "--uniform"])).unwrap();
         let out = run(&top, data).unwrap();
         assert_eq!(out.lines().count(), 4); // header + 3 rows
-        let thresh =
-            parse_args(&argv(&["thresh", "-", "--alpha", "4", "--uniform"])).unwrap();
+        let thresh = parse_args(&argv(&["thresh", "-", "--alpha", "4", "--uniform"])).unwrap();
         let out = run(&thresh, data).unwrap();
         assert!(out.contains("substrings above threshold"));
-        let minlen =
-            parse_args(&argv(&["minlen", "-", "--gamma", "10", "--uniform"])).unwrap();
+        let minlen = parse_args(&argv(&["minlen", "-", "--gamma", "10", "--uniform"])).unwrap();
         let out = run(&minlen, data).unwrap();
         assert!(out.contains("len"));
     }
@@ -510,8 +546,7 @@ mod tests {
     fn run_all_algorithms_agree_on_obvious_input() {
         let data = b"abababab bbbbbbbbbbbb abababab";
         for algo in ["ours", "trivial", "arlm"] {
-            let inv = parse_args(&argv(&["mss", "-", "--algorithm", algo, "--uniform"]))
-                .unwrap();
+            let inv = parse_args(&argv(&["mss", "-", "--algorithm", algo, "--uniform"])).unwrap();
             let out = run(&inv, data).unwrap();
             assert!(out.contains("X²"), "algorithm {algo}");
         }

@@ -79,7 +79,11 @@ pub fn find_mss_counts(pc: &PrefixCounts, model: &Model) -> Result<MssResult> {
         pc.fill_counts(s, e, &mut counts);
         let x2 = chi_square_counts(&counts, model);
         stats.examined += 1;
-        let scored = Scored { start: s, end: e, chi_square: x2 };
+        let scored = Scored {
+            start: s,
+            end: e,
+            chi_square: x2,
+        };
         match best {
             Some(b) if scored_cmp(&scored, b) != std::cmp::Ordering::Greater => {}
             _ => *best = Some(scored),
@@ -105,7 +109,11 @@ pub fn find_mss_counts(pc: &PrefixCounts, model: &Model) -> Result<MssResult> {
         None => {
             let mut buf = vec![0u32; k];
             pc.fill_counts(0, 1, &mut buf);
-            Scored { start: 0, end: 1, chi_square: chi_square_counts(&buf, model) }
+            Scored {
+                start: 0,
+                end: 1,
+                chi_square: chi_square_counts(&buf, model),
+            }
         }
     };
     Ok(MssResult { best, stats })

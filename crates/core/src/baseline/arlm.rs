@@ -70,7 +70,11 @@ pub fn find_mss_counts(pc: &PrefixCounts, model: &Model) -> Result<MssResult> {
             pc.fill_counts(s, e, &mut counts);
             let x2 = chi_square_counts(&counts, model);
             stats.examined += 1;
-            let scored = Scored { start: s, end: e, chi_square: x2 };
+            let scored = Scored {
+                start: s,
+                end: e,
+                chi_square: x2,
+            };
             match &best {
                 Some(b) if scored_cmp(&scored, b) != std::cmp::Ordering::Greater => {}
                 _ => best = Some(scored),

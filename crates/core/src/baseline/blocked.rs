@@ -50,8 +50,7 @@ pub fn find_mss_counts(pc: &PrefixCounts, model: &Model) -> Result<MssResult> {
                     // Cover bound for extending S[start..end-1) by up to
                     // `width` characters: covers all ends in
                     // [end, end + width - 1].
-                    let bound =
-                        extension_upper_bound(&counts, end - 1 - start, model, width);
+                    let bound = extension_upper_bound(&counts, end - 1 - start, model, width);
                     if bound <= budget {
                         stats.skips += 1;
                         stats.skipped += width as u64;
@@ -63,7 +62,11 @@ pub fn find_mss_counts(pc: &PrefixCounts, model: &Model) -> Result<MssResult> {
             pc.fill_counts(start, end, &mut counts);
             let x2 = chi_square_counts(&counts, model);
             stats.examined += 1;
-            let scored = Scored { start, end, chi_square: x2 };
+            let scored = Scored {
+                start,
+                end,
+                chi_square: x2,
+            };
             match &best {
                 Some(b) if scored_cmp(&scored, b) != std::cmp::Ordering::Greater => {}
                 _ => best = Some(scored),
@@ -71,7 +74,10 @@ pub fn find_mss_counts(pc: &PrefixCounts, model: &Model) -> Result<MssResult> {
             end += 1;
         }
     }
-    Ok(MssResult { best: best.expect("non-empty sequence"), stats })
+    Ok(MssResult {
+        best: best.expect("non-empty sequence"),
+        stats,
+    })
 }
 
 #[cfg(test)]

@@ -3,17 +3,32 @@
 //! The paper (§2) notes that `X²` needs only the character counts of a
 //! substring, obtainable in `O(1)` from `k` precomputed count arrays where
 //! entry `i` stores the number of occurrences of the character in the first
-//! `i` positions. This module is that structure, laid out as one flat
-//! row-major table for cache friendliness.
+//! `i` positions.
+//!
+//! # Layout
+//!
+//! The table is stored **column-major** (`table[i·k + c]`): all `k`
+//! prefix counts of one position are adjacent. The pruned scan jumps
+//! hundreds of positions per step on average, so every prefix lookup is a
+//! cache miss — with this layout a full `k`-count resync touches one or
+//! two cache lines instead of `k` distant rows (which halves the scan's
+//! memory traffic at `k = 2` and cuts it ~4× at `k = 8`).
 
 use crate::seq::Sequence;
 
 /// Prefix counts of a sequence: `count(c, i, j)` in `O(1)`.
+///
+/// Also retains a copy of the symbol string itself: the incremental scan
+/// kernel advances its count vector by reading single symbols (`O(1)` per
+/// step) and only falls back to prefix-table differences to resync after
+/// a skip.
 #[derive(Debug, Clone)]
 pub struct PrefixCounts {
-    /// Row-major `k × (n + 1)` table; `table[c][i]` = occurrences of `c`
-    /// in `S[0..i)`.
+    /// Column-major `(n + 1) × k` table; `table[i·k + c]` = occurrences of
+    /// `c` in `S[0..i)`.
     table: Vec<u32>,
+    /// The symbols themselves (for `O(1)` single-step count updates).
+    symbols: Vec<u8>,
     n: usize,
     k: usize,
 }
@@ -25,12 +40,17 @@ impl PrefixCounts {
         let k = seq.k();
         let mut table = vec![0u32; k * (n + 1)];
         for (i, &s) in seq.symbols().iter().enumerate() {
-            // Copy column i to column i+1 row by row, bumping the row of s.
-            for c in 0..k {
-                table[c * (n + 1) + i + 1] = table[c * (n + 1) + i] + (c == s as usize) as u32;
-            }
+            // Copy column i to column i+1, bumping the entry of s.
+            let (prev, next) = table[i * k..(i + 2) * k].split_at_mut(k);
+            next.copy_from_slice(prev);
+            next[s as usize] += 1;
         }
-        Self { table, n, k }
+        Self {
+            table,
+            symbols: seq.symbols().to_vec(),
+            n,
+            k,
+        }
     }
 
     /// Sequence length `n`.
@@ -43,14 +63,23 @@ impl PrefixCounts {
         self.k
     }
 
+    /// The underlying symbol string.
+    pub fn symbols(&self) -> &[u8] {
+        &self.symbols
+    }
+
+    /// The symbol at `index` (panics when out of bounds).
+    pub fn symbol(&self, index: usize) -> u8 {
+        self.symbols[index]
+    }
+
     /// Number of occurrences of character `c` in `S[start..end)`.
     ///
     /// Panics (in debug builds) when the range or character is invalid.
     #[inline]
     pub fn count(&self, c: usize, start: usize, end: usize) -> u32 {
         debug_assert!(c < self.k && start <= end && end <= self.n);
-        let row = c * (self.n + 1);
-        self.table[row + end] - self.table[row + start]
+        self.table[end * self.k + c] - self.table[start * self.k + c]
     }
 
     /// Fill `buf` (length `k`) with the count vector of `S[start..end)`.
@@ -58,9 +87,25 @@ impl PrefixCounts {
     pub fn fill_counts(&self, start: usize, end: usize, buf: &mut [u32]) {
         debug_assert_eq!(buf.len(), self.k);
         debug_assert!(start <= end && end <= self.n);
-        for (c, slot) in buf.iter_mut().enumerate() {
-            let row = c * (self.n + 1);
-            *slot = self.table[row + end] - self.table[row + start];
+        let k = self.k;
+        let from = &self.table[start * k..start * k + k];
+        let to = &self.table[end * k..end * k + k];
+        for ((slot, &hi), &lo) in buf.iter_mut().zip(to).zip(from) {
+            *slot = hi - lo;
+        }
+    }
+
+    /// Add the count vector of `S[start..end)` into `buf` (length `k`) —
+    /// the scan kernels' post-skip resync.
+    #[inline]
+    pub fn accumulate_counts(&self, start: usize, end: usize, buf: &mut [u32]) {
+        debug_assert_eq!(buf.len(), self.k);
+        debug_assert!(start <= end && end <= self.n);
+        let k = self.k;
+        let from = &self.table[start * k..start * k + k];
+        let to = &self.table[end * k..end * k + k];
+        for ((slot, &hi), &lo) in buf.iter_mut().zip(to).zip(from) {
+            *slot += hi - lo;
         }
     }
 
@@ -122,11 +167,29 @@ mod tests {
     }
 
     #[test]
+    fn retains_symbols() {
+        let seq = demo_seq();
+        let pc = PrefixCounts::build(&seq);
+        assert_eq!(pc.symbols(), seq.symbols());
+        assert_eq!(pc.symbol(3), 2);
+    }
+
+    #[test]
     fn fill_counts_reuses_buffer() {
         let seq = demo_seq();
         let pc = PrefixCounts::build(&seq);
         let mut buf = vec![99u32; 3];
         pc.fill_counts(2, 6, &mut buf);
         assert_eq!(buf, vec![1, 1, 2]);
+    }
+
+    #[test]
+    fn accumulate_adds_range_deltas() {
+        let seq = demo_seq();
+        let pc = PrefixCounts::build(&seq);
+        let mut buf = vec![0u32; 3];
+        pc.fill_counts(1, 3, &mut buf);
+        pc.accumulate_counts(3, 6, &mut buf);
+        assert_eq!(buf, pc.count_vector(1, 6));
     }
 }

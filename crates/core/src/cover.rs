@@ -65,7 +65,10 @@ mod tests {
     use crate::score::chi_square_counts;
 
     fn assert_close(a: f64, b: f64, tol: f64) {
-        assert!((a - b).abs() <= tol * (1.0 + b.abs()), "left = {a}, right = {b}");
+        assert!(
+            (a - b).abs() <= tol * (1.0 + b.abs()),
+            "left = {a}, right = {b}"
+        );
     }
 
     /// Direct evaluation of the cover by materializing the extended counts.
@@ -151,7 +154,10 @@ mod tests {
             let best_x2 = chain_cover_chi_square(&counts, l, &model, best, x);
             for c in 0..4 {
                 let x2 = chain_cover_chi_square(&counts, l, &model, c, x);
-                assert!(x2 <= best_x2 + 1e-9, "char {c} beats best {best} at x = {x}");
+                assert!(
+                    x2 <= best_x2 + 1e-9,
+                    "char {c} beats best {best} at x = {x}"
+                );
             }
         }
     }

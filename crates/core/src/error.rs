@@ -21,6 +21,12 @@ pub enum Error {
         /// Offending alphabet size.
         k: usize,
     },
+    /// The alphabet exceeds the supported maximum of 256 characters
+    /// (symbols are stored as `u8`).
+    AlphabetTooLarge {
+        /// Offending alphabet size.
+        k: usize,
+    },
     /// A symbol is outside the declared alphabet `0..k`.
     SymbolOutOfRange {
         /// The offending symbol value.
@@ -68,7 +74,16 @@ impl fmt::Display for Error {
             Error::AlphabetTooSmall { k } => {
                 write!(f, "alphabet size {k} is too small (need k >= 2)")
             }
-            Error::SymbolOutOfRange { symbol, k, position } => write!(
+            Error::AlphabetTooLarge { k } => write!(
+                f,
+                "alphabet size {k} exceeds the supported maximum of 256 \
+                 (symbols are stored as u8)"
+            ),
+            Error::SymbolOutOfRange {
+                symbol,
+                k,
+                position,
+            } => write!(
                 f,
                 "symbol {symbol} at position {position} is outside alphabet 0..{k}"
             ),
@@ -105,22 +120,36 @@ mod tests {
         let cases: Vec<(Error, &str)> = vec![
             (Error::EmptySequence, "empty"),
             (
-                Error::AlphabetMismatch { model_k: 2, seq_k: 3 },
+                Error::AlphabetMismatch {
+                    model_k: 2,
+                    seq_k: 3,
+                },
                 "does not match",
             ),
             (Error::AlphabetTooSmall { k: 1 }, "too small"),
+            (Error::AlphabetTooLarge { k: 300 }, "maximum of 256"),
             (
-                Error::SymbolOutOfRange { symbol: 9, k: 4, position: 17 },
+                Error::SymbolOutOfRange {
+                    symbol: 9,
+                    k: 4,
+                    position: 17,
+                },
                 "position 17",
             ),
             (
-                Error::InvalidProbability { index: 1, value: 0.0 },
+                Error::InvalidProbability {
+                    index: 1,
+                    value: 0.0,
+                },
                 "p[1]",
             ),
             (Error::NotNormalized { sum: 0.8 }, "0.8"),
             (Error::ZeroCount { symbol: 2 }, "never occurs"),
             (
-                Error::InvalidParameter { what: "t", details: "zero".into() },
+                Error::InvalidParameter {
+                    what: "t",
+                    details: "zero".into(),
+                },
                 "`t`",
             ),
         ];

@@ -47,10 +47,19 @@ impl Grid {
         }
         for (position, &symbol) in cells.iter().enumerate() {
             if symbol as usize >= k {
-                return Err(Error::SymbolOutOfRange { symbol, k, position });
+                return Err(Error::SymbolOutOfRange {
+                    symbol,
+                    k,
+                    position,
+                });
             }
         }
-        Ok(Self { rows, cols, k, cells })
+        Ok(Self {
+            rows,
+            cols,
+            k,
+            cells,
+        })
     }
 
     /// Number of rows.
@@ -96,13 +105,18 @@ impl GridCounts {
             for r in 0..rows {
                 for col in 0..cols {
                     let here = u32::from(grid.cell(r, col) as usize == c);
-                    img[(r + 1) * stride + col + 1] = here + img[r * stride + col + 1]
-                        + img[(r + 1) * stride + col]
-                        - img[r * stride + col];
+                    img[(r + 1) * stride + col + 1] =
+                        here + img[r * stride + col + 1] + img[(r + 1) * stride + col]
+                            - img[r * stride + col];
                 }
             }
         }
-        Self { images, rows, cols, k }
+        Self {
+            images,
+            rows,
+            cols,
+            k,
+        }
     }
 
     /// Count of character `c` in the rectangle `[r1, r2) × [c1, c2)`.
@@ -171,7 +185,10 @@ fn better(a: &Scored2D, b: &Scored2D) -> bool {
 /// 1-D algorithm on null-like grids.
 pub fn find_mss_2d(grid: &Grid, model: &Model) -> Result<Mss2DResult> {
     if model.k() != grid.k {
-        return Err(Error::AlphabetMismatch { model_k: model.k(), seq_k: grid.k });
+        return Err(Error::AlphabetMismatch {
+            model_k: model.k(),
+            seq_k: grid.k,
+        });
     }
     let gc = GridCounts::build(grid);
     let (rows, cols, k) = (grid.rows, grid.cols, grid.k);
@@ -211,13 +228,19 @@ pub fn find_mss_2d(grid: &Grid, model: &Model) -> Result<Mss2DResult> {
             }
         }
     }
-    Ok(Mss2DResult { best: best.expect("non-empty grid"), stats })
+    Ok(Mss2DResult {
+        best: best.expect("non-empty grid"),
+        stats,
+    })
 }
 
 /// Exact 2-D MSS by exhaustive enumeration (test oracle / baseline).
 pub fn trivial_mss_2d(grid: &Grid, model: &Model) -> Result<Mss2DResult> {
     if model.k() != grid.k {
-        return Err(Error::AlphabetMismatch { model_k: model.k(), seq_k: grid.k });
+        return Err(Error::AlphabetMismatch {
+            model_k: model.k(),
+            seq_k: grid.k,
+        });
     }
     let gc = GridCounts::build(grid);
     let (rows, cols, k) = (grid.rows, grid.cols, grid.k);
@@ -246,7 +269,10 @@ pub fn trivial_mss_2d(grid: &Grid, model: &Model) -> Result<Mss2DResult> {
             }
         }
     }
-    Ok(Mss2DResult { best: best.expect("non-empty grid"), stats })
+    Ok(Mss2DResult {
+        best: best.expect("non-empty grid"),
+        stats,
+    })
 }
 
 #[cfg(test)]
@@ -344,7 +370,10 @@ mod tests {
         let grid = checkered(12, 12);
         let model = Model::uniform(2).unwrap();
         let fast = find_mss_2d(&grid, &model).unwrap();
-        assert!(fast.stats.skipped > 0, "expected column pruning on a flat grid");
+        assert!(
+            fast.stats.skipped > 0,
+            "expected column pruning on a flat grid"
+        );
     }
 
     #[test]

@@ -83,10 +83,12 @@ pub use error::{Error, Result};
 pub use maxlen::mss_max_length;
 pub use minlen::mss_min_length;
 pub use model::Model;
-pub use mss::{find_mss, MssResult};
+pub use mss::{find_mss, find_mss_reference, MssResult};
 pub use parallel::{find_mss_parallel, top_t_parallel};
 pub use scan::ScanStats;
-pub use score::{chi_square_counts, chi_square_range, ScoreState, Scored};
+pub use score::{
+    chi_square_counts, chi_square_counts_with_len, chi_square_range, ScoreState, Scored,
+};
 pub use seq::Sequence;
 pub use threshold::{above_threshold, for_each_above_threshold, ThresholdResult};
 pub use topt::{top_t, TopTResult};

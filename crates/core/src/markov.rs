@@ -43,7 +43,11 @@ impl TransitionModel {
         if probs.len() != k * k {
             return Err(Error::InvalidParameter {
                 what: "probs",
-                details: format!("expected {} entries for k = {k}, got {}", k * k, probs.len()),
+                details: format!(
+                    "expected {} entries for k = {k}, got {}",
+                    k * k,
+                    probs.len()
+                ),
             });
         }
         for (index, &value) in probs.iter().enumerate() {
@@ -138,7 +142,10 @@ impl TransitionModel {
     /// Check compatibility with a sequence's alphabet.
     pub fn check_alphabet(&self, seq: &Sequence) -> Result<()> {
         if self.k != seq.k() {
-            return Err(Error::AlphabetMismatch { model_k: self.k, seq_k: seq.k() });
+            return Err(Error::AlphabetMismatch {
+                model_k: self.k,
+                seq_k: seq.k(),
+            });
         }
         Ok(())
     }
@@ -249,14 +256,21 @@ pub fn find_mss_markov(seq: &Sequence, model: &TransitionModel) -> Result<Markov
             counts[pair] += 1;
             let x2 = chi_square_transitions(&counts, model);
             stats.examined += 1;
-            let scored = Scored { start, end, chi_square: x2 };
+            let scored = Scored {
+                start,
+                end,
+                chi_square: x2,
+            };
             match &best {
                 Some(b) if scored_cmp(&scored, b) != std::cmp::Ordering::Greater => {}
                 _ => best = Some(scored),
             }
         }
     }
-    Ok(MarkovResult { best: best.expect("n >= 2 guarantees a candidate"), stats })
+    Ok(MarkovResult {
+        best: best.expect("n >= 2 guarantees a candidate"),
+        stats,
+    })
 }
 
 /// Linear-time heuristic in the spirit of AGMM: per transition cell
@@ -284,7 +298,11 @@ pub fn heuristic_mss_markov(seq: &Sequence, model: &TransitionModel) -> Result<M
         ptc.fill_counts(s, e, &mut counts);
         let x2 = chi_square_transitions(&counts, model);
         stats.examined += 1;
-        let scored = Scored { start: s, end: e, chi_square: x2 };
+        let scored = Scored {
+            start: s,
+            end: e,
+            chi_square: x2,
+        };
         match best {
             Some(b) if scored_cmp(&scored, b) != std::cmp::Ordering::Greater => {}
             _ => *best = Some(scored),
@@ -320,7 +338,11 @@ pub fn heuristic_mss_markov(seq: &Sequence, model: &TransitionModel) -> Result<M
         None => {
             // Fall back to the full string.
             ptc.fill_counts(0, n, &mut counts);
-            Scored { start: 0, end: n, chi_square: chi_square_transitions(&counts, model) }
+            Scored {
+                start: 0,
+                end: n,
+                chi_square: chi_square_transitions(&counts, model),
+            }
         }
     };
     Ok(MarkovResult { best, stats })

@@ -12,10 +12,8 @@ use crate::counts::PrefixCounts;
 use crate::error::{Error, Result};
 use crate::model::Model;
 use crate::mss::MssResult;
-use crate::scan::ScanStats;
-use crate::score::{chi_square_counts, scored_cmp, Scored};
+use crate::scan::{scan_policy, MaxPolicy};
 use crate::seq::Sequence;
-use crate::skip::max_safe_skip;
 
 /// Find the most significant substring of length at most `w`.
 ///
@@ -48,38 +46,18 @@ pub fn mss_max_length_counts(pc: &PrefixCounts, model: &Model, w: usize) -> Resu
         });
     }
     let n = pc.n();
-    let k = model.k();
-    let mut counts = vec![0u32; k];
-    let mut stats = ScanStats::default();
-    let mut best: Option<Scored> = None;
-    for start in (0..n).rev() {
-        let window_end = (start + w).min(n);
-        let mut end = start + 1;
-        while end <= window_end {
-            pc.fill_counts(start, end, &mut counts);
-            let l = end - start;
-            let x2 = chi_square_counts(&counts, model);
-            stats.examined += 1;
-            let scored = Scored { start, end, chi_square: x2 };
-            match &best {
-                Some(b) if scored_cmp(&scored, b) != std::cmp::Ordering::Greater => {}
-                _ => best = Some(scored),
-            }
-            let budget = best.map_or(0.0, |b| b.chi_square);
-            let skip = max_safe_skip(&counts, l, x2, budget, model).min(window_end - end);
-            if skip > 0 {
-                stats.skips += 1;
-                stats.skipped += skip as u64;
-            }
-            end += skip + 1;
-        }
-    }
-    Ok(MssResult { best: best.expect("non-empty sequence"), stats })
+    let mut policy = MaxPolicy::default();
+    let stats = scan_policy(pc, model, 1, w, (0..n).rev(), &mut policy);
+    Ok(MssResult {
+        best: policy.best.expect("non-empty sequence"),
+        stats,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::score::chi_square_counts;
 
     fn binary(symbols: &[u8]) -> Sequence {
         Sequence::from_symbols(symbols.to_vec(), 2).unwrap()

@@ -38,24 +38,27 @@ pub fn mss_min_length(seq: &Sequence, model: &Model, gamma0: usize) -> Result<Ms
 }
 
 /// [`mss_min_length`] over prebuilt prefix counts.
-pub fn mss_min_length_counts(
-    pc: &PrefixCounts,
-    model: &Model,
-    gamma0: usize,
-) -> Result<MssResult> {
+pub fn mss_min_length_counts(pc: &PrefixCounts, model: &Model, gamma0: usize) -> Result<MssResult> {
     let n = pc.n();
     let min_len = gamma0 + 1;
     if min_len > n {
         return Err(Error::InvalidParameter {
             what: "gamma0",
-            details: format!(
-                "no substring of length > {gamma0} exists in a string of length {n}"
-            ),
+            details: format!("no substring of length > {gamma0} exists in a string of length {n}"),
         });
     }
     let mut policy = MaxPolicy::default();
-    let stats = scan_policy(pc, model, min_len, (0..=(n - min_len)).rev(), &mut policy);
-    let best = policy.best.expect("at least one candidate substring exists");
+    let stats = scan_policy(
+        pc,
+        model,
+        min_len,
+        usize::MAX,
+        (0..=(n - min_len)).rev(),
+        &mut policy,
+    );
+    let best = policy
+        .best
+        .expect("at least one candidate substring exists");
     Ok(MssResult { best, stats })
 }
 

@@ -13,27 +13,44 @@ use crate::seq::Sequence;
 /// are renormalized exactly.
 const SUM_TOLERANCE: f64 = 1e-6;
 
+/// Largest supported alphabet (symbols are stored as `u8`).
+pub const MAX_ALPHABET: usize = 256;
+
 /// A validated multinomial null model over `k ≥ 2` characters.
+///
+/// Beyond the probabilities themselves, the model caches the derived
+/// per-character tables the hot kernels need — `1/p_i` for scoring and
+/// `1 − p_i` for the skip solver's quadratic coefficients — contiguously,
+/// so the inner loops never recompute them per substring.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Model {
     probs: Vec<f64>,
     /// Cached reciprocals `1/p_i` — the scoring hot loop multiplies instead
     /// of dividing.
     inv_probs: Vec<f64>,
+    /// Cached `1 − p_i` — the leading coefficient of the skip solver's
+    /// Eq.-21 quadratic.
+    one_minus_probs: Vec<f64>,
+    /// Cached `0.5 / (1 − p_i)` — turns the solver's root division into a
+    /// multiply.
+    half_inv_one_minus: Vec<f64>,
+    /// Cached `4·p_i·(1 − p_i)` — the discriminant's `4ac` factor up to
+    /// the per-call scalar `(X²_l − budget)·l`.
+    four_p_one_minus: Vec<f64>,
 }
 
 impl Model {
     /// Build a model from probabilities.
     ///
-    /// Requirements: `k ≥ 2` entries, every `p_i` strictly in `(0, 1)`, and
-    /// `Σ p_i = 1` within `1e-6` (after which the vector is renormalized to
-    /// sum to exactly 1).
+    /// Requirements: `2 ≤ k ≤ 256` entries, every `p_i` strictly in
+    /// `(0, 1)`, and `Σ p_i = 1` within `1e-6` (after which the vector is
+    /// renormalized to sum to exactly 1).
     pub fn from_probs(probs: Vec<f64>) -> Result<Self> {
         if probs.len() < 2 {
             return Err(Error::AlphabetTooSmall { k: probs.len() });
         }
-        if probs.len() > 256 {
-            return Err(Error::AlphabetTooSmall { k: probs.len() });
+        if probs.len() > MAX_ALPHABET {
+            return Err(Error::AlphabetTooLarge { k: probs.len() });
         }
         for (index, &value) in probs.iter().enumerate() {
             if value.is_nan() || value <= 0.0 || value >= 1.0 {
@@ -46,14 +63,30 @@ impl Model {
         }
         let probs: Vec<f64> = probs.into_iter().map(|p| p / sum).collect();
         let inv_probs = probs.iter().map(|&p| 1.0 / p).collect();
-        Ok(Self { probs, inv_probs })
+        let one_minus_probs: Vec<f64> = probs.iter().map(|&p| 1.0 - p).collect();
+        let half_inv_one_minus = one_minus_probs.iter().map(|&a| 0.5 / a).collect();
+        let four_p_one_minus = probs
+            .iter()
+            .zip(&one_minus_probs)
+            .map(|(&p, &a)| 4.0 * p * a)
+            .collect();
+        Ok(Self {
+            probs,
+            inv_probs,
+            one_minus_probs,
+            half_inv_one_minus,
+            four_p_one_minus,
+        })
     }
 
     /// The uniform model over `k` characters (`p_i = 1/k`) — the paper's
     /// default null model for synthetic experiments.
     pub fn uniform(k: usize) -> Result<Self> {
-        if !(2..=256).contains(&k) {
+        if k < 2 {
             return Err(Error::AlphabetTooSmall { k });
+        }
+        if k > MAX_ALPHABET {
+            return Err(Error::AlphabetTooLarge { k });
         }
         Self::from_probs(vec![1.0 / k as f64; k])
     }
@@ -67,7 +100,9 @@ impl Model {
     pub fn estimate(seq: &Sequence) -> Result<Self> {
         let counts = seq.count_vector(0, seq.len());
         if let Some(symbol) = counts.iter().position(|&c| c == 0) {
-            return Err(Error::ZeroCount { symbol: symbol as u8 });
+            return Err(Error::ZeroCount {
+                symbol: symbol as u8,
+            });
         }
         let n = seq.len() as f64;
         Self::from_probs(counts.iter().map(|&c| c as f64 / n).collect())
@@ -102,6 +137,22 @@ impl Model {
         &self.inv_probs
     }
 
+    /// The cached complements `1 − p_i` (skip-solver quadratic
+    /// coefficients).
+    pub fn one_minus_probs(&self) -> &[f64] {
+        &self.one_minus_probs
+    }
+
+    /// Cached `0.5 / (1 − p_i)` (skip-solver root scaling).
+    pub fn half_inv_one_minus(&self) -> &[f64] {
+        &self.half_inv_one_minus
+    }
+
+    /// Cached `4·p_i·(1 − p_i)` (skip-solver discriminant factor).
+    pub fn four_p_one_minus(&self) -> &[f64] {
+        &self.four_p_one_minus
+    }
+
     /// Probability of character `c` (panics when out of range).
     pub fn p(&self, c: usize) -> f64 {
         self.probs[c]
@@ -116,7 +167,10 @@ impl Model {
     /// Check compatibility with a sequence's alphabet.
     pub fn check_alphabet(&self, seq: &Sequence) -> Result<()> {
         if self.k() != seq.k() {
-            return Err(Error::AlphabetMismatch { model_k: self.k(), seq_k: seq.k() });
+            return Err(Error::AlphabetMismatch {
+                model_k: self.k(),
+                seq_k: seq.k(),
+            });
         }
         Ok(())
     }
@@ -167,7 +221,23 @@ mod tests {
             Err(Error::AlphabetTooSmall { k: 1 })
         ));
         assert!(Model::uniform(1).is_err());
-        assert!(Model::uniform(300).is_err());
+        assert!(matches!(
+            Model::uniform(300),
+            Err(Error::AlphabetTooLarge { k: 300 })
+        ));
+        assert!(matches!(
+            Model::from_probs(vec![1.0 / 300.0; 300]),
+            Err(Error::AlphabetTooLarge { k: 300 })
+        ));
+    }
+
+    #[test]
+    fn derived_tables_are_consistent() {
+        let m = Model::from_probs(vec![0.2, 0.3, 0.5]).unwrap();
+        for c in 0..3 {
+            assert!((m.inv_probs()[c] - 1.0 / m.p(c)).abs() < 1e-15);
+            assert!((m.one_minus_probs()[c] - (1.0 - m.p(c))).abs() < 1e-15);
+        }
     }
 
     #[test]
@@ -202,7 +272,10 @@ mod tests {
         assert!(Model::uniform(2).unwrap().check_alphabet(&seq).is_ok());
         assert_eq!(
             Model::uniform(3).unwrap().check_alphabet(&seq),
-            Err(Error::AlphabetMismatch { model_k: 3, seq_k: 2 })
+            Err(Error::AlphabetMismatch {
+                model_k: 3,
+                seq_k: 2
+            })
         );
     }
 }

@@ -55,8 +55,28 @@ pub fn find_mss(seq: &Sequence, model: &Model) -> Result<MssResult> {
 pub fn find_mss_counts(pc: &PrefixCounts, model: &Model) -> Result<MssResult> {
     let mut policy = MaxPolicy::default();
     let n = pc.n();
-    let stats = scan_policy(pc, model, 1, (0..n).rev(), &mut policy);
-    let best = policy.best.expect("non-empty sequence always yields a best substring");
+    let stats = scan_policy(pc, model, 1, usize::MAX, (0..n).rev(), &mut policy);
+    let best = policy
+        .best
+        .expect("non-empty sequence always yields a best substring");
+    Ok(MssResult { best, stats })
+}
+
+/// [`find_mss`] forced through the unspecialized reference engine
+/// (per-substring count reconstruction, full square-root skip solve).
+///
+/// Exists so benches and regression tests can measure the incremental /
+/// alphabet-specialized kernels against a stable pre-rewrite baseline —
+/// use [`find_mss`] for real workloads.
+pub fn find_mss_reference(seq: &Sequence, model: &Model) -> Result<MssResult> {
+    model.check_alphabet(seq)?;
+    let rc = crate::scan::ReferenceCounts::build(seq);
+    let mut policy = MaxPolicy::default();
+    let n = seq.len();
+    let stats = crate::scan::scan_policy_reference(&rc, model, 1, (0..n).rev(), &mut policy);
+    let best = policy
+        .best
+        .expect("non-empty sequence always yields a best substring");
     Ok(MssResult { best, stats })
 }
 

@@ -1,4 +1,4 @@
-//! Parallel mining — chunked start positions over scoped threads.
+//! Parallel mining — work-stealing over fine-grained start blocks.
 //!
 //! The pruned scan is embarrassingly parallel over start positions; the
 //! only shared state is the pruning budget. Workers publish their local
@@ -6,11 +6,25 @@
 //! (lower) budget is always *safe* — it only weakens pruning, never
 //! correctness — so plain relaxed atomics suffice.
 //!
-//! Start positions are dealt in contiguous chunks from the right (the
-//! highest starts have the shortest scans, matching the sequential
-//! warm-up order on average).
+//! # Scheduling
+//!
+//! Static contiguous chunking (one range per worker) is badly
+//! load-imbalanced: low start positions own the longest end-scans, so the
+//! worker holding the prefix chunk finishes last while the rest idle.
+//! Instead, start positions are divided into fine-grained *blocks* dealt
+//! right-to-left from a shared atomic cursor: each worker grabs the next
+//! block when it finishes its current one, so imbalance is bounded by a
+//! single block regardless of how skewed the per-start costs are.
+//!
+//! # Warm-up
+//!
+//! Before fan-out, a cheap sequential pass scans the highest start
+//! positions (the shortest suffix scans) and publishes the resulting
+//! budget. Workers therefore prune from their very first substring
+//! instead of each rediscovering a budget from zero — without it, every
+//! worker's first block runs essentially unpruned.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use crate::counts::PrefixCounts;
 use crate::error::{Error, Result};
@@ -74,26 +88,69 @@ fn resolve_threads(threads: usize) -> usize {
     }
 }
 
-/// Split `0..n` into at most `parts` contiguous chunks.
-fn chunk_ranges(n: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
-    let parts = parts.min(n).max(1);
-    let base = n / parts;
-    let extra = n % parts;
-    let mut ranges = Vec::with_capacity(parts);
-    let mut cursor = 0;
-    for i in 0..parts {
-        let len = base + usize::from(i < extra);
-        ranges.push(cursor..cursor + len);
-        cursor += len;
-    }
-    ranges
+/// Number of trailing start positions the sequential warm-up pass covers.
+fn warmup_len(n: usize) -> usize {
+    // Enough suffix for the budget to approach its 2·ln n asymptote, small
+    // enough to stay negligible next to the parallel region.
+    (n / 32).clamp(64, 4096).min(n)
+}
+
+/// Block size for the work-stealing deal over `remaining` start positions.
+fn block_len(remaining: usize, threads: usize) -> usize {
+    // Aim for ~16 blocks per worker so steal imbalance stays small, but
+    // keep blocks big enough that the cursor is not contended.
+    (remaining / (threads * 16).max(1)).clamp(32, 8192)
+}
+
+/// The shared deal: block `index` (0-based) covers starts
+/// `[hi − block, hi)` counted down from `remaining`, so the cheap (high,
+/// short-scan) blocks go out first — matching the sequential right-to-left
+/// warm-up order on average.
+fn block_range(index: usize, remaining: usize, block: usize) -> std::ops::Range<usize> {
+    let hi = remaining - (index * block).min(remaining);
+    let lo = hi.saturating_sub(block);
+    lo..hi
+}
+
+/// Run `worker` on `threads` scoped threads pulling block indices from a
+/// shared cursor, and collect each worker's result.
+fn steal_blocks<T: Send>(
+    threads: usize,
+    num_blocks: usize,
+    worker: impl Fn(&mut dyn FnMut() -> Option<usize>) -> T + Sync,
+) -> Vec<T> {
+    // Surplus workers would only pop an empty cursor and exit.
+    let threads = threads.min(num_blocks).max(1);
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let cursor = &cursor;
+                let worker = &worker;
+                scope.spawn(move || {
+                    let mut next = || {
+                        let index = cursor.fetch_add(1, Ordering::Relaxed);
+                        (index < num_blocks).then_some(index)
+                    };
+                    worker(&mut next)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    })
 }
 
 /// Parallel MSS (Problem 1). `threads = 0` uses all available cores.
 ///
-/// Returns exactly the same substring as [`crate::find_mss`] (budget
-/// sharing affects only the amount of pruning, never the result; ties
-/// resolve deterministically by earliest start).
+/// Returns a substring with **bit-identical** `X²` to
+/// [`crate::find_mss`]'s result — budget sharing affects only the amount
+/// of pruning, never the maximal value. When several substrings tie at
+/// the maximum bit-for-bit, the reported *position* may differ from the
+/// sequential scan's (either scan may prune a tied extension; see
+/// `DESIGN.md` §3), with ties at the merge resolving by earliest start.
 pub fn find_mss_parallel(seq: &Sequence, model: &Model, threads: usize) -> Result<MssResult> {
     model.check_alphabet(seq)?;
     let pc = PrefixCounts::build(seq);
@@ -112,36 +169,60 @@ pub fn find_mss_parallel_counts(
         return crate::mss::find_mss_counts(pc, model);
     }
     let shared = SharedMax::new();
-    let ranges = chunk_ranges(n, threads);
-    let results: Vec<(Option<Scored>, ScanStats)> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = ranges
-            .into_iter()
-            .map(|range| {
-                let shared = &shared;
-                scope.spawn(move |_| {
-                    let mut policy =
-                        SharedMaxPolicy { local: MaxPolicy::default(), shared };
-                    let stats = scan_policy(pc, model, 1, range.rev(), &mut policy);
-                    (policy.local.best, stats)
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-    })
-    .expect("scope panicked");
 
-    let mut stats = ScanStats::default();
-    let mut best: Option<Scored> = None;
-    for (candidate, worker_stats) in results {
-        stats.merge(&worker_stats);
-        if let Some(c) = candidate {
-            match &best {
-                Some(b) if scored_cmp(&c, b) != std::cmp::Ordering::Greater => {}
-                _ => best = Some(c),
+    // Sequential warm-up: seed the shared budget on the cheap suffix.
+    let warm = warmup_len(n);
+    let mut warm_policy = MaxPolicy::default();
+    let mut stats = scan_policy(
+        pc,
+        model,
+        1,
+        usize::MAX,
+        (n - warm..n).rev(),
+        &mut warm_policy,
+    );
+    if let Some(b) = warm_policy.best {
+        shared.publish(b.chi_square);
+    }
+
+    let remaining = n - warm;
+    let mut best = warm_policy.best;
+    if remaining > 0 {
+        let block = block_len(remaining, threads);
+        let num_blocks = remaining.div_ceil(block);
+        let results = steal_blocks(threads, num_blocks, |next| {
+            let mut policy = SharedMaxPolicy {
+                local: MaxPolicy::default(),
+                shared: &shared,
+            };
+            let mut stats = ScanStats::default();
+            while let Some(index) = next() {
+                let range = block_range(index, remaining, block);
+                stats.merge(&scan_policy(
+                    pc,
+                    model,
+                    1,
+                    usize::MAX,
+                    range.rev(),
+                    &mut policy,
+                ));
+            }
+            (policy.local.best, stats)
+        });
+        for (candidate, worker_stats) in results {
+            stats.merge(&worker_stats);
+            if let Some(c) = candidate {
+                match &best {
+                    Some(b) if scored_cmp(&c, b) != std::cmp::Ordering::Greater => {}
+                    _ => best = Some(c),
+                }
             }
         }
     }
-    Ok(MssResult { best: best.expect("non-empty sequence"), stats })
+    Ok(MssResult {
+        best: best.expect("non-empty sequence"),
+        stats,
+    })
 }
 
 /// A `TopTPolicy` that shares the t-th-best floor across workers.
@@ -190,30 +271,50 @@ pub fn top_t_parallel(
         return crate::topt::top_t_counts(&pc, model, t);
     }
     let shared = SharedMax::new();
-    let ranges = chunk_ranges(n, threads);
-    let pc_ref = &pc;
-    let results: Vec<(Vec<Scored>, ScanStats)> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = ranges
-            .into_iter()
-            .map(|range| {
-                let shared = &shared;
-                scope.spawn(move |_| {
-                    let mut policy =
-                        SharedTopTPolicy { local: TopTPolicy::new(t), shared };
-                    let stats = scan_policy(pc_ref, model, 1, range.rev(), &mut policy);
-                    (policy.local.into_sorted(), stats)
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-    })
-    .expect("scope panicked");
 
-    let mut stats = ScanStats::default();
-    let mut all: Vec<Scored> = Vec::new();
-    for (items, worker_stats) in results {
-        stats.merge(&worker_stats);
-        all.extend(items);
+    // Sequential warm-up: seed the shared floor with the suffix's t-th
+    // best.
+    let warm = warmup_len(n);
+    let mut warm_policy = TopTPolicy::new(t);
+    let mut stats = scan_policy(
+        &pc,
+        model,
+        1,
+        usize::MAX,
+        (n - warm..n).rev(),
+        &mut warm_policy,
+    );
+    shared.publish(warm_policy.budget());
+    let mut all: Vec<Scored> = warm_policy.into_sorted();
+
+    let remaining = n - warm;
+    if remaining > 0 {
+        let block = block_len(remaining, threads);
+        let num_blocks = remaining.div_ceil(block);
+        let pc_ref = &pc;
+        let results = steal_blocks(threads, num_blocks, |next| {
+            let mut policy = SharedTopTPolicy {
+                local: TopTPolicy::new(t),
+                shared: &shared,
+            };
+            let mut stats = ScanStats::default();
+            while let Some(index) = next() {
+                let range = block_range(index, remaining, block);
+                stats.merge(&scan_policy(
+                    pc_ref,
+                    model,
+                    1,
+                    usize::MAX,
+                    range.rev(),
+                    &mut policy,
+                ));
+            }
+            (policy.local.into_sorted(), stats)
+        });
+        for (items, worker_stats) in results {
+            stats.merge(&worker_stats);
+            all.extend(items);
+        }
     }
     all.sort_by(|a, b| scored_cmp(b, a));
     all.truncate(t);
@@ -238,20 +339,38 @@ mod tests {
     }
 
     #[test]
-    fn chunking_covers_everything() {
-        for n in [1usize, 2, 7, 100] {
-            for parts in [1usize, 2, 3, 8] {
-                let ranges = chunk_ranges(n, parts);
-                let mut covered = vec![false; n];
-                for r in &ranges {
-                    for i in r.clone() {
+    fn blocks_cover_everything_exactly_once() {
+        for remaining in [1usize, 5, 31, 32, 33, 1000] {
+            for threads in [2usize, 3, 8] {
+                let block = block_len(remaining, threads);
+                let num_blocks = remaining.div_ceil(block);
+                let mut covered = vec![false; remaining];
+                for index in 0..num_blocks {
+                    for i in block_range(index, remaining, block) {
                         assert!(!covered[i], "overlap at {i}");
                         covered[i] = true;
                     }
                 }
-                assert!(covered.into_iter().all(|c| c), "n={n} parts={parts}");
+                assert!(
+                    covered.into_iter().all(|c| c),
+                    "remaining={remaining} threads={threads}"
+                );
             }
         }
+    }
+
+    #[test]
+    fn steal_blocks_hands_out_each_index_once() {
+        use std::sync::Mutex;
+        let seen = Mutex::new(Vec::new());
+        steal_blocks(4, 100, |next| {
+            while let Some(index) = next() {
+                seen.lock().unwrap().push(index);
+            }
+        });
+        let mut seen = seen.into_inner().unwrap();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..100).collect::<Vec<_>>());
     }
 
     #[test]
@@ -302,6 +421,15 @@ mod tests {
         let auto = find_mss_parallel(&seq, &model, 0).unwrap();
         let seq_result = crate::mss::find_mss(&seq, &model).unwrap();
         assert_eq!(auto.best, seq_result.best);
+    }
+
+    #[test]
+    fn more_threads_than_blocks_is_fine() {
+        let model = Model::uniform(2).unwrap();
+        let seq = pseudo_random(80, 11);
+        let par = find_mss_parallel(&seq, &model, 16).unwrap();
+        let seq_result = crate::mss::find_mss(&seq, &model).unwrap();
+        assert_eq!(par.best, seq_result.best);
     }
 
     #[test]

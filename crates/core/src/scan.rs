@@ -6,11 +6,34 @@
 //! iterate start positions right-to-left (the paper's order — the budget
 //! warms up on the suffix), scan end positions left-to-right, and after
 //! each examined substring jump forward by the Theorem-1 safe skip.
+//!
+//! # Kernel architecture (see `DESIGN.md`)
+//!
+//! The inner loop is *incremental* and *allocation-free*: the count vector
+//! of the current substring lives in registers / on the stack and is
+//! advanced by reading **one symbol** from the sequence when the skip is
+//! zero, falling back to an `O(k)` prefix-table diff only to resync after
+//! a jump. Scores always come from the canonical
+//! [`chi_square_counts_with_len`] accumulation, so every kernel reports
+//! bit-identical `X²` for the same substring regardless of scan path.
+//!
+//! Three monomorphized kernels share the skeleton:
+//!
+//! | Kernel | Alphabet | Count storage |
+//! |---|---|---|
+//! | `scan_starts_fixed::<2>` | binary (stock up/down, win/loss) | `[u32; 2]` |
+//! | `scan_starts_fixed::<4>` | quaternary (DNA) | `[u32; 4]` |
+//! | `scan_starts_dyn` | any `k ≤ 256` | one `Vec` per scan call |
+//!
+//! [`scan_policy`] dispatches on `model.k()` at runtime. The pre-rewrite
+//! engine (per-substring `fill_counts` + full square-root skip solve) is
+//! kept as [`scan_policy_reference`] so benches and tests can measure the
+//! specialization win against a stable baseline.
 
 use crate::counts::PrefixCounts;
 use crate::model::Model;
-use crate::score::{chi_square_counts, Scored};
-use crate::skip::max_safe_skip;
+use crate::score::{chi_square_counts, chi_square_counts_with_len, Scored};
+use crate::skip::{skip_from_ws, SkipTables};
 
 /// Instrumentation of a scan.
 ///
@@ -47,19 +70,310 @@ pub(crate) trait Policy {
     fn budget(&self) -> f64;
 }
 
-/// Run the pruned scan over all substrings of length ≥ `min_len` starting
-/// in `starts` (an iterator of start indices, visited in the given order).
+/// Run the pruned scan over all substrings with length in
+/// `min_len..=window` starting in `starts` (an iterator of start indices,
+/// visited in the given order).
 ///
-/// The caller guarantees `min_len ≥ 1` and that every start `i` satisfies
-/// `i + min_len ≤ n`.
+/// The caller guarantees `1 ≤ min_len ≤ window` and that every start `i`
+/// satisfies `i + min_len ≤ n`. Pass `window = usize::MAX` for the
+/// unconstrained variants.
 pub(crate) fn scan_policy<P: Policy>(
     pc: &PrefixCounts,
+    model: &Model,
+    min_len: usize,
+    window: usize,
+    starts: impl Iterator<Item = usize>,
+    policy: &mut P,
+) -> ScanStats {
+    debug_assert!(min_len >= 1 && min_len <= window);
+    match model.k() {
+        2 => scan_starts_fixed::<2, P>(pc, model, min_len, window, starts, policy),
+        4 => scan_starts_fixed::<4, P>(pc, model, min_len, window, starts, policy),
+        _ => scan_starts_dyn(pc, model, min_len, window, starts, policy),
+    }
+}
+
+/// One start position's in-flight scan state inside the specialized
+/// kernel.
+struct Lane<const K: usize> {
+    start: usize,
+    end: usize,
+    window_end: usize,
+    counts: [u32; K],
+}
+
+/// Pull the next start off the iterator and initialize its lane.
+#[inline]
+fn next_lane<const K: usize>(
+    pc: &PrefixCounts,
+    min_len: usize,
+    window: usize,
+    starts: &mut impl Iterator<Item = usize>,
+) -> Option<Lane<K>> {
+    let n = pc.n();
+    for i in starts {
+        debug_assert!(i + min_len <= n);
+        let window_end = n.min(i.saturating_add(window));
+        let end = i + min_len;
+        if end > window_end {
+            continue;
+        }
+        let mut counts = [0u32; K];
+        pc.fill_counts(i, end, &mut counts);
+        return Some(Lane {
+            start: i,
+            end,
+            window_end,
+            counts,
+        });
+    }
+    None
+}
+
+/// Advance one lane by one examined substring. Returns `false` when the
+/// lane's scan is finished.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn lane_step<const K: usize, P: Policy>(
+    lane: &mut Lane<K>,
+    pc: &PrefixCounts,
+    symbols: &[u8],
+    inv_p: &[f64; K],
+    tables: &SkipTables<'_>,
+    policy: &mut P,
+    stats: &mut ScanStats,
+) -> bool {
+    let l = lane.end - lane.start;
+    let lf = l as f64;
+    // Weighted square sum Σ Y²/p in the canonical fixed order; the
+    // division that finishes the statistic is deferred behind the budget
+    // pre-filter below, so the common (pruned) case never divides.
+    let mut ws = 0.0;
+    for (&y, &ip) in lane.counts.iter().zip(inv_p.iter()) {
+        let yf = f64::from(y);
+        ws += yf * yf * ip;
+    }
+    stats.examined += 1;
+    let mut budget = policy.budget();
+    // Budget pre-filter: a substring with X² strictly below the budget
+    // cannot affect any policy (that is what makes skipping safe at all),
+    // so only candidates at or above it — with a generous margin for the
+    // product's rounding — pay the division and the observe call.
+    if ws >= (budget + lf) * lf * (1.0 - 1e-12) {
+        let x2 = chi_square_counts_with_len(&lane.counts, inv_p, lf);
+        policy.observe(Scored {
+            start: lane.start,
+            end: lane.end,
+            chi_square: x2,
+        });
+        budget = policy.budget();
+    }
+    let skip = skip_from_ws(&lane.counts, lf, ws, budget, tables).min(lane.window_end - lane.end);
+    if skip > 0 {
+        stats.skips += 1;
+        stats.skipped += skip as u64;
+    }
+    let next = lane.end + skip + 1;
+    if next > lane.window_end {
+        return false;
+    }
+    if skip == 0 {
+        // Zero skip: the scan advances by one — push the single symbol,
+        // O(1).
+        lane.counts[symbols[lane.end] as usize] += 1;
+    } else {
+        // Resync after a jump: one O(k) bulk diff over the skipped region
+        // (a single pair of adjacent table columns).
+        pc.accumulate_counts(lane.end, next, &mut lane.counts);
+    }
+    lane.end = next;
+    true
+}
+
+/// Alphabet-specialized kernel: `K` is a compile-time constant, so the
+/// count vector and the model tables are fixed-size stack arrays and every
+/// per-character loop unrolls to a straight-line sequence.
+///
+/// Two start positions are scanned in interleaved *lanes*: the per-step
+/// dependency chain (count load → score → skip solve → next count load)
+/// is latency-bound, so pairing two independent chains in one loop lets
+/// the core overlap their square roots and cache misses. Budgets only
+/// ever grow, so any interleaving of observations is as safe as the
+/// sequential order.
+fn scan_starts_fixed<const K: usize, P: Policy>(
+    pc: &PrefixCounts,
+    model: &Model,
+    min_len: usize,
+    window: usize,
+    starts: impl Iterator<Item = usize>,
+    policy: &mut P,
+) -> ScanStats {
+    debug_assert_eq!(model.k(), K);
+    let symbols = pc.symbols();
+    let mut p = [0.0f64; K];
+    let mut inv_p = [0.0f64; K];
+    let mut one_minus = [0.0f64; K];
+    let mut half_inv_a = [0.0f64; K];
+    let mut four_pa = [0.0f64; K];
+    p.copy_from_slice(model.probs());
+    inv_p.copy_from_slice(model.inv_probs());
+    one_minus.copy_from_slice(model.one_minus_probs());
+    half_inv_a.copy_from_slice(model.half_inv_one_minus());
+    four_pa.copy_from_slice(model.four_p_one_minus());
+    let tables = SkipTables {
+        p: &p,
+        inv_p: &inv_p,
+        one_minus: &one_minus,
+        half_inv_a: &half_inv_a,
+        four_pa: &four_pa,
+    };
+    let mut stats = ScanStats::default();
+    let mut starts = starts;
+    let mut lane_a = next_lane::<K>(pc, min_len, window, &mut starts);
+    let mut lane_b = next_lane::<K>(pc, min_len, window, &mut starts);
+    loop {
+        match (&mut lane_a, &mut lane_b) {
+            (Some(a), Some(b)) => {
+                let live_a = lane_step(a, pc, symbols, &inv_p, &tables, policy, &mut stats);
+                let live_b = lane_step(b, pc, symbols, &inv_p, &tables, policy, &mut stats);
+                if !live_a {
+                    lane_a = next_lane::<K>(pc, min_len, window, &mut starts);
+                }
+                if !live_b {
+                    lane_b = next_lane::<K>(pc, min_len, window, &mut starts);
+                }
+            }
+            (Some(a), None) => {
+                while lane_step(a, pc, symbols, &inv_p, &tables, policy, &mut stats) {}
+                lane_a = None;
+            }
+            (None, Some(b)) => {
+                while lane_step(b, pc, symbols, &inv_p, &tables, policy, &mut stats) {}
+                lane_b = None;
+            }
+            (None, None) => break,
+        }
+    }
+    stats
+}
+
+/// Generic-alphabet kernel: identical skeleton with a single heap-allocated
+/// count buffer per scan call (still allocation-free per substring).
+fn scan_starts_dyn<P: Policy>(
+    pc: &PrefixCounts,
+    model: &Model,
+    min_len: usize,
+    window: usize,
+    starts: impl Iterator<Item = usize>,
+    policy: &mut P,
+) -> ScanStats {
+    let n = pc.n();
+    let k = model.k();
+    let symbols = pc.symbols();
+    let inv_p = model.inv_probs();
+    let tables = SkipTables::from_model(model);
+    let mut counts = vec![0u32; k];
+    let mut stats = ScanStats::default();
+    for i in starts {
+        debug_assert!(i + min_len <= n);
+        let window_end = n.min(i.saturating_add(window));
+        let mut end = i + min_len;
+        if end > window_end {
+            continue;
+        }
+        pc.fill_counts(i, end, &mut counts);
+        loop {
+            let l = end - i;
+            let lf = l as f64;
+            let mut ws = 0.0;
+            for (&y, &ip) in counts.iter().zip(inv_p) {
+                let yf = f64::from(y);
+                ws += yf * yf * ip;
+            }
+            stats.examined += 1;
+            let mut budget = policy.budget();
+            // Budget pre-filter — see `lane_step` for the argument.
+            if ws >= (budget + lf) * lf * (1.0 - 1e-12) {
+                let x2 = chi_square_counts_with_len(&counts, inv_p, lf);
+                policy.observe(Scored {
+                    start: i,
+                    end,
+                    chi_square: x2,
+                });
+                budget = policy.budget();
+            }
+            let skip = skip_from_ws(&counts, lf, ws, budget, &tables).min(window_end - end);
+            if skip > 0 {
+                stats.skips += 1;
+                stats.skipped += skip as u64;
+            }
+            let next = end + skip + 1;
+            if next > window_end {
+                break;
+            }
+            if skip == 0 {
+                counts[symbols[end] as usize] += 1;
+            } else {
+                pc.accumulate_counts(end, next, &mut counts);
+            }
+            end = next;
+        }
+    }
+    stats
+}
+
+/// The pre-rewrite prefix-count substrate, row-major exactly as the old
+/// `PrefixCounts` laid it out (the production table has been column-major
+/// since the kernel rewrite). Kept so [`scan_policy_reference`] measures
+/// the true pre-rewrite configuration, memory layout included.
+pub(crate) struct ReferenceCounts {
+    /// Row-major `k × (n + 1)` table; `table[c][i]` = occurrences of `c`
+    /// in `S[0..i)`.
+    table: Vec<u32>,
+    n: usize,
+    k: usize,
+}
+
+impl ReferenceCounts {
+    /// Build the row-major table in `O(k·n)` time and space.
+    pub(crate) fn build(seq: &crate::seq::Sequence) -> Self {
+        let n = seq.len();
+        let k = seq.k();
+        let mut table = vec![0u32; k * (n + 1)];
+        for (i, &s) in seq.symbols().iter().enumerate() {
+            for c in 0..k {
+                table[c * (n + 1) + i + 1] = table[c * (n + 1) + i] + (c == s as usize) as u32;
+            }
+        }
+        Self { table, n, k }
+    }
+
+    fn fill_counts(&self, start: usize, end: usize, buf: &mut [u32]) {
+        debug_assert_eq!(buf.len(), self.k);
+        for (c, slot) in buf.iter_mut().enumerate() {
+            let row = c * (self.n + 1);
+            *slot = self.table[row + end] - self.table[row + start];
+        }
+    }
+}
+
+/// The pre-rewrite engine: reconstruct all `k` counts from the row-major
+/// prefix table and re-sum the score for **every** examined substring, and
+/// solve the skip quadratic with [`reference_max_safe_skip`] —
+/// per-character coefficient recomputation, a division and square root per
+/// character.
+///
+/// Kept verbatim as the regression baseline the criterion benches compare
+/// the specialized kernels against (`mss_scaling/reference`,
+/// `bench_smoke`).
+pub(crate) fn scan_policy_reference<P: Policy>(
+    rc: &ReferenceCounts,
     model: &Model,
     min_len: usize,
     starts: impl Iterator<Item = usize>,
     policy: &mut P,
 ) -> ScanStats {
-    let n = pc.n();
+    let n = rc.n;
     let k = model.k();
     let mut counts = vec![0u32; k];
     let mut stats = ScanStats::default();
@@ -67,13 +381,17 @@ pub(crate) fn scan_policy<P: Policy>(
         debug_assert!(i + min_len <= n);
         let mut end = i + min_len;
         while end <= n {
-            pc.fill_counts(i, end, &mut counts);
+            rc.fill_counts(i, end, &mut counts);
             let l = end - i;
             let x2 = chi_square_counts(&counts, model);
             stats.examined += 1;
-            policy.observe(Scored { start: i, end, chi_square: x2 });
+            policy.observe(Scored {
+                start: i,
+                end,
+                chi_square: x2,
+            });
             let budget = policy.budget();
-            let skip = max_safe_skip(&counts, l, x2, budget, model).min(n - end);
+            let skip = reference_max_safe_skip(&counts, l, x2, budget, model).min(n - end);
             if skip > 0 {
                 stats.skips += 1;
                 stats.skipped += skip as u64;
@@ -82,6 +400,68 @@ pub(crate) fn scan_policy<P: Policy>(
         }
     }
     stats
+}
+
+/// The pre-rewrite skip solver, kept for the reference engine only: it
+/// recomputes `1 − p` and both quadratic coefficients per character per
+/// substring and takes a division plus square root for **every**
+/// character. [`crate::skip::max_safe_skip`] is the optimized production
+/// solver.
+fn reference_max_safe_skip(
+    counts: &[u32],
+    l: usize,
+    x2_l: f64,
+    budget: f64,
+    model: &Model,
+) -> usize {
+    if !budget.is_finite() || budget <= 0.0 {
+        return 0;
+    }
+    let lf = l as f64;
+    let quadratic_at = |y: f64, p: f64, x: f64| -> f64 {
+        let a = 1.0 - p;
+        let b = 2.0 * y - 2.0 * lf * p - p * budget;
+        let c = (x2_l - budget) * lf * p;
+        (a * x + b) * x + c
+    };
+    let mut lo = 0.0f64;
+    let mut hi = f64::INFINITY;
+    for (&y, &p) in counts.iter().zip(model.probs()) {
+        let yf = f64::from(y);
+        let a = 1.0 - p;
+        let b = 2.0 * yf - 2.0 * lf * p - p * budget;
+        let c = (x2_l - budget) * lf * p;
+        let disc = b * b - 4.0 * a * c;
+        if disc < 0.0 {
+            return 0;
+        }
+        let sqrt_disc = disc.sqrt();
+        let r2 = (-b + sqrt_disc) / (2.0 * a);
+        let r1 = (-b - sqrt_disc) / (2.0 * a);
+        hi = hi.min(r2);
+        lo = lo.max(r1);
+        if hi < 1.0 || lo > hi {
+            return 0;
+        }
+    }
+    let mut x = hi.floor();
+    if x < 1.0 || x < lo {
+        return 0;
+    }
+    for _ in 0..2 {
+        if x < 1.0 || x < lo {
+            return 0;
+        }
+        let ok = counts
+            .iter()
+            .zip(model.probs())
+            .all(|(&y, &p)| quadratic_at(f64::from(y), p, x) <= 1e-9 * (1.0 + budget.abs() * lf));
+        if ok {
+            return x as usize;
+        }
+        x -= 1.0;
+    }
+    0
 }
 
 /// Max-tracking policy (Problem 1 and Problem 4).
@@ -112,10 +492,22 @@ mod tests {
     fn max_policy_tracks_running_maximum() {
         let mut p = MaxPolicy::default();
         assert_eq!(p.budget(), 0.0);
-        p.observe(Scored { start: 0, end: 1, chi_square: 2.0 });
-        p.observe(Scored { start: 0, end: 2, chi_square: 1.0 });
+        p.observe(Scored {
+            start: 0,
+            end: 1,
+            chi_square: 2.0,
+        });
+        p.observe(Scored {
+            start: 0,
+            end: 2,
+            chi_square: 1.0,
+        });
         assert_eq!(p.budget(), 2.0);
-        p.observe(Scored { start: 1, end: 3, chi_square: 5.5 });
+        p.observe(Scored {
+            start: 1,
+            end: 3,
+            chi_square: 5.5,
+        });
         assert_eq!(p.budget(), 5.5);
         assert_eq!(p.best.unwrap().start, 1);
     }
@@ -123,11 +515,23 @@ mod tests {
     #[test]
     fn max_policy_tie_break_prefers_earlier_start() {
         let mut p = MaxPolicy::default();
-        p.observe(Scored { start: 5, end: 7, chi_square: 2.0 });
-        p.observe(Scored { start: 1, end: 3, chi_square: 2.0 });
+        p.observe(Scored {
+            start: 5,
+            end: 7,
+            chi_square: 2.0,
+        });
+        p.observe(Scored {
+            start: 1,
+            end: 3,
+            chi_square: 2.0,
+        });
         assert_eq!(p.best.unwrap().start, 1);
         // But an equal, later observation does not replace it.
-        p.observe(Scored { start: 4, end: 6, chi_square: 2.0 });
+        p.observe(Scored {
+            start: 4,
+            end: 6,
+            chi_square: 2.0,
+        });
         assert_eq!(p.best.unwrap().start, 1);
     }
 
@@ -138,7 +542,7 @@ mod tests {
         let model = Model::uniform(2).unwrap();
         let mut policy = MaxPolicy::default();
         let n = seq.len();
-        let stats = scan_policy(&pc, &model, 1, (0..n).rev(), &mut policy);
+        let stats = scan_policy(&pc, &model, 1, usize::MAX, (0..n).rev(), &mut policy);
         assert!(stats.examined >= n as u64);
         assert!(policy.best.is_some());
         // Every substring is either examined or skipped.
@@ -154,7 +558,83 @@ mod tests {
         let mut policy = MaxPolicy::default();
         let min_len = 4;
         let n = seq.len();
-        scan_policy(&pc, &model, min_len, (0..=(n - min_len)).rev(), &mut policy);
+        scan_policy(
+            &pc,
+            &model,
+            min_len,
+            usize::MAX,
+            (0..=(n - min_len)).rev(),
+            &mut policy,
+        );
         assert!(policy.best.unwrap().len() >= min_len);
+    }
+
+    #[test]
+    fn scan_respects_window() {
+        let seq = Sequence::from_symbols(vec![0, 1, 1, 1, 1, 1, 1, 0], 2).unwrap();
+        let pc = PrefixCounts::build(&seq);
+        let model = Model::uniform(2).unwrap();
+        let n = seq.len();
+        for window in 1..=n {
+            let mut examined_max = 0usize;
+            let mut observed = 0u64;
+            struct Probe<'a> {
+                max_len: &'a mut usize,
+                observed: &'a mut u64,
+            }
+            impl Policy for Probe<'_> {
+                fn observe(&mut self, scored: Scored) {
+                    *self.max_len = (*self.max_len).max(scored.len());
+                    *self.observed += 1;
+                }
+                fn budget(&self) -> f64 {
+                    // Zero budget: skips are disabled (the solver needs a
+                    // positive budget) AND every substring clears the
+                    // kernel's budget pre-filter, so observe() sees all
+                    // window-admissible substrings.
+                    0.0
+                }
+            }
+            let mut probe = Probe {
+                max_len: &mut examined_max,
+                observed: &mut observed,
+            };
+            let stats = scan_policy(&pc, &model, 1, window, (0..n).rev(), &mut probe);
+            assert!(
+                examined_max <= window,
+                "window {window}: saw len {examined_max}"
+            );
+            // Exactly the substrings of length 1..=window exist per start.
+            let expected: u64 = (0..n).map(|i| window.min(n - i) as u64).sum();
+            assert_eq!(observed, expected, "window {window}");
+            assert_eq!(stats.examined, expected, "window {window}");
+        }
+    }
+
+    /// The three kernels and the reference engine agree on the examined
+    /// stream's final max for all small alphabets.
+    #[test]
+    fn kernels_agree_with_reference_engine() {
+        for k in [2usize, 3, 4, 5] {
+            let symbols: Vec<u8> = (0..120u32)
+                .map(|i| ((i * 7 + i / 5) % k as u32) as u8)
+                .collect();
+            let seq = Sequence::from_symbols(symbols, k).unwrap();
+            let pc = PrefixCounts::build(&seq);
+            let model = Model::uniform(k).unwrap();
+            let n = seq.len();
+            let mut fast = MaxPolicy::default();
+            scan_policy(&pc, &model, 1, usize::MAX, (0..n).rev(), &mut fast);
+            let rc = ReferenceCounts::build(&seq);
+            let mut reference = MaxPolicy::default();
+            scan_policy_reference(&rc, &model, 1, (0..n).rev(), &mut reference);
+            let f = fast.best.unwrap();
+            let r = reference.best.unwrap();
+            assert_eq!(
+                f.chi_square.to_bits(),
+                r.chi_square.to_bits(),
+                "k = {k}: fast {f:?} vs reference {r:?}"
+            );
+        }
     }
 }

@@ -12,12 +12,25 @@ use crate::model::Model;
 pub fn chi_square_counts(counts: &[u32], model: &Model) -> f64 {
     debug_assert_eq!(counts.len(), model.k());
     let l: u32 = counts.iter().sum();
-    if l == 0 {
+    chi_square_counts_with_len(counts, model.inv_probs(), f64::from(l))
+}
+
+/// The canonical scoring primitive shared by every scan kernel: `X²` from
+/// a count vector, the reciprocal-probability table and the (known)
+/// substring length.
+///
+/// All kernels — trivial, generic, alphabet-specialized and parallel —
+/// route through this one fixed-order accumulation, which is what makes
+/// their reported `X²` values **bit-identical** for the same substring
+/// regardless of the scan path that reached it (see `DESIGN.md`).
+#[inline(always)]
+pub fn chi_square_counts_with_len(counts: &[u32], inv_probs: &[f64], lf: f64) -> f64 {
+    debug_assert_eq!(counts.len(), inv_probs.len());
+    if lf == 0.0 {
         return 0.0;
     }
-    let lf = f64::from(l);
     let mut weighted_sq = 0.0;
-    for (&y, &inv_p) in counts.iter().zip(model.inv_probs()) {
+    for (&y, &inv_p) in counts.iter().zip(inv_probs) {
         let yf = f64::from(y);
         weighted_sq += yf * yf * inv_p;
     }
@@ -45,7 +58,11 @@ pub struct ScoreState {
 impl ScoreState {
     /// Empty state over an alphabet of size `k`.
     pub fn new(k: usize) -> Self {
-        Self { counts: vec![0; k], weighted_sq: 0.0, len: 0 }
+        Self {
+            counts: vec![0; k],
+            weighted_sq: 0.0,
+            len: 0,
+        }
     }
 
     /// Reset to the empty configuration (reusing the allocation).
@@ -137,7 +154,10 @@ mod tests {
     use crate::seq::Sequence;
 
     fn assert_close(a: f64, b: f64, tol: f64) {
-        assert!((a - b).abs() <= tol * (1.0 + b.abs()), "left = {a}, right = {b}");
+        assert!(
+            (a - b).abs() <= tol * (1.0 + b.abs()),
+            "left = {a}, right = {b}"
+        );
     }
 
     #[test]
@@ -176,7 +196,11 @@ mod tests {
         for (i, &s) in symbols.iter().enumerate() {
             state.push(s, &model);
             counts[s as usize] += 1;
-            assert_close(state.chi_square(), chi_square_counts(&counts, &model), 1e-10);
+            assert_close(
+                state.chi_square(),
+                chi_square_counts(&counts, &model),
+                1e-10,
+            );
             assert_eq!(state.len() as usize, i + 1);
             assert_eq!(state.counts(), counts.as_slice());
         }
@@ -228,7 +252,11 @@ mod tests {
 
     #[test]
     fn scored_helpers() {
-        let s = Scored { start: 3, end: 10, chi_square: 5.0 };
+        let s = Scored {
+            start: 3,
+            end: 10,
+            chi_square: 5.0,
+        };
         assert_eq!(s.len(), 7);
         assert!(!s.is_empty());
         let p = s.p_value(2);
@@ -239,11 +267,23 @@ mod tests {
 
     #[test]
     fn scored_ordering_deterministic_on_ties() {
-        let a = Scored { start: 1, end: 4, chi_square: 2.0 };
-        let b = Scored { start: 2, end: 5, chi_square: 2.0 };
+        let a = Scored {
+            start: 1,
+            end: 4,
+            chi_square: 2.0,
+        };
+        let b = Scored {
+            start: 2,
+            end: 5,
+            chi_square: 2.0,
+        };
         // Equal X²: the earlier start compares greater (wins max-selection).
         assert_eq!(scored_cmp(&a, &b), std::cmp::Ordering::Greater);
-        let c = Scored { start: 1, end: 4, chi_square: 3.0 };
+        let c = Scored {
+            start: 1,
+            end: 4,
+            chi_square: 3.0,
+        };
         assert_eq!(scored_cmp(&a, &c), std::cmp::Ordering::Less);
     }
 }

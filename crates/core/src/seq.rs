@@ -23,15 +23,22 @@ impl Sequence {
     /// Every symbol must satisfy `symbol < k`, `k` must be in `2..=256`,
     /// and the sequence must be non-empty.
     pub fn from_symbols(symbols: Vec<u8>, k: usize) -> Result<Self> {
-        if !(2..=256).contains(&k) {
+        if k < 2 {
             return Err(Error::AlphabetTooSmall { k });
+        }
+        if k > crate::model::MAX_ALPHABET {
+            return Err(Error::AlphabetTooLarge { k });
         }
         if symbols.is_empty() {
             return Err(Error::EmptySequence);
         }
         for (position, &symbol) in symbols.iter().enumerate() {
             if symbol as usize >= k {
-                return Err(Error::SymbolOutOfRange { symbol, k, position });
+                return Err(Error::SymbolOutOfRange {
+                    symbol,
+                    k,
+                    position,
+                });
             }
         }
         Ok(Self { symbols, k })
@@ -55,8 +62,8 @@ impl Sequence {
         for &byte in text {
             let slot = &mut mapping[byte as usize];
             if *slot == u8::MAX && !alphabet.contains(&byte) {
-                if alphabet.len() == 256 {
-                    return Err(Error::AlphabetTooSmall { k: 257 });
+                if alphabet.len() == crate::model::MAX_ALPHABET {
+                    return Err(Error::AlphabetTooLarge { k: 257 });
                 }
                 *slot = alphabet.len() as u8;
                 alphabet.push(byte);
@@ -150,7 +157,10 @@ mod tests {
             Sequence::from_symbols(vec![0], 0),
             Err(Error::AlphabetTooSmall { k: 0 })
         ));
-        assert!(Sequence::from_symbols(vec![0], 257).is_err());
+        assert!(matches!(
+            Sequence::from_symbols(vec![0], 257),
+            Err(Error::AlphabetTooLarge { k: 257 })
+        ));
     }
 
     #[test]
@@ -158,7 +168,11 @@ mod tests {
         let err = Sequence::from_symbols(vec![0, 1, 5, 1], 3).unwrap_err();
         assert_eq!(
             err,
-            Error::SymbolOutOfRange { symbol: 5, k: 3, position: 2 }
+            Error::SymbolOutOfRange {
+                symbol: 5,
+                k: 3,
+                position: 2
+            }
         );
     }
 

@@ -60,7 +60,11 @@ pub struct Assessment {
 pub fn assess(best: &Scored, n: usize, k: usize) -> Assessment {
     let p_single = best.p_value(k);
     let m = effective_tests(n);
-    Assessment { p_single, p_family: sidak_corrected(p_single, m), m_effective: m }
+    Assessment {
+        p_single,
+        p_family: sidak_corrected(p_single, m),
+        m_effective: m,
+    }
 }
 
 /// Monte-Carlo calibration of the null distribution of `X²_max`.
@@ -122,7 +126,11 @@ mod tests {
         let n = 5_000usize;
         // X²_max ≈ 2 ln n on noise.
         let x2 = 2.0 * (n as f64).ln();
-        let best = Scored { start: 0, end: 10, chi_square: x2 };
+        let best = Scored {
+            start: 0,
+            end: 10,
+            chi_square: x2,
+        };
         let a = assess(&best, n, 2);
         assert!(a.p_single < 1e-3, "raw p should look impressive");
         // Family-wise, the same statistic fails the conventional 5% bar.
@@ -132,7 +140,11 @@ mod tests {
     #[test]
     fn family_correction_keeps_real_signals() {
         // A genuinely huge statistic stays significant after correction.
-        let best = Scored { start: 0, end: 100, chi_square: 120.0 };
+        let best = Scored {
+            start: 0,
+            end: 100,
+            chi_square: 120.0,
+        };
         let a = assess(&best, 100_000, 2);
         assert!(a.p_family < 1e-15);
     }
@@ -153,7 +165,9 @@ mod tests {
         // A cheap deterministic LCG sampler keeps this test self-contained.
         let mut state = 0x1234_5678_9ABC_DEF0u64;
         let mut sampler = |model: &Model| -> u8 {
-            state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1);
             let u = (state >> 11) as f64 / (1u64 << 53) as f64;
             let mut acc = 0.0;
             for (c, &p) in model.probs().iter().enumerate() {

@@ -27,6 +27,28 @@
 //! integer candidate, guarding against floating-point overshoot of the real
 //! root; this keeps the "never misses the MSS" invariant robust instead of
 //! probabilistic.
+//!
+//! # Solver engineering (post-rewrite)
+//!
+//! The per-character quadratic coefficients factor into model-constant
+//! tables and two per-call scalars:
+//!
+//! ```text
+//! b_m = 2·Y_m − p_m·t          with t = 2l + X²_max        (per call)
+//! c_m = p_m·u                  with u = (X²_l − X²_max)·l  (per call)
+//! disc_m = b_m² − [4·p_m·(1 − p_m)]·u
+//! r2_m = (√disc_m − b_m) · [0.5 / (1 − p_m)]
+//! ```
+//!
+//! The bracketed factors are cached in [`Model`], so the inner loop is
+//! division-free: one multiply-add chain plus one square root per
+//! character. In the budget-dominant regime (`X²_l ≤ X²_max`, the MSS /
+//! top-t steady state) `c_m ≤ 0` guarantees `disc_m ≥ 0` and `r1_m ≤ 0`,
+//! collapsing the admissible region to `[0, min_m r2_m]`; small alphabets
+//! take every root branchlessly (independent square roots pipeline),
+//! while large alphabets solve the heuristic binding character first and
+//! screen the rest with two multiply-adds each, taking further roots only
+//! when a character actually binds.
 
 use crate::model::Model;
 
@@ -34,15 +56,37 @@ use crate::model::Model;
 /// can safely be skipped (0 = no skip, advance by one).
 pub type Skip = usize;
 
-/// Evaluate the Eq.-21 quadratic for character `m` at integer `x`.
-/// Negative-or-zero means the chain-cover bound with character `m` at
-/// extension `x` does not exceed `budget`.
-#[inline]
-fn quadratic_at(y: f64, p: f64, l: f64, x2_l: f64, budget: f64, x: f64) -> f64 {
-    let a = 1.0 - p;
-    let b = 2.0 * y - 2.0 * l * p - p * budget;
-    let c = (x2_l - budget) * l * p;
-    (a * x + b) * x + c
+/// Alphabet size up to which the below-budget solver takes every root
+/// branchlessly rather than lazily.
+const BRANCHLESS_MAX_K: usize = 8;
+
+/// The model-constant tables the solver reads (borrowed from [`Model`] or
+/// from an alphabet-specialized kernel's stack copies).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SkipTables<'a> {
+    /// `p_i`.
+    pub p: &'a [f64],
+    /// `1/p_i` (binding-character heuristic).
+    pub inv_p: &'a [f64],
+    /// `1 − p_i`.
+    pub one_minus: &'a [f64],
+    /// `0.5 / (1 − p_i)`.
+    pub half_inv_a: &'a [f64],
+    /// `4·p_i·(1 − p_i)`.
+    pub four_pa: &'a [f64],
+}
+
+impl<'a> SkipTables<'a> {
+    /// Borrow the tables straight from a model.
+    pub fn from_model(model: &'a Model) -> Self {
+        Self {
+            p: model.probs(),
+            inv_p: model.inv_probs(),
+            one_minus: model.one_minus_probs(),
+            half_inv_a: model.half_inv_one_minus(),
+            four_pa: model.four_p_one_minus(),
+        }
+    }
 }
 
 /// Largest number of end positions that can be skipped after examining a
@@ -55,44 +99,219 @@ fn quadratic_at(y: f64, p: f64, l: f64, x2_l: f64, budget: f64, x: f64) -> f64 {
 /// safe. The caller must clamp the result to the remaining string length.
 pub fn max_safe_skip(counts: &[u32], l: usize, x2_l: f64, budget: f64, model: &Model) -> Skip {
     debug_assert_eq!(counts.len(), model.k());
+    skip_with_tables(counts, l, x2_l, budget, &SkipTables::from_model(model))
+}
+
+/// Table-driven solver used directly by the scan kernels (and by
+/// [`max_safe_skip`]).
+///
+/// Marked `#[inline(always)]` so alphabet-specialized call sites (fixed
+/// `[u32; K]` count arrays) monomorphize the loops to constant trip
+/// counts.
+#[inline(always)]
+pub(crate) fn skip_with_tables(
+    counts: &[u32],
+    l: usize,
+    x2_l: f64,
+    budget: f64,
+    tables: &SkipTables<'_>,
+) -> Skip {
     if !budget.is_finite() || budget <= 0.0 {
         return 0;
     }
     let lf = l as f64;
-    // Intersection [lo, hi] of the k per-character admissible intervals.
+    let u = (x2_l - budget) * lf;
+    skip_from_parts(counts, lf, u, budget, tables)
+}
+
+/// Division-free entry for the scan kernels: takes the weighted square
+/// sum `ws = Σ Y²/p` instead of the finished statistic, so the kernel
+/// never has to divide on the hot path — the quadratic's constant-term
+/// scalar is `u = (X²_l − budget)·l = ws − (l + budget)·l` directly.
+#[inline(always)]
+pub(crate) fn skip_from_ws(
+    counts: &[u32],
+    lf: f64,
+    ws: f64,
+    budget: f64,
+    tables: &SkipTables<'_>,
+) -> Skip {
+    if !budget.is_finite() || budget <= 0.0 {
+        return 0;
+    }
+    let u = ws - (lf + budget) * lf;
+    skip_from_parts(counts, lf, u, budget, tables)
+}
+
+#[inline(always)]
+fn skip_from_parts(counts: &[u32], lf: f64, u: f64, budget: f64, tables: &SkipTables<'_>) -> Skip {
+    let tol = 1e-9 * (1.0 + budget.abs() * lf);
+    // Per-call scalars of the factored quadratic (see module docs).
+    let t = 2.0 * lf + budget;
+    if u <= 0.0 {
+        if counts.len() <= BRANCHLESS_MAX_K {
+            skip_below_budget_branchless(counts, t, u, tables, tol)
+        } else {
+            skip_below_budget_lazy(counts, t, u, tables, tol)
+        }
+    } else {
+        skip_general(counts, t, u, tables, tol)
+    }
+}
+
+/// Upper root `r2_m` of the factored quadratic for one character. The
+/// caller guarantees `disc ≥ 0` (true whenever `u ≤ 0`).
+#[inline(always)]
+fn root_upper(y: f64, t: f64, u: f64, m: usize, tables: &SkipTables<'_>) -> f64 {
+    let b = 2.0 * y - tables.p[m] * t;
+    let disc = b * b - tables.four_pa[m] * u;
+    (disc.sqrt() - b) * tables.half_inv_a[m]
+}
+
+/// Below-budget solver for small alphabets: take every character's upper
+/// root. The square roots are independent, so they pipeline — for `k = 2`
+/// or `4` this straight-line form beats any branchy screen.
+#[inline(always)]
+#[allow(clippy::needless_range_loop)] // multi-slice lockstep indexing
+fn skip_below_budget_branchless(
+    counts: &[u32],
+    t: f64,
+    u: f64,
+    tables: &SkipTables<'_>,
+    tol: f64,
+) -> Skip {
+    let mut hi = f64::INFINITY;
+    for m in 0..counts.len() {
+        let r2 = root_upper(f64::from(counts[m]), t, u, m, tables);
+        hi = hi.min(r2);
+    }
+    finish_below_budget(counts, t, u, tables, hi, tol)
+}
+
+/// Shared tail of the below-budget paths: floor the candidate and run the
+/// `O(k)` verification.
+///
+/// The verification is **never** shortcut: the computed `hi` carries the
+/// rounding of `u = ws − (l + budget)·l`, whose absolute error scales
+/// with `ulp(ws)` and therefore with `l²` — no fixed relative margin on
+/// `hi` is sound across the full `u32`-count range. Evaluating the
+/// quadratics at the integer candidate (two multiply-adds per character,
+/// no roots or divisions) is exactly the sound check, and it keeps the
+/// "never misses the MSS" invariant deterministic.
+#[inline(always)]
+fn finish_below_budget(
+    counts: &[u32],
+    t: f64,
+    u: f64,
+    tables: &SkipTables<'_>,
+    hi: f64,
+    tol: f64,
+) -> Skip {
+    if hi < 1.0 {
+        return 0;
+    }
+    verify_candidate(counts, t, u, tables, hi.floor(), 0.0, tol)
+}
+
+/// Below-budget solver for large alphabets: solve the heuristic binding
+/// character (argmax `Y/p`, which dominates the linear coefficient) first,
+/// then screen every other character by evaluating its quadratic at the
+/// current `hi` — two multiply-adds — taking a root only when the
+/// character actually binds. In the common case this is **one** square
+/// root per substring instead of `k`.
+#[inline(always)]
+#[allow(clippy::needless_range_loop)] // multi-slice lockstep indexing
+fn skip_below_budget_lazy(
+    counts: &[u32],
+    t: f64,
+    u: f64,
+    tables: &SkipTables<'_>,
+    tol: f64,
+) -> Skip {
+    let k = counts.len();
+    let mut h = 0usize;
+    let mut h_val = f64::NEG_INFINITY;
+    for m in 0..k {
+        let v = f64::from(counts[m]) * tables.inv_p[m];
+        if v > h_val {
+            h_val = v;
+            h = m;
+        }
+    }
+    let mut hi = root_upper(f64::from(counts[h]), t, u, h, tables);
+    if hi < 1.0 {
+        return 0;
+    }
+    for m in 0..k {
+        if m == h {
+            continue;
+        }
+        let b = 2.0 * f64::from(counts[m]) - tables.p[m] * t;
+        let c = tables.p[m] * u;
+        // `q_m(hi) ≤ 0 ⇔ hi ≤ r2_m` (a > 0, c ≤ 0): character m does not
+        // bind at the current candidate, no root needed.
+        if (tables.one_minus[m] * hi + b) * hi + c > tol {
+            hi = root_upper(f64::from(counts[m]), t, u, m, tables);
+            if hi < 1.0 {
+                return 0;
+            }
+        }
+    }
+    finish_below_budget(counts, t, u, tables, hi, tol)
+}
+
+/// General path (threshold mode with `X²_l > α₀`): constant terms are
+/// positive, the admissible region `[max_m r1_m, min_m r2_m]` may be empty
+/// or bounded away from zero, and a negative discriminant means no valid
+/// extension at all.
+#[allow(clippy::needless_range_loop)] // multi-slice lockstep indexing
+fn skip_general(counts: &[u32], t: f64, u: f64, tables: &SkipTables<'_>, tol: f64) -> Skip {
     let mut lo = 0.0f64;
     let mut hi = f64::INFINITY;
-    for (&y, &p) in counts.iter().zip(model.probs()) {
-        let yf = f64::from(y);
-        let a = 1.0 - p;
-        let b = 2.0 * yf - 2.0 * lf * p - p * budget;
-        let c = (x2_l - budget) * lf * p;
-        let disc = b * b - 4.0 * a * c;
+    for m in 0..counts.len() {
+        let b = 2.0 * f64::from(counts[m]) - tables.p[m] * t;
+        let disc = b * b - tables.four_pa[m] * u;
         if disc < 0.0 {
             return 0; // this character admits no valid extension length
         }
         let sqrt_disc = disc.sqrt();
-        let r2 = (-b + sqrt_disc) / (2.0 * a);
-        let r1 = (-b - sqrt_disc) / (2.0 * a);
+        let r2 = (sqrt_disc - b) * tables.half_inv_a[m];
+        let r1 = -(sqrt_disc + b) * tables.half_inv_a[m];
         hi = hi.min(r2);
         lo = lo.max(r1);
         if hi < 1.0 || lo > hi {
             return 0;
         }
     }
-    let mut x = hi.floor();
-    if x < 1.0 || x < lo {
-        return 0;
-    }
-    // Floating-point guard: verify the quadratics at the integer candidate;
-    // back off by one if the root was overshot by rounding.
+    verify_candidate(counts, t, u, tables, hi.floor(), lo, tol)
+}
+
+/// Floating-point guard shared by all paths: verify the quadratics at the
+/// integer candidate, backing off by one if the root was overshot by
+/// rounding.
+#[inline(always)]
+#[allow(clippy::needless_range_loop)] // multi-slice lockstep indexing
+fn verify_candidate(
+    counts: &[u32],
+    t: f64,
+    u: f64,
+    tables: &SkipTables<'_>,
+    mut x: f64,
+    lo: f64,
+    tol: f64,
+) -> Skip {
     for _ in 0..2 {
         if x < 1.0 || x < lo {
             return 0;
         }
-        let ok = counts.iter().zip(model.probs()).all(|(&y, &p)| {
-            quadratic_at(f64::from(y), p, lf, x2_l, budget, x) <= 1e-9 * (1.0 + budget.abs() * lf)
-        });
+        let mut ok = true;
+        for m in 0..counts.len() {
+            let b = 2.0 * f64::from(counts[m]) - tables.p[m] * t;
+            let c = tables.p[m] * u;
+            if (tables.one_minus[m] * x + b) * x + c > tol {
+                ok = false;
+            }
+        }
         if ok {
             return x as Skip;
         }

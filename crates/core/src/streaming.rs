@@ -55,7 +55,13 @@ impl StreamingMiner {
         for _ in 0..k {
             prefix.push(vec![0u32]);
         }
-        Self { model, prefix, n: 0, best: None, stats: ScanStats::default() }
+        Self {
+            model,
+            prefix,
+            n: 0,
+            best: None,
+            stats: ScanStats::default(),
+        }
     }
 
     /// Number of symbols consumed.
@@ -91,7 +97,11 @@ impl StreamingMiner {
     pub fn push(&mut self, symbol: u8) -> Result<()> {
         let k = self.model.k();
         if symbol as usize >= k {
-            return Err(Error::SymbolOutOfRange { symbol, k, position: self.n });
+            return Err(Error::SymbolOutOfRange {
+                symbol,
+                k,
+                position: self.n,
+            });
         }
         for (c, column) in self.prefix.iter_mut().enumerate() {
             let last = *column.last().expect("columns start non-empty");
@@ -111,7 +121,11 @@ impl StreamingMiner {
             let l = end - i;
             let x2 = chi_square_counts(&counts, &self.model);
             self.stats.examined += 1;
-            let scored = Scored { start: i, end, chi_square: x2 };
+            let scored = Scored {
+                start: i,
+                end,
+                chi_square: x2,
+            };
             match &self.best {
                 Some(b) if scored_cmp(&scored, b) != std::cmp::Ordering::Greater => {}
                 _ => self.best = Some(scored),
@@ -216,7 +230,11 @@ mod tests {
         miner.push(1).unwrap();
         assert!(matches!(
             miner.push(2),
-            Err(Error::SymbolOutOfRange { symbol: 2, k: 2, position: 1 })
+            Err(Error::SymbolOutOfRange {
+                symbol: 2,
+                k: 2,
+                position: 1
+            })
         ));
     }
 

@@ -17,8 +17,8 @@ use crate::seq::Sequence;
 #[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ThresholdResult {
-    /// Every substring with `X² > α₀`, in scan order (starts
-    /// right-to-left, ends ascending within a start).
+    /// Every substring with `X² > α₀`, in canonical order: starts
+    /// right-to-left, ends ascending within a start.
     pub items: Vec<Scored>,
     /// Scan instrumentation.
     pub stats: ScanStats,
@@ -78,11 +78,16 @@ pub fn above_threshold_counts(
 ) -> Result<ThresholdResult> {
     let mut items = Vec::new();
     let stats = for_each_above_threshold_counts(pc, model, alpha, |s| items.push(s))?;
+    // The interleaved-lane kernel emits across two starts at once; restore
+    // the canonical order.
+    items.sort_by(|a, b| b.start.cmp(&a.start).then_with(|| a.end.cmp(&b.end)));
     Ok(ThresholdResult { items, stats })
 }
 
 /// Streaming variant: invoke `visit` for every qualifying substring
-/// without building a vector.
+/// without building a vector. Visit order is unspecified (the scan kernel
+/// interleaves start positions); collect and sort — or use
+/// [`above_threshold`] — when a canonical order matters.
 pub fn for_each_above_threshold(
     seq: &Sequence,
     model: &Model,
@@ -108,9 +113,19 @@ pub fn for_each_above_threshold_counts(
         });
     }
     let mut sink = |s: Scored| visit(s);
-    let mut policy = CollectPolicy { alpha, sink: &mut sink };
+    let mut policy = CollectPolicy {
+        alpha,
+        sink: &mut sink,
+    };
     let n = pc.n();
-    Ok(scan_policy(pc, model, 1, (0..n).rev(), &mut policy))
+    Ok(scan_policy(
+        pc,
+        model,
+        1,
+        usize::MAX,
+        (0..n).rev(),
+        &mut policy,
+    ))
 }
 
 #[cfg(test)]
@@ -175,8 +190,9 @@ mod tests {
         let model = Model::uniform(2).unwrap();
         let collected = above_threshold(&seq, &model, 2.0).unwrap();
         let mut streamed = Vec::new();
-        let stats =
-            for_each_above_threshold(&seq, &model, 2.0, |s| streamed.push(s)).unwrap();
+        let stats = for_each_above_threshold(&seq, &model, 2.0, |s| streamed.push(s)).unwrap();
+        // The streaming visit order is unspecified; compare canonically.
+        streamed.sort_by(|a, b| b.start.cmp(&a.start).then_with(|| a.end.cmp(&b.end)));
         assert_eq!(collected.items, streamed);
         assert_eq!(collected.stats, stats);
     }

@@ -58,7 +58,11 @@ pub(crate) struct TopTPolicy {
 
 impl TopTPolicy {
     pub(crate) fn new(t: usize) -> Self {
-        Self { t, heap: BinaryHeap::with_capacity(t + 1), floor: 0.0 }
+        Self {
+            t,
+            heap: BinaryHeap::with_capacity(t + 1),
+            floor: 0.0,
+        }
     }
 
     pub(crate) fn into_sorted(self) -> Vec<Scored> {
@@ -126,8 +130,11 @@ pub fn top_t_counts(pc: &PrefixCounts, model: &Model, t: usize) -> Result<TopTRe
     }
     let mut policy = TopTPolicy::new(t);
     let n = pc.n();
-    let stats = scan_policy(pc, model, 1, (0..n).rev(), &mut policy);
-    Ok(TopTResult { items: policy.into_sorted(), stats })
+    let stats = scan_policy(pc, model, 1, usize::MAX, (0..n).rev(), &mut policy);
+    Ok(TopTResult {
+        items: policy.into_sorted(),
+        stats,
+    })
 }
 
 #[cfg(test)]
@@ -182,8 +189,7 @@ mod tests {
         let seq = binary(&[0, 1, 1, 0, 1, 1, 1, 0, 0, 1]);
         let model = Model::uniform(2).unwrap();
         let top = top_t(&seq, &model, 10).unwrap();
-        let mut ranges: Vec<(usize, usize)> =
-            top.items.iter().map(|s| (s.start, s.end)).collect();
+        let mut ranges: Vec<(usize, usize)> = top.items.iter().map(|s| (s.start, s.end)).collect();
         ranges.sort_unstable();
         ranges.dedup();
         assert_eq!(ranges.len(), top.items.len());
@@ -193,11 +199,23 @@ mod tests {
     fn policy_budget_behaviour() {
         let mut p = TopTPolicy::new(2);
         assert_eq!(p.budget(), 0.0);
-        p.observe(Scored { start: 0, end: 1, chi_square: 4.0 });
+        p.observe(Scored {
+            start: 0,
+            end: 1,
+            chi_square: 4.0,
+        });
         assert_eq!(p.budget(), 0.0); // heap not full yet
-        p.observe(Scored { start: 1, end: 2, chi_square: 2.0 });
+        p.observe(Scored {
+            start: 1,
+            end: 2,
+            chi_square: 2.0,
+        });
         assert_eq!(p.budget(), 2.0); // t-th best
-        p.observe(Scored { start: 2, end: 3, chi_square: 3.0 });
+        p.observe(Scored {
+            start: 2,
+            end: 3,
+            chi_square: 3.0,
+        });
         assert_eq!(p.budget(), 3.0); // 2.0 evicted
         p.floor = 3.5;
         assert_eq!(p.budget(), 3.5); // external floor dominates

@@ -66,12 +66,18 @@ fn every_binary_string_variants_len_9() {
         let ft = top_t(&seq, &model, 3).expect("ours");
         let st = baseline::trivial::top_t(&seq, &model, 3).expect("trivial");
         for (f, s) in ft.items.iter().zip(&st.items) {
-            assert!(close(f.chi_square, s.chi_square), "top-3 mismatch on {bits:b}");
+            assert!(
+                close(f.chi_square, s.chi_square),
+                "top-3 mismatch on {bits:b}"
+            );
         }
         // min-length 4
         let fm = mss_min_length(&seq, &model, 4).expect("ours");
         let sm = baseline::trivial::mss_min_length(&seq, &model, 4).expect("trivial");
-        assert!(close(fm.best.chi_square, sm.best.chi_square), "minlen mismatch on {bits:b}");
+        assert!(
+            close(fm.best.chi_square, sm.best.chi_square),
+            "minlen mismatch on {bits:b}"
+        );
         // max-length 5 vs brute force
         let fw = maxlen::mss_max_length(&seq, &model, 5).expect("ours");
         let mut brute = f64::NEG_INFINITY;
@@ -81,7 +87,10 @@ fn every_binary_string_variants_len_9() {
                 brute = brute.max(sigstr_core::chi_square_counts(&counts, &model));
             }
         }
-        assert!(close(fw.best.chi_square, brute), "maxlen mismatch on {bits:b}");
+        assert!(
+            close(fw.best.chi_square, brute),
+            "maxlen mismatch on {bits:b}"
+        );
     }
 }
 

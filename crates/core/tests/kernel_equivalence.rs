@@ -1,0 +1,204 @@
+//! Kernel equivalence: the incremental / alphabet-specialized scan
+//! kernels must return **byte-identical** results to the exact
+//! `baseline::trivial` `O(n²)` scan.
+//!
+//! All kernels score through the one canonical accumulation
+//! (`chi_square_counts_with_len`), so for the same substring every engine
+//! reports the same `f64` bit pattern. What each problem variant can
+//! guarantee:
+//!
+//! * **threshold** — the full item *vector* is byte-identical (qualifying
+//!   substrings are never skipped, and the collecting API returns them in
+//!   the canonical start-descending / end-ascending order).
+//! * **MSS / min-length** — the winning `X²` is byte-identical. The
+//!   winning *position* may legitimately differ when several substrings
+//!   tie at the maximum bit-for-bit: the pruned scan may skip a tied
+//!   extension (Theorem 1 admits `bound ≤ budget`), while the trivial scan
+//!   visits all of them (see `DESIGN.md`). The returned range must still
+//!   score exactly the returned value.
+//! * **top-t** — the sorted multiset of `X²` bit patterns is identical
+//!   (positions at the boundary tie are likewise unpinned).
+//!
+//! Runs as a seeded loop over random sequences and models for
+//! `k ∈ {2, 3, 4, 8}` — covering both specialized kernels (k = 2, 4) and
+//! the generic kernel (k = 3, 8) — plus skewed models and adversarial
+//! run-heavy strings.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sigstr_core::{
+    above_threshold, baseline, chi_square_range, find_mss, mss_min_length, top_t, Model,
+    PrefixCounts, Sequence,
+};
+
+fn random_sequence(rng: &mut StdRng, k: usize, max_len: usize) -> Sequence {
+    let n = rng.gen_range(1..=max_len);
+    let symbols: Vec<u8> = (0..n).map(|_| rng.gen_range(0..k) as u8).collect();
+    Sequence::from_symbols(symbols, k).unwrap()
+}
+
+/// A run-heavy string: long homogeneous stretches produce repeated exact
+/// `X²` ties — the adversarial case for tie-break equivalence.
+fn runny_sequence(rng: &mut StdRng, k: usize, max_len: usize) -> Sequence {
+    let n = rng.gen_range(8..=max_len);
+    let mut symbols = Vec::with_capacity(n);
+    while symbols.len() < n {
+        let symbol = rng.gen_range(0..k) as u8;
+        let run = rng.gen_range(1..=9usize);
+        for _ in 0..run.min(n - symbols.len()) {
+            symbols.push(symbol);
+        }
+    }
+    Sequence::from_symbols(symbols, k).unwrap()
+}
+
+fn random_model(rng: &mut StdRng, k: usize) -> Model {
+    let weights: Vec<f64> = (0..k).map(|_| rng.gen_range(0.05..1.0)).collect();
+    let total: f64 = weights.iter().sum();
+    Model::from_probs(weights.into_iter().map(|w| w / total).collect()).unwrap()
+}
+
+fn check_case(seq: &Sequence, model: &Model, rng: &mut StdRng, label: &str) {
+    let pc = PrefixCounts::build(seq);
+    let k = model.k();
+
+    // Problem 1 — MSS: bit-identical maximum, self-consistent range.
+    let fast = find_mss(seq, model).unwrap();
+    let slow = baseline::trivial::find_mss(seq, model).unwrap();
+    assert_eq!(
+        fast.best.chi_square.to_bits(),
+        slow.best.chi_square.to_bits(),
+        "{label}: MSS value differs: {} vs {}",
+        fast.best.chi_square,
+        slow.best.chi_square
+    );
+    assert_eq!(
+        chi_square_range(&pc, fast.best.start, fast.best.end, model).to_bits(),
+        fast.best.chi_square.to_bits(),
+        "{label}: reported MSS range does not score its reported value"
+    );
+    // Both engines account for every substring.
+    let n = seq.len() as u64;
+    assert_eq!(
+        fast.stats.examined + fast.stats.skipped,
+        n * (n + 1) / 2,
+        "{label}"
+    );
+
+    // Problem 2 — top-t: bit-identical sorted value multiset.
+    let t = rng.gen_range(1..=12usize);
+    let fast_top = top_t(seq, model, t).unwrap();
+    let slow_top = baseline::trivial::top_t(seq, model, t).unwrap();
+    let fast_bits: Vec<u64> = fast_top
+        .items
+        .iter()
+        .map(|s| s.chi_square.to_bits())
+        .collect();
+    let slow_bits: Vec<u64> = slow_top
+        .items
+        .iter()
+        .map(|s| s.chi_square.to_bits())
+        .collect();
+    assert_eq!(
+        fast_bits, slow_bits,
+        "{label}: top-{t} value multisets differ"
+    );
+
+    // Problem 3 — threshold: byte-identical item vector, positions and
+    // order included.
+    let alpha = rng.gen_range(0.5..3.0) * (k as f64);
+    let fast_thr = above_threshold(seq, model, alpha).unwrap();
+    let slow_thr = baseline::trivial::above_threshold(seq, model, alpha).unwrap();
+    assert_eq!(
+        fast_thr.items.len(),
+        slow_thr.items.len(),
+        "{label}: threshold set size"
+    );
+    for (f, s) in fast_thr.items.iter().zip(&slow_thr.items) {
+        assert_eq!(
+            (f.start, f.end),
+            (s.start, s.end),
+            "{label}: threshold positions"
+        );
+        assert_eq!(
+            f.chi_square.to_bits(),
+            s.chi_square.to_bits(),
+            "{label}: threshold value at [{}, {})",
+            f.start,
+            f.end
+        );
+    }
+
+    // Problem 4 — min-length: bit-identical constrained maximum.
+    let gamma0 = rng.gen_range(0..seq.len());
+    let fast_min = mss_min_length(seq, model, gamma0).unwrap();
+    let slow_min = baseline::trivial::mss_min_length(seq, model, gamma0).unwrap();
+    assert_eq!(
+        fast_min.best.chi_square.to_bits(),
+        slow_min.best.chi_square.to_bits(),
+        "{label}: min-length (gamma0 = {gamma0}) value differs"
+    );
+    assert!(
+        fast_min.best.len() > gamma0,
+        "{label}: length constraint violated"
+    );
+}
+
+#[test]
+fn kernels_match_trivial_baseline_bit_for_bit() {
+    let mut rng = StdRng::seed_from_u64(0x5EED_0BAD_F00D);
+    for &k in &[2usize, 3, 4, 8] {
+        for case in 0..40 {
+            let seq = random_sequence(&mut rng, k, 160);
+            let model = random_model(&mut rng, k);
+            check_case(&seq, &model, &mut rng, &format!("k={k} random case {case}"));
+        }
+    }
+}
+
+#[test]
+fn kernels_match_trivial_on_uniform_models() {
+    let mut rng = StdRng::seed_from_u64(0xD15E_A5ED);
+    for &k in &[2usize, 3, 4, 8] {
+        let model = Model::uniform(k).unwrap();
+        for case in 0..25 {
+            let seq = random_sequence(&mut rng, k, 200);
+            check_case(
+                &seq,
+                &model,
+                &mut rng,
+                &format!("k={k} uniform case {case}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn kernels_match_trivial_on_run_heavy_strings() {
+    let mut rng = StdRng::seed_from_u64(0x0BAD_CAFE);
+    for &k in &[2usize, 3, 4, 8] {
+        let model = Model::uniform(k).unwrap();
+        for case in 0..25 {
+            let seq = runny_sequence(&mut rng, k, 140);
+            check_case(&seq, &model, &mut rng, &format!("k={k} runny case {case}"));
+        }
+    }
+}
+
+#[test]
+fn reference_engine_matches_fast_engine_values() {
+    let mut rng = StdRng::seed_from_u64(0xFEED_FACE);
+    for &k in &[2usize, 4, 6] {
+        for case in 0..20 {
+            let seq = random_sequence(&mut rng, k, 250);
+            let model = random_model(&mut rng, k);
+            let fast = find_mss(&seq, &model).unwrap();
+            let reference = sigstr_core::find_mss_reference(&seq, &model).unwrap();
+            assert_eq!(
+                fast.best.chi_square.to_bits(),
+                reference.best.chi_square.to_bits(),
+                "k={k} case {case}: fast vs reference engine disagree"
+            );
+        }
+    }
+}

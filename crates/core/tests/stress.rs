@@ -1,9 +1,7 @@
 //! Medium-scale randomized stress tests: equivalence and accounting
 //! invariants at sizes where pruning does real work.
 
-use sigstr_core::{
-    above_threshold, baseline, find_mss, top_t, Model, PrefixCounts, Sequence,
-};
+use sigstr_core::{above_threshold, baseline, find_mss, top_t, Model, PrefixCounts, Sequence};
 
 /// Deterministic xorshift stream.
 struct Xs(u64);
@@ -58,7 +56,11 @@ fn accounting_invariant_examined_plus_skipped() {
         let t = top_t(&seq, &model, 10).expect("top-t");
         assert_eq!(t.stats.examined + t.stats.skipped, total, "top-t n = {n}");
         let a = above_threshold(&seq, &model, 5.0).expect("threshold");
-        assert_eq!(a.stats.examined + a.stats.skipped, total, "threshold n = {n}");
+        assert_eq!(
+            a.stats.examined + a.stats.skipped,
+            total,
+            "threshold n = {n}"
+        );
     }
 }
 

@@ -30,11 +30,31 @@ pub struct PaperEra {
 pub fn paper_eras() -> Vec<PaperEra> {
     let d = |y, m, day| Date::new(y, m, day).expect("static date");
     vec![
-        PaperEra { start: d(1924, 4, 17), end: d(1933, 6, 6), yankee_win_pct: 0.7598 },
-        PaperEra { start: d(1911, 9, 5), end: d(1913, 9, 1), yankee_win_pct: 0.1282 },
-        PaperEra { start: d(1902, 5, 2), end: d(1903, 7, 27), yankee_win_pct: 0.1481 },
-        PaperEra { start: d(1972, 2, 8), end: d(1974, 7, 28), yankee_win_pct: 0.20 },
-        PaperEra { start: d(1960, 7, 10), end: d(1962, 9, 7), yankee_win_pct: 0.8005 },
+        PaperEra {
+            start: d(1924, 4, 17),
+            end: d(1933, 6, 6),
+            yankee_win_pct: 0.7598,
+        },
+        PaperEra {
+            start: d(1911, 9, 5),
+            end: d(1913, 9, 1),
+            yankee_win_pct: 0.1282,
+        },
+        PaperEra {
+            start: d(1902, 5, 2),
+            end: d(1903, 7, 27),
+            yankee_win_pct: 0.1481,
+        },
+        PaperEra {
+            start: d(1972, 2, 8),
+            end: d(1974, 7, 28),
+            yankee_win_pct: 0.20,
+        },
+        PaperEra {
+            start: d(1960, 7, 10),
+            end: d(1962, 9, 7),
+            yankee_win_pct: 0.8005,
+        },
     ]
 }
 
@@ -112,7 +132,11 @@ pub fn generate(rng: &mut impl Rng) -> BaseballDataset {
         let lo = schedule.partition_point(|d| *d < pe.start);
         let hi = schedule.partition_point(|d| *d <= pe.end);
         assert!(lo < hi, "era {} .. {} matched no games", pe.start, pe.end);
-        eras.push(Era { start: lo, end: hi, win_prob: pe.yankee_win_pct });
+        eras.push(Era {
+            start: lo,
+            end: hi,
+            win_prob: pe.yankee_win_pct,
+        });
         era_games += hi - lo;
         era_expected_wins += (hi - lo) as f64 * pe.yankee_win_pct;
     }
@@ -198,7 +222,11 @@ mod tests {
             Date::new(1933, 6, 6).unwrap(),
         );
         // The mined patch must overlap the planted 1924–33 era.
-        let overlap = mss.best.end.min(era.end).saturating_sub(mss.best.start.max(era.start));
+        let overlap = mss
+            .best
+            .end
+            .min(era.end)
+            .saturating_sub(mss.best.start.max(era.start));
         assert!(
             overlap as f64 >= 0.3 * era.len() as f64,
             "mined {}..{} vs era {era:?}",

@@ -141,7 +141,11 @@ fn civil_from_days(z: i64) -> (i32, u8, u8) {
 /// after) `start`.
 pub fn trading_calendar(start: Date, n: usize) -> Vec<Date> {
     let mut days = Vec::with_capacity(n);
-    let mut d = if start.is_weekend() { start.next_trading_day() } else { start };
+    let mut d = if start.is_weekend() {
+        start.next_trading_day()
+    } else {
+        start
+    };
     for _ in 0..n {
         days.push(d);
         d = d.next_trading_day();

@@ -38,10 +38,7 @@ pub fn parse_column(text: &str, column: usize) -> Result<Vec<f64>> {
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
         }
-        let cells: Vec<&str> = trimmed
-            .split([',', ';', '\t'])
-            .map(str::trim)
-            .collect();
+        let cells: Vec<&str> = trimmed.split([',', ';', '\t']).map(str::trim).collect();
         if let Some(cell) = cells.get(column) {
             if let Ok(v) = cell.parse::<f64>() {
                 if v.is_finite() {
@@ -63,10 +60,7 @@ pub fn parse_column(text: &str, column: usize) -> Result<Vec<f64>> {
 /// distinct bytes map to the dense alphabet in first-appearance order.
 /// Returns the sequence and the byte alphabet.
 pub fn parse_symbols(text: &str) -> Result<(Sequence, Vec<u8>)> {
-    let cleaned: Vec<u8> = text
-        .bytes()
-        .filter(|b| !b.is_ascii_whitespace())
-        .collect();
+    let cleaned: Vec<u8> = text.bytes().filter(|b| !b.is_ascii_whitespace()).collect();
     Sequence::from_text(&cleaned)
 }
 
@@ -119,7 +113,12 @@ mod tests {
         let mss = sigstr_core::find_mss(&seq, &model).unwrap();
         // Down-days are the rarer symbol (4 of 11), so the down-heavy
         // stretch starting at move 5 is the most significant period.
-        assert!(mss.best.start >= 5, "mss at {}..{}", mss.best.start, mss.best.end);
+        assert!(
+            mss.best.start >= 5,
+            "mss at {}..{}",
+            mss.best.start,
+            mss.best.end
+        );
         assert!(mss.best.chi_square > 3.0);
     }
 }

@@ -70,8 +70,14 @@ impl StockDataset {
 
     /// Index range of moves between two dates (inclusive).
     pub fn move_range(&self, start: Date, end: Date) -> std::ops::Range<usize> {
-        let lo = self.calendar.partition_point(|d| *d < start).saturating_sub(1);
-        let hi = self.calendar.partition_point(|d| *d <= end).saturating_sub(1);
+        let lo = self
+            .calendar
+            .partition_point(|d| *d < start)
+            .saturating_sub(1);
+        let hi = self
+            .calendar
+            .partition_point(|d| *d <= end)
+            .saturating_sub(1);
         lo..hi.max(lo)
     }
 
@@ -92,10 +98,26 @@ pub fn dow_spec() -> StockSpec {
         step: 0.008,
         base_up: 0.52,
         regimes: vec![
-            PaperRegime { start: d(1954, 2, 24), end: d(1955, 12, 6), change: 0.681 },
-            PaperRegime { start: d(1958, 6, 25), end: d(1959, 8, 4), change: 0.4352 },
-            PaperRegime { start: d(1931, 2, 27), end: d(1932, 5, 4), change: -0.7117 },
-            PaperRegime { start: d(1929, 9, 19), end: d(1929, 11, 14), change: -0.4127 },
+            PaperRegime {
+                start: d(1954, 2, 24),
+                end: d(1955, 12, 6),
+                change: 0.681,
+            },
+            PaperRegime {
+                start: d(1958, 6, 25),
+                end: d(1959, 8, 4),
+                change: 0.4352,
+            },
+            PaperRegime {
+                start: d(1931, 2, 27),
+                end: d(1932, 5, 4),
+                change: -0.7117,
+            },
+            PaperRegime {
+                start: d(1929, 9, 19),
+                end: d(1929, 11, 14),
+                change: -0.4127,
+            },
         ],
     }
 }
@@ -110,10 +132,26 @@ pub fn sp500_spec() -> StockSpec {
         step: 0.008,
         base_up: 0.52,
         regimes: vec![
-            PaperRegime { start: d(1953, 9, 15), end: d(1955, 9, 20), change: 0.9707 },
-            PaperRegime { start: d(1994, 12, 9), end: d(1995, 5, 17), change: 0.1792 },
-            PaperRegime { start: d(1973, 10, 26), end: d(1974, 11, 21), change: -0.3979 },
-            PaperRegime { start: d(2000, 9, 5), end: d(2003, 3, 12), change: -0.4624 },
+            PaperRegime {
+                start: d(1953, 9, 15),
+                end: d(1955, 9, 20),
+                change: 0.9707,
+            },
+            PaperRegime {
+                start: d(1994, 12, 9),
+                end: d(1995, 5, 17),
+                change: 0.1792,
+            },
+            PaperRegime {
+                start: d(1973, 10, 26),
+                end: d(1974, 11, 21),
+                change: -0.3979,
+            },
+            PaperRegime {
+                start: d(2000, 9, 5),
+                end: d(2003, 3, 12),
+                change: -0.4624,
+            },
         ],
     }
 }
@@ -129,10 +167,26 @@ pub fn ibm_spec() -> StockSpec {
         step: 0.010,
         base_up: 0.52,
         regimes: vec![
-            PaperRegime { start: d(1970, 8, 13), end: d(1970, 10, 6), change: 0.376 },
-            PaperRegime { start: d(1962, 10, 26), end: d(1968, 1, 26), change: 2.52 },
-            PaperRegime { start: d(2005, 3, 31), end: d(2005, 4, 20), change: -0.212 },
-            PaperRegime { start: d(1973, 2, 22), end: d(1975, 8, 13), change: -0.4691 },
+            PaperRegime {
+                start: d(1970, 8, 13),
+                end: d(1970, 10, 6),
+                change: 0.376,
+            },
+            PaperRegime {
+                start: d(1962, 10, 26),
+                end: d(1968, 1, 26),
+                change: 2.52,
+            },
+            PaperRegime {
+                start: d(2005, 3, 31),
+                end: d(2005, 4, 20),
+                change: -0.212,
+            },
+            PaperRegime {
+                start: d(1973, 2, 22),
+                end: d(1975, 8, 13),
+                change: -0.4691,
+            },
         ],
     }
 }
@@ -162,17 +216,34 @@ pub fn generate(spec: &StockSpec, rng: &mut impl Rng) -> StockDataset {
     // inside it.
     let mut regimes: Vec<Regime> = Vec::new();
     for pr in &spec.regimes {
-        let lo = calendar.partition_point(|d| *d < pr.start).saturating_sub(1);
+        let lo = calendar
+            .partition_point(|d| *d < pr.start)
+            .saturating_sub(1);
         let hi = calendar.partition_point(|d| *d <= pr.end).saturating_sub(1);
-        assert!(lo < hi, "regime {} .. {} matched no trading days", pr.start, pr.end);
+        assert!(
+            lo < hi,
+            "regime {} .. {} matched no trading days",
+            pr.start,
+            pr.end
+        );
         let up_prob = up_prob_for_change(pr.change, hi - lo, spec.step);
-        regimes.push(Regime { start: lo, end: hi, up_prob });
+        regimes.push(Regime {
+            start: lo,
+            end: hi,
+            up_prob,
+        });
     }
     regimes.sort_by_key(|r| r.start);
     let series = generate_prices(spec.days, 100.0, spec.step, spec.base_up, &regimes, rng);
     let updown = encode_updown(&series.prices).expect("series has >= 2 prices");
     let model = Model::estimate(&updown).expect("both ups and downs occur");
-    StockDataset { spec: spec.clone(), series, calendar, updown, model }
+    StockDataset {
+        spec: spec.clone(),
+        series,
+        calendar,
+        updown,
+        model,
+    }
 }
 
 #[cfg(test)]
@@ -253,7 +324,10 @@ mod tests {
             Date::new(1955, 9, 20).unwrap(),
         );
         let hits = top.items.iter().any(|s| {
-            let overlap_crash = s.end.min(crash.end).saturating_sub(s.start.max(crash.start));
+            let overlap_crash = s
+                .end
+                .min(crash.end)
+                .saturating_sub(s.start.max(crash.start));
             let overlap_boom = s.end.min(boom.end).saturating_sub(s.start.max(boom.start));
             overlap_crash as f64 > 0.25 * crash.len() as f64
                 || overlap_boom as f64 > 0.25 * boom.len() as f64

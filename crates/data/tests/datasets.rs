@@ -60,7 +60,11 @@ fn dow_1931_crash_is_the_dominant_period() {
         Date::new(1931, 2, 27).unwrap(),
         Date::new(1932, 5, 4).unwrap(),
     );
-    let overlap = mss.best.end.min(crash.end).saturating_sub(mss.best.start.max(crash.start));
+    let overlap = mss
+        .best
+        .end
+        .min(crash.end)
+        .saturating_sub(mss.best.start.max(crash.start));
     assert!(
         overlap as f64 > 0.5 * crash.len() as f64,
         "MSS {}..{} does not cover the 1931-32 crash {crash:?}",
@@ -77,7 +81,12 @@ fn empirical_models_are_mildly_bullish() {
     // estimated up-probability must exceed one half.
     for spec in stocks::all_specs() {
         let ds = stocks::generate(&spec, &mut seeded_rng(3));
-        assert!(ds.model.p(1) > 0.5, "{}: p_up = {}", spec.name, ds.model.p(1));
+        assert!(
+            ds.model.p(1) > 0.5,
+            "{}: p_up = {}",
+            spec.name,
+            ds.model.p(1)
+        );
         assert!(ds.model.p(1) < 0.6);
     }
 }

@@ -124,7 +124,11 @@ mod tests {
     #[test]
     fn planted_overlap_and_jaccard() {
         let model = Model::uniform(2).unwrap();
-        let p = Planted { start: 10, end: 20, model };
+        let p = Planted {
+            start: 10,
+            end: 20,
+            model,
+        };
         assert_eq!(p.overlap(0, 5), 0);
         assert_eq!(p.overlap(15, 25), 5);
         assert_eq!(p.overlap(10, 20), 10);

@@ -60,12 +60,14 @@ mod tests {
         let n = 20_000;
         let sticky = generate_binary_persistence(n, 0.8, &mut rng).unwrap();
         let fair = generate_binary_persistence(n, 0.5, &mut rng).unwrap();
-        let repeats = |s: &Sequence| -> usize {
-            s.symbols().windows(2).filter(|w| w[0] == w[1]).count()
-        };
+        let repeats =
+            |s: &Sequence| -> usize { s.symbols().windows(2).filter(|w| w[0] == w[1]).count() };
         let sticky_rate = repeats(&sticky) as f64 / (n - 1) as f64;
         let fair_rate = repeats(&fair) as f64 / (n - 1) as f64;
-        assert!((sticky_rate - 0.8).abs() < 0.02, "sticky rate {sticky_rate}");
+        assert!(
+            (sticky_rate - 0.8).abs() < 0.02,
+            "sticky rate {sticky_rate}"
+        );
         assert!((fair_rate - 0.5).abs() < 0.02, "fair rate {fair_rate}");
     }
 

@@ -72,7 +72,10 @@ pub fn generate_rivalry(
             u8::from(rng.gen::<f64>() < p)
         })
         .collect();
-    Ok(Rivalry { outcomes: Sequence::from_symbols(outcomes, 2)?, eras: sorted })
+    Ok(Rivalry {
+        outcomes: Sequence::from_symbols(outcomes, 2)?,
+        eras: sorted,
+    })
 }
 
 #[cfg(test)]
@@ -92,8 +95,16 @@ mod tests {
     fn eras_shift_local_ratios() {
         let mut rng = seeded_rng(20);
         let eras = [
-            Era { start: 500, end: 700, win_prob: 0.76 },
-            Era { start: 1200, end: 1240, win_prob: 0.13 },
+            Era {
+                start: 500,
+                end: 700,
+                win_prob: 0.76,
+            },
+            Era {
+                start: 1200,
+                end: 1240,
+                win_prob: 0.13,
+            },
         ];
         let r = generate_rivalry(2086, 0.54, &eras, &mut rng).unwrap();
         assert!(r.win_ratio_range(500, 700) > 0.65);
@@ -103,13 +114,20 @@ mod tests {
     #[test]
     fn mined_patch_lands_on_planted_era() {
         let mut rng = seeded_rng(30);
-        let eras = [Era { start: 800, end: 1000, win_prob: 0.85 }];
+        let eras = [Era {
+            start: 800,
+            end: 1000,
+            win_prob: 0.85,
+        }];
         let r = generate_rivalry(2086, 0.54, &eras, &mut rng).unwrap();
         let model = sigstr_core::Model::estimate(&r.outcomes).unwrap();
         let mss = sigstr_core::find_mss(&r.outcomes, &model).unwrap();
         // The mined patch must overlap the planted era substantially.
-        let overlap =
-            mss.best.end.min(1000).saturating_sub(mss.best.start.max(800));
+        let overlap = mss
+            .best
+            .end
+            .min(1000)
+            .saturating_sub(mss.best.start.max(800));
         assert!(
             overlap > 100,
             "mined {}..{} misses era 800..1000",
@@ -123,8 +141,16 @@ mod tests {
     fn overlapping_eras_panic() {
         let mut rng = seeded_rng(0);
         let eras = [
-            Era { start: 0, end: 100, win_prob: 0.8 },
-            Era { start: 99, end: 150, win_prob: 0.2 },
+            Era {
+                start: 0,
+                end: 100,
+                win_prob: 0.8,
+            },
+            Era {
+                start: 99,
+                end: 150,
+                win_prob: 0.2,
+            },
         ];
         let _ = generate_rivalry(200, 0.5, &eras, &mut rng);
     }

@@ -82,7 +82,10 @@ pub fn generate_prices(
         price *= if up { 1.0 + step } else { 1.0 - step };
         prices.push(price);
     }
-    PriceSeries { prices, regimes: sorted }
+    PriceSeries {
+        prices,
+        regimes: sorted,
+    }
 }
 
 #[cfg(test)]
@@ -102,7 +105,11 @@ mod tests {
     #[test]
     fn bull_regime_raises_prices() {
         let mut rng = seeded_rng(8);
-        let regime = Regime { start: 200, end: 500, up_prob: 0.8 };
+        let regime = Regime {
+            start: 200,
+            end: 500,
+            up_prob: 0.8,
+        };
         let s = generate_prices(1000, 100.0, 0.01, 0.5, &[regime], &mut rng);
         let change = s.change(200, 500);
         assert!(change > 0.5, "bull regime produced change {change}");
@@ -111,7 +118,11 @@ mod tests {
     #[test]
     fn bear_regime_lowers_prices() {
         let mut rng = seeded_rng(8);
-        let regime = Regime { start: 100, end: 400, up_prob: 0.2 };
+        let regime = Regime {
+            start: 100,
+            end: 400,
+            up_prob: 0.2,
+        };
         let s = generate_prices(600, 100.0, 0.01, 0.5, &[regime], &mut rng);
         assert!(s.change(100, 400) < -0.3);
     }
@@ -127,8 +138,16 @@ mod tests {
     #[should_panic(expected = "regimes overlap")]
     fn overlapping_regimes_panic() {
         let mut rng = seeded_rng(0);
-        let r1 = Regime { start: 0, end: 100, up_prob: 0.8 };
-        let r2 = Regime { start: 50, end: 150, up_prob: 0.2 };
+        let r1 = Regime {
+            start: 0,
+            end: 100,
+            up_prob: 0.8,
+        };
+        let r2 = Regime {
+            start: 50,
+            end: 150,
+            up_prob: 0.2,
+        };
         generate_prices(200, 100.0, 0.01, 0.5, &[r1, r2], &mut rng);
     }
 
@@ -136,7 +155,11 @@ mod tests {
     #[should_panic(expected = "regime extends")]
     fn out_of_range_regime_panics() {
         let mut rng = seeded_rng(0);
-        let r = Regime { start: 150, end: 300, up_prob: 0.8 };
+        let r = Regime {
+            start: 150,
+            end: 300,
+            up_prob: 0.8,
+        };
         generate_prices(200, 100.0, 0.01, 0.5, &[r], &mut rng);
     }
 }

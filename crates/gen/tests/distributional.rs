@@ -32,7 +32,10 @@ fn generated_strings_fit_their_own_model() {
     let geo = generate_iid(30_000, &models[1], &mut rng).unwrap();
     let counts = geo.count_vector(0, geo.len());
     let x2 = chi_square_counts(&counts, &models[0]);
-    assert!(chi2::sf(x2, 3.0) < 1e-12, "geometric data passed as uniform");
+    assert!(
+        chi2::sf(x2, 3.0) < 1e-12,
+        "geometric data passed as uniform"
+    );
 }
 
 /// Figure-4 property at generation level: the uniform string minimizes
@@ -112,13 +115,26 @@ fn price_walks_encode_to_expected_strings() {
     let ratio = ups as f64 / updown.len() as f64;
     assert!((ratio - 0.55).abs() < 0.02, "up-ratio {ratio}");
 
-    let regime = Regime { start: 5_000, end: 7_000, up_prob: 0.95 };
+    let regime = Regime {
+        start: 5_000,
+        end: 7_000,
+        up_prob: 0.95,
+    };
     let trending = generate_prices(20_000, 100.0, 0.01, 0.55, &[regime], &mut rng);
     let seq = sigstr_data_bools(&trending.prices);
     let model = Model::from_probs(vec![0.45, 0.55]).unwrap();
     let mss = find_mss(&seq, &model).unwrap();
-    let overlap = mss.best.end.min(7_000).saturating_sub(mss.best.start.max(5_000));
-    assert!(overlap > 1_000, "regime not dominant: {}..{}", mss.best.start, mss.best.end);
+    let overlap = mss
+        .best
+        .end
+        .min(7_000)
+        .saturating_sub(mss.best.start.max(5_000));
+    assert!(
+        overlap > 1_000,
+        "regime not dominant: {}..{}",
+        mss.best.start,
+        mss.best.end
+    );
 }
 
 fn sigstr_data_free_encode(prices: &[f64]) -> Vec<bool> {

@@ -55,7 +55,8 @@ impl ChiSquared {
             };
         }
         let half = self.df / 2.0;
-        let ln_pdf = (half - 1.0) * x.ln() - x / 2.0 - half * std::f64::consts::LN_2 - ln_gamma(half);
+        let ln_pdf =
+            (half - 1.0) * x.ln() - x / 2.0 - half * std::f64::consts::LN_2 - ln_gamma(half);
         ln_pdf.exp()
     }
 

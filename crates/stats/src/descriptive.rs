@@ -41,7 +41,13 @@ pub fn summarize(values: &[f64]) -> Option<Summary> {
     };
     let min = values.iter().copied().fold(f64::INFINITY, f64::min);
     let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-    Some(Summary { n, mean, variance, min, max })
+    Some(Summary {
+        n,
+        mean,
+        variance,
+        min,
+        max,
+    })
 }
 
 /// Result of an ordinary least-squares line fit `y ≈ slope·x + intercept`.
@@ -88,8 +94,16 @@ pub fn fit_line(points: &[(f64, f64)]) -> Option<LineFit> {
             r * r
         })
         .sum();
-    let r_squared = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
-    Some(LineFit { slope, intercept, r_squared })
+    let r_squared = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    Some(LineFit {
+        slope,
+        intercept,
+        r_squared,
+    })
 }
 
 /// Log–log slope fit: `fit_line` over `(ln x, ln y)`.

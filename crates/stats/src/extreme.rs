@@ -126,7 +126,10 @@ mod tests {
     use super::*;
 
     fn assert_close(a: f64, b: f64, tol: f64) {
-        assert!((a - b).abs() <= tol * (1.0 + b.abs()), "left = {a}, right = {b}");
+        assert!(
+            (a - b).abs() <= tol * (1.0 + b.abs()),
+            "left = {a}, right = {b}"
+        );
     }
 
     #[test]
@@ -175,7 +178,9 @@ mod tests {
         let mut state = 0xDEAD_BEEF_u64;
         let sample: Vec<f64> = (0..20_000)
             .map(|_| {
-                state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                state = state
+                    .wrapping_mul(6_364_136_223_846_793_005)
+                    .wrapping_add(1);
                 let u = ((state >> 11) as f64 + 0.5) / (1u64 << 53) as f64;
                 truth.quantile(u)
             })

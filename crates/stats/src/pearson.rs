@@ -139,7 +139,11 @@ mod tests {
     #[test]
     fn perfectly_expected_counts_score_zero() {
         assert_close(chi_square_from_counts(&[25, 25], &[0.5, 0.5]), 0.0, 1e-12);
-        assert_close(chi_square_from_counts(&[10, 20, 30], &[1.0 / 6.0, 2.0 / 6.0, 3.0 / 6.0]), 0.0, 1e-10);
+        assert_close(
+            chi_square_from_counts(&[10, 20, 30], &[1.0 / 6.0, 2.0 / 6.0, 3.0 / 6.0]),
+            0.0,
+            1e-10,
+        );
         assert_close(g_statistic(&[25, 25], &[0.5, 0.5]), 0.0, 1e-12);
     }
 

@@ -30,8 +30,14 @@ fn main() {
     let (stream, planted) =
         inject_segment(&baseline, 9_300..9_700, &attack_profile, &mut rng).expect("injection");
 
-    println!("event stream: {} events over alphabet {EVENTS:?}", stream.len());
-    println!("planted attack window: [{}, {})\n", planted.start, planted.end);
+    println!(
+        "event stream: {} events over alphabet {EVENTS:?}",
+        stream.len()
+    );
+    println!(
+        "planted attack window: [{}, {})\n",
+        planted.start, planted.end
+    );
 
     // The MSS pinpoints the attack.
     let mss = find_mss(&stream, &profile).expect("mining succeeds");
@@ -52,7 +58,10 @@ fn main() {
     println!("\nwindow event mix vs profile:");
     for (event, (&count, &p)) in EVENTS.iter().zip(counts.iter().zip(profile.probs())) {
         let observed = f64::from(count) / mss.best.len() as f64;
-        println!("  {event:>9}: observed {observed:>6.1}%  expected {:>6.1}%", p * 100.0);
+        println!(
+            "  {event:>9}: observed {observed:>6.1}%  expected {:>6.1}%",
+            p * 100.0
+        );
     }
 
     // Problem 3: every window significant at the 10⁻⁶ level. Windows

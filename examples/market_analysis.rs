@@ -65,7 +65,10 @@ fn main() {
         }
     }
     println!("\ndistinct significant periods (alpha0 = {alpha:.1}):");
-    println!("{:<12} {:<12} {:>9} {:>9} {:>8}", "start", "end", "X²", "change", "days");
+    println!(
+        "{:<12} {:<12} {:>9} {:>9} {:>8}",
+        "start", "end", "X²", "change", "days"
+    );
     for p in &distinct {
         println!(
             "{:<12} {:<12} {:>9.2} {:>8.1}% {:>8}",

@@ -26,7 +26,10 @@ fn main() {
         &text[best.start..best.end]
     );
     println!("X²     : {:.3}", best.chi_square);
-    println!("p-value: {:.3e}  (chi-square approximation, k - 1 = 1 df)", best.p_value(2));
+    println!(
+        "p-value: {:.3e}  (chi-square approximation, k - 1 = 1 df)",
+        best.p_value(2)
+    );
     println!(
         "scan   : examined {} of {} substrings ({} skipped by the chain-cover bound)",
         result.stats.examined,

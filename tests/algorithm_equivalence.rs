@@ -4,8 +4,8 @@
 
 use rand::Rng;
 use sigstr::core::{
-    above_threshold, baseline, find_mss, find_mss_parallel, mss_min_length, top_t,
-    top_t_parallel, Model, Sequence,
+    above_threshold, baseline, find_mss, find_mss_parallel, mss_min_length, top_t, top_t_parallel,
+    Model, Sequence,
 };
 use sigstr::gen::{dist, generate_iid, seeded_rng, StringKind};
 

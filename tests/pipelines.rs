@@ -20,19 +20,30 @@ fn anomaly_recovery_pipeline() {
     let mss = find_mss(&seq, &background).expect("mining");
     assert!(planted.jaccard(mss.best.start, mss.best.end) > 0.3);
     let p = mss.best.p_value(4);
-    assert!(p < 1e-8, "planted anomaly should be wildly significant, p = {p}");
+    assert!(
+        p < 1e-8,
+        "planted anomaly should be wildly significant, p = {p}"
+    );
 }
 
 #[test]
 fn price_walk_pipeline() {
     // gen::walk → data::encode → core::mss: the drift regime surfaces.
     let mut rng = seeded_rng(43);
-    let regime = Regime { start: 2_000, end: 2_600, up_prob: 0.80 };
+    let regime = Regime {
+        start: 2_000,
+        end: 2_600,
+        up_prob: 0.80,
+    };
     let series = generate_prices(6_000, 100.0, 0.01, 0.5, &[regime], &mut rng);
     let updown = encode_updown(&series.prices).expect("encode");
     let model = updown_model(&series.prices).expect("estimate");
     let mss = find_mss(&updown, &model).expect("mining");
-    let overlap = mss.best.end.min(2_600).saturating_sub(mss.best.start.max(2_000));
+    let overlap = mss
+        .best
+        .end
+        .min(2_600)
+        .saturating_sub(mss.best.start.max(2_000));
     assert!(
         overlap > 200,
         "mined {}..{} misses regime 2000..2600",
@@ -47,7 +58,9 @@ fn null_string_mss_is_insignificant_at_strict_level() {
     // significance bar (its X²_max ≈ 2 ln n ≈ 17.7 at n = 7000, far from
     // the χ²(1) value needed for p < 1e-8 ≈ 33).
     let mut rng = seeded_rng(44);
-    let seq = StringKind::Null.generate(7_000, 2, &mut rng).expect("generation");
+    let seq = StringKind::Null
+        .generate(7_000, 2, &mut rng)
+        .expect("generation");
     let model = Model::uniform(2).expect("model");
     let mss = find_mss(&seq, &model).expect("mining");
     assert!(
@@ -71,9 +84,11 @@ fn markov_extension_pipeline() {
     // The i.i.d. test is *blind* to this bias (marginals stay balanced):
     // the Markov extension sees what Problem 1 cannot.
     let counts = seq.count_vector(0, seq.len());
-    let iid_x2 =
-        sigstr::core::chi_square_counts(&counts, &Model::uniform(2).expect("model"));
-    assert!(chi2::sf(iid_x2, 1.0) > 1e-4, "marginals unexpectedly skewed");
+    let iid_x2 = sigstr::core::chi_square_counts(&counts, &Model::uniform(2).expect("model"));
+    assert!(
+        chi2::sf(iid_x2, 1.0) > 1e-4,
+        "marginals unexpectedly skewed"
+    );
 }
 
 #[test]
@@ -95,7 +110,10 @@ fn stock_dataset_full_mine_produces_finite_pvalues() {
     let mss = find_mss(&ds.updown, &ds.model).expect("mining");
     let p = mss.best.p_value(2);
     assert!((0.0..1.0).contains(&p));
-    assert!(mss.best.chi_square > 20.0, "planted regimes should dominate the null ceiling");
+    assert!(
+        mss.best.chi_square > 20.0,
+        "planted regimes should dominate the null ceiling"
+    );
 }
 
 #[test]
