@@ -32,6 +32,7 @@ pub fn all() -> Vec<(&'static str, Runner)> {
         ("table5", applications::table5),
         ("table6", applications::table6),
         ("bench_smoke", perf::bench_smoke),
+        ("engine_amortization", perf::engine_amortization),
     ]
 }
 
@@ -50,14 +51,15 @@ mod tests {
     #[test]
     fn registry_is_complete_and_unique() {
         let ids: Vec<&str> = all().iter().map(|(id, _)| *id).collect();
-        assert_eq!(ids.len(), 17);
+        assert_eq!(ids.len(), 18);
         let mut sorted = ids.clone();
         sorted.sort_unstable();
         sorted.dedup();
-        assert_eq!(sorted.len(), 17, "duplicate experiment ids");
+        assert_eq!(sorted.len(), 18, "duplicate experiment ids");
         assert!(by_id("fig1a").is_some());
         assert!(by_id("table6").is_some());
         assert!(by_id("bench_smoke").is_some());
+        assert!(by_id("engine_amortization").is_some());
         assert!(by_id("bogus").is_none());
     }
 }

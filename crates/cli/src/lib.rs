@@ -7,12 +7,20 @@
 //! sigstr top    <file> --t 10 [options]    # Problem 2
 //! sigstr thresh <file> --alpha 20 [opts]   # Problem 3 (or --level 0.001)
 //! sigstr minlen <file> --gamma 50 [opts]   # Problem 4
+//! sigstr batch  <file> --query mss --query top:5 ...   # engine-served
 //! ```
 //!
 //! Input is a text file whose bytes are the string (newlines ignored);
 //! distinct bytes map to alphabet symbols in first-appearance order. The
 //! null model defaults to the empirical (maximum-likelihood) distribution
 //! and can be overridden with `--uniform` or `--probs 0.2,0.8`.
+//!
+//! `batch` treats **each non-empty line as its own document**: one
+//! [`sigstr_core::Engine`] is built per document and every `--query` is
+//! answered from it over one persistent worker pool
+//! ([`sigstr_core::Batch`]) — the index-once/query-many serving path.
+//! Query specs: `mss`, `top:T`, `thresh:A`, `minlen:G`, `maxlen:W`, each
+//! optionally range-restricted with an `@L..R` suffix (`mss@10..90`).
 //!
 //! The argument parser is hand-rolled (the workspace's offline dependency
 //! policy has no CLI crate) and fully unit-tested.
@@ -76,6 +84,9 @@ pub enum Command {
         /// The window size `w`.
         w: usize,
     },
+    /// Engine-served batch mode: one document per input line, every
+    /// `--query` answered from that document's engine.
+    Batch,
 }
 
 /// Null-model selection.
@@ -106,6 +117,8 @@ pub struct Invocation {
     pub stats: bool,
     /// Also print the family-wise (Šidák-corrected) p-value.
     pub family: bool,
+    /// Raw `--query` specs for batch mode (parsed against each document).
+    pub queries: Vec<String>,
 }
 
 /// Usage text.
@@ -122,6 +135,9 @@ COMMANDS:
              --level P      …or derive alpha from significance level P
     minlen   --gamma G      MSS among substrings longer than G (Problem 4)
     maxlen   --w W          MSS among substrings of length <= W
+    batch    --query Q...   one document per line, engine-served queries
+                            (Q: mss | top:T | thresh:A | minlen:G | maxlen:W,
+                             optionally range-restricted: mss@10..90)
 
 OPTIONS:
     --algorithm A           ours (default) | trivial | arlm | agmm
@@ -153,6 +169,7 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
     let mut gamma: Option<usize> = None;
     let mut w: Option<usize> = None;
     let mut family = false;
+    let mut queries: Vec<String> = Vec::new();
 
     let mut i = 2;
     while i < args.len() {
@@ -204,6 +221,7 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
                 w = Some(take_value()?.parse().map_err(|e| format!("bad --w: {e}"))?);
             }
             "--family" => family = true,
+            "--query" => queries.push(take_value()?.to_string()),
             other => return Err(format!("unknown flag `{other}`\n\n{USAGE}")),
         }
         i += 1;
@@ -240,6 +258,17 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
         "maxlen" => Command::MaxLen {
             w: w.ok_or("maxlen requires --w W")?,
         },
+        "batch" => {
+            if queries.is_empty() {
+                return Err("batch requires at least one --query SPEC".into());
+            }
+            // Validate specs eagerly so malformed queries fail before any
+            // document is indexed.
+            for spec in &queries {
+                parse_query_spec(spec)?;
+            }
+            Command::Batch
+        }
         other => return Err(format!("unknown command `{other}`\n\n{USAGE}")),
     };
     // `thresh` handled `command` above; silence unused for others.
@@ -251,6 +280,61 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
         limit,
         stats,
         family,
+        queries,
+    })
+}
+
+/// Parse one batch query spec (`mss`, `top:3`, `thresh:4.5`, `minlen:5`,
+/// `maxlen:8`, with an optional `@L..R` range suffix).
+pub fn parse_query_spec(spec: &str) -> Result<sigstr_core::Query, String> {
+    use sigstr_core::Query;
+    let (body, range) = match spec.split_once('@') {
+        Some((body, range_text)) => {
+            let (l, r) = range_text
+                .split_once("..")
+                .ok_or_else(|| format!("bad range in `{spec}` (expected L..R)"))?;
+            let l: usize = l
+                .parse()
+                .map_err(|e| format!("bad range start in `{spec}`: {e}"))?;
+            let r: usize = r
+                .parse()
+                .map_err(|e| format!("bad range end in `{spec}`: {e}"))?;
+            if l >= r {
+                return Err(format!("empty range {l}..{r} in `{spec}` (need L < R)"));
+            }
+            (body, Some((l, r)))
+        }
+        None => (spec, None),
+    };
+    let query = match body.split_once(':') {
+        None if body == "mss" => Query::mss(),
+        Some(("top", t)) => Query::top_t(
+            t.parse()
+                .map_err(|e| format!("bad top count in `{spec}`: {e}"))?,
+        ),
+        Some(("thresh", alpha)) => Query::above_threshold(
+            alpha
+                .parse()
+                .map_err(|e| format!("bad threshold in `{spec}`: {e}"))?,
+        ),
+        Some(("minlen", gamma)) => Query::mss_min_length(
+            gamma
+                .parse()
+                .map_err(|e| format!("bad minlen in `{spec}`: {e}"))?,
+        ),
+        Some(("maxlen", w)) => Query::mss_max_length(
+            w.parse()
+                .map_err(|e| format!("bad maxlen in `{spec}`: {e}"))?,
+        ),
+        _ => {
+            return Err(format!(
+                "unknown query `{spec}` (expected mss|top:T|thresh:A|minlen:G|maxlen:W[@L..R])"
+            ))
+        }
+    };
+    Ok(match range {
+        Some((l, r)) => query.in_range(l, r),
+        None => query,
     })
 }
 
@@ -300,9 +384,95 @@ pub fn format_row(s: &Scored, k: usize, alphabet: &[u8]) -> String {
     out
 }
 
+/// Run batch mode: one engine per non-empty input line, all queries
+/// answered over one persistent worker pool.
+fn run_batch(invocation: &Invocation, raw: &[u8]) -> Result<String, String> {
+    use sigstr_core::{Answer, Batch, Engine, Query};
+    let queries: Vec<Query> = invocation
+        .queries
+        .iter()
+        .map(|spec| parse_query_spec(spec))
+        .collect::<Result<_, _>>()?;
+    let mut engines: Vec<Engine> = Vec::new();
+    let mut alphabets: Vec<Vec<u8>> = Vec::new();
+    for (line_no, line) in raw.split(|&b| b == b'\n').enumerate() {
+        if line.iter().all(|b| b.is_ascii_whitespace()) {
+            continue;
+        }
+        let doc = engines.len();
+        let context = |e: String| format!("doc {doc} (input line {}): {e}", line_no + 1);
+        let (seq, alphabet) = sequence_from_bytes(line).map_err(context)?;
+        let model = resolve_model(&invocation.model, &seq).map_err(context)?;
+        let engine = Engine::new(&seq, model).map_err(|e| context(e.to_string()))?;
+        engines.push(engine);
+        alphabets.push(alphabet);
+    }
+    if engines.is_empty() {
+        return Err("batch input has no non-empty documents".into());
+    }
+    let batch = Batch::new(0);
+    let jobs: Vec<(usize, Query)> = (0..engines.len())
+        .flat_map(|doc| queries.iter().map(move |&q| (doc, q)))
+        .collect();
+    let answers = batch.run(&engines, &jobs);
+
+    let mut out = String::new();
+    let mut slot = 0usize;
+    for (doc, engine) in engines.iter().enumerate() {
+        let k = engine.k();
+        let _ = writeln!(
+            out,
+            "doc {doc}: n = {}, k = {k} (alphabet {:?})",
+            engine.n(),
+            alphabets[doc]
+                .iter()
+                .map(|&b| b as char)
+                .collect::<String>()
+        );
+        for spec in &invocation.queries {
+            match &answers[slot] {
+                Ok(Answer::Best(r)) => {
+                    let _ = writeln!(out, "  {spec}: {}", format_row(&r.best, k, &alphabets[doc]));
+                    if invocation.stats {
+                        let _ = writeln!(
+                            out,
+                            "    stats: examined {}, {} skip events, {} skipped",
+                            r.stats.examined, r.stats.skips, r.stats.skipped
+                        );
+                    }
+                }
+                Ok(Answer::Top(r)) => {
+                    let _ = writeln!(out, "  {spec}: {} substrings", r.items.len());
+                    for item in r.items.iter().take(invocation.limit) {
+                        let _ = writeln!(out, "    {}", format_row(item, k, &alphabets[doc]));
+                    }
+                }
+                Ok(Answer::Threshold(r)) => {
+                    let _ = writeln!(
+                        out,
+                        "  {spec}: {} substrings above threshold",
+                        r.items.len()
+                    );
+                    for item in r.items.iter().take(invocation.limit) {
+                        let _ = writeln!(out, "    {}", format_row(item, k, &alphabets[doc]));
+                    }
+                }
+                Err(e) => {
+                    let _ = writeln!(out, "  {spec}: error: {e}");
+                }
+            }
+            slot += 1;
+        }
+    }
+    Ok(out)
+}
+
 /// Run a parsed invocation against loaded input bytes; returns the output
 /// text (testable without touching the filesystem).
 pub fn run(invocation: &Invocation, raw: &[u8]) -> Result<String, String> {
+    if invocation.command == Command::Batch {
+        return run_batch(invocation, raw);
+    }
     let (seq, alphabet) = sequence_from_bytes(raw)?;
     let model = resolve_model(&invocation.model, &seq)?;
     let k = seq.k();
@@ -404,6 +574,7 @@ pub fn run(invocation: &Invocation, raw: &[u8]) -> Result<String, String> {
                 push_stats(&mut out, &r.stats);
             }
         }
+        Command::Batch => unreachable!("batch mode is dispatched to run_batch above"),
     }
     Ok(out)
 }
@@ -525,6 +696,110 @@ mod tests {
         let out = run(&inv, b"ababbbbbbbabab").unwrap();
         assert!(out.contains("len"));
         assert!(parse_args(&argv(&["maxlen", "-"])).is_err()); // missing --w
+    }
+
+    #[test]
+    fn parse_query_specs() {
+        use sigstr_core::{Query, QueryKind};
+        assert_eq!(parse_query_spec("mss").unwrap(), Query::mss());
+        assert_eq!(parse_query_spec("top:7").unwrap(), Query::top_t(7));
+        assert_eq!(
+            parse_query_spec("thresh:4.5").unwrap(),
+            Query::above_threshold(4.5)
+        );
+        assert_eq!(
+            parse_query_spec("minlen:3").unwrap(),
+            Query::mss_min_length(3)
+        );
+        assert_eq!(
+            parse_query_spec("maxlen:9").unwrap(),
+            Query::mss_max_length(9)
+        );
+        let ranged = parse_query_spec("mss@10..90").unwrap();
+        assert_eq!(ranged.kind, QueryKind::Mss);
+        assert_eq!(ranged.range, Some((10, 90)));
+        assert!(parse_query_spec("bogus").is_err());
+        assert!(parse_query_spec("top").is_err());
+        assert!(parse_query_spec("top:x").is_err());
+        assert!(parse_query_spec("mss@10..").is_err());
+        assert!(parse_query_spec("mss@1-2").is_err());
+        assert!(parse_query_spec("mss@90..10").is_err()); // empty range, eager
+        assert!(parse_query_spec("mss@5..5").is_err());
+    }
+
+    #[test]
+    fn parse_batch_command() {
+        let inv = parse_args(&argv(&["batch", "-", "--query", "mss", "--query", "top:3"])).unwrap();
+        assert_eq!(inv.command, Command::Batch);
+        assert_eq!(inv.queries, vec!["mss".to_string(), "top:3".to_string()]);
+        assert!(parse_args(&argv(&["batch", "-"])).is_err()); // no queries
+        assert!(parse_args(&argv(&["batch", "-", "--query", "bogus"])).is_err());
+    }
+
+    #[test]
+    fn run_batch_answers_per_document() {
+        let inv = parse_args(&argv(&[
+            "batch",
+            "-",
+            "--uniform",
+            "--query",
+            "mss",
+            "--query",
+            "top:2",
+            "--query",
+            "thresh:3.0",
+            "--query",
+            "mss@0..4",
+        ]))
+        .unwrap();
+        let data = b"ababbbbbbab\nbababaaaaab\n\n";
+        let out = run(&inv, data).unwrap();
+        assert!(out.contains("doc 0: n = 11"), "{out}");
+        assert!(out.contains("doc 1: n = 11"), "{out}");
+        assert!(out.contains("  mss: "), "{out}");
+        assert!(out.contains("  top:2: 2 substrings"), "{out}");
+        assert!(out.contains("substrings above threshold"), "{out}");
+        assert!(out.contains("  mss@0..4: "), "{out}");
+        // Batch answers equal the one-shot CLI on the same line.
+        let single = parse_args(&argv(&["mss", "-", "--uniform"])).unwrap();
+        let single_out = run(&single, b"ababbbbbbab").unwrap();
+        let batch_row = out
+            .lines()
+            .find(|l| l.starts_with("  mss: "))
+            .unwrap()
+            .trim_start_matches("  mss: ");
+        assert!(
+            single_out.contains(batch_row),
+            "{single_out} vs {batch_row}"
+        );
+    }
+
+    #[test]
+    fn run_batch_reports_per_query_errors_in_place() {
+        // minlen:100 is impossible for an 8-symbol document: the other
+        // queries must still answer.
+        let inv = parse_args(&argv(&[
+            "batch",
+            "-",
+            "--uniform",
+            "--query",
+            "minlen:100",
+            "--query",
+            "mss",
+        ]))
+        .unwrap();
+        let out = run(&inv, b"abbbbbab").unwrap();
+        assert!(out.contains("minlen:100: error:"), "{out}");
+        assert!(out.contains("  mss: "), "{out}");
+    }
+
+    #[test]
+    fn run_batch_rejects_empty_input() {
+        let inv = parse_args(&argv(&["batch", "-", "--query", "mss"])).unwrap();
+        assert!(run(&inv, b"  \n \n").is_err());
+        // A malformed document names its line.
+        let err = run(&inv, b"abab\naaaa\n").unwrap_err();
+        assert!(err.contains("doc 1 (input line 2)"), "{err}");
     }
 
     #[test]

@@ -117,6 +117,114 @@ impl PrefixCounts {
     }
 }
 
+/// Growable column-major prefix counts — the append-only sibling of
+/// [`PrefixCounts`], shared by the streaming miner and anything else that
+/// consumes symbols one at a time.
+///
+/// Same layout (`table[i·k + c]`, all `k` counts of one position
+/// adjacent), same cache behaviour: a resync after a pruning jump touches
+/// one or two cache lines instead of `k` distant rows. Appending one
+/// symbol copies the last column and bumps one entry — `O(k)`, amortized
+/// `O(1)` reallocations.
+#[derive(Debug, Clone)]
+pub struct GrowableCounts {
+    /// Column-major `(n + 1) × k` table; `table[i·k + c]` = occurrences of
+    /// `c` in the first `i` symbols.
+    table: Vec<u32>,
+    /// The symbols themselves (for `O(1)` single-step count updates).
+    symbols: Vec<u8>,
+    k: usize,
+}
+
+impl GrowableCounts {
+    /// An empty table over an alphabet of size `k`.
+    pub fn new(k: usize) -> Self {
+        Self {
+            table: vec![0u32; k],
+            symbols: Vec::new(),
+            k,
+        }
+    }
+
+    /// Number of symbols consumed.
+    pub fn n(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// Alphabet size `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Whether no symbol has been appended yet.
+    pub fn is_empty(&self) -> bool {
+        self.symbols.is_empty()
+    }
+
+    /// The symbols consumed so far.
+    pub fn symbols(&self) -> &[u8] {
+        &self.symbols
+    }
+
+    /// Append one symbol (the caller guarantees `symbol < k`).
+    pub fn push(&mut self, symbol: u8) {
+        debug_assert!((symbol as usize) < self.k);
+        let n = self.symbols.len();
+        let k = self.k;
+        // Copy column n to column n+1, bumping the entry of `symbol`.
+        self.table.extend_from_within(n * k..(n + 1) * k);
+        self.table[(n + 1) * k + symbol as usize] += 1;
+        self.symbols.push(symbol);
+    }
+
+    /// Number of occurrences of character `c` in the range `[start, end)`.
+    #[inline]
+    pub fn count(&self, c: usize, start: usize, end: usize) -> u32 {
+        debug_assert!(c < self.k && start <= end && end <= self.n());
+        self.table[end * self.k + c] - self.table[start * self.k + c]
+    }
+
+    /// Fill `buf` (length `k`) with the count vector of `[start, end)`.
+    #[inline]
+    pub fn fill_counts(&self, start: usize, end: usize, buf: &mut [u32]) {
+        debug_assert_eq!(buf.len(), self.k);
+        debug_assert!(start <= end && end <= self.n());
+        let k = self.k;
+        let from = &self.table[start * k..start * k + k];
+        let to = &self.table[end * k..end * k + k];
+        for ((slot, &hi), &lo) in buf.iter_mut().zip(to).zip(from) {
+            *slot = hi - lo;
+        }
+    }
+
+    /// Add the count vector of `[start, end)` into `buf` (length `k`) —
+    /// the streaming scan's post-skip resync.
+    #[inline]
+    pub fn accumulate_counts(&self, start: usize, end: usize, buf: &mut [u32]) {
+        debug_assert_eq!(buf.len(), self.k);
+        debug_assert!(start <= end && end <= self.n());
+        let k = self.k;
+        let from = &self.table[start * k..start * k + k];
+        let to = &self.table[end * k..end * k + k];
+        for ((slot, &hi), &lo) in buf.iter_mut().zip(to).zip(from) {
+            *slot += hi - lo;
+        }
+    }
+
+    /// Freeze into a [`PrefixCounts`] (same layout — a pair of moves), so
+    /// a fully-consumed stream can be handed to an offline
+    /// [`crate::Engine`] without rebuilding the table.
+    pub fn into_prefix_counts(self) -> PrefixCounts {
+        let n = self.symbols.len();
+        PrefixCounts {
+            table: self.table,
+            symbols: self.symbols,
+            n,
+            k: self.k,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,5 +299,65 @@ mod tests {
         pc.fill_counts(1, 3, &mut buf);
         pc.accumulate_counts(3, 6, &mut buf);
         assert_eq!(buf, pc.count_vector(1, 6));
+    }
+
+    #[test]
+    fn growable_matches_static_table_after_every_push() {
+        let seq = demo_seq();
+        let mut gc = GrowableCounts::new(3);
+        assert!(gc.is_empty());
+        for (t, &s) in seq.symbols().iter().enumerate() {
+            gc.push(s);
+            assert_eq!(gc.n(), t + 1);
+            let frozen = Sequence::from_symbols(seq.symbols()[..=t].to_vec(), 3).unwrap();
+            let pc = PrefixCounts::build(&frozen);
+            for start in 0..=gc.n() {
+                for end in start..=gc.n() {
+                    for c in 0..3 {
+                        assert_eq!(gc.count(c, start, end), pc.count(c, start, end));
+                    }
+                }
+            }
+        }
+        assert_eq!(gc.symbols(), seq.symbols());
+    }
+
+    #[test]
+    fn growable_fill_and_accumulate() {
+        let seq = demo_seq();
+        let mut gc = GrowableCounts::new(3);
+        for &s in seq.symbols() {
+            gc.push(s);
+        }
+        let pc = PrefixCounts::build(&seq);
+        let mut a = vec![0u32; 3];
+        let mut b = vec![0u32; 3];
+        gc.fill_counts(2, 5, &mut a);
+        pc.fill_counts(2, 5, &mut b);
+        assert_eq!(a, b);
+        gc.accumulate_counts(5, 8, &mut a);
+        assert_eq!(a, pc.count_vector(2, 8));
+    }
+
+    #[test]
+    fn growable_freezes_into_prefix_counts() {
+        let seq = demo_seq();
+        let mut gc = GrowableCounts::new(3);
+        for &s in seq.symbols() {
+            gc.push(s);
+        }
+        let frozen = gc.into_prefix_counts();
+        let built = PrefixCounts::build(&seq);
+        assert_eq!(frozen.n(), built.n());
+        assert_eq!(frozen.k(), built.k());
+        assert_eq!(frozen.symbols(), built.symbols());
+        for start in 0..=seq.len() {
+            for end in start..=seq.len() {
+                assert_eq!(
+                    frozen.count_vector(start, end),
+                    built.count_vector(start, end)
+                );
+            }
+        }
     }
 }

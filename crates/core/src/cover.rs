@@ -9,6 +9,7 @@
 //! end positions.
 
 use crate::model::Model;
+use crate::score::weighted_square_sum;
 
 /// `X²` of the chain cover of a substring (count vector `counts`, length
 /// `l`) over `x` symbols of character `c` (paper Eq. 7 / Eq. 19):
@@ -19,11 +20,7 @@ pub fn chain_cover_chi_square(counts: &[u32], l: usize, model: &Model, c: usize,
     debug_assert!(c < model.k());
     let lf = l as f64;
     let xf = x as f64;
-    let mut weighted_sq = 0.0;
-    for (&y, &inv_p) in counts.iter().zip(model.inv_probs()) {
-        let yf = f64::from(y);
-        weighted_sq += yf * yf * inv_p;
-    }
+    let mut weighted_sq = weighted_square_sum(counts, model.inv_probs());
     let yc = f64::from(counts[c]);
     weighted_sq += (2.0 * xf * yc + xf * xf) * model.inv_probs()[c];
     weighted_sq / (lf + xf) - (lf + xf)

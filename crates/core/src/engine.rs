@@ -1,0 +1,1111 @@
+//! The reusable query engine — index once, query many.
+//!
+//! Every problem variant of the paper shares all of its heavy state: the
+//! `O(k·n)` prefix-count table, the model's precomputed skip-solver
+//! tables, and the scan's scratch buffers. The one-shot functions
+//! ([`crate::find_mss`] and friends) rebuild that state on every call,
+//! which a service answering many queries over the same corpus cannot
+//! afford. [`Engine`] is the index-once/query-many split: built once from
+//! a `(Sequence, Model)` pair, it owns the [`PrefixCounts`], the model
+//! tables, a reusable scratch arena and a lazily-spawned persistent
+//! [`WorkerPool`], then serves every query variant — plus
+//! **range-restricted** forms (`mss_in(l..r)` etc., the building block
+//! for sharded serving) — without re-deriving any of it.
+//!
+//! # Amortization layers
+//!
+//! | Layer | One-shot cost | Engine cost |
+//! |---|---|---|
+//! | Prefix counts | `O(k·n)` per call | built once |
+//! | Model tables | per `Model` (cached there) | owned once |
+//! | Scan scratch | one allocation per call | arena, recycled |
+//! | Worker threads | spawned per parallel call | persistent pool |
+//! | Repeated queries | full scan every time | result cache hit |
+//!
+//! The result cache memoizes completed answers keyed by `(variant,
+//! range, parameters)`: a production service replaying the same query —
+//! the dominant pattern behind a traffic-heavy endpoint — pays the scan
+//! once and `O(1)` afterwards. Memoization is byte-bounded: oversized
+//! threshold sets are never cached ([`CACHE_ITEM_LIMIT`]), and admission
+//! stops at [`CACHE_ENTRY_LIMIT`] answers or [`CACHE_TOTAL_ITEM_LIMIT`]
+//! total items, whichever comes first.
+//!
+//! # Exactness
+//!
+//! Engine-served results are **bit-identical** to the one-shot API: both
+//! run the same kernels over the same table, and a range-restricted query
+//! visits exactly the substring stream the one-shot scan visits on the
+//! sliced sequence (the kernels are position-translation-invariant — see
+//! `DESIGN.md` §7). The one-shot functions are thin wrappers over the
+//! same internals in this module.
+//!
+//! # Examples
+//!
+//! ```
+//! use sigstr_core::{Engine, Model, Sequence};
+//!
+//! let seq = Sequence::from_symbols(vec![0, 1, 0, 1, 1, 1, 1, 1, 0, 0], 2).unwrap();
+//! let engine = Engine::new(&seq, Model::uniform(2).unwrap()).unwrap();
+//!
+//! // Many queries, one index.
+//! let best = engine.mss().unwrap().best;
+//! let top = engine.top_t(3).unwrap();
+//! let long = engine.mss_min_length(4).unwrap();
+//! // Range-restricted: the MSS of S[0..5) alone (a shard's slice).
+//! let shard = engine.mss_in(0..5).unwrap();
+//! assert!(shard.best.start < 5 && shard.best.end <= 5);
+//! assert_eq!(top.items[0], best);
+//! assert!(long.best.len() > 4);
+//! ```
+
+use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use crate::counts::PrefixCounts;
+use crate::error::{Error, Result};
+use crate::model::Model;
+use crate::mss::MssResult;
+use crate::parallel::{resolve_threads, WorkerPool};
+use crate::scan::{scan_policy, MaxPolicy, Policy, ScanStats};
+use crate::score::Scored;
+use crate::seq::Sequence;
+use crate::threshold::ThresholdResult;
+use crate::topt::{TopTPolicy, TopTResult};
+
+/// Results with more than this many items (large threshold sets) are
+/// served but not cached — a small `α₀` makes the answer `Θ(n²)` and the
+/// cache would silently double the engine's memory footprint.
+pub const CACHE_ITEM_LIMIT: usize = 65_536;
+
+/// Maximum number of memoized answers per engine. The cache stops
+/// admitting new entries beyond this point (no eviction — the working set
+/// of a serving shard is small and stable).
+pub const CACHE_ENTRY_LIMIT: usize = 1_024;
+
+/// Maximum total [`Scored`] items across *all* memoized answers per
+/// engine (~10 MB). The per-answer and per-entry limits alone would
+/// compose to gigabytes of admissible threshold sets; this is the actual
+/// byte-scale bound.
+pub const CACHE_TOTAL_ITEM_LIMIT: usize = 262_144;
+
+// ---------------------------------------------------------------------------
+// Range-restricted scan internals (shared by Engine and the one-shot API).
+// ---------------------------------------------------------------------------
+
+/// Problem 1 over `S[range)`: the caller guarantees a validated non-empty
+/// range.
+pub(crate) fn mss_scan(
+    pc: &PrefixCounts,
+    model: &Model,
+    range: Range<usize>,
+    scratch: &mut Vec<u32>,
+) -> MssResult {
+    let (l, r) = (range.start, range.end);
+    debug_assert!(l < r && r <= pc.n());
+    let mut policy = MaxPolicy::default();
+    let stats = scan_policy(
+        pc,
+        model,
+        1,
+        usize::MAX,
+        r,
+        (l..r).rev(),
+        &mut policy,
+        scratch,
+    );
+    let best = policy
+        .best
+        .expect("non-empty range always yields a best substring");
+    MssResult { best, stats }
+}
+
+/// Problem 2 over `S[range)`.
+pub(crate) fn top_t_scan(
+    pc: &PrefixCounts,
+    model: &Model,
+    range: Range<usize>,
+    t: usize,
+    scratch: &mut Vec<u32>,
+) -> Result<TopTResult> {
+    if t == 0 {
+        return Err(Error::InvalidParameter {
+            what: "t",
+            details: "the top-t set must have t >= 1".into(),
+        });
+    }
+    let (l, r) = (range.start, range.end);
+    debug_assert!(l < r && r <= pc.n());
+    let mut policy = TopTPolicy::new(t);
+    let stats = scan_policy(
+        pc,
+        model,
+        1,
+        usize::MAX,
+        r,
+        (l..r).rev(),
+        &mut policy,
+        scratch,
+    );
+    Ok(TopTResult {
+        items: policy.into_sorted(),
+        stats,
+    })
+}
+
+/// Constant-budget collector for Problem 3.
+struct CollectPolicy<'f> {
+    alpha: f64,
+    sink: &'f mut dyn FnMut(Scored),
+}
+
+impl Policy for CollectPolicy<'_> {
+    fn observe(&mut self, scored: Scored) {
+        if scored.chi_square > self.alpha {
+            (self.sink)(scored);
+        }
+    }
+
+    fn budget(&self) -> f64 {
+        self.alpha
+    }
+}
+
+/// Problem 3 over `S[range)`, streaming each qualifying substring into
+/// `visit` (order unspecified — the kernel interleaves start lanes).
+pub(crate) fn threshold_scan(
+    pc: &PrefixCounts,
+    model: &Model,
+    range: Range<usize>,
+    alpha: f64,
+    mut visit: impl FnMut(Scored),
+    scratch: &mut Vec<u32>,
+) -> Result<ScanStats> {
+    if !alpha.is_finite() || alpha < 0.0 {
+        return Err(Error::InvalidParameter {
+            what: "alpha",
+            details: format!("threshold must be finite and non-negative, got {alpha}"),
+        });
+    }
+    let (l, r) = (range.start, range.end);
+    debug_assert!(l < r && r <= pc.n());
+    let mut sink = |s: Scored| visit(s);
+    let mut policy = CollectPolicy {
+        alpha,
+        sink: &mut sink,
+    };
+    Ok(scan_policy(
+        pc,
+        model,
+        1,
+        usize::MAX,
+        r,
+        (l..r).rev(),
+        &mut policy,
+        scratch,
+    ))
+}
+
+/// Problem 3 over `S[range)`, collected into the canonical order
+/// (starts right-to-left, ends ascending within a start).
+pub(crate) fn threshold_collect_scan(
+    pc: &PrefixCounts,
+    model: &Model,
+    range: Range<usize>,
+    alpha: f64,
+    scratch: &mut Vec<u32>,
+) -> Result<ThresholdResult> {
+    let mut items = Vec::new();
+    let stats = threshold_scan(pc, model, range, alpha, |s| items.push(s), scratch)?;
+    items.sort_by(|a, b| b.start.cmp(&a.start).then_with(|| a.end.cmp(&b.end)));
+    Ok(ThresholdResult { items, stats })
+}
+
+/// Problem 4 over `S[range)`: MSS among substrings strictly longer than
+/// `gamma0`.
+pub(crate) fn min_length_scan(
+    pc: &PrefixCounts,
+    model: &Model,
+    range: Range<usize>,
+    gamma0: usize,
+    scratch: &mut Vec<u32>,
+) -> Result<MssResult> {
+    let (l, r) = (range.start, range.end);
+    debug_assert!(l < r && r <= pc.n());
+    let n = r - l;
+    let min_len = gamma0 + 1;
+    if min_len > n {
+        return Err(Error::InvalidParameter {
+            what: "gamma0",
+            details: format!("no substring of length > {gamma0} exists in a string of length {n}"),
+        });
+    }
+    let mut policy = MaxPolicy::default();
+    let stats = scan_policy(
+        pc,
+        model,
+        min_len,
+        usize::MAX,
+        r,
+        (l..=(r - min_len)).rev(),
+        &mut policy,
+        scratch,
+    );
+    let best = policy
+        .best
+        .expect("at least one candidate substring exists");
+    Ok(MssResult { best, stats })
+}
+
+/// Window-constrained MSS over `S[range)`: substrings of length at most
+/// `w`.
+pub(crate) fn max_length_scan(
+    pc: &PrefixCounts,
+    model: &Model,
+    range: Range<usize>,
+    w: usize,
+    scratch: &mut Vec<u32>,
+) -> Result<MssResult> {
+    if w == 0 {
+        return Err(Error::InvalidParameter {
+            what: "w",
+            details: "the window must have positive length".into(),
+        });
+    }
+    let (l, r) = (range.start, range.end);
+    debug_assert!(l < r && r <= pc.n());
+    let mut policy = MaxPolicy::default();
+    let stats = scan_policy(pc, model, 1, w, r, (l..r).rev(), &mut policy, scratch);
+    Ok(MssResult {
+        best: policy.best.expect("non-empty range"),
+        stats,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Scratch arena.
+// ---------------------------------------------------------------------------
+
+/// A small pool of recycled count buffers: sequential queries reuse one
+/// buffer without allocating, and concurrent batch workers each borrow
+/// their own.
+#[derive(Debug, Default)]
+struct ScratchArena {
+    buffers: Mutex<Vec<Vec<u32>>>,
+}
+
+/// Buffers retained by the arena (surplus concurrent borrows beyond this
+/// are simply dropped on release).
+const ARENA_RETAIN: usize = 64;
+
+impl ScratchArena {
+    fn acquire(&self) -> Vec<u32> {
+        self.buffers
+            .lock()
+            .expect("arena poisoned")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    fn release(&self, buf: Vec<u32>) {
+        let mut buffers = self.buffers.lock().expect("arena poisoned");
+        if buffers.len() < ARENA_RETAIN {
+            buffers.push(buf);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Query / Answer types (the batch driver's vocabulary).
+// ---------------------------------------------------------------------------
+
+/// Which problem variant a [`Query`] asks for.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum QueryKind {
+    /// Problem 1: the most significant substring.
+    Mss,
+    /// Problem 2: the top-t substrings.
+    TopT(usize),
+    /// Problem 3: all substrings with `X² > α₀`.
+    AboveThreshold(f64),
+    /// Problem 4: MSS among substrings longer than `Γ₀`.
+    MssMinLength(usize),
+    /// Window-constrained MSS: substrings of length at most `W`.
+    MssMaxLength(usize),
+}
+
+/// A self-contained query: a problem variant plus an optional range
+/// restriction `[l, r)` (absolute positions; `None` = the whole
+/// sequence).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Query {
+    /// The problem variant.
+    pub kind: QueryKind,
+    /// Optional range restriction `(l, r)`, half-open.
+    pub range: Option<(usize, usize)>,
+}
+
+impl Query {
+    /// Problem 1 over the whole sequence.
+    pub fn mss() -> Self {
+        Self {
+            kind: QueryKind::Mss,
+            range: None,
+        }
+    }
+
+    /// Problem 2 over the whole sequence.
+    pub fn top_t(t: usize) -> Self {
+        Self {
+            kind: QueryKind::TopT(t),
+            range: None,
+        }
+    }
+
+    /// Problem 3 over the whole sequence.
+    pub fn above_threshold(alpha: f64) -> Self {
+        Self {
+            kind: QueryKind::AboveThreshold(alpha),
+            range: None,
+        }
+    }
+
+    /// Problem 4 over the whole sequence.
+    pub fn mss_min_length(gamma0: usize) -> Self {
+        Self {
+            kind: QueryKind::MssMinLength(gamma0),
+            range: None,
+        }
+    }
+
+    /// Window-constrained MSS over the whole sequence.
+    pub fn mss_max_length(w: usize) -> Self {
+        Self {
+            kind: QueryKind::MssMaxLength(w),
+            range: None,
+        }
+    }
+
+    /// Restrict this query to the half-open range `l..r`.
+    pub fn in_range(mut self, l: usize, r: usize) -> Self {
+        self.range = Some((l, r));
+        self
+    }
+}
+
+/// The answer to a [`Query`]: whichever result shape the variant
+/// produces.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Answer {
+    /// A single best substring (`Mss`, `MssMinLength`, `MssMaxLength`).
+    Best(MssResult),
+    /// A ranked list (`TopT`).
+    Top(TopTResult),
+    /// A threshold set (`AboveThreshold`).
+    Threshold(ThresholdResult),
+}
+
+impl Answer {
+    /// The single winning substring, when the answer has one.
+    pub fn best(&self) -> Option<&Scored> {
+        match self {
+            Answer::Best(r) => Some(&r.best),
+            Answer::Top(r) => r.items.first(),
+            Answer::Threshold(_) => None,
+        }
+    }
+
+    /// All substrings the answer carries, in its native order.
+    pub fn items(&self) -> &[Scored] {
+        match self {
+            Answer::Best(r) => std::slice::from_ref(&r.best),
+            Answer::Top(r) => &r.items,
+            Answer::Threshold(r) => &r.items,
+        }
+    }
+
+    /// The scan instrumentation of whichever scan produced the answer.
+    pub fn stats(&self) -> ScanStats {
+        match self {
+            Answer::Best(r) => r.stats,
+            Answer::Top(r) => r.stats,
+            Answer::Threshold(r) => r.stats,
+        }
+    }
+}
+
+/// The memoized answers plus the running total of items they hold (the
+/// byte-scale admission bound).
+#[derive(Debug, Default)]
+struct ResultCache {
+    map: HashMap<CacheKey, Answer>,
+    items: usize,
+}
+
+/// Memoization key: the variant, the (explicit) range, and the
+/// parameters. `f64` thresholds key by bit pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum CacheKey {
+    Mss { l: usize, r: usize },
+    TopT { l: usize, r: usize, t: usize },
+    Threshold { l: usize, r: usize, alpha: u64 },
+    MinLen { l: usize, r: usize, gamma0: usize },
+    MaxLen { l: usize, r: usize, w: usize },
+}
+
+// ---------------------------------------------------------------------------
+// The engine.
+// ---------------------------------------------------------------------------
+
+/// A reusable query engine over one `(Sequence, Model)` pair.
+///
+/// See the [module docs](self) for the amortization story. All query
+/// methods take `&self`; the engine is `Sync`, so one instance can serve
+/// concurrent callers (each query still runs on the calling thread unless
+/// it is one of the `_parallel` variants, which borrow the engine's
+/// persistent worker pool).
+#[derive(Debug)]
+pub struct Engine {
+    pc: PrefixCounts,
+    model: Model,
+    /// Resolved worker count for the lazily-built pool.
+    threads: usize,
+    pool: OnceLock<WorkerPool>,
+    scratch: ScratchArena,
+    cache: Mutex<ResultCache>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Engine {
+    /// Build an engine from a sequence and model (auto-sized worker pool,
+    /// spawned only when a `_parallel` query first needs it).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the model and sequence alphabets disagree.
+    pub fn new(seq: &Sequence, model: Model) -> Result<Self> {
+        Self::with_threads(seq, model, 0)
+    }
+
+    /// [`Engine::new`] with an explicit worker count for the parallel
+    /// queries (`0` = all available cores). The pool is sized once per
+    /// engine.
+    pub fn with_threads(seq: &Sequence, model: Model, threads: usize) -> Result<Self> {
+        model.check_alphabet(seq)?;
+        Ok(Self::from_parts(PrefixCounts::build(seq), model, threads))
+    }
+
+    /// Build an engine from prebuilt prefix counts.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the table and model alphabets disagree.
+    pub fn from_counts(pc: PrefixCounts, model: Model) -> Result<Self> {
+        if pc.k() != model.k() {
+            return Err(Error::AlphabetMismatch {
+                model_k: model.k(),
+                seq_k: pc.k(),
+            });
+        }
+        Ok(Self::from_parts(pc, model, 0))
+    }
+
+    fn from_parts(pc: PrefixCounts, model: Model, threads: usize) -> Self {
+        Self {
+            pc,
+            model,
+            threads: resolve_threads(threads),
+            pool: OnceLock::new(),
+            scratch: ScratchArena::default(),
+            cache: Mutex::new(ResultCache::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Sequence length `n`.
+    pub fn n(&self) -> usize {
+        self.pc.n()
+    }
+
+    /// Alphabet size `k`.
+    pub fn k(&self) -> usize {
+        self.pc.k()
+    }
+
+    /// The owned prefix-count table.
+    pub fn counts(&self) -> &PrefixCounts {
+        &self.pc
+    }
+
+    /// The owned null model.
+    pub fn model(&self) -> &Model {
+        &self.model
+    }
+
+    /// Number of memoized answers currently held.
+    pub fn cache_len(&self) -> usize {
+        self.cache.lock().expect("cache poisoned").map.len()
+    }
+
+    /// Drop all memoized answers.
+    pub fn clear_cache(&self) {
+        let mut cache = self.cache.lock().expect("cache poisoned");
+        cache.map.clear();
+        cache.items = 0;
+    }
+
+    /// `(hits, misses)` counters of the result cache.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// The persistent worker pool (spawned on first use).
+    fn pool(&self) -> &WorkerPool {
+        self.pool.get_or_init(|| WorkerPool::new(self.threads))
+    }
+
+    /// Validate a half-open query range against the sequence.
+    fn check_range(&self, range: &Range<usize>) -> Result<(usize, usize)> {
+        let (l, r) = (range.start, range.end);
+        if l >= r || r > self.n() {
+            return Err(Error::InvalidParameter {
+                what: "range",
+                details: format!(
+                    "query range {l}..{r} must be non-empty and within 0..{}",
+                    self.n()
+                ),
+            });
+        }
+        Ok((l, r))
+    }
+
+    /// Cache lookup, counting hits and misses.
+    fn cache_get(&self, key: &CacheKey) -> Option<Answer> {
+        let found = self
+            .cache
+            .lock()
+            .expect("cache poisoned")
+            .map
+            .get(key)
+            .cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Admit an answer to the cache (subject to the size limits: per
+    /// answer, per entry count, and total items across all answers).
+    fn cache_put(&self, key: CacheKey, answer: &Answer) {
+        let size = answer.items().len();
+        if size > CACHE_ITEM_LIMIT {
+            return;
+        }
+        let mut cache = self.cache.lock().expect("cache poisoned");
+        if cache.map.len() >= CACHE_ENTRY_LIMIT || cache.items + size > CACHE_TOTAL_ITEM_LIMIT {
+            return;
+        }
+        if let std::collections::hash_map::Entry::Vacant(slot) = cache.map.entry(key) {
+            slot.insert(answer.clone());
+            cache.items += size;
+        }
+    }
+
+    /// Run `f` with a recycled scratch buffer.
+    fn with_scratch<T>(&self, f: impl FnOnce(&mut Vec<u32>) -> T) -> T {
+        let mut scratch = self.scratch.acquire();
+        let out = f(&mut scratch);
+        self.scratch.release(scratch);
+        out
+    }
+
+    // -- Problem 1 ---------------------------------------------------------
+
+    /// The most significant substring (paper Algorithm 1). Bit-identical
+    /// to [`crate::find_mss`].
+    pub fn mss(&self) -> Result<MssResult> {
+        self.mss_in(0..self.n())
+    }
+
+    /// [`Engine::mss`] restricted to `S[range)` — equals the one-shot
+    /// answer on the sliced sequence, with positions reported in absolute
+    /// coordinates.
+    pub fn mss_in(&self, range: Range<usize>) -> Result<MssResult> {
+        let (l, r) = self.check_range(&range)?;
+        let key = CacheKey::Mss { l, r };
+        if let Some(Answer::Best(res)) = self.cache_get(&key) {
+            return Ok(res);
+        }
+        let res = self.with_scratch(|s| mss_scan(&self.pc, &self.model, l..r, s));
+        self.cache_put(key, &Answer::Best(res));
+        Ok(res)
+    }
+
+    // -- Problem 2 ---------------------------------------------------------
+
+    /// The top-t most significant substrings (paper Algorithm 2).
+    /// Bit-identical to [`crate::top_t`].
+    pub fn top_t(&self, t: usize) -> Result<TopTResult> {
+        self.top_t_in(0..self.n(), t)
+    }
+
+    /// [`Engine::top_t`] restricted to `S[range)`.
+    pub fn top_t_in(&self, range: Range<usize>, t: usize) -> Result<TopTResult> {
+        let (l, r) = self.check_range(&range)?;
+        let key = CacheKey::TopT { l, r, t };
+        if let Some(Answer::Top(res)) = self.cache_get(&key) {
+            return Ok(res);
+        }
+        let res = self.with_scratch(|s| top_t_scan(&self.pc, &self.model, l..r, t, s))?;
+        self.cache_put(key, &Answer::Top(res.clone()));
+        Ok(res)
+    }
+
+    // -- Problem 3 ---------------------------------------------------------
+
+    /// All substrings with `X² > alpha` (paper Algorithm 3), in canonical
+    /// order. Bit-identical to [`crate::above_threshold`].
+    pub fn above_threshold(&self, alpha: f64) -> Result<ThresholdResult> {
+        self.above_threshold_in(0..self.n(), alpha)
+    }
+
+    /// [`Engine::above_threshold`] restricted to `S[range)`.
+    pub fn above_threshold_in(&self, range: Range<usize>, alpha: f64) -> Result<ThresholdResult> {
+        let (l, r) = self.check_range(&range)?;
+        let key = CacheKey::Threshold {
+            l,
+            r,
+            alpha: alpha.to_bits(),
+        };
+        if let Some(Answer::Threshold(res)) = self.cache_get(&key) {
+            return Ok(res);
+        }
+        let res =
+            self.with_scratch(|s| threshold_collect_scan(&self.pc, &self.model, l..r, alpha, s))?;
+        self.cache_put(key, &Answer::Threshold(res.clone()));
+        Ok(res)
+    }
+
+    /// Streaming Problem 3: invoke `visit` per qualifying substring
+    /// without materializing (or caching) the set. Visit order is
+    /// unspecified.
+    pub fn for_each_above_threshold(
+        &self,
+        alpha: f64,
+        visit: impl FnMut(Scored),
+    ) -> Result<ScanStats> {
+        let n = self.n();
+        self.with_scratch(|s| threshold_scan(&self.pc, &self.model, 0..n, alpha, visit, s))
+    }
+
+    // -- Problem 4 and the window dual -------------------------------------
+
+    /// MSS among substrings strictly longer than `gamma0` (paper §6.3).
+    /// Bit-identical to [`crate::mss_min_length`].
+    pub fn mss_min_length(&self, gamma0: usize) -> Result<MssResult> {
+        self.mss_min_length_in(0..self.n(), gamma0)
+    }
+
+    /// [`Engine::mss_min_length`] restricted to `S[range)`.
+    pub fn mss_min_length_in(&self, range: Range<usize>, gamma0: usize) -> Result<MssResult> {
+        let (l, r) = self.check_range(&range)?;
+        let key = CacheKey::MinLen { l, r, gamma0 };
+        if let Some(Answer::Best(res)) = self.cache_get(&key) {
+            return Ok(res);
+        }
+        let res = self.with_scratch(|s| min_length_scan(&self.pc, &self.model, l..r, gamma0, s))?;
+        self.cache_put(key, &Answer::Best(res));
+        Ok(res)
+    }
+
+    /// MSS among substrings of length at most `w`. Bit-identical to
+    /// [`crate::mss_max_length`].
+    pub fn mss_max_length(&self, w: usize) -> Result<MssResult> {
+        self.mss_max_length_in(0..self.n(), w)
+    }
+
+    /// [`Engine::mss_max_length`] restricted to `S[range)`.
+    pub fn mss_max_length_in(&self, range: Range<usize>, w: usize) -> Result<MssResult> {
+        let (l, r) = self.check_range(&range)?;
+        let key = CacheKey::MaxLen { l, r, w };
+        if let Some(Answer::Best(res)) = self.cache_get(&key) {
+            return Ok(res);
+        }
+        let res = self.with_scratch(|s| max_length_scan(&self.pc, &self.model, l..r, w, s))?;
+        self.cache_put(key, &Answer::Best(res));
+        Ok(res)
+    }
+
+    // -- Parallel variants -------------------------------------------------
+
+    /// Parallel MSS on the engine's persistent worker pool. Same `X²`
+    /// bits as [`Engine::mss`] (the winning *position* may differ among
+    /// exact ties — see [`crate::find_mss_parallel`]). Not memoized.
+    pub fn mss_parallel(&self) -> Result<MssResult> {
+        if self.threads == 1 || self.n() < 2 {
+            return self.mss();
+        }
+        Ok(crate::parallel::mss_parallel_scan(
+            &self.pc,
+            &self.model,
+            self.pool(),
+        ))
+    }
+
+    /// Parallel top-t on the engine's persistent worker pool. Not
+    /// memoized.
+    pub fn top_t_parallel(&self, t: usize) -> Result<TopTResult> {
+        if t == 0 {
+            return Err(Error::InvalidParameter {
+                what: "t",
+                details: "the top-t set must have t >= 1".into(),
+            });
+        }
+        if self.threads == 1 || self.n() < 2 {
+            return self.top_t(t);
+        }
+        Ok(crate::parallel::top_t_parallel_scan(
+            &self.pc,
+            &self.model,
+            t,
+            self.pool(),
+        ))
+    }
+
+    // -- Uniform dispatch --------------------------------------------------
+
+    /// Answer a self-describing [`Query`] (the batch driver's entry
+    /// point).
+    pub fn answer(&self, query: &Query) -> Result<Answer> {
+        let range = match query.range {
+            Some((l, r)) => l..r,
+            None => 0..self.n(),
+        };
+        match query.kind {
+            QueryKind::Mss => self.mss_in(range).map(Answer::Best),
+            QueryKind::TopT(t) => self.top_t_in(range, t).map(Answer::Top),
+            QueryKind::AboveThreshold(alpha) => {
+                self.above_threshold_in(range, alpha).map(Answer::Threshold)
+            }
+            QueryKind::MssMinLength(gamma0) => {
+                self.mss_min_length_in(range, gamma0).map(Answer::Best)
+            }
+            QueryKind::MssMaxLength(w) => self.mss_max_length_in(range, w).map(Answer::Best),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The batch driver.
+// ---------------------------------------------------------------------------
+
+/// A batch driver: many queries over many documents on one persistent
+/// worker pool.
+///
+/// Where the engine's `_parallel` methods split a *single* scan across
+/// workers, `Batch` parallelizes across *queries*: each worker pulls the
+/// next `(document, query)` job and answers it sequentially against that
+/// document's engine (hitting the engine's result cache for repeats).
+/// One pool serves the whole batch — no thread is spawned per call.
+///
+/// # Examples
+///
+/// ```
+/// use sigstr_core::{Batch, Engine, Model, Query, Sequence};
+///
+/// let model = Model::uniform(2).unwrap();
+/// let docs = [vec![0, 1, 1, 1, 1, 0], vec![1, 0, 0, 0, 0, 1]];
+/// let engines: Vec<Engine> = docs
+///     .iter()
+///     .map(|d| Engine::new(&Sequence::from_symbols(d.clone(), 2).unwrap(), model.clone()).unwrap())
+///     .collect();
+/// let batch = Batch::new(2);
+/// let jobs = vec![(0, Query::mss()), (1, Query::mss()), (0, Query::top_t(3))];
+/// let answers = batch.run(&engines, &jobs);
+/// assert_eq!(answers.len(), 3);
+/// assert!(answers.iter().all(|a| a.is_ok()));
+/// ```
+#[derive(Debug)]
+pub struct Batch {
+    pool: WorkerPool,
+}
+
+impl Batch {
+    /// Create a batch driver with `threads` persistent workers (`0` = all
+    /// available cores).
+    pub fn new(threads: usize) -> Self {
+        Self {
+            pool: WorkerPool::new(resolve_threads(threads)),
+        }
+    }
+
+    /// Number of persistent workers.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Answer every `(document, query)` job, where `document` indexes
+    /// into `engines`. Answers come back in job order; a job naming a
+    /// missing document yields an error in its slot.
+    pub fn run(&self, engines: &[Engine], jobs: &[(usize, Query)]) -> Vec<Result<Answer>> {
+        if jobs.is_empty() {
+            return Vec::new();
+        }
+        let cursor = AtomicUsize::new(0);
+        let collected: Mutex<Vec<(usize, Result<Answer>)>> =
+            Mutex::new(Vec::with_capacity(jobs.len()));
+        self.pool.broadcast(&|_slot| {
+            let mut local = Vec::new();
+            loop {
+                let index = cursor.fetch_add(1, Ordering::Relaxed);
+                if index >= jobs.len() {
+                    break;
+                }
+                let (doc, query) = &jobs[index];
+                let result = match engines.get(*doc) {
+                    Some(engine) => engine.answer(query),
+                    None => Err(Error::InvalidParameter {
+                        what: "document",
+                        details: format!(
+                            "job {index} names document {doc} but only {} engines were given",
+                            engines.len()
+                        ),
+                    }),
+                };
+                local.push((index, result));
+            }
+            if !local.is_empty() {
+                collected
+                    .lock()
+                    .expect("batch results poisoned")
+                    .extend(local);
+            }
+        });
+        let mut slots: Vec<Option<Result<Answer>>> = (0..jobs.len()).map(|_| None).collect();
+        for (index, result) in collected.into_inner().expect("batch results poisoned") {
+            slots[index] = Some(result);
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every job is answered exactly once"))
+            .collect()
+    }
+
+    /// Answer many queries against one document.
+    pub fn run_queries(&self, engine: &Engine, queries: &[Query]) -> Vec<Result<Answer>> {
+        let jobs: Vec<(usize, Query)> = queries.iter().map(|&q| (0, q)).collect();
+        self.run(std::slice::from_ref(engine), &jobs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(symbols: &[u8], k: usize) -> Sequence {
+        Sequence::from_symbols(symbols.to_vec(), k).unwrap()
+    }
+
+    fn demo_engine() -> Engine {
+        let s = seq(&[0, 1, 0, 1, 1, 1, 1, 1, 0, 0, 1, 0], 2);
+        Engine::new(&s, Model::uniform(2).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn engine_matches_one_shot_api() {
+        let s = seq(&[0, 1, 0, 1, 1, 1, 1, 1, 0, 0, 1, 0], 2);
+        let model = Model::uniform(2).unwrap();
+        let engine = Engine::new(&s, model.clone()).unwrap();
+        assert_eq!(engine.mss().unwrap(), crate::find_mss(&s, &model).unwrap());
+        assert_eq!(
+            engine.top_t(4).unwrap(),
+            crate::top_t(&s, &model, 4).unwrap()
+        );
+        assert_eq!(
+            engine.above_threshold(2.0).unwrap(),
+            crate::above_threshold(&s, &model, 2.0).unwrap()
+        );
+        assert_eq!(
+            engine.mss_min_length(3).unwrap(),
+            crate::mss_min_length(&s, &model, 3).unwrap()
+        );
+        assert_eq!(
+            engine.mss_max_length(4).unwrap(),
+            crate::mss_max_length(&s, &model, 4).unwrap()
+        );
+    }
+
+    #[test]
+    fn range_restriction_equals_sliced_one_shot() {
+        let symbols = [0u8, 1, 0, 1, 1, 1, 1, 1, 0, 0, 1, 0, 0, 0, 1];
+        let s = seq(&symbols, 2);
+        let model = Model::uniform(2).unwrap();
+        let engine = Engine::new(&s, model.clone()).unwrap();
+        for (l, r) in [(0usize, 5usize), (3, 12), (5, 15), (7, 9)] {
+            let sliced = seq(&symbols[l..r], 2);
+            let one_shot = crate::find_mss(&sliced, &model).unwrap();
+            let ranged = engine.mss_in(l..r).unwrap();
+            assert_eq!(ranged.best.start, one_shot.best.start + l);
+            assert_eq!(ranged.best.end, one_shot.best.end + l);
+            assert_eq!(
+                ranged.best.chi_square.to_bits(),
+                one_shot.best.chi_square.to_bits()
+            );
+            assert_eq!(ranged.stats, one_shot.stats);
+        }
+    }
+
+    #[test]
+    #[allow(clippy::reversed_empty_ranges)]
+    fn invalid_ranges_rejected() {
+        let engine = demo_engine();
+        assert!(engine.mss_in(3..3).is_err());
+        assert!(engine.mss_in(5..3).is_err());
+        assert!(engine.mss_in(0..engine.n() + 1).is_err());
+        assert!(engine.top_t_in(2..2, 3).is_err());
+    }
+
+    #[test]
+    fn cache_serves_repeats() {
+        let engine = demo_engine();
+        let first = engine.mss().unwrap();
+        let (h0, m0) = engine.cache_stats();
+        assert_eq!((h0, m0), (0, 1));
+        let second = engine.mss().unwrap();
+        assert_eq!(first, second);
+        let (h1, m1) = engine.cache_stats();
+        assert_eq!((h1, m1), (1, 1));
+        assert_eq!(engine.cache_len(), 1);
+        engine.clear_cache();
+        assert_eq!(engine.cache_len(), 0);
+    }
+
+    #[test]
+    fn distinct_parameters_are_distinct_cache_entries() {
+        let engine = demo_engine();
+        engine.top_t(2).unwrap();
+        engine.top_t(3).unwrap();
+        engine.mss_in(0..4).unwrap();
+        engine.mss_in(0..5).unwrap();
+        assert_eq!(engine.cache_len(), 4);
+    }
+
+    #[test]
+    fn from_counts_checks_alphabet() {
+        let s = seq(&[0, 1, 2, 0], 3);
+        let pc = PrefixCounts::build(&s);
+        assert!(Engine::from_counts(pc.clone(), Model::uniform(2).unwrap()).is_err());
+        let engine = Engine::from_counts(pc, Model::uniform(3).unwrap()).unwrap();
+        assert_eq!(engine.k(), 3);
+        assert_eq!(engine.n(), 4);
+    }
+
+    #[test]
+    fn parallel_queries_match_sequential_values() {
+        let symbols: Vec<u8> = (0..400u32).map(|i| ((i * 7 + i / 5) % 2) as u8).collect();
+        let s = seq(&symbols, 2);
+        let engine = Engine::with_threads(&s, Model::uniform(2).unwrap(), 4).unwrap();
+        let sequential = engine.mss().unwrap();
+        let parallel = engine.mss_parallel().unwrap();
+        assert_eq!(
+            sequential.best.chi_square.to_bits(),
+            parallel.best.chi_square.to_bits()
+        );
+        let seq_top = engine.top_t(8).unwrap();
+        let par_top = engine.top_t_parallel(8).unwrap();
+        for (a, b) in seq_top.items.iter().zip(&par_top.items) {
+            assert_eq!(a.chi_square.to_bits(), b.chi_square.to_bits());
+        }
+        // Pool is built once and reused.
+        let again = engine.mss_parallel().unwrap();
+        assert_eq!(
+            again.best.chi_square.to_bits(),
+            sequential.best.chi_square.to_bits()
+        );
+    }
+
+    #[test]
+    fn answer_dispatches_every_kind() {
+        let engine = demo_engine();
+        let n = engine.n();
+        for query in [
+            Query::mss(),
+            Query::top_t(3),
+            Query::above_threshold(1.5),
+            Query::mss_min_length(2),
+            Query::mss_max_length(5),
+            Query::mss().in_range(1, n - 1),
+        ] {
+            let answer = engine.answer(&query).unwrap();
+            assert!(!answer.items().is_empty(), "{query:?}");
+            assert!(answer.stats().examined > 0, "{query:?}");
+        }
+        assert!(engine.answer(&Query::top_t(0)).is_err());
+        assert!(engine.answer(&Query::mss().in_range(4, 2)).is_err());
+    }
+
+    #[test]
+    fn batch_runs_many_documents_and_queries() {
+        let model = Model::uniform(2).unwrap();
+        let docs = [
+            seq(&[0, 1, 1, 1, 1, 0, 0, 1], 2),
+            seq(&[1, 0, 0, 0, 0, 1, 1, 0], 2),
+            seq(&[0, 1, 0, 1, 0, 1, 0, 1], 2),
+        ];
+        let engines: Vec<Engine> = docs
+            .iter()
+            .map(|d| Engine::new(d, model.clone()).unwrap())
+            .collect();
+        let batch = Batch::new(3);
+        let mut jobs = Vec::new();
+        for doc in 0..docs.len() {
+            jobs.push((doc, Query::mss()));
+            jobs.push((doc, Query::top_t(2)));
+            jobs.push((doc, Query::mss_max_length(3)));
+        }
+        jobs.push((99, Query::mss())); // bad document index
+        let answers = batch.run(&engines, &jobs);
+        assert_eq!(answers.len(), jobs.len());
+        for (i, answer) in answers.iter().enumerate().take(jobs.len() - 1) {
+            let answer = answer.as_ref().unwrap();
+            let (doc, query) = &jobs[i];
+            assert_eq!(engines[*doc].answer(query).unwrap(), *answer);
+        }
+        assert!(answers.last().unwrap().is_err());
+    }
+
+    #[test]
+    fn batch_run_queries_single_document() {
+        let engine = demo_engine();
+        let batch = Batch::new(2);
+        let queries = [Query::mss(), Query::top_t(2), Query::above_threshold(1.0)];
+        let answers = batch.run_queries(&engine, &queries);
+        assert_eq!(answers.len(), 3);
+        assert_eq!(
+            answers[0].as_ref().unwrap().best().unwrap().chi_square,
+            engine.mss().unwrap().best.chi_square
+        );
+    }
+
+    #[test]
+    fn streaming_threshold_is_uncached() {
+        let engine = demo_engine();
+        let mut count = 0usize;
+        engine
+            .for_each_above_threshold(1.0, |_| count += 1)
+            .unwrap();
+        assert!(count > 0);
+        assert_eq!(engine.cache_len(), 0);
+        assert!(engine.for_each_above_threshold(-1.0, |_| ()).is_err());
+    }
+}

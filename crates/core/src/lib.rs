@@ -8,16 +8,25 @@
 //!
 //! # The four problems (paper §1)
 //!
-//! | Problem | Function | Paper |
-//! |---|---|---|
-//! | 1. Most significant substring | [`find_mss`] | Algorithm 1 |
-//! | 2. Top-t substrings | [`top_t`] | Algorithm 2 |
-//! | 3. All substrings with `X² > α₀` | [`above_threshold`] | Algorithm 3 |
-//! | 4. MSS among substrings longer than `Γ₀` | [`mss_min_length`] | §6.3 |
+//! | Problem | Engine method | One-shot function | Paper |
+//! |---|---|---|---|
+//! | 1. Most significant substring | [`Engine::mss`] | [`find_mss`] | Algorithm 1 |
+//! | 2. Top-t substrings | [`Engine::top_t`] | [`top_t`] | Algorithm 2 |
+//! | 3. All substrings with `X² > α₀` | [`Engine::above_threshold`] | [`above_threshold`] | Algorithm 3 |
+//! | 4. MSS among substrings longer than `Γ₀` | [`Engine::mss_min_length`] | [`mss_min_length`] | §6.3 |
 //!
-//! All four run in `O(k·n^{3/2})` w.h.p. via the *chain cover* pruning
-//! bound (paper Theorem 1, [`cover`]) and the quadratic skip solver
-//! ([`skip`]).
+//! The **primary entry point is [`Engine`]** ([`engine`] module): built
+//! once per `(sequence, model)` pair, it owns the prefix-count index, the
+//! precomputed model tables, a scratch arena and a persistent worker
+//! pool, and serves every variant — including **range-restricted** forms
+//! (`mss_in(l..r)`, the sharding building block) and memoized repeats —
+//! without rebuilding state. The free functions are one-shot convenience
+//! wrappers over the same internals and return bit-identical results;
+//! [`Batch`] drives many queries over many documents on one pool.
+//!
+//! All four problems run in `O(k·n^{3/2})` w.h.p. via the *chain cover*
+//! pruning bound (paper Theorem 1, [`cover`]) and the quadratic skip
+//! solver ([`skip`]).
 //!
 //! # Baselines and extensions
 //!
@@ -61,6 +70,7 @@
 pub mod baseline;
 pub mod counts;
 pub mod cover;
+pub mod engine;
 pub mod error;
 pub mod grid;
 pub mod markov;
@@ -78,16 +88,18 @@ pub mod streaming;
 pub mod threshold;
 pub mod topt;
 
-pub use counts::PrefixCounts;
+pub use counts::{GrowableCounts, PrefixCounts};
+pub use engine::{Answer, Batch, Engine, Query, QueryKind};
 pub use error::{Error, Result};
 pub use maxlen::mss_max_length;
 pub use minlen::mss_min_length;
 pub use model::Model;
 pub use mss::{find_mss, find_mss_reference, MssResult};
-pub use parallel::{find_mss_parallel, top_t_parallel};
+pub use parallel::{find_mss_parallel, top_t_parallel, WorkerPool};
 pub use scan::ScanStats;
 pub use score::{
-    chi_square_counts, chi_square_counts_with_len, chi_square_range, ScoreState, Scored,
+    chi_square_counts, chi_square_counts_with_len, chi_square_range, weighted_square_sum,
+    ScoreState, Scored,
 };
 pub use seq::Sequence;
 pub use threshold::{above_threshold, for_each_above_threshold, ThresholdResult};

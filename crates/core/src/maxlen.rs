@@ -9,10 +9,9 @@
 //! window end.
 
 use crate::counts::PrefixCounts;
-use crate::error::{Error, Result};
+use crate::error::Result;
 use crate::model::Model;
 use crate::mss::MssResult;
-use crate::scan::{scan_policy, MaxPolicy};
 use crate::seq::Sequence;
 
 /// Find the most significant substring of length at most `w`.
@@ -37,21 +36,10 @@ pub fn mss_max_length(seq: &Sequence, model: &Model, w: usize) -> Result<MssResu
     mss_max_length_counts(&pc, model, w)
 }
 
-/// [`mss_max_length`] over prebuilt prefix counts.
+/// [`mss_max_length`] over prebuilt prefix counts — a thin wrapper over
+/// the engine scan; prefer [`crate::Engine`] when issuing many queries.
 pub fn mss_max_length_counts(pc: &PrefixCounts, model: &Model, w: usize) -> Result<MssResult> {
-    if w == 0 {
-        return Err(Error::InvalidParameter {
-            what: "w",
-            details: "the window must have positive length".into(),
-        });
-    }
-    let n = pc.n();
-    let mut policy = MaxPolicy::default();
-    let stats = scan_policy(pc, model, 1, w, (0..n).rev(), &mut policy);
-    Ok(MssResult {
-        best: policy.best.expect("non-empty sequence"),
-        stats,
-    })
+    crate::engine::max_length_scan(pc, model, 0..pc.n(), w, &mut Vec::new())
 }
 
 #[cfg(test)]

@@ -6,10 +6,9 @@
 //! (paper Fig. 7).
 
 use crate::counts::PrefixCounts;
-use crate::error::{Error, Result};
+use crate::error::Result;
 use crate::model::Model;
 use crate::mss::MssResult;
-use crate::scan::{scan_policy, MaxPolicy};
 use crate::seq::Sequence;
 
 /// Find the most significant substring among substrings of length
@@ -37,29 +36,10 @@ pub fn mss_min_length(seq: &Sequence, model: &Model, gamma0: usize) -> Result<Ms
     mss_min_length_counts(&pc, model, gamma0)
 }
 
-/// [`mss_min_length`] over prebuilt prefix counts.
+/// [`mss_min_length`] over prebuilt prefix counts — a thin wrapper over
+/// the engine scan; prefer [`crate::Engine`] when issuing many queries.
 pub fn mss_min_length_counts(pc: &PrefixCounts, model: &Model, gamma0: usize) -> Result<MssResult> {
-    let n = pc.n();
-    let min_len = gamma0 + 1;
-    if min_len > n {
-        return Err(Error::InvalidParameter {
-            what: "gamma0",
-            details: format!("no substring of length > {gamma0} exists in a string of length {n}"),
-        });
-    }
-    let mut policy = MaxPolicy::default();
-    let stats = scan_policy(
-        pc,
-        model,
-        min_len,
-        usize::MAX,
-        (0..=(n - min_len)).rev(),
-        &mut policy,
-    );
-    let best = policy
-        .best
-        .expect("at least one candidate substring exists");
-    Ok(MssResult { best, stats })
+    crate::engine::min_length_scan(pc, model, 0..pc.n(), gamma0, &mut Vec::new())
 }
 
 #[cfg(test)]

@@ -9,7 +9,7 @@
 use crate::counts::PrefixCounts;
 use crate::error::Result;
 use crate::model::Model;
-use crate::scan::{scan_policy, MaxPolicy, ScanStats};
+use crate::scan::ScanStats;
 use crate::score::Scored;
 use crate::seq::Sequence;
 
@@ -51,15 +51,16 @@ pub fn find_mss(seq: &Sequence, model: &Model) -> Result<MssResult> {
 }
 
 /// [`find_mss`] over prebuilt prefix counts (reuse the table across
-/// repeated mining calls on the same sequence).
+/// repeated mining calls on the same sequence) — a thin wrapper over the
+/// engine scan; prefer [`crate::Engine`] when issuing many queries, which
+/// also recycles scratch buffers and memoizes repeated answers.
 pub fn find_mss_counts(pc: &PrefixCounts, model: &Model) -> Result<MssResult> {
-    let mut policy = MaxPolicy::default();
-    let n = pc.n();
-    let stats = scan_policy(pc, model, 1, usize::MAX, (0..n).rev(), &mut policy);
-    let best = policy
-        .best
-        .expect("non-empty sequence always yields a best substring");
-    Ok(MssResult { best, stats })
+    Ok(crate::engine::mss_scan(
+        pc,
+        model,
+        0..pc.n(),
+        &mut Vec::new(),
+    ))
 }
 
 /// [`find_mss`] forced through the unspecialized reference engine
@@ -71,7 +72,7 @@ pub fn find_mss_counts(pc: &PrefixCounts, model: &Model) -> Result<MssResult> {
 pub fn find_mss_reference(seq: &Sequence, model: &Model) -> Result<MssResult> {
     model.check_alphabet(seq)?;
     let rc = crate::scan::ReferenceCounts::build(seq);
-    let mut policy = MaxPolicy::default();
+    let mut policy = crate::scan::MaxPolicy::default();
     let n = seq.len();
     let stats = crate::scan::scan_policy_reference(&rc, model, 1, (0..n).rev(), &mut policy);
     let best = policy

@@ -1,10 +1,21 @@
-//! Parallel mining — work-stealing over fine-grained start blocks.
+//! Parallel mining — a persistent worker pool with work-stealing over
+//! fine-grained start blocks.
 //!
 //! The pruned scan is embarrassingly parallel over start positions; the
 //! only shared state is the pruning budget. Workers publish their local
 //! best (or top-t floor) through a monotone atomic `f64`; reading a stale
 //! (lower) budget is always *safe* — it only weakens pruning, never
 //! correctness — so plain relaxed atomics suffice.
+//!
+//! # The pool
+//!
+//! Workers live in a [`WorkerPool`]: `N` threads parked on a condvar,
+//! woken per scan and handed a borrowed job closure through an
+//! epoch-counted broadcast. An [`crate::Engine`] spawns one pool lazily
+//! and reuses it for every parallel query it serves; the one-shot
+//! [`find_mss_parallel`] / [`top_t_parallel`] build a transient pool per
+//! call (exactly the thread-spawn cost the old scoped implementation
+//! paid), so reuse is what the engine buys you.
 //!
 //! # Scheduling
 //!
@@ -25,6 +36,7 @@
 //! worker's first block runs essentially unpruned.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 
 use crate::counts::PrefixCounts;
 use crate::error::{Error, Result};
@@ -79,14 +91,195 @@ impl Policy for SharedMaxPolicy<'_> {
     }
 }
 
-/// Validate and normalize a worker-count request.
-fn resolve_threads(threads: usize) -> usize {
+/// Validate and normalize a worker-count request (`0` = all cores).
+pub(crate) fn resolve_threads(threads: usize) -> usize {
     if threads == 0 {
         std::thread::available_parallelism().map_or(1, |p| p.get())
     } else {
         threads
     }
 }
+
+// ---------------------------------------------------------------------------
+// The persistent worker pool.
+// ---------------------------------------------------------------------------
+
+/// A borrowed job, lifetime-erased for the pool's shared state.
+///
+/// The `'static` is a fiction confined to this module: [`WorkerPool::
+/// broadcast`] does not return until every worker has finished with the
+/// reference, so the underlying borrow outlives every dereference.
+#[derive(Clone, Copy)]
+struct Job(&'static (dyn Fn(usize) + Sync));
+
+struct PoolState {
+    /// Bumped once per broadcast; workers run each epoch exactly once.
+    epoch: u64,
+    /// The current epoch's job (cleared when the epoch completes).
+    job: Option<Job>,
+    /// Workers still running the current epoch's job.
+    remaining: usize,
+    /// Whether any worker panicked during the current epoch's job.
+    panicked: bool,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Workers wait here for a new epoch (or shutdown).
+    start: Condvar,
+    /// The broadcaster waits here for `remaining` to reach zero.
+    done: Condvar,
+}
+
+/// A fixed-size pool of persistent scan workers.
+///
+/// Built once (per [`crate::Engine`], per [`crate::Batch`], or per
+/// one-shot parallel call) and reused for every subsequent parallel
+/// query: broadcasting a job wakes the parked workers instead of
+/// spawning threads. Dropping the pool shuts the workers down and joins
+/// them.
+#[derive(Debug)]
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    /// Serializes broadcasts (concurrent parallel queries on one engine
+    /// take turns on the pool).
+    gate: Mutex<()>,
+}
+
+impl std::fmt::Debug for PoolShared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoolShared").finish_non_exhaustive()
+    }
+}
+
+/// Lock, recovering from poison: every pool invariant is re-established
+/// at the start of each broadcast (and a propagated job panic poisons the
+/// locks while the state is already consistent), so poison never means
+/// corruption here.
+fn lock_recover<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl WorkerPool {
+    /// Spawn `threads` persistent workers (clamped to at least one).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                epoch: 0,
+                job: None,
+                remaining: 0,
+                panicked: false,
+                shutdown: false,
+            }),
+            start: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let handles = (0..threads)
+            .map(|slot| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared, slot))
+            })
+            .collect();
+        Self {
+            shared,
+            handles,
+            gate: Mutex::new(()),
+        }
+    }
+
+    /// Number of workers.
+    pub fn threads(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Run `job(slot)` on every worker and wait for all of them to
+    /// finish. `slot` is the worker index in `0..threads()`.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises when any worker's job panics (matching the join-and-
+    /// propagate semantics of the scoped-thread implementation this pool
+    /// replaced — a panicking scan must crash the query, not hang it).
+    pub(crate) fn broadcast(&self, job: &(dyn Fn(usize) + Sync)) {
+        let _gate = lock_recover(&self.gate);
+        // SAFETY: lifetime erasure only — see `Job`. We block below until
+        // every worker has finished running the closure, so the borrow is
+        // live for every dereference.
+        let job: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(job) };
+        let mut state = lock_recover(&self.shared.state);
+        debug_assert_eq!(state.remaining, 0);
+        state.job = Some(Job(job));
+        state.epoch += 1;
+        state.remaining = self.handles.len();
+        state.panicked = false;
+        self.shared.start.notify_all();
+        while state.remaining > 0 {
+            state = self
+                .shared
+                .done
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        state.job = None;
+        assert!(!state.panicked, "worker panicked during pool broadcast");
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut state = lock_recover(&self.shared.state);
+            state.shutdown = true;
+            self.shared.start.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared, slot: usize) {
+    let mut seen_epoch = 0u64;
+    loop {
+        let job = {
+            let mut state = lock_recover(&shared.state);
+            loop {
+                if state.shutdown {
+                    return;
+                }
+                if state.epoch != seen_epoch {
+                    seen_epoch = state.epoch;
+                    break state.job.expect("job set for the live epoch");
+                }
+                state = shared
+                    .start
+                    .wait(state)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        };
+        // Catch job panics so `remaining` always reaches zero: a panicking
+        // scan must surface in broadcast() as a panic, never leave the
+        // broadcaster (and every future pool user) waiting forever.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (job.0)(slot)));
+        let mut state = lock_recover(&shared.state);
+        if outcome.is_err() {
+            state.panicked = true;
+        }
+        state.remaining -= 1;
+        if state.remaining == 0 {
+            shared.done.notify_all();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Block scheduling.
+// ---------------------------------------------------------------------------
 
 /// Number of trailing start positions the sequential warm-up pass covers.
 fn warmup_len(n: usize) -> usize {
@@ -112,36 +305,30 @@ fn block_range(index: usize, remaining: usize, block: usize) -> std::ops::Range<
     lo..hi
 }
 
-/// Run `worker` on `threads` scoped threads pulling block indices from a
-/// shared cursor, and collect each worker's result.
+/// Run `worker` on every pool thread, each pulling block indices from a
+/// shared cursor, and collect the per-worker results (in completion
+/// order — callers merge commutatively).
 fn steal_blocks<T: Send>(
-    threads: usize,
+    pool: &WorkerPool,
     num_blocks: usize,
     worker: impl Fn(&mut dyn FnMut() -> Option<usize>) -> T + Sync,
 ) -> Vec<T> {
-    // Surplus workers would only pop an empty cursor and exit.
-    let threads = threads.min(num_blocks).max(1);
     let cursor = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                let cursor = &cursor;
-                let worker = &worker;
-                scope.spawn(move || {
-                    let mut next = || {
-                        let index = cursor.fetch_add(1, Ordering::Relaxed);
-                        (index < num_blocks).then_some(index)
-                    };
-                    worker(&mut next)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect()
-    })
+    let results: Mutex<Vec<T>> = Mutex::new(Vec::with_capacity(pool.threads()));
+    pool.broadcast(&|_slot| {
+        let mut next = || {
+            let index = cursor.fetch_add(1, Ordering::Relaxed);
+            (index < num_blocks).then_some(index)
+        };
+        let result = worker(&mut next);
+        results.lock().expect("steal results poisoned").push(result);
+    });
+    results.into_inner().expect("steal results poisoned")
 }
+
+// ---------------------------------------------------------------------------
+// Parallel MSS.
+// ---------------------------------------------------------------------------
 
 /// Parallel MSS (Problem 1). `threads = 0` uses all available cores.
 ///
@@ -151,6 +338,9 @@ fn steal_blocks<T: Send>(
 /// the maximum bit-for-bit, the reported *position* may differ from the
 /// sequential scan's (either scan may prune a tied extension; see
 /// `DESIGN.md` §3), with ties at the merge resolving by earliest start.
+///
+/// Spawns a transient [`WorkerPool`] per call — build an
+/// [`crate::Engine`] to reuse one pool across calls.
 pub fn find_mss_parallel(seq: &Sequence, model: &Model, threads: usize) -> Result<MssResult> {
     model.check_alphabet(seq)?;
     let pc = PrefixCounts::build(seq);
@@ -163,11 +353,17 @@ pub fn find_mss_parallel_counts(
     model: &Model,
     threads: usize,
 ) -> Result<MssResult> {
-    let n = pc.n();
     let threads = resolve_threads(threads);
-    if threads == 1 || n < 2 {
+    if threads == 1 || pc.n() < 2 {
         return crate::mss::find_mss_counts(pc, model);
     }
+    let pool = WorkerPool::new(threads);
+    Ok(mss_parallel_scan(pc, model, &pool))
+}
+
+/// The pool-borrowing parallel MSS scan (the engine's entry point).
+pub(crate) fn mss_parallel_scan(pc: &PrefixCounts, model: &Model, pool: &WorkerPool) -> MssResult {
+    let n = pc.n();
     let shared = SharedMax::new();
 
     // Sequential warm-up: seed the shared budget on the cheap suffix.
@@ -178,8 +374,10 @@ pub fn find_mss_parallel_counts(
         model,
         1,
         usize::MAX,
+        n,
         (n - warm..n).rev(),
         &mut warm_policy,
+        &mut Vec::new(),
     );
     if let Some(b) = warm_policy.best {
         shared.publish(b.chi_square);
@@ -188,14 +386,15 @@ pub fn find_mss_parallel_counts(
     let remaining = n - warm;
     let mut best = warm_policy.best;
     if remaining > 0 {
-        let block = block_len(remaining, threads);
+        let block = block_len(remaining, pool.threads());
         let num_blocks = remaining.div_ceil(block);
-        let results = steal_blocks(threads, num_blocks, |next| {
+        let results = steal_blocks(pool, num_blocks, |next| {
             let mut policy = SharedMaxPolicy {
                 local: MaxPolicy::default(),
                 shared: &shared,
             };
             let mut stats = ScanStats::default();
+            let mut scratch = Vec::new();
             while let Some(index) = next() {
                 let range = block_range(index, remaining, block);
                 stats.merge(&scan_policy(
@@ -203,8 +402,10 @@ pub fn find_mss_parallel_counts(
                     model,
                     1,
                     usize::MAX,
+                    n,
                     range.rev(),
                     &mut policy,
+                    &mut scratch,
                 ));
             }
             (policy.local.best, stats)
@@ -219,11 +420,15 @@ pub fn find_mss_parallel_counts(
             }
         }
     }
-    Ok(MssResult {
+    MssResult {
         best: best.expect("non-empty sequence"),
         stats,
-    })
+    }
 }
+
+// ---------------------------------------------------------------------------
+// Parallel top-t.
+// ---------------------------------------------------------------------------
 
 /// A `TopTPolicy` that shares the t-th-best floor across workers.
 struct SharedTopTPolicy<'a> {
@@ -251,6 +456,9 @@ impl Policy for SharedTopTPolicy<'_> {
 ///
 /// The returned set matches [`crate::top_t`] up to the choice among
 /// `X²`-tied substrings at the boundary.
+///
+/// Spawns a transient [`WorkerPool`] per call — build an
+/// [`crate::Engine`] to reuse one pool across calls.
 pub fn top_t_parallel(
     seq: &Sequence,
     model: &Model,
@@ -265,11 +473,22 @@ pub fn top_t_parallel(
         });
     }
     let pc = PrefixCounts::build(seq);
-    let n = pc.n();
     let threads = resolve_threads(threads);
-    if threads == 1 || n < 2 {
+    if threads == 1 || pc.n() < 2 {
         return crate::topt::top_t_counts(&pc, model, t);
     }
+    let pool = WorkerPool::new(threads);
+    Ok(top_t_parallel_scan(&pc, model, t, &pool))
+}
+
+/// The pool-borrowing parallel top-t scan (the engine's entry point).
+pub(crate) fn top_t_parallel_scan(
+    pc: &PrefixCounts,
+    model: &Model,
+    t: usize,
+    pool: &WorkerPool,
+) -> TopTResult {
+    let n = pc.n();
     let shared = SharedMax::new();
 
     // Sequential warm-up: seed the shared floor with the suffix's t-th
@@ -277,36 +496,40 @@ pub fn top_t_parallel(
     let warm = warmup_len(n);
     let mut warm_policy = TopTPolicy::new(t);
     let mut stats = scan_policy(
-        &pc,
+        pc,
         model,
         1,
         usize::MAX,
+        n,
         (n - warm..n).rev(),
         &mut warm_policy,
+        &mut Vec::new(),
     );
     shared.publish(warm_policy.budget());
     let mut all: Vec<Scored> = warm_policy.into_sorted();
 
     let remaining = n - warm;
     if remaining > 0 {
-        let block = block_len(remaining, threads);
+        let block = block_len(remaining, pool.threads());
         let num_blocks = remaining.div_ceil(block);
-        let pc_ref = &pc;
-        let results = steal_blocks(threads, num_blocks, |next| {
+        let results = steal_blocks(pool, num_blocks, |next| {
             let mut policy = SharedTopTPolicy {
                 local: TopTPolicy::new(t),
                 shared: &shared,
             };
             let mut stats = ScanStats::default();
+            let mut scratch = Vec::new();
             while let Some(index) = next() {
                 let range = block_range(index, remaining, block);
                 stats.merge(&scan_policy(
-                    pc_ref,
+                    pc,
                     model,
                     1,
                     usize::MAX,
+                    n,
                     range.rev(),
                     &mut policy,
+                    &mut scratch,
                 ));
             }
             (policy.local.into_sorted(), stats)
@@ -318,7 +541,7 @@ pub fn top_t_parallel(
     }
     all.sort_by(|a, b| scored_cmp(b, a));
     all.truncate(t);
-    Ok(TopTResult { items: all, stats })
+    TopTResult { items: all, stats }
 }
 
 #[cfg(test)]
@@ -361,9 +584,9 @@ mod tests {
 
     #[test]
     fn steal_blocks_hands_out_each_index_once() {
-        use std::sync::Mutex;
+        let pool = WorkerPool::new(4);
         let seen = Mutex::new(Vec::new());
-        steal_blocks(4, 100, |next| {
+        steal_blocks(&pool, 100, |next| {
             while let Some(index) = next() {
                 seen.lock().unwrap().push(index);
             }
@@ -371,6 +594,50 @@ mod tests {
         let mut seen = seen.into_inner().unwrap();
         seen.sort_unstable();
         assert_eq!(seen, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_survives_many_broadcasts() {
+        let pool = WorkerPool::new(3);
+        assert_eq!(pool.threads(), 3);
+        for round in 0..50u64 {
+            let hits = AtomicU64::new(0);
+            pool.broadcast(&|_slot| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(hits.load(Ordering::Relaxed), 3, "round {round}");
+        }
+    }
+
+    #[test]
+    fn pool_propagates_job_panics_without_deadlock() {
+        let pool = WorkerPool::new(2);
+        let boom = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.broadcast(&|slot| {
+                if slot == 0 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(boom.is_err(), "broadcast must re-raise worker panics");
+        // The pool (and its workers) remain usable afterwards.
+        let hits = AtomicU64::new(0);
+        pool.broadcast(&|_slot| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn pool_clamps_zero_threads() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        let ran = AtomicU64::new(0);
+        pool.broadcast(&|slot| {
+            assert_eq!(slot, 0);
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 1);
     }
 
     #[test]

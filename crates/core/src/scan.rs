@@ -32,7 +32,7 @@
 
 use crate::counts::PrefixCounts;
 use crate::model::Model;
-use crate::score::{chi_square_counts, chi_square_counts_with_len, Scored};
+use crate::score::{chi_square_counts, chi_square_counts_with_len, weighted_square_sum, Scored};
 use crate::skip::{skip_from_ws, SkipTables};
 
 /// Instrumentation of a scan.
@@ -72,24 +72,35 @@ pub(crate) trait Policy {
 
 /// Run the pruned scan over all substrings with length in
 /// `min_len..=window` starting in `starts` (an iterator of start indices,
-/// visited in the given order).
+/// visited in the given order) and ending at or before `limit`.
 ///
 /// The caller guarantees `1 ≤ min_len ≤ window` and that every start `i`
-/// satisfies `i + min_len ≤ n`. Pass `window = usize::MAX` for the
-/// unconstrained variants.
+/// satisfies `i + min_len ≤ limit ≤ n`. Pass `window = usize::MAX` for
+/// the length-unconstrained variants and `limit = n` for the
+/// range-unrestricted ones; the engine's range queries pass the
+/// (exclusive) right edge of the restricted range as `limit`.
+///
+/// `scratch` is the generic kernel's count buffer — one-shot callers pass
+/// a fresh `Vec`, the engine recycles buffers from its arena. The
+/// alphabet-specialized kernels keep their counts on the stack and leave
+/// it untouched.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn scan_policy<P: Policy>(
     pc: &PrefixCounts,
     model: &Model,
     min_len: usize,
     window: usize,
+    limit: usize,
     starts: impl Iterator<Item = usize>,
     policy: &mut P,
+    scratch: &mut Vec<u32>,
 ) -> ScanStats {
     debug_assert!(min_len >= 1 && min_len <= window);
+    debug_assert!(limit <= pc.n());
     match model.k() {
-        2 => scan_starts_fixed::<2, P>(pc, model, min_len, window, starts, policy),
-        4 => scan_starts_fixed::<4, P>(pc, model, min_len, window, starts, policy),
-        _ => scan_starts_dyn(pc, model, min_len, window, starts, policy),
+        2 => scan_starts_fixed::<2, P>(pc, model, min_len, window, limit, starts, policy),
+        4 => scan_starts_fixed::<4, P>(pc, model, min_len, window, limit, starts, policy),
+        _ => scan_starts_dyn(pc, model, min_len, window, limit, starts, policy, scratch),
     }
 }
 
@@ -108,12 +119,12 @@ fn next_lane<const K: usize>(
     pc: &PrefixCounts,
     min_len: usize,
     window: usize,
+    limit: usize,
     starts: &mut impl Iterator<Item = usize>,
 ) -> Option<Lane<K>> {
-    let n = pc.n();
     for i in starts {
-        debug_assert!(i + min_len <= n);
-        let window_end = n.min(i.saturating_add(window));
+        debug_assert!(i + min_len <= limit);
+        let window_end = limit.min(i.saturating_add(window));
         let end = i + min_len;
         if end > window_end {
             continue;
@@ -148,11 +159,7 @@ fn lane_step<const K: usize, P: Policy>(
     // Weighted square sum Σ Y²/p in the canonical fixed order; the
     // division that finishes the statistic is deferred behind the budget
     // pre-filter below, so the common (pruned) case never divides.
-    let mut ws = 0.0;
-    for (&y, &ip) in lane.counts.iter().zip(inv_p.iter()) {
-        let yf = f64::from(y);
-        ws += yf * yf * ip;
-    }
+    let ws = weighted_square_sum(&lane.counts, inv_p);
     stats.examined += 1;
     let mut budget = policy.budget();
     // Budget pre-filter: a substring with X² strictly below the budget
@@ -205,6 +212,7 @@ fn scan_starts_fixed<const K: usize, P: Policy>(
     model: &Model,
     min_len: usize,
     window: usize,
+    limit: usize,
     starts: impl Iterator<Item = usize>,
     policy: &mut P,
 ) -> ScanStats {
@@ -229,18 +237,18 @@ fn scan_starts_fixed<const K: usize, P: Policy>(
     };
     let mut stats = ScanStats::default();
     let mut starts = starts;
-    let mut lane_a = next_lane::<K>(pc, min_len, window, &mut starts);
-    let mut lane_b = next_lane::<K>(pc, min_len, window, &mut starts);
+    let mut lane_a = next_lane::<K>(pc, min_len, window, limit, &mut starts);
+    let mut lane_b = next_lane::<K>(pc, min_len, window, limit, &mut starts);
     loop {
         match (&mut lane_a, &mut lane_b) {
             (Some(a), Some(b)) => {
                 let live_a = lane_step(a, pc, symbols, &inv_p, &tables, policy, &mut stats);
                 let live_b = lane_step(b, pc, symbols, &inv_p, &tables, policy, &mut stats);
                 if !live_a {
-                    lane_a = next_lane::<K>(pc, min_len, window, &mut starts);
+                    lane_a = next_lane::<K>(pc, min_len, window, limit, &mut starts);
                 }
                 if !live_b {
-                    lane_b = next_lane::<K>(pc, min_len, window, &mut starts);
+                    lane_b = next_lane::<K>(pc, min_len, window, limit, &mut starts);
                 }
             }
             (Some(a), None) => {
@@ -257,44 +265,45 @@ fn scan_starts_fixed<const K: usize, P: Policy>(
     stats
 }
 
-/// Generic-alphabet kernel: identical skeleton with a single heap-allocated
-/// count buffer per scan call (still allocation-free per substring).
+/// Generic-alphabet kernel: identical skeleton with a caller-provided
+/// count buffer (still allocation-free per substring, and allocation-free
+/// per scan call when the buffer comes from the engine's arena).
+#[allow(clippy::too_many_arguments)]
 fn scan_starts_dyn<P: Policy>(
     pc: &PrefixCounts,
     model: &Model,
     min_len: usize,
     window: usize,
+    limit: usize,
     starts: impl Iterator<Item = usize>,
     policy: &mut P,
+    scratch: &mut Vec<u32>,
 ) -> ScanStats {
-    let n = pc.n();
     let k = model.k();
     let symbols = pc.symbols();
     let inv_p = model.inv_probs();
     let tables = SkipTables::from_model(model);
-    let mut counts = vec![0u32; k];
+    scratch.clear();
+    scratch.resize(k, 0);
+    let counts = &mut scratch[..];
     let mut stats = ScanStats::default();
     for i in starts {
-        debug_assert!(i + min_len <= n);
-        let window_end = n.min(i.saturating_add(window));
+        debug_assert!(i + min_len <= limit);
+        let window_end = limit.min(i.saturating_add(window));
         let mut end = i + min_len;
         if end > window_end {
             continue;
         }
-        pc.fill_counts(i, end, &mut counts);
+        pc.fill_counts(i, end, counts);
         loop {
             let l = end - i;
             let lf = l as f64;
-            let mut ws = 0.0;
-            for (&y, &ip) in counts.iter().zip(inv_p) {
-                let yf = f64::from(y);
-                ws += yf * yf * ip;
-            }
+            let ws = weighted_square_sum(counts, inv_p);
             stats.examined += 1;
             let mut budget = policy.budget();
             // Budget pre-filter — see `lane_step` for the argument.
             if ws >= (budget + lf) * lf * (1.0 - 1e-12) {
-                let x2 = chi_square_counts_with_len(&counts, inv_p, lf);
+                let x2 = chi_square_counts_with_len(counts, inv_p, lf);
                 policy.observe(Scored {
                     start: i,
                     end,
@@ -302,7 +311,7 @@ fn scan_starts_dyn<P: Policy>(
                 });
                 budget = policy.budget();
             }
-            let skip = skip_from_ws(&counts, lf, ws, budget, &tables).min(window_end - end);
+            let skip = skip_from_ws(counts, lf, ws, budget, &tables).min(window_end - end);
             if skip > 0 {
                 stats.skips += 1;
                 stats.skipped += skip as u64;
@@ -314,7 +323,7 @@ fn scan_starts_dyn<P: Policy>(
             if skip == 0 {
                 counts[symbols[end] as usize] += 1;
             } else {
-                pc.accumulate_counts(end, next, &mut counts);
+                pc.accumulate_counts(end, next, counts);
             }
             end = next;
         }
@@ -542,7 +551,16 @@ mod tests {
         let model = Model::uniform(2).unwrap();
         let mut policy = MaxPolicy::default();
         let n = seq.len();
-        let stats = scan_policy(&pc, &model, 1, usize::MAX, (0..n).rev(), &mut policy);
+        let stats = scan_policy(
+            &pc,
+            &model,
+            1,
+            usize::MAX,
+            n,
+            (0..n).rev(),
+            &mut policy,
+            &mut Vec::new(),
+        );
         assert!(stats.examined >= n as u64);
         assert!(policy.best.is_some());
         // Every substring is either examined or skipped.
@@ -563,8 +581,10 @@ mod tests {
             &model,
             min_len,
             usize::MAX,
+            n,
             (0..=(n - min_len)).rev(),
             &mut policy,
+            &mut Vec::new(),
         );
         assert!(policy.best.unwrap().len() >= min_len);
     }
@@ -599,7 +619,16 @@ mod tests {
                 max_len: &mut examined_max,
                 observed: &mut observed,
             };
-            let stats = scan_policy(&pc, &model, 1, window, (0..n).rev(), &mut probe);
+            let stats = scan_policy(
+                &pc,
+                &model,
+                1,
+                window,
+                n,
+                (0..n).rev(),
+                &mut probe,
+                &mut Vec::new(),
+            );
             assert!(
                 examined_max <= window,
                 "window {window}: saw len {examined_max}"
@@ -624,7 +653,16 @@ mod tests {
             let model = Model::uniform(k).unwrap();
             let n = seq.len();
             let mut fast = MaxPolicy::default();
-            scan_policy(&pc, &model, 1, usize::MAX, (0..n).rev(), &mut fast);
+            scan_policy(
+                &pc,
+                &model,
+                1,
+                usize::MAX,
+                n,
+                (0..n).rev(),
+                &mut fast,
+                &mut Vec::new(),
+            );
             let rc = ReferenceCounts::build(&seq);
             let mut reference = MaxPolicy::default();
             scan_policy_reference(&rc, &model, 1, (0..n).rev(), &mut reference);

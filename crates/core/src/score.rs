@@ -15,26 +15,39 @@ pub fn chi_square_counts(counts: &[u32], model: &Model) -> f64 {
     chi_square_counts_with_len(counts, model.inv_probs(), f64::from(l))
 }
 
-/// The canonical scoring primitive shared by every scan kernel: `X²` from
-/// a count vector, the reciprocal-probability table and the (known)
-/// substring length.
+/// The weighted square sum `Σ Y_i²/p_i` — the shared accumulation every
+/// scoring path is built on.
 ///
-/// All kernels — trivial, generic, alphabet-specialized and parallel —
-/// route through this one fixed-order accumulation, which is what makes
-/// their reported `X²` values **bit-identical** for the same substring
-/// regardless of the scan path that reached it (see `DESIGN.md`).
+/// The summation order is fixed (index-ascending), so every caller —
+/// kernels, baselines, the engine — observes the same floating-point
+/// value for the same count vector. Kernels also use this sum directly
+/// for the division-free budget pre-filter.
 #[inline(always)]
-pub fn chi_square_counts_with_len(counts: &[u32], inv_probs: &[f64], lf: f64) -> f64 {
+pub fn weighted_square_sum(counts: &[u32], inv_probs: &[f64]) -> f64 {
     debug_assert_eq!(counts.len(), inv_probs.len());
-    if lf == 0.0 {
-        return 0.0;
-    }
     let mut weighted_sq = 0.0;
     for (&y, &inv_p) in counts.iter().zip(inv_probs) {
         let yf = f64::from(y);
         weighted_sq += yf * yf * inv_p;
     }
-    weighted_sq / lf - lf
+    weighted_sq
+}
+
+/// The canonical scoring primitive shared by every scan kernel: `X²` from
+/// a count vector, the reciprocal-probability table and the (known)
+/// substring length.
+///
+/// All kernels — trivial, generic, alphabet-specialized and parallel —
+/// route through this one fixed-order accumulation
+/// ([`weighted_square_sum`]), which is what makes their reported `X²`
+/// values **bit-identical** for the same substring regardless of the scan
+/// path that reached it (see `DESIGN.md`).
+#[inline(always)]
+pub fn chi_square_counts_with_len(counts: &[u32], inv_probs: &[f64], lf: f64) -> f64 {
+    if lf == 0.0 {
+        return 0.0;
+    }
+    weighted_square_sum(counts, inv_probs) / lf - lf
 }
 
 /// `X²` of the substring `S[start..end)` via prefix counts — `O(k)`.

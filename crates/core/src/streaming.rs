@@ -14,6 +14,7 @@
 //! stream of `n` symbols costs `O(k·n^{3/2})` total, matching the offline
 //! bound while answering "what is the MSS so far?" after every symbol.
 
+use crate::counts::GrowableCounts;
 use crate::error::{Error, Result};
 use crate::model::Model;
 use crate::scan::ScanStats;
@@ -39,39 +40,37 @@ use crate::skip::max_safe_skip;
 #[derive(Debug, Clone)]
 pub struct StreamingMiner {
     model: Model,
-    /// Growable prefix counts: `prefix[c][i]` = occurrences of `c` in the
-    /// first `i` symbols.
-    prefix: Vec<Vec<u32>>,
-    n: usize,
+    /// Growable column-major prefix counts — the same layout as the
+    /// offline engine's table, so a resync touches one cache line instead
+    /// of `k` distant rows.
+    counts: GrowableCounts,
     best: Option<Scored>,
     stats: ScanStats,
+    /// Recycled count buffer for the per-push leftward scan.
+    scratch: Vec<u32>,
 }
 
 impl StreamingMiner {
     /// Create an empty miner for the given null model.
     pub fn new(model: Model) -> Self {
         let k = model.k();
-        let mut prefix = Vec::with_capacity(k);
-        for _ in 0..k {
-            prefix.push(vec![0u32]);
-        }
         Self {
             model,
-            prefix,
-            n: 0,
+            counts: GrowableCounts::new(k),
             best: None,
             stats: ScanStats::default(),
+            scratch: vec![0u32; k],
         }
     }
 
     /// Number of symbols consumed.
     pub fn len(&self) -> usize {
-        self.n
+        self.counts.n()
     }
 
     /// Whether no symbol has been consumed yet.
     pub fn is_empty(&self) -> bool {
-        self.n == 0
+        self.counts.is_empty()
     }
 
     /// The MSS of the stream so far (`None` before the first symbol).
@@ -82,11 +81,6 @@ impl StreamingMiner {
     /// Accumulated scan instrumentation.
     pub fn stats(&self) -> ScanStats {
         self.stats
-    }
-
-    /// Count of character `c` in the stream range `[start, end)`.
-    fn count(&self, c: usize, start: usize, end: usize) -> u32 {
-        self.prefix[c][end] - self.prefix[c][start]
     }
 
     /// Append one symbol and update the MSS.
@@ -100,26 +94,23 @@ impl StreamingMiner {
             return Err(Error::SymbolOutOfRange {
                 symbol,
                 k,
-                position: self.n,
+                position: self.counts.n(),
             });
         }
-        for (c, column) in self.prefix.iter_mut().enumerate() {
-            let last = *column.last().expect("columns start non-empty");
-            column.push(last + u32::from(c == symbol as usize));
-        }
-        self.n += 1;
+        self.counts.push(symbol);
         // Scan starts leftward from the new end; prune with the
         // chain-cover bound (prepending ≤ x characters is dominated by the
-        // cover — Lemma 1 is side-agnostic).
-        let end = self.n;
-        let mut counts = vec![0u32; k];
+        // cover — Lemma 1 is side-agnostic). The count vector advances
+        // incrementally, mirroring the offline kernel: a single-step move
+        // reads one symbol, a post-skip resync is one column-pair diff.
+        let end = self.counts.n();
+        let counts = &mut self.scratch;
+        counts.fill(0);
         let mut i = end - 1;
+        counts[self.counts.symbols()[i] as usize] += 1;
         loop {
-            for (c, slot) in counts.iter_mut().enumerate() {
-                *slot = self.count(c, i, end);
-            }
             let l = end - i;
-            let x2 = chi_square_counts(&counts, &self.model);
+            let x2 = chi_square_counts(counts, &self.model);
             self.stats.examined += 1;
             let scored = Scored {
                 start: i,
@@ -131,7 +122,7 @@ impl StreamingMiner {
                 _ => self.best = Some(scored),
             }
             let budget = self.best.map_or(0.0, |b| b.chi_square);
-            let skip = max_safe_skip(&counts, l, x2, budget, &self.model).min(i);
+            let skip = max_safe_skip(counts, l, x2, budget, &self.model).min(i);
             if skip > 0 {
                 self.stats.skips += 1;
                 self.stats.skipped += skip as u64;
@@ -139,9 +130,23 @@ impl StreamingMiner {
             if i < skip + 1 {
                 break;
             }
-            i -= skip + 1;
+            let next = i - skip - 1;
+            if skip == 0 {
+                counts[self.counts.symbols()[next] as usize] += 1;
+            } else {
+                self.counts.accumulate_counts(next, i, counts);
+            }
+            i = next;
         }
         Ok(())
+    }
+
+    /// Freeze the consumed stream into an offline [`crate::Engine`]
+    /// (reusing the already-built column-major table), so historical
+    /// queries — top-t, thresholds, range restrictions — can run without
+    /// re-indexing.
+    pub fn into_engine(self) -> Result<crate::engine::Engine> {
+        crate::engine::Engine::from_counts(self.counts.into_prefix_counts(), self.model)
     }
 
     /// Append a batch of symbols.
@@ -220,6 +225,30 @@ mod tests {
         assert!(
             total < quadratic / 20,
             "examined {total}, too close to the quadratic bound {quadratic}"
+        );
+    }
+
+    #[test]
+    fn frozen_engine_reuses_streamed_index() {
+        let model = Model::uniform(2).unwrap();
+        let symbols = [0u8, 1, 1, 0, 1, 1, 1, 1, 0, 0, 1, 0];
+        let mut miner = StreamingMiner::new(model.clone());
+        miner.extend(&symbols).unwrap();
+        let streamed_best = miner.best().unwrap();
+        let engine = miner.into_engine().unwrap();
+        assert_eq!(engine.n(), symbols.len());
+        // The frozen engine answers offline queries over the consumed
+        // stream, bit-identical to the one-shot API.
+        let seq = Sequence::from_symbols(symbols.to_vec(), 2).unwrap();
+        let offline = crate::mss::find_mss(&seq, &model).unwrap();
+        assert_eq!(engine.mss().unwrap(), offline);
+        assert_eq!(
+            engine.mss().unwrap().best.chi_square.to_bits(),
+            streamed_best.chi_square.to_bits()
+        );
+        assert_eq!(
+            engine.top_t(3).unwrap(),
+            crate::topt::top_t(&seq, &model, 3).unwrap()
         );
     }
 

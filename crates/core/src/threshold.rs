@@ -7,9 +7,9 @@
 //! clears the typical substring statistic (§6.2, Fig. 6).
 
 use crate::counts::PrefixCounts;
-use crate::error::{Error, Result};
+use crate::error::Result;
 use crate::model::Model;
-use crate::scan::{scan_policy, Policy, ScanStats};
+use crate::scan::ScanStats;
 use crate::score::Scored;
 use crate::seq::Sequence;
 
@@ -22,23 +22,6 @@ pub struct ThresholdResult {
     pub items: Vec<Scored>,
     /// Scan instrumentation.
     pub stats: ScanStats,
-}
-
-struct CollectPolicy<'f> {
-    alpha: f64,
-    sink: &'f mut dyn FnMut(Scored),
-}
-
-impl Policy for CollectPolicy<'_> {
-    fn observe(&mut self, scored: Scored) {
-        if scored.chi_square > self.alpha {
-            (self.sink)(scored);
-        }
-    }
-
-    fn budget(&self) -> f64 {
-        self.alpha
-    }
 }
 
 /// Find all substrings with `X²` strictly greater than `alpha`
@@ -70,18 +53,14 @@ pub fn above_threshold(seq: &Sequence, model: &Model, alpha: f64) -> Result<Thre
     above_threshold_counts(&pc, model, alpha)
 }
 
-/// [`above_threshold`] over prebuilt prefix counts.
+/// [`above_threshold`] over prebuilt prefix counts — a thin wrapper over
+/// the engine scan; prefer [`crate::Engine`] when issuing many queries.
 pub fn above_threshold_counts(
     pc: &PrefixCounts,
     model: &Model,
     alpha: f64,
 ) -> Result<ThresholdResult> {
-    let mut items = Vec::new();
-    let stats = for_each_above_threshold_counts(pc, model, alpha, |s| items.push(s))?;
-    // The interleaved-lane kernel emits across two starts at once; restore
-    // the canonical order.
-    items.sort_by(|a, b| b.start.cmp(&a.start).then_with(|| a.end.cmp(&b.end)));
-    Ok(ThresholdResult { items, stats })
+    crate::engine::threshold_collect_scan(pc, model, 0..pc.n(), alpha, &mut Vec::new())
 }
 
 /// Streaming variant: invoke `visit` for every qualifying substring
@@ -104,28 +83,9 @@ pub fn for_each_above_threshold_counts(
     pc: &PrefixCounts,
     model: &Model,
     alpha: f64,
-    mut visit: impl FnMut(Scored),
+    visit: impl FnMut(Scored),
 ) -> Result<ScanStats> {
-    if !alpha.is_finite() || alpha < 0.0 {
-        return Err(Error::InvalidParameter {
-            what: "alpha",
-            details: format!("threshold must be finite and non-negative, got {alpha}"),
-        });
-    }
-    let mut sink = |s: Scored| visit(s);
-    let mut policy = CollectPolicy {
-        alpha,
-        sink: &mut sink,
-    };
-    let n = pc.n();
-    Ok(scan_policy(
-        pc,
-        model,
-        1,
-        usize::MAX,
-        (0..n).rev(),
-        &mut policy,
-    ))
+    crate::engine::threshold_scan(pc, model, 0..pc.n(), alpha, visit, &mut Vec::new())
 }
 
 #[cfg(test)]

@@ -9,9 +9,9 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use crate::counts::PrefixCounts;
-use crate::error::{Error, Result};
+use crate::error::Result;
 use crate::model::Model;
-use crate::scan::{scan_policy, Policy, ScanStats};
+use crate::scan::{Policy, ScanStats};
 use crate::score::{scored_cmp, Scored};
 use crate::seq::Sequence;
 
@@ -120,26 +120,16 @@ pub fn top_t(seq: &Sequence, model: &Model, t: usize) -> Result<TopTResult> {
     top_t_counts(&pc, model, t)
 }
 
-/// [`top_t`] over prebuilt prefix counts.
+/// [`top_t`] over prebuilt prefix counts — a thin wrapper over the
+/// engine scan; prefer [`crate::Engine`] when issuing many queries.
 pub fn top_t_counts(pc: &PrefixCounts, model: &Model, t: usize) -> Result<TopTResult> {
-    if t == 0 {
-        return Err(Error::InvalidParameter {
-            what: "t",
-            details: "the top-t set must have t >= 1".into(),
-        });
-    }
-    let mut policy = TopTPolicy::new(t);
-    let n = pc.n();
-    let stats = scan_policy(pc, model, 1, usize::MAX, (0..n).rev(), &mut policy);
-    Ok(TopTResult {
-        items: policy.into_sorted(),
-        stats,
-    })
+    crate::engine::top_t_scan(pc, model, 0..pc.n(), t, &mut Vec::new())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::Error;
 
     fn binary(symbols: &[u8]) -> Sequence {
         Sequence::from_symbols(symbols.to_vec(), 2).unwrap()

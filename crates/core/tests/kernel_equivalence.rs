@@ -27,8 +27,8 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sigstr_core::{
-    above_threshold, baseline, chi_square_range, find_mss, mss_min_length, top_t, Model,
-    PrefixCounts, Sequence,
+    above_threshold, baseline, chi_square_range, find_mss, mss_max_length, mss_min_length, top_t,
+    Engine, Model, PrefixCounts, Sequence,
 };
 
 fn random_sequence(rng: &mut StdRng, k: usize, max_len: usize) -> Sequence {
@@ -142,6 +142,126 @@ fn check_case(seq: &Sequence, model: &Model, rng: &mut StdRng, label: &str) {
         fast_min.best.len() > gamma0,
         "{label}: length constraint violated"
     );
+
+    // Engine-served queries — every variant must be *fully* identical to
+    // its one-shot counterpart (same code path, so positions and stats
+    // included), twice (the second answer comes from the result cache).
+    let engine = Engine::new(seq, model.clone()).unwrap();
+    let w = rng.gen_range(1..=seq.len());
+    let fast_max = mss_max_length(seq, model, w).unwrap();
+    for round in 0..2 {
+        let ctx = format!("{label}: engine round {round}");
+        assert_eq!(engine.mss().unwrap(), fast, "{ctx}: mss");
+        assert_eq!(engine.top_t(t).unwrap(), fast_top, "{ctx}: top-{t}");
+        assert_eq!(
+            engine.above_threshold(alpha).unwrap(),
+            fast_thr,
+            "{ctx}: threshold"
+        );
+        assert_eq!(
+            engine.mss_min_length(gamma0).unwrap(),
+            fast_min,
+            "{ctx}: min-length"
+        );
+        assert_eq!(
+            engine.mss_max_length(w).unwrap(),
+            fast_max,
+            "{ctx}: max-length (w = {w})"
+        );
+    }
+}
+
+/// Range-restricted engine queries must equal the one-shot answer on the
+/// sliced sequence, with positions translated by the range offset.
+fn check_range_case(seq: &Sequence, model: &Model, rng: &mut StdRng, label: &str) {
+    let n = seq.len();
+    let engine = Engine::new(seq, model.clone()).unwrap();
+    for _ in 0..4 {
+        let l = rng.gen_range(0..n);
+        let r = rng.gen_range(l + 1..=n);
+        let sliced = Sequence::from_symbols(seq.symbols()[l..r].to_vec(), seq.k()).unwrap();
+        let ctx = format!("{label}: range {l}..{r}");
+
+        let ranged = engine.mss_in(l..r).unwrap();
+        let sliced_mss = find_mss(&sliced, model).unwrap();
+        assert_eq!(
+            (ranged.best.start, ranged.best.end),
+            (sliced_mss.best.start + l, sliced_mss.best.end + l),
+            "{ctx}: mss position"
+        );
+        assert_eq!(
+            ranged.best.chi_square.to_bits(),
+            sliced_mss.best.chi_square.to_bits(),
+            "{ctx}: mss value"
+        );
+        assert_eq!(ranged.stats, sliced_mss.stats, "{ctx}: mss stats");
+
+        let t = rng.gen_range(1..=8usize);
+        let ranged_top = engine.top_t_in(l..r, t).unwrap();
+        let sliced_top = top_t(&sliced, model, t).unwrap();
+        assert_eq!(
+            ranged_top.items.len(),
+            sliced_top.items.len(),
+            "{ctx}: top-{t} size"
+        );
+        for (a, b) in ranged_top.items.iter().zip(&sliced_top.items) {
+            assert_eq!(
+                (a.start, a.end, a.chi_square.to_bits()),
+                (b.start + l, b.end + l, b.chi_square.to_bits()),
+                "{ctx}: top-{t} item"
+            );
+        }
+
+        let alpha = rng.gen_range(0.5..3.0) * (seq.k() as f64);
+        let ranged_thr = engine.above_threshold_in(l..r, alpha).unwrap();
+        let sliced_thr = above_threshold(&sliced, model, alpha).unwrap();
+        assert_eq!(
+            ranged_thr.items.len(),
+            sliced_thr.items.len(),
+            "{ctx}: threshold size"
+        );
+        for (a, b) in ranged_thr.items.iter().zip(&sliced_thr.items) {
+            assert_eq!(
+                (a.start, a.end, a.chi_square.to_bits()),
+                (b.start + l, b.end + l, b.chi_square.to_bits()),
+                "{ctx}: threshold item"
+            );
+        }
+
+        let gamma0 = rng.gen_range(0..(r - l));
+        let ranged_min = engine.mss_min_length_in(l..r, gamma0).unwrap();
+        let sliced_min = mss_min_length(&sliced, model, gamma0).unwrap();
+        assert_eq!(
+            (
+                ranged_min.best.start,
+                ranged_min.best.end,
+                ranged_min.best.chi_square.to_bits()
+            ),
+            (
+                sliced_min.best.start + l,
+                sliced_min.best.end + l,
+                sliced_min.best.chi_square.to_bits()
+            ),
+            "{ctx}: min-length (gamma0 = {gamma0})"
+        );
+
+        let w = rng.gen_range(1..=(r - l));
+        let ranged_max = engine.mss_max_length_in(l..r, w).unwrap();
+        let sliced_max = mss_max_length(&sliced, model, w).unwrap();
+        assert_eq!(
+            (
+                ranged_max.best.start,
+                ranged_max.best.end,
+                ranged_max.best.chi_square.to_bits()
+            ),
+            (
+                sliced_max.best.start + l,
+                sliced_max.best.end + l,
+                sliced_max.best.chi_square.to_bits()
+            ),
+            "{ctx}: max-length (w = {w})"
+        );
+    }
 }
 
 #[test]
@@ -181,6 +301,23 @@ fn kernels_match_trivial_on_run_heavy_strings() {
         for case in 0..25 {
             let seq = runny_sequence(&mut rng, k, 140);
             check_case(&seq, &model, &mut rng, &format!("k={k} runny case {case}"));
+        }
+    }
+}
+
+#[test]
+fn engine_range_queries_match_sliced_one_shot() {
+    let mut rng = StdRng::seed_from_u64(0x5A5A_C0DE_D00D);
+    for &k in &[2usize, 3, 4, 8] {
+        for case in 0..12 {
+            let seq = random_sequence(&mut rng, k, 160);
+            let model = random_model(&mut rng, k);
+            check_range_case(&seq, &model, &mut rng, &format!("k={k} random case {case}"));
+        }
+        let model = Model::uniform(k).unwrap();
+        for case in 0..8 {
+            let seq = runny_sequence(&mut rng, k, 140);
+            check_range_case(&seq, &model, &mut rng, &format!("k={k} runny case {case}"));
         }
     }
 }

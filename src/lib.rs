@@ -7,9 +7,11 @@
 //!
 //! See the individual crates for details:
 //!
-//! * [`core`] — the mining algorithms (MSS, top-t, threshold, min-length),
-//!   baselines (trivial, blocked, ARLM, AGMM), parallel scan, and the
-//!   Markov-null / 2-D grid extensions.
+//! * [`core`] — the reusable query [`core::Engine`] (index once, serve
+//!   every problem variant, range-restricted shards, batches), the
+//!   one-shot mining algorithms (MSS, top-t, threshold, min-length),
+//!   baselines (trivial, blocked, ARLM, AGMM), the persistent-pool
+//!   parallel scan, and the Markov-null / 2-D grid extensions.
 //! * [`stats`] — chi-square and friends: special functions, distributions,
 //!   p-values, concentration bounds.
 //! * [`gen`] — workload generators (null/geometric/harmonic/Zipf/Markov
@@ -26,7 +28,7 @@ pub use sigstr_stats as stats;
 pub mod prelude {
     pub use sigstr_core::{
         above_threshold, baseline, find_mss, find_mss_parallel, mss_max_length, mss_min_length,
-        top_t, Model, PrefixCounts, Scored, Sequence,
+        top_t, Answer, Batch, Engine, Model, PrefixCounts, Query, Scored, Sequence,
     };
     pub use sigstr_stats::chi2;
 }
