@@ -33,6 +33,7 @@ pub fn all() -> Vec<(&'static str, Runner)> {
         ("table6", applications::table6),
         ("bench_smoke", perf::bench_smoke),
         ("engine_amortization", perf::engine_amortization),
+        ("counts_footprint", perf::counts_footprint),
     ]
 }
 
@@ -51,15 +52,16 @@ mod tests {
     #[test]
     fn registry_is_complete_and_unique() {
         let ids: Vec<&str> = all().iter().map(|(id, _)| *id).collect();
-        assert_eq!(ids.len(), 18);
+        assert_eq!(ids.len(), 19);
         let mut sorted = ids.clone();
         sorted.sort_unstable();
         sorted.dedup();
-        assert_eq!(sorted.len(), 18, "duplicate experiment ids");
+        assert_eq!(sorted.len(), 19, "duplicate experiment ids");
         assert!(by_id("fig1a").is_some());
         assert!(by_id("table6").is_some());
         assert!(by_id("bench_smoke").is_some());
         assert!(by_id("engine_amortization").is_some());
+        assert!(by_id("counts_footprint").is_some());
         assert!(by_id("bogus").is_none());
     }
 }

@@ -15,7 +15,9 @@
 //! The reported `speedup` column is reference-time / engine-time on the
 //! same input; the CI gate reads the `k2_sequential` speedup row.
 
-use sigstr_core::{find_mss, find_mss_parallel, find_mss_reference, Engine, Model, Sequence};
+use sigstr_core::{
+    find_mss, find_mss_parallel, find_mss_reference, CountsLayout, Engine, Model, Sequence,
+};
 use sigstr_gen::{generate_iid, seeded_rng};
 
 use crate::report::{cell_f, Report};
@@ -151,6 +153,115 @@ pub fn engine_amortization(scale: Scale) -> Report {
     report
 }
 
+/// The `counts_footprint` experiment (`BENCH_3.json`): two-level blocked
+/// count index vs the flat table — bytes and end-to-end MSS runtime.
+///
+/// For each workload the same sequence is indexed twice
+/// ([`CountsLayout::Flat`] and [`CountsLayout::Blocked`]) and the same
+/// `mss()` query timed through each engine (result cache cleared between
+/// reps, so every rep is a full scan). Reported per row:
+///
+/// * `index_mb` — bytes held by the count tables (the symbol string,
+///   shared by both layouts, is excluded),
+/// * `footprint_ratio` — flat bytes / this layout's bytes,
+/// * `mss_ms` — median end-to-end `mss()` wall clock,
+/// * `runtime_vs_flat` — this layout's time / the flat layout's time.
+///
+/// The CI gate reads the quick-size blocked rows: `footprint_ratio ≥ 3`
+/// and `runtime_vs_flat ≤ 1.1`. Sizes below ~1 MB of flat table are
+/// deliberately not benched: there the whole index is cache-resident
+/// either way and the blocked layout's extra resync arithmetic shows as
+/// a constant-factor penalty with no bandwidth to win back (which is
+/// exactly why `CountsLayout::Auto` keeps small inputs flat). At full
+/// scale the ≥ 16M-symbol row uses the parallel scan (auto threads) so
+/// the run stays tractable — the bandwidth relief is, if anything, more
+/// visible with every core hammering memory.
+pub fn counts_footprint(scale: Scale) -> Report {
+    let mut report = Report::new(
+        "counts_footprint",
+        "two-level blocked count index vs flat: bytes and end-to-end mss runtime",
+        &[
+            "workload",
+            "layout",
+            "index_mb",
+            "footprint_ratio",
+            "mss_ms",
+            "runtime_vs_flat",
+        ],
+    );
+    // (n, parallel): quick sizes are sequential; the full tier adds the
+    // LLC-spill regime and runs parallel to keep wall clock tractable.
+    let sizes: &[(usize, bool)] = scale.pick(
+        &[(4_194_304, false), (16_777_216, true)][..],
+        &[(262_144, false), (1_048_576, false)][..],
+    );
+    let k = 4; // DNA-scale alphabet, the paper's motivating workload.
+    for &(n, parallel) in sizes {
+        let (seq, model) = input(k, n);
+        let reps = if n > 500_000 { 1 } else { 3 };
+        let mut flat_ms = 0.0;
+        let mut flat_bytes = 0usize;
+        let mut flat_answer = None;
+        for (layout, label) in [
+            (CountsLayout::Flat, "flat"),
+            (CountsLayout::Blocked, "blocked"),
+        ] {
+            let engine = Engine::with_layout(&seq, model.clone(), layout).expect("engine builds");
+            let secs = median_secs(reps, || {
+                engine.clear_cache();
+                if parallel {
+                    engine.mss_parallel().expect("mss")
+                } else {
+                    engine.mss().expect("mss")
+                }
+            });
+            let ms = secs * 1e3;
+            let bytes = engine.index_bytes();
+            if label == "flat" {
+                flat_ms = ms;
+                flat_bytes = bytes;
+            }
+            // Exactness across layouts while we are here: the blocked
+            // index must reproduce the flat scan bit-for-bit (values,
+            // positions, and stats). Sequential sizes only — there the
+            // answer is a cache hit from the timed reps; the parallel
+            // tier would need an extra full scan per layout, and its
+            // tie-breaking is position-unpinned anyway (cross-layout
+            // bit-identity is already gated at the quick sizes and in
+            // kernel_equivalence).
+            if !parallel {
+                let answer = engine.mss().expect("mss");
+                match &flat_answer {
+                    None => flat_answer = Some(answer),
+                    Some(flat) => {
+                        assert_eq!(
+                            *flat, answer,
+                            "counts_footprint: layouts disagree at n = {n}"
+                        );
+                    }
+                }
+            }
+            let workload = format!("k{k}_n{n}{}", if parallel { "_par" } else { "" });
+            report.push_row(vec![
+                workload,
+                label.to_string(),
+                cell_f(bytes as f64 / (1024.0 * 1024.0), 2),
+                cell_f(flat_bytes as f64 / bytes as f64, 2),
+                cell_f(ms, 3),
+                cell_f(ms / flat_ms, 3),
+            ]);
+        }
+    }
+    report.note(format!(
+        "k = {k}; index_mb excludes the shared symbol string; mss timed through a reused \
+         Engine with the result cache cleared per rep (full scan every time)"
+    ));
+    report.note(
+        "acceptance gate (quick blocked rows): footprint_ratio >= 3.0 and runtime_vs_flat <= 1.1",
+    );
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -170,6 +281,20 @@ mod tests {
         }
         // Reference rows are speedup 1.00 by construction.
         assert_eq!(r.rows[0][3], "1.00");
+    }
+
+    #[test]
+    fn counts_footprint_shape_and_ratio() {
+        // Shape-check at a reduced hand-rolled scale: run the real
+        // experiment only in Quick (CI) / Full (soak) contexts — here we
+        // just assert the report contract on the quick run's first size
+        // by building the engines directly.
+        let (seq, model) = input(4, 8_192);
+        let flat = Engine::with_layout(&seq, model.clone(), CountsLayout::Flat).unwrap();
+        let blocked = Engine::with_layout(&seq, model.clone(), CountsLayout::Blocked).unwrap();
+        let ratio = flat.index_bytes() as f64 / blocked.index_bytes() as f64;
+        assert!(ratio >= 4.0, "footprint ratio {ratio} below 4x at k = 4");
+        assert_eq!(flat.mss().unwrap(), blocked.mss().unwrap());
     }
 
     #[test]

@@ -1,20 +1,216 @@
-//! Prefix count arrays — `O(1)` substring count vectors.
+//! Prefix count structures — `O(1)` substring count vectors.
 //!
 //! The paper (§2) notes that `X²` needs only the character counts of a
 //! substring, obtainable in `O(1)` from `k` precomputed count arrays where
 //! entry `i` stores the number of occurrences of the character in the first
 //! `i` positions.
 //!
-//! # Layout
+//! Two interchangeable layouts implement that primitive behind the
+//! [`CountSource`] trait:
 //!
-//! The table is stored **column-major** (`table[i·k + c]`): all `k`
+//! * [`PrefixCounts`] — the *flat* table: one `u32` per `(position,
+//!   character)`, column-major. Fastest per lookup, `4·k` bytes per
+//!   position (1.6 GB for a 100M-symbol DNA sequence).
+//! * [`BlockedCounts`] — the *two-level* table: `u32` superblock absolutes
+//!   every `B` positions plus byte-packed per-position deltas, answering
+//!   every query bit-identically in `~(k − 1) + 4k/B` bytes per position —
+//!   a 4–8× reduction that keeps the index cache-resident on inputs where
+//!   the flat table falls out of the last-level cache.
+//!
+//! # Flat layout
+//!
+//! The flat table is stored **column-major** (`table[i·k + c]`): all `k`
 //! prefix counts of one position are adjacent. The pruned scan jumps
 //! hundreds of positions per step on average, so every prefix lookup is a
 //! cache miss — with this layout a full `k`-count resync touches one or
 //! two cache lines instead of `k` distant rows (which halves the scan's
 //! memory traffic at `k = 2` and cuts it ~4× at `k = 8`).
+//!
+//! # Two-level layout
+//!
+//! [`BlockedCounts`] splits each prefix count into a superblock absolute
+//! and an in-block delta: `prefix(c, i) = super[i/B][c] + delta[i][c]`,
+//! where `delta[i][c]` counts occurrences of `c` inside the current block
+//! prefix `S[⌊i/B⌋·B .. i)`. Deltas are bounded by `B − 1`, so they pack
+//! into one byte when `B ≤ 256` (a `u16` escape tier covers larger
+//! blocks). Two further tricks shrink and speed it up:
+//!
+//! * only `k − 1` delta columns are stored — the deltas of one position
+//!   sum to the in-block offset `i mod B`, so the last character's delta
+//!   is derived with one subtraction;
+//! * the superblock array is `(n/B + 1)·4k` bytes — at the default
+//!   `B = 256` it is ~256× smaller than the flat table and stays resident
+//!   in L2/LLC, so a post-skip resync costs one delta-row cache line plus
+//!   an (almost always cached) superblock row.
 
+use crate::error::{Error, Result};
 use crate::seq::Sequence;
+
+/// A source of `O(1)` substring count vectors over a fixed symbol string.
+///
+/// Implemented by the flat [`PrefixCounts`], the two-level
+/// [`BlockedCounts`], the append-only [`GrowableCounts`] and the layout-
+/// erased [`CountsIndex`]. The scan kernels are generic over this trait
+/// and monomorphize per implementation, so the dispatch happens once per
+/// scan call, never inside the hot loop.
+///
+/// All implementations answer **bit-identically**: counts are exact
+/// integers, so every layout feeds the same `u32` vectors into the same
+/// canonical scoring accumulation.
+pub trait CountSource {
+    /// Sequence length `n`.
+    fn n(&self) -> usize;
+
+    /// Alphabet size `k`.
+    fn k(&self) -> usize;
+
+    /// The underlying symbol string (for `O(1)` single-step advances).
+    fn symbols(&self) -> &[u8];
+
+    /// Number of occurrences of character `c` in `S[start..end)`.
+    fn count(&self, c: usize, start: usize, end: usize) -> u32;
+
+    /// Fill `buf` (length `k`) with the count vector of `S[start..end)`.
+    fn fill_counts(&self, start: usize, end: usize, buf: &mut [u32]);
+
+    /// Add the count vector of `S[start..end)` into `buf` (length `k`) —
+    /// the scan kernels' post-skip resync.
+    fn accumulate_counts(&self, start: usize, end: usize, buf: &mut [u32]);
+
+    /// Bytes held by the count index itself (tables only — the shared
+    /// symbol string is accounted separately).
+    fn index_bytes(&self) -> usize;
+}
+
+/// Which count-index layout to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum CountsLayout {
+    /// The flat `u32` table ([`PrefixCounts`]): fastest lookups, `4k`
+    /// bytes per position.
+    Flat,
+    /// The two-level table ([`BlockedCounts`]): `~k` bytes per position,
+    /// bit-identical answers.
+    Blocked,
+    /// Pick automatically: [`Flat`](CountsLayout::Flat) while the flat
+    /// table stays under [`AUTO_BLOCKED_THRESHOLD_BYTES`],
+    /// [`Blocked`](CountsLayout::Blocked) above it.
+    #[default]
+    Auto,
+}
+
+/// Flat-table byte footprint above which [`CountsLayout::Auto`] switches
+/// to the blocked layout (32 MiB — roughly where the flat table stops
+/// fitting a contemporary last-level cache and the scan turns
+/// memory-bandwidth-bound).
+pub const AUTO_BLOCKED_THRESHOLD_BYTES: usize = 32 << 20;
+
+impl CountsLayout {
+    /// Resolve `Auto` for a sequence of length `n` over alphabet `k`:
+    /// returns `Flat` or `Blocked`, never `Auto`.
+    pub fn resolve(self, n: usize, k: usize) -> CountsLayout {
+        match self {
+            CountsLayout::Auto => {
+                let flat_bytes = 4usize.saturating_mul(k).saturating_mul(n + 1);
+                if flat_bytes > AUTO_BLOCKED_THRESHOLD_BYTES {
+                    CountsLayout::Blocked
+                } else {
+                    CountsLayout::Flat
+                }
+            }
+            other => other,
+        }
+    }
+}
+
+/// A built count index in either layout — what [`crate::Engine`] owns.
+///
+/// Scans dispatch on the variant once per call and run the kernel
+/// monomorphized for the concrete layout; the trait impl on this enum
+/// itself is for cold paths only.
+#[derive(Debug, Clone)]
+pub enum CountsIndex {
+    /// The flat `u32` table.
+    Flat(PrefixCounts),
+    /// The two-level superblock + delta table.
+    Blocked(BlockedCounts),
+}
+
+impl CountsIndex {
+    /// Build the index for `seq` in the given layout (`Auto` resolves by
+    /// footprint).
+    pub fn build(seq: &Sequence, layout: CountsLayout) -> Self {
+        match layout.resolve(seq.len(), seq.k()) {
+            CountsLayout::Blocked => CountsIndex::Blocked(BlockedCounts::build(seq)),
+            _ => CountsIndex::Flat(PrefixCounts::build(seq)),
+        }
+    }
+
+    /// The layout this index was built in.
+    pub fn layout(&self) -> CountsLayout {
+        match self {
+            CountsIndex::Flat(_) => CountsLayout::Flat,
+            CountsIndex::Blocked(_) => CountsLayout::Blocked,
+        }
+    }
+}
+
+/// Bind `$pc` to the concrete layout inside `$index` (an expression
+/// evaluating to `&CountsIndex`) and expand `$body` once per variant —
+/// the single place the layout dispatch is written. The engine's query
+/// methods use it to monomorphize each scan per layout; this module uses
+/// it for the trait impl on [`CountsIndex`].
+macro_rules! index_delegate {
+    ($index:expr, $pc:ident => $body:expr) => {
+        match $index {
+            CountsIndex::Flat($pc) => $body,
+            CountsIndex::Blocked($pc) => $body,
+        }
+    };
+}
+pub(crate) use index_delegate;
+
+impl CountSource for CountsIndex {
+    fn n(&self) -> usize {
+        index_delegate!(self, pc => pc.n())
+    }
+
+    fn k(&self) -> usize {
+        index_delegate!(self, pc => pc.k())
+    }
+
+    fn symbols(&self) -> &[u8] {
+        index_delegate!(self, pc => pc.symbols())
+    }
+
+    fn count(&self, c: usize, start: usize, end: usize) -> u32 {
+        index_delegate!(self, pc => pc.count(c, start, end))
+    }
+
+    fn fill_counts(&self, start: usize, end: usize, buf: &mut [u32]) {
+        index_delegate!(self, pc => pc.fill_counts(start, end, buf))
+    }
+
+    fn accumulate_counts(&self, start: usize, end: usize, buf: &mut [u32]) {
+        index_delegate!(self, pc => pc.accumulate_counts(start, end, buf))
+    }
+
+    fn index_bytes(&self) -> usize {
+        index_delegate!(self, pc => pc.index_bytes())
+    }
+}
+
+impl From<PrefixCounts> for CountsIndex {
+    fn from(pc: PrefixCounts) -> Self {
+        CountsIndex::Flat(pc)
+    }
+}
+
+impl From<BlockedCounts> for CountsIndex {
+    fn from(bc: BlockedCounts) -> Self {
+        CountsIndex::Blocked(bc)
+    }
+}
 
 /// Prefix counts of a sequence: `count(c, i, j)` in `O(1)`.
 ///
@@ -73,6 +269,12 @@ impl PrefixCounts {
         self.symbols[index]
     }
 
+    /// Bytes held by the table (the count index proper, excluding the
+    /// symbol string both layouts share).
+    pub fn index_bytes(&self) -> usize {
+        self.table.len() * std::mem::size_of::<u32>()
+    }
+
     /// Number of occurrences of character `c` in `S[start..end)`.
     ///
     /// Panics (in debug builds) when the range or character is invalid.
@@ -110,12 +312,389 @@ impl PrefixCounts {
     }
 
     /// The count vector of `S[start..end)` as a fresh vector.
+    ///
+    /// Allocates per call — test/diagnostic convenience only. Warm paths
+    /// must use [`PrefixCounts::fill_counts`] with a recycled buffer (the
+    /// engine's scratch arena hands one out).
+    #[doc(hidden)]
     pub fn count_vector(&self, start: usize, end: usize) -> Vec<u32> {
         let mut buf = vec![0u32; self.k];
         self.fill_counts(start, end, &mut buf);
         buf
     }
 }
+
+impl CountSource for PrefixCounts {
+    #[inline]
+    fn n(&self) -> usize {
+        PrefixCounts::n(self)
+    }
+
+    #[inline]
+    fn k(&self) -> usize {
+        PrefixCounts::k(self)
+    }
+
+    #[inline]
+    fn symbols(&self) -> &[u8] {
+        PrefixCounts::symbols(self)
+    }
+
+    #[inline]
+    fn count(&self, c: usize, start: usize, end: usize) -> u32 {
+        PrefixCounts::count(self, c, start, end)
+    }
+
+    #[inline]
+    fn fill_counts(&self, start: usize, end: usize, buf: &mut [u32]) {
+        PrefixCounts::fill_counts(self, start, end, buf)
+    }
+
+    #[inline]
+    fn accumulate_counts(&self, start: usize, end: usize, buf: &mut [u32]) {
+        PrefixCounts::accumulate_counts(self, start, end, buf)
+    }
+
+    #[inline]
+    fn index_bytes(&self) -> usize {
+        PrefixCounts::index_bytes(self)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The two-level blocked layout.
+// ---------------------------------------------------------------------------
+
+/// Default superblock spacing: deltas stay `< 256` and pack into one byte,
+/// while the superblock array is 256× smaller than the flat table.
+pub const DEFAULT_BLOCK: usize = 256;
+
+/// Largest supported superblock spacing (deltas must fit the `u16` escape
+/// tier).
+pub const MAX_BLOCK: usize = 1 << 16;
+
+/// Spacings are powers of two so the hot resync path computes superblock
+/// index and in-block offset with a shift and a mask instead of a
+/// hardware division (which would otherwise dominate the sweep at
+/// cache-resident sizes).
+const fn is_valid_block(block: usize) -> bool {
+    block != 0 && block <= MAX_BLOCK && block.is_power_of_two()
+}
+
+/// The per-position delta storage: `u8` when the block spacing allows it,
+/// `u16` escape tier otherwise. Chosen once at build time.
+#[derive(Debug, Clone)]
+enum DeltaTier {
+    U8(Vec<u8>),
+    U16(Vec<u16>),
+}
+
+impl DeltaTier {
+    fn bytes(&self) -> usize {
+        match self {
+            DeltaTier::U8(v) => v.len(),
+            DeltaTier::U16(v) => v.len() * 2,
+        }
+    }
+}
+
+/// Two-level prefix counts: `u32` superblock absolutes every `block`
+/// positions plus byte-packed in-block deltas.
+///
+/// Answers [`count`](CountSource::count) /
+/// [`fill_counts`](CountSource::fill_counts) /
+/// [`accumulate_counts`](CountSource::accumulate_counts) **bit-identically**
+/// to [`PrefixCounts`] while occupying `~(k − 1) + 4k/B` bytes per
+/// position instead of `4k` (4–8× smaller for `k ≤ 64`; see the module
+/// docs for the layout). Only `k − 1` delta columns are stored: the
+/// deltas of one position sum to its in-block offset, so the last
+/// character's delta is derived with one subtraction.
+#[derive(Debug, Clone)]
+pub struct BlockedCounts {
+    /// Column-major superblock absolutes: `supers[j·k + c]` = occurrences
+    /// of `c` in `S[0 .. j·block)`.
+    supers: Vec<u32>,
+    /// Row-per-position deltas, `stored_k = k − 1` columns:
+    /// `deltas[i·stored_k + c]` = occurrences of `c` in
+    /// `S[⌊i/block⌋·block .. i)`.
+    deltas: DeltaTier,
+    /// The symbols themselves (for `O(1)` single-step count updates).
+    symbols: Vec<u8>,
+    n: usize,
+    k: usize,
+    /// `k − 1`: the number of delta columns actually stored.
+    stored_k: usize,
+    /// `log2` of the superblock spacing `B` (spacings are powers of two —
+    /// the resync path shifts and masks instead of dividing).
+    block_shift: u32,
+}
+
+impl BlockedCounts {
+    /// Build the two-level table with the default superblock spacing
+    /// ([`DEFAULT_BLOCK`]) in `O(k·n)` time, `O(k·n)` bytes.
+    pub fn build(seq: &Sequence) -> Self {
+        Self::from_symbols_vec(seq.symbols().to_vec(), seq.k(), DEFAULT_BLOCK)
+            .expect("default block spacing is always valid")
+    }
+
+    /// Build with an explicit superblock spacing `block` (a power of two
+    /// up to [`MAX_BLOCK`]). The delta tier is chosen from the spacing:
+    /// one byte per entry when `block ≤ 256`, the `u16` escape tier
+    /// above.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `block` is zero, not a power of two, or exceeds
+    /// [`MAX_BLOCK`].
+    pub fn with_block(seq: &Sequence, block: usize) -> Result<Self> {
+        Self::from_symbols_vec(seq.symbols().to_vec(), seq.k(), block)
+    }
+
+    /// Build from an owned symbol vector (the caller guarantees every
+    /// symbol is `< k`) — the allocation-free freeze path from
+    /// [`GrowableCounts`].
+    pub(crate) fn from_symbols_vec(symbols: Vec<u8>, k: usize, block: usize) -> Result<Self> {
+        if !is_valid_block(block) {
+            return Err(Error::InvalidParameter {
+                what: "block",
+                details: format!(
+                    "superblock spacing must be a power of two in 1..={MAX_BLOCK}, got {block}"
+                ),
+            });
+        }
+        let n = symbols.len();
+        let stored_k = k - 1;
+        let num_supers = n / block + 1;
+        let mut supers = vec![0u32; num_supers * k];
+        let mut running = vec![0u32; k];
+        // One pass: record the absolute vector at each superblock
+        // boundary, and the (absolute − superblock) delta at every
+        // position.
+        let deltas = if block <= 256 {
+            let mut deltas = vec![0u8; (n + 1) * stored_k];
+            build_pass(&symbols, k, block, &mut supers, &mut running, |i, c, d| {
+                debug_assert!(d < 256);
+                deltas[i * stored_k + c] = d as u8;
+            });
+            DeltaTier::U8(deltas)
+        } else {
+            let mut deltas = vec![0u16; (n + 1) * stored_k];
+            build_pass(&symbols, k, block, &mut supers, &mut running, |i, c, d| {
+                debug_assert!(d < (1 << 16));
+                deltas[i * stored_k + c] = d as u16;
+            });
+            DeltaTier::U16(deltas)
+        };
+        Ok(Self {
+            supers,
+            deltas,
+            symbols,
+            n,
+            k,
+            stored_k,
+            block_shift: block.trailing_zeros(),
+        })
+    }
+
+    /// Sequence length `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Alphabet size `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The underlying symbol string.
+    pub fn symbols(&self) -> &[u8] {
+        &self.symbols
+    }
+
+    /// The symbol at `index` (panics when out of bounds).
+    pub fn symbol(&self, index: usize) -> u8 {
+        self.symbols[index]
+    }
+
+    /// Superblock spacing `B`.
+    pub fn block(&self) -> usize {
+        1 << self.block_shift
+    }
+
+    /// Bytes held by the two-level table (superblocks + deltas, excluding
+    /// the symbol string both layouts share).
+    pub fn index_bytes(&self) -> usize {
+        self.supers.len() * std::mem::size_of::<u32>() + self.deltas.bytes()
+    }
+
+    /// Number of occurrences of character `c` in `S[start..end)`.
+    #[inline]
+    pub fn count(&self, c: usize, start: usize, end: usize) -> u32 {
+        debug_assert!(c < self.k && start <= end && end <= self.n);
+        if c < self.stored_k {
+            self.absolute_stored(c, end) - self.absolute_stored(c, start)
+        } else {
+            // Last character: derive from the in-block offsets and the
+            // stored columns' sums.
+            self.absolute_last(end) - self.absolute_last(start)
+        }
+    }
+
+    /// `prefix(c, i)` for a stored column `c < k − 1`.
+    #[inline]
+    fn absolute_stored(&self, c: usize, i: usize) -> u32 {
+        let sup = self.supers[(i >> self.block_shift) * self.k + c];
+        let d = match &self.deltas {
+            DeltaTier::U8(v) => u32::from(v[i * self.stored_k + c]),
+            DeltaTier::U16(v) => u32::from(v[i * self.stored_k + c]),
+        };
+        sup + d
+    }
+
+    /// `prefix(k − 1, i)`: superblock absolute plus the derived delta
+    /// (in-block offset minus the stored columns' deltas).
+    #[inline]
+    fn absolute_last(&self, i: usize) -> u32 {
+        let sb = i >> self.block_shift;
+        let sup = self.supers[sb * self.k + (self.k - 1)];
+        let offset = (i - (sb << self.block_shift)) as u32;
+        let row = i * self.stored_k;
+        let stored_sum: u32 = match &self.deltas {
+            DeltaTier::U8(v) => v[row..row + self.stored_k]
+                .iter()
+                .map(|&d| u32::from(d))
+                .sum(),
+            DeltaTier::U16(v) => v[row..row + self.stored_k]
+                .iter()
+                .map(|&d| u32::from(d))
+                .sum(),
+        };
+        sup + (offset - stored_sum)
+    }
+
+    /// Fill `buf` (length `k`) with the count vector of `S[start..end)`.
+    #[inline]
+    pub fn fill_counts(&self, start: usize, end: usize, buf: &mut [u32]) {
+        buf.fill(0);
+        self.accumulate_counts(start, end, buf);
+    }
+
+    /// Add the count vector of `S[start..end)` into `buf` (length `k`) —
+    /// the scan kernels' post-skip resync: two superblock rows (almost
+    /// always cache-resident) plus two byte-packed delta rows, swept in
+    /// one unrolled pass that derives the last character from the in-block
+    /// offsets.
+    #[inline]
+    pub fn accumulate_counts(&self, start: usize, end: usize, buf: &mut [u32]) {
+        debug_assert_eq!(buf.len(), self.k);
+        debug_assert!(start <= end && end <= self.n);
+        match &self.deltas {
+            DeltaTier::U8(v) => self.accumulate_impl(v, start, end, buf),
+            DeltaTier::U16(v) => self.accumulate_impl(v, start, end, buf),
+        }
+    }
+
+    /// The tier-generic resync sweep (monomorphized per delta width).
+    #[inline(always)]
+    fn accumulate_impl<T: Copy + Into<u32>>(
+        &self,
+        deltas: &[T],
+        start: usize,
+        end: usize,
+        buf: &mut [u32],
+    ) {
+        let k = self.k;
+        let stored_k = self.stored_k;
+        let sb_s = start >> self.block_shift;
+        let sb_e = end >> self.block_shift;
+        let sup_s = &self.supers[sb_s * k..sb_s * k + k];
+        let sup_e = &self.supers[sb_e * k..sb_e * k + k];
+        let row_s = &deltas[start * stored_k..start * stored_k + stored_k];
+        let row_e = &deltas[end * stored_k..end * stored_k + stored_k];
+        let mut sum_s = 0u32;
+        let mut sum_e = 0u32;
+        for c in 0..stored_k {
+            let ds: u32 = row_s[c].into();
+            let de: u32 = row_e[c].into();
+            sum_s += ds;
+            sum_e += de;
+            buf[c] += (sup_e[c] + de) - (sup_s[c] + ds);
+        }
+        let off_s = (start - (sb_s << self.block_shift)) as u32;
+        let off_e = (end - (sb_e << self.block_shift)) as u32;
+        let abs_s = sup_s[stored_k] + (off_s - sum_s);
+        let abs_e = sup_e[stored_k] + (off_e - sum_e);
+        buf[stored_k] += abs_e - abs_s;
+    }
+}
+
+/// The shared build sweep: walk the symbols once, snapshotting the running
+/// absolute vector at each superblock boundary and emitting the per-
+/// position stored-column deltas through `emit(position, column, delta)`.
+fn build_pass(
+    symbols: &[u8],
+    k: usize,
+    block: usize,
+    supers: &mut [u32],
+    running: &mut [u32],
+    mut emit: impl FnMut(usize, usize, u32),
+) {
+    let stored_k = k - 1;
+    for i in 0..=symbols.len() {
+        let sb = i / block;
+        if i % block == 0 {
+            supers[sb * k..sb * k + k].copy_from_slice(running);
+        }
+        let base = &supers[sb * k..sb * k + k];
+        for c in 0..stored_k {
+            emit(i, c, running[c] - base[c]);
+        }
+        if i < symbols.len() {
+            running[symbols[i] as usize] += 1;
+        }
+    }
+}
+
+impl CountSource for BlockedCounts {
+    #[inline]
+    fn n(&self) -> usize {
+        BlockedCounts::n(self)
+    }
+
+    #[inline]
+    fn k(&self) -> usize {
+        BlockedCounts::k(self)
+    }
+
+    #[inline]
+    fn symbols(&self) -> &[u8] {
+        BlockedCounts::symbols(self)
+    }
+
+    #[inline]
+    fn count(&self, c: usize, start: usize, end: usize) -> u32 {
+        BlockedCounts::count(self, c, start, end)
+    }
+
+    #[inline]
+    fn fill_counts(&self, start: usize, end: usize, buf: &mut [u32]) {
+        BlockedCounts::fill_counts(self, start, end, buf)
+    }
+
+    #[inline]
+    fn accumulate_counts(&self, start: usize, end: usize, buf: &mut [u32]) {
+        BlockedCounts::accumulate_counts(self, start, end, buf)
+    }
+
+    #[inline]
+    fn index_bytes(&self) -> usize {
+        BlockedCounts::index_bytes(self)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The growable (streaming) layout.
+// ---------------------------------------------------------------------------
 
 /// Growable column-major prefix counts — the append-only sibling of
 /// [`PrefixCounts`], shared by the streaming miner and anything else that
@@ -125,7 +704,8 @@ impl PrefixCounts {
 /// adjacent), same cache behaviour: a resync after a pruning jump touches
 /// one or two cache lines instead of `k` distant rows. Appending one
 /// symbol copies the last column and bumps one entry — `O(k)`, amortized
-/// `O(1)` reallocations.
+/// `O(1)` reallocations. A fully-consumed stream freezes into either
+/// offline layout ([`GrowableCounts::into_index`]).
 #[derive(Debug, Clone)]
 pub struct GrowableCounts {
     /// Column-major `(n + 1) × k` table; `table[i·k + c]` = occurrences of
@@ -164,6 +744,11 @@ impl GrowableCounts {
     /// The symbols consumed so far.
     pub fn symbols(&self) -> &[u8] {
         &self.symbols
+    }
+
+    /// Bytes held by the growable table.
+    pub fn index_bytes(&self) -> usize {
+        self.table.len() * std::mem::size_of::<u32>()
     }
 
     /// Append one symbol (the caller guarantees `symbol < k`).
@@ -223,6 +808,60 @@ impl GrowableCounts {
             k: self.k,
         }
     }
+
+    /// Freeze into a [`BlockedCounts`] (rebuilds the two-level table from
+    /// the consumed symbols in one `O(k·n)` pass, then drops the 4×
+    /// larger growable table).
+    pub fn into_blocked_counts(self) -> BlockedCounts {
+        BlockedCounts::from_symbols_vec(self.symbols, self.k, DEFAULT_BLOCK)
+            .expect("default block spacing is always valid")
+    }
+
+    /// Freeze into a [`CountsIndex`] in the requested layout (`Auto`
+    /// resolves by footprint, exactly as [`CountsIndex::build`] does).
+    pub fn into_index(self, layout: CountsLayout) -> CountsIndex {
+        match layout.resolve(self.n(), self.k) {
+            CountsLayout::Blocked => CountsIndex::Blocked(self.into_blocked_counts()),
+            _ => CountsIndex::Flat(self.into_prefix_counts()),
+        }
+    }
+}
+
+impl CountSource for GrowableCounts {
+    #[inline]
+    fn n(&self) -> usize {
+        GrowableCounts::n(self)
+    }
+
+    #[inline]
+    fn k(&self) -> usize {
+        GrowableCounts::k(self)
+    }
+
+    #[inline]
+    fn symbols(&self) -> &[u8] {
+        GrowableCounts::symbols(self)
+    }
+
+    #[inline]
+    fn count(&self, c: usize, start: usize, end: usize) -> u32 {
+        GrowableCounts::count(self, c, start, end)
+    }
+
+    #[inline]
+    fn fill_counts(&self, start: usize, end: usize, buf: &mut [u32]) {
+        GrowableCounts::fill_counts(self, start, end, buf)
+    }
+
+    #[inline]
+    fn accumulate_counts(&self, start: usize, end: usize, buf: &mut [u32]) {
+        GrowableCounts::accumulate_counts(self, start, end, buf)
+    }
+
+    #[inline]
+    fn index_bytes(&self) -> usize {
+        GrowableCounts::index_bytes(self)
+    }
 }
 
 #[cfg(test)]
@@ -233,6 +872,18 @@ mod tests {
     fn demo_seq() -> Sequence {
         // 0 1 1 2 0 2 2 1
         Sequence::from_symbols(vec![0, 1, 1, 2, 0, 2, 2, 1], 3).unwrap()
+    }
+
+    fn pseudo_random_symbols(n: usize, k: usize, seed: u64) -> Vec<u8> {
+        let mut x = seed | 1;
+        (0..n)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x % k as u64) as u8
+            })
+            .collect()
     }
 
     #[test]
@@ -302,6 +953,131 @@ mod tests {
     }
 
     #[test]
+    fn blocked_matches_flat_on_every_range() {
+        for &block in &[1usize, 2, 4, 8, 32, 256, 512, 1024] {
+            let symbols = pseudo_random_symbols(600, 3, 0xB10C ^ block as u64);
+            let seq = Sequence::from_symbols(symbols, 3).unwrap();
+            let pc = PrefixCounts::build(&seq);
+            let bc = BlockedCounts::with_block(&seq, block).unwrap();
+            assert_eq!(bc.n(), pc.n());
+            assert_eq!(bc.k(), pc.k());
+            assert_eq!(bc.block(), block);
+            assert_eq!(bc.symbols(), pc.symbols());
+            let mut fb = vec![0u32; 3];
+            let mut bb = vec![0u32; 3];
+            for start in (0..=seq.len()).step_by(7) {
+                for end in (start..=seq.len()).step_by(5) {
+                    for c in 0..3 {
+                        assert_eq!(
+                            bc.count(c, start, end),
+                            pc.count(c, start, end),
+                            "block {block}: count({c}, {start}, {end})"
+                        );
+                    }
+                    pc.fill_counts(start, end, &mut fb);
+                    bc.fill_counts(start, end, &mut bb);
+                    assert_eq!(fb, bb, "block {block}: fill({start}, {end})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_accumulate_matches_flat() {
+        let symbols = pseudo_random_symbols(500, 4, 0xACC);
+        let seq = Sequence::from_symbols(symbols, 4).unwrap();
+        let pc = PrefixCounts::build(&seq);
+        let bc = BlockedCounts::with_block(&seq, 64).unwrap();
+        let mut fb = vec![0u32; 4];
+        let mut bb = vec![0u32; 4];
+        pc.fill_counts(3, 90, &mut fb);
+        bc.fill_counts(3, 90, &mut bb);
+        pc.accumulate_counts(90, 411, &mut fb);
+        bc.accumulate_counts(90, 411, &mut bb);
+        assert_eq!(fb, bb);
+        assert_eq!(fb, pc.count_vector(3, 411));
+    }
+
+    #[test]
+    fn blocked_u16_escape_tier() {
+        let symbols = pseudo_random_symbols(3000, 2, 0xE5C);
+        let seq = Sequence::from_symbols(symbols, 2).unwrap();
+        let pc = PrefixCounts::build(&seq);
+        let bc = BlockedCounts::with_block(&seq, 2048).unwrap();
+        for start in (0..=seq.len()).step_by(101) {
+            for end in (start..=seq.len()).step_by(67) {
+                for c in 0..2 {
+                    assert_eq!(bc.count(c, start, end), pc.count(c, start, end));
+                }
+            }
+        }
+        // u16 tier: ~2(k−1) bytes per position plus superblocks.
+        assert!(bc.index_bytes() < pc.index_bytes());
+    }
+
+    #[test]
+    fn blocked_rejects_bad_block_sizes() {
+        let seq = demo_seq();
+        assert!(BlockedCounts::with_block(&seq, 0).is_err());
+        assert!(BlockedCounts::with_block(&seq, 3).is_err());
+        assert!(BlockedCounts::with_block(&seq, 300).is_err());
+        assert!(BlockedCounts::with_block(&seq, 2 * MAX_BLOCK).is_err());
+        assert!(BlockedCounts::with_block(&seq, MAX_BLOCK).is_ok());
+    }
+
+    #[test]
+    fn blocked_footprint_is_at_least_4x_smaller() {
+        // k = 4 (DNA): flat is 16 B/pos, blocked ~3.06 B/pos → >5×.
+        let symbols = pseudo_random_symbols(100_000, 4, 0xF00);
+        let seq = Sequence::from_symbols(symbols, 4).unwrap();
+        let pc = PrefixCounts::build(&seq);
+        let bc = BlockedCounts::build(&seq);
+        let ratio = pc.index_bytes() as f64 / bc.index_bytes() as f64;
+        assert!(ratio >= 4.0, "footprint ratio {ratio}");
+        // k = 2: flat 8 B/pos, blocked ~1.03 B/pos → >7×.
+        let symbols = pseudo_random_symbols(100_000, 2, 0xF01);
+        let seq = Sequence::from_symbols(symbols, 2).unwrap();
+        let ratio = PrefixCounts::build(&seq).index_bytes() as f64
+            / BlockedCounts::build(&seq).index_bytes() as f64;
+        assert!(ratio >= 7.0, "k=2 footprint ratio {ratio}");
+    }
+
+    #[test]
+    fn layout_auto_resolves_by_footprint() {
+        assert_eq!(CountsLayout::Flat.resolve(1 << 30, 4), CountsLayout::Flat);
+        assert_eq!(CountsLayout::Blocked.resolve(10, 2), CountsLayout::Blocked);
+        assert_eq!(CountsLayout::Auto.resolve(1000, 4), CountsLayout::Flat);
+        assert_eq!(
+            CountsLayout::Auto.resolve(AUTO_BLOCKED_THRESHOLD_BYTES, 4),
+            CountsLayout::Blocked
+        );
+    }
+
+    #[test]
+    fn counts_index_delegates_both_layouts() {
+        let seq = demo_seq();
+        for layout in [CountsLayout::Flat, CountsLayout::Blocked] {
+            let index = CountsIndex::build(&seq, layout);
+            assert_eq!(index.layout(), layout);
+            assert_eq!(CountSource::n(&index), 8);
+            assert_eq!(CountSource::k(&index), 3);
+            assert_eq!(CountSource::symbols(&index), seq.symbols());
+            assert_eq!(CountSource::count(&index, 2, 3, 4), 1);
+            let mut buf = vec![0u32; 3];
+            index.fill_counts(2, 6, &mut buf);
+            assert_eq!(buf, vec![1, 1, 2]);
+            index.accumulate_counts(6, 8, &mut buf);
+            assert_eq!(buf, vec![1, 2, 3]);
+            assert!(index.index_bytes() > 0);
+        }
+        // Auto on a tiny sequence resolves flat.
+        assert_eq!(
+            CountsIndex::build(&seq, CountsLayout::Auto).layout(),
+            CountsLayout::Flat
+        );
+    }
+
+    #[test]
     fn growable_matches_static_table_after_every_push() {
         let seq = demo_seq();
         let mut gc = GrowableCounts::new(3);
@@ -359,5 +1135,46 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn growable_freezes_into_blocked_counts() {
+        let seq = demo_seq();
+        let mut gc = GrowableCounts::new(3);
+        for &s in seq.symbols() {
+            gc.push(s);
+        }
+        let frozen = gc.into_blocked_counts();
+        let built = PrefixCounts::build(&seq);
+        assert_eq!(frozen.n(), built.n());
+        assert_eq!(frozen.symbols(), built.symbols());
+        for start in 0..=seq.len() {
+            for end in start..=seq.len() {
+                for c in 0..3 {
+                    assert_eq!(frozen.count(c, start, end), built.count(c, start, end));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn growable_into_index_resolves_layout() {
+        let mut gc = GrowableCounts::new(2);
+        for s in [0u8, 1, 1, 0, 1] {
+            gc.push(s);
+        }
+        assert_eq!(
+            gc.clone().into_index(CountsLayout::Flat).layout(),
+            CountsLayout::Flat
+        );
+        assert_eq!(
+            gc.clone().into_index(CountsLayout::Blocked).layout(),
+            CountsLayout::Blocked
+        );
+        // Tiny stream: Auto stays flat (a pure move).
+        assert_eq!(
+            gc.into_index(CountsLayout::Auto).layout(),
+            CountsLayout::Flat
+        );
     }
 }

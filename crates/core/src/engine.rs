@@ -6,11 +6,24 @@
 //! ([`crate::find_mss`] and friends) rebuild that state on every call,
 //! which a service answering many queries over the same corpus cannot
 //! afford. [`Engine`] is the index-once/query-many split: built once from
-//! a `(Sequence, Model)` pair, it owns the [`PrefixCounts`], the model
+//! a `(Sequence, Model)` pair, it owns the count index, the model
 //! tables, a reusable scratch arena and a lazily-spawned persistent
 //! [`WorkerPool`], then serves every query variant — plus
 //! **range-restricted** forms (`mss_in(l..r)` etc., the building block
 //! for sharded serving) — without re-deriving any of it.
+//!
+//! # Count-index layouts
+//!
+//! The index is a [`CountsIndex`] in one of two layouts: the flat
+//! [`PrefixCounts`] table (`4k` bytes per position) or the two-level
+//! [`crate::BlockedCounts`] table (`~k` bytes per position, bit-identical
+//! answers). [`Engine::new`] picks via [`CountsLayout::Auto`] — flat
+//! while the table fits cache-scale footprints, blocked above
+//! [`crate::counts::AUTO_BLOCKED_THRESHOLD_BYTES`] — and
+//! [`Engine::with_layout`] / [`Engine::with_options`] force a layout.
+//! Every query dispatches on the layout **once per scan call** and runs a
+//! kernel monomorphized for the concrete index, so the choice never costs
+//! a branch in the hot loop.
 //!
 //! # Amortization layers
 //!
@@ -63,7 +76,7 @@ use std::ops::Range;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 
-use crate::counts::PrefixCounts;
+use crate::counts::{index_delegate, CountSource, CountsIndex, CountsLayout, PrefixCounts};
 use crate::error::{Error, Result};
 use crate::model::Model;
 use crate::mss::MssResult;
@@ -96,8 +109,8 @@ pub const CACHE_TOTAL_ITEM_LIMIT: usize = 262_144;
 
 /// Problem 1 over `S[range)`: the caller guarantees a validated non-empty
 /// range.
-pub(crate) fn mss_scan(
-    pc: &PrefixCounts,
+pub(crate) fn mss_scan<C: CountSource>(
+    pc: &C,
     model: &Model,
     range: Range<usize>,
     scratch: &mut Vec<u32>,
@@ -122,8 +135,8 @@ pub(crate) fn mss_scan(
 }
 
 /// Problem 2 over `S[range)`.
-pub(crate) fn top_t_scan(
-    pc: &PrefixCounts,
+pub(crate) fn top_t_scan<C: CountSource>(
+    pc: &C,
     model: &Model,
     range: Range<usize>,
     t: usize,
@@ -174,8 +187,8 @@ impl Policy for CollectPolicy<'_> {
 
 /// Problem 3 over `S[range)`, streaming each qualifying substring into
 /// `visit` (order unspecified — the kernel interleaves start lanes).
-pub(crate) fn threshold_scan(
-    pc: &PrefixCounts,
+pub(crate) fn threshold_scan<C: CountSource>(
+    pc: &C,
     model: &Model,
     range: Range<usize>,
     alpha: f64,
@@ -209,8 +222,8 @@ pub(crate) fn threshold_scan(
 
 /// Problem 3 over `S[range)`, collected into the canonical order
 /// (starts right-to-left, ends ascending within a start).
-pub(crate) fn threshold_collect_scan(
-    pc: &PrefixCounts,
+pub(crate) fn threshold_collect_scan<C: CountSource>(
+    pc: &C,
     model: &Model,
     range: Range<usize>,
     alpha: f64,
@@ -224,8 +237,8 @@ pub(crate) fn threshold_collect_scan(
 
 /// Problem 4 over `S[range)`: MSS among substrings strictly longer than
 /// `gamma0`.
-pub(crate) fn min_length_scan(
-    pc: &PrefixCounts,
+pub(crate) fn min_length_scan<C: CountSource>(
+    pc: &C,
     model: &Model,
     range: Range<usize>,
     gamma0: usize,
@@ -260,8 +273,8 @@ pub(crate) fn min_length_scan(
 
 /// Window-constrained MSS over `S[range)`: substrings of length at most
 /// `w`.
-pub(crate) fn max_length_scan(
-    pc: &PrefixCounts,
+pub(crate) fn max_length_scan<C: CountSource>(
+    pc: &C,
     model: &Model,
     range: Range<usize>,
     w: usize,
@@ -290,16 +303,27 @@ pub(crate) fn max_length_scan(
 /// A small pool of recycled count buffers: sequential queries reuse one
 /// buffer without allocating, and concurrent batch workers each borrow
 /// their own.
-#[derive(Debug, Default)]
+///
+/// Retention is bounded by `workers + 1` buffers: that is the maximum
+/// concurrency the engine itself creates (its pool's workers plus the
+/// calling thread), so anything beyond it is a transient spike from
+/// outside callers — those buffers are dropped on release instead of
+/// accumulating for the engine's lifetime under Batch load.
+#[derive(Debug)]
 struct ScratchArena {
     buffers: Mutex<Vec<Vec<u32>>>,
+    /// Maximum buffers retained (`workers + 1`).
+    retain: usize,
 }
 
-/// Buffers retained by the arena (surplus concurrent borrows beyond this
-/// are simply dropped on release).
-const ARENA_RETAIN: usize = 64;
-
 impl ScratchArena {
+    fn new(retain: usize) -> Self {
+        Self {
+            buffers: Mutex::new(Vec::new()),
+            retain,
+        }
+    }
+
     fn acquire(&self) -> Vec<u32> {
         self.buffers
             .lock()
@@ -310,7 +334,7 @@ impl ScratchArena {
 
     fn release(&self, buf: Vec<u32>) {
         let mut buffers = self.buffers.lock().expect("arena poisoned");
-        if buffers.len() < ARENA_RETAIN {
+        if buffers.len() < self.retain {
             buffers.push(buf);
         }
     }
@@ -470,7 +494,7 @@ enum CacheKey {
 /// persistent worker pool).
 #[derive(Debug)]
 pub struct Engine {
-    pc: PrefixCounts,
+    index: CountsIndex,
     model: Model,
     /// Resolved worker count for the lazily-built pool.
     threads: usize,
@@ -483,45 +507,86 @@ pub struct Engine {
 
 impl Engine {
     /// Build an engine from a sequence and model (auto-sized worker pool,
-    /// spawned only when a `_parallel` query first needs it).
+    /// spawned only when a `_parallel` query first needs it; count-index
+    /// layout picked by [`CountsLayout::Auto`] — flat while small, the
+    /// two-level blocked table once the flat footprint would fall out of
+    /// cache).
     ///
     /// # Errors
     ///
     /// Fails when the model and sequence alphabets disagree.
     pub fn new(seq: &Sequence, model: Model) -> Result<Self> {
-        Self::with_threads(seq, model, 0)
+        Self::with_options(seq, model, 0, CountsLayout::Auto)
     }
 
     /// [`Engine::new`] with an explicit worker count for the parallel
     /// queries (`0` = all available cores). The pool is sized once per
     /// engine.
     pub fn with_threads(seq: &Sequence, model: Model, threads: usize) -> Result<Self> {
-        model.check_alphabet(seq)?;
-        Ok(Self::from_parts(PrefixCounts::build(seq), model, threads))
+        Self::with_options(seq, model, threads, CountsLayout::Auto)
     }
 
-    /// Build an engine from prebuilt prefix counts.
+    /// [`Engine::new`] with an explicit count-index layout.
+    pub fn with_layout(seq: &Sequence, model: Model, layout: CountsLayout) -> Result<Self> {
+        Self::with_options(seq, model, 0, layout)
+    }
+
+    /// Fully explicit build: worker count (`0` = all cores) and
+    /// count-index layout ([`CountsLayout::Auto`] resolves by footprint).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the model and sequence alphabets disagree.
+    pub fn with_options(
+        seq: &Sequence,
+        model: Model,
+        threads: usize,
+        layout: CountsLayout,
+    ) -> Result<Self> {
+        model.check_alphabet(seq)?;
+        Ok(Self::from_parts(
+            CountsIndex::build(seq, layout),
+            model,
+            threads,
+        ))
+    }
+
+    /// Build an engine from prebuilt flat prefix counts.
     ///
     /// # Errors
     ///
     /// Fails when the table and model alphabets disagree.
     pub fn from_counts(pc: PrefixCounts, model: Model) -> Result<Self> {
-        if pc.k() != model.k() {
-            return Err(Error::AlphabetMismatch {
-                model_k: model.k(),
-                seq_k: pc.k(),
-            });
-        }
-        Ok(Self::from_parts(pc, model, 0))
+        Self::from_index(CountsIndex::Flat(pc), model)
     }
 
-    fn from_parts(pc: PrefixCounts, model: Model, threads: usize) -> Self {
+    /// Build an engine from a prebuilt count index in either layout
+    /// (e.g. a frozen [`crate::GrowableCounts`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the index and model alphabets disagree.
+    pub fn from_index(index: CountsIndex, model: Model) -> Result<Self> {
+        if index.k() != model.k() {
+            return Err(Error::AlphabetMismatch {
+                model_k: model.k(),
+                seq_k: index.k(),
+            });
+        }
+        Ok(Self::from_parts(index, model, 0))
+    }
+
+    fn from_parts(index: CountsIndex, model: Model, threads: usize) -> Self {
+        let threads = resolve_threads(threads);
         Self {
-            pc,
+            index,
             model,
-            threads: resolve_threads(threads),
+            threads,
             pool: OnceLock::new(),
-            scratch: ScratchArena::default(),
+            // The engine never has more than `workers + 1` scans in
+            // flight on its own behalf; retaining more would only grow
+            // unboundedly under concurrent Batch callers.
+            scratch: ScratchArena::new(threads + 1),
             cache: Mutex::new(ResultCache::default()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -530,17 +595,28 @@ impl Engine {
 
     /// Sequence length `n`.
     pub fn n(&self) -> usize {
-        self.pc.n()
+        self.index.n()
     }
 
     /// Alphabet size `k`.
     pub fn k(&self) -> usize {
-        self.pc.k()
+        self.index.k()
     }
 
-    /// The owned prefix-count table.
-    pub fn counts(&self) -> &PrefixCounts {
-        &self.pc
+    /// The owned count index (either layout).
+    pub fn counts(&self) -> &CountsIndex {
+        &self.index
+    }
+
+    /// The count-index layout this engine was built with (`Flat` or
+    /// `Blocked` — `Auto` is resolved at build time).
+    pub fn layout(&self) -> CountsLayout {
+        self.index.layout()
+    }
+
+    /// Bytes held by the count index (tables only).
+    pub fn index_bytes(&self) -> usize {
+        self.index.index_bytes()
     }
 
     /// The owned null model.
@@ -646,7 +722,7 @@ impl Engine {
         if let Some(Answer::Best(res)) = self.cache_get(&key) {
             return Ok(res);
         }
-        let res = self.with_scratch(|s| mss_scan(&self.pc, &self.model, l..r, s));
+        let res = index_delegate!(&self.index, pc => self.with_scratch(|s| mss_scan(pc, &self.model, l..r, s)));
         self.cache_put(key, &Answer::Best(res));
         Ok(res)
     }
@@ -666,7 +742,7 @@ impl Engine {
         if let Some(Answer::Top(res)) = self.cache_get(&key) {
             return Ok(res);
         }
-        let res = self.with_scratch(|s| top_t_scan(&self.pc, &self.model, l..r, t, s))?;
+        let res = index_delegate!(&self.index, pc => self.with_scratch(|s| top_t_scan(pc, &self.model, l..r, t, s)))?;
         self.cache_put(key, &Answer::Top(res.clone()));
         Ok(res)
     }
@@ -690,8 +766,8 @@ impl Engine {
         if let Some(Answer::Threshold(res)) = self.cache_get(&key) {
             return Ok(res);
         }
-        let res =
-            self.with_scratch(|s| threshold_collect_scan(&self.pc, &self.model, l..r, alpha, s))?;
+        let res = index_delegate!(&self.index, pc => self
+            .with_scratch(|s| threshold_collect_scan(pc, &self.model, l..r, alpha, s)))?;
         self.cache_put(key, &Answer::Threshold(res.clone()));
         Ok(res)
     }
@@ -705,7 +781,9 @@ impl Engine {
         visit: impl FnMut(Scored),
     ) -> Result<ScanStats> {
         let n = self.n();
-        self.with_scratch(|s| threshold_scan(&self.pc, &self.model, 0..n, alpha, visit, s))
+        index_delegate!(&self.index, pc => {
+            self.with_scratch(|s| threshold_scan(pc, &self.model, 0..n, alpha, visit, s))
+        })
     }
 
     // -- Problem 4 and the window dual -------------------------------------
@@ -723,7 +801,8 @@ impl Engine {
         if let Some(Answer::Best(res)) = self.cache_get(&key) {
             return Ok(res);
         }
-        let res = self.with_scratch(|s| min_length_scan(&self.pc, &self.model, l..r, gamma0, s))?;
+        let res = index_delegate!(&self.index, pc => self
+            .with_scratch(|s| min_length_scan(pc, &self.model, l..r, gamma0, s)))?;
         self.cache_put(key, &Answer::Best(res));
         Ok(res)
     }
@@ -741,7 +820,7 @@ impl Engine {
         if let Some(Answer::Best(res)) = self.cache_get(&key) {
             return Ok(res);
         }
-        let res = self.with_scratch(|s| max_length_scan(&self.pc, &self.model, l..r, w, s))?;
+        let res = index_delegate!(&self.index, pc => self.with_scratch(|s| max_length_scan(pc, &self.model, l..r, w, s)))?;
         self.cache_put(key, &Answer::Best(res));
         Ok(res)
     }
@@ -755,11 +834,13 @@ impl Engine {
         if self.threads == 1 || self.n() < 2 {
             return self.mss();
         }
-        Ok(crate::parallel::mss_parallel_scan(
-            &self.pc,
-            &self.model,
-            self.pool(),
-        ))
+        Ok(
+            index_delegate!(&self.index, pc => crate::parallel::mss_parallel_scan(
+                pc,
+                &self.model,
+                self.pool(),
+            )),
+        )
     }
 
     /// Parallel top-t on the engine's persistent worker pool. Not
@@ -774,12 +855,14 @@ impl Engine {
         if self.threads == 1 || self.n() < 2 {
             return self.top_t(t);
         }
-        Ok(crate::parallel::top_t_parallel_scan(
-            &self.pc,
-            &self.model,
-            t,
-            self.pool(),
-        ))
+        Ok(
+            index_delegate!(&self.index, pc => crate::parallel::top_t_parallel_scan(
+                pc,
+                &self.model,
+                t,
+                self.pool(),
+            )),
+        )
     }
 
     // -- Uniform dispatch --------------------------------------------------
@@ -1094,6 +1177,70 @@ mod tests {
         assert_eq!(
             answers[0].as_ref().unwrap().best().unwrap().chi_square,
             engine.mss().unwrap().best.chi_square
+        );
+    }
+
+    #[test]
+    fn blocked_layout_answers_bit_identical() {
+        let symbols: Vec<u8> = (0..600u32).map(|i| ((i * 7 + i / 5) % 3) as u8).collect();
+        let s = seq(&symbols, 3);
+        let model = Model::from_probs(vec![0.5, 0.3, 0.2]).unwrap();
+        let flat = Engine::with_layout(&s, model.clone(), CountsLayout::Flat).unwrap();
+        let blocked = Engine::with_layout(&s, model.clone(), CountsLayout::Blocked).unwrap();
+        assert_eq!(flat.layout(), CountsLayout::Flat);
+        assert_eq!(blocked.layout(), CountsLayout::Blocked);
+        assert!(blocked.index_bytes() < flat.index_bytes());
+        // Whole-sequence and range-restricted answers are fully identical
+        // (values, positions, and scan stats).
+        assert_eq!(flat.mss().unwrap(), blocked.mss().unwrap());
+        assert_eq!(flat.top_t(5).unwrap(), blocked.top_t(5).unwrap());
+        assert_eq!(
+            flat.above_threshold(4.0).unwrap(),
+            blocked.above_threshold(4.0).unwrap()
+        );
+        assert_eq!(
+            flat.mss_min_length(7).unwrap(),
+            blocked.mss_min_length(7).unwrap()
+        );
+        assert_eq!(
+            flat.mss_max_length(9).unwrap(),
+            blocked.mss_max_length(9).unwrap()
+        );
+        assert_eq!(
+            flat.mss_in(41..300).unwrap(),
+            blocked.mss_in(41..300).unwrap()
+        );
+    }
+
+    #[test]
+    fn blocked_layout_parallel_matches_sequential_values() {
+        let symbols: Vec<u8> = (0..500u32).map(|i| ((i * 11 + i / 3) % 2) as u8).collect();
+        let s = seq(&symbols, 2);
+        let engine =
+            Engine::with_options(&s, Model::uniform(2).unwrap(), 4, CountsLayout::Blocked).unwrap();
+        let sequential = engine.mss().unwrap();
+        let parallel = engine.mss_parallel().unwrap();
+        assert_eq!(
+            sequential.best.chi_square.to_bits(),
+            parallel.best.chi_square.to_bits()
+        );
+        let seq_top = engine.top_t(6).unwrap();
+        let par_top = engine.top_t_parallel(6).unwrap();
+        for (a, b) in seq_top.items.iter().zip(&par_top.items) {
+            assert_eq!(a.chi_square.to_bits(), b.chi_square.to_bits());
+        }
+    }
+
+    #[test]
+    fn from_index_checks_alphabet() {
+        let s = seq(&[0, 1, 2, 0, 1, 2], 3);
+        let index = CountsIndex::build(&s, CountsLayout::Blocked);
+        assert!(Engine::from_index(index.clone(), Model::uniform(2).unwrap()).is_err());
+        let engine = Engine::from_index(index, Model::uniform(3).unwrap()).unwrap();
+        assert_eq!(engine.layout(), CountsLayout::Blocked);
+        assert_eq!(
+            engine.mss().unwrap(),
+            crate::find_mss(&s, &Model::uniform(3).unwrap()).unwrap()
         );
     }
 

@@ -88,7 +88,9 @@ pub mod streaming;
 pub mod threshold;
 pub mod topt;
 
-pub use counts::{GrowableCounts, PrefixCounts};
+pub use counts::{
+    BlockedCounts, CountSource, CountsIndex, CountsLayout, GrowableCounts, PrefixCounts,
+};
 pub use engine::{Answer, Batch, Engine, Query, QueryKind};
 pub use error::{Error, Result};
 pub use maxlen::mss_max_length;

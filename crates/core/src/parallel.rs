@@ -38,7 +38,7 @@
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
-use crate::counts::PrefixCounts;
+use crate::counts::{CountSource, PrefixCounts};
 use crate::error::{Error, Result};
 use crate::model::Model;
 use crate::mss::MssResult;
@@ -362,7 +362,13 @@ pub fn find_mss_parallel_counts(
 }
 
 /// The pool-borrowing parallel MSS scan (the engine's entry point).
-pub(crate) fn mss_parallel_scan(pc: &PrefixCounts, model: &Model, pool: &WorkerPool) -> MssResult {
+/// Generic over the count layout: workers monomorphize per index type and
+/// share it read-only.
+pub(crate) fn mss_parallel_scan<C: CountSource + Sync>(
+    pc: &C,
+    model: &Model,
+    pool: &WorkerPool,
+) -> MssResult {
     let n = pc.n();
     let shared = SharedMax::new();
 
@@ -482,8 +488,8 @@ pub fn top_t_parallel(
 }
 
 /// The pool-borrowing parallel top-t scan (the engine's entry point).
-pub(crate) fn top_t_parallel_scan(
-    pc: &PrefixCounts,
+pub(crate) fn top_t_parallel_scan<C: CountSource + Sync>(
+    pc: &C,
     model: &Model,
     t: usize,
     pool: &WorkerPool,

@@ -25,12 +25,19 @@
 //! | `scan_starts_fixed::<4>` | quaternary (DNA) | `[u32; 4]` |
 //! | `scan_starts_dyn` | any `k ≤ 256` | one `Vec` per scan call |
 //!
+//! All three kernels are generic over [`CountSource`], so each
+//! monomorphizes once for the flat `PrefixCounts` table and once for the
+//! two-level `BlockedCounts` table: with the blocked index the post-skip
+//! resync reads one byte-packed delta row per endpoint plus a superblock
+//! row that is almost always cache-resident, instead of a full `u32`
+//! column — the layout dispatch happens before the loop, never inside it.
+//!
 //! [`scan_policy`] dispatches on `model.k()` at runtime. The pre-rewrite
 //! engine (per-substring `fill_counts` + full square-root skip solve) is
 //! kept as [`scan_policy_reference`] so benches and tests can measure the
 //! specialization win against a stable baseline.
 
-use crate::counts::PrefixCounts;
+use crate::counts::CountSource;
 use crate::model::Model;
 use crate::score::{chi_square_counts, chi_square_counts_with_len, weighted_square_sum, Scored};
 use crate::skip::{skip_from_ws, SkipTables};
@@ -85,8 +92,8 @@ pub(crate) trait Policy {
 /// alphabet-specialized kernels keep their counts on the stack and leave
 /// it untouched.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn scan_policy<P: Policy>(
-    pc: &PrefixCounts,
+pub(crate) fn scan_policy<C: CountSource, P: Policy>(
+    pc: &C,
     model: &Model,
     min_len: usize,
     window: usize,
@@ -98,8 +105,8 @@ pub(crate) fn scan_policy<P: Policy>(
     debug_assert!(min_len >= 1 && min_len <= window);
     debug_assert!(limit <= pc.n());
     match model.k() {
-        2 => scan_starts_fixed::<2, P>(pc, model, min_len, window, limit, starts, policy),
-        4 => scan_starts_fixed::<4, P>(pc, model, min_len, window, limit, starts, policy),
+        2 => scan_starts_fixed::<2, C, P>(pc, model, min_len, window, limit, starts, policy),
+        4 => scan_starts_fixed::<4, C, P>(pc, model, min_len, window, limit, starts, policy),
         _ => scan_starts_dyn(pc, model, min_len, window, limit, starts, policy, scratch),
     }
 }
@@ -115,8 +122,8 @@ struct Lane<const K: usize> {
 
 /// Pull the next start off the iterator and initialize its lane.
 #[inline]
-fn next_lane<const K: usize>(
-    pc: &PrefixCounts,
+fn next_lane<const K: usize, C: CountSource>(
+    pc: &C,
     min_len: usize,
     window: usize,
     limit: usize,
@@ -145,9 +152,9 @@ fn next_lane<const K: usize>(
 /// lane's scan is finished.
 #[inline(always)]
 #[allow(clippy::too_many_arguments)]
-fn lane_step<const K: usize, P: Policy>(
+fn lane_step<const K: usize, C: CountSource, P: Policy>(
     lane: &mut Lane<K>,
-    pc: &PrefixCounts,
+    pc: &C,
     symbols: &[u8],
     inv_p: &[f64; K],
     tables: &SkipTables<'_>,
@@ -207,8 +214,8 @@ fn lane_step<const K: usize, P: Policy>(
 /// the core overlap their square roots and cache misses. Budgets only
 /// ever grow, so any interleaving of observations is as safe as the
 /// sequential order.
-fn scan_starts_fixed<const K: usize, P: Policy>(
-    pc: &PrefixCounts,
+fn scan_starts_fixed<const K: usize, C: CountSource, P: Policy>(
+    pc: &C,
     model: &Model,
     min_len: usize,
     window: usize,
@@ -237,18 +244,18 @@ fn scan_starts_fixed<const K: usize, P: Policy>(
     };
     let mut stats = ScanStats::default();
     let mut starts = starts;
-    let mut lane_a = next_lane::<K>(pc, min_len, window, limit, &mut starts);
-    let mut lane_b = next_lane::<K>(pc, min_len, window, limit, &mut starts);
+    let mut lane_a = next_lane::<K, C>(pc, min_len, window, limit, &mut starts);
+    let mut lane_b = next_lane::<K, C>(pc, min_len, window, limit, &mut starts);
     loop {
         match (&mut lane_a, &mut lane_b) {
             (Some(a), Some(b)) => {
                 let live_a = lane_step(a, pc, symbols, &inv_p, &tables, policy, &mut stats);
                 let live_b = lane_step(b, pc, symbols, &inv_p, &tables, policy, &mut stats);
                 if !live_a {
-                    lane_a = next_lane::<K>(pc, min_len, window, limit, &mut starts);
+                    lane_a = next_lane::<K, C>(pc, min_len, window, limit, &mut starts);
                 }
                 if !live_b {
-                    lane_b = next_lane::<K>(pc, min_len, window, limit, &mut starts);
+                    lane_b = next_lane::<K, C>(pc, min_len, window, limit, &mut starts);
                 }
             }
             (Some(a), None) => {
@@ -269,8 +276,8 @@ fn scan_starts_fixed<const K: usize, P: Policy>(
 /// count buffer (still allocation-free per substring, and allocation-free
 /// per scan call when the buffer comes from the engine's arena).
 #[allow(clippy::too_many_arguments)]
-fn scan_starts_dyn<P: Policy>(
-    pc: &PrefixCounts,
+fn scan_starts_dyn<C: CountSource, P: Policy>(
+    pc: &C,
     model: &Model,
     min_len: usize,
     window: usize,
@@ -495,6 +502,7 @@ impl Policy for MaxPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::counts::PrefixCounts;
     use crate::seq::Sequence;
 
     #[test]

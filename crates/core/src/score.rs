@@ -1,7 +1,7 @@
 //! Chi-square scoring of substrings (paper Eq. 5) and the [`Scored`]
 //! result type.
 
-use crate::counts::PrefixCounts;
+use crate::counts::CountSource;
 use crate::model::Model;
 
 /// Pearson's `X²` of a count vector under a model, in the simplified form
@@ -50,11 +50,21 @@ pub fn chi_square_counts_with_len(counts: &[u32], inv_probs: &[f64], lf: f64) ->
     weighted_square_sum(counts, inv_probs) / lf - lf
 }
 
-/// `X²` of the substring `S[start..end)` via prefix counts — `O(k)`.
-pub fn chi_square_range(pc: &PrefixCounts, start: usize, end: usize, model: &Model) -> f64 {
-    let mut buf = vec![0u32; model.k()];
-    pc.fill_counts(start, end, &mut buf);
-    chi_square_counts(&buf, model)
+/// `X²` of the substring `S[start..end)` via any count index — `O(k)`.
+///
+/// Allocation-free for `k ≤ 64` (a stack buffer); larger alphabets pay
+/// one short-lived heap allocation.
+pub fn chi_square_range<C: CountSource>(pc: &C, start: usize, end: usize, model: &Model) -> f64 {
+    let k = model.k();
+    if k <= 64 {
+        let mut buf = [0u32; 64];
+        pc.fill_counts(start, end, &mut buf[..k]);
+        chi_square_counts(&buf[..k], model)
+    } else {
+        let mut buf = vec![0u32; k];
+        pc.fill_counts(start, end, &mut buf);
+        chi_square_counts(&buf, model)
+    }
 }
 
 /// Incremental scorer: maintains the count vector and the weighted square
@@ -164,6 +174,7 @@ pub fn scored_cmp(a: &Scored, b: &Scored) -> std::cmp::Ordering {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::counts::PrefixCounts;
     use crate::seq::Sequence;
 
     fn assert_close(a: f64, b: f64, tol: f64) {

@@ -14,7 +14,7 @@
 //! stream of `n` symbols costs `O(k·n^{3/2})` total, matching the offline
 //! bound while answering "what is the MSS so far?" after every symbol.
 
-use crate::counts::GrowableCounts;
+use crate::counts::{CountsLayout, GrowableCounts};
 use crate::error::{Error, Result};
 use crate::model::Model;
 use crate::scan::ScanStats;
@@ -141,12 +141,20 @@ impl StreamingMiner {
         Ok(())
     }
 
-    /// Freeze the consumed stream into an offline [`crate::Engine`]
-    /// (reusing the already-built column-major table), so historical
-    /// queries — top-t, thresholds, range restrictions — can run without
-    /// re-indexing.
+    /// Freeze the consumed stream into an offline [`crate::Engine`], so
+    /// historical queries — top-t, thresholds, range restrictions — can
+    /// run without re-indexing. The count-index layout is picked by
+    /// [`CountsLayout::Auto`]: small streams hand over the already-built
+    /// column-major table (a pair of moves), large ones compact into the
+    /// two-level blocked table and drop the 4× larger growable one.
     pub fn into_engine(self) -> Result<crate::engine::Engine> {
-        crate::engine::Engine::from_counts(self.counts.into_prefix_counts(), self.model)
+        self.into_engine_with_layout(CountsLayout::Auto)
+    }
+
+    /// [`StreamingMiner::into_engine`] with an explicit count-index
+    /// layout.
+    pub fn into_engine_with_layout(self, layout: CountsLayout) -> Result<crate::engine::Engine> {
+        crate::engine::Engine::from_index(self.counts.into_index(layout), self.model)
     }
 
     /// Append a batch of symbols.

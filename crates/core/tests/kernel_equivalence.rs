@@ -28,7 +28,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sigstr_core::{
     above_threshold, baseline, chi_square_range, find_mss, mss_max_length, mss_min_length, top_t,
-    Engine, Model, PrefixCounts, Sequence,
+    BlockedCounts, CountSource, CountsLayout, Engine, GrowableCounts, Model, PrefixCounts,
+    Sequence,
 };
 
 fn random_sequence(rng: &mut StdRng, k: usize, max_len: usize) -> Sequence {
@@ -336,6 +337,153 @@ fn reference_engine_matches_fast_engine_values() {
                 reference.best.chi_square.to_bits(),
                 "k={k} case {case}: fast vs reference engine disagree"
             );
+        }
+    }
+}
+
+/// The two count-index layouts must agree **bit-for-bit**: identical
+/// `u32` count vectors on every probed range (so every downstream score
+/// is the same `f64`), across alphabets covering both specialized
+/// kernels, the generic kernel, and a letters-sized alphabet, with block
+/// spacings landing superblock boundaries everywhere relative to the
+/// probed ranges (including the u16 escape tier).
+#[test]
+fn blocked_counts_bit_identical_to_flat() {
+    let mut rng = StdRng::seed_from_u64(0xB10C_C0DE);
+    for &k in &[2usize, 3, 4, 8, 26] {
+        for case in 0..12 {
+            let seq = random_sequence(&mut rng, k, 700);
+            let pc = PrefixCounts::build(&seq);
+            let block = 1usize << rng.gen_range(0..13); // 1 .. 4096
+            let bc = BlockedCounts::with_block(&seq, block).unwrap();
+            // Tiny spacings are correctness-only (a superblock at every
+            // other position outweighs the byte-packed deltas); at
+            // realistic spacings the blocked index must be smaller.
+            if block >= 16 {
+                assert!(
+                    bc.index_bytes() <= pc.index_bytes(),
+                    "k={k} block={block}: blocked index larger than flat"
+                );
+            }
+            let n = seq.len();
+            let mut flat_buf = vec![0u32; k];
+            let mut blocked_buf = vec![0u32; k];
+            for _ in 0..200 {
+                let start = rng.gen_range(0..=n);
+                let end = rng.gen_range(start..=n);
+                let c = rng.gen_range(0..k);
+                assert_eq!(
+                    bc.count(c, start, end),
+                    pc.count(c, start, end),
+                    "k={k} case {case} block={block}: count({c}, {start}, {end})"
+                );
+                pc.fill_counts(start, end, &mut flat_buf);
+                bc.fill_counts(start, end, &mut blocked_buf);
+                assert_eq!(
+                    flat_buf, blocked_buf,
+                    "k={k} case {case} block={block}: fill({start}, {end})"
+                );
+                let mid = rng.gen_range(start..=end);
+                pc.fill_counts(start, mid, &mut flat_buf);
+                bc.fill_counts(start, mid, &mut blocked_buf);
+                pc.accumulate_counts(mid, end, &mut flat_buf);
+                bc.accumulate_counts(mid, end, &mut blocked_buf);
+                assert_eq!(
+                    flat_buf, blocked_buf,
+                    "k={k} case {case} block={block}: accumulate({start}, {mid}, {end})"
+                );
+            }
+        }
+    }
+}
+
+/// End-to-end: an engine built on the blocked layout must answer every
+/// problem variant *fully* identically (values, positions, and scan
+/// stats) to one built on the flat layout — the scan streams are the
+/// same, so the pruning decisions and the reported floats are too.
+#[test]
+fn blocked_engine_matches_flat_engine_exactly() {
+    let mut rng = StdRng::seed_from_u64(0x1DEA_0B10);
+    for &k in &[2usize, 3, 4, 8, 26] {
+        for case in 0..8 {
+            let seq = random_sequence(&mut rng, k, 200);
+            let model = random_model(&mut rng, k);
+            let flat = Engine::with_layout(&seq, model.clone(), CountsLayout::Flat).unwrap();
+            let blocked = Engine::with_layout(&seq, model.clone(), CountsLayout::Blocked).unwrap();
+            let label = format!("k={k} case {case}");
+            let t = rng.gen_range(1..=8usize);
+            let alpha = rng.gen_range(0.5..3.0) * (k as f64);
+            let gamma0 = rng.gen_range(0..seq.len());
+            let w = rng.gen_range(1..=seq.len());
+            assert_eq!(flat.mss().unwrap(), blocked.mss().unwrap(), "{label}: mss");
+            assert_eq!(
+                flat.top_t(t).unwrap(),
+                blocked.top_t(t).unwrap(),
+                "{label}: top-{t}"
+            );
+            assert_eq!(
+                flat.above_threshold(alpha).unwrap(),
+                blocked.above_threshold(alpha).unwrap(),
+                "{label}: threshold"
+            );
+            assert_eq!(
+                flat.mss_min_length(gamma0).unwrap(),
+                blocked.mss_min_length(gamma0).unwrap(),
+                "{label}: min-length"
+            );
+            assert_eq!(
+                flat.mss_max_length(w).unwrap(),
+                blocked.mss_max_length(w).unwrap(),
+                "{label}: max-length"
+            );
+            if seq.len() > 2 {
+                let l = rng.gen_range(0..seq.len() - 1);
+                let r = rng.gen_range(l + 1..=seq.len());
+                assert_eq!(
+                    flat.mss_in(l..r).unwrap(),
+                    blocked.mss_in(l..r).unwrap(),
+                    "{label}: mss_in({l}..{r})"
+                );
+            }
+        }
+    }
+}
+
+/// A consumed stream must freeze into equivalent indexes in *both*
+/// layouts: `into_prefix_counts` / `into_blocked_counts` /
+/// `into_index(layout)` all answer identically to an index built offline
+/// from the same symbols.
+#[test]
+fn growable_freeze_equivalence_for_both_layouts() {
+    let mut rng = StdRng::seed_from_u64(0xF2EE_7E5D);
+    for &k in &[2usize, 3, 4, 8, 26] {
+        for case in 0..6 {
+            let seq = random_sequence(&mut rng, k, 300);
+            let built = PrefixCounts::build(&seq);
+            let mut gc = GrowableCounts::new(k);
+            for &s in seq.symbols() {
+                gc.push(s);
+            }
+            let flat = gc.clone().into_prefix_counts();
+            let blocked = gc.clone().into_blocked_counts();
+            let auto = gc.into_index(CountsLayout::Auto);
+            let n = seq.len();
+            let mut expect = vec![0u32; k];
+            let mut got = vec![0u32; k];
+            for _ in 0..120 {
+                let start = rng.gen_range(0..=n);
+                let end = rng.gen_range(start..=n);
+                built.fill_counts(start, end, &mut expect);
+                flat.fill_counts(start, end, &mut got);
+                assert_eq!(expect, got, "k={k} case {case}: flat freeze {start}..{end}");
+                blocked.fill_counts(start, end, &mut got);
+                assert_eq!(
+                    expect, got,
+                    "k={k} case {case}: blocked freeze {start}..{end}"
+                );
+                auto.fill_counts(start, end, &mut got);
+                assert_eq!(expect, got, "k={k} case {case}: auto freeze {start}..{end}");
+            }
         }
     }
 }

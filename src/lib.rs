@@ -28,7 +28,8 @@ pub use sigstr_stats as stats;
 pub mod prelude {
     pub use sigstr_core::{
         above_threshold, baseline, find_mss, find_mss_parallel, mss_max_length, mss_min_length,
-        top_t, Answer, Batch, Engine, Model, PrefixCounts, Query, Scored, Sequence,
+        top_t, Answer, Batch, BlockedCounts, CountsLayout, Engine, Model, PrefixCounts, Query,
+        Scored, Sequence,
     };
     pub use sigstr_stats::chi2;
 }
