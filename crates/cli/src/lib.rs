@@ -1,6 +1,7 @@
 //! Implementation of the `sigstr` command-line tool.
 //!
-//! Subcommands mirror the paper's four problems:
+//! Subcommands mirror the paper's four problems plus the persistence and
+//! serving layer:
 //!
 //! ```text
 //! sigstr mss    <file> [options]           # Problem 1
@@ -8,19 +9,33 @@
 //! sigstr thresh <file> --alpha 20 [opts]   # Problem 3 (or --level 0.001)
 //! sigstr minlen <file> --gamma 50 [opts]   # Problem 4
 //! sigstr batch  <file> --query mss --query top:5 ...   # engine-served
+//! sigstr index build <file> --out doc.snap [--layout blocked]
+//! sigstr index info  <doc.snap>
+//! sigstr corpus add   <dir> <file> --name doc1
+//! sigstr corpus query <dir> --query mss [--merge-top 10]
+//! sigstr corpus list  <dir>
 //! ```
 //!
 //! Input is a text file whose bytes are the string (newlines ignored);
-//! distinct bytes map to alphabet symbols in first-appearance order. The
-//! null model defaults to the empirical (maximum-likelihood) distribution
-//! and can be overridden with `--uniform` or `--probs 0.2,0.8`.
+//! distinct bytes map to alphabet symbols in first-appearance order.
+//! `--series` instead parses one number per line and encodes the up/down
+//! moves; `--csv-col N` takes column `N` of a delimited file. The null
+//! model defaults to the empirical (maximum-likelihood) distribution and
+//! can be overridden with `--uniform` or `--probs 0.2,0.8`. `--layout`
+//! forces the count-index layout (`auto` picks flat below the cache-scale
+//! threshold, blocked above; baselines other than `ours` ignore it).
 //!
 //! `batch` treats **each non-empty line as its own document**: one
 //! [`sigstr_core::Engine`] is built per document and every `--query` is
 //! answered from it over one persistent worker pool
 //! ([`sigstr_core::Batch`]) — the index-once/query-many serving path.
-//! Query specs: `mss`, `top:T`, `thresh:A`, `minlen:G`, `maxlen:W`, each
-//! optionally range-restricted with an `@L..R` suffix (`mss@10..90`).
+//! `index build` persists one built engine as a binary snapshot
+//! ([`sigstr_core::snapshot`]); `corpus *` manages a directory of
+//! snapshots behind a manifest and serves documents from warm engines
+//! ([`sigstr_corpus::Corpus`]), so repeated query runs never rebuild an
+//! index. Query specs: `mss`, `top:T`, `thresh:A`, `minlen:G`,
+//! `maxlen:W`, each optionally range-restricted with an `@L..R` suffix
+//! (`mss@10..90`).
 //!
 //! The argument parser is hand-rolled (the workspace's offline dependency
 //! policy has no CLI crate) and fully unit-tested.
@@ -30,7 +45,7 @@
 
 use std::fmt::Write as _;
 
-use sigstr_core::{baseline, Model, Scored, Sequence};
+use sigstr_core::{baseline, CountsLayout, Engine, Model, Scored, Sequence};
 
 /// Which mining algorithm to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,8 +74,28 @@ impl Algorithm {
     }
 }
 
+/// Parse a `--layout` value (the canonical names from
+/// [`CountsLayout::name`]).
+fn parse_layout(s: &str) -> Result<CountsLayout, String> {
+    CountsLayout::parse(s)
+        .ok_or_else(|| format!("unknown layout `{s}` (expected auto|flat|blocked)"))
+}
+
+/// How the raw input bytes become a symbol sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InputMode {
+    /// Bytes are symbols (whitespace stripped, first-appearance
+    /// alphabet).
+    Text,
+    /// One number per line; encoded as the up/down move string.
+    Series,
+    /// Column `N` of a delimited file; encoded as the up/down move
+    /// string.
+    CsvColumn(usize),
+}
+
 /// Which problem variant to run.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Command {
     /// Problem 1: the most significant substring.
     Mss,
@@ -87,6 +122,31 @@ pub enum Command {
     /// Engine-served batch mode: one document per input line, every
     /// `--query` answered from that document's engine.
     Batch,
+    /// Build an engine and persist it as a binary snapshot.
+    IndexBuild {
+        /// Output snapshot path.
+        out: String,
+    },
+    /// Print a snapshot's header (geometry, layout, sections) without
+    /// loading the payloads.
+    IndexInfo,
+    /// Index a document into a corpus directory.
+    CorpusAdd {
+        /// The corpus directory.
+        dir: String,
+        /// The document name.
+        name: String,
+    },
+    /// Serve queries over every document of a corpus directory.
+    CorpusQuery {
+        /// The corpus directory.
+        dir: String,
+    },
+    /// List a corpus's manifest.
+    CorpusList {
+        /// The corpus directory.
+        dir: String,
+    },
 }
 
 /// Null-model selection.
@@ -105,20 +165,44 @@ pub enum ModelSpec {
 pub struct Invocation {
     /// The problem variant.
     pub command: Command,
-    /// Input path (`-` = stdin).
+    /// Input path (`-` = stdin). For `corpus query` / `corpus list` /
+    /// `index info` the command opens its own files and this is unused.
     pub input: String,
     /// The algorithm to run.
     pub algorithm: Algorithm,
     /// Null-model selection.
     pub model: ModelSpec,
+    /// Count-index layout for engine-served paths (`auto` default).
+    pub layout: CountsLayout,
+    /// How the raw input bytes become a symbol sequence.
+    pub input_mode: InputMode,
     /// Maximum rows to print for multi-result commands.
     pub limit: usize,
     /// Print scan statistics.
     pub stats: bool,
     /// Also print the family-wise (Šidák-corrected) p-value.
     pub family: bool,
-    /// Raw `--query` specs for batch mode (parsed against each document).
+    /// Raw `--query` specs for batch/corpus mode.
     pub queries: Vec<String>,
+    /// Warm-engine cache budget for corpus queries, in MiB.
+    pub budget_mb: Option<usize>,
+    /// Print the corpus-wide merged top-T.
+    pub merge_top: Option<usize>,
+    /// Print the corpus-wide merged threshold set.
+    pub merge_thresh: Option<f64>,
+}
+
+impl Invocation {
+    /// Whether the driver should read `input` into memory before calling
+    /// [`run`]. Corpus commands and `index info` manage their own files
+    /// (a corpus input is a directory; a snapshot header does not need
+    /// the whole file).
+    pub fn reads_raw_input(&self) -> bool {
+        !matches!(
+            self.command,
+            Command::IndexInfo | Command::CorpusQuery { .. } | Command::CorpusList { .. }
+        )
+    }
 }
 
 /// Usage text.
@@ -126,7 +210,12 @@ pub const USAGE: &str = "\
 sigstr — mine statistically significant substrings (chi-square)
 
 USAGE:
-    sigstr <mss|top|thresh|minlen> <file|-> [OPTIONS]
+    sigstr <mss|top|thresh|minlen|maxlen|batch> <file|-> [OPTIONS]
+    sigstr index build <file|-> --out PATH [OPTIONS]
+    sigstr index info  <snapshot>
+    sigstr corpus add   <dir> <file|-> --name NAME [OPTIONS]
+    sigstr corpus query <dir> --query Q... [--merge-top T] [--merge-thresh A]
+    sigstr corpus list  <dir>
 
 COMMANDS:
     mss                     most significant substring (Problem 1)
@@ -138,14 +227,28 @@ COMMANDS:
     batch    --query Q...   one document per line, engine-served queries
                             (Q: mss | top:T | thresh:A | minlen:G | maxlen:W,
                              optionally range-restricted: mss@10..90)
+    index build --out PATH  build the count index + model once, persist as
+                            a binary snapshot (loaded, never rebuilt)
+    index info              print a snapshot's header and sections
+    corpus add --name N     snapshot a document into a corpus directory
+    corpus query            serve --query specs over every corpus document
+                            from warm engines; --merge-top T / --merge-thresh A
+                            add corpus-wide merged answers
+    corpus list             print the corpus manifest
 
 OPTIONS:
     --algorithm A           ours (default) | trivial | arlm | agmm
+    --layout L              count-index layout: auto (default) | flat | blocked
+                            (engine-served paths; baselines ignore it)
+    --series                input is a numeric series (one per line),
+                            encoded as the up/down move string
+    --csv-col N             input is delimited; use column N as the series
     --uniform               use the uniform null model
     --probs p1,p2,...       explicit null model probabilities
     --limit N               max rows to print (default 20)
     --stats                 print scan statistics
     --family                also print the family-wise (Sidak) p-value
+    --budget-mb N           corpus warm-engine cache budget (default 256)
     --help                  show this help
 ";
 
@@ -155,12 +258,52 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
         return Err(USAGE.to_string());
     }
     let verb = args[0].as_str();
-    if args.len() < 2 {
-        return Err(format!("missing input file\n\n{USAGE}"));
-    }
-    let input = args[1].clone();
+
+    // Resolve the positional shape: plain verbs take `<input>`; `index`
+    // and `corpus` take a subverb and possibly a directory first.
+    let (subverb, positionals, flags_from): (Option<&str>, Vec<String>, usize) =
+        match verb {
+            "index" => {
+                let sub = args
+                    .get(1)
+                    .map(|s| s.as_str())
+                    .ok_or("index requires a subcommand: build | info")?;
+                let input = args
+                    .get(2)
+                    .cloned()
+                    .ok_or_else(|| format!("index {sub} requires an input path\n\n{USAGE}"))?;
+                (Some(sub), vec![input], 3)
+            }
+            "corpus" => {
+                let sub = args
+                    .get(1)
+                    .map(|s| s.as_str())
+                    .ok_or("corpus requires a subcommand: add | query | list")?;
+                let dir = args.get(2).cloned().ok_or_else(|| {
+                    format!("corpus {sub} requires a corpus directory\n\n{USAGE}")
+                })?;
+                match sub {
+                    "add" => {
+                        let input = args.get(3).cloned().ok_or_else(|| {
+                            format!("corpus add requires a document file\n\n{USAGE}")
+                        })?;
+                        (Some(sub), vec![dir, input], 4)
+                    }
+                    _ => (Some(sub), vec![dir], 3),
+                }
+            }
+            _ => {
+                if args.len() < 2 {
+                    return Err(format!("missing input file\n\n{USAGE}"));
+                }
+                (None, vec![args[1].clone()], 2)
+            }
+        };
+
     let mut algorithm = Algorithm::Ours;
     let mut model = ModelSpec::Empirical;
+    let mut layout = CountsLayout::Auto;
+    let mut input_mode = InputMode::Text;
     let mut limit = 20usize;
     let mut stats = false;
     let mut t: Option<usize> = None;
@@ -170,8 +313,13 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
     let mut w: Option<usize> = None;
     let mut family = false;
     let mut queries: Vec<String> = Vec::new();
+    let mut out: Option<String> = None;
+    let mut name: Option<String> = None;
+    let mut budget_mb: Option<usize> = None;
+    let mut merge_top: Option<usize> = None;
+    let mut merge_thresh: Option<f64> = None;
 
-    let mut i = 2;
+    let mut i = flags_from;
     while i < args.len() {
         let flag = args[i].as_str();
         let mut take_value = || -> Result<&str, String> {
@@ -182,6 +330,15 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
         };
         match flag {
             "--algorithm" => algorithm = Algorithm::parse(take_value()?)?,
+            "--layout" => layout = parse_layout(take_value()?)?,
+            "--series" => input_mode = InputMode::Series,
+            "--csv-col" => {
+                input_mode = InputMode::CsvColumn(
+                    take_value()?
+                        .parse()
+                        .map_err(|e| format!("bad --csv-col value: {e}"))?,
+                )
+            }
             "--uniform" => model = ModelSpec::Uniform,
             "--probs" => {
                 let raw = take_value()?;
@@ -222,17 +379,40 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
             }
             "--family" => family = true,
             "--query" => queries.push(take_value()?.to_string()),
+            "--out" => out = Some(take_value()?.to_string()),
+            "--name" => name = Some(take_value()?.to_string()),
+            "--budget-mb" => {
+                budget_mb = Some(
+                    take_value()?
+                        .parse()
+                        .map_err(|e| format!("bad --budget-mb: {e}"))?,
+                );
+            }
+            "--merge-top" => {
+                merge_top = Some(
+                    take_value()?
+                        .parse()
+                        .map_err(|e| format!("bad --merge-top: {e}"))?,
+                );
+            }
+            "--merge-thresh" => {
+                merge_thresh = Some(
+                    take_value()?
+                        .parse()
+                        .map_err(|e| format!("bad --merge-thresh: {e}"))?,
+                );
+            }
             other => return Err(format!("unknown flag `{other}`\n\n{USAGE}")),
         }
         i += 1;
     }
 
-    let command = match verb {
-        "mss" => Command::Mss,
-        "top" => Command::Top {
+    let command = match (verb, subverb) {
+        ("mss", _) => Command::Mss,
+        ("top", _) => Command::Top {
             t: t.ok_or("top requires --t N")?,
         },
-        "thresh" => {
+        ("thresh", _) => {
             let alpha = match (alpha, level) {
                 (Some(a), None) => a,
                 (None, Some(_)) => f64::NAN, // resolved later, needs k
@@ -252,13 +432,13 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
                 None => Command::Thresh { alpha },
             }
         }
-        "minlen" => Command::MinLen {
+        ("minlen", _) => Command::MinLen {
             gamma: gamma.ok_or("minlen requires --gamma G")?,
         },
-        "maxlen" => Command::MaxLen {
+        ("maxlen", _) => Command::MaxLen {
             w: w.ok_or("maxlen requires --w W")?,
         },
-        "batch" => {
+        ("batch", _) => {
             if queries.is_empty() {
                 return Err("batch requires at least one --query SPEC".into());
             }
@@ -269,18 +449,61 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
             }
             Command::Batch
         }
-        other => return Err(format!("unknown command `{other}`\n\n{USAGE}")),
+        ("index", Some("build")) => Command::IndexBuild {
+            out: out.ok_or("index build requires --out PATH")?,
+        },
+        ("index", Some("info")) => Command::IndexInfo,
+        ("index", Some(other)) => {
+            return Err(format!(
+                "unknown index subcommand `{other}` (expected build|info)\n\n{USAGE}"
+            ))
+        }
+        ("corpus", Some("add")) => Command::CorpusAdd {
+            dir: positionals[0].clone(),
+            name: name.ok_or("corpus add requires --name NAME")?,
+        },
+        ("corpus", Some("query")) => {
+            if queries.is_empty() && merge_top.is_none() && merge_thresh.is_none() {
+                return Err(
+                    "corpus query requires at least one --query SPEC (or --merge-top / \
+                     --merge-thresh)"
+                        .into(),
+                );
+            }
+            for spec in &queries {
+                parse_query_spec(spec)?;
+            }
+            Command::CorpusQuery {
+                dir: positionals[0].clone(),
+            }
+        }
+        ("corpus", Some("list")) => Command::CorpusList {
+            dir: positionals[0].clone(),
+        },
+        ("corpus", Some(other)) => {
+            return Err(format!(
+                "unknown corpus subcommand `{other}` (expected add|query|list)\n\n{USAGE}"
+            ))
+        }
+        (other, _) => return Err(format!("unknown command `{other}`\n\n{USAGE}")),
     };
-    // `thresh` handled `command` above; silence unused for others.
+    // The document file is the last positional (for `corpus add` the
+    // directory came first).
+    let input = positionals.last().cloned().expect("one positional");
     Ok(Invocation {
         command,
         input,
         algorithm,
         model,
+        layout,
+        input_mode,
         limit,
         stats,
         family,
         queries,
+        budget_mb,
+        merge_top,
+        merge_thresh,
     })
 }
 
@@ -348,6 +571,28 @@ pub fn sequence_from_bytes(raw: &[u8]) -> Result<(Sequence, Vec<u8>), String> {
     Sequence::from_text(&cleaned).map_err(|e| format!("cannot build sequence: {e}"))
 }
 
+/// Build the sequence per the invocation's input mode. Series modes
+/// encode price moves as the up/down binary string (alphabet `d`/`u`);
+/// their parse failures are the typed [`sigstr_data::io::ParseError`]s,
+/// rendered with line/offset positions.
+pub fn build_sequence(mode: InputMode, raw: &[u8]) -> Result<(Sequence, Vec<u8>), String> {
+    match mode {
+        InputMode::Text => sequence_from_bytes(raw),
+        InputMode::Series => {
+            let series =
+                sigstr_data::io::parse_series_bytes(raw).map_err(|e| format!("bad series: {e}"))?;
+            let seq = sigstr_data::encode_updown(&series).map_err(|e| e.to_string())?;
+            Ok((seq, vec![b'd', b'u']))
+        }
+        InputMode::CsvColumn(column) => {
+            let series = sigstr_data::io::parse_column_bytes(raw, column)
+                .map_err(|e| format!("bad csv input: {e}"))?;
+            let seq = sigstr_data::encode_updown(&series).map_err(|e| e.to_string())?;
+            Ok((seq, vec![b'd', b'u']))
+        }
+    }
+}
+
 /// Resolve the model spec against a sequence.
 pub fn resolve_model(spec: &ModelSpec, seq: &Sequence) -> Result<Model, String> {
     match spec {
@@ -387,7 +632,14 @@ pub fn format_row(s: &Scored, k: usize, alphabet: &[u8]) -> String {
 /// Run batch mode: one engine per non-empty input line, all queries
 /// answered over one persistent worker pool.
 fn run_batch(invocation: &Invocation, raw: &[u8]) -> Result<String, String> {
-    use sigstr_core::{Answer, Batch, Engine, Query};
+    use sigstr_core::{Answer, Batch, Query};
+    if invocation.input_mode != InputMode::Text {
+        return Err(
+            "batch reads text documents (one per line); --series/--csv-col apply to \
+                    single-document commands"
+                .into(),
+        );
+    }
     let queries: Vec<Query> = invocation
         .queries
         .iter()
@@ -403,7 +655,8 @@ fn run_batch(invocation: &Invocation, raw: &[u8]) -> Result<String, String> {
         let context = |e: String| format!("doc {doc} (input line {}): {e}", line_no + 1);
         let (seq, alphabet) = sequence_from_bytes(line).map_err(context)?;
         let model = resolve_model(&invocation.model, &seq).map_err(context)?;
-        let engine = Engine::new(&seq, model).map_err(|e| context(e.to_string()))?;
+        let engine = Engine::with_layout(&seq, model, invocation.layout)
+            .map_err(|e| context(e.to_string()))?;
         engines.push(engine);
         alphabets.push(alphabet);
     }
@@ -467,15 +720,222 @@ fn run_batch(invocation: &Invocation, raw: &[u8]) -> Result<String, String> {
     Ok(out)
 }
 
-/// Run a parsed invocation against loaded input bytes; returns the output
-/// text (testable without touching the filesystem).
-pub fn run(invocation: &Invocation, raw: &[u8]) -> Result<String, String> {
-    if invocation.command == Command::Batch {
-        return run_batch(invocation, raw);
+/// `index build`: index once, persist as a snapshot.
+fn run_index_build(invocation: &Invocation, raw: &[u8], out_path: &str) -> Result<String, String> {
+    let (seq, alphabet) = build_sequence(invocation.input_mode, raw)?;
+    let model = resolve_model(&invocation.model, &seq)?;
+    let engine = Engine::with_layout(&seq, model, invocation.layout).map_err(|e| e.to_string())?;
+    engine
+        .write_snapshot_path(out_path)
+        .map_err(|e| e.to_string())?;
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "wrote {out_path}: n = {}, k = {} (alphabet {:?}), layout {}, index {} bytes",
+        engine.n(),
+        engine.k(),
+        alphabet.iter().map(|&b| b as char).collect::<String>(),
+        engine.layout().name(),
+        engine.index_bytes()
+    );
+    Ok(text)
+}
+
+/// `index info`: header + section table, no payload reads.
+fn run_index_info(invocation: &Invocation) -> Result<String, String> {
+    if invocation.input == "-" {
+        return Err("index info reads the snapshot header from a file, not stdin".into());
     }
-    let (seq, alphabet) = sequence_from_bytes(raw)?;
+    let info = sigstr_core::snapshot::read_info_path(&invocation.input)
+        .map_err(|e| format!("{}: {e}", invocation.input))?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{}: snapshot v{}, n = {}, k = {}, layout {}{}",
+        invocation.input,
+        info.version,
+        info.n,
+        info.k,
+        info.layout.name(),
+        if info.block > 0 {
+            format!(" (block {})", info.block)
+        } else {
+            String::new()
+        }
+    );
+    let _ = writeln!(
+        out,
+        "index payload {} bytes, file {} bytes",
+        info.index_bytes(),
+        info.total_bytes()
+    );
+    for section in &info.sections {
+        let _ = writeln!(
+            out,
+            "  section {:<10} offset {:>10}  {:>12} bytes  checksum {:016x}",
+            section.id.name(),
+            section.offset,
+            section.len,
+            section.checksum
+        );
+    }
+    Ok(out)
+}
+
+/// `corpus add`: snapshot a document into the corpus directory.
+fn run_corpus_add(
+    invocation: &Invocation,
+    raw: &[u8],
+    dir: &str,
+    name: &str,
+) -> Result<String, String> {
+    let (seq, _alphabet) = build_sequence(invocation.input_mode, raw)?;
+    let model = resolve_model(&invocation.model, &seq)?;
+    let mut corpus = sigstr_corpus::Corpus::open_or_create(dir).map_err(|e| e.to_string())?;
+    corpus
+        .add_document(name, &seq, model, invocation.layout)
+        .map_err(|e| e.to_string())?;
+    let entry = corpus.entries().last().expect("just added");
+    Ok(format!(
+        "added `{name}` to {dir}: n = {}, k = {}, layout {} ({} documents total)\n",
+        entry.n,
+        entry.k,
+        entry.layout.name(),
+        corpus.len()
+    ))
+}
+
+/// `corpus list`: the manifest, one document per line.
+fn run_corpus_list(dir: &str) -> Result<String, String> {
+    let corpus = sigstr_corpus::Corpus::open(dir).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    let _ = writeln!(out, "{dir}: {} documents", corpus.len());
+    for entry in corpus.entries() {
+        let _ = writeln!(
+            out,
+            "  {:<24} n = {:>10}  k = {:>3}  layout {:<8} {}",
+            entry.name,
+            entry.n,
+            entry.k,
+            entry.layout.name(),
+            entry.file
+        );
+    }
+    Ok(out)
+}
+
+/// `corpus query`: serve every `--query` over every document from warm
+/// engines, plus optional corpus-wide merged answers.
+fn run_corpus_query(invocation: &Invocation, dir: &str) -> Result<String, String> {
+    use sigstr_core::{Answer, Query};
+    let queries: Vec<Query> = invocation
+        .queries
+        .iter()
+        .map(|spec| parse_query_spec(spec))
+        .collect::<Result<_, _>>()?;
+    let mut corpus = sigstr_corpus::Corpus::open(dir).map_err(|e| e.to_string())?;
+    if let Some(mb) = invocation.budget_mb {
+        corpus.set_budget(mb << 20);
+    }
+    if corpus.is_empty() {
+        return Err(format!("corpus {dir} has no documents"));
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "{dir}: {} documents", corpus.len());
+
+    if !queries.is_empty() {
+        let jobs: Vec<(usize, Query)> = (0..corpus.len())
+            .flat_map(|doc| queries.iter().map(move |&q| (doc, q)))
+            .collect();
+        let answers = corpus.run_batch_indexed(&jobs);
+        let mut slot = 0usize;
+        for (doc, entry) in corpus.entries().iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "doc {doc} `{}`: n = {}, k = {}",
+                entry.name, entry.n, entry.k
+            );
+            for spec in &invocation.queries {
+                match &answers[slot] {
+                    Ok(Answer::Best(r)) => {
+                        let _ = writeln!(out, "  {spec}: {}", format_row(&r.best, entry.k, &[]));
+                    }
+                    Ok(Answer::Top(r)) => {
+                        let _ = writeln!(out, "  {spec}: {} substrings", r.items.len());
+                        for item in r.items.iter().take(invocation.limit) {
+                            let _ = writeln!(out, "    {}", format_row(item, entry.k, &[]));
+                        }
+                    }
+                    Ok(Answer::Threshold(r)) => {
+                        let _ = writeln!(
+                            out,
+                            "  {spec}: {} substrings above threshold",
+                            r.items.len()
+                        );
+                        for item in r.items.iter().take(invocation.limit) {
+                            let _ = writeln!(out, "    {}", format_row(item, entry.k, &[]));
+                        }
+                    }
+                    Err(e) => {
+                        let _ = writeln!(out, "  {spec}: error: {e}");
+                    }
+                }
+                slot += 1;
+            }
+        }
+    }
+
+    if let Some(t) = invocation.merge_top {
+        let merged = corpus.top_t_merged(t).map_err(|e| e.to_string())?;
+        let _ = writeln!(out, "corpus-wide top-{t}:");
+        for hit in &merged {
+            let k = corpus.entries()[hit.doc].k;
+            let _ = writeln!(out, "  {:<24} {}", hit.name, format_row(&hit.item, k, &[]));
+        }
+    }
+    if let Some(alpha) = invocation.merge_thresh {
+        let merged = corpus
+            .above_threshold_merged(alpha)
+            .map_err(|e| e.to_string())?;
+        let _ = writeln!(
+            out,
+            "corpus-wide substrings with X² > {alpha}: {}",
+            merged.len()
+        );
+        for hit in merged.iter().take(invocation.limit) {
+            let k = corpus.entries()[hit.doc].k;
+            let _ = writeln!(out, "  {:<24} {}", hit.name, format_row(&hit.item, k, &[]));
+        }
+    }
+    Ok(out)
+}
+
+/// Run a parsed invocation against loaded input bytes; returns the output
+/// text (testable without touching the filesystem for the mining
+/// commands; index/corpus commands manage their own files).
+pub fn run(invocation: &Invocation, raw: &[u8]) -> Result<String, String> {
+    match &invocation.command {
+        Command::Batch => return run_batch(invocation, raw),
+        Command::IndexBuild { out } => return run_index_build(invocation, raw, out),
+        Command::IndexInfo => return run_index_info(invocation),
+        Command::CorpusAdd { dir, name } => return run_corpus_add(invocation, raw, dir, name),
+        Command::CorpusQuery { dir } => return run_corpus_query(invocation, dir),
+        Command::CorpusList { dir } => return run_corpus_list(dir),
+        _ => {}
+    }
+    let (seq, alphabet) = build_sequence(invocation.input_mode, raw)?;
     let model = resolve_model(&invocation.model, &seq)?;
     let k = seq.k();
+    // The engine-served path (`ours`) honors `--layout`; baselines scan
+    // without a count index worth configuring.
+    let engine = if invocation.algorithm == Algorithm::Ours {
+        Some(
+            Engine::with_layout(&seq, model.clone(), invocation.layout)
+                .map_err(|e| e.to_string())?,
+        )
+    } else {
+        None
+    };
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -502,7 +962,7 @@ pub fn run(invocation: &Invocation, raw: &[u8]) -> Result<String, String> {
     match invocation.command {
         Command::Mss => {
             let r = match invocation.algorithm {
-                Algorithm::Ours => sigstr_core::find_mss(&seq, &model),
+                Algorithm::Ours => engine.as_ref().expect("built above").mss(),
                 Algorithm::Trivial => baseline::trivial::find_mss(&seq, &model),
                 Algorithm::Arlm => baseline::arlm::find_mss(&seq, &model),
                 Algorithm::Agmm => baseline::agmm::find_mss(&seq, &model),
@@ -517,9 +977,12 @@ pub fn run(invocation: &Invocation, raw: &[u8]) -> Result<String, String> {
             }
         }
         Command::Top { t } => {
-            let r = match invocation.algorithm {
-                Algorithm::Trivial => baseline::trivial::top_t(&seq, &model, t),
-                _ => sigstr_core::top_t(&seq, &model, t),
+            // `arlm`/`agmm` have no top-t variant; they (and `ours`
+            // without an engine) fall back to the one-shot exact API.
+            let r = match (invocation.algorithm, &engine) {
+                (Algorithm::Trivial, _) => baseline::trivial::top_t(&seq, &model, t),
+                (_, Some(engine)) => engine.top_t(t),
+                (_, None) => sigstr_core::top_t(&seq, &model, t),
             }
             .map_err(|e| e.to_string())?;
             for item in r.items.iter().take(invocation.limit) {
@@ -537,9 +1000,10 @@ pub fn run(invocation: &Invocation, raw: &[u8]) -> Result<String, String> {
                 alpha
             };
             let _ = writeln!(out, "alpha0 = {alpha:.4}");
-            let r = match invocation.algorithm {
-                Algorithm::Trivial => baseline::trivial::above_threshold(&seq, &model, alpha),
-                _ => sigstr_core::above_threshold(&seq, &model, alpha),
+            let r = match (invocation.algorithm, &engine) {
+                (Algorithm::Trivial, _) => baseline::trivial::above_threshold(&seq, &model, alpha),
+                (_, Some(engine)) => engine.above_threshold(alpha),
+                (_, None) => sigstr_core::above_threshold(&seq, &model, alpha),
             }
             .map_err(|e| e.to_string())?;
             let _ = writeln!(out, "{} substrings above threshold", r.items.len());
@@ -551,9 +1015,10 @@ pub fn run(invocation: &Invocation, raw: &[u8]) -> Result<String, String> {
             }
         }
         Command::MinLen { gamma } => {
-            let r = match invocation.algorithm {
-                Algorithm::Trivial => baseline::trivial::mss_min_length(&seq, &model, gamma),
-                _ => sigstr_core::mss_min_length(&seq, &model, gamma),
+            let r = match (invocation.algorithm, &engine) {
+                (Algorithm::Trivial, _) => baseline::trivial::mss_min_length(&seq, &model, gamma),
+                (_, Some(engine)) => engine.mss_min_length(gamma),
+                (_, None) => sigstr_core::mss_min_length(&seq, &model, gamma),
             }
             .map_err(|e| e.to_string())?;
             let _ = writeln!(out, "{}", format_row(&r.best, k, &alphabet));
@@ -565,7 +1030,11 @@ pub fn run(invocation: &Invocation, raw: &[u8]) -> Result<String, String> {
             }
         }
         Command::MaxLen { w } => {
-            let r = sigstr_core::mss_max_length(&seq, &model, w).map_err(|e| e.to_string())?;
+            let r = match &engine {
+                Some(engine) => engine.mss_max_length(w),
+                None => sigstr_core::mss_max_length(&seq, &model, w),
+            }
+            .map_err(|e| e.to_string())?;
             let _ = writeln!(out, "{}", format_row(&r.best, k, &alphabet));
             if invocation.family {
                 push_family(&mut out, &r.best, seq.len(), k);
@@ -574,7 +1043,7 @@ pub fn run(invocation: &Invocation, raw: &[u8]) -> Result<String, String> {
                 push_stats(&mut out, &r.stats);
             }
         }
-        Command::Batch => unreachable!("batch mode is dispatched to run_batch above"),
+        _ => unreachable!("filesystem-backed commands are dispatched above"),
     }
     Ok(out)
 }
@@ -587,6 +1056,17 @@ mod tests {
         args.iter().map(|s| s.to_string()).collect()
     }
 
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "sigstr-cli-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
     #[test]
     fn parse_mss_defaults() {
         let inv = parse_args(&argv(&["mss", "input.txt"])).unwrap();
@@ -594,8 +1074,11 @@ mod tests {
         assert_eq!(inv.input, "input.txt");
         assert_eq!(inv.algorithm, Algorithm::Ours);
         assert_eq!(inv.model, ModelSpec::Empirical);
+        assert_eq!(inv.layout, CountsLayout::Auto);
+        assert_eq!(inv.input_mode, InputMode::Text);
         assert_eq!(inv.limit, 20);
         assert!(!inv.stats);
+        assert!(inv.reads_raw_input());
     }
 
     #[test]
@@ -619,6 +1102,34 @@ mod tests {
         assert_eq!(inv.model, ModelSpec::Explicit(vec![0.25, 0.75]));
         assert_eq!(inv.limit, 3);
         assert!(inv.stats);
+    }
+
+    #[test]
+    fn parse_layout_flag() {
+        for (text, layout) in [
+            ("auto", CountsLayout::Auto),
+            ("flat", CountsLayout::Flat),
+            ("blocked", CountsLayout::Blocked),
+        ] {
+            let inv = parse_args(&argv(&["mss", "f", "--layout", text])).unwrap();
+            assert_eq!(inv.layout, layout);
+        }
+        assert!(parse_args(&argv(&["mss", "f", "--layout", "weird"])).is_err());
+        // Accepted by every subcommand.
+        assert!(parse_args(&argv(&["batch", "f", "--query", "mss", "--layout", "flat"])).is_ok());
+        assert!(parse_args(&argv(&[
+            "index", "build", "f", "--out", "o.snap", "--layout", "blocked"
+        ]))
+        .is_ok());
+    }
+
+    #[test]
+    fn parse_input_modes() {
+        let inv = parse_args(&argv(&["mss", "f", "--series"])).unwrap();
+        assert_eq!(inv.input_mode, InputMode::Series);
+        let inv = parse_args(&argv(&["mss", "f", "--csv-col", "2"])).unwrap();
+        assert_eq!(inv.input_mode, InputMode::CsvColumn(2));
+        assert!(parse_args(&argv(&["mss", "f", "--csv-col", "x"])).is_err());
     }
 
     #[test]
@@ -646,12 +1157,72 @@ mod tests {
     }
 
     #[test]
+    fn parse_index_and_corpus_commands() {
+        let inv = parse_args(&argv(&["index", "build", "in.txt", "--out", "out.snap"])).unwrap();
+        assert_eq!(
+            inv.command,
+            Command::IndexBuild {
+                out: "out.snap".into()
+            }
+        );
+        assert_eq!(inv.input, "in.txt");
+        assert!(inv.reads_raw_input());
+
+        let inv = parse_args(&argv(&["index", "info", "doc.snap"])).unwrap();
+        assert_eq!(inv.command, Command::IndexInfo);
+        assert!(!inv.reads_raw_input());
+
+        let inv = parse_args(&argv(&["corpus", "add", "dir", "in.txt", "--name", "d1"])).unwrap();
+        assert_eq!(
+            inv.command,
+            Command::CorpusAdd {
+                dir: "dir".into(),
+                name: "d1".into()
+            }
+        );
+        assert_eq!(inv.input, "in.txt");
+
+        let inv = parse_args(&argv(&["corpus", "query", "dir", "--query", "mss"])).unwrap();
+        assert_eq!(inv.command, Command::CorpusQuery { dir: "dir".into() });
+        assert!(!inv.reads_raw_input());
+        let inv = parse_args(&argv(&["corpus", "query", "dir", "--merge-top", "5"])).unwrap();
+        assert_eq!(inv.merge_top, Some(5));
+
+        let inv = parse_args(&argv(&["corpus", "list", "dir"])).unwrap();
+        assert_eq!(inv.command, Command::CorpusList { dir: "dir".into() });
+
+        assert!(parse_args(&argv(&["index"])).is_err());
+        assert!(parse_args(&argv(&["index", "bogus", "f"])).is_err());
+        assert!(parse_args(&argv(&["index", "build", "f"])).is_err()); // no --out
+        assert!(parse_args(&argv(&["corpus", "add", "dir", "f"])).is_err()); // no --name
+        assert!(parse_args(&argv(&["corpus", "query", "dir"])).is_err()); // no queries
+        assert!(parse_args(&argv(&["corpus", "bogus", "dir"])).is_err());
+    }
+
+    #[test]
     fn sequence_from_bytes_strips_whitespace() {
         let (seq, alphabet) = sequence_from_bytes(b"ab ba\nab\n").unwrap();
         assert_eq!(seq.len(), 6);
         assert_eq!(alphabet, vec![b'a', b'b']);
         assert!(sequence_from_bytes(b"aaaa").is_err()); // single symbol
         assert!(sequence_from_bytes(b"  \n").is_err()); // empty
+    }
+
+    #[test]
+    fn build_sequence_series_modes() {
+        let (seq, alphabet) = build_sequence(InputMode::Series, b"10\n11\n9\n12\n").unwrap();
+        assert_eq!(seq.symbols(), &[1, 0, 1]); // up, down, up
+        assert_eq!(alphabet, vec![b'd', b'u']);
+        let (seq, _) =
+            build_sequence(InputMode::CsvColumn(1), b"day,close\n1,10\n2,11\n3,9\n").unwrap();
+        assert_eq!(seq.symbols(), &[1, 0]);
+        // Typed errors surface with positions.
+        let err = build_sequence(InputMode::Series, b"10\njunk\n").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        let err = build_sequence(InputMode::Series, b"\xFF\xFE").unwrap_err();
+        assert!(err.contains("UTF-8"), "{err}");
+        let err = build_sequence(InputMode::CsvColumn(3), b"1,2\n").unwrap_err();
+        assert!(err.contains("column 3"), "{err}");
     }
 
     #[test]
@@ -673,6 +1244,46 @@ mod tests {
         assert!(out.contains("n = 17"));
         assert!(out.contains("X²"));
         assert!(out.contains("stats:"));
+    }
+
+    #[test]
+    fn run_is_layout_invariant() {
+        let data = b"abab bbbbbbbb abab";
+        let flat = parse_args(&argv(&["mss", "-", "--uniform", "--layout", "flat"])).unwrap();
+        let blocked = parse_args(&argv(&["mss", "-", "--uniform", "--layout", "blocked"])).unwrap();
+        assert_eq!(run(&flat, data).unwrap(), run(&blocked, data).unwrap());
+        let flat = parse_args(&argv(&[
+            "thresh",
+            "-",
+            "--uniform",
+            "--alpha",
+            "2",
+            "--layout",
+            "flat",
+        ]))
+        .unwrap();
+        let blocked = parse_args(&argv(&[
+            "thresh",
+            "-",
+            "--uniform",
+            "--alpha",
+            "2",
+            "--layout",
+            "blocked",
+        ]))
+        .unwrap();
+        assert_eq!(run(&flat, data).unwrap(), run(&blocked, data).unwrap());
+    }
+
+    #[test]
+    fn run_series_mode_end_to_end() {
+        let inv = parse_args(&argv(&["mss", "-", "--series", "--uniform"])).unwrap();
+        let out = run(&inv, b"100\n101\n102\n103\n102\n101\n100\n99\n100\n101\n").unwrap();
+        assert!(out.contains("alphabet \"du\""), "{out}");
+        assert!(out.contains("X²"), "{out}");
+        // Malformed series: typed error, no panic.
+        let err = run(&inv, b"100\noops\n").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
     }
 
     #[test]
@@ -803,6 +1414,90 @@ mod tests {
     }
 
     #[test]
+    fn run_index_build_info_roundtrip() {
+        let dir = temp_dir("index");
+        let snap = dir.join("doc.snap").display().to_string();
+        let inv = parse_args(&argv(&[
+            "index",
+            "build",
+            "-",
+            "--out",
+            &snap,
+            "--uniform",
+            "--layout",
+            "blocked",
+        ]))
+        .unwrap();
+        let out = run(&inv, b"ababbbbbbababbbbab").unwrap();
+        assert!(out.contains("layout blocked"), "{out}");
+        assert!(out.contains("n = 18"), "{out}");
+
+        let info = parse_args(&argv(&["index", "info", &snap])).unwrap();
+        let out = run(&info, b"").unwrap();
+        assert!(out.contains("snapshot v1"), "{out}");
+        assert!(out.contains("layout blocked"), "{out}");
+        assert!(out.contains("section symbols"), "{out}");
+        // Missing file: clean error.
+        let missing = parse_args(&argv(&["index", "info", "no-such.snap"])).unwrap();
+        assert!(run(&missing, b"").is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_corpus_lifecycle_end_to_end() {
+        let dir = temp_dir("corpus");
+        let corpus_dir = dir.join("c").display().to_string();
+        for (name, data) in [("d0", &b"ababbbbbbab"[..]), ("d1", &b"bababaaaaab"[..])] {
+            let inv = parse_args(&argv(&[
+                "corpus",
+                "add",
+                &corpus_dir,
+                "-",
+                "--name",
+                name,
+                "--uniform",
+            ]))
+            .unwrap();
+            let out = run(&inv, data).unwrap();
+            assert!(out.contains(&format!("added `{name}`")), "{out}");
+        }
+        let list = parse_args(&argv(&["corpus", "list", &corpus_dir])).unwrap();
+        let out = run(&list, b"").unwrap();
+        assert!(out.contains("2 documents"), "{out}");
+        assert!(out.contains("d0") && out.contains("d1"), "{out}");
+
+        let query = parse_args(&argv(&[
+            "corpus",
+            "query",
+            &corpus_dir,
+            "--query",
+            "mss",
+            "--query",
+            "top:2",
+            "--merge-top",
+            "3",
+        ]))
+        .unwrap();
+        let out = run(&query, b"").unwrap();
+        assert!(out.contains("doc 0 `d0`"), "{out}");
+        assert!(out.contains("doc 1 `d1`"), "{out}");
+        assert!(out.contains("corpus-wide top-3:"), "{out}");
+        // The corpus answer for d0's mss equals the one-shot CLI.
+        let single = parse_args(&argv(&["mss", "-", "--uniform"])).unwrap();
+        let single_out = run(&single, b"ababbbbbbab").unwrap();
+        let corpus_row = out
+            .lines()
+            .find(|l| l.starts_with("  mss: "))
+            .unwrap()
+            .trim_start_matches("  mss: ");
+        assert!(single_out.contains(corpus_row), "{single_out} vs {out}");
+        // Unknown corpus: clean error.
+        let bad = parse_args(&argv(&["corpus", "query", "no-such-dir", "--query", "mss"])).unwrap();
+        assert!(run(&bad, b"").is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn family_flag_prints_corrected_pvalue() {
         let inv = parse_args(&argv(&["mss", "-", "--uniform", "--family"])).unwrap();
         assert!(inv.family);
@@ -824,6 +1519,51 @@ mod tests {
             let inv = parse_args(&argv(&["mss", "-", "--algorithm", algo, "--uniform"])).unwrap();
             let out = run(&inv, data).unwrap();
             assert!(out.contains("X²"), "algorithm {algo}");
+        }
+    }
+
+    #[test]
+    fn baseline_algorithms_fall_back_for_variant_commands() {
+        // `arlm`/`agmm` only implement MSS; top/thresh/minlen must fall
+        // back to the exact one-shot API instead of panicking.
+        let data = b"abab bbbbbbbb abab";
+        for algo in ["arlm", "agmm"] {
+            let top = parse_args(&argv(&[
+                "top",
+                "-",
+                "--t",
+                "2",
+                "--algorithm",
+                algo,
+                "--uniform",
+            ]))
+            .unwrap();
+            assert!(run(&top, data).unwrap().contains("X²"), "top/{algo}");
+            let thresh = parse_args(&argv(&[
+                "thresh",
+                "-",
+                "--alpha",
+                "3",
+                "--algorithm",
+                algo,
+                "--uniform",
+            ]))
+            .unwrap();
+            assert!(
+                run(&thresh, data).unwrap().contains("above threshold"),
+                "thresh/{algo}"
+            );
+            let minlen = parse_args(&argv(&[
+                "minlen",
+                "-",
+                "--gamma",
+                "5",
+                "--algorithm",
+                algo,
+                "--uniform",
+            ]))
+            .unwrap();
+            assert!(run(&minlen, data).unwrap().contains("len"), "minlen/{algo}");
         }
     }
 }

@@ -14,7 +14,11 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let raw = if invocation.input == "-" {
+    // Corpus/info commands manage their own files (their input is a
+    // directory or a large snapshot whose header suffices).
+    let raw = if !invocation.reads_raw_input() {
+        Vec::new()
+    } else if invocation.input == "-" {
         let mut buf = Vec::new();
         if let Err(e) = std::io::stdin().read_to_end(&mut buf) {
             eprintln!("cannot read stdin: {e}");

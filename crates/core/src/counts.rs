@@ -106,6 +106,28 @@ pub enum CountsLayout {
 pub const AUTO_BLOCKED_THRESHOLD_BYTES: usize = 32 << 20;
 
 impl CountsLayout {
+    /// Canonical lower-case name (`"flat"` / `"blocked"` / `"auto"`) —
+    /// the single string table shared by the CLI and the corpus
+    /// manifest.
+    pub fn name(self) -> &'static str {
+        match self {
+            CountsLayout::Flat => "flat",
+            CountsLayout::Blocked => "blocked",
+            CountsLayout::Auto => "auto",
+        }
+    }
+
+    /// Parse a canonical layout name (the inverse of
+    /// [`CountsLayout::name`]).
+    pub fn parse(s: &str) -> Option<CountsLayout> {
+        match s {
+            "flat" => Some(CountsLayout::Flat),
+            "blocked" => Some(CountsLayout::Blocked),
+            "auto" => Some(CountsLayout::Auto),
+            _ => None,
+        }
+    }
+
     /// Resolve `Auto` for a sequence of length `n` over alphabet `k`:
     /// returns `Flat` or `Blocked`, never `Auto`.
     pub fn resolve(self, n: usize, k: usize) -> CountsLayout {
@@ -311,6 +333,33 @@ impl PrefixCounts {
         }
     }
 
+    /// The raw column-major table — the snapshot writer's section view.
+    pub(crate) fn table(&self) -> &[u32] {
+        &self.table
+    }
+
+    /// Reassemble from snapshot sections: the raw table plus the symbol
+    /// string. Validates only shape (`table.len() == (n + 1)·k`); the
+    /// snapshot loader has already checksummed the payloads.
+    pub(crate) fn from_sections(table: Vec<u32>, symbols: Vec<u8>, k: usize) -> Result<Self> {
+        let n = symbols.len();
+        if table.len() != (n + 1) * k {
+            return Err(Error::Snapshot {
+                details: format!(
+                    "flat count table holds {} entries, expected (n + 1)·k = {}",
+                    table.len(),
+                    (n + 1) * k
+                ),
+            });
+        }
+        Ok(Self {
+            table,
+            symbols,
+            n,
+            k,
+        })
+    }
+
     /// The count vector of `S[start..end)` as a fresh vector.
     ///
     /// Allocates per call — test/diagnostic convenience only. Warm paths
@@ -384,7 +433,7 @@ const fn is_valid_block(block: usize) -> bool {
 /// The per-position delta storage: `u8` when the block spacing allows it,
 /// `u16` escape tier otherwise. Chosen once at build time.
 #[derive(Debug, Clone)]
-enum DeltaTier {
+pub(crate) enum DeltaTier {
     U8(Vec<u8>),
     U16(Vec<u16>),
 }
@@ -525,6 +574,81 @@ impl BlockedCounts {
     /// the symbol string both layouts share).
     pub fn index_bytes(&self) -> usize {
         self.supers.len() * std::mem::size_of::<u32>() + self.deltas.bytes()
+    }
+
+    /// The raw superblock absolutes — the snapshot writer's section view.
+    pub(crate) fn supers(&self) -> &[u32] {
+        &self.supers
+    }
+
+    /// The raw delta tier — the snapshot writer's section view.
+    pub(crate) fn deltas(&self) -> &DeltaTier {
+        &self.deltas
+    }
+
+    /// Reassemble from snapshot sections: superblock absolutes, the delta
+    /// tier, and the symbol string. Validates shape (section lengths and
+    /// block spacing); payload integrity is the snapshot checksums' job.
+    pub(crate) fn from_sections(
+        supers: Vec<u32>,
+        deltas: DeltaTier,
+        symbols: Vec<u8>,
+        k: usize,
+        block: usize,
+    ) -> Result<Self> {
+        if !is_valid_block(block) {
+            return Err(Error::Snapshot {
+                details: format!(
+                    "superblock spacing {block} is not a power of two in 1..={MAX_BLOCK}"
+                ),
+            });
+        }
+        let expected_tier = if block <= 256 { 1usize } else { 2 };
+        let actual_tier = match &deltas {
+            DeltaTier::U8(_) => 1,
+            DeltaTier::U16(_) => 2,
+        };
+        if expected_tier != actual_tier {
+            return Err(Error::Snapshot {
+                details: format!(
+                    "delta tier width {actual_tier} does not match block spacing {block} \
+                     (expected width {expected_tier})"
+                ),
+            });
+        }
+        let n = symbols.len();
+        let stored_k = k - 1;
+        let num_supers = n / block + 1;
+        if supers.len() != num_supers * k {
+            return Err(Error::Snapshot {
+                details: format!(
+                    "superblock table holds {} entries, expected (n/B + 1)·k = {}",
+                    supers.len(),
+                    num_supers * k
+                ),
+            });
+        }
+        let delta_entries = match &deltas {
+            DeltaTier::U8(v) => v.len(),
+            DeltaTier::U16(v) => v.len(),
+        };
+        if delta_entries != (n + 1) * stored_k {
+            return Err(Error::Snapshot {
+                details: format!(
+                    "delta table holds {delta_entries} entries, expected (n + 1)·(k − 1) = {}",
+                    (n + 1) * stored_k
+                ),
+            });
+        }
+        Ok(Self {
+            supers,
+            deltas,
+            symbols,
+            n,
+            k,
+            stored_k,
+            block_shift: block.trailing_zeros(),
+        })
     }
 
     /// Number of occurrences of character `c` in `S[start..end)`.

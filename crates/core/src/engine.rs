@@ -865,6 +865,34 @@ impl Engine {
         )
     }
 
+    // -- Snapshots ---------------------------------------------------------
+
+    /// Serialize this engine's heavy state (symbols, count index in its
+    /// built layout, model probabilities) into `writer` in the versioned
+    /// binary snapshot format — see [`crate::snapshot`] for the wire
+    /// layout. A later [`Engine::load_snapshot`] reconstructs an engine
+    /// answering bit-identically without recomputing the index.
+    pub fn write_snapshot<W: std::io::Write>(&self, writer: W) -> Result<()> {
+        crate::snapshot::write_snapshot(self, writer)
+    }
+
+    /// [`Engine::write_snapshot`] to a filesystem path.
+    pub fn write_snapshot_path<P: AsRef<std::path::Path>>(&self, path: P) -> Result<()> {
+        crate::snapshot::write_snapshot_path(self, path)
+    }
+
+    /// Deserialize an engine from a snapshot: validation plus bulk
+    /// section reads into the index storage — loading a large index is
+    /// dramatically cheaper than rebuilding it from the sequence.
+    pub fn load_snapshot<R: std::io::Read>(reader: R) -> Result<Engine> {
+        crate::snapshot::load_snapshot(reader)
+    }
+
+    /// [`Engine::load_snapshot`] from a filesystem path.
+    pub fn load_snapshot_path<P: AsRef<std::path::Path>>(path: P) -> Result<Engine> {
+        crate::snapshot::load_snapshot_path(path)
+    }
+
     // -- Uniform dispatch --------------------------------------------------
 
     /// Answer a self-describing [`Query`] (the batch driver's entry
@@ -941,6 +969,17 @@ impl Batch {
     /// into `engines`. Answers come back in job order; a job naming a
     /// missing document yields an error in its slot.
     pub fn run(&self, engines: &[Engine], jobs: &[(usize, Query)]) -> Vec<Result<Answer>> {
+        self.run_on(engines, jobs)
+    }
+
+    /// [`Batch::run`] generalized over the engine container: accepts any
+    /// slice of `Borrow<Engine>` (plain engines, `Arc<Engine>` handles
+    /// from a corpus cache, references) so callers that share engines
+    /// across threads don't have to clone index state to batch over it.
+    pub fn run_on<E>(&self, engines: &[E], jobs: &[(usize, Query)]) -> Vec<Result<Answer>>
+    where
+        E: std::borrow::Borrow<Engine> + Sync,
+    {
         if jobs.is_empty() {
             return Vec::new();
         }
@@ -956,7 +995,7 @@ impl Batch {
                 }
                 let (doc, query) = &jobs[index];
                 let result = match engines.get(*doc) {
-                    Some(engine) => engine.answer(query),
+                    Some(engine) => engine.borrow().answer(query),
                     None => Err(Error::InvalidParameter {
                         what: "document",
                         details: format!(

@@ -61,6 +61,21 @@ pub enum Error {
         /// Why it is invalid.
         details: String,
     },
+    /// An I/O operation failed (snapshot read/write). The underlying
+    /// `std::io::Error` is stringified so this enum stays `Clone` +
+    /// `PartialEq`.
+    Io {
+        /// What was being done (`"read snapshot"`, `"write snapshot"`, …).
+        op: &'static str,
+        /// The underlying I/O error message.
+        details: String,
+    },
+    /// A snapshot file is malformed: bad magic, unsupported version,
+    /// inconsistent header fields, or a checksum mismatch.
+    Snapshot {
+        /// What failed validation.
+        details: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -102,6 +117,8 @@ impl fmt::Display for Error {
             Error::InvalidParameter { what, details } => {
                 write!(f, "invalid parameter `{what}`: {details}")
             }
+            Error::Io { op, details } => write!(f, "cannot {op}: {details}"),
+            Error::Snapshot { details } => write!(f, "invalid snapshot: {details}"),
         }
     }
 }
@@ -151,6 +168,19 @@ mod tests {
                     details: "zero".into(),
                 },
                 "`t`",
+            ),
+            (
+                Error::Io {
+                    op: "read snapshot",
+                    details: "permission denied".into(),
+                },
+                "read snapshot",
+            ),
+            (
+                Error::Snapshot {
+                    details: "bad magic".into(),
+                },
+                "bad magic",
             ),
         ];
         for (err, needle) in cases {

@@ -41,6 +41,9 @@
 //!   (paper §8 future work).
 //! * [`maxlen`] — window-constrained mining (dual of Problem 4).
 //! * [`streaming`] — exact online MSS over an append-only stream.
+//! * [`snapshot`] — versioned binary engine snapshots: persist the count
+//!   index + model once, reload with bulk section reads (bit-identical
+//!   answers, no per-position recomputation).
 //! * [`significance`] — family-wise (multiple-testing) corrections and
 //!   Monte-Carlo calibration of the null `X²_max`.
 //!
@@ -84,6 +87,7 @@ pub mod score;
 pub mod seq;
 pub mod significance;
 pub mod skip;
+pub mod snapshot;
 pub mod streaming;
 pub mod threshold;
 pub mod topt;
@@ -104,5 +108,6 @@ pub use score::{
     ScoreState, Scored,
 };
 pub use seq::Sequence;
+pub use snapshot::{SectionId, SectionInfo, SnapshotInfo};
 pub use threshold::{above_threshold, for_each_above_threshold, ThresholdResult};
 pub use topt::{top_t, TopTResult};

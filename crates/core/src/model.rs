@@ -46,6 +46,27 @@ impl Model {
     /// `(0, 1)`, and `Σ p_i = 1` within `1e-6` (after which the vector is
     /// renormalized to sum to exactly 1).
     pub fn from_probs(probs: Vec<f64>) -> Result<Self> {
+        let sum = Self::validate_probs(&probs)?;
+        let probs: Vec<f64> = probs.into_iter().map(|p| p / sum).collect();
+        Ok(Self::from_validated(probs))
+    }
+
+    /// Rebuild a model from probabilities stored in a snapshot **without
+    /// renormalizing** — the stored vector is already the normalized one,
+    /// and dividing by a sum that is merely ≈ 1 would perturb the bit
+    /// patterns (breaking load/rebuild bit-identity). Validation still
+    /// runs in full; only the `p / sum` rewrite is skipped. The derived
+    /// tables are pure functions of the probabilities, so recomputing
+    /// them reproduces the original tables bit-for-bit.
+    pub(crate) fn from_stored_probs(probs: Vec<f64>) -> Result<Self> {
+        Self::validate_probs(&probs)?;
+        Ok(Self::from_validated(probs))
+    }
+
+    /// The shared validation of both construction paths: alphabet-size
+    /// bounds, every `p` strictly inside `(0, 1)`, and `Σ p = 1` within
+    /// [`SUM_TOLERANCE`]. Returns the sum for the normalizing path.
+    fn validate_probs(probs: &[f64]) -> Result<f64> {
         if probs.len() < 2 {
             return Err(Error::AlphabetTooSmall { k: probs.len() });
         }
@@ -61,7 +82,12 @@ impl Model {
         if (sum - 1.0).abs() > SUM_TOLERANCE {
             return Err(Error::NotNormalized { sum });
         }
-        let probs: Vec<f64> = probs.into_iter().map(|p| p / sum).collect();
+        Ok(sum)
+    }
+
+    /// Derive the cached kernel tables from an already-validated,
+    /// already-normalized probability vector.
+    fn from_validated(probs: Vec<f64>) -> Self {
         let inv_probs = probs.iter().map(|&p| 1.0 / p).collect();
         let one_minus_probs: Vec<f64> = probs.iter().map(|&p| 1.0 - p).collect();
         let half_inv_one_minus = one_minus_probs.iter().map(|&a| 0.5 / a).collect();
@@ -70,13 +96,13 @@ impl Model {
             .zip(&one_minus_probs)
             .map(|(&p, &a)| 4.0 * p * a)
             .collect();
-        Ok(Self {
+        Self {
             probs,
             inv_probs,
             one_minus_probs,
             half_inv_one_minus,
             four_p_one_minus,
-        })
+        }
     }
 
     /// The uniform model over `k` characters (`p_i = 1/k`) — the paper's

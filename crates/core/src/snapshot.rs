@@ -1,0 +1,1189 @@
+//! Persistent engine snapshots — build the index once, load it forever.
+//!
+//! At serving scale the dominant startup cost is rebuilding state the
+//! paper assumes into existence: the `O(k·n)` count index and the model
+//! tables. This module defines a versioned little-endian binary format
+//! that captures a built [`Engine`]'s heavy state so a later process can
+//! **load** it with bulk section reads — no per-position recomputation —
+//! via [`Engine::write_snapshot`] / [`Engine::load_snapshot`].
+//!
+//! # Wire format (version 1)
+//!
+//! Everything is little-endian. The file is a fixed 64-byte header, a
+//! section table, then the payload sections, each padded so its absolute
+//! offset is 64-byte aligned (mmap-friendly, and bulk reads start on a
+//! cache-line boundary):
+//!
+//! ```text
+//! header (64 bytes):
+//!   0..8    magic            b"SGSTRIDX"
+//!   8..12   version          u32 (currently 1)
+//!   12..16  k                u32 alphabet size
+//!   16..24  n                u64 sequence length
+//!   24..25  layout           u8: 0 = flat, 1 = blocked
+//!   25..26  delta width      u8: 0 = none (flat), 1 = u8 tier, 2 = u16 tier
+//!   26..28  reserved         u16 (zero)
+//!   28..32  block            u32 superblock spacing (0 for flat)
+//!   32..36  section count    u32
+//!   36..44  table checksum   u64 over the raw section-table bytes
+//!   44..64  reserved         (zero)
+//! section table (32 bytes per section):
+//!   0..4    section id       u32 (see [`SectionId`])
+//!   4..8    reserved         u32 (zero)
+//!   8..16   offset           u64 absolute file offset (64-byte aligned)
+//!   16..24  length           u64 payload bytes (before padding)
+//!   24..32  checksum         u64 over the payload bytes
+//! payload sections, in table order, zero-padded to 64-byte alignment
+//! ```
+//!
+//! Sections present: `Symbols` and `Model` always; `FlatTable` for the
+//! flat layout; `Supers` + `Deltas` for the blocked layout. The model
+//! section stores the normalized probability vector's exact `f64` bit
+//! patterns; load rebuilds the derived kernel tables from those bits (a
+//! pure function), so a loaded engine answers **bit-identically** to the
+//! engine that wrote the snapshot.
+//!
+//! # Integrity
+//!
+//! Every payload carries a 64-bit checksum (a multiply-fold over
+//! 32-byte stripes — two `u128` multiplies per stripe, so verification
+//! runs at memory bandwidth, far cheaper than the scans it protects),
+//! and the header carries one over the section table. Load validates
+//! magic, version, header-field consistency (layout/tier/block
+//! agreement, section shapes against `n`/`k`, zero reserved bytes),
+//! checksums, that every symbol is inside the declared alphabet, and
+//! that the file isn't truncated anywhere — then performs only bulk
+//! reads. Loading never recomputes a count.
+
+use std::io::{Read, Write};
+use std::path::Path;
+
+use crate::counts::{CountSource, CountsIndex, CountsLayout, DeltaTier};
+use crate::engine::Engine;
+use crate::error::{Error, Result};
+use crate::model::Model;
+
+/// The 8-byte file magic.
+pub const MAGIC: [u8; 8] = *b"SGSTRIDX";
+
+/// The current (and only) snapshot format version.
+pub const VERSION: u32 = 1;
+
+/// Section payloads are padded so each starts at a multiple of this.
+pub const SECTION_ALIGN: usize = 64;
+
+const HEADER_BYTES: usize = 64;
+const SECTION_ENTRY_BYTES: usize = 32;
+
+/// Section identifiers of format version 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u32)]
+pub enum SectionId {
+    /// The symbol string: `n` bytes.
+    Symbols = 1,
+    /// The model probabilities: `k` little-endian `f64`s.
+    Model = 2,
+    /// The flat count table: `(n + 1)·k` little-endian `u32`s.
+    FlatTable = 3,
+    /// Blocked superblock absolutes: `(n/B + 1)·k` little-endian `u32`s.
+    Supers = 4,
+    /// Blocked per-position deltas: `(n + 1)·(k − 1)` entries of the
+    /// header's delta width.
+    Deltas = 5,
+}
+
+impl SectionId {
+    fn from_u32(raw: u32) -> Option<Self> {
+        match raw {
+            1 => Some(SectionId::Symbols),
+            2 => Some(SectionId::Model),
+            3 => Some(SectionId::FlatTable),
+            4 => Some(SectionId::Supers),
+            5 => Some(SectionId::Deltas),
+            _ => None,
+        }
+    }
+
+    /// Human-readable section name (for `index info`).
+    pub fn name(self) -> &'static str {
+        match self {
+            SectionId::Symbols => "symbols",
+            SectionId::Model => "model",
+            SectionId::FlatTable => "flat-table",
+            SectionId::Supers => "supers",
+            SectionId::Deltas => "deltas",
+        }
+    }
+}
+
+/// One section-table entry, as parsed from a snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SectionInfo {
+    /// Which section.
+    pub id: SectionId,
+    /// Absolute file offset of the payload (64-byte aligned).
+    pub offset: u64,
+    /// Payload length in bytes (before padding).
+    pub len: u64,
+    /// Payload checksum.
+    pub checksum: u64,
+}
+
+/// Parsed snapshot header + section table — everything `index info`
+/// prints, readable without touching the payloads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotInfo {
+    /// Format version.
+    pub version: u32,
+    /// Alphabet size.
+    pub k: usize,
+    /// Sequence length.
+    pub n: usize,
+    /// Count-index layout stored in the snapshot.
+    pub layout: CountsLayout,
+    /// Superblock spacing (0 for the flat layout).
+    pub block: usize,
+    /// The section table, in file order.
+    pub sections: Vec<SectionInfo>,
+}
+
+impl SnapshotInfo {
+    /// Total file size implied by the section table (last payload end,
+    /// padded to alignment).
+    pub fn total_bytes(&self) -> u64 {
+        self.sections
+            .iter()
+            .map(|s| align_up64(s.offset.saturating_add(s.len)))
+            .max()
+            .unwrap_or(HEADER_BYTES as u64)
+    }
+
+    /// Bytes held by the count-index payload sections (excluding symbols
+    /// and model) — the on-disk analogue of [`Engine::index_bytes`].
+    pub fn index_bytes(&self) -> u64 {
+        self.sections
+            .iter()
+            .filter(|s| {
+                matches!(
+                    s.id,
+                    SectionId::FlatTable | SectionId::Supers | SectionId::Deltas
+                )
+            })
+            .map(|s| s.len)
+            .sum()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Checksum.
+// ---------------------------------------------------------------------------
+
+const PRIME_A: u64 = 0x9E37_79B1_85EB_CA87;
+const PRIME_B: u64 = 0xC2B2_AE3D_27D4_EB4F;
+// Stripe secrets (splitmix64 outputs) xored into the input words before
+// folding, so runs of equal words still perturb the accumulators.
+const K0: u64 = 0xE220_A839_7B1D_CDAF;
+const K1: u64 = 0x6E78_9E6A_A1B9_65F4;
+const K2: u64 = 0x06C4_5D18_8009_454F;
+const K3: u64 = 0xF88B_B8A8_724C_81EC;
+
+/// `64×64 → 128` multiply folded to 64 bits — one `mulx` on x86-64; any
+/// input bit flip avalanches through the whole product.
+#[inline(always)]
+fn fold(a: u64, b: u64) -> u64 {
+    let m = u128::from(a).wrapping_mul(u128::from(b));
+    (m as u64) ^ ((m >> 64) as u64)
+}
+
+/// One 32-byte stripe: two independent multiply folds (the chains
+/// pipeline) combined into rotating accumulators (the rotation makes the
+/// combination stripe-order-sensitive).
+#[inline(always)]
+fn stripe(acc: &mut (u64, u64), w0: u64, w1: u64, w2: u64, w3: u64) {
+    acc.0 = acc.0.rotate_left(13) ^ fold(w0 ^ K0, w1 ^ K1);
+    acc.1 = acc.1.rotate_left(13) ^ fold(w2 ^ K2, w3 ^ K3);
+}
+
+/// The shared final fold of both checksum forms. Mixing the total length
+/// in makes truncation change the value even when the dropped tail is
+/// all zeros.
+fn finish(acc: (u64, u64), len: u64) -> u64 {
+    let mut h = fold(acc.0 ^ len, acc.1 ^ PRIME_B);
+    h ^= h >> 33;
+    h = h.wrapping_mul(PRIME_A);
+    h ^ (h >> 29)
+}
+
+/// 64-bit content checksum: multiply-fold accumulation over 32-byte
+/// stripes (two `u128` multiplies per stripe — verification runs at
+/// memory-bandwidth speed, far cheaper than the scans the snapshot
+/// serves), with the total length folded in so truncations change the
+/// value even when the dropped tail is zeros. Not cryptographic —
+/// storage-corruption detection only.
+pub fn checksum64(bytes: &[u8]) -> u64 {
+    #[inline(always)]
+    fn word(chunk: &[u8], i: usize) -> u64 {
+        u64::from_le_bytes(chunk[i * 8..i * 8 + 8].try_into().expect("8-byte word"))
+    }
+    let mut acc = (PRIME_A, PRIME_B);
+    let mut chunks = bytes.chunks_exact(32);
+    for chunk in &mut chunks {
+        stripe(
+            &mut acc,
+            word(chunk, 0),
+            word(chunk, 1),
+            word(chunk, 2),
+            word(chunk, 3),
+        );
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        // Zero-pad the tail to one final stripe; the length in the
+        // final fold disambiguates it from genuine trailing zeros.
+        let mut pad = [0u8; 32];
+        pad[..rem.len()].copy_from_slice(rem);
+        stripe(
+            &mut acc,
+            word(&pad, 0),
+            word(&pad, 1),
+            word(&pad, 2),
+            word(&pad, 3),
+        );
+    }
+    finish(acc, bytes.len() as u64)
+}
+
+/// [`checksum64`] computed directly over a `u16` slice, **identical** to
+/// hashing the values' little-endian byte serialization — lets the
+/// writer checksum the blocked index's `u16` delta tier in place.
+pub fn checksum64_u16s(values: &[u16]) -> u64 {
+    #[inline(always)]
+    fn word(c: &[u16]) -> u64 {
+        u64::from(c[0])
+            | (u64::from(c[1]) << 16)
+            | (u64::from(c[2]) << 32)
+            | (u64::from(c[3]) << 48)
+    }
+    let mut acc = (PRIME_A, PRIME_B);
+    // 16 values = one 32-byte stripe of the byte form.
+    let mut chunks = values.chunks_exact(16);
+    for c in &mut chunks {
+        stripe(
+            &mut acc,
+            word(&c[0..4]),
+            word(&c[4..8]),
+            word(&c[8..12]),
+            word(&c[12..16]),
+        );
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut pad = [0u16; 16];
+        pad[..rem.len()].copy_from_slice(rem);
+        stripe(
+            &mut acc,
+            word(&pad[0..4]),
+            word(&pad[4..8]),
+            word(&pad[8..12]),
+            word(&pad[12..16]),
+        );
+    }
+    finish(acc, 2 * values.len() as u64)
+}
+
+/// [`checksum64`] computed directly over a `u32` slice, **identical** to
+/// hashing the values' little-endian byte serialization — the loader
+/// verifies a just-converted (cache-warm) table instead of re-reading the
+/// raw payload from memory.
+pub fn checksum64_u32s(values: &[u32]) -> u64 {
+    #[inline(always)]
+    fn word(lo: u32, hi: u32) -> u64 {
+        u64::from(lo) | (u64::from(hi) << 32)
+    }
+    let mut acc = (PRIME_A, PRIME_B);
+    // 8 values = one 32-byte stripe of the byte form.
+    let mut chunks = values.chunks_exact(8);
+    for c in &mut chunks {
+        stripe(
+            &mut acc,
+            word(c[0], c[1]),
+            word(c[2], c[3]),
+            word(c[4], c[5]),
+            word(c[6], c[7]),
+        );
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut pad = [0u32; 8];
+        pad[..rem.len()].copy_from_slice(rem);
+        stripe(
+            &mut acc,
+            word(pad[0], pad[1]),
+            word(pad[2], pad[3]),
+            word(pad[4], pad[5]),
+            word(pad[6], pad[7]),
+        );
+    }
+    finish(acc, 4 * values.len() as u64)
+}
+
+// ---------------------------------------------------------------------------
+// Little-endian scalar plumbing.
+// ---------------------------------------------------------------------------
+
+fn align_up(x: usize) -> usize {
+    x.div_ceil(SECTION_ALIGN) * SECTION_ALIGN
+}
+
+fn align_up64(x: u64) -> u64 {
+    // Saturating: alignment math over untrusted header offsets must not
+    // overflow (a crafted near-u64::MAX offset fails validation cleanly).
+    x.div_ceil(SECTION_ALIGN as u64)
+        .saturating_mul(SECTION_ALIGN as u64)
+}
+
+fn io_err(op: &'static str) -> impl FnOnce(std::io::Error) -> Error {
+    move |e| Error::Io {
+        op,
+        details: e.to_string(),
+    }
+}
+
+fn format_err(details: impl Into<String>) -> Error {
+    Error::Snapshot {
+        details: details.into(),
+    }
+}
+
+/// Reference byte serializers — the writer streams tables without them;
+/// the tests use them to pin the word-form checksums to the byte form.
+#[cfg(test)]
+fn u32s_to_bytes(values: &[u32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 4);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+#[cfg(test)]
+fn u16s_to_bytes(values: &[u16]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 2);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+fn f64s_to_bytes(values: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 8);
+    for v in values {
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    out
+}
+
+fn bytes_to_u32s(bytes: &[u8]) -> Vec<u32> {
+    let count = bytes.len() / 4;
+    let mut out: Vec<u32> = Vec::with_capacity(count);
+    // SAFETY: `out` owns capacity for `count` values (`4·count` bytes);
+    // source and destination are disjoint; every bit pattern is a valid
+    // `u32`. This is the bulk-load hot path — a raw copy runs at memcpy
+    // speed where the per-chunk `from_le_bytes` loop measures ~5× slower.
+    unsafe {
+        std::ptr::copy_nonoverlapping(bytes.as_ptr(), out.as_mut_ptr().cast::<u8>(), count * 4);
+        out.set_len(count);
+    }
+    if cfg!(target_endian = "big") {
+        // The copy wrote little-endian storage; fix up on big-endian
+        // targets (compiled out entirely on little-endian ones).
+        for v in &mut out {
+            *v = u32::from_le(*v);
+        }
+    }
+    out
+}
+
+fn bytes_to_u16s(bytes: &[u8]) -> Vec<u16> {
+    bytes
+        .chunks_exact(2)
+        .map(|c| u16::from_le_bytes(c.try_into().expect("2-byte chunk")))
+        .collect()
+}
+
+fn bytes_to_f64s(bytes: &[u8]) -> Vec<f64> {
+    bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().expect("8-byte chunk"))))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Writing.
+// ---------------------------------------------------------------------------
+
+/// A section queued for writing: id plus a *borrowed* view of its
+/// payload — the count tables are checksummed and streamed in place, so
+/// serializing a multi-GB engine never materializes a second copy of
+/// its index.
+enum PendingSection<'a> {
+    /// Payload bytes already in wire form (symbols, `u8` deltas).
+    Bytes(SectionId, &'a [u8]),
+    /// A small owned payload (the model probabilities).
+    Owned(SectionId, Vec<u8>),
+    /// A `u32` table serialized little-endian on the fly.
+    U32s(SectionId, &'a [u32]),
+    /// A `u16` table serialized little-endian on the fly.
+    U16s(SectionId, &'a [u16]),
+}
+
+/// Values serialized per chunk when streaming a table (64 KiB of bytes).
+const WRITE_CHUNK_VALUES: usize = 16_384;
+
+impl PendingSection<'_> {
+    fn id(&self) -> SectionId {
+        match self {
+            PendingSection::Bytes(id, _)
+            | PendingSection::Owned(id, _)
+            | PendingSection::U32s(id, _)
+            | PendingSection::U16s(id, _) => *id,
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            PendingSection::Bytes(_, v) => v.len(),
+            PendingSection::Owned(_, v) => v.len(),
+            PendingSection::U32s(_, v) => v.len() * 4,
+            PendingSection::U16s(_, v) => v.len() * 2,
+        }
+    }
+
+    /// The payload checksum, computed in place (no serialization).
+    fn checksum(&self) -> u64 {
+        match self {
+            PendingSection::Bytes(_, v) => checksum64(v),
+            PendingSection::Owned(_, v) => checksum64(v),
+            PendingSection::U32s(_, v) => checksum64_u32s(v),
+            PendingSection::U16s(_, v) => checksum64_u16s(v),
+        }
+    }
+
+    /// Stream the payload into `writer`, converting tables chunk by
+    /// chunk through a small reusable buffer.
+    fn write_to<W: Write>(&self, writer: &mut W) -> std::io::Result<()> {
+        match self {
+            PendingSection::Bytes(_, v) => writer.write_all(v),
+            PendingSection::Owned(_, v) => writer.write_all(v),
+            PendingSection::U32s(_, v) => {
+                let mut buf = Vec::with_capacity(WRITE_CHUNK_VALUES * 4);
+                for chunk in v.chunks(WRITE_CHUNK_VALUES) {
+                    buf.clear();
+                    for value in chunk {
+                        buf.extend_from_slice(&value.to_le_bytes());
+                    }
+                    writer.write_all(&buf)?;
+                }
+                Ok(())
+            }
+            PendingSection::U16s(_, v) => {
+                let mut buf = Vec::with_capacity(WRITE_CHUNK_VALUES * 2);
+                for chunk in v.chunks(WRITE_CHUNK_VALUES) {
+                    buf.clear();
+                    for value in chunk {
+                        buf.extend_from_slice(&value.to_le_bytes());
+                    }
+                    writer.write_all(&buf)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Serialize `engine` into `writer` in snapshot format version 1.
+/// Payloads stream from the engine's own storage — peak memory stays
+/// `O(1)` beyond the engine itself regardless of index size.
+///
+/// # Errors
+///
+/// Fails only on I/O ([`Error::Io`]); any built engine is serializable.
+pub fn write_snapshot<W: Write>(engine: &Engine, mut writer: W) -> Result<()> {
+    let k = engine.k();
+    let n = engine.n();
+    let index = engine.counts();
+    let (layout_byte, delta_width, block): (u8, u8, u32) = match index {
+        CountsIndex::Flat(_) => (0, 0, 0),
+        CountsIndex::Blocked(bc) => {
+            let width = match bc.deltas() {
+                DeltaTier::U8(_) => 1,
+                DeltaTier::U16(_) => 2,
+            };
+            (1, width, bc.block() as u32)
+        }
+    };
+
+    let mut sections = vec![
+        PendingSection::Bytes(SectionId::Symbols, index.symbols()),
+        PendingSection::Owned(SectionId::Model, f64s_to_bytes(engine.model().probs())),
+    ];
+    match index {
+        CountsIndex::Flat(pc) => {
+            sections.push(PendingSection::U32s(SectionId::FlatTable, pc.table()))
+        }
+        CountsIndex::Blocked(bc) => {
+            sections.push(PendingSection::U32s(SectionId::Supers, bc.supers()));
+            sections.push(match bc.deltas() {
+                DeltaTier::U8(v) => PendingSection::Bytes(SectionId::Deltas, v),
+                DeltaTier::U16(v) => PendingSection::U16s(SectionId::Deltas, v),
+            });
+        }
+    }
+
+    // Lay out the section table: payloads start after the header + table,
+    // each aligned to SECTION_ALIGN.
+    let table_bytes = sections.len() * SECTION_ENTRY_BYTES;
+    let mut offset = align_up(HEADER_BYTES + table_bytes);
+    let mut table = Vec::with_capacity(table_bytes);
+    let mut offsets = Vec::with_capacity(sections.len());
+    for section in &sections {
+        table.extend_from_slice(&(section.id() as u32).to_le_bytes());
+        table.extend_from_slice(&0u32.to_le_bytes());
+        table.extend_from_slice(&(offset as u64).to_le_bytes());
+        table.extend_from_slice(&(section.len() as u64).to_le_bytes());
+        table.extend_from_slice(&section.checksum().to_le_bytes());
+        offsets.push(offset);
+        offset = align_up(offset + section.len());
+    }
+
+    let mut header = Vec::with_capacity(HEADER_BYTES);
+    header.extend_from_slice(&MAGIC);
+    header.extend_from_slice(&VERSION.to_le_bytes());
+    header.extend_from_slice(&(k as u32).to_le_bytes());
+    header.extend_from_slice(&(n as u64).to_le_bytes());
+    header.push(layout_byte);
+    header.push(delta_width);
+    header.extend_from_slice(&0u16.to_le_bytes());
+    header.extend_from_slice(&block.to_le_bytes());
+    header.extend_from_slice(&(sections.len() as u32).to_le_bytes());
+    header.extend_from_slice(&checksum64(&table).to_le_bytes());
+    header.resize(HEADER_BYTES, 0);
+
+    let err = io_err("write snapshot");
+    writer.write_all(&header).map_err(err)?;
+    writer.write_all(&table).map_err(io_err("write snapshot"))?;
+    let mut written = HEADER_BYTES + table.len();
+    let padding = [0u8; SECTION_ALIGN];
+    for (section, start) in sections.iter().zip(&offsets) {
+        writer
+            .write_all(&padding[..start - written])
+            .map_err(io_err("write snapshot"))?;
+        section
+            .write_to(&mut writer)
+            .map_err(io_err("write snapshot"))?;
+        written = start + section.len();
+    }
+    // Trailing pad so the file length is aligned too (a later reader can
+    // treat total_bytes() as the exact file size).
+    writer
+        .write_all(&padding[..align_up(written) - written])
+        .map_err(io_err("write snapshot"))?;
+    writer.flush().map_err(io_err("write snapshot"))?;
+    Ok(())
+}
+
+/// [`write_snapshot`] to a filesystem path (buffered, created/truncated).
+pub fn write_snapshot_path<P: AsRef<Path>>(engine: &Engine, path: P) -> Result<()> {
+    let file = std::fs::File::create(path).map_err(io_err("create snapshot file"))?;
+    write_snapshot(engine, std::io::BufWriter::new(file))
+}
+
+// ---------------------------------------------------------------------------
+// Reading.
+// ---------------------------------------------------------------------------
+
+/// Parse and validate the header + section table from `reader`, leaving
+/// the stream positioned at the end of the section table.
+fn read_info_inner<R: Read>(reader: &mut R) -> Result<SnapshotInfo> {
+    let mut header = [0u8; HEADER_BYTES];
+    reader
+        .read_exact(&mut header)
+        .map_err(io_err("read snapshot header"))?;
+    if header[0..8] != MAGIC {
+        return Err(format_err(
+            "bad magic (not a sigstr index snapshot, or the header is corrupted)",
+        ));
+    }
+    let get_u32 =
+        |off: usize| u32::from_le_bytes(header[off..off + 4].try_into().expect("header slice"));
+    let get_u64 =
+        |off: usize| u64::from_le_bytes(header[off..off + 8].try_into().expect("header slice"));
+    let version = get_u32(8);
+    if version != VERSION {
+        return Err(format_err(format!(
+            "unsupported snapshot version {version} (this build reads version {VERSION})"
+        )));
+    }
+    let k = get_u32(12) as usize;
+    let n = get_u64(16) as usize;
+    let layout_byte = header[24];
+    let delta_width = header[25];
+    let block = get_u32(28) as usize;
+    let section_count = get_u32(32) as usize;
+    let table_checksum = get_u64(36);
+
+    if !(2..=crate::model::MAX_ALPHABET).contains(&k) {
+        return Err(format_err(format!("alphabet size {k} outside 2..=256")));
+    }
+    if n == 0 {
+        return Err(format_err("sequence length is zero"));
+    }
+    let layout = match layout_byte {
+        0 => CountsLayout::Flat,
+        1 => CountsLayout::Blocked,
+        other => return Err(format_err(format!("unknown layout byte {other}"))),
+    };
+    // Reserved regions must be zero in version 1 — rejecting nonzero
+    // bytes both catches header corruption the field checks can't see
+    // and keeps them free for future versions.
+    if header[26..28].iter().chain(&header[44..]).any(|&b| b != 0) {
+        return Err(format_err("nonzero reserved header bytes"));
+    }
+    match layout {
+        CountsLayout::Flat => {
+            if delta_width != 0 || block != 0 {
+                return Err(format_err(
+                    "flat layout must have zero block spacing and delta width",
+                ));
+            }
+        }
+        _ => {
+            if block == 0 || !block.is_power_of_two() || block > crate::counts::MAX_BLOCK {
+                return Err(format_err(format!(
+                    "blocked layout with invalid superblock spacing {block}"
+                )));
+            }
+            let expected_width = if block <= 256 { 1 } else { 2 };
+            if delta_width != expected_width {
+                return Err(format_err(format!(
+                    "delta width {delta_width} inconsistent with block spacing {block}"
+                )));
+            }
+        }
+    }
+    let expected_sections = match layout {
+        CountsLayout::Flat => 3,
+        _ => 4,
+    };
+    if section_count != expected_sections {
+        return Err(format_err(format!(
+            "{section_count} sections, expected {expected_sections} for this layout"
+        )));
+    }
+
+    let mut table = vec![0u8; section_count * SECTION_ENTRY_BYTES];
+    reader
+        .read_exact(&mut table)
+        .map_err(io_err("read snapshot section table"))?;
+    if checksum64(&table) != table_checksum {
+        return Err(format_err("section table checksum mismatch"));
+    }
+    let mut sections = Vec::with_capacity(section_count);
+    let mut cursor = align_up(HEADER_BYTES + table.len()) as u64;
+    for entry in table.chunks_exact(SECTION_ENTRY_BYTES) {
+        let raw_id = u32::from_le_bytes(entry[0..4].try_into().expect("entry slice"));
+        let id = SectionId::from_u32(raw_id)
+            .ok_or_else(|| format_err(format!("unknown section id {raw_id}")))?;
+        let offset = u64::from_le_bytes(entry[8..16].try_into().expect("entry slice"));
+        let len = u64::from_le_bytes(entry[16..24].try_into().expect("entry slice"));
+        let checksum = u64::from_le_bytes(entry[24..32].try_into().expect("entry slice"));
+        if offset % SECTION_ALIGN as u64 != 0 {
+            return Err(format_err(format!(
+                "section {} offset {offset} is not {SECTION_ALIGN}-byte aligned",
+                id.name()
+            )));
+        }
+        if offset != cursor {
+            return Err(format_err(format!(
+                "section {} offset {offset} does not follow the previous section (expected {cursor})",
+                id.name()
+            )));
+        }
+        cursor = align_up64(offset.saturating_add(len));
+        sections.push(SectionInfo {
+            id,
+            offset,
+            len,
+            checksum,
+        });
+    }
+
+    // Validate the section set and shapes against the header geometry.
+    let expect_len = |id: SectionId, expected: u64| -> Result<()> {
+        let section = sections
+            .iter()
+            .find(|s| s.id == id)
+            .ok_or_else(|| format_err(format!("missing section {}", id.name())))?;
+        if section.len != expected {
+            return Err(format_err(format!(
+                "section {} holds {} bytes, expected {expected}",
+                id.name(),
+                section.len
+            )));
+        }
+        Ok(())
+    };
+    // Saturating products: `n` comes from the untrusted header, and a
+    // crafted 2^60-scale value must produce a clean shape mismatch, not
+    // a multiply overflow.
+    expect_len(SectionId::Symbols, n as u64)?;
+    expect_len(SectionId::Model, 8 * k as u64)?;
+    match layout {
+        CountsLayout::Flat => {
+            expect_len(
+                SectionId::FlatTable,
+                4u64.saturating_mul((n as u64).saturating_add(1))
+                    .saturating_mul(k as u64),
+            )?;
+        }
+        _ => {
+            expect_len(
+                SectionId::Supers,
+                4u64.saturating_mul((n / block) as u64 + 1)
+                    .saturating_mul(k as u64),
+            )?;
+            expect_len(
+                SectionId::Deltas,
+                u64::from(delta_width)
+                    .saturating_mul((n as u64).saturating_add(1))
+                    .saturating_mul(k as u64 - 1),
+            )?;
+        }
+    }
+
+    Ok(SnapshotInfo {
+        version,
+        k,
+        n,
+        layout,
+        block,
+        sections,
+    })
+}
+
+/// Read and validate a snapshot's header and section table only — `O(1)`
+/// work regardless of index size (what `sigstr index info` prints).
+pub fn read_info<R: Read>(mut reader: R) -> Result<SnapshotInfo> {
+    read_info_inner(&mut reader)
+}
+
+/// [`read_info`] from a filesystem path.
+pub fn read_info_path<P: AsRef<Path>>(path: P) -> Result<SnapshotInfo> {
+    let file = std::fs::File::open(path).map_err(io_err("open snapshot file"))?;
+    read_info(std::io::BufReader::new(file))
+}
+
+/// Upper bound on a single allocation made on behalf of an untrusted
+/// length field before any matching data has been seen. Payloads larger
+/// than this grow chunk by chunk, so a crafted tiny file claiming a
+/// multi-exabyte section fails with a truncation error instead of an
+/// allocation abort.
+const READ_CHUNK_BYTES: u64 = 64 << 20;
+
+/// Read one section payload into a fresh exactly-sized buffer:
+/// `take` + `read_to_end` fills reserved spare capacity directly from
+/// the reader (for a `File`, one bulk kernel copy) without the extra
+/// zeroing pass a `vec![0; len]` + `read_exact` would pay. Reads are
+/// chunked at [`READ_CHUNK_BYTES`] so memory grows only as data
+/// actually arrives.
+fn read_section<R: Read>(reader: &mut R, section: &SectionInfo) -> Result<Vec<u8>> {
+    let mut payload = Vec::new();
+    let mut remaining = section.len;
+    while remaining > 0 {
+        let step = remaining.min(READ_CHUNK_BYTES);
+        payload.reserve(step as usize);
+        let got = reader
+            .by_ref()
+            .take(step)
+            .read_to_end(&mut payload)
+            .map_err(io_err("read snapshot section"))?;
+        if got as u64 != step {
+            return Err(format_err(format!(
+                "section {} truncated: {} of {} bytes present",
+                section.id.name(),
+                section.len - remaining + got as u64,
+                section.len
+            )));
+        }
+        remaining -= step;
+    }
+    Ok(payload)
+}
+
+/// Deserialize an [`Engine`] from `reader`: validation plus bulk section
+/// reads straight into the index's storage — no per-position
+/// recomputation. Payloads are consumed in file order (no `Seek`
+/// bound); pass an unbuffered `File` — every read is already a bulk
+/// read, and a `BufReader`'s chunked copies only slow it down. Each
+/// section is converted into its in-memory form first and checksummed
+/// **after** conversion (bit-identical to hashing the raw payload — see
+/// [`checksum64_u32s`]), so verification re-reads cache-warm data
+/// instead of making a second cold pass.
+///
+/// # Errors
+///
+/// [`Error::Io`] on read failure, [`Error::Snapshot`] on any format or
+/// checksum violation.
+pub fn load_snapshot<R: Read>(mut reader: R) -> Result<Engine> {
+    let info = read_info_inner(&mut reader)?;
+
+    // The stream sits right after the (unaligned) section table; skip
+    // alignment padding between payloads as we go.
+    let mut position = (HEADER_BYTES + info.sections.len() * SECTION_ENTRY_BYTES) as u64;
+    let mut symbols: Option<Vec<u8>> = None;
+    let mut probs: Option<Vec<f64>> = None;
+    let mut flat_table: Option<Vec<u32>> = None;
+    let mut supers: Option<Vec<u32>> = None;
+    let mut deltas: Option<DeltaTier> = None;
+    let mut pad_buf = [0u8; SECTION_ALIGN];
+    for section in &info.sections {
+        let gap = (section.offset - position) as usize;
+        if gap > 0 {
+            reader
+                .read_exact(&mut pad_buf[..gap])
+                .map_err(io_err("read snapshot padding"))?;
+        }
+        position = section.offset.saturating_add(section.len);
+        let computed = match section.id {
+            SectionId::Symbols => {
+                let v = read_section(&mut reader, section)?;
+                let sum = checksum64(&v);
+                symbols = Some(v);
+                sum
+            }
+            SectionId::Model => {
+                let payload = read_section(&mut reader, section)?;
+                probs = Some(bytes_to_f64s(&payload));
+                checksum64(&payload)
+            }
+            SectionId::FlatTable => {
+                let v = bytes_to_u32s(&read_section(&mut reader, section)?);
+                let sum = checksum64_u32s(&v);
+                flat_table = Some(v);
+                sum
+            }
+            SectionId::Supers => {
+                let v = bytes_to_u32s(&read_section(&mut reader, section)?);
+                let sum = checksum64_u32s(&v);
+                supers = Some(v);
+                sum
+            }
+            SectionId::Deltas => {
+                let payload = read_section(&mut reader, section)?;
+                match info.block {
+                    b if b <= 256 => {
+                        let sum = checksum64(&payload);
+                        deltas = Some(DeltaTier::U8(payload));
+                        sum
+                    }
+                    _ => {
+                        // The u16 escape tier (block > 256) is off the
+                        // default path; the simple raw-payload pass is
+                        // fine here.
+                        let sum = checksum64(&payload);
+                        deltas = Some(DeltaTier::U16(bytes_to_u16s(&payload)));
+                        sum
+                    }
+                }
+            }
+        };
+        if computed != section.checksum {
+            return Err(format_err(format!(
+                "section {} checksum mismatch (corrupted or truncated payload)",
+                section.id.name()
+            )));
+        }
+    }
+    // Consume the trailing padding that rounds the file to alignment —
+    // a snapshot truncated anywhere, even inside the final pad, fails to
+    // load rather than passing on a technicality.
+    let trailing = (align_up64(position) - position) as usize;
+    if trailing > 0 {
+        reader
+            .read_exact(&mut pad_buf[..trailing])
+            .map_err(io_err("read snapshot padding"))?;
+    }
+    assemble_engine(&info, symbols, probs, flat_table, supers, deltas)
+}
+
+/// Final assembly shared by the streaming and parallel loaders: symbol
+/// validation, model reconstruction, and index construction from the
+/// already-verified sections.
+fn assemble_engine(
+    info: &SnapshotInfo,
+    symbols: Option<Vec<u8>>,
+    probs: Option<Vec<f64>>,
+    flat_table: Option<Vec<u32>>,
+    supers: Option<Vec<u32>>,
+    deltas: Option<DeltaTier>,
+) -> Result<Engine> {
+    let symbols = symbols.ok_or_else(|| format_err("missing symbols section"))?;
+    // Vectorizable max-scan first; locate the offending position only on
+    // the failure path.
+    let max_symbol = symbols.iter().fold(0u8, |m, &s| m.max(s));
+    if (max_symbol as usize) >= info.k {
+        let bad = symbols
+            .iter()
+            .position(|&s| (s as usize) >= info.k)
+            .expect("max symbol out of range implies an offending position");
+        return Err(format_err(format!(
+            "symbol {} at position {bad} outside alphabet 0..{}",
+            symbols[bad], info.k
+        )));
+    }
+    let probs = probs.ok_or_else(|| format_err("missing model section"))?;
+    let model = Model::from_stored_probs(probs).map_err(|e| match e {
+        Error::Snapshot { .. } | Error::Io { .. } => e,
+        other => format_err(format!("stored model is invalid: {other}")),
+    })?;
+
+    let index = match info.layout {
+        CountsLayout::Flat => {
+            let table = flat_table.ok_or_else(|| format_err("missing flat-table section"))?;
+            CountsIndex::Flat(crate::counts::PrefixCounts::from_sections(
+                table, symbols, info.k,
+            )?)
+        }
+        _ => {
+            let supers = supers.ok_or_else(|| format_err("missing supers section"))?;
+            let deltas = deltas.ok_or_else(|| format_err("missing deltas section"))?;
+            CountsIndex::Blocked(crate::counts::BlockedCounts::from_sections(
+                supers, deltas, symbols, info.k, info.block,
+            )?)
+        }
+    };
+    Engine::from_index(index, model)
+}
+
+/// [`load_snapshot`] from an in-memory snapshot buffer.
+pub fn load_snapshot_bytes(bytes: &[u8]) -> Result<Engine> {
+    load_snapshot(bytes)
+}
+
+/// [`load_snapshot`] from a filesystem path. The file is passed
+/// **unbuffered**: each section is one bulk kernel copy from the page
+/// cache straight into its final exactly-sized buffer (no intermediate
+/// whole-file allocation, no `BufReader` chunk-hopping), and each
+/// checksum pass runs over the cache-warm result.
+pub fn load_snapshot_path<P: AsRef<Path>>(path: P) -> Result<Engine> {
+    let file = std::fs::File::open(path).map_err(io_err("open snapshot file"))?;
+    load_snapshot(file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::Sequence;
+
+    fn engine(n: usize, k: usize, layout: CountsLayout) -> Engine {
+        let symbols: Vec<u8> = (0..n).map(|i| ((i * 7 + i / 3) % k) as u8).collect();
+        let seq = Sequence::from_symbols(symbols, k).unwrap();
+        Engine::with_layout(&seq, Model::uniform(k).unwrap(), layout).unwrap()
+    }
+
+    fn snapshot_bytes(e: &Engine) -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_snapshot(e, &mut buf).unwrap();
+        buf
+    }
+
+    #[test]
+    fn checksum_is_deterministic_and_sensitive() {
+        let data = vec![7u8; 1000];
+        let base = checksum64(&data);
+        assert_eq!(base, checksum64(&data));
+        let mut flipped = data.clone();
+        flipped[999] ^= 1;
+        assert_ne!(base, checksum64(&flipped));
+        // Truncation changes the value even when the tail is all zeros.
+        let zeros = vec![0u8; 64];
+        assert_ne!(checksum64(&zeros), checksum64(&zeros[..63]));
+        assert_ne!(checksum64(&[]), checksum64(&[0]));
+    }
+
+    #[test]
+    fn u32_checksum_matches_byte_checksum() {
+        // The word-form checksum must equal the byte-form over the LE
+        // serialization for every tail shape (len mod 8 ∈ 0..8).
+        for len in 0..40usize {
+            let values: Vec<u32> = (0..len as u32)
+                .map(|i| i.wrapping_mul(0x9E37_79B1))
+                .collect();
+            let bytes = u32s_to_bytes(&values);
+            assert_eq!(checksum64_u32s(&values), checksum64(&bytes), "length {len}");
+        }
+    }
+
+    #[test]
+    fn u16_checksum_matches_byte_checksum() {
+        for len in 0..40usize {
+            let values: Vec<u16> = (0..len as u16).map(|i| i.wrapping_mul(0x9E37)).collect();
+            let bytes = u16s_to_bytes(&values);
+            assert_eq!(checksum64_u16s(&values), checksum64(&bytes), "length {len}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_u16_delta_tier() {
+        // Block spacings above 256 use the u16 escape tier — its write
+        // path (in-place checksum + chunked serialization) must
+        // round-trip bit-identically too.
+        let symbols: Vec<u8> = (0..3000).map(|i| ((i * 7 + i / 5) % 3) as u8).collect();
+        let seq = Sequence::from_symbols(symbols, 3).unwrap();
+        let index = crate::counts::BlockedCounts::with_block(&seq, 1024).unwrap();
+        let original =
+            Engine::from_index(CountsIndex::Blocked(index), Model::uniform(3).unwrap()).unwrap();
+        let buf = snapshot_bytes(&original);
+        let info = read_info(&buf[..]).unwrap();
+        assert_eq!(info.block, 1024);
+        let loaded = load_snapshot(&buf[..]).unwrap();
+        assert_eq!(loaded.mss().unwrap(), original.mss().unwrap());
+        assert_eq!(loaded.top_t(4).unwrap(), original.top_t(4).unwrap());
+    }
+
+    #[test]
+    fn roundtrip_both_layouts() {
+        for layout in [CountsLayout::Flat, CountsLayout::Blocked] {
+            let original = engine(300, 3, layout);
+            let buf = snapshot_bytes(&original);
+            assert_eq!(buf.len() % SECTION_ALIGN, 0, "file length aligned");
+            let loaded = load_snapshot(&buf[..]).unwrap();
+            assert_eq!(loaded.n(), original.n());
+            assert_eq!(loaded.k(), original.k());
+            assert_eq!(loaded.layout(), layout);
+            assert_eq!(loaded.index_bytes(), original.index_bytes());
+            assert_eq!(loaded.mss().unwrap(), original.mss().unwrap());
+            assert_eq!(loaded.top_t(4).unwrap(), original.top_t(4).unwrap());
+            assert_eq!(
+                loaded.above_threshold(2.0).unwrap(),
+                original.above_threshold(2.0).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn info_reports_geometry_without_payloads() {
+        let e = engine(500, 4, CountsLayout::Blocked);
+        let buf = snapshot_bytes(&e);
+        let info = read_info(&buf[..]).unwrap();
+        assert_eq!(info.version, VERSION);
+        assert_eq!(info.n, 500);
+        assert_eq!(info.k, 4);
+        assert_eq!(info.layout, CountsLayout::Blocked);
+        assert_eq!(info.block, crate::counts::DEFAULT_BLOCK);
+        assert_eq!(info.sections.len(), 4);
+        assert_eq!(info.total_bytes(), buf.len() as u64);
+        assert_eq!(info.index_bytes(), e.index_bytes() as u64);
+        // Info parses from just the header + table bytes.
+        let head = &buf[..HEADER_BYTES + 4 * SECTION_ENTRY_BYTES];
+        assert_eq!(read_info(head).unwrap(), info);
+    }
+
+    #[test]
+    fn rejects_corruption() {
+        let e = engine(200, 2, CountsLayout::Flat);
+        let good = snapshot_bytes(&e);
+
+        // Bad magic.
+        let mut bad = good.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(
+            load_snapshot(&bad[..]),
+            Err(Error::Snapshot { details }) if details.contains("magic")
+        ));
+
+        // Unsupported version.
+        let mut bad = good.clone();
+        bad[8] = 99;
+        assert!(matches!(
+            load_snapshot(&bad[..]),
+            Err(Error::Snapshot { details }) if details.contains("version")
+        ));
+
+        // Corrupted header field (layout byte) — caught by field checks.
+        let mut bad = good.clone();
+        bad[24] = 7;
+        assert!(load_snapshot(&bad[..]).is_err());
+
+        // Corrupted section table — caught by the table checksum.
+        let mut bad = good.clone();
+        bad[HEADER_BYTES + 8] ^= 1;
+        assert!(matches!(
+            load_snapshot(&bad[..]),
+            Err(Error::Snapshot { details }) if details.contains("section table")
+        ));
+
+        // Corrupted payload byte — caught by the section checksum.
+        let mut bad = good.clone();
+        let last = bad.len() - SECTION_ALIGN;
+        bad[last] ^= 1;
+        assert!(matches!(
+            load_snapshot(&bad[..]),
+            Err(Error::Snapshot { details }) if details.contains("checksum")
+        ));
+
+        // Truncation mid-payload — typed error naming the short section.
+        assert!(matches!(
+            load_snapshot(&good[..good.len() / 2]),
+            Err(Error::Snapshot { details }) if details.contains("truncated")
+        ));
+        // Truncation mid-header — an I/O error (unexpected EOF).
+        assert!(matches!(load_snapshot(&good[..10]), Err(Error::Io { .. })));
+
+        // The pristine bytes still load.
+        assert!(load_snapshot(&good[..]).is_ok());
+    }
+
+    #[test]
+    fn rejects_out_of_alphabet_symbols() {
+        // Corrupt a symbol *and* fix up its section checksum: the symbol
+        // validation itself must catch it.
+        let e = engine(100, 2, CountsLayout::Flat);
+        let mut buf = snapshot_bytes(&e);
+        let info = read_info(&buf[..]).unwrap();
+        let symbols = info.sections[0];
+        assert_eq!(symbols.id, SectionId::Symbols);
+        let start = symbols.offset as usize;
+        buf[start] = 200; // k = 2, symbol 200 is invalid
+        let fixed = checksum64(&buf[start..start + symbols.len as usize]);
+        let entry = HEADER_BYTES + 24;
+        buf[entry..entry + 8].copy_from_slice(&fixed.to_le_bytes());
+        // Re-fix the table checksum over the edited table.
+        let table_start = HEADER_BYTES;
+        let table_end = table_start + info.sections.len() * SECTION_ENTRY_BYTES;
+        let table_sum = checksum64(&buf[table_start..table_end]);
+        buf[36..44].copy_from_slice(&table_sum.to_le_bytes());
+        assert!(matches!(
+            load_snapshot(&buf[..]),
+            Err(Error::Snapshot { details }) if details.contains("alphabet")
+        ));
+    }
+
+    #[test]
+    fn path_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("sigstr-snap-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("doc.snap");
+        let e = engine(256, 4, CountsLayout::Blocked);
+        write_snapshot_path(&e, &path).unwrap();
+        let loaded = load_snapshot_path(&path).unwrap();
+        assert_eq!(loaded.mss().unwrap(), e.mss().unwrap());
+        let info = read_info_path(&path).unwrap();
+        assert_eq!(info.n, 256);
+        assert!(matches!(
+            load_snapshot_path(dir.join("missing.snap")),
+            Err(Error::Io { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,240 @@
+//! Snapshot round-trip bit-identity: an engine loaded from a snapshot
+//! must be indistinguishable — to the last bit — from the engine that
+//! wrote it.
+//!
+//! The wire format stores exact `u32` counts and the model's exact `f64`
+//! bit patterns, and load rebuilds the derived model tables with the same
+//! pure computation the original build used, so **every** answer
+//! (values, positions, scan statistics) must compare equal with plain
+//! `assert_eq!` — not approximately, identically.
+//!
+//! Runs as a seeded property loop over random sequences and models for
+//! `k ∈ {2, 3, 4, 8, 26}` × both count-index layouts, exercising the
+//! specialized kernels (k = 2, 4), the generic kernel, the `k − 1`
+//! delta-column reconstruction at large k, and the model round-trip for
+//! skewed probability vectors. A second suite drives the rejection
+//! paths: corrupted magic, header fields, section table, payload bytes,
+//! and truncation must all fail loudly — never load wrong data.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sigstr_core::{snapshot, CountsLayout, Engine, Error, Model, Sequence};
+
+fn random_sequence(rng: &mut StdRng, k: usize, max_len: usize) -> Sequence {
+    let n = rng.gen_range(2..=max_len);
+    let symbols: Vec<u8> = (0..n).map(|_| rng.gen_range(0..k) as u8).collect();
+    Sequence::from_symbols(symbols, k).unwrap()
+}
+
+fn random_model(rng: &mut StdRng, k: usize) -> Model {
+    let weights: Vec<f64> = (0..k).map(|_| rng.gen_range(0.05..1.0)).collect();
+    let total: f64 = weights.iter().sum();
+    Model::from_probs(weights.into_iter().map(|w| w / total).collect()).unwrap()
+}
+
+fn snapshot_bytes(engine: &Engine) -> Vec<u8> {
+    let mut buf = Vec::new();
+    engine.write_snapshot(&mut buf).unwrap();
+    buf
+}
+
+/// The core property: every query variant answers identically (values,
+/// positions, stats — full struct equality) through the loaded engine.
+fn assert_roundtrip_identical(original: &Engine, label: &str) {
+    let buf = snapshot_bytes(original);
+    let loaded = Engine::load_snapshot(&buf[..]).unwrap();
+    assert_eq!(loaded.n(), original.n(), "{label}: n");
+    assert_eq!(loaded.k(), original.k(), "{label}: k");
+    assert_eq!(loaded.layout(), original.layout(), "{label}: layout");
+    assert_eq!(
+        loaded.index_bytes(),
+        original.index_bytes(),
+        "{label}: index bytes"
+    );
+    assert_eq!(
+        loaded.model().probs(),
+        original.model().probs(),
+        "{label}: model probabilities"
+    );
+
+    assert_eq!(
+        loaded.mss().unwrap(),
+        original.mss().unwrap(),
+        "{label}: mss"
+    );
+    let t = 5.min(original.n());
+    assert_eq!(
+        loaded.top_t(t).unwrap(),
+        original.top_t(t).unwrap(),
+        "{label}: top_t"
+    );
+    // A low threshold makes the answer a large vector — the strongest
+    // bit-identity check (every item and the scan stats must match).
+    for alpha in [0.5, 4.0] {
+        assert_eq!(
+            loaded.above_threshold(alpha).unwrap(),
+            original.above_threshold(alpha).unwrap(),
+            "{label}: above_threshold({alpha})"
+        );
+    }
+}
+
+#[test]
+fn roundtrip_bit_identity_across_alphabets_and_layouts() {
+    let mut rng = StdRng::seed_from_u64(0x5EED_514E);
+    for &k in &[2usize, 3, 4, 8, 26] {
+        for layout in [CountsLayout::Flat, CountsLayout::Blocked] {
+            for case in 0..6 {
+                let seq = random_sequence(&mut rng, k, 400);
+                let model = if case % 2 == 0 {
+                    Model::uniform(k).unwrap()
+                } else {
+                    random_model(&mut rng, k)
+                };
+                let engine = Engine::with_layout(&seq, model, layout).unwrap();
+                assert_roundtrip_identical(
+                    &engine,
+                    &format!("k={k} layout={layout:?} case={case} n={}", seq.len()),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn roundtrip_survives_a_second_generation() {
+    // Snapshot of a loaded engine: the format must be a fixed point.
+    let mut rng = StdRng::seed_from_u64(0x0F1E_C0DE);
+    let seq = random_sequence(&mut rng, 4, 300);
+    let engine =
+        Engine::with_layout(&seq, random_model(&mut rng, 4), CountsLayout::Blocked).unwrap();
+    let first = snapshot_bytes(&engine);
+    let loaded = Engine::load_snapshot(&first[..]).unwrap();
+    let second = snapshot_bytes(&loaded);
+    assert_eq!(
+        first, second,
+        "snapshot of a loaded engine is byte-identical"
+    );
+}
+
+#[test]
+fn estimated_model_probabilities_roundtrip_exactly() {
+    // Empirical models produce "ugly" f64s; the snapshot must preserve
+    // their exact bits (no renormalization drift on load).
+    let mut rng = StdRng::seed_from_u64(0xE571_3A7E);
+    for &k in &[2usize, 3, 26] {
+        let seq = random_sequence(&mut rng, k, 500);
+        let model = Model::estimate_smoothed(&seq, 0.5).unwrap();
+        let bits: Vec<u64> = model.probs().iter().map(|p| p.to_bits()).collect();
+        let engine = Engine::with_layout(&seq, model, CountsLayout::Flat).unwrap();
+        let buf = snapshot_bytes(&engine);
+        let loaded = Engine::load_snapshot(&buf[..]).unwrap();
+        let loaded_bits: Vec<u64> = loaded.model().probs().iter().map(|p| p.to_bits()).collect();
+        assert_eq!(bits, loaded_bits, "k={k}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rejection: corrupted snapshots must never load.
+// ---------------------------------------------------------------------------
+
+fn demo_snapshot(layout: CountsLayout) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(0xBAD_F00D);
+    let seq = random_sequence(&mut rng, 3, 300);
+    let engine = Engine::with_layout(&seq, Model::uniform(3).unwrap(), layout).unwrap();
+    snapshot_bytes(&engine)
+}
+
+#[test]
+fn rejects_corrupted_magic_and_version() {
+    for layout in [CountsLayout::Flat, CountsLayout::Blocked] {
+        let good = demo_snapshot(layout);
+        for byte in 0..8 {
+            let mut bad = good.clone();
+            bad[byte] ^= 0x40;
+            assert!(
+                matches!(
+                    Engine::load_snapshot(&bad[..]),
+                    Err(Error::Snapshot { ref details }) if details.contains("magic")
+                ),
+                "flipped magic byte {byte} must be rejected"
+            );
+        }
+        let mut bad = good.clone();
+        bad[8] = 2; // future version
+        assert!(matches!(
+            Engine::load_snapshot(&bad[..]),
+            Err(Error::Snapshot { ref details }) if details.contains("version")
+        ));
+    }
+}
+
+#[test]
+fn rejects_corrupted_header_fields() {
+    let good = demo_snapshot(CountsLayout::Blocked);
+    // Every single-bit flip in the header or section table must fail:
+    // either a field check or the table checksum catches it.
+    for byte in 8..snapshot::SECTION_ALIGN {
+        let mut bad = good.clone();
+        bad[byte] ^= 1;
+        assert!(
+            Engine::load_snapshot(&bad[..]).is_err(),
+            "header byte {byte} flip must be rejected"
+        );
+    }
+}
+
+#[test]
+fn rejects_corrupted_section_table_and_payloads() {
+    for layout in [CountsLayout::Flat, CountsLayout::Blocked] {
+        let good = demo_snapshot(layout);
+        let info = snapshot::read_info(&good[..]).unwrap();
+        // Flip one byte inside the section table.
+        let mut bad = good.clone();
+        bad[snapshot::SECTION_ALIGN + 9] ^= 1;
+        assert!(Engine::load_snapshot(&bad[..]).is_err());
+        // Flip one byte inside every payload section.
+        for section in &info.sections {
+            let mut bad = good.clone();
+            let mid = (section.offset + section.len / 2) as usize;
+            bad[mid] ^= 1;
+            assert!(
+                matches!(
+                    Engine::load_snapshot(&bad[..]),
+                    Err(Error::Snapshot { ref details }) if details.contains("checksum")
+                ),
+                "{layout:?}: payload flip in section {} must be rejected",
+                section.id.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn rejects_truncation_at_every_boundary() {
+    let good = demo_snapshot(CountsLayout::Blocked);
+    // A sweep of truncation points: nothing between 0 and full-1 loads.
+    for cut in (0..good.len()).step_by(97).chain([good.len() - 1]) {
+        assert!(
+            Engine::load_snapshot(&good[..cut]).is_err(),
+            "truncation at {cut} of {} must be rejected",
+            good.len()
+        );
+    }
+    assert!(Engine::load_snapshot(&good[..]).is_ok());
+}
+
+#[test]
+fn info_matches_engine_geometry() {
+    let mut rng = StdRng::seed_from_u64(0x14F0);
+    let seq = random_sequence(&mut rng, 4, 300);
+    let engine =
+        Engine::with_layout(&seq, Model::uniform(4).unwrap(), CountsLayout::Blocked).unwrap();
+    let buf = snapshot_bytes(&engine);
+    let info = snapshot::read_info(&buf[..]).unwrap();
+    assert_eq!(info.n, engine.n());
+    assert_eq!(info.k, engine.k());
+    assert_eq!(info.layout, CountsLayout::Blocked);
+    assert_eq!(info.index_bytes(), engine.index_bytes() as u64);
+    assert_eq!(info.total_bytes(), buf.len() as u64);
+}

@@ -1,0 +1,1016 @@
+//! Sharded corpus service: a directory of engine snapshots served from a
+//! budgeted cache of warm engines.
+//!
+//! [`sigstr_core::Engine`] answers many queries over **one** document;
+//! production serving needs *many documents* with a lifecycle: indexes
+//! persisted once ([`sigstr_core::snapshot`]), loaded lazily, kept warm
+//! under a memory budget, and queried concurrently. [`Corpus`] is that
+//! layer:
+//!
+//! * **Membership** lives in a versioned manifest
+//!   ([`manifest::MANIFEST_FILE`]) listing each document's snapshot file
+//!   and geometry; [`Corpus::add_document`] / [`Corpus::remove_document`]
+//!   update it atomically (temp file + rename).
+//! * **Materialization is lazy and budgeted**: a document's engine is
+//!   loaded from its snapshot on first use and retained in an LRU cache
+//!   bounded by the sum of resident [`Engine::index_bytes`]
+//!   ([`Corpus::with_budget`]); the least-recently-used engines are
+//!   evicted when a load would exceed the budget. Engines are handed out
+//!   as `Arc<Engine>`, so eviction never invalidates an in-flight query.
+//! * **Dispatch is concurrent**: per-document queries fan out over one
+//!   shared worker pool (the PR 2 [`Batch`] driver, generalized to borrow
+//!   cached engines), and repeated runs over the same corpus reuse the
+//!   warm engines instead of rebuilding one per input per run.
+//! * **Corpus-wide answers** merge per-document results deterministically:
+//!   [`Corpus::top_t_merged`] is bit-identical to mining each document
+//!   independently and merging by score (ties broken by document index,
+//!   then by each document's canonical item order);
+//!   [`Corpus::above_threshold_merged`] concatenates per-document
+//!   canonical threshold sets in manifest order.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use sigstr_core::{CountsLayout, Model, Query, Sequence};
+//! use sigstr_corpus::Corpus;
+//!
+//! let mut corpus = Corpus::create("corpus-dir").unwrap();
+//! let seq = Sequence::from_symbols(vec![0, 1, 1, 1, 0, 1], 2).unwrap();
+//! corpus
+//!     .add_document("doc-a", &seq, Model::uniform(2).unwrap(), CountsLayout::Auto)
+//!     .unwrap();
+//! let answers = corpus.query_all(&Query::mss());
+//! let merged = corpus.top_t_merged(3).unwrap();
+//! assert_eq!(answers.len(), 1);
+//! assert!(merged.len() <= 3);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod manifest;
+
+use std::collections::HashMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use sigstr_core::engine::{Answer, Batch, Query};
+use sigstr_core::{CountsLayout, Engine, Model, Scored, Sequence};
+
+pub use manifest::{DocumentEntry, MANIFEST_FILE};
+
+/// Default cache budget: resident count-index bytes across warm engines
+/// (256 MiB — a few large documents or hundreds of small ones).
+pub const DEFAULT_BUDGET_BYTES: usize = 256 << 20;
+
+/// Concurrent snapshot loads during a batch cold start (bounded — loads
+/// are I/O plus checksum work, and past a handful they contend on
+/// memory bandwidth rather than overlapping).
+const MAX_CONCURRENT_LOADS: usize = 8;
+
+// ---------------------------------------------------------------------------
+// Errors.
+// ---------------------------------------------------------------------------
+
+/// Errors of the corpus layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CorpusError {
+    /// An underlying engine/snapshot error.
+    Core(sigstr_core::Error),
+    /// A filesystem operation failed.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The underlying error message.
+        details: String,
+    },
+    /// The manifest is malformed.
+    Manifest {
+        /// What failed to parse.
+        details: String,
+    },
+    /// A document name is not in the corpus.
+    UnknownDocument {
+        /// The offending name.
+        name: String,
+    },
+    /// A document with this name already exists.
+    DuplicateDocument {
+        /// The offending name.
+        name: String,
+    },
+    /// A document name violates the naming rules.
+    InvalidName {
+        /// The offending name.
+        name: String,
+        /// The rules it violates.
+        details: &'static str,
+    },
+}
+
+impl fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CorpusError::Core(e) => write!(f, "{e}"),
+            CorpusError::Io { path, details } => write!(f, "{path}: {details}"),
+            CorpusError::Manifest { details } => write!(f, "invalid manifest: {details}"),
+            CorpusError::UnknownDocument { name } => {
+                write!(f, "no document named `{name}` in the corpus")
+            }
+            CorpusError::DuplicateDocument { name } => {
+                write!(f, "document `{name}` already exists in the corpus")
+            }
+            CorpusError::InvalidName { name, details } => {
+                write!(f, "invalid document name `{name}`: {details}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CorpusError {}
+
+impl From<sigstr_core::Error> for CorpusError {
+    fn from(e: sigstr_core::Error) -> Self {
+        CorpusError::Core(e)
+    }
+}
+
+/// Convenience alias for corpus operations.
+pub type Result<T> = std::result::Result<T, CorpusError>;
+
+fn io_error(path: &Path) -> impl FnOnce(std::io::Error) -> CorpusError {
+    let path = path.display().to_string();
+    move |e| CorpusError::Io {
+        path,
+        details: e.to_string(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The warm-engine cache.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct CachedEngine {
+    engine: Arc<Engine>,
+    bytes: usize,
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct EngineCache {
+    map: HashMap<String, CachedEngine>,
+    resident_bytes: usize,
+    tick: u64,
+    hits: u64,
+    loads: u64,
+    evictions: u64,
+}
+
+impl EngineCache {
+    fn touch(&mut self, name: &str) -> Option<Arc<Engine>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(name).map(|cached| {
+            cached.last_used = tick;
+            self.hits += 1;
+            Arc::clone(&cached.engine)
+        })
+    }
+
+    /// Insert a freshly loaded engine, evicting least-recently-used
+    /// entries until the budget holds. A single engine larger than the
+    /// whole budget still resides (alone) — the budget bounds *retention*,
+    /// it never refuses service.
+    fn insert(&mut self, name: String, engine: Arc<Engine>, budget: usize) {
+        self.tick += 1;
+        self.loads += 1;
+        let bytes = engine.index_bytes();
+        while self.resident_bytes + bytes > budget && !self.map.is_empty() {
+            let victim = self
+                .map
+                .iter()
+                .min_by_key(|(_, c)| c.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty map has a minimum");
+            self.remove(&victim);
+            self.evictions += 1;
+        }
+        self.resident_bytes += bytes;
+        self.map.insert(
+            name,
+            CachedEngine {
+                engine,
+                bytes,
+                last_used: self.tick,
+            },
+        );
+    }
+
+    fn remove(&mut self, name: &str) {
+        if let Some(cached) = self.map.remove(name) {
+            self.resident_bytes -= cached.bytes;
+        }
+    }
+}
+
+/// Cache observability counters (see [`Corpus::cache_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Requests served from a warm engine.
+    pub hits: u64,
+    /// Snapshot loads (cold materializations).
+    pub loads: u64,
+    /// Engines evicted to stay under the byte budget.
+    pub evictions: u64,
+    /// Engines currently resident.
+    pub resident: usize,
+    /// Resident count-index bytes.
+    pub resident_bytes: usize,
+}
+
+// ---------------------------------------------------------------------------
+// Corpus-wide answers.
+// ---------------------------------------------------------------------------
+
+/// One merged corpus-wide result item: which document it came from plus
+/// the scored substring (positions are document-local).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DocHit {
+    /// Index of the document in [`Corpus::entries`] order.
+    pub doc: usize,
+    /// The document's name.
+    pub name: String,
+    /// The scored substring within that document.
+    pub item: Scored,
+}
+
+/// Merge per-document ranked items into the canonical corpus-wide order:
+/// score descending (total order on the `f64` bits), ties by document
+/// index ascending, then by the item's rank within its document. This is
+/// the explicit merge the corpus-level answers are defined against — a
+/// brute-force per-document run piped through this function is
+/// bit-identical to [`Corpus::top_t_merged`].
+pub fn merge_ranked(per_doc: &[(usize, &str, &[Scored])], limit: usize) -> Vec<DocHit> {
+    let mut hits: Vec<DocHit> = per_doc
+        .iter()
+        .flat_map(|(doc, name, items)| {
+            items.iter().map(move |&item| DocHit {
+                doc: *doc,
+                name: (*name).to_string(),
+                item,
+            })
+        })
+        .collect();
+    hits.sort_by(|a, b| {
+        b.item
+            .chi_square
+            .total_cmp(&a.item.chi_square)
+            .then_with(|| a.doc.cmp(&b.doc))
+    });
+    hits.truncate(limit);
+    hits
+}
+
+// ---------------------------------------------------------------------------
+// The corpus.
+// ---------------------------------------------------------------------------
+
+/// A directory of document snapshots served from a budgeted warm-engine
+/// cache. See the [module docs](self) for the full story.
+#[derive(Debug)]
+pub struct Corpus {
+    dir: PathBuf,
+    entries: Vec<DocumentEntry>,
+    budget: usize,
+    threads: usize,
+    cache: Mutex<EngineCache>,
+    batch: OnceLock<Batch>,
+}
+
+impl Corpus {
+    /// Create a new corpus directory (made if absent) with an empty
+    /// manifest. Fails if a manifest already exists there.
+    pub fn create<P: AsRef<Path>>(dir: P) -> Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir).map_err(io_error(&dir))?;
+        let path = manifest::manifest_path(&dir);
+        if path.exists() {
+            return Err(CorpusError::Manifest {
+                details: format!("{} already exists", path.display()),
+            });
+        }
+        manifest::write(&dir, &[])?;
+        Ok(Self::from_parts(dir, Vec::new()))
+    }
+
+    /// Open an existing corpus directory (its manifest must exist).
+    pub fn open<P: AsRef<Path>>(dir: P) -> Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        let entries = manifest::read(&dir)?;
+        Ok(Self::from_parts(dir, entries))
+    }
+
+    /// Open the corpus at `dir`, creating it when no manifest exists yet.
+    pub fn open_or_create<P: AsRef<Path>>(dir: P) -> Result<Self> {
+        let path = manifest::manifest_path(dir.as_ref());
+        if path.exists() {
+            Self::open(dir)
+        } else {
+            Self::create(dir)
+        }
+    }
+
+    fn from_parts(dir: PathBuf, entries: Vec<DocumentEntry>) -> Self {
+        Self {
+            dir,
+            entries,
+            budget: DEFAULT_BUDGET_BYTES,
+            threads: 0,
+            cache: Mutex::new(EngineCache::default()),
+            batch: OnceLock::new(),
+        }
+    }
+
+    /// Set the warm-engine cache budget (resident count-index bytes).
+    pub fn with_budget(mut self, bytes: usize) -> Self {
+        self.set_budget(bytes);
+        self
+    }
+
+    /// Set the worker count used for concurrent dispatch (`0` = all
+    /// cores). Takes effect before the first concurrent query spawns the
+    /// shared pool.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Change the cache budget; over-budget engines are evicted on the
+    /// next load, not eagerly.
+    pub fn set_budget(&mut self, bytes: usize) {
+        self.budget = bytes;
+    }
+
+    /// The corpus directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The warm-engine cache budget in bytes.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Number of documents in the corpus.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the corpus holds no documents.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The manifest entries, in corpus (document-index) order.
+    pub fn entries(&self) -> &[DocumentEntry] {
+        &self.entries
+    }
+
+    /// The document index of `name`, if present.
+    pub fn position(&self, name: &str) -> Option<usize> {
+        self.entries.iter().position(|e| e.name == name)
+    }
+
+    /// Cache observability counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        let cache = self.cache.lock().expect("corpus cache poisoned");
+        CacheStats {
+            hits: cache.hits,
+            loads: cache.loads,
+            evictions: cache.evictions,
+            resident: cache.map.len(),
+            resident_bytes: cache.resident_bytes,
+        }
+    }
+
+    /// Resident count-index bytes across warm engines.
+    pub fn resident_bytes(&self) -> usize {
+        self.cache
+            .lock()
+            .expect("corpus cache poisoned")
+            .resident_bytes
+    }
+
+    fn shared_batch(&self) -> &Batch {
+        self.batch.get_or_init(|| Batch::new(self.threads))
+    }
+
+    fn snapshot_path(&self, entry: &DocumentEntry) -> PathBuf {
+        self.dir.join(&entry.file)
+    }
+
+    // -- Membership --------------------------------------------------------
+
+    /// Index `seq` under `model` in `layout`, write the snapshot into the
+    /// corpus directory, and register it in the manifest. The freshly
+    /// built engine is retained warm (subject to the budget), so an
+    /// immediately following query pays no load.
+    pub fn add_document(
+        &mut self,
+        name: &str,
+        seq: &Sequence,
+        model: Model,
+        layout: CountsLayout,
+    ) -> Result<()> {
+        manifest::validate_name(name)?;
+        if self.position(name).is_some() {
+            return Err(CorpusError::DuplicateDocument {
+                name: name.to_string(),
+            });
+        }
+        let engine = Engine::with_layout(seq, model, layout)?;
+        self.install_document(name, engine)
+    }
+
+    /// Register an already-built engine as a document (snapshot written,
+    /// manifest updated, engine retained warm). The corpus-facing sibling
+    /// of [`Engine::write_snapshot`] for callers that built the engine
+    /// themselves (e.g. from a frozen stream).
+    pub fn add_engine(&mut self, name: &str, engine: Engine) -> Result<()> {
+        manifest::validate_name(name)?;
+        if self.position(name).is_some() {
+            return Err(CorpusError::DuplicateDocument {
+                name: name.to_string(),
+            });
+        }
+        self.install_document(name, engine)
+    }
+
+    fn install_document(&mut self, name: &str, engine: Engine) -> Result<()> {
+        let file = format!("{name}.snap");
+        let path = self.dir.join(&file);
+        let tmp = self.dir.join(format!("{file}.tmp"));
+        engine.write_snapshot_path(&tmp)?;
+        std::fs::rename(&tmp, &path).map_err(io_error(&path))?;
+        self.entries.push(DocumentEntry {
+            name: name.to_string(),
+            file,
+            k: engine.k(),
+            n: engine.n(),
+            layout: engine.layout(),
+        });
+        if let Err(e) = manifest::write(&self.dir, &self.entries) {
+            // Roll back membership so the in-memory view matches disk.
+            self.entries.pop();
+            std::fs::remove_file(&path).ok();
+            return Err(e);
+        }
+        let budget = self.budget;
+        self.cache.lock().expect("corpus cache poisoned").insert(
+            name.to_string(),
+            Arc::new(engine),
+            budget,
+        );
+        Ok(())
+    }
+
+    /// Remove a document: drop it from the manifest (rewritten
+    /// atomically), evict any warm engine, and delete its snapshot file.
+    pub fn remove_document(&mut self, name: &str) -> Result<()> {
+        let index = self
+            .position(name)
+            .ok_or_else(|| CorpusError::UnknownDocument {
+                name: name.to_string(),
+            })?;
+        let entry = self.entries.remove(index);
+        if let Err(e) = manifest::write(&self.dir, &self.entries) {
+            self.entries.insert(index, entry);
+            return Err(e);
+        }
+        self.cache
+            .lock()
+            .expect("corpus cache poisoned")
+            .remove(name);
+        let path = self.snapshot_path(&entry);
+        match std::fs::remove_file(&path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(io_error(&path)(e)),
+        }
+    }
+
+    // -- Materialization ---------------------------------------------------
+
+    /// The warm engine for `name`, loading its snapshot on a cache miss
+    /// (evicting least-recently-used engines to stay under the budget).
+    /// The returned handle stays valid even if the engine is evicted
+    /// while the caller still holds it.
+    pub fn engine(&self, name: &str) -> Result<Arc<Engine>> {
+        let index = self
+            .position(name)
+            .ok_or_else(|| CorpusError::UnknownDocument {
+                name: name.to_string(),
+            })?;
+        self.engine_at(index)
+    }
+
+    /// [`Corpus::engine`] by document index.
+    pub fn engine_at(&self, index: usize) -> Result<Arc<Engine>> {
+        let entry = self
+            .entries
+            .get(index)
+            .ok_or_else(|| CorpusError::UnknownDocument {
+                name: format!("#{index}"),
+            })?;
+        // Fast path under the lock; the disk load below runs outside it
+        // so warm hits on other documents never stall behind a cold
+        // multi-second load. Two racing cold callers may both load; the
+        // re-check on insert keeps one and drops the duplicate.
+        {
+            let mut cache = self.cache.lock().expect("corpus cache poisoned");
+            if let Some(engine) = cache.touch(&entry.name) {
+                return Ok(engine);
+            }
+        }
+        let path = self.snapshot_path(entry);
+        let engine = Engine::load_snapshot_path(&path)?;
+        if engine.n() != entry.n || engine.k() != entry.k || engine.layout() != entry.layout {
+            return Err(CorpusError::Manifest {
+                details: format!(
+                    "snapshot {} geometry (n = {}, k = {}, {:?}) disagrees with the manifest \
+                     (n = {}, k = {}, {:?})",
+                    path.display(),
+                    engine.n(),
+                    engine.k(),
+                    engine.layout(),
+                    entry.n,
+                    entry.k,
+                    entry.layout
+                ),
+            });
+        }
+        let engine = Arc::new(engine);
+        let mut cache = self.cache.lock().expect("corpus cache poisoned");
+        if let Some(existing) = cache.touch(&entry.name) {
+            // Another caller finished loading first — serve its engine
+            // and let this duplicate drop.
+            return Ok(existing);
+        }
+        cache.insert(entry.name.clone(), Arc::clone(&engine), self.budget);
+        Ok(engine)
+    }
+
+    // -- Queries -----------------------------------------------------------
+
+    /// Answer one query against one named document.
+    pub fn query(&self, name: &str, query: &Query) -> Result<Answer> {
+        let engine = self.engine(name)?;
+        engine.answer(query).map_err(CorpusError::Core)
+    }
+
+    /// Answer `query` against every document, dispatched concurrently
+    /// over the shared worker pool. Results come back in document order;
+    /// each slot carries that document's answer or its own error (a
+    /// failed snapshot load or a per-document query rejection never takes
+    /// down the rest of the corpus).
+    pub fn query_all(&self, query: &Query) -> Vec<Result<Answer>> {
+        self.run_batch_indexed(
+            &(0..self.entries.len())
+                .map(|doc| (doc, *query))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// The PR 2 batch driver wired through the corpus: answer every
+    /// `(document-index, query)` job over cached engines and the shared
+    /// pool. Answers come back in job order. Repeated batch runs over the
+    /// same corpus reuse warm engines instead of rebuilding one per
+    /// input per run.
+    pub fn run_batch_indexed(&self, jobs: &[(usize, Query)]) -> Vec<Result<Answer>> {
+        if jobs.is_empty() {
+            return Vec::new();
+        }
+        // Materialize each referenced document once. Cold loads run
+        // concurrently (engine_at loads outside the cache lock, so a
+        // batch cold start pays max-of-loads, not sum-of-loads).
+        let mut referenced: Vec<usize> = jobs
+            .iter()
+            .map(|&(doc, _)| doc)
+            .filter(|&doc| doc < self.entries.len())
+            .collect();
+        referenced.sort_unstable();
+        referenced.dedup();
+        let mut engines: Vec<Option<Arc<Engine>>> = vec![None; self.entries.len()];
+        let mut load_errors: HashMap<usize, CorpusError> = HashMap::new();
+        let loaded: Vec<(usize, Result<Arc<Engine>>)> = if referenced.len() <= 1 {
+            referenced
+                .iter()
+                .map(|&doc| (doc, self.engine_at(doc)))
+                .collect()
+        } else {
+            let cursor = std::sync::atomic::AtomicUsize::new(0);
+            let collected = Mutex::new(Vec::with_capacity(referenced.len()));
+            let workers = referenced.len().min(MAX_CONCURRENT_LOADS);
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        let Some(&doc) = referenced.get(i) else {
+                            break;
+                        };
+                        let result = self.engine_at(doc);
+                        collected
+                            .lock()
+                            .expect("loader results")
+                            .push((doc, result));
+                    });
+                }
+            });
+            collected.into_inner().expect("loader results")
+        };
+        for (doc, result) in loaded {
+            match result {
+                Ok(engine) => engines[doc] = Some(engine),
+                Err(e) => {
+                    load_errors.insert(doc, e);
+                }
+            }
+        }
+        // Compact to the loaded engines and remap job indices onto them.
+        let mut dense: Vec<Arc<Engine>> = Vec::new();
+        let mut dense_index: Vec<Option<usize>> = vec![None; self.entries.len()];
+        for (doc, slot) in engines.into_iter().enumerate() {
+            if let Some(engine) = slot {
+                dense_index[doc] = Some(dense.len());
+                dense.push(engine);
+            }
+        }
+        let mut dispatch: Vec<(usize, Query)> = Vec::with_capacity(jobs.len());
+        let mut slot_of_job: Vec<Option<usize>> = Vec::with_capacity(jobs.len());
+        for &(doc, query) in jobs {
+            match dense_index.get(doc).copied().flatten() {
+                Some(dense_doc) => {
+                    slot_of_job.push(Some(dispatch.len()));
+                    dispatch.push((dense_doc, query));
+                }
+                None => slot_of_job.push(None),
+            }
+        }
+        let mut answers = self
+            .shared_batch()
+            .run_on(&dense, &dispatch)
+            .into_iter()
+            .map(Some)
+            .collect::<Vec<_>>();
+        jobs.iter()
+            .zip(slot_of_job)
+            .map(|(&(doc, _), slot)| match slot {
+                Some(s) => answers[s]
+                    .take()
+                    .expect("each dispatch slot consumed once")
+                    .map_err(CorpusError::Core),
+                None => Err(match load_errors.get(&doc) {
+                    Some(e) => e.clone(),
+                    None => CorpusError::UnknownDocument {
+                        name: format!("#{doc}"),
+                    },
+                }),
+            })
+            .collect()
+    }
+
+    /// [`Corpus::run_batch_indexed`] with documents addressed by name.
+    pub fn run_batch(&self, jobs: &[(&str, Query)]) -> Vec<Result<Answer>> {
+        let indexed: Vec<(usize, Query)> = jobs
+            .iter()
+            .map(|(name, query)| (self.position(name).unwrap_or(usize::MAX), *query))
+            .collect();
+        self.run_batch_indexed(&indexed)
+            .into_iter()
+            .zip(jobs)
+            .map(|(result, (name, _))| {
+                result.map_err(|e| match e {
+                    CorpusError::UnknownDocument { .. } => CorpusError::UnknownDocument {
+                        name: name.to_string(),
+                    },
+                    other => other,
+                })
+            })
+            .collect()
+    }
+
+    /// The corpus-wide top-t: every document's `top_t(t)` mined
+    /// concurrently, merged by [`merge_ranked`] — **bit-identical** to
+    /// brute-force per-document mining plus that explicit merge. Fails if
+    /// any document fails (a partial merge would silently misrank).
+    pub fn top_t_merged(&self, t: usize) -> Result<Vec<DocHit>> {
+        let answers = self.query_all(&Query::top_t(t));
+        let mut per_doc: Vec<(usize, &str, Vec<Scored>)> = Vec::with_capacity(answers.len());
+        for (doc, answer) in answers.into_iter().enumerate() {
+            match answer? {
+                Answer::Top(r) => per_doc.push((doc, self.entries[doc].name.as_str(), r.items)),
+                other => unreachable!("top_t query produced {other:?}"),
+            }
+        }
+        let borrowed: Vec<(usize, &str, &[Scored])> = per_doc
+            .iter()
+            .map(|(doc, name, items)| (*doc, *name, items.as_slice()))
+            .collect();
+        Ok(merge_ranked(&borrowed, t))
+    }
+
+    /// The corpus-wide threshold set: every document's substrings with
+    /// `X² > alpha`, mined concurrently, concatenated in document order
+    /// (each document's items in its canonical order).
+    pub fn above_threshold_merged(&self, alpha: f64) -> Result<Vec<DocHit>> {
+        let answers = self.query_all(&Query::above_threshold(alpha));
+        let mut hits = Vec::new();
+        for (doc, answer) in answers.into_iter().enumerate() {
+            match answer? {
+                Answer::Threshold(r) => hits.extend(r.items.into_iter().map(|item| DocHit {
+                    doc,
+                    name: self.entries[doc].name.clone(),
+                    item,
+                })),
+                other => unreachable!("threshold query produced {other:?}"),
+            }
+        }
+        Ok(hits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "sigstr-corpus-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn doc(seed: u64, n: usize, k: usize) -> Sequence {
+        let mut x = seed | 1;
+        let symbols: Vec<u8> = (0..n)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x % k as u64) as u8
+            })
+            .collect();
+        Sequence::from_symbols(symbols, k).unwrap()
+    }
+
+    #[test]
+    fn create_open_add_remove() {
+        let dir = temp_dir("lifecycle");
+        let mut corpus = Corpus::create(&dir).unwrap();
+        assert!(corpus.is_empty());
+        // A second create refuses to clobber.
+        assert!(Corpus::create(&dir).is_err());
+
+        let model = Model::uniform(3).unwrap();
+        corpus
+            .add_document("a", &doc(1, 200, 3), model.clone(), CountsLayout::Flat)
+            .unwrap();
+        corpus
+            .add_document("b", &doc(2, 300, 3), model.clone(), CountsLayout::Blocked)
+            .unwrap();
+        assert_eq!(corpus.len(), 2);
+        assert!(matches!(
+            corpus.add_document("a", &doc(3, 50, 3), model.clone(), CountsLayout::Flat),
+            Err(CorpusError::DuplicateDocument { .. })
+        ));
+        assert!(matches!(
+            corpus.add_document("bad/name", &doc(3, 50, 3), model, CountsLayout::Flat),
+            Err(CorpusError::InvalidName { .. })
+        ));
+
+        // Reopen from disk: membership and geometry persist.
+        let reopened = Corpus::open(&dir).unwrap();
+        assert_eq!(reopened.entries(), corpus.entries());
+        assert_eq!(reopened.entries()[0].layout, CountsLayout::Flat);
+        assert_eq!(reopened.entries()[1].layout, CountsLayout::Blocked);
+        let engine = reopened.engine("b").unwrap();
+        assert_eq!(engine.n(), 300);
+
+        corpus.remove_document("a").unwrap();
+        assert_eq!(corpus.len(), 1);
+        assert!(!dir.join("a.snap").exists());
+        assert!(matches!(
+            corpus.remove_document("a"),
+            Err(CorpusError::UnknownDocument { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lazy_load_and_lru_eviction() {
+        let dir = temp_dir("lru");
+        let mut corpus = Corpus::create(&dir).unwrap();
+        let model = Model::uniform(2).unwrap();
+        for (i, name) in ["x", "y", "z"].iter().enumerate() {
+            corpus
+                .add_document(
+                    name,
+                    &doc(10 + i as u64, 2000, 2),
+                    model.clone(),
+                    CountsLayout::Flat,
+                )
+                .unwrap();
+        }
+        let one_engine_bytes = corpus.engine("x").unwrap().index_bytes();
+        // Budget for two engines: loading all three must evict one.
+        let mut corpus = Corpus::open(&dir)
+            .unwrap()
+            .with_budget(2 * one_engine_bytes + 16);
+        for name in ["x", "y", "z"] {
+            corpus.engine(name).unwrap();
+        }
+        let stats = corpus.cache_stats();
+        assert_eq!(stats.loads, 3);
+        assert_eq!(stats.resident, 2);
+        assert_eq!(stats.evictions, 1);
+        assert!(stats.resident_bytes <= corpus.budget());
+        // `x` was the least recently used → evicted; `z` is warm.
+        corpus.engine("z").unwrap();
+        assert_eq!(corpus.cache_stats().hits, 1);
+        corpus.engine("x").unwrap();
+        assert_eq!(corpus.cache_stats().loads, 4);
+        // An evicted handle handed out earlier keeps answering.
+        corpus.set_budget(1);
+        let handle = corpus.engine("y").unwrap();
+        corpus.engine("z").unwrap(); // evicts everything else
+        assert!(handle.mss().is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn queries_match_direct_engines() {
+        let dir = temp_dir("query");
+        let mut corpus = Corpus::create(&dir).unwrap();
+        let model = Model::uniform(2).unwrap();
+        let docs = [doc(21, 400, 2), doc(22, 500, 2)];
+        corpus
+            .add_document("d0", &docs[0], model.clone(), CountsLayout::Flat)
+            .unwrap();
+        corpus
+            .add_document("d1", &docs[1], model.clone(), CountsLayout::Blocked)
+            .unwrap();
+
+        let answers = corpus.query_all(&Query::mss());
+        assert_eq!(answers.len(), 2);
+        for (d, answer) in docs.iter().zip(&answers) {
+            let direct = Engine::new(d, model.clone()).unwrap().mss().unwrap();
+            match answer.as_ref().unwrap() {
+                Answer::Best(r) => assert_eq!(*r, direct),
+                other => panic!("unexpected answer {other:?}"),
+            }
+        }
+
+        // Named single-document query.
+        let one = corpus.query("d1", &Query::top_t(3)).unwrap();
+        assert_eq!(one.items().len(), 3);
+        assert!(matches!(
+            corpus.query("nope", &Query::mss()),
+            Err(CorpusError::UnknownDocument { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn batch_jobs_reuse_cached_engines() {
+        let dir = temp_dir("batch");
+        let mut corpus = Corpus::create(&dir).unwrap();
+        let model = Model::uniform(2).unwrap();
+        corpus
+            .add_document("a", &doc(31, 300, 2), model.clone(), CountsLayout::Flat)
+            .unwrap();
+        corpus
+            .add_document("b", &doc(32, 300, 2), model, CountsLayout::Flat)
+            .unwrap();
+        let jobs = [
+            ("a", Query::mss()),
+            ("b", Query::top_t(2)),
+            ("a", Query::mss_max_length(5)),
+            ("missing", Query::mss()),
+        ];
+        let loads_before = corpus.cache_stats().loads;
+        let answers = corpus.run_batch(&jobs);
+        assert_eq!(answers.len(), 4);
+        assert!(answers[0].is_ok() && answers[1].is_ok() && answers[2].is_ok());
+        assert!(matches!(
+            answers[3].as_ref().unwrap_err(),
+            CorpusError::UnknownDocument { name } if name == "missing"
+        ));
+        // Both documents were added warm: repeated batches never reload.
+        let answers2 = corpus.run_batch(&jobs[..3]);
+        assert_eq!(corpus.cache_stats().loads, loads_before);
+        for (a, b) in answers2.iter().zip(&answers) {
+            assert_eq!(a.as_ref().unwrap(), b.as_ref().unwrap());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn merged_top_t_is_brute_force_merge() {
+        let dir = temp_dir("merge");
+        let mut corpus = Corpus::create(&dir).unwrap();
+        let model = Model::uniform(2).unwrap();
+        let docs = [doc(41, 350, 2), doc(42, 250, 2), doc(43, 450, 2)];
+        for (i, d) in docs.iter().enumerate() {
+            corpus
+                .add_document(
+                    &format!("doc{i}"),
+                    d,
+                    model.clone(),
+                    if i % 2 == 0 {
+                        CountsLayout::Flat
+                    } else {
+                        CountsLayout::Blocked
+                    },
+                )
+                .unwrap();
+        }
+        let t = 5;
+        let merged = corpus.top_t_merged(t).unwrap();
+        assert_eq!(merged.len(), t);
+
+        // Brute force: independent engines, explicit merge.
+        let per_doc: Vec<Vec<Scored>> = docs
+            .iter()
+            .map(|d| {
+                Engine::new(d, model.clone())
+                    .unwrap()
+                    .top_t(t)
+                    .unwrap()
+                    .items
+            })
+            .collect();
+        let borrowed: Vec<(usize, &str, &[Scored])> = per_doc
+            .iter()
+            .enumerate()
+            .map(|(i, items)| (i, "", items.as_slice()))
+            .collect();
+        let brute = merge_ranked(&borrowed, t);
+        for (a, b) in merged.iter().zip(&brute) {
+            assert_eq!(a.doc, b.doc);
+            assert_eq!(a.item.start, b.item.start);
+            assert_eq!(a.item.end, b.item.end);
+            assert_eq!(a.item.chi_square.to_bits(), b.item.chi_square.to_bits());
+        }
+
+        // Threshold merge: per-document canonical sets in doc order.
+        let alpha = 4.0;
+        let merged = corpus.above_threshold_merged(alpha).unwrap();
+        let mut expected = Vec::new();
+        for (i, d) in docs.iter().enumerate() {
+            let items = Engine::new(d, model.clone())
+                .unwrap()
+                .above_threshold(alpha)
+                .unwrap()
+                .items;
+            expected.extend(items.into_iter().map(|item| (i, item)));
+        }
+        assert_eq!(merged.len(), expected.len());
+        for (hit, (doc, item)) in merged.iter().zip(&expected) {
+            assert_eq!(hit.doc, *doc);
+            assert_eq!(hit.item.chi_square.to_bits(), item.chi_square.to_bits());
+            assert_eq!((hit.item.start, hit.item.end), (item.start, item.end));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn per_document_errors_stay_in_their_slot() {
+        let dir = temp_dir("errors");
+        let mut corpus = Corpus::create(&dir).unwrap();
+        let model = Model::uniform(2).unwrap();
+        corpus
+            .add_document("short", &doc(51, 10, 2), model.clone(), CountsLayout::Flat)
+            .unwrap();
+        corpus
+            .add_document("long", &doc(52, 100, 2), model, CountsLayout::Flat)
+            .unwrap();
+        // minlen:50 is impossible for the 10-symbol document only.
+        let answers = corpus.query_all(&Query::mss_min_length(50));
+        assert!(answers[0].is_err());
+        assert!(answers[1].is_ok());
+        // A missing snapshot file errors in its slot; others still answer.
+        std::fs::remove_file(dir.join("short.snap")).unwrap();
+        let corpus = Corpus::open(&dir).unwrap();
+        let answers = corpus.query_all(&Query::mss());
+        assert!(matches!(answers[0], Err(CorpusError::Core(_))));
+        assert!(answers[1].is_ok());
+        // But a merged answer refuses to silently drop a document.
+        assert!(corpus.top_t_merged(3).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

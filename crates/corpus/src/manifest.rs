@@ -1,0 +1,272 @@
+//! The corpus manifest: a versioned, line-oriented text file listing
+//! every document snapshot in the corpus directory.
+//!
+//! Format (tab-separated, one document per line, `#` comments ignored):
+//!
+//! ```text
+//! sigstr-corpus v1
+//! # name  file            k  n        layout
+//! chr1    chr1.snap       4  1000000  blocked
+//! ```
+//!
+//! The manifest is the corpus's source of truth for membership and query
+//! planning (`n`/`k`/layout are needed to validate queries and size the
+//! cache before any snapshot is opened); the per-document geometry is
+//! re-validated against the snapshot header when the document is first
+//! materialized. Rewrites are atomic: the new manifest is written to a
+//! temporary sibling and renamed over the old one, so a crash mid-update
+//! never leaves a half-written membership list.
+
+use std::path::{Path, PathBuf};
+
+use sigstr_core::CountsLayout;
+
+use crate::{CorpusError, Result};
+
+/// The manifest's file name inside a corpus directory.
+pub const MANIFEST_FILE: &str = "corpus.manifest";
+
+/// First line of every version-1 manifest.
+pub const MANIFEST_HEADER: &str = "sigstr-corpus v1";
+
+/// One document of the corpus, as recorded in the manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DocumentEntry {
+    /// The document's unique name (see [`validate_name`]).
+    pub name: String,
+    /// Snapshot file name, relative to the corpus directory.
+    pub file: String,
+    /// Alphabet size of the stored sequence.
+    pub k: usize,
+    /// Length of the stored sequence.
+    pub n: usize,
+    /// Count-index layout stored in the snapshot.
+    pub layout: CountsLayout,
+}
+
+/// Manifest path inside `dir`.
+pub fn manifest_path(dir: &Path) -> PathBuf {
+    dir.join(MANIFEST_FILE)
+}
+
+/// Manifest layouts are concrete (`flat`/`blocked`) — `auto` is a build
+/// option, not a stored layout.
+fn parse_layout(s: &str) -> Option<CountsLayout> {
+    match CountsLayout::parse(s) {
+        Some(CountsLayout::Auto) | None => None,
+        concrete => concrete,
+    }
+}
+
+/// Validate a document name: 1–128 characters from `[A-Za-z0-9._-]`, not
+/// starting with a dot or dash (no hidden files, no flag lookalikes, no
+/// path traversal — the name becomes the snapshot file stem).
+pub fn validate_name(name: &str) -> Result<()> {
+    let ok_len = !name.is_empty() && name.len() <= 128;
+    let ok_chars = name
+        .bytes()
+        .all(|b| b.is_ascii_alphanumeric() || b == b'.' || b == b'_' || b == b'-');
+    let ok_start = !name.starts_with(['.', '-']);
+    if ok_len && ok_chars && ok_start {
+        Ok(())
+    } else {
+        Err(CorpusError::InvalidName {
+            name: name.to_string(),
+            details: "names are 1-128 chars of [A-Za-z0-9._-], not starting with `.` or `-`",
+        })
+    }
+}
+
+/// Validate a manifest snapshot-file field: same character rules as a
+/// document name (in particular, no path separators), and never the
+/// manifest itself or its rewrite temporary. The corpus joins this
+/// field onto its directory and `remove_document` deletes it, so a
+/// tampered manifest must not be able to point reads or deletions
+/// outside the directory — or at the corpus's own metadata.
+fn validate_file(lineno: usize, file: &str) -> Result<()> {
+    let ok_len = !file.is_empty() && file.len() <= 140;
+    let ok_chars = file
+        .bytes()
+        .all(|b| b.is_ascii_alphanumeric() || b == b'.' || b == b'_' || b == b'-');
+    let ok_start = !file.starts_with(['.', '-']);
+    let ok_target = !file.starts_with(MANIFEST_FILE);
+    if ok_len && ok_chars && ok_start && ok_target {
+        Ok(())
+    } else {
+        Err(CorpusError::Manifest {
+            details: format!(
+                "line {lineno}: snapshot file `{file}` must be a plain file name \
+                 ([A-Za-z0-9._-], not starting with `.` or `-`, not the manifest)"
+            ),
+        })
+    }
+}
+
+/// Serialize entries into manifest text.
+pub fn render(entries: &[DocumentEntry]) -> String {
+    let mut out = String::with_capacity(64 + entries.len() * 48);
+    out.push_str(MANIFEST_HEADER);
+    out.push('\n');
+    for e in entries {
+        out.push_str(&format!(
+            "{}\t{}\t{}\t{}\t{}\n",
+            e.name,
+            e.file,
+            e.k,
+            e.n,
+            e.layout.name()
+        ));
+    }
+    out
+}
+
+/// Parse manifest text into entries, validating the header, field shapes,
+/// and name uniqueness.
+pub fn parse(text: &str) -> Result<Vec<DocumentEntry>> {
+    let mut lines = text.lines();
+    match lines.next() {
+        Some(MANIFEST_HEADER) => {}
+        Some(other) => {
+            return Err(CorpusError::Manifest {
+                details: format!("bad header line `{other}` (expected `{MANIFEST_HEADER}`)"),
+            })
+        }
+        None => {
+            return Err(CorpusError::Manifest {
+                details: "empty manifest".into(),
+            })
+        }
+    }
+    let mut entries = Vec::new();
+    for (lineno, line) in lines.enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        let err = |what: &str| CorpusError::Manifest {
+            details: format!("line {}: {what} in `{line}`", lineno + 2),
+        };
+        if fields.len() != 5 {
+            return Err(err(&format!("{} fields, expected 5", fields.len())));
+        }
+        validate_name(fields[0])?;
+        validate_file(lineno + 2, fields[1])?;
+        let k: usize = fields[2].parse().map_err(|_| err("bad alphabet size"))?;
+        let n: usize = fields[3].parse().map_err(|_| err("bad sequence length"))?;
+        let layout = parse_layout(fields[4]).ok_or_else(|| err("bad layout"))?;
+        if entries.iter().any(|e: &DocumentEntry| e.name == fields[0]) {
+            return Err(err("duplicate document name"));
+        }
+        // Two entries sharing one snapshot file would make
+        // `remove_document` on either silently destroy the other.
+        if entries.iter().any(|e: &DocumentEntry| e.file == fields[1]) {
+            return Err(err("duplicate snapshot file"));
+        }
+        entries.push(DocumentEntry {
+            name: fields[0].to_string(),
+            file: fields[1].to_string(),
+            k,
+            n,
+            layout,
+        });
+    }
+    Ok(entries)
+}
+
+/// Read and parse the manifest inside `dir`.
+pub fn read(dir: &Path) -> Result<Vec<DocumentEntry>> {
+    let path = manifest_path(dir);
+    let text = std::fs::read_to_string(&path).map_err(|e| CorpusError::Io {
+        path: path.display().to_string(),
+        details: e.to_string(),
+    })?;
+    parse(&text)
+}
+
+/// Atomically rewrite the manifest inside `dir` (temp file + rename).
+pub fn write(dir: &Path, entries: &[DocumentEntry]) -> Result<()> {
+    let path = manifest_path(dir);
+    let tmp = dir.join(format!("{MANIFEST_FILE}.tmp"));
+    let io = |p: &Path| {
+        let p = p.display().to_string();
+        move |e: std::io::Error| CorpusError::Io {
+            path: p,
+            details: e.to_string(),
+        }
+    };
+    std::fs::write(&tmp, render(entries)).map_err(io(&tmp))?;
+    std::fs::rename(&tmp, &path).map_err(io(&path))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(name: &str) -> DocumentEntry {
+        DocumentEntry {
+            name: name.to_string(),
+            file: format!("{name}.snap"),
+            k: 4,
+            n: 1000,
+            layout: CountsLayout::Blocked,
+        }
+    }
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let entries = vec![entry("alpha"), entry("beta-2.v1")];
+        let text = render(&entries);
+        assert!(text.starts_with(MANIFEST_HEADER));
+        assert_eq!(parse(&text).unwrap(), entries);
+        assert_eq!(parse(MANIFEST_HEADER).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(parse("").is_err());
+        assert!(parse("not-a-manifest\n").is_err());
+        assert!(parse(&format!("{MANIFEST_HEADER}\na\tb\tc\n")).is_err()); // 3 fields
+        assert!(parse(&format!("{MANIFEST_HEADER}\na\ta.snap\tx\t9\tflat\n")).is_err()); // bad k
+        assert!(parse(&format!("{MANIFEST_HEADER}\na\ta.snap\t4\t9\tweird\n")).is_err()); // bad layout
+        let dup = format!("{MANIFEST_HEADER}\na\ta.snap\t4\t9\tflat\na\ta.snap\t4\t9\tflat\n");
+        assert!(parse(&dup).is_err());
+        // `auto` is a build option, never a stored layout.
+        assert!(parse(&format!("{MANIFEST_HEADER}\na\ta.snap\t4\t9\tauto\n")).is_err());
+        // A tampered file field must not escape the corpus directory,
+        // alias the manifest, or alias another document's snapshot.
+        for bad in [
+            "../../etc/passwd",
+            "/abs/path.snap",
+            "a/b.snap",
+            ".hidden",
+            "-flag",
+            MANIFEST_FILE,
+            "corpus.manifest.tmp",
+        ] {
+            let text = format!("{MANIFEST_HEADER}\na\t{bad}\t4\t9\tflat\n");
+            assert!(parse(&text).is_err(), "file field `{bad}` must be rejected");
+        }
+        let shared = format!("{MANIFEST_HEADER}\na\ts.snap\t4\t9\tflat\nb\ts.snap\t4\t9\tflat\n");
+        assert!(
+            parse(&shared).is_err(),
+            "shared snapshot file must be rejected"
+        );
+        // Comments and blanks are fine.
+        let ok = format!("{MANIFEST_HEADER}\n# comment\n\na\ta.snap\t4\t9\tflat\n");
+        assert_eq!(parse(&ok).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn name_validation() {
+        assert!(validate_name("chr1").is_ok());
+        assert!(validate_name("a.b_c-d").is_ok());
+        assert!(validate_name("").is_err());
+        assert!(validate_name(".hidden").is_err());
+        assert!(validate_name("-flag").is_err());
+        assert!(validate_name("a/b").is_err());
+        assert!(validate_name("a b").is_err());
+        assert!(validate_name(&"x".repeat(200)).is_err());
+    }
+}

@@ -3,12 +3,98 @@
 //! Minimal, dependency-free parsers for the two inputs a user of this
 //! library actually has: a numeric series (one value per line, or one
 //! column of a delimited file) and a raw symbol string.
+//!
+//! Malformed or truncated input never panics: every failure mode is a
+//! typed [`ParseError`] variant carrying the line/column/byte position,
+//! which converts into [`sigstr_core::Error`] (and therefore surfaces
+//! through the CLI as a non-zero exit code plus a precise message).
+
+use std::fmt;
 
 use sigstr_core::{Error, Result, Sequence};
 
+/// A typed parse failure: what was malformed and exactly where.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    /// The input bytes are not valid UTF-8 (binary junk or a file
+    /// truncated mid-codepoint).
+    NotUtf8 {
+        /// Byte offset of the first invalid sequence.
+        offset: usize,
+    },
+    /// A line (or cell) that should hold a number doesn't, or holds a
+    /// non-finite one (`inf`/`nan`).
+    BadNumber {
+        /// 1-based line number.
+        line: usize,
+        /// The offending text.
+        text: String,
+    },
+    /// A delimited row is truncated: it has fewer cells than the
+    /// requested column needs.
+    MissingColumn {
+        /// 1-based line number.
+        line: usize,
+        /// The requested 0-based column.
+        column: usize,
+        /// How many cells the row actually has.
+        cells: usize,
+    },
+    /// Parsing succeeded but produced no data at all.
+    NoData {
+        /// What kind of value was expected.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::NotUtf8 { offset } => {
+                write!(
+                    f,
+                    "input is not valid UTF-8 (first invalid byte at offset {offset})"
+                )
+            }
+            ParseError::BadNumber { line, text } => {
+                write!(f, "line {line}: `{text}` is not a finite number")
+            }
+            ParseError::MissingColumn {
+                line,
+                column,
+                cells,
+            } => write!(
+                f,
+                "line {line}: row has {cells} cell(s), column {column} does not exist \
+                 (truncated row?)"
+            ),
+            ParseError::NoData { what } => write!(f, "input contains no {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<ParseError> for Error {
+    fn from(e: ParseError) -> Self {
+        Error::InvalidParameter {
+            what: "input",
+            details: e.to_string(),
+        }
+    }
+}
+
+/// Decode raw bytes as UTF-8 with a typed error.
+fn decode_utf8(raw: &[u8]) -> std::result::Result<&str, ParseError> {
+    std::str::from_utf8(raw).map_err(|e| ParseError::NotUtf8 {
+        offset: e.valid_up_to(),
+    })
+}
+
 /// Parse a numeric series: one value per line; blank lines and lines
-/// starting with `#` are skipped. Fails on the first non-numeric line.
-pub fn parse_series(text: &str) -> Result<Vec<f64>> {
+/// starting with `#` are skipped. Fails on the first non-numeric or
+/// non-finite line, and on input with no values at all.
+pub fn parse_series(text: &str) -> std::result::Result<Vec<f64>, ParseError> {
     let mut values = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
         let trimmed = line.trim();
@@ -18,42 +104,67 @@ pub fn parse_series(text: &str) -> Result<Vec<f64>> {
         match trimmed.parse::<f64>() {
             Ok(v) if v.is_finite() => values.push(v),
             _ => {
-                return Err(Error::InvalidParameter {
-                    what: "series",
-                    details: format!("line {}: `{trimmed}` is not a finite number", lineno + 1),
+                return Err(ParseError::BadNumber {
+                    line: lineno + 1,
+                    text: trimmed.to_string(),
                 })
             }
         }
     }
+    if values.is_empty() {
+        return Err(ParseError::NoData {
+            what: "numeric values",
+        });
+    }
     Ok(values)
+}
+
+/// [`parse_series`] from raw bytes (typed UTF-8 validation first).
+pub fn parse_series_bytes(raw: &[u8]) -> std::result::Result<Vec<f64>, ParseError> {
+    parse_series(decode_utf8(raw)?)
 }
 
 /// Parse one column (0-based) of a delimited file (delimiter `,`, `;` or
 /// tab, auto-detected per line). Non-numeric cells in the chosen column —
-/// e.g. a header row — are skipped.
-pub fn parse_column(text: &str, column: usize) -> Result<Vec<f64>> {
+/// e.g. a header row — are skipped, but a *truncated* row (fewer cells
+/// than the column needs) is a typed error: silently dropping rows would
+/// misalign the series against its calendar.
+pub fn parse_column(text: &str, column: usize) -> std::result::Result<Vec<f64>, ParseError> {
     let mut values = Vec::new();
-    for line in text.lines() {
+    for (lineno, line) in text.lines().enumerate() {
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
         }
         let cells: Vec<&str> = trimmed.split([',', ';', '\t']).map(str::trim).collect();
-        if let Some(cell) = cells.get(column) {
-            if let Ok(v) = cell.parse::<f64>() {
-                if v.is_finite() {
-                    values.push(v);
+        match cells.get(column) {
+            Some(cell) => {
+                if let Ok(v) = cell.parse::<f64>() {
+                    if v.is_finite() {
+                        values.push(v);
+                    }
                 }
+            }
+            None => {
+                return Err(ParseError::MissingColumn {
+                    line: lineno + 1,
+                    column,
+                    cells: cells.len(),
+                })
             }
         }
     }
     if values.is_empty() {
-        return Err(Error::InvalidParameter {
-            what: "column",
-            details: format!("no numeric values found in column {column}"),
+        return Err(ParseError::NoData {
+            what: "numeric values",
         });
     }
     Ok(values)
+}
+
+/// [`parse_column`] from raw bytes (typed UTF-8 validation first).
+pub fn parse_column_bytes(raw: &[u8], column: usize) -> std::result::Result<Vec<f64>, ParseError> {
+    parse_column(decode_utf8(raw)?, column)
 }
 
 /// Parse a symbol string from text: every non-whitespace byte is a symbol;
@@ -72,14 +183,37 @@ mod tests {
     fn series_basic() {
         let v = parse_series("1.5\n2\n# comment\n\n-3.25\n").unwrap();
         assert_eq!(v, vec![1.5, 2.0, -3.25]);
+        assert_eq!(parse_series_bytes(b"1\n2\n").unwrap(), vec![1.0, 2.0]);
     }
 
     #[test]
-    fn series_rejects_junk() {
-        let err = parse_series("1.0\nabc\n").unwrap_err();
-        assert!(err.to_string().contains("line 2"));
-        assert!(parse_series("inf\n").is_err());
-        assert!(parse_series("nan\n").is_err());
+    fn series_rejects_junk_with_typed_errors() {
+        assert_eq!(
+            parse_series("1.0\nabc\n").unwrap_err(),
+            ParseError::BadNumber {
+                line: 2,
+                text: "abc".into()
+            }
+        );
+        assert!(matches!(
+            parse_series("inf\n").unwrap_err(),
+            ParseError::BadNumber { line: 1, .. }
+        ));
+        assert!(matches!(
+            parse_series("nan\n").unwrap_err(),
+            ParseError::BadNumber { line: 1, .. }
+        ));
+        assert_eq!(
+            parse_series("# only comments\n").unwrap_err(),
+            ParseError::NoData {
+                what: "numeric values"
+            }
+        );
+        // Truncated / binary input: typed UTF-8 error with the offset.
+        assert_eq!(
+            parse_series_bytes(b"1.0\n\xFF\xFE").unwrap_err(),
+            ParseError::NotUtf8 { offset: 4 }
+        );
     }
 
     #[test]
@@ -90,9 +224,50 @@ mod tests {
     }
 
     #[test]
+    fn column_truncated_row_is_typed_error() {
+        // Row 3 is truncated: the column exists elsewhere but not there.
+        let text = "a,b\n1,2\n3\n4,5\n";
+        assert_eq!(
+            parse_column(text, 1).unwrap_err(),
+            ParseError::MissingColumn {
+                line: 3,
+                column: 1,
+                cells: 1
+            }
+        );
+    }
+
+    #[test]
     fn column_missing_is_error() {
-        assert!(parse_column("a,b\nc,d\n", 5).is_err());
-        assert!(parse_column("", 0).is_err());
+        assert!(matches!(
+            parse_column("a,b\nc,d\n", 5).unwrap_err(),
+            ParseError::MissingColumn { line: 1, .. }
+        ));
+        assert_eq!(
+            parse_column("1,2\n", 1).unwrap(),
+            vec![2.0] // headers absent: fine
+        );
+        assert!(matches!(
+            parse_column("", 0).unwrap_err(),
+            ParseError::NoData { .. }
+        ));
+    }
+
+    #[test]
+    fn errors_convert_and_display() {
+        let err = ParseError::BadNumber {
+            line: 7,
+            text: "x".into(),
+        };
+        assert!(err.to_string().contains("line 7"));
+        let core: Error = err.into();
+        assert!(core.to_string().contains("line 7"));
+        assert!(ParseError::NotUtf8 { offset: 3 }.to_string().contains("3"));
+        assert!(ParseError::NoData {
+            what: "numeric values"
+        }
+        .to_string()
+        .contains("no numeric values"));
     }
 
     #[test]

@@ -8,10 +8,12 @@
 //! See the individual crates for details:
 //!
 //! * [`core`] — the reusable query [`core::Engine`] (index once, serve
-//!   every problem variant, range-restricted shards, batches), the
-//!   one-shot mining algorithms (MSS, top-t, threshold, min-length),
-//!   baselines (trivial, blocked, ARLM, AGMM), the persistent-pool
-//!   parallel scan, and the Markov-null / 2-D grid extensions.
+//!   every problem variant, range-restricted shards, batches), persistent
+//!   index snapshots ([`core::snapshot`]: build once on disk, load with
+//!   bulk reads), the one-shot mining algorithms (MSS, top-t, threshold,
+//!   min-length), baselines (trivial, blocked, ARLM, AGMM), the
+//!   persistent-pool parallel scan, and the Markov-null / 2-D grid
+//!   extensions.
 //! * [`stats`] — chi-square and friends: special functions, distributions,
 //!   p-values, concentration bounds.
 //! * [`gen`] — workload generators (null/geometric/harmonic/Zipf/Markov
