@@ -35,6 +35,7 @@ pub fn all() -> Vec<(&'static str, Runner)> {
         ("engine_amortization", perf::engine_amortization),
         ("counts_footprint", perf::counts_footprint),
         ("snapshot_load", perf::snapshot_load),
+        ("server_throughput", perf::server_throughput),
     ]
 }
 
@@ -53,17 +54,18 @@ mod tests {
     #[test]
     fn registry_is_complete_and_unique() {
         let ids: Vec<&str> = all().iter().map(|(id, _)| *id).collect();
-        assert_eq!(ids.len(), 20);
+        assert_eq!(ids.len(), 21);
         let mut sorted = ids.clone();
         sorted.sort_unstable();
         sorted.dedup();
-        assert_eq!(sorted.len(), 20, "duplicate experiment ids");
+        assert_eq!(sorted.len(), 21, "duplicate experiment ids");
         assert!(by_id("fig1a").is_some());
         assert!(by_id("table6").is_some());
         assert!(by_id("bench_smoke").is_some());
         assert!(by_id("engine_amortization").is_some());
         assert!(by_id("counts_footprint").is_some());
         assert!(by_id("snapshot_load").is_some());
+        assert!(by_id("server_throughput").is_some());
         assert!(by_id("bogus").is_none());
     }
 }

@@ -147,6 +147,11 @@ pub enum Command {
         /// The corpus directory.
         dir: String,
     },
+    /// Serve a corpus directory over HTTP until a shutdown signal.
+    Serve {
+        /// The corpus directory.
+        dir: String,
+    },
 }
 
 /// Null-model selection.
@@ -190,6 +195,13 @@ pub struct Invocation {
     pub merge_top: Option<usize>,
     /// Print the corpus-wide merged threshold set.
     pub merge_thresh: Option<f64>,
+    /// Bind address for `serve` (default `127.0.0.1:8080`; port `0`
+    /// picks an ephemeral port, printed on startup).
+    pub addr: Option<String>,
+    /// Worker threads for `serve` (`0`/absent = all cores).
+    pub threads: Option<usize>,
+    /// Admission queue bound for `serve`.
+    pub queue_depth: Option<usize>,
 }
 
 impl Invocation {
@@ -200,7 +212,10 @@ impl Invocation {
     pub fn reads_raw_input(&self) -> bool {
         !matches!(
             self.command,
-            Command::IndexInfo | Command::CorpusQuery { .. } | Command::CorpusList { .. }
+            Command::IndexInfo
+                | Command::CorpusQuery { .. }
+                | Command::CorpusList { .. }
+                | Command::Serve { .. }
         )
     }
 }
@@ -215,7 +230,8 @@ USAGE:
     sigstr index info  <snapshot>
     sigstr corpus add   <dir> <file|-> --name NAME [OPTIONS]
     sigstr corpus query <dir> --query Q... [--merge-top T] [--merge-thresh A]
-    sigstr corpus list  <dir>
+    sigstr corpus list  <dir> [--stats]
+    sigstr serve <dir> [--addr A] [--threads N] [--budget-mb N] [--queue-depth N]
 
 COMMANDS:
     mss                     most significant substring (Problem 1)
@@ -235,6 +251,11 @@ COMMANDS:
                             from warm engines; --merge-top T / --merge-thresh A
                             add corpus-wide merged answers
     corpus list             print the corpus manifest
+                            (--stats adds warm-cache counters and bytes)
+    serve                   serve the corpus over HTTP (GET /healthz,
+                            /metrics, /v1/documents, /v1/merged/*;
+                            POST /v1/query, /v1/batch); graceful
+                            shutdown on SIGINT/SIGTERM
 
 OPTIONS:
     --algorithm A           ours (default) | trivial | arlm | agmm
@@ -249,6 +270,11 @@ OPTIONS:
     --stats                 print scan statistics
     --family                also print the family-wise (Sidak) p-value
     --budget-mb N           corpus warm-engine cache budget (default 256)
+    --addr A                serve bind address (default 127.0.0.1:8080;
+                            port 0 = ephemeral, printed on startup)
+    --threads N             serve worker threads (default: all cores)
+    --queue-depth N         serve admission queue bound; beyond it new
+                            connections get 503 + Retry-After (default 64)
     --help                  show this help
 ";
 
@@ -292,6 +318,13 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
                     _ => (Some(sub), vec![dir], 3),
                 }
             }
+            "serve" => {
+                let dir = args
+                    .get(1)
+                    .cloned()
+                    .ok_or_else(|| format!("serve requires a corpus directory\n\n{USAGE}"))?;
+                (None, vec![dir], 2)
+            }
             _ => {
                 if args.len() < 2 {
                     return Err(format!("missing input file\n\n{USAGE}"));
@@ -318,6 +351,9 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
     let mut budget_mb: Option<usize> = None;
     let mut merge_top: Option<usize> = None;
     let mut merge_thresh: Option<f64> = None;
+    let mut addr: Option<String> = None;
+    let mut threads: Option<usize> = None;
+    let mut queue_depth: Option<usize> = None;
 
     let mut i = flags_from;
     while i < args.len() {
@@ -402,6 +438,23 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
                         .map_err(|e| format!("bad --merge-thresh: {e}"))?,
                 );
             }
+            "--addr" => addr = Some(take_value()?.to_string()),
+            "--threads" => {
+                threads = Some(
+                    take_value()?
+                        .parse()
+                        .map_err(|e| format!("bad --threads: {e}"))?,
+                );
+            }
+            "--queue-depth" => {
+                let depth: usize = take_value()?
+                    .parse()
+                    .map_err(|e| format!("bad --queue-depth: {e}"))?;
+                if depth == 0 {
+                    return Err("--queue-depth must be at least 1".into());
+                }
+                queue_depth = Some(depth);
+            }
             other => return Err(format!("unknown flag `{other}`\n\n{USAGE}")),
         }
         i += 1;
@@ -480,6 +533,9 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
         ("corpus", Some("list")) => Command::CorpusList {
             dir: positionals[0].clone(),
         },
+        ("serve", _) => Command::Serve {
+            dir: positionals[0].clone(),
+        },
         ("corpus", Some(other)) => {
             return Err(format!(
                 "unknown corpus subcommand `{other}` (expected add|query|list)\n\n{USAGE}"
@@ -504,6 +560,9 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
         budget_mb,
         merge_top,
         merge_thresh,
+        addr,
+        threads,
+        queue_depth,
     })
 }
 
@@ -805,8 +864,27 @@ fn run_corpus_add(
     ))
 }
 
-/// `corpus list`: the manifest, one document per line.
-fn run_corpus_list(dir: &str) -> Result<String, String> {
+/// Render the warm-engine cache counters (`corpus list --stats`,
+/// `corpus query --stats`).
+fn format_cache_stats(corpus: &sigstr_corpus::Corpus) -> String {
+    let stats = corpus.cache_stats();
+    format!(
+        "cache: {} hits, {} loads, {} evictions; {} resident engines, {} bytes \
+         (budget {} bytes)\n",
+        stats.hits,
+        stats.loads,
+        stats.evictions,
+        stats.resident,
+        stats.resident_bytes,
+        corpus.budget()
+    )
+}
+
+/// `corpus list`: the manifest, one document per line (`--stats` adds
+/// the warm-cache counters and on-disk footprint, so cache sizing is
+/// observable without the server; the counters are live on the `corpus
+/// query --stats` path, where the same process materializes engines).
+fn run_corpus_list(invocation: &Invocation, dir: &str) -> Result<String, String> {
     let corpus = sigstr_corpus::Corpus::open(dir).map_err(|e| e.to_string())?;
     let mut out = String::new();
     let _ = writeln!(out, "{dir}: {} documents", corpus.len());
@@ -820,6 +898,25 @@ fn run_corpus_list(dir: &str) -> Result<String, String> {
             entry.layout.name(),
             entry.file
         );
+    }
+    if invocation.stats {
+        // On-disk footprint feeds `--budget-mb` sizing: every snapshot
+        // warm at once would hold roughly this many bytes resident.
+        let disk_bytes: u64 = corpus
+            .entries()
+            .iter()
+            .filter_map(|entry| {
+                std::fs::metadata(std::path::Path::new(dir).join(&entry.file))
+                    .map(|m| m.len())
+                    .ok()
+            })
+            .sum();
+        let _ = writeln!(
+            out,
+            "snapshots on disk: {disk_bytes} bytes across {} documents",
+            corpus.len()
+        );
+        out.push_str(&format_cache_stats(&corpus));
     }
     Ok(out)
 }
@@ -907,8 +1004,88 @@ fn run_corpus_query(invocation: &Invocation, dir: &str) -> Result<String, String
             let _ = writeln!(out, "  {:<24} {}", hit.name, format_row(&hit.item, k, &[]));
         }
     }
+    if invocation.stats {
+        out.push_str(&format_cache_stats(&corpus));
+    }
     Ok(out)
 }
+
+/// `serve`: boot the HTTP service over a corpus directory and block
+/// until a shutdown signal (SIGINT/SIGTERM) drains it. The listening
+/// address is printed (and flushed) before the accept loop starts, so
+/// callers scripting against an ephemeral port can scrape it.
+fn run_serve(invocation: &Invocation, dir: &str) -> Result<String, String> {
+    let mut corpus = sigstr_corpus::Corpus::open(dir).map_err(|e| e.to_string())?;
+    if let Some(mb) = invocation.budget_mb {
+        corpus.set_budget(mb << 20);
+    }
+    let documents = corpus.len();
+    let mut config = sigstr_server::ServerConfig::default();
+    if let Some(addr) = &invocation.addr {
+        config.addr = addr.clone();
+    }
+    if let Some(threads) = invocation.threads {
+        config.threads = threads;
+    }
+    if let Some(depth) = invocation.queue_depth {
+        config.queue_depth = depth;
+    }
+    let server = sigstr_server::Server::bind(corpus, config)
+        .map_err(|e| format!("cannot bind server: {e}"))?;
+    println!(
+        "listening on {} ({documents} documents); SIGINT/SIGTERM for graceful shutdown",
+        server.local_addr()
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    shutdown_on_signals(server.handle());
+    let summary = server.run().map_err(|e| format!("server failed: {e}"))?;
+    Ok(format!(
+        "drained: served {} requests, rejected {} at admission\n",
+        summary.requests, summary.rejected
+    ))
+}
+
+/// Arrange a graceful [`sigstr_server::ServerHandle::shutdown`] on
+/// SIGINT/SIGTERM. Signal disposition is process-global state, so this
+/// is wired here in the CLI — the server library stays policy-free. The
+/// handler itself only flips an atomic (async-signal-safe); a watcher
+/// thread turns the flip into the drain.
+#[cfg(unix)]
+fn shutdown_on_signals(handle: sigstr_server::ServerHandle) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    static SIGNALED: AtomicBool = AtomicBool::new(false);
+    extern "C" fn on_signal(_signum: i32) {
+        SIGNALED.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    // SAFETY: installing a handler that only stores to a static atomic
+    // is async-signal-safe; `signal` is provided by libc, which std
+    // already links.
+    unsafe {
+        signal(SIGINT, on_signal as extern "C" fn(i32) as usize);
+        signal(SIGTERM, on_signal as extern "C" fn(i32) as usize);
+    }
+    std::thread::Builder::new()
+        .name("sigstr-signal-watch".into())
+        .spawn(move || loop {
+            if SIGNALED.load(Ordering::SeqCst) {
+                handle.shutdown();
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        })
+        .expect("spawn signal watcher");
+}
+
+/// Non-unix builds: no signal hook; embedders stop the server through
+/// its own [`sigstr_server::ServerHandle`].
+#[cfg(not(unix))]
+fn shutdown_on_signals(_handle: sigstr_server::ServerHandle) {}
 
 /// Run a parsed invocation against loaded input bytes; returns the output
 /// text (testable without touching the filesystem for the mining
@@ -920,7 +1097,8 @@ pub fn run(invocation: &Invocation, raw: &[u8]) -> Result<String, String> {
         Command::IndexInfo => return run_index_info(invocation),
         Command::CorpusAdd { dir, name } => return run_corpus_add(invocation, raw, dir, name),
         Command::CorpusQuery { dir } => return run_corpus_query(invocation, dir),
-        Command::CorpusList { dir } => return run_corpus_list(dir),
+        Command::CorpusList { dir } => return run_corpus_list(invocation, dir),
+        Command::Serve { dir } => return run_serve(invocation, dir),
         _ => {}
     }
     let (seq, alphabet) = build_sequence(invocation.input_mode, raw)?;
@@ -1197,6 +1375,84 @@ mod tests {
         assert!(parse_args(&argv(&["corpus", "add", "dir", "f"])).is_err()); // no --name
         assert!(parse_args(&argv(&["corpus", "query", "dir"])).is_err()); // no queries
         assert!(parse_args(&argv(&["corpus", "bogus", "dir"])).is_err());
+    }
+
+    #[test]
+    fn parse_serve_command() {
+        let inv = parse_args(&argv(&["serve", "corpusdir"])).unwrap();
+        assert_eq!(
+            inv.command,
+            Command::Serve {
+                dir: "corpusdir".into()
+            }
+        );
+        assert!(!inv.reads_raw_input());
+        assert_eq!(inv.addr, None);
+
+        let inv = parse_args(&argv(&[
+            "serve",
+            "corpusdir",
+            "--addr",
+            "127.0.0.1:0",
+            "--threads",
+            "4",
+            "--budget-mb",
+            "64",
+            "--queue-depth",
+            "8",
+        ]))
+        .unwrap();
+        assert_eq!(inv.addr.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(inv.threads, Some(4));
+        assert_eq!(inv.budget_mb, Some(64));
+        assert_eq!(inv.queue_depth, Some(8));
+
+        assert!(parse_args(&argv(&["serve"])).is_err()); // no directory
+        assert!(parse_args(&argv(&["serve", "d", "--queue-depth", "0"])).is_err());
+        assert!(parse_args(&argv(&["serve", "d", "--threads", "x"])).is_err());
+    }
+
+    #[test]
+    fn corpus_list_stats_prints_cache_counters() {
+        let dir = temp_dir("list-stats");
+        let corpus_dir = dir.join("c").display().to_string();
+        let add = parse_args(&argv(&[
+            "corpus",
+            "add",
+            &corpus_dir,
+            "-",
+            "--name",
+            "d0",
+            "--uniform",
+        ]))
+        .unwrap();
+        run(&add, b"ababbbbbbab").unwrap();
+
+        let plain = parse_args(&argv(&["corpus", "list", &corpus_dir])).unwrap();
+        let out = run(&plain, b"").unwrap();
+        assert!(!out.contains("cache:"), "{out}");
+
+        let with_stats = parse_args(&argv(&["corpus", "list", &corpus_dir, "--stats"])).unwrap();
+        let out = run(&with_stats, b"").unwrap();
+        assert!(out.contains("d0"), "{out}");
+        assert!(out.contains("snapshots on disk:"), "{out}");
+        assert!(out.contains("cache: 0 hits, 0 loads, 0 evictions"), "{out}");
+        assert!(out.contains("budget"), "{out}");
+
+        // On the query path the counters are live: one load per doc.
+        let query = parse_args(&argv(&[
+            "corpus",
+            "query",
+            &corpus_dir,
+            "--query",
+            "mss",
+            "--stats",
+        ]))
+        .unwrap();
+        let out = run(&query, b"").unwrap();
+        assert!(out.contains("1 loads"), "{out}");
+        assert!(out.contains("1 resident engines"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1030,6 +1030,18 @@ impl Batch {
     }
 }
 
+// Compile-time thread-safety contract: the corpus cache hands
+// `Arc<Engine>` across threads and the server shares engines between
+// workers, so a future accidental `!Send`/`!Sync` field (a `Cell`, an
+// `Rc`, a raw pointer) must fail right here at build time — not as a
+// distant trait-bound error in a spawn call.
+const _: () = {
+    const fn require_send_sync<T: Send + Sync>() {}
+    require_send_sync::<Engine>();
+    require_send_sync::<std::sync::Arc<Engine>>();
+    require_send_sync::<Batch>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -741,6 +741,15 @@ impl Corpus {
     }
 }
 
+// Compile-time thread-safety contract: the server shares one `Corpus`
+// across its whole worker pool by `&self`, so an accidental `!Sync`
+// field must fail the build here, not at a spawn site.
+const _: () = {
+    const fn require_send_sync<T: Send + Sync>() {}
+    require_send_sync::<Corpus>();
+    require_send_sync::<Arc<Engine>>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -849,6 +858,72 @@ mod tests {
         let handle = corpus.engine("y").unwrap();
         corpus.engine("z").unwrap(); // evicts everything else
         assert!(handle.mss().is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Regression: removing a document must evict its warm engine and
+    /// give back its `resident_bytes` — and re-adding a document under
+    /// the same name must serve the *new* content, never a stale cached
+    /// engine.
+    #[test]
+    fn remove_document_evicts_warm_engine_and_accounting() {
+        let dir = temp_dir("remove-evict");
+        let mut corpus = Corpus::create(&dir).unwrap();
+        let model = Model::uniform(2).unwrap();
+        corpus
+            .add_document("keep", &doc(61, 500, 2), model.clone(), CountsLayout::Flat)
+            .unwrap();
+        corpus
+            .add_document("gone", &doc(62, 800, 2), model.clone(), CountsLayout::Flat)
+            .unwrap();
+        // Both engines are warm from the add path.
+        let gone_bytes = corpus.engine("gone").unwrap().index_bytes();
+        let before = corpus.cache_stats();
+        assert_eq!(before.resident, 2);
+
+        corpus.remove_document("gone").unwrap();
+        let after = corpus.cache_stats();
+        assert_eq!(after.resident, 1, "engine must leave the cache");
+        assert_eq!(
+            after.resident_bytes,
+            before.resident_bytes - gone_bytes,
+            "resident_bytes must drop by exactly the evicted engine's bytes"
+        );
+        assert_eq!(corpus.resident_bytes(), after.resident_bytes);
+        // The removal is not an LRU eviction: the eviction counter moves
+        // only for budget-driven evictions.
+        assert_eq!(after.evictions, before.evictions);
+
+        // Re-adding the same name with different content serves the new
+        // document (from the warm insert and across a reopen).
+        corpus
+            .add_document(
+                "gone",
+                &doc(63, 300, 2),
+                model.clone(),
+                CountsLayout::Blocked,
+            )
+            .unwrap();
+        assert_eq!(corpus.engine("gone").unwrap().n(), 300);
+        assert_eq!(
+            corpus.engine("gone").unwrap().layout(),
+            CountsLayout::Blocked
+        );
+        let direct = Engine::new(&doc(63, 300, 2), model.clone()).unwrap();
+        match corpus.query("gone", &Query::mss()).unwrap() {
+            Answer::Best(r) => assert_eq!(r, direct.mss().unwrap()),
+            other => panic!("unexpected answer {other:?}"),
+        }
+        let reopened = Corpus::open(&dir).unwrap();
+        assert_eq!(reopened.engine("gone").unwrap().n(), 300);
+        // Accounting still adds up after the churn: resident bytes equal
+        // the sum of the warm engines' index bytes.
+        let stats = corpus.cache_stats();
+        let expected: usize = ["keep", "gone"]
+            .iter()
+            .map(|name| corpus.engine(name).unwrap().index_bytes())
+            .sum();
+        assert_eq!(stats.resident_bytes, expected);
         std::fs::remove_dir_all(&dir).ok();
     }
 

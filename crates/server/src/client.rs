@@ -1,0 +1,148 @@
+//! A minimal blocking HTTP/1.1 client for one keep-alive connection.
+//!
+//! This exists so the fidelity tests, the throughput bench and the CI
+//! smoke job all drive the server through one real TCP code path
+//! instead of three hand-rolled response parsers. It is deliberately
+//! tiny: one connection, sequential request/response, `Content-Length`
+//! bodies only — exactly the dialect the server speaks.
+
+use std::io::{Read as _, Write as _};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A parsed response.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// Status code from the status line.
+    pub status: u16,
+    /// Headers with lower-cased names.
+    pub headers: Vec<(String, String)>,
+    /// The body (`Content-Length` bytes).
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// First header value under `name` (lower-case).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (panics on invalid UTF-8 — server bodies are
+    /// JSON or plain text).
+    pub fn body_str(&self) -> &str {
+        std::str::from_utf8(&self.body).expect("response body is UTF-8")
+    }
+}
+
+/// One keep-alive client connection.
+#[derive(Debug)]
+pub struct ClientConn {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl ClientConn {
+    /// Connect with Nagle disabled and a read timeout (so a test
+    /// against a wedged server fails instead of hanging).
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        Ok(Self {
+            stream,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Send raw bytes (for driving malformed input at the server).
+    pub fn send_raw(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.stream.write_all(bytes)?;
+        self.stream.flush()
+    }
+
+    /// Issue one request and read its response. `body` adds a
+    /// `Content-Length` JSON body.
+    pub fn request(
+        &mut self,
+        method: &str,
+        target: &str,
+        body: Option<&str>,
+    ) -> std::io::Result<HttpResponse> {
+        let mut head = format!("{method} {target} HTTP/1.1\r\nHost: sigstr\r\n");
+        if let Some(body) = body {
+            head.push_str("Content-Type: application/json\r\n");
+            head.push_str(&format!("Content-Length: {}\r\n", body.len()));
+        }
+        head.push_str("\r\n");
+        self.stream.write_all(head.as_bytes())?;
+        if let Some(body) = body {
+            self.stream.write_all(body.as_bytes())?;
+        }
+        self.stream.flush()?;
+        self.read_response()
+    }
+
+    /// Read one response (after [`ClientConn::send_raw`], or as the
+    /// second half of [`ClientConn::request`]).
+    pub fn read_response(&mut self) -> std::io::Result<HttpResponse> {
+        let header_end = loop {
+            if let Some(pos) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos;
+            }
+            let mut chunk = [0u8; 4096];
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed before a full response",
+                ));
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
+        };
+        let head = String::from_utf8(self.buf[..header_end].to_vec())
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next().unwrap_or_default();
+        let status = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse::<u16>().ok())
+            .ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("bad status line `{status_line}`"),
+                )
+            })?;
+        let headers: Vec<(String, String)> = lines
+            .filter_map(|line| line.split_once(':'))
+            .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+            .collect();
+        let content_length: usize = headers
+            .iter()
+            .find(|(k, _)| k == "content-length")
+            .and_then(|(_, v)| v.parse().ok())
+            .unwrap_or(0);
+        let body_start = header_end + 4;
+        while self.buf.len() < body_start + content_length {
+            let mut chunk = [0u8; 4096];
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-body",
+                ));
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+        let body = self.buf[body_start..body_start + content_length].to_vec();
+        self.buf.drain(..body_start + content_length);
+        Ok(HttpResponse {
+            status,
+            headers,
+            body,
+        })
+    }
+}

@@ -1,0 +1,650 @@
+//! Minimal JSON for the server's wire types: encode + decode, nothing
+//! else.
+//!
+//! The offline build carries no serde, and the server needs exactly one
+//! thing from a JSON layer: **round-trip-exact** transport of the query
+//! and answer types. This module provides a small document model
+//! ([`Json`]) with an encoder and a strict recursive-descent decoder,
+//! tuned for that contract:
+//!
+//! * **`f64` values round-trip bit-exactly.** Floats are encoded with
+//!   Rust's shortest-round-trip formatting; integral floats gain a
+//!   trailing `.0` so the decoder can tell [`Json::Num`] from
+//!   [`Json::Int`] and `encode → decode` is the identity on the document
+//!   model, not merely value-preserving. A chi-square score crosses the
+//!   wire without losing a single bit.
+//! * **Unsigned integers are their own variant.** Positions and scan
+//!   counters are `usize`/`u64`; [`Json::Int`] holds the full `u64`
+//!   range exactly (a plain `f64` number would silently round above
+//!   2⁵³). Negative or fractional literals decode as [`Json::Num`].
+//! * **Non-finite floats are an error, never `null`.** Encoding
+//!   `NaN`/`±inf` fails with [`JsonError::NonFinite`] — a score that
+//!   somehow goes non-finite must fail loudly at the boundary, not
+//!   arrive at a client as a silent `null` that decodes into 0.0
+//!   downstream. (JSON itself has no non-finite literals, so the decoder
+//!   rejects them for free.)
+//! * **Strings are fully escaped.** Control characters encode as
+//!   `\uXXXX` (with the `\n`-style shorthands), and the decoder handles
+//!   the full escape set including surrogate pairs for astral-plane
+//!   code points.
+//!
+//! Objects preserve insertion order and duplicate keys (they are a
+//! `Vec<(String, Json)>`), which keeps `decode(encode(x)) == x` exact
+//! for the document model; [`Json::get`] returns the first match like
+//! every mainstream parser.
+
+use std::fmt::Write as _;
+
+/// Maximum nesting depth the decoder accepts (arrays + objects). The
+/// wire types are at most a handful of levels deep; the limit exists so
+/// a hostile `[[[[…` body cannot overflow the stack.
+pub const MAX_DEPTH: usize = 128;
+
+/// A JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer literal with no fraction or exponent
+    /// (exact over the full `u64` range).
+    Int(u64),
+    /// Any other number (finite; non-finite values refuse to encode).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object: insertion-ordered key/value pairs.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Errors of the JSON layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonError {
+    /// Refused to encode a non-finite float (the documented policy:
+    /// error, never a silent `null`).
+    NonFinite,
+    /// The input text is not valid JSON.
+    Syntax {
+        /// Byte offset of the problem.
+        offset: usize,
+        /// What went wrong.
+        details: String,
+    },
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JsonError::NonFinite => {
+                write!(f, "refusing to encode a non-finite float (NaN or infinity)")
+            }
+            JsonError::Syntax { offset, details } => {
+                write!(f, "invalid JSON at byte {offset}: {details}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Format a finite `f64` so that `parse::<f64>()` returns the exact same
+/// bits and the text is unambiguously a float (a trailing `.0` is added
+/// to integral values, so `5.0` never collapses into the integer `5`).
+///
+/// # Errors
+///
+/// [`JsonError::NonFinite`] for `NaN` and `±inf`.
+pub fn format_f64(value: f64) -> Result<String, JsonError> {
+    if !value.is_finite() {
+        return Err(JsonError::NonFinite);
+    }
+    // Rust's `Display` for f64 is the shortest decimal string that
+    // round-trips to the same bits (and never uses exponent notation).
+    let mut text = format!("{value}");
+    if !text.contains('.') {
+        text.push_str(".0");
+    }
+    Ok(text)
+}
+
+fn escape_into(text: &str, out: &mut String) {
+    for ch in text.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+impl Json {
+    /// Encode to compact JSON text.
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError::NonFinite`] if any [`Json::Num`] in the document is
+    /// `NaN` or `±inf`.
+    pub fn encode(&self) -> Result<String, JsonError> {
+        let mut out = String::new();
+        self.write(&mut out)?;
+        Ok(out)
+    }
+
+    fn write(&self, out: &mut String) -> Result<(), JsonError> {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::Num(x) => out.push_str(&format_f64(*x)?),
+            Json::Str(s) => {
+                out.push('"');
+                escape_into(s, out);
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out)?;
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    escape_into(key, out);
+                    out.push_str("\":");
+                    value.write(out)?;
+                }
+                out.push('}');
+            }
+        }
+        Ok(())
+    }
+
+    /// Decode JSON text (a single document; trailing non-whitespace is
+    /// an error).
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError::Syntax`] with a byte offset on any malformed input.
+    pub fn decode(text: &str) -> Result<Json, JsonError> {
+        let mut parser = Parser {
+            bytes: text.as_bytes(),
+            text,
+            pos: 0,
+        };
+        parser.skip_ws();
+        let value = parser.value(0)?;
+        parser.skip_ws();
+        if parser.pos != parser.bytes.len() {
+            return Err(parser.err("trailing characters after the document"));
+        }
+        Ok(value)
+    }
+
+    // -- Accessors (used by the wire layer; strict by design) --------------
+
+    /// The string value, if this is a [`Json::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer value, if this is a [`Json::Int`].
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The integer value as `usize`, if this is a [`Json::Int`] that
+    /// fits.
+    pub fn as_usize(&self) -> Option<usize> {
+        self.as_u64().and_then(|i| usize::try_from(i).ok())
+    }
+
+    /// The numeric value ([`Json::Num`] directly; [`Json::Int`] values
+    /// convert — a client is free to send `"alpha": 5`).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            Json::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a [`Json::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The items, if this is a [`Json::Arr`].
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// First value under `key`, if this is a [`Json::Obj`] containing
+    /// it.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Decoder.
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    text: &'a str,
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, details: impl Into<String>) -> JsonError {
+        JsonError::Syntax {
+            offset: self.pos,
+            details: details.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{}`", byte as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected `{word}`")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err(format!("nesting deeper than {MAX_DEPTH}")));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(self.err(format!("unexpected byte 0x{other:02x}"))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut out = 0u32;
+        for _ in 0..4 {
+            let digit = match self.peek() {
+                Some(b @ b'0'..=b'9') => u32::from(b - b'0'),
+                Some(b @ b'a'..=b'f') => u32::from(b - b'a') + 10,
+                Some(b @ b'A'..=b'F') => u32::from(b - b'A') + 10,
+                _ => return Err(self.err("expected four hex digits after \\u")),
+            };
+            out = out * 16 + digit;
+            self.pos += 1;
+        }
+        Ok(out)
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        let mut run_start = self.pos;
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    out.push_str(&self.text[run_start..self.pos]);
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    out.push_str(&self.text[run_start..self.pos]);
+                    self.pos += 1;
+                    let escaped = match self.peek() {
+                        Some(b'"') => '"',
+                        Some(b'\\') => '\\',
+                        Some(b'/') => '/',
+                        Some(b'b') => '\u{08}',
+                        Some(b'f') => '\u{0C}',
+                        Some(b'n') => '\n',
+                        Some(b'r') => '\r',
+                        Some(b't') => '\t',
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let unit = self.hex4()?;
+                            let ch = if (0xD800..0xDC00).contains(&unit) {
+                                // High surrogate: a low surrogate must
+                                // follow for an astral-plane code point.
+                                if self.peek() != Some(b'\\') {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                                self.pos += 1;
+                                if self.peek() != Some(b'u') {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                                self.pos += 1;
+                                let low = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let combined = 0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00);
+                                char::from_u32(combined)
+                                    .ok_or_else(|| self.err("invalid surrogate pair"))?
+                            } else if (0xDC00..0xE000).contains(&unit) {
+                                return Err(self.err("lone low surrogate"));
+                            } else {
+                                char::from_u32(unit)
+                                    .ok_or_else(|| self.err("invalid \\u escape"))?
+                            };
+                            out.push(ch);
+                            run_start = self.pos;
+                            continue;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    };
+                    out.push(escaped);
+                    self.pos += 1;
+                    run_start = self.pos;
+                }
+                Some(b) if b < 0x20 => {
+                    return Err(self.err("raw control character in string"));
+                }
+                Some(_) => {
+                    // Any other byte (including UTF-8 continuation
+                    // bytes) is part of a literal run, copied whole.
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        let negative = self.peek() == Some(b'-');
+        if negative {
+            self.pos += 1;
+        }
+        // Integer part: `0` or a nonzero digit followed by digits.
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.err("invalid number")),
+        }
+        let mut integral = true;
+        if self.peek() == Some(b'.') {
+            integral = false;
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("expected digits after decimal point"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            integral = false;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("expected digits in exponent"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let literal = &self.text[start..self.pos];
+        if integral && !negative {
+            if let Ok(value) = literal.parse::<u64>() {
+                return Ok(Json::Int(value));
+            }
+            // Falls through: wider than u64, carried as a float.
+        }
+        literal
+            .parse::<f64>()
+            .map(Json::Num)
+            .map_err(|e| self.err(format!("unparseable number `{literal}`: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(value: &Json) -> Json {
+        Json::decode(&value.encode().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn scalars_roundtrip() {
+        for value in [
+            Json::Null,
+            Json::Bool(true),
+            Json::Bool(false),
+            Json::Int(0),
+            Json::Int(u64::MAX),
+            Json::Int(1 << 53),
+            Json::Num(0.1),
+            Json::Num(-0.0),
+            Json::Num(f64::MAX),
+            Json::Num(f64::MIN_POSITIVE),
+            Json::Num(5e-324), // smallest subnormal
+            Json::Num(1.0 / 3.0),
+            Json::Str(String::new()),
+            Json::Str("héllo \"wörld\"\n\t\u{1F600}\u{0}".into()),
+        ] {
+            assert_eq!(roundtrip(&value), value, "{value:?}");
+        }
+    }
+
+    #[test]
+    fn floats_keep_their_bits_and_their_dot() {
+        let encoded = Json::Num(5.0).encode().unwrap();
+        assert_eq!(encoded, "5.0");
+        match Json::decode(&encoded).unwrap() {
+            Json::Num(x) => assert_eq!(x.to_bits(), 5.0f64.to_bits()),
+            other => panic!("decoded {other:?}"),
+        }
+        // -0.0 survives with its sign bit.
+        match roundtrip(&Json::Num(-0.0)) {
+            Json::Num(x) => assert_eq!(x.to_bits(), (-0.0f64).to_bits()),
+            other => panic!("decoded {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_refuse_to_encode() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(Json::Num(bad).encode(), Err(JsonError::NonFinite));
+            // Nested occurrences fail too — never a silent null.
+            let nested = Json::Obj(vec![("x".into(), Json::Arr(vec![Json::Num(bad)]))]);
+            assert_eq!(nested.encode(), Err(JsonError::NonFinite));
+        }
+    }
+
+    #[test]
+    fn structures_roundtrip() {
+        let doc = Json::Obj(vec![
+            ("name".into(), Json::Str("doc-1".into())),
+            (
+                "items".into(),
+                Json::Arr(vec![
+                    Json::Int(3),
+                    Json::Num(2.5),
+                    Json::Null,
+                    Json::Obj(vec![("k".into(), Json::Bool(false))]),
+                ]),
+            ),
+        ]);
+        assert_eq!(roundtrip(&doc), doc);
+        assert_eq!(doc.get("name").unwrap().as_str(), Some("doc-1"));
+        assert_eq!(doc.get("items").unwrap().as_array().unwrap().len(), 4);
+        assert!(doc.get("missing").is_none());
+    }
+
+    #[test]
+    fn decoder_handles_escapes_and_surrogates() {
+        assert_eq!(
+            Json::decode(r#""aA\n\t\"\\\/ é""#).unwrap(),
+            Json::Str("aA\n\t\"\\/ é".into())
+        );
+        // Astral plane via surrogate pair.
+        assert_eq!(
+            Json::decode(r#""😀""#).unwrap(),
+            Json::Str("\u{1F600}".into())
+        );
+        assert!(Json::decode(r#""\ud83d""#).is_err()); // lone high
+        assert!(Json::decode(r#""\ude00""#).is_err()); // lone low
+        assert!(Json::decode("\"raw\u{01}control\"").is_err());
+    }
+
+    #[test]
+    fn decoder_rejects_malformed_input() {
+        for bad in [
+            "", "{", "[1,", "{\"a\":}", "nul", "tru", "01", "1.", "1e", "--1", "\"x", "[1]]",
+            "1 2", "{'a':1}", "+1", "NaN", "Infinity",
+        ] {
+            assert!(Json::decode(bad).is_err(), "accepted {bad:?}");
+        }
+        // Depth bomb: graceful error, no stack overflow.
+        let deep = "[".repeat(100_000);
+        assert!(Json::decode(&deep).is_err());
+    }
+
+    #[test]
+    fn integers_and_floats_are_distinct_variants() {
+        assert_eq!(Json::decode("5").unwrap(), Json::Int(5));
+        assert_eq!(Json::decode("5.0").unwrap(), Json::Num(5.0));
+        assert_eq!(Json::decode("-5").unwrap(), Json::Num(-5.0));
+        assert_eq!(Json::decode("1e3").unwrap(), Json::Num(1000.0));
+        assert_eq!(
+            Json::decode("18446744073709551615").unwrap(),
+            Json::Int(u64::MAX)
+        );
+        // One past u64::MAX: carried as a float, not an error.
+        assert!(matches!(
+            Json::decode("18446744073709551616").unwrap(),
+            Json::Num(_)
+        ));
+        assert_eq!(Json::Int(7).as_f64(), Some(7.0));
+        assert_eq!(Json::Num(7.5).as_u64(), None);
+    }
+
+    #[test]
+    fn whitespace_is_tolerated() {
+        let doc = Json::decode(" {\n\t\"a\" : [ 1 , 2 ] , \"b\" : null }\r\n").unwrap();
+        assert_eq!(doc.get("a").unwrap().as_array().unwrap().len(), 2);
+        assert_eq!(doc.get("b"), Some(&Json::Null));
+    }
+}

@@ -1,0 +1,789 @@
+//! `sigstr-server` — a std-only HTTP/1.1 query service over a
+//! [`sigstr_corpus::Corpus`].
+//!
+//! PRs 1–4 built the fast scan kernel, the reusable engine, the compact
+//! count index and the snapshot-backed corpus — but reached them only
+//! through one-shot CLI processes that throw the warm-engine cache away
+//! on exit. This crate is the missing serving layer: a long-lived
+//! daemon that keeps engines resident and answers concurrent queries
+//! over plain HTTP, with **no dependencies beyond `std`** (the
+//! workspace's offline policy), in the repo's style of self-contained
+//! subsystems.
+//!
+//! # Architecture
+//!
+//! ```text
+//!              ┌──────────┐   bounded queue    ┌─────────┐
+//!  clients ──▶ │ acceptor │ ──────────────────▶│ worker  │──▶ Corpus
+//!              │  thread  │  (overload: 503 +  │  pool   │    (warm
+//!              └──────────┘    Retry-After)    └─────────┘    engines)
+//! ```
+//!
+//! * **Admission control**: the acceptor pushes each accepted
+//!   connection into a bounded queue; when the queue is full the
+//!   connection is answered `503` with `Retry-After` immediately
+//!   instead of queueing without bound. Overload degrades loudly and
+//!   recoverably — it never corrupts or starves connections already
+//!   being served.
+//! * **Fixed worker pool**: `threads` workers each own one connection
+//!   at a time and run its keep-alive loop (sequential requests; *pipelined*
+//!   requests and chunked bodies are rejected with `501` — see
+//!   [`http`]).
+//! * **Graceful shutdown**: [`ServerHandle::shutdown`] stops the
+//!   acceptor, lets every in-flight request complete (a request whose
+//!   bytes have arrived is always answered), closes idle keep-alive
+//!   connections, and joins the workers. [`Server::run`] then returns a
+//!   [`ServeSummary`].
+//!
+//! # Routes
+//!
+//! | Route | Answer |
+//! |---|---|
+//! | `GET /healthz` | `ok` (liveness) |
+//! | `GET /metrics` | text counters: traffic, status classes, latency histogram, queue depth, corpus cache stats |
+//! | `GET /v1/documents` | the corpus manifest |
+//! | `POST /v1/query` | one document, any [`Query`] (incl. range-restricted) |
+//! | `POST /v1/batch` | many `(doc, query)` jobs through [`Corpus::run_batch`], sharing warm engines and the pool |
+//! | `GET /v1/merged/top?t=` | deterministic corpus-wide top-t merge |
+//! | `GET /v1/merged/threshold?alpha=` | corpus-wide threshold set in document order |
+//!
+//! Answers are JSON with **bit-exact** scores: the wire format
+//! ([`wire`]) rides on a round-trip-exact JSON layer ([`json`]), so an
+//! HTTP client decodes the same `f64` bits the engine computed.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use sigstr_corpus::Corpus;
+//! use sigstr_server::{Server, ServerConfig};
+//!
+//! let corpus = Corpus::open("corpus-dir").unwrap();
+//! let server = Server::bind(
+//!     corpus,
+//!     ServerConfig {
+//!         addr: "127.0.0.1:0".into(),
+//!         ..ServerConfig::default()
+//!     },
+//! )
+//! .unwrap();
+//! println!("listening on {}", server.local_addr());
+//! let handle = server.handle(); // call handle.shutdown() from anywhere
+//! let summary = server.run().unwrap();
+//! println!("served {} requests", summary.requests);
+//! # let _ = handle;
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod client;
+pub mod http;
+pub mod json;
+pub mod metrics;
+pub mod wire;
+
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use sigstr_core::Query;
+use sigstr_corpus::{Corpus, CorpusError};
+
+use http::{Conn, Limits, RecvError, Request, Response};
+use json::Json;
+use metrics::Metrics;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads (`0` = all available cores).
+    pub threads: usize,
+    /// Admission queue bound: connections accepted but not yet claimed
+    /// by a worker. Beyond it, new connections get `503` +
+    /// `Retry-After`.
+    pub queue_depth: usize,
+    /// How long an idle keep-alive connection is held open.
+    pub keep_alive: Duration,
+    /// Request size limits.
+    pub limits: Limits,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:8080".into(),
+            threads: 0,
+            queue_depth: 64,
+            keep_alive: Duration::from_secs(5),
+            limits: Limits::default(),
+        }
+    }
+}
+
+/// What [`Server::run`] reports after a graceful shutdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Requests fully parsed and answered.
+    pub requests: u64,
+    /// Connections turned away at admission with `503`.
+    pub rejected: u64,
+}
+
+/// State shared by the acceptor, the workers and every
+/// [`ServerHandle`].
+struct Shared {
+    corpus: Corpus,
+    metrics: Metrics,
+    queue: Mutex<VecDeque<TcpStream>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+    config: ServerConfig,
+}
+
+impl Shared {
+    fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    fn queue_depth(&self) -> usize {
+        self.queue.lock().expect("admission queue poisoned").len()
+    }
+}
+
+/// A bound server, ready to [`run`](Server::run).
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+}
+
+/// A cloneable handle that can stop a running server from any thread
+/// (or a signal watcher).
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+}
+
+impl ServerHandle {
+    /// Begin a graceful shutdown: stop accepting, finish in-flight
+    /// requests, close idle connections. Idempotent; returns
+    /// immediately ([`Server::run`] returns once the drain completes).
+    pub fn shutdown(&self) {
+        if !self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            // Wake the acceptor out of its blocking accept. The
+            // connection is recognized post-flag and dropped.
+            let _ = TcpStream::connect(self.addr);
+        }
+        self.shared.available.notify_all();
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.is_shutting_down()
+    }
+
+    /// The server's bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Server {
+    /// Bind the listener and assemble the shared state. The server does
+    /// not accept connections until [`Server::run`].
+    pub fn bind(corpus: Corpus, config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            corpus,
+            metrics: Metrics::default(),
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            config,
+        });
+        Ok(Server {
+            listener,
+            addr,
+            shared,
+        })
+    }
+
+    /// The bound address (the real port, when `addr` asked for `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A shutdown handle for this server.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: Arc::clone(&self.shared),
+            addr: self.addr,
+        }
+    }
+
+    /// Serve until [`ServerHandle::shutdown`]: spawns the worker pool,
+    /// runs the accept/admission loop on the calling thread, then
+    /// drains and joins everything.
+    pub fn run(self) -> std::io::Result<ServeSummary> {
+        let threads = if self.shared.config.threads == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(4)
+        } else {
+            self.shared.config.threads
+        };
+        let workers: Vec<_> = (0..threads)
+            .map(|i| {
+                let shared = Arc::clone(&self.shared);
+                std::thread::Builder::new()
+                    .name(format!("sigstr-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+
+        loop {
+            let stream = match self.listener.accept() {
+                Ok((stream, _peer)) => stream,
+                Err(_) => {
+                    if self.shared.is_shutting_down() {
+                        break;
+                    }
+                    // Persistent accept errors (fd exhaustion under
+                    // overload, transient ENOBUFS) must not hot-spin
+                    // the acceptor at 100% CPU — back off briefly.
+                    std::thread::sleep(Duration::from_millis(10));
+                    continue;
+                }
+            };
+            if self.shared.is_shutting_down() {
+                // The wake-up connection (or a client racing shutdown).
+                break;
+            }
+            self.admit(stream);
+        }
+        // Stop accepting *now* — connects after this refuse instead of
+        // hanging in the backlog.
+        drop(self.listener);
+        self.shared.available.notify_all();
+        for worker in workers {
+            let _ = worker.join();
+        }
+        Ok(ServeSummary {
+            requests: self.shared.metrics.requests(),
+            rejected: self.shared.metrics.rejected(),
+        })
+    }
+
+    /// Admission control: enqueue within the bound, `503` beyond it.
+    fn admit(&self, mut stream: TcpStream) {
+        let mut queue = self.shared.queue.lock().expect("admission queue poisoned");
+        if queue.len() >= self.shared.config.queue_depth {
+            drop(queue);
+            self.shared.metrics.record_rejected();
+            http::reject_overloaded(&mut stream);
+            return;
+        }
+        queue.push_back(stream);
+        drop(queue);
+        self.shared.available.notify_one();
+    }
+}
+
+/// Worker: claim connections until shutdown *and* the queue is drained.
+fn worker_loop(shared: &Shared) {
+    loop {
+        let stream = {
+            let mut queue = shared.queue.lock().expect("admission queue poisoned");
+            loop {
+                if let Some(stream) = queue.pop_front() {
+                    break Some(stream);
+                }
+                if shared.is_shutting_down() {
+                    break None;
+                }
+                queue = shared
+                    .available
+                    .wait(queue)
+                    .expect("admission queue poisoned");
+            }
+        };
+        match stream {
+            Some(stream) => serve_connection(shared, stream),
+            None => return,
+        }
+    }
+}
+
+/// One connection's keep-alive loop.
+fn serve_connection(shared: &Shared, stream: TcpStream) {
+    let Ok(mut conn) = Conn::new(stream) else {
+        return;
+    };
+    loop {
+        let request =
+            match conn.read_request(&shared.config.limits, shared.config.keep_alive, &|| {
+                shared.is_shutting_down()
+            }) {
+                Ok(request) => request,
+                Err(RecvError::Closed | RecvError::IdleTimeout | RecvError::Shutdown) => return,
+                Err(RecvError::Io(_)) => return,
+                Err(RecvError::TooLarge(status, message)) => {
+                    respond_error(shared, &mut conn, status, message);
+                    return;
+                }
+                Err(RecvError::Malformed(message)) => {
+                    respond_error(shared, &mut conn, 400, message);
+                    return;
+                }
+                Err(RecvError::Unsupported(message)) => {
+                    respond_error(shared, &mut conn, 501, message);
+                    return;
+                }
+            };
+        let start = Instant::now();
+        let mut response = route(shared, &request);
+        let keep_alive = request.keep_alive && response.keep_alive && !shared.is_shutting_down();
+        response.keep_alive = keep_alive;
+        shared.metrics.observe(response.status, start.elapsed());
+        if conn.write_response(&response).is_err() {
+            return;
+        }
+        if !keep_alive {
+            return;
+        }
+    }
+}
+
+/// Write a closing error response for input that never became a
+/// routable request. Counted as a protocol error (status class only) —
+/// not in `requests` and not in the latency histogram, whose semantics
+/// are "requests fully parsed and routed".
+fn respond_error(shared: &Shared, conn: &mut Conn, status: u16, message: &str) {
+    shared.metrics.record_protocol_error(status);
+    let _ = conn.write_response(&json_response(status, wire::error_json(message)).closing());
+}
+
+// ---------------------------------------------------------------------------
+// Routing.
+// ---------------------------------------------------------------------------
+
+fn json_response(status: u16, body: Json) -> Response {
+    match body.encode() {
+        Ok(mut text) => {
+            text.push('\n');
+            Response::new(status, "application/json", text.into_bytes())
+        }
+        // A non-finite float slipped into an answer: refuse to emit it
+        // silently (the documented policy), fail the request instead.
+        Err(e) => Response::new(
+            500,
+            "application/json",
+            format!("{{\"error\":\"unencodable response: {e}\"}}\n").into_bytes(),
+        ),
+    }
+}
+
+fn text_response(status: u16, body: String) -> Response {
+    Response::new(status, "text/plain; charset=utf-8", body.into_bytes())
+}
+
+/// Map a corpus error onto an HTTP status: unknown documents are `404`,
+/// invalid query parameters are `400`, everything else (I/O, corrupt
+/// snapshots, manifest trouble) is a `500`.
+fn corpus_error_status(error: &CorpusError) -> u16 {
+    match error {
+        CorpusError::UnknownDocument { .. } => 404,
+        CorpusError::Core(sigstr_core::Error::InvalidParameter { .. }) => 400,
+        CorpusError::InvalidName { .. } | CorpusError::DuplicateDocument { .. } => 400,
+        _ => 500,
+    }
+}
+
+fn route(shared: &Shared, request: &Request) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => text_response(200, "ok\n".into()),
+        ("GET", "/metrics") => text_response(
+            200,
+            shared
+                .metrics
+                .render(shared.queue_depth(), &shared.corpus.cache_stats()),
+        ),
+        ("GET", "/v1/documents") => handle_documents(shared),
+        ("POST", "/v1/query") => handle_query(shared, request),
+        ("POST", "/v1/batch") => handle_batch(shared, request),
+        ("GET", "/v1/merged/top") => handle_merged_top(shared, request),
+        ("GET", "/v1/merged/threshold") => handle_merged_threshold(shared, request),
+        (
+            _,
+            "/healthz" | "/metrics" | "/v1/documents" | "/v1/merged/top" | "/v1/merged/threshold",
+        ) => json_response(405, wire::error_json("method not allowed")).with_header("Allow", "GET"),
+        (_, "/v1/query" | "/v1/batch") => {
+            json_response(405, wire::error_json("method not allowed")).with_header("Allow", "POST")
+        }
+        _ => json_response(
+            404,
+            wire::error_json(&format!("no route for {}", request.path)),
+        ),
+    }
+}
+
+/// Decode a JSON request body, mapping every failure to a `400`.
+fn body_json(request: &Request) -> Result<Json, Response> {
+    let text = std::str::from_utf8(&request.body)
+        .map_err(|_| json_response(400, wire::error_json("request body is not UTF-8")))?;
+    Json::decode(text).map_err(|e| json_response(400, wire::error_json(&e.to_string())))
+}
+
+fn handle_documents(shared: &Shared) -> Response {
+    let documents: Vec<Json> = shared
+        .corpus
+        .entries()
+        .iter()
+        .map(wire::document_to_json)
+        .collect();
+    json_response(
+        200,
+        Json::Obj(vec![("documents".into(), Json::Arr(documents))]),
+    )
+}
+
+fn handle_query(shared: &Shared, request: &Request) -> Response {
+    let json = match body_json(request) {
+        Ok(json) => json,
+        Err(response) => return response,
+    };
+    let Some(doc) = json.get("doc").and_then(Json::as_str) else {
+        return json_response(400, wire::error_json("missing string field `doc`"));
+    };
+    let query = match json
+        .get("query")
+        .ok_or_else(|| "missing field `query`".to_string())
+        .and_then(wire::query_from_json)
+    {
+        Ok(query) => query,
+        Err(message) => return json_response(400, wire::error_json(&message)),
+    };
+    match shared.corpus.query(doc, &query) {
+        Ok(answer) => json_response(
+            200,
+            Json::Obj(vec![
+                ("doc".into(), Json::Str(doc.to_string())),
+                ("answer".into(), wire::answer_to_json(&answer)),
+            ]),
+        ),
+        Err(e) => json_response(corpus_error_status(&e), wire::error_json(&e.to_string())),
+    }
+}
+
+fn handle_batch(shared: &Shared, request: &Request) -> Response {
+    let json = match body_json(request) {
+        Ok(json) => json,
+        Err(response) => return response,
+    };
+    let Some(jobs) = json.get("jobs").and_then(Json::as_array) else {
+        return json_response(400, wire::error_json("missing array field `jobs`"));
+    };
+    let mut parsed: Vec<(String, Query)> = Vec::with_capacity(jobs.len());
+    for (i, job) in jobs.iter().enumerate() {
+        let Some(doc) = job.get("doc").and_then(Json::as_str) else {
+            return json_response(
+                400,
+                wire::error_json(&format!("job {i}: missing string field `doc`")),
+            );
+        };
+        let query = match job
+            .get("query")
+            .ok_or_else(|| "missing field `query`".to_string())
+            .and_then(wire::query_from_json)
+        {
+            Ok(query) => query,
+            Err(message) => {
+                return json_response(400, wire::error_json(&format!("job {i}: {message}")))
+            }
+        };
+        parsed.push((doc.to_string(), query));
+    }
+    // Fan out through the corpus batch driver: every job in this request
+    // (and in concurrent requests) shares the warm-engine cache and the
+    // one persistent worker pool.
+    let borrowed: Vec<(&str, Query)> = parsed.iter().map(|(d, q)| (d.as_str(), *q)).collect();
+    let answers = shared.corpus.run_batch(&borrowed);
+    let results: Vec<Json> = answers
+        .into_iter()
+        .zip(&parsed)
+        .map(|(answer, (doc, _))| match answer {
+            Ok(answer) => Json::Obj(vec![
+                ("doc".into(), Json::Str(doc.clone())),
+                ("answer".into(), wire::answer_to_json(&answer)),
+            ]),
+            Err(e) => Json::Obj(vec![
+                ("doc".into(), Json::Str(doc.clone())),
+                (
+                    "status".into(),
+                    Json::Int(u64::from(corpus_error_status(&e))),
+                ),
+                ("error".into(), Json::Str(e.to_string())),
+            ]),
+        })
+        .collect();
+    json_response(200, Json::Obj(vec![("results".into(), Json::Arr(results))]))
+}
+
+fn handle_merged_top(shared: &Shared, request: &Request) -> Response {
+    let Some(t) = request
+        .query_param("t")
+        .and_then(|t| t.parse::<usize>().ok())
+    else {
+        return json_response(
+            400,
+            wire::error_json("missing or unparseable query parameter `t`"),
+        );
+    };
+    match shared.corpus.top_t_merged(t) {
+        Ok(hits) => json_response(
+            200,
+            Json::Obj(vec![
+                ("t".into(), Json::Int(t as u64)),
+                (
+                    "hits".into(),
+                    Json::Arr(hits.iter().map(wire::hit_to_json).collect()),
+                ),
+            ]),
+        ),
+        Err(e) => json_response(corpus_error_status(&e), wire::error_json(&e.to_string())),
+    }
+}
+
+fn handle_merged_threshold(shared: &Shared, request: &Request) -> Response {
+    let Some(alpha) = request
+        .query_param("alpha")
+        .and_then(|a| a.parse::<f64>().ok())
+    else {
+        return json_response(
+            400,
+            wire::error_json("missing or unparseable query parameter `alpha`"),
+        );
+    };
+    if !alpha.is_finite() {
+        return json_response(400, wire::error_json("`alpha` must be finite"));
+    }
+    match shared.corpus.above_threshold_merged(alpha) {
+        Ok(hits) => json_response(
+            200,
+            Json::Obj(vec![
+                ("alpha".into(), Json::Num(alpha)),
+                ("count".into(), Json::Int(hits.len() as u64)),
+                (
+                    "hits".into(),
+                    Json::Arr(hits.iter().map(wire::hit_to_json).collect()),
+                ),
+            ]),
+        ),
+        Err(e) => json_response(corpus_error_status(&e), wire::error_json(&e.to_string())),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Compile-time thread-safety contract.
+// ---------------------------------------------------------------------------
+
+// The server hands `&Shared` (and through it `&Corpus` and
+// `Arc<Engine>`) to every worker thread. These assertions turn a future
+// accidental `!Sync` field — a `Cell`, an `Rc`, a raw pointer — into a
+// build error here instead of a trait-bound error somewhere deep in a
+// spawn call (or worse, a design that quietly stops being shareable).
+const _: () = {
+    const fn require_send_sync<T: Send + Sync>() {}
+    require_send_sync::<sigstr_core::Engine>();
+    require_send_sync::<std::sync::Arc<sigstr_core::Engine>>();
+    require_send_sync::<sigstr_corpus::Corpus>();
+    require_send_sync::<Shared>();
+    require_send_sync::<ServerHandle>();
+    require_send_sync::<Metrics>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigstr_core::{CountsLayout, Model, Sequence};
+
+    fn test_corpus(tag: &str) -> Corpus {
+        let dir = std::env::temp_dir().join(format!(
+            "sigstr-server-unit-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut corpus = Corpus::create(&dir).unwrap();
+        let symbols: Vec<u8> = (0..120u32).map(|i| ((i / 7) % 2) as u8).collect();
+        let seq = Sequence::from_symbols(symbols, 2).unwrap();
+        corpus
+            .add_document("d0", &seq, Model::uniform(2).unwrap(), CountsLayout::Flat)
+            .unwrap();
+        corpus
+    }
+
+    fn shared(tag: &str) -> Shared {
+        Shared {
+            corpus: test_corpus(tag),
+            metrics: Metrics::default(),
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            config: ServerConfig::default(),
+        }
+    }
+
+    fn get(path: &str, query: &[(&str, &str)]) -> Request {
+        Request {
+            method: "GET".into(),
+            path: path.into(),
+            query: query
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            headers: Vec::new(),
+            body: Vec::new(),
+            keep_alive: true,
+        }
+    }
+
+    fn post(path: &str, body: &str) -> Request {
+        Request {
+            method: "POST".into(),
+            path: path.into(),
+            query: Vec::new(),
+            headers: Vec::new(),
+            body: body.as_bytes().to_vec(),
+            keep_alive: true,
+        }
+    }
+
+    #[test]
+    fn router_statuses() {
+        let shared = shared("router");
+        assert_eq!(route(&shared, &get("/healthz", &[])).status, 200);
+        assert_eq!(route(&shared, &get("/metrics", &[])).status, 200);
+        assert_eq!(route(&shared, &get("/v1/documents", &[])).status, 200);
+        assert_eq!(route(&shared, &get("/no/such/route", &[])).status, 404);
+        // Wrong method → 405 with an Allow header.
+        let r = route(&shared, &post("/healthz", ""));
+        assert_eq!(r.status, 405);
+        assert!(r.extra_headers.iter().any(|(k, _)| *k == "Allow"));
+        assert_eq!(route(&shared, &get("/v1/query", &[])).status, 405);
+    }
+
+    #[test]
+    fn query_route_validates_input() {
+        let shared = shared("validate");
+        assert_eq!(route(&shared, &post("/v1/query", "not json")).status, 400);
+        assert_eq!(route(&shared, &post("/v1/query", "{}")).status, 400);
+        assert_eq!(
+            route(
+                &shared,
+                &post("/v1/query", r#"{"doc":"d0","query":{"kind":"nope"}}"#)
+            )
+            .status,
+            400
+        );
+        assert_eq!(
+            route(
+                &shared,
+                &post("/v1/query", r#"{"doc":"ghost","query":{"kind":"mss"}}"#)
+            )
+            .status,
+            404
+        );
+        let ok = route(
+            &shared,
+            &post("/v1/query", r#"{"doc":"d0","query":{"kind":"mss"}}"#),
+        );
+        assert_eq!(ok.status, 200);
+        let body = Json::decode(std::str::from_utf8(&ok.body).unwrap().trim()).unwrap();
+        assert_eq!(body.get("doc").unwrap().as_str(), Some("d0"));
+        assert!(body.get("answer").is_some());
+        // Out-of-range restriction → 400 (engine InvalidParameter).
+        assert_eq!(
+            route(
+                &shared,
+                &post(
+                    "/v1/query",
+                    r#"{"doc":"d0","query":{"kind":"mss","range":[0,100000]}}"#
+                )
+            )
+            .status,
+            400
+        );
+    }
+
+    #[test]
+    fn merged_routes_validate_parameters() {
+        let shared = shared("merged");
+        assert_eq!(route(&shared, &get("/v1/merged/top", &[])).status, 400);
+        assert_eq!(
+            route(&shared, &get("/v1/merged/top", &[("t", "x")])).status,
+            400
+        );
+        assert_eq!(
+            route(&shared, &get("/v1/merged/top", &[("t", "0")])).status,
+            400
+        );
+        assert_eq!(
+            route(&shared, &get("/v1/merged/top", &[("t", "3")])).status,
+            200
+        );
+        assert_eq!(
+            route(&shared, &get("/v1/merged/threshold", &[])).status,
+            400
+        );
+        assert_eq!(
+            route(&shared, &get("/v1/merged/threshold", &[("alpha", "inf")])).status,
+            400
+        );
+        assert_eq!(
+            route(&shared, &get("/v1/merged/threshold", &[("alpha", "2.5")])).status,
+            200
+        );
+    }
+
+    #[test]
+    fn batch_route_answers_per_job() {
+        let shared = shared("batch");
+        let body = r#"{"jobs":[
+            {"doc":"d0","query":{"kind":"mss"}},
+            {"doc":"ghost","query":{"kind":"mss"}},
+            {"doc":"d0","query":{"kind":"top","t":2}}
+        ]}"#;
+        let response = route(&shared, &post("/v1/batch", body));
+        assert_eq!(response.status, 200);
+        let json = Json::decode(std::str::from_utf8(&response.body).unwrap().trim()).unwrap();
+        let results = json.get("results").unwrap().as_array().unwrap();
+        assert_eq!(results.len(), 3);
+        assert!(results[0].get("answer").is_some());
+        assert!(results[1].get("error").is_some());
+        assert_eq!(results[1].get("status").unwrap().as_u64(), Some(404));
+        assert!(results[2].get("answer").is_some());
+        // A malformed job fails the whole request with its index.
+        let bad = r#"{"jobs":[{"doc":"d0"}]}"#;
+        let response = route(&shared, &post("/v1/batch", bad));
+        assert_eq!(response.status, 400);
+        assert!(std::str::from_utf8(&response.body)
+            .unwrap()
+            .contains("job 0"));
+    }
+
+    #[test]
+    fn default_config_is_sane() {
+        let config = ServerConfig::default();
+        assert_eq!(config.threads, 0);
+        assert!(config.queue_depth > 0);
+        assert!(config.keep_alive > Duration::from_millis(100));
+    }
+}

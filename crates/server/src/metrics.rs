@@ -1,0 +1,201 @@
+//! Server observability: request counters, a fixed-bucket latency
+//! histogram, and a text rendering for `GET /metrics`.
+//!
+//! Everything is lock-free atomics — the metrics path must never add a
+//! lock to the request path. The render borrows the corpus
+//! [`CacheStats`] and the live queue depth at scrape time, so the
+//! endpoint is one place to watch both the HTTP layer (traffic, errors,
+//! latency, admission rejections) and the serving layer (warm-engine
+//! hits/loads/evictions, resident bytes).
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use sigstr_corpus::CacheStats;
+
+/// Latency histogram bucket upper bounds, in microseconds (a final
+/// `+inf` bucket is implicit).
+pub const LATENCY_BUCKETS_US: [u64; 8] = [100, 250, 500, 1_000, 5_000, 10_000, 100_000, 1_000_000];
+
+/// Request/response counters (all monotonic except the queue-depth
+/// gauge, which is sampled at render time).
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Requests fully parsed and routed.
+    requests: AtomicU64,
+    /// Responses by status class.
+    class_2xx: AtomicU64,
+    class_4xx: AtomicU64,
+    class_5xx: AtomicU64,
+    /// Connections turned away at admission (`503` before any request
+    /// was parsed; not counted in `requests`).
+    rejected: AtomicU64,
+    /// Cumulative bucket counts (`buckets[i]` counts latencies at or
+    /// under `LATENCY_BUCKETS_US[i]`; the last slot is `+inf`).
+    buckets: [AtomicU64; LATENCY_BUCKETS_US.len() + 1],
+    latency_sum_us: AtomicU64,
+}
+
+impl Metrics {
+    /// Record one routed request and its response status + latency.
+    pub fn observe(&self, status: u16, elapsed: Duration) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let class = match status {
+            200..=299 => &self.class_2xx,
+            400..=499 => &self.class_4xx,
+            _ => &self.class_5xx,
+        };
+        class.fetch_add(1, Ordering::Relaxed);
+        let us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+        self.latency_sum_us.fetch_add(us, Ordering::Relaxed);
+        let slot = LATENCY_BUCKETS_US
+            .iter()
+            .position(|&bound| us <= bound)
+            .unwrap_or(LATENCY_BUCKETS_US.len());
+        self.buckets[slot].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one admission rejection (connection refused with `503`).
+    pub fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a protocol-level error response (malformed, unsupported,
+    /// oversized input answered before any request was routed): counts
+    /// toward its status class but not toward `requests` or the latency
+    /// histogram — those track requests fully parsed and routed.
+    pub fn record_protocol_error(&self, status: u16) {
+        let class = match status {
+            200..=299 => &self.class_2xx,
+            400..=499 => &self.class_4xx,
+            _ => &self.class_5xx,
+        };
+        class.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Requests fully parsed and routed so far.
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Connections turned away at admission so far.
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Render the `GET /metrics` text body.
+    pub fn render(&self, queue_depth: usize, cache: &CacheStats) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "sigstr_requests_total {}", self.requests());
+        let _ = writeln!(
+            out,
+            "sigstr_responses_total{{class=\"2xx\"}} {}",
+            self.class_2xx.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "sigstr_responses_total{{class=\"4xx\"}} {}",
+            self.class_4xx.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "sigstr_responses_total{{class=\"5xx\"}} {}",
+            self.class_5xx.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(out, "sigstr_admission_rejected_total {}", self.rejected());
+        let _ = writeln!(out, "sigstr_queue_depth {queue_depth}");
+        // Cumulative histogram in the Prometheus style: each `le` bucket
+        // includes everything below it.
+        let mut cumulative = 0u64;
+        for (i, &bound) in LATENCY_BUCKETS_US.iter().enumerate() {
+            cumulative += self.buckets[i].load(Ordering::Relaxed);
+            let _ = writeln!(
+                out,
+                "sigstr_request_latency_us_bucket{{le=\"{bound}\"}} {cumulative}"
+            );
+        }
+        cumulative += self.buckets[LATENCY_BUCKETS_US.len()].load(Ordering::Relaxed);
+        let _ = writeln!(
+            out,
+            "sigstr_request_latency_us_bucket{{le=\"+Inf\"}} {cumulative}"
+        );
+        let _ = writeln!(
+            out,
+            "sigstr_request_latency_us_sum {}",
+            self.latency_sum_us.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(out, "sigstr_request_latency_us_count {cumulative}");
+        let _ = writeln!(out, "sigstr_cache_hits_total {}", cache.hits);
+        let _ = writeln!(out, "sigstr_cache_loads_total {}", cache.loads);
+        let _ = writeln!(out, "sigstr_cache_evictions_total {}", cache.evictions);
+        let _ = writeln!(out, "sigstr_cache_resident_engines {}", cache.resident);
+        let _ = writeln!(out, "sigstr_cache_resident_bytes {}", cache.resident_bytes);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_buckets_accumulate() {
+        let metrics = Metrics::default();
+        metrics.observe(200, Duration::from_micros(50));
+        metrics.observe(200, Duration::from_micros(400));
+        metrics.observe(404, Duration::from_micros(2_000));
+        metrics.observe(503, Duration::from_secs(2));
+        metrics.record_rejected();
+        assert_eq!(metrics.requests(), 4);
+        assert_eq!(metrics.rejected(), 1);
+
+        let text = metrics.render(3, &CacheStats::default());
+        assert!(text.contains("sigstr_requests_total 4"), "{text}");
+        assert!(text.contains("class=\"2xx\"} 2"));
+        assert!(text.contains("class=\"4xx\"} 1"));
+        assert!(text.contains("class=\"5xx\"} 1"));
+        assert!(text.contains("sigstr_admission_rejected_total 1"));
+        assert!(text.contains("sigstr_queue_depth 3"));
+        // Cumulative: the 50us observation is in every bucket from
+        // le=100 up; +Inf covers all four.
+        assert!(text.contains("le=\"100\"} 1"));
+        assert!(text.contains("le=\"500\"} 2"));
+        assert!(text.contains("le=\"5000\"} 3"));
+        assert!(text.contains("le=\"+Inf\"} 4"));
+        assert!(text.contains("sigstr_request_latency_us_count 4"));
+    }
+
+    #[test]
+    fn protocol_errors_count_their_class_but_not_requests() {
+        let metrics = Metrics::default();
+        metrics.observe(200, Duration::from_micros(10));
+        metrics.record_protocol_error(400);
+        metrics.record_protocol_error(501);
+        assert_eq!(metrics.requests(), 1);
+        let text = metrics.render(0, &CacheStats::default());
+        assert!(text.contains("sigstr_requests_total 1"), "{text}");
+        assert!(text.contains("class=\"4xx\"} 1"), "{text}");
+        assert!(text.contains("class=\"5xx\"} 1"), "{text}");
+        // The histogram saw only the routed request.
+        assert!(text.contains("sigstr_request_latency_us_count 1"), "{text}");
+    }
+
+    #[test]
+    fn cache_stats_are_rendered() {
+        let metrics = Metrics::default();
+        let cache = CacheStats {
+            hits: 7,
+            loads: 2,
+            evictions: 1,
+            resident: 1,
+            resident_bytes: 4096,
+        };
+        let text = metrics.render(0, &cache);
+        assert!(text.contains("sigstr_cache_hits_total 7"));
+        assert!(text.contains("sigstr_cache_loads_total 2"));
+        assert!(text.contains("sigstr_cache_evictions_total 1"));
+        assert!(text.contains("sigstr_cache_resident_engines 1"));
+        assert!(text.contains("sigstr_cache_resident_bytes 4096"));
+    }
+}

@@ -1,0 +1,374 @@
+//! The wire format: JSON shapes for [`Query`], [`Answer`] and the
+//! corpus types, with encode **and** decode for every shape so clients
+//! (and the fidelity tests) can reconstruct the exact in-process
+//! structs.
+//!
+//! Query (the same vocabulary as the CLI's `--query` specs):
+//!
+//! ```json
+//! {"kind": "mss"}
+//! {"kind": "top", "t": 5}
+//! {"kind": "thresh", "alpha": 4.5}
+//! {"kind": "minlen", "gamma": 3}
+//! {"kind": "maxlen", "w": 8}
+//! {"kind": "mss", "range": [10, 90]}
+//! ```
+//!
+//! Answer (tagged by result shape):
+//!
+//! ```json
+//! {"type": "best", "best": {"start": 3, "end": 9, "chi_square": 6.0},
+//!  "stats": {"examined": 42, "skips": 3, "skipped": 17}}
+//! {"type": "top", "items": [...], "stats": {...}}
+//! {"type": "threshold", "items": [...], "stats": {...}}
+//! ```
+//!
+//! Positions and counters ride as exact integers, scores as
+//! round-trip-exact floats (see [`crate::json`]), so a decoded answer
+//! compares **bit-identical** to the in-process one.
+
+use sigstr_core::ThresholdResult;
+use sigstr_core::{Answer, MssResult, Query, QueryKind, ScanStats, Scored, TopTResult};
+use sigstr_corpus::{DocHit, DocumentEntry};
+
+use crate::json::Json;
+
+/// Decode-side errors are plain messages (they all become a `400` with
+/// the message in the body).
+pub type WireResult<T> = Result<T, String>;
+
+fn field<'j>(json: &'j Json, key: &str) -> WireResult<&'j Json> {
+    json.get(key)
+        .ok_or_else(|| format!("missing field `{key}`"))
+}
+
+fn usize_field(json: &Json, key: &str) -> WireResult<usize> {
+    field(json, key)?
+        .as_usize()
+        .ok_or_else(|| format!("field `{key}` must be a non-negative integer"))
+}
+
+fn u64_field(json: &Json, key: &str) -> WireResult<u64> {
+    field(json, key)?
+        .as_u64()
+        .ok_or_else(|| format!("field `{key}` must be a non-negative integer"))
+}
+
+fn f64_field(json: &Json, key: &str) -> WireResult<f64> {
+    field(json, key)?
+        .as_f64()
+        .ok_or_else(|| format!("field `{key}` must be a number"))
+}
+
+// ---------------------------------------------------------------------------
+// Scored + ScanStats.
+// ---------------------------------------------------------------------------
+
+/// `Scored` → `{"start": .., "end": .., "chi_square": ..}`.
+pub fn scored_to_json(item: &Scored) -> Json {
+    Json::Obj(vec![
+        ("start".into(), Json::Int(item.start as u64)),
+        ("end".into(), Json::Int(item.end as u64)),
+        ("chi_square".into(), Json::Num(item.chi_square)),
+    ])
+}
+
+/// Inverse of [`scored_to_json`].
+pub fn scored_from_json(json: &Json) -> WireResult<Scored> {
+    Ok(Scored {
+        start: usize_field(json, "start")?,
+        end: usize_field(json, "end")?,
+        chi_square: f64_field(json, "chi_square")?,
+    })
+}
+
+/// `ScanStats` → `{"examined": .., "skips": .., "skipped": ..}`.
+pub fn stats_to_json(stats: &ScanStats) -> Json {
+    Json::Obj(vec![
+        ("examined".into(), Json::Int(stats.examined)),
+        ("skips".into(), Json::Int(stats.skips)),
+        ("skipped".into(), Json::Int(stats.skipped)),
+    ])
+}
+
+/// Inverse of [`stats_to_json`].
+pub fn stats_from_json(json: &Json) -> WireResult<ScanStats> {
+    Ok(ScanStats {
+        examined: u64_field(json, "examined")?,
+        skips: u64_field(json, "skips")?,
+        skipped: u64_field(json, "skipped")?,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Query.
+// ---------------------------------------------------------------------------
+
+/// `Query` → its JSON shape (see the module docs).
+pub fn query_to_json(query: &Query) -> Json {
+    let mut pairs: Vec<(String, Json)> = match query.kind {
+        QueryKind::Mss => vec![("kind".into(), Json::Str("mss".into()))],
+        QueryKind::TopT(t) => vec![
+            ("kind".into(), Json::Str("top".into())),
+            ("t".into(), Json::Int(t as u64)),
+        ],
+        QueryKind::AboveThreshold(alpha) => vec![
+            ("kind".into(), Json::Str("thresh".into())),
+            ("alpha".into(), Json::Num(alpha)),
+        ],
+        QueryKind::MssMinLength(gamma) => vec![
+            ("kind".into(), Json::Str("minlen".into())),
+            ("gamma".into(), Json::Int(gamma as u64)),
+        ],
+        QueryKind::MssMaxLength(w) => vec![
+            ("kind".into(), Json::Str("maxlen".into())),
+            ("w".into(), Json::Int(w as u64)),
+        ],
+    };
+    if let Some((l, r)) = query.range {
+        pairs.push((
+            "range".into(),
+            Json::Arr(vec![Json::Int(l as u64), Json::Int(r as u64)]),
+        ));
+    }
+    Json::Obj(pairs)
+}
+
+/// Inverse of [`query_to_json`].
+pub fn query_from_json(json: &Json) -> WireResult<Query> {
+    let kind = field(json, "kind")?
+        .as_str()
+        .ok_or("field `kind` must be a string")?;
+    let query = match kind {
+        "mss" => Query::mss(),
+        "top" => Query::top_t(usize_field(json, "t")?),
+        "thresh" => Query::above_threshold(f64_field(json, "alpha")?),
+        "minlen" => Query::mss_min_length(usize_field(json, "gamma")?),
+        "maxlen" => Query::mss_max_length(usize_field(json, "w")?),
+        other => {
+            return Err(format!(
+                "unknown query kind `{other}` (expected mss|top|thresh|minlen|maxlen)"
+            ))
+        }
+    };
+    match json.get("range") {
+        None | Some(Json::Null) => Ok(query),
+        Some(range) => {
+            let items = range.as_array().ok_or("field `range` must be [l, r]")?;
+            let (l, r) = match items {
+                [l, r] => (
+                    l.as_usize().ok_or("range start must be an integer")?,
+                    r.as_usize().ok_or("range end must be an integer")?,
+                ),
+                _ => return Err("field `range` must have exactly two elements".into()),
+            };
+            Ok(query.in_range(l, r))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Answer.
+// ---------------------------------------------------------------------------
+
+/// `Answer` → its tagged JSON shape (see the module docs).
+pub fn answer_to_json(answer: &Answer) -> Json {
+    match answer {
+        Answer::Best(r) => Json::Obj(vec![
+            ("type".into(), Json::Str("best".into())),
+            ("best".into(), scored_to_json(&r.best)),
+            ("stats".into(), stats_to_json(&r.stats)),
+        ]),
+        Answer::Top(r) => Json::Obj(vec![
+            ("type".into(), Json::Str("top".into())),
+            (
+                "items".into(),
+                Json::Arr(r.items.iter().map(scored_to_json).collect()),
+            ),
+            ("stats".into(), stats_to_json(&r.stats)),
+        ]),
+        Answer::Threshold(r) => Json::Obj(vec![
+            ("type".into(), Json::Str("threshold".into())),
+            (
+                "items".into(),
+                Json::Arr(r.items.iter().map(scored_to_json).collect()),
+            ),
+            ("stats".into(), stats_to_json(&r.stats)),
+        ]),
+    }
+}
+
+fn items_field(json: &Json) -> WireResult<Vec<Scored>> {
+    field(json, "items")?
+        .as_array()
+        .ok_or("field `items` must be an array")?
+        .iter()
+        .map(scored_from_json)
+        .collect()
+}
+
+/// Inverse of [`answer_to_json`].
+pub fn answer_from_json(json: &Json) -> WireResult<Answer> {
+    let tag = field(json, "type")?
+        .as_str()
+        .ok_or("field `type` must be a string")?;
+    let stats = stats_from_json(field(json, "stats")?)?;
+    match tag {
+        "best" => Ok(Answer::Best(MssResult {
+            best: scored_from_json(field(json, "best")?)?,
+            stats,
+        })),
+        "top" => Ok(Answer::Top(TopTResult {
+            items: items_field(json)?,
+            stats,
+        })),
+        "threshold" => Ok(Answer::Threshold(ThresholdResult {
+            items: items_field(json)?,
+            stats,
+        })),
+        other => Err(format!("unknown answer type `{other}`")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Corpus types.
+// ---------------------------------------------------------------------------
+
+/// `DocumentEntry` → `{"name", "file", "n", "k", "layout"}`.
+pub fn document_to_json(entry: &DocumentEntry) -> Json {
+    Json::Obj(vec![
+        ("name".into(), Json::Str(entry.name.clone())),
+        ("file".into(), Json::Str(entry.file.clone())),
+        ("n".into(), Json::Int(entry.n as u64)),
+        ("k".into(), Json::Int(entry.k as u64)),
+        ("layout".into(), Json::Str(entry.layout.name().into())),
+    ])
+}
+
+/// `DocHit` → `{"doc": index, "name": .., "item": {scored}}`.
+pub fn hit_to_json(hit: &DocHit) -> Json {
+    Json::Obj(vec![
+        ("doc".into(), Json::Int(hit.doc as u64)),
+        ("name".into(), Json::Str(hit.name.clone())),
+        ("item".into(), scored_to_json(&hit.item)),
+    ])
+}
+
+/// Inverse of [`hit_to_json`].
+pub fn hit_from_json(json: &Json) -> WireResult<DocHit> {
+    Ok(DocHit {
+        doc: usize_field(json, "doc")?,
+        name: field(json, "name")?
+            .as_str()
+            .ok_or("field `name` must be a string")?
+            .to_string(),
+        item: scored_from_json(field(json, "item")?)?,
+    })
+}
+
+/// The standard error body: `{"error": "..."}`.
+pub fn error_json(message: &str) -> Json {
+    Json::Obj(vec![("error".into(), Json::Str(message.to_string()))])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_query(query: Query) {
+        let json = query_to_json(&query);
+        let text = json.encode().unwrap();
+        let back = query_from_json(&Json::decode(&text).unwrap()).unwrap();
+        assert_eq!(back, query, "{text}");
+    }
+
+    #[test]
+    fn queries_roundtrip() {
+        roundtrip_query(Query::mss());
+        roundtrip_query(Query::top_t(7));
+        roundtrip_query(Query::above_threshold(4.25));
+        roundtrip_query(Query::mss_min_length(3));
+        roundtrip_query(Query::mss_max_length(9));
+        roundtrip_query(Query::mss().in_range(10, 90));
+        roundtrip_query(Query::above_threshold(0.1).in_range(0, 5));
+    }
+
+    #[test]
+    fn query_decode_rejects_bad_shapes() {
+        for bad in [
+            r#"{}"#,
+            r#"{"kind":"bogus"}"#,
+            r#"{"kind":"top"}"#,
+            r#"{"kind":"top","t":-1}"#,
+            r#"{"kind":"top","t":"3"}"#,
+            r#"{"kind":"thresh"}"#,
+            r#"{"kind":"mss","range":[1]}"#,
+            r#"{"kind":"mss","range":[1,2,3]}"#,
+            r#"{"kind":"mss","range":"1..2"}"#,
+        ] {
+            let json = Json::decode(bad).unwrap();
+            assert!(query_from_json(&json).is_err(), "{bad}");
+        }
+        // An integer alpha is fine (5 == 5.0).
+        let json = Json::decode(r#"{"kind":"thresh","alpha":5}"#).unwrap();
+        assert_eq!(query_from_json(&json).unwrap(), Query::above_threshold(5.0));
+    }
+
+    #[test]
+    fn answers_roundtrip_bit_identically() {
+        let scored = |start, end, x2| Scored {
+            start,
+            end,
+            chi_square: x2,
+        };
+        let stats = ScanStats {
+            examined: u64::MAX - 3,
+            skips: 17,
+            skipped: 1 << 60,
+        };
+        let answers = [
+            Answer::Best(MssResult {
+                best: scored(3, 9, 0.1 + 0.2), // a classic non-representable sum
+                stats,
+            }),
+            Answer::Top(TopTResult {
+                items: vec![scored(0, 4, 12.5), scored(7, 20, f64::MIN_POSITIVE)],
+                stats,
+            }),
+            Answer::Threshold(ThresholdResult {
+                items: vec![],
+                stats,
+            }),
+        ];
+        for answer in &answers {
+            let text = answer_to_json(answer).encode().unwrap();
+            let back = answer_from_json(&Json::decode(&text).unwrap()).unwrap();
+            assert_eq!(&back, answer, "{text}");
+            for (a, b) in answer.items().iter().zip(back.items()) {
+                assert_eq!(a.chi_square.to_bits(), b.chi_square.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn hits_roundtrip() {
+        let hit = DocHit {
+            doc: 2,
+            name: "doc-2".into(),
+            item: Scored {
+                start: 5,
+                end: 11,
+                chi_square: 42.0625,
+            },
+        };
+        let text = hit_to_json(&hit).encode().unwrap();
+        let back = hit_from_json(&Json::decode(&text).unwrap()).unwrap();
+        assert_eq!(back, hit);
+    }
+
+    #[test]
+    fn error_body_shape() {
+        let text = error_json("no such document `x`").encode().unwrap();
+        assert_eq!(text, r#"{"error":"no such document `x`"}"#);
+    }
+}

@@ -1,0 +1,167 @@
+//! Property tests for the JSON module: `decode(encode(x))` must be the
+//! identity on the document model — including control-character and
+//! astral-plane strings, the full `u64` integer range, and `f64` values
+//! down to the subnormals — and the non-finite-float policy (error, not
+//! a silent `null`) must hold for every non-finite bit pattern.
+
+use proptest::prelude::*;
+use sigstr_server::json::{Json, JsonError};
+
+fn roundtrip(value: &Json) -> Json {
+    let text = value.encode().expect("finite documents encode");
+    Json::decode(&text).unwrap_or_else(|e| panic!("decode({text:?}): {e}"))
+}
+
+/// Build a code point from three dice: ASCII, control, or anywhere in
+/// the unicode scalar range (surrogates re-rolled to a replacement).
+fn char_from(select: u8, raw: u32) -> char {
+    match select % 3 {
+        0 => (b' ' + (raw % 95) as u8) as char,   // printable ASCII
+        1 => char::from_u32(raw % 0x20).unwrap(), // control chars
+        _ => char::from_u32(raw % 0x11_0000).unwrap_or('\u{FFFD}'),
+    }
+}
+
+/// A deterministic little Json-tree builder driven by a seed (the shim
+/// proptest has no recursive strategy combinators).
+fn build_tree(seed: u64, depth: usize) -> Json {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    build_tree_inner(&mut next, depth)
+}
+
+fn build_tree_inner(next: &mut impl FnMut() -> u64, depth: usize) -> Json {
+    let choice = next() % if depth == 0 { 6 } else { 8 };
+    match choice {
+        0 => Json::Null,
+        1 => Json::Bool(next().is_multiple_of(2)),
+        2 => Json::Int(next()),
+        3 => {
+            // Finite float from raw bits (re-roll the exponent field on
+            // the rare non-finite draw).
+            let bits = next();
+            let value = f64::from_bits(bits);
+            Json::Num(if value.is_finite() {
+                value
+            } else {
+                f64::from_bits(bits & !(0x7FFu64 << 52))
+            })
+        }
+        4 => {
+            let len = (next() % 12) as usize;
+            Json::Str(
+                (0..len)
+                    .map(|_| char_from(next() as u8, (next() >> 16) as u32))
+                    .collect(),
+            )
+        }
+        5 => Json::Num((next() % 1_000_000) as f64 / 997.0),
+        6 => {
+            let len = (next() % 4) as usize;
+            Json::Arr(
+                (0..len)
+                    .map(|_| build_tree_inner(next, depth - 1))
+                    .collect(),
+            )
+        }
+        _ => {
+            let len = (next() % 4) as usize;
+            Json::Obj(
+                (0..len)
+                    .map(|i| (format!("k{i}"), build_tree_inner(next, depth - 1)))
+                    .collect(),
+            )
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Strings with control characters, escapes, and arbitrary unicode
+    /// (astral planes included) survive the round trip exactly.
+    #[test]
+    fn strings_roundtrip(selectors in prop::collection::vec(0u8..255, 0..40),
+                         raws in prop::collection::vec(0u32..0x11_0000, 40usize)) {
+        let text: String = selectors
+            .iter()
+            .zip(&raws)
+            .map(|(&s, &r)| char_from(s, r))
+            .collect();
+        let value = Json::Str(text);
+        prop_assert_eq!(roundtrip(&value), value);
+    }
+
+    /// Every finite `f64` — subnormals, extremes, negative zero —
+    /// round-trips to the exact same bit pattern.
+    #[test]
+    fn finite_floats_roundtrip_bit_exactly(bits in 0u64..=u64::MAX) {
+        let value = f64::from_bits(bits);
+        prop_assume!(value.is_finite());
+        match roundtrip(&Json::Num(value)) {
+            Json::Num(back) => prop_assert_eq!(back.to_bits(), value.to_bits()),
+            other => prop_assert!(false, "decoded {:?}", other),
+        }
+    }
+
+    /// Every non-finite bit pattern refuses to encode — the documented
+    /// policy is an error, never a silent `null`.
+    #[test]
+    fn non_finite_floats_error(mantissa in 0u64..(1u64 << 52), sign in 0u64..2) {
+        let bits = (sign << 63) | (0x7FFu64 << 52) | mantissa; // NaN or ±inf
+        let value = f64::from_bits(bits);
+        prop_assert!(!value.is_finite());
+        prop_assert_eq!(Json::Num(value).encode(), Err(JsonError::NonFinite));
+        let nested = Json::Arr(vec![Json::Obj(vec![("x".into(), Json::Num(value))])]);
+        prop_assert_eq!(nested.encode(), Err(JsonError::NonFinite));
+    }
+
+    /// The full `u64` range rides as exact integers.
+    #[test]
+    fn integers_roundtrip(value in 0u64..=u64::MAX) {
+        prop_assert_eq!(roundtrip(&Json::Int(value)), Json::Int(value));
+    }
+
+    /// Arbitrary nested documents round-trip structurally intact.
+    #[test]
+    fn trees_roundtrip(seed in 0u64..=u64::MAX, depth in 1usize..5) {
+        let value = build_tree(seed, depth);
+        prop_assert_eq!(roundtrip(&value), value);
+    }
+}
+
+/// Named worst cases, pinned explicitly on top of the random sweep.
+#[test]
+fn f64_edge_cases_roundtrip() {
+    for value in [
+        0.0,
+        -0.0,
+        f64::MIN,
+        f64::MAX,
+        f64::MIN_POSITIVE,                     // smallest normal
+        f64::from_bits(1),                     // smallest subnormal (5e-324)
+        f64::from_bits(0x000F_FFFF_FFFF_FFFF), // largest subnormal
+        f64::EPSILON,
+        1.0 / 3.0,
+        0.1 + 0.2, // 0.30000000000000004: max shortest-repr precision
+        std::f64::consts::PI,
+        2f64.powi(-1022),
+        (1u64 << 53) as f64, // integer precision boundary
+        ((1u64 << 53) + 2) as f64,
+    ] {
+        let encoded = Json::Num(value).encode().unwrap();
+        match Json::decode(&encoded).unwrap() {
+            Json::Num(back) => assert_eq!(
+                back.to_bits(),
+                value.to_bits(),
+                "{value:e} → {encoded} → {back:e}"
+            ),
+            other => panic!("{value:e} encoded as {encoded} decoded to {other:?}"),
+        }
+    }
+}

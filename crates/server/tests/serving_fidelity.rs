@@ -1,0 +1,487 @@
+//! Serving-path fidelity: answers received over HTTP — decoded from
+//! JSON — must be **bit-identical** (full struct equality, `f64`
+//! compared by bits) to calling the corresponding [`Corpus`] method
+//! in-process; plus the overload and graceful-shutdown contracts.
+
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use sigstr_core::{Answer, CountsLayout, Model, Query, Sequence};
+use sigstr_corpus::Corpus;
+use sigstr_server::client::ClientConn;
+use sigstr_server::json::Json;
+use sigstr_server::wire;
+use sigstr_server::{Server, ServerConfig, ServerHandle};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "sigstr-server-it-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn doc(seed: u64, n: usize, k: usize) -> Sequence {
+    let mut x = seed | 1;
+    let symbols: Vec<u8> = (0..n)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x % k as u64) as u8
+        })
+        .collect();
+    Sequence::from_symbols(symbols, k).unwrap()
+}
+
+/// Build a 3-document corpus (mixed k, mixed layouts) at `dir`.
+fn build_corpus(dir: &PathBuf) {
+    let mut corpus = Corpus::create(dir).unwrap();
+    corpus
+        .add_document(
+            "bin-a",
+            &doc(11, 600, 2),
+            Model::uniform(2).unwrap(),
+            CountsLayout::Flat,
+        )
+        .unwrap();
+    corpus
+        .add_document(
+            "bin-b",
+            &doc(12, 400, 2),
+            Model::from_probs(vec![0.3, 0.7]).unwrap(),
+            CountsLayout::Blocked,
+        )
+        .unwrap();
+    corpus
+        .add_document(
+            "tri-c",
+            &doc(13, 500, 3),
+            Model::uniform(3).unwrap(),
+            CountsLayout::Blocked,
+        )
+        .unwrap();
+}
+
+/// Boot a server over a fresh clone of the corpus at `dir`; returns the
+/// handle and the thread running [`Server::run`].
+fn boot(
+    dir: &PathBuf,
+    config: ServerConfig,
+) -> (
+    ServerHandle,
+    std::thread::JoinHandle<sigstr_server::ServeSummary>,
+) {
+    let corpus = Corpus::open(dir).unwrap();
+    let server = Server::bind(corpus, config).unwrap();
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run().unwrap());
+    (handle, join)
+}
+
+fn ephemeral(threads: usize, queue_depth: usize) -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        threads,
+        queue_depth,
+        keep_alive: Duration::from_secs(5),
+        ..ServerConfig::default()
+    }
+}
+
+fn decoded_body(raw: &[u8]) -> Json {
+    Json::decode(std::str::from_utf8(raw).unwrap().trim()).unwrap()
+}
+
+/// Full-precision equality including stats and every `f64` bit.
+fn assert_answers_identical(over_http: &Answer, in_process: &Answer, label: &str) {
+    assert_eq!(over_http, in_process, "{label}: struct equality");
+    assert_eq!(over_http.stats(), in_process.stats(), "{label}: stats");
+    assert_eq!(
+        over_http.items().len(),
+        in_process.items().len(),
+        "{label}: item count"
+    );
+    for (a, b) in over_http.items().iter().zip(in_process.items()) {
+        assert_eq!(
+            a.chi_square.to_bits(),
+            b.chi_square.to_bits(),
+            "{label}: chi-square bits for [{}, {})",
+            b.start,
+            b.end
+        );
+    }
+}
+
+#[test]
+fn query_answers_are_bit_identical_to_in_process_corpus() {
+    let dir = temp_dir("fidelity");
+    build_corpus(&dir);
+    let (handle, join) = boot(&dir, ephemeral(2, 16));
+    let reference = Corpus::open(&dir).unwrap();
+    let mut conn = ClientConn::connect(handle.local_addr()).unwrap();
+
+    let queries = [
+        Query::mss(),
+        Query::top_t(5),
+        Query::above_threshold(2.0),
+        Query::mss_min_length(3),
+        Query::mss_max_length(6),
+        Query::mss().in_range(10, 300),
+        Query::top_t(3).in_range(50, 350),
+        Query::above_threshold(1.0).in_range(0, 128),
+    ];
+    for doc_name in ["bin-a", "bin-b", "tri-c"] {
+        for query in &queries {
+            let body = Json::Obj(vec![
+                ("doc".into(), Json::Str(doc_name.into())),
+                ("query".into(), wire::query_to_json(query)),
+            ])
+            .encode()
+            .unwrap();
+            let response = conn.request("POST", "/v1/query", Some(&body)).unwrap();
+            assert_eq!(response.status, 200, "{doc_name} {query:?}");
+            let json = decoded_body(&response.body);
+            assert_eq!(json.get("doc").unwrap().as_str(), Some(doc_name));
+            let over_http = wire::answer_from_json(json.get("answer").unwrap()).unwrap();
+            let in_process = reference.query(doc_name, query).unwrap();
+            assert_answers_identical(&over_http, &in_process, &format!("{doc_name} {query:?}"));
+        }
+    }
+
+    handle.shutdown();
+    join.join().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn batch_answers_match_run_batch_in_process() {
+    let dir = temp_dir("batch");
+    build_corpus(&dir);
+    let (handle, join) = boot(&dir, ephemeral(2, 16));
+    let reference = Corpus::open(&dir).unwrap();
+    let mut conn = ClientConn::connect(handle.local_addr()).unwrap();
+
+    let jobs = [
+        ("bin-a", Query::mss()),
+        ("tri-c", Query::top_t(4)),
+        ("bin-b", Query::above_threshold(3.0)),
+        ("bin-a", Query::mss().in_range(5, 99)),
+        ("ghost", Query::mss()),
+    ];
+    let jobs_json: Vec<Json> = jobs
+        .iter()
+        .map(|(doc, query)| {
+            Json::Obj(vec![
+                ("doc".into(), Json::Str((*doc).into())),
+                ("query".into(), wire::query_to_json(query)),
+            ])
+        })
+        .collect();
+    let body = Json::Obj(vec![("jobs".into(), Json::Arr(jobs_json))])
+        .encode()
+        .unwrap();
+    let response = conn.request("POST", "/v1/batch", Some(&body)).unwrap();
+    assert_eq!(response.status, 200);
+    let results = decoded_body(&response.body);
+    let results = results.get("results").unwrap().as_array().unwrap();
+    assert_eq!(results.len(), jobs.len());
+
+    let expected = reference.run_batch(&jobs);
+    for (i, (slot, expected)) in results.iter().zip(&expected).enumerate() {
+        match expected {
+            Ok(answer) => {
+                let over_http = wire::answer_from_json(slot.get("answer").unwrap()).unwrap();
+                assert_answers_identical(&over_http, answer, &format!("job {i}"));
+            }
+            Err(_) => {
+                assert!(slot.get("error").is_some(), "job {i} should be an error");
+                assert_eq!(slot.get("status").unwrap().as_u64(), Some(404));
+            }
+        }
+    }
+
+    handle.shutdown();
+    join.join().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn merged_endpoints_are_bit_identical_to_in_process_merges() {
+    let dir = temp_dir("merged");
+    build_corpus(&dir);
+    let (handle, join) = boot(&dir, ephemeral(2, 16));
+    let reference = Corpus::open(&dir).unwrap();
+    let mut conn = ClientConn::connect(handle.local_addr()).unwrap();
+
+    // Top-t merge.
+    let t = 6;
+    let response = conn
+        .request("GET", &format!("/v1/merged/top?t={t}"), None)
+        .unwrap();
+    assert_eq!(response.status, 200);
+    let json = decoded_body(&response.body);
+    assert_eq!(json.get("t").unwrap().as_u64(), Some(t as u64));
+    let hits: Vec<_> = json
+        .get("hits")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|h| wire::hit_from_json(h).unwrap())
+        .collect();
+    let expected = reference.top_t_merged(t).unwrap();
+    assert_eq!(hits.len(), expected.len());
+    for (a, b) in hits.iter().zip(&expected) {
+        assert_eq!(a.doc, b.doc);
+        assert_eq!(a.name, b.name);
+        assert_eq!((a.item.start, a.item.end), (b.item.start, b.item.end));
+        assert_eq!(a.item.chi_square.to_bits(), b.item.chi_square.to_bits());
+    }
+
+    // Threshold merge.
+    let alpha = 4.5;
+    let response = conn
+        .request("GET", &format!("/v1/merged/threshold?alpha={alpha}"), None)
+        .unwrap();
+    assert_eq!(response.status, 200);
+    let json = decoded_body(&response.body);
+    assert_eq!(json.get("alpha").unwrap().as_f64(), Some(alpha));
+    let hits: Vec<_> = json
+        .get("hits")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|h| wire::hit_from_json(h).unwrap())
+        .collect();
+    let expected = reference.above_threshold_merged(alpha).unwrap();
+    assert_eq!(json.get("count").unwrap().as_u64(), Some(hits.len() as u64));
+    assert_eq!(hits.len(), expected.len());
+    for (a, b) in hits.iter().zip(&expected) {
+        assert_eq!((a.doc, &a.name), (b.doc, &b.name));
+        assert_eq!(a.item.chi_square.to_bits(), b.item.chi_square.to_bits());
+    }
+
+    handle.shutdown();
+    join.join().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn documents_route_lists_the_manifest() {
+    let dir = temp_dir("documents");
+    build_corpus(&dir);
+    let (handle, join) = boot(&dir, ephemeral(1, 4));
+    let reference = Corpus::open(&dir).unwrap();
+    let mut conn = ClientConn::connect(handle.local_addr()).unwrap();
+
+    let response = conn.request("GET", "/v1/documents", None).unwrap();
+    assert_eq!(response.status, 200);
+    let json = decoded_body(&response.body);
+    let documents = json.get("documents").unwrap().as_array().unwrap();
+    assert_eq!(documents.len(), reference.len());
+    for (doc, entry) in documents.iter().zip(reference.entries()) {
+        assert_eq!(doc.get("name").unwrap().as_str(), Some(entry.name.as_str()));
+        assert_eq!(doc.get("n").unwrap().as_usize(), Some(entry.n));
+        assert_eq!(doc.get("k").unwrap().as_usize(), Some(entry.k));
+        assert_eq!(
+            doc.get("layout").unwrap().as_str(),
+            Some(entry.layout.name())
+        );
+    }
+
+    handle.shutdown();
+    join.join().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn keep_alive_serves_sequential_requests_and_metrics_count_them() {
+    let dir = temp_dir("keepalive");
+    build_corpus(&dir);
+    let (handle, join) = boot(&dir, ephemeral(1, 4));
+    let mut conn = ClientConn::connect(handle.local_addr()).unwrap();
+
+    for _ in 0..3 {
+        let response = conn
+            .request(
+                "POST",
+                "/v1/query",
+                Some(r#"{"doc":"bin-a","query":{"kind":"mss"}}"#),
+            )
+            .unwrap();
+        assert_eq!(response.status, 200);
+        assert_eq!(response.header("connection"), Some("keep-alive"));
+    }
+    let response = conn.request("GET", "/healthz", None).unwrap();
+    assert_eq!(response.body_str(), "ok\n");
+    let response = conn.request("GET", "/metrics", None).unwrap();
+    let text = response.body_str();
+    // Four requests precede the scrape (the scrape itself is counted
+    // only after its response is rendered).
+    assert!(text.contains("sigstr_requests_total 4"), "{text}");
+    assert!(text.contains("sigstr_cache_hits_total"), "{text}");
+    assert!(text.contains("sigstr_request_latency_us_bucket"), "{text}");
+
+    handle.shutdown();
+    join.join().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn protocol_violations_get_400_and_501() {
+    let dir = temp_dir("protocol");
+    build_corpus(&dir);
+    let (handle, join) = boot(&dir, ephemeral(1, 4));
+
+    // Chunked transfer encoding → 501.
+    let mut conn = ClientConn::connect(handle.local_addr()).unwrap();
+    conn.send_raw(b"POST /v1/query HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+        .unwrap();
+    assert_eq!(conn.read_response().unwrap().status, 501);
+
+    // Pipelined requests → 501.
+    let mut conn = ClientConn::connect(handle.local_addr()).unwrap();
+    conn.send_raw(b"GET /healthz HTTP/1.1\r\n\r\nGET /healthz HTTP/1.1\r\n\r\n")
+        .unwrap();
+    assert_eq!(conn.read_response().unwrap().status, 501);
+
+    // Malformed request line → 400.
+    let mut conn = ClientConn::connect(handle.local_addr()).unwrap();
+    conn.send_raw(b"BROKEN\r\n\r\n").unwrap();
+    assert_eq!(conn.read_response().unwrap().status, 400);
+
+    handle.shutdown();
+    join.join().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The overload contract: with the admission queue full, a new
+/// connection gets `503` + `Retry-After` immediately — and the
+/// connections already being served (or queued) are neither dropped nor
+/// corrupted.
+#[test]
+fn overload_returns_503_without_corrupting_in_flight_connections() {
+    let dir = temp_dir("overload");
+    build_corpus(&dir);
+    // One worker, queue depth one: the third concurrent connection must
+    // be turned away.
+    let (handle, join) = boot(&dir, ephemeral(1, 1));
+    let reference = Corpus::open(&dir).unwrap();
+    let expected = reference.query("bin-a", &Query::mss()).unwrap();
+    let query_body = r#"{"doc":"bin-a","query":{"kind":"mss"}}"#;
+
+    // Connection A: served once, then held open — the only worker is
+    // now parked in A's keep-alive loop.
+    let mut conn_a = ClientConn::connect(handle.local_addr()).unwrap();
+    let response = conn_a
+        .request("POST", "/v1/query", Some(query_body))
+        .unwrap();
+    assert_eq!(response.status, 200);
+
+    // Connection B: accepted into the queue (depth 1 → now full). Sends
+    // its request up front; it will be answered only after A closes.
+    let mut conn_b = ClientConn::connect(handle.local_addr()).unwrap();
+    conn_b
+        .send_raw(
+            format!(
+                "POST /v1/query HTTP/1.1\r\nHost: s\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{}",
+                query_body.len(),
+                query_body
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+
+    // Connection C: the queue is full → 503 with Retry-After, at once.
+    let mut conn_c = ClientConn::connect(handle.local_addr()).unwrap();
+    conn_c.send_raw(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+    let rejected = conn_c.read_response().unwrap();
+    assert_eq!(rejected.status, 503);
+    assert_eq!(rejected.header("retry-after"), Some("1"));
+    assert_eq!(rejected.header("connection"), Some("close"));
+
+    // A's in-flight keep-alive connection still answers, with the exact
+    // same bits as before the overload.
+    let response = conn_a
+        .request("POST", "/v1/query", Some(query_body))
+        .unwrap();
+    assert_eq!(response.status, 200);
+    let json = decoded_body(&response.body);
+    let answer = wire::answer_from_json(json.get("answer").unwrap()).unwrap();
+    assert_answers_identical(&answer, &expected, "conn A post-503");
+
+    // Closing A frees the worker; B's queued request is then served
+    // correctly — queued work survived the overload untouched.
+    drop(conn_a);
+    let response = conn_b.read_response().unwrap();
+    assert_eq!(response.status, 200);
+    let json = decoded_body(&response.body);
+    let answer = wire::answer_from_json(json.get("answer").unwrap()).unwrap();
+    assert_answers_identical(&answer, &expected, "conn B after drain");
+
+    // The rejection is visible in the metrics. (B is closed first so
+    // the single worker is free to claim this connection.)
+    drop(conn_b);
+    let mut conn = ClientConn::connect(handle.local_addr()).unwrap();
+    let text = conn.request("GET", "/metrics", None).unwrap();
+    assert!(
+        text.body_str()
+            .contains("sigstr_admission_rejected_total 1"),
+        "{}",
+        text.body_str()
+    );
+
+    handle.shutdown();
+    join.join().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Graceful shutdown: requests whose bytes have arrived are drained,
+/// idle connections close, new connections are refused, and `run`
+/// returns the summary.
+#[test]
+fn graceful_shutdown_drains_in_flight_requests() {
+    let dir = temp_dir("shutdown");
+    build_corpus(&dir);
+    let (handle, join) = boot(&dir, ephemeral(1, 4));
+    let addr = handle.local_addr();
+
+    // Engage the single worker with a keep-alive connection.
+    let mut conn = ClientConn::connect(addr).unwrap();
+    let response = conn
+        .request(
+            "POST",
+            "/v1/query",
+            Some(r#"{"doc":"bin-b","query":{"kind":"top","t":3}}"#),
+        )
+        .unwrap();
+    assert_eq!(response.status, 200);
+
+    // Start the next request but leave it incomplete, then ask for
+    // shutdown, then finish it: the request is genuinely in flight when
+    // the flag flips, and the drain must still answer it (closing the
+    // connection afterwards instead of keeping it alive).
+    conn.send_raw(b"GET /healthz HTTP/1.1\r\n").unwrap();
+    std::thread::sleep(Duration::from_millis(100)); // worker holds the partial request
+    handle.shutdown();
+    conn.send_raw(b"\r\n").unwrap();
+    let response = conn.read_response().unwrap();
+    assert_eq!(response.status, 200);
+    assert_eq!(response.body_str(), "ok\n");
+    assert_eq!(response.header("connection"), Some("close"));
+
+    // run() returns with the tally once the drain completes.
+    let summary = join.join().unwrap();
+    assert_eq!(summary.requests, 2);
+    assert_eq!(summary.rejected, 0);
+    assert!(handle.is_shutting_down());
+
+    // The listener is gone: new connections fail.
+    assert!(TcpStream::connect(addr).is_err());
+    std::fs::remove_dir_all(&dir).ok();
+}
