@@ -36,6 +36,7 @@ pub fn all() -> Vec<(&'static str, Runner)> {
         ("counts_footprint", perf::counts_footprint),
         ("snapshot_load", perf::snapshot_load),
         ("server_throughput", perf::server_throughput),
+        ("router_fanout", perf::router_fanout),
     ]
 }
 
@@ -54,11 +55,11 @@ mod tests {
     #[test]
     fn registry_is_complete_and_unique() {
         let ids: Vec<&str> = all().iter().map(|(id, _)| *id).collect();
-        assert_eq!(ids.len(), 21);
+        assert_eq!(ids.len(), 22);
         let mut sorted = ids.clone();
         sorted.sort_unstable();
         sorted.dedup();
-        assert_eq!(sorted.len(), 21, "duplicate experiment ids");
+        assert_eq!(sorted.len(), 22, "duplicate experiment ids");
         assert!(by_id("fig1a").is_some());
         assert!(by_id("table6").is_some());
         assert!(by_id("bench_smoke").is_some());
@@ -66,6 +67,7 @@ mod tests {
         assert!(by_id("counts_footprint").is_some());
         assert!(by_id("snapshot_load").is_some());
         assert!(by_id("server_throughput").is_some());
+        assert!(by_id("router_fanout").is_some());
         assert!(by_id("bogus").is_none());
     }
 }

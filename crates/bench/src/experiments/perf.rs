@@ -518,6 +518,255 @@ pub fn server_throughput(scale: Scale) -> Report {
     report
 }
 
+/// Request-latency percentiles (µs) over one keep-alive connection.
+fn latencies_us(addr: &str, target: &str, warmups: usize, requests: usize) -> Vec<u64> {
+    use sigstr_server::client::ClientConn;
+    let mut conn = ClientConn::connect(addr).expect("bench client connects");
+    for _ in 0..warmups {
+        let response = conn.request("GET", target, None).expect("warmup");
+        assert_eq!(response.status, 200, "{}", response.body_str());
+    }
+    (0..requests)
+        .map(|_| {
+            let start = std::time::Instant::now();
+            let response = conn.request("GET", target, None).expect("request");
+            assert_eq!(response.status, 200, "{}", response.body_str());
+            start.elapsed().as_micros() as u64
+        })
+        .collect()
+}
+
+fn percentile_us(samples: &mut [u64], p: f64) -> u64 {
+    samples.sort_unstable();
+    samples[(((samples.len() - 1) as f64) * p).round() as usize]
+}
+
+/// The `router_fanout` experiment (`BENCH_6.json`): merged top-t latency
+/// through the scatter-gather router over two shards, against one server
+/// holding the whole corpus — healthy, and with the path to one shard
+/// delayed 50 ms by the fault-injection proxy.
+///
+/// Two router instances front the same shard pair, each through its own
+/// [`FaultProxy`](sigstr_router::fault::FaultProxy) so connection
+/// numbering (which decides which connections the proxy delays) stays
+/// deterministic per router. The hedged router's fixed trigger is
+/// calibrated to the measured healthy p99, so the `delayed+hedged` row
+/// shows what hedging buys: the duplicate attempt lands on a fast
+/// connection and wins, keeping p99 near `trigger + RTT` instead of the
+/// 50 ms delay the no-hedge router eats on every request. The CI gate
+/// requires `delayed+hedged` p99 ≤ 2× the healthy routed p99.
+pub fn router_fanout(scale: Scale) -> Report {
+    use sigstr_router::fault::{FaultMode, FaultProxy};
+    use sigstr_router::{HedgePolicy, RouterConfig, RouterServer};
+    use sigstr_server::{Server, ServerConfig};
+    use std::time::Duration;
+
+    let mut report = Report::new(
+        "router_fanout",
+        "routed 2-shard merged top-t vs single server, healthy and with one shard delayed 50 ms",
+        &["scenario", "requests", "p50_us", "p99_us", "p99_vs_healthy"],
+    );
+    let n = scale.pick(16_384, 4_096);
+    let requests = scale.pick(400, 150);
+    let delayed_requests = scale.pick(100, 40); // 50 ms each: keep the row bounded
+    const DELAY_MS: u64 = 50;
+    const DOCS: usize = 6;
+
+    // Ring-partitioned shard corpora plus the all-documents reference
+    // (sorted-name ingest keeps the global document order identical).
+    let tag = format!("{}-{:?}", std::process::id(), std::thread::current().id());
+    let dirs: Vec<std::path::PathBuf> = ["s0", "s1", "all"]
+        .iter()
+        .map(|which| {
+            let dir = std::env::temp_dir().join(format!("sigstr-router-bench-{which}-{tag}"));
+            std::fs::remove_dir_all(&dir).ok();
+            dir
+        })
+        .collect();
+    let ring = sigstr_router::hash::Ring::new(2, RouterConfig::new(vec!["x".into()]).vnodes);
+    {
+        let mut shards: Vec<_> = dirs[..2]
+            .iter()
+            .map(|d| sigstr_corpus::Corpus::create(d).expect("corpus"))
+            .collect();
+        let mut all = sigstr_corpus::Corpus::create(&dirs[2]).expect("corpus");
+        for i in 0..DOCS {
+            let name = format!("doc{i}");
+            let (seq, model) = input(2 + i % 2 * 2, n + i * 256);
+            let owner = ring.shard_for(&name);
+            shards[owner]
+                .add_document(&name, &seq, model.clone(), CountsLayout::Auto)
+                .expect("add to shard");
+            all.add_document(&name, &seq, model, CountsLayout::Auto)
+                .expect("add to reference");
+        }
+        assert!(
+            shards.iter().all(|s| !s.is_empty()),
+            "ring left a shard empty — change the document names"
+        );
+    }
+
+    let boot_server = |dir: &std::path::Path| {
+        let server = Server::bind(
+            sigstr_corpus::Corpus::open(dir).expect("corpus reopens"),
+            ServerConfig {
+                addr: "127.0.0.1:0".into(),
+                threads: 4,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("server binds");
+        let addr = server.local_addr().to_string();
+        let handle = server.handle();
+        let thread = std::thread::spawn(move || server.run().expect("server runs"));
+        (addr, handle, thread)
+    };
+    let servers: Vec<_> = dirs.iter().map(|d| boot_server(d)).collect();
+    let shard_b: std::net::SocketAddr = servers[1].0.parse().expect("shard address");
+
+    // One proxy per router: accept-order connection numbering (which
+    // selects delayed connections) must not interleave across routers.
+    let mut proxy_plain = FaultProxy::start(shard_b).expect("proxy");
+    let mut proxy_hedge = FaultProxy::start(shard_b).expect("proxy");
+    let boot_router = |proxy: &FaultProxy, hedge: HedgePolicy| {
+        let mut config = RouterConfig::new(vec![servers[0].0.clone(), proxy.addr().to_string()]);
+        config.service.addr = "127.0.0.1:0".into();
+        config.service.threads = 4;
+        config.hedge = hedge;
+        // Only the bind-time probe round: background probes would dial
+        // extra proxy connections and scramble the delay parity.
+        config.probe_interval = Duration::from_secs(600);
+        let router = RouterServer::bind(config).expect("router binds");
+        let addr = router.local_addr().to_string();
+        let handle = router.handle();
+        let thread = std::thread::spawn(move || router.run().expect("router runs"));
+        (addr, handle, thread)
+    };
+
+    let target = "/v1/merged/top?t=5";
+    let mut single = latencies_us(&servers[2].0, target, 10, requests);
+
+    let plain = boot_router(&proxy_plain, HedgePolicy::Disabled);
+    let mut healthy = latencies_us(&plain.0, target, 10, requests);
+    let healthy_p99 = percentile_us(&mut healthy, 0.99);
+
+    // Routed answers must match the single server before any latency
+    // claim means anything (bit-identity is pinned by the router's
+    // integration tests; this guards the bench wiring itself).
+    {
+        use sigstr_server::client::ClientConn;
+        let routed = ClientConn::connect(&plain.0)
+            .and_then(|mut c| c.request("GET", target, None))
+            .expect("routed");
+        let direct = ClientConn::connect(&servers[2].0)
+            .and_then(|mut c| c.request("GET", target, None))
+            .expect("direct");
+        let hits = |raw: &[u8]| {
+            sigstr_server::json::Json::decode(std::str::from_utf8(raw).unwrap().trim())
+                .unwrap()
+                .get("hits")
+                .unwrap()
+                .encode()
+                .unwrap()
+        };
+        assert_eq!(
+            hits(&routed.body),
+            hits(&direct.body),
+            "routed != single-server answer"
+        );
+    }
+
+    // Hedge trigger: the measured healthy p99, clamped to sane bounds —
+    // late enough to stay quiet when healthy, early enough to beat the
+    // injected 50 ms delay by an order of magnitude.
+    let trigger_us = healthy_p99.clamp(1_000, 25_000);
+    let hedged = boot_router(
+        &proxy_hedge,
+        HedgePolicy::Fixed(Duration::from_micros(trigger_us)),
+    );
+    latencies_us(&hedged.0, target, 10, 10); // warm the pool before the fault
+    proxy_hedge.set_mode(FaultMode::DelayConns {
+        every: 2,
+        delay_ms: DELAY_MS,
+    });
+    let mut delayed_hedged = latencies_us(&hedged.0, target, 0, requests);
+
+    proxy_plain.set_mode(FaultMode::DelayConns {
+        every: 1,
+        delay_ms: DELAY_MS,
+    });
+    let mut delayed_plain = latencies_us(&plain.0, target, 0, delayed_requests);
+
+    let hedge_metrics = {
+        use sigstr_server::client::ClientConn;
+        let response = ClientConn::connect(&hedged.0)
+            .and_then(|mut c| c.request("GET", "/metrics", None))
+            .expect("metrics");
+        let text = response.body_str().to_string();
+        let value = |name: &str| {
+            text.lines()
+                .find_map(|l| {
+                    l.strip_prefix(name)
+                        .and_then(|r| r.trim().parse::<u64>().ok())
+                })
+                .unwrap_or(0)
+        };
+        (
+            value("sigstr_router_hedges_total"),
+            value("sigstr_router_hedge_wins_total"),
+        )
+    };
+
+    for (scenario, samples, count) in [
+        ("single", &mut single, requests),
+        ("routed_healthy", &mut healthy, requests),
+        ("routed_delayed_hedged", &mut delayed_hedged, requests),
+        (
+            "routed_delayed_nohedge",
+            &mut delayed_plain,
+            delayed_requests,
+        ),
+    ] {
+        let p50 = percentile_us(samples, 0.50);
+        let p99 = percentile_us(samples, 0.99);
+        report.push_row(vec![
+            scenario.to_string(),
+            count.to_string(),
+            p50.to_string(),
+            p99.to_string(),
+            cell_f(p99 as f64 / healthy_p99 as f64, 2),
+        ]);
+    }
+
+    for (_, handle, thread) in [plain, hedged] {
+        handle.shutdown();
+        thread.join().expect("router thread");
+    }
+    proxy_plain.stop();
+    proxy_hedge.stop();
+    for (_, handle, thread) in servers {
+        handle.shutdown();
+        thread.join().expect("server thread");
+    }
+    for dir in &dirs {
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    report.note(format!(
+        "2 shards ({DOCS} documents, n ≈ {n}), merged GET {target}; delayed rows put \
+         {DELAY_MS} ms on the proxied path to shard 1 (every 2nd connection for the hedged \
+         router, every connection for the no-hedge router); hedge trigger fixed at the \
+         healthy p99 = {trigger_us} µs; hedged router launched {} hedges, {} won",
+        hedge_metrics.0, hedge_metrics.1
+    ));
+    report.note(
+        "acceptance gate: routed_delayed_hedged p99_vs_healthy <= 2.0 (the hedge lands on \
+         a fast connection and wins, so the injected 50 ms delay never reaches the caller); \
+         routed_delayed_nohedge documents the counterfactual: every request eats the delay",
+    );
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

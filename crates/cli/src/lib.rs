@@ -152,6 +152,23 @@ pub enum Command {
         /// The corpus directory.
         dir: String,
     },
+    /// Scatter-gather router over shard servers: same HTTP surface as
+    /// `serve`, answers merged across the fleet, shards health-checked
+    /// and faults routed around.
+    Route {
+        /// Shard addresses; order is the placement contract.
+        shards: Vec<String>,
+        /// Per-request deadline override, in milliseconds.
+        deadline_ms: Option<u64>,
+        /// Retry-budget override for transport failures.
+        retries: Option<u32>,
+        /// Fixed hedge trigger in milliseconds (default: adaptive p95).
+        hedge_ms: Option<u64>,
+        /// Disable hedged requests entirely.
+        no_hedge: bool,
+        /// Print these documents' shard placements and exit.
+        plan: Option<Vec<String>>,
+    },
 }
 
 /// Null-model selection.
@@ -216,6 +233,7 @@ impl Invocation {
                 | Command::CorpusQuery { .. }
                 | Command::CorpusList { .. }
                 | Command::Serve { .. }
+                | Command::Route { .. }
         )
     }
 }
@@ -232,6 +250,9 @@ USAGE:
     sigstr corpus query <dir> --query Q... [--merge-top T] [--merge-thresh A]
     sigstr corpus list  <dir> [--stats]
     sigstr serve <dir> [--addr A] [--threads N] [--budget-mb N] [--queue-depth N]
+    sigstr route --shards A1,A2,... [--addr A] [--threads N] [--queue-depth N]
+                 [--deadline-ms N] [--retries N] [--hedge-ms N | --no-hedge]
+                 [--plan NAME1,NAME2,...]
 
 COMMANDS:
     mss                     most significant substring (Problem 1)
@@ -256,6 +277,12 @@ COMMANDS:
                             /metrics, /v1/documents, /v1/merged/*;
                             POST /v1/query, /v1/batch); graceful
                             shutdown on SIGINT/SIGTERM
+    route                   scatter-gather router over `serve` shards:
+                            same HTTP surface, answers merged across
+                            the fleet; shards health-checked, requests
+                            deadlined/retried/hedged, merged routes
+                            degrade (200 + \"degraded\": true) instead
+                            of failing when shards die
 
 OPTIONS:
     --algorithm A           ours (default) | trivial | arlm | agmm
@@ -275,6 +302,18 @@ OPTIONS:
     --threads N             serve worker threads (default: all cores)
     --queue-depth N         serve admission queue bound; beyond it new
                             connections get 503 + Retry-After (default 64)
+    --shards A1,A2,...      route: shard server addresses; list order is
+                            the placement contract (keep it stable)
+    --deadline-ms N         route: per-request deadline incl. retries and
+                            hedges (default 2000)
+    --retries N             route: retry budget after transport failures
+                            (default 2)
+    --hedge-ms N            route: duplicate slow attempts after N ms
+                            (default: adaptive p95 trigger)
+    --no-hedge              route: never duplicate attempts
+    --plan N1,N2,...        route: print `name<TAB>shard<TAB>addr` for
+                            each document name and exit (partitioning
+                            helper; the running router uses the same map)
     --help                  show this help
 ";
 
@@ -325,6 +364,9 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
                     .ok_or_else(|| format!("serve requires a corpus directory\n\n{USAGE}"))?;
                 (None, vec![dir], 2)
             }
+            // `route` takes no positional input — the shard fleet comes
+            // from `--shards`.
+            "route" => (None, vec![String::new()], 1),
             _ => {
                 if args.len() < 2 {
                     return Err(format!("missing input file\n\n{USAGE}"));
@@ -354,6 +396,12 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
     let mut addr: Option<String> = None;
     let mut threads: Option<usize> = None;
     let mut queue_depth: Option<usize> = None;
+    let mut shards: Option<Vec<String>> = None;
+    let mut deadline_ms: Option<u64> = None;
+    let mut retries: Option<u32> = None;
+    let mut hedge_ms: Option<u64> = None;
+    let mut no_hedge = false;
+    let mut plan: Option<Vec<String>> = None;
 
     let mut i = flags_from;
     while i < args.len() {
@@ -439,6 +487,46 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
                 );
             }
             "--addr" => addr = Some(take_value()?.to_string()),
+            "--shards" => {
+                shards = Some(
+                    take_value()?
+                        .split(',')
+                        .map(|s| s.trim().to_string())
+                        .filter(|s| !s.is_empty())
+                        .collect(),
+                );
+            }
+            "--deadline-ms" => {
+                deadline_ms = Some(
+                    take_value()?
+                        .parse()
+                        .map_err(|e| format!("bad --deadline-ms: {e}"))?,
+                );
+            }
+            "--retries" => {
+                retries = Some(
+                    take_value()?
+                        .parse()
+                        .map_err(|e| format!("bad --retries: {e}"))?,
+                );
+            }
+            "--hedge-ms" => {
+                hedge_ms = Some(
+                    take_value()?
+                        .parse()
+                        .map_err(|e| format!("bad --hedge-ms: {e}"))?,
+                );
+            }
+            "--no-hedge" => no_hedge = true,
+            "--plan" => {
+                plan = Some(
+                    take_value()?
+                        .split(',')
+                        .map(|s| s.trim().to_string())
+                        .filter(|s| !s.is_empty())
+                        .collect(),
+                );
+            }
             "--threads" => {
                 threads = Some(
                     take_value()?
@@ -536,6 +624,23 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
         ("serve", _) => Command::Serve {
             dir: positionals[0].clone(),
         },
+        ("route", _) => {
+            let shards = shards.ok_or("route requires --shards ADDR1,ADDR2,...")?;
+            if shards.is_empty() {
+                return Err("route requires at least one shard address".into());
+            }
+            if no_hedge && hedge_ms.is_some() {
+                return Err("route takes either --hedge-ms or --no-hedge, not both".into());
+            }
+            Command::Route {
+                shards,
+                deadline_ms,
+                retries,
+                hedge_ms,
+                no_hedge,
+                plan,
+            }
+        }
         ("corpus", Some(other)) => {
             return Err(format!(
                 "unknown corpus subcommand `{other}` (expected add|query|list)\n\n{USAGE}"
@@ -1046,6 +1151,69 @@ fn run_serve(invocation: &Invocation, dir: &str) -> Result<String, String> {
     ))
 }
 
+/// `route`: scatter-gather over shard servers. With `--plan`, print the
+/// consistent-hash placement (`name<TAB>shard<TAB>addr`) for the given
+/// document names and exit — the running router uses the exact same
+/// mapping, so operators partition a corpus with this before indexing.
+/// Otherwise boot the router and block until a shutdown signal drains
+/// it, like `serve`.
+fn run_route(
+    invocation: &Invocation,
+    shards: &[String],
+    deadline_ms: Option<u64>,
+    retries: Option<u32>,
+    hedge_ms: Option<u64>,
+    no_hedge: bool,
+    plan: Option<&[String]>,
+) -> Result<String, String> {
+    use std::time::Duration;
+    let mut config = sigstr_router::RouterConfig::new(shards.to_vec());
+    if let Some(names) = plan {
+        let ring = sigstr_router::hash::Ring::new(shards.len(), config.vnodes);
+        let mut out = String::new();
+        for name in names {
+            let shard = ring.shard_for(name);
+            let _ = writeln!(out, "{name}\t{shard}\t{}", shards[shard]);
+        }
+        return Ok(out);
+    }
+    if let Some(addr) = &invocation.addr {
+        config.service.addr = addr.clone();
+    }
+    if let Some(threads) = invocation.threads {
+        config.service.threads = threads;
+    }
+    if let Some(depth) = invocation.queue_depth {
+        config.service.queue_depth = depth;
+    }
+    if let Some(ms) = deadline_ms {
+        config.deadline = Duration::from_millis(ms);
+    }
+    if let Some(budget) = retries {
+        config.retries = budget;
+    }
+    if no_hedge {
+        config.hedge = sigstr_router::HedgePolicy::Disabled;
+    } else if let Some(ms) = hedge_ms {
+        config.hedge = sigstr_router::HedgePolicy::Fixed(Duration::from_millis(ms));
+    }
+    let router = sigstr_router::RouterServer::bind(config)
+        .map_err(|e| format!("cannot bind router: {e}"))?;
+    println!(
+        "listening on {} ({} shards); SIGINT/SIGTERM for graceful shutdown",
+        router.local_addr(),
+        shards.len()
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    shutdown_on_signals(router.handle());
+    let summary = router.run().map_err(|e| format!("router failed: {e}"))?;
+    Ok(format!(
+        "drained: routed {} requests, rejected {} at admission\n",
+        summary.requests, summary.rejected
+    ))
+}
+
 /// Arrange a graceful [`sigstr_server::ServerHandle::shutdown`] on
 /// SIGINT/SIGTERM. Signal disposition is process-global state, so this
 /// is wired here in the CLI — the server library stays policy-free. The
@@ -1099,6 +1267,24 @@ pub fn run(invocation: &Invocation, raw: &[u8]) -> Result<String, String> {
         Command::CorpusQuery { dir } => return run_corpus_query(invocation, dir),
         Command::CorpusList { dir } => return run_corpus_list(invocation, dir),
         Command::Serve { dir } => return run_serve(invocation, dir),
+        Command::Route {
+            shards,
+            deadline_ms,
+            retries,
+            hedge_ms,
+            no_hedge,
+            plan,
+        } => {
+            return run_route(
+                invocation,
+                shards,
+                *deadline_ms,
+                *retries,
+                *hedge_ms,
+                *no_hedge,
+                plan.as_deref(),
+            )
+        }
         _ => {}
     }
     let (seq, alphabet) = build_sequence(invocation.input_mode, raw)?;
@@ -1332,6 +1518,85 @@ mod tests {
         assert!(parse_args(&argv(&["mss", "f", "--bogus"])).is_err());
         assert!(parse_args(&argv(&["mss", "f", "--algorithm", "bogus"])).is_err());
         assert!(parse_args(&argv(&["mss", "f", "--limit"])).is_err());
+    }
+
+    #[test]
+    fn parse_route_flags() {
+        let inv = parse_args(&argv(&[
+            "route",
+            "--shards",
+            "127.0.0.1:9001, 127.0.0.1:9002",
+            "--addr",
+            "127.0.0.1:0",
+            "--deadline-ms",
+            "500",
+            "--retries",
+            "1",
+            "--no-hedge",
+        ]))
+        .unwrap();
+        assert!(!inv.reads_raw_input());
+        assert_eq!(inv.addr.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(
+            inv.command,
+            Command::Route {
+                shards: vec!["127.0.0.1:9001".into(), "127.0.0.1:9002".into()],
+                deadline_ms: Some(500),
+                retries: Some(1),
+                hedge_ms: None,
+                no_hedge: true,
+                plan: None,
+            }
+        );
+        let inv = parse_args(&argv(&["route", "--shards", "h:1", "--hedge-ms", "15"])).unwrap();
+        match inv.command {
+            Command::Route {
+                hedge_ms, no_hedge, ..
+            } => {
+                assert_eq!(hedge_ms, Some(15));
+                assert!(!no_hedge);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_route_errors() {
+        assert!(parse_args(&argv(&["route"])).is_err()); // missing --shards
+        assert!(parse_args(&argv(&["route", "--shards", ""])).is_err()); // empty fleet
+        assert!(parse_args(&argv(&[
+            "route",
+            "--shards",
+            "h:1",
+            "--hedge-ms",
+            "5",
+            "--no-hedge"
+        ]))
+        .is_err());
+        assert!(parse_args(&argv(&["route", "--shards", "h:1", "--deadline-ms", "x"])).is_err());
+    }
+
+    #[test]
+    fn route_plan_prints_ring_assignments() {
+        let inv = parse_args(&argv(&[
+            "route",
+            "--shards",
+            "h1:9001,h2:9002",
+            "--plan",
+            "bin-a,bin-b,tri-c",
+        ]))
+        .unwrap();
+        let out = run(&inv, &[]).unwrap();
+        // The plan must be the router's own ring mapping, line per name.
+        let config = sigstr_router::RouterConfig::new(vec!["h1:9001".into(), "h2:9002".into()]);
+        let ring = sigstr_router::hash::Ring::new(2, config.vnodes);
+        let shards = ["h1:9001", "h2:9002"];
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for (line, name) in lines.iter().zip(["bin-a", "bin-b", "tri-c"]) {
+            let shard = ring.shard_for(name);
+            assert_eq!(*line, format!("{name}\t{shard}\t{}", shards[shard]));
+        }
     }
 
     #[test]

@@ -283,6 +283,10 @@ pub fn merge_ranked(per_doc: &[(usize, &str, &[Scored])], limit: usize) -> Vec<D
 pub struct Corpus {
     dir: PathBuf,
     entries: Vec<DocumentEntry>,
+    /// Manifest generation: bumped on every successful manifest rewrite
+    /// and persisted in the manifest itself, so readers (and `/healthz`
+    /// probes) can detect membership changes cheaply.
+    generation: u64,
     budget: usize,
     threads: usize,
     cache: Mutex<EngineCache>,
@@ -301,15 +305,18 @@ impl Corpus {
                 details: format!("{} already exists", path.display()),
             });
         }
-        manifest::write(&dir, &[])?;
-        Ok(Self::from_parts(dir, Vec::new()))
+        manifest::write(&dir, &[], 1)?;
+        Ok(Self::from_parts(dir, Vec::new(), 1))
     }
 
-    /// Open an existing corpus directory (its manifest must exist).
+    /// Open an existing corpus directory (its manifest must exist). A
+    /// leftover rewrite temporary from a crashed update is discarded —
+    /// the renamed manifest is the only source of truth.
     pub fn open<P: AsRef<Path>>(dir: P) -> Result<Self> {
         let dir = dir.as_ref().to_path_buf();
-        let entries = manifest::read(&dir)?;
-        Ok(Self::from_parts(dir, entries))
+        let (entries, generation) = manifest::read(&dir)?;
+        manifest::clean_stale_tmp(&dir);
+        Ok(Self::from_parts(dir, entries, generation))
     }
 
     /// Open the corpus at `dir`, creating it when no manifest exists yet.
@@ -322,10 +329,11 @@ impl Corpus {
         }
     }
 
-    fn from_parts(dir: PathBuf, entries: Vec<DocumentEntry>) -> Self {
+    fn from_parts(dir: PathBuf, entries: Vec<DocumentEntry>, generation: u64) -> Self {
         Self {
             dir,
             entries,
+            generation,
             budget: DEFAULT_BUDGET_BYTES,
             threads: 0,
             cache: Mutex::new(EngineCache::default()),
@@ -376,6 +384,13 @@ impl Corpus {
     /// The manifest entries, in corpus (document-index) order.
     pub fn entries(&self) -> &[DocumentEntry] {
         &self.entries
+    }
+
+    /// The manifest generation: bumped on every successful membership
+    /// change, persisted across restarts (`0` only for corpora written
+    /// before generations existed and never updated since).
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// The document index of `name`, if present.
@@ -461,12 +476,13 @@ impl Corpus {
             n: engine.n(),
             layout: engine.layout(),
         });
-        if let Err(e) = manifest::write(&self.dir, &self.entries) {
+        if let Err(e) = manifest::write(&self.dir, &self.entries, self.generation + 1) {
             // Roll back membership so the in-memory view matches disk.
             self.entries.pop();
             std::fs::remove_file(&path).ok();
             return Err(e);
         }
+        self.generation += 1;
         let budget = self.budget;
         self.cache.lock().expect("corpus cache poisoned").insert(
             name.to_string(),
@@ -485,10 +501,11 @@ impl Corpus {
                 name: name.to_string(),
             })?;
         let entry = self.entries.remove(index);
-        if let Err(e) = manifest::write(&self.dir, &self.entries) {
+        if let Err(e) = manifest::write(&self.dir, &self.entries, self.generation + 1) {
             self.entries.insert(index, entry);
             return Err(e);
         }
+        self.generation += 1;
         self.cache
             .lock()
             .expect("corpus cache poisoned")

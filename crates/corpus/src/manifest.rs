@@ -5,6 +5,7 @@
 //!
 //! ```text
 //! sigstr-corpus v1
+//! # generation 7
 //! # name  file            k  n        layout
 //! chr1    chr1.snap       4  1000000  blocked
 //! ```
@@ -16,6 +17,13 @@
 //! materialized. Rewrites are atomic: the new manifest is written to a
 //! temporary sibling and renamed over the old one, so a crash mid-update
 //! never leaves a half-written membership list.
+//!
+//! Each rewrite also bumps a monotonically increasing **generation**,
+//! recorded as a `# generation N` comment line so pre-generation
+//! manifests (and pre-generation parsers) stay compatible. `/healthz`
+//! reports the generation, which lets a routing tier notice membership
+//! changes with one cheap probe instead of refetching the document
+//! list.
 
 use std::path::{Path, PathBuf};
 
@@ -102,11 +110,15 @@ fn validate_file(lineno: usize, file: &str) -> Result<()> {
     }
 }
 
+/// Prefix of the generation comment line.
+const GENERATION_PREFIX: &str = "# generation ";
+
 /// Serialize entries into manifest text.
-pub fn render(entries: &[DocumentEntry]) -> String {
+pub fn render(entries: &[DocumentEntry], generation: u64) -> String {
     let mut out = String::with_capacity(64 + entries.len() * 48);
     out.push_str(MANIFEST_HEADER);
     out.push('\n');
+    out.push_str(&format!("{GENERATION_PREFIX}{generation}\n"));
     for e in entries {
         out.push_str(&format!(
             "{}\t{}\t{}\t{}\t{}\n",
@@ -174,18 +186,33 @@ pub fn parse(text: &str) -> Result<Vec<DocumentEntry>> {
     Ok(entries)
 }
 
-/// Read and parse the manifest inside `dir`.
-pub fn read(dir: &Path) -> Result<Vec<DocumentEntry>> {
+/// The generation recorded in manifest text (`0` for manifests written
+/// before generations existed — the next rewrite starts counting).
+pub fn parse_generation(text: &str) -> u64 {
+    text.lines()
+        .find_map(|line| line.strip_prefix(GENERATION_PREFIX))
+        .and_then(|rest| rest.trim().parse().ok())
+        .unwrap_or(0)
+}
+
+/// Read and parse the manifest inside `dir`: entries plus generation.
+pub fn read(dir: &Path) -> Result<(Vec<DocumentEntry>, u64)> {
     let path = manifest_path(dir);
     let text = std::fs::read_to_string(&path).map_err(|e| CorpusError::Io {
         path: path.display().to_string(),
         details: e.to_string(),
     })?;
-    parse(&text)
+    Ok((parse(&text)?, parse_generation(&text)))
 }
 
 /// Atomically rewrite the manifest inside `dir` (temp file + rename).
-pub fn write(dir: &Path, entries: &[DocumentEntry]) -> Result<()> {
+///
+/// This is the crash-safety contract the corpus relies on (and that
+/// `tests/manifest_crash.rs` pins): the previous manifest stays intact
+/// and readable until the rename lands, so a crash at any point mid-
+/// rewrite — including a torn, half-written temp file — loses at most
+/// the update in progress, never the previous generation.
+pub fn write(dir: &Path, entries: &[DocumentEntry], generation: u64) -> Result<()> {
     let path = manifest_path(dir);
     let tmp = dir.join(format!("{MANIFEST_FILE}.tmp"));
     let io = |p: &Path| {
@@ -195,9 +222,15 @@ pub fn write(dir: &Path, entries: &[DocumentEntry]) -> Result<()> {
             details: e.to_string(),
         }
     };
-    std::fs::write(&tmp, render(entries)).map_err(io(&tmp))?;
+    std::fs::write(&tmp, render(entries, generation)).map_err(io(&tmp))?;
     std::fs::rename(&tmp, &path).map_err(io(&path))?;
     Ok(())
+}
+
+/// Remove a leftover rewrite temporary (a crash between the temp write
+/// and the rename). Called on open; harmless when absent.
+pub fn clean_stale_tmp(dir: &Path) {
+    std::fs::remove_file(dir.join(format!("{MANIFEST_FILE}.tmp"))).ok();
 }
 
 #[cfg(test)]
@@ -217,10 +250,25 @@ mod tests {
     #[test]
     fn render_parse_roundtrip() {
         let entries = vec![entry("alpha"), entry("beta-2.v1")];
-        let text = render(&entries);
+        let text = render(&entries, 7);
         assert!(text.starts_with(MANIFEST_HEADER));
         assert_eq!(parse(&text).unwrap(), entries);
+        assert_eq!(parse_generation(&text), 7);
         assert_eq!(parse(MANIFEST_HEADER).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn generation_defaults_to_zero_on_legacy_manifests() {
+        // A pre-generation manifest (no `# generation` line) parses and
+        // reports generation 0 — the next rewrite starts counting.
+        let legacy = format!("{MANIFEST_HEADER}\na\ta.snap\t4\t9\tflat\n");
+        assert_eq!(parse(&legacy).unwrap().len(), 1);
+        assert_eq!(parse_generation(&legacy), 0);
+        // Garbage after the prefix is ignored, not an error.
+        assert_eq!(
+            parse_generation(&format!("{MANIFEST_HEADER}\n# generation x\n")),
+            0
+        );
     }
 
     #[test]

@@ -1,0 +1,167 @@
+//! Crash-safety of the corpus manifest: the atomic-rename rewrite
+//! contract, pinned by test instead of by construction.
+//!
+//! A manifest rewrite goes temp-file → rename. A crash can therefore
+//! leave (a) a torn, half-written `corpus.manifest.tmp` next to an
+//! intact previous manifest, or (b) no temp at all. It can *never*
+//! leave a half-written `corpus.manifest` — these tests simulate every
+//! crash window and assert the previous generation is recovered, and
+//! that a corpus whose actual manifest *is* torn (the contract broken
+//! by outside interference) fails loudly instead of serving a
+//! half-membership view.
+
+use std::path::{Path, PathBuf};
+
+use sigstr_core::{CountsLayout, Model, Query, Sequence};
+use sigstr_corpus::{manifest, Corpus};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "sigstr-manifest-crash-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn doc(seed: u64, n: usize) -> Sequence {
+    let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+    let symbols: Vec<u8> = (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 2) as u8
+        })
+        .collect();
+    Sequence::from_symbols(symbols, 2).unwrap()
+}
+
+fn build(dir: &Path) -> Corpus {
+    let mut corpus = Corpus::create(dir).unwrap();
+    for (i, name) in ["alpha", "beta"].iter().enumerate() {
+        corpus
+            .add_document(
+                name,
+                &doc(i as u64 + 1, 512),
+                Model::uniform(2).unwrap(),
+                CountsLayout::Flat,
+            )
+            .unwrap();
+    }
+    corpus
+}
+
+fn manifest_text(dir: &Path) -> String {
+    std::fs::read_to_string(dir.join("corpus.manifest")).unwrap()
+}
+
+#[test]
+fn torn_tmp_rewrite_recovers_the_previous_generation() {
+    let dir = temp_dir("torn-tmp");
+    let corpus = build(&dir);
+    let generation = corpus.generation();
+    let entries = corpus.entries().to_vec();
+    let reference = corpus.query("alpha", &Query::mss()).unwrap();
+    drop(corpus);
+
+    // Simulate a crash mid-rewrite: a later three-document manifest was
+    // being written to the temp sibling and died partway — truncate the
+    // rendered text mid-line so it is not even parseable.
+    let full = manifest_text(&dir);
+    let torn = &full[..full.len() - full.len() / 3];
+    let tmp = dir.join("corpus.manifest.tmp");
+    std::fs::write(&tmp, torn).unwrap();
+
+    // Reopen: the previous manifest (and generation) must be recovered
+    // untouched; the torn temp is swept so it cannot confuse anything.
+    let reopened = Corpus::open(&dir).unwrap();
+    assert_eq!(reopened.generation(), generation);
+    assert_eq!(reopened.entries(), entries.as_slice());
+    assert!(!tmp.exists(), "stale rewrite temp must be cleaned on open");
+
+    // The recovered corpus still answers, bit-identically.
+    let answer = reopened.query("alpha", &Query::mss()).unwrap();
+    assert_eq!(answer, reference);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn rewrites_after_recovery_keep_bumping_the_generation() {
+    let dir = temp_dir("post-recovery");
+    let corpus = build(&dir);
+    let generation = corpus.generation();
+    drop(corpus);
+
+    // Crash leftovers: garbage temp that never got renamed.
+    std::fs::write(dir.join("corpus.manifest.tmp"), b"\x00\xffnot a manifest").unwrap();
+
+    let mut reopened = Corpus::open(&dir).unwrap();
+    assert_eq!(reopened.generation(), generation);
+    reopened
+        .add_document(
+            "gamma",
+            &doc(9, 512),
+            Model::uniform(2).unwrap(),
+            CountsLayout::Flat,
+        )
+        .unwrap();
+    assert_eq!(reopened.generation(), generation + 1);
+    drop(reopened);
+
+    // The bump is persisted: a fresh open sees the new generation and
+    // all three documents.
+    let again = Corpus::open(&dir).unwrap();
+    assert_eq!(again.generation(), generation + 1);
+    assert_eq!(again.len(), 3);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn a_torn_actual_manifest_fails_loudly() {
+    let dir = temp_dir("torn-manifest");
+    let corpus = build(&dir);
+    drop(corpus);
+
+    // Outside interference (not a crash the rename contract can cause):
+    // the manifest itself is truncated mid-line. Opening must error —
+    // never silently serve a partial membership list.
+    let full = manifest_text(&dir);
+    let cut = full
+        .rfind('\t')
+        .expect("manifest has at least one entry line");
+    std::fs::write(dir.join("corpus.manifest"), &full[..cut]).unwrap();
+    assert!(Corpus::open(&dir).is_err());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn legacy_manifests_without_a_generation_line_open_at_zero() {
+    let dir = temp_dir("legacy");
+    let corpus = build(&dir);
+    let entries = corpus.entries().to_vec();
+    drop(corpus);
+
+    // Strip the generation comment, as a pre-generation corpus would
+    // have written it.
+    let stripped: String = manifest_text(&dir)
+        .lines()
+        .filter(|line| !line.starts_with("# generation"))
+        .map(|line| format!("{line}\n"))
+        .collect();
+    std::fs::write(dir.join("corpus.manifest"), stripped).unwrap();
+
+    let mut reopened = Corpus::open(&dir).unwrap();
+    assert_eq!(reopened.generation(), 0);
+    assert_eq!(reopened.entries(), entries.as_slice());
+    // The next membership change starts the count.
+    reopened.remove_document("beta").unwrap();
+    assert_eq!(reopened.generation(), 1);
+    assert_eq!(manifest::parse_generation(&manifest_text(&dir)), 1);
+
+    std::fs::remove_dir_all(&dir).ok();
+}

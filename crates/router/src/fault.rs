@@ -1,0 +1,375 @@
+//! Deterministic fault-injection proxy for integration tests and
+//! benchmarks.
+//!
+//! A [`FaultProxy`] sits on its own listening port and forwards TCP
+//! byte streams to an upstream address, applying the current
+//! [`FaultMode`] *per chunk*: the mode lives behind a shared mutex and
+//! is re-read for every chunk copied, so flipping it mid-run affects
+//! connections that are already established and pooled — essential for
+//! "black-hole a shard mid-request" tests, where the router's existing
+//! keep-alive connections must be the ones that hang.
+//!
+//! Connections are numbered in accept order, which makes per-connection
+//! faults (`DelayConns { every }`, `ResetAfter`) deterministic: the
+//! test controls exactly which connection misbehaves by controlling the
+//! dial order.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+/// What the proxy does to upstream-bound and client-bound bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMode {
+    /// Forward everything untouched.
+    Pass,
+    /// Sleep `delay_ms` before each client-bound chunk, on every
+    /// `every`-th accepted connection (0-indexed: connections where
+    /// `index % every == 0`). `every == 1` delays all connections.
+    DelayConns {
+        /// Which connections are delayed (`index % every == 0`).
+        every: u64,
+        /// Delay applied before each client-bound chunk.
+        delay_ms: u64,
+    },
+    /// Sever every `every`-th accepted connection (0-indexed, like
+    /// [`FaultMode::DelayConns`]) after forwarding `bytes` client-bound
+    /// bytes — a mid-response cut; other connections pass untouched.
+    /// `every == 1` cuts all connections.
+    ResetAfter {
+        /// Which connections are cut (`index % every == 0`).
+        every: u64,
+        /// Client-bound bytes forwarded before the cut.
+        bytes: u64,
+    },
+    /// Accept connections and read requests, but forward nothing and
+    /// answer nothing: the classic unresponsive host.
+    Blackhole,
+    /// Close accepted connections immediately without forwarding.
+    Refuse,
+}
+
+struct ProxyShared {
+    upstream: SocketAddr,
+    mode: Mutex<FaultMode>,
+    stop: AtomicBool,
+    accepted: AtomicU64,
+}
+
+/// Handle to a running proxy; dropping it does *not* stop the proxy —
+/// call [`FaultProxy::stop`].
+pub struct FaultProxy {
+    addr: SocketAddr,
+    shared: Arc<ProxyShared>,
+    accept_thread: Option<thread::JoinHandle<()>>,
+}
+
+impl FaultProxy {
+    /// Start a proxy on an ephemeral local port forwarding to
+    /// `upstream`.
+    pub fn start(upstream: SocketAddr) -> std::io::Result<FaultProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(ProxyShared {
+            upstream,
+            mode: Mutex::new(FaultMode::Pass),
+            stop: AtomicBool::new(false),
+            accepted: AtomicU64::new(0),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = thread::spawn(move || accept_loop(listener, accept_shared));
+        Ok(FaultProxy {
+            addr,
+            shared,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The proxy's own listening address (hand this to the router as
+    /// the shard address).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Swap the fault mode; takes effect on the next chunk of every
+    /// live connection and on all future connections.
+    pub fn set_mode(&self, mode: FaultMode) {
+        *self.shared.mode.lock().unwrap() = mode;
+    }
+
+    /// Connections accepted so far.
+    pub fn accepted(&self) -> u64 {
+        self.shared.accepted.load(Ordering::Relaxed)
+    }
+
+    /// Stop accepting and unblock live relays. Existing relay threads
+    /// notice the stop flag at their next chunk boundary.
+    pub fn stop(&mut self) {
+        if !self.shared.stop.swap(true, Ordering::SeqCst) {
+            // Self-connect to pop the blocking accept().
+            let _ = TcpStream::connect(self.addr);
+        }
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for FaultProxy {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<ProxyShared>) {
+    loop {
+        let Ok((client, _)) = listener.accept() else {
+            break;
+        };
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let index = shared.accepted.fetch_add(1, Ordering::Relaxed);
+        let conn_shared = Arc::clone(&shared);
+        thread::spawn(move || relay(client, index, conn_shared));
+    }
+}
+
+/// Per-chunk poll interval while relaying; bounds how long a relay
+/// thread can outlive `stop()`.
+const RELAY_POLL: Duration = Duration::from_millis(50);
+
+fn relay(client: TcpStream, index: u64, shared: Arc<ProxyShared>) {
+    if *shared.mode.lock().unwrap() == FaultMode::Refuse {
+        let _ = client.shutdown(Shutdown::Both);
+        return;
+    }
+    let Ok(upstream) = TcpStream::connect_timeout(&shared.upstream, Duration::from_secs(5)) else {
+        let _ = client.shutdown(Shutdown::Both);
+        return;
+    };
+    let _ = client.set_nodelay(true);
+    let _ = upstream.set_nodelay(true);
+
+    let up = {
+        // Client → upstream: never delayed, but blackholed and severed.
+        let (client, upstream) = (client.try_clone(), upstream.try_clone());
+        let shared = Arc::clone(&shared);
+        thread::spawn(move || {
+            if let (Ok(client), Ok(upstream)) = (client, upstream) {
+                copy_chunks(client, upstream, index, shared, Direction::ToUpstream);
+            }
+        })
+    };
+    copy_chunks(upstream, client, index, shared, Direction::ToClient);
+    let _ = up.join();
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    ToUpstream,
+    ToClient,
+}
+
+fn copy_chunks(
+    from: TcpStream,
+    to: TcpStream,
+    index: u64,
+    shared: Arc<ProxyShared>,
+    direction: Direction,
+) {
+    let mut from = from;
+    let mut to = to;
+    let _ = from.set_read_timeout(Some(RELAY_POLL));
+    let mut forwarded: u64 = 0;
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let n = match from.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        };
+        // Re-read the mode for every chunk so mid-run flips bite.
+        let mode = *shared.mode.lock().unwrap();
+        match mode {
+            FaultMode::Pass => {}
+            FaultMode::Refuse => break,
+            FaultMode::Blackhole => {
+                // Swallow the chunk; keep reading so the peer's writes
+                // succeed while its reads starve.
+                continue;
+            }
+            FaultMode::DelayConns { every, delay_ms } => {
+                if direction == Direction::ToClient && every > 0 && index.is_multiple_of(every) {
+                    thread::sleep(Duration::from_millis(delay_ms));
+                }
+            }
+            FaultMode::ResetAfter { every, bytes } => {
+                if direction == Direction::ToClient && every > 0 && index.is_multiple_of(every) {
+                    let remaining = bytes.saturating_sub(forwarded);
+                    if remaining == 0 {
+                        break;
+                    }
+                    let send = (remaining as usize).min(n);
+                    let ok = to.write_all(&buf[..send]).is_ok();
+                    forwarded += send as u64;
+                    if !ok || forwarded >= bytes {
+                        break;
+                    }
+                    continue;
+                }
+            }
+        }
+        if to.write_all(&buf[..n]).is_err() {
+            break;
+        }
+        forwarded += n as u64;
+    }
+    // Sever both directions so the peer sees EOF promptly rather than a
+    // half-open socket.
+    let _ = from.shutdown(Shutdown::Both);
+    let _ = to.shutdown(Shutdown::Both);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One-shot upstream echo server: accepts, reads one line, writes a
+    /// fixed HTTP response per accepted connection.
+    fn upstream(count: usize) -> (SocketAddr, thread::JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = thread::spawn(move || {
+            for _ in 0..count {
+                let Ok((mut stream, _)) = listener.accept() else {
+                    return;
+                };
+                thread::spawn(move || {
+                    let mut buf = [0u8; 1024];
+                    let _ = stream.read(&mut buf);
+                    let _ = stream.write_all(
+                        b"HTTP/1.1 200 OK\r\nContent-Length: 5\r\nConnection: close\r\n\r\nhello",
+                    );
+                });
+            }
+        });
+        (addr, handle)
+    }
+
+    fn roundtrip(addr: SocketAddr) -> std::io::Result<String> {
+        let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(2))?;
+        stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+        stream.write_all(b"GET / HTTP/1.1\r\n\r\n")?;
+        let mut out = String::new();
+        stream.read_to_string(&mut out)?;
+        Ok(out)
+    }
+
+    #[test]
+    fn pass_mode_forwards_and_blackhole_starves() {
+        let (up_addr, up) = upstream(8);
+        let mut proxy = FaultProxy::start(up_addr).unwrap();
+
+        let response = roundtrip(proxy.addr()).unwrap();
+        assert!(
+            response.ends_with("hello"),
+            "unexpected relay output: {response}"
+        );
+
+        proxy.set_mode(FaultMode::Blackhole);
+        let mut stream = TcpStream::connect(proxy.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_millis(300)))
+            .unwrap();
+        stream.write_all(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+        let mut buf = [0u8; 64];
+        let starved = match stream.read(&mut buf) {
+            Ok(0) => true, // proxy shut down the relay without forwarding
+            Ok(_) => false,
+            Err(e) => {
+                matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                )
+            }
+        };
+        assert!(starved, "blackhole forwarded data");
+
+        proxy.set_mode(FaultMode::Pass);
+        let response = roundtrip(proxy.addr()).unwrap();
+        assert!(response.ends_with("hello"));
+        assert!(proxy.accepted() >= 3);
+        proxy.stop();
+        drop(up);
+    }
+
+    #[test]
+    fn reset_after_severs_mid_response() {
+        let (up_addr, _up) = upstream(2);
+        let mut proxy = FaultProxy::start(up_addr).unwrap();
+        proxy.set_mode(FaultMode::ResetAfter {
+            every: 2,
+            bytes: 10,
+        });
+        let out = roundtrip(proxy.addr()).unwrap_or_default();
+        assert!(
+            out.len() <= 10,
+            "forwarded {} bytes past the cut: {out:?}",
+            out.len()
+        );
+        // Connection 1 (odd index) is spared.
+        let out = roundtrip(proxy.addr()).unwrap();
+        assert!(out.ends_with("hello"), "spared connection was cut: {out:?}");
+        proxy.stop();
+    }
+
+    #[test]
+    fn delay_conns_slows_only_matching_connections() {
+        let (up_addr, _up) = upstream(4);
+        let mut proxy = FaultProxy::start(up_addr).unwrap();
+        proxy.set_mode(FaultMode::DelayConns {
+            every: 2,
+            delay_ms: 150,
+        });
+
+        // Connection 0: delayed.
+        let start = std::time::Instant::now();
+        roundtrip(proxy.addr()).unwrap();
+        assert!(
+            start.elapsed() >= Duration::from_millis(140),
+            "conn 0 was not delayed"
+        );
+
+        // Connection 1: fast path.
+        let start = std::time::Instant::now();
+        roundtrip(proxy.addr()).unwrap();
+        assert!(
+            start.elapsed() < Duration::from_millis(140),
+            "conn 1 was delayed"
+        );
+        proxy.stop();
+    }
+
+    #[test]
+    fn refuse_closes_without_forwarding() {
+        let (up_addr, _up) = upstream(1);
+        let mut proxy = FaultProxy::start(up_addr).unwrap();
+        proxy.set_mode(FaultMode::Refuse);
+        let out = roundtrip(proxy.addr()).unwrap_or_default();
+        assert!(out.is_empty(), "refused connection still produced: {out:?}");
+        proxy.stop();
+    }
+}

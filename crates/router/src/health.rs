@@ -1,0 +1,263 @@
+//! Per-shard health state machine.
+//!
+//! Each shard is `Healthy`, `HalfOpen` or `Down`. The router only
+//! sends data traffic to shards that are *routable* (not `Down`); the
+//! background checker probes `/healthz` and drives recovery:
+//!
+//! ```text
+//!            probe/data failure (threshold)          probe success
+//!   Healthy ───────────────────────────────▶ Down ───────────────▶ HalfOpen
+//!      ▲                                      ▲                        │
+//!      │  probe success ×2, or data success   │  any failure           │
+//!      └──────────────────────────────────────┴────────────────────────┘
+//! ```
+//!
+//! `Down` shards are probed on an exponential backoff (base doubling up
+//! to a cap) so a dead host costs a few probes per backoff period, not
+//! a connect timeout per request. `HalfOpen` admits data traffic again
+//! but trips back to `Down` on the *first* failure — one bad request,
+//! not `failure_threshold` of them, because the shard has not yet
+//! re-earned trust.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// A shard's position in the circuit-breaker state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum State {
+    /// Taking traffic; failures are tolerated up to a threshold.
+    Healthy,
+    /// Recovering: taking traffic, but one failure trips it back down.
+    HalfOpen,
+    /// Not routable; probed on a backoff schedule.
+    Down,
+}
+
+impl State {
+    /// Numeric code exported on `/metrics` (`sigstr_router_shard_state`).
+    pub fn code(self) -> u64 {
+        match self {
+            State::Healthy => 2,
+            State::HalfOpen => 1,
+            State::Down => 0,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct HealthInner {
+    state: State,
+    /// Consecutive data-path failures while `Healthy`.
+    consecutive_failures: u32,
+    /// Consecutive probe successes while recovering.
+    probe_successes: u32,
+    /// Current probe backoff while `Down`.
+    backoff: Duration,
+    /// Earliest instant the next probe should run.
+    next_probe: Instant,
+}
+
+/// Tunables for the state machine; owned by `RouterConfig`.
+#[derive(Debug, Clone, Copy)]
+pub struct HealthPolicy {
+    /// Probe cadence for shards that are not `Down`.
+    pub probe_interval: Duration,
+    /// Data-path failures in a row that take a `Healthy` shard `Down`.
+    pub failure_threshold: u32,
+    /// First backoff step after going `Down`.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_max: Duration,
+}
+
+/// One shard's health: the state machine plus its probe schedule.
+#[derive(Debug)]
+pub struct Health {
+    policy: HealthPolicy,
+    inner: Mutex<HealthInner>,
+}
+
+impl Health {
+    /// New shards start `Down` and are probed immediately: traffic is
+    /// admitted only after the first successful probe, so a router
+    /// booted against a half-started fleet degrades instead of timing
+    /// out on every request.
+    pub fn new(policy: HealthPolicy, now: Instant) -> Health {
+        Health {
+            policy,
+            inner: Mutex::new(HealthInner {
+                state: State::Down,
+                consecutive_failures: 0,
+                probe_successes: 0,
+                backoff: policy.backoff_base,
+                next_probe: now,
+            }),
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> State {
+        self.inner.lock().unwrap().state
+    }
+
+    /// Whether data traffic may be sent to this shard.
+    pub fn routable(&self) -> bool {
+        self.state() != State::Down
+    }
+
+    /// Whether the checker should probe this shard now.
+    pub fn probe_due(&self, now: Instant) -> bool {
+        now >= self.inner.lock().unwrap().next_probe
+    }
+
+    /// Record a successful `/healthz` probe. Returns the new state.
+    pub fn record_probe_success(&self, now: Instant) -> State {
+        let mut inner = self.inner.lock().unwrap();
+        match inner.state {
+            State::Down => {
+                inner.state = State::HalfOpen;
+                inner.probe_successes = 1;
+            }
+            State::HalfOpen => {
+                inner.probe_successes += 1;
+                if inner.probe_successes >= 2 {
+                    inner.state = State::Healthy;
+                }
+            }
+            State::Healthy => {}
+        }
+        inner.consecutive_failures = 0;
+        inner.backoff = self.policy.backoff_base;
+        inner.next_probe = now + self.policy.probe_interval;
+        inner.state
+    }
+
+    /// Record a failed `/healthz` probe. Returns the new state.
+    pub fn record_probe_failure(&self, now: Instant) -> State {
+        let mut inner = self.inner.lock().unwrap();
+        self.trip_down(&mut inner, now);
+        inner.state
+    }
+
+    /// Record a successful data-path request.
+    pub fn record_data_success(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.consecutive_failures = 0;
+        // A real request succeeding is stronger evidence than a probe:
+        // promote HalfOpen straight to Healthy.
+        if inner.state == State::HalfOpen {
+            inner.state = State::Healthy;
+        }
+    }
+
+    /// Record a failed data-path request (connect/read error, not an
+    /// HTTP error status). Returns the new state.
+    pub fn record_data_failure(&self, now: Instant) -> State {
+        let mut inner = self.inner.lock().unwrap();
+        match inner.state {
+            State::HalfOpen => self.trip_down(&mut inner, now),
+            State::Healthy => {
+                inner.consecutive_failures += 1;
+                if inner.consecutive_failures >= self.policy.failure_threshold {
+                    self.trip_down(&mut inner, now);
+                }
+            }
+            State::Down => {}
+        }
+        inner.state
+    }
+
+    fn trip_down(&self, inner: &mut HealthInner, now: Instant) {
+        let backoff = if inner.state == State::Down {
+            // Already down: double the backoff for the *next* probe.
+            (inner.backoff * 2).min(self.policy.backoff_max)
+        } else {
+            self.policy.backoff_base
+        };
+        inner.state = State::Down;
+        inner.consecutive_failures = 0;
+        inner.probe_successes = 0;
+        inner.backoff = backoff;
+        inner.next_probe = now + backoff;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> HealthPolicy {
+        HealthPolicy {
+            probe_interval: Duration::from_millis(200),
+            failure_threshold: 3,
+            backoff_base: Duration::from_millis(250),
+            backoff_max: Duration::from_secs(4),
+        }
+    }
+
+    #[test]
+    fn recovery_needs_two_probes_or_one_data_success() {
+        let now = Instant::now();
+        let health = Health::new(policy(), now);
+        assert_eq!(health.state(), State::Down);
+        assert!(health.probe_due(now), "new shards are probed immediately");
+
+        assert_eq!(health.record_probe_success(now), State::HalfOpen);
+        assert!(health.routable(), "half-open shards take traffic");
+        assert_eq!(health.record_probe_success(now), State::Healthy);
+
+        // Alternative path: one probe, then a data success.
+        let h2 = Health::new(policy(), now);
+        h2.record_probe_success(now);
+        h2.record_data_success();
+        assert_eq!(h2.state(), State::Healthy);
+    }
+
+    #[test]
+    fn healthy_tolerates_failures_up_to_the_threshold() {
+        let now = Instant::now();
+        let health = Health::new(policy(), now);
+        health.record_probe_success(now);
+        health.record_probe_success(now);
+
+        assert_eq!(health.record_data_failure(now), State::Healthy);
+        assert_eq!(health.record_data_failure(now), State::Healthy);
+        // A success resets the streak.
+        health.record_data_success();
+        assert_eq!(health.record_data_failure(now), State::Healthy);
+        assert_eq!(health.record_data_failure(now), State::Healthy);
+        assert_eq!(health.record_data_failure(now), State::Down);
+    }
+
+    #[test]
+    fn half_open_trips_on_the_first_failure() {
+        let now = Instant::now();
+        let health = Health::new(policy(), now);
+        health.record_probe_success(now);
+        assert_eq!(health.state(), State::HalfOpen);
+        assert_eq!(health.record_data_failure(now), State::Down);
+    }
+
+    #[test]
+    fn probe_backoff_doubles_up_to_the_cap() {
+        let now = Instant::now();
+        let health = Health::new(policy(), now);
+        // Recover first: a brand-new shard is already Down, and failing
+        // while Down doubles instead of starting at the base.
+        health.record_probe_success(now);
+        health.record_probe_failure(now);
+        assert!(!health.probe_due(now + Duration::from_millis(100)));
+        assert!(health.probe_due(now + Duration::from_millis(250)));
+
+        // Repeated failures keep doubling: 250 → 500 → 1000 → ... → capped at 4000.
+        for _ in 0..10 {
+            health.record_probe_failure(now);
+        }
+        assert!(!health.probe_due(now + Duration::from_millis(3900)));
+        assert!(health.probe_due(now + Duration::from_millis(4000)));
+
+        // Recovery resets the backoff.
+        health.record_probe_success(now);
+        assert!(health.probe_due(now + Duration::from_millis(200)));
+    }
+}

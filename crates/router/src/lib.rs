@@ -1,0 +1,1283 @@
+//! `sigstr-router` — a fault-tolerant scatter-gather router over
+//! `sigstr-server` shards.
+//!
+//! PR 5 made one corpus servable; this crate makes *many* servable as
+//! one. Documents are partitioned across shard servers by consistent
+//! hashing of the document name ([`hash::Ring`]), and the router
+//! presents the same HTTP surface as a single server — `/v1/query`,
+//! `/v1/batch`, `/v1/merged/top`, `/v1/merged/threshold` — fanning
+//! requests out over pooled keep-alive connections and merging shard
+//! answers with the exact deterministic merge the corpus layer uses, so
+//! a routed answer is **bit-identical** to the answer one big corpus
+//! would have produced.
+//!
+//! # Robustness model
+//!
+//! Every shard carries a [`health::Health`] state machine driven by a
+//! background `/healthz` prober (exponential backoff while down,
+//! half-open recovery). Data calls get a per-request deadline, a
+//! bounded retry budget on transport failures, and optional *hedging*:
+//! when an attempt outlives a latency-percentile trigger, a duplicate
+//! is raced against it and the first response wins. When a shard stays
+//! unreachable past the budget the router degrades instead of failing:
+//! fan-out routes answer `200` with `"degraded": true` and the list of
+//! unreachable shards, single-document routes answer `503` with
+//! `Retry-After`. Nothing ever blocks past its deadline.
+//!
+//! # Global document order
+//!
+//! The merged routes reconstruct the *global* document index — the
+//! `doc` field of every hit — as the **lexicographic rank of the
+//! document name** across all shards. A single-corpus reference must
+//! therefore ingest documents in sorted-name order to compare
+//! bit-for-bit (the integration tests and CI do exactly that).
+//!
+//! [`fault::FaultProxy`] is a deterministic fault-injection TCP proxy
+//! (delays, mid-response cuts, black holes) used by the integration
+//! tests and the `router_fanout` benchmark to exercise all of the
+//! above on real sockets.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod fault;
+pub mod hash;
+pub mod health;
+pub mod metrics;
+pub mod pool;
+
+use std::collections::HashMap;
+use std::io;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use sigstr_core::Scored;
+use sigstr_corpus::{merge_ranked, DocHit};
+use sigstr_server::client::{ClientConfig, ClientConn, HttpResponse};
+use sigstr_server::http::{Request, Response};
+use sigstr_server::json::Json;
+use sigstr_server::service::{json_response, text_response, Handler, Service, ServiceCore};
+use sigstr_server::{wire, ServeSummary, ServiceConfig, ServiceHandle};
+
+use hash::Ring;
+use health::{Health, HealthPolicy, State};
+use metrics::{RouterMetrics, ShardCounters};
+use pool::Pool;
+
+// ---------------------------------------------------------------------------
+// Configuration.
+// ---------------------------------------------------------------------------
+
+/// When a request attempt is duplicated ("hedged") against a slow
+/// shard.
+#[derive(Debug, Clone, Copy)]
+pub enum HedgePolicy {
+    /// Never hedge.
+    Disabled,
+    /// Hedge when the first attempt outlives this fixed delay.
+    Fixed(Duration),
+    /// Hedge when the first attempt outlives the shard's observed p95
+    /// latency, clamped to `[min, max]`. Until enough samples exist the
+    /// trigger sits at `max` (hedge conservatively before there is
+    /// evidence the shard is usually fast).
+    P95 {
+        /// Lower clamp on the trigger.
+        min: Duration,
+        /// Upper clamp on the trigger (and the cold-start trigger).
+        max: Duration,
+    },
+}
+
+/// Full router configuration.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Listener/worker-pool settings for the router's own HTTP service.
+    pub service: ServiceConfig,
+    /// Shard addresses, e.g. `["127.0.0.1:9001", "127.0.0.1:9002"]`.
+    /// **Order is part of the placement contract** — the consistent
+    /// hash ring names shards by position in this list.
+    pub shards: Vec<String>,
+    /// Virtual nodes per shard on the hash ring.
+    pub vnodes: usize,
+    /// End-to-end budget for one routed request (including retries and
+    /// hedges). No route blocks past this.
+    pub deadline: Duration,
+    /// Extra attempts after a transport failure (connect/read errors on
+    /// these read-only routes are safe to retry).
+    pub retries: u32,
+    /// Hedging policy for slow attempts.
+    pub hedge: HedgePolicy,
+    /// Probe cadence for shards that are not down.
+    pub probe_interval: Duration,
+    /// Connect/read budget for one `/healthz` probe.
+    pub probe_timeout: Duration,
+    /// Consecutive data failures that take a healthy shard down.
+    pub failure_threshold: u32,
+    /// First probe backoff after a shard goes down.
+    pub backoff_base: Duration,
+    /// Probe backoff ceiling.
+    pub backoff_max: Duration,
+    /// Timeouts for data-path shard connections.
+    pub client: ClientConfig,
+    /// Idle keep-alive connections parked per shard.
+    pub max_idle_per_shard: usize,
+}
+
+impl RouterConfig {
+    /// Defaults tuned for LAN shards: 2 s deadline, 2 retries, p95
+    /// hedging clamped to `[1 ms, 25 ms]`, 200 ms probes.
+    pub fn new(shards: Vec<String>) -> RouterConfig {
+        RouterConfig {
+            service: ServiceConfig::default(),
+            shards,
+            vnodes: 64,
+            deadline: Duration::from_secs(2),
+            retries: 2,
+            hedge: HedgePolicy::P95 {
+                min: Duration::from_millis(1),
+                max: Duration::from_millis(25),
+            },
+            probe_interval: Duration::from_millis(200),
+            probe_timeout: Duration::from_secs(1),
+            failure_threshold: 3,
+            backoff_base: Duration::from_millis(250),
+            backoff_max: Duration::from_secs(4),
+            client: ClientConfig::default(),
+            max_idle_per_shard: 4,
+        }
+    }
+
+    fn health_policy(&self) -> HealthPolicy {
+        HealthPolicy {
+            probe_interval: self.probe_interval,
+            failure_threshold: self.failure_threshold,
+            backoff_base: self.backoff_base,
+            backoff_max: self.backoff_max,
+        }
+    }
+
+    /// Probes use their own, tighter timeouts so a dead host costs one
+    /// `probe_timeout`, not a full data-path `connect_timeout`.
+    fn probe_client(&self) -> ClientConfig {
+        ClientConfig {
+            connect_timeout: self.probe_timeout,
+            read_timeout: self.probe_timeout,
+            write_timeout: self.probe_timeout,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shard runtime state.
+// ---------------------------------------------------------------------------
+
+/// Ring buffer of winning-attempt latencies used by the p95 hedge
+/// trigger. Only *winners* are recorded: recording a hedged loser's
+/// slow latency would drag the p95 up and progressively disable the
+/// very hedging that routed around it.
+#[derive(Debug, Default)]
+struct LatencyWindow {
+    samples: Vec<u64>,
+    next: usize,
+}
+
+const LATENCY_WINDOW: usize = 64;
+
+impl LatencyWindow {
+    fn record(&mut self, us: u64) {
+        if self.samples.len() < LATENCY_WINDOW {
+            self.samples.push(us);
+        } else {
+            self.samples[self.next] = us;
+        }
+        self.next = (self.next + 1) % LATENCY_WINDOW;
+    }
+
+    fn p95(&self) -> Option<u64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        Some(sorted[(sorted.len() * 95 / 100).min(sorted.len() - 1)])
+    }
+}
+
+#[derive(Debug)]
+struct ShardRuntime {
+    index: usize,
+    addr: String,
+    pool: Pool,
+    health: Health,
+    counters: ShardCounters,
+    latency: Mutex<LatencyWindow>,
+    /// Last manifest generation seen by a probe; a change marks the
+    /// document directory stale.
+    generation: AtomicU64,
+}
+
+/// The routing directory: which document lives where, and the global
+/// (lexicographic) document order. Entries for unreachable shards are
+/// retained from the last good fetch, so a query for a document on a
+/// down shard answers `503` ("its shard is down") instead of being
+/// misrouted to a shard that never held it.
+#[derive(Debug, Default, Clone)]
+struct Directory {
+    /// `(name, shard index, manifest entry)` sorted by name.
+    entries: Vec<(String, usize, Json)>,
+    /// name → lexicographic rank (the global `doc` index).
+    global: HashMap<String, usize>,
+    /// name → shard index.
+    shard_of: HashMap<String, usize>,
+}
+
+impl Directory {
+    fn build(mut entries: Vec<(String, usize, Json)>) -> Directory {
+        entries.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+        entries.dedup_by(|a, b| a.0 == b.0);
+        let mut global = HashMap::with_capacity(entries.len());
+        let mut shard_of = HashMap::with_capacity(entries.len());
+        for (rank, (name, shard, _)) in entries.iter().enumerate() {
+            global.insert(name.clone(), rank);
+            shard_of.insert(name.clone(), *shard);
+        }
+        Directory {
+            entries,
+            global,
+            shard_of,
+        }
+    }
+}
+
+struct RouterShared {
+    config: RouterConfig,
+    shards: Vec<Arc<ShardRuntime>>,
+    ring: Ring,
+    metrics: RouterMetrics,
+    directory: RwLock<Directory>,
+    directory_stale: AtomicBool,
+    stop: AtomicBool,
+    checker: Mutex<Option<thread::JoinHandle<()>>>,
+}
+
+// ---------------------------------------------------------------------------
+// Server shell.
+// ---------------------------------------------------------------------------
+
+/// The router's [`Handler`]; normally constructed through
+/// [`RouterServer::bind`].
+pub struct RouterHandler {
+    shared: Arc<RouterShared>,
+}
+
+impl Handler for RouterHandler {
+    fn handle(&self, request: &Request, core: &ServiceCore) -> Response {
+        route(&self.shared, request, core)
+    }
+
+    fn on_shutdown(&self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.shared.checker.lock().unwrap().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A bound scatter-gather router: the health checker is already
+/// running; call [`RouterServer::run`] to serve.
+pub struct RouterServer {
+    inner: Service<RouterHandler>,
+}
+
+impl RouterServer {
+    /// Bind the listener, probe every shard once (synchronously, so
+    /// routing works from the first request), build the document
+    /// directory and start the background health checker.
+    pub fn bind(config: RouterConfig) -> io::Result<RouterServer> {
+        if config.shards.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "a router needs at least one shard address",
+            ));
+        }
+        let policy = config.health_policy();
+        let now = Instant::now();
+        let shards: Vec<Arc<ShardRuntime>> = config
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(index, addr)| {
+                Arc::new(ShardRuntime {
+                    index,
+                    addr: addr.clone(),
+                    pool: Pool::new(addr.clone(), config.client, config.max_idle_per_shard),
+                    health: Health::new(policy, now),
+                    counters: ShardCounters::default(),
+                    latency: Mutex::new(LatencyWindow::default()),
+                    generation: AtomicU64::new(0),
+                })
+            })
+            .collect();
+        let ring = Ring::new(config.shards.len(), config.vnodes);
+        let service_config = config.service.clone();
+        let shared = Arc::new(RouterShared {
+            config,
+            shards,
+            ring,
+            metrics: RouterMetrics::default(),
+            directory: RwLock::new(Directory::default()),
+            directory_stale: AtomicBool::new(false),
+            stop: AtomicBool::new(false),
+            checker: Mutex::new(None),
+        });
+        let inner = Service::bind(
+            RouterHandler {
+                shared: Arc::clone(&shared),
+            },
+            service_config,
+        )?;
+        for shard in &shared.shards {
+            probe_shard(&shared, shard);
+        }
+        refresh_directory(&shared);
+        shared.directory_stale.store(false, Ordering::SeqCst);
+        let checker_shared = Arc::clone(&shared);
+        *shared.checker.lock().unwrap() = Some(thread::spawn(move || checker_loop(checker_shared)));
+        Ok(RouterServer { inner })
+    }
+
+    /// The bound listening address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.inner.local_addr()
+    }
+
+    /// A shutdown handle, safe to use from signal handlers/threads.
+    pub fn handle(&self) -> ServiceHandle {
+        self.inner.handle()
+    }
+
+    /// Serve until shutdown; drains in-flight requests and stops the
+    /// health checker.
+    pub fn run(self) -> io::Result<ServeSummary> {
+        self.inner.run()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Health checking.
+// ---------------------------------------------------------------------------
+
+/// Checker wake-up cadence; also bounds how quickly `on_shutdown`
+/// observes the stop flag.
+const CHECKER_TICK: Duration = Duration::from_millis(25);
+
+fn checker_loop(shared: Arc<RouterShared>) {
+    while !shared.stop.load(Ordering::SeqCst) {
+        let now = Instant::now();
+        for shard in &shared.shards {
+            if shared.stop.load(Ordering::SeqCst) {
+                return;
+            }
+            if shard.health.probe_due(now) {
+                probe_shard(&shared, shard);
+            }
+        }
+        if shared.directory_stale.swap(false, Ordering::SeqCst) {
+            refresh_directory(&shared);
+        }
+        thread::sleep(CHECKER_TICK);
+    }
+}
+
+/// Probe one shard's `/healthz` and feed the result into its state
+/// machine. A draining shard (HTTP 503) counts as a failure, so the
+/// router stops routing to shards that announced shutdown.
+fn probe_shard(shared: &RouterShared, shard: &Arc<ShardRuntime>) {
+    shard.counters.probes.fetch_add(1, Ordering::Relaxed);
+    match probe_healthz(shard, &shared.config) {
+        Ok(generation) => {
+            let before = shard.health.state();
+            shard.health.record_probe_success(Instant::now());
+            let previous = shard.generation.swap(generation, Ordering::Relaxed);
+            if previous != generation || before == State::Down {
+                shared.directory_stale.store(true, Ordering::SeqCst);
+            }
+        }
+        Err(_) => {
+            shard
+                .counters
+                .probe_failures
+                .fetch_add(1, Ordering::Relaxed);
+            let was_routable = shard.health.routable();
+            shard.health.record_probe_failure(Instant::now());
+            if was_routable {
+                // Parked keep-alive sockets to a failed shard are dead
+                // weight; recovery starts from fresh connections.
+                shard.pool.drain();
+            }
+        }
+    }
+}
+
+/// One probe round-trip on a fresh connection. Success means HTTP 200
+/// with `"status": "ok"`; the shard's manifest generation is returned
+/// so directory refreshes can be driven by actual membership changes.
+fn probe_healthz(shard: &ShardRuntime, config: &RouterConfig) -> io::Result<u64> {
+    let mut conn = ClientConn::connect_with(&shard.addr, config.probe_client())?;
+    let response = conn.request("GET", "/healthz", None)?;
+    let not_ready = || io::Error::other("shard not ready");
+    if response.status != 200 {
+        return Err(not_ready());
+    }
+    let text = std::str::from_utf8(&response.body).map_err(|_| not_ready())?;
+    let body = Json::decode(text.trim()).map_err(|_| not_ready())?;
+    if body.get("status").and_then(Json::as_str) != Some("ok") {
+        return Err(not_ready());
+    }
+    Ok(body.get("generation").and_then(Json::as_u64).unwrap_or(0))
+}
+
+/// Rebuild the document directory from every routable shard's
+/// `/v1/documents`, keeping the previous entries of shards that could
+/// not be asked (see [`Directory`]).
+fn refresh_directory(shared: &RouterShared) {
+    let previous = shared.directory.read().unwrap().entries.clone();
+    let mut entries: Vec<(String, usize, Json)> = Vec::new();
+    for shard in &shared.shards {
+        let fetched = if shard.health.routable() {
+            fetch_documents(shard, &shared.config).ok()
+        } else {
+            None
+        };
+        match fetched {
+            Some(list) => {
+                entries.extend(list.into_iter().map(|(name, doc)| (name, shard.index, doc)));
+            }
+            None => {
+                entries.extend(
+                    previous
+                        .iter()
+                        .filter(|(_, s, _)| *s == shard.index)
+                        .cloned(),
+                );
+            }
+        }
+    }
+    *shared.directory.write().unwrap() = Directory::build(entries);
+}
+
+fn fetch_documents(shard: &ShardRuntime, config: &RouterConfig) -> io::Result<Vec<(String, Json)>> {
+    let bad = |m: &str| io::Error::new(io::ErrorKind::InvalidData, m.to_string());
+    let mut conn = ClientConn::connect_with(&shard.addr, config.probe_client())?;
+    let response = conn.request("GET", "/v1/documents", None)?;
+    if response.status != 200 {
+        return Err(bad("documents route failed"));
+    }
+    let text = std::str::from_utf8(&response.body).map_err(|_| bad("body not UTF-8"))?;
+    let body = Json::decode(text.trim()).map_err(|_| bad("body not JSON"))?;
+    let docs = body
+        .get("documents")
+        .and_then(Json::as_array)
+        .ok_or_else(|| bad("missing `documents`"))?;
+    docs.iter()
+        .map(|doc| {
+            doc.get("name")
+                .and_then(Json::as_str)
+                .map(|name| (name.to_string(), doc.clone()))
+                .ok_or_else(|| bad("document without a name"))
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Shard calls: deadline, retries, hedging.
+// ---------------------------------------------------------------------------
+
+/// Why a shard call failed.
+enum CallError {
+    /// The request's end-to-end deadline passed. Not retried, and not
+    /// held against the shard's health: in-flight attempts may still be
+    /// about to land, and probes judge slowness separately.
+    Deadline,
+    /// A transport failure (connect/read/write). Retried within the
+    /// budget and recorded against the shard's health.
+    Transport(io::Error),
+}
+
+impl CallError {
+    fn into_io(self) -> io::Error {
+        match self {
+            CallError::Deadline => io::Error::new(io::ErrorKind::TimedOut, "deadline exceeded"),
+            CallError::Transport(e) => e,
+        }
+    }
+}
+
+/// Issue one logical request to a shard with the full robustness
+/// stack: routability gate, per-attempt hedging, bounded retries, hard
+/// deadline. An `Ok` carries whatever HTTP response the shard produced
+/// (including 4xx/5xx — those are *its* answers, not transport
+/// failures).
+fn shard_call(
+    shared: &RouterShared,
+    shard: &Arc<ShardRuntime>,
+    method: &str,
+    target: &str,
+    body: Option<&str>,
+    deadline: Instant,
+) -> io::Result<HttpResponse> {
+    if !shard.health.routable() {
+        return Err(io::Error::new(
+            io::ErrorKind::NotConnected,
+            format!("shard {} is down", shard.addr),
+        ));
+    }
+    let mut attempt = 0;
+    loop {
+        if Instant::now() >= deadline {
+            return Err(CallError::Deadline.into_io());
+        }
+        match hedged_attempt(shared, shard, method, target, body, deadline) {
+            Ok(response) => {
+                shard.health.record_data_success();
+                return Ok(response);
+            }
+            Err(CallError::Deadline) => return Err(CallError::Deadline.into_io()),
+            Err(CallError::Transport(e)) => {
+                let state = shard.health.record_data_failure(Instant::now());
+                if state == State::Down {
+                    shard.pool.drain();
+                    return Err(e);
+                }
+                if attempt >= shared.config.retries || Instant::now() >= deadline {
+                    return Err(e);
+                }
+                attempt += 1;
+                shared.metrics.retries.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// One attempt, optionally raced against a hedge duplicate: if the
+/// primary outlives the hedge trigger, a second identical request is
+/// launched and the first response to arrive wins. Attempt threads are
+/// detached (bounded by their read timeouts); the coordinator never
+/// waits past `deadline`.
+fn hedged_attempt(
+    shared: &RouterShared,
+    shard: &Arc<ShardRuntime>,
+    method: &str,
+    target: &str,
+    body: Option<&str>,
+    deadline: Instant,
+) -> Result<HttpResponse, CallError> {
+    let trigger = hedge_trigger(shared, shard);
+    let (tx, rx) = mpsc::channel();
+    spawn_attempt(
+        shard,
+        shared.config.client,
+        method,
+        target,
+        body,
+        deadline,
+        false,
+        tx.clone(),
+    );
+    let started = Instant::now();
+    let mut outstanding: u32 = 1;
+    let mut hedged = false;
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            return Err(CallError::Deadline);
+        }
+        let until_deadline = deadline - now;
+        let wait = match (hedged, trigger) {
+            (false, Some(t)) => (started + t)
+                .saturating_duration_since(now)
+                .min(until_deadline),
+            _ => until_deadline,
+        };
+        match rx.recv_timeout(wait) {
+            Ok((Ok((response, latency)), is_hedge)) => {
+                let us = duration_us(latency);
+                shard.counters.latency.observe_us(us);
+                shard.latency.lock().unwrap().record(us);
+                if is_hedge {
+                    shared.metrics.hedge_wins.fetch_add(1, Ordering::Relaxed);
+                }
+                return Ok(response);
+            }
+            Ok((Err(e), _)) => {
+                outstanding -= 1;
+                if outstanding == 0 {
+                    return Err(CallError::Transport(e));
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if Instant::now() >= deadline {
+                    return Err(CallError::Deadline);
+                }
+                if !hedged {
+                    hedged = true;
+                    outstanding += 1;
+                    shared.metrics.hedges.fetch_add(1, Ordering::Relaxed);
+                    spawn_attempt(
+                        shard,
+                        shared.config.client,
+                        method,
+                        target,
+                        body,
+                        deadline,
+                        true,
+                        tx.clone(),
+                    );
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                return Err(CallError::Transport(io::Error::new(
+                    io::ErrorKind::BrokenPipe,
+                    "all attempts vanished",
+                )));
+            }
+        }
+    }
+}
+
+fn hedge_trigger(shared: &RouterShared, shard: &ShardRuntime) -> Option<Duration> {
+    match shared.config.hedge {
+        HedgePolicy::Disabled => None,
+        HedgePolicy::Fixed(trigger) => Some(trigger),
+        HedgePolicy::P95 { min, max } => {
+            let p95 = shard
+                .latency
+                .lock()
+                .unwrap()
+                .p95()
+                .map(Duration::from_micros);
+            Some(p95.unwrap_or(max).clamp(min, max))
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn spawn_attempt(
+    shard: &Arc<ShardRuntime>,
+    client: ClientConfig,
+    method: &str,
+    target: &str,
+    body: Option<&str>,
+    deadline: Instant,
+    is_hedge: bool,
+    tx: mpsc::Sender<(io::Result<(HttpResponse, Duration)>, bool)>,
+) {
+    let shard = Arc::clone(shard);
+    let method = method.to_string();
+    let target = target.to_string();
+    let body = body.map(str::to_string);
+    thread::spawn(move || {
+        shard.counters.calls.fetch_add(1, Ordering::Relaxed);
+        let started = Instant::now();
+        let result = (|| {
+            let mut conn = shard.pool.get()?;
+            // Bound the read by what is left of the deadline (floored
+            // so the OS accepts the timeout) — a detached attempt may
+            // outlive the coordinator, but only by this much.
+            let remaining = deadline
+                .saturating_duration_since(Instant::now())
+                .max(Duration::from_millis(10));
+            conn.set_read_timeout(remaining.min(client.read_timeout))?;
+            let response = conn.request(&method, &target, body.as_deref())?;
+            conn.set_read_timeout(client.read_timeout)?;
+            shard.pool.put(conn);
+            Ok((response, started.elapsed()))
+        })();
+        if result.is_err() {
+            shard.counters.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        let _ = tx.send((result, is_hedge));
+    });
+}
+
+fn duration_us(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+// ---------------------------------------------------------------------------
+// Routing.
+// ---------------------------------------------------------------------------
+
+fn route(shared: &Arc<RouterShared>, request: &Request, core: &ServiceCore) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => handle_healthz(shared, core),
+        ("GET", "/metrics") => handle_metrics(shared, core),
+        ("GET", "/v1/documents") => handle_documents(shared),
+        ("POST", "/v1/query") => handle_query(shared, request),
+        ("POST", "/v1/batch") => handle_batch(shared, request),
+        ("GET", "/v1/merged/top") => handle_merged_top(shared, request),
+        ("GET", "/v1/merged/threshold") => handle_merged_threshold(shared, request),
+        (
+            _,
+            "/healthz" | "/metrics" | "/v1/documents" | "/v1/merged/top" | "/v1/merged/threshold",
+        ) => json_response(405, wire::error_json("method not allowed")).with_header("Allow", "GET"),
+        (_, "/v1/query" | "/v1/batch") => {
+            json_response(405, wire::error_json("method not allowed")).with_header("Allow", "POST")
+        }
+        _ => json_response(
+            404,
+            wire::error_json(&format!("no route for {}", request.path)),
+        ),
+    }
+}
+
+/// Router readiness: alive as long as the process runs; `"ok"` even
+/// with every shard down (degradation is reported per-request — a
+/// router with zero healthy shards still answers, structurally). The
+/// healthy-shard count lets a load balancer weigh routers.
+fn handle_healthz(shared: &RouterShared, core: &ServiceCore) -> Response {
+    let draining = core.is_shutting_down();
+    let healthy = shared.shards.iter().filter(|s| s.health.routable()).count();
+    let body = Json::Obj(vec![
+        (
+            "status".into(),
+            Json::Str(if draining { "draining" } else { "ok" }.into()),
+        ),
+        ("shards".into(), Json::Int(shared.shards.len() as u64)),
+        ("healthy".into(), Json::Int(healthy as u64)),
+    ]);
+    if draining {
+        json_response(503, body).with_header("Retry-After", "1")
+    } else {
+        json_response(200, body)
+    }
+}
+
+fn handle_metrics(shared: &RouterShared, core: &ServiceCore) -> Response {
+    let mut text = core.metrics().render_http(core.queue_depth());
+    let states: Vec<(String, u64, &ShardCounters)> = shared
+        .shards
+        .iter()
+        .map(|s| (s.addr.clone(), s.health.state().code(), &s.counters))
+        .collect();
+    shared.metrics.render(&mut text, &states);
+    text_response(200, text)
+}
+
+/// The list of currently-unreachable shard addresses; a non-empty list
+/// means fan-out answers are flagged `"degraded"`.
+fn unreachable_shards(shared: &RouterShared) -> Vec<String> {
+    shared
+        .shards
+        .iter()
+        .filter(|s| !s.health.routable())
+        .map(|s| s.addr.clone())
+        .collect()
+}
+
+fn degraded_fields(shared: &RouterShared, unreachable: Vec<String>) -> Vec<(String, Json)> {
+    let degraded = !unreachable.is_empty();
+    if degraded {
+        shared
+            .metrics
+            .degraded_responses
+            .fetch_add(1, Ordering::Relaxed);
+    }
+    vec![
+        ("degraded".into(), Json::Bool(degraded)),
+        (
+            "unreachable".into(),
+            Json::Arr(unreachable.into_iter().map(Json::Str).collect()),
+        ),
+    ]
+}
+
+fn handle_documents(shared: &RouterShared) -> Response {
+    let docs: Vec<Json> = {
+        let directory = shared.directory.read().unwrap();
+        directory
+            .entries
+            .iter()
+            .map(|(_, _, doc)| doc.clone())
+            .collect()
+    };
+    let mut fields = vec![("documents".to_string(), Json::Arr(docs))];
+    fields.extend(degraded_fields(shared, unreachable_shards(shared)));
+    json_response(200, Json::Obj(fields))
+}
+
+fn body_json(request: &Request) -> Result<Json, Response> {
+    let text = std::str::from_utf8(&request.body)
+        .map_err(|_| json_response(400, wire::error_json("request body is not UTF-8")))?;
+    Json::decode(text).map_err(|e| json_response(400, wire::error_json(&e.to_string())))
+}
+
+fn shard_for_doc(shared: &RouterShared, name: &str) -> Arc<ShardRuntime> {
+    let index = {
+        let directory = shared.directory.read().unwrap();
+        directory.shard_of.get(name).copied()
+    }
+    .unwrap_or_else(|| shared.ring.shard_for(name));
+    Arc::clone(&shared.shards[index])
+}
+
+fn unavailable(message: String) -> Response {
+    json_response(503, wire::error_json(&message)).with_header("Retry-After", "1")
+}
+
+/// Single-document query: routed by the directory (ring as fallback for
+/// unknown names), shard answer passed through verbatim — bit-identity
+/// by construction. A down shard means this *specific* document is
+/// unavailable, so the honest answer is `503` + `Retry-After`, not a
+/// degraded 200.
+fn handle_query(shared: &RouterShared, request: &Request) -> Response {
+    let json = match body_json(request) {
+        Ok(json) => json,
+        Err(response) => return response,
+    };
+    let Some(doc) = json.get("doc").and_then(Json::as_str) else {
+        return json_response(400, wire::error_json("missing string field `doc`"));
+    };
+    let shard = shard_for_doc(shared, doc);
+    let body = std::str::from_utf8(&request.body).expect("validated above");
+    let deadline = Instant::now() + shared.config.deadline;
+    match shard_call(shared, &shard, "POST", "/v1/query", Some(body), deadline) {
+        Ok(response) => passthrough(response),
+        Err(e) => unavailable(format!("shard {} unreachable: {e}", shard.addr)),
+    }
+}
+
+fn passthrough(response: HttpResponse) -> Response {
+    Response::new(response.status, "application/json", response.body)
+}
+
+/// Scatter a batch across shards and gather the slots back in request
+/// order. Jobs whose shard is unreachable come back as per-slot
+/// `{"status": 503}` objects inside a `200` envelope flagged
+/// `"degraded"` — partial answers beat none. All jobs are validated
+/// up front so a malformed job fails the whole request with the same
+/// `400` a single server would give.
+fn handle_batch(shared: &RouterShared, request: &Request) -> Response {
+    let json = match body_json(request) {
+        Ok(json) => json,
+        Err(response) => return response,
+    };
+    let Some(jobs) = json.get("jobs").and_then(Json::as_array) else {
+        return json_response(400, wire::error_json("missing array field `jobs`"));
+    };
+    let mut slot_docs: Vec<&str> = Vec::with_capacity(jobs.len());
+    for (i, job) in jobs.iter().enumerate() {
+        let Some(doc) = job.get("doc").and_then(Json::as_str) else {
+            return json_response(
+                400,
+                wire::error_json(&format!("job {i}: missing string field `doc`")),
+            );
+        };
+        if let Err(message) = job
+            .get("query")
+            .ok_or_else(|| "missing field `query`".to_string())
+            .and_then(wire::query_from_json)
+        {
+            return json_response(400, wire::error_json(&format!("job {i}: {message}")));
+        }
+        slot_docs.push(doc);
+    }
+    // Group request slots by owning shard, in a stable order.
+    let mut grouped: HashMap<usize, Vec<usize>> = HashMap::new();
+    for (slot, doc) in slot_docs.iter().enumerate() {
+        grouped
+            .entry(shard_for_doc(shared, doc).index)
+            .or_default()
+            .push(slot);
+    }
+    let mut groups: Vec<(usize, Vec<usize>)> = grouped.into_iter().collect();
+    groups.sort_by_key(|&(shard_index, _)| shard_index);
+    let started = Instant::now();
+    let deadline = started + shared.config.deadline;
+    let mut results: Vec<Option<Json>> = vec![None; jobs.len()];
+    let mut failed: Vec<String> = Vec::new();
+    thread::scope(|scope| {
+        let handles: Vec<_> = groups
+            .iter()
+            .map(|(shard_index, slots)| {
+                let shard = Arc::clone(&shared.shards[*shard_index]);
+                let sub_jobs: Vec<Json> = slots.iter().map(|&s| jobs[s].clone()).collect();
+                scope.spawn(move || {
+                    let body = Json::Obj(vec![("jobs".into(), Json::Arr(sub_jobs))])
+                        .encode()
+                        .expect("batch body re-encodes");
+                    let call =
+                        shard_call(shared, &shard, "POST", "/v1/batch", Some(&body), deadline);
+                    (shard, call)
+                })
+            })
+            .collect();
+        for (handle, (_, slots)) in handles.into_iter().zip(&groups) {
+            let (shard, call) = handle.join().expect("batch scatter thread panicked");
+            let parsed = call
+                .ok()
+                .and_then(|response| parse_batch_results(&response, slots.len()));
+            match parsed {
+                Some(shard_results) => {
+                    for (&slot, result) in slots.iter().zip(shard_results) {
+                        results[slot] = Some(result);
+                    }
+                }
+                None => {
+                    for &slot in slots {
+                        results[slot] = Some(Json::Obj(vec![
+                            ("doc".into(), Json::Str(slot_docs[slot].to_string())),
+                            ("status".into(), Json::Int(503)),
+                            (
+                                "error".into(),
+                                Json::Str(format!("shard {} unreachable", shard.addr)),
+                            ),
+                        ]));
+                    }
+                    failed.push(shard.addr.clone());
+                }
+            }
+        }
+    });
+    shared
+        .metrics
+        .fanout_latency
+        .observe_us(duration_us(started.elapsed()));
+    if !failed.is_empty() && failed.len() == groups.len() {
+        return unavailable("all shards unreachable".to_string());
+    }
+    let results: Vec<Json> = results
+        .into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect();
+    let mut fields = vec![("results".to_string(), Json::Arr(results))];
+    fields.extend(degraded_fields(shared, failed));
+    json_response(200, Json::Obj(fields))
+}
+
+/// A shard's `/v1/batch` answer, iff it is well-formed and has exactly
+/// the expected number of results.
+fn parse_batch_results(response: &HttpResponse, expected: usize) -> Option<Vec<Json>> {
+    if response.status != 200 {
+        return None;
+    }
+    let text = std::str::from_utf8(&response.body).ok()?;
+    let body = Json::decode(text.trim()).ok()?;
+    let results = body.get("results").and_then(Json::as_array)?;
+    (results.len() == expected).then(|| results.to_vec())
+}
+
+// ---------------------------------------------------------------------------
+// Merged fan-out routes.
+// ---------------------------------------------------------------------------
+
+/// Fan a GET out to every shard concurrently. Returns each shard's
+/// outcome in shard-index order.
+fn fan_out(
+    shared: &RouterShared,
+    target: &str,
+) -> Vec<(Arc<ShardRuntime>, io::Result<HttpResponse>)> {
+    let deadline = Instant::now() + shared.config.deadline;
+    thread::scope(|scope| {
+        let handles: Vec<_> = shared
+            .shards
+            .iter()
+            .map(|shard| {
+                scope.spawn(move || {
+                    let call = shard_call(shared, shard, "GET", target, None, deadline);
+                    (Arc::clone(shard), call)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("fan-out thread panicked"))
+            .collect()
+    })
+}
+
+/// Decode the `hits` array of a shard's merged answer.
+fn parse_hits(response: &HttpResponse) -> Option<Vec<DocHit>> {
+    if response.status != 200 {
+        return None;
+    }
+    let text = std::str::from_utf8(&response.body).ok()?;
+    let body = Json::decode(text.trim()).ok()?;
+    let hits = body.get("hits").and_then(Json::as_array)?;
+    hits.iter().map(|h| wire::hit_from_json(h).ok()).collect()
+}
+
+/// Regroup shard-local hits into global per-document lists: group by
+/// name (preserving each shard's within-document rank order), index
+/// documents by lexicographic rank — the global document order contract
+/// — and sort the groups by that rank. The output feeds
+/// [`merge_ranked`] (top-t) or a plain concatenation (threshold), both
+/// of which then behave exactly as they would over one big corpus.
+fn regroup(
+    shared: &RouterShared,
+    shard_hits: Vec<Vec<DocHit>>,
+) -> Vec<(usize, String, Vec<Scored>)> {
+    let mut groups: Vec<(String, Vec<Scored>)> = Vec::new();
+    let mut by_name: HashMap<String, usize> = HashMap::new();
+    for hits in shard_hits {
+        for hit in hits {
+            match by_name.get(&hit.name) {
+                Some(&slot) => groups[slot].1.push(hit.item),
+                None => {
+                    by_name.insert(hit.name.clone(), groups.len());
+                    groups.push((hit.name, vec![hit.item]));
+                }
+            }
+        }
+    }
+    // Global index: lexicographic rank over the *whole* corpus (the
+    // directory), not just documents with hits — a hitless document
+    // still occupies a rank, exactly as it would in a single corpus.
+    let directory = shared.directory.read().unwrap();
+    let stale = groups
+        .iter()
+        .any(|(name, _)| !directory.global.contains_key(name));
+    let rank: HashMap<String, usize> = if stale {
+        // The directory hasn't caught up with a membership change; fall
+        // back to ranking over the union of known and observed names.
+        let mut all: Vec<String> = directory
+            .global
+            .keys()
+            .cloned()
+            .chain(groups.iter().map(|(name, _)| name.clone()))
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        all.into_iter().enumerate().map(|(i, n)| (n, i)).collect()
+    } else {
+        HashMap::new()
+    };
+    let mut per_doc: Vec<(usize, String, Vec<Scored>)> = groups
+        .into_iter()
+        .map(|(name, items)| {
+            let index = if stale {
+                rank[&name]
+            } else {
+                directory.global[&name]
+            };
+            (index, name, items)
+        })
+        .collect();
+    per_doc.sort_by_key(|&(index, _, _)| index);
+    per_doc
+}
+
+/// Shared scaffolding for the two merged routes: fan out, split
+/// successes from failures, and bail out `503` when *no* shard
+/// answered.
+fn gather_hits(
+    shared: &RouterShared,
+    target: &str,
+) -> Result<(Vec<Vec<DocHit>>, Vec<String>), Response> {
+    let results = fan_out(shared, target);
+    let mut shard_hits: Vec<Vec<DocHit>> = Vec::new();
+    let mut unreachable: Vec<String> = Vec::new();
+    for (shard, call) in results {
+        match call.ok().and_then(|response| parse_hits(&response)) {
+            Some(hits) => shard_hits.push(hits),
+            None => unreachable.push(shard.addr.clone()),
+        }
+    }
+    if shard_hits.is_empty() {
+        return Err(unavailable("all shards unreachable".to_string()));
+    }
+    Ok((shard_hits, unreachable))
+}
+
+fn handle_merged_top(shared: &RouterShared, request: &Request) -> Response {
+    let Some(t) = request
+        .query_param("t")
+        .and_then(|t| t.parse::<usize>().ok())
+    else {
+        return json_response(
+            400,
+            wire::error_json("missing or unparseable query parameter `t`"),
+        );
+    };
+    let started = Instant::now();
+    let (shard_hits, unreachable) = match gather_hits(shared, &format!("/v1/merged/top?t={t}")) {
+        Ok(gathered) => gathered,
+        Err(response) => return response,
+    };
+    let per_doc = regroup(shared, shard_hits);
+    let borrowed: Vec<(usize, &str, &[Scored])> = per_doc
+        .iter()
+        .map(|(i, n, s)| (*i, n.as_str(), s.as_slice()))
+        .collect();
+    let hits = merge_ranked(&borrowed, t);
+    shared
+        .metrics
+        .fanout_latency
+        .observe_us(duration_us(started.elapsed()));
+    let mut fields = vec![
+        ("t".to_string(), Json::Int(t as u64)),
+        (
+            "hits".to_string(),
+            Json::Arr(hits.iter().map(wire::hit_to_json).collect()),
+        ),
+    ];
+    fields.extend(degraded_fields(shared, unreachable));
+    json_response(200, Json::Obj(fields))
+}
+
+fn handle_merged_threshold(shared: &RouterShared, request: &Request) -> Response {
+    let Some(alpha) = request
+        .query_param("alpha")
+        .and_then(|a| a.parse::<f64>().ok())
+    else {
+        return json_response(
+            400,
+            wire::error_json("missing or unparseable query parameter `alpha`"),
+        );
+    };
+    if !alpha.is_finite() {
+        return json_response(400, wire::error_json("`alpha` must be finite"));
+    }
+    let started = Instant::now();
+    let (shard_hits, unreachable) =
+        match gather_hits(shared, &format!("/v1/merged/threshold?alpha={alpha}")) {
+            Ok(gathered) => gathered,
+            Err(response) => return response,
+        };
+    // Threshold semantics: every hit, in global document order, each
+    // document's hits in its shard-reported order.
+    let per_doc = regroup(shared, shard_hits);
+    let hits: Vec<DocHit> = per_doc
+        .into_iter()
+        .flat_map(|(index, name, items)| {
+            items.into_iter().map(move |item| DocHit {
+                doc: index,
+                name: name.clone(),
+                item,
+            })
+        })
+        .collect();
+    shared
+        .metrics
+        .fanout_latency
+        .observe_us(duration_us(started.elapsed()));
+    let mut fields = vec![
+        ("alpha".to_string(), Json::Num(alpha)),
+        ("count".to_string(), Json::Int(hits.len() as u64)),
+        (
+            "hits".to_string(),
+            Json::Arr(hits.iter().map(wire::hit_to_json).collect()),
+        ),
+    ];
+    fields.extend(degraded_fields(shared, unreachable));
+    json_response(200, Json::Obj(fields))
+}
+
+// ---------------------------------------------------------------------------
+// Compile-time thread-safety contract (mirrors the server crate).
+// ---------------------------------------------------------------------------
+
+const _: () = {
+    const fn require_send_sync<T: Send + Sync>() {}
+    require_send_sync::<RouterHandler>();
+    require_send_sync::<RouterShared>();
+    require_send_sync::<ShardRuntime>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_window_p95_tracks_the_tail() {
+        let mut window = LatencyWindow::default();
+        assert_eq!(window.p95(), None);
+        for _ in 0..19 {
+            window.record(100);
+        }
+        window.record(9_000);
+        // 20 samples, index 19 → the single outlier.
+        assert_eq!(window.p95(), Some(9_000));
+        // The window is bounded: old samples roll off.
+        for _ in 0..LATENCY_WINDOW {
+            window.record(50);
+        }
+        assert_eq!(window.p95(), Some(50));
+    }
+
+    #[test]
+    fn directory_build_sorts_dedups_and_ranks() {
+        let directory = Directory::build(vec![
+            ("beta".into(), 1, Json::Null),
+            ("alpha".into(), 0, Json::Null),
+            ("beta".into(), 0, Json::Null),
+            ("gamma".into(), 1, Json::Null),
+        ]);
+        assert_eq!(directory.entries.len(), 3);
+        assert_eq!(directory.global["alpha"], 0);
+        assert_eq!(directory.global["beta"], 1);
+        assert_eq!(directory.global["gamma"], 2);
+        // Duplicate name resolves to the lowest shard index.
+        assert_eq!(directory.shard_of["beta"], 0);
+    }
+
+    #[test]
+    fn bind_rejects_an_empty_shard_list() {
+        let err = RouterServer::bind(RouterConfig::new(Vec::new()))
+            .map(|_| ())
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn hedge_trigger_clamps_and_cold_starts_at_max() {
+        let mut config = RouterConfig::new(vec!["127.0.0.1:1".into()]);
+        config.hedge = HedgePolicy::P95 {
+            min: Duration::from_millis(2),
+            max: Duration::from_millis(20),
+        };
+        let shard = ShardRuntime {
+            index: 0,
+            addr: "127.0.0.1:1".into(),
+            pool: Pool::new("127.0.0.1:1".into(), config.client, 1),
+            health: Health::new(config.health_policy(), Instant::now()),
+            counters: ShardCounters::default(),
+            latency: Mutex::new(LatencyWindow::default()),
+            generation: AtomicU64::new(0),
+        };
+        let shared = RouterShared {
+            ring: Ring::new(1, 8),
+            config,
+            shards: Vec::new(),
+            metrics: RouterMetrics::default(),
+            directory: RwLock::new(Directory::default()),
+            directory_stale: AtomicBool::new(false),
+            stop: AtomicBool::new(false),
+            checker: Mutex::new(None),
+        };
+        // No samples yet: conservative trigger at max.
+        assert_eq!(
+            hedge_trigger(&shared, &shard),
+            Some(Duration::from_millis(20))
+        );
+        // Fast shard: trigger clamps up to min.
+        for _ in 0..LATENCY_WINDOW {
+            shard.latency.lock().unwrap().record(100); // 0.1 ms
+        }
+        assert_eq!(
+            hedge_trigger(&shared, &shard),
+            Some(Duration::from_millis(2))
+        );
+        // Slow shard: clamps down to max.
+        for _ in 0..LATENCY_WINDOW {
+            shard.latency.lock().unwrap().record(1_000_000);
+        }
+        assert_eq!(
+            hedge_trigger(&shared, &shard),
+            Some(Duration::from_millis(20))
+        );
+    }
+}

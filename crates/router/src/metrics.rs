@@ -1,0 +1,227 @@
+//! Router-side metrics, appended to the generic HTTP metrics on
+//! `/metrics`.
+//!
+//! Everything is lock-free atomics so the data path never blocks on
+//! observability. Latency histograms reuse the server's bucket bounds
+//! ([`LATENCY_BUCKETS_US`]) so shard-side and router-side histograms
+//! line up in dashboards.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use sigstr_server::metrics::LATENCY_BUCKETS_US;
+
+/// Cumulative latency histogram (micro-second buckets + `+inf`).
+#[derive(Debug, Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS_US.len() + 1],
+    sum_us: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    /// Record one latency sample.
+    pub fn observe_us(&self, us: u64) {
+        let slot = LATENCY_BUCKETS_US
+            .iter()
+            .position(|&bound| us <= bound)
+            .unwrap_or(LATENCY_BUCKETS_US.len());
+        self.buckets[slot].fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Append Prometheus-style `_bucket`/`_sum`/`_count` lines.
+    /// `labels` is either empty or a `{key="value"}`-style block whose
+    /// closing brace is stitched together with the `le` label.
+    fn render(&self, out: &mut String, name: &str, labels: &str) {
+        let open = if labels.is_empty() {
+            "{".to_string()
+        } else {
+            format!("{{{labels},")
+        };
+        let mut cumulative = 0;
+        for (i, &bound) in LATENCY_BUCKETS_US.iter().enumerate() {
+            cumulative += self.buckets[i].load(Ordering::Relaxed);
+            out.push_str(&format!(
+                "{name}_bucket{open}le=\"{bound}\"}} {cumulative}\n"
+            ));
+        }
+        cumulative += self.buckets[LATENCY_BUCKETS_US.len()].load(Ordering::Relaxed);
+        out.push_str(&format!("{name}_bucket{open}le=\"+Inf\"}} {cumulative}\n"));
+        let block = if labels.is_empty() {
+            String::new()
+        } else {
+            format!("{{{labels}}}")
+        };
+        out.push_str(&format!(
+            "{name}_sum{block} {}\n",
+            self.sum_us.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "{name}_count{block} {}\n",
+            self.count.load(Ordering::Relaxed)
+        ));
+    }
+}
+
+/// Per-shard counters; one instance lives in each `ShardRuntime`.
+#[derive(Debug, Default)]
+pub struct ShardCounters {
+    /// Health probes attempted.
+    pub probes: AtomicU64,
+    /// Health probes that failed.
+    pub probe_failures: AtomicU64,
+    /// Data-path calls attempted (each retry/hedge attempt counts).
+    pub calls: AtomicU64,
+    /// Data-path attempts that failed with a transport error.
+    pub errors: AtomicU64,
+    /// Latency of winning data-path attempts.
+    pub latency: Histogram,
+}
+
+/// Router-wide counters.
+#[derive(Debug, Default)]
+pub struct RouterMetrics {
+    /// Attempts re-issued after a transport failure.
+    pub retries: AtomicU64,
+    /// Hedge attempts launched after the latency trigger.
+    pub hedges: AtomicU64,
+    /// Hedge attempts that produced the winning response.
+    pub hedge_wins: AtomicU64,
+    /// Responses served with `"degraded": true`.
+    pub degraded_responses: AtomicU64,
+    /// End-to-end latency of full fan-outs (merged routes).
+    pub fanout_latency: Histogram,
+}
+
+impl RouterMetrics {
+    /// Append the router block to an already-rendered HTTP metrics page.
+    /// `shards` pairs each shard's address with its state code and
+    /// counters, in shard-index order.
+    pub fn render(&self, out: &mut String, shards: &[(String, u64, &ShardCounters)]) {
+        out.push_str("# TYPE sigstr_router_shard_up gauge\n");
+        for (addr, state, _) in shards {
+            let up = u64::from(*state != 0);
+            out.push_str(&format!(
+                "sigstr_router_shard_up{{shard=\"{addr}\"}} {up}\n"
+            ));
+        }
+        out.push_str("# TYPE sigstr_router_shard_state gauge\n");
+        for (addr, state, _) in shards {
+            out.push_str(&format!(
+                "sigstr_router_shard_state{{shard=\"{addr}\"}} {state}\n"
+            ));
+        }
+        for (name, pick) in [
+            ("sigstr_router_shard_probes_total", 0usize),
+            ("sigstr_router_shard_probe_failures_total", 1),
+            ("sigstr_router_shard_calls_total", 2),
+            ("sigstr_router_shard_errors_total", 3),
+        ] {
+            out.push_str(&format!("# TYPE {name} counter\n"));
+            for (addr, _, counters) in shards {
+                let value = match pick {
+                    0 => counters.probes.load(Ordering::Relaxed),
+                    1 => counters.probe_failures.load(Ordering::Relaxed),
+                    2 => counters.calls.load(Ordering::Relaxed),
+                    _ => counters.errors.load(Ordering::Relaxed),
+                };
+                out.push_str(&format!("{name}{{shard=\"{addr}\"}} {value}\n"));
+            }
+        }
+        out.push_str("# TYPE sigstr_router_shard_latency_us histogram\n");
+        for (addr, _, counters) in shards {
+            counters.latency.render(
+                out,
+                "sigstr_router_shard_latency_us",
+                &format!("shard=\"{addr}\""),
+            );
+        }
+        for (name, value) in [
+            (
+                "sigstr_router_retries_total",
+                self.retries.load(Ordering::Relaxed),
+            ),
+            (
+                "sigstr_router_hedges_total",
+                self.hedges.load(Ordering::Relaxed),
+            ),
+            (
+                "sigstr_router_hedge_wins_total",
+                self.hedge_wins.load(Ordering::Relaxed),
+            ),
+            (
+                "sigstr_router_degraded_responses_total",
+                self.degraded_responses.load(Ordering::Relaxed),
+            ),
+        ] {
+            out.push_str(&format!("# TYPE {name} counter\n{name} {value}\n"));
+        }
+        out.push_str("# TYPE sigstr_router_fanout_latency_us histogram\n");
+        self.fanout_latency
+            .render(out, "sigstr_router_fanout_latency_us", "");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_every_series_with_shard_labels() {
+        let metrics = RouterMetrics::default();
+        let counters = ShardCounters::default();
+        counters.probes.fetch_add(3, Ordering::Relaxed);
+        counters.probe_failures.fetch_add(1, Ordering::Relaxed);
+        counters.calls.fetch_add(10, Ordering::Relaxed);
+        counters.errors.fetch_add(2, Ordering::Relaxed);
+        counters.latency.observe_us(400);
+        metrics.retries.fetch_add(2, Ordering::Relaxed);
+        metrics.hedges.fetch_add(5, Ordering::Relaxed);
+        metrics.hedge_wins.fetch_add(4, Ordering::Relaxed);
+        metrics.degraded_responses.fetch_add(1, Ordering::Relaxed);
+        metrics.fanout_latency.observe_us(1_500);
+
+        let mut out = String::new();
+        metrics.render(&mut out, &[("127.0.0.1:9001".to_string(), 2, &counters)]);
+
+        for line in [
+            "sigstr_router_shard_up{shard=\"127.0.0.1:9001\"} 1",
+            "sigstr_router_shard_state{shard=\"127.0.0.1:9001\"} 2",
+            "sigstr_router_shard_probes_total{shard=\"127.0.0.1:9001\"} 3",
+            "sigstr_router_shard_probe_failures_total{shard=\"127.0.0.1:9001\"} 1",
+            "sigstr_router_shard_calls_total{shard=\"127.0.0.1:9001\"} 10",
+            "sigstr_router_shard_errors_total{shard=\"127.0.0.1:9001\"} 2",
+            "sigstr_router_shard_latency_us_bucket{shard=\"127.0.0.1:9001\",le=\"500\"} 1",
+            "sigstr_router_shard_latency_us_count{shard=\"127.0.0.1:9001\"} 1",
+            "sigstr_router_retries_total 2",
+            "sigstr_router_hedges_total 5",
+            "sigstr_router_hedge_wins_total 4",
+            "sigstr_router_degraded_responses_total 1",
+            "sigstr_router_fanout_latency_us_bucket{le=\"5000\"} 1",
+            "sigstr_router_fanout_latency_us_count 1",
+        ] {
+            assert!(out.contains(line), "missing `{line}` in:\n{out}");
+        }
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let h = Histogram::default();
+        h.observe_us(50);
+        h.observe_us(200);
+        h.observe_us(2_000_000);
+        let mut out = String::new();
+        h.render(&mut out, "x", "");
+        assert!(out.contains("x_bucket{le=\"100\"} 1\n"));
+        assert!(out.contains("x_bucket{le=\"250\"} 2\n"));
+        assert!(out.contains("x_bucket{le=\"1000000\"} 2\n"));
+        assert!(out.contains("x_bucket{le=\"+Inf\"} 3\n"));
+        assert!(out.contains("x_count 3\n"));
+    }
+}

@@ -1,0 +1,771 @@
+//! Fault tolerance: with the fault-injection proxy black-holing,
+//! severing and delaying the path to a shard, the router must answer
+//! every request within its deadline — **exactly** when it can,
+//! **degraded but well-formed** when it can't — and must recover on its
+//! own once the fault clears.
+//!
+//! Each test drives real shard servers through a [`FaultProxy`], so the
+//! sockets, timeouts and retries under test are the real ones.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use sigstr_core::{CountsLayout, Model, Query, Sequence};
+use sigstr_corpus::{Corpus, DocHit};
+use sigstr_router::fault::{FaultMode, FaultProxy};
+use sigstr_router::hash::Ring;
+use sigstr_router::{HedgePolicy, RouterConfig, RouterServer};
+use sigstr_server::client::{ClientConn, HttpResponse};
+use sigstr_server::json::Json;
+use sigstr_server::wire;
+use sigstr_server::{Server, ServerConfig, ServiceHandle};
+
+const SHARDS: usize = 2;
+const VNODES: usize = 64;
+
+// ---------------------------------------------------------------------------
+// Fixture: the same ring-partitioned fleet the fidelity tests use.
+// ---------------------------------------------------------------------------
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "sigstr-router-ft-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn doc(seed: u64, n: usize, k: usize) -> Sequence {
+    let mut x = seed | 1;
+    let symbols: Vec<u8> = (0..n)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x % k as u64) as u8
+        })
+        .collect();
+    Sequence::from_symbols(symbols, k).unwrap()
+}
+
+fn spec() -> Vec<(&'static str, u64, usize, usize, CountsLayout)> {
+    vec![
+        ("bin-a", 11, 600, 2, CountsLayout::Flat),
+        ("bin-b", 12, 400, 2, CountsLayout::Blocked),
+        ("tri-c", 13, 500, 3, CountsLayout::Blocked),
+        ("tri-d", 14, 450, 3, CountsLayout::Flat),
+        ("quad-e", 15, 520, 4, CountsLayout::Blocked),
+        ("bin-f", 16, 380, 2, CountsLayout::Flat),
+    ]
+}
+
+/// Build ring-partitioned shard corpora plus the sorted-name reference
+/// corpus. Returns `(shard_dirs, reference_dir)`.
+fn build(tag: &str) -> (Vec<PathBuf>, PathBuf) {
+    let ring = Ring::new(SHARDS, VNODES);
+    let mut spec = spec();
+    spec.sort_by_key(|&(name, ..)| name);
+
+    let shard_dirs: Vec<PathBuf> = (0..SHARDS)
+        .map(|s| temp_dir(&format!("{tag}-s{s}")))
+        .collect();
+    let reference_dir = temp_dir(&format!("{tag}-ref"));
+    let mut shards: Vec<Corpus> = shard_dirs
+        .iter()
+        .map(|d| Corpus::create(d).unwrap())
+        .collect();
+    let mut reference = Corpus::create(&reference_dir).unwrap();
+
+    for &(name, seed, n, k, layout) in &spec {
+        let sequence = doc(seed, n, k);
+        let model = Model::uniform(k).unwrap();
+        let owner = ring.shard_for(name);
+        shards[owner]
+            .add_document(name, &sequence, model.clone(), layout)
+            .unwrap();
+        reference
+            .add_document(name, &sequence, model, layout)
+            .unwrap();
+    }
+    for (s, corpus) in shards.iter().enumerate() {
+        assert!(
+            !corpus.is_empty(),
+            "shard {s} got no documents — pick different names"
+        );
+    }
+    (shard_dirs, reference_dir)
+}
+
+/// First document name owned by `shard` under the test ring.
+fn doc_on_shard(shard: usize) -> &'static str {
+    let ring = Ring::new(SHARDS, VNODES);
+    spec()
+        .iter()
+        .map(|&(name, ..)| name)
+        .find(|name| ring.shard_for(name) == shard)
+        .expect("every shard owns at least one document")
+}
+
+fn boot_shard_at(
+    dir: &PathBuf,
+    addr: &str,
+) -> (String, ServiceHandle, std::thread::JoinHandle<()>) {
+    let corpus = Corpus::open(dir).unwrap();
+    let server = Server::bind(
+        corpus,
+        ServerConfig {
+            addr: addr.into(),
+            threads: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr().to_string();
+    let handle = server.handle();
+    let join = std::thread::spawn(move || {
+        server.run().unwrap();
+    });
+    (addr, handle, join)
+}
+
+fn boot_shard(dir: &PathBuf) -> (String, ServiceHandle, std::thread::JoinHandle<()>) {
+    boot_shard_at(dir, "127.0.0.1:0")
+}
+
+/// Aggressive health/backoff settings so faults are detected (and
+/// recovery observed) in tens of milliseconds, not seconds.
+fn fast_config(shards: Vec<String>) -> RouterConfig {
+    let mut config = RouterConfig::new(shards);
+    config.service.addr = "127.0.0.1:0".into();
+    config.service.threads = 2;
+    config.vnodes = VNODES;
+    config.deadline = Duration::from_millis(800);
+    config.retries = 1;
+    config.hedge = HedgePolicy::Disabled;
+    config.probe_interval = Duration::from_millis(50);
+    config.probe_timeout = Duration::from_millis(200);
+    config.backoff_base = Duration::from_millis(50);
+    config.backoff_max = Duration::from_millis(200);
+    config
+}
+
+fn boot_router(config: RouterConfig) -> (String, ServiceHandle, std::thread::JoinHandle<()>) {
+    let router = RouterServer::bind(config).unwrap();
+    let addr = router.local_addr().to_string();
+    let handle = router.handle();
+    let join = std::thread::spawn(move || {
+        router.run().unwrap();
+    });
+    (addr, handle, join)
+}
+
+fn raw_get(addr: &str, target: &str) -> HttpResponse {
+    let mut conn = ClientConn::connect(addr).unwrap();
+    conn.request("GET", target, None).unwrap()
+}
+
+fn get(addr: &str, target: &str) -> (u16, Json) {
+    let response = raw_get(addr, target);
+    let body = Json::decode(std::str::from_utf8(&response.body).unwrap().trim()).unwrap();
+    (response.status, body)
+}
+
+fn post(addr: &str, target: &str, body: &str) -> (u16, Json) {
+    let mut conn = ClientConn::connect(addr).unwrap();
+    let response = conn.request("POST", target, Some(body)).unwrap();
+    let body = Json::decode(std::str::from_utf8(&response.body).unwrap().trim()).unwrap();
+    (response.status, body)
+}
+
+fn query_body(name: &str, query: &Query) -> String {
+    Json::Obj(vec![
+        ("doc".into(), Json::Str(name.into())),
+        ("query".into(), wire::query_to_json(query)),
+    ])
+    .encode()
+    .unwrap()
+}
+
+fn decode_hits(body: &Json) -> Vec<DocHit> {
+    body.get("hits")
+        .and_then(Json::as_array)
+        .unwrap()
+        .iter()
+        .map(|h| wire::hit_from_json(h).unwrap())
+        .collect()
+}
+
+fn assert_hits_identical(routed: &[DocHit], reference: &[DocHit], label: &str) {
+    assert_eq!(routed.len(), reference.len(), "{label}: hit count");
+    for (i, (a, b)) in routed.iter().zip(reference).enumerate() {
+        assert_eq!(a.doc, b.doc, "{label}: hit {i} doc index");
+        assert_eq!(a.name, b.name, "{label}: hit {i} document name");
+        assert_eq!(a.item.start, b.item.start, "{label}: hit {i} start");
+        assert_eq!(a.item.end, b.item.end, "{label}: hit {i} end");
+        assert_eq!(
+            a.item.chi_square.to_bits(),
+            b.item.chi_square.to_bits(),
+            "{label}: hit {i} chi-square bits"
+        );
+    }
+}
+
+/// Value of a single un-labelled counter line in a `/metrics` page.
+fn metric_value(text: &str, name: &str) -> u64 {
+    text.lines()
+        .find_map(|line| {
+            line.strip_prefix(name)
+                .and_then(|rest| rest.trim().parse().ok())
+        })
+        .unwrap_or_else(|| panic!("metric `{name}` not found in:\n{text}"))
+}
+
+fn shutdown_all(
+    router: (String, ServiceHandle, std::thread::JoinHandle<()>),
+    booted: Vec<(String, ServiceHandle, std::thread::JoinHandle<()>)>,
+) {
+    let (_, handle, join) = router;
+    handle.shutdown();
+    join.join().unwrap();
+    for (_, handle, join) in booted {
+        handle.shutdown();
+        join.join().unwrap();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 1. Black-holed shard: bounded latency, structured degradation, recovery.
+// ---------------------------------------------------------------------------
+
+/// A shard that accepts connections but never answers is the nastiest
+/// failure mode — without deadlines every request into it hangs for the
+/// full read timeout. The router must (a) keep every response under the
+/// deadline plus scheduling slack, (b) degrade merged routes to
+/// `200 + "degraded": true`, (c) `503` single-document routes with
+/// `Retry-After`, and (d) recover to bit-exact service once the shard
+/// comes back — all without operator intervention.
+#[test]
+fn black_holed_shard_degrades_within_deadline_and_recovers() {
+    let (shard_dirs, reference_dir) = build("blackhole");
+    let reference = Corpus::open(&reference_dir).unwrap();
+    let booted: Vec<_> = shard_dirs.iter().map(boot_shard).collect();
+
+    // Shard 1 sits behind the fault proxy; the router only knows the
+    // proxy's address.
+    let upstream = booted[1].0.parse().unwrap();
+    let mut proxy = FaultProxy::start(upstream).unwrap();
+    let proxy_addr = proxy.addr().to_string();
+    let config = fast_config(vec![booted[0].0.clone(), proxy_addr.clone()]);
+    let deadline = config.deadline;
+    let router = boot_router(config);
+    let router_addr = router.0.clone();
+
+    // Healthy sanity check: exact answers through the proxy.
+    let expected_top = reference.top_t_merged(5).unwrap();
+    let (status, body) = get(&router_addr, "/v1/merged/top?t=5");
+    assert_eq!(status, 200);
+    assert_eq!(body.get("degraded").and_then(Json::as_bool), Some(false));
+    assert_hits_identical(&decode_hits(&body), &expected_top, "healthy top");
+
+    // Black-hole the shard: connections accepted, every byte swallowed.
+    proxy.set_mode(FaultMode::Blackhole);
+
+    // Every merged request must keep answering 200 with well-formed
+    // JSON, within the deadline budget; within a few probe cycles the
+    // responses must declare the degradation and name the dead shard.
+    let slack = Duration::from_secs(2);
+    let mut saw_degraded = false;
+    for _ in 0..40 {
+        let started = Instant::now();
+        let (status, body) = get(&router_addr, "/v1/merged/top?t=5");
+        let elapsed = started.elapsed();
+        assert_eq!(status, 200, "merged top during blackhole");
+        assert!(
+            elapsed < deadline + slack,
+            "request blocked {elapsed:?}, past the {deadline:?} deadline"
+        );
+        assert!(
+            body.get("hits").and_then(Json::as_array).is_some(),
+            "malformed degraded body"
+        );
+        let degraded = body.get("degraded").and_then(Json::as_bool).unwrap();
+        if degraded {
+            let unreachable: Vec<&str> = body
+                .get("unreachable")
+                .and_then(Json::as_array)
+                .unwrap()
+                .iter()
+                .map(|j| j.as_str().unwrap())
+                .collect();
+            assert_eq!(unreachable, vec![proxy_addr.as_str()], "unreachable list");
+            // The reachable shard's documents still come back exact.
+            let routed = decode_hits(&body);
+            assert!(routed
+                .iter()
+                .all(|h| Ring::new(SHARDS, VNODES).shard_for(&h.name) == 0));
+            saw_degraded = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    assert!(
+        saw_degraded,
+        "router never declared the black-holed shard degraded"
+    );
+
+    // A batch spanning both shards: request order preserved, live
+    // shard's jobs answered, dead shard's jobs carry structured
+    // per-slot errors — still one 200, still within the deadline.
+    let jobs: Vec<Json> = spec()
+        .iter()
+        .map(|&(name, ..)| {
+            Json::Obj(vec![
+                ("doc".into(), Json::Str(name.into())),
+                ("query".into(), wire::query_to_json(&Query::top_t(3))),
+            ])
+        })
+        .collect();
+    let request = Json::Obj(vec![("jobs".into(), Json::Arr(jobs))])
+        .encode()
+        .unwrap();
+    let started = Instant::now();
+    let (status, body) = post(&router_addr, "/v1/batch", &request);
+    assert!(
+        started.elapsed() < deadline + slack,
+        "batch blocked past the deadline"
+    );
+    assert_eq!(status, 200, "degraded batch");
+    assert_eq!(body.get("degraded").and_then(Json::as_bool), Some(true));
+    let results = body.get("results").and_then(Json::as_array).unwrap();
+    assert_eq!(results.len(), spec().len(), "batch result count");
+    let ring = Ring::new(SHARDS, VNODES);
+    for (result, &(name, ..)) in results.iter().zip(&spec()) {
+        assert_eq!(
+            result.get("doc").and_then(Json::as_str),
+            Some(name),
+            "batch slot order"
+        );
+        if ring.shard_for(name) == 0 {
+            assert!(
+                result.get("answer").is_some(),
+                "live-shard job {name} lost its answer"
+            );
+        } else {
+            assert_eq!(result.get("status").and_then(Json::as_usize), Some(503));
+            let error = result.get("error").and_then(Json::as_str).unwrap();
+            assert!(error.contains("unreachable"), "slot error: {error}");
+        }
+    }
+
+    // Single-document routes cannot degrade meaningfully: the honest
+    // answer is 503 + Retry-After.
+    let mut conn = ClientConn::connect(&router_addr).unwrap();
+    let response = conn
+        .request(
+            "POST",
+            "/v1/query",
+            Some(&query_body(doc_on_shard(1), &Query::mss())),
+        )
+        .unwrap();
+    assert_eq!(response.status, 503, "query for a dead shard's document");
+    assert_eq!(response.header("retry-after"), Some("1"));
+
+    // Metrics tell the same story.
+    let metrics = raw_get(&router_addr, "/metrics");
+    let text = std::str::from_utf8(&metrics.body).unwrap();
+    assert!(metric_value(text, "sigstr_router_degraded_responses_total") > 0);
+    assert!(text.contains(&format!(
+        "sigstr_router_shard_state{{shard=\"{proxy_addr}\"}} 0"
+    )));
+    assert!(text.contains(&format!(
+        "sigstr_router_shard_up{{shard=\"{proxy_addr}\"}} 0"
+    )));
+
+    // Clear the fault: the prober must bring the shard back and the
+    // router must converge to exact, non-degraded answers on its own.
+    proxy.set_mode(FaultMode::Pass);
+    let mut recovered = false;
+    for _ in 0..100 {
+        let (status, body) = get(&router_addr, "/v1/merged/top?t=5");
+        assert_eq!(status, 200);
+        if body.get("degraded").and_then(Json::as_bool) == Some(false) {
+            assert_hits_identical(&decode_hits(&body), &expected_top, "recovered top");
+            recovered = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    assert!(
+        recovered,
+        "router never recovered after the blackhole cleared"
+    );
+    let (status, body) = get(&router_addr, "/healthz");
+    assert_eq!(status, 200);
+    assert_eq!(body.get("healthy").and_then(Json::as_usize), Some(SHARDS));
+
+    proxy.stop();
+    shutdown_all(router, booted);
+}
+
+// ---------------------------------------------------------------------------
+// 2. A shard answering 503 gets no data traffic, and rejoins on recovery.
+// ---------------------------------------------------------------------------
+
+/// Minimal HTTP endpoint that answers `503` to everything and records
+/// the request paths it saw — a shard in maintenance/drain.
+struct Fake503 {
+    addr: String,
+    paths: Arc<Mutex<Vec<String>>>,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Fake503 {
+    fn start() -> Fake503 {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let paths = Arc::new(Mutex::new(Vec::new()));
+        let stop = Arc::new(AtomicBool::new(false));
+        let (t_paths, t_stop) = (Arc::clone(&paths), Arc::clone(&stop));
+        let thread = std::thread::spawn(move || loop {
+            let Ok((mut stream, _)) = listener.accept() else {
+                break;
+            };
+            if t_stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+            let mut head = Vec::new();
+            let mut buf = [0u8; 2048];
+            loop {
+                match stream.read(&mut buf) {
+                    Ok(0) | Err(_) => break,
+                    Ok(n) => {
+                        head.extend_from_slice(&buf[..n]);
+                        if head.windows(4).any(|w| w == b"\r\n\r\n") {
+                            break;
+                        }
+                    }
+                }
+            }
+            if let Some(line) = head.split(|&b| b == b'\r').next() {
+                if let Some(path) = String::from_utf8_lossy(line).split_whitespace().nth(1) {
+                    t_paths.lock().unwrap().push(path.to_string());
+                }
+            }
+            let body = br#"{"error":"maintenance"}"#;
+            let _ = stream.write_all(
+                format!(
+                    "HTTP/1.1 503 Service Unavailable\r\nContent-Type: application/json\r\n\
+                     Content-Length: {}\r\nConnection: close\r\n\r\n",
+                    body.len()
+                )
+                .as_bytes(),
+            );
+            let _ = stream.write_all(body);
+            let _ = stream.shutdown(Shutdown::Both);
+        });
+        Fake503 {
+            addr,
+            paths,
+            stop,
+            thread: Some(thread),
+        }
+    }
+
+    fn stop(&mut self) {
+        if !self.stop.swap(true, Ordering::SeqCst) {
+            let _ = TcpStream::connect(&self.addr);
+        }
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+/// The health checker must treat a `503`-answering shard as down —
+/// zero data-path requests reach it — and must resume routing once a
+/// real server takes over the same address.
+#[test]
+fn a_503_shard_receives_no_data_traffic_and_rejoins_after_recovery() {
+    let (shard_dirs, reference_dir) = build("fake503");
+    let reference = Corpus::open(&reference_dir).unwrap();
+    // Shard 0 is real from the start; shard 1's address is served by the
+    // 503 fake.
+    let booted = vec![boot_shard(&shard_dirs[0])];
+    let mut fake = Fake503::start();
+    let fake_addr = fake.addr.clone();
+
+    let router = boot_router(fast_config(vec![booted[0].0.clone(), fake_addr.clone()]));
+    let router_addr = router.0.clone();
+
+    // Merged routes degrade immediately (the fake has never passed a
+    // probe, so it never takes traffic).
+    let (status, body) = get(&router_addr, "/v1/merged/top?t=10");
+    assert_eq!(status, 200);
+    assert_eq!(body.get("degraded").and_then(Json::as_bool), Some(true));
+    let unreachable: Vec<&str> = body
+        .get("unreachable")
+        .and_then(Json::as_array)
+        .unwrap()
+        .iter()
+        .map(|j| j.as_str().unwrap())
+        .collect();
+    assert_eq!(unreachable, vec![fake_addr.as_str()]);
+
+    // A document owned by the sick shard: 503, not a wrong answer.
+    let (status, _) = post(
+        &router_addr,
+        "/v1/query",
+        &query_body(doc_on_shard(1), &Query::mss()),
+    );
+    assert_eq!(status, 503);
+
+    let (status, body) = get(&router_addr, "/healthz");
+    assert_eq!(status, 200);
+    assert_eq!(body.get("healthy").and_then(Json::as_usize), Some(1));
+
+    // The fake must have seen health probes and *nothing else*: the
+    // router never routed data to a shard it knew was sick.
+    {
+        let paths = fake.paths.lock().unwrap();
+        assert!(!paths.is_empty(), "the checker never probed the sick shard");
+        assert!(
+            paths.iter().all(|p| p == "/healthz"),
+            "data traffic reached a sick shard: {paths:?}"
+        );
+    }
+
+    // Maintenance ends: the fake stops and a real server binds the very
+    // same address (std listeners set SO_REUSEADDR, so lingering
+    // TIME_WAIT sockets don't block the rebind).
+    fake.stop();
+    let recovered_shard = boot_shard_at(&shard_dirs[1], &fake_addr);
+    assert_eq!(
+        recovered_shard.0, fake_addr,
+        "recovery must reuse the shard's address"
+    );
+
+    // The prober must notice within a few backoff cycles…
+    let mut healthy = false;
+    for _ in 0..100 {
+        let (_, body) = get(&router_addr, "/healthz");
+        if body.get("healthy").and_then(Json::as_usize) == Some(SHARDS) {
+            healthy = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    assert!(healthy, "router never marked the recovered shard healthy");
+
+    // …and full, exact service must resume: merged answers bit-identical
+    // to the single reference corpus, single-doc queries served again.
+    let expected = reference.top_t_merged(10).unwrap();
+    let mut exact = false;
+    for _ in 0..100 {
+        let (status, body) = get(&router_addr, "/v1/merged/top?t=10");
+        assert_eq!(status, 200);
+        if body.get("degraded").and_then(Json::as_bool) == Some(false) {
+            assert_hits_identical(&decode_hits(&body), &expected, "recovered merged top");
+            exact = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    assert!(exact, "merged route stayed degraded after recovery");
+
+    let name = doc_on_shard(1);
+    let (status, body) = post(
+        &router_addr,
+        "/v1/query",
+        &query_body(name, &Query::top_t(3)),
+    );
+    assert_eq!(status, 200, "query after recovery");
+    let routed = wire::answer_from_json(body.get("answer").unwrap()).unwrap();
+    assert_eq!(routed, reference.query(name, &Query::top_t(3)).unwrap());
+
+    shutdown_all(router, booted);
+    let (_, handle, join) = recovered_shard;
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// 3. Mid-response cut: the retry budget turns a severed reply into an
+//    exact answer.
+// ---------------------------------------------------------------------------
+
+/// The proxy severs the shard's reply mid-response. The client layer's
+/// one transparent reconnect is also severed, so the failure surfaces
+/// to the router, whose retry budget must produce the exact answer —
+/// invisible to the caller except for `retries_total` ticking up.
+#[test]
+fn mid_response_cut_is_retried_to_an_exact_answer() {
+    let (shard_dirs, reference_dir) = build("reset");
+    let reference = Corpus::open(&reference_dir).unwrap();
+    let booted: Vec<_> = shard_dirs.iter().map(boot_shard).collect();
+
+    let upstream = booted[1].0.parse().unwrap();
+    let mut proxy = FaultProxy::start(upstream).unwrap();
+    let proxy_addr = proxy.addr().to_string();
+
+    // Long probe interval: after the bind-time probe round the checker
+    // stays quiet, so the proxy's connection numbering is fully
+    // deterministic — conn 0 = initial probe, conn 1 = directory fetch.
+    let mut config = fast_config(vec![booted[0].0.clone(), proxy_addr.clone()]);
+    config.probe_interval = Duration::from_secs(60);
+    config.retries = 2;
+    let router = boot_router(config);
+    let router_addr = router.0.clone();
+    assert_eq!(
+        proxy.accepted(),
+        2,
+        "expected exactly probe + directory fetch"
+    );
+
+    // Conn 2: a warm-up query promotes the shard to Healthy (so one
+    // transport failure later won't take it down) and parks the
+    // connection in the router's pool.
+    let name = doc_on_shard(1);
+    let expected = reference.query(name, &Query::top_t(4)).unwrap();
+    let (status, body) = post(
+        &router_addr,
+        "/v1/query",
+        &query_body(name, &Query::top_t(4)),
+    );
+    assert_eq!(status, 200, "warm-up query");
+    assert_eq!(
+        wire::answer_from_json(body.get("answer").unwrap()).unwrap(),
+        expected
+    );
+    assert_eq!(
+        proxy.accepted(),
+        3,
+        "warm-up should have dialed one data connection"
+    );
+
+    // Burn conn 3 so the next two dials land on even (cut) then odd
+    // (spared) connection indices.
+    {
+        let burn = TcpStream::connect(proxy.addr()).unwrap();
+        for _ in 0..100 {
+            if proxy.accepted() == 4 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(proxy.accepted(), 4, "burn connection was not accepted");
+        drop(burn);
+    }
+
+    // Sever even-numbered connections 20 bytes into the reply: the
+    // pooled conn 2 (already past 20 bytes) dies on its next response,
+    // the transparent reconnect dials conn 4 (even — cut again, and a
+    // fresh socket surfaces the error instead of reconnecting), and the
+    // router's retry dials conn 5, which passes.
+    proxy.set_mode(FaultMode::ResetAfter {
+        every: 2,
+        bytes: 20,
+    });
+
+    let (status, body) = post(
+        &router_addr,
+        "/v1/query",
+        &query_body(name, &Query::top_t(4)),
+    );
+    assert_eq!(status, 200, "query across the severed connection");
+    assert_eq!(
+        wire::answer_from_json(body.get("answer").unwrap()).unwrap(),
+        expected,
+        "retried answer must be exact"
+    );
+
+    let metrics = raw_get(&router_addr, "/metrics");
+    let text = std::str::from_utf8(&metrics.body).unwrap();
+    assert!(
+        metric_value(text, "sigstr_router_retries_total") >= 1,
+        "the cut never reached the router's retry path:\n{text}"
+    );
+    assert!(text.contains(&format!(
+        "sigstr_router_shard_state{{shard=\"{proxy_addr}\"}} 2"
+    )));
+
+    proxy.stop();
+    shutdown_all(router, booted);
+}
+
+// ---------------------------------------------------------------------------
+// 4. Hedging: a duplicate request races a slow shard and wins.
+// ---------------------------------------------------------------------------
+
+/// The proxy delays every other connection by 400 ms — far past the
+/// 100 ms hedge trigger. The hedge dials a fresh (fast) connection and
+/// must win the race, keeping end-to-end latency well under the delay.
+#[test]
+fn a_hedge_beats_a_slow_connection() {
+    let (shard_dirs, reference_dir) = build("hedge");
+    let reference = Corpus::open(&reference_dir).unwrap();
+    let booted: Vec<_> = shard_dirs.iter().map(boot_shard).collect();
+
+    let upstream = booted[1].0.parse().unwrap();
+    let mut proxy = FaultProxy::start(upstream).unwrap();
+
+    let mut config = fast_config(vec![booted[0].0.clone(), proxy.addr().to_string()]);
+    config.probe_interval = Duration::from_secs(60); // deterministic conn numbering
+    config.deadline = Duration::from_secs(2);
+    config.hedge = HedgePolicy::Fixed(Duration::from_millis(100));
+    let router = boot_router(config);
+    let router_addr = router.0.clone();
+    assert_eq!(
+        proxy.accepted(),
+        2,
+        "expected exactly probe + directory fetch"
+    );
+
+    // Delay even-numbered connections by 400 ms per chunk. The first
+    // data dial is conn 2 (slow); the hedge dials conn 3 (fast).
+    proxy.set_mode(FaultMode::DelayConns {
+        every: 2,
+        delay_ms: 400,
+    });
+
+    let name = doc_on_shard(1);
+    let expected = reference.query(name, &Query::top_t(4)).unwrap();
+    let started = Instant::now();
+    let (status, body) = post(
+        &router_addr,
+        "/v1/query",
+        &query_body(name, &Query::top_t(4)),
+    );
+    let elapsed = started.elapsed();
+    assert_eq!(status, 200, "hedged query");
+    assert_eq!(
+        wire::answer_from_json(body.get("answer").unwrap()).unwrap(),
+        expected,
+        "hedged answer must be exact"
+    );
+    assert!(
+        elapsed < Duration::from_millis(390),
+        "hedge did not win: {elapsed:?} (the delayed path takes 400 ms+)"
+    );
+
+    let metrics = raw_get(&router_addr, "/metrics");
+    let text = std::str::from_utf8(&metrics.body).unwrap();
+    assert!(
+        metric_value(text, "sigstr_router_hedges_total") >= 1,
+        "no hedge launched:\n{text}"
+    );
+    assert!(
+        metric_value(text, "sigstr_router_hedge_wins_total") >= 1,
+        "hedge never won:\n{text}"
+    );
+
+    proxy.stop();
+    shutdown_all(router, booted);
+}

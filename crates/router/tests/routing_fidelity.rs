@@ -1,0 +1,406 @@
+//! Routing fidelity: answers served through the scatter-gather router
+//! over real shard servers must be **bit-identical** (full struct
+//! equality, `f64` compared by bits) to the answers one big corpus
+//! holding every document would produce.
+//!
+//! The global document order contract: documents are globally indexed
+//! by the lexicographic rank of their name, so the reference corpus
+//! ingests documents in sorted-name order.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use sigstr_core::{CountsLayout, Model, Query, Sequence};
+use sigstr_corpus::{Corpus, DocHit};
+use sigstr_router::hash::Ring;
+use sigstr_router::{HedgePolicy, RouterConfig, RouterServer};
+use sigstr_server::client::ClientConn;
+use sigstr_server::json::Json;
+use sigstr_server::wire;
+use sigstr_server::{Server, ServerConfig, ServiceHandle};
+
+const SHARDS: usize = 2;
+const VNODES: usize = 64;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "sigstr-router-it-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn doc(seed: u64, n: usize, k: usize) -> Sequence {
+    let mut x = seed | 1;
+    let symbols: Vec<u8> = (0..n)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x % k as u64) as u8
+        })
+        .collect();
+    Sequence::from_symbols(symbols, k).unwrap()
+}
+
+/// The test fleet's document set: names, content seeds, alphabet sizes
+/// and index layouts all vary. Names are chosen so the 2-shard ring
+/// puts documents on both shards (asserted in `build`).
+fn spec() -> Vec<(&'static str, u64, usize, usize, CountsLayout)> {
+    vec![
+        ("bin-a", 11, 600, 2, CountsLayout::Flat),
+        ("bin-b", 12, 400, 2, CountsLayout::Blocked),
+        ("tri-c", 13, 500, 3, CountsLayout::Blocked),
+        ("tri-d", 14, 450, 3, CountsLayout::Flat),
+        ("quad-e", 15, 520, 4, CountsLayout::Blocked),
+        ("bin-f", 16, 380, 2, CountsLayout::Flat),
+    ]
+}
+
+/// Build the sharded corpora (ring-partitioned) and the single
+/// reference corpus (every document, sorted-name ingest order).
+/// Returns the per-shard directories and the reference directory.
+fn build(tag: &str) -> (Vec<PathBuf>, PathBuf) {
+    let ring = Ring::new(SHARDS, VNODES);
+    let mut spec = spec();
+    spec.sort_by_key(|&(name, ..)| name);
+
+    let shard_dirs: Vec<PathBuf> = (0..SHARDS)
+        .map(|s| temp_dir(&format!("{tag}-s{s}")))
+        .collect();
+    let reference_dir = temp_dir(&format!("{tag}-ref"));
+    let mut shards: Vec<Corpus> = shard_dirs
+        .iter()
+        .map(|d| Corpus::create(d).unwrap())
+        .collect();
+    let mut reference = Corpus::create(&reference_dir).unwrap();
+
+    for &(name, seed, n, k, layout) in &spec {
+        let sequence = doc(seed, n, k);
+        let model = Model::uniform(k).unwrap();
+        let owner = ring.shard_for(name);
+        shards[owner]
+            .add_document(name, &sequence, model.clone(), layout)
+            .unwrap();
+        reference
+            .add_document(name, &sequence, model, layout)
+            .unwrap();
+    }
+    for (s, corpus) in shards.iter().enumerate() {
+        assert!(
+            !corpus.is_empty(),
+            "shard {s} got no documents — pick different names"
+        );
+    }
+    (shard_dirs, reference_dir)
+}
+
+fn boot_shard(dir: &PathBuf) -> (String, ServiceHandle, std::thread::JoinHandle<()>) {
+    let corpus = Corpus::open(dir).unwrap();
+    let server = Server::bind(
+        corpus,
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr().to_string();
+    let handle = server.handle();
+    let join = std::thread::spawn(move || {
+        server.run().unwrap();
+    });
+    (addr, handle, join)
+}
+
+fn router_config(shards: Vec<String>) -> RouterConfig {
+    let mut config = RouterConfig::new(shards);
+    config.service.addr = "127.0.0.1:0".into();
+    config.service.threads = 2;
+    config.vnodes = VNODES;
+    config.probe_interval = Duration::from_millis(50);
+    config.probe_timeout = Duration::from_millis(500);
+    config.hedge = HedgePolicy::Disabled;
+    // Low-alpha merged sweeps pull multi-megabyte hit lists off each
+    // shard; give them room so fidelity (not the deadline) is under test.
+    config.deadline = Duration::from_secs(10);
+    config
+}
+
+fn boot_router(config: RouterConfig) -> (String, ServiceHandle, std::thread::JoinHandle<()>) {
+    let router = RouterServer::bind(config).unwrap();
+    let addr = router.local_addr().to_string();
+    let handle = router.handle();
+    let join = std::thread::spawn(move || {
+        router.run().unwrap();
+    });
+    (addr, handle, join)
+}
+
+fn get(addr: &str, target: &str) -> (u16, Json) {
+    let mut conn = ClientConn::connect(addr).unwrap();
+    let response = conn.request("GET", target, None).unwrap();
+    let body = Json::decode(std::str::from_utf8(&response.body).unwrap().trim()).unwrap();
+    (response.status, body)
+}
+
+fn post(addr: &str, target: &str, body: &str) -> (u16, Json) {
+    let mut conn = ClientConn::connect(addr).unwrap();
+    let response = conn.request("POST", target, Some(body)).unwrap();
+    let body = Json::decode(std::str::from_utf8(&response.body).unwrap().trim()).unwrap();
+    (response.status, body)
+}
+
+fn decode_hits(body: &Json) -> Vec<DocHit> {
+    body.get("hits")
+        .and_then(Json::as_array)
+        .unwrap()
+        .iter()
+        .map(|h| wire::hit_from_json(h).unwrap())
+        .collect()
+}
+
+/// Full-precision hit-list equality: same order, same documents, same
+/// spans, chi-square equal to the bit.
+fn assert_hits_identical(routed: &[DocHit], reference: &[DocHit], label: &str) {
+    assert_eq!(routed.len(), reference.len(), "{label}: hit count");
+    for (i, (a, b)) in routed.iter().zip(reference).enumerate() {
+        assert_eq!(
+            a.doc, b.doc,
+            "{label}: hit {i} doc index ({} vs {})",
+            a.name, b.name
+        );
+        assert_eq!(a.name, b.name, "{label}: hit {i} document name");
+        assert_eq!(a.item.start, b.item.start, "{label}: hit {i} start");
+        assert_eq!(a.item.end, b.item.end, "{label}: hit {i} end");
+        assert_eq!(
+            a.item.chi_square.to_bits(),
+            b.item.chi_square.to_bits(),
+            "{label}: hit {i} chi-square bits"
+        );
+    }
+}
+
+fn assert_not_degraded(body: &Json, label: &str) {
+    assert_eq!(
+        body.get("degraded").and_then(Json::as_bool),
+        Some(false),
+        "{label}: degraded"
+    );
+    assert_eq!(
+        body.get("unreachable")
+            .and_then(Json::as_array)
+            .map(<[Json]>::len),
+        Some(0),
+        "{label}: unreachable list"
+    );
+}
+
+#[test]
+fn merged_routes_are_bit_identical_to_a_single_corpus() {
+    let (shard_dirs, reference_dir) = build("merged");
+    let reference = Corpus::open(&reference_dir).unwrap();
+    let booted: Vec<_> = shard_dirs.iter().map(boot_shard).collect();
+    let (router_addr, router_handle, router_join) = boot_router(router_config(
+        booted.iter().map(|(a, ..)| a.clone()).collect(),
+    ));
+
+    // Top-t across a sweep of t values, including t larger than the
+    // total hit count.
+    for t in [1, 3, 10, 100] {
+        let (status, body) = get(&router_addr, &format!("/v1/merged/top?t={t}"));
+        assert_eq!(status, 200, "top?t={t}");
+        assert_not_degraded(&body, &format!("top?t={t}"));
+        assert_eq!(body.get("t").and_then(Json::as_usize), Some(t));
+        let expected = reference.top_t_merged(t).unwrap();
+        assert_hits_identical(&decode_hits(&body), &expected, &format!("top?t={t}"));
+    }
+
+    // Threshold at several significance levels.
+    for alpha in [4.5, 8.0, 12.0] {
+        let (status, body) = get(&router_addr, &format!("/v1/merged/threshold?alpha={alpha}"));
+        assert_eq!(status, 200, "threshold?alpha={alpha}");
+        assert_not_degraded(&body, &format!("threshold?alpha={alpha}"));
+        let expected = reference.above_threshold_merged(alpha).unwrap();
+        assert_eq!(
+            body.get("count").and_then(Json::as_usize),
+            Some(expected.len()),
+            "threshold?alpha={alpha}: count"
+        );
+        assert_hits_identical(
+            &decode_hits(&body),
+            &expected,
+            &format!("threshold?alpha={alpha}"),
+        );
+    }
+
+    // Parameter validation mirrors the single server.
+    let (status, _) = get(&router_addr, "/v1/merged/top?t=banana");
+    assert_eq!(status, 400);
+    let (status, _) = get(&router_addr, "/v1/merged/threshold?alpha=inf");
+    assert_eq!(status, 400);
+
+    router_handle.shutdown();
+    router_join.join().unwrap();
+    for (_, handle, join) in booted {
+        handle.shutdown();
+        join.join().unwrap();
+    }
+}
+
+#[test]
+fn query_and_batch_are_bit_identical_to_a_single_corpus() {
+    let (shard_dirs, reference_dir) = build("query");
+    let reference = Corpus::open(&reference_dir).unwrap();
+    let booted: Vec<_> = shard_dirs.iter().map(boot_shard).collect();
+    let (router_addr, router_handle, router_join) = boot_router(router_config(
+        booted.iter().map(|(a, ..)| a.clone()).collect(),
+    ));
+
+    // Single-document queries: every document, every query family.
+    let queries = [
+        Query::mss(),
+        Query::top_t(4),
+        Query::above_threshold(3.0),
+        Query::mss_min_length(3),
+    ];
+    for &(name, ..) in &spec() {
+        for query in &queries {
+            let request = Json::Obj(vec![
+                ("doc".into(), Json::Str(name.into())),
+                ("query".into(), wire::query_to_json(query)),
+            ])
+            .encode()
+            .unwrap();
+            let (status, body) = post(&router_addr, "/v1/query", &request);
+            assert_eq!(status, 200, "query {name}");
+            assert_eq!(body.get("doc").and_then(Json::as_str), Some(name));
+            let routed = wire::answer_from_json(body.get("answer").unwrap()).unwrap();
+            let expected = reference.query(name, query).unwrap();
+            assert_eq!(routed, expected, "query {name}: full struct");
+            for (a, b) in routed.items().iter().zip(expected.items()) {
+                assert_eq!(
+                    a.chi_square.to_bits(),
+                    b.chi_square.to_bits(),
+                    "query {name}: bits"
+                );
+            }
+        }
+    }
+
+    // A batch spanning every shard, reassembled in request order.
+    let jobs: Vec<Json> = spec()
+        .iter()
+        .rev() // deliberately not in sorted order
+        .map(|&(name, ..)| {
+            Json::Obj(vec![
+                ("doc".into(), Json::Str(name.into())),
+                ("query".into(), wire::query_to_json(&Query::top_t(3))),
+            ])
+        })
+        .collect();
+    let request = Json::Obj(vec![("jobs".into(), Json::Arr(jobs))])
+        .encode()
+        .unwrap();
+    let (status, body) = post(&router_addr, "/v1/batch", &request);
+    assert_eq!(status, 200, "batch");
+    assert_not_degraded(&body, "batch");
+    let results = body.get("results").and_then(Json::as_array).unwrap();
+    let spec_rev: Vec<_> = spec().into_iter().rev().collect();
+    assert_eq!(results.len(), spec_rev.len());
+    for (result, &(name, ..)) in results.iter().zip(&spec_rev) {
+        assert_eq!(
+            result.get("doc").and_then(Json::as_str),
+            Some(name),
+            "batch slot order"
+        );
+        let routed = wire::answer_from_json(result.get("answer").unwrap()).unwrap();
+        let expected = reference.query(name, &Query::top_t(3)).unwrap();
+        assert_eq!(routed, expected, "batch {name}: full struct");
+    }
+
+    // Malformed batch jobs fail the whole request, exactly like a
+    // single server.
+    let (status, body) = post(
+        &router_addr,
+        "/v1/batch",
+        r#"{"jobs":[{"doc":"bin-a","query":{"kind":"nope"}}]}"#,
+    );
+    assert_eq!(status, 400);
+    assert!(body
+        .get("error")
+        .and_then(Json::as_str)
+        .unwrap()
+        .starts_with("job 0"));
+
+    // Unknown document: routed by the ring, answered 404 by whichever
+    // shard owns that slice of the ring — passed through verbatim.
+    let (status, body) = post(
+        &router_addr,
+        "/v1/query",
+        r#"{"doc":"no-such-doc","query":{"kind":"mss"}}"#,
+    );
+    assert_eq!(status, 404);
+    assert!(body.get("error").is_some());
+
+    // The documents route serves the merged manifest in global order.
+    let (status, body) = get(&router_addr, "/v1/documents");
+    assert_eq!(status, 200);
+    assert_not_degraded(&body, "documents");
+    let listed: Vec<&str> = body
+        .get("documents")
+        .and_then(Json::as_array)
+        .unwrap()
+        .iter()
+        .map(|d| d.get("name").and_then(Json::as_str).unwrap())
+        .collect();
+    let mut expected_names: Vec<&str> = spec().iter().map(|&(name, ..)| name).collect();
+    expected_names.sort_unstable();
+    assert_eq!(listed, expected_names);
+
+    // Router health and metrics reflect the healthy fleet and the
+    // traffic it just served.
+    let (status, body) = get(&router_addr, "/healthz");
+    assert_eq!(status, 200);
+    assert_eq!(body.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(body.get("shards").and_then(Json::as_usize), Some(SHARDS));
+    assert_eq!(body.get("healthy").and_then(Json::as_usize), Some(SHARDS));
+
+    let mut conn = ClientConn::connect(&router_addr).unwrap();
+    let metrics = conn.request("GET", "/metrics", None).unwrap();
+    assert_eq!(metrics.status, 200);
+    let text = std::str::from_utf8(&metrics.body).unwrap();
+    for (shard_addr, ..) in &booted {
+        assert!(
+            text.contains(&format!(
+                "sigstr_router_shard_up{{shard=\"{shard_addr}\"}} 1"
+            )),
+            "missing shard_up for {shard_addr} in:\n{text}"
+        );
+        assert!(text.contains(&format!(
+            "sigstr_router_shard_calls_total{{shard=\"{shard_addr}\"}}"
+        )));
+        assert!(text.contains(&format!(
+            "sigstr_router_shard_latency_us_count{{shard=\"{shard_addr}\"}}"
+        )));
+    }
+    for series in [
+        "sigstr_router_retries_total",
+        "sigstr_router_hedges_total",
+        "sigstr_router_hedge_wins_total",
+        "sigstr_router_degraded_responses_total 0",
+        "sigstr_router_fanout_latency_us_bucket",
+    ] {
+        assert!(text.contains(series), "missing `{series}` in:\n{text}");
+    }
+
+    router_handle.shutdown();
+    router_join.join().unwrap();
+    for (_, handle, join) in booted {
+        handle.shutdown();
+        join.join().unwrap();
+    }
+}

@@ -1,14 +1,50 @@
 //! A minimal blocking HTTP/1.1 client for one keep-alive connection.
 //!
-//! This exists so the fidelity tests, the throughput bench and the CI
-//! smoke job all drive the server through one real TCP code path
-//! instead of three hand-rolled response parsers. It is deliberately
-//! tiny: one connection, sequential request/response, `Content-Length`
-//! bodies only — exactly the dialect the server speaks.
+//! This exists so the fidelity tests, the throughput bench, the CI
+//! smoke job and the scatter-gather router all drive the server through
+//! one real TCP code path instead of several hand-rolled response
+//! parsers. It is deliberately tiny: one connection, sequential
+//! request/response, `Content-Length` bodies only — exactly the dialect
+//! the server speaks.
+//!
+//! Two hardening guarantees matter to callers that *pool* connections:
+//!
+//! * **Every blocking operation is bounded**: connect, read and write
+//!   all carry timeouts ([`ClientConfig`]), so a wedged or black-holed
+//!   peer surfaces as a timeout error instead of a hang.
+//! * **Stale keep-alive connections heal transparently**: a pooled
+//!   connection whose peer closed it while idle (keep-alive timeout,
+//!   server restart) fails on the *next* request with a reset or an
+//!   immediate EOF. [`ClientConn::request`] detects that exact shape —
+//!   at least one response already served on this connection, zero
+//!   bytes of the current response received — reconnects once, and
+//!   resends. Anything past that first response byte is never retried
+//!   here (the caller decides; the router retries idempotent reads).
 
 use std::io::{Read as _, Write as _};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
+
+/// Timeouts for every blocking operation on a [`ClientConn`].
+#[derive(Debug, Clone, Copy)]
+pub struct ClientConfig {
+    /// TCP connect timeout.
+    pub connect_timeout: Duration,
+    /// Per-`read(2)` timeout while waiting for response bytes.
+    pub read_timeout: Duration,
+    /// Per-`write(2)` timeout while sending a request.
+    pub write_timeout: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        Self {
+            connect_timeout: Duration::from_secs(5),
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+        }
+    }
+}
 
 /// A parsed response.
 #[derive(Debug, Clone)]
@@ -42,19 +78,50 @@ impl HttpResponse {
 pub struct ClientConn {
     stream: TcpStream,
     buf: Vec<u8>,
+    addr: SocketAddr,
+    config: ClientConfig,
+    /// Responses completed on the *current* TCP connection. A stale
+    /// reconnect is only attempted when this is non-zero — a fresh
+    /// connection that fails is a real error, not keep-alive decay.
+    served: u64,
 }
 
 impl ClientConn {
-    /// Connect with Nagle disabled and a read timeout (so a test
-    /// against a wedged server fails instead of hanging).
+    /// Connect with the default timeouts (and Nagle disabled, so small
+    /// requests do not sit in the send buffer).
     pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        Self::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connect with explicit timeouts.
+    pub fn connect_with<A: ToSocketAddrs>(addr: A, config: ClientConfig) -> std::io::Result<Self> {
+        let addr = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "address resolved to nothing",
+            )
+        })?;
+        let stream = open(&addr, &config)?;
         Ok(Self {
             stream,
             buf: Vec::new(),
+            addr,
+            config,
+            served: 0,
         })
+    }
+
+    /// The peer address this connection (re)connects to.
+    pub fn peer_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Override the read timeout (e.g. to bound a read by a request
+    /// deadline). Sticks until changed again; survives reconnects only
+    /// as the configured default, so per-request callers set it per
+    /// request.
+    pub fn set_read_timeout(&mut self, timeout: Duration) -> std::io::Result<()> {
+        self.stream.set_read_timeout(Some(timeout))
     }
 
     /// Send raw bytes (for driving malformed input at the server).
@@ -65,7 +132,30 @@ impl ClientConn {
 
     /// Issue one request and read its response. `body` adds a
     /// `Content-Length` JSON body.
+    ///
+    /// If this pooled connection turns out to be stale — the peer
+    /// closed it while idle, detected as a reset/EOF before any byte of
+    /// the response arrived, on a connection that has served at least
+    /// one response — it reconnects once and resends. A failure on the
+    /// fresh connection (or any failure after response bytes started)
+    /// is returned to the caller.
     pub fn request(
+        &mut self,
+        method: &str,
+        target: &str,
+        body: Option<&str>,
+    ) -> std::io::Result<HttpResponse> {
+        match self.try_request(method, target, body) {
+            Ok(response) => Ok(response),
+            Err(e) if self.served > 0 && self.buf.is_empty() && is_stale_error(&e) => {
+                self.reconnect()?;
+                self.try_request(method, target, body)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn try_request(
         &mut self,
         method: &str,
         target: &str,
@@ -83,6 +173,14 @@ impl ClientConn {
         }
         self.stream.flush()?;
         self.read_response()
+    }
+
+    /// Drop the stale socket and dial the same peer again.
+    fn reconnect(&mut self) -> std::io::Result<()> {
+        self.stream = open(&self.addr, &self.config)?;
+        self.buf.clear();
+        self.served = 0;
+        Ok(())
     }
 
     /// Read one response (after [`ClientConn::send_raw`], or as the
@@ -139,10 +237,163 @@ impl ClientConn {
         }
         let body = self.buf[body_start..body_start + content_length].to_vec();
         self.buf.drain(..body_start + content_length);
+        self.served += 1;
         Ok(HttpResponse {
             status,
             headers,
             body,
         })
+    }
+}
+
+/// Dial with bounded connect time, Nagle off, both I/O timeouts armed.
+fn open(addr: &SocketAddr, config: &ClientConfig) -> std::io::Result<TcpStream> {
+    let stream = TcpStream::connect_timeout(addr, config.connect_timeout)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(config.read_timeout))?;
+    stream.set_write_timeout(Some(config.write_timeout))?;
+    Ok(stream)
+}
+
+/// The error shapes a peer's idle keep-alive close produces on the next
+/// request: a reset/broken pipe on write, or a clean EOF on read.
+/// Timeouts are *not* stale — the connection is live, the peer is slow.
+fn is_stale_error(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::UnexpectedEof
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::BrokenPipe
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::TcpListener;
+
+    const RESPONSE: &[u8] = b"HTTP/1.1 200 OK\r\nContent-Length: 3\r\n\r\nok\n";
+
+    /// Read until a blank line (one full request head; bodies unused).
+    fn read_request(stream: &mut TcpStream) -> bool {
+        let mut buf = Vec::new();
+        let mut chunk = [0u8; 1024];
+        loop {
+            match stream.read(&mut chunk) {
+                Ok(0) | Err(_) => return false,
+                Ok(n) => {
+                    buf.extend_from_slice(&chunk[..n]);
+                    if buf.windows(4).any(|w| w == b"\r\n\r\n") {
+                        return true;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reconnects_once_when_the_pooled_connection_went_stale() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        // Server side: answer one request, close (idle keep-alive
+        // reap), then accept a second connection and answer again.
+        let server = std::thread::spawn(move || {
+            let (mut first, _) = listener.accept().unwrap();
+            assert!(read_request(&mut first));
+            first.write_all(RESPONSE).unwrap();
+            drop(first);
+            let (mut second, _) = listener.accept().unwrap();
+            assert!(read_request(&mut second));
+            second.write_all(RESPONSE).unwrap();
+            // Hold the socket until the client has read the response.
+            assert!(!read_request(&mut second));
+        });
+
+        let mut conn = ClientConn::connect(addr).unwrap();
+        let first = conn.request("GET", "/healthz", None).unwrap();
+        assert_eq!(first.status, 200);
+        // Give the server time to close; the next request hits a stale
+        // socket and must transparently reconnect.
+        std::thread::sleep(Duration::from_millis(50));
+        let second = conn.request("GET", "/healthz", None).unwrap();
+        assert_eq!(second.status, 200);
+        drop(conn);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn a_fresh_connection_that_fails_is_not_retried() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        // Accept and close without answering: the first request on a
+        // fresh connection sees EOF and must surface it (served == 0).
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            assert!(read_request(&mut stream));
+            drop(stream);
+        });
+        let mut conn = ClientConn::connect(addr).unwrap();
+        let err = conn.request("GET", "/healthz", None).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn reads_are_bounded_by_the_read_timeout() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        // A black hole: accept, read the request, never respond.
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            assert!(read_request(&mut stream));
+            // Keep reading so we notice the client giving up.
+            assert!(!read_request(&mut stream));
+        });
+        let mut conn = ClientConn::connect_with(
+            addr,
+            ClientConfig {
+                read_timeout: Duration::from_millis(100),
+                ..ClientConfig::default()
+            },
+        )
+        .unwrap();
+        let start = std::time::Instant::now();
+        let err = conn.request("GET", "/healthz", None).unwrap_err();
+        assert!(
+            matches!(
+                err.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ),
+            "expected a timeout, got {err:?}"
+        );
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "read did not time out"
+        );
+        drop(conn);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn connect_to_a_closed_port_fails_promptly() {
+        // Bind-then-drop guarantees the port is closed; the dial must
+        // error out quickly (refused or timed out), never hang.
+        let addr = TcpListener::bind("127.0.0.1:0")
+            .unwrap()
+            .local_addr()
+            .unwrap();
+        let config = ClientConfig {
+            connect_timeout: Duration::from_millis(500),
+            ..ClientConfig::default()
+        };
+        let start = std::time::Instant::now();
+        let result = ClientConn::connect_with(addr, config);
+        assert!(result.is_err());
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "connect neither failed fast nor respected its timeout"
+        );
     }
 }

@@ -12,6 +12,11 @@
 //!
 //! # Architecture
 //!
+//! The accept/admission/worker-pool/drain skeleton lives in [`service`]
+//! (it is shared with the scatter-gather router in `sigstr-router`);
+//! this crate contributes the corpus [`Handler`] — routing, wire
+//! encoding, and the corpus-specific `/metrics` lines:
+//!
 //! ```text
 //!              ┌──────────┐   bounded queue    ┌─────────┐
 //!  clients ──▶ │ acceptor │ ──────────────────▶│ worker  │──▶ Corpus
@@ -19,27 +24,11 @@
 //!              └──────────┘    Retry-After)    └─────────┘    engines)
 //! ```
 //!
-//! * **Admission control**: the acceptor pushes each accepted
-//!   connection into a bounded queue; when the queue is full the
-//!   connection is answered `503` with `Retry-After` immediately
-//!   instead of queueing without bound. Overload degrades loudly and
-//!   recoverably — it never corrupts or starves connections already
-//!   being served.
-//! * **Fixed worker pool**: `threads` workers each own one connection
-//!   at a time and run its keep-alive loop (sequential requests; *pipelined*
-//!   requests and chunked bodies are rejected with `501` — see
-//!   [`http`]).
-//! * **Graceful shutdown**: [`ServerHandle::shutdown`] stops the
-//!   acceptor, lets every in-flight request complete (a request whose
-//!   bytes have arrived is always answered), closes idle keep-alive
-//!   connections, and joins the workers. [`Server::run`] then returns a
-//!   [`ServeSummary`].
-//!
 //! # Routes
 //!
 //! | Route | Answer |
 //! |---|---|
-//! | `GET /healthz` | `ok` (liveness) |
+//! | `GET /healthz` | readiness JSON: `status`, manifest `generation`, `documents`; `503` + `Retry-After` while draining |
 //! | `GET /metrics` | text counters: traffic, status classes, latency histogram, queue depth, corpus cache stats |
 //! | `GET /v1/documents` | the corpus manifest |
 //! | `POST /v1/query` | one document, any [`Query`] (incl. range-restricted) |
@@ -80,319 +69,71 @@ pub mod client;
 pub mod http;
 pub mod json;
 pub mod metrics;
+pub mod service;
 pub mod wire;
 
-use std::collections::VecDeque;
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
-use std::time::{Duration, Instant};
+use std::net::SocketAddr;
 
 use sigstr_core::Query;
 use sigstr_corpus::{Corpus, CorpusError};
 
-use http::{Conn, Limits, RecvError, Request, Response};
+use http::{Request, Response};
 use json::Json;
-use metrics::Metrics;
+use service::{json_response, text_response, Handler, Service, ServiceCore};
 
-/// Server configuration.
-#[derive(Debug, Clone)]
-pub struct ServerConfig {
-    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
-    pub addr: String,
-    /// Worker threads (`0` = all available cores).
-    pub threads: usize,
-    /// Admission queue bound: connections accepted but not yet claimed
-    /// by a worker. Beyond it, new connections get `503` +
-    /// `Retry-After`.
-    pub queue_depth: usize,
-    /// How long an idle keep-alive connection is held open.
-    pub keep_alive: Duration,
-    /// Request size limits.
-    pub limits: Limits,
-}
+pub use service::{ServeSummary, ServiceConfig, ServiceHandle};
 
-impl Default for ServerConfig {
-    fn default() -> Self {
-        Self {
-            addr: "127.0.0.1:8080".into(),
-            threads: 0,
-            queue_depth: 64,
-            keep_alive: Duration::from_secs(5),
-            limits: Limits::default(),
-        }
-    }
-}
+/// Server configuration (an alias of the shared [`ServiceConfig`]).
+pub type ServerConfig = ServiceConfig;
 
-/// What [`Server::run`] reports after a graceful shutdown.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct ServeSummary {
-    /// Requests fully parsed and answered.
-    pub requests: u64,
-    /// Connections turned away at admission with `503`.
-    pub rejected: u64,
-}
+/// A cloneable shutdown handle (an alias of the shared
+/// [`ServiceHandle`]).
+pub type ServerHandle = ServiceHandle;
 
-/// State shared by the acceptor, the workers and every
-/// [`ServerHandle`].
-struct Shared {
-    corpus: Corpus,
-    metrics: Metrics,
-    queue: Mutex<VecDeque<TcpStream>>,
-    available: Condvar,
-    shutdown: AtomicBool,
-    config: ServerConfig,
-}
-
-impl Shared {
-    fn is_shutting_down(&self) -> bool {
-        self.shutdown.load(Ordering::SeqCst)
-    }
-
-    fn queue_depth(&self) -> usize {
-        self.queue.lock().expect("admission queue poisoned").len()
-    }
-}
-
-/// A bound server, ready to [`run`](Server::run).
+/// A bound corpus server, ready to [`run`](Server::run).
 pub struct Server {
-    listener: TcpListener,
-    addr: SocketAddr,
-    shared: Arc<Shared>,
-}
-
-/// A cloneable handle that can stop a running server from any thread
-/// (or a signal watcher).
-#[derive(Clone)]
-pub struct ServerHandle {
-    shared: Arc<Shared>,
-    addr: SocketAddr,
-}
-
-impl ServerHandle {
-    /// Begin a graceful shutdown: stop accepting, finish in-flight
-    /// requests, close idle connections. Idempotent; returns
-    /// immediately ([`Server::run`] returns once the drain completes).
-    pub fn shutdown(&self) {
-        if !self.shared.shutdown.swap(true, Ordering::SeqCst) {
-            // Wake the acceptor out of its blocking accept. The
-            // connection is recognized post-flag and dropped.
-            let _ = TcpStream::connect(self.addr);
-        }
-        self.shared.available.notify_all();
-    }
-
-    /// Whether shutdown has been requested.
-    pub fn is_shutting_down(&self) -> bool {
-        self.shared.is_shutting_down()
-    }
-
-    /// The server's bound address.
-    pub fn local_addr(&self) -> SocketAddr {
-        self.addr
-    }
+    inner: Service<CorpusHandler>,
 }
 
 impl Server {
     /// Bind the listener and assemble the shared state. The server does
     /// not accept connections until [`Server::run`].
     pub fn bind(corpus: Corpus, config: ServerConfig) -> std::io::Result<Server> {
-        let listener = TcpListener::bind(&config.addr)?;
-        let addr = listener.local_addr()?;
-        let shared = Arc::new(Shared {
-            corpus,
-            metrics: Metrics::default(),
-            queue: Mutex::new(VecDeque::new()),
-            available: Condvar::new(),
-            shutdown: AtomicBool::new(false),
-            config,
-        });
         Ok(Server {
-            listener,
-            addr,
-            shared,
+            inner: Service::bind(CorpusHandler { corpus }, config)?,
         })
     }
 
     /// The bound address (the real port, when `addr` asked for `:0`).
     pub fn local_addr(&self) -> SocketAddr {
-        self.addr
+        self.inner.local_addr()
     }
 
     /// A shutdown handle for this server.
     pub fn handle(&self) -> ServerHandle {
-        ServerHandle {
-            shared: Arc::clone(&self.shared),
-            addr: self.addr,
-        }
+        self.inner.handle()
     }
 
-    /// Serve until [`ServerHandle::shutdown`]: spawns the worker pool,
-    /// runs the accept/admission loop on the calling thread, then
-    /// drains and joins everything.
+    /// Serve until [`ServerHandle::shutdown`], then drain and report.
     pub fn run(self) -> std::io::Result<ServeSummary> {
-        let threads = if self.shared.config.threads == 0 {
-            std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(4)
-        } else {
-            self.shared.config.threads
-        };
-        let workers: Vec<_> = (0..threads)
-            .map(|i| {
-                let shared = Arc::clone(&self.shared);
-                std::thread::Builder::new()
-                    .name(format!("sigstr-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawn worker thread")
-            })
-            .collect();
-
-        loop {
-            let stream = match self.listener.accept() {
-                Ok((stream, _peer)) => stream,
-                Err(_) => {
-                    if self.shared.is_shutting_down() {
-                        break;
-                    }
-                    // Persistent accept errors (fd exhaustion under
-                    // overload, transient ENOBUFS) must not hot-spin
-                    // the acceptor at 100% CPU — back off briefly.
-                    std::thread::sleep(Duration::from_millis(10));
-                    continue;
-                }
-            };
-            if self.shared.is_shutting_down() {
-                // The wake-up connection (or a client racing shutdown).
-                break;
-            }
-            self.admit(stream);
-        }
-        // Stop accepting *now* — connects after this refuse instead of
-        // hanging in the backlog.
-        drop(self.listener);
-        self.shared.available.notify_all();
-        for worker in workers {
-            let _ = worker.join();
-        }
-        Ok(ServeSummary {
-            requests: self.shared.metrics.requests(),
-            rejected: self.shared.metrics.rejected(),
-        })
-    }
-
-    /// Admission control: enqueue within the bound, `503` beyond it.
-    fn admit(&self, mut stream: TcpStream) {
-        let mut queue = self.shared.queue.lock().expect("admission queue poisoned");
-        if queue.len() >= self.shared.config.queue_depth {
-            drop(queue);
-            self.shared.metrics.record_rejected();
-            http::reject_overloaded(&mut stream);
-            return;
-        }
-        queue.push_back(stream);
-        drop(queue);
-        self.shared.available.notify_one();
+        self.inner.run()
     }
 }
 
-/// Worker: claim connections until shutdown *and* the queue is drained.
-fn worker_loop(shared: &Shared) {
-    loop {
-        let stream = {
-            let mut queue = shared.queue.lock().expect("admission queue poisoned");
-            loop {
-                if let Some(stream) = queue.pop_front() {
-                    break Some(stream);
-                }
-                if shared.is_shutting_down() {
-                    break None;
-                }
-                queue = shared
-                    .available
-                    .wait(queue)
-                    .expect("admission queue poisoned");
-            }
-        };
-        match stream {
-            Some(stream) => serve_connection(shared, stream),
-            None => return,
-        }
-    }
+/// The corpus-serving [`Handler`]: routes requests onto a [`Corpus`].
+struct CorpusHandler {
+    corpus: Corpus,
 }
 
-/// One connection's keep-alive loop.
-fn serve_connection(shared: &Shared, stream: TcpStream) {
-    let Ok(mut conn) = Conn::new(stream) else {
-        return;
-    };
-    loop {
-        let request =
-            match conn.read_request(&shared.config.limits, shared.config.keep_alive, &|| {
-                shared.is_shutting_down()
-            }) {
-                Ok(request) => request,
-                Err(RecvError::Closed | RecvError::IdleTimeout | RecvError::Shutdown) => return,
-                Err(RecvError::Io(_)) => return,
-                Err(RecvError::TooLarge(status, message)) => {
-                    respond_error(shared, &mut conn, status, message);
-                    return;
-                }
-                Err(RecvError::Malformed(message)) => {
-                    respond_error(shared, &mut conn, 400, message);
-                    return;
-                }
-                Err(RecvError::Unsupported(message)) => {
-                    respond_error(shared, &mut conn, 501, message);
-                    return;
-                }
-            };
-        let start = Instant::now();
-        let mut response = route(shared, &request);
-        let keep_alive = request.keep_alive && response.keep_alive && !shared.is_shutting_down();
-        response.keep_alive = keep_alive;
-        shared.metrics.observe(response.status, start.elapsed());
-        if conn.write_response(&response).is_err() {
-            return;
-        }
-        if !keep_alive {
-            return;
-        }
+impl Handler for CorpusHandler {
+    fn handle(&self, request: &Request, core: &ServiceCore) -> Response {
+        route(self, request, core)
     }
-}
-
-/// Write a closing error response for input that never became a
-/// routable request. Counted as a protocol error (status class only) —
-/// not in `requests` and not in the latency histogram, whose semantics
-/// are "requests fully parsed and routed".
-fn respond_error(shared: &Shared, conn: &mut Conn, status: u16, message: &str) {
-    shared.metrics.record_protocol_error(status);
-    let _ = conn.write_response(&json_response(status, wire::error_json(message)).closing());
 }
 
 // ---------------------------------------------------------------------------
 // Routing.
 // ---------------------------------------------------------------------------
-
-fn json_response(status: u16, body: Json) -> Response {
-    match body.encode() {
-        Ok(mut text) => {
-            text.push('\n');
-            Response::new(status, "application/json", text.into_bytes())
-        }
-        // A non-finite float slipped into an answer: refuse to emit it
-        // silently (the documented policy), fail the request instead.
-        Err(e) => Response::new(
-            500,
-            "application/json",
-            format!("{{\"error\":\"unencodable response: {e}\"}}\n").into_bytes(),
-        ),
-    }
-}
-
-fn text_response(status: u16, body: String) -> Response {
-    Response::new(status, "text/plain; charset=utf-8", body.into_bytes())
-}
 
 /// Map a corpus error onto an HTTP status: unknown documents are `404`,
 /// invalid query parameters are `400`, everything else (I/O, corrupt
@@ -406,20 +147,19 @@ fn corpus_error_status(error: &CorpusError) -> u16 {
     }
 }
 
-fn route(shared: &Shared, request: &Request) -> Response {
+fn route(handler: &CorpusHandler, request: &Request, core: &ServiceCore) -> Response {
     match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => text_response(200, "ok\n".into()),
-        ("GET", "/metrics") => text_response(
-            200,
-            shared
-                .metrics
-                .render(shared.queue_depth(), &shared.corpus.cache_stats()),
-        ),
-        ("GET", "/v1/documents") => handle_documents(shared),
-        ("POST", "/v1/query") => handle_query(shared, request),
-        ("POST", "/v1/batch") => handle_batch(shared, request),
-        ("GET", "/v1/merged/top") => handle_merged_top(shared, request),
-        ("GET", "/v1/merged/threshold") => handle_merged_threshold(shared, request),
+        ("GET", "/healthz") => handle_healthz(handler, core),
+        ("GET", "/metrics") => {
+            let mut text = core.metrics().render_http(core.queue_depth());
+            metrics::render_cache(&mut text, &handler.corpus.cache_stats());
+            text_response(200, text)
+        }
+        ("GET", "/v1/documents") => handle_documents(handler),
+        ("POST", "/v1/query") => handle_query(handler, request),
+        ("POST", "/v1/batch") => handle_batch(handler, request),
+        ("GET", "/v1/merged/top") => handle_merged_top(handler, request),
+        ("GET", "/v1/merged/threshold") => handle_merged_threshold(handler, request),
         (
             _,
             "/healthz" | "/metrics" | "/v1/documents" | "/v1/merged/top" | "/v1/merged/threshold",
@@ -434,6 +174,31 @@ fn route(shared: &Shared, request: &Request) -> Response {
     }
 }
 
+/// `/healthz` separates liveness from readiness: any answer at all
+/// means the process is alive, but only `200 {"status":"ok"}` means it
+/// should receive traffic. During a shutdown drain the route keeps
+/// answering (in-flight keep-alive connections stay valid) with `503` +
+/// `Retry-After`, so a routing tier's health checker stops sending new
+/// work to a draining shard. The body reports the corpus manifest
+/// generation and document count, so a router can notice membership
+/// changes without fetching the whole manifest.
+fn handle_healthz(handler: &CorpusHandler, core: &ServiceCore) -> Response {
+    let draining = core.is_shutting_down();
+    let body = Json::Obj(vec![
+        (
+            "status".into(),
+            Json::Str(if draining { "draining" } else { "ok" }.into()),
+        ),
+        ("generation".into(), Json::Int(handler.corpus.generation())),
+        ("documents".into(), Json::Int(handler.corpus.len() as u64)),
+    ]);
+    if draining {
+        json_response(503, body).with_header("Retry-After", "1")
+    } else {
+        json_response(200, body)
+    }
+}
+
 /// Decode a JSON request body, mapping every failure to a `400`.
 fn body_json(request: &Request) -> Result<Json, Response> {
     let text = std::str::from_utf8(&request.body)
@@ -441,8 +206,8 @@ fn body_json(request: &Request) -> Result<Json, Response> {
     Json::decode(text).map_err(|e| json_response(400, wire::error_json(&e.to_string())))
 }
 
-fn handle_documents(shared: &Shared) -> Response {
-    let documents: Vec<Json> = shared
+fn handle_documents(handler: &CorpusHandler) -> Response {
+    let documents: Vec<Json> = handler
         .corpus
         .entries()
         .iter()
@@ -454,7 +219,7 @@ fn handle_documents(shared: &Shared) -> Response {
     )
 }
 
-fn handle_query(shared: &Shared, request: &Request) -> Response {
+fn handle_query(handler: &CorpusHandler, request: &Request) -> Response {
     let json = match body_json(request) {
         Ok(json) => json,
         Err(response) => return response,
@@ -470,7 +235,7 @@ fn handle_query(shared: &Shared, request: &Request) -> Response {
         Ok(query) => query,
         Err(message) => return json_response(400, wire::error_json(&message)),
     };
-    match shared.corpus.query(doc, &query) {
+    match handler.corpus.query(doc, &query) {
         Ok(answer) => json_response(
             200,
             Json::Obj(vec![
@@ -482,7 +247,7 @@ fn handle_query(shared: &Shared, request: &Request) -> Response {
     }
 }
 
-fn handle_batch(shared: &Shared, request: &Request) -> Response {
+fn handle_batch(handler: &CorpusHandler, request: &Request) -> Response {
     let json = match body_json(request) {
         Ok(json) => json,
         Err(response) => return response,
@@ -514,7 +279,7 @@ fn handle_batch(shared: &Shared, request: &Request) -> Response {
     // (and in concurrent requests) shares the warm-engine cache and the
     // one persistent worker pool.
     let borrowed: Vec<(&str, Query)> = parsed.iter().map(|(d, q)| (d.as_str(), *q)).collect();
-    let answers = shared.corpus.run_batch(&borrowed);
+    let answers = handler.corpus.run_batch(&borrowed);
     let results: Vec<Json> = answers
         .into_iter()
         .zip(&parsed)
@@ -536,7 +301,7 @@ fn handle_batch(shared: &Shared, request: &Request) -> Response {
     json_response(200, Json::Obj(vec![("results".into(), Json::Arr(results))]))
 }
 
-fn handle_merged_top(shared: &Shared, request: &Request) -> Response {
+fn handle_merged_top(handler: &CorpusHandler, request: &Request) -> Response {
     let Some(t) = request
         .query_param("t")
         .and_then(|t| t.parse::<usize>().ok())
@@ -546,7 +311,7 @@ fn handle_merged_top(shared: &Shared, request: &Request) -> Response {
             wire::error_json("missing or unparseable query parameter `t`"),
         );
     };
-    match shared.corpus.top_t_merged(t) {
+    match handler.corpus.top_t_merged(t) {
         Ok(hits) => json_response(
             200,
             Json::Obj(vec![
@@ -561,7 +326,7 @@ fn handle_merged_top(shared: &Shared, request: &Request) -> Response {
     }
 }
 
-fn handle_merged_threshold(shared: &Shared, request: &Request) -> Response {
+fn handle_merged_threshold(handler: &CorpusHandler, request: &Request) -> Response {
     let Some(alpha) = request
         .query_param("alpha")
         .and_then(|a| a.parse::<f64>().ok())
@@ -574,7 +339,7 @@ fn handle_merged_threshold(shared: &Shared, request: &Request) -> Response {
     if !alpha.is_finite() {
         return json_response(400, wire::error_json("`alpha` must be finite"));
     }
-    match shared.corpus.above_threshold_merged(alpha) {
+    match handler.corpus.above_threshold_merged(alpha) {
         Ok(hits) => json_response(
             200,
             Json::Obj(vec![
@@ -594,7 +359,7 @@ fn handle_merged_threshold(shared: &Shared, request: &Request) -> Response {
 // Compile-time thread-safety contract.
 // ---------------------------------------------------------------------------
 
-// The server hands `&Shared` (and through it `&Corpus` and
+// The service hands the handler (and through it `&Corpus` and
 // `Arc<Engine>`) to every worker thread. These assertions turn a future
 // accidental `!Sync` field — a `Cell`, an `Rc`, a raw pointer — into a
 // build error here instead of a trait-bound error somewhere deep in a
@@ -604,15 +369,16 @@ const _: () = {
     require_send_sync::<sigstr_core::Engine>();
     require_send_sync::<std::sync::Arc<sigstr_core::Engine>>();
     require_send_sync::<sigstr_corpus::Corpus>();
-    require_send_sync::<Shared>();
+    require_send_sync::<CorpusHandler>();
     require_send_sync::<ServerHandle>();
-    require_send_sync::<Metrics>();
+    require_send_sync::<metrics::Metrics>();
 };
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use sigstr_core::{CountsLayout, Model, Sequence};
+    use std::time::Duration;
 
     fn test_corpus(tag: &str) -> Corpus {
         let dir = std::env::temp_dir().join(format!(
@@ -630,15 +396,13 @@ mod tests {
         corpus
     }
 
-    fn shared(tag: &str) -> Shared {
-        Shared {
-            corpus: test_corpus(tag),
-            metrics: Metrics::default(),
-            queue: Mutex::new(VecDeque::new()),
-            available: Condvar::new(),
-            shutdown: AtomicBool::new(false),
-            config: ServerConfig::default(),
-        }
+    fn fixture(tag: &str) -> (CorpusHandler, ServiceCore) {
+        (
+            CorpusHandler {
+                corpus: test_corpus(tag),
+            },
+            ServiceCore::new(ServerConfig::default()),
+        )
     }
 
     fn get(path: &str, query: &[(&str, &str)]) -> Request {
@@ -668,42 +432,68 @@ mod tests {
 
     #[test]
     fn router_statuses() {
-        let shared = shared("router");
-        assert_eq!(route(&shared, &get("/healthz", &[])).status, 200);
-        assert_eq!(route(&shared, &get("/metrics", &[])).status, 200);
-        assert_eq!(route(&shared, &get("/v1/documents", &[])).status, 200);
-        assert_eq!(route(&shared, &get("/no/such/route", &[])).status, 404);
+        let (handler, core) = fixture("router");
+        assert_eq!(route(&handler, &get("/healthz", &[]), &core).status, 200);
+        assert_eq!(route(&handler, &get("/metrics", &[]), &core).status, 200);
+        assert_eq!(
+            route(&handler, &get("/v1/documents", &[]), &core).status,
+            200
+        );
+        assert_eq!(
+            route(&handler, &get("/no/such/route", &[]), &core).status,
+            404
+        );
         // Wrong method → 405 with an Allow header.
-        let r = route(&shared, &post("/healthz", ""));
+        let r = route(&handler, &post("/healthz", ""), &core);
         assert_eq!(r.status, 405);
         assert!(r.extra_headers.iter().any(|(k, _)| *k == "Allow"));
-        assert_eq!(route(&shared, &get("/v1/query", &[])).status, 405);
+        assert_eq!(route(&handler, &get("/v1/query", &[]), &core).status, 405);
+    }
+
+    #[test]
+    fn healthz_reports_readiness_and_generation() {
+        let (handler, core) = fixture("healthz");
+        let response = route(&handler, &get("/healthz", &[]), &core);
+        assert_eq!(response.status, 200);
+        let body = Json::decode(std::str::from_utf8(&response.body).unwrap().trim()).unwrap();
+        assert_eq!(body.get("status").unwrap().as_str(), Some("ok"));
+        assert_eq!(
+            body.get("generation").unwrap().as_u64(),
+            Some(handler.corpus.generation())
+        );
+        assert_eq!(body.get("documents").unwrap().as_u64(), Some(1));
     }
 
     #[test]
     fn query_route_validates_input() {
-        let shared = shared("validate");
-        assert_eq!(route(&shared, &post("/v1/query", "not json")).status, 400);
-        assert_eq!(route(&shared, &post("/v1/query", "{}")).status, 400);
+        let (handler, core) = fixture("validate");
+        assert_eq!(
+            route(&handler, &post("/v1/query", "not json"), &core).status,
+            400
+        );
+        assert_eq!(route(&handler, &post("/v1/query", "{}"), &core).status, 400);
         assert_eq!(
             route(
-                &shared,
-                &post("/v1/query", r#"{"doc":"d0","query":{"kind":"nope"}}"#)
+                &handler,
+                &post("/v1/query", r#"{"doc":"d0","query":{"kind":"nope"}}"#),
+                &core
             )
             .status,
             400
         );
         assert_eq!(
             route(
-                &shared,
-                &post("/v1/query", r#"{"doc":"ghost","query":{"kind":"mss"}}"#)
+                &handler,
+                &post("/v1/query", r#"{"doc":"ghost","query":{"kind":"mss"}}"#),
+                &core
             )
             .status,
             404
         );
         let ok = route(
-            &shared,
+            &handler,
             &post("/v1/query", r#"{"doc":"d0","query":{"kind":"mss"}}"#),
+            &core,
         );
         assert_eq!(ok.status, 200);
         let body = Json::decode(std::str::from_utf8(&ok.body).unwrap().trim()).unwrap();
@@ -712,11 +502,12 @@ mod tests {
         // Out-of-range restriction → 400 (engine InvalidParameter).
         assert_eq!(
             route(
-                &shared,
+                &handler,
                 &post(
                     "/v1/query",
                     r#"{"doc":"d0","query":{"kind":"mss","range":[0,100000]}}"#
-                )
+                ),
+                &core
             )
             .status,
             400
@@ -725,43 +516,56 @@ mod tests {
 
     #[test]
     fn merged_routes_validate_parameters() {
-        let shared = shared("merged");
-        assert_eq!(route(&shared, &get("/v1/merged/top", &[])).status, 400);
+        let (handler, core) = fixture("merged");
         assert_eq!(
-            route(&shared, &get("/v1/merged/top", &[("t", "x")])).status,
+            route(&handler, &get("/v1/merged/top", &[]), &core).status,
             400
         );
         assert_eq!(
-            route(&shared, &get("/v1/merged/top", &[("t", "0")])).status,
+            route(&handler, &get("/v1/merged/top", &[("t", "x")]), &core).status,
             400
         );
         assert_eq!(
-            route(&shared, &get("/v1/merged/top", &[("t", "3")])).status,
+            route(&handler, &get("/v1/merged/top", &[("t", "0")]), &core).status,
+            400
+        );
+        assert_eq!(
+            route(&handler, &get("/v1/merged/top", &[("t", "3")]), &core).status,
             200
         );
         assert_eq!(
-            route(&shared, &get("/v1/merged/threshold", &[])).status,
+            route(&handler, &get("/v1/merged/threshold", &[]), &core).status,
             400
         );
         assert_eq!(
-            route(&shared, &get("/v1/merged/threshold", &[("alpha", "inf")])).status,
+            route(
+                &handler,
+                &get("/v1/merged/threshold", &[("alpha", "inf")]),
+                &core
+            )
+            .status,
             400
         );
         assert_eq!(
-            route(&shared, &get("/v1/merged/threshold", &[("alpha", "2.5")])).status,
+            route(
+                &handler,
+                &get("/v1/merged/threshold", &[("alpha", "2.5")]),
+                &core
+            )
+            .status,
             200
         );
     }
 
     #[test]
     fn batch_route_answers_per_job() {
-        let shared = shared("batch");
+        let (handler, core) = fixture("batch");
         let body = r#"{"jobs":[
             {"doc":"d0","query":{"kind":"mss"}},
             {"doc":"ghost","query":{"kind":"mss"}},
             {"doc":"d0","query":{"kind":"top","t":2}}
         ]}"#;
-        let response = route(&shared, &post("/v1/batch", body));
+        let response = route(&handler, &post("/v1/batch", body), &core);
         assert_eq!(response.status, 200);
         let json = Json::decode(std::str::from_utf8(&response.body).unwrap().trim()).unwrap();
         let results = json.get("results").unwrap().as_array().unwrap();
@@ -772,7 +576,7 @@ mod tests {
         assert!(results[2].get("answer").is_some());
         // A malformed job fails the whole request with its index.
         let bad = r#"{"jobs":[{"doc":"d0"}]}"#;
-        let response = route(&shared, &post("/v1/batch", bad));
+        let response = route(&handler, &post("/v1/batch", bad), &core);
         assert_eq!(response.status, 400);
         assert!(std::str::from_utf8(&response.body)
             .unwrap()

@@ -84,8 +84,19 @@ impl Metrics {
         self.rejected.load(Ordering::Relaxed)
     }
 
-    /// Render the `GET /metrics` text body.
+    /// Render the `GET /metrics` text body: the HTTP-layer lines plus
+    /// the corpus cache lines.
     pub fn render(&self, queue_depth: usize, cache: &CacheStats) -> String {
+        let mut out = self.render_http(queue_depth);
+        render_cache(&mut out, cache);
+        out
+    }
+
+    /// Render only the HTTP-layer lines (traffic, status classes,
+    /// admission, queue depth, latency histogram). The corpus server
+    /// appends cache lines with [`render_cache`]; the router appends
+    /// its per-shard health/retry/hedge lines instead.
+    pub fn render_http(&self, queue_depth: usize) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "sigstr_requests_total {}", self.requests());
         let _ = writeln!(
@@ -126,13 +137,17 @@ impl Metrics {
             self.latency_sum_us.load(Ordering::Relaxed)
         );
         let _ = writeln!(out, "sigstr_request_latency_us_count {cumulative}");
-        let _ = writeln!(out, "sigstr_cache_hits_total {}", cache.hits);
-        let _ = writeln!(out, "sigstr_cache_loads_total {}", cache.loads);
-        let _ = writeln!(out, "sigstr_cache_evictions_total {}", cache.evictions);
-        let _ = writeln!(out, "sigstr_cache_resident_engines {}", cache.resident);
-        let _ = writeln!(out, "sigstr_cache_resident_bytes {}", cache.resident_bytes);
         out
     }
+}
+
+/// Append the warm-engine cache lines to a metrics body.
+pub fn render_cache(out: &mut String, cache: &CacheStats) {
+    let _ = writeln!(out, "sigstr_cache_hits_total {}", cache.hits);
+    let _ = writeln!(out, "sigstr_cache_loads_total {}", cache.loads);
+    let _ = writeln!(out, "sigstr_cache_evictions_total {}", cache.evictions);
+    let _ = writeln!(out, "sigstr_cache_resident_engines {}", cache.resident);
+    let _ = writeln!(out, "sigstr_cache_resident_bytes {}", cache.resident_bytes);
 }
 
 #[cfg(test)]

@@ -1,0 +1,468 @@
+//! The reusable HTTP service core: acceptor, bounded admission queue,
+//! fixed worker pool, keep-alive loop, graceful drain.
+//!
+//! PR 5 built this machinery directly into the corpus server; the
+//! scatter-gather router needs exactly the same skeleton (same
+//! admission semantics, same drain contract, same metrics) around a
+//! different request handler. So the skeleton lives here once, generic
+//! over a [`Handler`], and both servers are thin handlers on top:
+//!
+//! ```text
+//!              ┌──────────┐   bounded queue    ┌─────────┐
+//!  clients ──▶ │ acceptor │ ──────────────────▶│ worker  │──▶ Handler
+//!              │  thread  │  (overload: 503 +  │  pool   │
+//!              └──────────┘    Retry-After)    └─────────┘
+//! ```
+//!
+//! * **Admission control**: the acceptor pushes each accepted
+//!   connection into a bounded queue; when the queue is full the
+//!   connection is answered `503` with `Retry-After` immediately
+//!   instead of queueing without bound.
+//! * **Fixed worker pool**: `threads` workers each own one connection
+//!   at a time and run its keep-alive loop (sequential requests;
+//!   pipelined requests and chunked bodies are rejected with `501`).
+//! * **Graceful shutdown**: [`ServiceHandle::shutdown`] stops the
+//!   acceptor, lets every in-flight request complete (a request whose
+//!   bytes have arrived is always answered), closes idle keep-alive
+//!   connections, joins the workers, and notifies the handler via
+//!   [`Handler::on_shutdown`] so it can stop its own background work.
+
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::http::{self, Conn, Limits, RecvError, Request, Response};
+use crate::json::Json;
+use crate::metrics::Metrics;
+use crate::wire;
+
+/// Service configuration (shared by the corpus server and the router).
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads (`0` = all available cores).
+    pub threads: usize,
+    /// Admission queue bound: connections accepted but not yet claimed
+    /// by a worker. Beyond it, new connections get `503` +
+    /// `Retry-After`.
+    pub queue_depth: usize,
+    /// How long an idle keep-alive connection is held open.
+    pub keep_alive: Duration,
+    /// Request size limits.
+    pub limits: Limits,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:8080".into(),
+            threads: 0,
+            queue_depth: 64,
+            keep_alive: Duration::from_secs(5),
+            limits: Limits::default(),
+        }
+    }
+}
+
+/// What [`Service::run`] reports after a graceful shutdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Requests fully parsed and answered.
+    pub requests: u64,
+    /// Connections turned away at admission with `503`.
+    pub rejected: u64,
+}
+
+/// The request handler a [`Service`] is generic over. One call per
+/// parsed request; the handler sees the [`ServiceCore`] for metrics,
+/// queue depth and the drain flag (readiness endpoints report `503`
+/// during drain).
+pub trait Handler: Send + Sync + 'static {
+    /// Answer one routed request.
+    fn handle(&self, request: &Request, core: &ServiceCore) -> Response;
+
+    /// Called exactly once when shutdown begins (before the drain
+    /// completes). Handlers stop background threads here.
+    fn on_shutdown(&self) {}
+}
+
+/// The non-generic half of the shared state: metrics, admission queue,
+/// shutdown flag, config. Handlers receive `&ServiceCore` with every
+/// request.
+pub struct ServiceCore {
+    metrics: Metrics,
+    queue: Mutex<VecDeque<TcpStream>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+    config: ServiceConfig,
+}
+
+impl ServiceCore {
+    pub(crate) fn new(config: ServiceConfig) -> Self {
+        Self {
+            metrics: Metrics::default(),
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            config,
+        }
+    }
+
+    /// Whether a graceful shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Connections admitted but not yet claimed by a worker (sampled).
+    pub fn queue_depth(&self) -> usize {
+        self.queue.lock().expect("admission queue poisoned").len()
+    }
+
+    /// The service's request metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+}
+
+struct ServiceShared<H: Handler> {
+    core: ServiceCore,
+    handler: H,
+}
+
+/// Object-safe view of the shared state, so [`ServiceHandle`] stays
+/// non-generic (the CLI signal watcher holds handles to either server).
+trait ControlOps: Send + Sync {
+    fn core(&self) -> &ServiceCore;
+    fn handler_shutdown(&self);
+}
+
+impl<H: Handler> ControlOps for ServiceShared<H> {
+    fn core(&self) -> &ServiceCore {
+        &self.core
+    }
+
+    fn handler_shutdown(&self) {
+        self.handler.on_shutdown();
+    }
+}
+
+/// A cloneable handle that can stop a running service from any thread
+/// (or a signal watcher).
+#[derive(Clone)]
+pub struct ServiceHandle {
+    ops: Arc<dyn ControlOps>,
+    addr: SocketAddr,
+}
+
+impl ServiceHandle {
+    /// Begin a graceful shutdown: stop accepting, finish in-flight
+    /// requests, close idle connections. Idempotent; returns
+    /// immediately ([`Service::run`] returns once the drain completes).
+    pub fn shutdown(&self) {
+        let core = self.ops.core();
+        if !core.shutdown.swap(true, Ordering::SeqCst) {
+            self.ops.handler_shutdown();
+            // Wake the acceptor out of its blocking accept. The
+            // connection is recognized post-flag and dropped.
+            let _ = TcpStream::connect(self.addr);
+        }
+        core.available.notify_all();
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.ops.core().is_shutting_down()
+    }
+
+    /// The service's bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+/// A bound service, ready to [`run`](Service::run).
+pub struct Service<H: Handler> {
+    listener: TcpListener,
+    addr: SocketAddr,
+    shared: Arc<ServiceShared<H>>,
+}
+
+impl<H: Handler> Service<H> {
+    /// Bind the listener and assemble the shared state. The service
+    /// does not accept connections until [`Service::run`].
+    pub fn bind(handler: H, config: ServiceConfig) -> std::io::Result<Service<H>> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(ServiceShared {
+            core: ServiceCore::new(config),
+            handler,
+        });
+        Ok(Service {
+            listener,
+            addr,
+            shared,
+        })
+    }
+
+    /// The bound address (the real port, when `addr` asked for `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A shutdown handle for this service.
+    pub fn handle(&self) -> ServiceHandle {
+        ServiceHandle {
+            ops: Arc::clone(&self.shared) as Arc<dyn ControlOps>,
+            addr: self.addr,
+        }
+    }
+
+    /// The handler (for pre-`run` introspection, e.g. document counts).
+    pub fn handler(&self) -> &H {
+        &self.shared.handler
+    }
+
+    /// Serve until [`ServiceHandle::shutdown`]: spawns the worker pool,
+    /// runs the accept/admission loop on the calling thread, then
+    /// drains and joins everything.
+    pub fn run(self) -> std::io::Result<ServeSummary> {
+        let threads = if self.shared.core.config.threads == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(4)
+        } else {
+            self.shared.core.config.threads
+        };
+        let workers: Vec<_> = (0..threads)
+            .map(|i| {
+                let shared = Arc::clone(&self.shared);
+                std::thread::Builder::new()
+                    .name(format!("sigstr-worker-{i}"))
+                    .spawn(move || worker_loop(&*shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+
+        loop {
+            let stream = match self.listener.accept() {
+                Ok((stream, _peer)) => stream,
+                Err(_) => {
+                    if self.shared.core.is_shutting_down() {
+                        break;
+                    }
+                    // Persistent accept errors (fd exhaustion under
+                    // overload, transient ENOBUFS) must not hot-spin
+                    // the acceptor at 100% CPU — back off briefly.
+                    std::thread::sleep(Duration::from_millis(10));
+                    continue;
+                }
+            };
+            if self.shared.core.is_shutting_down() {
+                // The wake-up connection (or a client racing shutdown).
+                break;
+            }
+            self.admit(stream);
+        }
+        // Stop accepting *now* — connects after this refuse instead of
+        // hanging in the backlog.
+        drop(self.listener);
+        self.shared.core.available.notify_all();
+        for worker in workers {
+            let _ = worker.join();
+        }
+        Ok(ServeSummary {
+            requests: self.shared.core.metrics.requests(),
+            rejected: self.shared.core.metrics.rejected(),
+        })
+    }
+
+    /// Admission control: enqueue within the bound, `503` beyond it.
+    fn admit(&self, mut stream: TcpStream) {
+        let core = &self.shared.core;
+        let mut queue = core.queue.lock().expect("admission queue poisoned");
+        if queue.len() >= core.config.queue_depth {
+            drop(queue);
+            core.metrics.record_rejected();
+            http::reject_overloaded(&mut stream);
+            return;
+        }
+        queue.push_back(stream);
+        drop(queue);
+        core.available.notify_one();
+    }
+}
+
+/// Worker: claim connections until shutdown *and* the queue is drained.
+fn worker_loop<H: Handler>(shared: &ServiceShared<H>) {
+    let core = &shared.core;
+    loop {
+        let stream = {
+            let mut queue = core.queue.lock().expect("admission queue poisoned");
+            loop {
+                if let Some(stream) = queue.pop_front() {
+                    break Some(stream);
+                }
+                if core.is_shutting_down() {
+                    break None;
+                }
+                queue = core
+                    .available
+                    .wait(queue)
+                    .expect("admission queue poisoned");
+            }
+        };
+        match stream {
+            Some(stream) => serve_connection(shared, stream),
+            None => return,
+        }
+    }
+}
+
+/// One connection's keep-alive loop.
+fn serve_connection<H: Handler>(shared: &ServiceShared<H>, stream: TcpStream) {
+    let core = &shared.core;
+    let Ok(mut conn) = Conn::new(stream) else {
+        return;
+    };
+    loop {
+        let request = match conn.read_request(&core.config.limits, core.config.keep_alive, &|| {
+            core.is_shutting_down()
+        }) {
+            Ok(request) => request,
+            Err(RecvError::Closed | RecvError::IdleTimeout | RecvError::Shutdown) => return,
+            Err(RecvError::Io(_)) => return,
+            Err(RecvError::TooLarge(status, message)) => {
+                respond_error(core, &mut conn, status, message);
+                return;
+            }
+            Err(RecvError::Malformed(message)) => {
+                respond_error(core, &mut conn, 400, message);
+                return;
+            }
+            Err(RecvError::Unsupported(message)) => {
+                respond_error(core, &mut conn, 501, message);
+                return;
+            }
+        };
+        let start = Instant::now();
+        let mut response = shared.handler.handle(&request, core);
+        let keep_alive = request.keep_alive && response.keep_alive && !core.is_shutting_down();
+        response.keep_alive = keep_alive;
+        core.metrics.observe(response.status, start.elapsed());
+        if conn.write_response(&response).is_err() {
+            return;
+        }
+        if !keep_alive {
+            return;
+        }
+    }
+}
+
+/// Write a closing error response for input that never became a
+/// routable request. Counted as a protocol error (status class only) —
+/// not in `requests` and not in the latency histogram, whose semantics
+/// are "requests fully parsed and routed".
+fn respond_error(core: &ServiceCore, conn: &mut Conn, status: u16, message: &str) {
+    core.metrics.record_protocol_error(status);
+    let _ = conn.write_response(&json_response(status, wire::error_json(message)).closing());
+}
+
+/// Encode a JSON body into a response (trailing newline included).
+pub fn json_response(status: u16, body: Json) -> Response {
+    match body.encode() {
+        Ok(mut text) => {
+            text.push('\n');
+            Response::new(status, "application/json", text.into_bytes())
+        }
+        // A non-finite float slipped into an answer: refuse to emit it
+        // silently (the documented policy), fail the request instead.
+        Err(e) => Response::new(
+            500,
+            "application/json",
+            format!("{{\"error\":\"unencodable response: {e}\"}}\n").into_bytes(),
+        ),
+    }
+}
+
+/// A plain-text response (metrics, liveness probes).
+pub fn text_response(status: u16, body: String) -> Response {
+    Response::new(status, "text/plain; charset=utf-8", body.into_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Echo;
+
+    impl Handler for Echo {
+        fn handle(&self, request: &Request, _core: &ServiceCore) -> Response {
+            text_response(200, format!("{} {}\n", request.method, request.path))
+        }
+    }
+
+    #[test]
+    fn service_serves_a_generic_handler() {
+        let service = Service::bind(
+            Echo,
+            ServiceConfig {
+                addr: "127.0.0.1:0".into(),
+                threads: 2,
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = service.local_addr();
+        let handle = service.handle();
+        let runner = std::thread::spawn(move || service.run().unwrap());
+
+        let mut conn = crate::client::ClientConn::connect(addr).unwrap();
+        let response = conn.request("GET", "/anything", None).unwrap();
+        assert_eq!(response.status, 200);
+        assert_eq!(response.body_str(), "GET /anything\n");
+
+        handle.shutdown();
+        let summary = runner.join().unwrap();
+        assert_eq!(summary.requests, 1);
+    }
+
+    #[test]
+    fn on_shutdown_fires_exactly_once() {
+        use std::sync::atomic::AtomicU64;
+
+        struct Counting(Arc<AtomicU64>);
+        impl Handler for Counting {
+            fn handle(&self, _request: &Request, _core: &ServiceCore) -> Response {
+                text_response(200, "ok\n".into())
+            }
+            fn on_shutdown(&self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+
+        let fired = Arc::new(AtomicU64::new(0));
+        let service = Service::bind(
+            Counting(Arc::clone(&fired)),
+            ServiceConfig {
+                addr: "127.0.0.1:0".into(),
+                threads: 1,
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        let handle = service.handle();
+        let runner = std::thread::spawn(move || service.run().unwrap());
+        handle.shutdown();
+        handle.shutdown();
+        runner.join().unwrap();
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+    }
+}

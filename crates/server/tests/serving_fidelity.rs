@@ -318,7 +318,11 @@ fn keep_alive_serves_sequential_requests_and_metrics_count_them() {
         assert_eq!(response.header("connection"), Some("keep-alive"));
     }
     let response = conn.request("GET", "/healthz", None).unwrap();
-    assert_eq!(response.body_str(), "ok\n");
+    assert_eq!(response.status, 200);
+    let health = Json::decode(response.body_str().trim()).unwrap();
+    assert_eq!(health.get("status").unwrap().as_str(), Some("ok"));
+    assert_eq!(health.get("documents").unwrap().as_u64(), Some(3));
+    assert!(health.get("generation").unwrap().as_u64().unwrap() >= 1);
     let response = conn.request("GET", "/metrics", None).unwrap();
     let text = response.body_str();
     // Four requests precede the scrape (the scrape itself is counted
@@ -471,8 +475,13 @@ fn graceful_shutdown_drains_in_flight_requests() {
     handle.shutdown();
     conn.send_raw(b"\r\n").unwrap();
     let response = conn.read_response().unwrap();
-    assert_eq!(response.status, 200);
-    assert_eq!(response.body_str(), "ok\n");
+    // The drain still answers the in-flight request — but `/healthz`
+    // now reports not-ready (503 + Retry-After), so a health-checking
+    // router stops routing to a draining shard.
+    assert_eq!(response.status, 503);
+    assert_eq!(response.header("retry-after"), Some("1"));
+    let health = Json::decode(response.body_str().trim()).unwrap();
+    assert_eq!(health.get("status").unwrap().as_str(), Some("draining"));
     assert_eq!(response.header("connection"), Some("close"));
 
     // run() returns with the tally once the drain completes.
