@@ -219,6 +219,12 @@ pub struct Invocation {
     pub threads: Option<usize>,
     /// Admission queue bound for `serve`.
     pub queue_depth: Option<usize>,
+    /// Load corpus snapshots zero-copy via mmap (`corpus query`,
+    /// `serve`).
+    pub mmap: bool,
+    /// Force the portable scalar kernels (the programmatic twin of
+    /// `SIGSTR_FORCE_SCALAR=1`; answers are bit-identical either way).
+    pub no_simd: bool,
 }
 
 impl Invocation {
@@ -297,6 +303,13 @@ OPTIONS:
     --stats                 print scan statistics
     --family                also print the family-wise (Sidak) p-value
     --budget-mb N           corpus warm-engine cache budget (default 256)
+    --mmap                  corpus query / serve: load snapshots zero-copy
+                            via mmap — first answers arrive before the
+                            index is fully paged in; checksums verify
+                            lazily on each engine's first query (falls
+                            back to bulk reads on unsupported targets)
+    --no-simd               force the portable scalar kernels (bit-identical
+                            answers; same switch as SIGSTR_FORCE_SCALAR=1)
     --addr A                serve bind address (default 127.0.0.1:8080;
                             port 0 = ephemeral, printed on startup)
     --threads N             serve worker threads (default: all cores)
@@ -402,6 +415,8 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
     let mut hedge_ms: Option<u64> = None;
     let mut no_hedge = false;
     let mut plan: Option<Vec<String>> = None;
+    let mut mmap = false;
+    let mut no_simd = false;
 
     let mut i = flags_from;
     while i < args.len() {
@@ -518,6 +533,8 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
                 );
             }
             "--no-hedge" => no_hedge = true,
+            "--mmap" => mmap = true,
+            "--no-simd" => no_simd = true,
             "--plan" => {
                 plan = Some(
                     take_value()?
@@ -668,6 +685,8 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
         addr,
         threads,
         queue_depth,
+        mmap,
+        no_simd,
     })
 }
 
@@ -905,8 +924,12 @@ fn run_index_build(invocation: &Invocation, raw: &[u8], out_path: &str) -> Resul
     Ok(text)
 }
 
-/// `index info`: header + section table, no payload reads.
+/// `index info`: header + section table, then an integrity pass — file
+/// length against the section table, per-section 64-byte alignment, and
+/// each section's payload re-checksummed against the stored value (the
+/// same checks the loaders enforce, surfaced without loading an engine).
 fn run_index_info(invocation: &Invocation) -> Result<String, String> {
+    use std::io::{Read as _, Seek as _, SeekFrom};
     if invocation.input == "-" {
         return Err("index info reads the snapshot header from a file, not stdin".into());
     }
@@ -927,20 +950,58 @@ fn run_index_info(invocation: &Invocation) -> Result<String, String> {
             String::new()
         }
     );
+    let mut file =
+        std::fs::File::open(&invocation.input).map_err(|e| format!("{}: {e}", invocation.input))?;
+    let file_len = file
+        .metadata()
+        .map_err(|e| format!("{}: {e}", invocation.input))?
+        .len();
+    let length_status = if file_len == info.total_bytes() {
+        "matches the section table".to_string()
+    } else {
+        format!(
+            "MISMATCH: section table implies {} bytes (truncated tail or trailing garbage)",
+            info.total_bytes()
+        )
+    };
     let _ = writeln!(
         out,
-        "index payload {} bytes, file {} bytes",
+        "index payload {} bytes, file {} bytes ({length_status})",
         info.index_bytes(),
-        info.total_bytes()
+        file_len
     );
+    let align = sigstr_core::snapshot::SECTION_ALIGN as u64;
+    let mut buf = Vec::new();
     for section in &info.sections {
+        let alignment = if section.offset % align == 0 {
+            format!("{align}-byte aligned")
+        } else {
+            "UNALIGNED".to_string()
+        };
+        // Re-checksum the payload; an unreadable section (e.g. past a
+        // truncated tail) reports instead of erroring out of the listing.
+        let checksum_status = if section.offset + section.len > file_len {
+            "unreadable (past end of file)"
+        } else {
+            buf.resize(section.len as usize, 0);
+            match file
+                .seek(SeekFrom::Start(section.offset))
+                .and_then(|_| file.read_exact(&mut buf))
+            {
+                Ok(()) if sigstr_core::snapshot::checksum64(&buf) == section.checksum => "ok",
+                Ok(()) => "MISMATCH",
+                Err(_) => "unreadable",
+            }
+        };
         let _ = writeln!(
             out,
-            "  section {:<10} offset {:>10}  {:>12} bytes  checksum {:016x}",
+            "  section {:<10} offset {:>10}  {:>12} bytes  {}  checksum {:016x} {}",
             section.id.name(),
             section.offset,
             section.len,
-            section.checksum
+            alignment,
+            section.checksum,
+            checksum_status
         );
     }
     Ok(out)
@@ -974,11 +1035,14 @@ fn run_corpus_add(
 fn format_cache_stats(corpus: &sigstr_corpus::Corpus) -> String {
     let stats = corpus.cache_stats();
     format!(
-        "cache: {} hits, {} loads, {} evictions; {} resident engines, {} bytes \
-         (budget {} bytes)\n",
+        "cache: {} hits, {} loads ({} mmap, {} read), {} evictions, {} lazy verifications; \
+         {} resident engines, {} resident bytes (budget {} bytes)\n",
         stats.hits,
         stats.loads,
+        stats.mmap_loads,
+        stats.read_loads,
         stats.evictions,
+        stats.lazy_verifications,
         stats.resident,
         stats.resident_bytes,
         corpus.budget()
@@ -1039,6 +1103,7 @@ fn run_corpus_query(invocation: &Invocation, dir: &str) -> Result<String, String
     if let Some(mb) = invocation.budget_mb {
         corpus.set_budget(mb << 20);
     }
+    corpus.set_mmap(invocation.mmap);
     if corpus.is_empty() {
         return Err(format!("corpus {dir} has no documents"));
     }
@@ -1124,6 +1189,7 @@ fn run_serve(invocation: &Invocation, dir: &str) -> Result<String, String> {
     if let Some(mb) = invocation.budget_mb {
         corpus.set_budget(mb << 20);
     }
+    corpus.set_mmap(invocation.mmap);
     let documents = corpus.len();
     let mut config = sigstr_server::ServerConfig::default();
     if let Some(addr) = &invocation.addr {
@@ -1259,6 +1325,11 @@ fn shutdown_on_signals(_handle: sigstr_server::ServerHandle) {}
 /// text (testable without touching the filesystem for the mining
 /// commands; index/corpus commands manage their own files).
 pub fn run(invocation: &Invocation, raw: &[u8]) -> Result<String, String> {
+    if invocation.no_simd {
+        // One-way for this process run: forcing scalar is bit-identical,
+        // so nothing downstream needs to know.
+        sigstr_core::simd::set_force_scalar(true);
+    }
     match &invocation.command {
         Command::Batch => return run_batch(invocation, raw),
         Command::IndexBuild { out } => return run_index_build(invocation, raw, out),
@@ -1701,7 +1772,10 @@ mod tests {
         let out = run(&with_stats, b"").unwrap();
         assert!(out.contains("d0"), "{out}");
         assert!(out.contains("snapshots on disk:"), "{out}");
-        assert!(out.contains("cache: 0 hits, 0 loads, 0 evictions"), "{out}");
+        assert!(
+            out.contains("cache: 0 hits, 0 loads (0 mmap, 0 read), 0 evictions"),
+            "{out}"
+        );
         assert!(out.contains("budget"), "{out}");
 
         // On the query path the counters are live: one load per doc.
@@ -1958,9 +2032,101 @@ mod tests {
         assert!(out.contains("snapshot v1"), "{out}");
         assert!(out.contains("layout blocked"), "{out}");
         assert!(out.contains("section symbols"), "{out}");
+        // The integrity pass: length status, alignment, and per-section
+        // checksums all report healthy on a pristine snapshot.
+        assert!(out.contains("matches the section table"), "{out}");
+        assert!(out.contains("64-byte aligned"), "{out}");
+        assert!(!out.contains("MISMATCH"), "{out}");
+        for line in out.lines().filter(|l| l.contains("  section ")) {
+            assert!(line.ends_with(" ok"), "{line}");
+        }
+
+        // Corrupt one payload byte (the last section's first byte — the
+        // file's final bytes are alignment padding, which no checksum
+        // covers): the section flips to MISMATCH but the listing still
+        // renders.
+        let mut bytes = std::fs::read(&snap).unwrap();
+        let last = sigstr_core::snapshot::read_info_path(&snap)
+            .unwrap()
+            .sections
+            .iter()
+            .map(|s| s.offset as usize)
+            .max()
+            .unwrap();
+        bytes[last] ^= 0xFF;
+        let corrupt = dir.join("corrupt.snap");
+        std::fs::write(&corrupt, &bytes).unwrap();
+        let info = parse_args(&argv(&["index", "info", &corrupt.display().to_string()])).unwrap();
+        let out = run(&info, b"").unwrap();
+        assert!(out.contains("MISMATCH"), "{out}");
+
+        // A truncated tail is called out by the file-length line.
+        bytes[last] ^= 0xFF;
+        bytes.pop();
+        std::fs::write(&corrupt, &bytes).unwrap();
+        let out = run(&info, b"").unwrap();
+        assert!(out.contains("section table implies"), "{out}");
+
         // Missing file: clean error.
         let missing = parse_args(&argv(&["index", "info", "no-such.snap"])).unwrap();
         assert!(run(&missing, b"").is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mmap_and_no_simd_flags() {
+        let dir = temp_dir("mmap-flags");
+        let corpus_dir = dir.join("c").display().to_string();
+        let add = parse_args(&argv(&[
+            "corpus",
+            "add",
+            &corpus_dir,
+            "-",
+            "--name",
+            "d0",
+            "--uniform",
+        ]))
+        .unwrap();
+        assert!(!add.mmap && !add.no_simd);
+        run(&add, b"ababbbbbbab").unwrap();
+
+        // `--mmap` answers identically and reports its loads as mapped
+        // (on targets with the mmap loader; elsewhere they count as
+        // reads — either way the split is printed).
+        let plain = parse_args(&argv(&["corpus", "query", &corpus_dir, "--query", "mss"])).unwrap();
+        let mapped = parse_args(&argv(&[
+            "corpus",
+            "query",
+            &corpus_dir,
+            "--query",
+            "mss",
+            "--stats",
+            "--mmap",
+        ]))
+        .unwrap();
+        assert!(mapped.mmap);
+        let plain_out = run(&plain, b"").unwrap();
+        let mapped_out = run(&mapped, b"").unwrap();
+        assert!(mapped_out.contains("mmap"), "{mapped_out}");
+        assert!(mapped_out.contains("lazy verifications"), "{mapped_out}");
+        assert!(
+            mapped_out.starts_with(&plain_out),
+            "{plain_out} vs {mapped_out}"
+        );
+
+        // `--no-simd` forces the scalar kernels; answers are pinned
+        // bit-identical, so the rendered output matches exactly.
+        let simd_out = run(
+            &parse_args(&argv(&["mss", "-", "--uniform"])).unwrap(),
+            b"abababbbbbbbbabab",
+        )
+        .unwrap();
+        let scalar_inv = parse_args(&argv(&["mss", "-", "--uniform", "--no-simd"])).unwrap();
+        assert!(scalar_inv.no_simd);
+        let scalar_out = run(&scalar_inv, b"abababbbbbbbbabab").unwrap();
+        assert_eq!(simd_out, scalar_out);
+        // Un-force for the rest of the test binary.
+        sigstr_core::simd::set_force_scalar(false);
         std::fs::remove_dir_all(&dir).ok();
     }
 

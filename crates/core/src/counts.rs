@@ -46,6 +46,72 @@
 use crate::error::{Error, Result};
 use crate::seq::Sequence;
 
+/// Backing storage for one count-index section: an owned heap vector (the
+/// build and bulk-read paths) or a typed view into a shared snapshot
+/// mapping (the zero-copy loader). Dereferences to `[T]`, so every lookup
+/// path is identical either way — the variant is decided once at load
+/// time, never consulted in the hot loop.
+#[derive(Debug, Clone)]
+pub(crate) enum Store<T: Copy> {
+    /// A plain heap vector.
+    Owned(Vec<T>),
+    /// A borrowed view into a snapshot mapping. The pointer is computed
+    /// (and bounds/alignment-checked) once at construction; the `Arc`
+    /// keeps the mapping alive for as long as any view exists.
+    #[cfg(all(unix, target_pointer_width = "64", target_endian = "little"))]
+    Mapped {
+        _map: std::sync::Arc<crate::mmap::MmapFile>,
+        ptr: *const T,
+        len: usize,
+    },
+}
+
+// SAFETY: the `Mapped` pointer targets a read-only private mapping owned
+// by the `Arc`'d `MmapFile` (itself `Send + Sync`); the memory is
+// immutable for the mapping's lifetime, so sharing views across threads
+// is sound. `Owned` is a `Vec<T>` of a `Copy` type.
+unsafe impl<T: Copy + Send> Send for Store<T> {}
+unsafe impl<T: Copy + Sync> Sync for Store<T> {}
+
+impl<T: Copy> Store<T> {
+    /// A view of `len` elements at byte `offset` inside `map` (alignment
+    /// and bounds validated here, once).
+    #[cfg(all(unix, target_pointer_width = "64", target_endian = "little"))]
+    pub(crate) fn mapped(
+        map: std::sync::Arc<crate::mmap::MmapFile>,
+        offset: usize,
+        len: usize,
+    ) -> Self {
+        let ptr = map.slice::<T>(offset, len).as_ptr();
+        Store::Mapped {
+            _map: map,
+            ptr,
+            len,
+        }
+    }
+}
+
+impl<T: Copy> std::ops::Deref for Store<T> {
+    type Target = [T];
+
+    #[inline]
+    fn deref(&self) -> &[T] {
+        match self {
+            Store::Owned(v) => v,
+            #[cfg(all(unix, target_pointer_width = "64", target_endian = "little"))]
+            // SAFETY: `ptr`/`len` were validated against the mapping at
+            // construction and the `Arc` keeps the mapping alive.
+            Store::Mapped { ptr, len, .. } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+        }
+    }
+}
+
+impl<T: Copy> From<Vec<T>> for Store<T> {
+    fn from(v: Vec<T>) -> Self {
+        Store::Owned(v)
+    }
+}
+
 /// A source of `O(1)` substring count vectors over a fixed symbol string.
 ///
 /// Implemented by the flat [`PrefixCounts`], the two-level
@@ -244,9 +310,9 @@ impl From<BlockedCounts> for CountsIndex {
 pub struct PrefixCounts {
     /// Column-major `(n + 1) × k` table; `table[i·k + c]` = occurrences of
     /// `c` in `S[0..i)`.
-    table: Vec<u32>,
+    table: Store<u32>,
     /// The symbols themselves (for `O(1)` single-step count updates).
-    symbols: Vec<u8>,
+    symbols: Store<u8>,
     n: usize,
     k: usize,
 }
@@ -264,8 +330,8 @@ impl PrefixCounts {
             next[s as usize] += 1;
         }
         Self {
-            table,
-            symbols: seq.symbols().to_vec(),
+            table: table.into(),
+            symbols: seq.symbols().to_vec().into(),
             n,
             k,
         }
@@ -307,6 +373,11 @@ impl PrefixCounts {
     }
 
     /// Fill `buf` (length `k`) with the count vector of `S[start..end)`.
+    ///
+    /// Both endpoint rows are contiguous `k`-slices, so for `k ≥ 8` the
+    /// diff runs through the vectorized [`crate::simd`] kernel (exact
+    /// integer arithmetic — bit-identical to the scalar loop); smaller
+    /// alphabets stay scalar, where the fixed-trip loop already unrolls.
     #[inline]
     pub fn fill_counts(&self, start: usize, end: usize, buf: &mut [u32]) {
         debug_assert_eq!(buf.len(), self.k);
@@ -314,13 +385,18 @@ impl PrefixCounts {
         let k = self.k;
         let from = &self.table[start * k..start * k + k];
         let to = &self.table[end * k..end * k + k];
+        if k >= 8 {
+            crate::simd::fill_diff_u32(buf, to, from);
+            return;
+        }
         for ((slot, &hi), &lo) in buf.iter_mut().zip(to).zip(from) {
             *slot = hi - lo;
         }
     }
 
     /// Add the count vector of `S[start..end)` into `buf` (length `k`) —
-    /// the scan kernels' post-skip resync.
+    /// the scan kernels' post-skip resync. Vectorized for `k ≥ 8` (see
+    /// [`PrefixCounts::fill_counts`]).
     #[inline]
     pub fn accumulate_counts(&self, start: usize, end: usize, buf: &mut [u32]) {
         debug_assert_eq!(buf.len(), self.k);
@@ -328,6 +404,10 @@ impl PrefixCounts {
         let k = self.k;
         let from = &self.table[start * k..start * k + k];
         let to = &self.table[end * k..end * k + k];
+        if k >= 8 {
+            crate::simd::accumulate_diff_u32(buf, to, from);
+            return;
+        }
         for ((slot, &hi), &lo) in buf.iter_mut().zip(to).zip(from) {
             *slot += hi - lo;
         }
@@ -339,9 +419,11 @@ impl PrefixCounts {
     }
 
     /// Reassemble from snapshot sections: the raw table plus the symbol
-    /// string. Validates only shape (`table.len() == (n + 1)·k`); the
-    /// snapshot loader has already checksummed the payloads.
-    pub(crate) fn from_sections(table: Vec<u32>, symbols: Vec<u8>, k: usize) -> Result<Self> {
+    /// string (owned vectors from the bulk-read loader, or mapped views
+    /// from the zero-copy loader). Validates only shape
+    /// (`table.len() == (n + 1)·k`); payload integrity is the snapshot
+    /// checksums' job.
+    pub(crate) fn from_sections(table: Store<u32>, symbols: Store<u8>, k: usize) -> Result<Self> {
         let n = symbols.len();
         if table.len() != (n + 1) * k {
             return Err(Error::Snapshot {
@@ -434,8 +516,8 @@ const fn is_valid_block(block: usize) -> bool {
 /// `u16` escape tier otherwise. Chosen once at build time.
 #[derive(Debug, Clone)]
 pub(crate) enum DeltaTier {
-    U8(Vec<u8>),
-    U16(Vec<u16>),
+    U8(Store<u8>),
+    U16(Store<u16>),
 }
 
 impl DeltaTier {
@@ -462,13 +544,13 @@ impl DeltaTier {
 pub struct BlockedCounts {
     /// Column-major superblock absolutes: `supers[j·k + c]` = occurrences
     /// of `c` in `S[0 .. j·block)`.
-    supers: Vec<u32>,
+    supers: Store<u32>,
     /// Row-per-position deltas, `stored_k = k − 1` columns:
     /// `deltas[i·stored_k + c]` = occurrences of `c` in
     /// `S[⌊i/block⌋·block .. i)`.
     deltas: DeltaTier,
     /// The symbols themselves (for `O(1)` single-step count updates).
-    symbols: Vec<u8>,
+    symbols: Store<u8>,
     n: usize,
     k: usize,
     /// `k − 1`: the number of delta columns actually stored.
@@ -525,19 +607,19 @@ impl BlockedCounts {
                 debug_assert!(d < 256);
                 deltas[i * stored_k + c] = d as u8;
             });
-            DeltaTier::U8(deltas)
+            DeltaTier::U8(deltas.into())
         } else {
             let mut deltas = vec![0u16; (n + 1) * stored_k];
             build_pass(&symbols, k, block, &mut supers, &mut running, |i, c, d| {
                 debug_assert!(d < (1 << 16));
                 deltas[i * stored_k + c] = d as u16;
             });
-            DeltaTier::U16(deltas)
+            DeltaTier::U16(deltas.into())
         };
         Ok(Self {
-            supers,
+            supers: supers.into(),
             deltas,
-            symbols,
+            symbols: symbols.into(),
             n,
             k,
             stored_k,
@@ -587,12 +669,14 @@ impl BlockedCounts {
     }
 
     /// Reassemble from snapshot sections: superblock absolutes, the delta
-    /// tier, and the symbol string. Validates shape (section lengths and
-    /// block spacing); payload integrity is the snapshot checksums' job.
+    /// tier, and the symbol string (owned vectors from the bulk-read
+    /// loader, or mapped views from the zero-copy loader). Validates
+    /// shape (section lengths and block spacing); payload integrity is
+    /// the snapshot checksums' job.
     pub(crate) fn from_sections(
-        supers: Vec<u32>,
+        supers: Store<u32>,
         deltas: DeltaTier,
-        symbols: Vec<u8>,
+        symbols: Store<u8>,
         k: usize,
         block: usize,
     ) -> Result<Self> {
@@ -713,14 +797,19 @@ impl BlockedCounts {
         debug_assert_eq!(buf.len(), self.k);
         debug_assert!(start <= end && end <= self.n);
         match &self.deltas {
-            DeltaTier::U8(v) => self.accumulate_impl(v, start, end, buf),
-            DeltaTier::U16(v) => self.accumulate_impl(v, start, end, buf),
+            DeltaTier::U8(v) => self.accumulate_impl(&v[..], start, end, buf),
+            DeltaTier::U16(v) => self.accumulate_impl(&v[..], start, end, buf),
         }
     }
 
     /// The tier-generic resync sweep (monomorphized per delta width).
+    ///
+    /// For `stored_k ≥ 8` the stored-column sweep runs through the
+    /// vectorized widening kernel in [`crate::simd`] (AVX2 `u8`/`u16` →
+    /// `u32` lane widening; exact integer arithmetic, bit-identical to
+    /// the scalar loop in any lane order).
     #[inline(always)]
-    fn accumulate_impl<T: Copy + Into<u32>>(
+    fn accumulate_impl<T: Copy + Into<u32> + crate::simd::WidenRow>(
         &self,
         deltas: &[T],
         start: usize,
@@ -735,15 +824,20 @@ impl BlockedCounts {
         let sup_e = &self.supers[sb_e * k..sb_e * k + k];
         let row_s = &deltas[start * stored_k..start * stored_k + stored_k];
         let row_e = &deltas[end * stored_k..end * stored_k + stored_k];
-        let mut sum_s = 0u32;
-        let mut sum_e = 0u32;
-        for c in 0..stored_k {
-            let ds: u32 = row_s[c].into();
-            let de: u32 = row_e[c].into();
-            sum_s += ds;
-            sum_e += de;
-            buf[c] += (sup_e[c] + de) - (sup_s[c] + ds);
-        }
+        let (sum_s, sum_e) = if stored_k >= 8 {
+            crate::simd::blocked_stored_diff(&mut buf[..stored_k], sup_s, sup_e, row_s, row_e)
+        } else {
+            let mut sum_s = 0u32;
+            let mut sum_e = 0u32;
+            for c in 0..stored_k {
+                let ds: u32 = row_s[c].into();
+                let de: u32 = row_e[c].into();
+                sum_s += ds;
+                sum_e += de;
+                buf[c] += (sup_e[c] + de) - (sup_s[c] + ds);
+            }
+            (sum_s, sum_e)
+        };
         let off_s = (start - (sb_s << self.block_shift)) as u32;
         let off_e = (end - (sb_e << self.block_shift)) as u32;
         let abs_s = sup_s[stored_k] + (off_s - sum_s);
@@ -926,8 +1020,8 @@ impl GrowableCounts {
     pub fn into_prefix_counts(self) -> PrefixCounts {
         let n = self.symbols.len();
         PrefixCounts {
-            table: self.table,
-            symbols: self.symbols,
+            table: self.table.into(),
+            symbols: self.symbols.into(),
             n,
             k: self.k,
         }

@@ -482,6 +482,63 @@ enum CacheKey {
 }
 
 // ---------------------------------------------------------------------------
+// Mapped-snapshot state (the zero-copy loader's deferred validation).
+// ---------------------------------------------------------------------------
+
+/// One mapped section awaiting its first-touch checksum verification.
+#[cfg(all(unix, target_pointer_width = "64", target_endian = "little"))]
+#[derive(Debug)]
+pub(crate) struct LazySection {
+    /// Section name (for error messages).
+    pub(crate) name: &'static str,
+    /// Byte offset inside the mapping.
+    pub(crate) offset: usize,
+    /// Payload length in bytes.
+    pub(crate) len: usize,
+    /// Expected [`crate::snapshot::checksum64`] of the payload bytes.
+    pub(crate) checksum: u64,
+}
+
+/// What a mmap-loaded engine carries on top of its index: the mapping
+/// itself (keeping it alive alongside the `Store` views), and the
+/// deferred-validation state. The zero-copy loader validates structure
+/// eagerly but defers the payload checksums and the symbol-range scan to
+/// the engine's **first query** — load stays `O(header)`, and queries
+/// can start before the index is fully paged in (the verification pass
+/// itself is what faults the sections in, sequentially, at page-cache
+/// speed).
+#[cfg(all(unix, target_pointer_width = "64", target_endian = "little"))]
+#[derive(Debug)]
+pub(crate) struct MappedState {
+    map: std::sync::Arc<crate::mmap::MmapFile>,
+    sections: Vec<LazySection>,
+    /// Set once the deferred pass has succeeded; cleared by
+    /// [`Engine::discard_resident`].
+    verified: std::sync::atomic::AtomicBool,
+    /// Serializes the deferred pass so concurrent first queries don't
+    /// duplicate the work (double-checked around this lock).
+    verify_lock: Mutex<()>,
+    /// How many deferred passes have run (re-armed by discard).
+    verifications: AtomicU64,
+}
+
+#[cfg(all(unix, target_pointer_width = "64", target_endian = "little"))]
+impl MappedState {
+    pub(crate) fn new(
+        map: std::sync::Arc<crate::mmap::MmapFile>,
+        sections: Vec<LazySection>,
+    ) -> Self {
+        Self {
+            map,
+            sections,
+            verified: std::sync::atomic::AtomicBool::new(false),
+            verify_lock: Mutex::new(()),
+            verifications: AtomicU64::new(0),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // The engine.
 // ---------------------------------------------------------------------------
 
@@ -503,6 +560,10 @@ pub struct Engine {
     cache: Mutex<ResultCache>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Present iff the index borrows its sections from a snapshot
+    /// mapping (the zero-copy loader).
+    #[cfg(all(unix, target_pointer_width = "64", target_endian = "little"))]
+    mapped: Option<MappedState>,
 }
 
 impl Engine {
@@ -590,6 +651,129 @@ impl Engine {
             cache: Mutex::new(ResultCache::default()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            #[cfg(all(unix, target_pointer_width = "64", target_endian = "little"))]
+            mapped: None,
+        }
+    }
+
+    /// Attach the zero-copy loader's mapped state (called once, right
+    /// after construction, by `snapshot::load_snapshot_mmap`).
+    #[cfg(all(unix, target_pointer_width = "64", target_endian = "little"))]
+    pub(crate) fn attach_mapped(&mut self, state: MappedState) {
+        self.mapped = Some(state);
+    }
+
+    /// Run the deferred validation of a mapped snapshot, once: checksum
+    /// every mapped section against the section table and scan the
+    /// symbol string for out-of-alphabet bytes — exactly the checks the
+    /// bulk-read loader performs eagerly, so a mapped engine that starts
+    /// answering is held to the same integrity bar. Double-checked
+    /// around a lock; after success every later call is one relaxed
+    /// atomic load. Owned engines return immediately.
+    #[cfg(all(unix, target_pointer_width = "64", target_endian = "little"))]
+    fn ensure_verified(&self) -> Result<()> {
+        let Some(state) = &self.mapped else {
+            return Ok(());
+        };
+        if state.verified.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        let _guard = state.verify_lock.lock().expect("verify lock poisoned");
+        if state.verified.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        let bytes = state.map.bytes();
+        for section in &state.sections {
+            let payload = &bytes[section.offset..section.offset + section.len];
+            if crate::snapshot::checksum64(payload) != section.checksum {
+                return Err(Error::Snapshot {
+                    details: format!(
+                        "section {} checksum mismatch (corrupted or truncated payload)",
+                        section.name
+                    ),
+                });
+            }
+        }
+        let symbols = self.index.symbols();
+        let max_symbol = symbols.iter().fold(0u8, |m, &s| m.max(s));
+        if (max_symbol as usize) >= self.k() {
+            let bad = symbols
+                .iter()
+                .position(|&s| (s as usize) >= self.k())
+                .expect("max symbol out of range implies an offending position");
+            return Err(Error::Snapshot {
+                details: format!(
+                    "symbol {} at position {bad} outside alphabet 0..{}",
+                    symbols[bad],
+                    self.k()
+                ),
+            });
+        }
+        state.verifications.fetch_add(1, Ordering::Relaxed);
+        state.verified.store(true, Ordering::Release);
+        Ok(())
+    }
+
+    /// No-op twin for targets without the mmap loader.
+    #[cfg(not(all(unix, target_pointer_width = "64", target_endian = "little")))]
+    #[inline(always)]
+    fn ensure_verified(&self) -> Result<()> {
+        Ok(())
+    }
+
+    /// Whether this engine borrows its index from a snapshot mapping
+    /// (built by [`Engine::load_snapshot_mmap`]).
+    pub fn is_mmap(&self) -> bool {
+        #[cfg(all(unix, target_pointer_width = "64", target_endian = "little"))]
+        {
+            self.mapped.is_some()
+        }
+        #[cfg(not(all(unix, target_pointer_width = "64", target_endian = "little")))]
+        {
+            false
+        }
+    }
+
+    /// Index bytes assumed resident in memory: the full
+    /// [`Engine::index_bytes`] for owned engines, and for mapped engines
+    /// `0` until the first query's verification pass has faulted every
+    /// section in (and again after [`Engine::discard_resident`]).
+    pub fn resident_bytes(&self) -> usize {
+        #[cfg(all(unix, target_pointer_width = "64", target_endian = "little"))]
+        if let Some(state) = &self.mapped {
+            if !state.verified.load(Ordering::Acquire) {
+                return 0;
+            }
+        }
+        self.index_bytes()
+    }
+
+    /// How many deferred verification passes this engine has run (always
+    /// `0` for owned engines; a mapped engine runs one per first query
+    /// after a load or a [`Engine::discard_resident`]).
+    pub fn lazy_verifications(&self) -> u64 {
+        #[cfg(all(unix, target_pointer_width = "64", target_endian = "little"))]
+        {
+            self.mapped
+                .as_ref()
+                .map_or(0, |s| s.verifications.load(Ordering::Relaxed))
+        }
+        #[cfg(not(all(unix, target_pointer_width = "64", target_endian = "little")))]
+        {
+            0
+        }
+    }
+
+    /// Release the resident pages behind a mapped engine
+    /// (`MADV_DONTNEED`) and re-arm its lazy verification; the next query
+    /// transparently faults the (unchanged, read-only) file back in and
+    /// re-verifies it. No-op for owned engines — their index lives on the
+    /// heap and cannot be dropped without dropping the engine.
+    pub fn discard_resident(&self) {
+        #[cfg(all(unix, target_pointer_width = "64", target_endian = "little"))]
+        if let Some(state) = &self.mapped {
+            state.map.discard();
+            state.verified.store(false, Ordering::Release);
         }
     }
 
@@ -717,6 +901,7 @@ impl Engine {
     /// answer on the sliced sequence, with positions reported in absolute
     /// coordinates.
     pub fn mss_in(&self, range: Range<usize>) -> Result<MssResult> {
+        self.ensure_verified()?;
         let (l, r) = self.check_range(&range)?;
         let key = CacheKey::Mss { l, r };
         if let Some(Answer::Best(res)) = self.cache_get(&key) {
@@ -737,6 +922,7 @@ impl Engine {
 
     /// [`Engine::top_t`] restricted to `S[range)`.
     pub fn top_t_in(&self, range: Range<usize>, t: usize) -> Result<TopTResult> {
+        self.ensure_verified()?;
         let (l, r) = self.check_range(&range)?;
         let key = CacheKey::TopT { l, r, t };
         if let Some(Answer::Top(res)) = self.cache_get(&key) {
@@ -757,6 +943,7 @@ impl Engine {
 
     /// [`Engine::above_threshold`] restricted to `S[range)`.
     pub fn above_threshold_in(&self, range: Range<usize>, alpha: f64) -> Result<ThresholdResult> {
+        self.ensure_verified()?;
         let (l, r) = self.check_range(&range)?;
         let key = CacheKey::Threshold {
             l,
@@ -780,6 +967,7 @@ impl Engine {
         alpha: f64,
         visit: impl FnMut(Scored),
     ) -> Result<ScanStats> {
+        self.ensure_verified()?;
         let n = self.n();
         index_delegate!(&self.index, pc => {
             self.with_scratch(|s| threshold_scan(pc, &self.model, 0..n, alpha, visit, s))
@@ -796,6 +984,7 @@ impl Engine {
 
     /// [`Engine::mss_min_length`] restricted to `S[range)`.
     pub fn mss_min_length_in(&self, range: Range<usize>, gamma0: usize) -> Result<MssResult> {
+        self.ensure_verified()?;
         let (l, r) = self.check_range(&range)?;
         let key = CacheKey::MinLen { l, r, gamma0 };
         if let Some(Answer::Best(res)) = self.cache_get(&key) {
@@ -815,6 +1004,7 @@ impl Engine {
 
     /// [`Engine::mss_max_length`] restricted to `S[range)`.
     pub fn mss_max_length_in(&self, range: Range<usize>, w: usize) -> Result<MssResult> {
+        self.ensure_verified()?;
         let (l, r) = self.check_range(&range)?;
         let key = CacheKey::MaxLen { l, r, w };
         if let Some(Answer::Best(res)) = self.cache_get(&key) {
@@ -834,6 +1024,7 @@ impl Engine {
         if self.threads == 1 || self.n() < 2 {
             return self.mss();
         }
+        self.ensure_verified()?;
         Ok(
             index_delegate!(&self.index, pc => crate::parallel::mss_parallel_scan(
                 pc,
@@ -855,6 +1046,7 @@ impl Engine {
         if self.threads == 1 || self.n() < 2 {
             return self.top_t(t);
         }
+        self.ensure_verified()?;
         Ok(
             index_delegate!(&self.index, pc => crate::parallel::top_t_parallel_scan(
                 pc,
@@ -873,6 +1065,11 @@ impl Engine {
     /// layout. A later [`Engine::load_snapshot`] reconstructs an engine
     /// answering bit-identically without recomputing the index.
     pub fn write_snapshot<W: std::io::Write>(&self, writer: W) -> Result<()> {
+        // A mapped engine must pass its deferred validation before its
+        // sections are re-serialized — the writer recomputes checksums,
+        // which would otherwise launder a corrupted payload into a
+        // "valid" snapshot.
+        self.ensure_verified()?;
         crate::snapshot::write_snapshot(self, writer)
     }
 
@@ -891,6 +1088,21 @@ impl Engine {
     /// [`Engine::load_snapshot`] from a filesystem path.
     pub fn load_snapshot_path<P: AsRef<std::path::Path>>(path: P) -> Result<Engine> {
         crate::snapshot::load_snapshot_path(path)
+    }
+
+    /// Zero-copy deserialize: map the snapshot file and borrow the large
+    /// sections (symbols + count tables) straight from the mapping.
+    /// Load time is `O(header)` regardless of index size; payload
+    /// checksums and symbol validation run once on the **first query**
+    /// (which is also what faults the index in), so time-to-first-answer
+    /// on a cold cache beats the bulk-read loader's
+    /// read-convert-checksum pipeline. The file length is validated
+    /// against the section table before mapping, so a truncated snapshot
+    /// is rejected up front rather than faulting mid-query. Falls back
+    /// to [`Engine::load_snapshot_path`] on targets without the mmap
+    /// wrapper (non-unix, 32-bit, big-endian).
+    pub fn load_snapshot_mmap<P: AsRef<std::path::Path>>(path: P) -> Result<Engine> {
+        crate::snapshot::load_snapshot_mmap(path)
     }
 
     // -- Uniform dispatch --------------------------------------------------

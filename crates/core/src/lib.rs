@@ -46,6 +46,9 @@
 //!   answers, no per-position recomputation).
 //! * [`significance`] — family-wise (multiple-testing) corrections and
 //!   Monte-Carlo calibration of the null `X²_max`.
+//! * [`simd`] — runtime-dispatched SSE2/AVX2 kernels for the count
+//!   resync, skip-root solve and budget pre-filter (bit-identical to the
+//!   portable scalar fallbacks, which `SIGSTR_FORCE_SCALAR=1` selects).
 //!
 //! # Quick start
 //!
@@ -79,6 +82,8 @@ pub mod grid;
 pub mod markov;
 pub mod maxlen;
 pub mod minlen;
+#[cfg(all(unix, target_pointer_width = "64", target_endian = "little"))]
+mod mmap;
 pub mod model;
 pub mod mss;
 pub mod parallel;
@@ -86,6 +91,7 @@ mod scan;
 pub mod score;
 pub mod seq;
 pub mod significance;
+pub mod simd;
 pub mod skip;
 pub mod snapshot;
 pub mod streaming;

@@ -1,0 +1,170 @@
+//! Minimal read-only memory mapping (64-bit unix, no external crates).
+//!
+//! The zero-copy snapshot loader serves count tables straight out of the
+//! page cache: instead of bulk-reading every section into fresh heap
+//! buffers, the whole snapshot file is mapped once and the engine borrows
+//! typed slices from the mapping. Pages fault in on first touch, so a
+//! freshly "loaded" engine answers its first (range-restricted) query
+//! before the index is fully paged in.
+//!
+//! Safety perimeter:
+//!
+//! * the loader validates the real file length against the section table
+//!   **before** mapping — a truncated file is rejected up front, so no
+//!   in-bounds access of an established mapping can hit a hole and
+//!   `SIGBUS` (the file itself would have to be truncated *after* the
+//!   length check; the snapshot store treats written snapshots as
+//!   immutable);
+//! * the mapping is `PROT_READ` + `MAP_PRIVATE`: nothing can write
+//!   through it, and writers replacing a snapshot atomically (rename)
+//!   never mutate mapped pages;
+//! * typed views are only handed out for offsets the 64-byte section
+//!   alignment guarantees are aligned for the element type.
+
+use std::fs::File;
+use std::os::unix::io::AsRawFd;
+
+use crate::error::{Error, Result};
+
+// The three calls the wrapper needs, declared directly against the C ABI
+// (no libc crate). Gated to 64-bit unix targets where `off_t` is `i64`.
+extern "C" {
+    fn mmap(addr: *mut u8, len: usize, prot: i32, flags: i32, fd: i32, offset: i64) -> *mut u8;
+    fn munmap(addr: *mut u8, len: usize) -> i32;
+    fn madvise(addr: *mut u8, len: usize, advice: i32) -> i32;
+}
+
+/// `PROT_READ` — shared by linux and the BSDs (including macOS).
+const PROT_READ: i32 = 1;
+/// `MAP_PRIVATE` — shared by linux and the BSDs (including macOS).
+const MAP_PRIVATE: i32 = 2;
+/// `MADV_DONTNEED` — shared by linux and the BSDs (including macOS).
+const MADV_DONTNEED: i32 = 4;
+
+/// A whole-file read-only private mapping, unmapped on drop.
+///
+/// The wrapper owns the mapping for its whole lifetime; borrowers go
+/// through [`MmapFile::bytes`] / [`MmapFile::slice`], so the usual borrow
+/// rules keep every view inside the mapping's lifetime.
+#[derive(Debug)]
+pub(crate) struct MmapFile {
+    ptr: *mut u8,
+    len: usize,
+}
+
+// SAFETY: the mapping is immutable (PROT_READ) for its entire lifetime
+// and the kernel object is reference-independent of threads; sharing
+// read-only views across threads is sound.
+unsafe impl Send for MmapFile {}
+unsafe impl Sync for MmapFile {}
+
+impl MmapFile {
+    /// Map the first `len` bytes of `file` read-only. The caller has
+    /// already verified the file is at least `len` bytes long (the
+    /// anti-`SIGBUS` contract) and `len > 0`.
+    pub(crate) fn map(file: &File, len: usize) -> Result<Self> {
+        debug_assert!(len > 0);
+        // SAFETY: read-only private mapping of an open descriptor; the
+        // kernel validates the descriptor and keeps the file object alive
+        // for the mapping's lifetime independently of `file`.
+        let ptr = unsafe {
+            mmap(
+                std::ptr::null_mut(),
+                len,
+                PROT_READ,
+                MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as isize == -1 {
+            return Err(Error::Io {
+                op: "mmap snapshot",
+                details: std::io::Error::last_os_error().to_string(),
+            });
+        }
+        Ok(Self { ptr, len })
+    }
+
+    /// The whole mapping as a byte slice.
+    pub(crate) fn bytes(&self) -> &[u8] {
+        // SAFETY: `ptr` is a live mapping of exactly `len` readable bytes.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+
+    /// A typed view of `count` elements of `T` starting at byte `offset`.
+    /// `offset` must be aligned for `T` (section offsets are 64-byte
+    /// aligned by the snapshot format, and the mapping base is
+    /// page-aligned) and the view must lie inside the mapping.
+    pub(crate) fn slice<T: Copy>(&self, offset: usize, count: usize) -> &[T] {
+        assert!(
+            offset.is_multiple_of(std::mem::align_of::<T>()),
+            "unaligned view"
+        );
+        assert!(
+            count
+                .checked_mul(std::mem::size_of::<T>())
+                .and_then(|bytes| bytes.checked_add(offset))
+                .is_some_and(|end| end <= self.len),
+            "view out of bounds"
+        );
+        // SAFETY: bounds and alignment just checked; the mapping is live
+        // and immutable for `&self`'s lifetime; `T: Copy` here is always
+        // an integer type, for which every bit pattern is valid.
+        unsafe { std::slice::from_raw_parts(self.ptr.add(offset).cast::<T>(), count) }
+    }
+
+    /// Drop the resident pages behind the mapping (`MADV_DONTNEED`).
+    /// Purely an eviction hint: later accesses transparently fault the
+    /// pages back in from the (read-only, unchanged) file.
+    pub(crate) fn discard(&self) {
+        // SAFETY: advising over the exact live mapping; DONTNEED on a
+        // read-only private file mapping only drops clean page-cache
+        // references.
+        unsafe {
+            madvise(self.ptr, self.len, MADV_DONTNEED);
+        }
+    }
+}
+
+impl Drop for MmapFile {
+    fn drop(&mut self) {
+        // SAFETY: `ptr`/`len` describe exactly the mapping established in
+        // `map`; after this the struct is gone, so no view can outlive it
+        // (borrows tie views to `&self`).
+        unsafe {
+            munmap(self.ptr, self.len);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn maps_reads_and_slices() {
+        let dir = std::env::temp_dir().join(format!("sigstr-mmap-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("data.bin");
+        let mut payload = Vec::new();
+        for i in 0..64u32 {
+            payload.extend_from_slice(&i.to_le_bytes());
+        }
+        std::fs::File::create(&path)
+            .unwrap()
+            .write_all(&payload)
+            .unwrap();
+        let file = std::fs::File::open(&path).unwrap();
+        let map = MmapFile::map(&file, payload.len()).unwrap();
+        assert_eq!(map.bytes(), &payload[..]);
+        let words: &[u32] = map.slice(64, 8);
+        assert_eq!(words, &[16, 17, 18, 19, 20, 21, 22, 23]);
+        map.discard();
+        // Pages fault back in transparently after a discard.
+        assert_eq!(map.bytes()[0], 0);
+        drop(map);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

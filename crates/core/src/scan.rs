@@ -40,7 +40,7 @@
 use crate::counts::CountSource;
 use crate::model::Model;
 use crate::score::{chi_square_counts, chi_square_counts_with_len, weighted_square_sum, Scored};
-use crate::skip::{skip_from_ws, SkipTables};
+use crate::skip::{skip_from_ws, skip_from_ws_fixed, SkipTables};
 
 /// Instrumentation of a scan.
 ///
@@ -104,12 +104,30 @@ pub(crate) fn scan_policy<C: CountSource, P: Policy>(
 ) -> ScanStats {
     debug_assert!(min_len >= 1 && min_len <= window);
     debug_assert!(limit <= pc.n());
-    match model.k() {
-        2 => scan_starts_fixed::<2, C, P>(pc, model, min_len, window, limit, starts, policy),
-        4 => scan_starts_fixed::<4, C, P>(pc, model, min_len, window, limit, starts, policy),
+    // Dispatch once per scan call: `SIMD = true` threads the packed-root
+    // skip solver and the four-candidate survivor-mask lookahead through
+    // the specialized kernels. Both backends are bit-identical (see
+    // `simd`), so the branch only picks an instruction mix.
+    let simd = crate::simd::active();
+    match (model.k(), simd) {
+        (2, true) => {
+            scan_starts_fixed::<2, true, C, P>(pc, model, min_len, window, limit, starts, policy)
+        }
+        (2, false) => {
+            scan_starts_fixed::<2, false, C, P>(pc, model, min_len, window, limit, starts, policy)
+        }
+        (4, true) => {
+            scan_starts_fixed::<4, true, C, P>(pc, model, min_len, window, limit, starts, policy)
+        }
+        (4, false) => {
+            scan_starts_fixed::<4, false, C, P>(pc, model, min_len, window, limit, starts, policy)
+        }
         _ => scan_starts_dyn(pc, model, min_len, window, limit, starts, policy, scratch),
     }
 }
+
+/// Number of candidate ends the SIMD lookahead pre-evaluates per batch.
+const LOOKAHEAD: usize = 4;
 
 /// One start position's in-flight scan state inside the specialized
 /// kernel.
@@ -118,6 +136,14 @@ struct Lane<const K: usize> {
     end: usize,
     window_end: usize,
     counts: [u32; K],
+    /// SIMD lookahead memo: how many upcoming candidate ends are
+    /// pre-confirmed to fail the budget pre-filter and admit no skip
+    /// (always 0 on the scalar path).
+    pending: u8,
+    /// Exact budget bits the pending verdicts were computed under; the
+    /// memo is discarded if the policy's budget has moved since, which
+    /// makes the batched stream provably identical to the unbatched one.
+    pending_budget: f64,
 }
 
 /// Pull the next start off the iterator and initialize its lane.
@@ -143,6 +169,8 @@ fn next_lane<const K: usize, C: CountSource>(
             end,
             window_end,
             counts,
+            pending: 0,
+            pending_budget: 0.0,
         });
     }
     None
@@ -150,9 +178,17 @@ fn next_lane<const K: usize, C: CountSource>(
 
 /// Advance one lane by one examined substring. Returns `false` when the
 /// lane's scan is finished.
+///
+/// On the SIMD path the step first consumes the lookahead memo: a
+/// candidate pre-confirmed (under the *current* budget bits — stale memos
+/// are discarded) to fail the budget pre-filter and admit no skip is
+/// committed with a one-symbol count bump and no floating-point work at
+/// all. The memo is exactly the verdict the scalar body below would reach
+/// for that candidate, so consuming it leaves the examined/observed/skip
+/// stream bit-identical to the unbatched scan.
 #[inline(always)]
 #[allow(clippy::too_many_arguments)]
-fn lane_step<const K: usize, C: CountSource, P: Policy>(
+fn lane_step<const K: usize, const SIMD: bool, C: CountSource, P: Policy>(
     lane: &mut Lane<K>,
     pc: &C,
     symbols: &[u8],
@@ -161,6 +197,17 @@ fn lane_step<const K: usize, C: CountSource, P: Policy>(
     policy: &mut P,
     stats: &mut ScanStats,
 ) -> bool {
+    if SIMD && lane.pending > 0 {
+        if policy.budget().to_bits() == lane.pending_budget.to_bits() {
+            lane.pending -= 1;
+            stats.examined += 1;
+            lane.counts[symbols[lane.end] as usize] += 1;
+            lane.end += 1;
+            debug_assert!(lane.end <= lane.window_end);
+            return true;
+        }
+        lane.pending = 0;
+    }
     let l = lane.end - lane.start;
     let lf = l as f64;
     // Weighted square sum Σ Y²/p in the canonical fixed order; the
@@ -182,7 +229,28 @@ fn lane_step<const K: usize, C: CountSource, P: Policy>(
         });
         budget = policy.budget();
     }
-    let skip = skip_from_ws(&lane.counts, lf, ws, budget, tables).min(lane.window_end - lane.end);
+    let raw = skip_from_ws_fixed::<K, SIMD>(&lane.counts, lf, ws, budget, tables);
+    advance_lane::<K, SIMD, C>(lane, raw, pc, symbols, inv_p, tables, budget, stats)
+}
+
+/// Commit one solved skip to a lane: clamp to the window, record the skip
+/// stats, bump or resync the count vector, and (on the SIMD path) arm the
+/// lookahead memo on dense stretches. Shared verbatim by [`lane_step`] and
+/// the packed group round, so both entry points leave an identical stream. Returns
+/// `false` when the lane's scan is finished.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn advance_lane<const K: usize, const SIMD: bool, C: CountSource>(
+    lane: &mut Lane<K>,
+    raw: usize,
+    pc: &C,
+    symbols: &[u8],
+    inv_p: &[f64; K],
+    tables: &SkipTables<'_>,
+    budget: f64,
+    stats: &mut ScanStats,
+) -> bool {
+    let skip = raw.min(lane.window_end - lane.end);
     if skip > 0 {
         stats.skips += 1;
         stats.skipped += skip as u64;
@@ -201,20 +269,62 @@ fn lane_step<const K: usize, C: CountSource, P: Policy>(
         pc.accumulate_counts(lane.end, next, &mut lane.counts);
     }
     lane.end = next;
+    // Dense stretch (no skip possible, positive finite budget): evaluate
+    // the next four candidate ends in f64 lanes and memoize how many of
+    // them provably fail the pre-filter and admit no skip.
+    if SIMD
+        && skip == 0
+        && budget > 0.0
+        && budget.is_finite()
+        && lane.end + LOOKAHEAD <= lane.window_end
+    {
+        let next3 = [
+            symbols[lane.end],
+            symbols[lane.end + 1],
+            symbols[lane.end + 2],
+        ];
+        lane.pending = crate::simd::lookahead4::<K>(
+            &lane.counts,
+            &next3,
+            lane.end - lane.start,
+            budget,
+            tables.p,
+            inv_p,
+            tables.four_pa,
+            tables.half_inv_a,
+        ) as u8;
+        lane.pending_budget = budget;
+    }
     true
 }
+
+/// Number of start positions scanned in interleaved *lanes* by the
+/// specialized kernel (shared with the packed group examine — see
+/// [`crate::simd::GROUP_LANES`]). The per-step dependency chain
+/// (count load → score → skip solve → next count load) is latency-bound,
+/// so running this many independent chains in one loop keeps the core's
+/// out-of-order window full. Budgets only ever grow, so any interleaving
+/// of observations is as safe as the sequential order, and the best result
+/// is independent of the interleave (the scoring order is total).
+const LANES: usize = crate::simd::GROUP_LANES;
 
 /// Alphabet-specialized kernel: `K` is a compile-time constant, so the
 /// count vector and the model tables are fixed-size stack arrays and every
 /// per-character loop unrolls to a straight-line sequence.
 ///
-/// Two start positions are scanned in interleaved *lanes*: the per-step
-/// dependency chain (count load → score → skip solve → next count load)
-/// is latency-bound, so pairing two independent chains in one loop lets
-/// the core overlap their square roots and cache misses. Budgets only
-/// ever grow, so any interleaving of observations is as safe as the
-/// sequential order.
-fn scan_starts_fixed<const K: usize, C: CountSource, P: Policy>(
+/// The canonical stream visits the [`LANES`] lane slots round-robin; an
+/// empty slot pulls the next start position right before its visit. Both
+/// dispatch modes implement exactly this order, so their candidate streams
+/// — and therefore every answer and every statistic — are identical.
+///
+/// `SIMD` selects the vector backend for the skip-root solve, arms the
+/// lookahead memo (see [`lane_step`]), and — for `K = 2` on AVX2 —
+/// dispatches whole rounds to the packed group examine whenever no lane
+/// holds a memo and none can observe (every lane failing the budget
+/// pre-filter pins the shared budget, making the round order-free). Both
+/// values of the flag produce bit-identical results, pinned by the
+/// `kernel_equivalence` suite.
+fn scan_starts_fixed<const K: usize, const SIMD: bool, C: CountSource, P: Policy>(
     pc: &C,
     model: &Model,
     min_len: usize,
@@ -244,29 +354,62 @@ fn scan_starts_fixed<const K: usize, C: CountSource, P: Policy>(
     };
     let mut stats = ScanStats::default();
     let mut starts = starts;
-    let mut lane_a = next_lane::<K, C>(pc, min_len, window, limit, &mut starts);
-    let mut lane_b = next_lane::<K, C>(pc, min_len, window, limit, &mut starts);
+    let mut lanes: [Option<Lane<K>>; LANES] = std::array::from_fn(|_| None);
+    // The packed group examine needs exact i32 → f64 count converts.
+    let group_ok = SIMD && K == 2 && crate::simd::group2_available() && pc.n() < (1 << 31);
     loop {
-        match (&mut lane_a, &mut lane_b) {
-            (Some(a), Some(b)) => {
-                let live_a = lane_step(a, pc, symbols, &inv_p, &tables, policy, &mut stats);
-                let live_b = lane_step(b, pc, symbols, &inv_p, &tables, policy, &mut stats);
-                if !live_a {
-                    lane_a = next_lane::<K, C>(pc, min_len, window, limit, &mut starts);
+        // Refill phase: empty slots pull the next start, in slot order.
+        let mut any_live = false;
+        for slot in lanes.iter_mut() {
+            if slot.is_none() {
+                *slot = next_lane::<K, C>(pc, min_len, window, limit, &mut starts);
+            }
+            any_live |= slot.is_some();
+        }
+        if !any_live {
+            break;
+        }
+        // Group fast path: every lane live with no lookahead memo, and —
+        // checked inside the packed examine — every lane failing the
+        // budget pre-filter. No lane observes, so the budget is pinned for
+        // the whole round and the packed round is bit-identical to the
+        // sequential one below.
+        if group_ok
+            && lanes
+                .iter()
+                .all(|slot| slot.as_ref().is_some_and(|l| l.pending == 0))
+        {
+            let budget = policy.budget();
+            if budget > 0.0 && budget.is_finite() {
+                let mut cnts = [[0u32; 2]; LANES];
+                let mut lfs = [0.0f64; LANES];
+                for (i, slot) in lanes.iter().enumerate() {
+                    let l = slot.as_ref().unwrap();
+                    cnts[i] = [l.counts[0], l.counts[1]];
+                    lfs[i] = (l.end - l.start) as f64;
                 }
-                if !live_b {
-                    lane_b = next_lane::<K, C>(pc, min_len, window, limit, &mut starts);
+                if let Some(skips) = crate::simd::group_examine2(&cnts, &lfs, budget, &tables) {
+                    stats.examined += LANES as u64;
+                    for (i, slot) in lanes.iter_mut().enumerate() {
+                        let l = slot.as_mut().unwrap();
+                        if !advance_lane::<K, SIMD, C>(
+                            l, skips[i], pc, symbols, &inv_p, &tables, budget, &mut stats,
+                        ) {
+                            *slot = None;
+                        }
+                    }
+                    continue;
                 }
             }
-            (Some(a), None) => {
-                while lane_step(a, pc, symbols, &inv_p, &tables, policy, &mut stats) {}
-                lane_a = None;
+        }
+        // Sequential round: step each live lane in slot order.
+        for slot in lanes.iter_mut() {
+            if let Some(l) = slot {
+                if !lane_step::<K, SIMD, C, P>(l, pc, symbols, &inv_p, &tables, policy, &mut stats)
+                {
+                    *slot = None;
+                }
             }
-            (None, Some(b)) => {
-                while lane_step(b, pc, symbols, &inv_p, &tables, policy, &mut stats) {}
-                lane_b = None;
-            }
-            (None, None) => break,
         }
     }
     stats
@@ -646,6 +789,78 @@ mod tests {
             assert_eq!(observed, expected, "window {window}");
             assert_eq!(stats.examined, expected, "window {window}");
         }
+    }
+
+    /// The SIMD and scalar instantiations of the specialized kernels must
+    /// produce the same best substring (positions included) *and* the
+    /// same scan stats — the lookahead memo is a pure memoization of the
+    /// scalar stream (broader k/layout/offset coverage lives in
+    /// `kernel_equivalence`).
+    #[test]
+    fn simd_and_scalar_fixed_kernels_are_bit_identical() {
+        let symbols2: Vec<u8> = (0..800u32)
+            .map(|i| (((i * 13 + i / 7) ^ (i >> 3)) % 2) as u8)
+            .collect();
+        let seq = Sequence::from_symbols(symbols2, 2).unwrap();
+        let pc = PrefixCounts::build(&seq);
+        let model = Model::from_probs(vec![0.35, 0.65]).unwrap();
+        let n = seq.len();
+        let mut simd = MaxPolicy::default();
+        let s_simd = scan_starts_fixed::<2, true, _, _>(
+            &pc,
+            &model,
+            1,
+            usize::MAX,
+            n,
+            (0..n).rev(),
+            &mut simd,
+        );
+        let mut scalar = MaxPolicy::default();
+        let s_scalar = scan_starts_fixed::<2, false, _, _>(
+            &pc,
+            &model,
+            1,
+            usize::MAX,
+            n,
+            (0..n).rev(),
+            &mut scalar,
+        );
+        assert_eq!(s_simd, s_scalar, "stats must match");
+        let (a, b) = (simd.best.unwrap(), scalar.best.unwrap());
+        assert_eq!((a.start, a.end), (b.start, b.end));
+        assert_eq!(a.chi_square.to_bits(), b.chi_square.to_bits());
+
+        let symbols4: Vec<u8> = (0..900u32)
+            .map(|i| (((i * 7) ^ (i >> 2)) % 4) as u8)
+            .collect();
+        let seq4 = Sequence::from_symbols(symbols4, 4).unwrap();
+        let pc4 = PrefixCounts::build(&seq4);
+        let model4 = Model::from_probs(vec![0.1, 0.2, 0.3, 0.4]).unwrap();
+        let n4 = seq4.len();
+        let mut simd4 = MaxPolicy::default();
+        let s_simd4 = scan_starts_fixed::<4, true, _, _>(
+            &pc4,
+            &model4,
+            1,
+            usize::MAX,
+            n4,
+            (0..n4).rev(),
+            &mut simd4,
+        );
+        let mut scalar4 = MaxPolicy::default();
+        let s_scalar4 = scan_starts_fixed::<4, false, _, _>(
+            &pc4,
+            &model4,
+            1,
+            usize::MAX,
+            n4,
+            (0..n4).rev(),
+            &mut scalar4,
+        );
+        assert_eq!(s_simd4, s_scalar4, "k=4 stats must match");
+        let (a4, b4) = (simd4.best.unwrap(), scalar4.best.unwrap());
+        assert_eq!((a4.start, a4.end), (b4.start, b4.end));
+        assert_eq!(a4.chi_square.to_bits(), b4.chi_square.to_bits());
     }
 
     /// The three kernels and the reference engine agree on the examined

@@ -1,0 +1,873 @@
+//! Runtime-dispatched SIMD kernels for the scan hot paths.
+//!
+//! Two element-wise loops dominate the pruned scan (see `DESIGN.md` §12):
+//! the post-skip prefix-count resync (`counts.rs`) and the per-candidate
+//! skip-root solve plus budget pre-filter (`skip.rs` / `scan.rs`). Both
+//! vectorize without changing a single reported bit:
+//!
+//! * **Integer resync** — the flat-table diff (`buf[c] += to[c] − from[c]`)
+//!   and the blocked-table widening sweep (`u8`/`u16` delta rows widened to
+//!   `u32` lanes) are exact wrapping integer arithmetic, so any lane order
+//!   gives the same result.
+//! * **Skip roots** — the `K` upper roots of one candidate need one
+//!   `sqrtpd` instead of `K` scalar square roots. IEEE-754 requires
+//!   correctly-rounded vector `sqrt`/`mul`/`add`/`sub`, so each lane is
+//!   bit-identical to the scalar computation, and the root minimum is
+//!   folded in the exact scalar order.
+//! * **Survivor-mask pre-filter** — [`lookahead4`] evaluates the
+//!   deferred-division chi-square bound and the skip lower bound for four
+//!   candidate ends at once (one candidate per `f64` lane). Candidates
+//!   that provably fail the bound *and* admit no skip are pre-confirmed;
+//!   the scalar `lane_step` path consumes them with a one-symbol count
+//!   bump and scores the first survivor exactly. The pre-confirmation is
+//!   only consumed while the pruning budget is bit-unchanged, so the
+//!   candidate stream (scores, skips, stats) is provably identical to the
+//!   unbatched scalar scan.
+//!
+//! # Dispatch
+//!
+//! The level is detected once ([`is_x86_feature_detected!`]) and cached:
+//! `Sse2` is the `x86_64` baseline, `Avx2` upgrades the 8-wide integer
+//! kernels, and every other architecture (or the
+//! [`SIGSTR_FORCE_SCALAR`](FORCE_SCALAR_ENV) override /
+//! [`set_force_scalar`]) runs the portable scalar fallbacks. Because every
+//! kernel is bit-exact, the dispatch never changes an answer — only the
+//! instruction count.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+#[cfg(target_arch = "x86_64")]
+use std::arch::x86_64::*;
+
+/// Environment variable that forces the portable scalar fallbacks when set
+/// to anything other than `0` or the empty string (checked once, at first
+/// dispatch; [`set_force_scalar`] re-reads it).
+pub const FORCE_SCALAR_ENV: &str = "SIGSTR_FORCE_SCALAR";
+
+/// The vector instruction tier the kernels run at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimdLevel {
+    /// Portable scalar fallbacks (non-`x86_64` targets, or forced).
+    Scalar,
+    /// 16-byte integer/`f64` kernels (the `x86_64` baseline).
+    Sse2,
+    /// 32-byte integer kernels (runtime-detected).
+    Avx2,
+}
+
+impl SimdLevel {
+    /// Canonical lower-case name (for logs, `/metrics` and `index info`).
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdLevel::Scalar => "scalar",
+            SimdLevel::Sse2 => "sse2",
+            SimdLevel::Avx2 => "avx2",
+        }
+    }
+}
+
+/// Cached dispatch level: 0 = undetected, else `SimdLevel as u8 + 1`.
+static LEVEL: AtomicU8 = AtomicU8::new(0);
+/// Programmatic override: 0 = follow the environment, 1 = forced scalar,
+/// 2 = forced auto-detect (ignore the environment).
+static FORCE: AtomicU8 = AtomicU8::new(0);
+
+fn detect() -> SimdLevel {
+    let forced_scalar = match FORCE.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => match std::env::var(FORCE_SCALAR_ENV) {
+            Ok(v) => !v.is_empty() && v != "0",
+            Err(_) => false,
+        },
+    };
+    if forced_scalar {
+        return SimdLevel::Scalar;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        if is_x86_feature_detected!("avx2") {
+            SimdLevel::Avx2
+        } else {
+            SimdLevel::Sse2
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    SimdLevel::Scalar
+}
+
+/// The active dispatch level (detected once, then a relaxed atomic load).
+#[inline]
+pub fn level() -> SimdLevel {
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => {
+            let detected = detect();
+            LEVEL.store(detected as u8 + 1, Ordering::Relaxed);
+            detected
+        }
+        1 => SimdLevel::Scalar,
+        2 => SimdLevel::Sse2,
+        _ => SimdLevel::Avx2,
+    }
+}
+
+/// Whether the vectorized kernels are active (anything above scalar).
+#[inline]
+pub fn active() -> bool {
+    level() != SimdLevel::Scalar
+}
+
+/// Force (or un-force) the portable scalar fallbacks programmatically —
+/// the test/bench hook behind the `--no-simd` CLI flag and the
+/// SIMD-vs-scalar equivalence suites. Overrides the environment variable
+/// and invalidates the cached detection.
+///
+/// Concurrent scans observe the switch at their next dispatch; because
+/// every kernel is bit-exact, a scan that raced the switch still returns
+/// the same answer.
+pub fn set_force_scalar(force: bool) {
+    FORCE.store(if force { 1 } else { 2 }, Ordering::Relaxed);
+    LEVEL.store(0, Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Integer resync kernels (exact: wrapping u32 arithmetic, order-free).
+// ---------------------------------------------------------------------------
+
+/// `buf[c] += to[c] − from[c]` over three equal-length rows — the flat
+/// prefix-table resync. Exact in any lane order.
+#[inline]
+pub(crate) fn accumulate_diff_u32(buf: &mut [u32], to: &[u32], from: &[u32]) {
+    debug_assert!(buf.len() == to.len() && buf.len() == from.len());
+    #[cfg(target_arch = "x86_64")]
+    if level() != SimdLevel::Scalar {
+        // SAFETY: lengths checked above; loads/stores are unaligned-safe.
+        unsafe { accumulate_diff_u32_sse2(buf, to, from) };
+        return;
+    }
+    for ((slot, &hi), &lo) in buf.iter_mut().zip(to).zip(from) {
+        *slot = slot.wrapping_add(hi.wrapping_sub(lo));
+    }
+}
+
+/// `buf[c] = to[c] − from[c]` — the flat prefix-table fill.
+#[inline]
+pub(crate) fn fill_diff_u32(buf: &mut [u32], to: &[u32], from: &[u32]) {
+    debug_assert!(buf.len() == to.len() && buf.len() == from.len());
+    #[cfg(target_arch = "x86_64")]
+    if level() != SimdLevel::Scalar {
+        // SAFETY: lengths checked above; loads/stores are unaligned-safe.
+        unsafe { fill_diff_u32_sse2(buf, to, from) };
+        return;
+    }
+    for ((slot, &hi), &lo) in buf.iter_mut().zip(to).zip(from) {
+        *slot = hi.wrapping_sub(lo);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+unsafe fn accumulate_diff_u32_sse2(buf: &mut [u32], to: &[u32], from: &[u32]) {
+    let len = buf.len();
+    let mut i = 0;
+    while i + 4 <= len {
+        let hi = _mm_loadu_si128(to.as_ptr().add(i).cast());
+        let lo = _mm_loadu_si128(from.as_ptr().add(i).cast());
+        let b = _mm_loadu_si128(buf.as_ptr().add(i).cast());
+        let r = _mm_add_epi32(b, _mm_sub_epi32(hi, lo));
+        _mm_storeu_si128(buf.as_mut_ptr().add(i).cast(), r);
+        i += 4;
+    }
+    while i < len {
+        buf[i] = buf[i].wrapping_add(to.get_unchecked(i).wrapping_sub(*from.get_unchecked(i)));
+        i += 1;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+unsafe fn fill_diff_u32_sse2(buf: &mut [u32], to: &[u32], from: &[u32]) {
+    let len = buf.len();
+    let mut i = 0;
+    while i + 4 <= len {
+        let hi = _mm_loadu_si128(to.as_ptr().add(i).cast());
+        let lo = _mm_loadu_si128(from.as_ptr().add(i).cast());
+        _mm_storeu_si128(buf.as_mut_ptr().add(i).cast(), _mm_sub_epi32(hi, lo));
+        i += 4;
+    }
+    while i < len {
+        buf[i] = to.get_unchecked(i).wrapping_sub(*from.get_unchecked(i));
+        i += 1;
+    }
+}
+
+/// The blocked-table stored-column resync:
+/// `buf[c] += (sup_e[c] + row_e[c]) − (sup_s[c] + row_s[c])` over the
+/// `stored_k` packed delta columns, widening the `u8`/`u16` rows to `u32`
+/// lanes. Returns the two row sums the caller needs to derive the last
+/// (unstored) column. Exact wrapping arithmetic in any order.
+#[inline]
+pub(crate) fn blocked_stored_diff<T: Copy + Into<u32> + WidenRow>(
+    buf: &mut [u32],
+    sup_s: &[u32],
+    sup_e: &[u32],
+    row_s: &[T],
+    row_e: &[T],
+) -> (u32, u32) {
+    let stored_k = buf.len().min(row_s.len());
+    #[cfg(target_arch = "x86_64")]
+    if level() == SimdLevel::Avx2 && stored_k >= 8 {
+        // SAFETY: AVX2 presence just checked; slice lengths checked by the
+        // caller (`accumulate_impl` slices exact rows).
+        return unsafe { T::stored_diff_avx2(buf, sup_s, sup_e, row_s, row_e) };
+    }
+    let mut sum_s = 0u32;
+    let mut sum_e = 0u32;
+    for c in 0..stored_k {
+        let ds: u32 = row_s[c].into();
+        let de: u32 = row_e[c].into();
+        sum_s = sum_s.wrapping_add(ds);
+        sum_e = sum_e.wrapping_add(de);
+        buf[c] = buf[c]
+            .wrapping_add((sup_e[c].wrapping_add(de)).wrapping_sub(sup_s[c].wrapping_add(ds)));
+    }
+    (sum_s, sum_e)
+}
+
+/// Width-specific AVX2 widening for [`blocked_stored_diff`].
+pub(crate) trait WidenRow: Sized {
+    /// The AVX2 widening sweep — `unsafe` because it requires AVX2.
+    ///
+    /// # Safety
+    /// AVX2 must be available and all slices must hold at least
+    /// `buf.len()` elements.
+    unsafe fn stored_diff_avx2(
+        buf: &mut [u32],
+        sup_s: &[u32],
+        sup_e: &[u32],
+        row_s: &[Self],
+        row_e: &[Self],
+    ) -> (u32, u32);
+}
+
+impl WidenRow for u8 {
+    #[cfg(target_arch = "x86_64")]
+    unsafe fn stored_diff_avx2(
+        buf: &mut [u32],
+        sup_s: &[u32],
+        sup_e: &[u32],
+        row_s: &[u8],
+        row_e: &[u8],
+    ) -> (u32, u32) {
+        stored_diff_avx2_impl(buf, sup_s, sup_e, row_s, row_e, |p| {
+            _mm256_cvtepu8_epi32(_mm_loadl_epi64(p.cast()))
+        })
+    }
+
+    #[cfg(not(target_arch = "x86_64"))]
+    unsafe fn stored_diff_avx2(
+        _: &mut [u32],
+        _: &[u32],
+        _: &[u32],
+        _: &[u8],
+        _: &[u8],
+    ) -> (u32, u32) {
+        unreachable!("AVX2 path is only dispatched on x86_64")
+    }
+}
+
+impl WidenRow for u16 {
+    #[cfg(target_arch = "x86_64")]
+    unsafe fn stored_diff_avx2(
+        buf: &mut [u32],
+        sup_s: &[u32],
+        sup_e: &[u32],
+        row_s: &[u16],
+        row_e: &[u16],
+    ) -> (u32, u32) {
+        stored_diff_avx2_impl(buf, sup_s, sup_e, row_s, row_e, |p| {
+            _mm256_cvtepu16_epi32(_mm_loadu_si128(p.cast()))
+        })
+    }
+
+    #[cfg(not(target_arch = "x86_64"))]
+    unsafe fn stored_diff_avx2(
+        _: &mut [u32],
+        _: &[u32],
+        _: &[u32],
+        _: &[u16],
+        _: &[u16],
+    ) -> (u32, u32) {
+        unreachable!("AVX2 path is only dispatched on x86_64")
+    }
+}
+
+/// Shared AVX2 body: 8 columns per iteration, widened by `load8` (which
+/// may read up to 16 bytes past the given pointer — safe here because the
+/// loop only runs with at least 8 elements remaining and the vectors'
+/// upper garbage is discarded by the cvtepu widening of the low lanes).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn stored_diff_avx2_impl<T>(
+    buf: &mut [u32],
+    sup_s: &[u32],
+    sup_e: &[u32],
+    row_s: &[T],
+    row_e: &[T],
+    load8: impl Fn(*const T) -> __m256i,
+) -> (u32, u32)
+where
+    T: Copy + Into<u32>,
+{
+    let stored_k = buf.len();
+    let mut sum_s_v = _mm256_setzero_si256();
+    let mut sum_e_v = _mm256_setzero_si256();
+    let mut i = 0;
+    while i + 8 <= stored_k {
+        let ds = load8(row_s.as_ptr().add(i));
+        let de = load8(row_e.as_ptr().add(i));
+        sum_s_v = _mm256_add_epi32(sum_s_v, ds);
+        sum_e_v = _mm256_add_epi32(sum_e_v, de);
+        let ss = _mm256_loadu_si256(sup_s.as_ptr().add(i).cast());
+        let se = _mm256_loadu_si256(sup_e.as_ptr().add(i).cast());
+        let b = _mm256_loadu_si256(buf.as_ptr().add(i).cast());
+        let diff = _mm256_sub_epi32(_mm256_add_epi32(se, de), _mm256_add_epi32(ss, ds));
+        _mm256_storeu_si256(buf.as_mut_ptr().add(i).cast(), _mm256_add_epi32(b, diff));
+        i += 8;
+    }
+    let mut sums = [0u32; 8];
+    let mut sume = [0u32; 8];
+    _mm256_storeu_si256(sums.as_mut_ptr().cast(), sum_s_v);
+    _mm256_storeu_si256(sume.as_mut_ptr().cast(), sum_e_v);
+    let mut sum_s = sums.iter().fold(0u32, |a, &x| a.wrapping_add(x));
+    let mut sum_e = sume.iter().fold(0u32, |a, &x| a.wrapping_add(x));
+    while i < stored_k {
+        let ds: u32 = row_s[i].into();
+        let de: u32 = row_e[i].into();
+        sum_s = sum_s.wrapping_add(ds);
+        sum_e = sum_e.wrapping_add(de);
+        buf[i] = buf[i]
+            .wrapping_add((sup_e[i].wrapping_add(de)).wrapping_sub(sup_s[i].wrapping_add(ds)));
+        i += 1;
+    }
+    (sum_s, sum_e)
+}
+
+// ---------------------------------------------------------------------------
+// f64 kernels (exact: IEEE-754 vector sqrt/mul/add/sub are correctly
+// rounded per lane, so each lane is bit-identical to the scalar op).
+// ---------------------------------------------------------------------------
+
+/// Square roots of two lanes — one `sqrtpd` on `x86_64`.
+#[inline(always)]
+pub(crate) fn sqrt2(x: [f64; 2]) -> [f64; 2] {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: SSE2 is part of the x86_64 baseline.
+    unsafe {
+        let v = _mm_sqrt_pd(_mm_loadu_pd(x.as_ptr()));
+        let mut out = [0.0f64; 2];
+        _mm_storeu_pd(out.as_mut_ptr(), v);
+        out
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    [x[0].sqrt(), x[1].sqrt()]
+}
+
+/// Square roots of four lanes — two `sqrtpd` on `x86_64`.
+#[inline(always)]
+pub(crate) fn sqrt4(x: [f64; 4]) -> [f64; 4] {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: SSE2 is part of the x86_64 baseline.
+    unsafe {
+        let lo = _mm_sqrt_pd(_mm_loadu_pd(x.as_ptr()));
+        let hi = _mm_sqrt_pd(_mm_loadu_pd(x.as_ptr().add(2)));
+        let mut out = [0.0f64; 4];
+        _mm_storeu_pd(out.as_mut_ptr(), lo);
+        _mm_storeu_pd(out.as_mut_ptr().add(2), hi);
+        out
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    [x[0].sqrt(), x[1].sqrt(), x[2].sqrt(), x[3].sqrt()]
+}
+
+/// The minimum upper root `min_m r2_m` of one candidate's `K` skip
+/// quadratics, vectorized across the characters:
+/// `r2_m = (√(b_m² − four_pa_m·u) − b_m)·half_inv_a_m` with
+/// `b_m = 2·Y_m − p_m·t`. The caller guarantees `u ≤ 0` (so every
+/// discriminant is non-negative) and slices of length ≥ `K`.
+///
+/// Bit-identical to the scalar `skip_below_budget_branchless` fold: every
+/// lane op is correctly rounded, and the final minimum is folded in the
+/// same index-ascending order over values that are never `NaN` and never
+/// `−0.0`.
+#[inline(always)]
+pub(crate) fn roots_hi_fixed<const K: usize>(
+    counts: &[u32; K],
+    t: f64,
+    u: f64,
+    p: &[f64],
+    four_pa: &[f64],
+    half_inv_a: &[f64],
+) -> f64 {
+    debug_assert!(p.len() >= K && four_pa.len() >= K && half_inv_a.len() >= K);
+    let mut y = [0.0f64; K];
+    for m in 0..K {
+        y[m] = f64::from(counts[m]);
+    }
+    let mut disc = [0.0f64; K];
+    let mut b = [0.0f64; K];
+    for m in 0..K {
+        b[m] = 2.0 * y[m] - p[m] * t;
+        disc[m] = b[m] * b[m] - four_pa[m] * u;
+    }
+    let sq: [f64; K] = match K {
+        2 => {
+            let s = sqrt2([disc[0], disc[1]]);
+            let mut out = [0.0f64; K];
+            out[0] = s[0];
+            out[1] = s[1];
+            out
+        }
+        4 => {
+            let s = sqrt4([disc[0], disc[1], disc[2], disc[3]]);
+            let mut out = [0.0f64; K];
+            out[..4].copy_from_slice(&s);
+            out
+        }
+        _ => {
+            let mut out = [0.0f64; K];
+            for m in 0..K {
+                out[m] = disc[m].sqrt();
+            }
+            out
+        }
+    };
+    let mut hi = f64::INFINITY;
+    for m in 0..K {
+        hi = hi.min((sq[m] - b[m]) * half_inv_a[m]);
+    }
+    hi
+}
+
+// ---------------------------------------------------------------------------
+// Group examine: all interleaved scan lanes solved in one packed pass.
+// ---------------------------------------------------------------------------
+
+/// Number of interleaved scan lanes driven by the specialized kernels and
+/// by the packed group examine. The scalar and SIMD instantiations share
+/// this width, so the candidate stream — and therefore every answer and
+/// every statistic — is identical under both dispatch modes.
+///
+/// Twelve lanes keep enough independent solve chains in flight to cover the
+/// `sqrt → floor → resync` latency of each one; for `K = 2` the group
+/// examine packs all twelve into six 4-wide `f64` vectors (two lanes per
+/// vector).
+pub(crate) const GROUP_LANES: usize = 12;
+
+/// Whether the fully-packed `K = 2` group examine ([`group_examine2`]) is
+/// available at the current dispatch level.
+#[inline]
+pub(crate) fn group2_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        level() == SimdLevel::Avx2
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    false
+}
+
+/// Fully-packed examine step for **all [`GROUP_LANES`] interleaved `K = 2`
+/// scan lanes**: weighted square sums, budget pre-filter, skip-root solve
+/// and first verification pass, in four 4-wide `f64` vectors (two scan
+/// lanes per vector, `[a₀, a₁, b₀, b₁]`, character per slot).
+///
+/// Returns `None` when any lane passes the pre-filter — that lane must
+/// observe, which can move the budget between steps, so the caller replays
+/// the whole round sequentially (recomputing the same sums). Otherwise no
+/// lane observes, the budget is pinned for the round, and the returned
+/// skips are bit-identical to [`GROUP_LANES`] sequential scalar steps:
+///
+/// * counts convert exactly (`vcvtdq2pd`; the caller guarantees they fit
+///   in an `i32`), and the packed square-sum (`haddpd`) folds the two
+///   `y²/p` terms of each lane in one addition — IEEE addition is
+///   commutative, so the bits match the scalar left-to-right fold;
+/// * pre-filter, `u`, `t` and `tol` use the scalar op sequence per lane
+///   (`budget.abs()` is the identity here — the caller guarantees a
+///   positive finite budget);
+/// * the solve chain per lane — `b = 2Y − p·t`, discriminant, square
+///   root, upper root, root minimum (positive, never `NaN`, so the packed
+///   min matches the scalar fold), `⌊hi⌋` and the first verification pass
+///   `((1−p)·x + b)·x + p·u ≤ tol` — is correctly rounded per slot,
+///   identical to the scalar solver; the rare verification backoff is
+///   replayed by the scalar [`crate::skip::verify_candidate`].
+///
+/// Only called when [`group2_available`] (AVX2); the caller guarantees
+/// `budget > 0`, finite, counts `< 2³¹`, and two-element table slices.
+#[cfg(target_arch = "x86_64")]
+pub(crate) fn group_examine2(
+    counts: &[[u32; 2]; GROUP_LANES],
+    lfs: &[f64; GROUP_LANES],
+    budget: f64,
+    tables: &crate::skip::SkipTables<'_>,
+) -> Option<[usize; GROUP_LANES]> {
+    debug_assert!(group2_available());
+    debug_assert!(budget.is_finite() && budget > 0.0);
+    // SAFETY: AVX2 presence guaranteed by the `group2_available` contract.
+    unsafe { group_examine2_avx2(counts, lfs, budget, tables) }
+}
+
+/// Non-`x86_64` stub — never called ([`group2_available`] is `false`).
+#[cfg(not(target_arch = "x86_64"))]
+pub(crate) fn group_examine2(
+    _counts: &[[u32; 2]; GROUP_LANES],
+    _lfs: &[f64; GROUP_LANES],
+    _budget: f64,
+    _tables: &crate::skip::SkipTables<'_>,
+) -> Option<[usize; GROUP_LANES]> {
+    unreachable!("group_examine2 is only dispatched when group2_available()")
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn group_examine2_avx2(
+    counts: &[[u32; 2]; GROUP_LANES],
+    lfs: &[f64; GROUP_LANES],
+    budget: f64,
+    tables: &crate::skip::SkipTables<'_>,
+) -> Option<[usize; GROUP_LANES]> {
+    const PAIRS: usize = GROUP_LANES / 2;
+    let inv_p = _mm256_broadcast_pd(&_mm_loadu_pd(tables.inv_p.as_ptr()));
+    let bud = _mm256_set1_pd(budget);
+    let margin = _mm256_set1_pd(1.0 - 1e-12);
+    let mut y = [_mm256_setzero_pd(); PAIRS];
+    let mut lf = [_mm256_setzero_pd(); PAIRS];
+    let mut ws = [_mm256_setzero_pd(); PAIRS];
+    let mut prod = [_mm256_setzero_pd(); PAIRS];
+    let mut pre_mask = 0i32;
+    for j in 0..PAIRS {
+        // Two lanes' `[u32; 2]` counts are 16 contiguous bytes: one load,
+        // one exact i32 → f64 convert (counts < 2³¹ per the contract).
+        let raw = _mm_loadu_si128(counts.as_ptr().add(2 * j).cast());
+        y[j] = _mm256_cvtepi32_pd(raw);
+        // [lf_a, lf_a, lf_b, lf_b] from the two lanes' lengths.
+        let lf2 = _mm256_castpd128_pd256(_mm_loadu_pd(lfs.as_ptr().add(2 * j)));
+        lf[j] = _mm256_permute4x64_pd::<0b0101_0000>(lf2);
+        // ws per lane: the two (y·y)·p⁻¹ terms of each 128-bit half folded
+        // by one horizontal add (bit-equal to the scalar fold by
+        // commutativity); pre-filter ws ≥ (budget + lf)·lf·(1 − 1e-12).
+        let sq = _mm256_mul_pd(_mm256_mul_pd(y[j], y[j]), inv_p);
+        ws[j] = _mm256_hadd_pd(sq, sq);
+        prod[j] = _mm256_mul_pd(_mm256_add_pd(bud, lf[j]), lf[j]);
+        let pre = _mm256_mul_pd(prod[j], margin);
+        pre_mask |= _mm256_movemask_pd(_mm256_cmp_pd::<_CMP_GE_OQ>(ws[j], pre));
+    }
+    if pre_mask != 0 {
+        return None;
+    }
+    // No lane observes: u = ws − (lf + budget)·lf < 0, t = 2lf + budget,
+    // tol = 1e-9·(1 + |budget|·lf), all pinned to the shared budget.
+    let p = _mm256_broadcast_pd(&_mm_loadu_pd(tables.p.as_ptr()));
+    let four_pa = _mm256_broadcast_pd(&_mm_loadu_pd(tables.four_pa.as_ptr()));
+    let half_inv_a = _mm256_broadcast_pd(&_mm_loadu_pd(tables.half_inv_a.as_ptr()));
+    let one_minus = _mm256_broadcast_pd(&_mm_loadu_pd(tables.one_minus.as_ptr()));
+    let two = _mm256_set1_pd(2.0);
+    let one = _mm256_set1_pd(1.0);
+    let tol_scale = _mm256_set1_pd(1e-9);
+    let mut out = [0usize; GROUP_LANES];
+    for j in 0..PAIRS {
+        let u = _mm256_sub_pd(ws[j], prod[j]);
+        let t = _mm256_add_pd(_mm256_mul_pd(two, lf[j]), bud);
+        let tol = _mm256_mul_pd(tol_scale, _mm256_add_pd(one, _mm256_mul_pd(bud, lf[j])));
+        // b = 2Y − p·t, disc = b² − 4p(1−p)·u ≥ 0 (u < 0),
+        // r2 = (√disc − b)/(2(1−p)), per-lane root minimum.
+        let b = _mm256_sub_pd(_mm256_mul_pd(two, y[j]), _mm256_mul_pd(p, t));
+        let disc = _mm256_sub_pd(_mm256_mul_pd(b, b), _mm256_mul_pd(four_pa, u));
+        let r = _mm256_mul_pd(_mm256_sub_pd(_mm256_sqrt_pd(disc), b), half_inv_a);
+        let hi = _mm256_min_pd(r, _mm256_permute_pd::<0b0101>(r));
+        let lt_one = _mm256_movemask_pd(_mm256_cmp_pd::<_CMP_LT_OQ>(hi, one));
+        // First verification candidate x = ⌊hi⌋ (≥ 1 whenever hi ≥ 1):
+        // q = ((1−p)·x + b)·x + p·u must stay ≤ tol for both characters.
+        let x = _mm256_round_pd::<{ _MM_FROUND_TO_NEG_INF | _MM_FROUND_NO_EXC }>(hi);
+        let c = _mm256_mul_pd(p, u);
+        let q = _mm256_add_pd(
+            _mm256_mul_pd(_mm256_add_pd(_mm256_mul_pd(one_minus, x), b), x),
+            c,
+        );
+        let over = _mm256_movemask_pd(_mm256_cmp_pd::<_CMP_GT_OQ>(q, tol));
+        let x_lo = _mm_cvtsd_f64(_mm256_castpd256_pd128(x));
+        let t_lo = _mm_cvtsd_f64(_mm256_castpd256_pd128(t));
+        let u_lo = _mm_cvtsd_f64(_mm256_castpd256_pd128(u));
+        let tol_lo = _mm_cvtsd_f64(_mm256_castpd256_pd128(tol));
+        out[2 * j] = group_lane_finish(
+            lt_one,
+            over,
+            0b0011,
+            x_lo,
+            &counts[2 * j],
+            t_lo,
+            u_lo,
+            tol_lo,
+            tables,
+        );
+        let x_hi = _mm_cvtsd_f64(_mm256_extractf128_pd::<1>(x));
+        let t_hi = _mm_cvtsd_f64(_mm256_extractf128_pd::<1>(t));
+        let u_hi = _mm_cvtsd_f64(_mm256_extractf128_pd::<1>(u));
+        let tol_hi = _mm_cvtsd_f64(_mm256_extractf128_pd::<1>(tol));
+        out[2 * j + 1] = group_lane_finish(
+            lt_one,
+            over,
+            0b1100,
+            x_hi,
+            &counts[2 * j + 1],
+            t_hi,
+            u_hi,
+            tol_hi,
+            tables,
+        );
+    }
+    Some(out)
+}
+
+/// Commit one lane of the packed verdict: no root ≥ 1 ⇒ no skip; packed
+/// verification clean ⇒ the floored root is the skip; otherwise replay the
+/// scalar verification (identical first candidate, then the backoff).
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn group_lane_finish(
+    lt_one: i32,
+    over: i32,
+    lane_mask: i32,
+    x: f64,
+    counts: &[u32],
+    t: f64,
+    u: f64,
+    tol: f64,
+    tables: &crate::skip::SkipTables<'_>,
+) -> usize {
+    if lt_one & lane_mask != 0 {
+        return 0;
+    }
+    if over & lane_mask == 0 {
+        return x as usize;
+    }
+    crate::skip::verify_candidate(counts, t, u, tables, x, 0.0, tol)
+}
+
+// ---------------------------------------------------------------------------
+// Survivor-mask lookahead: four candidate ends per evaluation.
+// ---------------------------------------------------------------------------
+
+/// Evaluate the budget pre-filter and the skip bound for the **next four
+/// candidate ends** of one scan lane, one candidate per `f64` lane.
+///
+/// Candidate `j ∈ 0..4` is the substring `[start, end₀ + j)` where `base`
+/// is the count vector of `[start, end₀)`, `l0 = end₀ − start`, and
+/// `next = [S[end₀], S[end₀+1], S[end₀+2]]` supplies the incremental
+/// histogram. Returns the number of *leading* candidates that provably
+///
+/// 1. fail the deferred-division budget pre-filter
+///    (`ws < (budget + l)·l·(1 − 1e-12)` — computed with the exact scalar
+///    op sequence, so the verdict matches `lane_step` bit-for-bit), and
+/// 2. admit no skip (`min_m r2_m < 1.0`, which short-circuits the scalar
+///    solver to 0 before any verification).
+///
+/// Such candidates are exactly the ones the scalar path would examine
+/// without observing and advance past with a single-symbol count bump —
+/// the caller replays that bump per candidate and re-scores the first
+/// survivor exactly. The caller guarantees `budget > 0` and finite (the
+/// bound-fail ⟹ `u < 0` argument needs it).
+#[allow(clippy::needless_range_loop)] // multi-array lockstep indexing
+#[allow(clippy::too_many_arguments)] // the solver's cached model tables, passed apart
+pub(crate) fn lookahead4<const K: usize>(
+    base: &[u32; K],
+    next: &[u8; 3],
+    l0: usize,
+    budget: f64,
+    p: &[f64],
+    inv_p: &[f64],
+    four_pa: &[f64],
+    half_inv_a: &[f64],
+) -> u32 {
+    debug_assert!(budget.is_finite() && budget > 0.0);
+    // Per-candidate count lanes: y[m][j] = count of character m in
+    // candidate j (base plus the incremental histogram of `next[..j]`).
+    let mut y = [[0.0f64; 4]; K];
+    let mut running = *base;
+    for j in 0..4 {
+        for m in 0..K {
+            y[m][j] = f64::from(running[m]);
+        }
+        if j < 3 {
+            running[next[j] as usize] += 1;
+        }
+    }
+    let lf = [l0 as f64, (l0 + 1) as f64, (l0 + 2) as f64, (l0 + 3) as f64];
+    // ws_j = Σ_m y²·inv_p in the canonical index-ascending order.
+    let mut ws = [0.0f64; 4];
+    for m in 0..K {
+        for j in 0..4 {
+            ws[j] += y[m][j] * y[m][j] * inv_p[m];
+        }
+    }
+    // Budget pre-filter and the solver's per-call scalars, with the exact
+    // scalar op sequence per lane.
+    let mut survives = [false; 4];
+    let mut u = [0.0f64; 4];
+    let mut t = [0.0f64; 4];
+    for j in 0..4 {
+        survives[j] = ws[j] >= (budget + lf[j]) * lf[j] * (1.0 - 1e-12);
+        u[j] = ws[j] - (lf[j] + budget) * lf[j];
+        t[j] = 2.0 * lf[j] + budget;
+    }
+    // hi_j = min_m r2_m, folded per lane in index-ascending order. Lanes
+    // that pass the pre-filter may have u > 0 and a negative discriminant
+    // (NaN root); those lanes are excluded by `survives` regardless.
+    let mut hi = [f64::INFINITY; 4];
+    for m in 0..K {
+        let mut disc = [0.0f64; 4];
+        let mut b = [0.0f64; 4];
+        for j in 0..4 {
+            b[j] = 2.0 * y[m][j] - p[m] * t[j];
+            disc[j] = b[j] * b[j] - four_pa[m] * u[j];
+        }
+        let sq = sqrt4(disc);
+        for j in 0..4 {
+            hi[j] = hi[j].min((sq[j] - b[j]) * half_inv_a[m]);
+        }
+    }
+    let mut confirmed = 0u32;
+    for j in 0..4 {
+        // `!(hi < 1.0)` deliberately: a NaN root (negative discriminant)
+        // must stop the confirmation run exactly like `hi >= 1.0` does.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if survives[j] || !(hi[j] < 1.0) {
+            break;
+        }
+        confirmed += 1;
+    }
+    confirmed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_reports_a_level_and_forces_scalar() {
+        let env_forced = std::env::var(FORCE_SCALAR_ENV).is_ok_and(|v| !v.is_empty() && v != "0");
+        let initial = level();
+        #[cfg(target_arch = "x86_64")]
+        if !env_forced {
+            assert_ne!(
+                initial,
+                SimdLevel::Scalar,
+                "x86_64 baseline should be at least SSE2 unless forced"
+            );
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        assert_eq!(initial, SimdLevel::Scalar);
+        if env_forced {
+            assert_eq!(initial, SimdLevel::Scalar);
+        }
+        set_force_scalar(true);
+        assert_eq!(level(), SimdLevel::Scalar);
+        assert!(!active());
+        // Restore env-following dispatch (not forced-auto) so a
+        // force-scalar CI run keeps exercising the scalar paths in tests
+        // that happen to run after this one.
+        FORCE.store(0, Ordering::Relaxed);
+        LEVEL.store(0, Ordering::Relaxed);
+        assert_eq!(level(), initial);
+        assert_eq!(SimdLevel::Avx2.name(), "avx2");
+        assert_eq!(SimdLevel::Sse2.name(), "sse2");
+        assert_eq!(SimdLevel::Scalar.name(), "scalar");
+    }
+
+    #[test]
+    fn integer_diffs_match_scalar_for_all_lengths() {
+        for len in 0..33usize {
+            let to: Vec<u32> = (0..len as u32).map(|i| 1000 + 7 * i).collect();
+            let from: Vec<u32> = (0..len as u32).map(|i| 3 * i).collect();
+            let mut expect: Vec<u32> = (0..len as u32).map(|i| 10 + i).collect();
+            let mut got = expect.clone();
+            for ((slot, &hi), &lo) in expect.iter_mut().zip(&to).zip(&from) {
+                *slot += hi - lo;
+            }
+            accumulate_diff_u32(&mut got, &to, &from);
+            assert_eq!(expect, got, "accumulate len {len}");
+            let mut got_fill = vec![0u32; len];
+            fill_diff_u32(&mut got_fill, &to, &from);
+            let expect_fill: Vec<u32> = to.iter().zip(&from).map(|(&h, &l)| h - l).collect();
+            assert_eq!(expect_fill, got_fill, "fill len {len}");
+        }
+    }
+
+    #[test]
+    fn blocked_stored_diff_matches_scalar_reference() {
+        fn reference(
+            buf: &mut [u32],
+            sup_s: &[u32],
+            sup_e: &[u32],
+            row_s: &[u8],
+            row_e: &[u8],
+        ) -> (u32, u32) {
+            let mut sum_s = 0u32;
+            let mut sum_e = 0u32;
+            for c in 0..buf.len() {
+                let ds = u32::from(row_s[c]);
+                let de = u32::from(row_e[c]);
+                sum_s += ds;
+                sum_e += de;
+                buf[c] += (sup_e[c] + de) - (sup_s[c] + ds);
+            }
+            (sum_s, sum_e)
+        }
+        for stored_k in [1usize, 4, 7, 8, 9, 16, 25] {
+            let sup_s: Vec<u32> = (0..stored_k as u32).map(|i| 100 * i).collect();
+            let sup_e: Vec<u32> = (0..stored_k as u32).map(|i| 100 * i + 40 + i).collect();
+            let row_s: Vec<u8> = (0..stored_k as u8).map(|i| i * 3).collect();
+            let row_e: Vec<u8> = (0..stored_k as u8).map(|i| i * 3 + 5).collect();
+            let mut expect = vec![7u32; stored_k];
+            let mut got = expect.clone();
+            let se = reference(&mut expect, &sup_s, &sup_e, &row_s, &row_e);
+            let sg = blocked_stored_diff(&mut got, &sup_s, &sup_e, &row_s, &row_e);
+            assert_eq!(expect, got, "stored_k {stored_k}");
+            assert_eq!(se, sg, "stored_k {stored_k} sums");
+            // u16 tier.
+            let row_s16: Vec<u16> = row_s.iter().map(|&d| u16::from(d) + 300).collect();
+            let row_e16: Vec<u16> = row_e.iter().map(|&d| u16::from(d) + 300).collect();
+            let mut got16 = vec![7u32; stored_k];
+            let sg16 = blocked_stored_diff(&mut got16, &sup_s, &sup_e, &row_s16, &row_e16);
+            assert_eq!(expect, got16, "u16 stored_k {stored_k}");
+            // The +300 bias cancels in the diffs but shifts both sums.
+            let bias = 300 * stored_k as u32;
+            assert_eq!(
+                (se.0 + bias, se.1 + bias),
+                sg16,
+                "u16 stored_k {stored_k} sums"
+            );
+        }
+    }
+
+    #[test]
+    fn vector_sqrt_is_bit_identical_to_scalar() {
+        let xs = [
+            0.0,
+            1.0,
+            2.0,
+            1e300,
+            1e-300,
+            0.3333333333333333,
+            7.25,
+            1234.5678,
+        ];
+        for w in xs.windows(4) {
+            let v4 = sqrt4([w[0], w[1], w[2], w[3]]);
+            for (i, &x) in w.iter().enumerate() {
+                assert_eq!(v4[i].to_bits(), x.sqrt().to_bits(), "sqrt4 lane {i} of {x}");
+            }
+            let v2 = sqrt2([w[0], w[1]]);
+            assert_eq!(v2[0].to_bits(), w[0].sqrt().to_bits());
+            assert_eq!(v2[1].to_bits(), w[1].sqrt().to_bits());
+        }
+    }
+}

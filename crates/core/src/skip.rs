@@ -143,6 +143,46 @@ pub(crate) fn skip_from_ws(
     skip_from_parts(counts, lf, u, budget, tables)
 }
 
+/// Alphabet-specialized variant of [`skip_from_ws`] with an optional
+/// vector backend: when `SIMD` is set (the `x86_64` dispatch chose a
+/// vector level) the below-budget branchless solve takes all `K` upper
+/// roots through [`crate::simd::roots_hi_fixed`] — one packed square root
+/// instead of `K` scalar ones. Every vector lane op is correctly rounded
+/// identically to its scalar counterpart and the root minimum is folded in
+/// the same order, so the returned skip is bit-identical either way; the
+/// general (`u > 0`) path and the verification stay scalar.
+#[inline(always)]
+pub(crate) fn skip_from_ws_fixed<const K: usize, const SIMD: bool>(
+    counts: &[u32; K],
+    lf: f64,
+    ws: f64,
+    budget: f64,
+    tables: &SkipTables<'_>,
+) -> Skip {
+    if !SIMD {
+        return skip_from_ws(counts, lf, ws, budget, tables);
+    }
+    if !budget.is_finite() || budget <= 0.0 {
+        return 0;
+    }
+    let u = ws - (lf + budget) * lf;
+    let tol = 1e-9 * (1.0 + budget.abs() * lf);
+    let t = 2.0 * lf + budget;
+    if u <= 0.0 {
+        let hi = crate::simd::roots_hi_fixed::<K>(
+            counts,
+            t,
+            u,
+            tables.p,
+            tables.four_pa,
+            tables.half_inv_a,
+        );
+        finish_below_budget(counts, t, u, tables, hi, tol)
+    } else {
+        skip_general(counts, t, u, tables, tol)
+    }
+}
+
 #[inline(always)]
 fn skip_from_parts(counts: &[u32], lf: f64, u: f64, budget: f64, tables: &SkipTables<'_>) -> Skip {
     let tol = 1e-9 * (1.0 + budget.abs() * lf);
@@ -199,7 +239,7 @@ fn skip_below_budget_branchless(
 /// no roots or divisions) is exactly the sound check, and it keeps the
 /// "never misses the MSS" invariant deterministic.
 #[inline(always)]
-fn finish_below_budget(
+pub(crate) fn finish_below_budget(
     counts: &[u32],
     t: f64,
     u: f64,
@@ -291,7 +331,7 @@ fn skip_general(counts: &[u32], t: f64, u: f64, tables: &SkipTables<'_>, tol: f6
 /// rounding.
 #[inline(always)]
 #[allow(clippy::needless_range_loop)] // multi-slice lockstep indexing
-fn verify_candidate(
+pub(crate) fn verify_candidate(
     counts: &[u32],
     t: f64,
     u: f64,
@@ -431,6 +471,35 @@ mod tests {
         assert!(
             skip as f64 >= expected_scale * 0.5,
             "skip {skip} far below Lemma-5 scale {expected_scale}"
+        );
+    }
+
+    #[test]
+    fn fixed_simd_solver_matches_scalar_bitwise() {
+        use crate::score::weighted_square_sum;
+        let model = Model::from_probs(vec![0.3, 0.7]).unwrap();
+        let tables = SkipTables::from_model(&model);
+        let cases: &[([u32; 2], usize, f64)] = &[
+            ([3, 1], 4, 5.0),
+            ([50, 50], 100, 12.0),
+            ([9, 1], 10, 2.0), // current statistic above budget: u > 0 path
+            ([0, 7], 7, 40.0),
+            ([1, 1], 2, 1e-3),
+        ];
+        for &(counts, l, budget) in cases {
+            let lf = l as f64;
+            let ws = weighted_square_sum(&counts, model.inv_probs());
+            let simd = skip_from_ws_fixed::<2, true>(&counts, lf, ws, budget, &tables);
+            let scalar = skip_from_ws_fixed::<2, false>(&counts, lf, ws, budget, &tables);
+            assert_eq!(simd, scalar, "counts {counts:?} l {l} budget {budget}");
+        }
+        let model4 = Model::from_probs(vec![0.1, 0.2, 0.3, 0.4]).unwrap();
+        let tables4 = SkipTables::from_model(&model4);
+        let counts4 = [10u32, 20, 30, 40];
+        let ws4 = weighted_square_sum(&counts4, model4.inv_probs());
+        assert_eq!(
+            skip_from_ws_fixed::<4, true>(&counts4, 100.0, ws4, 9.0, &tables4),
+            skip_from_ws_fixed::<4, false>(&counts4, 100.0, ws4, 9.0, &tables4),
         );
     }
 

@@ -883,7 +883,7 @@ pub fn load_snapshot<R: Read>(mut reader: R) -> Result<Engine> {
                 match info.block {
                     b if b <= 256 => {
                         let sum = checksum64(&payload);
-                        deltas = Some(DeltaTier::U8(payload));
+                        deltas = Some(DeltaTier::U8(payload.into()));
                         sum
                     }
                     _ => {
@@ -891,7 +891,7 @@ pub fn load_snapshot<R: Read>(mut reader: R) -> Result<Engine> {
                         // default path; the simple raw-payload pass is
                         // fine here.
                         let sum = checksum64(&payload);
-                        deltas = Some(DeltaTier::U16(bytes_to_u16s(&payload)));
+                        deltas = Some(DeltaTier::U16(bytes_to_u16s(&payload).into()));
                         sum
                     }
                 }
@@ -951,14 +951,20 @@ fn assemble_engine(
         CountsLayout::Flat => {
             let table = flat_table.ok_or_else(|| format_err("missing flat-table section"))?;
             CountsIndex::Flat(crate::counts::PrefixCounts::from_sections(
-                table, symbols, info.k,
+                table.into(),
+                symbols.into(),
+                info.k,
             )?)
         }
         _ => {
             let supers = supers.ok_or_else(|| format_err("missing supers section"))?;
             let deltas = deltas.ok_or_else(|| format_err("missing deltas section"))?;
             CountsIndex::Blocked(crate::counts::BlockedCounts::from_sections(
-                supers, deltas, symbols, info.k, info.block,
+                supers.into(),
+                deltas,
+                symbols.into(),
+                info.k,
+                info.block,
             )?)
         }
     };
@@ -970,14 +976,152 @@ pub fn load_snapshot_bytes(bytes: &[u8]) -> Result<Engine> {
     load_snapshot(bytes)
 }
 
-/// [`load_snapshot`] from a filesystem path. The file is passed
-/// **unbuffered**: each section is one bulk kernel copy from the page
-/// cache straight into its final exactly-sized buffer (no intermediate
-/// whole-file allocation, no `BufReader` chunk-hopping), and each
-/// checksum pass runs over the cache-warm result.
+/// Validate the real file length against what the section table implies.
+/// Runs **before** any payload is consumed (and, in the mmap loader,
+/// before the file is mapped at all — an established mapping must never
+/// be able to cross EOF and `SIGBUS`).
+fn check_file_length(file: &std::fs::File, info: &SnapshotInfo) -> Result<()> {
+    let expected = info.total_bytes();
+    let actual = file.metadata().map_err(io_err("stat snapshot file"))?.len();
+    if actual != expected {
+        return Err(format_err(format!(
+            "file is {actual} bytes but the section table implies {expected} \
+             (truncated tail or trailing garbage)"
+        )));
+    }
+    Ok(())
+}
+
+/// [`load_snapshot`] from a filesystem path. The real file length is
+/// validated against the section table before any payload is read; the
+/// file is then passed **unbuffered**: each section is one bulk kernel
+/// copy from the page cache straight into its final exactly-sized buffer
+/// (no intermediate whole-file allocation, no `BufReader` chunk-hopping),
+/// and each checksum pass runs over the cache-warm result.
 pub fn load_snapshot_path<P: AsRef<Path>>(path: P) -> Result<Engine> {
-    let file = std::fs::File::open(path).map_err(io_err("open snapshot file"))?;
+    use std::io::Seek;
+    let mut file = std::fs::File::open(path).map_err(io_err("open snapshot file"))?;
+    let info = read_info(&file)?;
+    check_file_length(&file, &info)?;
+    file.rewind().map_err(io_err("seek snapshot file"))?;
     load_snapshot(file)
+}
+
+/// Zero-copy loader: map the snapshot and borrow the large sections
+/// (symbols + count tables) straight from the mapping instead of copying
+/// them onto the heap. Load time is `O(header)` — pages fault in on
+/// first touch, so the engine answers its first query before the index
+/// is fully resident. Payload checksums and symbol validation are
+/// deferred to the engine's first query (see `Engine::load_snapshot_mmap`);
+/// the header, section table, geometry, file length, and the (tiny,
+/// eagerly copied) model section are still validated here.
+///
+/// On targets without the mmap wrapper (non-unix, 32-bit, or big-endian
+/// — the mapping would need a byte-swapping pass anyway) this falls back
+/// to the bulk-read [`load_snapshot_path`].
+pub fn load_snapshot_mmap<P: AsRef<Path>>(path: P) -> Result<Engine> {
+    #[cfg(all(unix, target_pointer_width = "64", target_endian = "little"))]
+    {
+        load_snapshot_mmap_impl(path.as_ref())
+    }
+    #[cfg(not(all(unix, target_pointer_width = "64", target_endian = "little")))]
+    {
+        load_snapshot_path(path)
+    }
+}
+
+#[cfg(all(unix, target_pointer_width = "64", target_endian = "little"))]
+fn load_snapshot_mmap_impl(path: &Path) -> Result<Engine> {
+    use crate::counts::Store;
+    use crate::engine::{LazySection, MappedState};
+    use crate::mmap::MmapFile;
+    use std::sync::Arc;
+
+    let file = std::fs::File::open(path).map_err(io_err("open snapshot file"))?;
+    let info = read_info(&file)?;
+    // Length check BEFORE mapping: every in-bounds access of the mapping
+    // below is then backed by real file bytes (no SIGBUS surface).
+    check_file_length(&file, &info)?;
+    let map = Arc::new(MmapFile::map(&file, info.total_bytes() as usize)?);
+    drop(file);
+
+    let section = |id: SectionId| -> Result<SectionInfo> {
+        info.sections
+            .iter()
+            .find(|s| s.id == id)
+            .copied()
+            .ok_or_else(|| format_err(format!("missing section {}", id.name())))
+    };
+    let lazy = |s: &SectionInfo| LazySection {
+        name: s.id.name(),
+        offset: s.offset as usize,
+        len: s.len as usize,
+        checksum: s.checksum,
+    };
+
+    // The model is tiny (`8k` bytes) and its derived kernel tables are
+    // needed to construct the engine at all — copy and verify it eagerly.
+    let model_s = section(SectionId::Model)?;
+    let model_bytes =
+        &map.bytes()[model_s.offset as usize..(model_s.offset + model_s.len) as usize];
+    if checksum64(model_bytes) != model_s.checksum {
+        return Err(format_err(
+            "section model checksum mismatch (corrupted or truncated payload)",
+        ));
+    }
+    let model = Model::from_stored_probs(bytes_to_f64s(model_bytes)).map_err(|e| match e {
+        Error::Snapshot { .. } | Error::Io { .. } => e,
+        other => format_err(format!("stored model is invalid: {other}")),
+    })?;
+
+    // Everything else is borrowed from the mapping. Shape validation
+    // (section lengths against n/k) already ran in `read_info`; content
+    // checksums and symbol validation are deferred to first query.
+    let symbols_s = section(SectionId::Symbols)?;
+    let symbols: Store<u8> = Store::mapped(
+        map.clone(),
+        symbols_s.offset as usize,
+        symbols_s.len as usize,
+    );
+    let mut lazies = vec![lazy(&symbols_s)];
+    let index = match info.layout {
+        CountsLayout::Flat => {
+            let s = section(SectionId::FlatTable)?;
+            lazies.push(lazy(&s));
+            let table: Store<u32> =
+                Store::mapped(map.clone(), s.offset as usize, s.len as usize / 4);
+            CountsIndex::Flat(crate::counts::PrefixCounts::from_sections(
+                table, symbols, info.k,
+            )?)
+        }
+        _ => {
+            let sup = section(SectionId::Supers)?;
+            let del = section(SectionId::Deltas)?;
+            lazies.push(lazy(&sup));
+            lazies.push(lazy(&del));
+            let supers: Store<u32> =
+                Store::mapped(map.clone(), sup.offset as usize, sup.len as usize / 4);
+            let deltas = if info.block <= 256 {
+                DeltaTier::U8(Store::mapped(
+                    map.clone(),
+                    del.offset as usize,
+                    del.len as usize,
+                ))
+            } else {
+                DeltaTier::U16(Store::mapped(
+                    map.clone(),
+                    del.offset as usize,
+                    del.len as usize / 2,
+                ))
+            };
+            CountsIndex::Blocked(crate::counts::BlockedCounts::from_sections(
+                supers, deltas, symbols, info.k, info.block,
+            )?)
+        }
+    };
+    let mut engine = Engine::from_index(index, model)?;
+    engine.attach_mapped(MappedState::new(map, lazies));
+    Ok(engine)
 }
 
 #[cfg(test)]
@@ -1167,6 +1311,168 @@ mod tests {
             load_snapshot(&buf[..]),
             Err(Error::Snapshot { details }) if details.contains("alphabet")
         ));
+    }
+
+    /// Whether this target gets the real zero-copy loader (elsewhere
+    /// `load_snapshot_mmap` falls back to the bulk reader).
+    const MMAP_SUPPORTED: bool = cfg!(all(
+        unix,
+        target_pointer_width = "64",
+        target_endian = "little"
+    ));
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("sigstr-snap-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn mmap_roundtrip_both_layouts() {
+        let dir = temp_dir("mmap");
+        for (i, layout) in [CountsLayout::Flat, CountsLayout::Blocked]
+            .iter()
+            .enumerate()
+        {
+            let original = engine(300, 3, *layout);
+            let path = dir.join(format!("doc{i}.snap"));
+            write_snapshot_path(&original, &path).unwrap();
+            let mapped = load_snapshot_mmap(&path).unwrap();
+            assert_eq!(mapped.layout(), *layout);
+            assert_eq!(mapped.index_bytes(), original.index_bytes());
+            if MMAP_SUPPORTED {
+                assert!(mapped.is_mmap());
+                // Nothing verified (or assumed resident) until a query.
+                assert_eq!(mapped.lazy_verifications(), 0);
+                assert_eq!(mapped.resident_bytes(), 0);
+            }
+            assert_eq!(mapped.mss().unwrap(), original.mss().unwrap());
+            assert_eq!(mapped.top_t(4).unwrap(), original.top_t(4).unwrap());
+            assert_eq!(
+                mapped.above_threshold(2.0).unwrap(),
+                original.above_threshold(2.0).unwrap()
+            );
+            if MMAP_SUPPORTED {
+                // One deferred pass, run by the first query only.
+                assert_eq!(mapped.lazy_verifications(), 1);
+                assert_eq!(mapped.resident_bytes(), mapped.index_bytes());
+                // Discard drops the resident accounting and re-arms the
+                // pass; answers stay identical afterwards.
+                mapped.discard_resident();
+                assert_eq!(mapped.resident_bytes(), 0);
+                mapped.clear_cache();
+                assert_eq!(mapped.mss().unwrap(), original.mss().unwrap());
+                assert_eq!(mapped.lazy_verifications(), 2);
+            } else {
+                assert!(!mapped.is_mmap());
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rejects_truncated_tail_by_file_length() {
+        // The file-length check compares the real size against what the
+        // section table implies BEFORE any payload is read or mapped —
+        // a truncated tail (even inside the final alignment padding,
+        // where no checksum would notice) and trailing garbage are both
+        // rejected up front by both path loaders.
+        let dir = temp_dir("trunc");
+        let e = engine(300, 3, CountsLayout::Blocked);
+        let good_path = dir.join("good.snap");
+        write_snapshot_path(&e, &good_path).unwrap();
+        let good = std::fs::read(&good_path).unwrap();
+
+        let cut_tail = dir.join("cut.snap");
+        std::fs::write(&cut_tail, &good[..good.len() - 1]).unwrap();
+        let cut_payload = dir.join("cut-payload.snap");
+        std::fs::write(&cut_payload, &good[..good.len() - SECTION_ALIGN - 7]).unwrap();
+        let trailing = dir.join("trailing.snap");
+        let mut padded = good.clone();
+        padded.extend_from_slice(&[0u8; 64]);
+        std::fs::write(&trailing, &padded).unwrap();
+
+        for bad in [&cut_tail, &cut_payload, &trailing] {
+            assert!(matches!(
+                load_snapshot_path(bad),
+                Err(Error::Snapshot { ref details }) if details.contains("section table implies")
+            ));
+            assert!(matches!(
+                load_snapshot_mmap(bad),
+                Err(Error::Snapshot { ref details }) if details.contains("section table implies")
+            ));
+        }
+        // The pristine file still loads through both.
+        assert!(load_snapshot_path(&good_path).is_ok());
+        assert!(load_snapshot_mmap(&good_path).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mmap_defers_payload_corruption_to_first_query() {
+        // Flip one payload byte without touching the file length: the
+        // zero-copy load (O(header) work) still succeeds, and the FIRST
+        // QUERY fails the deferred checksum pass — corruption surfaces
+        // as a typed error, never a wrong answer.
+        let dir = temp_dir("lazy");
+        let e = engine(200, 2, CountsLayout::Flat);
+        let path = dir.join("doc.snap");
+        write_snapshot_path(&e, &path).unwrap();
+        let mut bad = std::fs::read(&path).unwrap();
+        let last = bad.len() - SECTION_ALIGN;
+        bad[last] ^= 1;
+        std::fs::write(&path, &bad).unwrap();
+        let loaded = load_snapshot_mmap(&path);
+        if MMAP_SUPPORTED {
+            let mapped = loaded.unwrap();
+            assert!(matches!(
+                mapped.mss(),
+                Err(Error::Snapshot { ref details }) if details.contains("checksum")
+            ));
+            // Still unverified — a retry re-runs the pass and fails again.
+            assert_eq!(mapped.lazy_verifications(), 0);
+            assert!(mapped.top_t(2).is_err());
+        } else {
+            // The fallback bulk loader verifies eagerly instead.
+            assert!(loaded.is_err());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mmap_defers_symbol_validation_to_first_query() {
+        // Same deal for an out-of-alphabet symbol whose section checksum
+        // was fixed up to match: the bulk loader rejects it at load; the
+        // zero-copy loader rejects it at the first query.
+        let e = engine(100, 2, CountsLayout::Flat);
+        let mut buf = snapshot_bytes(&e);
+        let info = read_info(&buf[..]).unwrap();
+        let symbols = info.sections[0];
+        assert_eq!(symbols.id, SectionId::Symbols);
+        let start = symbols.offset as usize;
+        buf[start] = 200;
+        let fixed = checksum64(&buf[start..start + symbols.len as usize]);
+        let entry = HEADER_BYTES + 24;
+        buf[entry..entry + 8].copy_from_slice(&fixed.to_le_bytes());
+        let table_start = HEADER_BYTES;
+        let table_end = table_start + info.sections.len() * SECTION_ENTRY_BYTES;
+        let table_sum = checksum64(&buf[table_start..table_end]);
+        buf[36..44].copy_from_slice(&table_sum.to_le_bytes());
+
+        let dir = temp_dir("badsym");
+        let path = dir.join("doc.snap");
+        std::fs::write(&path, &buf).unwrap();
+        let loaded = load_snapshot_mmap(&path);
+        if MMAP_SUPPORTED {
+            let mapped = loaded.unwrap();
+            assert!(matches!(
+                mapped.mss(),
+                Err(Error::Snapshot { ref details }) if details.contains("alphabet")
+            ));
+        } else {
+            assert!(loaded.is_err());
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

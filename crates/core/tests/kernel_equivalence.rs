@@ -449,6 +449,101 @@ fn blocked_engine_matches_flat_engine_exactly() {
     }
 }
 
+/// SIMD and forced-scalar dispatch must agree on the **full** result
+/// structs — positions, scan stats, and every `chi_square` bit pattern —
+/// across alphabets covering the packed `k = 2` group-examine kernel,
+/// both specialized resync kernels, the generic kernel, and a
+/// letters-sized alphabet; both count layouts; and range starts pinned
+/// to odd offsets so the 12-lane round-robin interleave begins off every
+/// natural alignment boundary. Each mode gets its own engine, so no
+/// answer is served from the other mode's result cache.
+#[test]
+fn simd_and_scalar_dispatch_are_bit_identical() {
+    // Restore auto-detection even if an assertion below panics, so this
+    // test can never leak forced-scalar mode into the rest of the suite.
+    struct DispatchGuard;
+    impl Drop for DispatchGuard {
+        fn drop(&mut self) {
+            sigstr_core::simd::set_force_scalar(false);
+        }
+    }
+    let _guard = DispatchGuard;
+
+    let mut rng = StdRng::seed_from_u64(0x51D0_5CA1);
+    for &k in &[2usize, 3, 4, 8, 26] {
+        for &layout in &[CountsLayout::Flat, CountsLayout::Blocked] {
+            for case in 0..6 {
+                let seq = random_sequence(&mut rng, k, 400);
+                let model = random_model(&mut rng, k);
+                let label = format!("k={k} {layout:?} case {case}");
+                let n = seq.len();
+                // Odd (unaligned) range start whenever the sequence is
+                // long enough to have one.
+                let l = if n > 2 {
+                    rng.gen_range(0..n - 1) | 1
+                } else {
+                    0
+                }
+                .min(n - 1);
+                let r = rng.gen_range(l + 1..=n);
+                let t = rng.gen_range(1..=8usize);
+                let alpha = rng.gen_range(0.5..3.0) * (k as f64);
+                let gamma0 = rng.gen_range(0..(r - l));
+                let w = rng.gen_range(1..=(r - l));
+
+                let run = |force: bool| {
+                    sigstr_core::simd::set_force_scalar(force);
+                    let engine = Engine::with_layout(&seq, model.clone(), layout).unwrap();
+                    (
+                        engine.mss().unwrap(),
+                        engine.mss_in(l..r).unwrap(),
+                        engine.top_t_in(l..r, t).unwrap(),
+                        engine.above_threshold_in(l..r, alpha).unwrap(),
+                        engine.mss_min_length_in(l..r, gamma0).unwrap(),
+                        engine.mss_max_length_in(l..r, w).unwrap(),
+                    )
+                };
+                let scalar = run(true);
+                let simd = run(false);
+
+                // Full structs: values, positions, and scan stats.
+                assert_eq!(scalar.0, simd.0, "{label}: mss");
+                assert_eq!(scalar.1, simd.1, "{label}: mss_in({l}..{r})");
+                assert_eq!(scalar.2, simd.2, "{label}: top-{t}");
+                assert_eq!(scalar.3, simd.3, "{label}: threshold (alpha = {alpha})");
+                assert_eq!(scalar.4, simd.4, "{label}: min-length (gamma0 = {gamma0})");
+                assert_eq!(scalar.5, simd.5, "{label}: max-length (w = {w})");
+                // And the float *bit patterns*, independently of any
+                // `PartialEq` subtleties.
+                assert_eq!(
+                    scalar.0.best.chi_square.to_bits(),
+                    simd.0.best.chi_square.to_bits(),
+                    "{label}: mss bits"
+                );
+                assert_eq!(
+                    scalar.1.best.chi_square.to_bits(),
+                    simd.1.best.chi_square.to_bits(),
+                    "{label}: mss_in bits"
+                );
+                for (a, b) in scalar.2.items.iter().zip(&simd.2.items) {
+                    assert_eq!(
+                        a.chi_square.to_bits(),
+                        b.chi_square.to_bits(),
+                        "{label}: top-{t} item bits"
+                    );
+                }
+                for (a, b) in scalar.3.items.iter().zip(&simd.3.items) {
+                    assert_eq!(
+                        a.chi_square.to_bits(),
+                        b.chi_square.to_bits(),
+                        "{label}: threshold item bits"
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// A consumed stream must freeze into equivalent indexes in *both*
 /// layouts: `into_prefix_counts` / `into_blocked_counts` /
 /// `into_index(layout)` all answer identically to an index built offline

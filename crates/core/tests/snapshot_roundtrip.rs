@@ -77,6 +77,32 @@ fn assert_roundtrip_identical(original: &Engine, label: &str) {
             "{label}: above_threshold({alpha})"
         );
     }
+
+    // The zero-copy mmap loader serves the same bits: persist to disk,
+    // map, and repeat the strongest check (the full threshold vector
+    // plus the MSS struct). On targets without the mmap wrapper this
+    // exercises the bulk-read fallback instead — same contract.
+    let dir = std::env::temp_dir().join(format!(
+        "sigstr-roundtrip-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("doc.snap");
+    std::fs::write(&path, &buf).unwrap();
+    let mapped = Engine::load_snapshot_mmap(&path).unwrap();
+    assert_eq!(
+        mapped.mss().unwrap(),
+        original.mss().unwrap(),
+        "{label}: mmap mss"
+    );
+    assert_eq!(
+        mapped.above_threshold(0.5).unwrap(),
+        original.above_threshold(0.5).unwrap(),
+        "{label}: mmap threshold"
+    );
+    drop(mapped);
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

@@ -12,11 +12,14 @@
 //!   and geometry; [`Corpus::add_document`] / [`Corpus::remove_document`]
 //!   update it atomically (temp file + rename).
 //! * **Materialization is lazy and budgeted**: a document's engine is
-//!   loaded from its snapshot on first use and retained in an LRU cache
-//!   bounded by the sum of resident [`Engine::index_bytes`]
+//!   loaded from its snapshot on first use — through the zero-copy mmap
+//!   loader when [`Corpus::with_mmap`] is on — and retained in an LRU
+//!   cache bounded by the sum of [`Engine::resident_bytes`]
 //!   ([`Corpus::with_budget`]); the least-recently-used engines are
-//!   evicted when a load would exceed the budget. Engines are handed out
-//!   as `Arc<Engine>`, so eviction never invalidates an in-flight query.
+//!   evicted when a load would exceed the budget, and an evicted mapped
+//!   engine gives its pages back to the kernel
+//!   ([`Engine::discard_resident`]). Engines are handed out as
+//!   `Arc<Engine>`, so eviction never invalidates an in-flight query.
 //! * **Dispatch is concurrent**: per-document queries fan out over one
 //!   shared worker pool (the PR 2 [`Batch`] driver, generalized to borrow
 //!   cached engines), and repeated runs over the same corpus reuse the
@@ -151,6 +154,17 @@ fn io_error(path: &Path) -> impl FnOnce(std::io::Error) -> CorpusError {
 // The warm-engine cache.
 // ---------------------------------------------------------------------------
 
+/// How a cached engine was materialized (drives the load-kind counters).
+#[derive(Debug, Clone, Copy)]
+enum LoadKind {
+    /// Built in-process (`add_document` / `add_engine`), not from disk.
+    Built,
+    /// Bulk-read snapshot load.
+    Read,
+    /// Zero-copy mapped snapshot load.
+    Mapped,
+}
+
 #[derive(Debug)]
 struct CachedEngine {
     engine: Arc<Engine>,
@@ -165,7 +179,12 @@ struct EngineCache {
     tick: u64,
     hits: u64,
     loads: u64,
+    mmap_loads: u64,
+    read_loads: u64,
     evictions: u64,
+    /// Lazy verifications folded in from engines that left the cache
+    /// (resident engines are summed live in `lazy_verifications`).
+    retired_verifications: u64,
 }
 
 impl EngineCache {
@@ -179,14 +198,33 @@ impl EngineCache {
         })
     }
 
+    /// Re-read each cached engine's byte footprint. Owned engines are
+    /// fully resident from birth, but a mapped engine charges the budget
+    /// only once its first query's verification pass has faulted the
+    /// index in — so the accounting follows the engines' lifecycle
+    /// rather than a value captured at insert.
+    fn refresh(&mut self) {
+        self.resident_bytes = 0;
+        for cached in self.map.values_mut() {
+            cached.bytes = cached.engine.resident_bytes();
+            self.resident_bytes += cached.bytes;
+        }
+    }
+
     /// Insert a freshly loaded engine, evicting least-recently-used
     /// entries until the budget holds. A single engine larger than the
     /// whole budget still resides (alone) — the budget bounds *retention*,
     /// it never refuses service.
-    fn insert(&mut self, name: String, engine: Arc<Engine>, budget: usize) {
+    fn insert(&mut self, name: String, engine: Arc<Engine>, budget: usize, kind: LoadKind) {
         self.tick += 1;
         self.loads += 1;
-        let bytes = engine.index_bytes();
+        match kind {
+            LoadKind::Built => {}
+            LoadKind::Read => self.read_loads += 1,
+            LoadKind::Mapped => self.mmap_loads += 1,
+        }
+        self.refresh();
+        let bytes = engine.resident_bytes();
         while self.resident_bytes + bytes > budget && !self.map.is_empty() {
             let victim = self
                 .map
@@ -211,7 +249,21 @@ impl EngineCache {
     fn remove(&mut self, name: &str) {
         if let Some(cached) = self.map.remove(name) {
             self.resident_bytes -= cached.bytes;
+            self.retired_verifications += cached.engine.lazy_verifications();
+            // A mapped engine gives its pages back to the kernel when it
+            // leaves the cache; a handle still held elsewhere faults them
+            // back transparently on its next query.
+            cached.engine.discard_resident();
         }
+    }
+
+    fn lazy_verifications(&self) -> u64 {
+        self.retired_verifications
+            + self
+                .map
+                .values()
+                .map(|c| c.engine.lazy_verifications())
+                .sum::<u64>()
     }
 }
 
@@ -220,13 +272,22 @@ impl EngineCache {
 pub struct CacheStats {
     /// Requests served from a warm engine.
     pub hits: u64,
-    /// Snapshot loads (cold materializations).
+    /// Cold materializations of any kind (snapshot loads plus engines
+    /// built in-process by `add_document` / `add_engine`).
     pub loads: u64,
+    /// Snapshot loads served by the zero-copy mmap loader.
+    pub mmap_loads: u64,
+    /// Snapshot loads served by the bulk-read loader.
+    pub read_loads: u64,
     /// Engines evicted to stay under the byte budget.
     pub evictions: u64,
-    /// Engines currently resident.
+    /// Deferred (first-query) verification passes observed on engines
+    /// while cached — always `0` unless mmap serving is on.
+    pub lazy_verifications: u64,
+    /// Engines currently cached.
     pub resident: usize,
-    /// Resident count-index bytes.
+    /// Resident count-index bytes (a cached but not-yet-queried mapped
+    /// engine counts as `0` until verification faults its index in).
     pub resident_bytes: usize,
 }
 
@@ -289,6 +350,7 @@ pub struct Corpus {
     generation: u64,
     budget: usize,
     threads: usize,
+    mmap: bool,
     cache: Mutex<EngineCache>,
     batch: OnceLock<Batch>,
 }
@@ -336,6 +398,7 @@ impl Corpus {
             generation,
             budget: DEFAULT_BUDGET_BYTES,
             threads: 0,
+            mmap: false,
             cache: Mutex::new(EngineCache::default()),
             batch: OnceLock::new(),
         }
@@ -355,10 +418,33 @@ impl Corpus {
         self
     }
 
+    /// Serve snapshots through the zero-copy mmap loader
+    /// ([`Engine::load_snapshot_mmap`]): the engine borrows its count
+    /// sections from a page-cache mapping, answers its first query
+    /// before the index is fully paged in, and only charges the cache
+    /// budget once that query's verification pass has faulted it in. On
+    /// targets without the mmap wrapper this quietly falls back to bulk
+    /// reads (and the `mmap_loads` counter stays at zero).
+    pub fn with_mmap(mut self, mmap: bool) -> Self {
+        self.mmap = mmap;
+        self
+    }
+
     /// Change the cache budget; over-budget engines are evicted on the
     /// next load, not eagerly.
     pub fn set_budget(&mut self, bytes: usize) {
         self.budget = bytes;
+    }
+
+    /// Switch the snapshot loader for *future* cold loads (see
+    /// [`Corpus::with_mmap`]); already-warm engines are untouched.
+    pub fn set_mmap(&mut self, mmap: bool) {
+        self.mmap = mmap;
+    }
+
+    /// Whether cold loads go through the zero-copy mmap loader.
+    pub fn mmap_enabled(&self) -> bool {
+        self.mmap
     }
 
     /// The corpus directory.
@@ -400,11 +486,15 @@ impl Corpus {
 
     /// Cache observability counters.
     pub fn cache_stats(&self) -> CacheStats {
-        let cache = self.cache.lock().expect("corpus cache poisoned");
+        let mut cache = self.cache.lock().expect("corpus cache poisoned");
+        cache.refresh();
         CacheStats {
             hits: cache.hits,
             loads: cache.loads,
+            mmap_loads: cache.mmap_loads,
+            read_loads: cache.read_loads,
             evictions: cache.evictions,
+            lazy_verifications: cache.lazy_verifications(),
             resident: cache.map.len(),
             resident_bytes: cache.resident_bytes,
         }
@@ -412,10 +502,9 @@ impl Corpus {
 
     /// Resident count-index bytes across warm engines.
     pub fn resident_bytes(&self) -> usize {
-        self.cache
-            .lock()
-            .expect("corpus cache poisoned")
-            .resident_bytes
+        let mut cache = self.cache.lock().expect("corpus cache poisoned");
+        cache.refresh();
+        cache.resident_bytes
     }
 
     fn shared_batch(&self) -> &Batch {
@@ -488,6 +577,7 @@ impl Corpus {
             name.to_string(),
             Arc::new(engine),
             budget,
+            LoadKind::Built,
         );
         Ok(())
     }
@@ -552,7 +642,11 @@ impl Corpus {
             }
         }
         let path = self.snapshot_path(entry);
-        let engine = Engine::load_snapshot_path(&path)?;
+        let engine = if self.mmap {
+            Engine::load_snapshot_mmap(&path)?
+        } else {
+            Engine::load_snapshot_path(&path)?
+        };
         if engine.n() != entry.n || engine.k() != entry.k || engine.layout() != entry.layout {
             return Err(CorpusError::Manifest {
                 details: format!(
@@ -568,6 +662,13 @@ impl Corpus {
                 ),
             });
         }
+        // `is_mmap` (not the request flag) drives the split counters, so
+        // the fallback on targets without the mmap wrapper is visible.
+        let kind = if engine.is_mmap() {
+            LoadKind::Mapped
+        } else {
+            LoadKind::Read
+        };
         let engine = Arc::new(engine);
         let mut cache = self.cache.lock().expect("corpus cache poisoned");
         if let Some(existing) = cache.touch(&entry.name) {
@@ -575,7 +676,7 @@ impl Corpus {
             // and let this duplicate drop.
             return Ok(existing);
         }
-        cache.insert(entry.name.clone(), Arc::clone(&engine), self.budget);
+        cache.insert(entry.name.clone(), Arc::clone(&engine), self.budget, kind);
         Ok(engine)
     }
 
@@ -1077,6 +1178,76 @@ mod tests {
             assert_eq!(hit.item.chi_square.to_bits(), item.chi_square.to_bits());
             assert_eq!((hit.item.start, hit.item.end), (item.start, item.end));
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Mmap serving: loads are counted separately, a mapped engine stays
+    /// off the budget until its first query faults the index in, and
+    /// eviction hands its pages back while held handles keep answering.
+    #[test]
+    fn mmap_loads_defer_residency_and_discard_on_evict() {
+        let dir = temp_dir("mmap");
+        let mut corpus = Corpus::create(&dir).unwrap();
+        let model = Model::uniform(2).unwrap();
+        for (i, name) in ["m0", "m1"].iter().enumerate() {
+            corpus
+                .add_document(
+                    name,
+                    &doc(70 + i as u64, 2000, 2),
+                    model.clone(),
+                    if i == 0 {
+                        CountsLayout::Flat
+                    } else {
+                        CountsLayout::Blocked
+                    },
+                )
+                .unwrap();
+        }
+        let direct: Vec<_> = ["m0", "m1"]
+            .iter()
+            .map(|name| {
+                Engine::load_snapshot_path(dir.join(format!("{name}.snap")))
+                    .unwrap()
+                    .mss()
+                    .unwrap()
+            })
+            .collect();
+
+        let corpus = Corpus::open(&dir).unwrap().with_mmap(true);
+        assert!(corpus.mmap_enabled());
+        let m0 = corpus.engine("m0").unwrap();
+        if !m0.is_mmap() {
+            // Target without the mmap wrapper: the fallback bulk-read
+            // path is covered by every other test.
+            std::fs::remove_dir_all(&dir).ok();
+            return;
+        }
+        let stats = corpus.cache_stats();
+        assert_eq!((stats.mmap_loads, stats.read_loads), (1, 0));
+        assert_eq!(stats.resident_bytes, 0, "unqueried mapping is free");
+        assert_eq!(stats.lazy_verifications, 0);
+
+        // First query verifies lazily and makes the index resident.
+        assert_eq!(m0.mss().unwrap(), direct[0]);
+        let stats = corpus.cache_stats();
+        assert_eq!(stats.lazy_verifications, 1);
+        assert_eq!(stats.resident_bytes, m0.index_bytes());
+
+        // A starved budget evicts `m0` when `m1` loads; the eviction
+        // discards `m0`'s pages (it reads as non-resident again) but the
+        // held handle keeps answering — and re-verifies on next use.
+        let mut corpus = corpus;
+        corpus.set_budget(1);
+        match corpus.query("m1", &Query::mss()).unwrap() {
+            Answer::Best(r) => assert_eq!(r, direct[1]),
+            other => panic!("unexpected answer {other:?}"),
+        }
+        let stats = corpus.cache_stats();
+        assert_eq!((stats.mmap_loads, stats.read_loads), (2, 0));
+        assert!(stats.evictions >= 1);
+        assert_eq!(m0.resident_bytes(), 0, "evicted mapping was discarded");
+        assert_eq!(m0.mss().unwrap(), direct[0]);
+        assert_eq!(m0.lazy_verifications(), 2);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -145,7 +145,22 @@ impl Metrics {
 pub fn render_cache(out: &mut String, cache: &CacheStats) {
     let _ = writeln!(out, "sigstr_cache_hits_total {}", cache.hits);
     let _ = writeln!(out, "sigstr_cache_loads_total {}", cache.loads);
+    let _ = writeln!(
+        out,
+        "sigstr_cache_loads_total{{loader=\"mmap\"}} {}",
+        cache.mmap_loads
+    );
+    let _ = writeln!(
+        out,
+        "sigstr_cache_loads_total{{loader=\"read\"}} {}",
+        cache.read_loads
+    );
     let _ = writeln!(out, "sigstr_cache_evictions_total {}", cache.evictions);
+    let _ = writeln!(
+        out,
+        "sigstr_cache_lazy_verifications_total {}",
+        cache.lazy_verifications
+    );
     let _ = writeln!(out, "sigstr_cache_resident_engines {}", cache.resident);
     let _ = writeln!(out, "sigstr_cache_resident_bytes {}", cache.resident_bytes);
 }
@@ -202,14 +217,20 @@ mod tests {
         let cache = CacheStats {
             hits: 7,
             loads: 2,
+            mmap_loads: 1,
+            read_loads: 1,
             evictions: 1,
+            lazy_verifications: 3,
             resident: 1,
             resident_bytes: 4096,
         };
         let text = metrics.render(0, &cache);
         assert!(text.contains("sigstr_cache_hits_total 7"));
         assert!(text.contains("sigstr_cache_loads_total 2"));
+        assert!(text.contains("sigstr_cache_loads_total{loader=\"mmap\"} 1"));
+        assert!(text.contains("sigstr_cache_loads_total{loader=\"read\"} 1"));
         assert!(text.contains("sigstr_cache_evictions_total 1"));
+        assert!(text.contains("sigstr_cache_lazy_verifications_total 3"));
         assert!(text.contains("sigstr_cache_resident_engines 1"));
         assert!(text.contains("sigstr_cache_resident_bytes 4096"));
     }
