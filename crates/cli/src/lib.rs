@@ -151,6 +151,9 @@ pub enum Command {
     Serve {
         /// The corpus directory.
         dir: String,
+        /// Create the directory as an empty corpus if it does not hold
+        /// one yet (booting a brand-new shard ahead of a rebalance).
+        create: bool,
     },
     /// Scatter-gather router over shard servers: same HTTP surface as
     /// `serve`, answers merged across the fleet, shards health-checked
@@ -168,6 +171,20 @@ pub enum Command {
         no_hedge: bool,
         /// Print these documents' shard placements and exit.
         plan: Option<Vec<String>>,
+    },
+    /// Move documents between shard corpus directories so the fleet
+    /// matches a new ring layout; crash-safe and resumable.
+    Rebalance {
+        /// Current shard corpus directories, in ring order.
+        from: Vec<String>,
+        /// Target shard corpus directories, in ring order.
+        to: Vec<String>,
+        /// Virtual nodes per shard (must match the routers').
+        vnodes: Option<usize>,
+        /// Journal file override (default: `<to[0]>/rebalance.journal`).
+        journal: Option<String>,
+        /// Print the move plan without touching any corpus.
+        dry_run: bool,
     },
 }
 
@@ -240,6 +257,7 @@ impl Invocation {
                 | Command::CorpusList { .. }
                 | Command::Serve { .. }
                 | Command::Route { .. }
+                | Command::Rebalance { .. }
         )
     }
 }
@@ -256,9 +274,12 @@ USAGE:
     sigstr corpus query <dir> --query Q... [--merge-top T] [--merge-thresh A]
     sigstr corpus list  <dir> [--stats]
     sigstr serve <dir> [--addr A] [--threads N] [--budget-mb N] [--queue-depth N]
+                 [--create]
     sigstr route --shards A1,A2,... [--addr A] [--threads N] [--queue-depth N]
                  [--deadline-ms N] [--retries N] [--hedge-ms N | --no-hedge]
                  [--plan NAME1,NAME2,...]
+    sigstr rebalance --from DIR1,DIR2,... --to DIR1,DIR2,...
+                     [--vnodes N] [--journal PATH] [--dry-run]
 
 COMMANDS:
     mss                     most significant substring (Problem 1)
@@ -289,6 +310,12 @@ COMMANDS:
                             deadlined/retried/hedged, merged routes
                             degrade (200 + \"degraded\": true) instead
                             of failing when shards die
+    rebalance               move document snapshots between shard corpus
+                            directories so the fleet matches the target
+                            ring layout; copy is checksum-verified and
+                            committed before the source releases, and a
+                            journal makes an interrupted run resumable
+                            (re-run with the same --to to converge)
 
 OPTIONS:
     --algorithm A           ours (default) | trivial | arlm | agmm
@@ -327,6 +354,19 @@ OPTIONS:
     --plan N1,N2,...        route: print `name<TAB>shard<TAB>addr` for
                             each document name and exit (partitioning
                             helper; the running router uses the same map)
+    --from D1,D2,...        rebalance: current shard corpus directories,
+                            in ring order
+    --to D1,D2,...          rebalance: target shard corpus directories,
+                            in ring order (grow = append new dirs)
+    --vnodes N              rebalance: virtual nodes per shard (default
+                            64; must match the routers')
+    --journal PATH          rebalance: journal file location (default
+                            `<first-target-dir>/rebalance.journal`)
+    --dry-run               rebalance: print `name<TAB>from<TAB>to` for
+                            each planned move and exit without copying
+    --create                serve: create the directory as an empty
+                            corpus if it holds none yet (boot a fresh
+                            shard ahead of a rebalance)
     --help                  show this help
 ";
 
@@ -377,9 +417,9 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
                     .ok_or_else(|| format!("serve requires a corpus directory\n\n{USAGE}"))?;
                 (None, vec![dir], 2)
             }
-            // `route` takes no positional input — the shard fleet comes
-            // from `--shards`.
-            "route" => (None, vec![String::new()], 1),
+            // `route` and `rebalance` take no positional input — the
+            // fleet comes from `--shards` / `--from`+`--to`.
+            "route" | "rebalance" => (None, vec![String::new()], 1),
             _ => {
                 if args.len() < 2 {
                     return Err(format!("missing input file\n\n{USAGE}"));
@@ -417,6 +457,12 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
     let mut plan: Option<Vec<String>> = None;
     let mut mmap = false;
     let mut no_simd = false;
+    let mut from_dirs: Option<Vec<String>> = None;
+    let mut to_dirs: Option<Vec<String>> = None;
+    let mut vnodes: Option<usize> = None;
+    let mut journal: Option<String> = None;
+    let mut dry_run = false;
+    let mut create = false;
 
     let mut i = flags_from;
     while i < args.len() {
@@ -551,6 +597,36 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
                         .map_err(|e| format!("bad --threads: {e}"))?,
                 );
             }
+            "--from" => {
+                from_dirs = Some(
+                    take_value()?
+                        .split(',')
+                        .map(|s| s.trim().to_string())
+                        .filter(|s| !s.is_empty())
+                        .collect(),
+                );
+            }
+            "--to" => {
+                to_dirs = Some(
+                    take_value()?
+                        .split(',')
+                        .map(|s| s.trim().to_string())
+                        .filter(|s| !s.is_empty())
+                        .collect(),
+                );
+            }
+            "--vnodes" => {
+                let v: usize = take_value()?
+                    .parse()
+                    .map_err(|e| format!("bad --vnodes: {e}"))?;
+                if v == 0 {
+                    return Err("--vnodes must be at least 1".into());
+                }
+                vnodes = Some(v);
+            }
+            "--journal" => journal = Some(take_value()?.to_string()),
+            "--dry-run" => dry_run = true,
+            "--create" => create = true,
             "--queue-depth" => {
                 let depth: usize = take_value()?
                     .parse()
@@ -640,6 +716,7 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
         },
         ("serve", _) => Command::Serve {
             dir: positionals[0].clone(),
+            create,
         },
         ("route", _) => {
             let shards = shards.ok_or("route requires --shards ADDR1,ADDR2,...")?;
@@ -656,6 +733,23 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
                 hedge_ms,
                 no_hedge,
                 plan,
+            }
+        }
+        ("rebalance", _) => {
+            let from = from_dirs.ok_or("rebalance requires --from DIR1,DIR2,...")?;
+            let to = to_dirs.ok_or("rebalance requires --to DIR1,DIR2,...")?;
+            if from.is_empty() {
+                return Err("rebalance requires at least one --from directory".into());
+            }
+            if to.is_empty() {
+                return Err("rebalance requires at least one --to directory".into());
+            }
+            Command::Rebalance {
+                from,
+                to,
+                vnodes,
+                journal,
+                dry_run,
             }
         }
         ("corpus", Some(other)) => {
@@ -1020,7 +1114,8 @@ fn run_corpus_add(
     corpus
         .add_document(name, &seq, model, invocation.layout)
         .map_err(|e| e.to_string())?;
-    let entry = corpus.entries().last().expect("just added");
+    let entries = corpus.entries();
+    let entry = entries.last().expect("just added");
     Ok(format!(
         "added `{name}` to {dir}: n = {}, k = {}, layout {} ({} documents total)\n",
         entry.n,
@@ -1184,8 +1279,12 @@ fn run_corpus_query(invocation: &Invocation, dir: &str) -> Result<String, String
 /// until a shutdown signal (SIGINT/SIGTERM) drains it. The listening
 /// address is printed (and flushed) before the accept loop starts, so
 /// callers scripting against an ephemeral port can scrape it.
-fn run_serve(invocation: &Invocation, dir: &str) -> Result<String, String> {
-    let mut corpus = sigstr_corpus::Corpus::open(dir).map_err(|e| e.to_string())?;
+fn run_serve(invocation: &Invocation, dir: &str, create: bool) -> Result<String, String> {
+    let mut corpus = if create {
+        sigstr_corpus::Corpus::open_or_create(dir).map_err(|e| e.to_string())?
+    } else {
+        sigstr_corpus::Corpus::open(dir).map_err(|e| e.to_string())?
+    };
     if let Some(mb) = invocation.budget_mb {
         corpus.set_budget(mb << 20);
     }
@@ -1280,6 +1379,64 @@ fn run_route(
     ))
 }
 
+/// `rebalance`: reshape a shard fleet's document placement on disk.
+/// With `--dry-run`, print the move plan (`name<TAB>from<TAB>to`) and
+/// exit. Otherwise execute it: each document's snapshot is copied to
+/// its target directory, checksum-verified, committed into the target
+/// manifest, and only then released from the source — so an
+/// interrupted run never loses a document, and re-running with the
+/// same `--to` converges (a journal file detects and resumes
+/// half-finished runs).
+fn run_rebalance(
+    from: &[String],
+    to: &[String],
+    vnodes: Option<usize>,
+    journal: Option<&str>,
+    dry_run: bool,
+) -> Result<String, String> {
+    use std::path::PathBuf;
+    let from: Vec<PathBuf> = from.iter().map(PathBuf::from).collect();
+    let to: Vec<PathBuf> = to.iter().map(PathBuf::from).collect();
+    let vnodes = vnodes.unwrap_or(sigstr_router::DEFAULT_VNODES);
+    let mut out = String::new();
+    if dry_run {
+        let plan = sigstr_router::rebalance::plan(&from, &to, vnodes)
+            .map_err(|e| format!("rebalance plan failed: {e}"))?;
+        for step in &plan.moves {
+            let _ = writeln!(
+                out,
+                "{}\t{}\t{}",
+                step.entry.name,
+                step.src.display(),
+                step.dst.display()
+            );
+        }
+        let _ = writeln!(
+            out,
+            "plan: {} of {} documents to move ({} already placed)",
+            plan.moves.len(),
+            plan.total(),
+            plan.already_placed
+        );
+        return Ok(out);
+    }
+    let mut options = sigstr_router::rebalance::RebalanceOptions::new(vnodes);
+    options.journal = journal.map(PathBuf::from);
+    let report = sigstr_router::rebalance::execute(&from, &to, &options)
+        .map_err(|e| format!("rebalance failed: {e}"))?;
+    for name in &report.moved {
+        let _ = writeln!(out, "moved\t{name}");
+    }
+    let _ = writeln!(
+        out,
+        "rebalanced: moved {} of {} documents ({} already placed)",
+        report.moved.len(),
+        report.total,
+        report.already_placed
+    );
+    Ok(out)
+}
+
 /// Arrange a graceful [`sigstr_server::ServerHandle::shutdown`] on
 /// SIGINT/SIGTERM. Signal disposition is process-global state, so this
 /// is wired here in the CLI — the server library stays policy-free. The
@@ -1337,7 +1494,7 @@ pub fn run(invocation: &Invocation, raw: &[u8]) -> Result<String, String> {
         Command::CorpusAdd { dir, name } => return run_corpus_add(invocation, raw, dir, name),
         Command::CorpusQuery { dir } => return run_corpus_query(invocation, dir),
         Command::CorpusList { dir } => return run_corpus_list(invocation, dir),
-        Command::Serve { dir } => return run_serve(invocation, dir),
+        Command::Serve { dir, create } => return run_serve(invocation, dir, *create),
         Command::Route {
             shards,
             deadline_ms,
@@ -1356,6 +1513,13 @@ pub fn run(invocation: &Invocation, raw: &[u8]) -> Result<String, String> {
                 plan.as_deref(),
             )
         }
+        Command::Rebalance {
+            from,
+            to,
+            vnodes,
+            journal,
+            dry_run,
+        } => return run_rebalance(from, to, *vnodes, journal.as_deref(), *dry_run),
         _ => {}
     }
     let (seq, alphabet) = build_sequence(invocation.input_mode, raw)?;
@@ -1671,6 +1835,152 @@ mod tests {
     }
 
     #[test]
+    fn parse_rebalance_flags() {
+        let inv = parse_args(&argv(&[
+            "rebalance",
+            "--from",
+            "/data/s0, /data/s1",
+            "--to",
+            "/data/s0,/data/s1,/data/s2",
+            "--vnodes",
+            "32",
+            "--journal",
+            "/data/s0/rb.journal",
+            "--dry-run",
+        ]))
+        .unwrap();
+        assert!(!inv.reads_raw_input());
+        assert_eq!(
+            inv.command,
+            Command::Rebalance {
+                from: vec!["/data/s0".into(), "/data/s1".into()],
+                to: vec!["/data/s0".into(), "/data/s1".into(), "/data/s2".into()],
+                vnodes: Some(32),
+                journal: Some("/data/s0/rb.journal".into()),
+                dry_run: true,
+            }
+        );
+        let inv = parse_args(&argv(&["rebalance", "--from", "a", "--to", "a,b"])).unwrap();
+        assert_eq!(
+            inv.command,
+            Command::Rebalance {
+                from: vec!["a".into()],
+                to: vec!["a".into(), "b".into()],
+                vnodes: None,
+                journal: None,
+                dry_run: false,
+            }
+        );
+    }
+
+    #[test]
+    fn parse_rebalance_errors() {
+        assert!(parse_args(&argv(&["rebalance"])).is_err()); // missing both
+        assert!(parse_args(&argv(&["rebalance", "--from", "a"])).is_err()); // no --to
+        assert!(parse_args(&argv(&["rebalance", "--to", "a,b"])).is_err()); // no --from
+        assert!(parse_args(&argv(&["rebalance", "--from", "", "--to", "a"])).is_err());
+        assert!(parse_args(&argv(&["rebalance", "--from", "a", "--to", ""])).is_err());
+        assert!(parse_args(&argv(&[
+            "rebalance",
+            "--from",
+            "a",
+            "--to",
+            "a,b",
+            "--vnodes",
+            "0"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn rebalance_moves_documents_between_corpus_dirs() {
+        let base = std::env::temp_dir().join(format!(
+            "sigstr-cli-rebalance-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&base);
+        let s0 = base.join("s0");
+        let s1 = base.join("s1");
+        std::fs::create_dir_all(&s0).unwrap();
+        std::fs::create_dir_all(&s1).unwrap();
+        let names = [
+            "doc-a", "doc-b", "doc-c", "doc-d", "doc-e", "doc-f", "doc-g", "doc-h",
+        ];
+        for name in names {
+            let inv = parse_args(&argv(&[
+                "corpus",
+                "add",
+                s0.to_str().unwrap(),
+                "-",
+                "--name",
+                name,
+            ]))
+            .unwrap();
+            run(&inv, b"abracadabra arbor abracadabra").unwrap();
+        }
+        // The CLI's plan must be the router's ring: growing 1 -> 2
+        // moves exactly the names the two-shard ring sends to shard 1.
+        let ring = sigstr_router::hash::Ring::new(2, sigstr_router::DEFAULT_VNODES);
+        let expected: Vec<&str> = names
+            .iter()
+            .copied()
+            .filter(|name| ring.shard_for(name) == 1)
+            .collect();
+
+        let layout = format!("{},{}", s0.display(), s1.display());
+        let dry = parse_args(&argv(&[
+            "rebalance",
+            "--from",
+            s0.to_str().unwrap(),
+            "--to",
+            &layout,
+            "--dry-run",
+        ]))
+        .unwrap();
+        let out = run(&dry, &[]).unwrap();
+        let planned = out.lines().filter(|l| l.contains('\t')).count();
+        assert_eq!(planned, expected.len());
+        assert!(out.contains(&format!(
+            "plan: {} of {} documents to move",
+            expected.len(),
+            names.len()
+        )));
+        // Dry run touches nothing: everything still lives on s0.
+        for name in names {
+            assert!(
+                s0.join(format!("{name}.snap")).exists(),
+                "{name} moved early"
+            );
+        }
+
+        let exec = parse_args(&argv(&[
+            "rebalance",
+            "--from",
+            s0.to_str().unwrap(),
+            "--to",
+            &layout,
+        ]))
+        .unwrap();
+        let out = run(&exec, &[]).unwrap();
+        for name in &expected {
+            assert!(
+                out.contains(&format!("moved\t{name}")),
+                "missing {name}:\n{out}"
+            );
+        }
+        assert!(out.contains(&format!(
+            "moved {} of {} documents",
+            expected.len(),
+            names.len()
+        )));
+        // Converged: a second run has nothing left to do.
+        let out = run(&exec, &[]).unwrap();
+        assert!(out.contains(&format!("moved 0 of {} documents", names.len())));
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
+    #[test]
     fn parse_index_and_corpus_commands() {
         let inv = parse_args(&argv(&["index", "build", "in.txt", "--out", "out.snap"])).unwrap();
         assert_eq!(
@@ -1719,11 +2029,21 @@ mod tests {
         assert_eq!(
             inv.command,
             Command::Serve {
-                dir: "corpusdir".into()
+                dir: "corpusdir".into(),
+                create: false,
             }
         );
         assert!(!inv.reads_raw_input());
         assert_eq!(inv.addr, None);
+
+        let inv = parse_args(&argv(&["serve", "fresh", "--create"])).unwrap();
+        assert_eq!(
+            inv.command,
+            Command::Serve {
+                dir: "fresh".into(),
+                create: true,
+            }
+        );
 
         let inv = parse_args(&argv(&[
             "serve",

@@ -56,7 +56,7 @@ pub mod manifest;
 use std::collections::HashMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 use sigstr_core::engine::{Answer, Batch, Query};
 use sigstr_core::{CountsLayout, Engine, Model, Scored, Sequence};
@@ -338,16 +338,48 @@ pub fn merge_ranked(per_doc: &[(usize, &str, &[Scored])], limit: usize) -> Vec<D
 // The corpus.
 // ---------------------------------------------------------------------------
 
+/// Departed-name tombstones retained per corpus (bounds memory across
+/// unbounded rebalance churn; the oldest departures are forgotten
+/// first, and a forgotten departure degrades to a plain 404).
+const DEPARTED_CAP: usize = 1024;
+
+/// The corpus's membership view: manifest entries, the generation they
+/// came from, and tombstones for names that left. Grouped under one
+/// lock so `refresh` swaps all three atomically with respect to
+/// concurrent readers.
+#[derive(Debug)]
+struct Membership {
+    entries: Vec<DocumentEntry>,
+    generation: u64,
+    /// Names that were members of an earlier generation and have since
+    /// left (removed or migrated to another shard), with the generation
+    /// that dropped them. Lets serving layers answer "moved away"
+    /// (HTTP `410 Gone`) instead of "never existed" (404).
+    departed: HashMap<String, u64>,
+}
+
+fn note_departed(membership: &mut Membership, name: &str, generation: u64) {
+    membership.departed.insert(name.to_string(), generation);
+    if membership.departed.len() > DEPARTED_CAP {
+        let mut generations: Vec<u64> = membership.departed.values().copied().collect();
+        generations.sort_unstable();
+        let cutoff = generations[generations.len() - DEPARTED_CAP];
+        membership.departed.retain(|_, g| *g >= cutoff);
+    }
+}
+
 /// A directory of document snapshots served from a budgeted warm-engine
 /// cache. See the [module docs](self) for the full story.
+///
+/// Membership is interior-mutable behind an `RwLock` so a *serving*
+/// corpus (shared `&self` across a worker pool) can pick up manifest
+/// rewrites made by another process — a live rebalance — via
+/// [`Corpus::refresh`], without restarting or blocking in-flight
+/// queries.
 #[derive(Debug)]
 pub struct Corpus {
     dir: PathBuf,
-    entries: Vec<DocumentEntry>,
-    /// Manifest generation: bumped on every successful manifest rewrite
-    /// and persisted in the manifest itself, so readers (and `/healthz`
-    /// probes) can detect membership changes cheaply.
-    generation: u64,
+    membership: RwLock<Membership>,
     budget: usize,
     threads: usize,
     mmap: bool,
@@ -394,8 +426,11 @@ impl Corpus {
     fn from_parts(dir: PathBuf, entries: Vec<DocumentEntry>, generation: u64) -> Self {
         Self {
             dir,
-            entries,
-            generation,
+            membership: RwLock::new(Membership {
+                entries,
+                generation,
+                departed: HashMap::new(),
+            }),
             budget: DEFAULT_BUDGET_BYTES,
             threads: 0,
             mmap: false,
@@ -459,29 +494,121 @@ impl Corpus {
 
     /// Number of documents in the corpus.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.membership
+            .read()
+            .expect("membership poisoned")
+            .entries
+            .len()
     }
 
     /// Whether the corpus holds no documents.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
     }
 
-    /// The manifest entries, in corpus (document-index) order.
-    pub fn entries(&self) -> &[DocumentEntry] {
-        &self.entries
+    /// A snapshot of the manifest entries, in corpus (document-index)
+    /// order. The snapshot is a point-in-time copy: a concurrent
+    /// [`Corpus::refresh`] does not mutate it under the caller.
+    pub fn entries(&self) -> Vec<DocumentEntry> {
+        self.membership
+            .read()
+            .expect("membership poisoned")
+            .entries
+            .clone()
     }
 
     /// The manifest generation: bumped on every successful membership
     /// change, persisted across restarts (`0` only for corpora written
     /// before generations existed and never updated since).
     pub fn generation(&self) -> u64 {
-        self.generation
+        self.membership
+            .read()
+            .expect("membership poisoned")
+            .generation
     }
 
     /// The document index of `name`, if present.
     pub fn position(&self, name: &str) -> Option<usize> {
-        self.entries.iter().position(|e| e.name == name)
+        self.membership
+            .read()
+            .expect("membership poisoned")
+            .entries
+            .iter()
+            .position(|e| e.name == name)
+    }
+
+    /// If `name` belonged to an earlier generation of this corpus and
+    /// has since been removed or migrated away, the generation that
+    /// dropped it. `None` for current members and never-seen names.
+    pub fn departed(&self, name: &str) -> Option<u64> {
+        self.membership
+            .read()
+            .expect("membership poisoned")
+            .departed
+            .get(name)
+            .copied()
+    }
+
+    /// Re-read the manifest from disk and adopt it if its generation is
+    /// newer than the in-memory view. This is how a *serving* corpus
+    /// follows membership changes written by another process (a live
+    /// rebalance): entries that left or changed get their warm engines
+    /// evicted (in-flight `Arc<Engine>` handles keep answering), names
+    /// that left are recorded as departed, and names that rejoined are
+    /// un-tombstoned. Returns whether anything changed. Cheap when
+    /// nothing changed: one small-file read and a generation compare.
+    pub fn refresh(&self) -> Result<bool> {
+        let path = manifest::manifest_path(&self.dir);
+        let text = std::fs::read_to_string(&path).map_err(io_error(&path))?;
+        let disk_generation = manifest::parse_generation(&text);
+        if disk_generation
+            == self
+                .membership
+                .read()
+                .expect("membership poisoned")
+                .generation
+        {
+            return Ok(false);
+        }
+        let entries = manifest::parse(&text)?;
+        let mut membership = self.membership.write().expect("membership poisoned");
+        // Re-check under the write lock: a racing refresher (or our own
+        // writer) may have adopted this — or a newer — generation first.
+        if disk_generation <= membership.generation {
+            return Ok(false);
+        }
+        let old = std::mem::replace(&mut membership.entries, entries);
+        membership.generation = disk_generation;
+        let mut evict: Vec<String> = Vec::new();
+        let mut departures: Vec<String> = Vec::new();
+        for previous in &old {
+            match membership.entries.iter().find(|e| e.name == previous.name) {
+                Some(current) if current == previous => {}
+                Some(_) => evict.push(previous.name.clone()),
+                None => {
+                    evict.push(previous.name.clone());
+                    departures.push(previous.name.clone());
+                }
+            }
+        }
+        for name in departures {
+            note_departed(&mut membership, &name, disk_generation);
+        }
+        let rejoined: Vec<String> = membership
+            .entries
+            .iter()
+            .filter(|e| membership.departed.contains_key(&e.name))
+            .map(|e| e.name.clone())
+            .collect();
+        for name in rejoined {
+            membership.departed.remove(&name);
+        }
+        drop(membership);
+        let mut cache = self.cache.lock().expect("corpus cache poisoned");
+        for name in evict {
+            cache.remove(&name);
+        }
+        Ok(true)
     }
 
     /// Cache observability counters.
@@ -558,20 +685,23 @@ impl Corpus {
         let tmp = self.dir.join(format!("{file}.tmp"));
         engine.write_snapshot_path(&tmp)?;
         std::fs::rename(&tmp, &path).map_err(io_error(&path))?;
-        self.entries.push(DocumentEntry {
+        let mut membership = self.membership.write().expect("membership poisoned");
+        membership.entries.push(DocumentEntry {
             name: name.to_string(),
             file,
             k: engine.k(),
             n: engine.n(),
             layout: engine.layout(),
         });
-        if let Err(e) = manifest::write(&self.dir, &self.entries, self.generation + 1) {
+        if let Err(e) = manifest::write(&self.dir, &membership.entries, membership.generation + 1) {
             // Roll back membership so the in-memory view matches disk.
-            self.entries.pop();
+            membership.entries.pop();
             std::fs::remove_file(&path).ok();
             return Err(e);
         }
-        self.generation += 1;
+        membership.generation += 1;
+        membership.departed.remove(name);
+        drop(membership);
         let budget = self.budget;
         self.cache.lock().expect("corpus cache poisoned").insert(
             name.to_string(),
@@ -584,18 +714,27 @@ impl Corpus {
 
     /// Remove a document: drop it from the manifest (rewritten
     /// atomically), evict any warm engine, and delete its snapshot file.
+    /// An `Arc<Engine>` handle already handed out keeps answering
+    /// bit-identically — eviction discards cached pages, never the data
+    /// a live handle depends on.
     pub fn remove_document(&mut self, name: &str) -> Result<()> {
-        let index = self
-            .position(name)
+        let mut membership = self.membership.write().expect("membership poisoned");
+        let index = membership
+            .entries
+            .iter()
+            .position(|e| e.name == name)
             .ok_or_else(|| CorpusError::UnknownDocument {
                 name: name.to_string(),
             })?;
-        let entry = self.entries.remove(index);
-        if let Err(e) = manifest::write(&self.dir, &self.entries, self.generation + 1) {
-            self.entries.insert(index, entry);
+        let entry = membership.entries.remove(index);
+        if let Err(e) = manifest::write(&self.dir, &membership.entries, membership.generation + 1) {
+            membership.entries.insert(index, entry);
             return Err(e);
         }
-        self.generation += 1;
+        membership.generation += 1;
+        let generation = membership.generation;
+        note_departed(&mut membership, name, generation);
+        drop(membership);
         self.cache
             .lock()
             .expect("corpus cache poisoned")
@@ -615,22 +754,44 @@ impl Corpus {
     /// The returned handle stays valid even if the engine is evicted
     /// while the caller still holds it.
     pub fn engine(&self, name: &str) -> Result<Arc<Engine>> {
-        let index = self
-            .position(name)
+        let entry = self
+            .membership
+            .read()
+            .expect("membership poisoned")
+            .entries
+            .iter()
+            .find(|e| e.name == name)
+            .cloned()
             .ok_or_else(|| CorpusError::UnknownDocument {
                 name: name.to_string(),
             })?;
-        self.engine_at(index)
+        self.engine_for_entry(&entry)
     }
 
     /// [`Corpus::engine`] by document index.
     pub fn engine_at(&self, index: usize) -> Result<Arc<Engine>> {
         let entry = self
+            .membership
+            .read()
+            .expect("membership poisoned")
             .entries
             .get(index)
+            .cloned()
             .ok_or_else(|| CorpusError::UnknownDocument {
                 name: format!("#{index}"),
             })?;
+        self.engine_for_entry(&entry)
+    }
+
+    /// Materialize the engine for one manifest entry. Callers hold a
+    /// point-in-time entry clone, so this stays coherent even when a
+    /// concurrent refresh swaps membership mid-batch: a warm engine is
+    /// served only if its geometry matches the caller's entry, otherwise
+    /// the entry's own snapshot file decides.
+    fn engine_for_entry(&self, entry: &DocumentEntry) -> Result<Arc<Engine>> {
+        let matches = |engine: &Engine| {
+            engine.n() == entry.n && engine.k() == entry.k && engine.layout() == entry.layout
+        };
         // Fast path under the lock; the disk load below runs outside it
         // so warm hits on other documents never stall behind a cold
         // multi-second load. Two racing cold callers may both load; the
@@ -638,7 +799,11 @@ impl Corpus {
         {
             let mut cache = self.cache.lock().expect("corpus cache poisoned");
             if let Some(engine) = cache.touch(&entry.name) {
-                return Ok(engine);
+                if matches(&engine) {
+                    return Ok(engine);
+                }
+                // The warm engine belongs to a different incarnation of
+                // this name; the caller's snapshot file decides below.
             }
         }
         let path = self.snapshot_path(entry);
@@ -647,7 +812,7 @@ impl Corpus {
         } else {
             Engine::load_snapshot_path(&path)?
         };
-        if engine.n() != entry.n || engine.k() != entry.k || engine.layout() != entry.layout {
+        if !matches(&engine) {
             return Err(CorpusError::Manifest {
                 details: format!(
                     "snapshot {} geometry (n = {}, k = {}, {:?}) disagrees with the manifest \
@@ -672,9 +837,14 @@ impl Corpus {
         let engine = Arc::new(engine);
         let mut cache = self.cache.lock().expect("corpus cache poisoned");
         if let Some(existing) = cache.touch(&entry.name) {
-            // Another caller finished loading first — serve its engine
-            // and let this duplicate drop.
-            return Ok(existing);
+            if matches(&existing) {
+                // Another caller finished loading first — serve its
+                // engine and let this duplicate drop.
+                return Ok(existing);
+            }
+            // The cache holds a different incarnation (newer membership);
+            // serve our load without clobbering it.
+            return Ok(engine);
         }
         cache.insert(entry.name.clone(), Arc::clone(&engine), self.budget, kind);
         Ok(engine)
@@ -694,8 +864,10 @@ impl Corpus {
     /// failed snapshot load or a per-document query rejection never takes
     /// down the rest of the corpus).
     pub fn query_all(&self, query: &Query) -> Vec<Result<Answer>> {
-        self.run_batch_indexed(
-            &(0..self.entries.len())
+        let entries = self.entries();
+        self.run_batch_on(
+            &entries,
+            &(0..entries.len())
                 .map(|doc| (doc, *query))
                 .collect::<Vec<_>>(),
         )
@@ -707,25 +879,39 @@ impl Corpus {
     /// same corpus reuse warm engines instead of rebuilding one per
     /// input per run.
     pub fn run_batch_indexed(&self, jobs: &[(usize, Query)]) -> Vec<Result<Answer>> {
+        self.run_batch_on(&self.entries(), jobs)
+    }
+
+    /// [`Corpus::run_batch_indexed`] against one point-in-time membership
+    /// snapshot. All index resolution happens against `entries`, so a
+    /// concurrent [`Corpus::refresh`] (live rebalance adopting an
+    /// externally-rewritten manifest) cannot shift document indices under
+    /// a batch mid-flight — in-flight batches complete against the
+    /// membership they started with, bit-identically.
+    fn run_batch_on(
+        &self,
+        entries: &[DocumentEntry],
+        jobs: &[(usize, Query)],
+    ) -> Vec<Result<Answer>> {
         if jobs.is_empty() {
             return Vec::new();
         }
         // Materialize each referenced document once. Cold loads run
-        // concurrently (engine_at loads outside the cache lock, so a
-        // batch cold start pays max-of-loads, not sum-of-loads).
+        // concurrently (engine_for_entry loads outside the cache lock, so
+        // a batch cold start pays max-of-loads, not sum-of-loads).
         let mut referenced: Vec<usize> = jobs
             .iter()
             .map(|&(doc, _)| doc)
-            .filter(|&doc| doc < self.entries.len())
+            .filter(|&doc| doc < entries.len())
             .collect();
         referenced.sort_unstable();
         referenced.dedup();
-        let mut engines: Vec<Option<Arc<Engine>>> = vec![None; self.entries.len()];
+        let mut engines: Vec<Option<Arc<Engine>>> = vec![None; entries.len()];
         let mut load_errors: HashMap<usize, CorpusError> = HashMap::new();
         let loaded: Vec<(usize, Result<Arc<Engine>>)> = if referenced.len() <= 1 {
             referenced
                 .iter()
-                .map(|&doc| (doc, self.engine_at(doc)))
+                .map(|&doc| (doc, self.engine_for_entry(&entries[doc])))
                 .collect()
         } else {
             let cursor = std::sync::atomic::AtomicUsize::new(0);
@@ -738,7 +924,7 @@ impl Corpus {
                         let Some(&doc) = referenced.get(i) else {
                             break;
                         };
-                        let result = self.engine_at(doc);
+                        let result = self.engine_for_entry(&entries[doc]);
                         collected
                             .lock()
                             .expect("loader results")
@@ -758,7 +944,7 @@ impl Corpus {
         }
         // Compact to the loaded engines and remap job indices onto them.
         let mut dense: Vec<Arc<Engine>> = Vec::new();
-        let mut dense_index: Vec<Option<usize>> = vec![None; self.entries.len()];
+        let mut dense_index: Vec<Option<usize>> = vec![None; entries.len()];
         for (doc, slot) in engines.into_iter().enumerate() {
             if let Some(engine) = slot {
                 dense_index[doc] = Some(dense.len());
@@ -824,11 +1010,17 @@ impl Corpus {
     /// brute-force per-document mining plus that explicit merge. Fails if
     /// any document fails (a partial merge would silently misrank).
     pub fn top_t_merged(&self, t: usize) -> Result<Vec<DocHit>> {
-        let answers = self.query_all(&Query::top_t(t));
+        let entries = self.entries();
+        let answers = self.run_batch_on(
+            &entries,
+            &(0..entries.len())
+                .map(|doc| (doc, Query::top_t(t)))
+                .collect::<Vec<_>>(),
+        );
         let mut per_doc: Vec<(usize, &str, Vec<Scored>)> = Vec::with_capacity(answers.len());
         for (doc, answer) in answers.into_iter().enumerate() {
             match answer? {
-                Answer::Top(r) => per_doc.push((doc, self.entries[doc].name.as_str(), r.items)),
+                Answer::Top(r) => per_doc.push((doc, entries[doc].name.as_str(), r.items)),
                 other => unreachable!("top_t query produced {other:?}"),
             }
         }
@@ -843,13 +1035,19 @@ impl Corpus {
     /// `X² > alpha`, mined concurrently, concatenated in document order
     /// (each document's items in its canonical order).
     pub fn above_threshold_merged(&self, alpha: f64) -> Result<Vec<DocHit>> {
-        let answers = self.query_all(&Query::above_threshold(alpha));
+        let entries = self.entries();
+        let answers = self.run_batch_on(
+            &entries,
+            &(0..entries.len())
+                .map(|doc| (doc, Query::above_threshold(alpha)))
+                .collect::<Vec<_>>(),
+        );
         let mut hits = Vec::new();
         for (doc, answer) in answers.into_iter().enumerate() {
             match answer? {
                 Answer::Threshold(r) => hits.extend(r.items.into_iter().map(|item| DocHit {
                     doc,
-                    name: self.entries[doc].name.clone(),
+                    name: entries[doc].name.clone(),
                     item,
                 })),
                 other => unreachable!("threshold query produced {other:?}"),

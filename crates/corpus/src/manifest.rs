@@ -205,14 +205,28 @@ pub fn read(dir: &Path) -> Result<(Vec<DocumentEntry>, u64)> {
     Ok((parse(&text)?, parse_generation(&text)))
 }
 
+/// Flush a directory's metadata to stable storage. A `rename` is atomic
+/// with respect to crashes but **not durable** on its own: the updated
+/// directory entry lives in the directory's own metadata, which the
+/// kernel may still be holding in memory when power is lost. Callers
+/// that just renamed something into `dir` fsync the directory to make
+/// the rename stick.
+pub fn fsync_dir(dir: &Path) -> std::io::Result<()> {
+    std::fs::File::open(dir)?.sync_all()
+}
+
 /// Atomically rewrite the manifest inside `dir` (temp file + rename).
 ///
 /// This is the crash-safety contract the corpus relies on (and that
 /// `tests/manifest_crash.rs` pins): the previous manifest stays intact
 /// and readable until the rename lands, so a crash at any point mid-
 /// rewrite — including a torn, half-written temp file — loses at most
-/// the update in progress, never the previous generation.
+/// the update in progress, never the previous generation. Durability is
+/// part of the contract too: the temp file is fsync'd before the rename
+/// (so the rename can never publish torn data) and the directory is
+/// fsync'd after it (so the rename itself survives power loss).
 pub fn write(dir: &Path, entries: &[DocumentEntry], generation: u64) -> Result<()> {
+    use std::io::Write;
     let path = manifest_path(dir);
     let tmp = dir.join(format!("{MANIFEST_FILE}.tmp"));
     let io = |p: &Path| {
@@ -222,8 +236,13 @@ pub fn write(dir: &Path, entries: &[DocumentEntry], generation: u64) -> Result<(
             details: e.to_string(),
         }
     };
-    std::fs::write(&tmp, render(entries, generation)).map_err(io(&tmp))?;
+    let mut file = std::fs::File::create(&tmp).map_err(io(&tmp))?;
+    file.write_all(render(entries, generation).as_bytes())
+        .map_err(io(&tmp))?;
+    file.sync_all().map_err(io(&tmp))?;
+    drop(file);
     std::fs::rename(&tmp, &path).map_err(io(&path))?;
+    fsync_dir(dir).map_err(io(dir))?;
     Ok(())
 }
 

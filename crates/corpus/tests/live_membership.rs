@@ -1,0 +1,230 @@
+//! Live-membership safety: a corpus directory rewritten underneath an
+//! open handle (the rebalance tool releasing a document while a shard
+//! server keeps serving) must never corrupt in-flight answers.
+//!
+//! The contract under test, in three layers:
+//!
+//! * [`Corpus::refresh`] adopts external adds/removes and records the
+//!   departure generation ([`Corpus::departed`]) for `410 Gone`
+//!   answers.
+//! * A warm engine — cached in the serving handle, or held as an
+//!   `Arc<Engine>` — keeps answering **bit-identically** after another
+//!   handle removed the document and deleted its snapshot file.
+//! * A batch racing the removal completes every job it started with
+//!   the answers it would have produced without the removal.
+
+use std::path::{Path, PathBuf};
+use std::sync::mpsc;
+
+use sigstr_core::{Answer, CountsLayout, Model, Query, Sequence};
+use sigstr_corpus::{Corpus, CorpusError};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "sigstr-live-membership-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn doc(seed: u64, n: usize, k: usize) -> Sequence {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    let symbols: Vec<u8> = (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % k as u64) as u8
+        })
+        .collect();
+    Sequence::from_symbols(symbols, k).unwrap()
+}
+
+const DOCS: [(&str, u64, usize, usize); 4] = [
+    ("bin-a", 3, 420, 2),
+    ("bin-b", 4, 380, 2),
+    ("tri-c", 5, 360, 3),
+    ("tri-d", 6, 300, 3),
+];
+
+fn build(dir: &Path) -> Corpus {
+    let mut corpus = Corpus::create(dir).unwrap();
+    for (name, seed, n, k) in DOCS {
+        corpus
+            .add_document(
+                name,
+                &doc(seed, n, k),
+                Model::uniform(k).unwrap(),
+                CountsLayout::Flat,
+            )
+            .unwrap();
+    }
+    corpus
+}
+
+fn assert_identical(got: &Answer, want: &Answer, label: &str) {
+    assert_eq!(got, want, "{label}: full struct");
+    for (a, b) in got.items().iter().zip(want.items()) {
+        assert_eq!(
+            a.chi_square.to_bits(),
+            b.chi_square.to_bits(),
+            "{label}: chi-square bits"
+        );
+    }
+}
+
+/// `refresh` adopts adds and removes another handle performed, exactly
+/// once, and records the departure generation for the removed name.
+#[test]
+fn refresh_adopts_external_adds_and_removes() {
+    let dir = temp_dir("refresh");
+    let mut writer = build(&dir);
+    let reader = Corpus::open(&dir).unwrap();
+    let before = reader.generation();
+
+    writer.remove_document("bin-a").unwrap();
+    writer
+        .add_document(
+            "quad-e",
+            &doc(7, 340, 4),
+            Model::uniform(4).unwrap(),
+            CountsLayout::Blocked,
+        )
+        .unwrap();
+
+    // The reader still sees the membership it opened with.
+    assert_eq!(reader.len(), DOCS.len());
+    assert_eq!(reader.generation(), before);
+
+    assert!(reader.refresh().unwrap(), "a rewrite must be adopted");
+    assert_eq!(reader.generation(), before + 2);
+    let names: Vec<String> = reader.entries().iter().map(|e| e.name.clone()).collect();
+    assert_eq!(names, ["bin-b", "tri-c", "tri-d", "quad-e"]);
+
+    // The departed document 410s with the generation whose adoption
+    // dropped it (the reader cannot see intermediate rewrites)...
+    assert_eq!(reader.departed("bin-a"), Some(reader.generation()));
+    assert!(matches!(
+        reader.query("bin-a", &Query::top_t(3)),
+        Err(CorpusError::UnknownDocument { .. })
+    ));
+    // ...the adopted one answers bit-identically to the writer's copy.
+    let query = Query::top_t(5);
+    assert_identical(
+        &reader.query("quad-e", &query).unwrap(),
+        &writer.query("quad-e", &query).unwrap(),
+        "adopted quad-e",
+    );
+
+    // Idempotent: nothing changed on disk, nothing to adopt.
+    assert!(!reader.refresh().unwrap());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The serving contract behind a live rebalance: engines warm in the
+/// serving handle — cached or held as an `Arc` — answer bit-identically
+/// after another handle removed the document and unlinked its snapshot.
+/// Exercised over both snapshot load paths (heap read and mmap).
+#[test]
+fn warm_engine_survives_external_removal() {
+    for mmap in [false, true] {
+        let dir = temp_dir(if mmap { "warm-mmap" } else { "warm-heap" });
+        let mut writer = build(&dir);
+        let reader = Corpus::open(&dir).unwrap().with_mmap(mmap);
+        let query = Query::top_t(4);
+
+        // Warm the cache and keep an explicit handle out.
+        let baseline = reader.query("bin-a", &query).unwrap();
+        let held = reader.engine("bin-a").unwrap();
+
+        writer.remove_document("bin-a").unwrap();
+        assert!(
+            !dir.join("bin-a.snap").exists(),
+            "the snapshot file is gone (mmap={mmap})"
+        );
+
+        // Unrefreshed, the reader serves from its warm cache...
+        assert_identical(
+            &reader.query("bin-a", &query).unwrap(),
+            &baseline,
+            "warm cache after removal",
+        );
+        // ...and after adopting the removal, the held `Arc` still
+        // answers while the corpus itself reports the departure.
+        assert!(reader.refresh().unwrap());
+        assert_identical(
+            &held.answer(&query).unwrap(),
+            &baseline,
+            "held Arc after refresh",
+        );
+        assert!(reader.departed("bin-a").is_some());
+        assert!(matches!(
+            reader.query("bin-a", &query),
+            Err(CorpusError::UnknownDocument { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// A batch in flight when another handle removes one of its documents
+/// completes every job bit-identically: `run_batch_indexed` resolves
+/// its membership snapshot and materializes every engine up front, so
+/// the removal can only affect *later* batches.
+#[test]
+fn remove_mid_batch_completes_bit_identically() {
+    let dir = temp_dir("mid-batch");
+    let mut writer = build(&dir);
+    let reader = Corpus::open(&dir).unwrap();
+
+    // Warm every engine and capture the reference answers.
+    let query = Query::top_t(3);
+    let baseline: Vec<Answer> = reader
+        .query_all(&query)
+        .into_iter()
+        .map(|r| r.unwrap())
+        .collect();
+
+    // Many rounds over every document: plenty of compute still in
+    // flight when the removal lands.
+    let jobs: Vec<(usize, Query)> = (0..64)
+        .flat_map(|_| (0..DOCS.len()).map(|d| (d, query)))
+        .collect();
+
+    let (started_tx, started_rx) = mpsc::channel();
+    let answers = std::thread::scope(|scope| {
+        let batch = scope.spawn(|| {
+            started_tx.send(()).unwrap();
+            reader.run_batch_indexed(&jobs)
+        });
+        started_rx.recv().unwrap();
+        writer.remove_document("tri-c").unwrap();
+        batch.join().unwrap()
+    });
+
+    assert_eq!(answers.len(), jobs.len());
+    for (&(d, _), result) in jobs.iter().zip(&answers) {
+        assert_identical(
+            result.as_ref().unwrap(),
+            &baseline[d],
+            &format!("mid-batch doc #{d}"),
+        );
+    }
+
+    // The *next* batch, after adopting the removal, sees the new
+    // membership: the removed document errors, the survivors are
+    // untouched.
+    assert!(reader.refresh().unwrap());
+    let gone = reader.position("tri-c");
+    assert_eq!(gone, None);
+    for (i, (name, ..)) in DOCS.iter().enumerate() {
+        let result = reader.query(name, &query);
+        if *name == "tri-c" {
+            assert!(matches!(result, Err(CorpusError::UnknownDocument { .. })));
+        } else {
+            assert_identical(&result.unwrap(), &baseline[i], name);
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -88,6 +88,58 @@ fn torn_tmp_rewrite_recovers_the_previous_generation() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// The crash window the directory fsync exists for: the rewrite got as
+/// far as a fully-written, *valid* temp file, but power was lost before
+/// the rename was durable — on replay the filesystem may present the
+/// old manifest with the complete new temp still sitting next to it.
+/// Recovery must serve the old (renamed-and-fsync'd) generation and
+/// sweep the temp; the interrupted update is simply lost, never
+/// half-applied.
+#[test]
+fn completed_tmp_whose_rename_was_lost_recovers_the_old_generation() {
+    let dir = temp_dir("lost-rename");
+    let corpus = build(&dir);
+    let generation = corpus.generation();
+    let entries = corpus.entries().to_vec();
+    drop(corpus);
+
+    // A complete, parseable next-generation manifest that never made it
+    // through a durable rename.
+    let next = manifest::render(&entries[..1], generation + 1);
+    assert!(manifest::parse(&next).is_ok());
+    let tmp = dir.join("corpus.manifest.tmp");
+    std::fs::write(&tmp, next).unwrap();
+
+    let reopened = Corpus::open(&dir).unwrap();
+    assert_eq!(reopened.generation(), generation);
+    assert_eq!(reopened.len(), entries.len());
+    assert!(!tmp.exists(), "unrenamed temp must be swept, not adopted");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The durable-write path itself: `manifest::write` must leave no temp
+/// behind, land the rendered text exactly, and the directory it fsyncs
+/// must be fsyncable (a regression here would surface as an `Io` error
+/// from every membership change).
+#[test]
+fn write_is_durable_and_leaves_no_temp() {
+    let dir = temp_dir("durable-write");
+    let corpus = build(&dir);
+    let entries = corpus.entries().to_vec();
+    let generation = corpus.generation();
+    drop(corpus);
+
+    manifest::write(&dir, &entries, generation + 1).unwrap();
+    assert!(!dir.join("corpus.manifest.tmp").exists());
+    let (read_back, read_generation) = manifest::read(&dir).unwrap();
+    assert_eq!(read_back, entries);
+    assert_eq!(read_generation, generation + 1);
+    manifest::fsync_dir(&dir).unwrap();
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn rewrites_after_recovery_keep_bumping_the_generation() {
     let dir = temp_dir("post-recovery");

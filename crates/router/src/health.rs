@@ -14,10 +14,15 @@
 //!
 //! `Down` shards are probed on an exponential backoff (base doubling up
 //! to a cap) so a dead host costs a few probes per backoff period, not
-//! a connect timeout per request. `HalfOpen` admits data traffic again
-//! but trips back to `Down` on the *first* failure — one bad request,
-//! not `failure_threshold` of them, because the shard has not yet
-//! re-earned trust.
+//! a connect timeout per request. Each wait is **jittered** into
+//! `[backoff/2, backoff]` with a per-shard deterministic PRNG: when a
+//! whole fleet goes down together (a switch reboot, a correlated
+//! crash), shards whose schedules would otherwise march in lockstep
+//! desynchronize, so their rejoin probes — and the reconnection load
+//! they impose — spread out instead of arriving as a thundering herd.
+//! `HalfOpen` admits data traffic again but trips back to `Down` on the
+//! *first* failure — one bad request, not `failure_threshold` of them,
+//! because the shard has not yet re-earned trust.
 
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -55,6 +60,20 @@ struct HealthInner {
     backoff: Duration,
     /// Earliest instant the next probe should run.
     next_probe: Instant,
+    /// xorshift64 state for backoff jitter (never zero).
+    rng: u64,
+}
+
+impl HealthInner {
+    /// Next jitter draw in `[0, 1)`.
+    fn jitter01(&mut self) -> f64 {
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        (x >> 11) as f64 / (1u64 << 53) as f64
+    }
 }
 
 /// Tunables for the state machine; owned by `RouterConfig`.
@@ -81,8 +100,16 @@ impl Health {
     /// New shards start `Down` and are probed immediately: traffic is
     /// admitted only after the first successful probe, so a router
     /// booted against a half-started fleet degrades instead of timing
-    /// out on every request.
-    pub fn new(policy: HealthPolicy, now: Instant) -> Health {
+    /// out on every request. `seed` keys the backoff jitter — give each
+    /// shard a distinct value (e.g. a hash of its address) so shards
+    /// that go down together do not get probed in lockstep.
+    pub fn new(policy: HealthPolicy, now: Instant, seed: u64) -> Health {
+        // splitmix64 scramble: nearby seeds (0, 1, 2, ...) must yield
+        // uncorrelated first draws, or lockstep survives the jitter.
+        let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
         Health {
             policy,
             inner: Mutex::new(HealthInner {
@@ -91,6 +118,8 @@ impl Health {
                 probe_successes: 0,
                 backoff: policy.backoff_base,
                 next_probe: now,
+                // xorshift64 has a fixed point at zero; force a bit on.
+                rng: z | 1,
             }),
         }
     }
@@ -178,7 +207,10 @@ impl Health {
         inner.consecutive_failures = 0;
         inner.probe_successes = 0;
         inner.backoff = backoff;
-        inner.next_probe = now + backoff;
+        // Jitter the wait into [backoff/2, backoff]: subtracting keeps
+        // the cap a hard ceiling, halving keeps the exponential shape.
+        let slack = backoff.mul_f64(0.5 * inner.jitter01());
+        inner.next_probe = now + backoff - slack;
     }
 }
 
@@ -198,7 +230,7 @@ mod tests {
     #[test]
     fn recovery_needs_two_probes_or_one_data_success() {
         let now = Instant::now();
-        let health = Health::new(policy(), now);
+        let health = Health::new(policy(), now, 7);
         assert_eq!(health.state(), State::Down);
         assert!(health.probe_due(now), "new shards are probed immediately");
 
@@ -207,7 +239,7 @@ mod tests {
         assert_eq!(health.record_probe_success(now), State::Healthy);
 
         // Alternative path: one probe, then a data success.
-        let h2 = Health::new(policy(), now);
+        let h2 = Health::new(policy(), now, 7);
         h2.record_probe_success(now);
         h2.record_data_success();
         assert_eq!(h2.state(), State::Healthy);
@@ -216,7 +248,7 @@ mod tests {
     #[test]
     fn healthy_tolerates_failures_up_to_the_threshold() {
         let now = Instant::now();
-        let health = Health::new(policy(), now);
+        let health = Health::new(policy(), now, 7);
         health.record_probe_success(now);
         health.record_probe_success(now);
 
@@ -232,7 +264,7 @@ mod tests {
     #[test]
     fn half_open_trips_on_the_first_failure() {
         let now = Instant::now();
-        let health = Health::new(policy(), now);
+        let health = Health::new(policy(), now, 7);
         health.record_probe_success(now);
         assert_eq!(health.state(), State::HalfOpen);
         assert_eq!(health.record_data_failure(now), State::Down);
@@ -241,23 +273,54 @@ mod tests {
     #[test]
     fn probe_backoff_doubles_up_to_the_cap() {
         let now = Instant::now();
-        let health = Health::new(policy(), now);
+        let health = Health::new(policy(), now, 7);
         // Recover first: a brand-new shard is already Down, and failing
         // while Down doubles instead of starting at the base.
         health.record_probe_success(now);
         health.record_probe_failure(now);
-        assert!(!health.probe_due(now + Duration::from_millis(100)));
+        // Jittered wait lives in [base/2, base] = [125 ms, 250 ms].
+        assert!(!health.probe_due(now + Duration::from_millis(124)));
         assert!(health.probe_due(now + Duration::from_millis(250)));
 
-        // Repeated failures keep doubling: 250 → 500 → 1000 → ... → capped at 4000.
+        // Repeated failures keep doubling: 250 → 500 → 1000 → ... →
+        // capped at 4000, so the jittered wait sits in [2000, 4000] ms.
         for _ in 0..10 {
             health.record_probe_failure(now);
         }
-        assert!(!health.probe_due(now + Duration::from_millis(3900)));
+        assert!(!health.probe_due(now + Duration::from_millis(1999)));
         assert!(health.probe_due(now + Duration::from_millis(4000)));
 
-        // Recovery resets the backoff.
+        // Recovery resets the backoff (the probe interval itself is not
+        // jittered — only down-shard waits are).
         health.record_probe_success(now);
         assert!(health.probe_due(now + Duration::from_millis(200)));
+    }
+
+    /// The thundering-herd defence: two shards tripping Down at the
+    /// same instant must not come due at the same instant.
+    #[test]
+    fn distinct_seeds_desynchronize_probe_schedules() {
+        let now = Instant::now();
+        let a = Health::new(policy(), now, 1);
+        let b = Health::new(policy(), now, 2);
+        for h in [&a, &b] {
+            h.record_probe_success(now);
+            h.record_probe_failure(now);
+        }
+        let first_due = |h: &Health| {
+            (0..=250)
+                .find(|&ms| h.probe_due(now + Duration::from_millis(ms)))
+                .expect("due within the full backoff")
+        };
+        let (due_a, due_b) = (first_due(&a), first_due(&b));
+        assert!((125..=250).contains(&due_a));
+        assert!((125..=250).contains(&due_b));
+        assert_ne!(due_a, due_b, "schedules must spread out");
+
+        // Deterministic: the same seed replays the same schedule.
+        let a2 = Health::new(policy(), now, 1);
+        a2.record_probe_success(now);
+        a2.record_probe_failure(now);
+        assert_eq!(first_due(&a2), due_a);
     }
 }

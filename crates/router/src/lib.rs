@@ -45,6 +45,7 @@ pub mod hash;
 pub mod health;
 pub mod metrics;
 pub mod pool;
+pub mod rebalance;
 
 use std::collections::HashMap;
 use std::io;
@@ -91,6 +92,11 @@ pub enum HedgePolicy {
     },
 }
 
+/// Default virtual nodes per shard on the consistent-hash ring.
+/// `sigstr route` and `sigstr rebalance` must agree on this (and on
+/// the shard-list order) or they will disagree about placement.
+pub const DEFAULT_VNODES: usize = 64;
+
 /// Full router configuration.
 #[derive(Debug, Clone)]
 pub struct RouterConfig {
@@ -133,7 +139,7 @@ impl RouterConfig {
         RouterConfig {
             service: ServiceConfig::default(),
             shards,
-            vnodes: 64,
+            vnodes: DEFAULT_VNODES,
             deadline: Duration::from_secs(2),
             retries: 2,
             hedge: HedgePolicy::P95 {
@@ -258,6 +264,11 @@ struct RouterShared {
     ring: Ring,
     metrics: RouterMetrics,
     directory: RwLock<Directory>,
+    /// Serializes [`refresh_directory`]: without it, a refresh that
+    /// fetched membership *before* a rebalance step could publish its
+    /// stale view *after* a fresher refresh, regressing the owner map
+    /// a `410 Gone` re-route just depended on.
+    directory_refresh: Mutex<()>,
     directory_stale: AtomicBool,
     stop: AtomicBool,
     checker: Mutex<Option<thread::JoinHandle<()>>>,
@@ -314,7 +325,9 @@ impl RouterServer {
                     index,
                     addr: addr.clone(),
                     pool: Pool::new(addr.clone(), config.client, config.max_idle_per_shard),
-                    health: Health::new(policy, now),
+                    // Jitter seed: distinct per shard address, so a
+                    // correlated fleet outage does not probe in lockstep.
+                    health: Health::new(policy, now, hash::fnv1a(addr.as_bytes())),
                     counters: ShardCounters::default(),
                     latency: Mutex::new(LatencyWindow::default()),
                     generation: AtomicU64::new(0),
@@ -329,6 +342,7 @@ impl RouterServer {
             ring,
             metrics: RouterMetrics::default(),
             directory: RwLock::new(Directory::default()),
+            directory_refresh: Mutex::new(()),
             directory_stale: AtomicBool::new(false),
             stop: AtomicBool::new(false),
             checker: Mutex::new(None),
@@ -442,8 +456,19 @@ fn probe_healthz(shard: &ShardRuntime, config: &RouterConfig) -> io::Result<u64>
 
 /// Rebuild the document directory from every routable shard's
 /// `/v1/documents`, keeping the previous entries of shards that could
-/// not be asked (see [`Directory`]).
+/// not be asked (see [`Directory`]). Each successful fetch also records
+/// the placement generation the membership list reflects, so the next
+/// health probe reporting the same generation does not re-mark the
+/// directory stale.
 fn refresh_directory(shared: &RouterShared) {
+    // One refresh at a time: the last directory written must be the
+    // last membership fetched, or a slow stale fetch would undo a
+    // fresher view (and strand a 410 re-route on the old owner).
+    let _serialized = shared.directory_refresh.lock().unwrap();
+    shared
+        .metrics
+        .directory_refreshes
+        .fetch_add(1, Ordering::Relaxed);
     let previous = shared.directory.read().unwrap().entries.clone();
     let mut entries: Vec<(String, usize, Json)> = Vec::new();
     for shard in &shared.shards {
@@ -453,7 +478,8 @@ fn refresh_directory(shared: &RouterShared) {
             None
         };
         match fetched {
-            Some(list) => {
+            Some((generation, list)) => {
+                shard.generation.store(generation, Ordering::Relaxed);
                 entries.extend(list.into_iter().map(|(name, doc)| (name, shard.index, doc)));
             }
             None => {
@@ -469,7 +495,12 @@ fn refresh_directory(shared: &RouterShared) {
     *shared.directory.write().unwrap() = Directory::build(entries);
 }
 
-fn fetch_documents(shard: &ShardRuntime, config: &RouterConfig) -> io::Result<Vec<(String, Json)>> {
+/// Fetch one shard's membership: `(placement generation, documents)`.
+/// A pre-elasticity shard without a `generation` field reads as 0.
+fn fetch_documents(
+    shard: &ShardRuntime,
+    config: &RouterConfig,
+) -> io::Result<(u64, Vec<(String, Json)>)> {
     let bad = |m: &str| io::Error::new(io::ErrorKind::InvalidData, m.to_string());
     let mut conn = ClientConn::connect_with(&shard.addr, config.probe_client())?;
     let response = conn.request("GET", "/v1/documents", None)?;
@@ -478,18 +509,21 @@ fn fetch_documents(shard: &ShardRuntime, config: &RouterConfig) -> io::Result<Ve
     }
     let text = std::str::from_utf8(&response.body).map_err(|_| bad("body not UTF-8"))?;
     let body = Json::decode(text.trim()).map_err(|_| bad("body not JSON"))?;
+    let generation = body.get("generation").and_then(Json::as_u64).unwrap_or(0);
     let docs = body
         .get("documents")
         .and_then(Json::as_array)
         .ok_or_else(|| bad("missing `documents`"))?;
-    docs.iter()
+    let list = docs
+        .iter()
         .map(|doc| {
             doc.get("name")
                 .and_then(Json::as_str)
                 .map(|name| (name.to_string(), doc.clone()))
                 .ok_or_else(|| bad("document without a name"))
         })
-        .collect()
+        .collect::<io::Result<Vec<_>>>()?;
+    Ok((generation, list))
 }
 
 // ---------------------------------------------------------------------------
@@ -693,7 +727,15 @@ fn spawn_attempt(
             conn.set_read_timeout(remaining.min(client.read_timeout))?;
             let response = conn.request(&method, &target, body.as_deref())?;
             conn.set_read_timeout(client.read_timeout)?;
-            shard.pool.put(conn);
+            // A contended shard answers `Connection: close` (it is about
+            // to serve whoever waits in its admission queue); parking
+            // that socket would hand the next attempt a dead one.
+            let closing = response
+                .header("connection")
+                .is_some_and(|v| v.eq_ignore_ascii_case("close"));
+            if !closing {
+                shard.pool.put(conn);
+            }
             Ok((response, started.elapsed()))
         })();
         if result.is_err() {
@@ -741,6 +783,7 @@ fn route(shared: &Arc<RouterShared>, request: &Request, core: &ServiceCore) -> R
 fn handle_healthz(shared: &RouterShared, core: &ServiceCore) -> Response {
     let draining = core.is_shutting_down();
     let healthy = shared.shards.iter().filter(|s| s.health.routable()).count();
+    let documents = shared.directory.read().unwrap().entries.len();
     let body = Json::Obj(vec![
         (
             "status".into(),
@@ -748,6 +791,7 @@ fn handle_healthz(shared: &RouterShared, core: &ServiceCore) -> Response {
         ),
         ("shards".into(), Json::Int(shared.shards.len() as u64)),
         ("healthy".into(), Json::Int(healthy as u64)),
+        ("documents".into(), Json::Int(documents as u64)),
     ]);
     if draining {
         json_response(503, body).with_header("Retry-After", "1")
@@ -833,6 +877,12 @@ fn unavailable(message: String) -> Response {
 /// by construction. A down shard means this *specific* document is
 /// unavailable, so the honest answer is `503` + `Retry-After`, not a
 /// degraded 200.
+///
+/// A `410 Gone` means the shard *used to* hold the document and a live
+/// rebalance moved it: the router refreshes its directory synchronously
+/// and re-routes once to the new owner, so a moved document is served
+/// without waiting for the background checker to notice — the client
+/// never sees the move.
 fn handle_query(shared: &RouterShared, request: &Request) -> Response {
     let json = match body_json(request) {
         Ok(json) => json,
@@ -841,12 +891,30 @@ fn handle_query(shared: &RouterShared, request: &Request) -> Response {
     let Some(doc) = json.get("doc").and_then(Json::as_str) else {
         return json_response(400, wire::error_json("missing string field `doc`"));
     };
-    let shard = shard_for_doc(shared, doc);
     let body = std::str::from_utf8(&request.body).expect("validated above");
     let deadline = Instant::now() + shared.config.deadline;
-    match shard_call(shared, &shard, "POST", "/v1/query", Some(body), deadline) {
-        Ok(response) => passthrough(response),
-        Err(e) => unavailable(format!("shard {} unreachable: {e}", shard.addr)),
+    let mut shard = shard_for_doc(shared, doc);
+    let mut rerouted = false;
+    loop {
+        match shard_call(shared, &shard, "POST", "/v1/query", Some(body), deadline) {
+            Ok(response) if response.status == 410 && !rerouted => {
+                shared
+                    .metrics
+                    .moved_rerouted
+                    .fetch_add(1, Ordering::Relaxed);
+                refresh_directory(shared);
+                let next = shard_for_doc(shared, doc);
+                if next.index == shard.index {
+                    // The refreshed directory still points here — the
+                    // shard's word stands.
+                    return passthrough(response);
+                }
+                shard = next;
+                rerouted = true;
+            }
+            Ok(response) => return passthrough(response),
+            Err(e) => return unavailable(format!("shard {} unreachable: {e}", shard.addr)),
+        }
     }
 }
 
@@ -885,20 +953,88 @@ fn handle_batch(shared: &RouterShared, request: &Request) -> Response {
         }
         slot_docs.push(doc);
     }
-    // Group request slots by owning shard, in a stable order.
+    let started = Instant::now();
+    let deadline = started + shared.config.deadline;
+    let mut results: Vec<Option<Json>> = vec![None; jobs.len()];
+    let mut failed: Vec<String> = Vec::new();
+    let groups = scatter_slots(
+        shared,
+        jobs,
+        &slot_docs,
+        (0..jobs.len()).collect(),
+        deadline,
+        &mut results,
+        &mut failed,
+    );
+    // Slots answered `410 Gone` hit a shard that just released their
+    // document to a rebalance: refresh the directory once and re-route
+    // exactly those slots to their new owners.
+    let moved: Vec<usize> = results
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| {
+            r.as_ref()
+                .and_then(|json| json.get("status"))
+                .and_then(Json::as_u64)
+                == Some(410)
+        })
+        .map(|(slot, _)| slot)
+        .collect();
+    if !moved.is_empty() {
+        shared
+            .metrics
+            .moved_rerouted
+            .fetch_add(moved.len() as u64, Ordering::Relaxed);
+        refresh_directory(shared);
+        scatter_slots(
+            shared,
+            jobs,
+            &slot_docs,
+            moved,
+            deadline,
+            &mut results,
+            &mut failed,
+        );
+    }
+    shared
+        .metrics
+        .fanout_latency
+        .observe_us(duration_us(started.elapsed()));
+    if !failed.is_empty() && failed.len() == groups {
+        return unavailable("all shards unreachable".to_string());
+    }
+    let results: Vec<Json> = results
+        .into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect();
+    let mut fields = vec![("results".to_string(), Json::Arr(results))];
+    fields.extend(degraded_fields(shared, failed));
+    json_response(200, Json::Obj(fields))
+}
+
+/// One scatter pass: group `slots` by their owning shard (directory
+/// first, ring fallback), fan the sub-batches out concurrently, and
+/// write each slot's answer into `results`. Unreachable shards fill
+/// their slots with `{"status": 503}` objects and are pushed onto
+/// `failed`. Returns the number of shard groups contacted.
+fn scatter_slots(
+    shared: &RouterShared,
+    jobs: &[Json],
+    slot_docs: &[&str],
+    slots: Vec<usize>,
+    deadline: Instant,
+    results: &mut [Option<Json>],
+    failed: &mut Vec<String>,
+) -> usize {
     let mut grouped: HashMap<usize, Vec<usize>> = HashMap::new();
-    for (slot, doc) in slot_docs.iter().enumerate() {
+    for slot in slots {
         grouped
-            .entry(shard_for_doc(shared, doc).index)
+            .entry(shard_for_doc(shared, slot_docs[slot]).index)
             .or_default()
             .push(slot);
     }
     let mut groups: Vec<(usize, Vec<usize>)> = grouped.into_iter().collect();
     groups.sort_by_key(|&(shard_index, _)| shard_index);
-    let started = Instant::now();
-    let deadline = started + shared.config.deadline;
-    let mut results: Vec<Option<Json>> = vec![None; jobs.len()];
-    let mut failed: Vec<String> = Vec::new();
     thread::scope(|scope| {
         let handles: Vec<_> = groups
             .iter()
@@ -942,20 +1078,7 @@ fn handle_batch(shared: &RouterShared, request: &Request) -> Response {
             }
         }
     });
-    shared
-        .metrics
-        .fanout_latency
-        .observe_us(duration_us(started.elapsed()));
-    if !failed.is_empty() && failed.len() == groups.len() {
-        return unavailable("all shards unreachable".to_string());
-    }
-    let results: Vec<Json> = results
-        .into_iter()
-        .map(|r| r.expect("every slot filled"))
-        .collect();
-    let mut fields = vec![("results".to_string(), Json::Arr(results))];
-    fields.extend(degraded_fields(shared, failed));
-    json_response(200, Json::Obj(fields))
+    groups.len()
 }
 
 /// A shard's `/v1/batch` answer, iff it is well-formed and has exactly
@@ -1016,23 +1139,70 @@ fn parse_hits(response: &HttpResponse) -> Option<Vec<DocHit>> {
 /// — and sort the groups by that rank. The output feeds
 /// [`merge_ranked`] (top-t) or a plain concatenation (threshold), both
 /// of which then behave exactly as they would over one big corpus.
-fn regroup(
-    shared: &RouterShared,
-    shard_hits: Vec<Vec<DocHit>>,
-) -> Vec<(usize, String, Vec<Scored>)> {
-    let mut groups: Vec<(String, Vec<Scored>)> = Vec::new();
+///
+/// During a rebalance's transition window a document can be reported by
+/// **both** its old and new shard (the copy is committed on the
+/// destination before the source releases it). The two copies are
+/// bit-identical by the rebalance's checksum contract, so exactly one
+/// contribution per name is kept — the directory owner's when it is
+/// among the contributors, the lowest shard index otherwise (the same
+/// tie-break [`Directory::build`] uses) — and merged answers stay
+/// bit-identical to a single corpus throughout the move.
+/// One document's hit items from each shard that reported it.
+type PerShard = Vec<(usize, Vec<Scored>)>;
+
+fn regroup(shared: &RouterShared, shard_hits: ShardHits) -> Vec<(usize, String, Vec<Scored>)> {
+    let mut contributions: Vec<(String, PerShard)> = Vec::new();
     let mut by_name: HashMap<String, usize> = HashMap::new();
-    for hits in shard_hits {
+    for (shard, hits) in shard_hits {
         for hit in hits {
-            match by_name.get(&hit.name) {
-                Some(&slot) => groups[slot].1.push(hit.item),
+            let slot = match by_name.get(&hit.name) {
+                Some(&slot) => slot,
                 None => {
-                    by_name.insert(hit.name.clone(), groups.len());
-                    groups.push((hit.name, vec![hit.item]));
+                    by_name.insert(hit.name.clone(), contributions.len());
+                    contributions.push((hit.name, Vec::new()));
+                    contributions.len() - 1
                 }
+            };
+            let per_shard = &mut contributions[slot].1;
+            match per_shard.iter_mut().find(|(s, _)| *s == shard) {
+                Some((_, items)) => items.push(hit.item),
+                None => per_shard.push((shard, vec![hit.item])),
             }
         }
     }
+    let owner_of: HashMap<String, usize> = {
+        let directory = shared.directory.read().unwrap();
+        contributions
+            .iter()
+            .filter_map(|(name, _)| {
+                directory
+                    .shard_of
+                    .get(name)
+                    .map(|&shard| (name.clone(), shard))
+            })
+            .collect()
+    };
+    let groups: Vec<(String, Vec<Scored>)> = contributions
+        .into_iter()
+        .map(|(name, mut per_shard)| {
+            let chosen = if per_shard.len() == 1 {
+                0
+            } else {
+                let owner = owner_of
+                    .get(&name)
+                    .copied()
+                    .filter(|o| per_shard.iter().any(|(s, _)| s == o))
+                    .unwrap_or_else(|| per_shard.iter().map(|(s, _)| *s).min().expect("non-empty"));
+                per_shard
+                    .iter()
+                    .position(|(s, _)| *s == owner)
+                    .expect("owner is a contributor")
+            };
+            let items = per_shard.swap_remove(chosen).1;
+            (name, items)
+        })
+        .collect();
     // Global index: lexicographic rank over the *whole* corpus (the
     // directory), not just documents with hits — a hitless document
     // still occupies a rank, exactly as it would in a single corpus.
@@ -1070,19 +1240,19 @@ fn regroup(
     per_doc
 }
 
+/// Shard-local hits, keyed by the contributing shard's index.
+type ShardHits = Vec<(usize, Vec<DocHit>)>;
+
 /// Shared scaffolding for the two merged routes: fan out, split
 /// successes from failures, and bail out `503` when *no* shard
 /// answered.
-fn gather_hits(
-    shared: &RouterShared,
-    target: &str,
-) -> Result<(Vec<Vec<DocHit>>, Vec<String>), Response> {
+fn gather_hits(shared: &RouterShared, target: &str) -> Result<(ShardHits, Vec<String>), Response> {
     let results = fan_out(shared, target);
-    let mut shard_hits: Vec<Vec<DocHit>> = Vec::new();
+    let mut shard_hits: ShardHits = Vec::new();
     let mut unreachable: Vec<String> = Vec::new();
     for (shard, call) in results {
         match call.ok().and_then(|response| parse_hits(&response)) {
-            Some(hits) => shard_hits.push(hits),
+            Some(hits) => shard_hits.push((shard.index, hits)),
             None => unreachable.push(shard.addr.clone()),
         }
     }
@@ -1243,7 +1413,7 @@ mod tests {
             index: 0,
             addr: "127.0.0.1:1".into(),
             pool: Pool::new("127.0.0.1:1".into(), config.client, 1),
-            health: Health::new(config.health_policy(), Instant::now()),
+            health: Health::new(config.health_policy(), Instant::now(), 1),
             counters: ShardCounters::default(),
             latency: Mutex::new(LatencyWindow::default()),
             generation: AtomicU64::new(0),
@@ -1254,6 +1424,7 @@ mod tests {
             shards: Vec::new(),
             metrics: RouterMetrics::default(),
             directory: RwLock::new(Directory::default()),
+            directory_refresh: Mutex::new(()),
             directory_stale: AtomicBool::new(false),
             stop: AtomicBool::new(false),
             checker: Mutex::new(None),

@@ -95,6 +95,12 @@ pub struct RouterMetrics {
     pub hedge_wins: AtomicU64,
     /// Responses served with `"degraded": true`.
     pub degraded_responses: AtomicU64,
+    /// Document directory rebuilds (placement-generation changes,
+    /// shard recoveries, and `410 Gone` re-routes all trigger one).
+    pub directory_refreshes: AtomicU64,
+    /// Requests re-routed after a shard answered `410 Gone` (the
+    /// document moved during a live rebalance).
+    pub moved_rerouted: AtomicU64,
     /// End-to-end latency of full fan-outs (merged routes).
     pub fanout_latency: Histogram,
 }
@@ -159,6 +165,14 @@ impl RouterMetrics {
                 "sigstr_router_degraded_responses_total",
                 self.degraded_responses.load(Ordering::Relaxed),
             ),
+            (
+                "sigstr_router_directory_refreshes_total",
+                self.directory_refreshes.load(Ordering::Relaxed),
+            ),
+            (
+                "sigstr_router_moved_rerouted_total",
+                self.moved_rerouted.load(Ordering::Relaxed),
+            ),
         ] {
             out.push_str(&format!("# TYPE {name} counter\n{name} {value}\n"));
         }
@@ -185,6 +199,8 @@ mod tests {
         metrics.hedges.fetch_add(5, Ordering::Relaxed);
         metrics.hedge_wins.fetch_add(4, Ordering::Relaxed);
         metrics.degraded_responses.fetch_add(1, Ordering::Relaxed);
+        metrics.directory_refreshes.fetch_add(6, Ordering::Relaxed);
+        metrics.moved_rerouted.fetch_add(7, Ordering::Relaxed);
         metrics.fanout_latency.observe_us(1_500);
 
         let mut out = String::new();
@@ -203,6 +219,8 @@ mod tests {
             "sigstr_router_hedges_total 5",
             "sigstr_router_hedge_wins_total 4",
             "sigstr_router_degraded_responses_total 1",
+            "sigstr_router_directory_refreshes_total 6",
+            "sigstr_router_moved_rerouted_total 7",
             "sigstr_router_fanout_latency_us_bucket{le=\"5000\"} 1",
             "sigstr_router_fanout_latency_us_count 1",
         ] {

@@ -1,0 +1,645 @@
+//! Crash-safe shard rebalancing: diff two consistent-hash layouts,
+//! compute the minimal document move set, and migrate snapshots between
+//! shard corpus directories without ever losing or duplicating a
+//! document.
+//!
+//! ## Commit order
+//!
+//! Each move runs copy → verify → commit-on-destination → remove-from-
+//! source:
+//!
+//! 1. the snapshot file is copied into the destination corpus directory
+//!    under a `.rebalance` temporary name, fsync'd, re-read, and its
+//!    checksum and header geometry verified against the source;
+//! 2. the temporary is renamed into place (directory fsync'd) and the
+//!    destination manifest is atomically rewritten to include the
+//!    document — from this instant the destination owns a complete,
+//!    verified copy;
+//! 3. only then is the document removed from the source manifest and
+//!    its source snapshot deleted.
+//!
+//! A crash at any point leaves the document in at least one manifest:
+//! before step 2 the source is untouched; between steps 2 and 3 **both**
+//! shards hold identical copies (the transition window the router's
+//! owner-dedup in `regroup` exists for); after step 3 only the
+//! destination does. Every step is idempotent, so re-running converges.
+//!
+//! ## Journal
+//!
+//! A plain-text journal records the planned moves and per-move progress
+//! (`committed` = destination owns it, `done` = source released it).
+//! The filesystem — not the journal — is the source of truth: a resume
+//! recomputes the plan from the manifests as they are on disk. The
+//! journal's job is to detect an in-progress rebalance and refuse to
+//! resume it under a *different* target layout, where "minimal move
+//! set" would silently mean something else.
+
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use sigstr_core::snapshot;
+use sigstr_corpus::{manifest, CorpusError, DocumentEntry};
+
+use crate::hash::Ring;
+
+type Result<T> = std::result::Result<T, CorpusError>;
+
+/// First line of every version-1 rebalance journal.
+pub const JOURNAL_HEADER: &str = "sigstr-rebalance v1";
+
+/// Default journal file name, created inside the first destination
+/// shard's corpus directory (extra files there are ignored by the
+/// corpus, which only trusts its manifest).
+pub const JOURNAL_FILE: &str = "rebalance.journal";
+
+fn io_err(path: &Path) -> impl FnOnce(std::io::Error) -> CorpusError + '_ {
+    move |e| CorpusError::Io {
+        path: path.display().to_string(),
+        details: e.to_string(),
+    }
+}
+
+/// One document that must change shards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MoveStep {
+    /// The manifest entry being moved (identical on source and, once
+    /// committed, destination).
+    pub entry: DocumentEntry,
+    /// Source corpus directory (current holder).
+    pub src: PathBuf,
+    /// Destination corpus directory (ring owner under the new layout).
+    pub dst: PathBuf,
+    /// The destination already holds a committed copy (a previous run
+    /// crashed between commit and source-removal); only the source
+    /// release remains.
+    pub committed: bool,
+}
+
+/// The minimal move set taking the fleet from its current on-disk
+/// placement to the target layout.
+#[derive(Debug, Clone)]
+pub struct RebalancePlan {
+    /// Destination layout: shard corpus directories in ring order.
+    pub to: Vec<PathBuf>,
+    /// Virtual nodes per shard used to build the target ring.
+    pub vnodes: usize,
+    /// Documents that must move, sorted by name (deterministic order —
+    /// an interrupted run and its resume walk the same sequence).
+    pub moves: Vec<MoveStep>,
+    /// Documents already on their target shard.
+    pub already_placed: usize,
+}
+
+impl RebalancePlan {
+    /// Total documents across the fleet.
+    pub fn total(&self) -> usize {
+        self.moves.len() + self.already_placed
+    }
+}
+
+/// What an [`execute`] run did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RebalanceReport {
+    /// Names moved by this run, in execution order.
+    pub moved: Vec<String>,
+    /// Documents that were already on their target shard.
+    pub already_placed: usize,
+    /// Total documents across the fleet.
+    pub total: usize,
+}
+
+/// Knobs for [`execute`].
+#[derive(Debug, Clone)]
+pub struct RebalanceOptions {
+    /// Virtual nodes per shard (must match the routers' `--vnodes`).
+    pub vnodes: usize,
+    /// Journal path; defaults to [`JOURNAL_FILE`] inside the first
+    /// destination directory.
+    pub journal: Option<PathBuf>,
+    /// Fault injection: abort (as a crash would) immediately after the
+    /// Nth destination commit, before the source release. Testing only.
+    pub crash_after_commit: Option<usize>,
+}
+
+impl RebalanceOptions {
+    /// Defaults matching the router's ring geometry.
+    pub fn new(vnodes: usize) -> RebalanceOptions {
+        RebalanceOptions {
+            vnodes,
+            journal: None,
+            crash_after_commit: None,
+        }
+    }
+
+    fn journal_path(&self, to: &[PathBuf]) -> PathBuf {
+        self.journal
+            .clone()
+            .unwrap_or_else(|| to[0].join(JOURNAL_FILE))
+    }
+}
+
+/// Read a shard's manifest, treating a missing manifest as an empty
+/// corpus (a freshly-created destination shard that has never held a
+/// document).
+fn read_members(dir: &Path) -> Result<Vec<DocumentEntry>> {
+    if !manifest::manifest_path(dir).exists() {
+        if !dir.is_dir() {
+            return Err(CorpusError::Io {
+                path: dir.display().to_string(),
+                details: "shard corpus directory does not exist".to_string(),
+            });
+        }
+        return Ok(Vec::new());
+    }
+    manifest::read(dir).map(|(entries, _)| entries)
+}
+
+/// Compute the minimal move set from the fleet's current on-disk state
+/// to the target layout `to` (ring of `to.len()` shards, `vnodes`
+/// virtual nodes). `from` lists shard directories of the old layout;
+/// directories appearing in both are read once. The plan is computed
+/// purely from manifests — it is safe to call on a fleet mid-rebalance
+/// (documents already committed to their destination come back as
+/// `committed` moves needing only the source release).
+pub fn plan(from: &[PathBuf], to: &[PathBuf], vnodes: usize) -> Result<RebalancePlan> {
+    if to.is_empty() {
+        return Err(CorpusError::Manifest {
+            details: "rebalance target layout has no shards".to_string(),
+        });
+    }
+    if vnodes == 0 {
+        return Err(CorpusError::Manifest {
+            details: "rebalance needs at least one virtual node per shard".to_string(),
+        });
+    }
+    // Union of directories, destination layout order first so ring
+    // indices line up, each read exactly once.
+    let mut dirs: Vec<PathBuf> = to.to_vec();
+    for dir in from {
+        if !dirs.contains(dir) {
+            dirs.push(dir.clone());
+        }
+    }
+    let mut holders: HashMap<String, Vec<(usize, DocumentEntry)>> = HashMap::new();
+    for (i, dir) in dirs.iter().enumerate() {
+        for entry in read_members(dir)? {
+            holders
+                .entry(entry.name.clone())
+                .or_default()
+                .push((i, entry));
+        }
+    }
+    let ring = Ring::new(to.len(), vnodes);
+    let mut moves = Vec::new();
+    let mut already_placed = 0usize;
+    let mut names: Vec<String> = holders.keys().cloned().collect();
+    names.sort();
+    for name in names {
+        let held = &holders[&name];
+        let dest = ring.shard_for(&name);
+        let on_dest = held.iter().find(|(i, _)| *i == dest);
+        let off_dest: Vec<&(usize, DocumentEntry)> =
+            held.iter().filter(|(i, _)| *i != dest).collect();
+        if off_dest.len() > 1 {
+            return Err(CorpusError::Manifest {
+                details: format!(
+                    "document `{name}` is present on {} shards besides its target `{}` — \
+                     cannot pick a canonical copy",
+                    off_dest.len(),
+                    dirs[dest].display()
+                ),
+            });
+        }
+        match (on_dest, off_dest.first()) {
+            (Some(_), None) => already_placed += 1,
+            (dest_copy, Some((src, entry))) => {
+                if let Some((_, dest_entry)) = dest_copy {
+                    if dest_entry != entry {
+                        return Err(CorpusError::Manifest {
+                            details: format!(
+                                "document `{name}` differs between `{}` and `{}` — \
+                                 refusing to reconcile diverged copies",
+                                dirs[*src].display(),
+                                dirs[dest].display()
+                            ),
+                        });
+                    }
+                }
+                moves.push(MoveStep {
+                    entry: entry.clone(),
+                    src: dirs[*src].clone(),
+                    dst: dirs[dest].clone(),
+                    committed: dest_copy.is_some(),
+                });
+            }
+            (None, None) => unreachable!("holders entries are non-empty"),
+        }
+    }
+    Ok(RebalancePlan {
+        to: to.to_vec(),
+        vnodes,
+        moves,
+        already_placed,
+    })
+}
+
+/// A journal left by a previous (unfinished) run, enough to decide
+/// whether resuming under the current options is the *same* rebalance.
+struct PriorJournal {
+    vnodes: usize,
+    to: Vec<PathBuf>,
+    complete: bool,
+}
+
+fn parse_journal(text: &str) -> Result<PriorJournal> {
+    let mut lines = text.lines();
+    if lines.next() != Some(JOURNAL_HEADER) {
+        return Err(CorpusError::Manifest {
+            details: "unrecognized rebalance journal header".to_string(),
+        });
+    }
+    let mut vnodes = 0usize;
+    let mut to = Vec::new();
+    let mut complete = false;
+    for line in lines {
+        let mut parts = line.splitn(2, ' ');
+        match (parts.next(), parts.next()) {
+            (Some("vnodes"), Some(v)) => {
+                vnodes = v.parse().map_err(|_| CorpusError::Manifest {
+                    details: format!("bad journal vnodes line: `{line}`"),
+                })?
+            }
+            (Some("to"), Some(dir)) => to.push(PathBuf::from(dir)),
+            (Some("complete"), None) => complete = true,
+            _ => {} // move/committed/done progress lines
+        }
+    }
+    Ok(PriorJournal {
+        vnodes,
+        to,
+        complete,
+    })
+}
+
+/// Execute (or resume) a rebalance from layout `from` to layout `to`.
+///
+/// Idempotent and crash-safe: re-running after an interruption at any
+/// point converges on the target placement with every document held by
+/// exactly one shard. Returns an error without touching anything if an
+/// unfinished journal from a rebalance towards a *different* layout is
+/// found at the journal path.
+pub fn execute(
+    from: &[PathBuf],
+    to: &[PathBuf],
+    opts: &RebalanceOptions,
+) -> Result<RebalanceReport> {
+    let the_plan = plan(from, to, opts.vnodes)?;
+    let journal_path = opts.journal_path(to);
+    if let Ok(text) = std::fs::read_to_string(&journal_path) {
+        let prior = parse_journal(&text)?;
+        if !prior.complete && (prior.vnodes != opts.vnodes || prior.to != the_plan.to) {
+            return Err(CorpusError::Manifest {
+                details: format!(
+                    "unfinished rebalance journal at `{}` targets a different layout \
+                     ({} shards, {} vnodes) — finish or remove it first",
+                    journal_path.display(),
+                    prior.to.len(),
+                    prior.vnodes
+                ),
+            });
+        }
+    }
+    // Fresh journal for this run: header, target layout, planned moves.
+    let mut journal = std::fs::File::create(&journal_path).map_err(io_err(&journal_path))?;
+    let mut header = format!("{JOURNAL_HEADER}\nvnodes {}\n", the_plan.vnodes);
+    for dir in &the_plan.to {
+        header.push_str(&format!("to {}\n", dir.display()));
+    }
+    for step in &the_plan.moves {
+        header.push_str(&format!(
+            "move {} {} {}\n",
+            step.entry.name,
+            step.src.display(),
+            step.dst.display()
+        ));
+    }
+    journal
+        .write_all(header.as_bytes())
+        .and_then(|()| journal.sync_all())
+        .map_err(io_err(&journal_path))?;
+    let mut log = |line: String| -> Result<()> {
+        journal
+            .write_all(line.as_bytes())
+            .and_then(|()| journal.sync_all())
+            .map_err(io_err(&journal_path))
+    };
+
+    let mut moved = Vec::new();
+    for (i, step) in the_plan.moves.iter().enumerate() {
+        if !step.committed {
+            commit_to_destination(step)?;
+        }
+        log(format!("committed {}\n", step.entry.name))?;
+        if opts.crash_after_commit == Some(i) {
+            return Err(CorpusError::Io {
+                path: journal_path.display().to_string(),
+                details: format!(
+                    "injected crash after committing `{}` to its destination",
+                    step.entry.name
+                ),
+            });
+        }
+        release_from_source(step)?;
+        log(format!("done {}\n", step.entry.name))?;
+        moved.push(step.entry.name.clone());
+    }
+    log("complete\n".to_string())?;
+    drop(journal);
+    std::fs::remove_file(&journal_path).map_err(io_err(&journal_path))?;
+    if let Some(parent) = journal_path.parent() {
+        manifest::fsync_dir(parent).map_err(io_err(parent))?;
+    }
+    Ok(RebalanceReport {
+        moved,
+        already_placed: the_plan.already_placed,
+        total: the_plan.total(),
+    })
+}
+
+/// Copy the snapshot into the destination corpus directory, verify it,
+/// and commit it to the destination manifest. Idempotent: a re-run
+/// finding the document already in the destination manifest is a no-op
+/// at the planning layer (`committed: true`).
+fn commit_to_destination(step: &MoveStep) -> Result<()> {
+    let src_path = step.src.join(&step.entry.file);
+    let dst_path = step.dst.join(&step.entry.file);
+    let (entries, generation) = if manifest::manifest_path(&step.dst).exists() {
+        manifest::read(&step.dst)?
+    } else {
+        (Vec::new(), 0)
+    };
+    // The destination may hold the snapshot file without the manifest
+    // entry only as our own `.rebalance` leftover; a foreign file under
+    // the same name belongs to some other document and must not be
+    // overwritten.
+    if entries.iter().any(|e| e.file == step.entry.file) {
+        return Err(CorpusError::Manifest {
+            details: format!(
+                "destination `{}` already uses snapshot file `{}` for another document",
+                step.dst.display(),
+                step.entry.file
+            ),
+        });
+    }
+    let bytes = std::fs::read(&src_path).map_err(io_err(&src_path))?;
+    let sum = snapshot::checksum64(&bytes);
+    let tmp = step.dst.join(format!("{}.rebalance", step.entry.file));
+    {
+        let mut file = std::fs::File::create(&tmp).map_err(io_err(&tmp))?;
+        file.write_all(&bytes)
+            .and_then(|()| file.sync_all())
+            .map_err(io_err(&tmp))?;
+    }
+    // Verify what actually landed on the destination's disk, not what
+    // we think we wrote: re-read, checksum, and parse the header.
+    let landed = std::fs::read(&tmp).map_err(io_err(&tmp))?;
+    if snapshot::checksum64(&landed) != sum {
+        return Err(CorpusError::Manifest {
+            details: format!(
+                "copied snapshot `{}` fails checksum verification on the destination",
+                tmp.display()
+            ),
+        });
+    }
+    let info = snapshot::read_info_path(&tmp).map_err(CorpusError::Core)?;
+    if info.n != step.entry.n || info.k != step.entry.k || info.layout != step.entry.layout {
+        return Err(CorpusError::Manifest {
+            details: format!(
+                "copied snapshot `{}` geometry (n = {}, k = {}, {:?}) disagrees with the \
+                 manifest entry (n = {}, k = {}, {:?})",
+                tmp.display(),
+                info.n,
+                info.k,
+                info.layout,
+                step.entry.n,
+                step.entry.k,
+                step.entry.layout
+            ),
+        });
+    }
+    std::fs::rename(&tmp, &dst_path).map_err(io_err(&dst_path))?;
+    manifest::fsync_dir(&step.dst).map_err(io_err(&step.dst))?;
+    let mut entries = entries;
+    entries.push(step.entry.clone());
+    manifest::write(&step.dst, &entries, generation + 1)
+}
+
+/// Remove the document from the source manifest and delete its source
+/// snapshot. Runs only after the destination commit is durable, so the
+/// document is never without an owner; tolerates a re-run that finds
+/// the source already released.
+fn release_from_source(step: &MoveStep) -> Result<()> {
+    let (mut entries, generation) = manifest::read(&step.src)?;
+    if let Some(pos) = entries.iter().position(|e| e.name == step.entry.name) {
+        entries.remove(pos);
+        manifest::write(&step.src, &entries, generation + 1)?;
+    }
+    let src_path = step.src.join(&step.entry.file);
+    match std::fs::remove_file(&src_path) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+        Err(e) => Err(io_err(&src_path)(e)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use sigstr_core::{CountsLayout, Model, Query, Sequence};
+    use sigstr_corpus::Corpus;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "sigstr-rebalance-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn doc(seed: u64, n: usize) -> Sequence {
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+        let symbols: Vec<u8> = (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state % 2) as u8
+            })
+            .collect();
+        Sequence::from_symbols(symbols, 2).unwrap()
+    }
+
+    const NAMES: [&str; 8] = [
+        "doc-a", "doc-b", "doc-c", "doc-d", "doc-e", "doc-f", "doc-g", "doc-h",
+    ];
+    const VNODES: usize = 64;
+
+    /// Ring-partition NAMES over two shard dirs; create an empty third.
+    fn build_fleet(tag: &str) -> (Vec<PathBuf>, Vec<PathBuf>) {
+        let root = temp_dir(tag);
+        let dirs: Vec<PathBuf> = (0..3).map(|i| root.join(format!("shard{i}"))).collect();
+        let old_ring = Ring::new(2, VNODES);
+        let mut corpora: Vec<Corpus> = dirs
+            .iter()
+            .map(|d| {
+                std::fs::create_dir_all(d).unwrap();
+                Corpus::create(d).unwrap()
+            })
+            .collect();
+        for (i, name) in NAMES.iter().enumerate() {
+            corpora[old_ring.shard_for(name)]
+                .add_document(
+                    name,
+                    &doc(i as u64 + 1, 256),
+                    Model::uniform(2).unwrap(),
+                    CountsLayout::Flat,
+                )
+                .unwrap();
+        }
+        (dirs[..2].to_vec(), dirs)
+    }
+
+    fn names_in(dir: &Path) -> Vec<String> {
+        read_members(dir)
+            .unwrap()
+            .into_iter()
+            .map(|e| e.name)
+            .collect()
+    }
+
+    fn assert_exactly_one_owner(dirs: &[PathBuf]) {
+        let mut seen: HashMap<String, usize> = HashMap::new();
+        for dir in dirs {
+            for name in names_in(dir) {
+                *seen.entry(name).or_default() += 1;
+            }
+        }
+        assert_eq!(seen.len(), NAMES.len(), "no document lost");
+        for (name, count) in seen {
+            assert_eq!(count, 1, "`{name}` must live on exactly one shard");
+        }
+    }
+
+    #[test]
+    fn growing_the_ring_plans_moves_only_onto_the_new_shard() {
+        let (from, all) = build_fleet("plan-grow");
+        let plan = plan(&from, &all, VNODES).unwrap();
+        assert!(!plan.moves.is_empty(), "growing must move something");
+        assert!(
+            plan.moves.len() < NAMES.len(),
+            "growing must not move everything"
+        );
+        assert_eq!(plan.total(), NAMES.len());
+        for step in &plan.moves {
+            assert_eq!(
+                step.dst, all[2],
+                "consistent hashing moves documents only onto the new shard"
+            );
+            assert!(!step.committed);
+        }
+        std::fs::remove_dir_all(all[0].parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn execute_converges_and_is_idempotent() {
+        let (from, all) = build_fleet("execute");
+        // Reference answers before the move, one per document.
+        let reference: Vec<_> = from
+            .iter()
+            .flat_map(|d| {
+                let corpus = Corpus::open(d).unwrap();
+                names_in(d)
+                    .into_iter()
+                    .map(move |n| {
+                        let answer = corpus.query(&n, &Query::mss()).unwrap();
+                        (n, answer)
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+
+        let report = execute(&from, &all, &RebalanceOptions::new(VNODES)).unwrap();
+        assert!(!report.moved.is_empty());
+        assert_eq!(report.total, NAMES.len());
+        assert_exactly_one_owner(&all);
+        assert!(
+            !all[0].join(JOURNAL_FILE).exists(),
+            "journal removed after completion"
+        );
+
+        // Moved documents answer bit-identically from their new shard.
+        let new_ring = Ring::new(3, VNODES);
+        for (name, expected) in &reference {
+            let owner = Corpus::open(&all[new_ring.shard_for(name)]).unwrap();
+            assert_eq!(owner.query(name, &Query::mss()).unwrap(), *expected);
+        }
+
+        // Idempotent: a second run finds nothing to move.
+        let again = execute(&all, &all, &RebalanceOptions::new(VNODES)).unwrap();
+        assert!(again.moved.is_empty());
+        assert_eq!(again.already_placed, NAMES.len());
+        std::fs::remove_dir_all(all[0].parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn interrupted_rebalance_resumes_without_loss_or_duplication() {
+        let (from, all) = build_fleet("interrupted");
+        // Crash after the first destination commit: that document now
+        // sits in BOTH manifests (the transition window).
+        let mut opts = RebalanceOptions::new(VNODES);
+        opts.crash_after_commit = Some(0);
+        let err = execute(&from, &all, &opts).unwrap_err();
+        assert!(err.to_string().contains("injected crash"));
+        let dup: Vec<&str> = NAMES
+            .iter()
+            .copied()
+            .filter(|n| {
+                all.iter()
+                    .filter(|d| names_in(d).iter().any(|m| m == n))
+                    .count()
+                    == 2
+            })
+            .collect();
+        assert_eq!(dup.len(), 1, "exactly the committed document is doubled");
+        assert!(
+            all[0].join(JOURNAL_FILE).exists(),
+            "journal survives the crash"
+        );
+
+        // Resume: the doubled document resolves to its destination and
+        // the rest of the plan completes.
+        let report = execute(&from, &all, &RebalanceOptions::new(VNODES)).unwrap();
+        assert!(report.moved.contains(&dup[0].to_string()));
+        assert_exactly_one_owner(&all);
+        assert!(!all[0].join(JOURNAL_FILE).exists());
+        std::fs::remove_dir_all(all[0].parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn a_journal_for_a_different_layout_refuses_to_resume() {
+        let (from, all) = build_fleet("journal-mismatch");
+        let journal = all[0].join(JOURNAL_FILE);
+        std::fs::write(
+            &journal,
+            format!("{JOURNAL_HEADER}\nvnodes 16\nto /somewhere/else\n"),
+        )
+        .unwrap();
+        let err = execute(&from, &all, &RebalanceOptions::new(VNODES)).unwrap_err();
+        assert!(err.to_string().contains("different layout"));
+        std::fs::remove_dir_all(all[0].parent().unwrap()).ok();
+    }
+}

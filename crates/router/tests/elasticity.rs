@@ -1,0 +1,591 @@
+//! Live fleet elasticity: growing a serving fleet with `rebalance`
+//! while routers keep answering — every request served, answers
+//! bit-identical to a single corpus before, during and after the move,
+//! and an interrupted rebalance resumable without loss or duplication.
+//!
+//! The fleet starts with every document placed by the two-shard ring
+//! on shards 0 and 1; shard 2 is an empty corpus. The drill grows the
+//! layout to all three shards under sustained query load from two
+//! independent routers.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use sigstr_core::{Answer, CountsLayout, Model, Query, Sequence};
+use sigstr_corpus::{Corpus, DocHit};
+use sigstr_router::hash::Ring;
+use sigstr_router::rebalance::{self, RebalanceOptions, JOURNAL_FILE};
+use sigstr_router::{HedgePolicy, RouterConfig, RouterServer};
+use sigstr_server::client::ClientConn;
+use sigstr_server::json::Json;
+use sigstr_server::wire;
+use sigstr_server::{Server, ServerConfig, ServiceHandle};
+
+/// Shards holding documents before the grow.
+const OLD_SHARDS: usize = 2;
+/// Shards after the grow (the last one starts empty).
+const NEW_SHARDS: usize = 3;
+const VNODES: usize = 64;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "sigstr-elastic-it-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn doc(seed: u64, n: usize, k: usize) -> Sequence {
+    let mut x = seed | 1;
+    let symbols: Vec<u8> = (0..n)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x % k as u64) as u8
+        })
+        .collect();
+    Sequence::from_symbols(symbols, k).unwrap()
+}
+
+/// The drill's document set. Names are chosen so the two-shard ring
+/// populates both old shards AND the three-shard ring moves at least
+/// one document onto the new shard (both asserted in `build`).
+fn spec() -> Vec<(&'static str, u64, usize, usize, CountsLayout)> {
+    vec![
+        ("bin-a", 11, 600, 2, CountsLayout::Flat),
+        ("bin-b", 12, 400, 2, CountsLayout::Blocked),
+        ("tri-c", 13, 500, 3, CountsLayout::Blocked),
+        ("tri-d", 14, 450, 3, CountsLayout::Flat),
+        ("quad-e", 15, 520, 4, CountsLayout::Blocked),
+        ("bin-f", 16, 380, 2, CountsLayout::Flat),
+        ("tri-g", 17, 420, 3, CountsLayout::Flat),
+        ("quad-h", 18, 360, 4, CountsLayout::Blocked),
+    ]
+}
+
+/// Build the pre-grow fleet: documents ring-partitioned over the first
+/// two shard directories, a third empty corpus, and the single
+/// reference corpus (every document, sorted-name ingest order).
+fn build(tag: &str) -> (Vec<PathBuf>, PathBuf) {
+    let old_ring = Ring::new(OLD_SHARDS, VNODES);
+    let new_ring = Ring::new(NEW_SHARDS, VNODES);
+    let mut spec = spec();
+    spec.sort_by_key(|&(name, ..)| name);
+
+    let shard_dirs: Vec<PathBuf> = (0..NEW_SHARDS)
+        .map(|s| temp_dir(&format!("{tag}-s{s}")))
+        .collect();
+    let reference_dir = temp_dir(&format!("{tag}-ref"));
+    let mut shards: Vec<Corpus> = shard_dirs
+        .iter()
+        .map(|d| Corpus::create(d).unwrap())
+        .collect();
+    let mut reference = Corpus::create(&reference_dir).unwrap();
+
+    for &(name, seed, n, k, layout) in &spec {
+        let sequence = doc(seed, n, k);
+        let model = Model::uniform(k).unwrap();
+        let owner = old_ring.shard_for(name);
+        shards[owner]
+            .add_document(name, &sequence, model.clone(), layout)
+            .unwrap();
+        reference
+            .add_document(name, &sequence, model, layout)
+            .unwrap();
+    }
+    for (s, corpus) in shards.iter().take(OLD_SHARDS).enumerate() {
+        assert!(
+            !corpus.is_empty(),
+            "old shard {s} got no documents — pick different names"
+        );
+    }
+    assert!(
+        spec.iter().any(|&(name, ..)| new_ring.shard_for(name) == 2),
+        "growing the ring moves nothing — pick different names"
+    );
+    (shard_dirs, reference_dir)
+}
+
+fn boot_shard(dir: &PathBuf) -> (String, ServiceHandle, std::thread::JoinHandle<()>) {
+    let corpus = Corpus::open(dir).unwrap();
+    let server = Server::bind(
+        corpus,
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr().to_string();
+    let handle = server.handle();
+    let join = std::thread::spawn(move || {
+        server.run().unwrap();
+    });
+    (addr, handle, join)
+}
+
+fn router_config(shards: Vec<String>) -> RouterConfig {
+    let mut config = RouterConfig::new(shards);
+    config.service.addr = "127.0.0.1:0".into();
+    config.service.threads = 2;
+    config.vnodes = VNODES;
+    config.probe_interval = Duration::from_millis(50);
+    // Generous relative to debug-build cold engine builds: a probe
+    // queued behind a first-touch query must not time out and mark a
+    // healthy shard down.
+    config.probe_timeout = Duration::from_secs(2);
+    config.hedge = HedgePolicy::Disabled;
+    config.deadline = Duration::from_secs(10);
+    config
+}
+
+fn boot_router(config: RouterConfig) -> (String, ServiceHandle, std::thread::JoinHandle<()>) {
+    let router = RouterServer::bind(config).unwrap();
+    let addr = router.local_addr().to_string();
+    let handle = router.handle();
+    let join = std::thread::spawn(move || {
+        router.run().unwrap();
+    });
+    (addr, handle, join)
+}
+
+fn try_request(
+    addr: &str,
+    method: &str,
+    target: &str,
+    body: Option<&str>,
+) -> std::io::Result<(u16, Json)> {
+    let mut conn = ClientConn::connect(addr)?;
+    let response = conn.request(method, target, body)?;
+    let text = std::str::from_utf8(&response.body)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    let json = Json::decode(text.trim())
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    Ok((response.status, json))
+}
+
+/// Issue a request, retrying transient transport errors (never HTTP
+/// statuses — those are the drill's subject).
+fn request(addr: &str, method: &str, target: &str, body: Option<&str>) -> (u16, Json) {
+    let mut last = None;
+    for _ in 0..5 {
+        match try_request(addr, method, target, body) {
+            Ok(response) => return response,
+            Err(e) => {
+                last = Some(e);
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+    panic!("{method} {target} on {addr} kept failing: {last:?}");
+}
+
+fn query_body(name: &str, query: &Query) -> String {
+    Json::Obj(vec![
+        ("doc".into(), Json::Str(name.into())),
+        ("query".into(), wire::query_to_json(query)),
+    ])
+    .encode()
+    .unwrap()
+}
+
+fn decode_hits(body: &Json) -> Vec<DocHit> {
+    body.get("hits")
+        .and_then(Json::as_array)
+        .unwrap()
+        .iter()
+        .map(|h| wire::hit_from_json(h).unwrap())
+        .collect()
+}
+
+fn assert_hits_identical(routed: &[DocHit], reference: &[DocHit], label: &str) {
+    assert_eq!(routed.len(), reference.len(), "{label}: hit count");
+    for (i, (a, b)) in routed.iter().zip(reference).enumerate() {
+        assert_eq!(a.doc, b.doc, "{label}: hit {i} doc index");
+        assert_eq!(a.name, b.name, "{label}: hit {i} document name");
+        assert_eq!(a.item.start, b.item.start, "{label}: hit {i} start");
+        assert_eq!(a.item.end, b.item.end, "{label}: hit {i} end");
+        assert_eq!(
+            a.item.chi_square.to_bits(),
+            b.item.chi_square.to_bits(),
+            "{label}: hit {i} chi-square bits"
+        );
+    }
+}
+
+fn assert_answer_identical(routed: &Answer, reference: &Answer, label: &str) {
+    assert_eq!(routed, reference, "{label}: full struct");
+    for (a, b) in routed.items().iter().zip(reference.items()) {
+        assert_eq!(
+            a.chi_square.to_bits(),
+            b.chi_square.to_bits(),
+            "{label}: chi-square bits"
+        );
+    }
+}
+
+fn names_in(dir: &PathBuf) -> Vec<String> {
+    Corpus::open(dir)
+        .unwrap()
+        .entries()
+        .iter()
+        .map(|e| e.name.clone())
+        .collect()
+}
+
+fn shutdown_all(booted: Vec<(String, ServiceHandle, std::thread::JoinHandle<()>)>) {
+    for (_, handle, join) in booted {
+        handle.shutdown();
+        join.join().unwrap();
+    }
+}
+
+/// The router drill: grow 2 shards to 3 while two independent routers
+/// serve sustained merged + single-document load. Every request must
+/// succeed with answers bit-identical to the single reference corpus —
+/// before, during and after the move — and both routers must converge
+/// on the same post-move placement without restart.
+#[test]
+fn live_rebalance_under_load_serves_every_request_bit_identically() {
+    let (shard_dirs, reference_dir) = build("drill");
+    let reference = Corpus::open(&reference_dir).unwrap();
+    let booted: Vec<_> = shard_dirs.iter().map(boot_shard).collect();
+    let addrs: Vec<String> = booted.iter().map(|(a, ..)| a.clone()).collect();
+    let routers: Vec<_> = (0..2)
+        .map(|_| boot_router(router_config(addrs.clone())))
+        .collect();
+    let router_addrs: Vec<String> = routers.iter().map(|(a, ..)| a.clone()).collect();
+
+    // Ground truth, computed once up front.
+    let expected_top = reference.top_t_merged(5).unwrap();
+    let names: Vec<&str> = spec().iter().map(|&(name, ..)| name).collect();
+    let per_doc: Vec<(String, String, Answer)> = names
+        .iter()
+        .map(|&name| {
+            let query = Query::top_t(3);
+            (
+                name.to_string(),
+                query_body(name, &query),
+                reference.query(name, &query).unwrap(),
+            )
+        })
+        .collect();
+
+    let stop = AtomicBool::new(false);
+    let served: Vec<std::sync::atomic::AtomicU64> = router_addrs
+        .iter()
+        .map(|_| std::sync::atomic::AtomicU64::new(0))
+        .collect();
+
+    std::thread::scope(|scope| {
+        // One sustained load generator per router: merged top-t plus a
+        // rotating single-document query, every answer checked to the
+        // bit against the reference corpus.
+        for (r, router_addr) in router_addrs.iter().enumerate() {
+            let stop = &stop;
+            let expected_top = &expected_top;
+            let per_doc = &per_doc;
+            let served = &served[r];
+            scope.spawn(move || {
+                let mut i = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    let (status, body) = request(router_addr, "GET", "/v1/merged/top?t=5", None);
+                    assert_eq!(status, 200, "router {r}: merged status");
+                    assert_eq!(
+                        body.get("degraded").and_then(Json::as_bool),
+                        Some(false),
+                        "router {r}: merged degraded"
+                    );
+                    assert_hits_identical(
+                        &decode_hits(&body),
+                        expected_top,
+                        &format!("router {r}: merged"),
+                    );
+
+                    let (name, request_body, expected) = &per_doc[i % per_doc.len()];
+                    i += 1;
+                    let (status, body) =
+                        request(router_addr, "POST", "/v1/query", Some(request_body));
+                    assert_eq!(
+                        status,
+                        200,
+                        "router {r}: query {name}: body {:?}",
+                        body.encode()
+                    );
+                    let routed = wire::answer_from_json(body.get("answer").unwrap()).unwrap();
+                    assert_answer_identical(
+                        &routed,
+                        expected,
+                        &format!("router {r}: query {name}"),
+                    );
+                    served.fetch_add(2, Ordering::Relaxed);
+                }
+            });
+        }
+
+        // Load runs against the old placement first...
+        std::thread::sleep(Duration::from_millis(150));
+        // ...then the fleet grows underneath it.
+        let report = rebalance::execute(
+            &shard_dirs[..OLD_SHARDS],
+            &shard_dirs,
+            &RebalanceOptions::new(VNODES),
+        )
+        .unwrap();
+        assert!(!report.moved.is_empty(), "the grow moved nothing");
+        assert_eq!(report.total, names.len());
+        // ...and keeps running against the new placement.
+        std::thread::sleep(Duration::from_millis(300));
+        stop.store(true, Ordering::Relaxed);
+    });
+    for (r, count) in served.iter().enumerate() {
+        assert!(
+            count.load(Ordering::Relaxed) >= 10,
+            "router {r} served too few requests for a meaningful drill"
+        );
+    }
+
+    // Post-move placement on disk: every document in exactly one shard
+    // directory, and exactly where the new ring says.
+    let new_ring = Ring::new(NEW_SHARDS, VNODES);
+    let holders: Vec<Vec<String>> = shard_dirs.iter().map(names_in).collect();
+    for name in &names {
+        let holding: Vec<usize> = (0..NEW_SHARDS)
+            .filter(|&s| holders[s].iter().any(|n| n == name))
+            .collect();
+        assert_eq!(
+            holding,
+            vec![new_ring.shard_for(name)],
+            "placement of {name}"
+        );
+    }
+    assert!(
+        !holders[2].is_empty(),
+        "the new shard ended the drill empty"
+    );
+
+    // Both routers converged on the same directory: identical merged
+    // answers and every document still queryable, including the moved
+    // ones, from either router.
+    for router_addr in &router_addrs {
+        let (status, body) = request(router_addr, "GET", "/v1/merged/top?t=5", None);
+        assert_eq!(status, 200);
+        assert_hits_identical(&decode_hits(&body), &expected_top, "post-move merged");
+        for (name, request_body, expected) in &per_doc {
+            let (status, body) = request(router_addr, "POST", "/v1/query", Some(request_body));
+            assert_eq!(status, 200, "post-move query {name}");
+            let routed = wire::answer_from_json(body.get("answer").unwrap()).unwrap();
+            assert_answer_identical(&routed, expected, &format!("post-move query {name}"));
+        }
+    }
+
+    shutdown_all(routers);
+    shutdown_all(booted);
+}
+
+/// A rebalance killed between the destination commit and the source
+/// release leaves one document in both manifests. The fleet must stay
+/// consistent — no duplicate hits in merged answers, the document
+/// served — and a plain re-run must converge.
+#[test]
+fn interrupted_rebalance_stays_consistent_and_resumes() {
+    let (shard_dirs, reference_dir) = build("crash");
+    let reference = Corpus::open(&reference_dir).unwrap();
+    let booted: Vec<_> = shard_dirs.iter().map(boot_shard).collect();
+    let addrs: Vec<String> = booted.iter().map(|(a, ..)| a.clone()).collect();
+    let (router_addr, router_handle, router_join) = boot_router(router_config(addrs));
+
+    // Crash after the first move's destination commit: that document
+    // is now in two manifests, with bit-identical snapshots.
+    let mut crashing = RebalanceOptions::new(VNODES);
+    crashing.crash_after_commit = Some(0);
+    let err = rebalance::execute(&shard_dirs[..OLD_SHARDS], &shard_dirs, &crashing).unwrap_err();
+    assert!(
+        err.to_string().contains("injected crash"),
+        "unexpected error: {err}"
+    );
+    assert!(
+        shard_dirs[0].join(JOURNAL_FILE).exists(),
+        "the interrupted run must leave its journal behind"
+    );
+    let holders: Vec<Vec<String>> = shard_dirs.iter().map(names_in).collect();
+    let doubled: Vec<&str> = spec()
+        .iter()
+        .map(|&(name, ..)| name)
+        .filter(|name| {
+            holders
+                .iter()
+                .filter(|h| h.iter().any(|n| n == name))
+                .count()
+                == 2
+        })
+        .collect();
+    assert_eq!(doubled.len(), 1, "exactly one document is mid-move");
+    let doubled = doubled[0];
+
+    // During the window: merged answers carry no duplicates, the
+    // mid-move document answers identically, and the directory lists
+    // it once.
+    let expected_top = reference.top_t_merged(10).unwrap();
+    let (status, body) = request(&router_addr, "GET", "/v1/merged/top?t=10", None);
+    assert_eq!(status, 200);
+    assert_hits_identical(&decode_hits(&body), &expected_top, "mid-move merged");
+    let query = Query::top_t(3);
+    let (status, body) = request(
+        &router_addr,
+        "POST",
+        "/v1/query",
+        Some(&query_body(doubled, &query)),
+    );
+    assert_eq!(status, 200, "mid-move query {doubled}");
+    let routed = wire::answer_from_json(body.get("answer").unwrap()).unwrap();
+    assert_answer_identical(
+        &routed,
+        &reference.query(doubled, &query).unwrap(),
+        &format!("mid-move query {doubled}"),
+    );
+    let (status, body) = request(&router_addr, "GET", "/v1/documents", None);
+    assert_eq!(status, 200);
+    let listed = body
+        .get("documents")
+        .and_then(Json::as_array)
+        .unwrap()
+        .iter()
+        .filter(|d| d.get("name").and_then(Json::as_str) == Some(doubled))
+        .count();
+    assert_eq!(listed, 1, "directory lists the mid-move document once");
+
+    // Re-running with the same target converges: the journal is
+    // consumed, every document lands in exactly one directory, and the
+    // fleet still answers bit-identically.
+    let report = rebalance::execute(
+        &shard_dirs[..OLD_SHARDS],
+        &shard_dirs,
+        &RebalanceOptions::new(VNODES),
+    )
+    .unwrap();
+    assert!(!shard_dirs[0].join(JOURNAL_FILE).exists());
+    let new_ring = Ring::new(NEW_SHARDS, VNODES);
+    let holders: Vec<Vec<String>> = shard_dirs.iter().map(names_in).collect();
+    for &(name, ..) in &spec() {
+        let holding: Vec<usize> = (0..NEW_SHARDS)
+            .filter(|&s| holders[s].iter().any(|n| n == name))
+            .collect();
+        assert_eq!(
+            holding,
+            vec![new_ring.shard_for(name)],
+            "placement of {name}"
+        );
+    }
+    assert!(
+        report.moved.iter().any(|n| n == doubled),
+        "the resume finished the half-done move"
+    );
+    let (status, body) = request(&router_addr, "GET", "/v1/merged/top?t=10", None);
+    assert_eq!(status, 200);
+    assert_hits_identical(&decode_hits(&body), &expected_top, "post-resume merged");
+
+    router_handle.shutdown();
+    router_join.join().unwrap();
+    shutdown_all(booted);
+}
+
+/// The `410 Gone` protocol end to end: with probes effectively
+/// disabled, a router's directory stays stale across a rebalance, so
+/// its first query for a moved document goes to the old owner — which
+/// answers 410 — and the router must refresh and re-route within the
+/// same request instead of surfacing the miss.
+#[test]
+fn stale_routers_reroute_moved_documents_after_410() {
+    let (shard_dirs, reference_dir) = build("stale");
+    let reference = Corpus::open(&reference_dir).unwrap();
+    let booted: Vec<_> = shard_dirs.iter().map(boot_shard).collect();
+    let addrs: Vec<String> = booted.iter().map(|(a, ..)| a.clone()).collect();
+    let mut config = router_config(addrs);
+    // One boot-time probe round builds the directory; no probe after
+    // that will refresh it during the test window.
+    config.probe_interval = Duration::from_secs(600);
+    let (router_addr, router_handle, router_join) = boot_router(config);
+
+    // A document that stays put proves the fleet is up without warming
+    // any soon-to-move engine on its old shard (a warm engine would
+    // serve the stale answer instead of 410 — correct, but not the
+    // path under test).
+    let new_ring = Ring::new(NEW_SHARDS, VNODES);
+    let names: Vec<&str> = spec().iter().map(|&(name, ..)| name).collect();
+    let old_ring = Ring::new(OLD_SHARDS, VNODES);
+    let staying = *names
+        .iter()
+        .find(|name| old_ring.shard_for(name) == new_ring.shard_for(name))
+        .expect("some document stays put");
+    let query = Query::top_t(3);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let (status, _) = request(
+            &router_addr,
+            "POST",
+            "/v1/query",
+            Some(&query_body(staying, &query)),
+        );
+        if status == 200 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "fleet never became routable (last status {status})"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    let report = rebalance::execute(
+        &shard_dirs[..OLD_SHARDS],
+        &shard_dirs,
+        &RebalanceOptions::new(VNODES),
+    )
+    .unwrap();
+    assert!(!report.moved.is_empty());
+
+    // Every moved document must be served on the first try: the old
+    // owner's 410 is absorbed by an in-request directory refresh.
+    for name in &report.moved {
+        let (status, body) = request(
+            &router_addr,
+            "POST",
+            "/v1/query",
+            Some(&query_body(name, &query)),
+        );
+        assert_eq!(status, 200, "moved document {name} not re-routed");
+        let routed = wire::answer_from_json(body.get("answer").unwrap()).unwrap();
+        assert_answer_identical(
+            &routed,
+            &reference.query(name, &query).unwrap(),
+            &format!("re-routed query {name}"),
+        );
+    }
+
+    // The re-route path actually fired and was counted.
+    let mut conn = ClientConn::connect(&router_addr).unwrap();
+    let metrics = conn.request("GET", "/metrics", None).unwrap();
+    let text = std::str::from_utf8(&metrics.body).unwrap();
+    let counter = |name: &str| -> u64 {
+        text.lines()
+            .find(|l| l.starts_with(name) && !l.starts_with('#'))
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("missing {name} in:\n{text}"))
+    };
+    assert!(
+        counter("sigstr_router_moved_rerouted_total") >= 1,
+        "no 410 re-route was recorded"
+    );
+    assert!(counter("sigstr_router_directory_refreshes_total") >= 1);
+
+    router_handle.shutdown();
+    router_join.join().unwrap();
+    shutdown_all(booted);
+}

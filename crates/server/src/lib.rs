@@ -30,11 +30,17 @@
 //! |---|---|
 //! | `GET /healthz` | readiness JSON: `status`, manifest `generation`, `documents`; `503` + `Retry-After` while draining |
 //! | `GET /metrics` | text counters: traffic, status classes, latency histogram, queue depth, corpus cache stats |
-//! | `GET /v1/documents` | the corpus manifest |
+//! | `GET /v1/documents` | the corpus manifest plus its placement `generation` |
 //! | `POST /v1/query` | one document, any [`Query`] (incl. range-restricted) |
 //! | `POST /v1/batch` | many `(doc, query)` jobs through [`Corpus::run_batch`], sharing warm engines and the pool |
 //! | `GET /v1/merged/top?t=` | deterministic corpus-wide top-t merge |
 //! | `GET /v1/merged/threshold?alpha=` | corpus-wide threshold set in document order |
+//!
+//! Every corpus-touching route adopts externally-rewritten manifests
+//! (a live `sigstr rebalance` committing documents in or out) via
+//! [`Corpus::refresh`], and a query for a document this shard *used to*
+//! hold answers `410 Gone` — the router's signal to re-fetch the
+//! placement directory and re-route, distinct from a true `404`.
 //!
 //! Answers are JSON with **bit-exact** scores: the wire format
 //! ([`wire`]) rides on a round-trip-exact JSON layer ([`json`]), so an
@@ -147,6 +153,46 @@ fn corpus_error_status(error: &CorpusError) -> u16 {
     }
 }
 
+/// [`corpus_error_status`] refined with departure knowledge: a document
+/// this shard *used to* hold (released by a live rebalance) answers
+/// `410 Gone` rather than `404 Not Found`. The distinction is the
+/// directory-refresh signal — a router holding a stale placement treats
+/// `410` as "re-fetch the directory and re-route", while a true `404`
+/// means the document never existed anywhere.
+fn document_error_status(handler: &CorpusHandler, doc: &str, error: &CorpusError) -> u16 {
+    if matches!(error, CorpusError::UnknownDocument { .. })
+        && handler.corpus.departed(doc).is_some()
+    {
+        410
+    } else {
+        corpus_error_status(error)
+    }
+}
+
+/// The error response for a single-document failure (`410` carries the
+/// placement generation at which the document departed, so a client can
+/// tell which membership view it is behind).
+fn document_error_response(handler: &CorpusHandler, doc: &str, error: &CorpusError) -> Response {
+    if matches!(error, CorpusError::UnknownDocument { .. }) {
+        if let Some(generation) = handler.corpus.departed(doc) {
+            return json_response(
+                410,
+                Json::Obj(vec![
+                    (
+                        "error".into(),
+                        Json::Str(format!("document `{doc}` moved to another shard")),
+                    ),
+                    ("generation".into(), Json::Int(generation)),
+                ]),
+            );
+        }
+    }
+    json_response(
+        corpus_error_status(error),
+        wire::error_json(&error.to_string()),
+    )
+}
+
 fn route(handler: &CorpusHandler, request: &Request, core: &ServiceCore) -> Response {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => handle_healthz(handler, core),
@@ -183,6 +229,10 @@ fn route(handler: &CorpusHandler, request: &Request, core: &ServiceCore) -> Resp
 /// generation and document count, so a router can notice membership
 /// changes without fetching the whole manifest.
 fn handle_healthz(handler: &CorpusHandler, core: &ServiceCore) -> Response {
+    // Adopt an externally-rewritten manifest (live rebalance) before
+    // reporting: health probes are the routers' generation-change
+    // detection point, so the generation here must be the on-disk one.
+    handler.corpus.refresh().ok();
     let draining = core.is_shutting_down();
     let body = Json::Obj(vec![
         (
@@ -207,15 +257,22 @@ fn body_json(request: &Request) -> Result<Json, Response> {
 }
 
 fn handle_documents(handler: &CorpusHandler) -> Response {
+    handler.corpus.refresh().ok();
     let documents: Vec<Json> = handler
         .corpus
         .entries()
         .iter()
         .map(wire::document_to_json)
         .collect();
+    // The placement generation rides along so a router can pair the
+    // membership list with the generation it reflects (and skip
+    // re-fetching when a later health probe reports the same one).
     json_response(
         200,
-        Json::Obj(vec![("documents".into(), Json::Arr(documents))]),
+        Json::Obj(vec![
+            ("generation".into(), Json::Int(handler.corpus.generation())),
+            ("documents".into(), Json::Arr(documents)),
+        ]),
     )
 }
 
@@ -235,7 +292,17 @@ fn handle_query(handler: &CorpusHandler, request: &Request) -> Response {
         Ok(query) => query,
         Err(message) => return json_response(400, wire::error_json(&message)),
     };
-    match handler.corpus.query(doc, &query) {
+    let mut result = handler.corpus.query(doc, &query);
+    // A failure against stale membership may resolve itself on disk: the
+    // document may have just *arrived* (a rebalance committed it to this
+    // shard's manifest after our last refresh) or just *departed* (its
+    // snapshot already deleted, surfacing as an I/O error through the
+    // old manifest entry). Adopt the on-disk membership and retry once
+    // before answering — only then is 404/410/500 the true state.
+    if result.is_err() && handler.corpus.refresh().unwrap_or(false) {
+        result = handler.corpus.query(doc, &query);
+    }
+    match result {
         Ok(answer) => json_response(
             200,
             Json::Obj(vec![
@@ -243,7 +310,7 @@ fn handle_query(handler: &CorpusHandler, request: &Request) -> Response {
                 ("answer".into(), wire::answer_to_json(&answer)),
             ]),
         ),
-        Err(e) => json_response(corpus_error_status(&e), wire::error_json(&e.to_string())),
+        Err(e) => document_error_response(handler, doc, &e),
     }
 }
 
@@ -279,7 +346,12 @@ fn handle_batch(handler: &CorpusHandler, request: &Request) -> Response {
     // (and in concurrent requests) shares the warm-engine cache and the
     // one persistent worker pool.
     let borrowed: Vec<(&str, Query)> = parsed.iter().map(|(d, q)| (d.as_str(), *q)).collect();
-    let answers = handler.corpus.run_batch(&borrowed);
+    let mut answers = handler.corpus.run_batch(&borrowed);
+    // Same stale-membership race as the single-query route: if any job
+    // failed and the on-disk membership has moved on, retry once.
+    if answers.iter().any(Result::is_err) && handler.corpus.refresh().unwrap_or(false) {
+        answers = handler.corpus.run_batch(&borrowed);
+    }
     let results: Vec<Json> = answers
         .into_iter()
         .zip(&parsed)
@@ -292,7 +364,7 @@ fn handle_batch(handler: &CorpusHandler, request: &Request) -> Response {
                 ("doc".into(), Json::Str(doc.clone())),
                 (
                     "status".into(),
-                    Json::Int(u64::from(corpus_error_status(&e))),
+                    Json::Int(u64::from(document_error_status(handler, doc, &e))),
                 ),
                 ("error".into(), Json::Str(e.to_string())),
             ]),
@@ -311,7 +383,17 @@ fn handle_merged_top(handler: &CorpusHandler, request: &Request) -> Response {
             wire::error_json("missing or unparseable query parameter `t`"),
         );
     };
-    match handler.corpus.top_t_merged(t) {
+    // Merged answers cover "every document on this shard" — adopt any
+    // externally-committed membership change before deciding what that
+    // set is, and retry once if a removal lands between the refresh and
+    // the run (the batch itself snapshots membership exactly once and
+    // completes against it).
+    handler.corpus.refresh().ok();
+    let mut result = handler.corpus.top_t_merged(t);
+    if result.is_err() && handler.corpus.refresh().unwrap_or(false) {
+        result = handler.corpus.top_t_merged(t);
+    }
+    match result {
         Ok(hits) => json_response(
             200,
             Json::Obj(vec![
@@ -339,7 +421,12 @@ fn handle_merged_threshold(handler: &CorpusHandler, request: &Request) -> Respon
     if !alpha.is_finite() {
         return json_response(400, wire::error_json("`alpha` must be finite"));
     }
-    match handler.corpus.above_threshold_merged(alpha) {
+    handler.corpus.refresh().ok();
+    let mut result = handler.corpus.above_threshold_merged(alpha);
+    if result.is_err() && handler.corpus.refresh().unwrap_or(false) {
+        result = handler.corpus.above_threshold_merged(alpha);
+    }
+    match result {
         Ok(hits) => json_response(
             200,
             Json::Obj(vec![
@@ -581,6 +668,97 @@ mod tests {
         assert!(std::str::from_utf8(&response.body)
             .unwrap()
             .contains("job 0"));
+    }
+
+    /// The live-rebalance serving protocol: a handler whose corpus is
+    /// externally rewritten (document removed by a rebalance) adopts
+    /// the change on the next touch, reports the bumped generation, and
+    /// answers `410 Gone` (not `404`) for the departed document.
+    #[test]
+    fn externally_removed_documents_answer_410_gone() {
+        let dir = std::env::temp_dir().join(format!(
+            "sigstr-server-unit-gone-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut writer = Corpus::create(&dir).unwrap();
+        let symbols: Vec<u8> = (0..120u32).map(|i| ((i / 7) % 2) as u8).collect();
+        let seq = Sequence::from_symbols(symbols, 2).unwrap();
+        for name in ["d0", "d1"] {
+            writer
+                .add_document(name, &seq, Model::uniform(2).unwrap(), CountsLayout::Flat)
+                .unwrap();
+        }
+        let handler = CorpusHandler {
+            corpus: Corpus::open(&dir).unwrap(),
+        };
+        let core = ServiceCore::new(ServerConfig::default());
+        let before = handler.corpus.generation();
+
+        // Another process (the rebalance tool) releases d1.
+        writer.remove_document("d1").unwrap();
+
+        // healthz adopts the new membership and reports the bump.
+        let health = route(&handler, &get("/healthz", &[]), &core);
+        let body = Json::decode(std::str::from_utf8(&health.body).unwrap().trim()).unwrap();
+        assert_eq!(body.get("generation").unwrap().as_u64(), Some(before + 1));
+        assert_eq!(body.get("documents").unwrap().as_u64(), Some(1));
+
+        // The departed document is 410, a never-existed one stays 404,
+        // and the surviving one still answers.
+        let gone = route(
+            &handler,
+            &post("/v1/query", r#"{"doc":"d1","query":{"kind":"mss"}}"#),
+            &core,
+        );
+        assert_eq!(gone.status, 410);
+        let gone_body = Json::decode(std::str::from_utf8(&gone.body).unwrap().trim()).unwrap();
+        assert_eq!(
+            gone_body.get("generation").unwrap().as_u64(),
+            Some(before + 1)
+        );
+        assert_eq!(
+            route(
+                &handler,
+                &post("/v1/query", r#"{"doc":"ghost","query":{"kind":"mss"}}"#),
+                &core
+            )
+            .status,
+            404
+        );
+        assert_eq!(
+            route(
+                &handler,
+                &post("/v1/query", r#"{"doc":"d0","query":{"kind":"mss"}}"#),
+                &core
+            )
+            .status,
+            200
+        );
+
+        // Batch slots carry the same distinction.
+        let batch = route(
+            &handler,
+            &post(
+                "/v1/batch",
+                r#"{"jobs":[{"doc":"d1","query":{"kind":"mss"}},{"doc":"d0","query":{"kind":"mss"}}]}"#,
+            ),
+            &core,
+        );
+        assert_eq!(batch.status, 200);
+        let results = Json::decode(std::str::from_utf8(&batch.body).unwrap().trim()).unwrap();
+        let results = results.get("results").unwrap().as_array().unwrap();
+        assert_eq!(results[0].get("status").unwrap().as_u64(), Some(410));
+        assert!(results[1].get("answer").is_some());
+
+        // /v1/documents reflects the new membership and generation.
+        let documents = route(&handler, &get("/v1/documents", &[]), &core);
+        let body = Json::decode(std::str::from_utf8(&documents.body).unwrap().trim()).unwrap();
+        assert_eq!(body.get("generation").unwrap().as_u64(), Some(before + 1));
+        assert_eq!(body.get("documents").unwrap().as_array().unwrap().len(), 1);
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

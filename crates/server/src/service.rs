@@ -333,8 +333,14 @@ fn serve_connection<H: Handler>(shared: &ServiceShared<H>, stream: TcpStream) {
         return;
     };
     loop {
+        // The yield condition doubles as the graceful-shutdown check:
+        // an *idle* connection is abandoned both when the service drains
+        // and when other connections wait in the admission queue — a
+        // worker parked on a silent keep-alive socket while a freshly
+        // dialed health probe starves would otherwise hold that probe
+        // until its client-side timeout marks this shard down.
         let request = match conn.read_request(&core.config.limits, core.config.keep_alive, &|| {
-            core.is_shutting_down()
+            core.is_shutting_down() || core.queue_depth() > 0
         }) {
             Ok(request) => request,
             Err(RecvError::Closed | RecvError::IdleTimeout | RecvError::Shutdown) => return,
@@ -354,7 +360,17 @@ fn serve_connection<H: Handler>(shared: &ServiceShared<H>, stream: TcpStream) {
         };
         let start = Instant::now();
         let mut response = shared.handler.handle(&request, core);
-        let keep_alive = request.keep_alive && response.keep_alive && !core.is_shutting_down();
+        let mut keep_alive = request.keep_alive && response.keep_alive && !core.is_shutting_down();
+        // Fairness under worker pinning: with as many live keep-alive
+        // peers as workers, every worker sits in this loop and a newly
+        // dialed connection — a health probe, a directory fetch, a new
+        // client — waits in the admission queue until its own timeout
+        // fires. If someone is waiting, close after this response so
+        // the worker cycles through all comers; `Connection: close`
+        // tells well-behaved clients not to park the socket.
+        if keep_alive && core.queue_depth() > 0 {
+            keep_alive = false;
+        }
         response.keep_alive = keep_alive;
         core.metrics.observe(response.status, start.elapsed());
         if conn.write_response(&response).is_err() {
