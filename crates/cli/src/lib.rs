@@ -136,6 +136,35 @@ pub enum Command {
         dir: String,
         /// The document name.
         name: String,
+        /// Create an appendable live document instead of a static
+        /// snapshot (the input becomes generation 1; appends accumulate
+        /// in a durable tail and freeze into later generations).
+        live: bool,
+    },
+    /// Append a file's text to a live document over HTTP.
+    Append {
+        /// The server (or router) address.
+        addr: String,
+        /// The live document name.
+        doc: String,
+    },
+    /// Register a sliding-window watch on a live document and stream
+    /// alerts via long-polls.
+    Watch {
+        /// The server (or router) address.
+        addr: String,
+        /// The live document name.
+        doc: String,
+        /// Sliding window length (symbols).
+        window: usize,
+        /// Chi-square alert threshold.
+        threshold: f64,
+        /// Alerts retained per append batch.
+        top_t: usize,
+        /// One poll, then deregister and exit (instead of following).
+        once: bool,
+        /// Long-poll hold per request, in milliseconds.
+        timeout_ms: u64,
     },
     /// Serve queries over every document of a corpus directory.
     CorpusQuery {
@@ -258,6 +287,7 @@ impl Invocation {
                 | Command::Serve { .. }
                 | Command::Route { .. }
                 | Command::Rebalance { .. }
+                | Command::Watch { .. }
         )
     }
 }
@@ -270,7 +300,7 @@ USAGE:
     sigstr <mss|top|thresh|minlen|maxlen|batch> <file|-> [OPTIONS]
     sigstr index build <file|-> --out PATH [OPTIONS]
     sigstr index info  <snapshot>
-    sigstr corpus add   <dir> <file|-> --name NAME [OPTIONS]
+    sigstr corpus add   <dir> <file|-> --name NAME [--live] [OPTIONS]
     sigstr corpus query <dir> --query Q... [--merge-top T] [--merge-thresh A]
     sigstr corpus list  <dir> [--stats]
     sigstr serve <dir> [--addr A] [--threads N] [--budget-mb N] [--queue-depth N]
@@ -280,6 +310,9 @@ USAGE:
                  [--plan NAME1,NAME2,...]
     sigstr rebalance --from DIR1,DIR2,... --to DIR1,DIR2,...
                      [--vnodes N] [--journal PATH] [--dry-run]
+    sigstr append <addr> <file|-> --doc NAME
+    sigstr watch  <addr> --doc NAME [--window N] [--threshold X] [--top N]
+                  [--timeout-ms N] [--once]
 
 COMMANDS:
     mss                     most significant substring (Problem 1)
@@ -295,6 +328,8 @@ COMMANDS:
                             a binary snapshot (loaded, never rebuilt)
     index info              print a snapshot's header and sections
     corpus add --name N     snapshot a document into a corpus directory
+                            (--live makes it appendable: the input is
+                            generation 1, appends freeze into later ones)
     corpus query            serve --query specs over every corpus document
                             from warm engines; --merge-top T / --merge-thresh A
                             add corpus-wide merged answers
@@ -316,6 +351,12 @@ COMMANDS:
                             committed before the source releases, and a
                             journal makes an interrupted run resumable
                             (re-run with the same --to to converge)
+    append                  append a file's text to a live document over
+                            HTTP; prints the new geometry and any alerts
+                            the append raised
+    watch                   register a sliding-window watch on a live
+                            document and stream alerts via long-polls
+                            (--once does one poll, deregisters, exits)
 
 OPTIONS:
     --algorithm A           ours (default) | trivial | arlm | agmm
@@ -367,6 +408,14 @@ OPTIONS:
     --create                serve: create the directory as an empty
                             corpus if it holds none yet (boot a fresh
                             shard ahead of a rebalance)
+    --live                  corpus add: create an appendable live document
+    --doc NAME              append/watch: the live document to target
+    --window N              watch: sliding window length (default 64)
+    --threshold X           watch: chi-square alert threshold (default 12)
+    --top N                 watch: alerts kept per append batch (default 4)
+    --timeout-ms N          watch: long-poll hold per request, ms
+                            (default 10000; the server caps it at 30000)
+    --once                  watch: one poll, then deregister and exit
     --help                  show this help
 ";
 
@@ -420,6 +469,24 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
             // `route` and `rebalance` take no positional input — the
             // fleet comes from `--shards` / `--from`+`--to`.
             "route" | "rebalance" => (None, vec![String::new()], 1),
+            "append" => {
+                let addr = args
+                    .get(1)
+                    .cloned()
+                    .ok_or_else(|| format!("append requires a server address\n\n{USAGE}"))?;
+                let input = args
+                    .get(2)
+                    .cloned()
+                    .ok_or_else(|| format!("append requires an input file (or `-`)\n\n{USAGE}"))?;
+                (None, vec![addr, input], 3)
+            }
+            "watch" => {
+                let addr = args
+                    .get(1)
+                    .cloned()
+                    .ok_or_else(|| format!("watch requires a server address\n\n{USAGE}"))?;
+                (None, vec![addr, String::new()], 2)
+            }
             _ => {
                 if args.len() < 2 {
                     return Err(format!("missing input file\n\n{USAGE}"));
@@ -463,6 +530,13 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
     let mut journal: Option<String> = None;
     let mut dry_run = false;
     let mut create = false;
+    let mut live = false;
+    let mut doc: Option<String> = None;
+    let mut window: Option<usize> = None;
+    let mut threshold: Option<f64> = None;
+    let mut top: Option<usize> = None;
+    let mut timeout_ms: Option<u64> = None;
+    let mut once = false;
 
     let mut i = flags_from;
     while i < args.len() {
@@ -627,6 +701,41 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
             "--journal" => journal = Some(take_value()?.to_string()),
             "--dry-run" => dry_run = true,
             "--create" => create = true,
+            "--live" => live = true,
+            "--doc" => doc = Some(take_value()?.to_string()),
+            "--window" => {
+                let w: usize = take_value()?
+                    .parse()
+                    .map_err(|e| format!("bad --window: {e}"))?;
+                if w == 0 {
+                    return Err("--window must be at least 1".into());
+                }
+                window = Some(w);
+            }
+            "--threshold" => {
+                threshold = Some(
+                    take_value()?
+                        .parse()
+                        .map_err(|e| format!("bad --threshold: {e}"))?,
+                );
+            }
+            "--top" => {
+                let t: usize = take_value()?
+                    .parse()
+                    .map_err(|e| format!("bad --top: {e}"))?;
+                if t == 0 {
+                    return Err("--top must be at least 1".into());
+                }
+                top = Some(t);
+            }
+            "--timeout-ms" => {
+                timeout_ms = Some(
+                    take_value()?
+                        .parse()
+                        .map_err(|e| format!("bad --timeout-ms: {e}"))?,
+                );
+            }
+            "--once" => once = true,
             "--queue-depth" => {
                 let depth: usize = take_value()?
                     .parse()
@@ -695,6 +804,20 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
         ("corpus", Some("add")) => Command::CorpusAdd {
             dir: positionals[0].clone(),
             name: name.ok_or("corpus add requires --name NAME")?,
+            live,
+        },
+        ("append", _) => Command::Append {
+            addr: positionals[0].clone(),
+            doc: doc.clone().ok_or("append requires --doc NAME")?,
+        },
+        ("watch", _) => Command::Watch {
+            addr: positionals[0].clone(),
+            doc: doc.clone().ok_or("watch requires --doc NAME")?,
+            window: window.unwrap_or(64),
+            threshold: threshold.unwrap_or(12.0),
+            top_t: top.unwrap_or(4),
+            once,
+            timeout_ms: timeout_ms.unwrap_or(10_000),
         },
         ("corpus", Some("query")) => {
             if queries.is_empty() && merge_top.is_none() && merge_thresh.is_none() {
@@ -1101,28 +1224,196 @@ fn run_index_info(invocation: &Invocation) -> Result<String, String> {
     Ok(out)
 }
 
-/// `corpus add`: snapshot a document into the corpus directory.
+/// `corpus add`: snapshot a document into the corpus directory
+/// (`--live` makes it appendable: the input becomes generation 1 and a
+/// durable tail sidecar accepts appends).
 fn run_corpus_add(
     invocation: &Invocation,
     raw: &[u8],
     dir: &str,
     name: &str,
+    live: bool,
 ) -> Result<String, String> {
-    let (seq, _alphabet) = build_sequence(invocation.input_mode, raw)?;
+    let (seq, alphabet) = build_sequence(invocation.input_mode, raw)?;
     let model = resolve_model(&invocation.model, &seq)?;
     let mut corpus = sigstr_corpus::Corpus::open_or_create(dir).map_err(|e| e.to_string())?;
-    corpus
-        .add_document(name, &seq, model, invocation.layout)
-        .map_err(|e| e.to_string())?;
+    if live {
+        corpus
+            .add_live_document(name, &seq, &alphabet, model, invocation.layout)
+            .map_err(|e| e.to_string())?;
+    } else {
+        corpus
+            .add_document(name, &seq, model, invocation.layout)
+            .map_err(|e| e.to_string())?;
+    }
     let entries = corpus.entries();
     let entry = entries.last().expect("just added");
     Ok(format!(
-        "added `{name}` to {dir}: n = {}, k = {}, layout {} ({} documents total)\n",
+        "added {}`{name}` to {dir}: n = {}, k = {}, layout {} ({} documents total)\n",
+        if live { "live " } else { "" },
         entry.n,
         entry.k,
         entry.layout.name(),
         corpus.len()
     ))
+}
+
+/// One alert rendered for the terminal (append responses and watch
+/// polls share the wire shape).
+fn format_alert(alert: &sigstr_server::json::Json) -> String {
+    use sigstr_server::json::Json;
+    let field = |name: &str| alert.get(name).and_then(Json::as_u64).unwrap_or(0);
+    let (start, end, chi_square) = alert
+        .get("item")
+        .map(|item| {
+            (
+                item.get("start").and_then(Json::as_usize).unwrap_or(0),
+                item.get("end").and_then(Json::as_usize).unwrap_or(0),
+                item.get("chi_square").and_then(Json::as_f64).unwrap_or(0.0),
+            )
+        })
+        .unwrap_or((0, 0, 0.0));
+    format!(
+        "alert {}: watch {} gen {}  [{start:>8}, {end:>8})  X² {chi_square:>12.4}",
+        field("seq"),
+        field("watch"),
+        field("generation"),
+    )
+}
+
+/// Decode a JSON response body, surfacing the server's `error` field on
+/// non-2xx statuses.
+fn live_response_body(
+    response: &sigstr_server::client::HttpResponse,
+    context: &str,
+) -> Result<sigstr_server::json::Json, String> {
+    use sigstr_server::json::Json;
+    let body = Json::decode(response.body_str().trim())
+        .map_err(|e| format!("{context}: bad response body: {e}"))?;
+    if response.status != 200 {
+        let detail = body
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap_or("unknown error");
+        return Err(format!("{context}: {} {detail}", response.status));
+    }
+    Ok(body)
+}
+
+/// `append`: POST the input's text to a live document and report the
+/// resulting geometry plus any alerts the append raised.
+fn run_append(raw: &[u8], addr: &str, doc: &str) -> Result<String, String> {
+    use sigstr_server::client::ClientConn;
+    use sigstr_server::json::Json;
+    let text =
+        std::str::from_utf8(raw).map_err(|e| format!("append input is not UTF-8 text: {e}"))?;
+    let request = Json::Obj(vec![("data".into(), Json::Str(text.into()))])
+        .encode()
+        .map_err(|e| format!("cannot encode request: {e}"))?;
+    let mut conn = ClientConn::connect(addr).map_err(|e| format!("cannot connect {addr}: {e}"))?;
+    let response = conn
+        .request("POST", &format!("/v1/documents/{doc}/append"), Some(&request))
+        .map_err(|e| format!("append failed: {e}"))?;
+    let body = live_response_body(&response, &format!("append `{doc}`"))?;
+    let field = |name: &str| body.get(name).and_then(Json::as_u64).unwrap_or(0);
+    let mut out = format!(
+        "appended to `{doc}`: n = {}, tail = {}, generation {}{}\n",
+        field("n"),
+        field("tail"),
+        field("generation"),
+        if body.get("frozen").and_then(Json::as_bool) == Some(true) {
+            " (this append froze a new generation)"
+        } else {
+            ""
+        }
+    );
+    for alert in body
+        .get("alerts")
+        .and_then(Json::as_array)
+        .unwrap_or_default()
+    {
+        let _ = writeln!(out, "  {}", format_alert(alert));
+    }
+    Ok(out)
+}
+
+/// `watch`: register the spec, then long-poll for alerts. In follow
+/// mode (default) alerts stream to stdout until the process is killed;
+/// `--once` does a single poll, deregisters the watch, and returns the
+/// batch — the scriptable variant.
+fn run_watch(
+    addr: &str,
+    doc: &str,
+    window: usize,
+    threshold: f64,
+    top_t: usize,
+    once: bool,
+    timeout_ms: u64,
+) -> Result<String, String> {
+    use sigstr_server::client::ClientConn;
+    use sigstr_server::json::Json;
+    use std::time::Duration;
+    let mut conn = ClientConn::connect(addr).map_err(|e| format!("cannot connect {addr}: {e}"))?;
+    let request = Json::Obj(vec![
+        ("doc".into(), Json::Str(doc.into())),
+        ("window".into(), Json::Int(window as u64)),
+        ("threshold".into(), Json::Num(threshold)),
+        ("top_t".into(), Json::Int(top_t as u64)),
+    ])
+    .encode()
+    .map_err(|e| format!("cannot encode watch spec: {e}"))?;
+    let response = conn
+        .request("POST", "/v1/watch", Some(&request))
+        .map_err(|e| format!("watch registration failed: {e}"))?;
+    let body = live_response_body(&response, &format!("watch `{doc}`"))?;
+    let watch = body
+        .get("watch")
+        .and_then(Json::as_u64)
+        .ok_or("watch registration response carried no id")?;
+    // The read timeout must outlive the server-side hold.
+    conn.set_read_timeout(Duration::from_millis(timeout_ms) + Duration::from_secs(5))
+        .map_err(|e| format!("cannot set read timeout: {e}"))?;
+    if !once {
+        println!("watch {watch} on `{doc}` (window {window}, X² > {threshold}); polling…");
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+    }
+    let mut since = 0u64;
+    loop {
+        let target = format!("/v1/watch?doc={doc}&since={since}&timeout_ms={timeout_ms}");
+        let response = conn
+            .request("GET", &target, None)
+            .map_err(|e| format!("watch poll failed: {e}"))?;
+        let body = live_response_body(&response, &format!("poll `{doc}`"))?;
+        let alerts = body
+            .get("alerts")
+            .and_then(Json::as_array)
+            .unwrap_or_default();
+        since = body
+            .get("next_since")
+            .and_then(Json::as_u64)
+            .unwrap_or(since);
+        if once {
+            // Scripted one-shot: return the batch, release the watch.
+            let mut out = String::new();
+            for alert in alerts {
+                let _ = writeln!(out, "{}", format_alert(alert));
+            }
+            let _ = writeln!(out, "watch {watch}: {} alerts, cursor {since}", alerts.len());
+            conn.request(
+                "DELETE",
+                &format!("/v1/watch?doc={doc}&watch={watch}"),
+                None,
+            )
+            .ok();
+            return Ok(out);
+        }
+        for alert in alerts {
+            println!("{}", format_alert(alert));
+        }
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+    }
 }
 
 /// Render the warm-engine cache counters (`corpus list --stats`,
@@ -1491,7 +1782,19 @@ pub fn run(invocation: &Invocation, raw: &[u8]) -> Result<String, String> {
         Command::Batch => return run_batch(invocation, raw),
         Command::IndexBuild { out } => return run_index_build(invocation, raw, out),
         Command::IndexInfo => return run_index_info(invocation),
-        Command::CorpusAdd { dir, name } => return run_corpus_add(invocation, raw, dir, name),
+        Command::CorpusAdd { dir, name, live } => {
+            return run_corpus_add(invocation, raw, dir, name, *live)
+        }
+        Command::Append { addr, doc } => return run_append(raw, addr, doc),
+        Command::Watch {
+            addr,
+            doc,
+            window,
+            threshold,
+            top_t,
+            once,
+            timeout_ms,
+        } => return run_watch(addr, doc, *window, *threshold, *top_t, *once, *timeout_ms),
         Command::CorpusQuery { dir } => return run_corpus_query(invocation, dir),
         Command::CorpusList { dir } => return run_corpus_list(invocation, dir),
         Command::Serve { dir, create } => return run_serve(invocation, dir, *create),
@@ -2001,7 +2304,8 @@ mod tests {
             inv.command,
             Command::CorpusAdd {
                 dir: "dir".into(),
-                name: "d1".into()
+                name: "d1".into(),
+                live: false,
             }
         );
         assert_eq!(inv.input, "in.txt");
@@ -2111,6 +2415,178 @@ mod tests {
         let out = run(&query, b"").unwrap();
         assert!(out.contains("1 loads"), "{out}");
         assert!(out.contains("1 resident engines"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parse_append_and_watch_commands() {
+        let inv = parse_args(&argv(&["append", "127.0.0.1:8080", "log.txt", "--doc", "log"]))
+            .unwrap();
+        assert_eq!(
+            inv.command,
+            Command::Append {
+                addr: "127.0.0.1:8080".into(),
+                doc: "log".into(),
+            }
+        );
+        assert_eq!(inv.input, "log.txt");
+        assert!(inv.reads_raw_input());
+
+        let inv = parse_args(&argv(&["watch", "127.0.0.1:8080", "--doc", "log"])).unwrap();
+        assert_eq!(
+            inv.command,
+            Command::Watch {
+                addr: "127.0.0.1:8080".into(),
+                doc: "log".into(),
+                window: 64,
+                threshold: 12.0,
+                top_t: 4,
+                once: false,
+                timeout_ms: 10_000,
+            }
+        );
+        assert!(!inv.reads_raw_input());
+
+        let inv = parse_args(&argv(&[
+            "watch",
+            "h:1",
+            "--doc",
+            "log",
+            "--window",
+            "16",
+            "--threshold",
+            "8.5",
+            "--top",
+            "2",
+            "--timeout-ms",
+            "250",
+            "--once",
+        ]))
+        .unwrap();
+        assert_eq!(
+            inv.command,
+            Command::Watch {
+                addr: "h:1".into(),
+                doc: "log".into(),
+                window: 16,
+                threshold: 8.5,
+                top_t: 2,
+                once: true,
+                timeout_ms: 250,
+            }
+        );
+
+        assert!(parse_args(&argv(&["append"])).is_err()); // no addr
+        assert!(parse_args(&argv(&["append", "h:1"])).is_err()); // no file
+        assert!(parse_args(&argv(&["append", "h:1", "f"])).is_err()); // no --doc
+        assert!(parse_args(&argv(&["watch", "h:1"])).is_err()); // no --doc
+        assert!(parse_args(&argv(&["watch", "h:1", "--doc", "d", "--window", "0"])).is_err());
+        assert!(parse_args(&argv(&["watch", "h:1", "--doc", "d", "--top", "0"])).is_err());
+        assert!(parse_args(&argv(&["watch", "h:1", "--doc", "d", "--threshold", "x"])).is_err());
+    }
+
+    #[test]
+    fn corpus_add_live_creates_an_appendable_document() {
+        let dir = temp_dir("add-live");
+        let corpus_dir = dir.join("c").display().to_string();
+        let add = parse_args(&argv(&[
+            "corpus",
+            "add",
+            &corpus_dir,
+            "-",
+            "--name",
+            "log",
+            "--live",
+        ]))
+        .unwrap();
+        match &add.command {
+            Command::CorpusAdd { live, .. } => assert!(live),
+            other => panic!("parsed {other:?}"),
+        }
+        let out = run(&add, b"abababababababab").unwrap();
+        assert!(out.contains("added live `log`"), "{out}");
+
+        // The document accepts appends when reopened.
+        let corpus = sigstr_corpus::Corpus::open(&corpus_dir).unwrap();
+        assert!(corpus.is_live("log"));
+        let outcome = corpus.append_live("log", b"abab").unwrap();
+        assert_eq!(outcome.n, 20);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn append_and_watch_drive_a_live_server() {
+        // Corpus with one live document, served over an ephemeral port.
+        let dir = temp_dir("live-http");
+        let corpus_dir = dir.join("c").display().to_string();
+        let add = parse_args(&argv(&[
+            "corpus",
+            "add",
+            &corpus_dir,
+            "-",
+            "--name",
+            "log",
+            "--live",
+        ]))
+        .unwrap();
+        run(&add, b"abababababababababababababababab").unwrap();
+        let corpus = sigstr_corpus::Corpus::open(&corpus_dir).unwrap();
+        let server = sigstr_server::Server::bind(
+            corpus,
+            sigstr_server::ServerConfig {
+                addr: "127.0.0.1:0".into(),
+                threads: 2,
+                ..sigstr_server::ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr().to_string();
+        let handle = server.handle();
+        let join = std::thread::spawn(move || server.run().unwrap());
+
+        // A calm append reports geometry and no alerts.
+        let append = parse_args(&argv(&["append", &addr, "-", "--doc", "log"])).unwrap();
+        let out = run(&append, b"abab").unwrap();
+        assert!(out.contains("appended to `log`: n = 36"), "{out}");
+        assert!(!out.contains("alert"), "{out}");
+
+        // Watch in follow mode from a thread; an anomalous append must
+        // reach it through the long-poll. `--once` with a generous
+        // timeout returns as soon as the batch arrives.
+        let watcher = {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let watch = parse_args(&argv(&[
+                    "watch",
+                    &addr,
+                    "--doc",
+                    "log",
+                    "--window",
+                    "16",
+                    "--threshold",
+                    "12",
+                    "--timeout-ms",
+                    "5000",
+                    "--once",
+                ]))
+                .unwrap();
+                run(&watch, &[])
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(300));
+        let out = run(&append, b"bbbbbbbbbbbbbbbb").unwrap();
+        assert!(out.contains("alert"), "anomaly must alert inline: {out}");
+        let polled = watcher.join().unwrap().unwrap();
+        assert!(polled.contains("alert"), "long-poll missed the alert: {polled}");
+        assert!(!polled.contains("0 alerts"), "{polled}");
+
+        // Appending to an unknown document surfaces the server's error.
+        let bad = parse_args(&argv(&["append", &addr, "-", "--doc", "ghost"])).unwrap();
+        let err = run(&bad, b"abab").unwrap_err();
+        assert!(err.contains("404"), "{err}");
+
+        handle.shutdown();
+        join.join().unwrap();
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -1037,10 +1037,40 @@ impl GrowableCounts {
 
     /// Freeze into a [`CountsIndex`] in the requested layout (`Auto`
     /// resolves by footprint, exactly as [`CountsIndex::build`] does).
+    ///
+    /// The flat path freezes **in place**: the already-built column-major
+    /// table and symbol vector move into the index untouched — no copy,
+    /// no reallocation, even when the vectors carry amortized-growth
+    /// slack capacity (pinned by `growable_flat_freeze_is_in_place`).
     pub fn into_index(self, layout: CountsLayout) -> CountsIndex {
         match layout.resolve(self.n(), self.k) {
             CountsLayout::Blocked => CountsIndex::Blocked(self.into_blocked_counts()),
             _ => CountsIndex::Flat(self.into_prefix_counts()),
+        }
+    }
+
+    /// Freeze a point-in-time snapshot **without ending ingestion**: the
+    /// returned index owns exact-capacity copies of the consumed stream
+    /// (no amortized-growth slack is carried into the frozen snapshot),
+    /// and `self` keeps appending. This is the live-document freeze path:
+    /// one call per snapshot generation while the appender keeps going.
+    pub fn freeze_index(&self, layout: CountsLayout) -> CountsIndex {
+        let n = self.symbols.len();
+        match layout.resolve(n, self.k) {
+            CountsLayout::Blocked => CountsIndex::Blocked(
+                BlockedCounts::from_symbols_vec(
+                    self.symbols.as_slice().to_vec(),
+                    self.k,
+                    DEFAULT_BLOCK,
+                )
+                .expect("default block spacing is always valid"),
+            ),
+            _ => CountsIndex::Flat(PrefixCounts {
+                table: self.table.as_slice().to_vec().into(),
+                symbols: self.symbols.as_slice().to_vec().into(),
+                n,
+                k: self.k,
+            }),
         }
     }
 }
@@ -1394,5 +1424,70 @@ mod tests {
             gc.into_index(CountsLayout::Auto).layout(),
             CountsLayout::Flat
         );
+    }
+
+    #[test]
+    fn growable_flat_freeze_is_in_place() {
+        // The flat freeze must hand over the already-built buffers — no
+        // copy, no reallocation — even though amortized growth left the
+        // vectors with slack capacity. Pin with pointer identity.
+        let mut gc = GrowableCounts::new(3);
+        for &s in pseudo_random_symbols(257, 3, 0xF00D).iter() {
+            gc.push(s);
+        }
+        assert!(
+            gc.table.capacity() > gc.table.len(),
+            "growth slack expected for this test to be meaningful"
+        );
+        let table_ptr = gc.table.as_ptr();
+        let symbols_ptr = gc.symbols.as_ptr();
+        match gc.into_index(CountsLayout::Flat) {
+            CountsIndex::Flat(pc) => {
+                assert_eq!(pc.table.as_ptr(), table_ptr, "table was reallocated");
+                assert_eq!(pc.symbols.as_ptr(), symbols_ptr, "symbols were reallocated");
+            }
+            other => panic!("flat freeze produced {:?} layout", other.layout()),
+        }
+    }
+
+    #[test]
+    fn growable_freeze_index_snapshots_without_consuming() {
+        // freeze_index leaves the growable usable for further appends,
+        // and the snapshot agrees with a from-scratch build — in both
+        // layouts, with exact (slack-free) capacity on the flat path.
+        let symbols = pseudo_random_symbols(200, 3, 0xBEEF);
+        let mut gc = GrowableCounts::new(3);
+        for &s in &symbols[..150] {
+            gc.push(s);
+        }
+        for &layout in &[CountsLayout::Flat, CountsLayout::Blocked] {
+            let snap = gc.freeze_index(layout);
+            assert_eq!(snap.layout(), layout);
+            assert_eq!(snap.n(), 150);
+            let frozen = Sequence::from_symbols(symbols[..150].to_vec(), 3).unwrap();
+            let built = PrefixCounts::build(&frozen);
+            for start in (0..=150).step_by(7) {
+                for end in (start..=150).step_by(11) {
+                    for c in 0..3 {
+                        assert_eq!(snap.count(c, start, end), built.count(c, start, end));
+                    }
+                }
+            }
+        }
+        if let CountsIndex::Flat(pc) = gc.freeze_index(CountsLayout::Flat) {
+            if let Store::Owned(v) = &pc.table {
+                assert_eq!(v.capacity(), v.len(), "snapshot carries growth slack");
+            }
+        }
+        // The stream keeps appending after each snapshot.
+        for &s in &symbols[150..] {
+            gc.push(s);
+        }
+        assert_eq!(gc.n(), 200);
+        let full = Sequence::from_symbols(symbols.clone(), 3).unwrap();
+        let built = PrefixCounts::build(&full);
+        for c in 0..3 {
+            assert_eq!(gc.count(c, 0, 200), built.count(c, 0, 200));
+        }
     }
 }

@@ -14,7 +14,7 @@
 //! stream of `n` symbols costs `O(k·n^{3/2})` total, matching the offline
 //! bound while answering "what is the MSS so far?" after every symbol.
 
-use crate::counts::{CountsLayout, GrowableCounts};
+use crate::counts::{CountSource, CountsLayout, GrowableCounts};
 use crate::error::{Error, Result};
 use crate::model::Model;
 use crate::scan::ScanStats;
@@ -166,6 +166,70 @@ impl StreamingMiner {
     }
 }
 
+/// Re-score only the appended tail of a stream against a sliding window.
+///
+/// Considers every substring `[i, end)` with `from < end ≤ n` and
+/// `end - i ≤ window` — exactly the windows a live-document watch has not
+/// seen before an append of `n - from` symbols — scored with the same
+/// [`chi_square_counts`] kernel as the offline engine (bit-identical
+/// `f64`s). Returns the substrings whose score strictly exceeds
+/// `threshold`, best-first under [`scored_cmp`], capped at `top_t`.
+///
+/// Each end position scans leftward with the chain-cover skip solver at a
+/// fixed budget of `threshold`, so on null-model input the incremental
+/// cost per appended symbol is `O(k·min(window, √n))` examined substrings
+/// w.h.p. — an append never re-reads the frozen prefix beyond one window.
+pub fn score_tail_windows<C: CountSource>(
+    counts: &C,
+    model: &Model,
+    from: usize,
+    window: usize,
+    threshold: f64,
+    top_t: usize,
+) -> Vec<Scored> {
+    let n = counts.n();
+    let k = model.k();
+    debug_assert_eq!(k, counts.k());
+    if from >= n || window == 0 || top_t == 0 {
+        return Vec::new();
+    }
+    let mut out: Vec<Scored> = Vec::new();
+    let mut buf = vec![0u32; k];
+    for end in (from + 1)..=n {
+        let lo = end.saturating_sub(window);
+        buf.fill(0);
+        let mut i = end - 1;
+        buf[counts.symbols()[i] as usize] += 1;
+        loop {
+            let l = end - i;
+            let x2 = chi_square_counts(&buf, model);
+            if x2 > threshold {
+                out.push(Scored {
+                    start: i,
+                    end,
+                    chi_square: x2,
+                });
+            }
+            // Skips below the fixed `threshold` budget can never alert;
+            // cap at the window's left edge.
+            let skip = max_safe_skip(&buf, l, x2, threshold, model).min(i - lo);
+            if i < lo + skip + 1 {
+                break;
+            }
+            let next = i - skip - 1;
+            if skip == 0 {
+                buf[counts.symbols()[next] as usize] += 1;
+            } else {
+                counts.accumulate_counts(next, i, &mut buf);
+            }
+            i = next;
+        }
+    }
+    out.sort_by(|a, b| scored_cmp(b, a));
+    out.truncate(top_t);
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -273,6 +337,84 @@ mod tests {
                 position: 1
             })
         ));
+    }
+
+    fn brute_tail_windows(
+        symbols: &[u8],
+        model: &Model,
+        from: usize,
+        window: usize,
+        threshold: f64,
+        top_t: usize,
+    ) -> Vec<Scored> {
+        let mut out = Vec::new();
+        for end in (from + 1)..=symbols.len() {
+            for start in end.saturating_sub(window)..end {
+                let mut counts = vec![0u32; model.k()];
+                for &s in &symbols[start..end] {
+                    counts[s as usize] += 1;
+                }
+                let x2 = chi_square_counts(&counts, model);
+                if x2 > threshold {
+                    out.push(Scored {
+                        start,
+                        end,
+                        chi_square: x2,
+                    });
+                }
+            }
+        }
+        out.sort_by(|a, b| scored_cmp(b, a));
+        out.truncate(top_t);
+        out
+    }
+
+    #[test]
+    fn tail_windows_match_brute_force() {
+        let model = Model::from_probs(vec![0.25, 0.35, 0.4]).unwrap();
+        let mut x = 0xABCD_EF01u64;
+        let symbols: Vec<u8> = (0..240)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x % 3) as u8
+            })
+            .collect();
+        let mut gc = GrowableCounts::new(3);
+        for &s in &symbols {
+            gc.push(s);
+        }
+        for &(from, window, threshold, top_t) in &[
+            (200usize, 16usize, 2.0f64, 8usize),
+            (230, 64, 0.5, 100),
+            (239, 8, 1.0, 4),
+            (0, 12, 6.0, 1000),
+        ] {
+            let fast = score_tail_windows(&gc, &model, from, window, threshold, top_t);
+            let brute = brute_tail_windows(&symbols, &model, from, window, threshold, top_t);
+            assert_eq!(fast.len(), brute.len(), "from={from} window={window}");
+            for (f, b) in fast.iter().zip(&brute) {
+                assert_eq!((f.start, f.end), (b.start, b.end));
+                assert_eq!(f.chi_square.to_bits(), b.chi_square.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn tail_windows_degenerate_inputs() {
+        let model = Model::uniform(2).unwrap();
+        let mut gc = GrowableCounts::new(2);
+        for s in [0u8, 1, 1, 1] {
+            gc.push(s);
+        }
+        assert!(score_tail_windows(&gc, &model, 4, 8, 0.0, 10).is_empty());
+        assert!(score_tail_windows(&gc, &model, 9, 8, 0.0, 10).is_empty());
+        assert!(score_tail_windows(&gc, &model, 0, 0, 0.0, 10).is_empty());
+        assert!(score_tail_windows(&gc, &model, 0, 8, 0.0, 0).is_empty());
+        // A window of 1 only ever sees single symbols.
+        let singles = score_tail_windows(&gc, &model, 0, 1, 0.0, 100);
+        assert!(singles.iter().all(|s| s.end - s.start == 1));
     }
 
     #[test]

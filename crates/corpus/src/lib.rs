@@ -51,6 +51,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod live;
 pub mod manifest;
 
 use std::collections::HashMap;
@@ -61,6 +62,10 @@ use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use sigstr_core::engine::{Answer, Batch, Query};
 use sigstr_core::{CountsLayout, Engine, Model, Scored, Sequence};
 
+pub use live::{
+    Alert, AppendOutcome, LiveDocStatus, LiveOptions, LiveStats, WatchBatch, WatchSpec,
+    FREEZE_BUCKETS_US,
+};
 pub use manifest::{DocumentEntry, MANIFEST_FILE};
 
 /// Default cache budget: resident count-index bytes across warm engines
@@ -110,6 +115,20 @@ pub enum CorpusError {
         /// The rules it violates.
         details: &'static str,
     },
+    /// A live-document operation (append, watch) targeted a static
+    /// document.
+    NotLive {
+        /// The offending name.
+        name: String,
+    },
+    /// An append or watch request was malformed (out-of-alphabet byte,
+    /// degenerate watch spec).
+    InvalidAppend {
+        /// The document targeted.
+        name: String,
+        /// What was wrong.
+        details: String,
+    },
 }
 
 impl fmt::Display for CorpusError {
@@ -126,6 +145,12 @@ impl fmt::Display for CorpusError {
             }
             CorpusError::InvalidName { name, details } => {
                 write!(f, "invalid document name `{name}`: {details}")
+            }
+            CorpusError::NotLive { name } => {
+                write!(f, "document `{name}` is not live (appendable)")
+            }
+            CorpusError::InvalidAppend { name, details } => {
+                write!(f, "invalid append/watch on `{name}`: {details}")
             }
         }
     }
@@ -385,6 +410,15 @@ pub struct Corpus {
     mmap: bool,
     cache: Mutex<EngineCache>,
     batch: OnceLock<Batch>,
+    /// Live (appendable) documents by name — see [`mod@live`].
+    live: RwLock<live::LiveMap>,
+    /// Freeze policy and generation retention for live documents.
+    live_opts: live::LiveOptions,
+    /// In-memory bytes held by live tails, charged against the cache
+    /// budget ([`Corpus::effective_budget`]).
+    live_bytes: live::LiveBytes,
+    /// Corpus-wide freeze-pause histogram.
+    freeze_hist: live::FreezeHist,
 }
 
 impl Corpus {
@@ -410,7 +444,9 @@ impl Corpus {
         let dir = dir.as_ref().to_path_buf();
         let (entries, generation) = manifest::read(&dir)?;
         manifest::clean_stale_tmp(&dir);
-        Ok(Self::from_parts(dir, entries, generation))
+        let corpus = Self::from_parts(dir, entries, generation);
+        corpus.recover_live_docs()?;
+        Ok(corpus)
     }
 
     /// Open the corpus at `dir`, creating it when no manifest exists yet.
@@ -436,6 +472,10 @@ impl Corpus {
             mmap: false,
             cache: Mutex::new(EngineCache::default()),
             batch: OnceLock::new(),
+            live: RwLock::new(live::LiveMap::new()),
+            live_opts: live::LiveOptions::default(),
+            live_bytes: live::LiveBytes::new(0),
+            freeze_hist: live::FreezeHist::default(),
         }
     }
 
@@ -591,8 +631,8 @@ impl Corpus {
                 }
             }
         }
-        for name in departures {
-            note_departed(&mut membership, &name, disk_generation);
+        for name in &departures {
+            note_departed(&mut membership, name, disk_generation);
         }
         let rejoined: Vec<String> = membership
             .entries
@@ -608,6 +648,18 @@ impl Corpus {
         for name in evict {
             cache.remove(&name);
         }
+        drop(cache);
+        // Keep the live-document map in step with the adopted
+        // membership: departed names stop accepting appends (their
+        // files now belong to the manifest's new owner), and entries
+        // that arrived with a sidecar become appendable here without a
+        // restart. Adoption is best-effort — a corrupt sidecar demotes
+        // the document to static serving rather than failing the
+        // refresh for everyone else.
+        for name in &departures {
+            self.detach_live_doc(name);
+        }
+        self.recover_live_docs().ok();
         Ok(true)
     }
 
@@ -680,7 +732,10 @@ impl Corpus {
     }
 
     fn install_document(&mut self, name: &str, engine: Engine) -> Result<()> {
-        let file = format!("{name}.snap");
+        self.install_document_as(name, format!("{name}.snap"), engine)
+    }
+
+    fn install_document_as(&mut self, name: &str, file: String, engine: Engine) -> Result<()> {
         let path = self.dir.join(&file);
         let tmp = self.dir.join(format!("{file}.tmp"));
         engine.write_snapshot_path(&tmp)?;
@@ -702,7 +757,7 @@ impl Corpus {
         membership.generation += 1;
         membership.departed.remove(name);
         drop(membership);
-        let budget = self.budget;
+        let budget = self.effective_budget();
         self.cache.lock().expect("corpus cache poisoned").insert(
             name.to_string(),
             Arc::new(engine),
@@ -739,6 +794,10 @@ impl Corpus {
             .lock()
             .expect("corpus cache poisoned")
             .remove(name);
+        // Live documents also drop their in-memory tail, sidecar, and
+        // retained generation files (a parked watch poller is woken and
+        // answers "unknown document").
+        self.remove_live_doc(name);
         let path = self.snapshot_path(&entry);
         match std::fs::remove_file(&path) {
             Ok(()) => Ok(()),
@@ -846,7 +905,7 @@ impl Corpus {
             // serve our load without clobbering it.
             return Ok(engine);
         }
-        cache.insert(entry.name.clone(), Arc::clone(&engine), self.budget, kind);
+        cache.insert(entry.name.clone(), Arc::clone(&engine), self.effective_budget(), kind);
         Ok(engine)
     }
 
@@ -1174,6 +1233,41 @@ mod tests {
         let handle = corpus.engine("y").unwrap();
         corpus.engine("z").unwrap(); // evicts everything else
         assert!(handle.mss().is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Regression: removing a document that was never materialized (no
+    /// warm engine — e.g. added by another process and never queried
+    /// here) must leave `CacheStats` untouched. In particular it must
+    /// NOT count as a cache eviction: `evictions` tracks budget
+    /// pressure, and inflating it with membership churn would make the
+    /// "is my budget too small?" signal unreadable.
+    #[test]
+    fn remove_never_materialized_document_is_not_an_eviction() {
+        let dir = temp_dir("remove-cold");
+        let mut corpus = Corpus::create(&dir).unwrap();
+        let model = Model::uniform(2).unwrap();
+        corpus
+            .add_document("warm", &doc(71, 400, 2), model.clone(), CountsLayout::Flat)
+            .unwrap();
+        corpus
+            .add_document("cold", &doc(72, 400, 2), model, CountsLayout::Flat)
+            .unwrap();
+        // Reopen so nothing is warm, then materialize only `warm`.
+        let mut corpus = Corpus::open(&dir).unwrap();
+        corpus.engine("warm").unwrap();
+        let before = corpus.cache_stats();
+        assert_eq!(before.resident, 1);
+
+        // `cold` has no cached engine: removing it is pure membership
+        // work and must not move any cache counter.
+        corpus.remove_document("cold").unwrap();
+        let after = corpus.cache_stats();
+        assert_eq!(after.evictions, before.evictions, "not an LRU eviction");
+        assert_eq!(after.resident, before.resident);
+        assert_eq!(after.resident_bytes, before.resident_bytes);
+        assert_eq!(after.hits, before.hits);
+        assert_eq!(after.loads, before.loads);
         std::fs::remove_dir_all(&dir).ok();
     }
 

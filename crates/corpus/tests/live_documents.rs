@@ -1,0 +1,493 @@
+//! Live-document lifecycle tests: append → freeze → serve generations →
+//! GC, sidecar recovery, sliding-window alerting, and the central
+//! bit-exactness contracts:
+//!
+//! * append-then-freeze answers are **bit-identical** to a fresh engine
+//!   over the concatenated sequence, across both `CountsLayout` variants
+//!   and the mmap load path (`Answer` compares `f64`s by value, so
+//!   `assert_eq!` on answers is exact-bits up to NaN, which X² never is);
+//! * a query racing appends and freezes returns an answer bit-identical
+//!   to *some* fully-frozen generation — readers are never blocked and
+//!   never see a half-frozen state.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use sigstr_core::engine::{Answer, Query};
+use sigstr_core::{CountsLayout, Engine, Model, Sequence};
+use sigstr_corpus::{Corpus, CorpusError, LiveOptions, WatchSpec};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "sigstr-live-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Pseudo-random text over the first `k` lowercase letters.
+fn text(seed: u64, n: usize, k: usize) -> Vec<u8> {
+    let mut x = seed | 1;
+    (0..n)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            b'a' + (x % k as u64) as u8
+        })
+        .collect()
+}
+
+/// Register `name` as a live document built from `initial` text.
+fn add_live(corpus: &mut Corpus, name: &str, initial: &[u8], layout: CountsLayout) -> Model {
+    let (seq, alphabet) = Sequence::from_text(initial).unwrap();
+    let model = Model::estimate(&seq).unwrap();
+    corpus
+        .add_live_document(name, &seq, &alphabet, model.clone(), layout)
+        .unwrap();
+    model
+}
+
+/// The reference answers: a fresh engine over the full concatenated text.
+fn fresh_answers(full_text: &[u8], model: &Model, layout: CountsLayout) -> Vec<Answer> {
+    let (seq, _) = Sequence::from_text(full_text).unwrap();
+    let engine = Engine::with_layout(&seq, model.clone(), layout).unwrap();
+    queries()
+        .iter()
+        .map(|q| engine.answer(q).unwrap())
+        .collect()
+}
+
+fn queries() -> Vec<Query> {
+    vec![
+        Query::mss(),
+        Query::top_t(5),
+        Query::above_threshold(3.0),
+        Query::mss_max_length(12),
+        Query::mss().in_range(3, 60),
+    ]
+}
+
+/// Satellite: append-then-freeze answers are bit-identical to building a
+/// fresh engine over the concatenated sequence — across both layouts and
+/// both load paths (bulk read and mmap).
+#[test]
+fn append_then_freeze_bit_identical_to_fresh_engine() {
+    for (li, layout) in [CountsLayout::Flat, CountsLayout::Blocked].into_iter().enumerate() {
+        for k in [2usize, 3] {
+            let tag = format!("prop-{li}-{k}");
+            let dir = temp_dir(&tag);
+            let mut corpus = Corpus::create(&dir).unwrap();
+            let initial = text(11 + k as u64, 300, k);
+            let model = add_live(&mut corpus, "stream", &initial, layout);
+
+            let mut full = initial.clone();
+            for round in 0..4u64 {
+                let chunk = text(100 + round, 80 + 17 * round as usize, k);
+                corpus.append_live("stream", &chunk).unwrap();
+                full.extend_from_slice(&chunk);
+            }
+            corpus.freeze_live("stream").unwrap().expect("tail froze");
+
+            let expected = fresh_answers(&full, &model, layout);
+            for (q, want) in queries().iter().zip(&expected) {
+                let got = corpus.query("stream", q).unwrap();
+                assert_eq!(&got, want, "warm path, {layout:?} k={k} {q:?}");
+            }
+
+            // Cold bulk-read load path.
+            let reopened = Corpus::open(&dir).unwrap();
+            for (q, want) in queries().iter().zip(&expected) {
+                let got = reopened.query("stream", q).unwrap();
+                assert_eq!(&got, want, "read path, {layout:?} k={k} {q:?}");
+            }
+
+            // Cold mmap load path.
+            let mapped = Corpus::open(&dir).unwrap().with_mmap(true);
+            for (q, want) in queries().iter().zip(&expected) {
+                let got = mapped.query("stream", q).unwrap();
+                assert_eq!(&got, want, "mmap path, {layout:?} k={k} {q:?}");
+            }
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+}
+
+/// Queries serve the latest frozen generation: an unfrozen tail is
+/// invisible to the read path until its freeze, then becomes visible
+/// atomically.
+#[test]
+fn unfrozen_tail_invisible_until_freeze() {
+    let dir = temp_dir("tail-visibility");
+    let mut corpus = Corpus::create(&dir).unwrap();
+    let initial = text(5, 200, 2);
+    let model = add_live(&mut corpus, "log", &initial, CountsLayout::Flat);
+
+    let chunk = text(6, 50, 2);
+    let outcome = corpus.append_live("log", &chunk).unwrap();
+    assert_eq!(outcome.n, 250);
+    assert_eq!(outcome.tail, 50);
+    assert!(!outcome.frozen);
+    assert_eq!(outcome.generation, 1);
+
+    // Still answering over the 200-symbol generation 1.
+    let gen1 = fresh_answers(&initial, &model, CountsLayout::Flat);
+    assert_eq!(corpus.query("log", &Query::mss()).unwrap(), gen1[0]);
+    match corpus.query("log", &Query::mss()).unwrap() {
+        Answer::Best(_) => {}
+        other => panic!("unexpected {other:?}"),
+    }
+
+    assert_eq!(corpus.freeze_live("log").unwrap(), Some(2));
+    let mut full = initial.clone();
+    full.extend_from_slice(&chunk);
+    let gen2 = fresh_answers(&full, &model, CountsLayout::Flat);
+    assert_eq!(corpus.query("log", &Query::mss()).unwrap(), gen2[0]);
+    // Freezing an empty tail is a no-op.
+    assert_eq!(corpus.freeze_live("log").unwrap(), None);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The sidecar makes appends durable across restarts: a reopened corpus
+/// resumes with the unfrozen tail intact and keeps appending.
+#[test]
+fn restart_replays_sidecar_tail() {
+    let dir = temp_dir("restart");
+    let initial = text(21, 150, 3);
+    let chunk1 = text(22, 40, 3);
+    let model;
+    {
+        let mut corpus = Corpus::create(&dir).unwrap();
+        model = add_live(&mut corpus, "survivor", &initial, CountsLayout::Blocked);
+        corpus.append_live("survivor", &chunk1).unwrap();
+        // Dropped here with 40 unfrozen symbols in the tail.
+    }
+    let corpus = Corpus::open(&dir).unwrap();
+    assert!(corpus.is_live("survivor"));
+    let status = corpus.live_doc_status("survivor").unwrap();
+    assert_eq!(status.generation, 1);
+    assert_eq!(status.n, 190);
+    assert_eq!(status.tail, 40, "the unfrozen tail survived the restart");
+
+    let chunk2 = text(23, 30, 3);
+    corpus.append_live("survivor", &chunk2).unwrap();
+    assert_eq!(corpus.freeze_live("survivor").unwrap(), Some(2));
+    let mut full = initial.clone();
+    full.extend_from_slice(&chunk1);
+    full.extend_from_slice(&chunk2);
+    let want = fresh_answers(&full, &model, CountsLayout::Blocked);
+    assert_eq!(corpus.query("survivor", &Query::mss()).unwrap(), want[0]);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Generation GC: only the newest `retain` snapshot files stay on disk,
+/// and the manifest always points at the newest.
+#[test]
+fn generation_gc_honors_retention() {
+    let dir = temp_dir("gc");
+    let mut corpus = Corpus::create(&dir).unwrap();
+    add_live(&mut corpus, "churn", &text(31, 100, 2), CountsLayout::Flat);
+    let corpus = corpus.with_live_options(LiveOptions {
+        freeze_tail: usize::MAX,
+        freeze_age: Duration::from_secs(3600),
+        retain: 2,
+    });
+    for round in 0..5u64 {
+        corpus.append_live("churn", &text(40 + round, 30, 2)).unwrap();
+        corpus.freeze_live("churn").unwrap().unwrap();
+    }
+    // Generations 1..=6 existed; retain=2 keeps 5 and 6.
+    assert!(dir.join("churn.g6.snap").exists());
+    assert!(dir.join("churn.g5.snap").exists());
+    for old in 1..=4u64 {
+        assert!(
+            !dir.join(format!("churn.g{old}.snap")).exists(),
+            "generation {old} should be garbage-collected"
+        );
+    }
+    let entry = corpus
+        .entries()
+        .into_iter()
+        .find(|e| e.name == "churn")
+        .unwrap();
+    assert_eq!(entry.file, "churn.g6.snap");
+    assert_eq!(entry.n, 100 + 5 * 30);
+
+    // Removing the document sweeps the survivors and the sidecar.
+    let mut corpus = corpus;
+    corpus.remove_document("churn").unwrap();
+    assert!(!dir.join("churn.g6.snap").exists());
+    assert!(!dir.join("churn.g5.snap").exists());
+    assert!(!dir.join("churn.live").exists());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Sliding-window watches: a planted anomalous substring alerts, null
+/// traffic does not, and the long-poll delivers with a resumption
+/// cursor.
+#[test]
+fn watch_alerts_on_planted_anomaly() {
+    let dir = temp_dir("watch");
+    let mut corpus = Corpus::create(&dir).unwrap();
+    // Uniform-ish alternating background over {a, b}.
+    let initial: Vec<u8> = (0..256).map(|i| if i % 2 == 0 { b'a' } else { b'b' }).collect();
+    add_live(&mut corpus, "events", &initial, CountsLayout::Flat);
+    let corpus = corpus.with_live_options(LiveOptions {
+        freeze_tail: usize::MAX,
+        freeze_age: Duration::from_secs(3600),
+        retain: 2,
+    });
+
+    let watch = corpus
+        .watch_register(
+            "events",
+            WatchSpec {
+                window: 16,
+                threshold: 12.0,
+                top_t: 4,
+            },
+        )
+        .unwrap();
+
+    // Null traffic: alternating symbols never push X² over 12 in a
+    // 16-symbol window.
+    let calm: Vec<u8> = (0..64).map(|i| if i % 2 == 0 { b'a' } else { b'b' }).collect();
+    let outcome = corpus.append_live("events", &calm).unwrap();
+    assert!(outcome.alerts.is_empty(), "calm traffic must not alert");
+
+    // An empty poll returns on timeout with the cursor unchanged.
+    let empty = corpus
+        .watch_poll("events", 0, Duration::from_millis(20))
+        .unwrap();
+    assert!(empty.alerts.is_empty());
+    assert_eq!(empty.next_since, 0);
+
+    // The planted anomaly: a run of 16 `b`s is wildly unlikely under the
+    // ~uniform model.
+    let outcome = corpus.append_live("events", &[b'b'; 16]).unwrap();
+    assert!(!outcome.alerts.is_empty(), "the anomaly must alert");
+    assert!(outcome.alerts.len() <= 4, "top_t caps alerts per append");
+    assert!(outcome.alerts.iter().all(|a| a.watch == watch));
+    let best = outcome.alerts[0];
+    assert!(best.item.end - best.item.start <= 16, "window bound");
+    assert!(best.item.chi_square > 12.0);
+
+    // The long-poll hands the same alerts out, oldest first, and the
+    // cursor resumes past them.
+    let batch = corpus
+        .watch_poll("events", 0, Duration::from_secs(5))
+        .unwrap();
+    assert_eq!(batch.alerts, outcome.alerts);
+    assert_eq!(batch.next_since, outcome.alerts.last().unwrap().seq);
+    let after = corpus
+        .watch_poll("events", batch.next_since, Duration::from_millis(20))
+        .unwrap();
+    assert!(after.alerts.is_empty(), "cursor consumed the alerts");
+
+    let status = corpus.live_doc_status("events").unwrap();
+    assert_eq!(status.watches, 1);
+    assert_eq!(status.alerts_emitted, outcome.alerts.len() as u64);
+    assert_eq!(status.alerts_delivered, outcome.alerts.len() as u64);
+
+    assert!(corpus.watch_unregister("events", watch).unwrap());
+    let outcome = corpus.append_live("events", &[b'b'; 16]).unwrap();
+    assert!(outcome.alerts.is_empty(), "unregistered watch is silent");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A parked long-poll is woken by the append that produces its alert.
+#[test]
+fn long_poll_wakes_on_append() {
+    let dir = temp_dir("longpoll");
+    let mut corpus = Corpus::create(&dir).unwrap();
+    let initial: Vec<u8> = (0..128).map(|i| if i % 2 == 0 { b'a' } else { b'b' }).collect();
+    add_live(&mut corpus, "stream", &initial, CountsLayout::Flat);
+    let corpus = corpus.with_live_options(LiveOptions {
+        freeze_tail: usize::MAX,
+        freeze_age: Duration::from_secs(3600),
+        retain: 2,
+    });
+    corpus
+        .watch_register(
+            "stream",
+            WatchSpec {
+                window: 12,
+                threshold: 8.0,
+                top_t: 2,
+            },
+        )
+        .unwrap();
+
+    std::thread::scope(|scope| {
+        let poller = scope.spawn(|| {
+            corpus
+                .watch_poll("stream", 0, Duration::from_secs(30))
+                .unwrap()
+        });
+        // Give the poller a moment to park, then plant the anomaly.
+        std::thread::sleep(Duration::from_millis(50));
+        corpus.append_live("stream", &[b'a'; 12]).unwrap();
+        let batch = poller.join().unwrap();
+        assert!(
+            !batch.alerts.is_empty(),
+            "the poll must return the anomaly's alerts, not time out"
+        );
+    });
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Appends are all-or-nothing and alphabet-checked; appends and watches
+/// on static or unknown documents fail cleanly.
+#[test]
+fn append_validation_and_errors() {
+    let dir = temp_dir("validation");
+    let mut corpus = Corpus::create(&dir).unwrap();
+    let model = Model::uniform(2).unwrap();
+    let static_seq = Sequence::from_symbols(vec![0, 1, 1, 0], 2).unwrap();
+    corpus
+        .add_document("static", &static_seq, model, CountsLayout::Flat)
+        .unwrap();
+    add_live(&mut corpus, "live", &text(51, 100, 2), CountsLayout::Flat);
+
+    // Out-of-alphabet byte rejects the whole append (no partial state).
+    let n_before = corpus.live_doc_status("live").unwrap().n;
+    let err = corpus.append_live("live", b"abzab").unwrap_err();
+    assert!(matches!(err, CorpusError::InvalidAppend { .. }), "{err:?}");
+    assert_eq!(corpus.live_doc_status("live").unwrap().n, n_before);
+
+    // Whitespace is skipped, valid bytes land.
+    let outcome = corpus.append_live("live", b"ab ba\nab\t").unwrap();
+    assert_eq!(outcome.n, n_before + 6);
+
+    assert!(matches!(
+        corpus.append_live("static", b"ab"),
+        Err(CorpusError::NotLive { .. })
+    ));
+    assert!(matches!(
+        corpus.append_live("ghost", b"ab"),
+        Err(CorpusError::UnknownDocument { .. })
+    ));
+    assert!(matches!(
+        corpus.watch_register(
+            "live",
+            WatchSpec {
+                window: 0,
+                threshold: 1.0,
+                top_t: 1
+            }
+        ),
+        Err(CorpusError::InvalidAppend { .. })
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The acceptance pin: queries racing appends and freezes always return
+/// an answer bit-identical to **some** fully-frozen generation — never a
+/// torn or half-frozen view, never an error.
+#[test]
+fn concurrent_queries_match_some_frozen_generation() {
+    let dir = temp_dir("race");
+    let mut corpus = Corpus::create(&dir).unwrap();
+    let initial = text(61, 400, 2);
+    let model = add_live(&mut corpus, "hot", &initial, CountsLayout::Flat);
+    let corpus = corpus.with_live_options(LiveOptions {
+        freeze_tail: 200,
+        freeze_age: Duration::from_secs(3600),
+        // Large retention: in this torture test readers deliberately race
+        // many generations behind, and the pinned property is about
+        // answer bit-exactness, not GC pacing.
+        retain: 64,
+    });
+
+    // Appends of 100 symbols freeze inline every second append
+    // (freeze_tail = 200), so the frozen prefixes are deterministic:
+    // 400, 600, 800, ..., 400 + 2 * 100 * rounds.
+    const ROUNDS: usize = 10;
+    let mut chunks = Vec::new();
+    let mut full = initial.clone();
+    for r in 0..2 * ROUNDS {
+        let chunk = text(70 + r as u64, 100, 2);
+        full.extend_from_slice(&chunk);
+        chunks.push(chunk);
+    }
+    let expected: Vec<Answer> = (0..=ROUNDS)
+        .map(|g| {
+            let prefix = &full[..400 + g * 200];
+            let (seq, _) = Sequence::from_text(prefix).unwrap();
+            let engine = Engine::with_layout(&seq, model.clone(), CountsLayout::Flat).unwrap();
+            engine.answer(&Query::mss()).unwrap()
+        })
+        .collect();
+
+    // A warm handle taken before the churn must keep answering its own
+    // generation bit-exactly, immune to freezes and evictions.
+    let gen1_handle = corpus.engine("hot").unwrap();
+
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let mut readers = Vec::new();
+        for _ in 0..4 {
+            readers.push(scope.spawn(|| {
+                let mut observed = 0usize;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let answer = corpus.query("hot", &Query::mss()).unwrap();
+                    assert!(
+                        expected.contains(&answer),
+                        "answer matches no fully-frozen generation: {answer:?}"
+                    );
+                    observed += 1;
+                }
+                observed
+            }));
+        }
+        for chunk in &chunks {
+            corpus.append_live("hot", chunk).unwrap();
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        let total: usize = readers.into_iter().map(|r| r.join().unwrap()).sum();
+        assert!(total > 0, "readers must actually have raced the freezes");
+    });
+
+    // All freezes happened (ROUNDS freezes past generation 1)...
+    let status = corpus.live_doc_status("hot").unwrap();
+    assert_eq!(status.generation, 1 + ROUNDS as u64);
+    assert_eq!(status.tail, 0);
+    // ...the final answer is the newest generation's...
+    assert_eq!(corpus.query("hot", &Query::mss()).unwrap(), expected[ROUNDS]);
+    // ...and the pre-churn handle still answers generation 1 bit-exactly.
+    assert_eq!(
+        Answer::Best(gen1_handle.mss().unwrap()),
+        expected[0],
+        "a warm handle taken before the churn serves its generation forever"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Live tails are charged against the engine-cache budget.
+#[test]
+fn live_tail_charges_cache_budget() {
+    let dir = temp_dir("budget");
+    let mut corpus = Corpus::create(&dir).unwrap();
+    add_live(&mut corpus, "tailheavy", &text(81, 500, 2), CountsLayout::Flat);
+    let full_budget = corpus.budget();
+    let effective = corpus.effective_budget();
+    let status = corpus.live_doc_status("tailheavy").unwrap();
+    assert!(status.live_bytes > 0);
+    assert_eq!(effective, full_budget - status.live_bytes);
+
+    // Growing the tail shrinks the effective budget further.
+    corpus.append_live("tailheavy", &text(82, 200, 2)).unwrap();
+    let grown = corpus.live_doc_status("tailheavy").unwrap().live_bytes;
+    assert!(grown > status.live_bytes);
+    assert_eq!(corpus.effective_budget(), full_budget - grown);
+
+    // Removal gives the budget back.
+    corpus.remove_document("tailheavy").unwrap();
+    assert_eq!(corpus.effective_budget(), full_budget);
+    let stats = corpus.live_stats();
+    assert!(stats.docs.is_empty());
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -762,11 +762,24 @@ fn route(shared: &Arc<RouterShared>, request: &Request, core: &ServiceCore) -> R
         ("POST", "/v1/batch") => handle_batch(shared, request),
         ("GET", "/v1/merged/top") => handle_merged_top(shared, request),
         ("GET", "/v1/merged/threshold") => handle_merged_threshold(shared, request),
+        ("POST", path) if append_route_doc(path).is_some() => {
+            handle_append(shared, request, append_route_doc(path).expect("guarded"))
+        }
+        ("POST", "/v1/watch") => handle_watch_register(shared, request),
+        ("DELETE", "/v1/watch") => handle_watch_forward_by_param(shared, request, "DELETE"),
+        ("GET", "/v1/watch") => handle_watch_poll(shared, request),
+        ("GET", "/v1/live") => handle_live(shared),
         (
             _,
-            "/healthz" | "/metrics" | "/v1/documents" | "/v1/merged/top" | "/v1/merged/threshold",
+            "/healthz" | "/metrics" | "/v1/documents" | "/v1/merged/top" | "/v1/merged/threshold"
+            | "/v1/live",
         ) => json_response(405, wire::error_json("method not allowed")).with_header("Allow", "GET"),
         (_, "/v1/query" | "/v1/batch") => {
+            json_response(405, wire::error_json("method not allowed")).with_header("Allow", "POST")
+        }
+        (_, "/v1/watch") => json_response(405, wire::error_json("method not allowed"))
+            .with_header("Allow", "GET, POST, DELETE"),
+        (_, path) if append_route_doc(path).is_some() => {
             json_response(405, wire::error_json("method not allowed")).with_header("Allow", "POST")
         }
         _ => json_response(
@@ -920,6 +933,296 @@ fn handle_query(shared: &RouterShared, request: &Request) -> Response {
 
 fn passthrough(response: HttpResponse) -> Response {
     Response::new(response.status, "application/json", response.body)
+}
+
+// ---------------------------------------------------------------------------
+// Live documents: append / watch forwarding.
+// ---------------------------------------------------------------------------
+
+/// The document name from a live-append path
+/// (`/v1/documents/{name}/append`).
+fn append_route_doc(path: &str) -> Option<&str> {
+    path.strip_prefix("/v1/documents/")?
+        .strip_suffix("/append")
+        .filter(|name| !name.is_empty() && !name.contains('/'))
+}
+
+/// One unhedged, unretried forward to a shard, inline on the calling
+/// worker. The write path (appends, watch registration) must never
+/// duplicate side effects, so there is exactly **one** attempt — a
+/// transport failure surfaces as `503` and the client owns the retry
+/// decision. Also used for long-polls, whose custom `read_timeout`
+/// exceeds anything the hedging machinery would tolerate; those skip
+/// the p95 window (`record_latency: false`) so a 10-second hold doesn't
+/// read as a slow shard and blunt the query path's hedge trigger.
+fn forward_once(
+    shared: &RouterShared,
+    shard: &Arc<ShardRuntime>,
+    method: &str,
+    target: &str,
+    body: Option<&str>,
+    read_timeout: Duration,
+    record_latency: bool,
+) -> io::Result<HttpResponse> {
+    if !shard.health.routable() {
+        return Err(io::Error::new(
+            io::ErrorKind::NotConnected,
+            format!("shard {} is down", shard.addr),
+        ));
+    }
+    shard.counters.calls.fetch_add(1, Ordering::Relaxed);
+    let started = Instant::now();
+    let result = (|| {
+        let mut conn = shard.pool.get()?;
+        conn.set_read_timeout(read_timeout)?;
+        let response = conn.request(method, target, body)?;
+        conn.set_read_timeout(shared.config.client.read_timeout)?;
+        let closing = response
+            .header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"));
+        if !closing {
+            shard.pool.put(conn);
+        }
+        Ok(response)
+    })();
+    match &result {
+        Ok(_) => {
+            shard.health.record_data_success();
+            if record_latency {
+                let us = duration_us(started.elapsed());
+                shard.counters.latency.observe_us(us);
+                shard.latency.lock().unwrap().record(us);
+            }
+        }
+        Err(_) => {
+            shard.counters.errors.fetch_add(1, Ordering::Relaxed);
+            shard.health.record_data_failure(Instant::now());
+            if !shard.health.routable() {
+                shard.pool.drain();
+            }
+        }
+    }
+    result
+}
+
+/// Bump `sigstr_router_alerts_delivered_total` by however many alerts a
+/// shard's append/poll response carries.
+fn count_delivered_alerts(shared: &RouterShared, response: &HttpResponse) {
+    if response.status != 200 {
+        return;
+    }
+    let delivered = std::str::from_utf8(&response.body)
+        .ok()
+        .and_then(|text| Json::decode(text.trim()).ok())
+        .and_then(|body| body.get("alerts").and_then(Json::as_array).map(<[Json]>::len))
+        .unwrap_or(0);
+    if delivered > 0 {
+        shared
+            .metrics
+            .alerts_delivered
+            .fetch_add(delivered as u64, Ordering::Relaxed);
+    }
+}
+
+/// Forward a write-path request to the document's owning shard, with
+/// the same `410 Gone` handling as queries: a shard that just released
+/// the document to a rebalance triggers one synchronous directory
+/// refresh and one re-route. Safe even though the request is a write —
+/// `410` is answered *before* any state changes.
+fn forward_to_owner(
+    shared: &RouterShared,
+    doc: &str,
+    method: &str,
+    target: &str,
+    body: Option<&str>,
+    count_alerts: bool,
+) -> Response {
+    let mut shard = shard_for_doc(shared, doc);
+    let mut rerouted = false;
+    loop {
+        match forward_once(
+            shared,
+            &shard,
+            method,
+            target,
+            body,
+            shared.config.client.read_timeout,
+            true,
+        ) {
+            Ok(response) if response.status == 410 && !rerouted => {
+                shared
+                    .metrics
+                    .moved_rerouted
+                    .fetch_add(1, Ordering::Relaxed);
+                refresh_directory(shared);
+                let next = shard_for_doc(shared, doc);
+                if next.index == shard.index {
+                    return passthrough(response);
+                }
+                shard = next;
+                rerouted = true;
+            }
+            Ok(response) => {
+                if count_alerts {
+                    count_delivered_alerts(shared, &response);
+                }
+                return passthrough(response);
+            }
+            Err(e) => return unavailable(format!("shard {} unreachable: {e}", shard.addr)),
+        }
+    }
+}
+
+/// `POST /v1/documents/{name}/append` — routed to the owning shard,
+/// exactly one attempt (appends are not idempotent; see
+/// [`forward_once`]).
+fn handle_append(shared: &RouterShared, request: &Request, doc: &str) -> Response {
+    let Ok(body) = std::str::from_utf8(&request.body) else {
+        return json_response(400, wire::error_json("request body is not UTF-8"));
+    };
+    shared.metrics.appends_routed.fetch_add(1, Ordering::Relaxed);
+    forward_to_owner(
+        shared,
+        doc,
+        "POST",
+        &format!("/v1/documents/{doc}/append"),
+        Some(body),
+        true,
+    )
+}
+
+/// `POST /v1/watch` — routed by the `doc` field of the body.
+fn handle_watch_register(shared: &RouterShared, request: &Request) -> Response {
+    let json = match body_json(request) {
+        Ok(json) => json,
+        Err(response) => return response,
+    };
+    let Some(doc) = json.get("doc").and_then(Json::as_str) else {
+        return json_response(400, wire::error_json("missing string field `doc`"));
+    };
+    let body = std::str::from_utf8(&request.body).expect("validated above");
+    shared
+        .metrics
+        .watch_registers
+        .fetch_add(1, Ordering::Relaxed);
+    forward_to_owner(shared, doc, "POST", "/v1/watch", Some(body), false)
+}
+
+/// `DELETE /v1/watch?doc=&watch=` — forwarded to the owning shard with
+/// the query string rebuilt from the validated parameters.
+fn handle_watch_forward_by_param(
+    shared: &RouterShared,
+    request: &Request,
+    method: &str,
+) -> Response {
+    let Some(doc) = request.query_param("doc") else {
+        return json_response(400, wire::error_json("missing query parameter `doc`"));
+    };
+    let Some(watch) = request
+        .query_param("watch")
+        .and_then(|w| w.parse::<u64>().ok())
+    else {
+        return json_response(
+            400,
+            wire::error_json("missing or unparseable query parameter `watch`"),
+        );
+    };
+    shared
+        .metrics
+        .watch_registers
+        .fetch_add(1, Ordering::Relaxed);
+    forward_to_owner(
+        shared,
+        doc,
+        method,
+        &format!("/v1/watch?doc={doc}&watch={watch}"),
+        None,
+        false,
+    )
+}
+
+/// The ceiling on a forwarded long-poll's hold (mirrors the shard's own
+/// cap) and the transport slack allowed past it before the read times
+/// out.
+const WATCH_POLL_MAX_MS: u64 = 30_000;
+const WATCH_POLL_SLACK: Duration = Duration::from_secs(5);
+
+/// `GET /v1/watch?doc=&since=&timeout_ms=` — forwarded to the owning
+/// shard as a blocking hold: the shard parks the request until an alert
+/// arrives or `timeout_ms` elapses, so the router's read timeout must
+/// outlive the hold (not the 2-second data-path deadline). Long-poll
+/// latencies deliberately stay out of the hedge window.
+fn handle_watch_poll(shared: &RouterShared, request: &Request) -> Response {
+    let Some(doc) = request.query_param("doc") else {
+        return json_response(400, wire::error_json("missing query parameter `doc`"));
+    };
+    let timeout_ms = request
+        .query_param("timeout_ms")
+        .and_then(|t| t.parse::<u64>().ok())
+        .unwrap_or(10_000)
+        .min(WATCH_POLL_MAX_MS);
+    let since = match request.query_param("since") {
+        None => 0,
+        Some(raw) => match raw.parse::<u64>() {
+            Ok(since) => since,
+            Err(_) => {
+                return json_response(
+                    400,
+                    wire::error_json("query parameter `since` must be a non-negative integer"),
+                )
+            }
+        },
+    };
+    let target = format!("/v1/watch?doc={doc}&since={since}&timeout_ms={timeout_ms}");
+    let shard = shard_for_doc(shared, doc);
+    let read_timeout = Duration::from_millis(timeout_ms) + WATCH_POLL_SLACK;
+    let response = forward_once(shared, &shard, "GET", &target, None, read_timeout, false);
+    shared.metrics.watch_polls.fetch_add(1, Ordering::Relaxed);
+    match response {
+        Ok(response) => {
+            count_delivered_alerts(shared, &response);
+            passthrough(response)
+        }
+        Err(e) => unavailable(format!("shard {} unreachable: {e}", shard.addr)),
+    }
+}
+
+/// `GET /v1/live` — every shard's live documents, merged in name order.
+fn handle_live(shared: &RouterShared) -> Response {
+    let results = fan_out(shared, "/v1/live");
+    let mut docs: Vec<Json> = Vec::new();
+    let mut unreachable: Vec<String> = Vec::new();
+    let mut reached = 0usize;
+    for (shard, call) in results {
+        let parsed = call.ok().filter(|r| r.status == 200).and_then(|r| {
+            let body = Json::decode(std::str::from_utf8(&r.body).ok()?.trim()).ok()?;
+            body.get("docs")
+                .and_then(Json::as_array)
+                .map(<[Json]>::to_vec)
+        });
+        match parsed {
+            Some(list) => {
+                reached += 1;
+                docs.extend(list);
+            }
+            None => unreachable.push(shard.addr.clone()),
+        }
+    }
+    if reached == 0 {
+        return unavailable("all shards unreachable".to_string());
+    }
+    docs.sort_by(|a, b| {
+        let name = |j: &Json| {
+            j.get("name")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string()
+        };
+        name(a).cmp(&name(b))
+    });
+    let mut fields = vec![("docs".to_string(), Json::Arr(docs))];
+    fields.extend(degraded_fields(shared, unreachable));
+    json_response(200, Json::Obj(fields))
 }
 
 /// Scatter a batch across shards and gather the slots back in request

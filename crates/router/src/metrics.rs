@@ -101,6 +101,15 @@ pub struct RouterMetrics {
     /// Requests re-routed after a shard answered `410 Gone` (the
     /// document moved during a live rebalance).
     pub moved_rerouted: AtomicU64,
+    /// Live-document appends routed to their owning shard.
+    pub appends_routed: AtomicU64,
+    /// Watch registrations/removals routed to their owning shard.
+    pub watch_registers: AtomicU64,
+    /// Long-poll watch requests forwarded (counted when they resolve).
+    pub watch_polls: AtomicU64,
+    /// Alerts delivered through this router (in append responses and
+    /// long-poll batches).
+    pub alerts_delivered: AtomicU64,
     /// End-to-end latency of full fan-outs (merged routes).
     pub fanout_latency: Histogram,
 }
@@ -173,6 +182,22 @@ impl RouterMetrics {
                 "sigstr_router_moved_rerouted_total",
                 self.moved_rerouted.load(Ordering::Relaxed),
             ),
+            (
+                "sigstr_router_appends_routed_total",
+                self.appends_routed.load(Ordering::Relaxed),
+            ),
+            (
+                "sigstr_router_watch_registers_total",
+                self.watch_registers.load(Ordering::Relaxed),
+            ),
+            (
+                "sigstr_router_watch_polls_total",
+                self.watch_polls.load(Ordering::Relaxed),
+            ),
+            (
+                "sigstr_router_alerts_delivered_total",
+                self.alerts_delivered.load(Ordering::Relaxed),
+            ),
         ] {
             out.push_str(&format!("# TYPE {name} counter\n{name} {value}\n"));
         }
@@ -201,6 +226,10 @@ mod tests {
         metrics.degraded_responses.fetch_add(1, Ordering::Relaxed);
         metrics.directory_refreshes.fetch_add(6, Ordering::Relaxed);
         metrics.moved_rerouted.fetch_add(7, Ordering::Relaxed);
+        metrics.appends_routed.fetch_add(8, Ordering::Relaxed);
+        metrics.watch_registers.fetch_add(9, Ordering::Relaxed);
+        metrics.watch_polls.fetch_add(10, Ordering::Relaxed);
+        metrics.alerts_delivered.fetch_add(11, Ordering::Relaxed);
         metrics.fanout_latency.observe_us(1_500);
 
         let mut out = String::new();
@@ -221,6 +250,10 @@ mod tests {
             "sigstr_router_degraded_responses_total 1",
             "sigstr_router_directory_refreshes_total 6",
             "sigstr_router_moved_rerouted_total 7",
+            "sigstr_router_appends_routed_total 8",
+            "sigstr_router_watch_registers_total 9",
+            "sigstr_router_watch_polls_total 10",
+            "sigstr_router_alerts_delivered_total 11",
             "sigstr_router_fanout_latency_us_bucket{le=\"5000\"} 1",
             "sigstr_router_fanout_latency_us_count 1",
         ] {

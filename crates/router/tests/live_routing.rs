@@ -1,0 +1,246 @@
+//! Live-document routing: appends, watch registration, long-polls and
+//! the merged `/v1/live` status must all reach the owning shard through
+//! the router, with the shard's answer passed through verbatim.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use sigstr_core::{CountsLayout, Model, Sequence};
+use sigstr_corpus::Corpus;
+use sigstr_router::hash::Ring;
+use sigstr_router::{HedgePolicy, RouterConfig, RouterServer};
+use sigstr_server::client::ClientConn;
+use sigstr_server::json::Json;
+use sigstr_server::{Server, ServerConfig, ServiceHandle};
+
+const SHARDS: usize = 2;
+const VNODES: usize = 64;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "sigstr-router-live-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// First candidate name the ring assigns to `shard`.
+fn name_owned_by(ring: &Ring, shard: usize, candidates: &[&'static str]) -> &'static str {
+    candidates
+        .iter()
+        .find(|name| ring.shard_for(name) == shard)
+        .copied()
+        .unwrap_or_else(|| panic!("no candidate lands on shard {shard}; extend the list"))
+}
+
+fn boot_shard(dir: &PathBuf) -> (String, ServiceHandle, std::thread::JoinHandle<()>) {
+    let corpus = Corpus::open(dir).unwrap();
+    let server = Server::bind(
+        corpus,
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr().to_string();
+    let handle = server.handle();
+    let join = std::thread::spawn(move || {
+        server.run().unwrap();
+    });
+    (addr, handle, join)
+}
+
+fn boot_router(shards: Vec<String>) -> (String, ServiceHandle, std::thread::JoinHandle<()>) {
+    let mut config = RouterConfig::new(shards);
+    config.service.addr = "127.0.0.1:0".into();
+    config.service.threads = 2;
+    config.vnodes = VNODES;
+    config.probe_interval = Duration::from_millis(50);
+    config.probe_timeout = Duration::from_millis(500);
+    config.hedge = HedgePolicy::Disabled;
+    let router = RouterServer::bind(config).unwrap();
+    let addr = router.local_addr().to_string();
+    let handle = router.handle();
+    let join = std::thread::spawn(move || {
+        router.run().unwrap();
+    });
+    (addr, handle, join)
+}
+
+fn call(addr: &str, method: &str, target: &str, body: Option<&str>) -> (u16, Json) {
+    let mut conn = ClientConn::connect(addr).unwrap();
+    let response = conn.request(method, target, body).unwrap();
+    let body = Json::decode(std::str::from_utf8(&response.body).unwrap().trim()).unwrap();
+    (response.status, body)
+}
+
+#[test]
+fn live_routes_reach_the_owning_shard() {
+    let ring = Ring::new(SHARDS, VNODES);
+    let candidates = [
+        "live-a", "live-b", "live-c", "live-d", "live-e", "live-f", "live-g", "live-h",
+    ];
+    let live0 = name_owned_by(&ring, 0, &candidates);
+    let live1 = name_owned_by(&ring, 1, &candidates);
+    let statics = [
+        "cold-a", "cold-b", "cold-c", "cold-d", "cold-e", "cold-f", "cold-g", "cold-h",
+    ];
+
+    let shard_dirs: Vec<PathBuf> = (0..SHARDS).map(|s| temp_dir(&format!("s{s}"))).collect();
+    for (s, dir) in shard_dirs.iter().enumerate() {
+        let mut corpus = Corpus::create(dir).unwrap();
+        let static_name = name_owned_by(&ring, s, &statics);
+        let symbols: Vec<u8> = (0..120u32).map(|i| ((i / 7) % 2) as u8).collect();
+        let seq = Sequence::from_symbols(symbols, 2).unwrap();
+        corpus
+            .add_document(
+                static_name,
+                &seq,
+                Model::uniform(2).unwrap(),
+                CountsLayout::Flat,
+            )
+            .unwrap();
+        let (live_seq, alphabet) = Sequence::from_text(b"abababababababababababababababab").unwrap();
+        let model = Model::estimate(&live_seq).unwrap();
+        let live_name = if s == 0 { live0 } else { live1 };
+        corpus
+            .add_live_document(live_name, &live_seq, &alphabet, model, CountsLayout::Flat)
+            .unwrap();
+    }
+
+    let booted: Vec<_> = shard_dirs.iter().map(boot_shard).collect();
+    let (router_addr, router_handle, router_join) =
+        boot_router(booted.iter().map(|(a, ..)| a.clone()).collect());
+
+    // Appends route to the owner whichever shard holds the document.
+    for (live, expected_n) in [(live0, 36), (live1, 36)] {
+        let (status, body) = call(
+            &router_addr,
+            "POST",
+            &format!("/v1/documents/{live}/append"),
+            Some(r#"{"data":"abab"}"#),
+        );
+        assert_eq!(status, 200, "append {live}: {body:?}");
+        assert_eq!(body.get("doc").and_then(Json::as_str), Some(live));
+        assert_eq!(body.get("n").and_then(Json::as_usize), Some(expected_n));
+    }
+
+    // Register a watch on shard 0's document, through the router.
+    let (status, body) = call(
+        &router_addr,
+        "POST",
+        "/v1/watch",
+        Some(&format!(
+            r#"{{"doc":"{live0}","window":16,"threshold":12.0,"top_t":4}}"#
+        )),
+    );
+    assert_eq!(status, 200, "register: {body:?}");
+    let watch = body.get("watch").and_then(Json::as_u64).unwrap();
+
+    // An anomalous run alerts in the append response...
+    let (status, body) = call(
+        &router_addr,
+        "POST",
+        &format!("/v1/documents/{live0}/append"),
+        Some(r#"{"data":"bbbbbbbbbbbbbbbb"}"#),
+    );
+    assert_eq!(status, 200);
+    let appended_alerts = body.get("alerts").and_then(Json::as_array).unwrap().len();
+    assert!(appended_alerts > 0, "anomaly must alert: {body:?}");
+
+    // ...and the long-poll replays them from cursor 0.
+    let (status, body) = call(
+        &router_addr,
+        "GET",
+        &format!("/v1/watch?doc={live0}&since=0&timeout_ms=0"),
+        None,
+    );
+    assert_eq!(status, 200, "poll: {body:?}");
+    assert_eq!(
+        body.get("alerts").and_then(Json::as_array).map(<[Json]>::len),
+        Some(appended_alerts)
+    );
+
+    // Removing the watch is forwarded; a re-removal reports false.
+    let target = format!("/v1/watch?doc={live0}&watch={watch}");
+    let (status, body) = call(&router_addr, "DELETE", &target, None);
+    assert_eq!(status, 200);
+    assert_eq!(body.get("removed").and_then(Json::as_bool), Some(true));
+    let (_, body) = call(&router_addr, "DELETE", &target, None);
+    assert_eq!(body.get("removed").and_then(Json::as_bool), Some(false));
+
+    // The merged live status lists both shards' documents, name-sorted.
+    let (status, body) = call(&router_addr, "GET", "/v1/live", None);
+    assert_eq!(status, 200);
+    assert_eq!(body.get("degraded").and_then(Json::as_bool), Some(false));
+    let names: Vec<&str> = body
+        .get("docs")
+        .and_then(Json::as_array)
+        .unwrap()
+        .iter()
+        .map(|d| d.get("name").and_then(Json::as_str).unwrap())
+        .collect();
+    let mut expected = vec![live0, live1];
+    expected.sort_unstable();
+    assert_eq!(names, expected);
+
+    // Shard-side validation passes through: appending to a static
+    // document is a 400, to an unknown document a 404; router-side
+    // validation rejects a missing `doc` before forwarding.
+    let static0 = name_owned_by(&ring, 0, &statics);
+    let (status, _) = call(
+        &router_addr,
+        "POST",
+        &format!("/v1/documents/{static0}/append"),
+        Some(r#"{"data":"abab"}"#),
+    );
+    assert_eq!(status, 400);
+    let (status, _) = call(
+        &router_addr,
+        "POST",
+        "/v1/documents/ghost/append",
+        Some(r#"{"data":"abab"}"#),
+    );
+    assert_eq!(status, 404);
+    let (status, _) = call(&router_addr, "POST", "/v1/watch", Some(r#"{"window":4}"#));
+    assert_eq!(status, 400);
+    let (status, _) = call(&router_addr, "GET", "/v1/watch", None);
+    assert_eq!(status, 400);
+
+    // Method guards.
+    let mut conn = ClientConn::connect(&router_addr).unwrap();
+    let response = conn.request("PUT", "/v1/watch", Some("{}")).unwrap();
+    assert_eq!(response.status, 405);
+    assert_eq!(response.header("allow"), Some("GET, POST, DELETE"));
+    let response = conn
+        .request("GET", &format!("/v1/documents/{live0}/append"), None)
+        .unwrap();
+    assert_eq!(response.status, 405);
+    assert_eq!(response.header("allow"), Some("POST"));
+
+    // The router counted what it just routed.
+    let response = conn.request("GET", "/metrics", None).unwrap();
+    let text = std::str::from_utf8(&response.body).unwrap();
+    let counter = |name: &str| -> u64 {
+        text.lines()
+            .find_map(|line| line.strip_prefix(&format!("{name} ")))
+            .unwrap_or_else(|| panic!("missing `{name}` in:\n{text}"))
+            .parse()
+            .unwrap()
+    };
+    assert!(counter("sigstr_router_appends_routed_total") >= 3);
+    assert!(counter("sigstr_router_watch_registers_total") >= 3);
+    assert!(counter("sigstr_router_watch_polls_total") >= 1);
+    assert!(counter("sigstr_router_alerts_delivered_total") >= appended_alerts as u64 * 2);
+
+    router_handle.shutdown();
+    router_join.join().unwrap();
+    for (_, handle, join) in booted {
+        handle.shutdown();
+        join.join().unwrap();
+    }
+}

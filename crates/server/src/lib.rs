@@ -35,6 +35,17 @@
 //! | `POST /v1/batch` | many `(doc, query)` jobs through [`Corpus::run_batch`], sharing warm engines and the pool |
 //! | `GET /v1/merged/top?t=` | deterministic corpus-wide top-t merge |
 //! | `GET /v1/merged/threshold?alpha=` | corpus-wide threshold set in document order |
+//! | `POST /v1/documents/{name}/append` | append to a **live** document; alerts from its watches ride back |
+//! | `POST /v1/watch` | register a sliding-window watch on a live document |
+//! | `DELETE /v1/watch?doc=&watch=` | remove a watch |
+//! | `GET /v1/watch?doc=&since=&timeout_ms=` | long-poll for alerts past the `since` cursor |
+//! | `GET /v1/live` | per-document live status (generation, tail, counters) |
+//!
+//! Live documents accumulate appends in an in-memory tail that stays
+//! *invisible* to queries until a background freezer (or the tail-size
+//! threshold) rolls it into the next snapshot generation — so a query
+//! racing an append always answers bit-identically to some fully-frozen
+//! generation, never a half-updated index.
 //!
 //! Every corpus-touching route adopts externally-rewritten manifests
 //! (a live `sigstr rebalance` committing documents in or out) via
@@ -79,6 +90,8 @@ pub mod service;
 pub mod wire;
 
 use std::net::SocketAddr;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use sigstr_core::Query;
 use sigstr_corpus::{Corpus, CorpusError};
@@ -103,10 +116,17 @@ pub struct Server {
 
 impl Server {
     /// Bind the listener and assemble the shared state. The server does
-    /// not accept connections until [`Server::run`].
+    /// not accept connections until [`Server::run`]. A background
+    /// freezer thread starts here: it periodically rolls every live
+    /// document's aged tail into the next snapshot generation, so
+    /// slow-trickle appends become queryable within
+    /// [`sigstr_corpus::LiveOptions::freeze_age`] even when no single
+    /// append crosses the size threshold.
     pub fn bind(corpus: Corpus, config: ServerConfig) -> std::io::Result<Server> {
+        let corpus = Arc::new(corpus);
+        let freezer = Freezer::start(Arc::clone(&corpus));
         Ok(Server {
-            inner: Service::bind(CorpusHandler { corpus }, config)?,
+            inner: Service::bind(CorpusHandler { corpus, freezer }, config)?,
         })
     }
 
@@ -127,13 +147,98 @@ impl Server {
 }
 
 /// The corpus-serving [`Handler`]: routes requests onto a [`Corpus`].
+/// The corpus rides in an `Arc` because the freezer thread holds a
+/// second reference alongside the worker pool.
 struct CorpusHandler {
-    corpus: Corpus,
+    corpus: Arc<Corpus>,
+    freezer: Freezer,
 }
 
 impl Handler for CorpusHandler {
     fn handle(&self, request: &Request, core: &ServiceCore) -> Response {
         route(self, request, core)
+    }
+
+    fn on_shutdown(&self) {
+        self.freezer.stop();
+    }
+}
+
+/// How often the freezer checks for age-due tails. Much finer than any
+/// sane `freeze_age`, so the age policy (not the tick) bounds staleness.
+const FREEZE_TICK: Duration = Duration::from_millis(50);
+
+/// The background freeze ticker: one thread parked on a condvar that
+/// wakes every [`FREEZE_TICK`] to call [`Corpus::freeze_due`]. Stopped
+/// (and joined) by [`Handler::on_shutdown`] — or by drop, so a failed
+/// `Service::bind` doesn't leak a ticking thread.
+struct Freezer {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl Freezer {
+    fn start(corpus: Arc<Corpus>) -> Freezer {
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("sigstr-freezer".into())
+            .spawn(move || {
+                let (flag, wake) = &*pair;
+                let mut stopped = flag.lock().expect("freezer flag poisoned");
+                loop {
+                    if *stopped {
+                        return;
+                    }
+                    let (guard, timeout) = wake
+                        .wait_timeout(stopped, FREEZE_TICK)
+                        .expect("freezer flag poisoned");
+                    stopped = guard;
+                    if *stopped {
+                        return;
+                    }
+                    if timeout.timed_out() {
+                        // Tick without holding the flag: a freeze writes
+                        // a snapshot and must not block shutdown's stop
+                        // signal (it re-checks the flag next loop).
+                        drop(stopped);
+                        corpus.freeze_due();
+                        stopped = flag.lock().expect("freezer flag poisoned");
+                    }
+                }
+            })
+            .expect("spawn freezer thread");
+        Freezer {
+            stop,
+            thread: Mutex::new(Some(thread)),
+        }
+    }
+
+    /// A freezer that never ticks (handler-level unit tests drive
+    /// freezes explicitly through appends).
+    #[cfg(test)]
+    fn disabled() -> Freezer {
+        Freezer {
+            stop: Arc::new((Mutex::new(true), Condvar::new())),
+            thread: Mutex::new(None),
+        }
+    }
+
+    /// Signal the thread and join it. Idempotent.
+    fn stop(&self) {
+        let (flag, wake) = &*self.stop;
+        *flag.lock().expect("freezer flag poisoned") = true;
+        wake.notify_all();
+        let thread = self.thread.lock().expect("freezer thread poisoned").take();
+        if let Some(thread) = thread {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for Freezer {
+    fn drop(&mut self) {
+        self.stop();
     }
 }
 
@@ -149,6 +254,7 @@ fn corpus_error_status(error: &CorpusError) -> u16 {
         CorpusError::UnknownDocument { .. } => 404,
         CorpusError::Core(sigstr_core::Error::InvalidParameter { .. }) => 400,
         CorpusError::InvalidName { .. } | CorpusError::DuplicateDocument { .. } => 400,
+        CorpusError::NotLive { .. } | CorpusError::InvalidAppend { .. } => 400,
         _ => 500,
     }
 }
@@ -193,12 +299,21 @@ fn document_error_response(handler: &CorpusHandler, doc: &str, error: &CorpusErr
     )
 }
 
+/// The document name from a live-append path
+/// (`/v1/documents/{name}/append`).
+fn append_route_doc(path: &str) -> Option<&str> {
+    path.strip_prefix("/v1/documents/")?
+        .strip_suffix("/append")
+        .filter(|name| !name.is_empty() && !name.contains('/'))
+}
+
 fn route(handler: &CorpusHandler, request: &Request, core: &ServiceCore) -> Response {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => handle_healthz(handler, core),
         ("GET", "/metrics") => {
             let mut text = core.metrics().render_http(core.queue_depth());
             metrics::render_cache(&mut text, &handler.corpus.cache_stats());
+            metrics::render_live(&mut text, &handler.corpus.live_stats());
             text_response(200, text)
         }
         ("GET", "/v1/documents") => handle_documents(handler),
@@ -206,11 +321,24 @@ fn route(handler: &CorpusHandler, request: &Request, core: &ServiceCore) -> Resp
         ("POST", "/v1/batch") => handle_batch(handler, request),
         ("GET", "/v1/merged/top") => handle_merged_top(handler, request),
         ("GET", "/v1/merged/threshold") => handle_merged_threshold(handler, request),
+        ("POST", path) if append_route_doc(path).is_some() => {
+            handle_append(handler, request, append_route_doc(path).expect("guarded"))
+        }
+        ("POST", "/v1/watch") => handle_watch_register(handler, request),
+        ("DELETE", "/v1/watch") => handle_watch_remove(handler, request),
+        ("GET", "/v1/watch") => handle_watch_poll(handler, request, core),
+        ("GET", "/v1/live") => handle_live_status(handler),
         (
             _,
-            "/healthz" | "/metrics" | "/v1/documents" | "/v1/merged/top" | "/v1/merged/threshold",
+            "/healthz" | "/metrics" | "/v1/documents" | "/v1/merged/top" | "/v1/merged/threshold"
+            | "/v1/live",
         ) => json_response(405, wire::error_json("method not allowed")).with_header("Allow", "GET"),
         (_, "/v1/query" | "/v1/batch") => {
+            json_response(405, wire::error_json("method not allowed")).with_header("Allow", "POST")
+        }
+        (_, "/v1/watch") => json_response(405, wire::error_json("method not allowed"))
+            .with_header("Allow", "GET, POST, DELETE"),
+        (_, path) if append_route_doc(path).is_some() => {
             json_response(405, wire::error_json("method not allowed")).with_header("Allow", "POST")
         }
         _ => json_response(
@@ -443,6 +571,194 @@ fn handle_merged_threshold(handler: &CorpusHandler, request: &Request) -> Respon
 }
 
 // ---------------------------------------------------------------------------
+// Live documents: append, watches, long-poll, status.
+// ---------------------------------------------------------------------------
+
+/// `POST /v1/documents/{name}/append` — body `{"data": "..."}`. The
+/// data's non-whitespace bytes are appended to the live document's
+/// unfrozen tail; any alerts its watches emitted for this append ride
+/// back in the response alongside the new stream geometry.
+fn handle_append(handler: &CorpusHandler, request: &Request, doc: &str) -> Response {
+    let json = match body_json(request) {
+        Ok(json) => json,
+        Err(response) => return response,
+    };
+    let Some(data) = json.get("data").and_then(Json::as_str) else {
+        return json_response(400, wire::error_json("missing string field `data`"));
+    };
+    let mut result = handler.corpus.append_live(doc, data.as_bytes());
+    // Same stale-membership retry as the query route — and just as
+    // safe, despite appends not being idempotent: the only retried
+    // failures are "this shard doesn't know the document", which
+    // reject *before* any state changes. A live document added (or
+    // migrated in) by another process becomes appendable on refresh.
+    if matches!(
+        &result,
+        Err(CorpusError::UnknownDocument { .. } | CorpusError::NotLive { .. })
+    ) && handler.corpus.refresh().unwrap_or(false)
+    {
+        result = handler.corpus.append_live(doc, data.as_bytes());
+    }
+    match result {
+        Ok(outcome) => json_response(
+            200,
+            Json::Obj(vec![
+                ("doc".into(), Json::Str(doc.to_string())),
+                ("n".into(), Json::Int(outcome.n as u64)),
+                ("tail".into(), Json::Int(outcome.tail as u64)),
+                ("generation".into(), Json::Int(outcome.generation)),
+                ("frozen".into(), Json::Bool(outcome.frozen)),
+                (
+                    "alerts".into(),
+                    Json::Arr(outcome.alerts.iter().map(wire::alert_to_json).collect()),
+                ),
+            ]),
+        ),
+        Err(e) => document_error_response(handler, doc, &e),
+    }
+}
+
+/// `POST /v1/watch` — body `{"doc", "window", "threshold", "top_t"}`.
+/// Answers the watch id to pass to `DELETE /v1/watch`.
+fn handle_watch_register(handler: &CorpusHandler, request: &Request) -> Response {
+    let json = match body_json(request) {
+        Ok(json) => json,
+        Err(response) => return response,
+    };
+    let Some(doc) = json.get("doc").and_then(Json::as_str) else {
+        return json_response(400, wire::error_json("missing string field `doc`"));
+    };
+    let spec = match wire::watch_spec_from_json(&json) {
+        Ok(spec) => spec,
+        Err(message) => return json_response(400, wire::error_json(&message)),
+    };
+    let mut result = handler.corpus.watch_register(doc, spec);
+    if matches!(
+        &result,
+        Err(CorpusError::UnknownDocument { .. } | CorpusError::NotLive { .. })
+    ) && handler.corpus.refresh().unwrap_or(false)
+    {
+        result = handler.corpus.watch_register(doc, spec);
+    }
+    match result {
+        Ok(id) => json_response(
+            200,
+            Json::Obj(vec![
+                ("doc".into(), Json::Str(doc.to_string())),
+                ("watch".into(), Json::Int(id)),
+            ]),
+        ),
+        Err(e) => document_error_response(handler, doc, &e),
+    }
+}
+
+/// `DELETE /v1/watch?doc=&watch=` — remove a registered watch.
+fn handle_watch_remove(handler: &CorpusHandler, request: &Request) -> Response {
+    let Some(doc) = request.query_param("doc") else {
+        return json_response(400, wire::error_json("missing query parameter `doc`"));
+    };
+    let Some(watch) = request
+        .query_param("watch")
+        .and_then(|w| w.parse::<u64>().ok())
+    else {
+        return json_response(
+            400,
+            wire::error_json("missing or unparseable query parameter `watch`"),
+        );
+    };
+    match handler.corpus.watch_unregister(doc, watch) {
+        Ok(removed) => json_response(
+            200,
+            Json::Obj(vec![
+                ("doc".into(), Json::Str(doc.to_string())),
+                ("watch".into(), Json::Int(watch)),
+                ("removed".into(), Json::Bool(removed)),
+            ]),
+        ),
+        Err(e) => document_error_response(handler, doc, &e),
+    }
+}
+
+/// Long-poll holds are sliced so a parked watcher notices a shutdown
+/// drain (and the connection's fairness rules) within one slice rather
+/// than pinning a worker for the full client timeout.
+const WATCH_POLL_SLICE: Duration = Duration::from_millis(150);
+
+/// The default and ceiling for a long-poll's `timeout_ms` (the HTTP
+/// layer answers with `Content-Length`, so the hold must resolve well
+/// inside any client/proxy idle timeout).
+const WATCH_POLL_DEFAULT_MS: u64 = 10_000;
+const WATCH_POLL_MAX_MS: u64 = 30_000;
+
+/// `GET /v1/watch?doc=&since=&timeout_ms=` — long-poll for alerts with
+/// `seq > since`. Answers immediately when such alerts exist, otherwise
+/// holds until one arrives or the timeout elapses (then an empty batch;
+/// the client re-polls with the returned `next_since`).
+fn handle_watch_poll(handler: &CorpusHandler, request: &Request, core: &ServiceCore) -> Response {
+    let Some(doc) = request.query_param("doc") else {
+        return json_response(400, wire::error_json("missing query parameter `doc`"));
+    };
+    let since = match request.query_param("since") {
+        None => 0,
+        Some(raw) => match raw.parse::<u64>() {
+            Ok(since) => since,
+            Err(_) => {
+                return json_response(
+                    400,
+                    wire::error_json("query parameter `since` must be a non-negative integer"),
+                )
+            }
+        },
+    };
+    let timeout_ms = request
+        .query_param("timeout_ms")
+        .and_then(|t| t.parse::<u64>().ok())
+        .unwrap_or(WATCH_POLL_DEFAULT_MS)
+        .min(WATCH_POLL_MAX_MS);
+    let deadline = Instant::now() + Duration::from_millis(timeout_ms);
+    loop {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        let batch = match handler
+            .corpus
+            .watch_poll(doc, since, remaining.min(WATCH_POLL_SLICE))
+        {
+            Ok(batch) => batch,
+            Err(e) => return document_error_response(handler, doc, &e),
+        };
+        if !batch.alerts.is_empty()
+            || remaining <= WATCH_POLL_SLICE
+            || core.is_shutting_down()
+        {
+            return json_response(
+                200,
+                Json::Obj(vec![
+                    ("doc".into(), Json::Str(doc.to_string())),
+                    (
+                        "alerts".into(),
+                        Json::Arr(batch.alerts.iter().map(wire::alert_to_json).collect()),
+                    ),
+                    ("next_since".into(), Json::Int(batch.next_since)),
+                    ("generation".into(), Json::Int(batch.generation)),
+                    ("n".into(), Json::Int(batch.n as u64)),
+                ]),
+            );
+        }
+    }
+}
+
+/// `GET /v1/live` — every live document's status, in name order.
+fn handle_live_status(handler: &CorpusHandler) -> Response {
+    handler.corpus.refresh().ok();
+    let docs: Vec<Json> = handler
+        .corpus
+        .live_status()
+        .iter()
+        .map(wire::live_status_to_json)
+        .collect();
+    json_response(200, Json::Obj(vec![("docs".into(), Json::Arr(docs))]))
+}
+
+// ---------------------------------------------------------------------------
 // Compile-time thread-safety contract.
 // ---------------------------------------------------------------------------
 
@@ -483,11 +799,16 @@ mod tests {
         corpus
     }
 
+    fn handler_for(corpus: Corpus) -> CorpusHandler {
+        CorpusHandler {
+            corpus: Arc::new(corpus),
+            freezer: Freezer::disabled(),
+        }
+    }
+
     fn fixture(tag: &str) -> (CorpusHandler, ServiceCore) {
         (
-            CorpusHandler {
-                corpus: test_corpus(tag),
-            },
+            handler_for(test_corpus(tag)),
             ServiceCore::new(ServerConfig::default()),
         )
     }
@@ -690,9 +1011,7 @@ mod tests {
                 .add_document(name, &seq, Model::uniform(2).unwrap(), CountsLayout::Flat)
                 .unwrap();
         }
-        let handler = CorpusHandler {
-            corpus: Corpus::open(&dir).unwrap(),
-        };
+        let handler = handler_for(Corpus::open(&dir).unwrap());
         let core = ServiceCore::new(ServerConfig::default());
         let before = handler.corpus.generation();
 
@@ -759,6 +1078,269 @@ mod tests {
         assert_eq!(body.get("documents").unwrap().as_array().unwrap().len(), 1);
 
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A corpus with one static document (`d0`) and one live document
+    /// (`log`, alphabet `{a, b}`) for the live-route tests.
+    fn live_fixture(tag: &str) -> (CorpusHandler, ServiceCore) {
+        let dir = std::env::temp_dir().join(format!(
+            "sigstr-server-unit-live-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut corpus = Corpus::create(&dir).unwrap();
+        let symbols: Vec<u8> = (0..120u32).map(|i| ((i / 7) % 2) as u8).collect();
+        let seq = Sequence::from_symbols(symbols, 2).unwrap();
+        corpus
+            .add_document("d0", &seq, Model::uniform(2).unwrap(), CountsLayout::Flat)
+            .unwrap();
+        let (live_seq, alphabet) =
+            Sequence::from_text(b"abababababababababababababababab").unwrap();
+        let model = Model::estimate(&live_seq).unwrap();
+        corpus
+            .add_live_document("log", &live_seq, &alphabet, model, CountsLayout::Flat)
+            .unwrap();
+        (handler_for(corpus), ServiceCore::new(ServerConfig::default()))
+    }
+
+    fn decode(response: &Response) -> Json {
+        Json::decode(std::str::from_utf8(&response.body).unwrap().trim()).unwrap()
+    }
+
+    #[test]
+    fn append_route_doc_parses_only_append_paths() {
+        assert_eq!(append_route_doc("/v1/documents/log/append"), Some("log"));
+        assert_eq!(append_route_doc("/v1/documents/a.b-c_d/append"), Some("a.b-c_d"));
+        assert_eq!(append_route_doc("/v1/documents//append"), None);
+        assert_eq!(append_route_doc("/v1/documents/a/b/append"), None);
+        assert_eq!(append_route_doc("/v1/documents/log"), None);
+        assert_eq!(append_route_doc("/v1/query"), None);
+    }
+
+    #[test]
+    fn append_route_appends_and_reports_geometry() {
+        let (handler, core) = live_fixture("append");
+        let before = handler.corpus.live_doc_status("log").unwrap();
+        let response = route(
+            &handler,
+            &post("/v1/documents/log/append", r#"{"data":"abab abab"}"#),
+            &core,
+        );
+        assert_eq!(response.status, 200);
+        let body = decode(&response);
+        assert_eq!(body.get("doc").unwrap().as_str(), Some("log"));
+        // Whitespace is skipped: 8 symbols landed, none frozen yet.
+        assert_eq!(body.get("n").unwrap().as_u64(), Some(before.n as u64 + 8));
+        assert_eq!(body.get("tail").unwrap().as_u64(), Some(8));
+        assert_eq!(body.get("frozen"), Some(&Json::Bool(false)));
+        assert_eq!(body.get("alerts").unwrap().as_array().unwrap().len(), 0);
+
+        // Bad shapes and bad targets.
+        assert_eq!(
+            route(&handler, &post("/v1/documents/log/append", "{}"), &core).status,
+            400
+        );
+        assert_eq!(
+            route(
+                &handler,
+                &post("/v1/documents/log/append", r#"{"data":"xyz"}"#),
+                &core
+            )
+            .status,
+            400,
+            "out-of-alphabet bytes are rejected"
+        );
+        assert_eq!(
+            route(
+                &handler,
+                &post("/v1/documents/d0/append", r#"{"data":"ab"}"#),
+                &core
+            )
+            .status,
+            400,
+            "static documents are not appendable"
+        );
+        assert_eq!(
+            route(
+                &handler,
+                &post("/v1/documents/ghost/append", r#"{"data":"ab"}"#),
+                &core
+            )
+            .status,
+            404
+        );
+        // Wrong method on the append path → 405 + Allow.
+        let r = route(&handler, &get("/v1/documents/log/append", &[]), &core);
+        assert_eq!(r.status, 405);
+        assert!(r
+            .extra_headers
+            .iter()
+            .any(|(k, v)| *k == "Allow" && *v == "POST"));
+    }
+
+    #[test]
+    fn watch_routes_register_alert_and_remove() {
+        let (handler, core) = live_fixture("watch");
+        // Register: the response carries the watch id.
+        let registered = route(
+            &handler,
+            &post(
+                "/v1/watch",
+                r#"{"doc":"log","window":16,"threshold":12.0,"top_t":4}"#,
+            ),
+            &core,
+        );
+        assert_eq!(registered.status, 200);
+        let watch = decode(&registered).get("watch").unwrap().as_u64().unwrap();
+
+        // Degenerate specs and unknown documents are rejected.
+        assert_eq!(
+            route(
+                &handler,
+                &post(
+                    "/v1/watch",
+                    r#"{"doc":"log","window":0,"threshold":12.0,"top_t":4}"#
+                ),
+                &core
+            )
+            .status,
+            400
+        );
+        assert_eq!(
+            route(
+                &handler,
+                &post(
+                    "/v1/watch",
+                    r#"{"doc":"ghost","window":8,"threshold":1.0,"top_t":1}"#
+                ),
+                &core
+            )
+            .status,
+            404
+        );
+
+        // A calm append raises nothing; an anomalous run alerts.
+        let calm = route(
+            &handler,
+            &post("/v1/documents/log/append", r#"{"data":"abababab"}"#),
+            &core,
+        );
+        assert_eq!(decode(&calm).get("alerts").unwrap().as_array().unwrap().len(), 0);
+        let anomaly = route(
+            &handler,
+            &post("/v1/documents/log/append", r#"{"data":"bbbbbbbbbbbbbbbb"}"#),
+            &core,
+        );
+        let alerts = decode(&anomaly);
+        let alerts = alerts.get("alerts").unwrap().as_array().unwrap();
+        assert!(!alerts.is_empty(), "16 b's against a ~uniform model must alert");
+        assert_eq!(alerts[0].get("watch").unwrap().as_u64(), Some(watch));
+
+        // The long-poll sees the same alerts from cursor 0, and the
+        // returned cursor silences a re-poll (timeout_ms=0 → immediate).
+        let polled = route(
+            &handler,
+            &get("/v1/watch", &[("doc", "log"), ("since", "0")]),
+            &core,
+        );
+        assert_eq!(polled.status, 200);
+        let body = decode(&polled);
+        assert_eq!(
+            body.get("alerts").unwrap().as_array().unwrap().len(),
+            alerts.len()
+        );
+        let next_since = body.get("next_since").unwrap().as_u64().unwrap();
+        assert!(next_since >= alerts.len() as u64);
+        let drained = route(
+            &handler,
+            &get(
+                "/v1/watch",
+                &[
+                    ("doc", "log"),
+                    ("since", &next_since.to_string()),
+                    ("timeout_ms", "0"),
+                ],
+            ),
+            &core,
+        );
+        let drained = decode(&drained);
+        assert_eq!(drained.get("alerts").unwrap().as_array().unwrap().len(), 0);
+
+        // Remove the watch; a second removal reports removed=false.
+        let removed = route(
+            &handler,
+            &Request {
+                method: "DELETE".into(),
+                path: "/v1/watch".into(),
+                query: vec![
+                    ("doc".into(), "log".into()),
+                    ("watch".into(), watch.to_string()),
+                ],
+                headers: Vec::new(),
+                body: Vec::new(),
+                keep_alive: true,
+            },
+            &core,
+        );
+        assert_eq!(removed.status, 200);
+        assert_eq!(decode(&removed).get("removed"), Some(&Json::Bool(true)));
+
+        // Poll validation.
+        assert_eq!(route(&handler, &get("/v1/watch", &[]), &core).status, 400);
+        assert_eq!(
+            route(
+                &handler,
+                &get("/v1/watch", &[("doc", "log"), ("since", "x")]),
+                &core
+            )
+            .status,
+            400
+        );
+        assert_eq!(
+            route(
+                &handler,
+                &get("/v1/watch", &[("doc", "ghost"), ("timeout_ms", "0")]),
+                &core
+            )
+            .status,
+            404
+        );
+        // Wrong method → 405 listing all three verbs.
+        let r = route(&handler, &Request {
+            method: "PUT".into(),
+            path: "/v1/watch".into(),
+            query: Vec::new(),
+            headers: Vec::new(),
+            body: Vec::new(),
+            keep_alive: true,
+        }, &core);
+        assert_eq!(r.status, 405);
+    }
+
+    #[test]
+    fn live_status_and_metrics_report_live_documents() {
+        let (handler, core) = live_fixture("status");
+        route(
+            &handler,
+            &post("/v1/documents/log/append", r#"{"data":"abab"}"#),
+            &core,
+        );
+        let status = route(&handler, &get("/v1/live", &[]), &core);
+        assert_eq!(status.status, 200);
+        let body = decode(&status);
+        let docs = body.get("docs").unwrap().as_array().unwrap();
+        assert_eq!(docs.len(), 1);
+        assert_eq!(docs[0].get("name").unwrap().as_str(), Some("log"));
+        assert_eq!(docs[0].get("tail").unwrap().as_u64(), Some(4));
+        assert_eq!(docs[0].get("appends").unwrap().as_u64(), Some(1));
+
+        let metrics = route(&handler, &get("/metrics", &[]), &core);
+        let text = std::str::from_utf8(&metrics.body).unwrap();
+        assert!(text.contains("sigstr_live_documents 1"), "{text}");
+        assert!(text.contains("sigstr_live_generation{doc=\"log\"} 1"));
+        assert!(text.contains("sigstr_live_tail_symbols{doc=\"log\"} 4"));
+        assert!(text.contains("sigstr_live_freeze_duration_us_count 0"));
     }
 
     #[test]

@@ -12,7 +12,7 @@ use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-use sigstr_corpus::CacheStats;
+use sigstr_corpus::{CacheStats, LiveStats, FREEZE_BUCKETS_US};
 
 /// Latency histogram bucket upper bounds, in microseconds (a final
 /// `+inf` bucket is implicit).
@@ -165,6 +165,74 @@ pub fn render_cache(out: &mut String, cache: &CacheStats) {
     let _ = writeln!(out, "sigstr_cache_resident_bytes {}", cache.resident_bytes);
 }
 
+/// Append the live-document lines to a metrics body: per-document
+/// generation/tail/append/freeze/watch/alert series, the total
+/// in-memory tail bytes, and the corpus-wide freeze-pause histogram
+/// (the number a dashboard watches to see what appenders pay when a
+/// tail freezes into a new snapshot generation).
+pub fn render_live(out: &mut String, live: &LiveStats) {
+    let _ = writeln!(out, "sigstr_live_documents {}", live.docs.len());
+    let _ = writeln!(out, "sigstr_live_tail_bytes {}", live.live_bytes);
+    for doc in &live.docs {
+        let name = &doc.name;
+        let _ = writeln!(
+            out,
+            "sigstr_live_generation{{doc=\"{name}\"}} {}",
+            doc.generation
+        );
+        let _ = writeln!(
+            out,
+            "sigstr_live_tail_symbols{{doc=\"{name}\"}} {}",
+            doc.tail
+        );
+        let _ = writeln!(
+            out,
+            "sigstr_live_appends_total{{doc=\"{name}\"}} {}",
+            doc.appends
+        );
+        let _ = writeln!(
+            out,
+            "sigstr_live_appended_symbols_total{{doc=\"{name}\"}} {}",
+            doc.appended_symbols
+        );
+        let _ = writeln!(
+            out,
+            "sigstr_live_freezes_total{{doc=\"{name}\"}} {}",
+            doc.freezes
+        );
+        let _ = writeln!(out, "sigstr_live_watches{{doc=\"{name}\"}} {}", doc.watches);
+        let _ = writeln!(
+            out,
+            "sigstr_live_alerts_emitted_total{{doc=\"{name}\"}} {}",
+            doc.alerts_emitted
+        );
+        let _ = writeln!(
+            out,
+            "sigstr_live_alerts_delivered_total{{doc=\"{name}\"}} {}",
+            doc.alerts_delivered
+        );
+    }
+    let mut cumulative = 0u64;
+    for (i, &bound) in FREEZE_BUCKETS_US.iter().enumerate() {
+        cumulative += live.freeze_buckets[i];
+        let _ = writeln!(
+            out,
+            "sigstr_live_freeze_duration_us_bucket{{le=\"{bound}\"}} {cumulative}"
+        );
+    }
+    cumulative += live.freeze_buckets[FREEZE_BUCKETS_US.len()];
+    let _ = writeln!(
+        out,
+        "sigstr_live_freeze_duration_us_bucket{{le=\"+Inf\"}} {cumulative}"
+    );
+    let _ = writeln!(
+        out,
+        "sigstr_live_freeze_duration_us_sum {}",
+        live.freeze_sum_us
+    );
+    let _ = writeln!(out, "sigstr_live_freeze_duration_us_count {cumulative}");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -209,6 +277,50 @@ mod tests {
         assert!(text.contains("class=\"5xx\"} 1"), "{text}");
         // The histogram saw only the routed request.
         assert!(text.contains("sigstr_request_latency_us_count 1"), "{text}");
+    }
+
+    #[test]
+    fn live_stats_are_rendered() {
+        use sigstr_corpus::LiveDocStatus;
+        let mut buckets = [0u64; FREEZE_BUCKETS_US.len() + 1];
+        buckets[1] = 2; // two freezes at or under 500us
+        buckets[FREEZE_BUCKETS_US.len()] = 1; // one beyond the last bound
+        let live = LiveStats {
+            docs: vec![LiveDocStatus {
+                name: "log".into(),
+                generation: 4,
+                n: 5000,
+                tail: 120,
+                appends: 37,
+                appended_symbols: 4100,
+                freezes: 3,
+                watches: 2,
+                alerts_emitted: 9,
+                alerts_delivered: 7,
+                live_bytes: 2048,
+            }],
+            freeze_buckets: buckets,
+            freeze_count: 3,
+            freeze_sum_us: 1234,
+            live_bytes: 2048,
+        };
+        let mut text = String::new();
+        render_live(&mut text, &live);
+        assert!(text.contains("sigstr_live_documents 1"), "{text}");
+        assert!(text.contains("sigstr_live_tail_bytes 2048"));
+        assert!(text.contains("sigstr_live_generation{doc=\"log\"} 4"));
+        assert!(text.contains("sigstr_live_tail_symbols{doc=\"log\"} 120"));
+        assert!(text.contains("sigstr_live_appends_total{doc=\"log\"} 37"));
+        assert!(text.contains("sigstr_live_freezes_total{doc=\"log\"} 3"));
+        assert!(text.contains("sigstr_live_watches{doc=\"log\"} 2"));
+        assert!(text.contains("sigstr_live_alerts_emitted_total{doc=\"log\"} 9"));
+        assert!(text.contains("sigstr_live_alerts_delivered_total{doc=\"log\"} 7"));
+        // Cumulative histogram: le="500" sees both fast freezes, +Inf
+        // adds the overflow one, and the count matches +Inf.
+        assert!(text.contains("sigstr_live_freeze_duration_us_bucket{le=\"500\"} 2"));
+        assert!(text.contains("sigstr_live_freeze_duration_us_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("sigstr_live_freeze_duration_us_sum 1234"));
+        assert!(text.contains("sigstr_live_freeze_duration_us_count 3"));
     }
 
     #[test]

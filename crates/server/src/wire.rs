@@ -29,7 +29,7 @@
 
 use sigstr_core::ThresholdResult;
 use sigstr_core::{Answer, MssResult, Query, QueryKind, ScanStats, Scored, TopTResult};
-use sigstr_corpus::{DocHit, DocumentEntry};
+use sigstr_corpus::{Alert, DocHit, DocumentEntry, LiveDocStatus, WatchSpec};
 
 use crate::json::Json;
 
@@ -266,6 +266,74 @@ pub fn hit_from_json(json: &Json) -> WireResult<DocHit> {
     })
 }
 
+// ---------------------------------------------------------------------------
+// Live documents.
+// ---------------------------------------------------------------------------
+
+/// `Alert` → `{"seq", "watch", "generation", "item": {scored}}`.
+pub fn alert_to_json(alert: &Alert) -> Json {
+    Json::Obj(vec![
+        ("seq".into(), Json::Int(alert.seq)),
+        ("watch".into(), Json::Int(alert.watch)),
+        ("generation".into(), Json::Int(alert.generation)),
+        ("item".into(), scored_to_json(&alert.item)),
+    ])
+}
+
+/// Inverse of [`alert_to_json`].
+pub fn alert_from_json(json: &Json) -> WireResult<Alert> {
+    Ok(Alert {
+        seq: u64_field(json, "seq")?,
+        watch: u64_field(json, "watch")?,
+        generation: u64_field(json, "generation")?,
+        item: scored_from_json(field(json, "item")?)?,
+    })
+}
+
+/// Decode a watch registration body: `{"window", "threshold", "top_t"}`
+/// (the `doc` field is the caller's concern). Validation of the values
+/// themselves happens in the corpus, so the server and the CLI reject
+/// degenerate specs identically.
+pub fn watch_spec_from_json(json: &Json) -> WireResult<WatchSpec> {
+    Ok(WatchSpec {
+        window: usize_field(json, "window")?,
+        threshold: f64_field(json, "threshold")?,
+        top_t: usize_field(json, "top_t")?,
+    })
+}
+
+/// `WatchSpec` → `{"window", "threshold", "top_t"}`.
+pub fn watch_spec_to_json(spec: &WatchSpec) -> Json {
+    Json::Obj(vec![
+        ("window".into(), Json::Int(spec.window as u64)),
+        ("threshold".into(), Json::Num(spec.threshold)),
+        ("top_t".into(), Json::Int(spec.top_t as u64)),
+    ])
+}
+
+/// `LiveDocStatus` → a flat JSON object (all counters as integers).
+pub fn live_status_to_json(status: &LiveDocStatus) -> Json {
+    Json::Obj(vec![
+        ("name".into(), Json::Str(status.name.clone())),
+        ("generation".into(), Json::Int(status.generation)),
+        ("n".into(), Json::Int(status.n as u64)),
+        ("tail".into(), Json::Int(status.tail as u64)),
+        ("appends".into(), Json::Int(status.appends)),
+        (
+            "appended_symbols".into(),
+            Json::Int(status.appended_symbols),
+        ),
+        ("freezes".into(), Json::Int(status.freezes)),
+        ("watches".into(), Json::Int(status.watches as u64)),
+        ("alerts_emitted".into(), Json::Int(status.alerts_emitted)),
+        (
+            "alerts_delivered".into(),
+            Json::Int(status.alerts_delivered),
+        ),
+        ("live_bytes".into(), Json::Int(status.live_bytes as u64)),
+    ])
+}
+
 /// The standard error body: `{"error": "..."}`.
 pub fn error_json(message: &str) -> Json {
     Json::Obj(vec![("error".into(), Json::Str(message.to_string()))])
@@ -364,6 +432,47 @@ mod tests {
         let text = hit_to_json(&hit).encode().unwrap();
         let back = hit_from_json(&Json::decode(&text).unwrap()).unwrap();
         assert_eq!(back, hit);
+    }
+
+    #[test]
+    fn alerts_roundtrip_bit_identically() {
+        let alert = Alert {
+            seq: u64::MAX - 1,
+            watch: 3,
+            generation: 17,
+            item: Scored {
+                start: 100,
+                end: 116,
+                chi_square: 0.1 + 0.2,
+            },
+        };
+        let text = alert_to_json(&alert).encode().unwrap();
+        let back = alert_from_json(&Json::decode(&text).unwrap()).unwrap();
+        assert_eq!(back, alert);
+        assert_eq!(
+            back.item.chi_square.to_bits(),
+            alert.item.chi_square.to_bits()
+        );
+    }
+
+    #[test]
+    fn watch_specs_roundtrip_and_reject_bad_shapes() {
+        let spec = WatchSpec {
+            window: 64,
+            threshold: 12.25,
+            top_t: 4,
+        };
+        let text = watch_spec_to_json(&spec).encode().unwrap();
+        let back = watch_spec_from_json(&Json::decode(&text).unwrap()).unwrap();
+        assert_eq!(back, spec);
+        for bad in [
+            r#"{}"#,
+            r#"{"window":8,"threshold":1.0}"#,
+            r#"{"window":"8","threshold":1.0,"top_t":2}"#,
+        ] {
+            let json = Json::decode(bad).unwrap();
+            assert!(watch_spec_from_json(&json).is_err(), "{bad}");
+        }
     }
 
     #[test]
