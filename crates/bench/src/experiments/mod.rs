@@ -38,6 +38,7 @@ pub fn all() -> Vec<(&'static str, Runner)> {
         ("server_throughput", perf::server_throughput),
         ("router_fanout", perf::router_fanout),
         ("simd_scan", perf::simd_scan),
+        ("trace_overhead", perf::trace_overhead),
     ]
 }
 
@@ -56,11 +57,11 @@ mod tests {
     #[test]
     fn registry_is_complete_and_unique() {
         let ids: Vec<&str> = all().iter().map(|(id, _)| *id).collect();
-        assert_eq!(ids.len(), 23);
+        assert_eq!(ids.len(), 24);
         let mut sorted = ids.clone();
         sorted.sort_unstable();
         sorted.dedup();
-        assert_eq!(sorted.len(), 23, "duplicate experiment ids");
+        assert_eq!(sorted.len(), 24, "duplicate experiment ids");
         assert!(by_id("fig1a").is_some());
         assert!(by_id("table6").is_some());
         assert!(by_id("bench_smoke").is_some());
@@ -70,6 +71,7 @@ mod tests {
         assert!(by_id("server_throughput").is_some());
         assert!(by_id("router_fanout").is_some());
         assert!(by_id("simd_scan").is_some());
+        assert!(by_id("trace_overhead").is_some());
         assert!(by_id("bogus").is_none());
     }
 }

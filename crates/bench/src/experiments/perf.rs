@@ -908,6 +908,181 @@ pub fn router_fanout(scale: Scale) -> Report {
     report
 }
 
+/// The `trace_overhead` experiment (`BENCH_10.json`): merged top-t
+/// latency through a 2-shard routed fleet with end-to-end request
+/// tracing enabled versus disabled (`--no-trace`).
+///
+/// Both fleets (shards + router each) run simultaneously over the same
+/// corpus directories, and the measurement loop alternates between them
+/// request by request so machine drift hits both scenarios equally.
+/// Tracing on the hot path is one branch when disabled and, when
+/// enabled, span bookkeeping on thread-local state plus one short
+/// mutex-guarded ring-buffer push at seal — the CI gate pins the traced
+/// p50 at ≤ 1.1× the untraced p50.
+pub fn trace_overhead(scale: Scale) -> Report {
+    use sigstr_router::{HedgePolicy, RouterConfig, RouterServer};
+    use sigstr_server::client::ClientConn;
+    use sigstr_server::{Server, ServerConfig};
+    use std::time::Duration;
+
+    let mut report = Report::new(
+        "trace_overhead",
+        "routed 2-shard merged top-t latency, request tracing on vs off",
+        &[
+            "scenario",
+            "requests",
+            "p50_us",
+            "p99_us",
+            "p50_vs_untraced",
+        ],
+    );
+    let n = scale.pick(16_384, 4_096);
+    let requests = scale.pick(600, 150);
+    const DOCS: usize = 4;
+
+    // Ring-partitioned shard corpora, shared by both fleets (opened
+    // read-only by each server).
+    let tag = format!("{}-{:?}", std::process::id(), std::thread::current().id());
+    let dirs: Vec<std::path::PathBuf> = (0..2)
+        .map(|i| {
+            let dir = std::env::temp_dir().join(format!("sigstr-trace-bench-s{i}-{tag}"));
+            std::fs::remove_dir_all(&dir).ok();
+            dir
+        })
+        .collect();
+    let ring = sigstr_router::hash::Ring::new(2, RouterConfig::new(vec!["x".into()]).vnodes);
+    {
+        let mut shards: Vec<_> = dirs
+            .iter()
+            .map(|d| sigstr_corpus::Corpus::create(d).expect("corpus"))
+            .collect();
+        for i in 0..DOCS {
+            let name = format!("doc{i}");
+            let (seq, model) = input(2 + i % 2 * 2, n + i * 256);
+            shards[ring.shard_for(&name)]
+                .add_document(&name, &seq, model, CountsLayout::Auto)
+                .expect("add to shard");
+        }
+        assert!(
+            shards.iter().all(|s| !s.is_empty()),
+            "ring left a shard empty — change the document names"
+        );
+    }
+
+    // One full fleet per scenario: tracing is a process-wide switch, so
+    // the shards differ too, not just the router.
+    let boot_fleet = |traced: bool| {
+        let servers: Vec<_> = dirs
+            .iter()
+            .map(|dir| {
+                let mut config = ServerConfig {
+                    addr: "127.0.0.1:0".into(),
+                    threads: 4,
+                    ..ServerConfig::default()
+                };
+                config.trace.enabled = traced;
+                let server = Server::bind(
+                    sigstr_corpus::Corpus::open(dir).expect("corpus reopens"),
+                    config,
+                )
+                .expect("server binds");
+                let addr = server.local_addr().to_string();
+                let handle = server.handle();
+                let thread = std::thread::spawn(move || server.run().expect("server runs"));
+                (addr, handle, thread)
+            })
+            .collect::<Vec<_>>();
+        let mut config = RouterConfig::new(servers.iter().map(|(a, _, _)| a.clone()).collect());
+        config.service.addr = "127.0.0.1:0".into();
+        config.service.threads = 4;
+        config.service.trace.enabled = traced;
+        config.hedge = HedgePolicy::Disabled;
+        config.probe_interval = Duration::from_secs(600);
+        let router = RouterServer::bind(config).expect("router binds");
+        let addr = router.local_addr().to_string();
+        let handle = router.handle();
+        let thread = std::thread::spawn(move || router.run().expect("router runs"));
+        (addr, handle, thread, servers)
+    };
+    let traced_fleet = boot_fleet(true);
+    let untraced_fleet = boot_fleet(false);
+
+    let target = "/v1/merged/top?t=5";
+    let mut traced_conn = ClientConn::connect(&traced_fleet.0).expect("client connects");
+    let mut untraced_conn = ClientConn::connect(&untraced_fleet.0).expect("client connects");
+    let timed_request = |conn: &mut ClientConn| {
+        let start = std::time::Instant::now();
+        let response = conn.request("GET", target, None).expect("request");
+        assert_eq!(response.status, 200, "{}", response.body_str());
+        start.elapsed().as_micros() as u64
+    };
+    for _ in 0..20 {
+        timed_request(&mut traced_conn);
+        timed_request(&mut untraced_conn);
+    }
+    let mut traced = Vec::with_capacity(requests);
+    let mut untraced = Vec::with_capacity(requests);
+    for _ in 0..requests {
+        traced.push(timed_request(&mut traced_conn));
+        untraced.push(timed_request(&mut untraced_conn));
+    }
+
+    // The traced fleet really traced: its recorder holds the requests.
+    {
+        let response = ClientConn::connect(&traced_fleet.0)
+            .and_then(|mut c| c.request("GET", "/debug/traces?limit=1", None))
+            .expect("traces");
+        assert!(
+            response.body_str().contains("\"spans\""),
+            "traced router recorded nothing"
+        );
+        let response = ClientConn::connect(&untraced_fleet.0)
+            .and_then(|mut c| c.request("GET", "/debug/traces?limit=1", None))
+            .expect("traces");
+        assert!(
+            !response.body_str().contains("\"spans\""),
+            "untraced router recorded a trace"
+        );
+    }
+
+    let untraced_p50 = percentile_us(&mut untraced, 0.50);
+    for (scenario, samples) in [("traced", &mut traced), ("untraced", &mut untraced)] {
+        let p50 = percentile_us(samples, 0.50);
+        let p99 = percentile_us(samples, 0.99);
+        report.push_row(vec![
+            scenario.to_string(),
+            requests.to_string(),
+            p50.to_string(),
+            p99.to_string(),
+            cell_f(p50 as f64 / untraced_p50 as f64, 3),
+        ]);
+    }
+
+    for (_, handle, thread, servers) in [traced_fleet, untraced_fleet] {
+        handle.shutdown();
+        thread.join().expect("router thread");
+        for (_, handle, thread) in servers {
+            handle.shutdown();
+            thread.join().expect("server thread");
+        }
+    }
+    for dir in &dirs {
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    report.note(format!(
+        "2 shards ({DOCS} documents, n ≈ {n}), merged GET {target}, no hedging; both fleets \
+         live simultaneously and the measurement loop alternates between them request by \
+         request, so drift cancels; the traced fleet mints a trace per request at the router, \
+         propagates it to every shard, and seals spans into each process's flight recorder"
+    ));
+    report.note(
+        "acceptance gate: traced p50_vs_untraced <= 1.1 (tracing must stay within 10% of \
+         the untraced data path at the median)",
+    );
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -201,6 +201,14 @@ pub enum Command {
         /// Print these documents' shard placements and exit.
         plan: Option<Vec<String>>,
     },
+    /// Fetch recent request traces from a server or router and print
+    /// each one's span tree (per-stage latency attribution).
+    Trace {
+        /// The server (or router) address.
+        addr: String,
+        /// Show only the trace with this 32-hex ID.
+        id: Option<String>,
+    },
     /// Move documents between shard corpus directories so the fleet
     /// matches a new ring layout; crash-safe and resumable.
     Rebalance {
@@ -271,6 +279,12 @@ pub struct Invocation {
     /// Force the portable scalar kernels (the programmatic twin of
     /// `SIGSTR_FORCE_SCALAR=1`; answers are bit-identical either way).
     pub no_simd: bool,
+    /// Disable request tracing for `serve` / `route` (the flight
+    /// recorder stays empty and responses carry no trace header).
+    pub no_trace: bool,
+    /// Slow-query log threshold for `serve` / `route`, in milliseconds:
+    /// a request at or over it is logged as one JSON line on stderr.
+    pub slow_ms: Option<u64>,
 }
 
 impl Invocation {
@@ -288,6 +302,7 @@ impl Invocation {
                 | Command::Route { .. }
                 | Command::Rebalance { .. }
                 | Command::Watch { .. }
+                | Command::Trace { .. }
         )
     }
 }
@@ -304,10 +319,11 @@ USAGE:
     sigstr corpus query <dir> --query Q... [--merge-top T] [--merge-thresh A]
     sigstr corpus list  <dir> [--stats]
     sigstr serve <dir> [--addr A] [--threads N] [--budget-mb N] [--queue-depth N]
-                 [--create]
+                 [--create] [--no-trace] [--slow-ms N]
     sigstr route --shards A1,A2,... [--addr A] [--threads N] [--queue-depth N]
                  [--deadline-ms N] [--retries N] [--hedge-ms N | --no-hedge]
-                 [--plan NAME1,NAME2,...]
+                 [--plan NAME1,NAME2,...] [--no-trace] [--slow-ms N]
+    sigstr trace <addr> [--id HEX] [--limit N]
     sigstr rebalance --from DIR1,DIR2,... --to DIR1,DIR2,...
                      [--vnodes N] [--journal PATH] [--dry-run]
     sigstr append <addr> <file|-> --doc NAME
@@ -351,6 +367,11 @@ COMMANDS:
                             committed before the source releases, and a
                             journal makes an interrupted run resumable
                             (re-run with the same --to to converge)
+    trace                   fetch recent request traces from a server or
+                            router (`/debug/traces?join=1`) and print each
+                            one's span tree; against a router the tree
+                            includes the shard-side spans joined under
+                            every fan-out attempt
     append                  append a file's text to a live document over
                             HTTP; prints the new geometry and any alerts
                             the append raised
@@ -408,6 +429,12 @@ OPTIONS:
     --create                serve: create the directory as an empty
                             corpus if it holds none yet (boot a fresh
                             shard ahead of a rebalance)
+    --no-trace              serve/route: disable request tracing (no
+                            trace header, empty flight recorder)
+    --slow-ms N             serve/route: log requests at or over N ms
+                            end-to-end as JSON lines on stderr
+    --id HEX                trace: show only the trace with this 32-hex
+                            ID (the `x-sigstr-trace` response header)
     --live                  corpus add: create an appendable live document
     --doc NAME              append/watch: the live document to target
     --window N              watch: sliding window length (default 64)
@@ -487,6 +514,13 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
                     .ok_or_else(|| format!("watch requires a server address\n\n{USAGE}"))?;
                 (None, vec![addr, String::new()], 2)
             }
+            "trace" => {
+                let addr = args
+                    .get(1)
+                    .cloned()
+                    .ok_or_else(|| format!("trace requires a server address\n\n{USAGE}"))?;
+                (None, vec![addr, String::new()], 2)
+            }
             _ => {
                 if args.len() < 2 {
                     return Err(format!("missing input file\n\n{USAGE}"));
@@ -537,6 +571,9 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
     let mut top: Option<usize> = None;
     let mut timeout_ms: Option<u64> = None;
     let mut once = false;
+    let mut no_trace = false;
+    let mut slow_ms: Option<u64> = None;
+    let mut trace_id: Option<String> = None;
 
     let mut i = flags_from;
     while i < args.len() {
@@ -736,6 +773,15 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
                 );
             }
             "--once" => once = true,
+            "--no-trace" => no_trace = true,
+            "--slow-ms" => {
+                slow_ms = Some(
+                    take_value()?
+                        .parse()
+                        .map_err(|e| format!("bad --slow-ms: {e}"))?,
+                );
+            }
+            "--id" => trace_id = Some(take_value()?.to_string()),
             "--queue-depth" => {
                 let depth: usize = take_value()?
                     .parse()
@@ -810,6 +856,17 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
             addr: positionals[0].clone(),
             doc: doc.clone().ok_or("append requires --doc NAME")?,
         },
+        ("trace", _) => {
+            if let Some(id) = &trace_id {
+                if id.len() != 32 || !id.bytes().all(|b| b.is_ascii_hexdigit()) {
+                    return Err(format!("bad --id `{id}` (expected 32 hex digits)"));
+                }
+            }
+            Command::Trace {
+                addr: positionals[0].clone(),
+                id: trace_id.clone(),
+            }
+        }
         ("watch", _) => Command::Watch {
             addr: positionals[0].clone(),
             doc: doc.clone().ok_or("watch requires --doc NAME")?,
@@ -904,6 +961,8 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
         queue_depth,
         mmap,
         no_simd,
+        no_trace,
+        slow_ms,
     })
 }
 
@@ -1312,7 +1371,11 @@ fn run_append(raw: &[u8], addr: &str, doc: &str) -> Result<String, String> {
         .map_err(|e| format!("cannot encode request: {e}"))?;
     let mut conn = ClientConn::connect(addr).map_err(|e| format!("cannot connect {addr}: {e}"))?;
     let response = conn
-        .request("POST", &format!("/v1/documents/{doc}/append"), Some(&request))
+        .request(
+            "POST",
+            &format!("/v1/documents/{doc}/append"),
+            Some(&request),
+        )
         .map_err(|e| format!("append failed: {e}"))?;
     let body = live_response_body(&response, &format!("append `{doc}`"))?;
     let field = |name: &str| body.get(name).and_then(Json::as_u64).unwrap_or(0);
@@ -1399,7 +1462,11 @@ fn run_watch(
             for alert in alerts {
                 let _ = writeln!(out, "{}", format_alert(alert));
             }
-            let _ = writeln!(out, "watch {watch}: {} alerts, cursor {since}", alerts.len());
+            let _ = writeln!(
+                out,
+                "watch {watch}: {} alerts, cursor {since}",
+                alerts.len()
+            );
             conn.request(
                 "DELETE",
                 &format!("/v1/watch?doc={doc}&watch={watch}"),
@@ -1413,6 +1480,95 @@ fn run_watch(
         }
         use std::io::Write as _;
         let _ = std::io::stdout().flush();
+    }
+}
+
+/// `trace`: fetch recent request traces and print each one's span tree.
+/// The request always asks for `join=1`: a router joins the shard-side
+/// traces under the edge trace, a plain shard server ignores the
+/// parameter — so the same command works against either.
+fn run_trace(invocation: &Invocation, addr: &str, id: Option<&str>) -> Result<String, String> {
+    use sigstr_server::client::ClientConn;
+    use sigstr_server::json::Json;
+    let mut conn = ClientConn::connect(addr).map_err(|e| format!("cannot connect {addr}: {e}"))?;
+    let mut target = format!("/debug/traces?join=1&limit={}", invocation.limit);
+    if let Some(id) = id {
+        let _ = write!(target, "&id={id}");
+    }
+    let response = conn
+        .request("GET", &target, None)
+        .map_err(|e| format!("trace fetch failed: {e}"))?;
+    if response.status != 200 {
+        return Err(format!("trace fetch failed: HTTP {}", response.status));
+    }
+    let text =
+        std::str::from_utf8(&response.body).map_err(|e| format!("trace body is not UTF-8: {e}"))?;
+    let body = Json::decode(text.trim()).map_err(|e| format!("trace body is not JSON: {e:?}"))?;
+    let traces = body
+        .get("traces")
+        .and_then(Json::as_array)
+        .unwrap_or_default();
+    if traces.is_empty() {
+        return Ok("no traces recorded\n".into());
+    }
+    let mut out = String::new();
+    for trace in traces {
+        format_trace(trace, 0, &mut out);
+    }
+    Ok(out)
+}
+
+/// One trace as an indented span tree. A router's joined shard traces
+/// (the `shards` array) nest one level deeper, so the fan-out reads
+/// top-to-bottom: edge attempt spans first, then what each shard did
+/// with the same trace ID.
+fn format_trace(trace: &sigstr_server::json::Json, indent: usize, out: &mut String) {
+    use sigstr_server::json::Json;
+    let pad = "  ".repeat(indent);
+    let field = |name: &str| {
+        trace
+            .get(name)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .or_else(|| {
+                trace
+                    .get(name)
+                    .and_then(Json::as_u64)
+                    .map(|v| v.to_string())
+            })
+            .unwrap_or_else(|| "?".into())
+    };
+    let _ = writeln!(
+        out,
+        "{pad}trace {}  {}  status {}  {}us",
+        field("id"),
+        field("route"),
+        field("status"),
+        field("total_us"),
+    );
+    for span in trace
+        .get("spans")
+        .and_then(Json::as_array)
+        .unwrap_or_default()
+    {
+        let name = span.get("name").and_then(Json::as_str).unwrap_or("?");
+        let start = span.get("start_us").and_then(Json::as_u64).unwrap_or(0);
+        let dur = span.get("dur_us").and_then(Json::as_u64).unwrap_or(0);
+        let mut attrs = String::new();
+        if let Some(Json::Obj(pairs)) = span.get("attrs") {
+            for (key, value) in pairs {
+                let value = value.as_str().unwrap_or("?");
+                let _ = write!(attrs, "  {key}={value}");
+            }
+        }
+        let _ = writeln!(out, "{pad}  {name:<10} @{start:>7}us +{dur:>7}us{attrs}");
+    }
+    let shards = trace
+        .get("shards")
+        .and_then(Json::as_array)
+        .unwrap_or_default();
+    for shard_trace in shards {
+        format_trace(shard_trace, indent + 1, out);
     }
 }
 
@@ -1591,6 +1747,10 @@ fn run_serve(invocation: &Invocation, dir: &str, create: bool) -> Result<String,
     if let Some(depth) = invocation.queue_depth {
         config.queue_depth = depth;
     }
+    config.trace.enabled = !invocation.no_trace;
+    if let Some(ms) = invocation.slow_ms {
+        config.trace.slow_us = Some(ms.saturating_mul(1_000));
+    }
     let server = sigstr_server::Server::bind(corpus, config)
         .map_err(|e| format!("cannot bind server: {e}"))?;
     println!(
@@ -1641,6 +1801,10 @@ fn run_route(
     }
     if let Some(depth) = invocation.queue_depth {
         config.service.queue_depth = depth;
+    }
+    config.service.trace.enabled = !invocation.no_trace;
+    if let Some(ms) = invocation.slow_ms {
+        config.service.trace.slow_us = Some(ms.saturating_mul(1_000));
     }
     if let Some(ms) = deadline_ms {
         config.deadline = Duration::from_millis(ms);
@@ -1798,6 +1962,7 @@ pub fn run(invocation: &Invocation, raw: &[u8]) -> Result<String, String> {
         Command::CorpusQuery { dir } => return run_corpus_query(invocation, dir),
         Command::CorpusList { dir } => return run_corpus_list(invocation, dir),
         Command::Serve { dir, create } => return run_serve(invocation, dir, *create),
+        Command::Trace { addr, id } => return run_trace(invocation, addr, id.as_deref()),
         Command::Route {
             shards,
             deadline_ms,
@@ -2373,6 +2538,60 @@ mod tests {
     }
 
     #[test]
+    fn parse_trace_flags_on_serve_and_route() {
+        let inv = parse_args(&argv(&["serve", "d", "--no-trace", "--slow-ms", "250"])).unwrap();
+        assert!(inv.no_trace);
+        assert_eq!(inv.slow_ms, Some(250));
+        let inv = parse_args(&argv(&[
+            "route",
+            "--shards",
+            "127.0.0.1:9001",
+            "--slow-ms",
+            "100",
+        ]))
+        .unwrap();
+        assert!(!inv.no_trace);
+        assert_eq!(inv.slow_ms, Some(100));
+        assert!(parse_args(&argv(&["serve", "d", "--slow-ms", "x"])).is_err());
+    }
+
+    #[test]
+    fn parse_trace_command() {
+        let inv = parse_args(&argv(&["trace", "127.0.0.1:8080"])).unwrap();
+        assert_eq!(
+            inv.command,
+            Command::Trace {
+                addr: "127.0.0.1:8080".into(),
+                id: None,
+            }
+        );
+        assert!(!inv.reads_raw_input());
+
+        let id = "00000000000000000000000000c0ffee";
+        let inv = parse_args(&argv(&[
+            "trace",
+            "127.0.0.1:8080",
+            "--id",
+            id,
+            "--limit",
+            "5",
+        ]))
+        .unwrap();
+        assert_eq!(
+            inv.command,
+            Command::Trace {
+                addr: "127.0.0.1:8080".into(),
+                id: Some(id.into()),
+            }
+        );
+        assert_eq!(inv.limit, 5);
+
+        assert!(parse_args(&argv(&["trace"])).is_err()); // no address
+        assert!(parse_args(&argv(&["trace", "a", "--id", "nothex"])).is_err());
+        assert!(parse_args(&argv(&["trace", "a", "--id", "c0ffee"])).is_err()); // short
+    }
+
+    #[test]
     fn corpus_list_stats_prints_cache_counters() {
         let dir = temp_dir("list-stats");
         let corpus_dir = dir.join("c").display().to_string();
@@ -2420,8 +2639,14 @@ mod tests {
 
     #[test]
     fn parse_append_and_watch_commands() {
-        let inv = parse_args(&argv(&["append", "127.0.0.1:8080", "log.txt", "--doc", "log"]))
-            .unwrap();
+        let inv = parse_args(&argv(&[
+            "append",
+            "127.0.0.1:8080",
+            "log.txt",
+            "--doc",
+            "log",
+        ]))
+        .unwrap();
         assert_eq!(
             inv.command,
             Command::Append {
@@ -2577,13 +2802,88 @@ mod tests {
         let out = run(&append, b"bbbbbbbbbbbbbbbb").unwrap();
         assert!(out.contains("alert"), "anomaly must alert inline: {out}");
         let polled = watcher.join().unwrap().unwrap();
-        assert!(polled.contains("alert"), "long-poll missed the alert: {polled}");
+        assert!(
+            polled.contains("alert"),
+            "long-poll missed the alert: {polled}"
+        );
         assert!(!polled.contains("0 alerts"), "{polled}");
 
         // Appending to an unknown document surfaces the server's error.
         let bad = parse_args(&argv(&["append", &addr, "-", "--doc", "ghost"])).unwrap();
         let err = run(&bad, b"abab").unwrap_err();
         assert!(err.contains("404"), "{err}");
+
+        handle.shutdown();
+        join.join().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_command_prints_a_span_tree_from_a_live_server() {
+        let dir = temp_dir("trace-cli");
+        let corpus_dir = dir.join("c").display().to_string();
+        let add = parse_args(&argv(&["corpus", "add", &corpus_dir, "-", "--name", "doc"])).unwrap();
+        run(&add, b"abababababbbabababababababababab").unwrap();
+        let corpus = sigstr_corpus::Corpus::open(&corpus_dir).unwrap();
+        let server = sigstr_server::Server::bind(
+            corpus,
+            sigstr_server::ServerConfig {
+                addr: "127.0.0.1:0".into(),
+                threads: 2,
+                ..sigstr_server::ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr().to_string();
+        let handle = server.handle();
+        let join = std::thread::spawn(move || server.run().unwrap());
+
+        // Nothing recorded yet.
+        let trace = parse_args(&argv(&["trace", &addr])).unwrap();
+        let out = run(&trace, &[]).unwrap();
+        assert!(out.contains("no traces recorded"), "{out}");
+
+        // One query, traced under a caller-chosen ID.
+        let id = "00000000000000000000000000c11e47";
+        let body = sigstr_server::json::Json::Obj(vec![
+            ("doc".into(), sigstr_server::json::Json::Str("doc".into())),
+            (
+                "query".into(),
+                sigstr_server::wire::query_to_json(&sigstr_core::Query::mss()),
+            ),
+        ])
+        .encode()
+        .unwrap();
+        let mut conn = sigstr_server::client::ClientConn::connect(&addr).unwrap();
+        let response = conn
+            .request_with(
+                "POST",
+                "/v1/query",
+                Some(&body),
+                &[(sigstr_obs::TRACE_HEADER, id)],
+            )
+            .unwrap();
+        assert_eq!(response.status, 200);
+
+        // The server seals a trace only after the response bytes flush,
+        // and `sigstr trace` dials its own connection — poll past that
+        // window instead of racing it.
+        let trace = parse_args(&argv(&["trace", &addr, "--id", id])).unwrap();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        let out = loop {
+            let out = run(&trace, &[]).unwrap();
+            if !out.contains("no traces recorded") || std::time::Instant::now() >= deadline {
+                break out;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        };
+        assert!(out.contains(&format!("trace {id}")), "{out}");
+        assert!(out.contains("/v1/query"), "{out}");
+        assert!(out.contains("status 200"), "{out}");
+        for span in ["parse", "scan", "write"] {
+            assert!(out.contains(span), "missing `{span}` span: {out}");
+        }
+        assert!(out.contains("doc=doc"), "scan attrs missing: {out}");
 
         handle.shutdown();
         join.join().unwrap();

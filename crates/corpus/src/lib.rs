@@ -848,6 +848,8 @@ impl Corpus {
     /// served only if its geometry matches the caller's entry, otherwise
     /// the entry's own snapshot file decides.
     fn engine_for_entry(&self, entry: &DocumentEntry) -> Result<Arc<Engine>> {
+        let mut span = sigstr_obs::span("cache");
+        span.attr("doc", entry.name.as_str());
         let matches = |engine: &Engine| {
             engine.n() == entry.n && engine.k() == entry.k && engine.layout() == entry.layout
         };
@@ -859,6 +861,7 @@ impl Corpus {
             let mut cache = self.cache.lock().expect("corpus cache poisoned");
             if let Some(engine) = cache.touch(&entry.name) {
                 if matches(&engine) {
+                    span.attr("outcome", "hit");
                     return Ok(engine);
                 }
                 // The warm engine belongs to a different incarnation of
@@ -893,6 +896,15 @@ impl Corpus {
         } else {
             LoadKind::Read
         };
+        span.attr("outcome", "load");
+        span.attr(
+            "loader",
+            match kind {
+                LoadKind::Mapped => "mmap",
+                LoadKind::Read => "read",
+                LoadKind::Built => "built",
+            },
+        );
         let engine = Arc::new(engine);
         let mut cache = self.cache.lock().expect("corpus cache poisoned");
         if let Some(existing) = cache.touch(&entry.name) {
@@ -905,7 +917,12 @@ impl Corpus {
             // serve our load without clobbering it.
             return Ok(engine);
         }
-        cache.insert(entry.name.clone(), Arc::clone(&engine), self.effective_budget(), kind);
+        cache.insert(
+            entry.name.clone(),
+            Arc::clone(&engine),
+            self.effective_budget(),
+            kind,
+        );
         Ok(engine)
     }
 
@@ -914,7 +931,15 @@ impl Corpus {
     /// Answer one query against one named document.
     pub fn query(&self, name: &str, query: &Query) -> Result<Answer> {
         let engine = self.engine(name)?;
-        engine.answer(query).map_err(CorpusError::Core)
+        let mut span = sigstr_obs::span("scan");
+        span.attr("doc", name);
+        span.attr("simd", sigstr_core::simd::level().name());
+        let answer = engine.answer(query).map_err(CorpusError::Core)?;
+        let stats = answer.stats();
+        span.attr_u64("examined", stats.examined);
+        span.attr_u64("skips", stats.skips);
+        span.attr_u64("skipped", stats.skipped);
+        Ok(answer)
     }
 
     /// Answer `query` against every document, dispatched concurrently

@@ -66,7 +66,8 @@ const ALERT_CAP: usize = 4096;
 const POLL_BATCH: usize = 256;
 
 /// Freeze-pause histogram bucket upper bounds, in microseconds.
-pub const FREEZE_BUCKETS_US: [u64; 8] = [100, 500, 1_000, 5_000, 25_000, 100_000, 500_000, 2_500_000];
+pub const FREEZE_BUCKETS_US: [u64; 8] =
+    [100, 500, 1_000, 5_000, 25_000, 100_000, 500_000, 2_500_000];
 
 /// Freeze policy and generation retention for a corpus's live documents.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -444,7 +445,11 @@ impl Corpus {
         let k = seq.k();
         if alphabet.len() != k || model.k() != k {
             return Err(CorpusError::Core(sigstr_core::Error::AlphabetMismatch {
-                model_k: if model.k() != k { model.k() } else { alphabet.len() },
+                model_k: if model.k() != k {
+                    model.k()
+                } else {
+                    alphabet.len()
+                },
                 seq_k: k,
             }));
         }
@@ -500,17 +505,14 @@ impl Corpus {
     fn adopt_live_doc(&self, name: &str, state: LiveState) {
         self.live_bytes
             .fetch_add(state.live_bytes(), Ordering::Relaxed);
-        self.live
-            .write()
-            .expect("live map poisoned")
-            .insert(
-                name.to_string(),
-                Arc::new(LiveDoc {
-                    name: name.to_string(),
-                    state: Mutex::new(state),
-                    notify: Condvar::new(),
-                }),
-            );
+        self.live.write().expect("live map poisoned").insert(
+            name.to_string(),
+            Arc::new(LiveDoc {
+                name: name.to_string(),
+                state: Mutex::new(state),
+                notify: Condvar::new(),
+            }),
+        );
     }
 
     /// Rebuild live-document state from sidecars after [`Corpus::open`]:
@@ -602,11 +604,7 @@ impl Corpus {
     /// generation files. Called by `remove_document` (which already
     /// deleted the manifest entry and the current snapshot).
     pub(crate) fn remove_live_doc(&self, name: &str) {
-        let doc = self
-            .live
-            .write()
-            .expect("live map poisoned")
-            .remove(name);
+        let doc = self.live.write().expect("live map poisoned").remove(name);
         if let Some(doc) = doc {
             let mut state = doc.state.lock().expect("live state poisoned");
             state.closed = true;
@@ -628,11 +626,7 @@ impl Corpus {
     /// and generation snapshots now belong to whoever rewrote the
     /// manifest. Parked long-polls wake and answer `UnknownDocument`.
     pub(crate) fn detach_live_doc(&self, name: &str) {
-        let doc = self
-            .live
-            .write()
-            .expect("live map poisoned")
-            .remove(name);
+        let doc = self.live.write().expect("live map poisoned").remove(name);
         if let Some(doc) = doc {
             let mut state = doc.state.lock().expect("live state poisoned");
             state.closed = true;
@@ -680,10 +674,13 @@ impl Corpus {
         }
         // Durability: the sidecar grows before we acknowledge. A torn
         // trailing write surfaces on recovery as an out-of-range symbol.
-        state.file.write_all(&symbols).map_err(|e| CorpusError::Io {
-            path: sidecar_path(&self.dir, name).display().to_string(),
-            details: e.to_string(),
-        })?;
+        state
+            .file
+            .write_all(&symbols)
+            .map_err(|e| CorpusError::Io {
+                path: sidecar_path(&self.dir, name).display().to_string(),
+                details: e.to_string(),
+            })?;
         state.appends += 1;
         state.appended_symbols += symbols.len() as u64;
         self.live_bytes
@@ -790,11 +787,12 @@ impl Corpus {
     /// disk under the retention count and their warm `Arc<Engine>`
     /// handles are immune to eviction.
     fn freeze_locked(&self, doc: &LiveDoc, state: &mut LiveState) -> Result<()> {
+        let mut span = sigstr_obs::span("freeze");
+        span.attr("doc", doc.name.as_str());
+        span.attr_u64("tail_symbols", state.tail() as u64);
         let t0 = Instant::now();
-        let engine = Engine::from_index(
-            state.counts.freeze_index(state.layout),
-            state.model.clone(),
-        )?;
+        let engine =
+            Engine::from_index(state.counts.freeze_index(state.layout), state.model.clone())?;
         let next = state.generation + 1;
         let file = generation_file(&doc.name, next);
         let path = self.dir.join(&file);
@@ -822,7 +820,12 @@ impl Corpus {
             // bytes leave the accounting before the new one is charged
             // (handles already handed out keep answering).
             cache.remove(&doc.name);
-            cache.insert(doc.name.to_string(), Arc::new(engine), budget, LoadKind::Built);
+            cache.insert(
+                doc.name.to_string(),
+                Arc::new(engine),
+                budget,
+                LoadKind::Built,
+            );
         }
         state.generation = next;
         state.frozen_len = state.counts.n();
@@ -847,7 +850,10 @@ impl Corpus {
     /// subsequent append re-scores its tail under `spec` and pushes
     /// above-threshold alerts, retrievable via [`Corpus::watch_poll`].
     pub fn watch_register(&self, name: &str, spec: WatchSpec) -> Result<u64> {
-        if spec.window == 0 || spec.top_t == 0 || !spec.threshold.is_finite() || spec.threshold < 0.0
+        if spec.window == 0
+            || spec.top_t == 0
+            || !spec.threshold.is_finite()
+            || spec.threshold < 0.0
         {
             return Err(CorpusError::InvalidAppend {
                 name: name.to_string(),

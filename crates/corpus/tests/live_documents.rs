@@ -75,7 +75,10 @@ fn queries() -> Vec<Query> {
 /// both load paths (bulk read and mmap).
 #[test]
 fn append_then_freeze_bit_identical_to_fresh_engine() {
-    for (li, layout) in [CountsLayout::Flat, CountsLayout::Blocked].into_iter().enumerate() {
+    for (li, layout) in [CountsLayout::Flat, CountsLayout::Blocked]
+        .into_iter()
+        .enumerate()
+    {
         for k in [2usize, 3] {
             let tag = format!("prop-{li}-{k}");
             let dir = temp_dir(&tag);
@@ -195,7 +198,9 @@ fn generation_gc_honors_retention() {
         retain: 2,
     });
     for round in 0..5u64 {
-        corpus.append_live("churn", &text(40 + round, 30, 2)).unwrap();
+        corpus
+            .append_live("churn", &text(40 + round, 30, 2))
+            .unwrap();
         corpus.freeze_live("churn").unwrap().unwrap();
     }
     // Generations 1..=6 existed; retain=2 keeps 5 and 6.
@@ -232,7 +237,9 @@ fn watch_alerts_on_planted_anomaly() {
     let dir = temp_dir("watch");
     let mut corpus = Corpus::create(&dir).unwrap();
     // Uniform-ish alternating background over {a, b}.
-    let initial: Vec<u8> = (0..256).map(|i| if i % 2 == 0 { b'a' } else { b'b' }).collect();
+    let initial: Vec<u8> = (0..256)
+        .map(|i| if i % 2 == 0 { b'a' } else { b'b' })
+        .collect();
     add_live(&mut corpus, "events", &initial, CountsLayout::Flat);
     let corpus = corpus.with_live_options(LiveOptions {
         freeze_tail: usize::MAX,
@@ -253,7 +260,9 @@ fn watch_alerts_on_planted_anomaly() {
 
     // Null traffic: alternating symbols never push X² over 12 in a
     // 16-symbol window.
-    let calm: Vec<u8> = (0..64).map(|i| if i % 2 == 0 { b'a' } else { b'b' }).collect();
+    let calm: Vec<u8> = (0..64)
+        .map(|i| if i % 2 == 0 { b'a' } else { b'b' })
+        .collect();
     let outcome = corpus.append_live("events", &calm).unwrap();
     assert!(outcome.alerts.is_empty(), "calm traffic must not alert");
 
@@ -302,7 +311,9 @@ fn watch_alerts_on_planted_anomaly() {
 fn long_poll_wakes_on_append() {
     let dir = temp_dir("longpoll");
     let mut corpus = Corpus::create(&dir).unwrap();
-    let initial: Vec<u8> = (0..128).map(|i| if i % 2 == 0 { b'a' } else { b'b' }).collect();
+    let initial: Vec<u8> = (0..128)
+        .map(|i| if i % 2 == 0 { b'a' } else { b'b' })
+        .collect();
     add_live(&mut corpus, "stream", &initial, CountsLayout::Flat);
     let corpus = corpus.with_live_options(LiveOptions {
         freeze_tail: usize::MAX,
@@ -456,7 +467,10 @@ fn concurrent_queries_match_some_frozen_generation() {
     assert_eq!(status.generation, 1 + ROUNDS as u64);
     assert_eq!(status.tail, 0);
     // ...the final answer is the newest generation's...
-    assert_eq!(corpus.query("hot", &Query::mss()).unwrap(), expected[ROUNDS]);
+    assert_eq!(
+        corpus.query("hot", &Query::mss()).unwrap(),
+        expected[ROUNDS]
+    );
     // ...and the pre-churn handle still answers generation 1 bit-exactly.
     assert_eq!(
         Answer::Best(gen1_handle.mss().unwrap()),
@@ -471,7 +485,12 @@ fn concurrent_queries_match_some_frozen_generation() {
 fn live_tail_charges_cache_budget() {
     let dir = temp_dir("budget");
     let mut corpus = Corpus::create(&dir).unwrap();
-    add_live(&mut corpus, "tailheavy", &text(81, 500, 2), CountsLayout::Flat);
+    add_live(
+        &mut corpus,
+        "tailheavy",
+        &text(81, 500, 2),
+        CountsLayout::Flat,
+    );
     let full_budget = corpus.budget();
     let effective = corpus.effective_budget();
     let status = corpus.live_doc_status("tailheavy").unwrap();

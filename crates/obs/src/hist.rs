@@ -1,0 +1,108 @@
+//! The one latency histogram both tiers share.
+//!
+//! The server and the router used to carry separate hand-rolled
+//! histogram types that happened to agree on bucket bounds; this is
+//! the single implementation, with the bounds next to it, so the two
+//! `/metrics` pages stay apples-to-apples by construction.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Latency histogram bucket upper bounds, in microseconds (a final
+/// `+Inf` bucket is implicit). Shared by every process in the fleet.
+pub const LATENCY_BUCKETS_US: [u64; 8] = [100, 250, 500, 1_000, 5_000, 10_000, 100_000, 1_000_000];
+
+/// Cumulative latency histogram (micro-second buckets + `+Inf`),
+/// lock-free on the observe path.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS_US.len() + 1],
+    sum_us: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    /// Record one latency sample.
+    pub fn observe_us(&self, us: u64) {
+        let slot = LATENCY_BUCKETS_US
+            .iter()
+            .position(|&bound| us <= bound)
+            .unwrap_or(LATENCY_BUCKETS_US.len());
+        self.buckets[slot].fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded samples, in microseconds.
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us.load(Ordering::Relaxed)
+    }
+
+    /// Append Prometheus-style `_bucket`/`_sum`/`_count` lines (no
+    /// `# TYPE` — the caller declares the type once per metric name,
+    /// which may cover several labeled renderings). `labels` is either
+    /// empty or a `key="value"` list stitched in before the `le` label.
+    pub fn render(&self, out: &mut String, name: &str, labels: &str) {
+        let open = if labels.is_empty() {
+            "{".to_string()
+        } else {
+            format!("{{{labels},")
+        };
+        let mut cumulative = 0;
+        for (i, &bound) in LATENCY_BUCKETS_US.iter().enumerate() {
+            cumulative += self.buckets[i].load(Ordering::Relaxed);
+            out.push_str(&format!(
+                "{name}_bucket{open}le=\"{bound}\"}} {cumulative}\n"
+            ));
+        }
+        cumulative += self.buckets[LATENCY_BUCKETS_US.len()].load(Ordering::Relaxed);
+        out.push_str(&format!("{name}_bucket{open}le=\"+Inf\"}} {cumulative}\n"));
+        let block = if labels.is_empty() {
+            String::new()
+        } else {
+            format!("{{{labels}}}")
+        };
+        out.push_str(&format!("{name}_sum{block} {}\n", self.sum_us()));
+        out.push_str(&format!("{name}_count{block} {}\n", self.count()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_cumulative() {
+        let h = Histogram::default();
+        h.observe_us(50);
+        h.observe_us(200);
+        h.observe_us(2_000_000);
+        let mut out = String::new();
+        h.render(&mut out, "x", "");
+        assert!(out.contains("x_bucket{le=\"100\"} 1\n"));
+        assert!(out.contains("x_bucket{le=\"250\"} 2\n"));
+        assert!(out.contains("x_bucket{le=\"1000000\"} 2\n"));
+        assert!(out.contains("x_bucket{le=\"+Inf\"} 3\n"));
+        assert!(out.contains("x_count 3\n"));
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum_us(), 2_000_250);
+    }
+
+    #[test]
+    fn labels_stitch_before_le() {
+        let h = Histogram::default();
+        h.observe_us(400);
+        let mut out = String::new();
+        h.render(&mut out, "x", "shard=\"a:1\"");
+        assert!(
+            out.contains("x_bucket{shard=\"a:1\",le=\"500\"} 1\n"),
+            "{out}"
+        );
+        assert!(out.contains("x_sum{shard=\"a:1\"} 400\n"));
+        assert!(out.contains("x_count{shard=\"a:1\"} 1\n"));
+    }
+}

@@ -1,0 +1,436 @@
+//! Std-only observability primitives shared by every process in the
+//! fleet: the corpus server, the scatter-gather router, and the CLI.
+//!
+//! The crate sits *below* `sigstr-corpus` in the dependency graph so
+//! the serving layers can record spans from anywhere — the corpus
+//! cache, the live-document freeze path, the router's hedging
+//! coordinator — without a callback registry. Four pieces:
+//!
+//! * **Traces and spans** — a request is one [`Trace`]: a 128-bit
+//!   [`TraceId`] minted at the edge (or adopted from the
+//!   [`TRACE_HEADER`] a router stamped on the hop), plus per-stage
+//!   [`Span`]s measured with monotonic clocks. The active trace rides
+//!   a thread-local ([`attach`]/[`current`]), so deep layers call
+//!   [`span`] and get a no-op guard when nothing is being traced —
+//!   the untraced fast path costs one TLS read.
+//! * **Flight recorder** — a fixed-size ring of recent sealed traces
+//!   per process ([`FlightRecorder`]), served as JSON by
+//!   `/debug/traces`. One mutex around a `VecDeque`, touched once per
+//!   request at seal time — never on the per-span path.
+//! * **Shared histogram** — [`hist::Histogram`] with one set of bucket
+//!   bounds ([`hist::LATENCY_BUCKETS_US`]) used by both the server and
+//!   the router, so cross-tier latency comparison is apples-to-apples.
+//! * **Exposition lint** — [`lint::lint_exposition`] walks a rendered
+//!   `/metrics` page and enforces the
+//!   `sigstr_<subsystem>_<name>_<unit>` naming convention plus
+//!   Prometheus text-format shape (`# TYPE` before samples, counters
+//!   end in `_total`, histograms carry a unit).
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod hist;
+pub mod lint;
+pub mod recorder;
+
+pub use recorder::{FlightRecorder, TraceFilter};
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+/// The header that propagates a trace ID across the router→shard hop
+/// (32 lower-case hex characters), echoed back on responses.
+pub const TRACE_HEADER: &str = "x-sigstr-trace";
+
+// ---------------------------------------------------------------------------
+// Trace IDs.
+// ---------------------------------------------------------------------------
+
+/// A 128-bit trace identifier, minted once at the edge of the fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceId(pub u128);
+
+/// Per-process mint counter; folded into the seed so two IDs minted in
+/// the same clock tick still differ.
+static MINT_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl TraceId {
+    /// Mint a fresh ID: SplitMix64 over wall clock, pid, and a
+    /// per-process counter. Not cryptographic — collision-resistant
+    /// enough to tell requests apart in a flight recorder.
+    pub fn mint() -> TraceId {
+        let nanos = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| u64::try_from(d.as_nanos() & u128::from(u64::MAX)).unwrap_or(0))
+            .unwrap_or(0);
+        let count = MINT_COUNTER.fetch_add(1, Ordering::Relaxed);
+        let hi = splitmix64(nanos ^ u64::from(std::process::id()).rotate_left(32));
+        let lo = splitmix64(count.wrapping_mul(0x2545_f491_4f6c_dd1d) ^ nanos.rotate_left(17));
+        TraceId((u128::from(hi) << 64) | u128::from(lo))
+    }
+
+    /// The 32-character lower-case hex wire form.
+    pub fn to_hex(self) -> String {
+        format!("{:032x}", self.0)
+    }
+
+    /// Parse the wire form; `None` for anything but 32 hex characters.
+    pub fn parse(text: &str) -> Option<TraceId> {
+        if text.len() != 32 {
+            return None;
+        }
+        u128::from_str_radix(text, 16).ok().map(TraceId)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Spans and sealed traces.
+// ---------------------------------------------------------------------------
+
+/// One timed stage of a request, offset-addressed from the trace start.
+#[derive(Debug, Clone)]
+pub struct Span {
+    /// Stage name (`queue`, `parse`, `cache`, `scan`, `attempt`, …).
+    pub name: &'static str,
+    /// Microseconds from the trace origin to the stage start.
+    pub start_us: u64,
+    /// Stage duration in microseconds.
+    pub dur_us: u64,
+    /// Stage attributes (`shard`, `outcome`, `examined`, …).
+    pub attrs: Vec<(&'static str, String)>,
+}
+
+/// A sealed, immutable trace: what the flight recorder stores and
+/// `/debug/traces` serves.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// The edge-minted (or adopted) identifier.
+    pub id: TraceId,
+    /// The routed path (`/v1/query`).
+    pub route: String,
+    /// The response status.
+    pub status: u16,
+    /// Wall-clock start, milliseconds since the Unix epoch.
+    pub start_unix_ms: u64,
+    /// End-to-end duration in microseconds.
+    pub total_us: u64,
+    /// Stages, sorted by start offset.
+    pub spans: Vec<Span>,
+}
+
+fn json_escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Trace {
+    /// Render the trace as one JSON object.
+    pub fn to_json(&self) -> String {
+        self.to_json_with("")
+    }
+
+    /// Render the trace as one JSON object with `extra` (either empty
+    /// or a raw `,"key":value…` tail) spliced in before the closing
+    /// brace — how the router embeds shard-side traces it joined.
+    pub fn to_json_with(&self, extra: &str) -> String {
+        let mut out = format!(
+            "{{\"id\":\"{}\",\"route\":\"{}\",\"status\":{},\"start_unix_ms\":{},\"total_us\":{},\"spans\":[",
+            self.id.to_hex(),
+            json_escape(&self.route),
+            self.status,
+            self.start_unix_ms,
+            self.total_us,
+        );
+        for (i, span) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"start_us\":{},\"dur_us\":{},\"attrs\":{{",
+                span.name, span.start_us, span.dur_us
+            ));
+            for (j, (key, value)) in span.attrs.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"{key}\":\"{}\"", json_escape(value)));
+            }
+            out.push_str("}}");
+        }
+        out.push(']');
+        out.push_str(extra);
+        out.push('}');
+        out
+    }
+}
+
+/// Render a `/debug/traces` body: `{"traces":[…]}` from pre-rendered
+/// per-trace JSON objects (so callers can splice joined children in).
+pub fn render_traces_body(rendered: &[String]) -> String {
+    let mut out = String::from("{\"traces\":[");
+    for (i, trace) in rendered.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(trace);
+    }
+    out.push_str("]}\n");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// The active (in-flight) trace.
+// ---------------------------------------------------------------------------
+
+/// A trace being built: the span sink every [`SpanGuard`] drops into.
+/// Shared as an [`Arc`] so coordinators can hand it to scatter threads.
+#[derive(Debug)]
+pub struct ActiveTrace {
+    id: TraceId,
+    origin: Instant,
+    start_unix_ms: u64,
+    spans: Mutex<Vec<Span>>,
+}
+
+/// A shareable handle to an in-flight trace.
+pub type TraceHandle = Arc<ActiveTrace>;
+
+impl ActiveTrace {
+    /// Begin a trace whose origin is *now*.
+    pub fn begin(id: TraceId) -> TraceHandle {
+        Self::begin_at(id, Instant::now())
+    }
+
+    /// Begin a trace with an explicit origin in the recent past (the
+    /// admission-queue entry time, so the queue-wait span starts at
+    /// offset zero).
+    pub fn begin_at(id: TraceId, origin: Instant) -> TraceHandle {
+        let start_unix_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
+            .unwrap_or(0);
+        Arc::new(ActiveTrace {
+            id,
+            origin,
+            start_unix_ms,
+            spans: Mutex::new(Vec::with_capacity(8)),
+        })
+    }
+
+    /// The trace's identifier.
+    pub fn id(&self) -> TraceId {
+        self.id
+    }
+
+    /// Record one finished stage. Instants before the origin clamp to
+    /// offset zero (a queue entry measured on another thread can race
+    /// the origin by nanoseconds).
+    pub fn record(
+        &self,
+        name: &'static str,
+        start: Instant,
+        end: Instant,
+        attrs: Vec<(&'static str, String)>,
+    ) {
+        let start_us = us_between(self.origin, start);
+        let dur_us = us_between(start, end);
+        let mut spans = self.spans.lock().expect("trace spans poisoned");
+        spans.push(Span {
+            name,
+            start_us,
+            dur_us,
+            attrs,
+        });
+    }
+
+    /// Seal the trace: snapshot the spans (sorted by start offset) into
+    /// an immutable [`Trace`]. Spans recorded after the seal — a hedge
+    /// loser limping home — are dropped with the handle.
+    pub fn seal(&self, route: String, status: u16) -> Trace {
+        let mut spans = self.spans.lock().expect("trace spans poisoned").clone();
+        spans.sort_by_key(|s| s.start_us);
+        Trace {
+            id: self.id,
+            route,
+            status,
+            start_unix_ms: self.start_unix_ms,
+            total_us: us_between(self.origin, Instant::now()),
+            spans,
+        }
+    }
+}
+
+fn us_between(earlier: Instant, later: Instant) -> u64 {
+    u64::try_from(later.saturating_duration_since(earlier).as_micros()).unwrap_or(u64::MAX)
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<TraceHandle>> = const { RefCell::new(None) };
+}
+
+/// Make `handle` the thread's active trace until the guard drops
+/// (restoring whatever was active before — attachments nest).
+pub fn attach(handle: TraceHandle) -> AttachGuard {
+    let previous = CURRENT.with(|c| c.borrow_mut().replace(handle));
+    AttachGuard { previous }
+}
+
+/// Restores the previously-attached trace on drop.
+pub struct AttachGuard {
+    previous: Option<TraceHandle>,
+}
+
+impl Drop for AttachGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| *c.borrow_mut() = self.previous.take());
+    }
+}
+
+/// The thread's active trace, if any (clone the handle into scatter
+/// threads and [`attach`] it there).
+pub fn current() -> Option<TraceHandle> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// The active trace's ID in wire form — what an outbound hop puts in
+/// [`TRACE_HEADER`].
+pub fn current_id_hex() -> Option<String> {
+    CURRENT.with(|c| c.borrow().as_ref().map(|h| h.id().to_hex()))
+}
+
+/// Open a stage span against the thread's active trace. A no-op guard
+/// (one TLS read, no allocation) when nothing is being traced.
+pub fn span(name: &'static str) -> SpanGuard {
+    SpanGuard {
+        trace: current(),
+        name,
+        start: Instant::now(),
+        attrs: Vec::new(),
+    }
+}
+
+/// RAII span: records `[construction, drop]` against the trace it was
+/// opened under. Attributes added on the no-op guard vanish for free.
+pub struct SpanGuard {
+    trace: Option<TraceHandle>,
+    name: &'static str,
+    start: Instant,
+    attrs: Vec<(&'static str, String)>,
+}
+
+impl SpanGuard {
+    /// Attach a string attribute.
+    pub fn attr(&mut self, key: &'static str, value: impl Into<String>) {
+        if self.trace.is_some() {
+            self.attrs.push((key, value.into()));
+        }
+    }
+
+    /// Attach a numeric attribute.
+    pub fn attr_u64(&mut self, key: &'static str, value: u64) {
+        self.attr(key, value.to_string());
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(trace) = self.trace.take() {
+            trace.record(
+                self.name,
+                self.start,
+                Instant::now(),
+                std::mem::take(&mut self.attrs),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_ids_roundtrip_and_differ() {
+        let a = TraceId::mint();
+        let b = TraceId::mint();
+        assert_ne!(a, b);
+        let hex = a.to_hex();
+        assert_eq!(hex.len(), 32);
+        assert_eq!(TraceId::parse(&hex), Some(a));
+        assert_eq!(TraceId::parse("zz"), None);
+        assert_eq!(TraceId::parse(&hex[..31]), None);
+    }
+
+    #[test]
+    fn spans_record_against_the_attached_trace() {
+        let trace = ActiveTrace::begin(TraceId::mint());
+        {
+            let _g = attach(Arc::clone(&trace));
+            assert_eq!(current_id_hex(), Some(trace.id().to_hex()));
+            let mut span = span("scan");
+            span.attr_u64("examined", 42);
+            span.attr("tier", "sse2");
+        }
+        assert!(current().is_none(), "guard must restore the empty state");
+        let sealed = trace.seal("/v1/query".into(), 200);
+        assert_eq!(sealed.spans.len(), 1);
+        assert_eq!(sealed.spans[0].name, "scan");
+        assert_eq!(
+            sealed.spans[0].attrs,
+            vec![("examined", "42".to_string()), ("tier", "sse2".to_string())]
+        );
+    }
+
+    #[test]
+    fn unattached_spans_are_noops() {
+        let mut span = span("scan");
+        span.attr("dropped", "yes");
+        drop(span);
+        assert!(current().is_none());
+    }
+
+    #[test]
+    fn attachments_nest_and_restore() {
+        let outer = ActiveTrace::begin(TraceId::mint());
+        let inner = ActiveTrace::begin(TraceId::mint());
+        let _o = attach(Arc::clone(&outer));
+        {
+            let _i = attach(Arc::clone(&inner));
+            assert_eq!(current().unwrap().id(), inner.id());
+        }
+        assert_eq!(current().unwrap().id(), outer.id());
+    }
+
+    #[test]
+    fn sealed_json_is_wellformed_and_escaped() {
+        let trace = ActiveTrace::begin(TraceId(0xabc));
+        let start = Instant::now();
+        trace.record("write", start, start, vec![("note", "say \"hi\"\n".into())]);
+        let sealed = trace.seal("/v1/query".into(), 200);
+        let json = sealed.to_json();
+        assert!(json.starts_with("{\"id\":\"00000000000000000000000000000abc\""));
+        assert!(json.contains("\"note\":\"say \\\"hi\\\"\\n\""), "{json}");
+        let joined = sealed.to_json_with(",\"shards\":[]");
+        assert!(joined.ends_with(",\"shards\":[]}"), "{joined}");
+    }
+}

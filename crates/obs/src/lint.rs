@@ -1,0 +1,259 @@
+//! A lint for rendered Prometheus text exposition: format shape plus
+//! the fleet's `sigstr_<subsystem>_<name>_<unit>` naming convention.
+//!
+//! The serving crates run this over their fully-rendered `/metrics`
+//! pages in unit tests, so a future PR that adds a counter with a
+//! drifting name (`sigstr_foo` with no subsystem, a counter without
+//! `_total`, a histogram without a unit) fails fast instead of
+//! shipping a dashboard-hostile series.
+
+use std::collections::{HashMap, HashSet};
+
+/// Subsystems a metric may belong to (the token after `sigstr_`).
+pub const SUBSYSTEMS: [&str; 5] = ["http", "cache", "live", "router", "trace"];
+
+/// Suffixes a gauge may end with: a unit (`bytes`, `us`) or a counted
+/// noun for unitless level gauges (`depth`, `engines`, `documents`, …).
+const GAUGE_SUFFIXES: [&str; 11] = [
+    "bytes",
+    "us",
+    "depth",
+    "engines",
+    "documents",
+    "symbols",
+    "watches",
+    "generation",
+    "up",
+    "state",
+    "traces",
+];
+
+/// Units a histogram's base name may end with.
+const HISTOGRAM_UNITS: [&str; 3] = ["us", "seconds", "bytes"];
+
+/// Lint one rendered exposition page. Returns the violations (empty
+/// means the page is clean); each entry names the offending line.
+pub fn lint_exposition(text: &str) -> Vec<String> {
+    let mut violations = Vec::new();
+    // Metric name -> declared type.
+    let mut declared: HashMap<String, String> = HashMap::new();
+    let mut seen_samples: HashSet<String> = HashSet::new();
+
+    for line in text.lines() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let (Some(name), Some(kind), None) = (parts.next(), parts.next(), parts.next()) else {
+                violations.push(format!("malformed TYPE line: `{line}`"));
+                continue;
+            };
+            if !matches!(kind, "counter" | "gauge" | "histogram") {
+                violations.push(format!("`{name}`: unknown type `{kind}`"));
+                continue;
+            }
+            if declared
+                .insert(name.to_string(), kind.to_string())
+                .is_some()
+            {
+                violations.push(format!("`{name}`: duplicate # TYPE declaration"));
+            }
+            lint_name(name, kind, &mut violations);
+            continue;
+        }
+        if line.starts_with("# HELP ") {
+            continue;
+        }
+        if line.starts_with('#') {
+            violations.push(format!("unexpected comment line: `{line}`"));
+            continue;
+        }
+        // A sample: `name value` or `name{labels} value`.
+        let name_end = line.find(['{', ' ']).unwrap_or(line.len());
+        let full_name = &line[..name_end];
+        let rest = &line[name_end..];
+        let value = match rest.strip_prefix('{') {
+            Some(labeled) => match labeled.split_once('}') {
+                Some((labels, value)) => {
+                    if labels.is_empty() {
+                        violations.push(format!("`{full_name}`: empty label block"));
+                    }
+                    value
+                }
+                None => {
+                    violations.push(format!("`{full_name}`: unterminated label block"));
+                    continue;
+                }
+            },
+            None => rest,
+        };
+        if value.trim().parse::<f64>().is_err() {
+            violations.push(format!(
+                "`{full_name}`: sample value `{}` is not a number",
+                value.trim()
+            ));
+        }
+        // Histogram samples declare the base name; everything else
+        // declares itself.
+        let base = ["_bucket", "_sum", "_count"]
+            .iter()
+            .find_map(|suffix| {
+                let stripped = full_name.strip_suffix(suffix)?;
+                (declared.get(stripped).map(String::as_str) == Some("histogram"))
+                    .then_some(stripped)
+            })
+            .unwrap_or(full_name);
+        match declared.get(base).map(String::as_str) {
+            None => violations.push(format!(
+                "`{full_name}`: sample without a # TYPE declaration"
+            )),
+            Some("histogram") if base == full_name => violations.push(format!(
+                "`{full_name}`: histogram sample must end in _bucket/_sum/_count"
+            )),
+            _ => {}
+        }
+        seen_samples.insert(base.to_string());
+    }
+    for (name, _) in declared {
+        if !seen_samples.contains(&name) {
+            violations.push(format!("`{name}`: declared but never sampled"));
+        }
+    }
+    violations.sort();
+    violations
+}
+
+/// Enforce `sigstr_<subsystem>_<name>_<unit>` on one declared name.
+fn lint_name(name: &str, kind: &str, violations: &mut Vec<String>) {
+    let Some(rest) = name.strip_prefix("sigstr_") else {
+        violations.push(format!("`{name}`: missing the `sigstr_` prefix"));
+        return;
+    };
+    if !rest
+        .chars()
+        .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        || rest.contains("__")
+        || rest.ends_with('_')
+    {
+        violations.push(format!("`{name}`: not lower_snake_case"));
+        return;
+    }
+    let segments: Vec<&str> = rest.split('_').collect();
+    if segments.len() < 2 {
+        violations.push(format!(
+            "`{name}`: need `sigstr_<subsystem>_<name>` (at least three segments)"
+        ));
+        return;
+    }
+    if !SUBSYSTEMS.contains(&segments[0]) {
+        violations.push(format!(
+            "`{name}`: unknown subsystem `{}` (expected one of {SUBSYSTEMS:?})",
+            segments[0]
+        ));
+    }
+    let last = *segments.last().expect("at least two segments");
+    match kind {
+        "counter" if last != "total" => {
+            violations.push(format!("`{name}`: counters must end in `_total`"));
+        }
+        "histogram" if !HISTOGRAM_UNITS.contains(&last) => {
+            violations.push(format!(
+                "`{name}`: histograms must end in a unit ({HISTOGRAM_UNITS:?})"
+            ));
+        }
+        "gauge" if !GAUGE_SUFFIXES.contains(&last) => {
+            violations.push(format!(
+                "`{name}`: gauges must end in a unit or counted noun ({GAUGE_SUFFIXES:?})"
+            ));
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_page_passes() {
+        let page = "\
+# TYPE sigstr_http_requests_total counter
+sigstr_http_requests_total 10
+# TYPE sigstr_http_queue_depth gauge
+sigstr_http_queue_depth 0
+# TYPE sigstr_http_request_latency_us histogram
+sigstr_http_request_latency_us_bucket{le=\"100\"} 1
+sigstr_http_request_latency_us_bucket{le=\"+Inf\"} 1
+sigstr_http_request_latency_us_sum 40
+sigstr_http_request_latency_us_count 1
+";
+        assert_eq!(lint_exposition(page), Vec::<String>::new());
+    }
+
+    #[test]
+    fn convention_drift_is_caught() {
+        let cases = [
+            // Counter without _total.
+            ("# TYPE sigstr_http_requests counter\nsigstr_http_requests 1\n", "_total"),
+            // Unknown subsystem.
+            ("# TYPE sigstr_misc_things_total counter\nsigstr_misc_things_total 1\n", "subsystem"),
+            // Histogram without a unit.
+            (
+                "# TYPE sigstr_http_latency histogram\nsigstr_http_latency_bucket{le=\"+Inf\"} 1\nsigstr_http_latency_sum 1\nsigstr_http_latency_count 1\n",
+                "unit",
+            ),
+            // Gauge with a free-form suffix.
+            ("# TYPE sigstr_http_stuff gauge\nsigstr_http_stuff 1\n", "gauges"),
+            // Sample with no TYPE at all.
+            ("sigstr_http_requests_total 1\n", "# TYPE"),
+            // Missing prefix.
+            ("# TYPE requests_total counter\nrequests_total 1\n", "sigstr_"),
+        ];
+        for (page, needle) in cases {
+            let violations = lint_exposition(page);
+            assert!(
+                violations.iter().any(|v| v.contains(needle)),
+                "expected a violation mentioning `{needle}` for:\n{page}\ngot: {violations:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_type_and_unsampled_declarations_are_caught() {
+        let page = "\
+# TYPE sigstr_http_requests_total counter
+# TYPE sigstr_http_requests_total counter
+sigstr_http_requests_total 1
+# TYPE sigstr_http_queue_depth gauge
+";
+        let violations = lint_exposition(page);
+        assert!(
+            violations.iter().any(|v| v.contains("duplicate")),
+            "{violations:?}"
+        );
+        assert!(
+            violations.iter().any(|v| v.contains("never sampled")),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn bad_values_and_labels_are_caught() {
+        let page = "\
+# TYPE sigstr_http_requests_total counter
+sigstr_http_requests_total{} 1
+sigstr_http_requests_total abc
+";
+        let violations = lint_exposition(page);
+        assert!(
+            violations.iter().any(|v| v.contains("empty label")),
+            "{violations:?}"
+        );
+        assert!(
+            violations.iter().any(|v| v.contains("not a number")),
+            "{violations:?}"
+        );
+    }
+}

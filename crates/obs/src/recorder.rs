@@ -1,0 +1,205 @@
+//! The per-process flight recorder: a fixed-size ring of recent sealed
+//! traces, plus the filter grammar `/debug/traces` exposes.
+//!
+//! The ring is one mutex around a `VecDeque`, touched exactly once per
+//! request (at seal time) and at scrape time — span recording never
+//! goes near it. At the default 256-trace capacity with a handful of
+//! spans each, the recorder stays well under a megabyte per process.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::{Trace, TraceId};
+
+/// Default ring capacity (recent traces kept per process).
+pub const DEFAULT_CAPACITY: usize = 256;
+
+/// A fixed-size ring buffer of sealed traces.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    capacity: usize,
+    ring: Mutex<VecDeque<Trace>>,
+    recorded: AtomicU64,
+    slow: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// A recorder holding at most `capacity` traces (0 disables it).
+    pub fn new(capacity: usize) -> FlightRecorder {
+        FlightRecorder {
+            capacity,
+            ring: Mutex::new(VecDeque::with_capacity(capacity.min(DEFAULT_CAPACITY))),
+            recorded: AtomicU64::new(0),
+            slow: AtomicU64::new(0),
+        }
+    }
+
+    /// Push one sealed trace, evicting the oldest beyond capacity.
+    pub fn record(&self, trace: Trace) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.recorded.fetch_add(1, Ordering::Relaxed);
+        let mut ring = self.ring.lock().expect("flight recorder poisoned");
+        if ring.len() >= self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(trace);
+    }
+
+    /// Count one slow-query log emission (the threshold check and the
+    /// actual logging stay with the caller, who owns the sink).
+    pub fn note_slow(&self) {
+        self.slow.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Traces ever recorded (not just the ones still in the ring).
+    pub fn recorded(&self) -> u64 {
+        self.recorded.load(Ordering::Relaxed)
+    }
+
+    /// Slow-query log lines emitted.
+    pub fn slow(&self) -> u64 {
+        self.slow.load(Ordering::Relaxed)
+    }
+
+    /// Traces currently held.
+    pub fn len(&self) -> usize {
+        self.ring.lock().expect("flight recorder poisoned").len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Matching traces, newest first, capped at `filter.limit`.
+    pub fn snapshot(&self, filter: &TraceFilter) -> Vec<Trace> {
+        let ring = self.ring.lock().expect("flight recorder poisoned");
+        ring.iter()
+            .rev()
+            .filter(|t| filter.matches(t))
+            .take(filter.limit)
+            .cloned()
+            .collect()
+    }
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder::new(DEFAULT_CAPACITY)
+    }
+}
+
+/// The `/debug/traces` filter: every field is conjunctive.
+#[derive(Debug, Clone)]
+pub struct TraceFilter {
+    /// Exact trace ID (`?id=<32 hex>`).
+    pub id: Option<TraceId>,
+    /// Route prefix (`?route=/v1/query`).
+    pub route_prefix: Option<String>,
+    /// Exact response status (`?status=503`).
+    pub status: Option<u16>,
+    /// Minimum end-to-end latency (`?min_us=1000`).
+    pub min_total_us: u64,
+    /// Maximum traces returned (`?limit=20`).
+    pub limit: usize,
+}
+
+impl Default for TraceFilter {
+    fn default() -> Self {
+        TraceFilter {
+            id: None,
+            route_prefix: None,
+            status: None,
+            min_total_us: 0,
+            limit: 32,
+        }
+    }
+}
+
+impl TraceFilter {
+    /// Whether `trace` passes every set field.
+    pub fn matches(&self, trace: &Trace) -> bool {
+        if let Some(id) = self.id {
+            if trace.id != id {
+                return false;
+            }
+        }
+        if let Some(prefix) = &self.route_prefix {
+            if !trace.route.starts_with(prefix.as_str()) {
+                return false;
+            }
+        }
+        if let Some(status) = self.status {
+            if trace.status != status {
+                return false;
+            }
+        }
+        trace.total_us >= self.min_total_us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(id: u128, route: &str, status: u16, total_us: u64) -> Trace {
+        Trace {
+            id: TraceId(id),
+            route: route.into(),
+            status,
+            start_unix_ms: 0,
+            total_us,
+            spans: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_beyond_capacity() {
+        let recorder = FlightRecorder::new(2);
+        for i in 0..5u128 {
+            recorder.record(trace(i, "/v1/query", 200, 10));
+        }
+        assert_eq!(recorder.len(), 2);
+        assert_eq!(recorder.recorded(), 5);
+        let recent = recorder.snapshot(&TraceFilter::default());
+        // Newest first.
+        assert_eq!(recent[0].id, TraceId(4));
+        assert_eq!(recent[1].id, TraceId(3));
+    }
+
+    #[test]
+    fn zero_capacity_disables_recording() {
+        let recorder = FlightRecorder::new(0);
+        recorder.record(trace(1, "/v1/query", 200, 10));
+        assert!(recorder.is_empty());
+    }
+
+    #[test]
+    fn filters_are_conjunctive() {
+        let recorder = FlightRecorder::default();
+        recorder.record(trace(1, "/v1/query", 200, 50));
+        recorder.record(trace(2, "/v1/batch", 200, 5_000));
+        recorder.record(trace(3, "/v1/query", 503, 9_000));
+        let slow_queries = recorder.snapshot(&TraceFilter {
+            route_prefix: Some("/v1/query".into()),
+            min_total_us: 1_000,
+            ..TraceFilter::default()
+        });
+        assert_eq!(slow_queries.len(), 1);
+        assert_eq!(slow_queries[0].id, TraceId(3));
+        let by_id = recorder.snapshot(&TraceFilter {
+            id: Some(TraceId(2)),
+            ..TraceFilter::default()
+        });
+        assert_eq!(by_id.len(), 1);
+        let by_status = recorder.snapshot(&TraceFilter {
+            status: Some(503),
+            ..TraceFilter::default()
+        });
+        assert_eq!(by_status.len(), 1);
+        assert_eq!(by_status[0].id, TraceId(3));
+    }
+}

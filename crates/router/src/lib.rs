@@ -57,6 +57,7 @@ use std::time::{Duration, Instant};
 
 use sigstr_core::Scored;
 use sigstr_corpus::{merge_ranked, DocHit};
+use sigstr_obs::{self as obs, TraceHandle};
 use sigstr_server::client::{ClientConfig, ClientConn, HttpResponse};
 use sigstr_server::http::{Request, Response};
 use sigstr_server::json::Json;
@@ -601,6 +602,73 @@ fn shard_call(
 /// launched and the first response to arrive wins. Attempt threads are
 /// detached (bounded by their read timeouts); the coordinator never
 /// waits past `deadline`.
+/// Per-attempt span bookkeeping for the hedging coordinator. Attempt
+/// threads are detached and may outlive the trace, so spans are
+/// recorded *here*, on the worker thread: resolved attempts as they
+/// report in, still-outstanding ones as `abandoned` at resolution — a
+/// hedged call always shows every attempt it launched.
+struct AttemptLog {
+    trace: Option<TraceHandle>,
+    shard: String,
+    /// `(launched, is_hedge, resolved)` — at most one of each kind.
+    launches: Vec<(Instant, bool, bool)>,
+}
+
+impl AttemptLog {
+    fn new(shard: &ShardRuntime) -> AttemptLog {
+        AttemptLog {
+            trace: obs::current(),
+            shard: shard.addr.clone(),
+            launches: Vec::with_capacity(2),
+        }
+    }
+
+    fn launched(&mut self, is_hedge: bool) {
+        self.launches.push((Instant::now(), is_hedge, false));
+    }
+
+    fn record(&self, started: Instant, is_hedge: bool, outcome: &str, win: bool) {
+        let Some(trace) = &self.trace else { return };
+        let mut attrs = vec![
+            ("shard", self.shard.clone()),
+            (
+                "kind",
+                if is_hedge { "hedge" } else { "primary" }.to_string(),
+            ),
+            ("outcome", outcome.to_string()),
+        ];
+        if win {
+            attrs.push(("win", "true".to_string()));
+        }
+        trace.record("attempt", started, Instant::now(), attrs);
+    }
+
+    /// The named attempt reported in (`ok` or `error`).
+    fn resolved(&mut self, is_hedge: bool, outcome: &str, win: bool) {
+        if let Some(entry) = self
+            .launches
+            .iter_mut()
+            .find(|(_, hedge, resolved)| *hedge == is_hedge && !resolved)
+        {
+            entry.2 = true;
+            let started = entry.0;
+            self.record(started, is_hedge, outcome, win);
+        }
+    }
+
+    /// The coordinator is returning: whatever is still in flight was
+    /// abandoned (a losing hedge, or both attempts on a deadline).
+    fn finish(&mut self) {
+        for i in 0..self.launches.len() {
+            let (started, is_hedge, resolved) = self.launches[i];
+            if !resolved {
+                self.launches[i].2 = true;
+                self.record(started, is_hedge, "abandoned", false);
+            }
+        }
+    }
+}
+
 fn hedged_attempt(
     shared: &RouterShared,
     shard: &Arc<ShardRuntime>,
@@ -610,7 +678,10 @@ fn hedged_attempt(
     deadline: Instant,
 ) -> Result<HttpResponse, CallError> {
     let trigger = hedge_trigger(shared, shard);
+    let trace_hex = obs::current_id_hex();
+    let mut log = AttemptLog::new(shard);
     let (tx, rx) = mpsc::channel();
+    log.launched(false);
     spawn_attempt(
         shard,
         shared.config.client,
@@ -619,15 +690,16 @@ fn hedged_attempt(
         body,
         deadline,
         false,
+        trace_hex.clone(),
         tx.clone(),
     );
     let started = Instant::now();
     let mut outstanding: u32 = 1;
     let mut hedged = false;
-    loop {
+    let result = loop {
         let now = Instant::now();
         if now >= deadline {
-            return Err(CallError::Deadline);
+            break Err(CallError::Deadline);
         }
         let until_deadline = deadline - now;
         let wait = match (hedged, trigger) {
@@ -644,22 +716,25 @@ fn hedged_attempt(
                 if is_hedge {
                     shared.metrics.hedge_wins.fetch_add(1, Ordering::Relaxed);
                 }
-                return Ok(response);
+                log.resolved(is_hedge, "ok", true);
+                break Ok(response);
             }
-            Ok((Err(e), _)) => {
+            Ok((Err(e), is_hedge)) => {
+                log.resolved(is_hedge, "error", false);
                 outstanding -= 1;
                 if outstanding == 0 {
-                    return Err(CallError::Transport(e));
+                    break Err(CallError::Transport(e));
                 }
             }
             Err(mpsc::RecvTimeoutError::Timeout) => {
                 if Instant::now() >= deadline {
-                    return Err(CallError::Deadline);
+                    break Err(CallError::Deadline);
                 }
                 if !hedged {
                     hedged = true;
                     outstanding += 1;
                     shared.metrics.hedges.fetch_add(1, Ordering::Relaxed);
+                    log.launched(true);
                     spawn_attempt(
                         shard,
                         shared.config.client,
@@ -668,18 +743,21 @@ fn hedged_attempt(
                         body,
                         deadline,
                         true,
+                        trace_hex.clone(),
                         tx.clone(),
                     );
                 }
             }
             Err(mpsc::RecvTimeoutError::Disconnected) => {
-                return Err(CallError::Transport(io::Error::new(
+                break Err(CallError::Transport(io::Error::new(
                     io::ErrorKind::BrokenPipe,
                     "all attempts vanished",
                 )));
             }
         }
-    }
+    };
+    log.finish();
+    result
 }
 
 fn hedge_trigger(shared: &RouterShared, shard: &ShardRuntime) -> Option<Duration> {
@@ -707,6 +785,7 @@ fn spawn_attempt(
     body: Option<&str>,
     deadline: Instant,
     is_hedge: bool,
+    trace_hex: Option<String>,
     tx: mpsc::Sender<(io::Result<(HttpResponse, Duration)>, bool)>,
 ) {
     let shard = Arc::clone(shard);
@@ -725,7 +804,14 @@ fn spawn_attempt(
                 .saturating_duration_since(Instant::now())
                 .max(Duration::from_millis(10));
             conn.set_read_timeout(remaining.min(client.read_timeout))?;
-            let response = conn.request(&method, &target, body.as_deref())?;
+            // The attempt carries the edge-minted trace ID so the shard
+            // logs its spans under the same trace.
+            let headers: Vec<(&str, &str)> = trace_hex
+                .as_deref()
+                .map(|hex| (obs::TRACE_HEADER, hex))
+                .into_iter()
+                .collect();
+            let response = conn.request_with(&method, &target, body.as_deref(), &headers)?;
             conn.set_read_timeout(client.read_timeout)?;
             // A contended shard answers `Connection: close` (it is about
             // to serve whoever waits in its admission queue); parking
@@ -757,6 +843,7 @@ fn route(shared: &Arc<RouterShared>, request: &Request, core: &ServiceCore) -> R
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => handle_healthz(shared, core),
         ("GET", "/metrics") => handle_metrics(shared, core),
+        ("GET", "/debug/traces") => handle_traces(shared, core, request),
         ("GET", "/v1/documents") => handle_documents(shared),
         ("POST", "/v1/query") => handle_query(shared, request),
         ("POST", "/v1/batch") => handle_batch(shared, request),
@@ -771,7 +858,11 @@ fn route(shared: &Arc<RouterShared>, request: &Request, core: &ServiceCore) -> R
         ("GET", "/v1/live") => handle_live(shared),
         (
             _,
-            "/healthz" | "/metrics" | "/v1/documents" | "/v1/merged/top" | "/v1/merged/threshold"
+            "/healthz"
+            | "/metrics"
+            | "/v1/documents"
+            | "/v1/merged/top"
+            | "/v1/merged/threshold"
             | "/v1/live",
         ) => json_response(405, wire::error_json("method not allowed")).with_header("Allow", "GET"),
         (_, "/v1/query" | "/v1/batch") => {
@@ -815,6 +906,7 @@ fn handle_healthz(shared: &RouterShared, core: &ServiceCore) -> Response {
 
 fn handle_metrics(shared: &RouterShared, core: &ServiceCore) -> Response {
     let mut text = core.metrics().render_http(core.queue_depth());
+    sigstr_server::metrics::render_trace(&mut text, core.recorder());
     let states: Vec<(String, u64, &ShardCounters)> = shared
         .shards
         .iter()
@@ -822,6 +914,85 @@ fn handle_metrics(shared: &RouterShared, core: &ServiceCore) -> Response {
         .collect();
     shared.metrics.render(&mut text, &states);
     text_response(200, text)
+}
+
+/// `GET /debug/traces` — the router's own flight recorder. With
+/// `join=1`, each trace is augmented with the shard-side traces that
+/// carry the same ID: the shard addresses are read off the trace's own
+/// attempt spans, each is asked `GET /debug/traces?id=…` over a fresh
+/// short-timeout connection, and whatever comes back is spliced in
+/// under `"shards"`. Join failures degrade silently — the router-side
+/// trace is always served.
+fn handle_traces(shared: &RouterShared, core: &ServiceCore, request: &Request) -> Response {
+    let join = request
+        .query_param("join")
+        .is_some_and(|v| !v.is_empty() && v != "0");
+    if !join {
+        return sigstr_server::service::traces_response(core, request);
+    }
+    let filter = sigstr_server::service::trace_filter_from(request);
+    let traces = core.recorder().snapshot(&filter);
+    let rendered: Vec<String> = traces
+        .iter()
+        .map(|trace| {
+            let mut addrs: Vec<&str> = trace
+                .spans
+                .iter()
+                .flat_map(|span| span.attrs.iter())
+                .filter(|(key, _)| *key == "shard")
+                .map(|(_, value)| value.as_str())
+                .collect();
+            addrs.sort_unstable();
+            addrs.dedup();
+            let mut shard_traces: Vec<Json> = Vec::new();
+            for addr in addrs {
+                shard_traces.extend(fetch_shard_traces(shared, addr, &trace.id.to_hex()));
+            }
+            if shard_traces.is_empty() {
+                trace.to_json()
+            } else {
+                let joined = Json::Arr(shard_traces)
+                    .encode()
+                    .unwrap_or_else(|_| "[]".to_string());
+                trace.to_json_with(&format!(",\"shards\":{joined}"))
+            }
+        })
+        .collect();
+    Response::new(
+        200,
+        "application/json",
+        obs::render_traces_body(&rendered).into_bytes(),
+    )
+}
+
+/// Ask one shard for the traces matching `id`. A dedicated connection
+/// (not the data-path pool) with a tight timeout: a slow or dead shard
+/// costs the join a beat, never a pooled socket.
+fn fetch_shard_traces(shared: &RouterShared, addr: &str, id: &str) -> Vec<Json> {
+    let fetch = || -> io::Result<Vec<Json>> {
+        let mut conn = ClientConn::connect_with(
+            addr,
+            ClientConfig {
+                connect_timeout: Duration::from_millis(250),
+                read_timeout: Duration::from_millis(500),
+                ..shared.config.client
+            },
+        )?;
+        let response = conn.request("GET", &format!("/debug/traces?id={id}"), None)?;
+        if response.status != 200 {
+            return Ok(Vec::new());
+        }
+        let text = std::str::from_utf8(&response.body)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 trace body"))?;
+        let body = Json::decode(text.trim())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        Ok(body
+            .get("traces")
+            .and_then(Json::as_array)
+            .map(<[Json]>::to_vec)
+            .unwrap_or_default())
+    };
+    fetch().unwrap_or_default()
 }
 
 /// The list of currently-unreachable shard addresses; a non-empty list
@@ -911,12 +1082,16 @@ fn handle_query(shared: &RouterShared, request: &Request) -> Response {
     loop {
         match shard_call(shared, &shard, "POST", "/v1/query", Some(body), deadline) {
             Ok(response) if response.status == 410 && !rerouted => {
+                let mut span = obs::span("reroute");
+                span.attr("doc", doc);
+                span.attr("from", shard.addr.as_str());
                 shared
                     .metrics
                     .moved_rerouted
                     .fetch_add(1, Ordering::Relaxed);
                 refresh_directory(shared);
                 let next = shard_for_doc(shared, doc);
+                span.attr("to", next.addr.as_str());
                 if next.index == shard.index {
                     // The refreshed directory still points here — the
                     // shard's word stands.
@@ -971,11 +1146,20 @@ fn forward_once(
         ));
     }
     shard.counters.calls.fetch_add(1, Ordering::Relaxed);
+    let mut span = obs::span("attempt");
+    span.attr("shard", shard.addr.as_str());
+    span.attr("kind", "forward");
+    let trace_hex = obs::current_id_hex();
     let started = Instant::now();
     let result = (|| {
         let mut conn = shard.pool.get()?;
         conn.set_read_timeout(read_timeout)?;
-        let response = conn.request(method, target, body)?;
+        let headers: Vec<(&str, &str)> = trace_hex
+            .as_deref()
+            .map(|hex| (obs::TRACE_HEADER, hex))
+            .into_iter()
+            .collect();
+        let response = conn.request_with(method, target, body, &headers)?;
         conn.set_read_timeout(shared.config.client.read_timeout)?;
         let closing = response
             .header("connection")
@@ -987,6 +1171,7 @@ fn forward_once(
     })();
     match &result {
         Ok(_) => {
+            span.attr("outcome", "ok");
             shard.health.record_data_success();
             if record_latency {
                 let us = duration_us(started.elapsed());
@@ -995,6 +1180,7 @@ fn forward_once(
             }
         }
         Err(_) => {
+            span.attr("outcome", "error");
             shard.counters.errors.fetch_add(1, Ordering::Relaxed);
             shard.health.record_data_failure(Instant::now());
             if !shard.health.routable() {
@@ -1014,7 +1200,11 @@ fn count_delivered_alerts(shared: &RouterShared, response: &HttpResponse) {
     let delivered = std::str::from_utf8(&response.body)
         .ok()
         .and_then(|text| Json::decode(text.trim()).ok())
-        .and_then(|body| body.get("alerts").and_then(Json::as_array).map(<[Json]>::len))
+        .and_then(|body| {
+            body.get("alerts")
+                .and_then(Json::as_array)
+                .map(<[Json]>::len)
+        })
         .unwrap_or(0);
     if delivered > 0 {
         shared
@@ -1050,12 +1240,16 @@ fn forward_to_owner(
             true,
         ) {
             Ok(response) if response.status == 410 && !rerouted => {
+                let mut span = obs::span("reroute");
+                span.attr("doc", doc);
+                span.attr("from", shard.addr.as_str());
                 shared
                     .metrics
                     .moved_rerouted
                     .fetch_add(1, Ordering::Relaxed);
                 refresh_directory(shared);
                 let next = shard_for_doc(shared, doc);
+                span.attr("to", next.addr.as_str());
                 if next.index == shard.index {
                     return passthrough(response);
                 }
@@ -1080,7 +1274,10 @@ fn handle_append(shared: &RouterShared, request: &Request, doc: &str) -> Respons
     let Ok(body) = std::str::from_utf8(&request.body) else {
         return json_response(400, wire::error_json("request body is not UTF-8"));
     };
-    shared.metrics.appends_routed.fetch_add(1, Ordering::Relaxed);
+    shared
+        .metrics
+        .appends_routed
+        .fetch_add(1, Ordering::Relaxed);
     forward_to_owner(
         shared,
         doc,
@@ -1338,13 +1535,16 @@ fn scatter_slots(
     }
     let mut groups: Vec<(usize, Vec<usize>)> = grouped.into_iter().collect();
     groups.sort_by_key(|&(shard_index, _)| shard_index);
+    let trace = obs::current();
     thread::scope(|scope| {
         let handles: Vec<_> = groups
             .iter()
             .map(|(shard_index, slots)| {
                 let shard = Arc::clone(&shared.shards[*shard_index]);
                 let sub_jobs: Vec<Json> = slots.iter().map(|&s| jobs[s].clone()).collect();
+                let trace = trace.clone();
                 scope.spawn(move || {
+                    let _ambient = trace.map(obs::attach);
                     let body = Json::Obj(vec![("jobs".into(), Json::Arr(sub_jobs))])
                         .encode()
                         .expect("batch body re-encodes");
@@ -1407,12 +1607,15 @@ fn fan_out(
     target: &str,
 ) -> Vec<(Arc<ShardRuntime>, io::Result<HttpResponse>)> {
     let deadline = Instant::now() + shared.config.deadline;
+    let trace = obs::current();
     thread::scope(|scope| {
         let handles: Vec<_> = shared
             .shards
             .iter()
             .map(|shard| {
+                let trace = trace.clone();
                 scope.spawn(move || {
+                    let _ambient = trace.map(obs::attach);
                     let call = shard_call(shared, shard, "GET", target, None, deadline);
                     (Arc::clone(shard), call)
                 })
@@ -1580,12 +1783,16 @@ fn handle_merged_top(shared: &RouterShared, request: &Request) -> Response {
         Ok(gathered) => gathered,
         Err(response) => return response,
     };
+    let mut merge_span = obs::span("merge");
     let per_doc = regroup(shared, shard_hits);
     let borrowed: Vec<(usize, &str, &[Scored])> = per_doc
         .iter()
         .map(|(i, n, s)| (*i, n.as_str(), s.as_slice()))
         .collect();
     let hits = merge_ranked(&borrowed, t);
+    merge_span.attr_u64("documents", per_doc.len() as u64);
+    merge_span.attr_u64("hits", hits.len() as u64);
+    drop(merge_span);
     shared
         .metrics
         .fanout_latency
@@ -1622,7 +1829,9 @@ fn handle_merged_threshold(shared: &RouterShared, request: &Request) -> Response
         };
     // Threshold semantics: every hit, in global document order, each
     // document's hits in its shard-reported order.
+    let mut merge_span = obs::span("merge");
     let per_doc = regroup(shared, shard_hits);
+    merge_span.attr_u64("documents", per_doc.len() as u64);
     let hits: Vec<DocHit> = per_doc
         .into_iter()
         .flat_map(|(index, name, items)| {
@@ -1633,6 +1842,8 @@ fn handle_merged_threshold(shared: &RouterShared, request: &Request) -> Response
             })
         })
         .collect();
+    merge_span.attr_u64("hits", hits.len() as u64);
+    drop(merge_span);
     shared
         .metrics
         .fanout_latency

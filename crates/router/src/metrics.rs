@@ -2,72 +2,14 @@
 //! `/metrics`.
 //!
 //! Everything is lock-free atomics so the data path never blocks on
-//! observability. Latency histograms reuse the server's bucket bounds
-//! ([`LATENCY_BUCKETS_US`]) so shard-side and router-side histograms
-//! line up in dashboards.
+//! observability. Latency histograms are the shared
+//! [`sigstr_obs::hist::Histogram`] — the same type (and therefore the
+//! same bucket bounds) the shard servers use, so shard-side and
+//! router-side histograms line up in dashboards.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use sigstr_server::metrics::LATENCY_BUCKETS_US;
-
-/// Cumulative latency histogram (micro-second buckets + `+inf`).
-#[derive(Debug, Default)]
-pub struct Histogram {
-    buckets: [AtomicU64; LATENCY_BUCKETS_US.len() + 1],
-    sum_us: AtomicU64,
-    count: AtomicU64,
-}
-
-impl Histogram {
-    /// Record one latency sample.
-    pub fn observe_us(&self, us: u64) {
-        let slot = LATENCY_BUCKETS_US
-            .iter()
-            .position(|&bound| us <= bound)
-            .unwrap_or(LATENCY_BUCKETS_US.len());
-        self.buckets[slot].fetch_add(1, Ordering::Relaxed);
-        self.sum_us.fetch_add(us, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Total samples recorded.
-    pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
-    }
-
-    /// Append Prometheus-style `_bucket`/`_sum`/`_count` lines.
-    /// `labels` is either empty or a `{key="value"}`-style block whose
-    /// closing brace is stitched together with the `le` label.
-    fn render(&self, out: &mut String, name: &str, labels: &str) {
-        let open = if labels.is_empty() {
-            "{".to_string()
-        } else {
-            format!("{{{labels},")
-        };
-        let mut cumulative = 0;
-        for (i, &bound) in LATENCY_BUCKETS_US.iter().enumerate() {
-            cumulative += self.buckets[i].load(Ordering::Relaxed);
-            out.push_str(&format!(
-                "{name}_bucket{open}le=\"{bound}\"}} {cumulative}\n"
-            ));
-        }
-        cumulative += self.buckets[LATENCY_BUCKETS_US.len()].load(Ordering::Relaxed);
-        out.push_str(&format!("{name}_bucket{open}le=\"+Inf\"}} {cumulative}\n"));
-        let block = if labels.is_empty() {
-            String::new()
-        } else {
-            format!("{{{labels}}}")
-        };
-        out.push_str(&format!(
-            "{name}_sum{block} {}\n",
-            self.sum_us.load(Ordering::Relaxed)
-        ));
-        out.push_str(&format!(
-            "{name}_count{block} {}\n",
-            self.count.load(Ordering::Relaxed)
-        ));
-    }
-}
+pub use sigstr_obs::hist::{Histogram, LATENCY_BUCKETS_US};
 
 /// Per-shard counters; one instance lives in each `ShardRuntime`.
 #[derive(Debug, Default)]
@@ -262,17 +204,10 @@ mod tests {
     }
 
     #[test]
-    fn histogram_buckets_are_cumulative() {
-        let h = Histogram::default();
-        h.observe_us(50);
-        h.observe_us(200);
-        h.observe_us(2_000_000);
-        let mut out = String::new();
-        h.render(&mut out, "x", "");
-        assert!(out.contains("x_bucket{le=\"100\"} 1\n"));
-        assert!(out.contains("x_bucket{le=\"250\"} 2\n"));
-        assert!(out.contains("x_bucket{le=\"1000000\"} 2\n"));
-        assert!(out.contains("x_bucket{le=\"+Inf\"} 3\n"));
-        assert!(out.contains("x_count 3\n"));
+    fn router_histograms_share_the_server_buckets() {
+        assert_eq!(
+            LATENCY_BUCKETS_US,
+            sigstr_server::metrics::LATENCY_BUCKETS_US
+        );
     }
 }

@@ -104,7 +104,8 @@ fn live_routes_reach_the_owning_shard() {
                 CountsLayout::Flat,
             )
             .unwrap();
-        let (live_seq, alphabet) = Sequence::from_text(b"abababababababababababababababab").unwrap();
+        let (live_seq, alphabet) =
+            Sequence::from_text(b"abababababababababababababababab").unwrap();
         let model = Model::estimate(&live_seq).unwrap();
         let live_name = if s == 0 { live0 } else { live1 };
         corpus
@@ -161,7 +162,9 @@ fn live_routes_reach_the_owning_shard() {
     );
     assert_eq!(status, 200, "poll: {body:?}");
     assert_eq!(
-        body.get("alerts").and_then(Json::as_array).map(<[Json]>::len),
+        body.get("alerts")
+            .and_then(Json::as_array)
+            .map(<[Json]>::len),
         Some(appended_alerts)
     );
 

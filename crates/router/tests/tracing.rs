@@ -1,0 +1,496 @@
+//! Fleet-wide trace propagation: the ID minted (or adopted) at the
+//! router edge must be the one every shard logs its spans under —
+//! across retries, hedges, and a `410 Gone` re-route — and the
+//! router's `/debug/traces?join=1` must stitch the shard-side traces
+//! onto its own. Plus the metric-naming lint, run against the *real*
+//! `/metrics` pages of a live shard and router.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use sigstr_core::{CountsLayout, Model, Query, Sequence};
+use sigstr_corpus::Corpus;
+use sigstr_obs::{lint, TRACE_HEADER};
+use sigstr_router::fault::{FaultMode, FaultProxy};
+use sigstr_router::hash::Ring;
+use sigstr_router::rebalance::{self, RebalanceOptions};
+use sigstr_router::{HedgePolicy, RouterConfig, RouterServer};
+use sigstr_server::client::{ClientConn, HttpResponse};
+use sigstr_server::json::Json;
+use sigstr_server::wire;
+use sigstr_server::{Server, ServerConfig, ServiceHandle};
+
+const OLD_SHARDS: usize = 2;
+const NEW_SHARDS: usize = 3;
+const VNODES: usize = 64;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "sigstr-router-tr-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn doc(seed: u64, n: usize, k: usize) -> Sequence {
+    let mut x = seed | 1;
+    let symbols: Vec<u8> = (0..n)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x % k as u64) as u8
+        })
+        .collect();
+    Sequence::from_symbols(symbols, k).unwrap()
+}
+
+fn spec() -> Vec<(&'static str, u64, usize, usize, CountsLayout)> {
+    vec![
+        ("bin-a", 11, 600, 2, CountsLayout::Flat),
+        ("bin-b", 12, 400, 2, CountsLayout::Blocked),
+        ("tri-c", 13, 500, 3, CountsLayout::Blocked),
+        ("tri-d", 14, 450, 3, CountsLayout::Flat),
+        ("quad-e", 15, 520, 4, CountsLayout::Blocked),
+        ("bin-f", 16, 380, 2, CountsLayout::Flat),
+        ("tri-g", 17, 420, 3, CountsLayout::Flat),
+        ("quad-h", 18, 360, 4, CountsLayout::Blocked),
+    ]
+}
+
+/// Documents ring-partitioned over the first [`OLD_SHARDS`]
+/// directories; [`NEW_SHARDS`] directories exist so the re-route test
+/// can grow the fleet.
+fn build(tag: &str) -> Vec<PathBuf> {
+    let old_ring = Ring::new(OLD_SHARDS, VNODES);
+    let mut spec = spec();
+    spec.sort_by_key(|&(name, ..)| name);
+    let shard_dirs: Vec<PathBuf> = (0..NEW_SHARDS)
+        .map(|s| temp_dir(&format!("{tag}-s{s}")))
+        .collect();
+    let mut shards: Vec<Corpus> = shard_dirs
+        .iter()
+        .map(|d| Corpus::create(d).unwrap())
+        .collect();
+    for &(name, seed, n, k, layout) in &spec {
+        shards[old_ring.shard_for(name)]
+            .add_document(name, &doc(seed, n, k), Model::uniform(k).unwrap(), layout)
+            .unwrap();
+    }
+    shard_dirs
+}
+
+fn doc_on_shard(shard: usize) -> &'static str {
+    let ring = Ring::new(OLD_SHARDS, VNODES);
+    spec()
+        .iter()
+        .map(|&(name, ..)| name)
+        .find(|name| ring.shard_for(name) == shard)
+        .expect("every shard owns a document")
+}
+
+fn boot_shard(dir: &PathBuf) -> (String, ServiceHandle, std::thread::JoinHandle<()>) {
+    let corpus = Corpus::open(dir).unwrap();
+    let server = Server::bind(
+        corpus,
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr().to_string();
+    let handle = server.handle();
+    let join = std::thread::spawn(move || {
+        server.run().unwrap();
+    });
+    (addr, handle, join)
+}
+
+fn fast_config(shards: Vec<String>) -> RouterConfig {
+    let mut config = RouterConfig::new(shards);
+    config.service.addr = "127.0.0.1:0".into();
+    config.service.threads = 2;
+    config.vnodes = VNODES;
+    // Generous per-request deadline: the 410 re-route path makes two
+    // sequential shard round trips inside one deadline, and these tests
+    // share the machine with the rest of the workspace suite.
+    config.deadline = Duration::from_secs(5);
+    config.retries = 1;
+    config.hedge = HedgePolicy::Disabled;
+    config.probe_interval = Duration::from_millis(50);
+    config.probe_timeout = Duration::from_millis(200);
+    config.backoff_base = Duration::from_millis(50);
+    config.backoff_max = Duration::from_millis(200);
+    config
+}
+
+fn boot_router(config: RouterConfig) -> (String, ServiceHandle, std::thread::JoinHandle<()>) {
+    let router = RouterServer::bind(config).unwrap();
+    let addr = router.local_addr().to_string();
+    let handle = router.handle();
+    let join = std::thread::spawn(move || {
+        router.run().unwrap();
+    });
+    (addr, handle, join)
+}
+
+fn shutdown_all(booted: Vec<(String, ServiceHandle, std::thread::JoinHandle<()>)>) {
+    for (_, handle, join) in booted {
+        handle.shutdown();
+        join.join().unwrap();
+    }
+}
+
+fn query_body(name: &str, query: &Query) -> String {
+    Json::Obj(vec![
+        ("doc".into(), Json::Str(name.into())),
+        ("query".into(), wire::query_to_json(query)),
+    ])
+    .encode()
+    .unwrap()
+}
+
+/// POST a query carrying a caller-injected trace ID.
+fn post_traced(addr: &str, body: &str, id: &str) -> HttpResponse {
+    let mut conn = ClientConn::connect(addr).unwrap();
+    conn.request_with("POST", "/v1/query", Some(body), &[(TRACE_HEADER, id)])
+        .unwrap()
+}
+
+/// All traces a process holds for `id` (possibly several on a shard
+/// that served both a primary and a hedge attempt). A trace is sealed
+/// into the recorder only *after* the response bytes flush (the write
+/// span is part of it), so the caller can hold a 200 before the trace
+/// is visible — poll briefly instead of racing that window.
+fn traces_for(addr: &str, id: &str) -> Vec<Json> {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let mut conn = ClientConn::connect(addr).unwrap();
+        let response = conn
+            .request("GET", &format!("/debug/traces?id={id}"), None)
+            .unwrap();
+        assert_eq!(response.status, 200);
+        let traces = Json::decode(std::str::from_utf8(&response.body).unwrap().trim())
+            .unwrap()
+            .get("traces")
+            .and_then(Json::as_array)
+            .map(<[Json]>::to_vec)
+            .unwrap_or_default();
+        if !traces.is_empty() || Instant::now() >= deadline {
+            return traces;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn spans_named(trace: &Json, name: &str) -> Vec<Json> {
+    trace
+        .get("spans")
+        .and_then(Json::as_array)
+        .unwrap()
+        .iter()
+        .filter(|s| s.get("name").and_then(Json::as_str) == Some(name))
+        .cloned()
+        .collect()
+}
+
+fn attr<'a>(span: &'a Json, key: &str) -> Option<&'a str> {
+    span.get("attrs")
+        .and_then(|a| a.get(key))
+        .and_then(Json::as_str)
+}
+
+fn wait_routable(router_addr: &str, name: &str, query: &Query) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let mut conn = ClientConn::connect(router_addr).unwrap();
+        let response = conn
+            .request("POST", "/v1/query", Some(&query_body(name, query)))
+            .unwrap();
+        if response.status == 200 {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "fleet never became routable (last status {})",
+            response.status
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// A severed connection forces a retry; the retry attempt must carry
+/// the same edge-adopted trace ID, the router trace must show both
+/// attempts, and `join=1` must stitch the shard-side trace in.
+#[test]
+fn trace_id_survives_retries_and_joins_shard_spans() {
+    let shard_dirs = build("retry");
+    let booted: Vec<_> = shard_dirs[..OLD_SHARDS].iter().map(boot_shard).collect();
+
+    let upstream = booted[1].0.parse().unwrap();
+    let mut proxy = FaultProxy::start(upstream).unwrap();
+    let mut config = fast_config(vec![booted[0].0.clone(), proxy.addr().to_string()]);
+    config.probe_interval = Duration::from_secs(60); // deterministic conn numbering
+    config.retries = 2;
+    let (router_addr, router_handle, router_join) = boot_router(config);
+    assert_eq!(proxy.accepted(), 2, "probe + directory fetch");
+
+    // Conn 2: a warm-up promotes the shard to Healthy (one transport
+    // failure later won't take it down) and parks the connection in
+    // the router's pool.
+    let name = doc_on_shard(1);
+    let mut warm = ClientConn::connect(&router_addr).unwrap();
+    let warm_response = warm
+        .request(
+            "POST",
+            "/v1/query",
+            Some(&query_body(name, &Query::top_t(4))),
+        )
+        .unwrap();
+    assert_eq!(warm_response.status, 200, "warm-up query");
+
+    // Burn conn 3 so the next dials land on even (cut) then odd
+    // (spared) indices.
+    {
+        let burn = std::net::TcpStream::connect(proxy.addr()).unwrap();
+        for _ in 0..100 {
+            if proxy.accepted() == 4 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(proxy.accepted(), 4, "burn connection was not accepted");
+        drop(burn);
+    }
+
+    // Sever even-numbered connections 20 bytes into the reply: the
+    // pooled conn 2 (already past 20 bytes) dies on its next response,
+    // the client's transparent reconnect dials conn 4 (cut again, and
+    // the fresh socket surfaces the error), and the router's retry
+    // dials conn 5, which passes.
+    proxy.set_mode(FaultMode::ResetAfter {
+        every: 2,
+        bytes: 20,
+    });
+
+    let id = "0000000000000000000000000000beef";
+    let response = post_traced(&router_addr, &query_body(name, &Query::top_t(4)), id);
+    assert_eq!(response.status, 200, "query across the severed connection");
+    assert_eq!(response.header(TRACE_HEADER), Some(id));
+
+    // Router-side: one trace, with an errored attempt and a winning one.
+    let router_traces = traces_for(&router_addr, id);
+    assert_eq!(router_traces.len(), 1);
+    let attempts = spans_named(&router_traces[0], "attempt");
+    assert!(
+        attempts.len() >= 2,
+        "retry must leave both attempts in the trace: {attempts:?}"
+    );
+    assert!(attempts.iter().any(|a| attr(a, "outcome") == Some("error")));
+    let winner = attempts
+        .iter()
+        .find(|a| attr(a, "outcome") == Some("ok"))
+        .expect("a winning attempt");
+    assert_eq!(attr(winner, "win"), Some("true"));
+
+    // Shard-side: the shard that answered logs the same ID, with its
+    // own scan span.
+    let shard_traces = traces_for(&booted[1].0, id);
+    assert!(
+        !shard_traces.is_empty(),
+        "the shard never saw the edge-minted trace ID"
+    );
+    let served = shard_traces
+        .iter()
+        .find(|t| t.get("status").and_then(Json::as_u64) == Some(200))
+        .expect("a shard trace for the served attempt");
+    assert!(!spans_named(served, "scan").is_empty());
+
+    // join=1 stitches the shard trace under the router's.
+    proxy.set_mode(FaultMode::Pass);
+    let mut conn = ClientConn::connect(&router_addr).unwrap();
+    let joined = conn
+        .request("GET", &format!("/debug/traces?id={id}&join=1"), None)
+        .unwrap();
+    assert_eq!(joined.status, 200);
+    let body = Json::decode(std::str::from_utf8(&joined.body).unwrap().trim()).unwrap();
+    let traces = body.get("traces").and_then(Json::as_array).unwrap();
+    assert_eq!(traces.len(), 1);
+    let shards = traces[0].get("shards").and_then(Json::as_array);
+    let shards = shards.expect("join=1 embeds a `shards` array");
+    assert!(
+        shards
+            .iter()
+            .any(|t| t.get("id").and_then(Json::as_str) == Some(id)),
+        "joined shard traces must carry the edge ID"
+    );
+
+    proxy.stop();
+    router_handle.shutdown();
+    router_join.join().unwrap();
+    shutdown_all(booted);
+}
+
+/// A hedged request shows *both* attempt spans under one trace, the
+/// hedge marked as the winner, and the shard logs the same ID for
+/// every attempt it served.
+#[test]
+fn hedged_requests_show_every_attempt_under_one_trace() {
+    let shard_dirs = build("hedge");
+    let booted: Vec<_> = shard_dirs[..OLD_SHARDS].iter().map(boot_shard).collect();
+
+    let upstream = booted[1].0.parse().unwrap();
+    let mut proxy = FaultProxy::start(upstream).unwrap();
+    let mut config = fast_config(vec![booted[0].0.clone(), proxy.addr().to_string()]);
+    config.probe_interval = Duration::from_secs(60);
+    config.deadline = Duration::from_secs(2);
+    config.hedge = HedgePolicy::Fixed(Duration::from_millis(100));
+    let (router_addr, router_handle, router_join) = boot_router(config);
+
+    // Delay even-numbered connections far past the hedge trigger: the
+    // primary dial is slow, the hedge dials a fresh fast connection.
+    proxy.set_mode(FaultMode::DelayConns {
+        every: 2,
+        delay_ms: 400,
+    });
+
+    let name = doc_on_shard(1);
+    let id = "00000000000000000000000000005eed";
+    let response = post_traced(&router_addr, &query_body(name, &Query::top_t(4)), id);
+    assert_eq!(response.status, 200, "hedged query");
+    assert_eq!(response.header(TRACE_HEADER), Some(id));
+
+    let router_traces = traces_for(&router_addr, id);
+    assert_eq!(router_traces.len(), 1);
+    let attempts = spans_named(&router_traces[0], "attempt");
+    assert!(
+        attempts.len() >= 2,
+        "a hedged call must show every attempt: {attempts:?}"
+    );
+    let hedge = attempts
+        .iter()
+        .find(|a| attr(a, "kind") == Some("hedge"))
+        .expect("a hedge attempt span");
+    assert_eq!(attr(hedge, "outcome"), Some("ok"));
+    assert_eq!(attr(hedge, "win"), Some("true"));
+    let primary = attempts
+        .iter()
+        .find(|a| attr(a, "kind") == Some("primary"))
+        .expect("a primary attempt span");
+    assert_eq!(attr(primary, "outcome"), Some("abandoned"));
+
+    // The slow primary eventually lands on the shard too — every shard
+    // trace for this request carries the edge ID.
+    let deadline = Instant::now() + Duration::from_secs(3);
+    loop {
+        let shard_traces = traces_for(&booted[1].0, id);
+        if shard_traces.len() >= 2 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "shard recorded {} trace(s) for the hedged request, expected 2",
+            shard_traces.len()
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    proxy.stop();
+    router_handle.shutdown();
+    router_join.join().unwrap();
+    shutdown_all(booted);
+}
+
+/// A stale router re-routing after `410 Gone` keeps the same trace ID
+/// end to end: the trace shows the re-route span and the *new* owner
+/// logs the ID.
+#[test]
+fn a_410_reroute_keeps_the_edge_trace_id() {
+    let shard_dirs = build("moved");
+    let booted: Vec<_> = shard_dirs.iter().map(boot_shard).collect();
+    let addrs: Vec<String> = booted.iter().map(|(a, ..)| a.clone()).collect();
+    let mut config = fast_config(addrs.clone());
+    // One boot-time probe round builds the directory; nothing after
+    // that refreshes it during the test window.
+    config.probe_interval = Duration::from_secs(600);
+    let (router_addr, router_handle, router_join) = boot_router(config);
+
+    let old_ring = Ring::new(OLD_SHARDS, VNODES);
+    let new_ring = Ring::new(NEW_SHARDS, VNODES);
+    let staying = spec()
+        .iter()
+        .map(|&(name, ..)| name)
+        .find(|name| old_ring.shard_for(name) == new_ring.shard_for(name))
+        .expect("some document stays put");
+    let query = Query::top_t(3);
+    wait_routable(&router_addr, staying, &query);
+
+    let report = rebalance::execute(
+        &shard_dirs[..OLD_SHARDS],
+        &shard_dirs,
+        &RebalanceOptions::new(VNODES),
+    )
+    .unwrap();
+    let moved = report.moved.first().expect("the grow moves something");
+
+    let id = "000000000000000000000000000ab1e5";
+    let response = post_traced(&router_addr, &query_body(moved, &query), id);
+    assert_eq!(response.status, 200, "moved document {moved} not re-routed");
+    assert_eq!(response.header(TRACE_HEADER), Some(id));
+
+    let router_traces = traces_for(&router_addr, id);
+    assert_eq!(router_traces.len(), 1);
+    let reroutes = spans_named(&router_traces[0], "reroute");
+    assert_eq!(reroutes.len(), 1, "the 410 re-route must leave a span");
+    assert_eq!(attr(&reroutes[0], "doc"), Some(moved.as_str()));
+    let new_owner = &addrs[new_ring.shard_for(moved)];
+    assert_eq!(attr(&reroutes[0], "to"), Some(new_owner.as_str()));
+
+    // The new owner logged the same ID and actually scanned.
+    let owner_traces = traces_for(new_owner, id);
+    let served = owner_traces
+        .iter()
+        .find(|t| t.get("status").and_then(Json::as_u64) == Some(200))
+        .expect("the new owner never saw the trace ID");
+    assert!(!spans_named(served, "scan").is_empty());
+
+    router_handle.shutdown();
+    router_join.join().unwrap();
+    shutdown_all(booted);
+}
+
+/// Every metric either process exports obeys the
+/// `sigstr_<subsystem>_<name>_<unit>` convention and renders as valid
+/// Prometheus text exposition — checked on live `/metrics` pages, not
+/// hand-built fixtures.
+#[test]
+fn live_metrics_pages_pass_the_naming_lint() {
+    let shard_dirs = build("lint");
+    let booted: Vec<_> = shard_dirs[..OLD_SHARDS].iter().map(boot_shard).collect();
+    let addrs: Vec<String> = booted.iter().map(|(a, ..)| a.clone()).collect();
+    let (router_addr, router_handle, router_join) = boot_router(fast_config(addrs.clone()));
+
+    let name = doc_on_shard(0);
+    wait_routable(&router_addr, name, &Query::mss());
+
+    for addr in addrs.iter().chain([&router_addr]) {
+        let mut conn = ClientConn::connect(addr).unwrap();
+        let response = conn.request("GET", "/metrics", None).unwrap();
+        assert_eq!(response.status, 200);
+        let text = std::str::from_utf8(&response.body).unwrap();
+        let violations = lint::lint_exposition(text);
+        assert!(
+            violations.is_empty(),
+            "{addr} /metrics violates the naming convention:\n{}",
+            violations.join("\n")
+        );
+    }
+
+    router_handle.shutdown();
+    router_join.join().unwrap();
+    shutdown_all(booted);
+}

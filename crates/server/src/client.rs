@@ -145,11 +145,25 @@ impl ClientConn {
         target: &str,
         body: Option<&str>,
     ) -> std::io::Result<HttpResponse> {
-        match self.try_request(method, target, body) {
+        self.request_with(method, target, body, &[])
+    }
+
+    /// [`ClientConn::request`] with extra request headers (the trace
+    /// header on router→shard hops). Each entry is one `Name: value`
+    /// pair; names must be untrusted-input-free (they go on the wire
+    /// verbatim).
+    pub fn request_with(
+        &mut self,
+        method: &str,
+        target: &str,
+        body: Option<&str>,
+        headers: &[(&str, &str)],
+    ) -> std::io::Result<HttpResponse> {
+        match self.try_request(method, target, body, headers) {
             Ok(response) => Ok(response),
             Err(e) if self.served > 0 && self.buf.is_empty() && is_stale_error(&e) => {
                 self.reconnect()?;
-                self.try_request(method, target, body)
+                self.try_request(method, target, body, headers)
             }
             Err(e) => Err(e),
         }
@@ -160,8 +174,12 @@ impl ClientConn {
         method: &str,
         target: &str,
         body: Option<&str>,
+        headers: &[(&str, &str)],
     ) -> std::io::Result<HttpResponse> {
         let mut head = format!("{method} {target} HTTP/1.1\r\nHost: sigstr\r\n");
+        for (name, value) in headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
         if let Some(body) = body {
             head.push_str("Content-Type: application/json\r\n");
             head.push_str(&format!("Content-Length: {}\r\n", body.len()));

@@ -62,6 +62,10 @@ pub struct Request {
     /// Whether the client asked to keep the connection open
     /// (HTTP/1.1 default, overridden by a `Connection` header).
     pub keep_alive: bool,
+    /// Microseconds from the request's first byte arriving to the
+    /// request being fully parsed — the tracing layer's `parse` span
+    /// (receive + parse, excluding any idle keep-alive wait).
+    pub recv_us: u64,
 }
 
 impl Request {
@@ -166,6 +170,10 @@ impl Conn {
         abort: &dyn Fn() -> bool,
     ) -> Result<Request, RecvError> {
         let deadline = Instant::now() + idle;
+        // When the request's first byte arrived (bytes already buffered
+        // count as "now": between requests the buffer is empty, so this
+        // only triggers for bytes that raced the previous drain).
+        let mut first_byte: Option<Instant> = (!self.buf.is_empty()).then(Instant::now);
         // -- Header block ---------------------------------------------------
         let header_end = loop {
             if let Some(pos) = find_blank_line(&self.buf) {
@@ -192,7 +200,10 @@ impl Conn {
                         Err(RecvError::Io("connection closed mid-request".into()))
                     };
                 }
-                FillOutcome::Data => continue,
+                FillOutcome::Data => {
+                    first_byte.get_or_insert_with(Instant::now);
+                    continue;
+                }
                 FillOutcome::Timeout => {
                     // Only an *idle* connection honors the shutdown
                     // flag: bytes already in flight always win, so a
@@ -323,6 +334,9 @@ impl Conn {
             headers,
             body,
             keep_alive,
+            recv_us: first_byte
+                .map(|t| u64::try_from(t.elapsed().as_micros()).unwrap_or(u64::MAX))
+                .unwrap_or(0),
         })
     }
 

@@ -313,9 +313,11 @@ fn route(handler: &CorpusHandler, request: &Request, core: &ServiceCore) -> Resp
         ("GET", "/metrics") => {
             let mut text = core.metrics().render_http(core.queue_depth());
             metrics::render_cache(&mut text, &handler.corpus.cache_stats());
+            metrics::render_trace(&mut text, core.recorder());
             metrics::render_live(&mut text, &handler.corpus.live_stats());
             text_response(200, text)
         }
+        ("GET", "/debug/traces") => service::traces_response(core, request),
         ("GET", "/v1/documents") => handle_documents(handler),
         ("POST", "/v1/query") => handle_query(handler, request),
         ("POST", "/v1/batch") => handle_batch(handler, request),
@@ -330,7 +332,11 @@ fn route(handler: &CorpusHandler, request: &Request, core: &ServiceCore) -> Resp
         ("GET", "/v1/live") => handle_live_status(handler),
         (
             _,
-            "/healthz" | "/metrics" | "/v1/documents" | "/v1/merged/top" | "/v1/merged/threshold"
+            "/healthz"
+            | "/metrics"
+            | "/v1/documents"
+            | "/v1/merged/top"
+            | "/v1/merged/threshold"
             | "/v1/live",
         ) => json_response(405, wire::error_json("method not allowed")).with_header("Allow", "GET"),
         (_, "/v1/query" | "/v1/batch") => {
@@ -725,10 +731,7 @@ fn handle_watch_poll(handler: &CorpusHandler, request: &Request, core: &ServiceC
             Ok(batch) => batch,
             Err(e) => return document_error_response(handler, doc, &e),
         };
-        if !batch.alerts.is_empty()
-            || remaining <= WATCH_POLL_SLICE
-            || core.is_shutting_down()
-        {
+        if !batch.alerts.is_empty() || remaining <= WATCH_POLL_SLICE || core.is_shutting_down() {
             return json_response(
                 200,
                 Json::Obj(vec![
@@ -824,6 +827,7 @@ mod tests {
             headers: Vec::new(),
             body: Vec::new(),
             keep_alive: true,
+            recv_us: 0,
         }
     }
 
@@ -835,6 +839,7 @@ mod tests {
             headers: Vec::new(),
             body: body.as_bytes().to_vec(),
             keep_alive: true,
+            recv_us: 0,
         }
     }
 
@@ -1101,7 +1106,10 @@ mod tests {
         corpus
             .add_live_document("log", &live_seq, &alphabet, model, CountsLayout::Flat)
             .unwrap();
-        (handler_for(corpus), ServiceCore::new(ServerConfig::default()))
+        (
+            handler_for(corpus),
+            ServiceCore::new(ServerConfig::default()),
+        )
     }
 
     fn decode(response: &Response) -> Json {
@@ -1111,7 +1119,10 @@ mod tests {
     #[test]
     fn append_route_doc_parses_only_append_paths() {
         assert_eq!(append_route_doc("/v1/documents/log/append"), Some("log"));
-        assert_eq!(append_route_doc("/v1/documents/a.b-c_d/append"), Some("a.b-c_d"));
+        assert_eq!(
+            append_route_doc("/v1/documents/a.b-c_d/append"),
+            Some("a.b-c_d")
+        );
         assert_eq!(append_route_doc("/v1/documents//append"), None);
         assert_eq!(append_route_doc("/v1/documents/a/b/append"), None);
         assert_eq!(append_route_doc("/v1/documents/log"), None);
@@ -1226,7 +1237,15 @@ mod tests {
             &post("/v1/documents/log/append", r#"{"data":"abababab"}"#),
             &core,
         );
-        assert_eq!(decode(&calm).get("alerts").unwrap().as_array().unwrap().len(), 0);
+        assert_eq!(
+            decode(&calm)
+                .get("alerts")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .len(),
+            0
+        );
         let anomaly = route(
             &handler,
             &post("/v1/documents/log/append", r#"{"data":"bbbbbbbbbbbbbbbb"}"#),
@@ -1234,7 +1253,10 @@ mod tests {
         );
         let alerts = decode(&anomaly);
         let alerts = alerts.get("alerts").unwrap().as_array().unwrap();
-        assert!(!alerts.is_empty(), "16 b's against a ~uniform model must alert");
+        assert!(
+            !alerts.is_empty(),
+            "16 b's against a ~uniform model must alert"
+        );
         assert_eq!(alerts[0].get("watch").unwrap().as_u64(), Some(watch));
 
         // The long-poll sees the same alerts from cursor 0, and the
@@ -1280,6 +1302,7 @@ mod tests {
                 headers: Vec::new(),
                 body: Vec::new(),
                 keep_alive: true,
+                recv_us: 0,
             },
             &core,
         );
@@ -1307,14 +1330,19 @@ mod tests {
             404
         );
         // Wrong method → 405 listing all three verbs.
-        let r = route(&handler, &Request {
-            method: "PUT".into(),
-            path: "/v1/watch".into(),
-            query: Vec::new(),
-            headers: Vec::new(),
-            body: Vec::new(),
-            keep_alive: true,
-        }, &core);
+        let r = route(
+            &handler,
+            &Request {
+                method: "PUT".into(),
+                path: "/v1/watch".into(),
+                query: Vec::new(),
+                headers: Vec::new(),
+                body: Vec::new(),
+                keep_alive: true,
+                recv_us: 0,
+            },
+            &core,
+        );
         assert_eq!(r.status, 405);
     }
 

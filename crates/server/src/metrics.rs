@@ -1,5 +1,6 @@
-//! Server observability: request counters, a fixed-bucket latency
-//! histogram, and a text rendering for `GET /metrics`.
+//! Server observability: request counters, the fleet-shared latency
+//! histogram, and a Prometheus text-exposition rendering for
+//! `GET /metrics`.
 //!
 //! Everything is lock-free atomics — the metrics path must never add a
 //! lock to the request path. The render borrows the corpus
@@ -7,19 +8,25 @@
 //! endpoint is one place to watch both the HTTP layer (traffic, errors,
 //! latency, admission rejections) and the serving layer (warm-engine
 //! hits/loads/evictions, resident bytes).
+//!
+//! Every metric follows `sigstr_<subsystem>_<name>_<unit>` and is
+//! declared with a `# TYPE` line before its samples; the exposition
+//! lint ([`sigstr_obs::lint`]) pins both in tests. The histogram type
+//! and its bucket bounds live in [`sigstr_obs::hist`], shared with the
+//! router so the two tiers' latency series compare bucket-for-bucket.
 
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use sigstr_corpus::{CacheStats, LiveStats, FREEZE_BUCKETS_US};
+use sigstr_obs::hist::Histogram;
+use sigstr_obs::FlightRecorder;
 
-/// Latency histogram bucket upper bounds, in microseconds (a final
-/// `+inf` bucket is implicit).
-pub const LATENCY_BUCKETS_US: [u64; 8] = [100, 250, 500, 1_000, 5_000, 10_000, 100_000, 1_000_000];
+pub use sigstr_obs::hist::LATENCY_BUCKETS_US;
 
 /// Request/response counters (all monotonic except the queue-depth
-/// gauge, which is sampled at render time).
+/// gauge, which the service core samples at render time).
 #[derive(Debug, Default)]
 pub struct Metrics {
     /// Requests fully parsed and routed.
@@ -31,10 +38,8 @@ pub struct Metrics {
     /// Connections turned away at admission (`503` before any request
     /// was parsed; not counted in `requests`).
     rejected: AtomicU64,
-    /// Cumulative bucket counts (`buckets[i]` counts latencies at or
-    /// under `LATENCY_BUCKETS_US[i]`; the last slot is `+inf`).
-    buckets: [AtomicU64; LATENCY_BUCKETS_US.len() + 1],
-    latency_sum_us: AtomicU64,
+    /// Latency of routed requests (fleet-shared buckets).
+    latency: Histogram,
 }
 
 impl Metrics {
@@ -47,13 +52,8 @@ impl Metrics {
             _ => &self.class_5xx,
         };
         class.fetch_add(1, Ordering::Relaxed);
-        let us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
-        self.latency_sum_us.fetch_add(us, Ordering::Relaxed);
-        let slot = LATENCY_BUCKETS_US
-            .iter()
-            .position(|&bound| us <= bound)
-            .unwrap_or(LATENCY_BUCKETS_US.len());
-        self.buckets[slot].fetch_add(1, Ordering::Relaxed);
+        self.latency
+            .observe_us(u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX));
     }
 
     /// Record one admission rejection (connection refused with `503`).
@@ -98,52 +98,66 @@ impl Metrics {
     /// its per-shard health/retry/hedge lines instead.
     pub fn render_http(&self, queue_depth: usize) -> String {
         let mut out = String::new();
-        let _ = writeln!(out, "sigstr_requests_total {}", self.requests());
         let _ = writeln!(
             out,
-            "sigstr_responses_total{{class=\"2xx\"}} {}",
-            self.class_2xx.load(Ordering::Relaxed)
+            "# TYPE sigstr_http_requests_total counter\nsigstr_http_requests_total {}",
+            self.requests()
         );
-        let _ = writeln!(
-            out,
-            "sigstr_responses_total{{class=\"4xx\"}} {}",
-            self.class_4xx.load(Ordering::Relaxed)
-        );
-        let _ = writeln!(
-            out,
-            "sigstr_responses_total{{class=\"5xx\"}} {}",
-            self.class_5xx.load(Ordering::Relaxed)
-        );
-        let _ = writeln!(out, "sigstr_admission_rejected_total {}", self.rejected());
-        let _ = writeln!(out, "sigstr_queue_depth {queue_depth}");
-        // Cumulative histogram in the Prometheus style: each `le` bucket
-        // includes everything below it.
-        let mut cumulative = 0u64;
-        for (i, &bound) in LATENCY_BUCKETS_US.iter().enumerate() {
-            cumulative += self.buckets[i].load(Ordering::Relaxed);
+        let _ = writeln!(out, "# TYPE sigstr_http_responses_total counter");
+        for (class, counter) in [
+            ("2xx", &self.class_2xx),
+            ("4xx", &self.class_4xx),
+            ("5xx", &self.class_5xx),
+        ] {
             let _ = writeln!(
                 out,
-                "sigstr_request_latency_us_bucket{{le=\"{bound}\"}} {cumulative}"
+                "sigstr_http_responses_total{{class=\"{class}\"}} {}",
+                counter.load(Ordering::Relaxed)
             );
         }
-        cumulative += self.buckets[LATENCY_BUCKETS_US.len()].load(Ordering::Relaxed);
         let _ = writeln!(
             out,
-            "sigstr_request_latency_us_bucket{{le=\"+Inf\"}} {cumulative}"
+            "# TYPE sigstr_http_admission_rejected_total counter\nsigstr_http_admission_rejected_total {}",
+            self.rejected()
         );
         let _ = writeln!(
             out,
-            "sigstr_request_latency_us_sum {}",
-            self.latency_sum_us.load(Ordering::Relaxed)
+            "# TYPE sigstr_http_queue_depth gauge\nsigstr_http_queue_depth {queue_depth}"
         );
-        let _ = writeln!(out, "sigstr_request_latency_us_count {cumulative}");
+        let _ = writeln!(out, "# TYPE sigstr_http_request_latency_us histogram");
+        self.latency
+            .render(&mut out, "sigstr_http_request_latency_us", "");
         out
     }
 }
 
+/// Append the flight-recorder lines to a metrics body.
+pub fn render_trace(out: &mut String, recorder: &FlightRecorder) {
+    let _ = writeln!(
+        out,
+        "# TYPE sigstr_trace_recorded_total counter\nsigstr_trace_recorded_total {}",
+        recorder.recorded()
+    );
+    let _ = writeln!(
+        out,
+        "# TYPE sigstr_trace_slow_total counter\nsigstr_trace_slow_total {}",
+        recorder.slow()
+    );
+    let _ = writeln!(
+        out,
+        "# TYPE sigstr_trace_resident_traces gauge\nsigstr_trace_resident_traces {}",
+        recorder.len()
+    );
+}
+
 /// Append the warm-engine cache lines to a metrics body.
 pub fn render_cache(out: &mut String, cache: &CacheStats) {
-    let _ = writeln!(out, "sigstr_cache_hits_total {}", cache.hits);
+    let _ = writeln!(
+        out,
+        "# TYPE sigstr_cache_hits_total counter\nsigstr_cache_hits_total {}",
+        cache.hits
+    );
+    let _ = writeln!(out, "# TYPE sigstr_cache_loads_total counter");
     let _ = writeln!(out, "sigstr_cache_loads_total {}", cache.loads);
     let _ = writeln!(
         out,
@@ -155,63 +169,73 @@ pub fn render_cache(out: &mut String, cache: &CacheStats) {
         "sigstr_cache_loads_total{{loader=\"read\"}} {}",
         cache.read_loads
     );
-    let _ = writeln!(out, "sigstr_cache_evictions_total {}", cache.evictions);
     let _ = writeln!(
         out,
-        "sigstr_cache_lazy_verifications_total {}",
+        "# TYPE sigstr_cache_evictions_total counter\nsigstr_cache_evictions_total {}",
+        cache.evictions
+    );
+    let _ = writeln!(
+        out,
+        "# TYPE sigstr_cache_lazy_verifications_total counter\nsigstr_cache_lazy_verifications_total {}",
         cache.lazy_verifications
     );
-    let _ = writeln!(out, "sigstr_cache_resident_engines {}", cache.resident);
-    let _ = writeln!(out, "sigstr_cache_resident_bytes {}", cache.resident_bytes);
+    let _ = writeln!(
+        out,
+        "# TYPE sigstr_cache_resident_engines gauge\nsigstr_cache_resident_engines {}",
+        cache.resident
+    );
+    let _ = writeln!(
+        out,
+        "# TYPE sigstr_cache_resident_bytes gauge\nsigstr_cache_resident_bytes {}",
+        cache.resident_bytes
+    );
 }
 
 /// Append the live-document lines to a metrics body: per-document
 /// generation/tail/append/freeze/watch/alert series, the total
 /// in-memory tail bytes, and the corpus-wide freeze-pause histogram
 /// (the number a dashboard watches to see what appenders pay when a
-/// tail freezes into a new snapshot generation).
+/// tail freezes into a new snapshot generation). Samples are grouped
+/// per metric (not per document) so each `# TYPE` declaration covers
+/// every one of its labeled series, as the exposition format requires.
 pub fn render_live(out: &mut String, live: &LiveStats) {
-    let _ = writeln!(out, "sigstr_live_documents {}", live.docs.len());
-    let _ = writeln!(out, "sigstr_live_tail_bytes {}", live.live_bytes);
-    for doc in &live.docs {
-        let name = &doc.name;
-        let _ = writeln!(
-            out,
-            "sigstr_live_generation{{doc=\"{name}\"}} {}",
-            doc.generation
-        );
-        let _ = writeln!(
-            out,
-            "sigstr_live_tail_symbols{{doc=\"{name}\"}} {}",
-            doc.tail
-        );
-        let _ = writeln!(
-            out,
-            "sigstr_live_appends_total{{doc=\"{name}\"}} {}",
-            doc.appends
-        );
-        let _ = writeln!(
-            out,
-            "sigstr_live_appended_symbols_total{{doc=\"{name}\"}} {}",
-            doc.appended_symbols
-        );
-        let _ = writeln!(
-            out,
-            "sigstr_live_freezes_total{{doc=\"{name}\"}} {}",
-            doc.freezes
-        );
-        let _ = writeln!(out, "sigstr_live_watches{{doc=\"{name}\"}} {}", doc.watches);
-        let _ = writeln!(
-            out,
-            "sigstr_live_alerts_emitted_total{{doc=\"{name}\"}} {}",
-            doc.alerts_emitted
-        );
-        let _ = writeln!(
-            out,
-            "sigstr_live_alerts_delivered_total{{doc=\"{name}\"}} {}",
-            doc.alerts_delivered
-        );
+    let _ = writeln!(
+        out,
+        "# TYPE sigstr_live_documents gauge\nsigstr_live_documents {}",
+        live.docs.len()
+    );
+    let _ = writeln!(
+        out,
+        "# TYPE sigstr_live_tail_bytes gauge\nsigstr_live_tail_bytes {}",
+        live.live_bytes
+    );
+    type DocField = fn(&sigstr_corpus::LiveDocStatus) -> u64;
+    let per_doc: [(&str, &str, DocField); 8] = [
+        ("sigstr_live_generation", "gauge", |d| d.generation),
+        ("sigstr_live_tail_symbols", "gauge", |d| d.tail as u64),
+        ("sigstr_live_appends_total", "counter", |d| d.appends),
+        ("sigstr_live_appended_symbols_total", "counter", |d| {
+            d.appended_symbols
+        }),
+        ("sigstr_live_freezes_total", "counter", |d| d.freezes),
+        ("sigstr_live_watches", "gauge", |d| d.watches as u64),
+        ("sigstr_live_alerts_emitted_total", "counter", |d| {
+            d.alerts_emitted
+        }),
+        ("sigstr_live_alerts_delivered_total", "counter", |d| {
+            d.alerts_delivered
+        }),
+    ];
+    for (name, kind, pick) in per_doc {
+        if live.docs.is_empty() {
+            continue;
+        }
+        let _ = writeln!(out, "# TYPE {name} {kind}");
+        for doc in &live.docs {
+            let _ = writeln!(out, "{name}{{doc=\"{}\"}} {}", doc.name, pick(doc));
+        }
     }
+    let _ = writeln!(out, "# TYPE sigstr_live_freeze_duration_us histogram");
     let mut cumulative = 0u64;
     for (i, &bound) in FREEZE_BUCKETS_US.iter().enumerate() {
         cumulative += live.freeze_buckets[i];
@@ -249,19 +273,19 @@ mod tests {
         assert_eq!(metrics.rejected(), 1);
 
         let text = metrics.render(3, &CacheStats::default());
-        assert!(text.contains("sigstr_requests_total 4"), "{text}");
+        assert!(text.contains("sigstr_http_requests_total 4"), "{text}");
         assert!(text.contains("class=\"2xx\"} 2"));
         assert!(text.contains("class=\"4xx\"} 1"));
         assert!(text.contains("class=\"5xx\"} 1"));
-        assert!(text.contains("sigstr_admission_rejected_total 1"));
-        assert!(text.contains("sigstr_queue_depth 3"));
+        assert!(text.contains("sigstr_http_admission_rejected_total 1"));
+        assert!(text.contains("sigstr_http_queue_depth 3"));
         // Cumulative: the 50us observation is in every bucket from
         // le=100 up; +Inf covers all four.
         assert!(text.contains("le=\"100\"} 1"));
         assert!(text.contains("le=\"500\"} 2"));
         assert!(text.contains("le=\"5000\"} 3"));
         assert!(text.contains("le=\"+Inf\"} 4"));
-        assert!(text.contains("sigstr_request_latency_us_count 4"));
+        assert!(text.contains("sigstr_http_request_latency_us_count 4"));
     }
 
     #[test]
@@ -272,11 +296,14 @@ mod tests {
         metrics.record_protocol_error(501);
         assert_eq!(metrics.requests(), 1);
         let text = metrics.render(0, &CacheStats::default());
-        assert!(text.contains("sigstr_requests_total 1"), "{text}");
+        assert!(text.contains("sigstr_http_requests_total 1"), "{text}");
         assert!(text.contains("class=\"4xx\"} 1"), "{text}");
         assert!(text.contains("class=\"5xx\"} 1"), "{text}");
         // The histogram saw only the routed request.
-        assert!(text.contains("sigstr_request_latency_us_count 1"), "{text}");
+        assert!(
+            text.contains("sigstr_http_request_latency_us_count 1"),
+            "{text}"
+        );
     }
 
     #[test]
@@ -345,5 +372,47 @@ mod tests {
         assert!(text.contains("sigstr_cache_lazy_verifications_total 3"));
         assert!(text.contains("sigstr_cache_resident_engines 1"));
         assert!(text.contains("sigstr_cache_resident_bytes 4096"));
+    }
+
+    #[test]
+    fn trace_lines_are_rendered() {
+        let recorder = FlightRecorder::default();
+        recorder.note_slow();
+        let mut text = String::new();
+        render_trace(&mut text, &recorder);
+        assert!(text.contains("sigstr_trace_recorded_total 0"), "{text}");
+        assert!(text.contains("sigstr_trace_slow_total 1"));
+        assert!(text.contains("sigstr_trace_resident_traces 0"));
+    }
+
+    #[test]
+    fn server_page_passes_the_exposition_lint() {
+        let metrics = Metrics::default();
+        metrics.observe(200, Duration::from_micros(50));
+        metrics.record_rejected();
+        let mut text = metrics.render(1, &CacheStats::default());
+        render_trace(&mut text, &FlightRecorder::default());
+        let live = LiveStats {
+            docs: vec![sigstr_corpus::LiveDocStatus {
+                name: "log".into(),
+                generation: 2,
+                n: 100,
+                tail: 5,
+                appends: 1,
+                appended_symbols: 5,
+                freezes: 1,
+                watches: 0,
+                alerts_emitted: 0,
+                alerts_delivered: 0,
+                live_bytes: 64,
+            }],
+            freeze_buckets: [0; FREEZE_BUCKETS_US.len() + 1],
+            freeze_count: 0,
+            freeze_sum_us: 0,
+            live_bytes: 64,
+        };
+        render_live(&mut text, &live);
+        let violations = sigstr_obs::lint::lint_exposition(&text);
+        assert!(violations.is_empty(), "{violations:#?}\n{text}");
     }
 }

@@ -29,14 +29,40 @@
 
 use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+use sigstr_obs::{self as obs, ActiveTrace, FlightRecorder, TraceFilter, TraceHandle, TraceId};
 
 use crate::http::{self, Conn, Limits, RecvError, Request, Response};
 use crate::json::Json;
 use crate::metrics::Metrics;
 use crate::wire;
+
+/// Per-request tracing configuration (shared by server and router).
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Trace requests at all. Off, the per-request cost is one branch;
+    /// `/debug/traces` serves an empty list.
+    pub enabled: bool,
+    /// Flight-recorder capacity (recent sealed traces kept in memory).
+    pub recorder_capacity: usize,
+    /// Slow-query log threshold: a sealed trace at or over this
+    /// end-to-end latency is emitted as one JSON line on stderr.
+    /// `None` disables the log.
+    pub slow_us: Option<u64>,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            recorder_capacity: sigstr_obs::recorder::DEFAULT_CAPACITY,
+            slow_us: None,
+        }
+    }
+}
 
 /// Service configuration (shared by the corpus server and the router).
 #[derive(Debug, Clone)]
@@ -53,6 +79,8 @@ pub struct ServiceConfig {
     pub keep_alive: Duration,
     /// Request size limits.
     pub limits: Limits,
+    /// Per-request tracing and the flight recorder.
+    pub trace: TraceConfig,
 }
 
 impl Default for ServiceConfig {
@@ -63,6 +91,7 @@ impl Default for ServiceConfig {
             queue_depth: 64,
             keep_alive: Duration::from_secs(5),
             limits: Limits::default(),
+            trace: TraceConfig::default(),
         }
     }
 }
@@ -94,19 +123,35 @@ pub trait Handler: Send + Sync + 'static {
 /// request.
 pub struct ServiceCore {
     metrics: Metrics,
-    queue: Mutex<VecDeque<TcpStream>>,
+    /// Admitted connections, stamped with their admission time so the
+    /// first request on each carries a queue-wait span.
+    queue: Mutex<VecDeque<(TcpStream, Instant)>>,
+    /// Lock-free mirror of the queue length, updated under the queue
+    /// lock on enqueue *and dequeue* (not on completion — the gauge
+    /// must read "waiting for a worker", never "in flight"). The hot
+    /// paths (per-request fairness check, the idle-poll abort hook)
+    /// read this instead of taking the queue lock.
+    queued: AtomicUsize,
     available: Condvar,
     shutdown: AtomicBool,
+    recorder: FlightRecorder,
     config: ServiceConfig,
 }
 
 impl ServiceCore {
     pub(crate) fn new(config: ServiceConfig) -> Self {
+        let capacity = if config.trace.enabled {
+            config.trace.recorder_capacity
+        } else {
+            0
+        };
         Self {
             metrics: Metrics::default(),
             queue: Mutex::new(VecDeque::new()),
+            queued: AtomicUsize::new(0),
             available: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            recorder: FlightRecorder::new(capacity),
             config,
         }
     }
@@ -116,14 +161,21 @@ impl ServiceCore {
         self.shutdown.load(Ordering::SeqCst)
     }
 
-    /// Connections admitted but not yet claimed by a worker (sampled).
+    /// Connections admitted but not yet claimed by a worker. Bounded by
+    /// `config.queue_depth` at all times: incremented at admission,
+    /// decremented the moment a worker dequeues.
     pub fn queue_depth(&self) -> usize {
-        self.queue.lock().expect("admission queue poisoned").len()
+        self.queued.load(Ordering::Relaxed)
     }
 
     /// The service's request metrics.
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
+    }
+
+    /// The process's flight recorder (recent sealed request traces).
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.recorder
     }
 
     /// The service configuration.
@@ -294,7 +346,8 @@ impl<H: Handler> Service<H> {
             http::reject_overloaded(&mut stream);
             return;
         }
-        queue.push_back(stream);
+        queue.push_back((stream, Instant::now()));
+        core.queued.store(queue.len(), Ordering::Relaxed);
         drop(queue);
         core.available.notify_one();
     }
@@ -304,11 +357,12 @@ impl<H: Handler> Service<H> {
 fn worker_loop<H: Handler>(shared: &ServiceShared<H>) {
     let core = &shared.core;
     loop {
-        let stream = {
+        let claimed = {
             let mut queue = core.queue.lock().expect("admission queue poisoned");
             loop {
-                if let Some(stream) = queue.pop_front() {
-                    break Some(stream);
+                if let Some((stream, queued_at)) = queue.pop_front() {
+                    core.queued.store(queue.len(), Ordering::Relaxed);
+                    break Some((stream, queued_at));
                 }
                 if core.is_shutting_down() {
                     break None;
@@ -319,19 +373,22 @@ fn worker_loop<H: Handler>(shared: &ServiceShared<H>) {
                     .expect("admission queue poisoned");
             }
         };
-        match stream {
-            Some(stream) => serve_connection(shared, stream),
+        match claimed {
+            Some((stream, queued_at)) => serve_connection(shared, stream, queued_at),
             None => return,
         }
     }
 }
 
 /// One connection's keep-alive loop.
-fn serve_connection<H: Handler>(shared: &ServiceShared<H>, stream: TcpStream) {
+fn serve_connection<H: Handler>(shared: &ServiceShared<H>, stream: TcpStream, queued_at: Instant) {
     let core = &shared.core;
     let Ok(mut conn) = Conn::new(stream) else {
         return;
     };
+    // The admission wait belongs to the *first* request only — later
+    // requests on this keep-alive connection never sat in the queue.
+    let mut queue_wait = Some((queued_at, Instant::now()));
     loop {
         // The yield condition doubles as the graceful-shutdown check:
         // an *idle* connection is abandoned both when the service drains
@@ -358,8 +415,15 @@ fn serve_connection<H: Handler>(shared: &ServiceShared<H>, stream: TcpStream) {
                 return;
             }
         };
+        let trace = begin_trace(core, &request, queue_wait.take());
         let start = Instant::now();
-        let mut response = shared.handler.handle(&request, core);
+        let mut response = {
+            // The handler (and everything it calls: corpus cache, scan,
+            // the router's hedging coordinator) records spans against
+            // the attached trace; a `None` attach costs nothing.
+            let _ambient = trace.as_ref().map(|t| obs::attach(Arc::clone(t)));
+            shared.handler.handle(&request, core)
+        };
         let mut keep_alive = request.keep_alive && response.keep_alive && !core.is_shutting_down();
         // Fairness under worker pinning: with as many live keep-alive
         // peers as workers, every worker sits in this loop and a newly
@@ -373,13 +437,118 @@ fn serve_connection<H: Handler>(shared: &ServiceShared<H>, stream: TcpStream) {
         }
         response.keep_alive = keep_alive;
         core.metrics.observe(response.status, start.elapsed());
-        if conn.write_response(&response).is_err() {
-            return;
-        }
-        if !keep_alive {
+        let write_ok = match trace {
+            Some(trace) => {
+                let response = response.with_header(obs::TRACE_HEADER, trace.id().to_hex());
+                let write_start = Instant::now();
+                let ok = conn.write_response(&response).is_ok();
+                trace.record(
+                    "write",
+                    write_start,
+                    Instant::now(),
+                    vec![("bytes", response.body.len().to_string())],
+                );
+                finish_trace(core, &trace, &request, response.status);
+                ok
+            }
+            None => conn.write_response(&response).is_ok(),
+        };
+        if !write_ok || !keep_alive {
             return;
         }
     }
+}
+
+/// Start a trace for one routed request: adopt the ID an upstream
+/// router stamped on the hop, or mint one here (this process *is* the
+/// edge). Operational routes (`/healthz`, `/metrics`, `/debug/…`) are
+/// not traced — probes and scrapes would drown the flight recorder.
+fn begin_trace(
+    core: &ServiceCore,
+    request: &Request,
+    queue_wait: Option<(Instant, Instant)>,
+) -> Option<TraceHandle> {
+    if !core.config.trace.enabled || is_ops_route(&request.path) {
+        return None;
+    }
+    let id = request
+        .header(obs::TRACE_HEADER)
+        .and_then(TraceId::parse)
+        .unwrap_or_else(TraceId::mint);
+    let parsed_at = Instant::now();
+    let first_byte = parsed_at
+        .checked_sub(Duration::from_micros(request.recv_us))
+        .unwrap_or(parsed_at);
+    // The trace origin is the earliest instant it covers: queue entry
+    // for a fresh connection, first request byte for a keep-alive one.
+    let origin = queue_wait.map_or(first_byte, |(entered, _)| entered);
+    let trace = ActiveTrace::begin_at(id, origin);
+    if let Some((entered, claimed)) = queue_wait {
+        trace.record("queue", entered, claimed, Vec::new());
+    }
+    trace.record(
+        "parse",
+        first_byte,
+        parsed_at,
+        vec![("bytes", request.body.len().to_string())],
+    );
+    Some(trace)
+}
+
+/// Seal a finished trace into the flight recorder, emitting the
+/// slow-query log line first when the request crossed the threshold.
+fn finish_trace(core: &ServiceCore, trace: &TraceHandle, request: &Request, status: u16) {
+    let sealed = trace.seal(request.path.clone(), status);
+    if let Some(threshold) = core.config.trace.slow_us {
+        if sealed.total_us >= threshold {
+            core.recorder.note_slow();
+            eprintln!(
+                "{{\"event\":\"slow_query\",\"threshold_us\":{threshold},\"trace\":{}}}",
+                sealed.to_json()
+            );
+        }
+    }
+    core.recorder.record(sealed);
+}
+
+/// Routes excluded from tracing: health probes, metric scrapes, and
+/// the trace endpoint itself.
+fn is_ops_route(path: &str) -> bool {
+    path == "/healthz" || path == "/metrics" || path.starts_with("/debug")
+}
+
+/// Parse the `/debug/traces` filter grammar from a request's query
+/// string: `id`, `route` (prefix), `status`, `min_us`, `limit`.
+pub fn trace_filter_from(request: &Request) -> TraceFilter {
+    let mut filter = TraceFilter::default();
+    for (key, value) in &request.query {
+        match key.as_str() {
+            "id" => filter.id = TraceId::parse(value),
+            "route" => filter.route_prefix = Some(value.clone()),
+            "status" => filter.status = value.parse().ok(),
+            "min_us" => filter.min_total_us = value.parse().unwrap_or(0),
+            "limit" => {
+                if let Ok(limit) = value.parse() {
+                    filter.limit = limit;
+                }
+            }
+            _ => {}
+        }
+    }
+    filter
+}
+
+/// The stock `/debug/traces` response: matching flight-recorder traces
+/// as JSON, newest first. Handlers route `GET /debug/traces` here; the
+/// router wraps this to join shard-side traces in.
+pub fn traces_response(core: &ServiceCore, request: &Request) -> Response {
+    let traces = core.recorder().snapshot(&trace_filter_from(request));
+    let rendered: Vec<String> = traces.iter().map(|t| t.to_json()).collect();
+    Response::new(
+        200,
+        "application/json",
+        obs::render_traces_body(&rendered).into_bytes(),
+    )
 }
 
 /// Write a closing error response for input that never became a

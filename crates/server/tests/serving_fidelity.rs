@@ -327,9 +327,12 @@ fn keep_alive_serves_sequential_requests_and_metrics_count_them() {
     let text = response.body_str();
     // Four requests precede the scrape (the scrape itself is counted
     // only after its response is rendered).
-    assert!(text.contains("sigstr_requests_total 4"), "{text}");
+    assert!(text.contains("sigstr_http_requests_total 4"), "{text}");
     assert!(text.contains("sigstr_cache_hits_total"), "{text}");
-    assert!(text.contains("sigstr_request_latency_us_bucket"), "{text}");
+    assert!(
+        text.contains("sigstr_http_request_latency_us_bucket"),
+        "{text}"
+    );
 
     handle.shutdown();
     join.join().unwrap();
@@ -435,7 +438,7 @@ fn overload_returns_503_without_corrupting_in_flight_connections() {
     let text = conn.request("GET", "/metrics", None).unwrap();
     assert!(
         text.body_str()
-            .contains("sigstr_admission_rejected_total 1"),
+            .contains("sigstr_http_admission_rejected_total 1"),
         "{}",
         text.body_str()
     );

@@ -1,0 +1,331 @@
+//! End-to-end request tracing: every data-path request gets a trace
+//! (edge-minted or adopted from `x-sigstr-trace`), the flight recorder
+//! serves it back on `/debug/traces` with the full span set, and the
+//! admission-queue gauge stays bounded by the configured depth under
+//! overload — decremented at dequeue, never at completion.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use sigstr_core::{CountsLayout, Model, Query, Sequence};
+use sigstr_corpus::Corpus;
+use sigstr_obs::TRACE_HEADER;
+use sigstr_server::client::ClientConn;
+use sigstr_server::http::{Request, Response};
+use sigstr_server::json::Json;
+use sigstr_server::service::{Handler, Service, ServiceConfig, ServiceCore};
+use sigstr_server::{wire, Server, ServerConfig, ServerHandle};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "sigstr-trace-it-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn doc(seed: u64, n: usize, k: usize) -> Sequence {
+    let mut x = seed | 1;
+    let symbols: Vec<u8> = (0..n)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x % k as u64) as u8
+        })
+        .collect();
+    Sequence::from_symbols(symbols, k).unwrap()
+}
+
+fn build_corpus(dir: &PathBuf) {
+    let mut corpus = Corpus::create(dir).unwrap();
+    corpus
+        .add_document(
+            "bin-a",
+            &doc(21, 600, 2),
+            Model::uniform(2).unwrap(),
+            CountsLayout::Flat,
+        )
+        .unwrap();
+}
+
+fn boot(
+    dir: &PathBuf,
+    config: ServerConfig,
+) -> (
+    ServerHandle,
+    std::thread::JoinHandle<sigstr_server::ServeSummary>,
+) {
+    let corpus = Corpus::open(dir).unwrap();
+    let server = Server::bind(corpus, config).unwrap();
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run().unwrap());
+    (handle, join)
+}
+
+fn ephemeral(threads: usize, queue_depth: usize) -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        threads,
+        queue_depth,
+        keep_alive: Duration::from_secs(5),
+        ..ServerConfig::default()
+    }
+}
+
+fn query_body() -> String {
+    Json::Obj(vec![
+        ("doc".into(), Json::Str("bin-a".into())),
+        ("query".into(), wire::query_to_json(&Query::mss())),
+    ])
+    .encode()
+    .unwrap()
+}
+
+fn decoded(raw: &[u8]) -> Json {
+    Json::decode(std::str::from_utf8(raw).unwrap().trim()).unwrap()
+}
+
+fn span_names(trace: &Json) -> Vec<String> {
+    trace
+        .get("spans")
+        .and_then(Json::as_array)
+        .unwrap()
+        .iter()
+        .map(|s| s.get("name").unwrap().as_str().unwrap().to_string())
+        .collect()
+}
+
+fn span<'a>(trace: &'a Json, name: &str) -> Option<&'a Json> {
+    trace
+        .get("spans")
+        .and_then(Json::as_array)
+        .unwrap()
+        .iter()
+        .find(|s| s.get("name").and_then(Json::as_str) == Some(name))
+}
+
+#[test]
+fn adopted_trace_id_is_echoed_and_spans_cover_the_lifecycle() {
+    let dir = temp_dir("adopt");
+    build_corpus(&dir);
+    let (handle, join) = boot(&dir, ephemeral(2, 8));
+    let mut conn = ClientConn::connect(handle.local_addr()).unwrap();
+
+    let injected = "00000000000000000000000000c0ffee";
+    let response = conn
+        .request_with(
+            "POST",
+            "/v1/query",
+            Some(&query_body()),
+            &[(TRACE_HEADER, injected)],
+        )
+        .unwrap();
+    assert_eq!(response.status, 200);
+    // The response carries the trace ID the caller injected.
+    assert_eq!(response.header(TRACE_HEADER), Some(injected));
+
+    let traces = conn
+        .request("GET", &format!("/debug/traces?id={injected}"), None)
+        .unwrap();
+    assert_eq!(traces.status, 200);
+    let body = decoded(&traces.body);
+    let traces = body.get("traces").and_then(Json::as_array).unwrap();
+    assert_eq!(traces.len(), 1, "exactly the adopted trace");
+    let trace = &traces[0];
+    assert_eq!(trace.get("id").unwrap().as_str(), Some(injected));
+    assert_eq!(trace.get("route").unwrap().as_str(), Some("/v1/query"));
+    assert_eq!(trace.get("status").unwrap().as_u64(), Some(200));
+    assert!(trace.get("total_us").unwrap().as_u64().is_some());
+
+    // The span set covers the request lifecycle: admission queue,
+    // parse, corpus cache, engine scan, response write.
+    let names = span_names(trace);
+    for expected in ["queue", "parse", "cache", "scan", "write"] {
+        assert!(
+            names.contains(&expected.to_string()),
+            "missing `{expected}` in {names:?}"
+        );
+    }
+    // The scan span carries the engine's ScanStats and SIMD tier.
+    let scan = span(trace, "scan").unwrap();
+    let attrs = scan.get("attrs").unwrap();
+    assert_eq!(attrs.get("doc").unwrap().as_str(), Some("bin-a"));
+    for key in ["examined", "skips", "skipped"] {
+        let value = attrs.get(key).unwrap().as_str().unwrap();
+        value
+            .parse::<u64>()
+            .unwrap_or_else(|_| panic!("{key}={value} not numeric"));
+    }
+    assert!(
+        ["scalar", "sse2", "avx2"].contains(&attrs.get("simd").unwrap().as_str().unwrap()),
+        "unexpected simd tier"
+    );
+    // The cache span reports hit-or-load.
+    let cache = span(trace, "cache").unwrap();
+    let outcome = cache.get("attrs").unwrap().get("outcome").unwrap();
+    assert!(matches!(outcome.as_str(), Some("hit" | "load")));
+
+    handle.shutdown();
+    join.join().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn minted_ids_differ_per_request_and_filters_apply() {
+    let dir = temp_dir("mint");
+    build_corpus(&dir);
+    let (handle, join) = boot(&dir, ephemeral(2, 8));
+    let mut conn = ClientConn::connect(handle.local_addr()).unwrap();
+
+    let body = query_body();
+    let first = conn.request("POST", "/v1/query", Some(&body)).unwrap();
+    let second = conn.request("POST", "/v1/query", Some(&body)).unwrap();
+    let a = first.header(TRACE_HEADER).unwrap().to_string();
+    let b = second.header(TRACE_HEADER).unwrap().to_string();
+    assert_eq!(a.len(), 32);
+    assert_eq!(b.len(), 32);
+    assert_ne!(a, b, "each request gets its own trace");
+
+    // Ops routes are never recorded; both queries are.
+    conn.request("GET", "/healthz", None).unwrap();
+    let all = conn.request("GET", "/debug/traces", None).unwrap();
+    let routes: Vec<String> = decoded(&all.body)
+        .get("traces")
+        .and_then(Json::as_array)
+        .unwrap()
+        .iter()
+        .map(|t| t.get("route").unwrap().as_str().unwrap().to_string())
+        .collect();
+    assert_eq!(routes.len(), 2);
+    assert!(routes.iter().all(|r| r == "/v1/query"), "{routes:?}");
+
+    // Route/status/latency filters compose.
+    let filtered = conn
+        .request(
+            "GET",
+            "/debug/traces?route=/v1/query&status=200&limit=1",
+            None,
+        )
+        .unwrap();
+    let body = decoded(&filtered.body);
+    assert_eq!(
+        body.get("traces").and_then(Json::as_array).unwrap().len(),
+        1
+    );
+    let none = conn
+        .request("GET", "/debug/traces?min_us=999999999", None)
+        .unwrap();
+    let body = decoded(&none.body);
+    assert_eq!(
+        body.get("traces").and_then(Json::as_array).unwrap().len(),
+        0
+    );
+
+    handle.shutdown();
+    join.join().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn disabled_tracing_skips_headers_and_recorder() {
+    let dir = temp_dir("off");
+    build_corpus(&dir);
+    let mut config = ephemeral(2, 8);
+    config.trace.enabled = false;
+    let (handle, join) = boot(&dir, config);
+    let mut conn = ClientConn::connect(handle.local_addr()).unwrap();
+
+    let response = conn
+        .request("POST", "/v1/query", Some(&query_body()))
+        .unwrap();
+    assert_eq!(response.status, 200);
+    assert_eq!(response.header(TRACE_HEADER), None);
+    let traces = conn.request("GET", "/debug/traces", None).unwrap();
+    assert_eq!(traces.status, 200);
+    let body = decoded(&traces.body);
+    assert_eq!(
+        body.get("traces").and_then(Json::as_array).unwrap().len(),
+        0
+    );
+
+    handle.shutdown();
+    join.join().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The queue-depth gauge regression: it counts connections *waiting
+/// for a worker*, so it must never exceed the configured queue depth,
+/// even while requests are in flight. (The old accounting decremented
+/// at completion, so an in-flight request still counted as queued.)
+struct SlowSampler {
+    delay: Duration,
+    max_depth_seen: Arc<AtomicUsize>,
+}
+
+impl Handler for SlowSampler {
+    fn handle(&self, _request: &Request, core: &ServiceCore) -> Response {
+        let deadline = Instant::now() + self.delay;
+        while Instant::now() < deadline {
+            self.max_depth_seen
+                .fetch_max(core.queue_depth(), Ordering::SeqCst);
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        Response::new(200, "text/plain", b"ok\n".to_vec())
+    }
+}
+
+#[test]
+fn queue_gauge_is_bounded_by_configured_depth_under_overload() {
+    const QUEUE_DEPTH: usize = 2;
+    let max_depth_seen = Arc::new(AtomicUsize::new(0));
+    let handler = SlowSampler {
+        delay: Duration::from_millis(60),
+        max_depth_seen: Arc::clone(&max_depth_seen),
+    };
+    let config = ServiceConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 1,
+        queue_depth: QUEUE_DEPTH,
+        keep_alive: Duration::from_secs(5),
+        ..ServiceConfig::default()
+    };
+    let service = Service::bind(handler, config).unwrap();
+    let handle = service.handle();
+    let addr = service.local_addr();
+    let join = std::thread::spawn(move || service.run().unwrap());
+
+    // Flood: 1 in flight + QUEUE_DEPTH waiting + the rest turned away.
+    let clients: Vec<_> = (0..8)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut conn = ClientConn::connect(addr).ok()?;
+                conn.request("GET", "/anything", None)
+                    .ok()
+                    .map(|r| r.status)
+            })
+        })
+        .collect();
+    let statuses: Vec<u16> = clients
+        .into_iter()
+        .filter_map(|c| c.join().unwrap())
+        .collect();
+
+    assert!(
+        statuses.contains(&200),
+        "some requests served: {statuses:?}"
+    );
+    assert!(statuses.contains(&503), "overflow rejected: {statuses:?}");
+    let max_seen = max_depth_seen.load(Ordering::SeqCst);
+    assert!(
+        max_seen <= QUEUE_DEPTH,
+        "gauge exceeded the configured depth: saw {max_seen}, limit {QUEUE_DEPTH}"
+    );
+
+    handle.shutdown();
+    join.join().unwrap();
+}
